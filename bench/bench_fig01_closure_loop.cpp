@@ -1,0 +1,115 @@
+/// \file bench_fig01_closure_loop.cpp
+/// \brief Reproduces Fig. 1 (from MacDonald [30]): the scope and main steps
+/// of top-level timing closure — five iterations, each running STA, breaking
+/// down the failures, and repairing them in the recommended order (Vt-swap
+/// first, then gate sizing, buffer insertion, NDR application, useful skew),
+/// with the expectation that "top-level timing improves after each
+/// iteration".
+///
+/// Run on a placed synthetic SoC block against a setup (slow-ish) and a
+/// hold (fast) scenario — the minimal MCMM pair — with the 20nm-and-below
+/// twist of Sec. 2.4 enabled: Vt swaps can create MinIA violations that the
+/// minimal-perturbation fixer must clean after each iteration.
+
+#include <cstdio>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "opt/closure.h"
+#include "place/placement.h"
+#include "power/power.h"
+#include "util/table.h"
+
+using namespace tc;
+
+int main() {
+  auto L = characterizedLibrary(LibraryPvt{});
+  BlockProfile p = profileC7552();
+  Netlist nl = generateBlock(L, p);
+  const Floorplan fp = Floorplan::forDesign(nl, 0.65);
+  placeDesign(nl, fp);
+
+  Scenario setup;
+  setup.lib = L;
+  setup.name = "setup_typ";
+  setup.inputDelay = 250.0;  // fixed set_input_delay (period-independent)
+  Scenario hold = setup;
+  hold.name = "hold_fast";
+  hold.clockUncertaintyHold = 40.0;
+
+  // Probe the as-placed critical delay, then set an aggressive-but-closable
+  // target: 12% faster than the unoptimized design runs.
+  {
+    nl.clocks().front().period = 4000.0;
+    StaEngine probe(nl, setup);
+    probe.run();
+    const Ps critical = 4000.0 - probe.wns(Check::kSetup);
+    nl.clocks().front().period = 0.88 * critical;
+    std::printf("as-placed critical delay %.0f ps -> closure target period "
+                "%.0f ps\n\n",
+                critical, nl.clocks().front().period);
+  }
+
+  const PowerReport before = analyzePower(nl);
+
+  ClosureLoop loop(nl, setup, hold, fp);
+  ClosureConfig cfg;
+  cfg.iterations = 5;
+  cfg.stopWhenClean = false;
+  cfg.repair.maxEdits = 350;
+  cfg.fixMinIaAfterSwaps = true;
+  const ClosureResult res = loop.run(cfg);
+
+  TextTable t(
+      "Fig. 1 -- five-iteration timing closure loop (" + p.name +
+      "-profile block, " + std::to_string(nl.instanceCount()) + " instances)");
+  t.setHeader({"iter", "setup WNS", "setup TNS", "#setup", "hold WNS",
+               "#hold", "#maxtrans", "#maxcap", "vt-swap", "size", "buffer",
+               "NDR", "skew", "holdbuf", "MinIA fixed"});
+  for (const auto& it : res.iterations) {
+    t.addRow({std::to_string(it.iteration),
+              TextTable::num(it.before.setupWns, 1),
+              TextTable::num(it.before.setupTns, 0),
+              std::to_string(it.before.setupViolations),
+              TextTable::num(it.before.holdWns, 1),
+              std::to_string(it.before.holdViolations),
+              std::to_string(it.before.maxTransViolations),
+              std::to_string(it.before.maxCapViolations),
+              std::to_string(it.vtSwaps), std::to_string(it.resizes),
+              std::to_string(it.buffers), std::to_string(it.ndrPromotions),
+              std::to_string(it.usefulSkews), std::to_string(it.holdBuffers),
+              std::to_string(it.minIaViolationsFixed)});
+  }
+  t.addRow({"final", TextTable::num(res.final.setupWns, 1),
+            TextTable::num(res.final.setupTns, 0),
+            std::to_string(res.final.setupViolations),
+            TextTable::num(res.final.holdWns, 1),
+            std::to_string(res.final.holdViolations),
+            std::to_string(res.final.maxTransViolations),
+            std::to_string(res.final.maxCapViolations), "-", "-", "-", "-",
+            "-", "-", "-"});
+  t.addFootnote(res.closed
+                    ? "design CLOSED"
+                    : "design not fully closed: the residual DRVs are the "
+                      "paper's \"last set of several hundred manual noise "
+                      "and DRC fixes\" tail");
+  t.addFootnote("repair order per [30]: simplest optimizations first "
+                "(Vt-swap, sizing, buffering, NDR, useful skew); iterations "
+                "dominated by DRV storms run electrical cleanup only");
+  t.print();
+
+  const PowerReport after = analyzePower(nl);
+  TextTable cost("closure cost");
+  cost.setHeader({"metric", "before", "after", "delta"});
+  cost.addRow({"leakage (uW)", TextTable::num(before.leakage, 2),
+               TextTable::num(after.leakage, 2),
+               TextTable::pct(after.leakage / before.leakage - 1.0, 1)});
+  cost.addRow({"total power (uW)", TextTable::num(before.total(), 1),
+               TextTable::num(after.total(), 1),
+               TextTable::pct(after.total() / before.total() - 1.0, 1)});
+  cost.addRow({"area (um2)", TextTable::num(before.area, 0),
+               TextTable::num(after.area, 0),
+               TextTable::pct(after.area / before.area - 1.0, 1)});
+  cost.print();
+  return 0;
+}

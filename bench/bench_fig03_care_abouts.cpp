@@ -1,0 +1,64 @@
+/// \file bench_fig03_care_abouts.cpp
+/// \brief Reproduces Fig. 3: the evolution of timing-closure care-abouts
+/// mapped against technology nodes (90nm -> 7nm), rendered as the matrix of
+/// which concern becomes material at which node, plus the per-node physical
+/// drivers (supply range, BEOL resistance, patterning) this framework
+/// actually models.
+
+#include <cstdio>
+#include <string>
+
+#include "device/tech.h"
+#include "util/table.h"
+
+using namespace tc;
+
+int main() {
+  const auto& nodes = technologyTimeline();
+
+  {
+    TextTable t("Fig. 3 -- timing closure care-abouts vs technology node");
+    std::vector<std::string> header{"concern"};
+    for (const auto& n : nodes) header.push_back(n.name);
+    t.setHeader(header);
+    for (int c = 0; c < static_cast<int>(CareAbout::kCount); ++c) {
+      const auto concern = static_cast<CareAbout>(c);
+      std::vector<std::string> row{toString(concern)};
+      for (const auto& n : nodes) {
+        bool active = false;
+        for (CareAbout a : activeConcerns(n))
+          if (a == concern) active = true;
+        bool introduced = false;
+        for (CareAbout a : n.newConcerns)
+          if (a == concern) introduced = true;
+        row.push_back(introduced ? "NEW" : (active ? "x" : ""));
+      }
+      t.addRow(row);
+    }
+    t.addFootnote("NEW = first node where the concern becomes material; "
+                  "x = carried forward (concerns accumulate, none retire)");
+    t.print();
+    std::puts("");
+  }
+
+  {
+    TextTable t("Per-node physical drivers (as modeled by this framework)");
+    t.setHeader({"node", "VDD nom (V)", "VDD range (V)", "M2 R scale",
+                 "DP layers", "MinIA (sites)", "FinFET"});
+    for (const auto& n : nodes) {
+      t.addRow({n.name, TextTable::num(n.vddNominal, 2),
+                TextTable::num(n.vddMin, 2) + " - " +
+                    TextTable::num(n.vddMax, 2),
+                TextTable::num(n.wireResScale, 2),
+                std::to_string(n.doublePatternedLayers),
+                n.minImplantWidthSites
+                    ? std::to_string(n.minImplantWidthSites)
+                    : "-",
+                n.finfet ? "yes" : "no"});
+    }
+    t.addFootnote("16/14nm: core logic supply scalable 0.46-1.25V (paper "
+                  "footnote 3) -- the corner-explosion driver");
+    t.print();
+  }
+  return 0;
+}

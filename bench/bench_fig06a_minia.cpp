@@ -1,0 +1,127 @@
+/// \file bench_fig06a_minia.cpp
+/// \brief Reproduces Fig. 6(a) / Sec. 2.4 (after Kahng-Lee [24]): minimum
+/// implant area (MinIA) violations created by post-placement Vt-swap, and
+/// their repair.
+///
+/// A placed block is leakage-optimized by timing-blind Vt mixing (the
+/// classic "Vt-swap first" step of Fig. 1), which creates narrow implant
+/// islands. The [24]-style minimal-perturbation fixer (merge / vt-align /
+/// ECO-move) is compared against the naive commercial-like baseline
+/// (unconditional vt alignment). Paper claim: the proposed methods reduce
+/// MinIA violations by up to 100% while satisfying timing/power
+/// constraints, with small placement perturbation.
+
+#include <cstdio>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "opt/transforms.h"
+#include "place/minia.h"
+#include "power/power.h"
+#include "sta/engine.h"
+#include "util/table.h"
+
+using namespace tc;
+
+namespace {
+
+struct Outcome {
+  MinIaFixReport rep;
+  MicroWatt leakAfter = 0.0;
+  Ps wnsAfter = 0.0;
+};
+
+/// Build a *timing-driven* Vt mix on a placed copy of the block (critical
+/// cells pushed toward ULVT, relaxed cells recovered toward HVT -- exactly
+/// the optimization state in which MinIA islands appear), then fix.
+Outcome runFixer(std::shared_ptr<const Library> L, const BlockProfile& p,
+                 const Floorplan& fp, bool naive) {
+  Netlist nl = generateBlock(L, p);
+  placeDesign(nl, fp);
+  Scenario sc;
+  sc.lib = L;
+  sc.inputDelay = 200.0;  // fixed set_input_delay
+  // Retune the clock so the shaped design sits just at closure: that is
+  // where a timing-oblivious Vt-align visibly breaks the design.
+  {
+    nl.clocks().front().period = 8000.0;
+    StaEngine probe(nl, sc);
+    probe.run();
+    nl.clocks().front().period =
+        0.94 * (8000.0 - probe.wns(Check::kSetup));
+  }
+  // Timing-driven Vt shaping: speed up the critical cone, recover leakage
+  // everywhere else.
+  {
+    StaEngine eng(nl, sc);
+    eng.run();
+    RepairConfig rc;
+    rc.maxEdits = 100000;
+    rc.slackTarget = 40.0;
+    vtSwapFix(nl, eng, rc);
+    vtSwapFix(nl, eng, rc);  // two steps toward ULVT on critical cells
+    rc.leakageSlackFloor = 150.0;
+    leakageRecovery(nl, eng, rc);
+  }
+
+  StaEngine eng(nl, sc);
+  eng.run();
+
+  RowOccupancy occ(nl, fp);
+  Outcome out;
+  if (naive) {
+    out.rep = fixMinIaNaive(nl, occ, fp, 3);
+  } else {
+    MinIaFixConfig cfg;
+    cfg.minSites = 3;
+    out.rep = fixMinIa(nl, occ, fp, &eng, cfg);
+  }
+  out.leakAfter = analyzePower(nl).leakage;
+  StaEngine eng2(nl, sc);
+  eng2.run();
+  out.wnsAfter = eng2.wns(Check::kSetup);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto L = characterizedLibrary(LibraryPvt{});
+
+  std::puts(
+      "== Fig. 6(a) / Sec. 2.4: MinIA violations from post-placement "
+      "Vt-swap, and their repair ([24]) ==\n");
+
+  TextTable t("MinIA fixing: minimal-perturbation [24] vs naive vt-align");
+  t.setHeader({"block", "fixer", "viol before", "viol after", "fixed",
+               "vt swaps", "merges", "moves", "displacement (sites)",
+               "leakage delta (uW)", "WNS after (ps)"});
+  for (const BlockProfile& p : {profileTiny(), profileC5315()}) {
+    const Floorplan fp = Floorplan::forDesign(generateBlock(L, p), 0.66);
+    for (bool naive : {false, true}) {
+      const Outcome o = runFixer(L, p, fp, naive);
+      const double fixedPct =
+          o.rep.violationsBefore
+              ? 100.0 * (o.rep.violationsBefore - o.rep.violationsAfter) /
+                    o.rep.violationsBefore
+              : 100.0;
+      t.addRow({p.name, naive ? "naive vt-align" : "[24]-style",
+                std::to_string(o.rep.violationsBefore),
+                std::to_string(o.rep.violationsAfter),
+                TextTable::num(fixedPct, 1) + "%",
+                std::to_string(o.rep.vtSwaps), std::to_string(o.rep.merges),
+                std::to_string(o.rep.moves),
+                TextTable::num(o.rep.displacementSites, 0),
+                TextTable::num(o.rep.leakageDelta, 4),
+                TextTable::num(o.wnsAfter, 1)});
+    }
+  }
+  t.addFootnote("paper/[24]: up to 100% of MinIA violations removed while "
+                "satisfying timing/power, with minimal placement "
+                "perturbation; the naive baseline fixes by unconditional Vt "
+                "alignment (leakage/timing oblivious)");
+  t.addFootnote("Sec. 2.4: this interference \"weakens or even obviates\" "
+                "the placement-independent Vt-swap step of Fig. 1");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,150 @@
+/// \file bench_fig10_flexflop.cpp
+/// \brief Reproduces Fig. 10 and the Sec. 3.4 margin-recovery result
+/// (after Kahng-Lee [23]).
+///
+/// (i)/(ii) c2q delay vs setup time and vs hold time, from transient
+/// simulation of the master-slave flop: c2q "rapidly increases when the
+/// setup or hold time is decreased", the region discarded by the fixed 10%
+/// pushout criterion.
+/// (iii) the setup-vs-hold tradeoff at a fixed c2q budget.
+/// Then: flexible-flop margin recovery on a setup-critical block — the
+/// paper reports up to 130ps worst-slack gain in a 65nm library; the shape
+/// target here is a clearly positive WNS gain.
+
+#include <cstdio>
+
+#include "device/latch.h"
+#include "liberty/builder.h"
+#include "liberty/interdep.h"
+#include "network/netgen.h"
+#include "opt/closure.h"
+#include "signoff/flexflop.h"
+#include "sta/engine.h"
+#include "util/table.h"
+
+using namespace tc;
+
+int main() {
+  LatchConditions lc;  // 0.9V / 25C SVT flop
+  LatchSim sim(lc);
+  const Ps c2q0 = sim.nominalClockToQ();
+  const InterdepFlopModel model = fitInterdepModel(sim);
+
+  {
+    TextTable t("Fig. 10(i) -- c2q delay vs setup time (hold generous)");
+    t.setHeader({"setup time (ps)", "c2q (ps, transient sim)",
+                 "c2q (ps, fitted surface)", "pushout vs nominal"});
+    for (Ps s = 60.0; s >= model.sMin - 2.0; s -= 4.0) {
+      const LatchResult r = sim.capture(s, 300.0);
+      if (!r.captured) {
+        t.addRow({TextTable::num(s, 1), "capture FAILS", "-", "-"});
+        break;
+      }
+      t.addRow({TextTable::num(s, 1), TextTable::num(r.clockToQ, 2),
+                TextTable::num(model.clockToQ(s, 300.0), 2),
+                TextTable::pct(r.clockToQ / c2q0 - 1.0, 1)});
+    }
+    t.addFootnote("nominal c2q = " + TextTable::num(c2q0, 2) +
+                  " ps; conventional (10% pushout) setup = " +
+                  TextTable::num(model.conventionalSetup(0.10), 2) + " ps");
+    t.print();
+    std::puts("");
+  }
+
+  {
+    TextTable t("Fig. 10(ii) -- c2q delay vs hold time (setup generous)");
+    t.setHeader({"hold time (ps)", "c2q (ps, transient sim)", "pushout"});
+    for (Ps h = 40.0; h >= model.hMin - 2.0; h -= 4.0) {
+      const LatchResult r = sim.capture(300.0, h);
+      if (!r.captured) {
+        t.addRow({TextTable::num(h, 1), "capture FAILS", "-"});
+        break;
+      }
+      t.addRow({TextTable::num(h, 1), TextTable::num(r.clockToQ, 2),
+                TextTable::pct(r.clockToQ / c2q0 - 1.0, 1)});
+    }
+    t.print();
+    std::puts("");
+  }
+
+  {
+    const Ps suConv = model.conventionalSetup(0.10);
+    const Ps hConv = model.conventionalHold(0.10);
+    TextTable t(
+        "Fig. 10(iii) -- setup vs hold tradeoff at fixed c2q budgets");
+    const auto col = [](Ps v) { return TextTable::num(v, 2); };
+    t.setHeader({"c2q budget", "setup@hold=" + col(hConv + 20.0),
+                 "setup@hold=" + col(hConv), "hold@setup=" + col(suConv + 10),
+                 "hold@setup=" + col(suConv - 2.0)});
+    for (double stretch : {1.12, 1.20, 1.30, 1.45}) {
+      const Ps b = c2q0 * stretch;
+      t.addRow({TextTable::num(stretch, 2) + " x c2q0",
+                col(model.setupForC2q(b, hConv + 20.0)),
+                col(model.setupForC2q(b, hConv)),
+                col(model.holdForC2q(b, suConv + 10.0)),
+                col(model.holdForC2q(b, suConv - 2.0))});
+    }
+    t.addFootnote("conventional point: setup=" + col(suConv) + " hold=" +
+                  col(hConv) + " at c2q=1.10 x c2q0");
+    t.addFootnote("smaller setup demands larger hold (and vice versa) on an "
+                  "iso-c2q contour -- the interdependence conventional "
+                  "fixed-point characterization discards");
+    t.print();
+    std::puts("");
+  }
+
+  {
+    // [23]-style margin recovery. Realistic deployment: the design is first
+    // pushed near closure by the Fig. 1 loop, then the clock is retuned to
+    // the achieved frequency (WNS ~ -15ps) — the regime where squeezing
+    // "free" margin out of flop boundaries is what ships the part.
+    auto L = characterizedLibrary(LibraryPvt{});
+    TextTable t(
+        "Sec. 3.4 -- flexible flip-flop margin recovery ([23]) near "
+        "closure");
+    t.setHeader({"block", "tuned period (ps)", "WNS before (ps)",
+                 "WNS after (ps)", "WNS gain (ps)", "TNS before",
+                 "TNS after", "adjusted flops", "sweeps"});
+    for (const BlockProfile& profile :
+         {profileTiny(), profileC5315(), profileC7552()}) {
+      BlockProfile p = profile;
+      Netlist nl = generateBlock(L, p);
+      Scenario sc;
+      sc.lib = L;
+      {
+        ClosureLoop loop(nl, sc);
+        ClosureConfig ccfg;
+        ccfg.iterations = 4;
+        ccfg.enableHoldFix = false;
+        ccfg.repair.maxEdits = 400;
+        loop.run(ccfg);
+      }
+      // Retune the clock so the block sits 15ps short of closure.
+      {
+        StaEngine probe(nl, sc);
+        probe.run();
+        nl.clocks().front().period -= probe.wns(Check::kSetup) + 15.0;
+      }
+      StaEngine eng(nl, sc);
+      eng.run();
+      FlexFlopConfig fcfg;
+      fcfg.maxIterations = 20;
+      fcfg.maxC2qStretch = 1.8;
+      fcfg.minImprovement = 0.1;
+      const FlexFlopResult res = recoverFlexFlopMargin(eng, fcfg);
+      t.addRow({p.name, TextTable::num(nl.clocks().front().period, 0),
+                TextTable::num(res.wnsBefore, 1),
+                TextTable::num(res.wnsAfter, 1),
+                TextTable::num(res.wnsGain(), 1),
+                TextTable::num(res.tnsBefore, 0),
+                TextTable::num(res.tnsAfter, 0),
+                std::to_string(res.adjustedFlops),
+                std::to_string(res.iterations)});
+    }
+    t.addFootnote("paper/[23]: worst timing slack increased by up to 130ps "
+                  "(65nm library, larger flop time constants); shape "
+                  "target here is a clearly positive WNS gain");
+    t.print();
+  }
+  return 0;
+}

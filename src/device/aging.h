@@ -1,0 +1,44 @@
+#pragma once
+/// \file aging.h
+/// \brief Bias-temperature-instability (BTI) aging model.
+///
+/// Reaction-diffusion style power law: the threshold shift after `years` of
+/// DC stress at supply `vdd` and junction temperature `temp` is
+///
+///   dVt = A * vdd^gamma * exp(-Ea / kT) * t^n
+///
+/// with n ~ 1/6 for NBTI. This is the model underlying the paper's Fig. 9
+/// (aging-aware signoff with AVS, after Chan-Chan-Kahng [1]): raising the
+/// supply to compensate aging *accelerates* aging — the "chicken-and-egg"
+/// loop that signoff::avs resolves by fixed-point iteration.
+
+#include "util/units.h"
+
+namespace tc {
+
+struct BtiModel {
+  /// A, volts at 1V/25C/1yr before Ea scaling. Calibrated so 10 years of
+  /// DC stress at 0.9V/105C gives ~40mV — the published NBTI ballpark.
+  double prefactorV = 0.016;
+  double voltageExp = 3.0;    ///< gamma
+  double timeExp = 0.166;     ///< n (~1/6)
+  double activationEv = 0.10; ///< Ea in eV (effective, small: partial anneal)
+  double acFactor = 0.5;      ///< duty-cycle derate for AC stress
+
+  /// Threshold shift (V) after `years` of stress; `dc` selects DC vs AC.
+  Volt deltaVt(Volt vdd, Celsius temp, double years, bool dc = true) const;
+
+  /// Stress voltage that produces a given dVt after `years` (inverse model,
+  /// used when validating signoff corners).
+  Volt stressForShift(Volt dvt, Celsius temp, double years,
+                      bool dc = true) const;
+
+  /// Equivalent-age accounting for time-varying stress: given the shift
+  /// accumulated so far, advance `deltaYears` at supply `vdd` and return
+  /// the new total shift. Exact for piecewise-constant stress under the
+  /// reaction-diffusion power law.
+  Volt advance(Volt currentDvt, Volt vdd, Celsius temp, double deltaYears,
+               bool dc = true) const;
+};
+
+}  // namespace tc

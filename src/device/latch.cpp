@@ -1,0 +1,174 @@
+#include "device/latch.h"
+
+#include <cmath>
+
+namespace tc {
+
+namespace {
+double logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+LatchSim::LatchSim(const LatchConditions& cond) : cond_(cond) {
+  // Derive linearized drive conductances from the device model at this PVT,
+  // so the characterized surfaces track voltage/temperature/process.
+  Mosfet n;
+  n.params = makeNmosParams(cond.vt);
+  n.width = 0.6 * cond.size;
+  n.vtShift = cond.corner.nmosVtShift;
+  n.kScale = cond.corner.nmosKScale;
+  Mosfet p;
+  p.params = makePmosParams(cond.vt);
+  p.width = 1.2 * cond.size;
+  p.vtShift = cond.corner.pmosVtShift;
+  p.kScale = cond.corner.pmosKScale;
+
+  const Volt vdd = cond.vdd;
+  const double vEff = std::max(0.5 * vdd, 0.2);
+  // Transmission gate: NMOS and PMOS in parallel.
+  const double gN = n.idsat(vdd, cond.temp) / vEff;
+  const double gP = p.idsat(vdd, cond.temp) / vEff;
+  // The 0.25 factor models the tgate + internal inverter chain resistance
+  // of a real library flop; it sets realistic tens-of-ps time constants.
+  gIn_ = 0.25 * (gN + gP);
+  gFb_ = 0.55 * gIn_;  // keeper is weaker than the input path
+  gSl_ = gIn_;
+  gQ_ = 2.0 * gIn_;    // output inverter upsized
+
+  cM_ = 3.0 * cond.size;
+  cS_ = 3.0 * cond.size;
+  cQ_ = 1.5 * cond.size;
+  vInv_ = 0.07 * vdd / 0.9;  // finite inverter gain scales with supply
+}
+
+double LatchSim::invTransfer(double v) const {
+  return cond_.vdd * logistic((0.5 * cond_.vdd - v) / vInv_);
+}
+
+double LatchSim::regenTarget(double v) const {
+  return cond_.vdd * logistic((v - 0.5 * cond_.vdd) / vInv_);
+}
+
+LatchResult LatchSim::capture(Ps setup, Ps hold, bool dataRising) const {
+  const Volt vdd = cond_.vdd;
+  const Ps tEdge = 500.0;       // clock 50% crossing
+  const Ps dataSlew = 20.0;
+  const Ps clkSpan = cond_.clockSlew / 0.8;
+  const Ps horizon = tEdge + 1500.0;
+
+  const Volt dFrom = dataRising ? 0.0 : vdd;
+  const Volt dTo = dataRising ? vdd : 0.0;
+
+  auto dataAt = [&](Ps t) -> Volt {
+    // Pulse: switch to the captured value `setup` before the edge, revert
+    // `hold` after it. Saturated linear ramps with 10-90 slew `dataSlew`.
+    const Ps span = dataSlew / 0.8;
+    // Arrival ramp centered so its 50% point is exactly setup before edge:
+    const Ps a0 = tEdge - setup - 0.5 * span;
+    // Revert ramp 50% point exactly `hold` after the edge:
+    const Ps r0 = tEdge + hold - 0.5 * span;
+    Volt v = dFrom;
+    if (t > a0) {
+      const double f = std::min((t - a0) / span, 1.0);
+      v = dFrom + (dTo - dFrom) * f;
+    }
+    if (t > r0) {
+      const double f = std::min((t - r0) / span, 1.0);
+      v = v + (dFrom - v) * f;
+    }
+    return v;
+  };
+  auto clkAt = [&](Ps t) -> Volt {
+    const Ps c0 = tEdge - 0.5 * clkSpan;
+    if (t <= c0) return 0.0;
+    const double f = std::min((t - c0) / clkSpan, 1.0);
+    return vdd * f;
+  };
+
+  // Initial state: clock low, master transparent on old data, slave holds
+  // the complement chain consistent with a previous capture of dFrom.
+  double vm = dFrom;
+  double vs = invTransfer(dFrom);
+  double vq = invTransfer(vs);
+
+  const double w = 0.10 * vdd;  // smoothness of the tgate on/off switch
+  const double half = 0.5 * vdd;
+  const Volt qTarget = dataRising ? vdd : 0.0;
+  const bool qRising = qTarget > half;
+
+  LatchResult res;
+  double tCross = -1.0;
+  const Ps dt = 0.4;
+  double vqPrev = vq;
+  for (Ps t = 0.0; t < horizon; t += dt) {
+    const double vclk = clkAt(t);
+    const double vd = dataAt(t);
+    const double sM = logistic((half - vclk) / w);   // master tgate on-ness
+    const double sS = 1.0 - sM;                      // slave tgate on-ness
+    const double dvm = (gIn_ * sM * (vd - vm) +
+                        gFb_ * sS * (regenTarget(vm) - vm)) /
+                       cM_ * 1e-3;
+    const double dvs = (gSl_ * sS * (invTransfer(vm) - vs) +
+                        gFb_ * 0.6 * sM * (regenTarget(vs) - vs)) /
+                       cS_ * 1e-3;
+    const double dvq =
+        gQ_ * (invTransfer(vs) - vq) / (cQ_ + cond_.qLoad) * 1e-3;
+    vm += dvm * dt;
+    vs += dvs * dt;
+    vqPrev = vq;
+    vq += dvq * dt;
+    if (tCross < 0.0 && t > tEdge - 2.0 * clkSpan) {
+      const bool crossed = qRising ? (vqPrev < half && vq >= half)
+                                   : (vqPrev > half && vq <= half);
+      if (crossed) {
+        const double f = (half - vqPrev) / (vq - vqPrev);
+        tCross = t + f * dt;
+      }
+    }
+  }
+  const bool settledRight = std::abs(vq - qTarget) < 0.1 * vdd;
+  if (tCross >= 0.0 && settledRight) {
+    res.captured = true;
+    res.clockToQ = tCross - tEdge;
+  }
+  return res;
+}
+
+Ps LatchSim::nominalClockToQ(bool dataRising) const {
+  return capture(400.0, 400.0, dataRising).clockToQ;
+}
+
+Ps LatchSim::setupTime(double pushoutFrac, Ps hold, bool dataRising) const {
+  const Ps c2qNom = nominalClockToQ(dataRising);
+  const Ps limit = c2qNom * (1.0 + pushoutFrac);
+  Ps lo = -50.0;   // known-bad (or trivially failing) side
+  Ps hi = 400.0;   // known-good side
+  for (int i = 0; i < 22; ++i) {
+    const Ps mid = 0.5 * (lo + hi);
+    const LatchResult r = capture(mid, hold, dataRising);
+    if (r.captured && r.clockToQ <= limit) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+Ps LatchSim::holdTime(double pushoutFrac, Ps setup, bool dataRising) const {
+  const Ps c2qNom = nominalClockToQ(dataRising);
+  const Ps limit = c2qNom * (1.0 + pushoutFrac);
+  Ps lo = -50.0;
+  Ps hi = 400.0;
+  for (int i = 0; i < 22; ++i) {
+    const Ps mid = 0.5 * (lo + hi);
+    const LatchResult r = capture(setup, mid, dataRising);
+    if (r.captured && r.clockToQ <= limit) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace tc

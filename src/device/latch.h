@@ -1,0 +1,80 @@
+#pragma once
+/// \file latch.h
+/// \brief Transient simulation of a master-slave D flip-flop, used to
+/// characterize the interdependent setup / hold / clock-to-q surface of the
+/// paper's Fig. 10 (and the underlying model for signoff::flexflop).
+///
+/// The flop is modeled structurally: a clocked transmission gate feeding a
+/// regenerative master storage node, a slave transmission gate, regenerative
+/// slave node and output inverter. Conductances and regeneration strength
+/// are derived from the Mosfet model at the requested PVT, so the
+/// characterized surfaces move with voltage, temperature and process the way
+/// silicon does. Late data leaves the master node only partially charged at
+/// clock cutoff; the regenerative feedback then resolves it with an
+/// exponential time constant — which is precisely the c2q "pushout" that
+/// makes c2q explode as setup (or hold) margin shrinks.
+
+#include <optional>
+
+#include "device/mosfet.h"
+#include "device/process.h"
+#include "util/units.h"
+
+namespace tc {
+
+/// Electrical configuration for one latch characterization context.
+struct LatchConditions {
+  Volt vdd = 0.9;
+  Celsius temp = 25.0;
+  VtClass vt = VtClass::kSvt;
+  double size = 1.0;          ///< drive-strength multiplier
+  ProcessCondition corner{};  ///< global process shift
+  Ps clockSlew = 30.0;        ///< 10-90 clock edge time at the flop
+  Ff qLoad = 3.0;             ///< external load on Q
+};
+
+/// Result of a single clocking event.
+struct LatchResult {
+  bool captured = false;  ///< Q reached its intended final value
+  Ps clockToQ = 0.0;      ///< clock 50% -> Q 50% (valid if captured)
+};
+
+class LatchSim {
+ public:
+  explicit LatchSim(const LatchConditions& cond);
+
+  /// Simulate a rising-edge capture of a data *pulse*: D switches to the
+  /// captured value `setup` ps before the active clock edge and switches
+  /// back `hold` ps after it. This is the standard interdependent
+  /// setup/hold characterization stimulus.
+  LatchResult capture(Ps setup, Ps hold, bool dataRising = true) const;
+
+  /// Clock-to-q with generous setup & hold margins.
+  Ps nominalClockToQ(bool dataRising = true) const;
+
+  /// Smallest setup time whose c2q pushout stays within `pushoutFrac` of
+  /// nominal, at the given hold margin (binary search). This reproduces the
+  /// industry "10% pushout" characterization criterion the paper critiques.
+  Ps setupTime(double pushoutFrac = 0.10, Ps hold = 400.0,
+               bool dataRising = true) const;
+  /// Smallest hold time within the pushout criterion at the given setup.
+  Ps holdTime(double pushoutFrac = 0.10, Ps setup = 400.0,
+              bool dataRising = true) const;
+
+  const LatchConditions& conditions() const { return cond_; }
+
+ private:
+  LatchConditions cond_;
+  // Derived electrical parameters (uA/V conductances, fF caps).
+  double gIn_ = 0.0;    ///< master transmission gate (on)
+  double gFb_ = 0.0;    ///< master regenerative feedback
+  double gSl_ = 0.0;    ///< slave transmission gate
+  double gQ_ = 0.0;     ///< output inverter drive
+  Ff cM_ = 0.0, cS_ = 0.0, cQ_ = 0.0;
+  Volt vInv_ = 0.06;    ///< inverter transfer steepness (finite gain)
+
+  double invTransfer(double v) const;   ///< inverting sigmoid 0..vdd
+  double regenTarget(double v) const;   ///< rail-restoring sigmoid
+};
+
+}  // namespace tc

@@ -1,0 +1,110 @@
+#include "device/mosfet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tc {
+
+double Mosfet::tempFactor(Celsius t) const {
+  return std::pow(298.15 / kelvin(t), params.mobilityTempExp);
+}
+
+MicroAmp Mosfet::current(Volt vgs, Volt vds, Celsius t) const {
+  if (vds <= 0.0) return 0.0;
+  const Volt vt = vtEff(t);
+  const double kw = params.kPrime * width * kScale * tempFactor(t);
+  const Volt overdrive = vgs - vt;
+
+  // Strong-inversion Sakurai-Newton expression at a given overdrive.
+  auto strongInversion = [&](Volt od) -> double {
+    const double idsatV = kw * std::pow(od, params.alpha);
+    const Volt vdsat = params.vdsatCoeff * std::pow(od, params.alpha / 2.0);
+    if (vds >= vdsat) return idsatV * (1.0 + params.lambda * (vds - vdsat));
+    const double x = vds / vdsat;
+    return idsatV * (2.0 - x) * x;
+  };
+
+  // Subthreshold: exponential in (Vgs - Vt), continuous with the strong-
+  // inversion expression at a small transition overdrive (the Vds dependence
+  // is inherited from the blend-point evaluation).
+  const Volt vTrans = 0.04;  // blend point just above threshold
+  if (overdrive < vTrans) {
+    const double idTrans = strongInversion(vTrans);
+    const double decades = (overdrive - vTrans) / (params.ssMvPerDec * 1e-3);
+    return idTrans * std::pow(10.0, decades);
+  }
+  return strongInversion(overdrive);
+}
+
+MicroAmp Mosfet::leakage(Volt vds, Celsius t) const {
+  const Volt vt25 = params.vt0 + vtShift;
+  // Ioff reference is quoted at the nominal vt0; shift scales it through
+  // the subthreshold swing.
+  const double decades = -(vt25 - params.vt0) / (params.ssMvPerDec * 1e-3);
+  const double tempScale = 1.0 + params.leakTempCoPerC * (t - 25.0);
+  const double base = params.ioffNaPerUm * 1e-3 * width;  // nA -> uA
+  const double vdsFactor = std::min(1.0, vds / 0.1);
+  return base * std::pow(10.0, decades) * std::max(tempScale, 0.05) *
+         vdsFactor;
+}
+
+MicroAmp Mosfet::idsat(Volt vgs, Celsius t) const {
+  const Volt overdrive = std::max(vgs - vtEff(t), 0.0);
+  const double kw = params.kPrime * width * kScale * tempFactor(t);
+  return kw * std::pow(overdrive, params.alpha);
+}
+
+namespace {
+Volt vtOffset(VtClass vt) {
+  switch (vt) {
+    case VtClass::kUlvt: return -0.065;
+    case VtClass::kLvt: return 0.0;
+    case VtClass::kSvt: return 0.065;
+    case VtClass::kHvt: return 0.130;
+  }
+  return 0.0;
+}
+
+double ioffScale(VtClass vt) {
+  // Leakage roughly follows exp(-Vt/S); quoted Ioff already reflects flavor.
+  switch (vt) {
+    case VtClass::kUlvt: return 8.0;
+    case VtClass::kLvt: return 1.0;
+    case VtClass::kSvt: return 0.20;
+    case VtClass::kHvt: return 0.04;
+  }
+  return 1.0;
+}
+}  // namespace
+
+MosfetParams makeNmosParams(VtClass vt) {
+  MosfetParams p;
+  p.type = DeviceType::kNmos;
+  p.vt0 = 0.32 + vtOffset(vt);
+  p.vtTempCo = -1.2e-3;
+  p.kPrime = 580.0;
+  p.alpha = 1.28;
+  p.mobilityTempExp = 1.45;
+  p.lambda = 0.06;
+  p.vdsatCoeff = 0.55;
+  p.ioffNaPerUm = 1.2 * ioffScale(vt);
+  p.ssMvPerDec = 95.0;
+  return p;
+}
+
+MosfetParams makePmosParams(VtClass vt) {
+  MosfetParams p;
+  p.type = DeviceType::kPmos;
+  p.vt0 = 0.34 + vtOffset(vt);
+  p.vtTempCo = -1.1e-3;
+  p.kPrime = 300.0;  // hole mobility deficit
+  p.alpha = 1.35;
+  p.mobilityTempExp = 1.30;
+  p.lambda = 0.07;
+  p.vdsatCoeff = 0.60;
+  p.ioffNaPerUm = 0.9 * ioffScale(vt);
+  p.ssMvPerDec = 100.0;
+  return p;
+}
+
+}  // namespace tc

@@ -1,0 +1,84 @@
+#pragma once
+/// \file mosfet.h
+/// \brief Sakurai–Newton alpha-power-law MOSFET model.
+///
+/// This is the framework's stand-in for a foundry SPICE model. It captures
+/// the mechanisms the paper's exhibits depend on:
+///  - drive current Id ~ (Vgs - Vt)^alpha with velocity saturation,
+///  - Vt decreasing with temperature while mobility also degrades with
+///    temperature -> the *temperature inversion* crossover of Fig. 6(b),
+///  - per-device Vt shifts for global corners, local mismatch (Fig. 7 Monte
+///    Carlo) and BTI aging (Fig. 9),
+///  - subthreshold leakage exponential in Vt (leakage-power recovery).
+///
+/// Units follow util/units.h: V, uA, fF, ps, Celsius. Current density
+/// parameters are per micron of device width.
+
+#include "util/units.h"
+
+namespace tc {
+
+enum class DeviceType { kNmos, kPmos };
+
+/// Threshold flavor of a transistor/cell. Lower Vt is faster and leakier.
+enum class VtClass { kUlvt = 0, kLvt = 1, kSvt = 2, kHvt = 3 };
+
+inline const char* toString(VtClass vt) {
+  switch (vt) {
+    case VtClass::kUlvt: return "ULVT";
+    case VtClass::kLvt: return "LVT";
+    case VtClass::kSvt: return "SVT";
+    case VtClass::kHvt: return "HVT";
+  }
+  return "?";
+}
+
+/// Model card for one device flavor (type x Vt class), per-um-width.
+struct MosfetParams {
+  DeviceType type = DeviceType::kNmos;
+  Volt vt0 = 0.35;            ///< |Vt| at 25C, zero stress
+  double vtTempCo = -1.2e-3;  ///< d|Vt|/dT in V per Kelvin (negative)
+  double kPrime = 550.0;      ///< uA/um at (Vgs-Vt)=1V, 25C
+  double alpha = 1.30;        ///< velocity-saturation index
+  double mobilityTempExp = 1.45;  ///< mu(T) = mu25 * (298K / T_K)^exp
+  double lambda = 0.06;       ///< channel-length modulation, 1/V
+  double vdsatCoeff = 0.55;   ///< Vdsat = coeff * (Vgs-Vt)^(alpha/2)
+  double ioffNaPerUm = 1.0;   ///< off current at 25C, Vds=Vdd_nom, nA/um
+  double ssMvPerDec = 95.0;   ///< subthreshold swing, mV/decade
+  double leakTempCoPerC = 0.035;  ///< fractional leak increase per Celsius
+};
+
+/// One transistor instance: a model card plus width and an accumulated
+/// threshold shift (global corner + local mismatch + aging).
+struct Mosfet {
+  MosfetParams params;
+  Um width = 1.0;
+  Volt vtShift = 0.0;   ///< added to |vt0| (positive = slower)
+  double kScale = 1.0;  ///< mobility/current multiplier (global corner)
+
+  /// Effective |Vt| at temperature t.
+  Volt vtEff(Celsius t) const {
+    return params.vt0 + params.vtTempCo * (t - 25.0) + vtShift;
+  }
+
+  /// Temperature scaling of the current factor.
+  double tempFactor(Celsius t) const;
+
+  /// Drain current magnitude in uA for gate-source / drain-source voltage
+  /// *magnitudes* (caller mirrors PMOS polarities). Always >= 0; includes
+  /// the subthreshold region so the model is continuous across Vgs = Vt.
+  MicroAmp current(Volt vgs, Volt vds, Celsius t) const;
+
+  /// Off-state leakage magnitude (Vgs = 0) in uA at the given Vds and T.
+  MicroAmp leakage(Volt vds, Celsius t) const;
+
+  /// Saturation current at the given overdrive, used for sizing heuristics.
+  MicroAmp idsat(Volt vgs, Celsius t) const;
+};
+
+/// Built-in model cards for a generic 28nm-class planar technology.
+/// `vtOffset` spaces the four Vt flavors ~65mV apart.
+MosfetParams makeNmosParams(VtClass vt);
+MosfetParams makePmosParams(VtClass vt);
+
+}  // namespace tc

@@ -1,0 +1,45 @@
+#include "device/process.h"
+
+namespace tc {
+
+const char* toString(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::kTT: return "TT";
+    case ProcessCorner::kSSG: return "SSG";
+    case ProcessCorner::kFFG: return "FFG";
+    case ProcessCorner::kSS: return "SS";
+    case ProcessCorner::kFF: return "FF";
+    case ProcessCorner::kFSG: return "FSG";
+    case ProcessCorner::kSFG: return "SFG";
+  }
+  return "?";
+}
+
+ProcessCondition ProcessCondition::at(ProcessCorner corner) {
+  // Global corner = ~3 sigma of the die-to-die distribution; the SS/FF
+  // "full" corners fold in an additional local budget (paper footnote 2).
+  constexpr Volt kGlobalVt = 0.030;
+  constexpr Volt kLocalBudget = 0.018;
+  constexpr double kGlobalK = 0.07;
+  switch (corner) {
+    case ProcessCorner::kTT:
+      return {};
+    case ProcessCorner::kSSG:
+      return {kGlobalVt, kGlobalVt, 1.0 - kGlobalK, 1.0 - kGlobalK};
+    case ProcessCorner::kFFG:
+      return {-kGlobalVt, -kGlobalVt, 1.0 + kGlobalK, 1.0 + kGlobalK};
+    case ProcessCorner::kSS:
+      return {kGlobalVt + kLocalBudget, kGlobalVt + kLocalBudget,
+              1.0 - kGlobalK - 0.02, 1.0 - kGlobalK - 0.02};
+    case ProcessCorner::kFF:
+      return {-kGlobalVt - kLocalBudget, -kGlobalVt - kLocalBudget,
+              1.0 + kGlobalK + 0.02, 1.0 + kGlobalK + 0.02};
+    case ProcessCorner::kFSG:
+      return {-kGlobalVt, kGlobalVt, 1.0 + kGlobalK, 1.0 - kGlobalK};
+    case ProcessCorner::kSFG:
+      return {kGlobalVt, -kGlobalVt, 1.0 - kGlobalK, 1.0 + kGlobalK};
+  }
+  return {};
+}
+
+}  // namespace tc

@@ -1,0 +1,57 @@
+#pragma once
+/// \file process.h
+/// \brief Global process corners and local mismatch sampling.
+///
+/// Mirrors the paper's footnote 2 terminology: the SS corner includes global
+/// variation *plus* on-die mismatch; the SSG "global corner" includes only
+/// the global component, leaving local variation to AOCV / POCV / LVF.
+/// Cross-corners (FSG: fast N, slow P; SFG: slow N, fast P) are the ones the
+/// paper says are "increasingly required ... for signoff of clock
+/// distribution".
+
+#include <string>
+
+#include "device/mosfet.h"
+#include "util/rng.h"
+
+namespace tc {
+
+enum class ProcessCorner {
+  kTT,   ///< typical/typical
+  kSSG,  ///< slow global (no local budget)
+  kFFG,  ///< fast global
+  kSS,   ///< slow global + local budget folded in
+  kFF,   ///< fast global + local budget folded in
+  kFSG,  ///< fast NMOS / slow PMOS cross-corner
+  kSFG,  ///< slow NMOS / fast PMOS cross-corner
+};
+
+const char* toString(ProcessCorner corner);
+
+/// Deterministic per-corner parameter shifts applied to every device.
+struct ProcessCondition {
+  Volt nmosVtShift = 0.0;
+  Volt pmosVtShift = 0.0;
+  double nmosKScale = 1.0;
+  double pmosKScale = 1.0;
+
+  static ProcessCondition at(ProcessCorner corner);
+};
+
+/// Local (on-die, per-device) mismatch model: Pelgrom law,
+/// sigma(dVt) = Avt / sqrt(W*L). At 28nm-class dimensions (L ~ 30nm,
+/// W ~ 0.5um) this gives ~20mV per minimum device.
+struct MismatchModel {
+  double avtMvUm = 2.5;     ///< Pelgrom coefficient, mV*um
+  double lengthUm = 0.030;  ///< drawn channel length
+
+  Volt sigmaVt(Um width) const {
+    const double area = (width > 0.0 ? width : 1.0) * lengthUm;
+    return avtMvUm * 1e-3 / std::sqrt(area);
+  }
+  Volt sample(Um width, Rng& rng) const {
+    return rng.normal(0.0, sigmaVt(width));
+  }
+};
+
+}  // namespace tc

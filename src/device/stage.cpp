@@ -1,0 +1,527 @@
+#include "device/stage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tc {
+
+const char* toString(StageKind kind) {
+  switch (kind) {
+    case StageKind::kInverter: return "INV";
+    case StageKind::kNand: return "NAND";
+    case StageKind::kNor: return "NOR";
+    case StageKind::kAoi21: return "AOI21";
+    case StageKind::kOai21: return "OAI21";
+  }
+  return "?";
+}
+
+Volt InputWave::at(Ps t) const {
+  if (v0 == v1) return v0;
+  const Ps span = rampSpan();
+  if (t <= start) return v0;
+  if (t >= start + span) return v1;
+  return v0 + (v1 - v0) * (t - start) / span;
+}
+
+// ---------------------------------------------------------------------------
+// PullNetwork
+// ---------------------------------------------------------------------------
+
+PullNetwork::Id PullNetwork::addDevice(Mosfet device, int inputIndex) {
+  Node n;
+  n.kind = Node::Kind::kDevice;
+  n.device = device;
+  n.input = inputIndex;
+  nodes_.push_back(n);
+  return static_cast<Id>(nodes_.size()) - 1;
+}
+
+PullNetwork::Id PullNetwork::addSeries(Id bottom, Id top) {
+  Node n;
+  n.kind = Node::Kind::kSeries;
+  n.left = bottom;
+  n.right = top;
+  nodes_.push_back(n);
+  return static_cast<Id>(nodes_.size()) - 1;
+}
+
+PullNetwork::Id PullNetwork::addParallel(Id a, Id b) {
+  Node n;
+  n.kind = Node::Kind::kParallel;
+  n.left = a;
+  n.right = b;
+  nodes_.push_back(n);
+  return static_cast<Id>(nodes_.size()) - 1;
+}
+
+MicroAmp PullNetwork::current(double vBase, double vTop,
+                              const std::vector<Volt>& gateV,
+                              Celsius t) const {
+  if (root_ < 0 || vTop - vBase <= 1e-9) return 0.0;
+  return nodeCurrent(root_, vBase, vTop, gateV, t);
+}
+
+MicroAmp PullNetwork::nodeCurrent(Id id, double vBase, double vTop,
+                                  const std::vector<Volt>& gateV,
+                                  Celsius t) const {
+  const Node& n = nodes_[static_cast<std::size_t>(id)];
+  const double span = vTop - vBase;
+  if (span <= 1e-9) return 0.0;
+  switch (n.kind) {
+    case Node::Kind::kDevice:
+      return n.device.current(gateV[static_cast<std::size_t>(n.input)] - vBase,
+                              span, t);
+    case Node::Kind::kParallel:
+      return nodeCurrent(n.left, vBase, vTop, gateV, t) +
+             nodeCurrent(n.right, vBase, vTop, gateV, t);
+    case Node::Kind::kSeries: {
+      // Find the internal node voltage vx where the bottom and top branch
+      // currents balance. f(vx) = I_bot(vBase,vx) - I_top(vx,vTop) is
+      // monotone increasing; warm-start the bracket from the previous solve.
+      auto f = [&](double vx) {
+        return nodeCurrent(n.left, vBase, vx, gateV, t) -
+               nodeCurrent(n.right, vx, vTop, gateV, t);
+      };
+      double lo = vBase;
+      double hi = vTop;
+      if (n.split > vBase && n.split < vTop) {
+        const double w = 0.06;
+        double wlo = std::max(vBase, n.split - w);
+        double whi = std::min(vTop, n.split + w);
+        const double flo = f(wlo);
+        const double fhi = f(whi);
+        if (flo <= 0.0 && fhi >= 0.0) {
+          lo = wlo;
+          hi = whi;
+        } else if (flo > 0.0) {
+          hi = wlo;
+        } else {
+          lo = whi;
+        }
+      }
+      for (int it = 0; it < 28 && hi - lo > 2e-5; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (f(mid) <= 0.0) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      const double vx = 0.5 * (lo + hi);
+      n.split = vx;
+      return nodeCurrent(n.left, vBase, vx, gateV, t);
+    }
+  }
+  return 0.0;
+}
+
+MicroAmp PullNetwork::nodeLeakage(Id id, Volt vds, Celsius t) const {
+  const Node& n = nodes_[static_cast<std::size_t>(id)];
+  switch (n.kind) {
+    case Node::Kind::kDevice:
+      return n.device.leakage(vds, t);
+    case Node::Kind::kParallel:
+      return nodeLeakage(n.left, vds, t) + nodeLeakage(n.right, vds, t);
+    case Node::Kind::kSeries:
+      // Stack effect: series off-devices leak roughly half the weaker one.
+      return 0.5 * std::min(nodeLeakage(n.left, vds, t),
+                            nodeLeakage(n.right, vds, t));
+  }
+  return 0.0;
+}
+
+MicroAmp PullNetwork::leakage(Volt vds, Celsius t) const {
+  if (root_ < 0) return 0.0;
+  return nodeLeakage(root_, vds, t);
+}
+
+void PullNetwork::shiftAllVt(Volt dvt) {
+  for (auto& n : nodes_)
+    if (n.kind == Node::Kind::kDevice) n.device.vtShift += dvt;
+}
+
+void PullNetwork::scaleAllK(double scale) {
+  for (auto& n : nodes_)
+    if (n.kind == Node::Kind::kDevice) n.device.kScale *= scale;
+}
+
+std::vector<Mosfet*> PullNetwork::devices() {
+  std::vector<Mosfet*> out;
+  for (auto& n : nodes_)
+    if (n.kind == Node::Kind::kDevice) out.push_back(&n.device);
+  return out;
+}
+
+void PullNetwork::resetCache() const {
+  for (const auto& n : nodes_) n.split = -1.0;
+}
+
+// ---------------------------------------------------------------------------
+// Stage construction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr double kUnitWn = 0.50;  // um
+constexpr double kUnitWp = 1.00;  // um (beta ~ 2 compensates hole mobility)
+constexpr double kGateCapFfPerUm = 0.95;
+constexpr double kDrainCapFfPerUm = 0.55;
+
+Mosfet makeDevice(DeviceType type, VtClass vt, Um width,
+                  const ProcessCondition& corner) {
+  Mosfet m;
+  m.params = type == DeviceType::kNmos ? makeNmosParams(vt)
+                                       : makePmosParams(vt);
+  m.width = width;
+  if (type == DeviceType::kNmos) {
+    m.vtShift = corner.nmosVtShift;
+    m.kScale = corner.nmosKScale;
+  } else {
+    m.vtShift = corner.pmosVtShift;
+    m.kScale = corner.pmosKScale;
+  }
+  return m;
+}
+
+/// Build a series chain (index 0 at the base rail) of devices gated by the
+/// listed inputs; each device is upsized by the stack depth.
+PullNetwork::Id buildSeries(PullNetwork& net, DeviceType type, VtClass vt,
+                            double width, const std::vector<int>& inputs,
+                            const ProcessCondition& corner) {
+  const double stacked = width * static_cast<double>(inputs.size());
+  PullNetwork::Id chain =
+      net.addDevice(makeDevice(type, vt, stacked, corner), inputs[0]);
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    PullNetwork::Id dev =
+        net.addDevice(makeDevice(type, vt, stacked, corner), inputs[i]);
+    chain = net.addSeries(chain, dev);
+  }
+  return chain;
+}
+
+PullNetwork::Id buildParallel(PullNetwork& net, DeviceType type, VtClass vt,
+                              double width, const std::vector<int>& inputs,
+                              const ProcessCondition& corner) {
+  PullNetwork::Id bank =
+      net.addDevice(makeDevice(type, vt, width, corner), inputs[0]);
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    PullNetwork::Id dev =
+        net.addDevice(makeDevice(type, vt, width, corner), inputs[i]);
+    bank = net.addParallel(bank, dev);
+  }
+  return bank;
+}
+
+}  // namespace
+
+Stage Stage::make(StageKind kind, int numInputs, VtClass vt, double size,
+                  const ProcessCondition& corner) {
+  Stage s;
+  s.kind_ = kind;
+  s.vt_ = vt;
+  s.size_ = size;
+  const double wn = kUnitWn * size;
+  const double wp = kUnitWp * size;
+  s.wn_ = wn;
+  s.wp_ = wp;
+
+  auto allInputs = [&](int n) {
+    std::vector<int> v(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = i;
+    return v;
+  };
+
+  switch (kind) {
+    case StageKind::kInverter:
+      s.numInputs_ = 1;
+      s.pdn_.setRoot(s.pdn_.addDevice(
+          makeDevice(DeviceType::kNmos, vt, wn, corner), 0));
+      s.pun_.setRoot(s.pun_.addDevice(
+          makeDevice(DeviceType::kPmos, vt, wp, corner), 0));
+      break;
+    case StageKind::kNand: {
+      if (numInputs < 2 || numInputs > 3)
+        throw std::invalid_argument("NAND supports 2 or 3 inputs");
+      s.numInputs_ = numInputs;
+      const auto ins = allInputs(numInputs);
+      s.pdn_.setRoot(
+          buildSeries(s.pdn_, DeviceType::kNmos, vt, wn, ins, corner));
+      s.pun_.setRoot(
+          buildParallel(s.pun_, DeviceType::kPmos, vt, wp, ins, corner));
+      break;
+    }
+    case StageKind::kNor: {
+      if (numInputs < 2 || numInputs > 3)
+        throw std::invalid_argument("NOR supports 2 or 3 inputs");
+      s.numInputs_ = numInputs;
+      const auto ins = allInputs(numInputs);
+      s.pdn_.setRoot(
+          buildParallel(s.pdn_, DeviceType::kNmos, vt, wn, ins, corner));
+      s.pun_.setRoot(
+          buildSeries(s.pun_, DeviceType::kPmos, vt, wp, ins, corner));
+      break;
+    }
+    case StageKind::kAoi21: {
+      // out = !((in0 & in1) | in2)
+      s.numInputs_ = 3;
+      auto andPdn =
+          buildSeries(s.pdn_, DeviceType::kNmos, vt, wn, {0, 1}, corner);
+      auto orPdn =
+          s.pdn_.addDevice(makeDevice(DeviceType::kNmos, vt, wn, corner), 2);
+      s.pdn_.setRoot(s.pdn_.addParallel(andPdn, orPdn));
+      auto andPun =
+          buildParallel(s.pun_, DeviceType::kPmos, vt, 2.0 * wp, {0, 1},
+                        corner);
+      auto orPun = s.pun_.addDevice(
+          makeDevice(DeviceType::kPmos, vt, 2.0 * wp, corner), 2);
+      s.pun_.setRoot(s.pun_.addSeries(orPun, andPun));
+      break;
+    }
+    case StageKind::kOai21: {
+      // out = !((in0 | in1) & in2)
+      s.numInputs_ = 3;
+      auto orPdn = buildParallel(s.pdn_, DeviceType::kNmos, vt, 2.0 * wn,
+                                 {0, 1}, corner);
+      auto andPdn = s.pdn_.addDevice(
+          makeDevice(DeviceType::kNmos, vt, 2.0 * wn, corner), 2);
+      s.pdn_.setRoot(s.pdn_.addSeries(andPdn, orPdn));
+      auto orPun =
+          buildSeries(s.pun_, DeviceType::kPmos, vt, wp, {0, 1}, corner);
+      auto andPun =
+          s.pun_.addDevice(makeDevice(DeviceType::kPmos, vt, wp, corner), 2);
+      s.pun_.setRoot(s.pun_.addParallel(orPun, andPun));
+      break;
+    }
+  }
+  return s;
+}
+
+bool Stage::evalLogic(const std::vector<bool>& in) const {
+  switch (kind_) {
+    case StageKind::kInverter:
+      return !in[0];
+    case StageKind::kNand: {
+      bool all = true;
+      for (int i = 0; i < numInputs_; ++i) all = all && in[static_cast<std::size_t>(i)];
+      return !all;
+    }
+    case StageKind::kNor: {
+      bool any = false;
+      for (int i = 0; i < numInputs_; ++i) any = any || in[static_cast<std::size_t>(i)];
+      return !any;
+    }
+    case StageKind::kAoi21:
+      return !((in[0] && in[1]) || in[2]);
+    case StageKind::kOai21:
+      return !((in[0] || in[1]) && in[2]);
+  }
+  return false;
+}
+
+bool Stage::nonControllingValue() const {
+  switch (kind_) {
+    case StageKind::kInverter:
+    case StageKind::kNand:
+      return true;
+    case StageKind::kNor:
+    case StageKind::kAoi21:
+    case StageKind::kOai21:
+      return false;
+  }
+  return false;
+}
+
+/// Value the side input `sidePin` must take so the arc from `switchPin` is
+/// sensitized (output toggles when switchPin toggles).
+static bool sideInputValue(StageKind kind, int switchPin, int sidePin) {
+  switch (kind) {
+    case StageKind::kInverter:
+      return true;  // unused
+    case StageKind::kNand:
+      return true;
+    case StageKind::kNor:
+      return false;
+    case StageKind::kAoi21:  // out = !((0&1)|2)
+      if (switchPin <= 1) return sidePin <= 1;  // other AND pin=1, OR pin=0
+      return sidePin == 1;                      // in0=0, in1=1 (dead)
+    case StageKind::kOai21:  // out = !((0|1)&2)
+      if (switchPin <= 1) return sidePin == 2;  // other OR pin=0, AND pin=1
+      return sidePin == 0;                      // in0=1, in1=0
+  }
+  return false;
+}
+
+Ff Stage::inputCap() const {
+  // Average gate cap over inputs; series stacks carry upsized devices, so
+  // approximate with the stack-weighted unit widths per topology.
+  double wnEff = wn_;
+  double wpEff = wp_;
+  switch (kind_) {
+    case StageKind::kInverter:
+      break;
+    case StageKind::kNand:
+      wnEff *= static_cast<double>(numInputs_);
+      break;
+    case StageKind::kNor:
+      wpEff *= static_cast<double>(numInputs_);
+      break;
+    case StageKind::kAoi21:
+      wnEff *= 5.0 / 3.0;  // two stacked (2w) + one 1w, averaged
+      wpEff *= 2.0;
+      break;
+    case StageKind::kOai21:
+      wnEff *= 2.0;
+      wpEff *= 5.0 / 3.0;
+      break;
+  }
+  return kGateCapFfPerUm * (wnEff + wpEff);
+}
+
+Ff Stage::selfLoad() const {
+  return kDrainCapFfPerUm * (wn_ + wp_) *
+         (kind_ == StageKind::kInverter ? 1.0 : 1.6);
+}
+
+MicroAmp Stage::leakage(const std::vector<bool>& inputs, Volt vdd,
+                        Celsius t) const {
+  // The off network leaks across the full supply.
+  const bool outHigh = evalLogic(inputs);
+  return outHigh ? pdn_.leakage(vdd, t) : pun_.leakage(vdd, t);
+}
+
+// ---------------------------------------------------------------------------
+// Transient solver
+// ---------------------------------------------------------------------------
+
+TransientResult simulateStage(Stage& stage, const std::vector<InputWave>& ins,
+                              const SimConditions& cond, int referenceInput) {
+  const int n = stage.numInputs();
+  if (static_cast<int>(ins.size()) != n)
+    throw std::invalid_argument("simulateStage: wave count != inputs");
+  const Volt vdd = cond.vdd;
+
+  std::vector<bool> initB(static_cast<std::size_t>(n));
+  std::vector<bool> finalB(static_cast<std::size_t>(n));
+  Ps firstSwitch = cond.tMax;
+  Ps lastRampEnd = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto& w = ins[static_cast<std::size_t>(i)];
+    initB[static_cast<std::size_t>(i)] = w.v0 > 0.5 * vdd;
+    finalB[static_cast<std::size_t>(i)] = w.v1 > 0.5 * vdd;
+    if (w.switches()) {
+      firstSwitch = std::min(firstSwitch, w.start);
+      lastRampEnd = std::max(lastRampEnd, w.start + w.rampSpan());
+    }
+  }
+
+  const bool outInitHigh = stage.evalLogic(initB);
+  const bool outFinalHigh = stage.evalLogic(finalB);
+  TransientResult res;
+  res.outputRising = !outInitHigh && outFinalHigh;
+
+  Ps tRef = 0.0;
+  if (referenceInput >= 0) {
+    tRef = ins[static_cast<std::size_t>(referenceInput)].cross50();
+  } else {
+    tRef = cond.tMax;
+    for (const auto& w : ins)
+      if (w.switches()) tRef = std::min(tRef, w.cross50());
+    if (tRef == cond.tMax) tRef = 0.0;
+  }
+
+  double vOut = outInitHigh ? vdd : 0.0;
+  const Ff cap = cond.load + stage.selfLoad();
+  stage.pullDown().resetCache();
+  stage.pullUp().resetCache();
+
+  // Crossing thresholds in the direction of the final transition.
+  const double vLo = 0.1 * vdd;
+  const double vMid = 0.5 * vdd;
+  const double vHi = 0.9 * vdd;
+  double tA = -1.0, t50 = -1.0, tB = -1.0;  // 10%, 50%, 90% of the swing
+
+  std::vector<Volt> gvN(static_cast<std::size_t>(n));
+  std::vector<Volt> gvP(static_cast<std::size_t>(n));
+
+  Ps t = 0.0;
+  double vPrev = vOut;
+  const Ps dtMin = 0.05;
+  while (t < cond.tMax) {
+    for (int i = 0; i < n; ++i) {
+      const Volt g = ins[static_cast<std::size_t>(i)].at(t);
+      gvN[static_cast<std::size_t>(i)] = g;
+      gvP[static_cast<std::size_t>(i)] = vdd - g;
+    }
+    const MicroAmp ipd = stage.pullDown().current(0.0, vOut, gvN, cond.temp);
+    const MicroAmp ipu =
+        stage.pullUp().current(0.0, vdd - vOut, gvP, cond.temp);
+    const double dvdt = (ipu - ipd) / cap * 1e-3;  // V per ps
+
+    Ps dt;
+    if (std::abs(dvdt) > 1e-9) {
+      dt = std::clamp(cond.dvTarget / std::abs(dvdt), dtMin, 20.0);
+    } else {
+      dt = 20.0;
+    }
+    // Do not step over waveform features.
+    if (t < firstSwitch) dt = std::min(dt, firstSwitch - t + dtMin);
+    else if (t < lastRampEnd) dt = std::min(dt, 2.0);
+
+    vPrev = vOut;
+    vOut = std::clamp(vOut + dvdt * dt, -0.02, vdd + 0.02);
+    const Ps tNext = t + dt;
+
+    auto crossed = [&](double thr) -> double {
+      if ((vPrev < thr && vOut >= thr) || (vPrev > thr && vOut <= thr)) {
+        const double f = (thr - vPrev) / (vOut - vPrev);
+        return t + f * dt;
+      }
+      return -1.0;
+    };
+    if (res.outputRising) {
+      if (tA < 0.0) { const double c = crossed(vLo); if (c >= 0) tA = c; }
+      if (t50 < 0.0) { const double c = crossed(vMid); if (c >= 0) t50 = c; }
+      if (tB < 0.0) { const double c = crossed(vHi); if (c >= 0) tB = c; }
+    } else {
+      if (tA < 0.0) { const double c = crossed(vHi); if (c >= 0) tA = c; }
+      if (t50 < 0.0) { const double c = crossed(vMid); if (c >= 0) t50 = c; }
+      if (tB < 0.0) { const double c = crossed(vLo); if (c >= 0) tB = c; }
+    }
+
+    t = tNext;
+    if (tB >= 0.0 && t > lastRampEnd) break;  // transition complete
+    if (t > lastRampEnd && std::abs(dvdt) < 2e-7 && t > lastRampEnd + 100.0)
+      break;  // settled without (further) transition
+  }
+
+  res.vFinal = vOut;
+  if (t50 >= 0.0 && tB >= 0.0 && tA >= 0.0) {
+    res.completed = true;
+    res.delay50 = t50 - tRef;
+    res.outputSlew = std::abs(tB - tA);
+  }
+  return res;
+}
+
+TransientResult simulateArc(Stage& stage, int pin, bool inputRising,
+                            Ps inputSlew, const SimConditions& cond) {
+  const int n = stage.numInputs();
+  std::vector<InputWave> waves(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& w = waves[static_cast<std::size_t>(i)];
+    if (i == pin) {
+      w.v0 = inputRising ? 0.0 : cond.vdd;
+      w.v1 = inputRising ? cond.vdd : 0.0;
+      w.start = 40.0;
+      w.slew = inputSlew;
+    } else {
+      const bool v = sideInputValue(stage.kind(), pin, i);
+      w.v0 = w.v1 = v ? cond.vdd : 0.0;
+    }
+  }
+  return simulateStage(stage, waves, cond, pin);
+}
+
+}  // namespace tc

@@ -1,0 +1,174 @@
+#pragma once
+/// \file stage.h
+/// \brief Transient simulation of a single CMOS stage (the framework's
+/// "mini-SPICE" deck).
+///
+/// A Stage is a static CMOS gate described by its pull-up / pull-down
+/// networks of Mosfets (series/parallel trees with true internal-node
+/// solution via warm-started bisection), driving a lumped capacitive load.
+/// Inputs are saturated-ramp waveforms; more than one input may switch, which
+/// is exactly the multi-input-switching (MIS) experiment of the paper's
+/// Fig. 4: simultaneous arrivals on a parallel pull-up double the charging
+/// current (MIS delay << SIS delay), while simultaneous arrivals on a series
+/// stack weaken it (MIS delay > SIS delay).
+///
+/// The same engine characterizes the synthetic standard-cell library
+/// (liberty::LibraryBuilder) and produces the temperature-inversion curves of
+/// Fig. 6(b).
+
+#include <string>
+#include <vector>
+
+#include "device/mosfet.h"
+#include "device/process.h"
+#include "util/units.h"
+
+namespace tc {
+
+/// Gate topology templates supported by the cell zoo.
+enum class StageKind { kInverter, kNand, kNor, kAoi21, kOai21 };
+
+const char* toString(StageKind kind);
+
+/// Saturated-ramp input waveform. `slew` is the 10%-90% transition time;
+/// the underlying linear ramp spans slew/0.8 and is centered so that the
+/// 50% crossing happens at `start + 0.5 * slew / 0.8`.
+struct InputWave {
+  Volt v0 = 0.0;   ///< initial level
+  Volt v1 = 0.0;   ///< final level
+  Ps start = 0.0;  ///< time the ramp leaves v0
+  Ps slew = 20.0;  ///< 10-90 transition time (ignored if v0 == v1)
+
+  Volt at(Ps t) const;
+  bool switches() const { return v0 != v1; }
+  /// Time of the 50% crossing.
+  Ps cross50() const { return start + 0.5 * rampSpan(); }
+  Ps rampSpan() const { return slew / 0.8; }
+};
+
+/// Series/parallel transistor network with cached internal-node voltages.
+/// All voltages are expressed in "pull-down coordinates": for the PMOS
+/// pull-up network the caller mirrors node and gate voltages about VDD, so
+/// a single NMOS-style evaluator serves both networks.
+class PullNetwork {
+ public:
+  /// Node handle.
+  using Id = int;
+
+  Id addDevice(Mosfet device, int inputIndex);
+  Id addSeries(Id bottom, Id top);  ///< bottom child sits at the base rail
+  Id addParallel(Id a, Id b);
+  void setRoot(Id id) { root_ = id; }
+  bool empty() const { return root_ < 0; }
+
+  /// Current (uA, >= 0) flowing through the network when the base rail sits
+  /// at `vBase` and the far terminal at `vTop` (>= vBase), given per-input
+  /// gate voltages (already mirrored for pull-up use). Warm-starts series
+  /// splits from the previous call, so transient sweeps are cheap.
+  MicroAmp current(double vBase, double vTop,
+                   const std::vector<Volt>& gateV, Celsius t) const;
+
+  /// Worst-case (all gates off) leakage through the network at `vds`.
+  MicroAmp leakage(Volt vds, Celsius t) const;
+
+  /// Apply a threshold shift / mobility scale to every device (corners,
+  /// mismatch sampling, aging).
+  void shiftAllVt(Volt dvt);
+  void scaleAllK(double scale);
+  /// Per-device access for mismatch injection.
+  std::vector<Mosfet*> devices();
+
+  void resetCache() const;
+
+ private:
+  struct Node {
+    enum class Kind { kDevice, kSeries, kParallel } kind = Kind::kDevice;
+    Mosfet device;
+    int input = -1;
+    Id left = -1, right = -1;
+    mutable double split = -1.0;  ///< cached internal node (series only)
+  };
+
+  MicroAmp nodeCurrent(Id id, double vBase, double vTop,
+                       const std::vector<Volt>& gateV, Celsius t) const;
+  MicroAmp nodeLeakage(Id id, Volt vds, Celsius t) const;
+
+  std::vector<Node> nodes_;
+  Id root_ = -1;
+};
+
+/// A complete CMOS stage: complementary pull-up/pull-down networks plus
+/// electrical context (supply, temperature, parasitic self-load).
+class Stage {
+ public:
+  /// Build one of the template topologies. `size` scales all widths (drive
+  /// strength); series stacks are automatically upsized by the stack depth,
+  /// as in real standard cells.
+  static Stage make(StageKind kind, int numInputs, VtClass vt, double size,
+                    const ProcessCondition& corner = {});
+
+  StageKind kind() const { return kind_; }
+  int numInputs() const { return numInputs_; }
+  double size() const { return size_; }
+  VtClass vtClass() const { return vt_; }
+
+  /// Logic value of the gate for boolean inputs.
+  bool evalLogic(const std::vector<bool>& inputs) const;
+  /// Non-controlling level for a side input (so one arc is sensitized).
+  bool nonControllingValue() const;
+
+  /// Input pin capacitance (fF) of one input.
+  Ff inputCap() const;
+  /// Parasitic output self-load (fF).
+  Ff selfLoad() const;
+
+  /// Static leakage current (uA) for the given input state at supply vdd.
+  MicroAmp leakage(const std::vector<bool>& inputs, Volt vdd,
+                   Celsius t) const;
+
+  PullNetwork& pullDown() { return pdn_; }
+  PullNetwork& pullUp() { return pun_; }
+  const PullNetwork& pullDown() const { return pdn_; }
+  const PullNetwork& pullUp() const { return pun_; }
+
+ private:
+  StageKind kind_ = StageKind::kInverter;
+  int numInputs_ = 1;
+  double size_ = 1.0;
+  VtClass vt_ = VtClass::kSvt;
+  Um wn_ = 0.5, wp_ = 1.0;  ///< unit widths used for cap estimates
+  PullNetwork pdn_, pun_;
+};
+
+/// Result of one transient run.
+struct TransientResult {
+  Ps delay50 = 0.0;       ///< 50% input -> 50% output
+  Ps outputSlew = 0.0;    ///< 10-90 on the output
+  bool outputRising = false;
+  bool completed = false;  ///< output actually crossed 90% of its swing
+  Volt vFinal = 0.0;
+};
+
+/// Transient simulation conditions.
+struct SimConditions {
+  Volt vdd = 0.9;
+  Celsius temp = 25.0;
+  Ff load = 2.0;       ///< external load (input caps of fanout)
+  Ps tMax = 4000.0;    ///< simulation horizon
+  Volt dvTarget = 0.004;  ///< adaptive step: max voltage change per step
+};
+
+/// Simulate the stage with the given input waveforms (one per input).
+/// `referenceInput` selects which input's 50% crossing anchors the delay
+/// measurement (default: the earliest switching input).
+TransientResult simulateStage(Stage& stage, const std::vector<InputWave>& ins,
+                              const SimConditions& cond,
+                              int referenceInput = -1);
+
+/// Convenience: single-input-switching arc measurement. Side inputs are held
+/// at their non-controlling values; input `pin` ramps rising/falling with
+/// the given slew. Returns the output transition.
+TransientResult simulateArc(Stage& stage, int pin, bool inputRising,
+                            Ps inputSlew, const SimConditions& cond);
+
+}  // namespace tc

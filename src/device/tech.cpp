@@ -1,0 +1,77 @@
+#include "device/tech.h"
+
+#include <stdexcept>
+
+namespace tc {
+
+const char* toString(CareAbout c) {
+  switch (c) {
+    case CareAbout::kNoise: return "Noise / SI";
+    case CareAbout::kMcmm: return "MCMM";
+    case CareAbout::kMaxTransEm: return "Maxtrans / EM";
+    case CareAbout::kBti: return "BTI aging";
+    case CareAbout::kTempInversion: return "Temperature inversion";
+    case CareAbout::kAocvPocv: return "AOCV / POCV";
+    case CareAbout::kPbaFixedMargin: return "PBA + fixed-margin spec";
+    case CareAbout::kFillEffects: return "Fill effects";
+    case CareAbout::kDynamicIr: return "Dynamic IR";
+    case CareAbout::kMolBeolResistance: return "MOL/BEOL resistance";
+    case CareAbout::kBeolMolVariation: return "BEOL/MOL variation";
+    case CareAbout::kMultiPatterning: return "Multi-patterning";
+    case CareAbout::kMinImplant: return "Min implant area";
+    case CareAbout::kLvf: return "LVF";
+    case CareAbout::kMis: return "Multi-input switching";
+    case CareAbout::kAvsSignoff: return "Signoff criteria w/ AVS";
+    case CareAbout::kPhysAwareEco: return "Phys-aware timing ECO";
+    case CareAbout::kCellPocv: return "Cell-POCV";
+    case CareAbout::kCount: break;
+  }
+  return "?";
+}
+
+const std::vector<TechNode>& technologyTimeline() {
+  static const std::vector<TechNode> kNodes = [] {
+    std::vector<TechNode> v;
+    // Fig. 3 maps care-abouts to the node where they first bite.
+    v.push_back({"90nm", 90, 1.2, 1.0, 1.32, 0, 0, false, 0.30, 1.10, 0.6,
+                 {CareAbout::kNoise, CareAbout::kMaxTransEm}});
+    v.push_back({"65nm", 65, 1.1, 0.9, 1.21, 0, 0, false, 0.45, 1.05, 0.7,
+                 {CareAbout::kMcmm, CareAbout::kBti}});
+    v.push_back({"40nm", 40, 1.0, 0.8, 1.15, 0, 0, false, 0.65, 1.02, 0.85,
+                 {CareAbout::kTempInversion, CareAbout::kAocvPocv}});
+    v.push_back({"28nm", 28, 0.9, 0.6, 1.10, 0, 0, false, 1.00, 1.00, 1.0,
+                 {CareAbout::kPbaFixedMargin, CareAbout::kFillEffects,
+                  CareAbout::kDynamicIr}});
+    v.push_back({"20nm", 20, 0.85, 0.55, 1.05, 3, 2, false, 1.60, 0.98, 1.15,
+                 {CareAbout::kMolBeolResistance, CareAbout::kMultiPatterning,
+                  CareAbout::kMinImplant, CareAbout::kPhysAwareEco}});
+    v.push_back({"16nm", 16, 0.80, 0.46, 1.25, 3, 3, true, 2.40, 0.97, 1.3,
+                 {CareAbout::kBeolMolVariation, CareAbout::kCellPocv,
+                  CareAbout::kAvsSignoff, CareAbout::kMis}});
+    v.push_back({"10nm", 10, 0.75, 0.45, 1.05, 4, 5, true, 3.60, 0.96, 1.5,
+                 {CareAbout::kLvf}});
+    v.push_back({"7nm", 7, 0.70, 0.40, 0.95, 4, 7, true, 5.20, 0.95, 1.7,
+                 {}});
+    return v;
+  }();
+  return kNodes;
+}
+
+const TechNode& techNode(int nm) {
+  for (const auto& n : technologyTimeline())
+    if (n.nm == nm) return n;
+  throw std::invalid_argument("unknown technology node: " +
+                              std::to_string(nm) + "nm");
+}
+
+std::vector<CareAbout> activeConcerns(const TechNode& node) {
+  std::vector<CareAbout> out;
+  for (const auto& n : technologyTimeline()) {
+    if (n.nm < node.nm) break;  // timeline ordered large -> small
+    for (CareAbout c : n.newConcerns) out.push_back(c);
+    if (n.nm == node.nm) break;
+  }
+  return out;
+}
+
+}  // namespace tc

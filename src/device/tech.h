@@ -1,0 +1,69 @@
+#pragma once
+/// \file tech.h
+/// \brief Technology-node registry: per-node physical parameters and the
+/// timing-closure "care-abouts" timeline of the paper's Fig. 3.
+///
+/// Each node descriptor records (a) the physical knobs the rest of the
+/// framework consumes (wire RC, supply range, MinIA width, patterning) and
+/// (b) the set of signoff concerns that *first become material* at that
+/// node. bench_fig03_care_abouts renders the resulting matrix.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace tc {
+
+/// Timing-closure concerns tracked across nodes (Fig. 3 rows).
+enum class CareAbout : std::uint32_t {
+  kNoise = 0,
+  kMcmm,
+  kMaxTransEm,
+  kBti,
+  kTempInversion,
+  kAocvPocv,
+  kPbaFixedMargin,
+  kFillEffects,
+  kDynamicIr,
+  kMolBeolResistance,
+  kBeolMolVariation,
+  kMultiPatterning,
+  kMinImplant,
+  kLvf,
+  kMis,
+  kAvsSignoff,
+  kPhysAwareEco,
+  kCellPocv,
+  kCount
+};
+
+const char* toString(CareAbout c);
+
+/// One technology node's descriptor.
+struct TechNode {
+  std::string name;       ///< e.g. "28nm"
+  int nm = 28;            ///< headline dimension
+  Volt vddNominal = 0.9;
+  Volt vddMin = 0.6;
+  Volt vddMax = 1.1;
+  int minImplantWidthSites = 0;  ///< MinIA rule (0 = no rule)
+  int doublePatternedLayers = 0; ///< lower-Mx layers needing SADP colors
+  bool finfet = false;
+  double wireResScale = 1.0;  ///< BEOL resistance vs the 28nm reference
+  double wireCapScale = 1.0;
+  double localVtSigmaScale = 1.0;  ///< mismatch growth at scaled nodes
+  std::vector<CareAbout> newConcerns;  ///< concerns first material here
+};
+
+/// Ordered registry, 90nm -> 7nm (Fig. 3's x axis).
+const std::vector<TechNode>& technologyTimeline();
+
+/// Lookup by headline nm (throws if absent).
+const TechNode& techNode(int nm);
+
+/// All concerns active at a node: union of newConcerns over nodes >= nm.
+std::vector<CareAbout> activeConcerns(const TechNode& node);
+
+}  // namespace tc

@@ -1,0 +1,140 @@
+#include "interconnect/extract.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tc {
+
+namespace {
+constexpr Ff kPortLoadFf = 2.0;
+constexpr Um kSegmentUm = 25.0;  ///< max RC segment before subdivision
+}  // namespace
+
+bool Extractor::isPlaced() const {
+  for (InstId i = 0; i < nl_.instanceCount(); ++i) {
+    const Instance& inst = nl_.instance(i);
+    if (inst.x != 0.0 || inst.y != 0.0) return true;
+  }
+  return false;
+}
+
+int Extractor::layerForLength(Um length) const {
+  if (length < 20.0) return 2;
+  if (length < 60.0) return 3;
+  if (length < 150.0) return 4;
+  if (length < 400.0) return 5;
+  return 6;
+}
+
+NetParasitics Extractor::extract(NetId netId,
+                                 const ExtractionOptions& opt) const {
+  const Net& net = nl_.net(netId);
+  NetParasitics out;
+
+  // --- topology -------------------------------------------------------------
+  Point driver;
+  std::vector<Point> sinkPts;
+  const bool placed = isPlaced();
+  if (placed) {
+    if (net.driver >= 0) {
+      driver = {nl_.instance(net.driver).x, nl_.instance(net.driver).y};
+    } else if (!net.sinks.empty()) {
+      // Port-driven: approximate the entry point by the sink centroid.
+      double cx = 0, cy = 0;
+      for (const auto& s : net.sinks) {
+        cx += nl_.instance(s.inst).x;
+        cy += nl_.instance(s.inst).y;
+      }
+      driver = {cx / net.sinks.size(), cy / net.sinks.size()};
+    }
+    for (const auto& s : net.sinks)
+      sinkPts.push_back({nl_.instance(s.inst).x, nl_.instance(s.inst).y});
+  }
+
+  RouteTree topo;
+  if (placed && !sinkPts.empty()) {
+    topo = buildRouteTree(driver, sinkPts);
+  } else {
+    // Wire-load model: star with fanout-dependent total length.
+    const int nSinks = std::max<int>(static_cast<int>(net.sinks.size()), 1);
+    const Um total = 6.0 + 5.0 * (nSinks - 1);
+    const Um per = total / nSinks;
+    topo.points.assign(static_cast<std::size_t>(nSinks) + 1, Point{});
+    for (int s = 0; s < nSinks; ++s) topo.edges.push_back({0, s + 1, per});
+  }
+  out.wirelength = topo.totalLength();
+  out.layer = net.layer > 0 ? layerForLength(out.wirelength) : 3;
+
+  // --- electrical parameters ------------------------------------------------
+  const WireLayer& layer = stack_.layer(out.layer);
+  const CornerScales cs = tightenedScales(opt.corner, opt.tightenSigma);
+  const NdrRule& ndr =
+      ndrRules()[static_cast<std::size_t>(std::min<int>(
+          net.ndrClass, static_cast<int>(ndrRules().size()) - 1))];
+  const double tempScale = 1.0 + layer.rTempCoPerC * (opt.temp - 25.0);
+  double rScale = cs.r * tempScale * ndr.rScale;
+  double cgScale = cs.cg * ndr.cgScale;
+  double ccScale = cs.cc * ndr.ccScale;
+  if (opt.layerRScale) {
+    const auto li = static_cast<std::size_t>(out.layer - 2);
+    if (li < opt.layerRScale->size()) rScale *= (*opt.layerRScale)[li];
+  }
+  if (opt.layerCScale) {
+    const auto li = static_cast<std::size_t>(out.layer - 2);
+    if (li < opt.layerCScale->size()) {
+      cgScale *= (*opt.layerCScale)[li];
+      ccScale *= (*opt.layerCScale)[li];
+    }
+  }
+  const KOhm rPerUm = layer.rPerUm * rScale;
+  const double miller =
+      net.millerOverride > 0.0 ? net.millerOverride : opt.millerFactor;
+  const Ff cPerUm =
+      layer.cgPerUm * cgScale + layer.ccPerUm * ccScale * miller;
+
+  // --- build the RC tree -----------------------------------------------------
+  std::vector<int> rcNode(topo.points.size(), -1);
+  rcNode[0] = 0;
+  for (const auto& e : topo.edges) {
+    const int nSegs = std::max(
+        1, static_cast<int>(std::ceil(e.length / kSegmentUm)));
+    const Um segLen = e.length / nSegs;
+    int at = rcNode[static_cast<std::size_t>(e.from)];
+    for (int s = 0; s < nSegs; ++s) {
+      // Pi segment: half cap stays on the upstream node.
+      out.tree.addCap(at, 0.5 * cPerUm * segLen);
+      at = out.tree.addNode(at, rPerUm * segLen, 0.5 * cPerUm * segLen);
+    }
+    rcNode[static_cast<std::size_t>(e.to)] = at;
+  }
+
+  // Pin loads at sinks.
+  out.sinkNode.resize(net.sinks.size(), 0);
+  for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+    const int node = rcNode[s + 1];
+    out.sinkNode[s] = node >= 0 ? node : 0;
+    out.tree.addCap(out.sinkNode[s], nl_.cellOf(net.sinks[s].inst).pinCap);
+  }
+  if (net.loadPort >= 0) out.tree.addCap(0, kPortLoadFf);
+
+  // SADP cut-mask effects: line-end extensions at terminals, floating fill
+  // along the wire (expected value; MC benches sample instead).
+  if (opt.sadp && layer.doublePatterned) {
+    const Ff extra = opt.sadp->expectedCutMaskCap(
+        out.wirelength, static_cast<int>(net.sinks.size()) + 1);
+    const Ff half = 0.5 * extra;
+    out.tree.addCap(0, half);
+    if (!out.sinkNode.empty()) {
+      const Ff per = half / static_cast<double>(out.sinkNode.size());
+      for (int node : out.sinkNode) out.tree.addCap(node, per);
+    } else {
+      out.tree.addCap(0, half);
+    }
+  }
+
+  out.totalCap = out.tree.totalCap();
+  out.wireCap = cPerUm * out.wirelength;
+  return out;
+}
+
+}  // namespace tc

@@ -1,0 +1,68 @@
+#pragma once
+/// \file extract.h
+/// \brief Parasitic extraction: placed netlist -> per-net RC trees at a
+/// chosen BEOL corner (or per-layer Monte Carlo sample), with optional
+/// SADP cut-mask capacitance and NDR-aware R/C scaling.
+
+#include <optional>
+#include <vector>
+
+#include "interconnect/rctree.h"
+#include "interconnect/sadp.h"
+#include "interconnect/steiner.h"
+#include "interconnect/wire.h"
+#include "network/netlist.h"
+
+namespace tc {
+
+/// Per-extraction context.
+struct ExtractionOptions {
+  BeolCorner corner = BeolCorner::kTypical;
+  Celsius temp = 25.0;
+  /// Miller factor applied to coupling cap when lumping to ground
+  /// (1.0 = quiet aggressors; 2.0 = SI-pessimistic opposite switching).
+  double millerFactor = 1.0;
+  /// Optional SADP model: adds expected line-end / fill capacitance.
+  const SadpModel* sadp = nullptr;
+  /// Optional per-layer multipliers for decorrelated BEOL Monte Carlo,
+  /// indexed like BeolStack::layers. Applied on top of the corner scales.
+  const std::vector<double>* layerRScale = nullptr;
+  const std::vector<double>* layerCScale = nullptr;
+  /// Corner-tightening factor (TBC, Sec. 3.2): scales the corner excursion
+  /// to k-sigma instead of the conventional 3-sigma. 3.0 = conventional.
+  double tightenSigma = 3.0;
+};
+
+/// Extraction result for one net.
+struct NetParasitics {
+  RcTree tree;
+  std::vector<int> sinkNode;  ///< tree node per net sink (input order)
+  Ff totalCap = 0.0;          ///< wire + pin caps
+  Ff wireCap = 0.0;
+  Um wirelength = 0.0;
+  int layer = 3;
+};
+
+/// Extractor over a (possibly placed) netlist. Unplaced designs fall back
+/// to a fanout-based wire-load model, as pre-placement synthesis flows do.
+class Extractor {
+ public:
+  Extractor(const Netlist& netlist, BeolStack stack)
+      : nl_(netlist), stack_(std::move(stack)) {}
+
+  NetParasitics extract(NetId net, const ExtractionOptions& opt) const;
+
+  /// Layer chosen for a net of the given spanned length.
+  int layerForLength(Um length) const;
+
+  const BeolStack& stack() const { return stack_; }
+
+  /// True when instances carry meaningful placement.
+  bool isPlaced() const;
+
+ private:
+  const Netlist& nl_;
+  BeolStack stack_;
+};
+
+}  // namespace tc

@@ -1,0 +1,93 @@
+#include "interconnect/rctree.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tc {
+
+int RcTree::addNode(int parent, KOhm r, Ff c) {
+  if (parent < 0 || parent >= nodeCount())
+    throw std::invalid_argument("RcTree::addNode: bad parent");
+  Node n;
+  n.parent = parent;
+  n.r = r;
+  n.cap = c;
+  nodes_.push_back(n);
+  analyzed_ = false;
+  return nodeCount() - 1;
+}
+
+Ff RcTree::totalCap() const {
+  Ff c = 0.0;
+  for (const auto& n : nodes_) c += n.cap;
+  return c;
+}
+
+void RcTree::analyze() const {
+  const std::size_t n = nodes_.size();
+  downCap_.assign(n, 0.0);
+  m1_.assign(n, 0.0);
+  m2_.assign(n, 0.0);
+  // Children are always appended after parents, so a reverse sweep
+  // accumulates subtree caps and a forward sweep propagates moments.
+  for (std::size_t i = n; i-- > 0;) {
+    downCap_[i] += nodes_[i].cap;
+    if (nodes_[i].parent >= 0)
+      downCap_[static_cast<std::size_t>(nodes_[i].parent)] += downCap_[i];
+  }
+  // m1 (Elmore): m1(child) = m1(parent) + R * downCap(child). kOhm*fF = ps.
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto p = static_cast<std::size_t>(nodes_[i].parent);
+    m1_[i] = m1_[p] + nodes_[i].r * downCap_[i];
+  }
+  // Second moment: m2(child) = m2(parent) + R * sum_subtree(C_k * m1_k).
+  std::vector<double> downCapM1(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    downCapM1[i] += nodes_[i].cap * m1_[i];
+    if (nodes_[i].parent >= 0)
+      downCapM1[static_cast<std::size_t>(nodes_[i].parent)] += downCapM1[i];
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto p = static_cast<std::size_t>(nodes_[i].parent);
+    m2_[i] = m2_[p] + nodes_[i].r * downCapM1[i];
+  }
+  analyzed_ = true;
+}
+
+Ps RcTree::elmore(int node) const {
+  if (!analyzed_) analyze();
+  return m1_[static_cast<std::size_t>(node)];
+}
+
+Ps RcTree::d2m(int node) const {
+  if (!analyzed_) analyze();
+  const double m1 = m1_[static_cast<std::size_t>(node)];
+  const double m2 = m2_[static_cast<std::size_t>(node)];
+  if (m2 <= 0.0) return m1;
+  return std::min(m1, 0.6931471805599453 * m1 * m1 / std::sqrt(m2));
+}
+
+Ff RcTree::effectiveCap(Ps driverSlew) const {
+  if (!analyzed_) analyze();
+  // Split the tree cap into "near" (directly at root) and "far"; shield the
+  // far component by the ratio of wire RC to the driver transition time.
+  const Ff cNear = nodes_[0].cap;
+  const Ff cTotal = totalCap();
+  const Ff cFar = cTotal - cNear;
+  if (cFar <= 0.0) return cTotal;
+  double maxM1 = 0.0;
+  for (std::size_t i = 1; i < nodes_.size(); ++i)
+    maxM1 = std::max(maxM1, m1_[i]);
+  // Fraction of the far cap hidden behind wire resistance: approaches 1/2
+  // when the wire RC dwarfs the driver transition, 0 for slow edges.
+  const double shield =
+      2.0 * maxM1 / (2.0 * maxM1 + std::max(driverSlew, 1.0));
+  return cNear + cFar * (1.0 - 0.5 * shield);
+}
+
+Ps RcTree::degradeSlew(Ps slewIn, int node) const {
+  const double wireSlew = 2.1972245773362196 * elmore(node);  // ln(9)*m1
+  return std::sqrt(slewIn * slewIn + wireSlew * wireSlew);
+}
+
+}  // namespace tc

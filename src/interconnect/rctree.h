@@ -1,0 +1,64 @@
+#pragma once
+/// \file rctree.h
+/// \brief RC tree parasitics with Elmore and two-moment (D2M) delay metrics
+/// and a simple effective-capacitance model — the interconnect half of the
+/// delay-calculation history the paper walks through ("lumped-C ... Elmore's
+/// bound ... O'Brien-Savarino", Sec. 3.1).
+
+#include <vector>
+
+#include "util/units.h"
+
+namespace tc {
+
+/// A grounded RC tree rooted at the driver (node 0).
+class RcTree {
+ public:
+  RcTree() { nodes_.push_back({}); }  // root
+
+  /// Add a node connected to `parent` through resistance r, with grounded
+  /// cap c. Returns the new node id.
+  int addNode(int parent, KOhm r, Ff c);
+  void addCap(int node, Ff c) { nodes_[static_cast<std::size_t>(node)].cap += c; }
+  int nodeCount() const { return static_cast<int>(nodes_.size()); }
+
+  Ff totalCap() const;
+  Ff nodeCap(int node) const { return nodes_[static_cast<std::size_t>(node)].cap; }
+  /// Parent node id (-1 for the root) and the resistance of the edge to it
+  /// (exposed for parasitics writers such as SPEF).
+  int parentOf(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].parent;
+  }
+  KOhm resistanceTo(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].r;
+  }
+
+  /// First moment (Elmore delay) from the root to `node`, in ps.
+  Ps elmore(int node) const;
+  /// D2M two-moment metric: ln2 * m1^2 / sqrt(m2) — tighter than Elmore for
+  /// far sinks, never larger.
+  Ps d2m(int node) const;
+  /// Resistance-shielded effective capacitance seen by the driver, given
+  /// the driver's output transition time.
+  Ff effectiveCap(Ps driverSlew) const;
+
+  /// Wire-induced slew at a node (PERI-style): sqrt(slewIn^2 + (ln9*m1)^2).
+  Ps degradeSlew(Ps slewIn, int node) const;
+
+ private:
+  struct Node {
+    int parent = -1;
+    KOhm r = 0.0;  ///< resistance to parent
+    Ff cap = 0.0;
+    // cached analysis results
+  };
+  void analyze() const;
+
+  std::vector<Node> nodes_;
+  mutable std::vector<Ff> downCap_;
+  mutable std::vector<double> m1_;      // ps
+  mutable std::vector<double> m2_;      // ps^2
+  mutable bool analyzed_ = false;
+};
+
+}  // namespace tc

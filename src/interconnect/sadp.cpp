@@ -1,0 +1,75 @@
+#include "interconnect/sadp.h"
+
+#include <cmath>
+
+namespace tc {
+
+const char* toString(SadpCase c) {
+  switch (c) {
+    case SadpCase::kMandrelMandrel: return "mandrel/mandrel";
+    case SadpCase::kSpacerSpacer: return "spacer/spacer";
+    case SadpCase::kMandrelBlock: return "mandrel/block";
+    case SadpCase::kSpacerBlock: return "spacer/block";
+  }
+  return "?";
+}
+
+const std::vector<SadpCase>& allSadpCases() {
+  static const std::vector<SadpCase> kAll = {
+      SadpCase::kMandrelMandrel, SadpCase::kSpacerSpacer,
+      SadpCase::kMandrelBlock, SadpCase::kSpacerBlock};
+  return kAll;
+}
+
+double SadpModel::cdSigmaNm(SadpCase c) const {
+  const double sM = sigmaMandrelNm;
+  const double sS = sigmaSpacerNm;
+  const double sB = sigmaBlockNm;
+  const double sMB = sigmaMandrelBlockNm;
+  double var = 0.0;
+  switch (c) {
+    case SadpCase::kMandrelMandrel:
+      var = sM * sM;
+      break;
+    case SadpCase::kSpacerSpacer:
+      var = sM * sM + 2.0 * sS * sS;
+      break;
+    case SadpCase::kMandrelBlock:
+      var = 0.25 * sM * sM + sMB * sMB + 0.25 * sB * sB;
+      break;
+    case SadpCase::kSpacerBlock:
+      var = 0.25 * sM * sM + sS * sS + sMB * sMB + 0.25 * sB * sB;
+      break;
+  }
+  return std::sqrt(var);
+}
+
+SadpCase SadpModel::sampleCase(Rng& rng) const {
+  const double r = rng.uniform();
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    acc += caseProbability[i];
+    if (r < acc) return allSadpCases()[static_cast<std::size_t>(i)];
+  }
+  return SadpCase::kSpacerBlock;
+}
+
+Ff SadpModel::expectedCutMaskCap(Um wirelength, int terminals) const {
+  return lineEndProbability * terminals * lineEndExtensionCapFf +
+         fillAdjacencyPerUm * wirelength * floatingFillCouplingFf;
+}
+
+Ff SadpModel::sampleCutMaskCap(Um wirelength, int terminals, Rng& rng) const {
+  Ff cap = 0.0;
+  for (int t = 0; t < terminals; ++t)
+    if (rng.chance(lineEndProbability)) cap += lineEndExtensionCapFf;
+  const double lambda = fillAdjacencyPerUm * wirelength;
+  // Poisson sample via sequential Bernoulli on unit segments (lambda small).
+  const int segments = static_cast<int>(std::ceil(wirelength));
+  const double p = segments > 0 ? lambda / segments : 0.0;
+  for (int s = 0; s < segments; ++s)
+    if (rng.chance(p)) cap += floatingFillCouplingFf;
+  return cap;
+}
+
+}  // namespace tc

@@ -1,0 +1,80 @@
+#pragma once
+/// \file sadp.h
+/// \brief Self-aligned double/quadruple patterning CD-variation model
+/// (paper Sec. 2.2, Fig. 5).
+///
+/// In SID-type SADP a wire segment's two edges are each defined by one of
+/// {mandrel edge, spacer edge, block-mask edge}, giving four composition
+/// cases with different CD sigmas (Fig. 5(c)):
+///
+///   (i)   mandrel/mandrel : sigma^2 = sigma_M^2
+///   (ii)  spacer/spacer   : sigma^2 = sigma_M^2 + 2 sigma_S^2
+///   (iii) mandrel/block   : sigma^2 = (0.5 sigma_M)^2 + sigma_MB^2
+///                                     + (0.5 sigma_B)^2
+///   (iv)  spacer/block    : sigma^2 = (0.5 sigma_M)^2 + sigma_S^2
+///                                     + sigma_MB^2 + (0.5 sigma_B)^2
+///
+/// The cut-mask restrictions additionally force line-end extensions and
+/// floating fill wires (Fig. 5(b)) that add unpredictable grounded and
+/// coupling capacitance to a net.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace tc {
+
+enum class SadpCase {
+  kMandrelMandrel,  ///< (i)
+  kSpacerSpacer,    ///< (ii)
+  kMandrelBlock,    ///< (iii)
+  kSpacerBlock,     ///< (iv)
+};
+
+const char* toString(SadpCase c);
+const std::vector<SadpCase>& allSadpCases();
+
+struct SadpModel {
+  // Edge-placement sigmas in nm.
+  double sigmaMandrelNm = 1.2;
+  double sigmaSpacerNm = 0.8;
+  double sigmaBlockNm = 1.5;
+  double sigmaMandrelBlockNm = 1.0;  ///< mandrel-to-block overlay
+  double nominalCdNm = 32.0;         ///< drawn wire width
+
+  // Fractions of wire segments that land in each patterning case, set by
+  // router color assignment; defaults roughly balanced.
+  double caseProbability[4] = {0.35, 0.35, 0.15, 0.15};
+
+  // Line-end / fill effects (Fig. 5(b)).
+  double lineEndExtensionCapFf = 0.12;   ///< per affected line end
+  double floatingFillCouplingFf = 0.25;  ///< per fill wire adjacency
+  double lineEndProbability = 0.30;      ///< per net terminal
+  double fillAdjacencyPerUm = 0.02;      ///< expected fill neighbors per um
+
+  /// CD sigma (nm) for each composition case, per the Fig. 5(c) formulas.
+  double cdSigmaNm(SadpCase c) const;
+
+  /// Fractional width sigma: sigma_CD / CD.
+  double widthSigmaFrac(SadpCase c) const { return cdSigmaNm(c) / nominalCdNm; }
+
+  /// First-order electrical sensitivities for a width excursion dW/W:
+  /// R ~ 1/W so dR/R = -dW/W; side-wall coupling grows with W while the
+  /// gap shrinks, dCc/Cc ~ +1.6 dW/W; area/fringe ground cap ~ +0.6 dW/W.
+  double rSigmaFrac(SadpCase c) const { return widthSigmaFrac(c); }
+  double ccSigmaFrac(SadpCase c) const { return 1.6 * widthSigmaFrac(c); }
+  double cgSigmaFrac(SadpCase c) const { return 0.6 * widthSigmaFrac(c); }
+
+  /// Draw a patterning case per the router color distribution.
+  SadpCase sampleCase(Rng& rng) const;
+
+  /// Expected added capacitance on a net of the given length from line-end
+  /// extensions and floating fill (deterministic mean; MC adds jitter).
+  Ff expectedCutMaskCap(Um wirelength, int terminals) const;
+  /// Sampled added capacitance (Poisson-ish jitter around the mean).
+  Ff sampleCutMaskCap(Um wirelength, int terminals, Rng& rng) const;
+};
+
+}  // namespace tc

@@ -1,0 +1,105 @@
+#include "interconnect/spef.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "network/verilog.h"
+
+namespace tc {
+
+namespace {
+
+void writeHeader(std::ostream& os, const std::string& designName) {
+  os << "*SPEF \"IEEE 1481-1998\"\n";
+  os << "*DESIGN \"" << designName << "\"\n";
+  os << "*PROGRAM \"goalposts\"\n";
+  os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 KOHM\n*L_UNIT 1 HENRY\n";
+  os << "*DIVIDER /\n*DELIMITER :\n*BUS_DELIMITER [ ]\n\n";
+}
+
+void writeNameMap(const Netlist& nl, std::ostream& os) {
+  os << "*NAME_MAP\n";
+  for (NetId n = 0; n < nl.netCount(); ++n)
+    os << "*" << n + 1 << " " << nl.net(n).name << "\n";
+  os << "\n";
+}
+
+/// One net's *D_NET section; optionally annotate per-entry sensitivities.
+void writeNet(const Netlist& nl, const Extractor& extractor,
+              const ExtractionOptions& opt, NetId n, std::ostream& os,
+              bool sensitivity) {
+  const Net& net = nl.net(n);
+  const NetParasitics p = extractor.extract(n, opt);
+  const WireLayer& layer = extractor.stack().layer(p.layer);
+
+  os << "*D_NET *" << n + 1 << " "
+     << static_cast<double>(p.totalCap) << "\n";
+
+  os << "*CONN\n";
+  if (net.driver >= 0) {
+    os << "*I " << nl.instance(net.driver).name << ":"
+       << (nl.cellOf(net.driver).isSequential ? "Q" : "Y") << " O\n";
+  } else if (net.driverPort >= 0) {
+    os << "*P " << nl.port(net.driverPort).name << " I\n";
+  }
+  for (const auto& s : net.sinks) {
+    os << "*I " << nl.instance(s.inst).name << ":"
+       << pinName(nl.cellOf(s.inst), s.pin) << " I\n";
+  }
+
+  os << "*CAP\n";
+  int capIdx = 1;
+  for (int node = 0; node < p.tree.nodeCount(); ++node) {
+    if (p.tree.nodeCap(node) <= 0.0) continue;
+    os << capIdx++ << " *" << n + 1 << ":" << node << " "
+       << p.tree.nodeCap(node);
+    if (sensitivity) os << " *SC " << layer.cSigmaFrac;
+    os << "\n";
+  }
+
+  os << "*RES\n";
+  int resIdx = 1;
+  for (int node = 1; node < p.tree.nodeCount(); ++node) {
+    os << resIdx++ << " *" << n + 1 << ":" << p.tree.parentOf(node) << " *"
+       << n + 1 << ":" << node << " " << p.tree.resistanceTo(node);
+    if (sensitivity) os << " *SC " << layer.rSigmaFrac;
+    os << "\n";
+  }
+  os << "*END\n\n";
+}
+
+void writeAll(const Netlist& nl, const Extractor& extractor,
+              const ExtractionOptions& opt, std::ostream& os,
+              const std::string& designName, bool sensitivity) {
+  writeHeader(os, designName);
+  if (sensitivity)
+    os << "// SSPEF flavor: *SC entries carry 1-sigma fractional layer "
+          "variation\n\n";
+  writeNameMap(nl, os);
+  for (NetId n = 0; n < nl.netCount(); ++n)
+    writeNet(nl, extractor, opt, n, os, sensitivity);
+}
+
+}  // namespace
+
+void writeSpef(const Netlist& nl, const Extractor& extractor,
+               const ExtractionOptions& opt, std::ostream& os,
+               const std::string& designName) {
+  writeAll(nl, extractor, opt, os, designName, false);
+}
+
+std::string toSpef(const Netlist& nl, const Extractor& extractor,
+                   const ExtractionOptions& opt,
+                   const std::string& designName) {
+  std::ostringstream os;
+  writeSpef(nl, extractor, opt, os, designName);
+  return os.str();
+}
+
+void writeSensitivitySpef(const Netlist& nl, const Extractor& extractor,
+                          const ExtractionOptions& opt, std::ostream& os,
+                          const std::string& designName) {
+  writeAll(nl, extractor, opt, os, designName, true);
+}
+
+}  // namespace tc

@@ -1,0 +1,38 @@
+#pragma once
+/// \file spef.h
+/// \brief SPEF (IEEE 1481) parasitics writer.
+///
+/// Emits the extracted RC of every net in the standard exchange format
+/// signoff tools consume: header with unit declarations, a name map, and
+/// per-net *D_NET sections with *CONN / *CAP / *RES. The paper's history
+/// section tracks interconnect modeling from lumped C through SPEF-based
+/// signoff — and mourns Sensitivity SPEF (SSPEF), which "seems to have
+/// recently dropped by the wayside"; writeSensitivitySpef emits that
+/// variationally-annotated flavor too, per-layer sigma annotations
+/// included, as a nod to the paper's Futures list ("Statistical SPEF or
+/// similar will be revived").
+
+#include <iosfwd>
+#include <string>
+
+#include "interconnect/extract.h"
+#include "network/netlist.h"
+
+namespace tc {
+
+/// Write standard SPEF for all nets at the given extraction context.
+void writeSpef(const Netlist& nl, const Extractor& extractor,
+               const ExtractionOptions& opt, std::ostream& os,
+               const std::string& designName = "top");
+std::string toSpef(const Netlist& nl, const Extractor& extractor,
+                   const ExtractionOptions& opt,
+                   const std::string& designName = "top");
+
+/// Write SSPEF-flavored output: each *CAP / *RES entry carries a *SC
+/// (sensitivity) annotation with the owning layer's 1-sigma fractional
+/// variation.
+void writeSensitivitySpef(const Netlist& nl, const Extractor& extractor,
+                          const ExtractionOptions& opt, std::ostream& os,
+                          const std::string& designName = "top");
+
+}  // namespace tc

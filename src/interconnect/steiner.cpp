@@ -1,0 +1,51 @@
+#include "interconnect/steiner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tc {
+
+RouteTree buildRouteTree(const Point& driver,
+                         const std::vector<Point>& sinks) {
+  RouteTree t;
+  t.points.push_back(driver);
+  for (const auto& s : sinks) t.points.push_back(s);
+
+  const std::size_t n = t.points.size();
+  std::vector<bool> connected(n, false);
+  connected[0] = true;
+  // Prim: repeatedly attach the unconnected point nearest to the tree.
+  for (std::size_t added = 1; added < n; ++added) {
+    Um best = std::numeric_limits<double>::max();
+    std::size_t bestFrom = 0, bestTo = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (connected[i]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!connected[j]) continue;
+        const Um d = manhattan(t.points[i], t.points[j]);
+        if (d < best) {
+          best = d;
+          bestFrom = j;
+          bestTo = i;
+        }
+      }
+    }
+    connected[bestTo] = true;
+    t.edges.push_back({static_cast<int>(bestFrom), static_cast<int>(bestTo),
+                       best});
+  }
+  return t;
+}
+
+Um hpwl(const Point& driver, const std::vector<Point>& sinks) {
+  Um xmin = driver.x, xmax = driver.x, ymin = driver.y, ymax = driver.y;
+  for (const auto& s : sinks) {
+    xmin = std::min(xmin, s.x);
+    xmax = std::max(xmax, s.x);
+    ymin = std::min(ymin, s.y);
+    ymax = std::max(ymax, s.y);
+  }
+  return (xmax - xmin) + (ymax - ymin);
+}
+
+}  // namespace tc

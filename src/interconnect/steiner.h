@@ -1,0 +1,47 @@
+#pragma once
+/// \file steiner.h
+/// \brief Net topology generation: rectilinear spanning/Steiner-lite trees
+/// over placed pin locations, used by the extractor to build RC trees.
+
+#include <vector>
+
+#include "util/units.h"
+
+namespace tc {
+
+struct Point {
+  Um x = 0.0, y = 0.0;
+};
+
+inline Um manhattan(const Point& a, const Point& b) {
+  return (a.x > b.x ? a.x - b.x : b.x - a.x) +
+         (a.y > b.y ? a.y - b.y : b.y - a.y);
+}
+
+/// A routing tree: node 0 is the driver; nodes 1..n are the sinks in input
+/// order; edges connect each node to a previously-added node.
+struct RouteTree {
+  struct Edge {
+    int from = 0;  ///< node closer to the driver
+    int to = 0;
+    Um length = 0.0;
+  };
+  std::vector<Point> points;  ///< [0] driver, then sinks
+  std::vector<Edge> edges;    ///< one per non-driver node, `to` unique
+
+  Um totalLength() const {
+    Um l = 0.0;
+    for (const auto& e : edges) l += e.length;
+    return l;
+  }
+};
+
+/// Prim-style rectilinear minimum spanning tree: each sink attaches to the
+/// nearest already-connected node (L1 metric). For small fanouts this is
+/// within a few percent of RSMT length, which is all the RC model needs.
+RouteTree buildRouteTree(const Point& driver, const std::vector<Point>& sinks);
+
+/// Half-perimeter wirelength of the pin bounding box (placement cost metric).
+Um hpwl(const Point& driver, const std::vector<Point>& sinks);
+
+}  // namespace tc

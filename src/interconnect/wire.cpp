@@ -1,0 +1,113 @@
+#include "interconnect/wire.h"
+
+#include <stdexcept>
+
+namespace tc {
+
+const char* toString(BeolCorner corner) {
+  switch (corner) {
+    case BeolCorner::kTypical: return "typ";
+    case BeolCorner::kCworst: return "Cw";
+    case BeolCorner::kCbest: return "Cb";
+    case BeolCorner::kCcworst: return "Ccw";
+    case BeolCorner::kCcbest: return "Ccb";
+    case BeolCorner::kRCworst: return "RCw";
+    case BeolCorner::kRCbest: return "RCb";
+  }
+  return "?";
+}
+
+const std::vector<BeolCorner>& allBeolCorners() {
+  static const std::vector<BeolCorner> kAll = {
+      BeolCorner::kTypical, BeolCorner::kCworst,  BeolCorner::kCbest,
+      BeolCorner::kCcworst, BeolCorner::kCcbest,  BeolCorner::kRCworst,
+      BeolCorner::kRCbest};
+  return kAll;
+}
+
+const std::vector<NdrRule>& ndrRules() {
+  static const std::vector<NdrRule> kRules = {
+      {"default", 1.0, 1.0, 1.0},
+      // Double-width: halved resistance, more area cap.
+      {"2W", 0.52, 1.30, 1.05},
+      // Double-width double-spacing: also sheds coupling.
+      {"2W2S", 0.52, 1.30, 0.45},
+  };
+  return kRules;
+}
+
+CornerScales cornerScales(BeolCorner corner) {
+  // 3-sigma excursions with the classic correlation pattern: thicker metal
+  // (lower R) comes with higher cap, and vice versa.
+  switch (corner) {
+    case BeolCorner::kTypical: return {1.00, 1.00, 1.00};
+    case BeolCorner::kCworst: return {0.90, 1.12, 1.12};
+    case BeolCorner::kCbest: return {1.08, 0.88, 0.88};
+    case BeolCorner::kCcworst: return {0.92, 1.05, 1.28};
+    case BeolCorner::kCcbest: return {1.06, 0.95, 0.74};
+    case BeolCorner::kRCworst: return {1.15, 1.04, 1.04};
+    case BeolCorner::kRCbest: return {0.86, 0.95, 0.95};
+  }
+  return {};
+}
+
+CornerScales tightenedScales(BeolCorner corner, double kSigma) {
+  const CornerScales full = cornerScales(corner);
+  const double f = kSigma / 3.0;
+  return {1.0 + (full.r - 1.0) * f, 1.0 + (full.cg - 1.0) * f,
+          1.0 + (full.cc - 1.0) * f};
+}
+
+KOhm WireLayer::rAt(BeolCorner corner, Celsius temp) const {
+  const double tempScale = 1.0 + rTempCoPerC * (temp - 25.0);
+  return rPerUm * cornerScales(corner).r * tempScale;
+}
+
+Ff WireLayer::cgAt(BeolCorner corner) const {
+  return cgPerUm * cornerScales(corner).cg;
+}
+
+Ff WireLayer::ccAt(BeolCorner corner) const {
+  return ccPerUm * cornerScales(corner).cc;
+}
+
+BeolStack BeolStack::forNode(const TechNode& node) {
+  BeolStack s;
+  // Reference 28nm-class stack; R scales with the node's wireResScale,
+  // which captures the "rise of the BEOL". Lower layers are thinner (more
+  // resistive) and more tightly coupled; double patterning applies to the
+  // lowest `doublePatternedLayers` routable layers and widens their sigma.
+  struct Proto {
+    const char* name;
+    int idx;
+    double r, cg, cc;
+  };
+  const Proto protos[] = {
+      {"M2", 2, 0.080, 0.065, 0.115}, {"M3", 3, 0.060, 0.070, 0.105},
+      {"M4", 4, 0.030, 0.080, 0.085}, {"M5", 5, 0.018, 0.085, 0.070},
+      {"M6", 6, 0.009, 0.095, 0.050},
+  };
+  for (const auto& p : protos) {
+    WireLayer l;
+    l.name = p.name;
+    l.index = p.idx;
+    l.rPerUm = p.r * node.wireResScale;
+    l.cgPerUm = p.cg * node.wireCapScale;
+    l.ccPerUm = p.cc * node.wireCapScale;
+    l.doublePatterned = (p.idx - 2) < node.doublePatternedLayers;
+    if (l.doublePatterned) {
+      l.rSigmaFrac = 0.07;
+      l.cSigmaFrac = 0.06;
+    }
+    s.layers.push_back(l);
+  }
+  return s;
+}
+
+const WireLayer& BeolStack::layer(int mIndex) const {
+  for (const auto& l : layers)
+    if (l.index == mIndex) return l;
+  throw std::invalid_argument("no such layer M" + std::to_string(mIndex));
+}
+
+}  // namespace tc

@@ -1,0 +1,85 @@
+#pragma once
+/// \file wire.h
+/// \brief BEOL wire models: per-layer R/C, the conventional BEOL corner set
+/// (Cw/Cb/Ccw/Ccb/RCw/RCb), per-layer variation sigmas for the decorrelated
+/// statistical analysis of Sec. 3.2 (tightened BEOL corners), and
+/// non-default routing rules (NDRs) used by the closure optimizer.
+///
+/// "The rise of the MOL and BEOL": resistance per micron scales with the
+/// technology node's wireResScale, which explodes toward 7nm (Sec. 1.3).
+
+#include <string>
+#include <vector>
+
+#include "device/tech.h"
+#include "util/units.h"
+
+namespace tc {
+
+/// Conventional BEOL corners (CBCs) of Sec. 3.2 / Fig. 8.
+enum class BeolCorner {
+  kTypical,
+  kCworst,   ///< max ground+coupling cap, correlated min R
+  kCbest,
+  kCcworst,  ///< coupling-dominant worst
+  kCcbest,
+  kRCworst,  ///< max R, moderately high C
+  kRCbest,
+};
+
+const char* toString(BeolCorner corner);
+const std::vector<BeolCorner>& allBeolCorners();
+
+/// Non-default routing rule: width/spacing multipliers expressed as R/C
+/// scale factors. Index 0 is the default rule.
+struct NdrRule {
+  std::string name = "default";
+  double rScale = 1.0;
+  double cgScale = 1.0;
+  double ccScale = 1.0;
+};
+
+const std::vector<NdrRule>& ndrRules();
+
+/// One metal layer's electrical model (per micron of wire).
+struct WireLayer {
+  std::string name;      ///< "M2".."M6"
+  int index = 2;
+  KOhm rPerUm = 0.010;   ///< typical, 25C
+  Ff cgPerUm = 0.08;     ///< ground cap
+  Ff ccPerUm = 0.10;     ///< coupling cap to neighbors
+  double rTempCoPerC = 0.0035;  ///< copper resistivity tempco
+  bool doublePatterned = false;
+  // Per-layer 1-sigma fractional variations (independent across layers —
+  // the decorrelation TBC exploits).
+  double rSigmaFrac = 0.04;
+  double cSigmaFrac = 0.035;
+
+  /// Corner-resolved values. Corners are defined as +/-3 sigma excursions
+  /// of the appropriate (R, C) combination, applied homogeneously — which
+  /// is exactly the pessimism TBC attacks.
+  KOhm rAt(BeolCorner corner, Celsius temp) const;
+  Ff cgAt(BeolCorner corner) const;
+  Ff ccAt(BeolCorner corner) const;
+};
+
+/// The full metal stack for a technology node.
+struct BeolStack {
+  std::vector<WireLayer> layers;  ///< index 0 = lowest routable (M2)
+
+  static BeolStack forNode(const TechNode& node);
+  const WireLayer& layer(int mIndex) const;  ///< by metal index (2..)
+};
+
+/// Corner R/C multipliers relative to typical (shared by all layers; the
+/// per-layer sigmas above add the decorrelated component).
+struct CornerScales {
+  double r = 1.0, cg = 1.0, cc = 1.0;
+};
+CornerScales cornerScales(BeolCorner corner);
+
+/// Scale factor `k` for a tightened corner: the excursion is k/3 of the
+/// conventional 3-sigma corner (Sec. 3.2, TBC).
+CornerScales tightenedScales(BeolCorner corner, double kSigma);
+
+}  // namespace tc

@@ -1,0 +1,509 @@
+#include "liberty/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "device/latch.h"
+#include "device/stage.h"
+#include "liberty/interdep.h"
+#include "liberty/serialize.h"
+#include "util/log.h"
+
+namespace tc {
+
+namespace {
+
+constexpr double kSiteWidthUm = 0.2;
+constexpr double kRowHeightUm = 1.8;
+
+struct Template {
+  StageKind kind;
+  int numInputs;
+  const char* footprint;
+  int baseWidthSites;
+};
+
+const std::vector<Template>& combTemplates() {
+  static const std::vector<Template> kTemplates = {
+      {StageKind::kInverter, 1, "INV", 2},
+      {StageKind::kNand, 2, "NAND2", 3},
+      {StageKind::kNand, 3, "NAND3", 4},
+      {StageKind::kNor, 2, "NOR2", 3},
+      {StageKind::kNor, 3, "NOR3", 4},
+      {StageKind::kAoi21, 3, "AOI21", 4},
+      {StageKind::kOai21, 3, "OAI21", 4},
+  };
+  return kTemplates;
+}
+
+std::string cellName(const char* footprint, int drive, VtClass vt) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s_X%d_%s", footprint, drive, toString(vt));
+  return buf;
+}
+
+int widthSitesFor(int baseSites, int drive) {
+  // Wider devices fold into more sites; sublinear growth like real libraries.
+  return baseSites + (drive - 1) * std::max(baseSites / 2, 1);
+}
+
+/// Per-cell composite mismatch sigma: all devices shifted together by the
+/// per-device sigma divided by sqrt(#devices) preserves the delay variance
+/// of independent per-device shifts when sensitivities are comparable.
+Volt compositeSigma(Stage& stage, const MismatchModel& mm, double scale) {
+  double meanW = 0.0;
+  int n = 0;
+  for (Mosfet* m : stage.pullDown().devices()) {
+    meanW += m->width;
+    ++n;
+  }
+  for (Mosfet* m : stage.pullUp().devices()) {
+    meanW += m->width;
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  meanW /= n;
+  return scale * mm.sigmaVt(meanW) / std::sqrt(static_cast<double>(n));
+}
+
+struct ArcChar {
+  NldmSurface rise, fall;
+  LvfSurface riseLvf, fallLvf;
+  double pocvAccum = 0.0;
+  int pocvCount = 0;
+};
+
+/// Characterize the arc from `pin` of one X1 stage over the grid.
+ArcChar characterizeArc(StageKind kind, int numInputs, VtClass vt, int pin,
+                        const ProcessCondition& pc, const LibraryPvt& pvt,
+                        const CharConfig& cfg, const std::vector<Ps>& slews,
+                        const std::vector<Ff>& loads) {
+  ArcChar out;
+  const std::size_t ns = slews.size();
+  const std::size_t nl = loads.size();
+  std::vector<double> dRise(ns * nl), sRise(ns * nl), dFall(ns * nl),
+      sFall(ns * nl);
+  std::vector<double> sigERise(ns * nl, 0.0), sigLRise(ns * nl, 0.0),
+      sigEFall(ns * nl, 0.0), sigLFall(ns * nl, 0.0);
+
+  Stage nomStage = Stage::make(kind, numInputs, vt, 1.0, pc);
+  const Volt sigma = compositeSigma(nomStage, cfg.mismatch, cfg.lvfSigmaScale);
+  Stage slowStage = Stage::make(kind, numInputs, vt, 1.0, pc);
+  slowStage.pullDown().shiftAllVt(sigma);
+  slowStage.pullUp().shiftAllVt(sigma);
+  Stage fastStage = Stage::make(kind, numInputs, vt, 1.0, pc);
+  fastStage.pullDown().shiftAllVt(-sigma);
+  fastStage.pullUp().shiftAllVt(-sigma);
+
+  SimConditions sim;
+  sim.vdd = pvt.vdd;
+  sim.temp = pvt.temp;
+
+  const std::size_t centerIdx = (ns / 2) * nl + nl / 2;
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nl; ++j) {
+      const std::size_t idx = i * nl + j;
+      sim.load = loads[j];
+      // Negative-unate templates: input rising -> output falling.
+      const auto fallRes = simulateArc(nomStage, pin, true, slews[i], sim);
+      const auto riseRes = simulateArc(nomStage, pin, false, slews[i], sim);
+      if (!fallRes.completed || !riseRes.completed)
+        throw std::runtime_error("characterization transient incomplete");
+      dFall[idx] = fallRes.delay50;
+      sFall[idx] = fallRes.outputSlew;
+      dRise[idx] = riseRes.delay50;
+      sRise[idx] = riseRes.outputSlew;
+
+      const bool doLvf = !cfg.quick || idx == centerIdx;
+      if (doLvf && sigma > 0.0) {
+        const auto fallSlow = simulateArc(slowStage, pin, true, slews[i], sim);
+        const auto riseSlow = simulateArc(slowStage, pin, false, slews[i], sim);
+        const auto fallFast = simulateArc(fastStage, pin, true, slews[i], sim);
+        const auto riseFast = simulateArc(fastStage, pin, false, slews[i], sim);
+        sigLFall[idx] = std::max(fallSlow.delay50 - dFall[idx], 0.0);
+        sigEFall[idx] = std::max(dFall[idx] - fallFast.delay50, 0.0);
+        sigLRise[idx] = std::max(riseSlow.delay50 - dRise[idx], 0.0);
+        sigERise[idx] = std::max(dRise[idx] - riseFast.delay50, 0.0);
+        // Skip near-zero-delay grid points (large slew into a tiny load can
+        // put the 50%-50% delay near or below zero): a ratio there is
+        // meaningless and would poison the cell's POCV coefficient.
+        if (dFall[idx] > 2.0 && dRise[idx] > 2.0) {
+          out.pocvAccum += 0.5 * (sigLFall[idx] / dFall[idx] +
+                                  sigLRise[idx] / dRise[idx]);
+          out.pocvCount += 1;
+        }
+      }
+    }
+  }
+
+  if (cfg.quick && sigma > 0.0) {
+    // Scale the center-point sigma across the grid proportionally to delay.
+    const double rRiseL = sigLRise[centerIdx] / std::max(dRise[centerIdx], 1e-9);
+    const double rRiseE = sigERise[centerIdx] / std::max(dRise[centerIdx], 1e-9);
+    const double rFallL = sigLFall[centerIdx] / std::max(dFall[centerIdx], 1e-9);
+    const double rFallE = sigEFall[centerIdx] / std::max(dFall[centerIdx], 1e-9);
+    for (std::size_t idx = 0; idx < ns * nl; ++idx) {
+      sigLRise[idx] = rRiseL * dRise[idx];
+      sigERise[idx] = rRiseE * dRise[idx];
+      sigLFall[idx] = rFallL * dFall[idx];
+      sigEFall[idx] = rFallE * dFall[idx];
+    }
+  }
+
+  Axis sAxis(std::vector<double>(slews.begin(), slews.end()));
+  Axis lAxis(std::vector<double>(loads.begin(), loads.end()));
+  out.rise = {Table2D(sAxis, lAxis, dRise), Table2D(sAxis, lAxis, sRise)};
+  out.fall = {Table2D(sAxis, lAxis, dFall), Table2D(sAxis, lAxis, sFall)};
+  out.riseLvf = {Table2D(sAxis, lAxis, sigERise), Table2D(sAxis, lAxis, sigLRise)};
+  out.fallLvf = {Table2D(sAxis, lAxis, sigEFall), Table2D(sAxis, lAxis, sigLFall)};
+  return out;
+}
+
+/// Scale a surface from X1 to a higher drive: delay_k(s, l) = delay_1(s, l/k)
+/// implemented by stretching the load axis by k.
+Table2D scaleLoadAxis(const Table2D& t, double k) {
+  std::vector<double> loads = t.yAxis().points();
+  for (double& l : loads) l *= k;
+  std::vector<double> vals;
+  vals.reserve(t.xAxis().size() * t.yAxis().size());
+  for (std::size_t i = 0; i < t.xAxis().size(); ++i)
+    for (std::size_t j = 0; j < t.yAxis().size(); ++j)
+      vals.push_back(t.at(i, j));
+  return Table2D(t.xAxis(), Axis(loads), vals);
+}
+
+NldmSurface scaleSurface(const NldmSurface& s, double k) {
+  return {scaleLoadAxis(s.delay, k), scaleLoadAxis(s.slew, k)};
+}
+
+LvfSurface scaleLvf(const LvfSurface& s, double k) {
+  return {scaleLoadAxis(s.sigmaEarly, k), scaleLoadAxis(s.sigmaLate, k)};
+}
+
+/// Average leakage power (uW) over all input states.
+MicroWatt averageLeakage(const Stage& stage, Volt vdd, Celsius temp) {
+  const int n = stage.numInputs();
+  const int states = 1 << n;
+  double sum = 0.0;
+  for (int s = 0; s < states; ++s) {
+    std::vector<bool> in(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) in[static_cast<std::size_t>(b)] = (s >> b) & 1;
+    sum += stage.leakage(in, vdd, temp) * vdd;  // uA * V = uW
+  }
+  return sum / states;
+}
+
+/// Characterize the per-cell MIS factors (Sec. 2.1): simultaneous switching
+/// of two inputs vs single-input switching, at a mid grid point.
+MisFactors characterizeMis(StageKind kind, int numInputs, VtClass vt,
+                           const ProcessCondition& pc, const LibraryPvt& pvt,
+                           Ps slew, Ff load) {
+  MisFactors mis;
+  if (numInputs < 2) return mis;
+  Stage stage = Stage::make(kind, numInputs, vt, 1.0, pc);
+  SimConditions sim;
+  sim.vdd = pvt.vdd;
+  sim.temp = pvt.temp;
+  sim.load = load;
+
+  auto misDelay = [&](bool inputRising) -> double {
+    std::vector<InputWave> waves(static_cast<std::size_t>(numInputs));
+    for (int i = 0; i < numInputs; ++i) {
+      auto& w = waves[static_cast<std::size_t>(i)];
+      if (i < 2) {
+        w.v0 = inputRising ? 0.0 : sim.vdd;
+        w.v1 = inputRising ? sim.vdd : 0.0;
+        w.start = 40.0;
+        w.slew = slew;
+      } else {
+        // Third input parked at the arc-sensitizing level for pins 0/1.
+        const bool v = kind == StageKind::kNand;
+        // For AOI21 pin2 must be 0; for OAI21 pin2 must be 1; NOR 0.
+        const bool level = kind == StageKind::kOai21 ? true : v;
+        w.v0 = w.v1 = level ? sim.vdd : 0.0;
+      }
+    }
+    const auto r = simulateStage(stage, waves, sim, 0);
+    return r.completed ? r.delay50 : -1.0;
+  };
+
+  const auto sisRise = simulateArc(stage, 0, false, slew, sim);  // output rise
+  const auto sisFall = simulateArc(stage, 0, true, slew, sim);   // output fall
+  const double misRise = misDelay(false);
+  const double misFall = misDelay(true);
+  if (sisRise.completed && misRise > 0.0 && sisFall.completed && misFall > 0.0) {
+    const double riseRatio = misRise / sisRise.delay50;
+    const double fallRatio = misFall / sisFall.delay50;
+    // NAND-like: parallel bank drives the rise; NOR-like: the fall.
+    if (kind == StageKind::kNand || kind == StageKind::kAoi21) {
+      mis.parallelFactor = riseRatio;
+      mis.seriesFactor = fallRatio;
+      mis.parallelIsRise = true;
+    } else {
+      mis.parallelFactor = fallRatio;
+      mis.seriesFactor = riseRatio;
+      mis.parallelIsRise = false;
+    }
+  }
+  return mis;
+}
+
+/// Compose a two-stage buffer's surfaces from the INV X1 characterization.
+/// First stage (X1-ish) drives the second (Xk) stage's input cap.
+void composeBuffer(Cell& buf, const Cell& invX1, double k, double k1,
+                   Ff inv2Cap) {
+  const TimingArc& inv = invX1.arcs[0];
+  auto compose = [&](bool outRise) -> std::pair<Table2D, Table2D> {
+    // Output rise of the buffer = inv1 output falls, inv2 output rises.
+    // The first stage is tapered (drive k1 ~ k/2), as in real buffers, so
+    // larger buffers are strictly faster into the same load.
+    const NldmSurface& first = inv.surface(!outRise);
+    const NldmSurface& second = inv.surface(outRise);
+    const Axis& sAxis = first.delay.xAxis();
+    std::vector<double> loads = second.delay.yAxis().points();
+    for (double& l : loads) l *= k;
+    Axis lAxis{loads};
+    std::vector<double> d, s;
+    for (std::size_t i = 0; i < sAxis.size(); ++i) {
+      const double d1 = first.delayAt(sAxis[i], inv2Cap / k1);
+      const double s1 = first.slewAt(sAxis[i], inv2Cap / k1);
+      for (std::size_t j = 0; j < lAxis.size(); ++j) {
+        const double loadOnSecond = lAxis[j] / k;
+        d.push_back(d1 + second.delayAt(s1, loadOnSecond));
+        s.push_back(second.slewAt(s1, loadOnSecond));
+      }
+    }
+    return {Table2D(sAxis, lAxis, d), Table2D(sAxis, lAxis, s)};
+  };
+  TimingArc arc;
+  arc.fromPin = 0;
+  arc.unate = Unateness::kPositive;
+  auto [dr, sr] = compose(true);
+  arc.rise = {dr, sr};
+  auto [df, sf] = compose(false);
+  arc.fall = {df, sf};
+  // LVF: two stages, variances add; approximate with sqrt(2) single-stage
+  // sigma scaled to the composed delay.
+  auto lvfScale = [&](const Table2D& composedDelay,
+                      bool late) -> Table2D {
+    Table2D out = composedDelay;
+    const double ratio =
+        (late ? invX1.arcs[0].riseLvf.lateAt(30.0, inv2Cap)
+              : invX1.arcs[0].riseLvf.earlyAt(30.0, inv2Cap)) /
+        std::max(invX1.arcs[0].rise.delayAt(30.0, inv2Cap), 1e-9);
+    out.transform([&](double v) { return v * ratio / std::sqrt(2.0); });
+    return out;
+  };
+  arc.riseLvf = {lvfScale(arc.rise.delay, false), lvfScale(arc.rise.delay, true)};
+  arc.fallLvf = {lvfScale(arc.fall.delay, false), lvfScale(arc.fall.delay, true)};
+  buf.arcs.push_back(std::move(arc));
+}
+
+}  // namespace
+
+std::shared_ptr<Library> buildLibrary(const LibraryPvt& pvt,
+                                      const CharConfig& cfg) {
+  auto lib = std::make_shared<Library>("tc28_" + pvt.toString(), pvt);
+  const ProcessCondition pc = ProcessCondition::at(pvt.corner);
+
+  std::vector<Ps> slews = cfg.slews;
+  std::vector<Ff> loads = cfg.loadsX1;
+  if (cfg.quick) {
+    slews = {15.0, 50.0, 140.0};
+    loads = {1.2, 4.0, 12.0};
+  }
+
+  double pocvSum = 0.0;
+  int pocvN = 0;
+
+  for (const auto& tpl : combTemplates()) {
+    for (VtClass vt : cfg.vts) {
+      // Characterize X1 once.
+      std::vector<ArcChar> arcChars;
+      for (int pin = 0; pin < tpl.numInputs; ++pin) {
+        arcChars.push_back(characterizeArc(tpl.kind, tpl.numInputs, vt, pin,
+                                           pc, pvt, cfg, slews, loads));
+      }
+      const MisFactors mis =
+          characterizeMis(tpl.kind, tpl.numInputs, vt, pc, pvt,
+                          slews[slews.size() / 2], loads[loads.size() / 2]);
+      Stage x1 = Stage::make(tpl.kind, tpl.numInputs, vt, 1.0, pc);
+      const Ff pinCapX1 = x1.inputCap();
+      const MicroWatt leakX1 = averageLeakage(x1, pvt.vdd, pvt.temp);
+      const Fj energyX1 = 0.7 * (x1.selfLoad() + pinCapX1) * pvt.vdd * pvt.vdd;
+
+      double cellPocv = 0.0;
+      int cellPocvN = 0;
+      for (const auto& ac : arcChars) {
+        cellPocv += ac.pocvAccum;
+        cellPocvN += ac.pocvCount;
+      }
+      const double pocvRatio =
+          std::clamp(cellPocvN ? cellPocv / cellPocvN : 0.0, 0.0, 0.20);
+      pocvSum += pocvRatio;
+      pocvN += 1;
+
+      for (int drive : cfg.combDrives) {
+        Cell c;
+        c.name = cellName(tpl.footprint, drive, vt);
+        c.footprint = tpl.footprint;
+        c.kind = tpl.kind;
+        c.numInputs = tpl.numInputs;
+        c.drive = drive;
+        c.vt = vt;
+        c.pinCap = pinCapX1 * drive;
+        c.widthSites = widthSitesFor(tpl.baseWidthSites, drive);
+        c.area = c.widthSites * kSiteWidthUm * kRowHeightUm;
+        c.leakagePower = leakX1 * drive;
+        c.switchEnergy = energyX1 * drive;
+        c.mis = mis;
+        c.pocvSigmaRatio = pocvRatio;
+        const double k = drive;
+        for (int pin = 0; pin < tpl.numInputs; ++pin) {
+          TimingArc arc;
+          arc.fromPin = pin;
+          arc.unate = Unateness::kNegative;
+          arc.rise = drive == 1 ? arcChars[static_cast<std::size_t>(pin)].rise
+                                : scaleSurface(arcChars[static_cast<std::size_t>(pin)].rise, k);
+          arc.fall = drive == 1 ? arcChars[static_cast<std::size_t>(pin)].fall
+                                : scaleSurface(arcChars[static_cast<std::size_t>(pin)].fall, k);
+          arc.riseLvf = drive == 1
+                            ? arcChars[static_cast<std::size_t>(pin)].riseLvf
+                            : scaleLvf(arcChars[static_cast<std::size_t>(pin)].riseLvf, k);
+          arc.fallLvf = drive == 1
+                            ? arcChars[static_cast<std::size_t>(pin)].fallLvf
+                            : scaleLvf(arcChars[static_cast<std::size_t>(pin)].fallLvf, k);
+          c.arcs.push_back(std::move(arc));
+        }
+        lib->addCell(std::move(c));
+      }
+
+      // Buffers composed from the INV characterization. Copy the X1 cell:
+      // addCell below may reallocate the library's cell storage.
+      if (tpl.kind == StageKind::kInverter) {
+        const Cell invX1 = lib->cellByName(cellName("INV", 1, vt));
+        for (int drive : cfg.combDrives) {
+          const double k1 = std::max(drive / 2, 1);  // tapered first stage
+          Cell buf;
+          buf.name = cellName("BUF", drive, vt);
+          buf.footprint = "BUF";
+          buf.kind = StageKind::kInverter;
+          buf.isBuffer = true;
+          buf.numInputs = 1;
+          buf.drive = drive;
+          buf.vt = vt;
+          buf.pinCap = pinCapX1 * k1;
+          buf.widthSites = widthSitesFor(3, drive);
+          buf.area = buf.widthSites * kSiteWidthUm * kRowHeightUm;
+          buf.leakagePower = leakX1 * (k1 + drive);
+          buf.switchEnergy = energyX1 * (k1 + drive);
+          buf.pocvSigmaRatio = pocvRatio / std::sqrt(2.0);
+          composeBuffer(buf, invX1, drive, k1, pinCapX1 * drive);
+          lib->addCell(std::move(buf));
+        }
+      }
+    }
+  }
+
+  // --- Flops ---------------------------------------------------------------
+  for (VtClass vt : cfg.vts) {
+    for (int drive : cfg.flopDrives) {
+      LatchConditions lc;
+      lc.vdd = pvt.vdd;
+      lc.temp = pvt.temp;
+      lc.vt = vt;
+      lc.size = drive;
+      lc.corner = pc;
+      LatchSim sim(lc);
+      const InterdepFlopModel interdep = fitInterdepModel(sim, cfg.quick);
+
+      Cell c;
+      c.name = cellName("DFF", drive, vt);
+      c.footprint = "DFF";
+      c.isSequential = true;
+      c.numInputs = 2;  // D, CK
+      c.drive = drive;
+      c.vt = vt;
+      c.pinCap = 0.9 * drive;
+      c.widthSites = widthSitesFor(10, drive);
+      c.area = c.widthSites * kSiteWidthUm * kRowHeightUm;
+      // ~20-odd transistors: leakage scales like a handful of inverters.
+      {
+        Stage inv = Stage::make(StageKind::kInverter, 1, vt, 1.0, pc);
+        c.leakagePower = 8.0 * drive * averageLeakage(inv, pvt.vdd, pvt.temp);
+      }
+      c.switchEnergy = 2.5 * drive * pvt.vdd * pvt.vdd;
+      FlopTiming ft;
+      ft.interdep = interdep;
+      ft.setup = interdep.conventionalSetup(0.10);
+      ft.hold = interdep.conventionalHold(0.10);
+      ft.clockToQ = interdep.c2q0 * 1.10;
+      // c2q vs (clock slew, load): scale the asymptotic c2q with load via
+      // an output-stage RC term derived from the latch drive.
+      {
+        std::vector<double> cs{12.0, 40.0, 120.0};
+        std::vector<double> ql{1.0, 4.0, 12.0};
+        std::vector<double> vals;
+        for (double csl : cs)
+          for (double q : ql)
+            vals.push_back(interdep.c2q0 * 1.10 + 0.15 * csl +
+                           18.0 * (q / (4.0 * drive)));
+        Table2D t(Axis(cs), Axis(ql), vals);
+        Table2D slewT(Axis(cs), Axis(ql), vals);
+        slewT.transform([&](double v) { return 0.6 * v; });
+        ft.c2qRise = {t, slewT};
+        ft.c2qFall = {t, slewT};
+      }
+      c.flop = ft;
+      lib->addCell(std::move(c));
+    }
+  }
+
+  // --- AOCV tables from the characterized POCV ratio -----------------------
+  const double r = pocvN ? pocvSum / pocvN : 0.03;
+  AocvTables aocv;
+  aocv.lateDerate.clear();
+  aocv.earlyDerate.clear();
+  for (int d : aocv.depths) {
+    aocv.lateDerate.push_back(1.0 + 3.0 * r / std::sqrt(static_cast<double>(d)));
+    aocv.earlyDerate.push_back(
+        std::max(1.0 - 3.0 * r / std::sqrt(static_cast<double>(d)), 0.0));
+  }
+  lib->aocv() = aocv;
+
+  TC_DEBUG("characterized library %s: %d cells", lib->name().c_str(),
+           lib->cellCount());
+  return lib;
+}
+
+std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
+                                                    bool quick) {
+  static std::mutex mu;
+  static std::map<std::pair<LibraryPvt, bool>,
+                  std::shared_ptr<const Library>>
+      cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto key = std::make_pair(pvt, quick);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  // Second-level cache: characterized libraries persist on disk, like the
+  // .lib/.db files a production flow characterizes once and ships.
+  const std::string path = libraryCachePath(pvt, quick);
+  std::shared_ptr<Library> lib = readLibraryFile(path);
+  if (!lib) {
+    CharConfig cfg;
+    cfg.quick = quick;
+    lib = buildLibrary(pvt, cfg);
+    if (!writeLibraryFile(*lib, path))
+      TC_WARN("could not write library cache %s", path.c_str());
+  }
+  cache[key] = lib;
+  return lib;
+}
+
+}  // namespace tc

@@ -1,0 +1,44 @@
+#pragma once
+/// \file builder.h
+/// \brief Library characterization: builds a complete standard-cell library
+/// by driving the device-level simulator over (slew x load) grids at a
+/// given PVT point — the same SPICE -> .lib provenance chain a foundry
+/// library has, so that model-vs-silicon questions (LVF vs POCV accuracy,
+/// MIS gaps, corner pessimism) are answerable *within* the framework.
+///
+/// The cell zoo: INV/BUF/NAND2/NAND3/NOR2/NOR3/AOI21/OAI21/DFF, each in
+/// four Vt flavors and drive strengths X1..X8. Only the X1 variant of each
+/// (template, Vt) is simulated; higher drives are derived exactly (current
+/// and capacitance both scale linearly with width in the device model, so
+/// delay_k(slew, load) == delay_1(slew, load/k)).
+
+#include <memory>
+#include <vector>
+
+#include "device/process.h"
+#include "liberty/library.h"
+
+namespace tc {
+
+/// Characterization knobs.
+struct CharConfig {
+  std::vector<Ps> slews{12.0, 30.0, 70.0, 160.0};  ///< input 10-90 slews
+  std::vector<Ff> loadsX1{1.0, 2.5, 6.0, 15.0};    ///< loads for X1 cells
+  std::vector<VtClass> vts{VtClass::kUlvt, VtClass::kLvt, VtClass::kSvt,
+                           VtClass::kHvt};
+  std::vector<int> combDrives{1, 2, 4, 8};
+  std::vector<int> flopDrives{1, 2, 4};
+  MismatchModel mismatch{};
+  double lvfSigmaScale = 1.0;  ///< node-dependent mismatch growth
+  bool quick = false;  ///< 3x3 grid, center-point LVF; for unit tests
+};
+
+/// Characterize a full library at the given PVT.
+std::shared_ptr<Library> buildLibrary(const LibraryPvt& pvt,
+                                      const CharConfig& cfg = {});
+
+/// Process-wide memoized characterization (libraries are immutable).
+std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
+                                                    bool quick = false);
+
+}  // namespace tc

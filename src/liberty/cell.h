@@ -1,0 +1,86 @@
+#pragma once
+/// \file cell.h
+/// \brief Standard-cell timing/power views: timing arcs, constraint arcs,
+/// and the Cell record the STA engine consumes.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/mosfet.h"
+#include "device/stage.h"
+#include "liberty/interdep.h"
+#include "liberty/nldm.h"
+#include "util/units.h"
+
+namespace tc {
+
+/// Arc unateness: negative-unate arcs invert (input rise -> output fall).
+enum class Unateness { kPositive, kNegative, kNonUnate };
+
+/// One input->output delay arc. Tables are indexed by *output* transition
+/// direction; the STA engine maps input direction through `unate`.
+struct TimingArc {
+  int fromPin = 0;  ///< input pin index
+  Unateness unate = Unateness::kNegative;
+  NldmSurface rise;  ///< output rising
+  NldmSurface fall;  ///< output falling
+  LvfSurface riseLvf;
+  LvfSurface fallLvf;
+
+  const NldmSurface& surface(bool outputRise) const {
+    return outputRise ? rise : fall;
+  }
+  const LvfSurface& lvf(bool outputRise) const {
+    return outputRise ? riseLvf : fallLvf;
+  }
+};
+
+/// Sequential timing view of a flop: conventional scalar constraints (from
+/// the fixed-pushout characterization) plus the interdependent surface that
+/// signoff::flexflop exploits.
+struct FlopTiming {
+  Ps setup = 30.0;          ///< conventional setup time (10% pushout)
+  Ps hold = 10.0;           ///< conventional hold time
+  Ps clockToQ = 80.0;       ///< c2q at the conventional point
+  NldmSurface c2qRise;      ///< c2q vs (clock slew, load)
+  NldmSurface c2qFall;
+  InterdepFlopModel interdep;
+};
+
+/// Multi-input-switching derates characterized per cell (Sec. 2.1 / [26]):
+/// the factor applied to the SIS arc delay when simultaneous switching is
+/// detected. <1 on the parallel-network transition, >1 on the series one.
+struct MisFactors {
+  double parallelFactor = 1.0;  ///< output transition through parallel bank
+  double seriesFactor = 1.0;    ///< output transition through series stack
+  bool parallelIsRise = true;   ///< which output direction the bank drives
+};
+
+/// A library cell.
+struct Cell {
+  std::string name;        ///< e.g. "NAND2_X2_LVT"
+  std::string footprint;   ///< swap group, e.g. "NAND2"
+  StageKind kind = StageKind::kInverter;
+  bool isBuffer = false;   ///< two-stage non-inverting buffer
+  bool isSequential = false;
+  int numInputs = 1;
+  int drive = 1;           ///< X1/X2/X4/X8
+  VtClass vt = VtClass::kSvt;
+
+  Ff pinCap = 1.0;         ///< input capacitance per pin
+  int widthSites = 3;      ///< placement footprint width in row sites
+  Um2 area = 1.0;
+  MicroWatt leakagePower = 0.0;  ///< state-averaged at lib PVT
+  Fj switchEnergy = 1.0;   ///< internal energy per output toggle
+
+  std::vector<TimingArc> arcs;      ///< combinational arcs (per input pin)
+  std::optional<FlopTiming> flop;   ///< sequential view
+  MisFactors mis;
+  double pocvSigmaRatio = 0.0;      ///< cell-POCV: sigma/delay, one number
+
+  /// All template topologies are inverting except the composed buffer.
+  bool isInverting() const { return !isBuffer && !isSequential; }
+};
+
+}  // namespace tc

@@ -1,0 +1,150 @@
+#include "liberty/interdep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "device/latch.h"
+
+namespace tc {
+
+namespace {
+constexpr Ps kLargeMargin = 300.0;
+constexpr double kMaxExp = 30.0;
+
+double boundedExp(double x) { return std::exp(std::min(x, kMaxExp)); }
+
+/// Least-squares line fit y = a + b*x; returns {a, b}.
+std::pair<double, double> lineFit(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return {sy / n, 0.0};
+  const double b = (n * sxy - sx * sy) / denom;
+  const double a = (sy - b * sx) / n;
+  return {a, b};
+}
+}  // namespace
+
+Ps InterdepFlopModel::clockToQ(Ps setup, Ps hold) const {
+  const double pushS = aS * boundedExp(-(setup - s0) / tauS);
+  const double pushH = aH * boundedExp(-(hold - h0) / tauH);
+  return c2q0 + pushS + pushH;
+}
+
+Ps InterdepFlopModel::setupForC2q(Ps c2qBudget, Ps hold) const {
+  const double pushH = aH * boundedExp(-(hold - h0) / tauH);
+  const double remaining = c2qBudget - c2q0 - pushH;
+  if (remaining <= 1e-9) return kLargeMargin;  // budget unattainable
+  const Ps s = s0 - tauS * std::log(remaining / aS);
+  return std::max(s, sMin);
+}
+
+Ps InterdepFlopModel::holdForC2q(Ps c2qBudget, Ps setup) const {
+  const double pushS = aS * boundedExp(-(setup - s0) / tauS);
+  const double remaining = c2qBudget - c2q0 - pushS;
+  if (remaining <= 1e-9) return kLargeMargin;
+  const Ps h = h0 - tauH * std::log(remaining / aH);
+  return std::max(h, hMin);
+}
+
+Ps InterdepFlopModel::conventionalSetup(double pushoutFrac) const {
+  return setupForC2q(c2q0 * (1.0 + pushoutFrac), kLargeMargin);
+}
+
+Ps InterdepFlopModel::conventionalHold(double pushoutFrac) const {
+  return holdForC2q(c2q0 * (1.0 + pushoutFrac), kLargeMargin);
+}
+
+InterdepFlopModel fitInterdepModel(const LatchSim& sim, bool quick) {
+  InterdepFlopModel m;
+  m.c2q0 = sim.capture(kLargeMargin, kLargeMargin).clockToQ;
+
+  // Two-phase sweep: coarse until measurable pushout appears, then fine
+  // steps through the (narrow) exponential region down to capture failure.
+  const Ps coarse = quick ? 12.0 : 8.0;
+  const Ps fine = quick ? 2.5 : 1.5;
+
+  // --- setup branch: sweep s downward at generous hold --------------------
+  std::vector<double> xs, ys;
+  Ps sMin = -60.0;
+  {
+    Ps step = coarse;
+    Ps s = 90.0;
+    while (s >= -60.0) {
+      const LatchResult r = sim.capture(s, kLargeMargin);
+      if (!r.captured) {
+        sMin = s + step;
+        break;
+      }
+      const double push = r.clockToQ - m.c2q0;
+      if (push > 0.4) {
+        step = fine;
+        xs.push_back(s);
+        ys.push_back(std::log(push));
+      }
+      s -= step;
+    }
+  }
+  m.sMin = sMin;
+  if (xs.size() >= 3) {
+    const auto [a, b] = lineFit(xs, ys);
+    if (b < -1e-6) {
+      m.tauS = -1.0 / b;
+      m.s0 = *std::min_element(xs.begin(), xs.end());
+      m.aS = std::exp(a + b * m.s0);
+    }
+  } else {
+    // Degenerate (very robust flop at this PVT): tie to pushout scale.
+    m.tauS = 8.0;
+    m.s0 = sMin + 5.0;
+    m.aS = 0.5 * m.c2q0;
+  }
+
+  // --- hold branch: sweep h downward at generous setup --------------------
+  xs.clear();
+  ys.clear();
+  Ps hMin = -60.0;
+  {
+    Ps step = coarse;
+    Ps h = 90.0;
+    while (h >= -60.0) {
+      const LatchResult r = sim.capture(kLargeMargin, h);
+      if (!r.captured) {
+        hMin = h + step;
+        break;
+      }
+      const double push = r.clockToQ - m.c2q0;
+      if (push > 0.4) {
+        step = fine;
+        xs.push_back(h);
+        ys.push_back(std::log(push));
+      }
+      h -= step;
+    }
+  }
+  m.hMin = hMin;
+  if (xs.size() >= 3) {
+    const auto [a, b] = lineFit(xs, ys);
+    if (b < -1e-6) {
+      m.tauH = -1.0 / b;
+      m.h0 = *std::min_element(xs.begin(), xs.end());
+      m.aH = std::exp(a + b * m.h0);
+    }
+  } else {
+    m.tauH = 8.0;
+    m.h0 = hMin + 5.0;
+    m.aH = 0.5 * m.c2q0;
+  }
+  return m;
+}
+
+}  // namespace tc

@@ -1,0 +1,57 @@
+#pragma once
+/// \file interdep.h
+/// \brief Interdependent setup / hold / clock-to-q flip-flop timing model
+/// (paper Sec. 3.4, Fig. 10; basis for signoff::flexflop after [23]).
+///
+/// Conventional libraries publish one (setup, hold, c2q) triple obtained
+/// with a fixed pushout criterion. In reality the three quantities trade
+/// off along a smooth surface:
+///
+///   c2q(s, h) = c2q0 + aS * exp(-(s - s0)/tauS) + aH * exp(-(h - h0)/tauH)
+///
+/// which is the analytic form the regenerative-latch physics produces (and
+/// the form used by Chen/Li/Schlichtmann [7] and Kahng-Lee [23]). The model
+/// here is *fit* to LatchSim transient samples, so its parameters move with
+/// PVT like silicon would.
+
+#include <vector>
+
+#include "util/units.h"
+
+namespace tc {
+
+class LatchSim;
+
+/// Fitted surface parameters.
+struct InterdepFlopModel {
+  Ps c2q0 = 60.0;  ///< asymptotic clock-to-q
+  Ps aS = 40.0;    ///< setup pushout amplitude at s = s0
+  Ps tauS = 12.0;  ///< setup pushout time constant
+  Ps s0 = 20.0;    ///< setup reference point
+  Ps aH = 40.0;    ///< hold pushout amplitude at h = h0
+  Ps tauH = 12.0;
+  Ps h0 = 0.0;
+  Ps sMin = -20.0;  ///< capture fails below this setup
+  Ps hMin = -20.0;
+
+  /// Clock-to-q at the given setup/hold margins.
+  Ps clockToQ(Ps setup, Ps hold) const;
+
+  /// Setup time that meets a c2q budget at the given hold (inverse of
+  /// clockToQ in s). Returns sMin-clamped value; +inf-like large value is
+  /// never produced because budgets below c2q0 are rejected by the caller.
+  Ps setupForC2q(Ps c2qBudget, Ps hold) const;
+  /// Hold time that meets a c2q budget at the given setup.
+  Ps holdForC2q(Ps c2qBudget, Ps setup) const;
+
+  /// The conventional characterization point: smallest setup (resp. hold)
+  /// such that c2q <= (1+pushoutFrac)*c2q0 with the other margin generous.
+  Ps conventionalSetup(double pushoutFrac = 0.10) const;
+  Ps conventionalHold(double pushoutFrac = 0.10) const;
+};
+
+/// Fit the surface to LatchSim samples (grid of capture() transients).
+/// `quick` uses fewer samples for test-speed characterization.
+InterdepFlopModel fitInterdepModel(const LatchSim& sim, bool quick = false);
+
+}  // namespace tc

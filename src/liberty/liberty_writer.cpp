@@ -1,0 +1,135 @@
+#include "liberty/liberty_writer.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace tc {
+
+namespace {
+
+void writeValuesBlock(const Table2D& t, std::ostream& os,
+                      const char* indent) {
+  os << indent << "index_1 (\"";
+  for (std::size_t i = 0; i < t.xAxis().size(); ++i) {
+    if (i) os << ", ";
+    os << t.xAxis()[i];
+  }
+  os << "\");\n" << indent << "index_2 (\"";
+  for (std::size_t j = 0; j < t.yAxis().size(); ++j) {
+    if (j) os << ", ";
+    os << t.yAxis()[j];
+  }
+  os << "\");\n" << indent << "values ( \\\n";
+  for (std::size_t i = 0; i < t.xAxis().size(); ++i) {
+    os << indent << "  \"";
+    for (std::size_t j = 0; j < t.yAxis().size(); ++j) {
+      if (j) os << ", ";
+      os << t.at(i, j);
+    }
+    os << "\"" << (i + 1 < t.xAxis().size() ? ", \\\n" : " \\\n");
+  }
+  os << indent << ");\n";
+}
+
+void writeSurface(const char* group, const NldmSurface& s,
+                  std::ostream& os) {
+  if (s.empty()) return;
+  os << "        " << group << " (nldm_template) {\n";
+  writeValuesBlock(s.delay, os, "          ");
+  os << "        }\n";
+  os << "        " << (std::string(group) == "cell_rise"
+                           ? "rise_transition"
+                           : "fall_transition")
+     << " (nldm_template) {\n";
+  writeValuesBlock(s.slew, os, "          ");
+  os << "        }\n";
+}
+
+void writeLvf(const char* tag, const LvfSurface& s, std::ostream& os) {
+  if (s.empty()) return;
+  os << "        ocv_sigma_" << tag << " (nldm_template) { /* LVF */\n";
+  writeValuesBlock(s.sigmaLate, os, "          ");
+  os << "        }\n";
+}
+
+}  // namespace
+
+void writeLiberty(const Library& lib, std::ostream& os, int maxCells) {
+  os << "/* written by goalposts */\n";
+  os << "library (" << lib.name() << ") {\n";
+  os << "  delay_model : table_lookup;\n";
+  os << "  time_unit : \"1ps\";\n";
+  os << "  capacitive_load_unit (1, ff);\n";
+  os << "  nom_voltage : " << lib.pvt().vdd << ";\n";
+  os << "  nom_temperature : " << lib.pvt().temp << ";\n";
+  os << "  nom_process : 1.0; /* " << toString(lib.pvt().corner) << " */\n";
+  os << "  lu_table_template (nldm_template) {\n";
+  os << "    variable_1 : input_net_transition;\n";
+  os << "    variable_2 : total_output_net_capacitance;\n";
+  os << "  }\n\n";
+
+  const int count = maxCells < 0
+                        ? lib.cellCount()
+                        : std::min(maxCells, lib.cellCount());
+  for (int ci = 0; ci < count; ++ci) {
+    const Cell& c = lib.cell(ci);
+    os << "  cell (" << c.name << ") {\n";
+    os << "    area : " << c.area << ";\n";
+    os << "    cell_leakage_power : " << c.leakagePower << ";\n";
+    if (c.isSequential) {
+      os << "    ff (IQ, IQN) { clocked_on : \"CK\"; next_state : \"D\"; }\n";
+      os << "    pin (D) {\n      direction : input;\n      capacitance : "
+         << c.pinCap << ";\n";
+      if (c.flop) {
+        os << "      timing () { timing_type : setup_rising; "
+              "related_pin : \"CK\"; /* "
+           << c.flop->setup << " ps */ }\n";
+        os << "      timing () { timing_type : hold_rising; "
+              "related_pin : \"CK\"; /* "
+           << c.flop->hold << " ps */ }\n";
+      }
+      os << "    }\n";
+      os << "    pin (CK) { direction : input; clock : true; capacitance : "
+         << c.pinCap << "; }\n";
+      os << "    pin (Q) {\n      direction : output;\n";
+      if (c.flop) {
+        os << "      timing () {\n        related_pin : \"CK\";\n"
+              "        timing_type : rising_edge;\n";
+        writeSurface("cell_rise", c.flop->c2qRise, os);
+        os << "      }\n";
+      }
+      os << "    }\n";
+    } else {
+      for (int pin = 0; pin < c.numInputs; ++pin) {
+        static const char* kPins[] = {"A", "B", "C"};
+        os << "    pin (" << kPins[pin]
+           << ") { direction : input; capacitance : " << c.pinCap << "; }\n";
+      }
+      os << "    pin (Y) {\n      direction : output;\n";
+      for (const TimingArc& arc : c.arcs) {
+        static const char* kPins[] = {"A", "B", "C"};
+        os << "      timing () {\n        related_pin : \""
+           << kPins[arc.fromPin] << "\";\n        timing_sense : "
+           << (arc.unate == Unateness::kPositive ? "positive_unate"
+                                                 : "negative_unate")
+           << ";\n";
+        writeSurface("cell_rise", arc.rise, os);
+        writeSurface("cell_fall", arc.fall, os);
+        writeLvf("cell_rise", arc.riseLvf, os);
+        writeLvf("cell_fall", arc.fallLvf, os);
+        os << "      }\n";
+      }
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+std::string toLiberty(const Library& lib, int maxCells) {
+  std::ostringstream os;
+  writeLiberty(lib, os, maxCells);
+  return os.str();
+}
+
+}  // namespace tc

@@ -1,0 +1,20 @@
+#pragma once
+/// \file liberty_writer.h
+/// \brief Human-readable Liberty (.lib) text emission for a characterized
+/// library: lu_table templates, per-cell area/leakage/pins, NLDM delay and
+/// transition tables, and the LVF sigma tables as `ocv_sigma` groups —
+/// the "Open Source Liberty" face [38] of the framework's library data.
+
+#include <iosfwd>
+#include <string>
+
+#include "liberty/library.h"
+
+namespace tc {
+
+/// Write the whole library (or, with `maxCells` >= 0, a prefix of it — the
+/// full dump of 140 cells is several MB).
+void writeLiberty(const Library& lib, std::ostream& os, int maxCells = -1);
+std::string toLiberty(const Library& lib, int maxCells = -1);
+
+}  // namespace tc

@@ -1,0 +1,138 @@
+#include "liberty/library.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/interp.h"
+
+namespace tc {
+
+std::string LibraryPvt::toString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s_%.2fV_%.0fC", tc::toString(corner), vdd,
+                temp);
+  return buf;
+}
+
+bool LibraryPvt::operator<(const LibraryPvt& o) const {
+  if (corner != o.corner) return corner < o.corner;
+  if (vdd != o.vdd) return vdd < o.vdd;
+  return temp < o.temp;
+}
+
+bool LibraryPvt::operator==(const LibraryPvt& o) const {
+  return corner == o.corner && vdd == o.vdd && temp == o.temp;
+}
+
+double AocvTables::late(int depth, Um spreadUm) const {
+  if (lateDerate.empty()) return 1.0;
+  std::vector<double> xs(depths.begin(), depths.end());
+  const double base =
+      interp1(Axis(xs), lateDerate, static_cast<double>(std::max(depth, 1)));
+  return base + distanceSlopePerMm * spreadUm * 1e-3;
+}
+
+double AocvTables::early(int depth, Um spreadUm) const {
+  if (earlyDerate.empty()) return 1.0;
+  std::vector<double> xs(depths.begin(), depths.end());
+  const double base =
+      interp1(Axis(xs), earlyDerate, static_cast<double>(std::max(depth, 1)));
+  return std::max(base - distanceSlopePerMm * spreadUm * 1e-3, 0.0);
+}
+
+int Library::addCell(Cell cell) {
+  if (byName_.count(cell.name))
+    throw std::invalid_argument("duplicate cell: " + cell.name);
+  const int idx = static_cast<int>(cells_.size());
+  byName_[cell.name] = idx;
+  byFootprint_[cell.footprint].push_back(idx);
+  cells_.push_back(std::move(cell));
+  return idx;
+}
+
+int Library::findCell(const std::string& name) const {
+  auto it = byName_.find(name);
+  return it == byName_.end() ? -1 : it->second;
+}
+
+const Cell& Library::cellByName(const std::string& name) const {
+  const int idx = findCell(name);
+  if (idx < 0) throw std::invalid_argument("no such cell: " + name);
+  return cells_[static_cast<std::size_t>(idx)];
+}
+
+std::vector<int> Library::variants(const std::string& footprint) const {
+  auto it = byFootprint_.find(footprint);
+  if (it == byFootprint_.end()) return {};
+  std::vector<int> out = it->second;
+  std::sort(out.begin(), out.end(), [this](int a, int b) {
+    const Cell& ca = cells_[static_cast<std::size_t>(a)];
+    const Cell& cb = cells_[static_cast<std::size_t>(b)];
+    if (ca.vt != cb.vt) return ca.vt < cb.vt;
+    return ca.drive < cb.drive;
+  });
+  return out;
+}
+
+int Library::variant(const std::string& footprint, VtClass vt,
+                     int drive) const {
+  for (int idx : variants(footprint)) {
+    const Cell& c = cells_[static_cast<std::size_t>(idx)];
+    if (c.vt == vt && c.drive == drive) return idx;
+  }
+  return -1;
+}
+
+std::vector<std::string> Library::footprints() const {
+  std::vector<std::string> out;
+  out.reserve(byFootprint_.size());
+  for (const auto& [fp, _] : byFootprint_) out.push_back(fp);
+  return out;
+}
+
+void LibGroup::add(std::shared_ptr<const Library> lib) {
+  libs_.push_back(std::move(lib));
+  std::sort(libs_.begin(), libs_.end(),
+            [](const auto& a, const auto& b) {
+              return a->pvt().vdd < b->pvt().vdd;
+            });
+}
+
+LibGroup::Bracket LibGroup::bracket(Volt vdd) const {
+  if (libs_.empty()) throw std::logic_error("empty LibGroup");
+  Bracket b;
+  if (libs_.size() == 1 || vdd <= libs_.front()->pvt().vdd) {
+    b.lo = b.hi = libs_.front().get();
+    return b;
+  }
+  if (vdd >= libs_.back()->pvt().vdd) {
+    b.lo = b.hi = libs_.back().get();
+    return b;
+  }
+  for (std::size_t i = 1; i < libs_.size(); ++i) {
+    if (vdd <= libs_[i]->pvt().vdd) {
+      b.lo = libs_[i - 1].get();
+      b.hi = libs_[i].get();
+      const double span = b.hi->pvt().vdd - b.lo->pvt().vdd;
+      b.frac = span > 0 ? (vdd - b.lo->pvt().vdd) / span : 0.0;
+      return b;
+    }
+  }
+  b.lo = b.hi = libs_.back().get();
+  return b;
+}
+
+Ps LibGroup::delayAt(Volt vdd, const std::string& cellName, int arcIndex,
+                     bool outputRise, Ps inputSlew, Ff load) const {
+  const Bracket b = bracket(vdd);
+  auto arcDelay = [&](const Library* lib) -> Ps {
+    const Cell& c = lib->cellByName(cellName);
+    const TimingArc& arc = c.arcs[static_cast<std::size_t>(arcIndex)];
+    return arc.surface(outputRise).delayAt(inputSlew, load);
+  };
+  if (b.lo == b.hi) return arcDelay(b.lo);
+  return (1.0 - b.frac) * arcDelay(b.lo) + b.frac * arcDelay(b.hi);
+}
+
+}  // namespace tc

@@ -1,0 +1,104 @@
+#pragma once
+/// \file library.h
+/// \brief Characterized cell library at one PVT point, plus the multi-
+/// voltage "lib group" container the paper's signoff tools interpolate
+/// across ("improved support of voltage scaling (interpolation across lib
+/// groups)", Sec. 4 Comment 1).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/process.h"
+#include "liberty/cell.h"
+
+namespace tc {
+
+/// The PVT point a library is characterized at.
+struct LibraryPvt {
+  ProcessCorner corner = ProcessCorner::kTT;
+  Volt vdd = 0.9;
+  Celsius temp = 25.0;
+
+  std::string toString() const;
+  bool operator<(const LibraryPvt& o) const;
+  bool operator==(const LibraryPvt& o) const;
+};
+
+/// AOCV derate tables: depth- and distance-dependent late/early factors
+/// (Sec. 3.1 — "stage counts of launch path, capture path, and datapath as
+/// well as spatial extents").
+struct AocvTables {
+  std::vector<int> depths{1, 2, 4, 8, 16, 32};
+  std::vector<double> lateDerate;   ///< >= 1, shrinks with depth
+  std::vector<double> earlyDerate;  ///< <= 1, grows toward 1 with depth
+  double distanceSlopePerMm = 0.01; ///< extra derate per mm of spread
+
+  double late(int depth, Um spreadUm = 0.0) const;
+  double early(int depth, Um spreadUm = 0.0) const;
+};
+
+class Library {
+ public:
+  Library(std::string name, LibraryPvt pvt)
+      : name_(std::move(name)), pvt_(pvt) {}
+
+  const std::string& name() const { return name_; }
+  const LibraryPvt& pvt() const { return pvt_; }
+
+  /// Add a cell; returns its index. Throws on duplicate name.
+  int addCell(Cell cell);
+  int cellCount() const { return static_cast<int>(cells_.size()); }
+  const Cell& cell(int index) const { return cells_[static_cast<std::size_t>(index)]; }
+  /// Index of a cell by name, -1 if absent.
+  int findCell(const std::string& name) const;
+  const Cell& cellByName(const std::string& name) const;
+
+  /// All cells sharing a footprint (the legal swap group for sizing and
+  /// Vt-swap), sorted by (vt, drive).
+  std::vector<int> variants(const std::string& footprint) const;
+  /// The variant with the given vt/drive in a footprint group, -1 if absent.
+  int variant(const std::string& footprint, VtClass vt, int drive) const;
+  std::vector<std::string> footprints() const;
+
+  AocvTables& aocv() { return aocv_; }
+  const AocvTables& aocv() const { return aocv_; }
+
+ private:
+  std::string name_;
+  LibraryPvt pvt_;
+  std::vector<Cell> cells_;
+  std::map<std::string, int> byName_;
+  std::map<std::string, std::vector<int>> byFootprint_;
+  AocvTables aocv_;
+};
+
+/// A set of libraries at the same process/temperature but different supply
+/// voltages; delay queries interpolate linearly between the two nearest
+/// characterized voltages.
+class LibGroup {
+ public:
+  void add(std::shared_ptr<const Library> lib);
+  std::size_t size() const { return libs_.size(); }
+  /// The two bracketing libraries and the interpolation weight for `vdd`.
+  struct Bracket {
+    const Library* lo = nullptr;
+    const Library* hi = nullptr;
+    double frac = 0.0;  ///< 0 -> lo, 1 -> hi
+  };
+  Bracket bracket(Volt vdd) const;
+
+  /// Interpolated arc delay for the named cell/arc at an arbitrary supply.
+  Ps delayAt(Volt vdd, const std::string& cellName, int arcIndex,
+             bool outputRise, Ps inputSlew, Ff load) const;
+
+  const std::vector<std::shared_ptr<const Library>>& libraries() const {
+    return libs_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<const Library>> libs_;  ///< sorted by vdd
+};
+
+}  // namespace tc

@@ -1,0 +1,47 @@
+#pragma once
+/// \file nldm.h
+/// \brief Non-linear delay model (NLDM) and Liberty Variation Format (LVF)
+/// table types.
+///
+/// NLDM is the classic (input slew x output load) delay/slew table the paper
+/// places at the start of the modeling ladder ("TLF and Liberty NLDM
+/// tables"). LVF is its variation-aware endpoint: *per* (slew, load) point,
+/// separate early and late delay sigmas — "one number per load-slew
+/// combination per cell" versus POCV's "one number per cell" (Sec. 3.1).
+
+#include "util/interp.h"
+#include "util/units.h"
+
+namespace tc {
+
+/// Delay + output-slew surfaces over (input slew [ps], load [fF]).
+struct NldmSurface {
+  Table2D delay;  ///< 50%-50% arc delay, ps
+  Table2D slew;   ///< output 10-90 transition, ps
+
+  bool empty() const { return delay.empty(); }
+  Ps delayAt(Ps inputSlew, Ff load) const {
+    return delay.lookup(inputSlew, load);
+  }
+  Ps slewAt(Ps inputSlew, Ff load) const {
+    return slew.lookup(inputSlew, load);
+  }
+};
+
+/// LVF sigmas over the same (slew, load) grid. Asymmetric by design: the
+/// Monte Carlo path-delay distribution has a fat late tail (Fig. 7), so
+/// sigmaLate >= sigmaEarly in general.
+struct LvfSurface {
+  Table2D sigmaEarly;  ///< one-sigma *decrease* of delay, ps
+  Table2D sigmaLate;   ///< one-sigma *increase* of delay, ps
+
+  bool empty() const { return sigmaEarly.empty(); }
+  Ps earlyAt(Ps inputSlew, Ff load) const {
+    return sigmaEarly.lookup(inputSlew, load);
+  }
+  Ps lateAt(Ps inputSlew, Ff load) const {
+    return sigmaLate.lookup(inputSlew, load);
+  }
+};
+
+}  // namespace tc

@@ -1,0 +1,248 @@
+#include "liberty/serialize.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace tc {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54434C42;  // "TCLB"
+constexpr std::uint32_t kVersion = 6;
+
+void putU32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void putI32(std::ostream& os, std::int32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void putF64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void putStr(std::ostream& os, const std::string& s) {
+  putU32(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void putVec(std::ostream& os, const std::vector<double>& v) {
+  putU32(os, static_cast<std::uint32_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+void putTable(std::ostream& os, const Table2D& t) {
+  if (t.empty()) {
+    putU32(os, 0);
+    return;
+  }
+  putU32(os, 1);
+  putVec(os, t.xAxis().points());
+  putVec(os, t.yAxis().points());
+  std::vector<double> vals;
+  vals.reserve(t.xAxis().size() * t.yAxis().size());
+  for (std::size_t i = 0; i < t.xAxis().size(); ++i)
+    for (std::size_t j = 0; j < t.yAxis().size(); ++j)
+      vals.push_back(t.at(i, j));
+  putVec(os, vals);
+}
+
+bool getU32(std::istream& is, std::uint32_t& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+bool getI32(std::istream& is, std::int32_t& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+bool getF64(std::istream& is, double& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+bool getStr(std::istream& is, std::string& s) {
+  std::uint32_t n = 0;
+  if (!getU32(is, n) || n > (1u << 20)) return false;
+  s.resize(n);
+  return static_cast<bool>(is.read(s.data(), n));
+}
+bool getVec(std::istream& is, std::vector<double>& v) {
+  std::uint32_t n = 0;
+  if (!getU32(is, n) || n > (1u << 24)) return false;
+  v.resize(n);
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(v.data()),
+                                   static_cast<std::streamsize>(n * sizeof(double))));
+}
+bool getTable(std::istream& is, Table2D& t) {
+  std::uint32_t present = 0;
+  if (!getU32(is, present)) return false;
+  if (!present) {
+    t = Table2D();
+    return true;
+  }
+  std::vector<double> xs, ys, vals;
+  if (!getVec(is, xs) || !getVec(is, ys) || !getVec(is, vals)) return false;
+  if (vals.size() != xs.size() * ys.size()) return false;
+  t = Table2D(Axis(xs), Axis(ys), vals);
+  return true;
+}
+
+void putSurface(std::ostream& os, const NldmSurface& s) {
+  putTable(os, s.delay);
+  putTable(os, s.slew);
+}
+bool getSurface(std::istream& is, NldmSurface& s) {
+  return getTable(is, s.delay) && getTable(is, s.slew);
+}
+void putLvf(std::ostream& os, const LvfSurface& s) {
+  putTable(os, s.sigmaEarly);
+  putTable(os, s.sigmaLate);
+}
+bool getLvf(std::istream& is, LvfSurface& s) {
+  return getTable(is, s.sigmaEarly) && getTable(is, s.sigmaLate);
+}
+
+}  // namespace
+
+bool writeLibraryFile(const Library& lib, const std::string& path) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  putU32(os, kMagic);
+  putU32(os, kVersion);
+  putStr(os, lib.name());
+  putI32(os, static_cast<std::int32_t>(lib.pvt().corner));
+  putF64(os, lib.pvt().vdd);
+  putF64(os, lib.pvt().temp);
+
+  putU32(os, static_cast<std::uint32_t>(lib.cellCount()));
+  for (int ci = 0; ci < lib.cellCount(); ++ci) {
+    const Cell& c = lib.cell(ci);
+    putStr(os, c.name);
+    putStr(os, c.footprint);
+    putI32(os, static_cast<std::int32_t>(c.kind));
+    putI32(os, c.isBuffer ? 1 : 0);
+    putI32(os, c.isSequential ? 1 : 0);
+    putI32(os, c.numInputs);
+    putI32(os, c.drive);
+    putI32(os, static_cast<std::int32_t>(c.vt));
+    putF64(os, c.pinCap);
+    putI32(os, c.widthSites);
+    putF64(os, c.area);
+    putF64(os, c.leakagePower);
+    putF64(os, c.switchEnergy);
+    putF64(os, c.pocvSigmaRatio);
+    putF64(os, c.mis.parallelFactor);
+    putF64(os, c.mis.seriesFactor);
+    putI32(os, c.mis.parallelIsRise ? 1 : 0);
+    putU32(os, static_cast<std::uint32_t>(c.arcs.size()));
+    for (const TimingArc& a : c.arcs) {
+      putI32(os, a.fromPin);
+      putI32(os, static_cast<std::int32_t>(a.unate));
+      putSurface(os, a.rise);
+      putSurface(os, a.fall);
+      putLvf(os, a.riseLvf);
+      putLvf(os, a.fallLvf);
+    }
+    putI32(os, c.flop ? 1 : 0);
+    if (c.flop) {
+      const FlopTiming& f = *c.flop;
+      putF64(os, f.setup);
+      putF64(os, f.hold);
+      putF64(os, f.clockToQ);
+      putSurface(os, f.c2qRise);
+      putSurface(os, f.c2qFall);
+      const InterdepFlopModel& m = f.interdep;
+      for (double v : {m.c2q0, m.aS, m.tauS, m.s0, m.aH, m.tauH, m.h0,
+                       m.sMin, m.hMin})
+        putF64(os, v);
+    }
+  }
+  // AOCV tables.
+  const AocvTables& a = lib.aocv();
+  putU32(os, static_cast<std::uint32_t>(a.depths.size()));
+  for (int d : a.depths) putI32(os, d);
+  putVec(os, a.lateDerate);
+  putVec(os, a.earlyDerate);
+  putF64(os, a.distanceSlopePerMm);
+  return static_cast<bool>(os);
+}
+
+std::shared_ptr<Library> readLibraryFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return nullptr;
+  std::uint32_t magic = 0, version = 0;
+  if (!getU32(is, magic) || magic != kMagic) return nullptr;
+  if (!getU32(is, version) || version != kVersion) return nullptr;
+  std::string name;
+  std::int32_t corner = 0;
+  double vdd = 0, temp = 0;
+  if (!getStr(is, name) || !getI32(is, corner) || !getF64(is, vdd) ||
+      !getF64(is, temp))
+    return nullptr;
+  auto lib = std::make_shared<Library>(
+      name, LibraryPvt{static_cast<ProcessCorner>(corner), vdd, temp});
+
+  std::uint32_t nCells = 0;
+  if (!getU32(is, nCells) || nCells > 100000) return nullptr;
+  for (std::uint32_t ci = 0; ci < nCells; ++ci) {
+    Cell c;
+    std::int32_t kind = 0, isBuf = 0, isSeq = 0, vt = 0, unate = 0,
+                 hasFlop = 0, parIsRise = 0;
+    if (!getStr(is, c.name) || !getStr(is, c.footprint) ||
+        !getI32(is, kind) || !getI32(is, isBuf) || !getI32(is, isSeq) ||
+        !getI32(is, c.numInputs) || !getI32(is, c.drive) || !getI32(is, vt) ||
+        !getF64(is, c.pinCap) || !getI32(is, c.widthSites) ||
+        !getF64(is, c.area) || !getF64(is, c.leakagePower) ||
+        !getF64(is, c.switchEnergy) || !getF64(is, c.pocvSigmaRatio) ||
+        !getF64(is, c.mis.parallelFactor) || !getF64(is, c.mis.seriesFactor) ||
+        !getI32(is, parIsRise))
+      return nullptr;
+    c.kind = static_cast<StageKind>(kind);
+    c.isBuffer = isBuf != 0;
+    c.isSequential = isSeq != 0;
+    c.vt = static_cast<VtClass>(vt);
+    c.mis.parallelIsRise = parIsRise != 0;
+    std::uint32_t nArcs = 0;
+    if (!getU32(is, nArcs) || nArcs > 64) return nullptr;
+    for (std::uint32_t ai = 0; ai < nArcs; ++ai) {
+      TimingArc arc;
+      if (!getI32(is, arc.fromPin) || !getI32(is, unate)) return nullptr;
+      arc.unate = static_cast<Unateness>(unate);
+      if (!getSurface(is, arc.rise) || !getSurface(is, arc.fall) ||
+          !getLvf(is, arc.riseLvf) || !getLvf(is, arc.fallLvf))
+        return nullptr;
+      c.arcs.push_back(std::move(arc));
+    }
+    if (!getI32(is, hasFlop)) return nullptr;
+    if (hasFlop) {
+      FlopTiming f;
+      if (!getF64(is, f.setup) || !getF64(is, f.hold) ||
+          !getF64(is, f.clockToQ) || !getSurface(is, f.c2qRise) ||
+          !getSurface(is, f.c2qFall))
+        return nullptr;
+      InterdepFlopModel& m = f.interdep;
+      for (double* v : {&m.c2q0, &m.aS, &m.tauS, &m.s0, &m.aH, &m.tauH,
+                        &m.h0, &m.sMin, &m.hMin})
+        if (!getF64(is, *v)) return nullptr;
+      c.flop = f;
+    }
+    lib->addCell(std::move(c));
+  }
+  AocvTables a;
+  std::uint32_t nDepths = 0;
+  if (!getU32(is, nDepths) || nDepths > 64) return nullptr;
+  a.depths.resize(nDepths);
+  for (auto& d : a.depths)
+    if (!getI32(is, d)) return nullptr;
+  if (!getVec(is, a.lateDerate) || !getVec(is, a.earlyDerate) ||
+      !getF64(is, a.distanceSlopePerMm))
+    return nullptr;
+  lib->aocv() = a;
+  return lib;
+}
+
+std::string libraryCachePath(const LibraryPvt& pvt, bool quick) {
+  const char* env = std::getenv("TC_LIB_CACHE_DIR");
+  const std::string dir = env ? env : "/tmp/tc_libcache";
+  return dir + "/v" + std::to_string(kVersion) + "_" + pvt.toString() +
+         (quick ? "_quick" : "_full") + ".tclib";
+}
+
+}  // namespace tc

@@ -1,0 +1,28 @@
+#pragma once
+/// \file serialize.h
+/// \brief Binary persistence for characterized libraries.
+///
+/// Characterization drives thousands of transient simulations; production
+/// flows characterize once and ship .lib/.db files. This module plays that
+/// role: buildLibrary results are cached on disk (versioned, keyed by PVT
+/// and characterization mode) and reloaded by later processes.
+
+#include <memory>
+#include <string>
+
+#include "liberty/library.h"
+
+namespace tc {
+
+/// Serialize a library to a binary file. Returns false on I/O failure.
+bool writeLibraryFile(const Library& lib, const std::string& path);
+
+/// Load a library written by writeLibraryFile. Returns nullptr on missing
+/// file, version mismatch, or corruption (callers then re-characterize).
+std::shared_ptr<Library> readLibraryFile(const std::string& path);
+
+/// Cache path for a PVT/mode (under $TC_LIB_CACHE_DIR, default
+/// /tmp/tc_libcache).
+std::string libraryCachePath(const LibraryPvt& pvt, bool quick);
+
+}  // namespace tc

@@ -1,0 +1,321 @@
+#include "network/netgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace tc {
+
+BlockProfile profileC5315() {
+  BlockProfile p;
+  p.name = "c5315";
+  p.numGates = 2300;
+  p.numFlops = 178;
+  p.numInputs = 60;
+  p.numOutputs = 60;
+  p.levels = 26;
+  p.clockPeriod = 1100.0;
+  p.seed = 5315;
+  return p;
+}
+
+BlockProfile profileC7552() {
+  BlockProfile p;
+  p.name = "c7552";
+  p.numGates = 3500;
+  p.numFlops = 250;
+  p.numInputs = 80;
+  p.numOutputs = 60;
+  p.levels = 30;
+  p.clockPeriod = 1200.0;
+  p.seed = 7552;
+  return p;
+}
+
+BlockProfile profileAes() {
+  BlockProfile p;
+  p.name = "AES";
+  p.numGates = 9000;
+  p.numFlops = 530;
+  p.numInputs = 128;
+  p.numOutputs = 128;
+  p.levels = 18;
+  p.clockPeriod = 800.0;
+  p.seed = 0xAE5;
+  return p;
+}
+
+BlockProfile profileMpeg2() {
+  BlockProfile p;
+  p.name = "MPEG2";
+  p.numGates = 7000;
+  p.numFlops = 640;
+  p.numInputs = 96;
+  p.numOutputs = 96;
+  p.levels = 14;
+  p.clockPeriod = 750.0;
+  p.seed = 0x3E62;
+  return p;
+}
+
+BlockProfile profileTiny() {
+  BlockProfile p;
+  p.name = "tiny";
+  p.numGates = 160;
+  p.numFlops = 24;
+  p.numInputs = 10;
+  p.numOutputs = 10;
+  p.levels = 8;
+  p.clockPeriod = 900.0;
+  p.seed = 42;
+  return p;
+}
+
+namespace {
+
+/// Random gate footprint with a realistic mix.
+std::string randomFootprint(Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.30) return "NAND2";
+  if (r < 0.48) return "NOR2";
+  if (r < 0.62) return "INV";
+  if (r < 0.72) return "NAND3";
+  if (r < 0.80) return "NOR3";
+  if (r < 0.90) return "AOI21";
+  return "OAI21";
+}
+
+int pickCell(const Library& lib, const std::string& footprint, Rng& rng) {
+  const int drive = rng.chance(0.35) ? 2 : 1;
+  const int idx = lib.variant(footprint, VtClass::kSvt, drive);
+  if (idx < 0) throw std::logic_error("library lacks " + footprint);
+  return idx;
+}
+
+/// Build a buffered clock tree over the flop CK pins.
+void buildClockTree(Netlist& nl, const std::vector<InstId>& flops,
+                    int fanoutPerLeaf, Ps period, Ps jitter) {
+  const Library& lib = nl.library();
+  const int bufCell = lib.variant("BUF", VtClass::kSvt, 4);
+  const PortId clkPort = nl.addPort("clk", true);
+  const NetId rootNet = nl.addNet("clk");
+  nl.connectPortToNet(clkPort, rootNet);
+  nl.defineClock({"clk", clkPort, period, jitter, 0.0});
+
+  // Leaf level: one buffer per `fanoutPerLeaf` flops.
+  std::vector<NetId> level;  // nets that need a driver from the level above
+  const int nLeaves =
+      std::max(1, (static_cast<int>(flops.size()) + fanoutPerLeaf - 1) /
+                      fanoutPerLeaf);
+  std::vector<InstId> leaves;
+  for (int l = 0; l < nLeaves; ++l) {
+    const InstId buf =
+        nl.addInstance("ckbuf_leaf" + std::to_string(l), bufCell);
+    nl.instance(buf).isClockTreeBuffer = true;
+    const NetId out = nl.addNet("cknet_leaf" + std::to_string(l));
+    nl.connectOutput(buf, out);
+    leaves.push_back(buf);
+    for (int f = l * fanoutPerLeaf;
+         f < std::min((l + 1) * fanoutPerLeaf, static_cast<int>(flops.size()));
+         ++f) {
+      nl.connectInput(flops[static_cast<std::size_t>(f)], 1, out);  // CK pin
+    }
+  }
+  // Upper levels: branching factor 4 down to a single root buffer.
+  std::vector<InstId> current = leaves;
+  int levelIdx = 0;
+  while (current.size() > 1) {
+    std::vector<InstId> next;
+    for (std::size_t i = 0; i < current.size(); i += 4) {
+      const InstId buf = nl.addInstance(
+          "ckbuf_l" + std::to_string(levelIdx) + "_" + std::to_string(i / 4),
+          bufCell);
+      nl.instance(buf).isClockTreeBuffer = true;
+      const NetId out = nl.addNet("cknet_l" + std::to_string(levelIdx) + "_" +
+                                  std::to_string(i / 4));
+      nl.connectOutput(buf, out);
+      for (std::size_t j = i; j < std::min(i + 4, current.size()); ++j)
+        nl.connectInput(current[j], 0, out);
+      next.push_back(buf);
+    }
+    current = std::move(next);
+    ++levelIdx;
+  }
+  nl.connectInput(current[0], 0, rootNet);
+}
+
+}  // namespace
+
+Netlist generateBlock(std::shared_ptr<const Library> lib,
+                      const BlockProfile& profile) {
+  Rng rng(profile.seed);
+  Netlist nl(lib);
+  const Library& L = *lib;
+
+  // Primary data inputs.
+  std::vector<NetId> sources;  // nets usable as gate inputs, per level pool
+  std::vector<int> sourceLevel;
+  for (int i = 0; i < profile.numInputs; ++i) {
+    const PortId p = nl.addPort("in" + std::to_string(i), true);
+    const NetId n = nl.addNet("nin" + std::to_string(i));
+    nl.connectPortToNet(p, n);
+    sources.push_back(n);
+    sourceLevel.push_back(0);
+  }
+
+  // Flops (Q nets join the level-0 pool; D/CK wired later).
+  const int dffCell = L.variant("DFF", VtClass::kSvt, 1);
+  std::vector<InstId> flops;
+  for (int i = 0; i < profile.numFlops; ++i) {
+    const InstId f = nl.addInstance("reg" + std::to_string(i), dffCell);
+    const NetId q = nl.addNet("q" + std::to_string(i));
+    nl.connectOutput(f, q);
+    flops.push_back(f);
+    sources.push_back(q);
+    sourceLevel.push_back(0);
+  }
+
+  // Combinational cloud, level by level.
+  const int perLevel = std::max(profile.numGates / profile.levels, 1);
+  std::vector<NetId> gateOutputs;
+  int gateCount = 0;
+  for (int lvl = 1; lvl <= profile.levels && gateCount < profile.numGates;
+       ++lvl) {
+    const int want = (lvl == profile.levels)
+                         ? profile.numGates - gateCount
+                         : perLevel;
+    for (int g = 0; g < want; ++g) {
+      const int cellIdx = pickCell(L, randomFootprint(rng), rng);
+      const Cell& cell = L.cell(cellIdx);
+      const InstId inst =
+          nl.addInstance("u" + std::to_string(gateCount), cellIdx);
+      for (int pin = 0; pin < cell.numInputs; ++pin) {
+        // Bias input selection toward the immediately preceding level so the
+        // depth budget is actually consumed; occasionally reach far back
+        // (reconvergence / high-fanout nets).
+        NetId chosen = -1;
+        for (int attempt = 0; attempt < 8 && chosen < 0; ++attempt) {
+          const std::size_t idx = rng.below(sources.size());
+          const int slvl = sourceLevel[idx];
+          if (slvl == lvl - 1 || rng.chance(0.25) ||
+              (rng.chance(profile.fanoutSkew) && slvl < lvl)) {
+            if (slvl < lvl) chosen = sources[idx];
+          }
+        }
+        if (chosen < 0) {
+          // Fall back to any shallower source.
+          for (std::size_t k = 0; k < sources.size(); ++k) {
+            const std::size_t idx = rng.below(sources.size());
+            if (sourceLevel[idx] < lvl) {
+              chosen = sources[idx];
+              break;
+            }
+            (void)k;
+          }
+        }
+        if (chosen < 0) chosen = sources[0];
+        nl.connectInput(inst, pin, chosen);
+      }
+      const NetId out = nl.addNet("n" + std::to_string(gateCount));
+      nl.connectOutput(inst, out);
+      sources.push_back(out);
+      sourceLevel.push_back(lvl);
+      gateOutputs.push_back(out);
+      ++gateCount;
+    }
+  }
+
+  // Flop D pins: capture from the deeper half of the cloud.
+  for (InstId f : flops) {
+    const std::size_t lo = gateOutputs.size() / 2;
+    const NetId d = gateOutputs[lo + rng.below(gateOutputs.size() - lo)];
+    nl.connectInput(f, 0, d);
+  }
+
+  // Primary outputs on random gate outputs.
+  for (int i = 0; i < profile.numOutputs; ++i) {
+    const PortId p = nl.addPort("out" + std::to_string(i), false);
+    const NetId n = gateOutputs[rng.below(gateOutputs.size())];
+    nl.connectPortToNet(p, n);
+  }
+  // Tie any unloaded nets to overflow POs so the netlist validates.
+  int overflow = 0;
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    if (nl.net(n).sinks.empty() && nl.net(n).loadPort < 0) {
+      const PortId p =
+          nl.addPort("ovf" + std::to_string(overflow++), false);
+      nl.connectPortToNet(p, n);
+    }
+  }
+
+  buildClockTree(nl, flops, profile.clockFanoutPerLeaf, profile.clockPeriod,
+                 profile.clockJitter);
+  nl.validate();
+  return nl;
+}
+
+Netlist generatePipeline(std::shared_ptr<const Library> lib, int lanes,
+                         int depth, Ps clockPeriod, std::uint64_t seed) {
+  Rng rng(seed);
+  Netlist nl(lib);
+  const Library& L = *lib;
+  const int dffCell = L.variant("DFF", VtClass::kSvt, 1);
+
+  std::vector<InstId> flops;
+  for (int lane = 0; lane < lanes; ++lane) {
+    const InstId launch =
+        nl.addInstance("launch" + std::to_string(lane), dffCell);
+    const NetId q = nl.addNet("lq" + std::to_string(lane));
+    nl.connectOutput(launch, q);
+    flops.push_back(launch);
+    // Feed the launch flop's D from a primary input.
+    const PortId di = nl.addPort("di" + std::to_string(lane), true);
+    const NetId dn = nl.addNet("ndi" + std::to_string(lane));
+    nl.connectPortToNet(di, dn);
+    nl.connectInput(launch, 0, dn);
+
+    NetId prev = q;
+    for (int d = 0; d < depth; ++d) {
+      const std::string fp = d % 3 == 0 ? "INV" : (d % 3 == 1 ? "NAND2" : "NOR2");
+      const int cellIdx = pickCell(L, fp, rng);
+      const Cell& cell = L.cell(cellIdx);
+      const InstId g = nl.addInstance(
+          "g" + std::to_string(lane) + "_" + std::to_string(d), cellIdx);
+      nl.connectInput(g, 0, prev);
+      // Side inputs tied off (case analysis excludes them from timing).
+      for (int pin = 1; pin < cell.numInputs; ++pin) {
+        const PortId p = nl.addPort(
+            "tie" + std::to_string(lane) + "_" + std::to_string(d) + "_" +
+                std::to_string(pin),
+            true);
+        nl.port(p).constant = true;
+        const NetId tie = nl.addNet("ntie" + std::to_string(lane) + "_" +
+                                    std::to_string(d) + "_" +
+                                    std::to_string(pin));
+        nl.connectPortToNet(p, tie);
+        nl.connectInput(g, pin, tie);
+      }
+      const NetId out =
+          nl.addNet("w" + std::to_string(lane) + "_" + std::to_string(d));
+      nl.connectOutput(g, out);
+      prev = out;
+    }
+
+    const InstId capture =
+        nl.addInstance("capture" + std::to_string(lane), dffCell);
+    nl.connectInput(capture, 0, prev);
+    flops.push_back(capture);
+    const NetId cq = nl.addNet("cq" + std::to_string(lane));
+    nl.connectOutput(capture, cq);
+    const PortId po = nl.addPort("po" + std::to_string(lane), false);
+    nl.connectPortToNet(po, cq);
+  }
+
+  buildClockTree(nl, flops, 8, clockPeriod, 25.0);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace tc

@@ -1,0 +1,58 @@
+#pragma once
+/// \file netgen.h
+/// \brief Synthetic netlist generation.
+///
+/// The paper's exhibits are measured on production circuits we do not have
+/// (ISCAS c5315/c7552, AES, MPEG2, SoC blocks). What those exhibits depend
+/// on is the *statistics* of the circuits — path depth distribution, fanout
+/// distribution, register counts — so the generator here produces random
+/// logic blocks matched to published gate/flop/depth profiles, plus simple
+/// pipelines for controlled experiments and a buffered clock tree.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "network/netlist.h"
+
+namespace tc {
+
+/// Statistical profile of a block to generate.
+struct BlockProfile {
+  std::string name = "block";
+  int numGates = 2000;
+  int numFlops = 150;
+  int numInputs = 40;
+  int numOutputs = 40;
+  int levels = 20;            ///< combinational depth budget
+  double fanoutSkew = 0.12;   ///< fraction of nets with high fanout
+  int clockFanoutPerLeaf = 16;
+  Ps clockPeriod = 900.0;
+  Ps clockJitter = 25.0;
+  std::uint64_t seed = 1;
+};
+
+/// Profiles roughly matched to the circuits of the paper's Fig. 9
+/// (gate counts and depths from the published benchmarks; flops added to
+/// register the combinational ISCAS cores).
+BlockProfile profileC5315();
+BlockProfile profileC7552();
+BlockProfile profileAes();
+BlockProfile profileMpeg2();
+/// A small block for fast unit tests.
+BlockProfile profileTiny();
+
+/// Generate a random logic block per the profile. All instances start as
+/// X1/X2 SVT; the closure optimizer retargets them. The clock tree is built
+/// from BUF cells and marked (isClockTreeBuffer).
+Netlist generateBlock(std::shared_ptr<const Library> lib,
+                      const BlockProfile& profile);
+
+/// Generate a linear pipeline: launch flop -> `depth` gates -> capture flop,
+/// replicated `lanes` times, sharing one clock. Used by the Fig. 7 Monte
+/// Carlo study and by unit tests that need hand-analyzable topologies.
+Netlist generatePipeline(std::shared_ptr<const Library> lib, int lanes,
+                         int depth, Ps clockPeriod = 800.0,
+                         std::uint64_t seed = 1);
+
+}  // namespace tc

@@ -1,0 +1,184 @@
+#include "network/netlist.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace tc {
+
+PortId Netlist::addPort(const std::string& name, bool isInput) {
+  ports_.push_back({name, isInput, -1});
+  return static_cast<PortId>(ports_.size()) - 1;
+}
+
+NetId Netlist::addNet(const std::string& name) {
+  Net n;
+  n.name = name;
+  nets_.push_back(std::move(n));
+  return static_cast<NetId>(nets_.size()) - 1;
+}
+
+InstId Netlist::addInstance(const std::string& name, int cellIndex) {
+  if (cellIndex < 0 || cellIndex >= lib_->cellCount())
+    throw std::invalid_argument("addInstance: bad cell index");
+  Instance inst;
+  inst.name = name;
+  inst.cellIndex = cellIndex;
+  inst.fanin.assign(
+      static_cast<std::size_t>(lib_->cell(cellIndex).numInputs), -1);
+  instances_.push_back(std::move(inst));
+  return static_cast<InstId>(instances_.size()) - 1;
+}
+
+void Netlist::connectInput(InstId inst, int pin, NetId net) {
+  auto& i = instances_[static_cast<std::size_t>(inst)];
+  if (pin < 0 || pin >= static_cast<int>(i.fanin.size()))
+    throw std::invalid_argument("connectInput: bad pin on " + i.name);
+  i.fanin[static_cast<std::size_t>(pin)] = net;
+  nets_[static_cast<std::size_t>(net)].sinks.push_back({inst, pin});
+}
+
+void Netlist::disconnectInput(InstId inst, int pin) {
+  auto& i = instances_[static_cast<std::size_t>(inst)];
+  const NetId nid = i.fanin[static_cast<std::size_t>(pin)];
+  if (nid < 0) return;
+  auto& sinks = nets_[static_cast<std::size_t>(nid)].sinks;
+  for (std::size_t k = 0; k < sinks.size(); ++k) {
+    if (sinks[k].inst == inst && sinks[k].pin == pin) {
+      sinks.erase(sinks.begin() + static_cast<long>(k));
+      break;
+    }
+  }
+  i.fanin[static_cast<std::size_t>(pin)] = -1;
+}
+
+void Netlist::connectOutput(InstId inst, NetId net) {
+  auto& n = nets_[static_cast<std::size_t>(net)];
+  if (n.driver != -1 || n.driverPort != -1)
+    throw std::invalid_argument("connectOutput: net already driven: " +
+                                n.name);
+  n.driver = inst;
+  instances_[static_cast<std::size_t>(inst)].fanout = net;
+}
+
+void Netlist::connectPortToNet(PortId port, NetId net) {
+  auto& p = ports_[static_cast<std::size_t>(port)];
+  p.net = net;
+  auto& n = nets_[static_cast<std::size_t>(net)];
+  if (p.isInput) {
+    if (n.driver != -1 || n.driverPort != -1)
+      throw std::invalid_argument("port drive conflict on net " + n.name);
+    n.driverPort = port;
+  } else {
+    n.loadPort = port;
+  }
+}
+
+void Netlist::defineClock(const ClockDef& clock) { clocks_.push_back(clock); }
+
+void Netlist::swapCell(InstId id, int newCellIndex, bool force) {
+  auto& inst = instances_[static_cast<std::size_t>(id)];
+  const Cell& oldCell = lib_->cell(inst.cellIndex);
+  const Cell& newCell = lib_->cell(newCellIndex);
+  if (!force && newCell.footprint != oldCell.footprint)
+    throw std::invalid_argument("swapCell: footprint mismatch " +
+                                oldCell.footprint + " -> " +
+                                newCell.footprint);
+  if (newCell.numInputs != oldCell.numInputs)
+    throw std::invalid_argument("swapCell: pin count mismatch on " +
+                                inst.name);
+  inst.cellIndex = newCellIndex;
+}
+
+Ff Netlist::netSinkCap(NetId id) const {
+  const Net& n = nets_[static_cast<std::size_t>(id)];
+  Ff cap = 0.0;
+  for (const auto& s : n.sinks) cap += cellOf(s.inst).pinCap;
+  return cap;
+}
+
+void Netlist::validate() const {
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    const Cell& cell = lib_->cell(inst.cellIndex);
+    if (static_cast<int>(inst.fanin.size()) != cell.numInputs)
+      throw std::logic_error("pin count mismatch on " + inst.name);
+    for (NetId nid : inst.fanin)
+      if (nid < 0) throw std::logic_error("floating input on " + inst.name);
+    if (!cell.isSequential && inst.fanout < 0)
+      throw std::logic_error("dangling output on " + inst.name);
+  }
+  for (const Net& n : nets_) {
+    if (n.driver < 0 && n.driverPort < 0)
+      throw std::logic_error("undriven net " + n.name);
+    if (n.sinks.empty() && n.loadPort < 0)
+      throw std::logic_error("unloaded net " + n.name);
+  }
+  // Every flop's CK pin must trace back to a defined clock port.
+  if (!clocks_.empty()) {
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+      const Instance& inst = instances_[i];
+      if (!lib_->cell(inst.cellIndex).isSequential) continue;
+      NetId nid = inst.fanin[1];
+      int guard = 0;
+      while (nid >= 0 && guard++ < 10000) {
+        const Net& n = nets_[static_cast<std::size_t>(nid)];
+        if (n.driverPort >= 0) {
+          bool isClock = false;
+          for (const auto& c : clocks_)
+            if (c.port == n.driverPort) isClock = true;
+          if (!isClock)
+            throw std::logic_error("flop " + inst.name +
+                                   " clocked by non-clock port");
+          break;
+        }
+        nid = instances_[static_cast<std::size_t>(n.driver)].fanin.empty()
+                  ? -1
+                  : instances_[static_cast<std::size_t>(n.driver)].fanin[0];
+      }
+    }
+  }
+  (void)topoOrder();  // throws on combinational cycles
+}
+
+std::vector<InstId> Netlist::topoOrder() const {
+  // Kahn's algorithm over combinational edges; flop outputs are sources.
+  const int n = instanceCount();
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const Instance& inst = instances_[static_cast<std::size_t>(i)];
+    if (lib_->cell(inst.cellIndex).isSequential) continue;  // no comb fanin
+    for (NetId nid : inst.fanin) {
+      const Net& net = nets_[static_cast<std::size_t>(nid)];
+      if (net.driver >= 0 &&
+          !lib_->cell(instances_[static_cast<std::size_t>(net.driver)].cellIndex)
+               .isSequential)
+        ++indeg[static_cast<std::size_t>(i)];
+    }
+  }
+  std::queue<InstId> q;
+  for (int i = 0; i < n; ++i)
+    if (indeg[static_cast<std::size_t>(i)] == 0) q.push(i);
+  std::vector<InstId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!q.empty()) {
+    const InstId u = q.front();
+    q.pop();
+    order.push_back(u);
+    const Instance& inst = instances_[static_cast<std::size_t>(u)];
+    if (inst.fanout < 0) continue;
+    if (lib_->cell(inst.cellIndex).isSequential) {
+      // Flop outputs feed combinational logic but we seeded flops above.
+    }
+    for (const auto& s : nets_[static_cast<std::size_t>(inst.fanout)].sinks) {
+      if (lib_->cell(instances_[static_cast<std::size_t>(s.inst)].cellIndex)
+              .isSequential)
+        continue;  // flop inputs terminate combinational paths
+      if (--indeg[static_cast<std::size_t>(s.inst)] == 0) q.push(s.inst);
+    }
+  }
+  if (static_cast<int>(order.size()) != n)
+    throw std::logic_error("combinational cycle detected");
+  return order;
+}
+
+}  // namespace tc

@@ -1,0 +1,143 @@
+#pragma once
+/// \file netlist.h
+/// \brief Gate-level netlist: instances, nets, ports, clocks.
+///
+/// The netlist is the substrate every downstream tool shares: placement
+/// annotates instance locations, extraction builds per-net RC, the STA
+/// engine builds its timing graph from it, and the closure optimizer edits
+/// it in place (sizing / Vt-swap / buffering / ECO).
+///
+/// Pin convention: combinational cells expose input pins 0..n-1 and one
+/// output. Flops expose D = pin 0, CK = pin 1 and output Q.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "liberty/library.h"
+#include "util/units.h"
+
+namespace tc {
+
+using InstId = int;
+using NetId = int;
+using PortId = int;
+
+/// A placed, typed cell instance.
+struct Instance {
+  std::string name;
+  int cellIndex = -1;  ///< index into the reference Library
+  std::vector<NetId> fanin;  ///< one net per input pin
+  NetId fanout = -1;         ///< output net (-1 for sinks without outputs)
+  // Placement (filled by tc_place):
+  Um x = 0.0, y = 0.0;
+  int row = -1;
+  int siteLo = -1;  ///< leftmost occupied site in the row
+  bool fixed = false;
+  bool isClockTreeBuffer = false;
+  /// Useful-skew adjustment applied to this flop's clock arrival (set by
+  /// the closure optimizer; ignored on non-sequential instances).
+  Ps usefulSkew = 0.0;
+};
+
+/// A signal net.
+struct Net {
+  std::string name;
+  struct Sink {
+    InstId inst = -1;
+    int pin = 0;
+  };
+  InstId driver = -1;     ///< driving instance (-1 when port-driven)
+  PortId driverPort = -1; ///< driving primary input when driver == -1
+  std::vector<Sink> sinks;
+  PortId loadPort = -1;   ///< primary output fed by this net (-1 if none)
+  int ndrClass = 0;       ///< non-default routing rule index (0 = default)
+  int layer = 3;          ///< representative routing layer (Mx)
+  /// SI-aware effective Miller factor for this net's coupling cap, set by
+  /// the SI analyzer from aggressor timing windows (0 = use the
+  /// extraction-option default).
+  double millerOverride = 0.0;
+};
+
+/// Primary I/O.
+struct Port {
+  std::string name;
+  bool isInput = true;
+  NetId net = -1;
+  /// Case analysis: the port is tied to a static value, so no transitions
+  /// propagate from it (STA never launches paths here).
+  bool constant = false;
+};
+
+/// Clock definition on a primary input.
+struct ClockDef {
+  std::string name;
+  PortId port = -1;
+  Ps period = 1000.0;
+  Ps jitter = 25.0;          ///< cycle-to-cycle, applied as flat margin
+  Ps sourceLatency = 0.0;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::shared_ptr<const Library> lib)
+      : lib_(std::move(lib)) {}
+
+  const Library& library() const { return *lib_; }
+  std::shared_ptr<const Library> libraryPtr() const { return lib_; }
+
+  // --- construction --------------------------------------------------------
+  PortId addPort(const std::string& name, bool isInput);
+  NetId addNet(const std::string& name);
+  /// Add an instance of the given cell with all pins unconnected.
+  InstId addInstance(const std::string& name, int cellIndex);
+  void connectInput(InstId inst, int pin, NetId net);
+  /// Detach an input pin from its net (for rebuffering edits).
+  void disconnectInput(InstId inst, int pin);
+  void connectOutput(InstId inst, NetId net);
+  void connectPortToNet(PortId port, NetId net);
+  void defineClock(const ClockDef& clock);
+
+  // --- access ----------------------------------------------------------------
+  int instanceCount() const { return static_cast<int>(instances_.size()); }
+  int netCount() const { return static_cast<int>(nets_.size()); }
+  int portCount() const { return static_cast<int>(ports_.size()); }
+  Instance& instance(InstId id) { return instances_[static_cast<std::size_t>(id)]; }
+  const Instance& instance(InstId id) const { return instances_[static_cast<std::size_t>(id)]; }
+  Net& net(NetId id) { return nets_[static_cast<std::size_t>(id)]; }
+  const Net& net(NetId id) const { return nets_[static_cast<std::size_t>(id)]; }
+  Port& port(PortId id) { return ports_[static_cast<std::size_t>(id)]; }
+  const Port& port(PortId id) const { return ports_[static_cast<std::size_t>(id)]; }
+  const std::vector<ClockDef>& clocks() const { return clocks_; }
+  std::vector<ClockDef>& clocks() { return clocks_; }
+
+  const Cell& cellOf(InstId id) const {
+    return lib_->cell(instances_[static_cast<std::size_t>(id)].cellIndex);
+  }
+  bool isSequential(InstId id) const { return cellOf(id).isSequential; }
+
+  /// Replace the cell of an instance (sizing / Vt-swap). The new cell must
+  /// share the footprint unless `force` (buffering changes topology anyway).
+  void swapCell(InstId id, int newCellIndex, bool force = false);
+
+  /// Total pin capacitance hanging on a net (sink input caps).
+  Ff netSinkCap(NetId id) const;
+
+  // --- integrity -------------------------------------------------------------
+  /// Structural checks: single driver per net, all input pins tied, pin
+  /// counts match cells, clock reaches every flop. Throws on violation.
+  void validate() const;
+
+  /// Topological order of instances (combinational DAG; flops are sources/
+  /// sinks). Throws on a combinational cycle.
+  std::vector<InstId> topoOrder() const;
+
+ private:
+  std::shared_ptr<const Library> lib_;
+  std::vector<Instance> instances_;
+  std::vector<Net> nets_;
+  std::vector<Port> ports_;
+  std::vector<ClockDef> clocks_;
+};
+
+}  // namespace tc

@@ -1,0 +1,346 @@
+#include "network/verilog.h"
+
+#include <cctype>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tc {
+
+std::string pinName(const Cell& cell, int pin) {
+  if (cell.isSequential) return pin == 0 ? "D" : "CK";
+  static const char* kNames[] = {"A", "B", "C", "D0", "D1"};
+  return kNames[pin];
+}
+
+namespace {
+
+/// Verilog-safe identifier (our generated names already comply; escape
+/// anything else with the standard backslash form).
+std::string ident(const std::string& name) {
+  bool ok = !name.empty() &&
+            (std::isalpha(static_cast<unsigned char>(name[0])) ||
+             name[0] == '_');
+  for (char c : name)
+    ok = ok && (std::isalnum(static_cast<unsigned char>(c)) || c == '_');
+  return ok ? name : "\\" + name + " ";
+}
+
+}  // namespace
+
+void writeVerilog(const Netlist& nl, std::ostream& os,
+                  const std::string& moduleName) {
+  os << "// structural netlist written by goalposts\n";
+  os << "module " << moduleName << " (";
+  for (PortId p = 0; p < nl.portCount(); ++p) {
+    if (p) os << ", ";
+    os << ident(nl.port(p).name);
+  }
+  os << ");\n";
+  for (PortId p = 0; p < nl.portCount(); ++p) {
+    const Port& port = nl.port(p);
+    os << "  " << (port.isInput ? "input " : "output ")
+       << ident(port.name) << ";\n";
+  }
+  // Nets tied to a port are referenced through the port name (Verilog has
+  // no separate identity for them); all others become wires.
+  auto portOf = [&](NetId n) -> PortId {
+    for (PortId p = 0; p < nl.portCount(); ++p)
+      if (nl.port(p).net == n) return p;
+    return -1;
+  };
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    if (portOf(n) < 0) os << "  wire " << ident(nl.net(n).name) << ";\n";
+  }
+  // A net tied to several ports is expressed through the first port's name;
+  // the remaining ports alias it with assigns.
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    const PortId first = portOf(n);
+    if (first < 0) continue;
+    for (PortId p = first + 1; p < nl.portCount(); ++p) {
+      if (nl.port(p).net != n) continue;
+      if (nl.port(p).isInput)
+        os << "  assign " << ident(nl.port(first).name) << " = "
+           << ident(nl.port(p).name) << ";\n";
+      else
+        os << "  assign " << ident(nl.port(p).name) << " = "
+           << ident(nl.port(first).name) << ";\n";
+    }
+  }
+  os << "\n";
+
+  auto netRef = [&](NetId n) -> std::string {
+    const PortId p = portOf(n);
+    return p >= 0 ? ident(nl.port(p).name) : ident(nl.net(n).name);
+  };
+
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    const Instance& inst = nl.instance(i);
+    const Cell& cell = nl.cellOf(i);
+    os << "  " << cell.name << " " << ident(inst.name) << " (";
+    bool first = true;
+    for (int pin = 0; pin < cell.numInputs; ++pin) {
+      if (!first) os << ", ";
+      first = false;
+      os << "." << pinName(cell, pin) << "("
+         << netRef(inst.fanin[static_cast<std::size_t>(pin)]) << ")";
+    }
+    if (inst.fanout >= 0) {
+      if (!first) os << ", ";
+      os << "." << (cell.isSequential ? "Q" : "Y") << "("
+         << netRef(inst.fanout) << ")";
+    }
+    os << ");\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string toVerilog(const Netlist& nl, const std::string& moduleName) {
+  std::ostringstream os;
+  writeVerilog(nl, os, moduleName);
+  return os.str();
+}
+
+void writeSdcLike(const Netlist& nl, std::ostream& os) {
+  os << "# constraints written by goalposts\n";
+  for (const auto& c : nl.clocks()) {
+    os << "create_clock -name " << c.name << " -period "
+       << c.period * kPsToNs << " [get_ports " << nl.port(c.port).name
+       << "]\n";
+    os << "set_clock_uncertainty " << c.jitter * kPsToNs << " [get_clocks "
+       << c.name << "]\n";
+  }
+  for (PortId p = 0; p < nl.portCount(); ++p) {
+    const Port& port = nl.port(p);
+    if (port.constant && port.isInput)
+      os << "set_case_analysis 0 [get_ports " << port.name << "]\n";
+  }
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    if (nl.net(n).ndrClass > 0)
+      os << "# NDR class " << nl.net(n).ndrClass << " on net "
+         << nl.net(n).name << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Lexer {
+  std::string text;
+  std::size_t pos = 0;
+  int line = 1;
+
+  void skipWs() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '/' && pos + 1 < text.size() && text[pos + 1] == '/') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() {
+    skipWs();
+    return pos >= text.size();
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("verilog parse error at line " +
+                             std::to_string(line) + ": " + what);
+  }
+
+  std::string token() {
+    skipWs();
+    if (pos >= text.size()) fail("unexpected end of input");
+    const char c = text[pos];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_'))
+        ++pos;
+      return text.substr(start, pos - start);
+    }
+    if (c == '\\') {  // escaped identifier, terminated by whitespace
+      std::size_t start = ++pos;
+      while (pos < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[pos])))
+        ++pos;
+      return text.substr(start, pos - start);
+    }
+    ++pos;
+    return std::string(1, c);
+  }
+
+  void expect(const std::string& t) {
+    const std::string got = token();
+    if (got != t) fail("expected '" + t + "', got '" + got + "'");
+  }
+
+  std::string peek() {
+    const std::size_t savedPos = pos;
+    const int savedLine = line;
+    const std::string t = eof() ? "" : token();
+    pos = savedPos;
+    line = savedLine;
+    return t;
+  }
+};
+
+}  // namespace
+
+Netlist readVerilog(std::istream& is, std::shared_ptr<const Library> lib) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parseVerilog(buf.str(), std::move(lib));
+}
+
+Netlist parseVerilog(const std::string& text,
+                     std::shared_ptr<const Library> lib) {
+  Lexer lx{text};
+
+  // First pass: collect declarations; `assign` aliases are resolved with a
+  // union-find over net names before any Netlist object is created.
+  struct PortDecl {
+    std::string name;
+    bool isInput = true;
+  };
+  struct InstDecl {
+    int cellIndex = -1;
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> conns;  // pin -> net
+  };
+  std::vector<PortDecl> portDecls;
+  std::vector<InstDecl> instDecls;
+  std::map<std::string, std::string> parent;  // union-find over names
+  std::function<std::string(const std::string&)> find =
+      [&](const std::string& x) -> std::string {
+    auto it = parent.find(x);
+    if (it == parent.end() || it->second == x) {
+      parent[x] = x;
+      return x;
+    }
+    const std::string root = find(it->second);
+    parent[x] = root;
+    return root;
+  };
+  auto unite = [&](const std::string& a, const std::string& b) {
+    parent[find(a)] = find(b);
+  };
+
+  lx.expect("module");
+  lx.token();  // module name
+  lx.expect("(");
+  // Port list (names only; direction comes from the decls).
+  if (lx.peek() != ")") {
+    while (true) {
+      lx.token();  // port name (re-declared below)
+      const std::string sep = lx.token();
+      if (sep == ")") break;
+      if (sep != ",") lx.fail("expected ',' or ')' in port list");
+    }
+  } else {
+    lx.expect(")");
+  }
+  lx.expect(";");
+
+  bool sawEnd = false;
+  while (!lx.eof()) {
+    const std::string kw = lx.token();
+    if (kw == "endmodule") {
+      sawEnd = true;
+      break;
+    } else if (kw == "input" || kw == "output") {
+      const std::string name = lx.token();
+      lx.expect(";");
+      portDecls.push_back({name, kw == "input"});
+      find(name);
+    } else if (kw == "wire") {
+      const std::string name = lx.token();
+      lx.expect(";");
+      find(name);
+    } else if (kw == "assign") {
+      const std::string lhs = lx.token();
+      lx.expect("=");
+      const std::string rhs = lx.token();
+      lx.expect(";");
+      unite(lhs, rhs);
+    } else {
+      // Cell instantiation: <cellname> <instname> ( .PIN(net), ... );
+      const int cellIdx = lib->findCell(kw);
+      if (cellIdx < 0) lx.fail("unknown cell '" + kw + "'");
+      InstDecl inst;
+      inst.cellIndex = cellIdx;
+      inst.name = lx.token();
+      lx.expect("(");
+      while (true) {
+        lx.expect(".");
+        const std::string pin = lx.token();
+        lx.expect("(");
+        const std::string netName = lx.token();
+        lx.expect(")");
+        inst.conns.push_back({pin, netName});
+        find(netName);
+        const std::string sep = lx.token();
+        if (sep == ")") break;
+        if (sep != ",") lx.fail("expected ',' or ')' in connection list");
+      }
+      lx.expect(";");
+      instDecls.push_back(std::move(inst));
+    }
+  }
+  if (!sawEnd) lx.fail("missing endmodule");
+
+  // Second pass: materialize the netlist through the alias roots.
+  Netlist nl(lib);
+  std::map<std::string, NetId> nets;
+  auto netFor = [&](const std::string& name) -> NetId {
+    const std::string root = find(name);
+    auto it = nets.find(root);
+    if (it != nets.end()) return it->second;
+    const NetId n = nl.addNet(root);
+    nets[root] = n;
+    return n;
+  };
+  for (const auto& pd : portDecls) {
+    const PortId p = nl.addPort(pd.name, pd.isInput);
+    const NetId n = netFor(pd.name);
+    // Several ports may share a net through assigns; only the first input
+    // port drives it.
+    if (pd.isInput && nl.net(n).driverPort >= 0) continue;
+    nl.connectPortToNet(p, n);
+  }
+  for (const auto& id : instDecls) {
+    const Cell& cell = lib->cell(id.cellIndex);
+    const InstId inst = nl.addInstance(id.name, id.cellIndex);
+    for (const auto& [pin, netName] : id.conns) {
+      const NetId n = netFor(netName);
+      if (pin == "Y" || pin == "Q") {
+        nl.connectOutput(inst, n);
+      } else {
+        int pinIdx = -1;
+        for (int k = 0; k < cell.numInputs; ++k)
+          if (pinName(cell, k) == pin) pinIdx = k;
+        if (pinIdx < 0)
+          throw std::runtime_error("cell " + cell.name + " has no pin '" +
+                                   pin + "'");
+        nl.connectInput(inst, pinIdx, n);
+      }
+    }
+  }
+  return nl;
+}
+
+}  // namespace tc

@@ -1,0 +1,43 @@
+#pragma once
+/// \file verilog.h
+/// \brief Structural Verilog interchange for the gate-level netlist.
+///
+/// Writes the synthesizable structural subset (module, port decls, wire
+/// decls, cell instances with named pin connections) and reads the same
+/// subset back. Pin naming convention: combinational inputs A/B/C, output
+/// Y; flops D, CK, Q — the names commercial libraries use, so the emitted
+/// netlist is recognizable to anyone who has read a post-synthesis .v.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "network/netlist.h"
+
+namespace tc {
+
+/// Emit the netlist as structural Verilog. Clock definitions and placement
+/// are not representable in Verilog and are omitted (see writeSdcLike for
+/// the constraint side).
+void writeVerilog(const Netlist& nl, std::ostream& os,
+                  const std::string& moduleName = "top");
+std::string toVerilog(const Netlist& nl,
+                      const std::string& moduleName = "top");
+
+/// Parse a structural-Verilog module written by writeVerilog (or any file
+/// restricted to that subset) against the given reference library.
+/// Throws std::runtime_error with a line number on malformed input or
+/// unknown cells. Clocks must be re-declared by the caller.
+Netlist readVerilog(std::istream& is, std::shared_ptr<const Library> lib);
+Netlist parseVerilog(const std::string& text,
+                     std::shared_ptr<const Library> lib);
+
+/// Emit the constraint side as an SDC-flavored file: create_clock,
+/// set_input_delay placeholders, and the per-net NDR annotations this
+/// framework tracks.
+void writeSdcLike(const Netlist& nl, std::ostream& os);
+
+/// Input pin name for a cell's pin index (A/B/C or D/CK).
+std::string pinName(const Cell& cell, int pin);
+
+}  // namespace tc

@@ -1,0 +1,124 @@
+#include "opt/closure.h"
+
+#include <memory>
+
+#include "util/log.h"
+
+namespace tc {
+
+ClosureLoop::ClosureLoop(Netlist& nl, Scenario setupScenario,
+                         std::optional<Scenario> holdScenario,
+                         std::optional<Floorplan> floorplan)
+    : nl_(&nl),
+      setupSc_(std::move(setupScenario)),
+      holdSc_(std::move(holdScenario)),
+      fp_(floorplan) {}
+
+ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
+  ClosureResult result;
+
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    // Fresh engines each iteration: buffer insertion edits topology.
+    StaEngine setupSta(*nl_, setupSc_);
+    setupSta.run();
+    std::unique_ptr<StaEngine> holdSta;
+    if (holdSc_) {
+      holdSta = std::make_unique<StaEngine>(*nl_, *holdSc_);
+      holdSta->run();
+    }
+
+    IterationRecord rec;
+    rec.iteration = iter + 1;
+    rec.before = breakdown(setupSta);
+    if (holdSta) {
+      const auto hb = breakdown(*holdSta);
+      rec.before.holdWns = hb.holdWns;
+      rec.before.holdTns = hb.holdTns;
+      rec.before.holdViolations = hb.holdViolations;
+    }
+
+    const bool clean = rec.before.setupViolations == 0 &&
+                       rec.before.holdViolations == 0 &&
+                       rec.before.maxTransViolations == 0 &&
+                       rec.before.maxCapViolations == 0;
+    if (clean && cfg.stopWhenClean) {
+      result.iterations.push_back(rec);
+      break;
+    }
+
+    std::optional<RowOccupancy> occ;
+    PlacementCtx place;
+    if (fp_) {
+      occ.emplace(*nl_, *fp_);
+      place.occ = &*occ;
+      place.fp = &*fp_;
+    }
+
+    // DRV-first: while the design is buried in maxtrans/maxcap failures,
+    // slews are garbage and timing repairs thrash -- clean the electrical
+    // rules before optimizing timing, as production recipes do.
+    const bool drvStorm =
+        rec.before.maxTransViolations + rec.before.maxCapViolations > 60;
+    if (drvStorm && cfg.enableBuffering) {
+      rec.buffers = bufferInsertionFix(*nl_, setupSta, cfg.repair, place);
+      result.iterations.push_back(rec);
+      continue;
+    }
+
+    // Repair, simplest-first, per [30].
+    int minIaBefore = 0;
+    if (cfg.fixMinIaAfterSwaps && occ)
+      minIaBefore =
+          static_cast<int>(checkMinIa(*nl_, *occ, cfg.minIaSites).size());
+
+    if (cfg.enableVtSwap)
+      rec.vtSwaps = vtSwapFix(*nl_, setupSta, cfg.repair, place);
+    if (cfg.enableSizing)
+      rec.resizes = gateSizingFix(*nl_, setupSta, cfg.repair, place);
+    if (cfg.enableBuffering)
+      rec.buffers = bufferInsertionFix(*nl_, setupSta, cfg.repair, place);
+    if (cfg.enableNdr)
+      rec.ndrPromotions = ndrPromotionFix(*nl_, setupSta, cfg.repair);
+    if (cfg.enableUsefulSkew)
+      rec.usefulSkews = usefulSkewFix(*nl_, setupSta, cfg.repair);
+    if (cfg.enableHoldFix && holdSta)
+      rec.holdBuffers = holdFix(*nl_, *holdSta, cfg.repair, place);
+
+    // Sec. 2.4: at 20nm and below, the Vt swaps above may have created
+    // implant islands; clean them with the minimal-perturbation fixer.
+    if (cfg.fixMinIaAfterSwaps && occ) {
+      const int created =
+          static_cast<int>(checkMinIa(*nl_, *occ, cfg.minIaSites).size());
+      rec.minIaViolationsCreated = created - minIaBefore;
+      MinIaFixConfig mcfg;
+      mcfg.minSites = cfg.minIaSites;
+      const auto fixRep = fixMinIa(*nl_, *occ, *fp_, &setupSta, mcfg);
+      rec.minIaViolationsFixed =
+          fixRep.violationsBefore - fixRep.violationsAfter;
+    }
+
+    result.iterations.push_back(rec);
+    TC_DEBUG("closure iter %d: WNS %.1f -> edits vt=%d size=%d buf=%d",
+             rec.iteration, rec.before.setupWns, rec.vtSwaps, rec.resizes,
+             rec.buffers);
+  }
+
+  StaEngine finalSta(*nl_, setupSc_);
+  finalSta.run();
+  result.final = breakdown(finalSta);
+  if (holdSc_) {
+    StaEngine h(*nl_, *holdSc_);
+    h.run();
+    const auto hb = breakdown(h);
+    result.final.holdWns = hb.holdWns;
+    result.final.holdTns = hb.holdTns;
+    result.final.holdViolations = hb.holdViolations;
+  }
+  result.closed = result.final.setupViolations == 0 &&
+                  result.final.holdViolations == 0 &&
+                  result.final.maxTransViolations == 0 &&
+                  result.final.maxCapViolations == 0;
+  return result;
+}
+
+}  // namespace tc

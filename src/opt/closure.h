@@ -1,0 +1,69 @@
+#pragma once
+/// \file closure.h
+/// \brief The Figure-1 timing-closure loop: iterations of {STA, failure
+/// breakdown, ordered repair}, with the repair order recommended by
+/// MacDonald [30] — Vt-swap, gate sizing, buffer insertion, NDR, useful
+/// skew — plus hold fixing against a fast scenario and optional MinIA
+/// cleanup after Vt swaps (the Sec. 2.4 placement-sizing interference).
+
+#include <optional>
+#include <vector>
+
+#include "place/minia.h"
+#include "opt/transforms.h"
+#include "sta/report.h"
+
+namespace tc {
+
+struct ClosureConfig {
+  int iterations = 5;  ///< [30]: "three weeks ... permits five iterations"
+  RepairConfig repair;
+  bool enableVtSwap = true;
+  bool enableSizing = true;
+  bool enableBuffering = true;
+  bool enableNdr = true;
+  bool enableUsefulSkew = true;
+  bool enableHoldFix = true;
+  bool fixMinIaAfterSwaps = false;  ///< 20nm-and-below behaviour
+  int minIaSites = 3;
+  bool stopWhenClean = true;
+};
+
+/// Scoreboard for one loop iteration.
+struct IterationRecord {
+  int iteration = 0;
+  FailureBreakdown before;  ///< STA state entering the iteration
+  int vtSwaps = 0;
+  int resizes = 0;
+  int buffers = 0;
+  int ndrPromotions = 0;
+  int usefulSkews = 0;
+  int holdBuffers = 0;
+  int minIaViolationsCreated = 0;
+  int minIaViolationsFixed = 0;
+};
+
+struct ClosureResult {
+  std::vector<IterationRecord> iterations;
+  FailureBreakdown final;
+  bool closed = false;  ///< no setup/hold/DRV violations remain
+};
+
+class ClosureLoop {
+ public:
+  /// `setupScenario` drives setup/DRV fixing; `holdScenario` (optional)
+  /// drives hold checks/fixing at a fast corner — the minimal MCMM pair.
+  ClosureLoop(Netlist& nl, Scenario setupScenario,
+              std::optional<Scenario> holdScenario = std::nullopt,
+              std::optional<Floorplan> floorplan = std::nullopt);
+
+  ClosureResult run(const ClosureConfig& cfg);
+
+ private:
+  Netlist* nl_;
+  Scenario setupSc_;
+  std::optional<Scenario> holdSc_;
+  std::optional<Floorplan> fp_;
+};
+
+}  // namespace tc

@@ -1,0 +1,277 @@
+#include "opt/cts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace tc {
+
+CtsResult optimizeClockTree(Netlist& nl, RowOccupancy* occ,
+                            const Floorplan* fp, int kmeansIters) {
+  CtsResult res;
+
+  // Leaf buffers = clock buffers driving at least one flop CK pin.
+  std::vector<InstId> leaves;
+  std::vector<InstId> flops;
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    if (nl.isSequential(i)) {
+      flops.push_back(i);
+      continue;
+    }
+    if (!nl.instance(i).isClockTreeBuffer) continue;
+    const NetId out = nl.instance(i).fanout;
+    if (out < 0) continue;
+    for (const auto& s : nl.net(out).sinks) {
+      if (nl.isSequential(s.inst) && s.pin == 1) {
+        leaves.push_back(i);
+        break;
+      }
+    }
+  }
+  res.leafBuffers = static_cast<int>(leaves.size());
+  if (leaves.empty() || flops.empty()) return res;
+
+  // k-means over flop positions, seeded at current buffer locations.
+  struct Cluster {
+    double cx = 0.0, cy = 0.0;
+    std::vector<InstId> members;
+  };
+  std::vector<Cluster> clusters(leaves.size());
+  for (std::size_t k = 0; k < leaves.size(); ++k) {
+    clusters[k].cx = nl.instance(leaves[k]).x;
+    clusters[k].cy = nl.instance(leaves[k]).y;
+  }
+  const int cap = static_cast<int>(
+      (flops.size() + leaves.size() - 1) / leaves.size());
+  for (int iter = 0; iter < kmeansIters; ++iter) {
+    for (auto& c : clusters) c.members.clear();
+    // Capacitated greedy assignment: flops pick the nearest non-full
+    // cluster (keeps leaf fanouts balanced).
+    for (InstId f : flops) {
+      const double fx = nl.instance(f).x;
+      const double fy = nl.instance(f).y;
+      std::size_t best = 0;
+      double bestD = std::numeric_limits<double>::max();
+      for (std::size_t k = 0; k < clusters.size(); ++k) {
+        if (static_cast<int>(clusters[k].members.size()) >= cap + 1)
+          continue;
+        const double d = std::abs(clusters[k].cx - fx) +
+                         std::abs(clusters[k].cy - fy);
+        if (d < bestD) {
+          bestD = d;
+          best = k;
+        }
+      }
+      clusters[best].members.push_back(f);
+    }
+    for (auto& c : clusters) {
+      if (c.members.empty()) continue;
+      double sx = 0.0, sy = 0.0;
+      for (InstId f : c.members) {
+        sx += nl.instance(f).x;
+        sy += nl.instance(f).y;
+      }
+      c.cx = sx / static_cast<double>(c.members.size());
+      c.cy = sy / static_cast<double>(c.members.size());
+    }
+  }
+
+  // Reconnect CK pins and relocate leaf buffers to centroids.
+  double radiusSum = 0.0;
+  int radiusCnt = 0;
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    const InstId buf = leaves[k];
+    const NetId out = nl.instance(buf).fanout;
+    for (InstId f : clusters[k].members) {
+      const NetId cur = nl.instance(f).fanin[1];
+      if (cur != out) {
+        nl.disconnectInput(f, 1);
+        nl.connectInput(f, 1, out);
+        ++res.flopsReassigned;
+      }
+      radiusSum += std::abs(nl.instance(f).x - clusters[k].cx) +
+                   std::abs(nl.instance(f).y - clusters[k].cy);
+      ++radiusCnt;
+    }
+    if (fp) {
+      const int row = fp->rowOf(clusters[k].cy);
+      const int site = fp->siteOf(clusters[k].cx);
+      if (occ) {
+        const auto gap = occ->findGapNear(
+            *fp, row, site, nl.cellOf(buf).widthSites,
+            fp->sitesPerRow + 9 * fp->numRows);
+        if (gap.row >= 0) {
+          occ->moveCell(nl, *fp, buf, gap.row, gap.siteLo);
+          ++res.buffersMoved;
+        }
+      } else {
+        Instance& in = nl.instance(buf);
+        in.x = fp->xOf(site);
+        in.y = fp->yOf(row);
+        ++res.buffersMoved;
+      }
+    }
+  }
+  res.meanClusterRadius = radiusCnt ? radiusSum / radiusCnt : 0.0;
+
+  // Relocate upper-level buffers to the centroid of their children.
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    if (!nl.instance(i).isClockTreeBuffer) continue;
+    const NetId out = nl.instance(i).fanout;
+    if (out < 0) continue;
+    double sx = 0.0, sy = 0.0;
+    int n = 0;
+    bool drivesBuffers = false;
+    for (const auto& s : nl.net(out).sinks) {
+      if (nl.instance(s.inst).isClockTreeBuffer) drivesBuffers = true;
+      sx += nl.instance(s.inst).x;
+      sy += nl.instance(s.inst).y;
+      ++n;
+    }
+    if (!drivesBuffers || n == 0 || !fp) continue;
+    const int row = fp->rowOf(sy / n);
+    const int site = fp->siteOf(sx / n);
+    if (occ) {
+      const auto gap =
+          occ->findGapNear(*fp, row, site, nl.cellOf(i).widthSites,
+                           fp->sitesPerRow + 9 * fp->numRows);
+      if (gap.row >= 0) {
+        occ->moveCell(nl, *fp, i, gap.row, gap.siteLo);
+        ++res.buffersMoved;
+      }
+    } else {
+      nl.instance(i).x = fp->xOf(site);
+      nl.instance(i).y = fp->yOf(row);
+      ++res.buffersMoved;
+    }
+  }
+  return res;
+}
+
+SkewReport measureClockSkew(const StaEngine& engine) {
+  SkewReport rep;
+  const TimingGraph& g = engine.graph();
+  const Netlist& nl = engine.netlist();
+  rep.insertionMin = std::numeric_limits<double>::max();
+  rep.insertionMax = -std::numeric_limits<double>::max();
+
+  // Group flops by leaf buffer for local skew.
+  std::map<NetId, std::pair<Ps, Ps>> leafRange;  // net -> (minEarly, maxLate)
+  for (VertexId v : g.clockPins()) {
+    const double early = engine.arrivalKey(v, Mode::kEarly);
+    const double late = engine.arrivalKey(v, Mode::kLate);
+    if (late == kNoTime || !std::isfinite(early)) continue;
+    rep.insertionMin = std::min(rep.insertionMin, early);
+    rep.insertionMax = std::max(rep.insertionMax, late);
+    ++rep.flops;
+    const NetId ck = nl.instance(g.vertex(v).inst).fanin[1];
+    auto [it, fresh] = leafRange.try_emplace(
+        ck, std::pair<Ps, Ps>{early, late});
+    if (!fresh) {
+      it->second.first = std::min(it->second.first, early);
+      it->second.second = std::max(it->second.second, late);
+    }
+  }
+  if (rep.flops == 0) return rep;
+  rep.globalSkew = rep.insertionMax - rep.insertionMin;
+  for (const auto& [net, range] : leafRange)
+    rep.localSkewMax =
+        std::max(rep.localSkewMax, range.second - range.first);
+  return rep;
+}
+
+int balanceClockTree(Netlist& nl, const Scenario& scenario,
+                     int iterations) {
+  const Library& lib = nl.library();
+  int swaps = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    StaEngine eng(nl, scenario);
+    eng.run();
+    const TimingGraph& g = eng.graph();
+
+    // Mean CK arrival per leaf net, and the buffer driving it.
+    std::map<NetId, std::pair<double, int>> leafArr;  // net -> (sum, n)
+    for (VertexId v : g.clockPins()) {
+      const double late = eng.arrivalKey(v, Mode::kLate);
+      if (late == kNoTime) continue;
+      const NetId ck = nl.instance(g.vertex(v).inst).fanin[1];
+      auto& acc = leafArr[ck];
+      acc.first += late;
+      acc.second += 1;
+    }
+    if (leafArr.size() < 2) break;
+    std::vector<double> means;
+    for (auto& [net, acc] : leafArr) means.push_back(acc.first / acc.second);
+    std::nth_element(means.begin(), means.begin() + means.size() / 2,
+                     means.end());
+    const double median = means[means.size() / 2];
+
+    int changed = 0;
+    for (const auto& [net, acc] : leafArr) {
+      const double mean = acc.first / acc.second;
+      const InstId buf = nl.net(net).driver;
+      if (buf < 0 || !nl.instance(buf).isClockTreeBuffer) continue;
+      const Cell& cur = nl.cellOf(buf);
+      int targetDrive = cur.drive;
+      if (mean > median + 4.0 && cur.drive < 8) {
+        targetDrive = cur.drive * 2;  // slow leaf: stronger driver
+      } else if (mean < median - 4.0 && cur.drive > 1) {
+        targetDrive = cur.drive / 2;  // fast leaf: weaker driver
+      }
+      if (targetDrive == cur.drive) continue;
+      const int cand = lib.variant(cur.footprint, cur.vt, targetDrive);
+      if (cand < 0) continue;
+      nl.swapCell(buf, cand);
+      ++swaps;
+      ++changed;
+    }
+    if (changed == 0) break;
+  }
+  return swaps;
+}
+
+McmmSkew skewAcrossScenarios(const std::vector<const StaEngine*>& engines) {
+  McmmSkew out;
+  if (engines.empty()) return out;
+  const TimingGraph& g = engines.front()->graph();
+
+  for (const StaEngine* e : engines)
+    out.globalSkewPerScenario.push_back(measureClockSkew(*e).globalSkew);
+
+  // Cross-corner insertion-delay variation per flop, normalized per
+  // scenario by the mean insertion delay (so faster corners don't trivially
+  // dominate) — the skew-variation objective of [10].
+  std::vector<double> meanIns(engines.size(), 0.0);
+  for (std::size_t s = 0; s < engines.size(); ++s) {
+    int n = 0;
+    for (VertexId v : g.clockPins()) {
+      const double late = engines[s]->arrivalKey(v, Mode::kLate);
+      if (late == kNoTime) continue;
+      meanIns[s] += late;
+      ++n;
+    }
+    if (n) meanIns[s] /= n;
+  }
+  for (VertexId v : g.clockPins()) {
+    double lo = std::numeric_limits<double>::max();
+    double hi = -std::numeric_limits<double>::max();
+    bool ok = true;
+    for (std::size_t s = 0; s < engines.size(); ++s) {
+      const double late = engines[s]->arrivalKey(v, Mode::kLate);
+      if (late == kNoTime || meanIns[s] <= 0.0) {
+        ok = false;
+        break;
+      }
+      const double norm = late / meanIns[s];
+      lo = std::min(lo, norm);
+      hi = std::max(hi, norm);
+    }
+    if (ok)
+      out.worstCrossCornerVariation =
+          std::max(out.worstCrossCornerVariation, hi - lo);
+  }
+  return out;
+}
+
+}  // namespace tc

@@ -1,0 +1,68 @@
+#pragma once
+/// \file cts.h
+/// \brief Post-placement clock-tree optimization and skew measurement.
+///
+/// The paper calls multi-corner multi-mode clock network synthesis "of
+/// particular note" among the hard problems ("each of hundreds of
+/// scenarios has different clock insertion delay and timing constraints"),
+/// and cites the global-local framework of Han et al. [10] for
+/// simultaneous multi-corner skew-variation reduction.
+///
+/// The generator's clock tree is built netlist-order-blind; after
+/// placement its leaf clusters straddle the die and skew is dominated by
+/// wire-length imbalance. optimizeClockTree() re-clusters flops
+/// geometrically (k-means over the placement, seeded by the existing leaf
+/// buffers), reconnects CK pins, and relocates every tree buffer to its
+/// subtree centroid — the placement-aware CTO step. measureClockSkew()
+/// reports insertion delays and skew from the engine's CK arrivals, and
+/// skewAcrossScenarios() the [10]-style multi-corner skew spread.
+
+#include <vector>
+
+#include "place/placement.h"
+#include "sta/engine.h"
+
+namespace tc {
+
+struct CtsResult {
+  int leafBuffers = 0;
+  int flopsReassigned = 0;
+  int buffersMoved = 0;
+  double meanClusterRadius = 0.0;  ///< um, after re-clustering
+};
+
+/// Geometric re-clustering + buffer relocation on a placed design.
+/// Requires placement; occupancy (optional) keeps moves legal.
+CtsResult optimizeClockTree(Netlist& nl, RowOccupancy* occ,
+                            const Floorplan* fp, int kmeansIters = 8);
+
+struct SkewReport {
+  Ps insertionMin = 0.0;  ///< earliest CK arrival (early mode)
+  Ps insertionMax = 0.0;  ///< latest CK arrival (late mode)
+  Ps globalSkew = 0.0;    ///< max late - min early across all flops
+  Ps localSkewMax = 0.0;  ///< worst launch/capture skew over flop pairs
+                          ///< sharing a leaf buffer
+  int flops = 0;
+};
+
+/// Skew from a completed engine run (useful-skew adjustments included).
+SkewReport measureClockSkew(const StaEngine& engine);
+
+/// STA-driven skew balancing: iteratively resize leaf clock buffers (and
+/// stretch under-loaded leaf nets via their drive) so every leaf's
+/// insertion delay approaches the median — the sizing half of classic CTS
+/// balancing. Returns the number of buffer swaps applied.
+int balanceClockTree(Netlist& nl, const Scenario& scenario,
+                     int iterations = 3);
+
+/// Multi-corner skew statement: global skew per scenario plus the
+/// cross-scenario variation of each flop's insertion delay (the quantity
+/// [10] minimizes). Engines must share one netlist.
+struct McmmSkew {
+  std::vector<Ps> globalSkewPerScenario;
+  Ps worstCrossCornerVariation = 0.0;  ///< max over flops of (max-min
+                                       ///< normalized insertion delay)
+};
+McmmSkew skewAcrossScenarios(const std::vector<const StaEngine*>& engines);
+
+}  // namespace tc

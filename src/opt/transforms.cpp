@@ -1,0 +1,384 @@
+#include "opt/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tc {
+
+namespace {
+
+/// Instances on failing paths, most critical first.
+std::vector<std::pair<Ps, InstId>> criticalInstances(const Netlist& nl,
+                                                     const StaEngine& sta,
+                                                     Ps slackTarget) {
+  std::vector<std::pair<Ps, InstId>> out;
+  // Instances appended after the STA snapshot (fresh buffers) are unknown
+  // to its graph; they are picked up by the next iteration's run.
+  const int span = std::min(nl.instanceCount(), sta.graph().instanceSpan());
+  for (InstId i = 0; i < span; ++i) {
+    if (nl.instance(i).isClockTreeBuffer) continue;
+    const VertexId v = sta.graph().outputVertex(i);
+    if (v < 0) continue;
+    const Ps slack = sta.vertexSlack(v);
+    if (slack < slackTarget) out.push_back({slack, i});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+VtClass fasterVt(VtClass vt) {
+  return vt == VtClass::kUlvt ? vt
+                              : static_cast<VtClass>(static_cast<int>(vt) - 1);
+}
+VtClass slowerVt(VtClass vt) {
+  return vt == VtClass::kHvt ? vt
+                             : static_cast<VtClass>(static_cast<int>(vt) + 1);
+}
+
+bool isClockNet(const Netlist& nl, NetId n) {
+  const Net& net = nl.net(n);
+  if (net.driver >= 0) return nl.instance(net.driver).isClockTreeBuffer;
+  if (net.driverPort >= 0) {
+    for (const auto& c : nl.clocks())
+      if (c.port == net.driverPort) return true;
+  }
+  return false;
+}
+
+/// Place a freshly created instance near (x, y), if a placement exists.
+/// Falls back to the raw coordinates (unlegalized) rather than leaving the
+/// cell at the origin, which would fabricate a chip-spanning wire.
+void placeNewCell(Netlist& nl, PlacementCtx place, InstId inst, Um x, Um y) {
+  if (!place.occ || !place.fp) return;
+  const int row = place.fp->rowOf(y);
+  const int site = place.fp->siteOf(x);
+  const auto gap = place.occ->findGapNear(
+      *place.fp, row, site, nl.cellOf(inst).widthSites,
+      place.fp->sitesPerRow + 9 * place.fp->numRows);
+  if (gap.row >= 0) {
+    place.occ->moveCell(nl, *place.fp, inst, gap.row, gap.siteLo);
+  } else {
+    Instance& in = nl.instance(inst);
+    in.x = place.fp->xOf(site);
+    in.y = place.fp->yOf(row);
+  }
+}
+
+}  // namespace
+
+int vtSwapFix(Netlist& nl, const StaEngine& sta, const RepairConfig& cfg,
+              PlacementCtx place) {
+  (void)place;  // Vt swap keeps the footprint; MinIA cleanup runs separately
+  const Library& lib = nl.library();
+  int edits = 0;
+  for (const auto& [slack, inst] : criticalInstances(nl, sta, cfg.slackTarget)) {
+    if (edits >= cfg.maxEdits) break;
+    const Cell& cur = nl.cellOf(inst);
+    const VtClass target = fasterVt(cur.vt);
+    if (target == cur.vt) continue;
+    const int cand = lib.variant(cur.footprint, target, cur.drive);
+    if (cand < 0) continue;
+    nl.swapCell(inst, cand);
+    ++edits;
+  }
+  return edits;
+}
+
+int gateSizingFix(Netlist& nl, const StaEngine& sta, const RepairConfig& cfg,
+                  PlacementCtx place) {
+  const Library& lib = nl.library();
+  int edits = 0;
+  for (const auto& [slack, inst] : criticalInstances(nl, sta, cfg.slackTarget)) {
+    if (edits >= cfg.maxEdits) break;
+    const Cell& cur = nl.cellOf(inst);
+    if (cur.drive >= cfg.maxDrive) continue;
+    const int cand = lib.variant(cur.footprint, cur.vt, cur.drive * 2);
+    if (cand < 0) continue;
+    // Upsizing only pays when the stage is over-loaded (electrical effort
+    // above the optimal-fanout region); otherwise the doubled input cap
+    // slows the (equally critical) driver more than this stage speeds up.
+    {
+      const NetId out = nl.instance(inst).fanout;
+      if (out < 0) continue;
+      const Ff load = sta.delayCalc().parasitics(out).totalCap;
+      const double effort = load / std::max(cur.pinCap, 0.1);
+      if (effort < 5.0) continue;
+    }
+    const int newWidth = lib.cell(cand).widthSites;
+    if (place.occ && place.fp && nl.instance(inst).row >= 0) {
+      if (!place.occ->resizeCell(nl, *place.fp, inst, newWidth)) {
+        // No room in place: relocate to a gap that fits the bigger cell.
+        const auto gap = place.occ->findGapNear(
+            *place.fp, nl.instance(inst).row, nl.instance(inst).siteLo,
+            newWidth, 120);
+        if (gap.row < 0) continue;  // skip rather than create overlap
+        nl.swapCell(inst, cand);
+        place.occ->moveCell(nl, *place.fp, inst, gap.row, gap.siteLo);
+        ++edits;
+        continue;
+      }
+    }
+    nl.swapCell(inst, cand);
+    ++edits;
+  }
+  return edits;
+}
+
+int bufferInsertionFix(Netlist& nl, const StaEngine& sta,
+                       const RepairConfig& cfg, PlacementCtx place) {
+  const Library& lib = nl.library();
+  const int bufCell = lib.variant("BUF", VtClass::kSvt, 4);
+  int edits = 0;
+
+  // Victims: DRV nets first (eligible for relay chains), then critical
+  // high-fanout nets (sink splitting only -- a relay buffer in a failing
+  // path would make WNS worse).
+  std::vector<std::pair<NetId, bool>> victims;  // (net, isDrv)
+  for (const auto& v : sta.drvViolations()) victims.push_back({v.net, true});
+  for (const auto& [slack, inst] : criticalInstances(nl, sta, cfg.slackTarget)) {
+    (void)slack;
+    const NetId n = nl.instance(inst).fanout;
+    if (n >= 0 && nl.net(n).sinks.size() >= 6) victims.push_back({n, false});
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(nl.netCount()), false);
+
+  for (const auto& [n, isDrv] : victims) {
+    if (edits >= cfg.maxEdits) break;
+    if (n < 0 || static_cast<std::size_t>(n) >= seen.size() ||
+        seen[static_cast<std::size_t>(n)])
+      continue;
+    seen[static_cast<std::size_t>(n)] = true;
+    if (isClockNet(nl, n)) continue;
+    // Copy what we need up front: net edits below reallocate net storage.
+    const std::vector<Net::Sink> netSinks = nl.net(n).sinks;
+    const InstId netDriver = nl.net(n).driver;
+    if (netSinks.size() < 2) continue;
+
+    // Sink ordering: DRV nets are split *geographically* (groups must be
+    // spatially compact, or each group's wire still spans the die);
+    // timing-driven splits keep the most-critical sinks on the direct net
+    // (a buffer in a failing path would make WNS worse).
+    std::vector<Net::Sink> sinks = netSinks;
+    const bool placed = netDriver >= 0 && nl.instance(netDriver).row >= 0;
+    auto sinkSlack = [&](const Net::Sink& s) -> Ps {
+      if (s.inst >= sta.graph().instanceSpan()) return 1e18;
+      const VertexId v = sta.graph().inputVertex(s.inst, s.pin);
+      return sta.vertexSlack(v);
+    };
+    if (isDrv && placed) {
+      std::sort(sinks.begin(), sinks.end(),
+                [&](const Net::Sink& a, const Net::Sink& b) {
+                  const Instance& ia = nl.instance(a.inst);
+                  const Instance& ib = nl.instance(b.inst);
+                  if (ia.x != ib.x) return ia.x < ib.x;
+                  return ia.y < ib.y;
+                });
+    } else {
+      std::sort(sinks.begin(), sinks.end(),
+                [&](const Net::Sink& a, const Net::Sink& b) {
+                  return sinkSlack(a) < sinkSlack(b);
+                });
+    }
+    const Ff groupCapLimit =
+        std::max(0.6 * sta.scenario().limits.maxCapacitance,
+                 2.0 * lib.cell(bufCell).pinCap);
+    // Keep the near sinks up to the cap budget (minus room for buffer pins).
+    std::size_t keep = 0;
+    Ff keepCap = 0.0;
+    while (keep < sinks.size() / 2 + 1 && keep < sinks.size()) {
+      const Ff c = nl.cellOf(sinks[keep].inst).pinCap;
+      if (keepCap + c > 0.5 * groupCapLimit) break;
+      keepCap += c;
+      ++keep;
+    }
+    // Wire-dominated DRV nets with few sinks (a long route) cannot be
+    // fixed by sink splitting: insert a *chain* of fast relay buffers along
+    // the route so every segment's wire cap fits the limit in one pass.
+    const Ff capLimit = sta.scenario().limits.maxCapacitance;
+    const NetParasitics& para = sta.delayCalc().parasitics(n);
+    const bool needRelay = isDrv && sinks.size() <= 3 &&
+                           para.wireCap > 0.55 * capLimit;
+    if (needRelay && placed) {
+      const int hops = std::clamp(
+          static_cast<int>(std::ceil(para.wireCap / (0.45 * capLimit))) - 1,
+          1, 3);
+      Um cx = 0.0, cy = 0.0;
+      for (const auto& s : sinks) {
+        cx += nl.instance(s.inst).x;
+        cy += nl.instance(s.inst).y;
+      }
+      cx /= static_cast<double>(sinks.size());
+      cy /= static_cast<double>(sinks.size());
+      const Um dx = nl.instance(netDriver).x;
+      const Um dy = nl.instance(netDriver).y;
+      const int relayCell = lib.variant("BUF", VtClass::kSvt, 8);
+      NetId cur = n;
+      for (int j = 1; j <= hops; ++j) {
+        const InstId buf = nl.addInstance(
+            "relay_" + std::to_string(nl.instanceCount()),
+            relayCell >= 0 ? relayCell : bufCell);
+        const double f = static_cast<double>(j) / (hops + 1);
+        nl.connectInput(buf, 0, cur);
+        cur = nl.addNet("relayn_" + std::to_string(n) + "_" +
+                        std::to_string(j));
+        nl.connectOutput(buf, cur);
+        placeNewCell(nl, place, buf, dx + (cx - dx) * f, dy + (cy - dy) * f);
+      }
+      for (const auto& s : sinks) {
+        nl.disconnectInput(s.inst, s.pin);
+        nl.connectInput(s.inst, s.pin, cur);
+      }
+      ++edits;
+      continue;
+    }
+    if (keep >= sinks.size()) continue;
+
+    std::size_t k = keep;
+    while (k < sinks.size()) {
+      const InstId buf = nl.addInstance(
+          "rebuf_" + std::to_string(nl.instanceCount()), bufCell);
+      const NetId newNet =
+          nl.addNet("rebufn_" + std::to_string(n) + "_" + std::to_string(k));
+      nl.connectOutput(buf, newNet);
+      Um cx = 0.0, cy = 0.0;
+      Um gx0 = 0.0, gy0 = 0.0;
+      Ff groupCap = 0.0;
+      std::size_t moved = 0;
+      while (k < sinks.size()) {
+        const Ff c = nl.cellOf(sinks[k].inst).pinCap;
+        if (moved > 0 && groupCap + c > groupCapLimit) break;
+        if (placed) {
+          const Instance& si = nl.instance(sinks[k].inst);
+          if (moved == 0) {
+            gx0 = si.x;
+            gy0 = si.y;
+          } else if (isDrv && std::abs(si.x - gx0) + std::abs(si.y - gy0) >
+                                  90.0) {
+            break;  // keep DRV groups spatially compact
+          }
+        }
+        nl.disconnectInput(sinks[k].inst, sinks[k].pin);
+        nl.connectInput(sinks[k].inst, sinks[k].pin, newNet);
+        cx += nl.instance(sinks[k].inst).x;
+        cy += nl.instance(sinks[k].inst).y;
+        groupCap += c;
+        ++moved;
+        ++k;
+      }
+      nl.connectInput(buf, 0, n);
+      if (placed && moved > 0) {
+        placeNewCell(nl, place, buf, cx / static_cast<double>(moved),
+                     cy / static_cast<double>(moved));
+      }
+    }
+    ++edits;
+  }
+  return edits;
+}
+
+int ndrPromotionFix(Netlist& nl, const StaEngine& sta,
+                    const RepairConfig& cfg) {
+  int edits = 0;
+  for (const auto& [slack, inst] : criticalInstances(nl, sta, cfg.slackTarget)) {
+    (void)slack;
+    if (edits >= cfg.maxEdits) break;
+    const NetId n = nl.instance(inst).fanout;
+    if (n < 0 || nl.net(n).ndrClass != 0) continue;
+    const NetParasitics& p = sta.delayCalc().parasitics(n);
+    if (p.wirelength < 40.0) continue;  // NDR only pays on long wires
+    nl.net(n).ndrClass = 2;             // 2W2S
+    ++edits;
+  }
+  return edits;
+}
+
+int usefulSkewFix(Netlist& nl, const StaEngine& sta, const RepairConfig& cfg,
+                  Ps maxSkewStep) {
+  int edits = 0;
+  auto eps = sta.endpoints();
+  std::sort(eps.begin(), eps.end(),
+            [](const EndpointTiming& a, const EndpointTiming& b) {
+              return a.setupSlack < b.setupSlack;
+            });
+  constexpr Ps kMaxTotalSkew = 60.0;  // ping-pong guard (Sec. 2.3)
+  for (const auto& ep : eps) {
+    if (edits >= cfg.maxEdits) break;
+    if (ep.flop < 0 || ep.setupSlack >= cfg.slackTarget) continue;
+    if (nl.instance(ep.flop).usefulSkew >= kMaxTotalSkew) continue;
+    // Headroom: the flop's own hold slack, and the setup slack of paths it
+    // launches (delaying its clock delays its Q).
+    Ps launchHeadroom = std::numeric_limits<double>::infinity();
+    const VertexId q = sta.graph().outputVertex(ep.flop);
+    if (q >= 0) launchHeadroom = sta.vertexSlack(q);
+    const Ps holdHeadroom =
+        std::isfinite(ep.holdSlack) ? ep.holdSlack : maxSkewStep;
+    Ps step = std::min({-ep.setupSlack + 2.0, maxSkewStep,
+                        holdHeadroom - 5.0, launchHeadroom - 5.0});
+    if (step <= 1.0) continue;
+    nl.instance(ep.flop).usefulSkew += step;
+    ++edits;
+  }
+  return edits;
+}
+
+int holdFix(Netlist& nl, const StaEngine& holdSta, const RepairConfig& cfg,
+            PlacementCtx place) {
+  const Library& lib = nl.library();
+  const int delayCell = lib.variant("BUF", VtClass::kHvt, 1);
+  int edits = 0;
+  for (const auto& ep : holdSta.endpoints()) {
+    if (edits >= cfg.maxEdits) break;
+    if (ep.flop < 0 || ep.holdSlack >= 0.0) continue;
+    // Do not eat into setup headroom that isn't there.
+    if (ep.setupSlack < 40.0) continue;
+    const NetId dNet = nl.instance(ep.flop).fanin[0];
+    if (dNet < 0) continue;
+    const InstId buf = nl.addInstance(
+        "holdbuf_" + std::to_string(nl.instanceCount()), delayCell);
+    const NetId newNet = nl.addNet("holdn_" + std::to_string(ep.flop));
+    nl.disconnectInput(ep.flop, 0);
+    nl.connectOutput(buf, newNet);
+    nl.connectInput(buf, 0, dNet);
+    nl.connectInput(ep.flop, 0, newNet);
+    placeNewCell(nl, place, buf, nl.instance(ep.flop).x,
+                 nl.instance(ep.flop).y);
+    ++edits;
+  }
+  return edits;
+}
+
+int leakageRecovery(Netlist& nl, const StaEngine& sta,
+                    const RepairConfig& cfg, double* recoveredUw) {
+  const Library& lib = nl.library();
+  // Highest-leakage cells with comfortable slack first.
+  std::vector<std::pair<double, InstId>> order;
+  const int span = std::min(nl.instanceCount(), sta.graph().instanceSpan());
+  for (InstId i = 0; i < span; ++i) {
+    if (nl.instance(i).isClockTreeBuffer) continue;
+    const VertexId v = sta.graph().outputVertex(i);
+    if (v < 0) continue;
+    const Ps slack = sta.vertexSlack(v);
+    if (!std::isfinite(slack) || slack < cfg.leakageSlackFloor) continue;
+    order.push_back({-nl.cellOf(i).leakagePower, i});
+  }
+  std::sort(order.begin(), order.end());
+  int edits = 0;
+  double saved = 0.0;
+  for (const auto& [negLeak, inst] : order) {
+    (void)negLeak;
+    if (edits >= cfg.maxEdits) break;
+    const Cell& cur = nl.cellOf(inst);
+    const VtClass target = slowerVt(cur.vt);
+    if (target == cur.vt) continue;
+    const int cand = lib.variant(cur.footprint, target, cur.drive);
+    if (cand < 0) continue;
+    saved += cur.leakagePower - lib.cell(cand).leakagePower;
+    nl.swapCell(inst, cand);
+    ++edits;
+  }
+  if (recoveredUw) *recoveredUw = saved;
+  return edits;
+}
+
+}  // namespace tc

@@ -1,0 +1,67 @@
+#pragma once
+/// \file transforms.h
+/// \brief The timing-closure repair transforms of the Fig. 1 loop, in the
+/// recommended application order of MacDonald [30]: Vt-swap first, then
+/// gate sizing, buffer insertion, non-default routing rules, and useful
+/// skew — plus hold fixing and leakage recovery.
+///
+/// Every transform takes the *latest* STA results for victim selection and
+/// edits the netlist (and, when placed, the row occupancy, because at 20nm
+/// and below "post-detailed-routing Vt-swap is no longer independent of
+/// detailed placement" — Sec. 2.4). Callers re-run STA afterwards.
+
+#include <optional>
+
+#include "place/placement.h"
+#include "sta/engine.h"
+
+namespace tc {
+
+/// Shared knobs for one repair pass.
+struct RepairConfig {
+  int maxEdits = 200;           ///< victim cap per pass
+  Ps slackTarget = 0.0;         ///< fix endpoints below this slack
+  Ps leakageSlackFloor = 40.0;  ///< recovery only above this slack
+  int maxDrive = 8;
+};
+
+/// Placement context for legality-aware edits (nullptr = pre-placement).
+struct PlacementCtx {
+  RowOccupancy* occ = nullptr;
+  const Floorplan* fp = nullptr;
+};
+
+/// Swap critical cells one Vt step faster (toward ULVT). Returns edits.
+int vtSwapFix(Netlist& nl, const StaEngine& sta, const RepairConfig& cfg,
+              PlacementCtx place = {});
+
+/// Upsize critical cells one drive step (with in-row legalization).
+int gateSizingFix(Netlist& nl, const StaEngine& sta, const RepairConfig& cfg,
+                  PlacementCtx place = {});
+
+/// Split heavily-loaded / slew-violating nets with a buffer; far sinks move
+/// behind the new buffer. Also the maxtrans/maxcap DRV fix.
+int bufferInsertionFix(Netlist& nl, const StaEngine& sta,
+                       const RepairConfig& cfg, PlacementCtx place = {});
+
+/// Promote long critical nets to a wide/spaced non-default routing rule.
+int ndrPromotionFix(Netlist& nl, const StaEngine& sta,
+                    const RepairConfig& cfg);
+
+/// Borrow time at failing endpoints by delaying the capture clock (bounded
+/// by the endpoint's own hold headroom and the *next* stage's setup slack).
+int usefulSkewFix(Netlist& nl, const StaEngine& sta, const RepairConfig& cfg,
+                  Ps maxSkewStep = 30.0);
+
+/// Insert delay buffers in front of hold-violating D pins. `holdSta` should
+/// be the hold-critical (fast) scenario's engine.
+int holdFix(Netlist& nl, const StaEngine& holdSta, const RepairConfig& cfg,
+            PlacementCtx place = {});
+
+/// Power recovery: downswap Vt (slower, lower leakage) on cells whose path
+/// slack comfortably exceeds the floor. Returns edits; reports recovered
+/// leakage via `recoveredUw` when non-null.
+int leakageRecovery(Netlist& nl, const StaEngine& sta,
+                    const RepairConfig& cfg, double* recoveredUw = nullptr);
+
+}  // namespace tc

@@ -1,0 +1,193 @@
+#include "place/minia.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tc {
+
+namespace {
+
+/// Violations within a single row's slot list.
+void checkRow(const Netlist& nl, const std::vector<RowOccupancy::Slot>& row,
+              int rowIdx, int minSites, std::vector<MinIaViolation>& out) {
+  std::size_t i = 0;
+  while (i < row.size()) {
+    // Start a maximal abutted same-Vt run at slot i.
+    const VtClass vt = nl.cellOf(row[i].inst).vt;
+    std::size_t j = i;
+    int width = 0;
+    while (j < row.size() && nl.cellOf(row[j].inst).vt == vt &&
+           (j == i || row[j - 1].siteHi() == row[j].siteLo)) {
+      width += row[j].width;
+      ++j;
+    }
+    // Neighbors: abutted and different Vt on both sides?
+    const bool leftAbutDiff =
+        i > 0 && row[i - 1].siteHi() == row[i].siteLo &&
+        nl.cellOf(row[i - 1].inst).vt != vt;
+    const bool rightAbutDiff =
+        j < row.size() && row[j - 1].siteHi() == row[j].siteLo &&
+        nl.cellOf(row[j].inst).vt != vt;
+    if (width < minSites && leftAbutDiff && rightAbutDiff) {
+      MinIaViolation v;
+      v.row = rowIdx;
+      v.siteLo = row[i].siteLo;
+      v.widthSites = width;
+      v.vt = vt;
+      for (std::size_t k = i; k < j; ++k) v.cells.push_back(row[k].inst);
+      out.push_back(std::move(v));
+    }
+    i = j;
+  }
+}
+
+int violationsInRow(const Netlist& nl, const RowOccupancy& occ, int row,
+                    int minSites) {
+  std::vector<MinIaViolation> v;
+  checkRow(nl, occ.row(row), row, minSites, v);
+  return static_cast<int>(v.size());
+}
+
+}  // namespace
+
+std::vector<MinIaViolation> checkMinIa(const Netlist& nl,
+                                       const RowOccupancy& occ,
+                                       int minSites) {
+  std::vector<MinIaViolation> out;
+  for (int r = 0; r < occ.numRows(); ++r)
+    checkRow(nl, occ.row(r), r, minSites, out);
+  return out;
+}
+
+MinIaFixReport fixMinIa(Netlist& nl, RowOccupancy& occ, const Floorplan& fp,
+                        const StaEngine* timing, const MinIaFixConfig& cfg) {
+  MinIaFixReport rep;
+  rep.violationsBefore =
+      static_cast<int>(checkMinIa(nl, occ, cfg.minSites).size());
+  const Library& lib = nl.library();
+
+  for (int pass = 0; pass < 3; ++pass) {
+    const auto violations = checkMinIa(nl, occ, cfg.minSites);
+    if (violations.empty()) break;
+    for (const auto& v : violations) {
+      if (v.cells.empty()) continue;
+      const InstId island = v.cells.front();
+      bool fixed = false;
+
+      // 1. Merge by reordering: try swapping the island with a same-width
+      // cell nearby in the same row; keep the swap iff the row's violation
+      // count drops.
+      if (cfg.allowReorder) {
+        const auto& row = occ.row(v.row);
+        const int before = violationsInRow(nl, occ, v.row, cfg.minSites);
+        for (const auto& cand : row) {
+          if (cand.inst == island) continue;
+          if (cand.width != nl.cellOf(island).widthSites) continue;
+          if (std::abs(cand.siteLo - v.siteLo) > cfg.maxDisplacementSites)
+            continue;
+          occ.swapCells(nl, fp, island, cand.inst);
+          const int after = violationsInRow(nl, occ, v.row, cfg.minSites);
+          if (after < before) {
+            fixed = true;
+            ++rep.merges;
+            rep.displacementSites += 2.0 * std::abs(cand.siteLo - v.siteLo);
+            break;
+          }
+          occ.swapCells(nl, fp, island, cand.inst);  // revert
+        }
+      }
+      if (fixed) continue;
+
+      // 2. Vt-align: re-swap the island to a neighbor's Vt if slack allows.
+      if (cfg.allowVtSwap && v.cells.size() == 1) {
+        bool slackOk = true;
+        if (timing) {
+          const VertexId out = timing->graph().outputVertex(island);
+          if (out >= 0) {
+            const Ps slack = timing->vertexSlack(out);
+            const Cell& cur = nl.cellOf(island);
+            // Swapping to higher Vt slows the cell; require headroom.
+            slackOk = slack == std::numeric_limits<double>::infinity() ||
+                      slack > cfg.vtSwapSlackFloor ||
+                      cur.vt > VtClass::kUlvt;  // swapping down is safe-ish
+          }
+        }
+        if (slackOk) {
+          // Neighbor Vt: pick from the abutting left cell.
+          const auto& row = occ.row(v.row);
+          VtClass target = v.vt;
+          for (std::size_t k = 0; k < row.size(); ++k) {
+            if (row[k].inst == island && k > 0)
+              target = nl.cellOf(row[k - 1].inst).vt;
+          }
+          if (target != v.vt) {
+            const Cell& cur = nl.cellOf(island);
+            const int cand = lib.variant(cur.footprint, target, cur.drive);
+            if (cand >= 0) {
+              rep.leakageDelta +=
+                  lib.cell(cand).leakagePower - cur.leakagePower;
+              nl.swapCell(island, cand);
+              ++rep.vtSwaps;
+              fixed = true;
+            }
+          }
+        }
+      }
+      if (fixed) continue;
+
+      // 3. ECO move next to a gap (filler absorbs the implant edge).
+      if (cfg.allowMove) {
+        const auto gap = occ.findGapNear(fp, v.row, v.siteLo,
+                                         nl.cellOf(island).widthSites + 1,
+                                         cfg.maxDisplacementSites);
+        if (gap.row >= 0) {
+          const int from = v.siteLo;
+          occ.moveCell(nl, fp, island, gap.row, gap.siteLo);
+          ++rep.moves;
+          rep.displacementSites += std::abs(gap.siteLo - from) +
+                                   std::abs(gap.row - v.row) * 9.0;
+        }
+      }
+    }
+  }
+
+  rep.violationsAfter =
+      static_cast<int>(checkMinIa(nl, occ, cfg.minSites).size());
+  return rep;
+}
+
+MinIaFixReport fixMinIaNaive(Netlist& nl, RowOccupancy& occ,
+                             const Floorplan& fp, int minSites) {
+  (void)fp;
+  MinIaFixReport rep;
+  rep.violationsBefore =
+      static_cast<int>(checkMinIa(nl, occ, minSites).size());
+  const Library& lib = nl.library();
+  for (int pass = 0; pass < 3; ++pass) {
+    const auto violations = checkMinIa(nl, occ, minSites);
+    if (violations.empty()) break;
+    for (const auto& v : violations) {
+      // Unconditionally align every island cell to the left neighbor's Vt.
+      const auto& row = occ.row(v.row);
+      VtClass target = v.vt;
+      for (std::size_t k = 1; k < row.size(); ++k)
+        if (row[k].inst == v.cells.front())
+          target = nl.cellOf(row[k - 1].inst).vt;
+      if (target == v.vt) continue;
+      for (InstId inst : v.cells) {
+        const Cell& cur = nl.cellOf(inst);
+        const int cand = lib.variant(cur.footprint, target, cur.drive);
+        if (cand >= 0) {
+          rep.leakageDelta += lib.cell(cand).leakagePower - cur.leakagePower;
+          nl.swapCell(inst, cand);
+          ++rep.vtSwaps;
+        }
+      }
+    }
+  }
+  rep.violationsAfter =
+      static_cast<int>(checkMinIa(nl, occ, minSites).size());
+  return rep;
+}
+
+}  // namespace tc

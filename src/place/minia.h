@@ -1,0 +1,78 @@
+#pragma once
+/// \file minia.h
+/// \brief Minimum implant area (MinIA) rule checking and fixing
+/// (paper Sec. 2.4, Fig. 6(a), after Kahng-Lee [24]).
+///
+/// Implant layers define transistor Vt; a narrow island of one Vt flavor
+/// sandwiched between cells of a different flavor violates the minimum
+/// implant width rule. The rule first bites at foundry 20nm, and it is the
+/// canonical "placement-sizing interference": a post-route Vt-swap is no
+/// longer placement-independent (it can create MinIA violations that force
+/// ECO place-and-route), which "weakens or even obviates the strategy in
+/// Figure 1".
+///
+/// The fixer implements the minimal-perturbation heuristics of [24]:
+///  1. merge      — swap positions with a nearby same-width cell so islands
+///                  coalesce;
+///  2. vt-align   — re-swap the island's Vt to match a neighbor when the
+///                  timing slack allows;
+///  3. move       — ECO-relocate the island next to same-Vt cells within a
+///                  displacement budget.
+/// A "naive" baseline (unconditionally vt-swap up, ignoring timing) mimics
+/// what the paper says recent commercial P&R versions did.
+
+#include <vector>
+
+#include "place/placement.h"
+#include "sta/engine.h"
+
+namespace tc {
+
+struct MinIaViolation {
+  int row = -1;
+  int siteLo = 0;
+  int widthSites = 0;
+  VtClass vt = VtClass::kSvt;
+  std::vector<InstId> cells;  ///< the island
+};
+
+/// Scan all rows for implant islands narrower than `minSites` that are
+/// *abutted* on both sides by different-Vt cells (a gap/filler neighbor
+/// legalizes the island, since fillers take either implant).
+std::vector<MinIaViolation> checkMinIa(const Netlist& nl,
+                                       const RowOccupancy& occ,
+                                       int minSites);
+
+struct MinIaFixConfig {
+  int minSites = 3;
+  int maxDisplacementSites = 60;
+  bool allowReorder = true;
+  bool allowVtSwap = true;
+  bool allowMove = true;
+  /// Slack floor: a Vt-swap is allowed only if the instance's current
+  /// setup slack exceeds this (ps). Ignored when timing == nullptr.
+  Ps vtSwapSlackFloor = 20.0;
+};
+
+struct MinIaFixReport {
+  int violationsBefore = 0;
+  int violationsAfter = 0;
+  int merges = 0;
+  int vtSwaps = 0;
+  int moves = 0;
+  MicroWatt leakageDelta = 0.0;  ///< leakage power change from Vt swaps
+  double displacementSites = 0.0;  ///< total cell displacement
+};
+
+/// Minimal-perturbation MinIA fixing, after [24]. `timing` (optional) gates
+/// Vt swaps on available slack and is re-queried but not re-run; callers
+/// re-run STA afterwards.
+MinIaFixReport fixMinIa(Netlist& nl, RowOccupancy& occ, const Floorplan& fp,
+                        const StaEngine* timing, const MinIaFixConfig& cfg);
+
+/// Baseline fixer: unconditionally swap every violating island to the
+/// left-neighbor Vt (fast, timing/power-oblivious).
+MinIaFixReport fixMinIaNaive(Netlist& nl, RowOccupancy& occ,
+                             const Floorplan& fp, int minSites);
+
+}  // namespace tc

@@ -1,0 +1,287 @@
+#include "place/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "interconnect/steiner.h"
+#include "util/rng.h"
+
+namespace tc {
+
+Floorplan Floorplan::forDesign(const Netlist& nl, double utilization) {
+  long totalSites = 0;
+  for (InstId i = 0; i < nl.instanceCount(); ++i)
+    totalSites += nl.cellOf(i).widthSites;
+  const double needed = static_cast<double>(totalSites) / utilization;
+  // Aim for a roughly square block: rows * sitesPerRow = needed with
+  // rowHeight ~ 9x siteWidth.
+  Floorplan fp;
+  const double aspect = fp.rowHeight / fp.siteWidth;  // sites per row height
+  const double rows = std::sqrt(needed / aspect);
+  fp.numRows = std::max(4, static_cast<int>(std::ceil(rows)));
+  fp.sitesPerRow = std::max(
+      16, static_cast<int>(std::ceil(needed / fp.numRows)));
+  return fp;
+}
+
+RowOccupancy::RowOccupancy(const Netlist& nl, const Floorplan& fp) {
+  rows_.resize(static_cast<std::size_t>(fp.numRows));
+  locOf_.assign(static_cast<std::size_t>(nl.instanceCount()), {-1, -1});
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    const Instance& inst = nl.instance(i);
+    if (inst.row < 0) continue;
+    rows_[static_cast<std::size_t>(inst.row)].push_back(
+        {i, inst.siteLo, nl.cellOf(i).widthSites});
+  }
+  for (int r = 0; r < fp.numRows; ++r) reindexRow(r);
+}
+
+void RowOccupancy::reindexRow(int r) {
+  auto& row = rows_[static_cast<std::size_t>(r)];
+  std::sort(row.begin(), row.end(),
+            [](const Slot& a, const Slot& b) { return a.siteLo < b.siteLo; });
+  for (std::size_t k = 0; k < row.size(); ++k)
+    locOf_[static_cast<std::size_t>(row[k].inst)] = {r, static_cast<int>(k)};
+}
+
+bool RowOccupancy::isLegal() const { return illegalityCount() == 0; }
+
+int RowOccupancy::illegalityCount() const {
+  int bad = 0;
+  for (const auto& row : rows_) {
+    int prevEnd = 0;
+    for (const auto& s : row) {
+      if (s.siteLo < prevEnd) ++bad;
+      prevEnd = std::max(prevEnd, s.siteHi());
+    }
+  }
+  return bad;
+}
+
+double RowOccupancy::utilization(const Floorplan& fp) const {
+  long used = 0;
+  for (const auto& row : rows_)
+    for (const auto& s : row) used += s.width;
+  return static_cast<double>(used) /
+         (static_cast<double>(fp.numRows) * fp.sitesPerRow);
+}
+
+RowOccupancy::Gap RowOccupancy::findGapNear(const Floorplan& fp, int row,
+                                            int site, int width,
+                                            int maxDisplacement) const {
+  Gap best;
+  int bestCost = maxDisplacement + 1;
+  const int rowPitchSites =
+      std::max(1, static_cast<int>(fp.rowHeight / fp.siteWidth));
+  for (int r = 0; r < fp.numRows; ++r) {
+    const int rowCost = std::abs(r - row) * rowPitchSites;
+    if (rowCost >= bestCost) continue;
+    const auto& slots = rows_[static_cast<std::size_t>(r)];
+    // Scan gaps: before first, between slots, after last.
+    int gapLo = 0;
+    for (std::size_t k = 0; k <= slots.size(); ++k) {
+      const int gapHi =
+          k < slots.size() ? slots[k].siteLo : fp.sitesPerRow;
+      if (gapHi - gapLo >= width) {
+        // Closest placement of [width] within [gapLo, gapHi) to `site`.
+        const int lo = std::clamp(site - width / 2, gapLo, gapHi - width);
+        const int cost = rowCost + std::abs(lo + width / 2 - site);
+        if (cost < bestCost) {
+          bestCost = cost;
+          best = {r, lo};
+        }
+      }
+      if (k < slots.size()) gapLo = std::max(gapLo, slots[k].siteHi());
+    }
+  }
+  return best;
+}
+
+void RowOccupancy::moveCell(Netlist& nl, const Floorplan& fp, InstId inst,
+                            int row, int siteLo) {
+  // Instances created after this occupancy snapshot (ECO buffers) enter
+  // the map on their first placement.
+  if (static_cast<std::size_t>(inst) >= locOf_.size())
+    locOf_.resize(static_cast<std::size_t>(nl.instanceCount()), {-1, -1});
+  const auto [r, k] = locOf_[static_cast<std::size_t>(inst)];
+  if (r >= 0) {
+    auto& oldRow = rows_[static_cast<std::size_t>(r)];
+    oldRow.erase(oldRow.begin() + k);
+    reindexRow(r);
+  }
+  rows_[static_cast<std::size_t>(row)].push_back(
+      {inst, siteLo, nl.cellOf(inst).widthSites});
+  reindexRow(row);
+  Instance& in = nl.instance(inst);
+  in.row = row;
+  in.siteLo = siteLo;
+  in.x = fp.xOf(siteLo);
+  in.y = fp.yOf(row);
+}
+
+bool RowOccupancy::resizeCell(Netlist& nl, const Floorplan& fp, InstId inst,
+                              int newWidth) {
+  (void)nl;
+  const auto [r, k] = locOf_[static_cast<std::size_t>(inst)];
+  if (r < 0) return false;
+  auto& row = rows_[static_cast<std::size_t>(r)];
+  const Slot& s = row[static_cast<std::size_t>(k)];
+  const int nextLo = static_cast<std::size_t>(k) + 1 < row.size()
+                         ? row[static_cast<std::size_t>(k) + 1].siteLo
+                         : fp.sitesPerRow;
+  if (s.siteLo + newWidth > nextLo) return false;
+  row[static_cast<std::size_t>(k)].width = newWidth;
+  return true;
+}
+
+void RowOccupancy::swapCells(Netlist& nl, const Floorplan& fp, InstId a,
+                             InstId b) {
+  const auto [ra, ka] = locOf_[static_cast<std::size_t>(a)];
+  const auto [rb, kb] = locOf_[static_cast<std::size_t>(b)];
+  if (ra < 0 || rb < 0) throw std::logic_error("swapCells: unplaced cell");
+  Slot& sa = rows_[static_cast<std::size_t>(ra)][static_cast<std::size_t>(ka)];
+  Slot& sb = rows_[static_cast<std::size_t>(rb)][static_cast<std::size_t>(kb)];
+  if (sa.width != sb.width)
+    throw std::logic_error("swapCells: width mismatch");
+  std::swap(sa.inst, sb.inst);
+  Instance& ia = nl.instance(a);
+  Instance& ib = nl.instance(b);
+  std::swap(ia.row, ib.row);
+  std::swap(ia.siteLo, ib.siteLo);
+  std::swap(ia.x, ib.x);
+  std::swap(ia.y, ib.y);
+  reindexRow(ra);
+  if (rb != ra) reindexRow(rb);
+  (void)fp;
+}
+
+Um totalHpwl(const Netlist& nl) {
+  Um total = 0.0;
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.driver < 0) continue;
+    Point drv{nl.instance(net.driver).x, nl.instance(net.driver).y};
+    std::vector<Point> sinks;
+    for (const auto& s : net.sinks)
+      sinks.push_back({nl.instance(s.inst).x, nl.instance(s.inst).y});
+    total += hpwl(drv, sinks);
+  }
+  return total;
+}
+
+void placeDesign(Netlist& nl, const Floorplan& fp, int refineSweeps,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  const int n = nl.instanceCount();
+  if (n == 0) return;
+
+  // 1. Dataflow x-coordinate: topological depth.
+  std::vector<int> depth(static_cast<std::size_t>(n), 0);
+  int maxDepth = 1;
+  for (InstId i : nl.topoOrder()) {
+    const Instance& inst = nl.instance(i);
+    if (inst.fanout < 0) continue;
+    for (const auto& s : nl.net(inst.fanout).sinks) {
+      const int d = depth[static_cast<std::size_t>(i)] + 1;
+      auto& ds = depth[static_cast<std::size_t>(s.inst)];
+      if (!nl.isSequential(s.inst) && d > ds) {
+        ds = d;
+        maxDepth = std::max(maxDepth, d);
+      }
+    }
+  }
+
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  const double width = fp.xOf(fp.sitesPerRow - 1);
+  const double height = fp.yOf(fp.numRows - 1);
+  for (InstId i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        width * (depth[static_cast<std::size_t>(i)] + rng.uniform()) /
+        (maxDepth + 1);
+    y[static_cast<std::size_t>(i)] = rng.uniform(0.0, height);
+  }
+
+  // 2. Force-directed sweeps: move toward the centroid of connected pins.
+  for (int sweep = 0; sweep < refineSweeps; ++sweep) {
+    for (InstId i = 0; i < n; ++i) {
+      double cx = 0.0, cy = 0.0;
+      int cnt = 0;
+      const Instance& inst = nl.instance(i);
+      for (NetId nid : inst.fanin) {
+        const Net& net = nl.net(nid);
+        if (net.driver >= 0) {
+          cx += x[static_cast<std::size_t>(net.driver)];
+          cy += y[static_cast<std::size_t>(net.driver)];
+          ++cnt;
+        }
+      }
+      if (inst.fanout >= 0) {
+        for (const auto& s : nl.net(inst.fanout).sinks) {
+          cx += x[static_cast<std::size_t>(s.inst)];
+          cy += y[static_cast<std::size_t>(s.inst)];
+          ++cnt;
+        }
+      }
+      if (cnt == 0) continue;
+      x[static_cast<std::size_t>(i)] =
+          0.5 * x[static_cast<std::size_t>(i)] + 0.5 * cx / cnt;
+      y[static_cast<std::size_t>(i)] =
+          0.5 * y[static_cast<std::size_t>(i)] + 0.5 * cy / cnt;
+    }
+  }
+
+  // 3. Legalize: assign to rows by y, pack rows by x order. Overfull rows
+  // spill to the nearest row with space.
+  std::vector<std::vector<InstId>> rowCells(
+      static_cast<std::size_t>(fp.numRows));
+  std::vector<int> rowUsed(static_cast<std::size_t>(fp.numRows), 0);
+  std::vector<InstId> order(static_cast<std::size_t>(n));
+  for (InstId i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](InstId a, InstId b) {
+    return y[static_cast<std::size_t>(a)] < y[static_cast<std::size_t>(b)];
+  });
+  for (InstId i : order) {
+    int r = fp.rowOf(y[static_cast<std::size_t>(i)]);
+    const int w = nl.cellOf(i).widthSites;
+    // Find a row with space, expanding outward.
+    for (int d = 0; d < fp.numRows; ++d) {
+      for (int cand : {r - d, r + d}) {
+        if (cand < 0 || cand >= fp.numRows) continue;
+        if (rowUsed[static_cast<std::size_t>(cand)] + w <= fp.sitesPerRow) {
+          rowCells[static_cast<std::size_t>(cand)].push_back(i);
+          rowUsed[static_cast<std::size_t>(cand)] += w;
+          r = -1;
+          break;
+        }
+      }
+      if (r == -1) break;
+    }
+    if (r != -1)
+      throw std::logic_error("placeDesign: floorplan too small");
+  }
+  for (int r = 0; r < fp.numRows; ++r) {
+    auto& cells = rowCells[static_cast<std::size_t>(r)];
+    std::sort(cells.begin(), cells.end(), [&](InstId a, InstId b) {
+      return x[static_cast<std::size_t>(a)] < x[static_cast<std::size_t>(b)];
+    });
+    // Pack with proportional gaps.
+    const int used = rowUsed[static_cast<std::size_t>(r)];
+    const int slack = fp.sitesPerRow - used;
+    const int gap =
+        cells.empty() ? 0
+                      : slack / static_cast<int>(cells.size() + 1);
+    int site = gap;
+    for (InstId i : cells) {
+      Instance& inst = nl.instance(i);
+      inst.row = r;
+      inst.siteLo = site;
+      inst.x = fp.xOf(site);
+      inst.y = fp.yOf(r);
+      site += nl.cellOf(i).widthSites + gap;
+    }
+  }
+}
+
+}  // namespace tc

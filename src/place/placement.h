@@ -1,0 +1,99 @@
+#pragma once
+/// \file placement.h
+/// \brief Row-based placement substrate: floorplan geometry, row occupancy,
+/// legality, HPWL, and ECO (nearest-gap) placement.
+///
+/// Cells occupy integer site ranges in rows, exactly the geometry the MinIA
+/// rule of Sec. 2.4 is defined over: implant (Vt) islands are maximal runs
+/// of same-Vt cells along a row.
+
+#include <vector>
+
+#include "network/netlist.h"
+
+namespace tc {
+
+struct Floorplan {
+  int numRows = 10;
+  int sitesPerRow = 100;
+  Um siteWidth = 0.2;
+  Um rowHeight = 1.8;
+
+  Um xOf(int site) const { return site * siteWidth; }
+  Um yOf(int row) const { return row * rowHeight; }
+  int siteOf(Um x) const {
+    const int s = static_cast<int>(x / siteWidth + 0.5);
+    return s < 0 ? 0 : (s >= sitesPerRow ? sitesPerRow - 1 : s);
+  }
+  int rowOf(Um y) const {
+    const int r = static_cast<int>(y / rowHeight + 0.5);
+    return r < 0 ? 0 : (r >= numRows ? numRows - 1 : r);
+  }
+
+  /// Size a floorplan to hold the design at the target site utilization.
+  static Floorplan forDesign(const Netlist& nl, double utilization = 0.70);
+};
+
+/// Site-occupancy view of a placed netlist, one entry per placed cell per
+/// row, kept sorted by site.
+class RowOccupancy {
+ public:
+  struct Slot {
+    InstId inst = -1;
+    int siteLo = 0;
+    int width = 0;
+    int siteHi() const { return siteLo + width; }  // exclusive
+  };
+
+  RowOccupancy(const Netlist& nl, const Floorplan& fp);
+
+  const std::vector<Slot>& row(int r) const {
+    return rows_[static_cast<std::size_t>(r)];
+  }
+  int numRows() const { return static_cast<int>(rows_.size()); }
+
+  /// No overlapping cells, all within row bounds.
+  bool isLegal() const;
+  /// Count of overlap/out-of-bounds offenses (diagnostics).
+  int illegalityCount() const;
+
+  /// Total used sites / capacity.
+  double utilization(const Floorplan& fp) const;
+
+  /// Find the nearest legal gap of `width` sites around (row, site);
+  /// returns {row, siteLo} or {-1,-1}. Search limited to maxDisplacement
+  /// sites (Manhattan, rows weighted by row pitch in sites).
+  struct Gap {
+    int row = -1;
+    int siteLo = -1;
+  };
+  Gap findGapNear(const Floorplan& fp, int row, int site, int width,
+                  int maxDisplacement) const;
+
+  /// Move a cell to a new location, updating both the occupancy and the
+  /// netlist coordinates. The target must be a legal gap.
+  void moveCell(Netlist& nl, const Floorplan& fp, InstId inst, int row,
+                int siteLo);
+  /// Update occupancy after an in-place width change (resize); returns
+  /// false (and leaves state unchanged) if the wider cell no longer fits.
+  bool resizeCell(Netlist& nl, const Floorplan& fp, InstId inst,
+                  int newWidth);
+  /// Swap the row positions of two cells (must have equal widths).
+  void swapCells(Netlist& nl, const Floorplan& fp, InstId a, InstId b);
+
+ private:
+  std::vector<std::vector<Slot>> rows_;
+  std::vector<std::pair<int, int>> locOf_;  ///< inst -> (row, indexInRow)
+  void reindexRow(int r);
+};
+
+/// Total half-perimeter wirelength of the design (placement quality metric).
+Um totalHpwl(const Netlist& nl);
+
+/// Timing-driven-ish constructive placer: dataflow (topological depth)
+/// ordering on x, connectivity clustering on y, followed by force-directed
+/// refinement sweeps and row legalization.
+void placeDesign(Netlist& nl, const Floorplan& fp, int refineSweeps = 3,
+                 std::uint64_t seed = 1);
+
+}  // namespace tc

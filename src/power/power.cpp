@@ -1,0 +1,36 @@
+#include "power/power.h"
+
+namespace tc {
+
+PowerReport analyzePower(const Netlist& nl, const PowerOptions& opt) {
+  PowerReport rep;
+  const Library& lib = nl.library();
+  const Volt vddLib = lib.pvt().vdd;
+  const Volt vdd = opt.vddOverride > 0.0 ? opt.vddOverride : vddLib;
+  const double vScale = (vdd * vdd) / (vddLib * vddLib);
+  const Ps period = nl.clocks().empty() ? 1000.0 : nl.clocks().front().period;
+  const double freqGhz = 1000.0 / period;  // ps period -> GHz
+
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    const Instance& inst = nl.instance(i);
+    const Cell& cell = lib.cell(inst.cellIndex);
+    rep.area += cell.area;
+    rep.leakage += cell.leakagePower * opt.leakageScale * (vdd / vddLib);
+
+    // Switching energy: internal + load (fJ); fJ * GHz = uW.
+    Ff loadCap = 0.0;
+    if (inst.fanout >= 0) loadCap = nl.netSinkCap(inst.fanout);
+    const Fj energy =
+        (cell.switchEnergy + 0.5 * loadCap * vddLib * vddLib) * vScale;
+    const bool isClock = inst.isClockTreeBuffer || cell.isSequential;
+    const double activity = isClock ? 1.0 : opt.dataActivity;
+    const double uw = energy * activity * freqGhz;
+    if (isClock)
+      rep.dynamicClock += uw;
+    else
+      rep.dynamicLogic += uw;
+  }
+  return rep;
+}
+
+}  // namespace tc

@@ -1,0 +1,33 @@
+#pragma once
+/// \file power.h
+/// \brief Design-level power and area accounting: leakage (per Vt flavor,
+/// at the library's PVT), dynamic (CV^2 f with activity factors, clock
+/// network at activity 1), and cell area. Consumed by leakage recovery, the
+/// MinIA fixer's cost accounting, and the Fig. 9 aging-signoff tradeoff.
+
+#include "network/netlist.h"
+
+namespace tc {
+
+struct PowerReport {
+  MicroWatt leakage = 0.0;
+  MicroWatt dynamicLogic = 0.0;
+  MicroWatt dynamicClock = 0.0;
+  Um2 area = 0.0;
+
+  MicroWatt total() const { return leakage + dynamicLogic + dynamicClock; }
+};
+
+struct PowerOptions {
+  double dataActivity = 0.15;  ///< toggles per cycle on data nets
+  /// Leakage multiplier (e.g. voltage/aging scaling applied by AVS studies;
+  /// leakage ~ vdd^2 exp-ish terms folded in by the caller).
+  double leakageScale = 1.0;
+  /// Supply override for dynamic energy (0 = use library PVT vdd).
+  Volt vddOverride = 0.0;
+};
+
+/// Analyze total power at the netlist's clock frequency.
+PowerReport analyzePower(const Netlist& nl, const PowerOptions& opt = {});
+
+}  // namespace tc

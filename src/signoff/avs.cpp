@@ -1,0 +1,146 @@
+#include "signoff/avs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "device/stage.h"
+#include "opt/closure.h"
+#include "place/placement.h"
+#include "util/log.h"
+
+namespace tc {
+
+DelayScaler::DelayScaler(Volt vddRef, Celsius temp, VtClass vt)
+    : vddRef_(vddRef) {
+  // FO4-ish inverter transient at each (vdd, dvt) grid point.
+  std::vector<double> vGrid;
+  for (Volt v = 0.55; v <= 1.30001; v += 0.05) vGrid.push_back(v);
+  std::vector<double> dvtGrid{0.0, 0.01, 0.02, 0.035, 0.05, 0.08};
+
+  auto stageDelay = [&](Volt vdd, Volt dvt) -> double {
+    Stage inv = Stage::make(StageKind::kInverter, 1, vt, 1.0);
+    inv.pullDown().shiftAllVt(dvt);
+    inv.pullUp().shiftAllVt(dvt);
+    SimConditions c;
+    c.vdd = vdd;
+    c.temp = temp;
+    c.load = 4.0;
+    const auto r = simulateArc(inv, 0, true, 40.0, c);
+    return r.completed ? r.delay50 : 1e9;
+  };
+
+  const double ref = stageDelay(vddRef, 0.0);
+  std::vector<double> vals;
+  vals.reserve(vGrid.size() * dvtGrid.size());
+  for (double v : vGrid)
+    for (double d : dvtGrid) vals.push_back(stageDelay(v, d) / ref);
+  table_ = Table2D(Axis(vGrid), Axis(dvtGrid), vals);
+}
+
+double DelayScaler::scale(Volt vdd, Volt dvt) const {
+  return table_.lookup(vdd, std::max(dvt, 0.0));
+}
+
+AvsLifetimeResult simulateAvsLifetime(const Netlist& nl, Ps freshDelay,
+                                      Ps periodBudget,
+                                      const DelayScaler& scaler,
+                                      const AvsConfig& cfg) {
+  AvsLifetimeResult out;
+  const double refScale = scaler.scale(cfg.vddNominal, 0.0);
+
+  auto minVddMeetingTiming = [&](Volt dvt) -> Volt {
+    for (Volt v = cfg.vddMin; v <= cfg.vddMax + 1e-9; v += cfg.vddStep) {
+      const double d = freshDelay * scaler.scale(v, dvt) / refScale;
+      if (d <= periodBudget) return v;
+    }
+    return -1.0;  // infeasible even at vddMax
+  };
+
+  // Log-spaced time steps (aging is t^n: early life moves fastest).
+  Volt dvt = 0.0;
+  double tPrev = 0.0;
+  double energyYears = 0.0;  // integral of power dt
+  for (int k = 1; k <= cfg.timeSteps; ++k) {
+    const double frac =
+        std::pow(static_cast<double>(k) / cfg.timeSteps, 3.0);
+    const double t = cfg.lifetimeYears * frac;
+    const double dt = t - tPrev;
+
+    Volt v = minVddMeetingTiming(dvt);
+    if (v < 0.0) {
+      out.feasible = false;
+      v = cfg.vddMax;
+    }
+    // Aging accrues at the chosen supply over this interval.
+    dvt = cfg.bti.advance(dvt, v, cfg.temp, dt, cfg.dcStress);
+
+    PowerOptions popt;
+    popt.vddOverride = v;
+    // Leakage falls as devices age (higher Vt) and scales with supply.
+    popt.leakageScale = std::pow(10.0, -dvt / 0.095) *
+                        (v / cfg.vddNominal) * (v / cfg.vddNominal);
+    const PowerReport pr = analyzePower(nl, popt);
+
+    out.points.push_back({t, v, dvt, pr.total()});
+    energyYears += pr.total() * dt;
+    tPrev = t;
+  }
+  out.avgPower = cfg.lifetimeYears > 0 ? energyYears / cfg.lifetimeYears : 0.0;
+  return out;
+}
+
+std::vector<AgingCornerResult> agingSignoffStudy(
+    std::shared_ptr<const Library> lib, const BlockProfile& profile,
+    const std::vector<double>& assumedYears, const AvsConfig& cfg) {
+  std::vector<AgingCornerResult> out;
+  const DelayScaler scaler(cfg.vddNominal, cfg.temp);
+  const double refScale = scaler.scale(cfg.vddNominal, 0.0);
+
+  int cornerIdx = 0;
+  for (double years : assumedYears) {
+    ++cornerIdx;
+    AgingCornerResult res;
+    res.corner = cornerIdx;
+    res.assumedYears = years;
+    res.assumedDvt = cfg.bti.deltaVt(cfg.vddNominal, cfg.temp, years,
+                                     cfg.dcStress);
+    // Aging headroom the implementation must carry: the fresh design must
+    // run fast enough that the aged design still meets the clock.
+    const double agingFactor =
+        scaler.scale(cfg.vddNominal, res.assumedDvt) / refScale;
+
+    // Fresh netlist, tightened clock, closure sizes it.
+    Netlist nl = generateBlock(lib, profile);
+    nl.clocks().front().period = profile.clockPeriod / agingFactor;
+
+    Scenario sc;
+    sc.name = profile.name + "_corner" + std::to_string(cornerIdx);
+    sc.lib = lib;
+    sc.inputDelay = 150.0;  // fixed, so tightening T does not move PI arrivals
+    ClosureConfig ccfg;
+    ccfg.iterations = 4;
+    ccfg.enableHoldFix = false;
+    ccfg.repair.maxEdits = 400;
+    ClosureLoop loop(nl, sc);
+    const ClosureResult cres = loop.run(ccfg);
+
+    // Effective fresh critical delay: the tightened budget minus whatever
+    // slack closure left on the table (negative WNS adds to the delay).
+    const Ps freshDelay = nl.clocks().front().period - cres.final.setupWns;
+
+    const PowerReport base = analyzePower(nl);
+    res.area = base.area;
+
+    const AvsLifetimeResult life = simulateAvsLifetime(
+        nl, freshDelay, profile.clockPeriod, scaler, cfg);
+    res.avgLifetimePower = life.avgPower;
+    res.feasible = life.feasible && cres.final.setupWns > -50.0;
+    out.push_back(res);
+    TC_DEBUG("aging corner %d (%.1fy): area %.0f um2, power %.1f uW%s",
+             cornerIdx, years, res.area, res.avgLifetimePower,
+             res.feasible ? "" : " (INFEASIBLE)");
+  }
+  return out;
+}
+
+}  // namespace tc

@@ -1,0 +1,124 @@
+#include "signoff/corners.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "device/mosfet.h"
+#include "device/tech.h"
+
+namespace tc {
+
+std::string ViewDef::name() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s_%s_%.2fV_%.0fC_%s", mode.c_str(),
+                tc::toString(process), vdd, temp, tc::toString(beol));
+  return buf;
+}
+
+long CornerUniverse::totalViews() const {
+  long n = static_cast<long>(modes.size()) * voltages.size() * temps.size() *
+           process.size() * beol.size();
+  // Each asynchronous domain pair forces cross-voltage views (launch domain
+  // at one extreme, capture at the other), doubling per pair.
+  for (int i = 0; i < asyncDomainPairs; ++i) n *= 2;
+  return n;
+}
+
+std::vector<ViewDef> CornerUniverse::enumerate() const {
+  std::vector<ViewDef> out;
+  for (const auto& m : modes)
+    for (Volt v : voltages)
+      for (Celsius t : temps)
+        for (ProcessCorner p : process)
+          for (BeolCorner b : beol) out.push_back({m, v, t, p, b});
+  return out;
+}
+
+CornerUniverse CornerUniverse::socUniverse(int techNm) {
+  const TechNode& node = techNode(techNm);
+  CornerUniverse u;
+  u.modes = {"func", "func_od", "func_ud", "scan_shift", "scan_capture",
+             "bist"};
+  // Supply points: underdrive..overdrive across the node's range.
+  u.voltages.clear();
+  const int vSteps = node.finfet ? 5 : 3;  // FinFET: wide voltage scaling
+  for (int i = 0; i < vSteps; ++i)
+    u.voltages.push_back(node.vddMin +
+                         (node.vddMax - node.vddMin) * i / (vSteps - 1));
+  u.temps = {-40.0, 0.0, 25.0, 85.0, 125.0};
+  u.process = {ProcessCorner::kSSG, ProcessCorner::kTT, ProcessCorner::kFFG,
+               ProcessCorner::kFSG, ProcessCorner::kSFG};
+  // BEOL corners multiply with double patterning: each DP layer adds its
+  // own decorrelated Cw/Cb pair on top of the base set.
+  u.beol = allBeolCorners();
+  u.asyncDomainPairs = techNm <= 20 ? 3 : 1;
+  return u;
+}
+
+double viewDelayScore(const ViewDef& view) {
+  // FO4-ish stage delay estimate: C*V/Id with the real device model, so
+  // temperature inversion and corner shifts are reflected.
+  Mosfet m;
+  m.params = makeNmosParams(VtClass::kSvt);
+  m.width = 1.0;
+  const ProcessCondition pc = ProcessCondition::at(view.process);
+  m.vtShift = pc.nmosVtShift;
+  m.kScale = pc.nmosKScale;
+  const double id = m.current(view.vdd, view.vdd, view.temp);
+  if (id <= 0.0) return 1e9;
+  const double cLoad = 4.0;  // fF, FO4-ish
+  return cLoad * view.vdd / id * kNsToPs;
+}
+
+std::vector<ViewDef> pruneForSetup(const CornerUniverse& u) {
+  std::vector<ViewDef> out;
+  for (const auto& mode : u.modes) {
+    // Slowest (V, T, P) by the device score...
+    ViewDef worst;
+    double worstScore = -1.0;
+    for (Volt v : u.voltages) {
+      for (Celsius t : u.temps) {
+        for (ProcessCorner p : u.process) {
+          if (p == ProcessCorner::kFFG || p == ProcessCorner::kFF) continue;
+          const ViewDef cand{mode, v, t, p, BeolCorner::kTypical};
+          const double s = viewDelayScore(cand);
+          if (s > worstScore) {
+            worstScore = s;
+            worst = cand;
+          }
+        }
+      }
+    }
+    // ...plus the opposite-temperature twin (temperature inversion means
+    // the *other* temperature extreme can dominate above Vtr).
+    ViewDef twin = worst;
+    twin.temp = worst.temp < 25.0 ? *std::max_element(u.temps.begin(),
+                                                      u.temps.end())
+                                  : *std::min_element(u.temps.begin(),
+                                                      u.temps.end());
+    // Both at Cw and RCw (gate- vs wire-dominated criticality).
+    for (const ViewDef& base : {worst, twin}) {
+      for (BeolCorner b : {BeolCorner::kCworst, BeolCorner::kRCworst}) {
+        ViewDef v = base;
+        v.beol = b;
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ViewDef> pruneForHold(const CornerUniverse& u) {
+  std::vector<ViewDef> out;
+  const Volt vMax = *std::max_element(u.voltages.begin(), u.voltages.end());
+  for (const auto& mode : u.modes) {
+    for (Celsius t : {u.temps.front(), u.temps.back()}) {
+      for (BeolCorner b : {BeolCorner::kCbest, BeolCorner::kRCbest}) {
+        out.push_back({mode, vMax, t, ProcessCorner::kFFG, b});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tc

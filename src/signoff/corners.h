@@ -1,0 +1,65 @@
+#pragma once
+/// \file corners.h
+/// \brief The MCMM "corner super-explosion" (Sec. 2.3) and corner pruning.
+///
+/// Signoff views multiply: functional/test modes x supply voltages x
+/// temperatures x FEOL process corners x BEOL corners (per multi-patterned
+/// layer). The central engineering team's choice of the subset to actually
+/// close "has enormous influence on the balance between product quality,
+/// design effort, and schedule" — and some factors are *unavoidable*:
+/// temperature inversion forces both temperatures near Vtr, and gate-wire
+/// balance forces both Cw and RCw (footnote 10: low-V critical paths are
+/// gate-dominated -> Cw dominates; high-V paths are wire-dominated -> RCw
+/// dominates).
+
+#include <string>
+#include <vector>
+
+#include "device/process.h"
+#include "interconnect/wire.h"
+#include "util/units.h"
+
+namespace tc {
+
+/// One signoff view.
+struct ViewDef {
+  std::string mode;
+  Volt vdd = 0.9;
+  Celsius temp = 25.0;
+  ProcessCorner process = ProcessCorner::kTT;
+  BeolCorner beol = BeolCorner::kTypical;
+
+  std::string name() const;
+};
+
+/// The axes a design must in principle be signed off across.
+struct CornerUniverse {
+  std::vector<std::string> modes{"func"};
+  std::vector<Volt> voltages{0.9};
+  std::vector<Celsius> temps{25.0};
+  std::vector<ProcessCorner> process{ProcessCorner::kTT};
+  std::vector<BeolCorner> beol{BeolCorner::kTypical};
+  /// Cross-corner voltage-domain pairs for asynchronous interfaces
+  /// (each pair of independently-scalable domains multiplies views).
+  int asyncDomainPairs = 0;
+
+  long totalViews() const;
+  std::vector<ViewDef> enumerate() const;
+
+  /// A realistic SoC universe at a given node: overdrive/underdrive and
+  /// test modes, the supply range and BEOL corner list of the node.
+  static CornerUniverse socUniverse(int techNm);
+};
+
+/// Device-model-backed view scoring: estimated FO4-ish stage delay at the
+/// view's (V, T, process). Used by the pruner to find dominant views.
+double viewDelayScore(const ViewDef& view);
+
+/// Prune to the dominant setup views: per mode, the slowest (V,T,process)
+/// combination for gate-dominated paths plus the temperature-inversion
+/// counterpart, each at both Cw and RCw BEOL corners.
+std::vector<ViewDef> pruneForSetup(const CornerUniverse& u);
+/// Dominant hold views: fastest process/voltage, both temperatures, Cb/RCb.
+std::vector<ViewDef> pruneForHold(const CornerUniverse& u);
+
+}  // namespace tc

@@ -1,0 +1,83 @@
+#include "signoff/etm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tc {
+
+Ps TimingModel::predictSetupWns(Ps period, Ps inputDelay) const {
+  const Ps dT = period - refPeriod;
+  const Ps dIn = inputDelay - refInputDelay;
+  Ps wns = internalSlackRef + dT;
+  for (const auto& in : inputs)
+    wns = std::min(wns, in.slackRef + dT - dIn);
+  for (const auto& out : outputs) wns = std::min(wns, out.slackRef + dT);
+  return wns;
+}
+
+TimingModel extractTimingModel(const StaEngine& engine,
+                               const std::string& name) {
+  TimingModel m;
+  m.name = name;
+  const Netlist& nl = engine.netlist();
+  const Scenario& sc = engine.scenario();
+  m.refPeriod = engine.clockPeriod();
+  m.refInputDelay =
+      sc.inputDelay > 0.0 ? sc.inputDelay : 0.25 * m.refPeriod;
+  m.flatVertexCount = engine.graph().vertexCount();
+
+  // Internal view: an auxiliary run with data inputs silenced isolates the
+  // register-launched timing (exactly — GBA's worst-only endpoints would
+  // otherwise hide flop paths shadowed by port paths).
+  Scenario internalSc = sc;
+  internalSc.disableDataInputs = true;
+  StaEngine internal(nl, internalSc);
+  internal.run();
+  m.internalSlackRef = std::numeric_limits<double>::infinity();
+  m.internalHoldSlack = std::numeric_limits<double>::infinity();
+  for (const auto& ep : internal.endpoints()) {
+    if (ep.flop >= 0 && std::isfinite(ep.setupSlack))
+      m.internalSlackRef = std::min(m.internalSlackRef, ep.setupSlack);
+    if (ep.flop >= 0 && std::isfinite(ep.holdSlack))
+      m.internalHoldSlack = std::min(m.internalHoldSlack, ep.holdSlack);
+  }
+
+  // Boundary view from the full run. Input arcs: the backward required time
+  // at the port vertex covers *all* fanout paths of the port (not just the
+  // ones winning at the endpoints).
+  for (PortId p = 0; p < nl.portCount(); ++p) {
+    const Port& port = nl.port(p);
+    if (port.constant) continue;
+    bool isClock = false;
+    for (const auto& c : nl.clocks())
+      if (c.port == p) isClock = true;
+    if (isClock) continue;
+    const VertexId v = engine.graph().portVertex(p);
+    if (port.isInput) {
+      const Ps slack = engine.vertexSlack(v);
+      if (!std::isfinite(slack)) continue;
+      TimingModel::InputArc arc;
+      arc.port = p;
+      arc.name = port.name;
+      arc.slackRef = slack;
+      arc.requiredArrival = m.refInputDelay + slack;
+      m.inputs.push_back(arc);
+    }
+  }
+  // Output arcs from the internal run (clock-launched component only; the
+  // input->output feedthrough component is carried by the input arcs).
+  for (const auto& ep : internal.endpoints()) {
+    if (ep.flop >= 0) continue;
+    const auto& vx = internal.graph().vertex(ep.vertex);
+    TimingModel::OutputArc arc;
+    arc.port = vx.port;
+    arc.name = nl.port(vx.port).name;
+    arc.clockToOut = ep.dataLate;
+    arc.slackRef = ep.setupSlack;
+    m.outputs.push_back(arc);
+  }
+  return m;
+}
+
+}  // namespace tc

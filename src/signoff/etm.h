@@ -1,0 +1,68 @@
+#pragma once
+/// \file etm.h
+/// \brief Extracted timing models (ETMs) for hierarchical signoff.
+///
+/// Paper Comment 3: "strategies and methodology for timing budgeting,
+/// constraints evolution, and coordination of top- vs block-level effort
+/// (and, flat vs ETM-based/hierarchical analysis and optimization) all
+/// affect design schedule and QOR". An ETM abstracts a closed block to its
+/// boundary timing: per-input-port required times (setup constraints),
+/// per-output-port clock-to-out delays, feedthrough arcs, and the internal
+/// worst slack — everything expressed at a reference (period, input-delay)
+/// point plus exact linear sensitivities, so top-level what-if questions
+/// ("can this block absorb 50 ps more input delay? a 5% faster clock?")
+/// are answered in microseconds instead of a flat STA run.
+
+#include <string>
+#include <vector>
+
+#include "sta/engine.h"
+
+namespace tc {
+
+struct TimingModel {
+  std::string name;
+  Ps refPeriod = 0.0;      ///< extraction reference clock period
+  Ps refInputDelay = 0.0;  ///< extraction reference set_input_delay
+  /// Worst internal (reg-to-reg) setup slack at the reference point.
+  Ps internalSlackRef = 0.0;
+  Ps internalHoldSlack = 0.0;  ///< period-independent
+
+  /// Input-port boundary condition: slack at the reference point of the
+  /// worst path launched at this port (moves 1:1 with period and -1:1 with
+  /// input delay).
+  struct InputArc {
+    PortId port = -1;
+    std::string name;
+    Ps slackRef = 0.0;
+    /// The classic ETM view: latest allowed arrival at the reference period.
+    Ps requiredArrival = 0.0;
+  };
+  /// Output-port boundary: clock-to-output delay (and the port's slack
+  /// against the period constraint at reference).
+  struct OutputArc {
+    PortId port = -1;
+    std::string name;
+    Ps clockToOut = 0.0;
+    Ps slackRef = 0.0;
+  };
+  std::vector<InputArc> inputs;
+  std::vector<OutputArc> outputs;
+
+  /// Model size vs the flat view (the hierarchical win).
+  int flatVertexCount = 0;
+  int modelArcCount() const {
+    return static_cast<int>(inputs.size() + outputs.size()) + 1;
+  }
+
+  /// Top-level what-if: predicted setup WNS at a different clock period /
+  /// input delay. Exact for flat/no-derate scenarios (checks are linear in
+  /// both knobs); approximate under statistical derating.
+  Ps predictSetupWns(Ps period, Ps inputDelay) const;
+};
+
+/// Extract the ETM from a completed engine run.
+TimingModel extractTimingModel(const StaEngine& engine,
+                               const std::string& name = "block");
+
+}  // namespace tc

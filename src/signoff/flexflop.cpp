@@ -1,0 +1,183 @@
+#include "signoff/flexflop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace tc {
+
+namespace {
+
+/// Launch flop of an endpoint's worst setup path (-1 if PI-launched).
+InstId launchFlopOf(const StaEngine& eng, const EndpointTiming& ep) {
+  const auto path = eng.tracePath(ep.vertex, Mode::kLate, ep.setupTrans);
+  for (const auto& step : path) {
+    if (step.viaEdge < 0) continue;
+    const auto& e = eng.graph().edge(step.viaEdge);
+    if (e.kind == TimingGraph::EdgeKind::kClockToQ)
+      return eng.graph().vertex(e.from).inst;
+  }
+  return -1;
+}
+
+}  // namespace
+
+FlexFlopResult recoverFlexFlopMargin(const StaEngine& engine,
+                                     const FlexFlopConfig& cfg) {
+  FlexFlopResult result;
+
+  // --- collect endpoints with finite setup slack ---------------------------
+  struct Ep {
+    Ps baseSlack = 0.0;
+    InstId capture = -1;  ///< -1 for port endpoints
+    InstId launch = -1;
+  };
+  std::vector<Ep> eps;
+  for (const auto& ep : engine.endpoints()) {
+    if (!std::isfinite(ep.setupSlack)) continue;
+    Ep e;
+    e.baseSlack = ep.setupSlack;
+    e.capture = ep.flop;
+    e.launch = launchFlopOf(engine, ep);
+    eps.push_back(e);
+  }
+  if (eps.empty()) return result;
+
+  result.wnsBefore = std::numeric_limits<double>::infinity();
+  for (const auto& e : eps) {
+    result.wnsBefore = std::min(result.wnsBefore, e.baseSlack);
+    if (e.baseSlack < 0) result.tnsBefore += e.baseSlack;
+  }
+
+  // --- per-flop state --------------------------------------------------------
+  struct FlopState {
+    const InterdepFlopModel* model = nullptr;
+    Ps su0 = 0.0;   ///< conventional setup
+    Ps b0 = 0.0;    ///< conventional c2q (what the STA run assumed)
+    Ps bMin = 0.0, bMax = 0.0;
+    Ps su = 0.0, b = 0.0;  ///< current assignment
+    Ps holdConv = 0.0;
+    std::vector<int> captures;  ///< endpoint indices captured here
+    std::vector<int> launches;  ///< endpoint indices launched here
+  };
+  std::map<InstId, FlopState> flops;
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    for (InstId f : {eps[i].capture, eps[i].launch}) {
+      if (f < 0) continue;
+      auto [it, fresh] = flops.try_emplace(f);
+      FlopState& fs = it->second;
+      if (fresh) {
+        const Cell& cell = engine.delayCalc().cellOf(f);
+        fs.model = &cell.flop->interdep;
+        fs.su0 = cell.flop->setup;
+        fs.b0 = fs.model->c2q0 * (1.0 + cfg.pushoutFrac);
+        fs.bMin = fs.model->c2q0 * 1.01;
+        fs.bMax = fs.model->c2q0 * cfg.maxC2qStretch;
+        fs.su = fs.su0;
+        fs.b = fs.b0;
+        fs.holdConv = cell.flop->hold;
+      }
+    }
+    if (eps[i].capture >= 0)
+      flops[eps[i].capture].captures.push_back(static_cast<int>(i));
+    if (eps[i].launch >= 0)
+      flops[eps[i].launch].launches.push_back(static_cast<int>(i));
+  }
+
+  auto slackOf = [&](std::size_t i) -> Ps {
+    const Ep& e = eps[i];
+    Ps s = e.baseSlack;
+    if (e.capture >= 0) {
+      const FlopState& fs = flops[e.capture];
+      s += fs.su0 - fs.su;
+    }
+    if (e.launch >= 0) {
+      const FlopState& fs = flops[e.launch];
+      s -= fs.b - fs.b0;
+    }
+    return s;
+  };
+  auto worstSlack = [&]() -> Ps {
+    Ps w = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < eps.size(); ++i)
+      w = std::min(w, slackOf(i));
+    return w;
+  };
+
+  // --- coordinate descent -----------------------------------------------------
+  Ps prevWns = worstSlack();
+  for (int iter = 0; iter < cfg.maxIterations; ++iter) {
+    ++result.iterations;
+    for (auto& [fid, fs] : flops) {
+      if (fs.captures.empty() && fs.launches.empty()) continue;
+      // Affected-slack objective as a function of this flop's c2q budget:
+      // maximize the min affected slack; tie-break on the sum of negative
+      // slacks so WNS gains do not silently trade away TNS.
+      Ps bestB = fs.b;
+      Ps bestObj = -std::numeric_limits<double>::infinity();
+      Ps bestTns = -std::numeric_limits<double>::infinity();
+      const int kSamples = 25;
+      for (int s = 0; s <= kSamples; ++s) {
+        const Ps b = fs.bMin + (fs.bMax - fs.bMin) * s / kSamples;
+        const Ps su = fs.model->setupForC2q(b, fs.holdConv);
+        Ps obj = std::numeric_limits<double>::infinity();
+        Ps tns = 0.0;
+        auto account = [&](Ps slack) {
+          obj = std::min(obj, slack);
+          if (slack < 0) tns += slack;
+        };
+        for (int i : fs.captures) {
+          const Ep& e = eps[static_cast<std::size_t>(i)];
+          Ps slack = e.baseSlack + fs.su0 - su;
+          if (e.launch >= 0 && e.launch != fid)
+            slack -= flops[e.launch].b - flops[e.launch].b0;
+          if (e.launch == fid) slack -= b - fs.b0;
+          account(slack);
+        }
+        for (int i : fs.launches) {
+          const Ep& e = eps[static_cast<std::size_t>(i)];
+          if (e.capture == fid) continue;  // already counted above
+          Ps slack = e.baseSlack - (b - fs.b0);
+          if (e.capture >= 0) {
+            const FlopState& cs = flops[e.capture];
+            slack += cs.su0 - cs.su;
+          }
+          account(slack);
+        }
+        if (obj > bestObj + 1e-9 ||
+            (obj > bestObj - 1e-9 && tns > bestTns + 1e-9)) {
+          bestObj = obj;
+          bestTns = tns;
+          bestB = b;
+        }
+      }
+      fs.b = bestB;
+      fs.su = fs.model->setupForC2q(bestB, fs.holdConv);
+    }
+    const Ps wns = worstSlack();
+    if (wns - prevWns < cfg.minImprovement && iter > 0) break;
+    prevWns = wns;
+  }
+
+  result.wnsAfter = worstSlack();
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    const Ps s = slackOf(i);
+    if (s < 0) result.tnsAfter += s;
+  }
+  for (const auto& [fid, fs] : flops) {
+    if (std::abs(fs.b - fs.b0) < 0.25 && std::abs(fs.su - fs.su0) < 0.25)
+      continue;
+    FlexFlopAssignment a;
+    a.flop = fid;
+    a.setup = fs.su;
+    a.c2q = fs.b;
+    a.setupDelta = fs.su - fs.su0;
+    a.c2qDelta = fs.b - fs.b0;
+    result.assignments.push_back(a);
+  }
+  result.adjustedFlops = static_cast<int>(result.assignments.size());
+  return result;
+}
+
+}  // namespace tc

@@ -1,0 +1,59 @@
+#pragma once
+/// \file flexflop.h
+/// \brief Margin recovery with flexible flip-flop timing (Sec. 3.4,
+/// Fig. 10; after Kahng-Lee [23]).
+///
+/// Conventional characterization freezes each flop at one
+/// (setup, hold, c2q) point chosen by a fixed pushout criterion (e.g. 10%).
+/// In reality the three trade off along the interdependent surface
+/// c2q(s, h). Giving each flop its own operating point on that surface
+/// recovers "free" margin at the timing-path boundaries: a capture flop on
+/// a critical path can run at a smaller setup time (paying c2q it doesn't
+/// launch with), while a launch flop with lazy downstream paths can pay
+/// c2q to relax nothing. The optimizer below is the coordinate-descent /
+/// sequential-linear flavor of [23]: endpoint slacks are decomposed as
+/// linear functions of per-flop setup and c2q deviations from the
+/// conventional point, and budgets are rebalanced until the worst slack
+/// stops improving.
+
+#include <vector>
+
+#include "sta/engine.h"
+
+namespace tc {
+
+struct FlexFlopConfig {
+  int maxIterations = 12;
+  double maxC2qStretch = 1.45;  ///< budget cap: c2q <= stretch * c2q0
+  Ps minImprovement = 0.5;      ///< stop when WNS gain per sweep drops below
+  double pushoutFrac = 0.10;    ///< the conventional point being improved on
+};
+
+struct FlexFlopAssignment {
+  InstId flop = -1;
+  Ps setup = 0.0;   ///< assigned setup time
+  Ps c2q = 0.0;     ///< assigned clock-to-q budget
+  Ps setupDelta = 0.0;  ///< vs conventional (negative = tightened)
+  Ps c2qDelta = 0.0;
+};
+
+struct FlexFlopResult {
+  Ps wnsBefore = 0.0;
+  Ps wnsAfter = 0.0;
+  Ps tnsBefore = 0.0;
+  Ps tnsAfter = 0.0;
+  int adjustedFlops = 0;
+  int iterations = 0;
+  std::vector<FlexFlopAssignment> assignments;
+
+  Ps wnsGain() const { return wnsAfter - wnsBefore; }
+};
+
+/// Run flexible-flop margin recovery against a completed engine run.
+/// Purely analytical (no netlist edits): slacks are re-evaluated from the
+/// linear decomposition, which callers can verify with a full STA by
+/// materializing the assignments into per-instance constraint overrides.
+FlexFlopResult recoverFlexFlopMargin(const StaEngine& engine,
+                                     const FlexFlopConfig& cfg = {});
+
+}  // namespace tc

@@ -1,0 +1,105 @@
+#include "signoff/ir.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tc {
+
+double IrDroopMap::droopAt(Um x, Um y) const {
+  if (nx == 0 || ny == 0) return 0.0;
+  int bx = static_cast<int>(x / binSize);
+  int by = static_cast<int>(y / binSize);
+  bx = std::clamp(bx, 0, nx - 1);
+  by = std::clamp(by, 0, ny - 1);
+  return droopMv[static_cast<std::size_t>(by) * nx + bx];
+}
+
+IrDroopMap computeIrDroop(const Netlist& nl, const IrOptions& opt) {
+  IrDroopMap map;
+  map.binSize = opt.binSize;
+  Um maxX = 0.0, maxY = 0.0;
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    maxX = std::max(maxX, nl.instance(i).x);
+    maxY = std::max(maxY, nl.instance(i).y);
+  }
+  map.nx = std::max(1, static_cast<int>(maxX / opt.binSize) + 1);
+  map.ny = std::max(1, static_cast<int>(maxY / opt.binSize) + 1);
+  std::vector<double> binPowerUw(
+      static_cast<std::size_t>(map.nx) * map.ny, 0.0);
+
+  const Library& lib = nl.library();
+  const Volt vdd = lib.pvt().vdd;
+  const Ps period = nl.clocks().empty() ? 1000.0 : nl.clocks().front().period;
+  const double freqGhz = 1000.0 / period;
+
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    const Instance& inst = nl.instance(i);
+    const Cell& cell = lib.cell(inst.cellIndex);
+    Ff loadCap = 0.0;
+    if (inst.fanout >= 0) loadCap = nl.netSinkCap(inst.fanout);
+    const bool isClock = inst.isClockTreeBuffer || cell.isSequential;
+    const double activity = isClock ? 1.0 : opt.dataActivity;
+    const double uw =
+        (cell.switchEnergy + 0.5 * loadCap * vdd * vdd) * activity *
+            freqGhz +
+        cell.leakagePower;
+    int bx = std::clamp(static_cast<int>(inst.x / opt.binSize), 0,
+                        map.nx - 1);
+    int by = std::clamp(static_cast<int>(inst.y / opt.binSize), 0,
+                        map.ny - 1);
+    binPowerUw[static_cast<std::size_t>(by) * map.nx + bx] += uw;
+  }
+
+  // Droop per bin: local term through the tile's rail resistance plus a
+  // shared term through the package impedance (total current).
+  double totalUw = 0.0;
+  for (double p : binPowerUw) totalUw += p;
+  const double globalDroopMv =
+      (totalUw / vdd) * 1e-6 * opt.globalOhm * 1000.0;  // uW/V=uA -> A*ohm
+  map.droopMv.resize(binPowerUw.size());
+  for (std::size_t b = 0; b < binPowerUw.size(); ++b) {
+    const double localMv =
+        (binPowerUw[b] / vdd) * 1e-6 * opt.gridOhmPerBin * 1000.0;
+    map.droopMv[b] = localMv + globalDroopMv;
+    map.worstDroopMv = std::max(map.worstDroopMv, map.droopMv[b]);
+    map.meanDroopMv += map.droopMv[b];
+  }
+  if (!map.droopMv.empty())
+    map.meanDroopMv /= static_cast<double>(map.droopMv.size());
+  return map;
+}
+
+IrTimingResult applyIrAwareTiming(StaEngine& engine, const IrDroopMap& map,
+                                  const DelayScaler& scaler) {
+  IrTimingResult res;
+  const Netlist& nl = engine.netlist();
+  const Volt vdd = engine.scenario().vdd();
+  res.setupWnsBefore = engine.wns(Check::kSetup);
+  res.holdWnsBefore = engine.wns(Check::kHold);
+
+  const double refScale = scaler.scale(vdd, 0.0);
+  std::vector<std::array<double, 2>> late(
+      static_cast<std::size_t>(nl.instanceCount()), {1.0, 1.0});
+  std::vector<std::array<double, 2>> early = late;
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    const Instance& inst = nl.instance(i);
+    const double droopV = map.droopAt(inst.x, inst.y) * 1e-3;
+    if (droopV <= 1e-6) continue;
+    const double derate =
+        scaler.scale(std::max(vdd - droopV, 0.5), 0.0) / refScale;
+    if (derate <= 1.0 + 1e-9) continue;
+    late[static_cast<std::size_t>(i)] = {derate, derate};
+    // Droop only ever slows cells: the early/hold view keeps the nominal
+    // (fast) delays, which is the conservative signoff choice.
+    ++res.instancesDerated;
+    res.worstDeratePct =
+        std::max(res.worstDeratePct, (derate - 1.0) * 100.0);
+  }
+  engine.setMisFactors(std::move(late), std::move(early));
+  engine.run();
+  res.setupWnsAfter = engine.wns(Check::kSetup);
+  res.holdWnsAfter = engine.wns(Check::kHold);
+  return res;
+}
+
+}  // namespace tc

@@ -1,0 +1,61 @@
+#pragma once
+/// \file ir.h
+/// \brief Dynamic IR-drop aware timing (the "-dynamic" analysis option the
+/// paper's Comment 1 credits signoff STA tools with, and the "Dynamic IR"
+/// entry of Figs. 2/3).
+///
+/// Supply droop is spatial: switching current drawn in a region sags the
+/// local rail, and every cell in that region slows. The model here:
+///  - bin the placement into a power grid;
+///  - per-bin switching + leakage power -> bin current -> droop through an
+///    effective grid resistance (plus a global package/regulator term);
+///  - per-instance voltage = vdd - droop(bin);
+///  - per-instance delay derate from the device-level DelayScaler,
+///    injected into the engine through its per-instance factor hook.
+///
+/// This couples the power and timing views — the "closure of power
+/// integrity ... loops with timing analysis" the paper lists among 3DIC
+/// futures, in its planar form.
+
+#include <vector>
+
+#include "signoff/avs.h"
+#include "sta/engine.h"
+
+namespace tc {
+
+struct IrOptions {
+  Um binSize = 30.0;            ///< power-grid tile size
+  double gridOhmPerBin = 28.0;  ///< effective rail resistance per tile (ohm)
+  double globalOhm = 3.0;       ///< shared package/regulator resistance
+  double dataActivity = 0.15;
+};
+
+struct IrDroopMap {
+  int nx = 0, ny = 0;
+  Um binSize = 0.0;
+  std::vector<double> droopMv;   ///< per bin, millivolts
+  double worstDroopMv = 0.0;
+  double meanDroopMv = 0.0;
+
+  double droopAt(Um x, Um y) const;
+};
+
+/// Build the droop map from the placed netlist's switching power.
+IrDroopMap computeIrDroop(const Netlist& nl, const IrOptions& opt = {});
+
+struct IrTimingResult {
+  Ps setupWnsBefore = 0.0;
+  Ps setupWnsAfter = 0.0;
+  Ps holdWnsBefore = 0.0;
+  Ps holdWnsAfter = 0.0;
+  double worstDeratePct = 0.0;  ///< worst per-instance slowdown applied
+  int instancesDerated = 0;
+};
+
+/// Run "-dynamic": fold the droop map into per-instance delay derates (via
+/// the device-level voltage sensitivity) and re-run the engine.
+IrTimingResult applyIrAwareTiming(StaEngine& engine, const IrDroopMap& map,
+                                  const DelayScaler& scaler);
+
+}  // namespace tc

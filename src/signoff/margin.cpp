@@ -1,0 +1,69 @@
+#include "signoff/margin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace tc {
+
+std::vector<MarginComponent> defaultMarginRug() {
+  return {
+      {"pll_jitter", 18.0, true},
+      {"cts_jitter", 10.0, true},
+      {"foundry_jitter_adder", 12.0, false},  // contractual, kept flat
+      {"dynamic_ir_droop", 22.0, true},
+      {"aging_allowance", 15.0, false},
+  };
+}
+
+Ps flatSum(const std::vector<MarginComponent>& components) {
+  Ps s = 0.0;
+  for (const auto& c : components) s += c.value;
+  return s;
+}
+
+Ps detangledMargin(const std::vector<MarginComponent>& components) {
+  Ps corr = 0.0;
+  double rss = 0.0;
+  for (const auto& c : components) {
+    if (c.independent)
+      rss += c.value * c.value;
+    else
+      corr += c.value;
+  }
+  return corr + std::sqrt(rss);
+}
+
+Ps requiredFlatMargin(const StaEngine& typical, const StaEngine& slow) {
+  // Match endpoints by vertex id (same netlist => same graph layout).
+  std::map<VertexId, Ps> slowSlack;
+  for (const auto& ep : slow.endpoints())
+    slowSlack[ep.vertex] = ep.setupSlack;
+  Ps margin = 0.0;
+  for (const auto& ep : typical.endpoints()) {
+    auto it = slowSlack.find(ep.vertex);
+    if (it == slowSlack.end()) continue;
+    if (!std::isfinite(ep.setupSlack) || !std::isfinite(it->second)) continue;
+    margin = std::max(margin, ep.setupSlack - it->second);
+  }
+  return margin;
+}
+
+SignoffStrategyComparison compareSignoffStrategies(
+    const StaEngine& typical, const StaEngine& slow,
+    const std::vector<MarginComponent>& rug) {
+  SignoffStrategyComparison cmp;
+  cmp.flatMargin = requiredFlatMargin(typical, slow) + flatSum(rug);
+  cmp.detangled = requiredFlatMargin(typical, slow) + detangledMargin(rug);
+  for (const auto& ep : slow.endpoints())
+    if (ep.setupSlack < 0.0) ++cmp.slowCornerViolations;
+  for (const auto& ep : typical.endpoints()) {
+    if (!std::isfinite(ep.setupSlack)) continue;
+    if (ep.setupSlack - cmp.flatMargin < 0.0) ++cmp.typicalFlatViolations;
+    if (ep.setupSlack - cmp.detangled < 0.0)
+      ++cmp.typicalDetangledViolations;
+  }
+  return cmp;
+}
+
+}  // namespace tc

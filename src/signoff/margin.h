@@ -1,0 +1,58 @@
+#pragma once
+/// \file margin.h
+/// \brief Flat-margin bookkeeping and the "signoff at typical + flat
+/// margin" strategy (Sec. 1.3 and footnote 5).
+///
+/// Flat margins "model what cannot be modeled": PLL jitter, CTS jitter,
+/// foundry-dictated jitter margin and dynamic IR droop are all "swept under
+/// a single jitter margin rug". Decomposing them (and RSS-combining the
+/// independent ones) recovers pessimism; the module also computes the flat
+/// margin a typical-corner signoff must carry to cover a slow global
+/// corner, the AVS-era strategy ("signoff at typical").
+
+#include <string>
+#include <vector>
+
+#include "sta/engine.h"
+
+namespace tc {
+
+/// One contributor to the clock-uncertainty rug.
+struct MarginComponent {
+  std::string name;
+  Ps value = 0.0;
+  bool independent = true;  ///< eligible for RSS combination
+};
+
+/// Typical production rug at 28nm-class: PLL jitter, CTS skew residue,
+/// foundry jitter adder, dynamic IR droop allowance, aging allowance.
+std::vector<MarginComponent> defaultMarginRug();
+
+/// Sum of all components (the conventional flat rug).
+Ps flatSum(const std::vector<MarginComponent>& components);
+/// Correlated components summed, independent components RSS'd: the
+/// detangled margin of footnote 5.
+Ps detangledMargin(const std::vector<MarginComponent>& components);
+
+/// The flat margin a typical-corner signoff needs so that every endpoint
+/// that passes at typical-with-margin also passes at the slow scenario:
+/// max over endpoints of (typSlack - slowSlack), clamped at >= 0.
+/// Both engines must have run on the same netlist.
+Ps requiredFlatMargin(const StaEngine& typical, const StaEngine& slow);
+
+/// Violation counts for the three signoff strategies on the same design:
+/// full slow-corner signoff, typical + flat margin, typical + detangled
+/// margin. Quantifies the overdesign the paper says "is synonymous with
+/// cost and loss of competitiveness".
+struct SignoffStrategyComparison {
+  int slowCornerViolations = 0;
+  int typicalFlatViolations = 0;
+  int typicalDetangledViolations = 0;
+  Ps flatMargin = 0.0;
+  Ps detangled = 0.0;
+};
+SignoffStrategyComparison compareSignoffStrategies(
+    const StaEngine& typical, const StaEngine& slow,
+    const std::vector<MarginComponent>& rug);
+
+}  // namespace tc

@@ -1,0 +1,172 @@
+#include "signoff/monitor.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+namespace tc {
+
+const std::vector<MonitorDesign::StageRef>& monitorStageMenu() {
+  static const std::vector<MonitorDesign::StageRef> kMenu = {
+      {StageKind::kInverter, 1, VtClass::kLvt},
+      {StageKind::kInverter, 1, VtClass::kSvt},
+      {StageKind::kInverter, 1, VtClass::kHvt},
+      {StageKind::kNand, 2, VtClass::kSvt},
+      {StageKind::kNand, 2, VtClass::kHvt},
+      {StageKind::kNor, 2, VtClass::kSvt},
+  };
+  return kMenu;
+}
+
+MonitorDesign genericRingOscillator(int stages) {
+  MonitorDesign m;
+  m.name = "RO_INV" + std::to_string(stages);
+  for (int i = 0; i < stages; ++i)
+    m.stages.push_back({StageKind::kInverter, 1, VtClass::kSvt});
+  return m;
+}
+
+namespace {
+
+/// Nearest menu flavor: same structural family first, then nearest Vt.
+MonitorDesign::StageRef quantizeToMenu(StageKind kind, int numInputs,
+                                       VtClass vt) {
+  // Structural family: inverter-like (INV/BUF), nand-like (NAND/OAI),
+  // nor-like (NOR/AOI).
+  StageKind family = StageKind::kInverter;
+  if (kind == StageKind::kNand || kind == StageKind::kOai21)
+    family = StageKind::kNand;
+  if (kind == StageKind::kNor || kind == StageKind::kAoi21)
+    family = StageKind::kNor;
+  (void)numInputs;
+
+  const MonitorDesign::StageRef* best = nullptr;
+  int bestScore = 1 << 20;
+  for (const auto& item : monitorStageMenu()) {
+    int score = std::abs(static_cast<int>(item.vt) - static_cast<int>(vt));
+    if (item.kind != family) score += 10;
+    if (score < bestScore) {
+      bestScore = score;
+      best = &item;
+    }
+  }
+  return *best;
+}
+
+/// Path stages as (kind, inputs, vt) triples from the worst-path trace.
+std::vector<std::tuple<StageKind, int, VtClass>> pathStages(
+    const StaEngine& eng, VertexId endpoint) {
+  std::vector<std::tuple<StageKind, int, VtClass>> out;
+  const EndpointTiming* ep = nullptr;
+  for (const auto& e : eng.endpoints())
+    if (e.vertex == endpoint) ep = &e;
+  if (!ep) return out;
+  const auto path = eng.tracePath(endpoint, Mode::kLate, ep->setupTrans);
+  for (const auto& step : path) {
+    if (step.viaEdge < 0) continue;
+    const auto& e = eng.graph().edge(step.viaEdge);
+    if (e.kind != TimingGraph::EdgeKind::kCellArc) continue;
+    const Cell& c = eng.delayCalc().cellOf(eng.graph().vertex(e.from).inst);
+    if (c.isBuffer) {
+      out.push_back({StageKind::kInverter, 1, c.vt});
+      out.push_back({StageKind::kInverter, 1, c.vt});
+    } else {
+      out.push_back({c.kind, c.numInputs, c.vt});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MonitorDesign synthesizeDdro(const StaEngine& engine, VertexId endpoint) {
+  MonitorDesign m;
+  m.name = "DDRO";
+  for (const auto& [kind, inputs, vt] : pathStages(engine, endpoint))
+    m.stages.push_back(quantizeToMenu(kind, inputs, vt));
+  if (m.stages.empty()) m = genericRingOscillator();
+  return m;
+}
+
+MonitorDesign pathComposition(const StaEngine& engine, VertexId endpoint) {
+  MonitorDesign m;
+  m.name = "path";
+  for (const auto& [kind, inputs, vt] : pathStages(engine, endpoint))
+    m.stages.push_back({kind, inputs, vt});
+  return m;
+}
+
+namespace {
+/// Memoized per-flavor stage delay at a PVT/aging point.
+Ps stageDelayAt(const MonitorDesign::StageRef& ref, Volt vdd, Celsius temp,
+                Volt dvt) {
+  using Key = std::tuple<int, int, int, int, int, int>;
+  static std::map<Key, Ps> cache;
+  static std::mutex mu;
+  const Key key{static_cast<int>(ref.kind), ref.numInputs,
+                static_cast<int>(ref.vt),
+                static_cast<int>(std::lround(vdd * 1000)),
+                static_cast<int>(std::lround(temp)),
+                static_cast<int>(std::lround(dvt * 10000))};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  Stage s = Stage::make(ref.kind, ref.numInputs, ref.vt, 1.0);
+  s.pullDown().shiftAllVt(dvt);
+  s.pullUp().shiftAllVt(dvt);
+  SimConditions c;
+  c.vdd = vdd;
+  c.temp = temp;
+  c.load = 3.0;
+  const auto rise = simulateArc(s, 0, false, 40.0, c);
+  const auto fall = simulateArc(s, 0, true, 40.0, c);
+  const Ps d = (rise.completed && fall.completed)
+                   ? 0.5 * (rise.delay50 + fall.delay50)
+                   : 1e9;
+  std::lock_guard<std::mutex> lock(mu);
+  cache[key] = d;
+  return d;
+}
+}  // namespace
+
+Ps monitorDelay(const MonitorDesign& m, Volt vdd, Celsius temp, Volt dvt) {
+  Ps total = 0.0;
+  for (const auto& ref : m.stages)
+    total += stageDelayAt(ref, vdd, temp, dvt);
+  return total;
+}
+
+TrackingResult evaluateTracking(const MonitorDesign& monitor,
+                                const MonitorDesign& truth, Volt vddRef,
+                                Celsius tempRef) {
+  TrackingResult out;
+  const Ps mRef = monitorDelay(monitor, vddRef, tempRef, 0.0);
+  const Ps tRef = monitorDelay(truth, vddRef, tempRef, 0.0);
+  if (mRef <= 0.0 || tRef <= 0.0) return out;
+
+  double sum = 0.0;
+  for (Volt v : {0.65, 0.75, 0.90, 1.05}) {
+    for (Celsius t : {-30.0, 25.0, 105.0}) {
+      for (Volt dvt : {0.0, 0.02, 0.04}) {
+        TrackingPoint p;
+        p.vdd = v;
+        p.temp = t;
+        p.dvt = dvt;
+        p.monitorScale = monitorDelay(monitor, v, t, dvt) / mRef;
+        p.truthScale = monitorDelay(truth, v, t, dvt) / tRef;
+        p.errorPct =
+            100.0 * std::abs(p.monitorScale - p.truthScale) / p.truthScale;
+        out.maxErrorPct = std::max(out.maxErrorPct, p.errorPct);
+        sum += p.errorPct;
+        out.points.push_back(p);
+      }
+    }
+  }
+  out.meanErrorPct = out.points.empty() ? 0.0 : sum / out.points.size();
+  return out;
+}
+
+}  // namespace tc

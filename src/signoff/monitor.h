@@ -1,0 +1,78 @@
+#pragma once
+/// \file monitor.h
+/// \brief Critical-path-mimicking performance monitors (paper Sec. 4:
+/// "design and deployment of (critical path-mimicking) process/aging
+/// monitor circuits"; after Chan et al.'s DDRO work [3] and tunable
+/// sensors [5]).
+///
+/// An AVS controller does not see the critical path — it sees a monitor.
+/// The monitor's *tracking error* across (voltage, temperature, aging) is
+/// margin the AVS loop must carry on top of everything else. A generic
+/// inverter ring oscillator tracks poorly (critical paths mix Vt flavors
+/// and stacked gates whose sensitivity to V/T/aging differs); a
+/// design-dependent RO (DDRO) synthesized from the critical path's cell
+/// mix — quantized to a small menu of monitorable stage flavors — tracks
+/// far better. bench_monitor_tracking quantifies both.
+
+#include <string>
+#include <vector>
+
+#include "device/mosfet.h"
+#include "device/stage.h"
+#include "sta/engine.h"
+
+namespace tc {
+
+/// A monitor is a chain (conceptually a ring) of characterized stages.
+struct MonitorDesign {
+  std::string name;
+  struct StageRef {
+    StageKind kind = StageKind::kInverter;
+    int numInputs = 1;
+    VtClass vt = VtClass::kSvt;
+  };
+  std::vector<StageRef> stages;
+};
+
+/// The implementable stage menu (real monitor IP offers a few flavors, not
+/// the whole library).
+const std::vector<MonitorDesign::StageRef>& monitorStageMenu();
+
+/// Generic N-stage inverter ring oscillator (the conventional monitor).
+MonitorDesign genericRingOscillator(int stages = 13);
+
+/// Synthesize a DDRO for the worst setup path into `endpoint`: each path
+/// stage is mapped to the nearest menu flavor (same topology class,
+/// nearest Vt).
+MonitorDesign synthesizeDdro(const StaEngine& engine, VertexId endpoint);
+
+/// Exact composition of the path (used as the "silicon truth" proxy when
+/// evaluating how well a monitor tracks it).
+MonitorDesign pathComposition(const StaEngine& engine, VertexId endpoint);
+
+/// Delay of a monitor chain at a (vdd, temp, aging) point, via device-level
+/// transient simulation of each stage (memoized internally).
+Ps monitorDelay(const MonitorDesign& m, Volt vdd, Celsius temp, Volt dvt);
+
+/// Tracking evaluation: both monitor and truth are normalized to their
+/// reference-point delay; the error at a grid point is the relative
+/// mismatch of the normalized delays (this is the fraction the AVS margin
+/// must absorb).
+struct TrackingPoint {
+  Volt vdd = 0.9;
+  Celsius temp = 25.0;
+  Volt dvt = 0.0;
+  double monitorScale = 1.0;
+  double truthScale = 1.0;
+  double errorPct = 0.0;
+};
+struct TrackingResult {
+  std::vector<TrackingPoint> points;
+  double maxErrorPct = 0.0;
+  double meanErrorPct = 0.0;
+};
+TrackingResult evaluateTracking(const MonitorDesign& monitor,
+                                const MonitorDesign& truth,
+                                Volt vddRef = 0.9, Celsius tempRef = 25.0);
+
+}  // namespace tc

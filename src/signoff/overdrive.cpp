@@ -1,0 +1,96 @@
+#include "signoff/overdrive.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tc {
+
+std::vector<ShmooPoint> voltageFrequencyShmoo(
+    Netlist& nl, const Scenario& baseScenario,
+    const std::vector<std::shared_ptr<const Library>>& libsByVdd,
+    Ps basePeriod) {
+  std::vector<ShmooPoint> out;
+  const Ps savedPeriod = nl.clocks().front().period;
+
+  for (const auto& lib : libsByVdd) {
+    Scenario sc = baseScenario;
+    sc.lib = lib;
+    sc.name = "shmoo_" + lib->pvt().toString();
+
+    // Binary-search the smallest passing period. Seed the bracket from a
+    // single run at the base period.
+    nl.clocks().front().period = basePeriod;
+    StaEngine probe(nl, sc);
+    probe.run();
+    const Ps slack0 = probe.wns(Check::kSetup);
+    Ps lo = std::max(basePeriod - slack0 - 200.0, 50.0);  // failing side
+    Ps hi = basePeriod - slack0 + 100.0;                  // passing side
+    for (int it = 0; it < 12 && hi - lo > 2.0; ++it) {
+      const Ps mid = 0.5 * (lo + hi);
+      nl.clocks().front().period = mid;
+      StaEngine eng(nl, sc);
+      eng.run();
+      if (eng.wns(Check::kSetup) >= 0.0) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+
+    ShmooPoint pt;
+    pt.vdd = lib->pvt().vdd;
+    pt.minPeriod = hi;
+    pt.fMaxGhz = 1000.0 / hi;
+    {
+      nl.clocks().front().period = hi;
+      PowerOptions popt;
+      popt.vddOverride = pt.vdd;
+      // Leakage scales with the library's own PVT (already folded into the
+      // per-library leakage numbers); use that library's view directly.
+      // analyzePower reads the netlist's reference library; dynamic power
+      // scales with vddOverride, while leakage is taken from the target
+      // library's own characterization (it is strongly voltage-dependent).
+      PowerReport pr = analyzePower(nl, popt);
+      double leak = 0.0;
+      for (InstId i = 0; i < nl.instanceCount(); ++i)
+        leak += lib->cell(nl.instance(i).cellIndex).leakagePower;
+      pt.power = pr.dynamicLogic + pr.dynamicClock + leak;
+    }
+    {
+      nl.clocks().front().period = basePeriod;
+      PowerOptions popt;
+      popt.vddOverride = pt.vdd;
+      PowerReport pr = analyzePower(nl, popt);
+      double leak = 0.0;
+      for (InstId i = 0; i < nl.instanceCount(); ++i)
+        leak += lib->cell(nl.instance(i).cellIndex).leakagePower;
+      pt.powerAtBase = pr.dynamicLogic + pr.dynamicClock + leak;
+    }
+    out.push_back(pt);
+  }
+  nl.clocks().front().period = savedPeriod;
+  std::sort(out.begin(), out.end(),
+            [](const ShmooPoint& a, const ShmooPoint& b) {
+              return a.vdd < b.vdd;
+            });
+  return out;
+}
+
+int cheapestSupplyForFrequency(const std::vector<ShmooPoint>& shmoo,
+                               double fTargetGhz) {
+  int best = -1;
+  double bestPower = std::numeric_limits<double>::max();
+  for (int i = 0; i < static_cast<int>(shmoo.size()); ++i) {
+    if (shmoo[static_cast<std::size_t>(i)].fMaxGhz < fTargetGhz) continue;
+    // Power evaluated when *running at* the target frequency.
+    const double p = shmoo[static_cast<std::size_t>(i)].power *
+                     (fTargetGhz / shmoo[static_cast<std::size_t>(i)].fMaxGhz);
+    if (p < bestPower) {
+      bestPower = p;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace tc

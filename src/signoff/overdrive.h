@@ -1,0 +1,47 @@
+#pragma once
+/// \file overdrive.h
+/// \brief Overdrive / underdrive signoff optimization (after Chan, Kahng,
+/// Li, Nath, Park [4]; the paper's footnote 3 notes foundry 16/14nm logic
+/// supplies scalable 0.46-1.25 V, and Sec. 1 that "whether a part is
+/// binned" shapes the whole closure strategy).
+///
+/// Given a closed design and a lib group (libraries characterized at
+/// several supply voltages), this module answers the binning questions:
+/// what frequency does each supply point sustain (the voltage-frequency
+/// shmoo), what is the energy cost of signing off an overdrive mode, and
+/// which supply minimizes power for a required frequency bin.
+
+#include <memory>
+#include <vector>
+
+#include "liberty/library.h"
+#include "network/netlist.h"
+#include "power/power.h"
+#include "sta/engine.h"
+
+namespace tc {
+
+/// One row of the voltage-frequency shmoo.
+struct ShmooPoint {
+  Volt vdd = 0.0;
+  Ps minPeriod = 0.0;       ///< smallest period with WNS >= 0 at this supply
+  double fMaxGhz = 0.0;
+  MicroWatt power = 0.0;    ///< total power at (vdd, fMax)
+  MicroWatt powerAtBase = 0.0;  ///< total power at (vdd, base frequency)
+};
+
+/// Sweep the supply points of a lib group: at each voltage, binary-search
+/// the smallest passing clock period for the design, and account power.
+/// The scenario's library is replaced per point; all other settings are
+/// kept.
+std::vector<ShmooPoint> voltageFrequencyShmoo(
+    Netlist& nl, const Scenario& baseScenario,
+    const std::vector<std::shared_ptr<const Library>>& libsByVdd,
+    Ps basePeriod);
+
+/// The [4] question: cheapest supply meeting a frequency bin. Returns the
+/// index into the shmoo (-1 if no point meets it).
+int cheapestSupplyForFrequency(const std::vector<ShmooPoint>& shmoo,
+                               double fTargetGhz);
+
+}  // namespace tc

@@ -1,0 +1,86 @@
+#include "signoff/tbc.h"
+
+#include <algorithm>
+
+#include "sta/report.h"
+
+namespace tc {
+
+TbcAnalysis analyzeTbc(StaEngine& engine, const TbcConfig& cfg) {
+  TbcAnalysis out;
+  MonteCarloTiming mc(engine);
+
+  const auto worst = worstEndpoints(engine, Check::kSetup, cfg.numPaths);
+  for (const auto& ep : worst) {
+    const PathModel path = mc.compilePath(ep.vertex, ep.setupTrans);
+    if (path.stages.empty() || path.nominal <= 0.0) continue;
+
+    TbcPathData d;
+    d.endpoint = ep.vertex;
+    d.nominal = path.nominal;
+
+    McOptions opt = cfg.mc;
+    opt.sampleGateMismatch = false;  // isolate the BEOL component, as [2]
+    const SampleSet samples = mc.run(path, opt);
+    d.sigma3 = samples.quantile(0.99865) - samples.mean();
+
+    d.deltaCw =
+        mc.pathDelayAtCorner(path, BeolCorner::kCworst) - path.nominal;
+    d.deltaRcw =
+        mc.pathDelayAtCorner(path, BeolCorner::kRCworst) - path.nominal;
+    d.alphaCw = d.deltaCw > 1e-9 ? d.sigma3 / d.deltaCw : 99.0;
+    d.alphaRcw = d.deltaRcw > 1e-9 ? d.sigma3 / d.deltaRcw : 99.0;
+    d.normDeltaCw = d.deltaCw / d.nominal;
+    d.normDeltaRcw = d.deltaRcw / d.nominal;
+    // Eligible when the corner deltas are small (Fig. 8(b) thresholds) AND
+    // the actually-evaluated tightened excursion still covers the
+    // statistical requirement — the safety condition of [2].
+    const Ps tCw =
+        mc.pathDelayAtCorner(path, BeolCorner::kCworst, cfg.tightenedSigma) -
+        path.nominal;
+    const Ps tRcw = mc.pathDelayAtCorner(path, BeolCorner::kRCworst,
+                                         cfg.tightenedSigma) -
+                    path.nominal;
+    const bool covered = std::max(tCw, tRcw) >= d.sigma3;
+    d.tbcEligible = d.normDeltaCw < cfg.thresholdAcw &&
+                    d.normDeltaRcw < cfg.thresholdArcw && covered;
+    if (d.tbcEligible) {
+      ++out.eligible;
+      if (covered) ++out.eligibleCovered;
+      out.totalPessimismTbc += std::max(tCw, tRcw) - d.sigma3;
+    } else {
+      out.totalPessimismTbc +=
+          std::max(d.deltaCw, d.deltaRcw) - d.sigma3;
+    }
+    out.totalPessimismCbc += std::max(d.deltaCw, d.deltaRcw) - d.sigma3;
+    out.paths.push_back(d);
+  }
+  return out;
+}
+
+TbcViolationComparison compareViolations(const TbcAnalysis& a,
+                                         const StaEngine& engine,
+                                         const TbcConfig& cfg) {
+  TbcViolationComparison c;
+  // A path "violates" under a methodology when nominal + demanded margin
+  // exceeds the slack budget at the typical corner: i.e. the endpoint's
+  // typical-corner slack minus the margin goes negative.
+  // Map endpoints back to their typical slacks.
+  for (const auto& d : a.paths) {
+    Ps slack = 0.0;
+    for (const auto& ep : engine.endpoints())
+      if (ep.vertex == d.endpoint) slack = ep.setupSlack;
+    const Ps marginCbc = std::max(d.deltaCw, d.deltaRcw);
+    Ps marginTbc = marginCbc;
+    if (d.tbcEligible) {
+      // Tightened excursion scales ~ linearly with k/3.
+      marginTbc = marginCbc * cfg.tightenedSigma / 3.0;
+    }
+    if (slack - marginCbc < 0.0) ++c.violationsCbc;
+    if (slack - marginTbc < 0.0) ++c.violationsTbc;
+    if (slack - d.sigma3 < 0.0) ++c.violationsStatistical;
+  }
+  return c;
+}
+
+}  // namespace tc

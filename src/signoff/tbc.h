@@ -1,0 +1,73 @@
+#pragma once
+/// \file tbc.h
+/// \brief Tightened BEOL corners (Sec. 3.2, Fig. 8; after Chan-Dobre-Kahng
+/// [2]).
+///
+/// Signing off every path at homogeneous worst-case BEOL corners is
+/// pessimistic because per-layer variations are not fully correlated. The
+/// pessimism metric for path j at conventional BEOL corner Y is
+///
+///     alpha_j = 3*sigma_j / (d_j(Y) - d_j(typ))
+///
+/// where 3*sigma_j comes from a per-layer-decorrelated Monte Carlo. Small
+/// alpha => the corner is pessimistic for that path. Paths with small
+/// normalized corner deltas at BOTH Cw and RCw (below thresholds A_cw,
+/// A_rcw) can be signed off at *tightened* corners (k-sigma excursions,
+/// k < 3) without losing statistical coverage.
+
+#include <vector>
+
+#include "sta/mc.h"
+
+namespace tc {
+
+struct TbcPathData {
+  VertexId endpoint = -1;
+  Ps nominal = 0.0;      ///< path delay at the typical corner
+  Ps sigma3 = 0.0;       ///< 3-sigma statistical delay increase (MC)
+  Ps deltaCw = 0.0;      ///< d(Cw) - d(typ)
+  Ps deltaRcw = 0.0;
+  double alphaCw = 0.0;   ///< 3sigma / deltaCw
+  double alphaRcw = 0.0;
+  double normDeltaCw = 0.0;   ///< deltaCw / nominal (Fig 8 x-axis)
+  double normDeltaRcw = 0.0;
+  bool tbcEligible = false;
+};
+
+struct TbcConfig {
+  int numPaths = 200;       ///< worst-slack endpoints analyzed
+  double thresholdAcw = 0.04;   ///< normalized-delta threshold at Cw
+  double thresholdArcw = 0.04;  ///< at RCw
+  double tightenedSigma = 1.8;  ///< k for the tightened corners
+  McOptions mc;
+};
+
+struct TbcAnalysis {
+  std::vector<TbcPathData> paths;
+  int eligible = 0;
+  /// Safety: eligible paths whose tightened-corner delay still covers the
+  /// statistical 3-sigma delay (should be all of them).
+  int eligibleCovered = 0;
+  /// Pessimism accounting, summed over analyzed paths: how much margin the
+  /// conventional corners demand beyond the statistical requirement.
+  Ps totalPessimismCbc = 0.0;
+  Ps totalPessimismTbc = 0.0;
+};
+
+/// Run the full Fig. 8 analysis on the worst setup endpoints of a typical-
+/// corner engine (the engine must have run).
+TbcAnalysis analyzeTbc(StaEngine& typicalEngine, const TbcConfig& cfg);
+
+/// Violation counts when the same paths must meet `period` with margin
+/// demanded by conventional vs tightened corners (the closure-effort
+/// reduction [2] reports).
+struct TbcViolationComparison {
+  int violationsCbc = 0;
+  int violationsTbc = 0;
+  int violationsStatistical = 0;  ///< the "true" requirement
+};
+TbcViolationComparison compareViolations(const TbcAnalysis& a,
+                                         const StaEngine& engine,
+                                         const TbcConfig& cfg);
+
+}  // namespace tc

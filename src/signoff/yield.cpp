@@ -1,0 +1,73 @@
+#include "signoff/yield.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace tc {
+
+double endpointYield(Ps meanSlack, Ps sigma) {
+  if (sigma <= 0.0) return meanSlack >= 0.0 ? 1.0 : 0.0;
+  return normalCdf(meanSlack / sigma);
+}
+
+namespace {
+Ps endpointSigma(const StaEngine& engine, const EndpointTiming& ep,
+                 Ps fallbackSigma) {
+  const auto mode = engine.scenario().derate.mode;
+  if (mode == DerateMode::kPocv || mode == DerateMode::kLvf) {
+    const auto& t = engine.timing(ep.vertex);
+    const double var = t.var[0][ep.setupTrans];
+    if (var > 0.0) return std::sqrt(var);
+  }
+  return fallbackSigma;
+}
+}  // namespace
+
+double designTimingYield(const StaEngine& engine, Ps fallbackSigma) {
+  double logY = 0.0;
+  for (const auto& ep : engine.endpoints()) {
+    if (!std::isfinite(ep.setupSlack)) continue;
+    // Mean slack: remove the k*sigma the derated key already carries so
+    // the statistical view doesn't double-count.
+    Ps mean = ep.setupSlack;
+    const Ps sigma = endpointSigma(engine, ep, fallbackSigma);
+    const auto mode = engine.scenario().derate.mode;
+    if (mode == DerateMode::kPocv || mode == DerateMode::kLvf)
+      mean += engine.scenario().derate.sigmaCount * sigma;
+    const double y = endpointYield(mean, sigma);
+    logY += std::log(std::max(y, 1e-300));
+  }
+  return std::exp(logY);
+}
+
+Ps slackForYield(double targetYield, Ps sigma) {
+  const double y = std::clamp(targetYield, 1e-12, 1.0 - 1e-12);
+  return normalInverseCdf(y) * sigma;
+}
+
+std::vector<YieldRecord> yieldBreakdown(const StaEngine& engine,
+                                        Ps fallbackSigma, int k) {
+  std::vector<YieldRecord> out;
+  for (const auto& ep : engine.endpoints()) {
+    if (!std::isfinite(ep.setupSlack)) continue;
+    YieldRecord r;
+    r.endpoint = ep.vertex;
+    r.sigma = endpointSigma(engine, ep, fallbackSigma);
+    r.meanSlack = ep.setupSlack;
+    const auto mode = engine.scenario().derate.mode;
+    if (mode == DerateMode::kPocv || mode == DerateMode::kLvf)
+      r.meanSlack += engine.scenario().derate.sigmaCount * r.sigma;
+    r.passProbability = endpointYield(r.meanSlack, r.sigma);
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const YieldRecord& a, const YieldRecord& b) {
+              return a.passProbability < b.passProbability;
+            });
+  if (static_cast<int>(out.size()) > k) out.resize(static_cast<std::size_t>(k));
+  return out;
+}
+
+}  // namespace tc

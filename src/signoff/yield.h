@@ -1,0 +1,40 @@
+#pragma once
+/// \file yield.h
+/// \brief Slack-to-parametric-yield conversion.
+///
+/// Lutkemeyer's observation (paper footnote 7): the game is new — slacks
+/// are now reported at a confidence tail of a slack distribution — but the
+/// goalposts are old, because tools still close on absolute slack rather
+/// than yield loss. This module provides the yield view: per-endpoint pass
+/// probability from (mean slack, sigma), and the design-level parametric
+/// yield product.
+
+#include <vector>
+
+#include "sta/engine.h"
+
+namespace tc {
+
+/// Pass probability of one endpoint whose slack is Gaussian(mean, sigma).
+double endpointYield(Ps meanSlack, Ps sigma);
+
+/// Design parametric yield: product over endpoints of pass probability.
+/// Sigma per endpoint is taken from the engine's accumulated variance when
+/// the scenario runs POCV/LVF; `fallbackSigma` covers other modes.
+double designTimingYield(const StaEngine& engine, Ps fallbackSigma = 15.0);
+
+/// The slack an endpoint must show (at mean) for a target yield — i.e.
+/// where the paper's "sigmas are unstable" goalpost would move.
+Ps slackForYield(double targetYield, Ps sigma);
+
+/// Endpoint-level view used by reports: slack mean, sigma, pass prob.
+struct YieldRecord {
+  VertexId endpoint = -1;
+  Ps meanSlack = 0.0;
+  Ps sigma = 0.0;
+  double passProbability = 1.0;
+};
+std::vector<YieldRecord> yieldBreakdown(const StaEngine& engine,
+                                        Ps fallbackSigma = 15.0, int k = 20);
+
+}  // namespace tc

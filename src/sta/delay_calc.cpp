@@ -1,0 +1,117 @@
+#include "sta/delay_calc.h"
+
+#include <stdexcept>
+
+namespace tc {
+
+DelayCalculator::DelayCalculator(const Netlist& nl, const Scenario& sc)
+    : nl_(&nl),
+      sc_(&sc),
+      extractor_(nl, BeolStack::forNode(techNode(sc.techNm))) {
+  if (!sc.lib) throw std::invalid_argument("Scenario has no library");
+  // Scenario libraries must be drop-in timing views of the reference
+  // library: same cells, same order (guaranteed by the deterministic
+  // builder; verified here so a mismatched library fails fast).
+  const Library& ref = nl.library();
+  if (sc.lib->cellCount() != ref.cellCount())
+    throw std::invalid_argument("scenario library cell count mismatch");
+  for (int i = 0; i < ref.cellCount(); ++i) {
+    if (sc.lib->cell(i).name != ref.cell(i).name)
+      throw std::invalid_argument("scenario library cell order mismatch at " +
+                                  ref.cell(i).name);
+  }
+  extOpt_.corner = sc.beol;
+  extOpt_.temp = sc.temp();
+  extOpt_.sadp = sc.sadp;
+  extOpt_.tightenSigma = sc.tightenSigma;
+  cache_.resize(static_cast<std::size_t>(nl.netCount()));
+}
+
+const NetParasitics& DelayCalculator::parasitics(NetId net) const {
+  if (static_cast<std::size_t>(net) >= cache_.size())
+    cache_.resize(static_cast<std::size_t>(nl_->netCount()));
+  auto& slot = cache_[static_cast<std::size_t>(net)];
+  if (!slot) slot = extractor_.extract(net, extOpt_);
+  return *slot;
+}
+
+void DelayCalculator::invalidateNet(NetId net) {
+  if (static_cast<std::size_t>(net) < cache_.size())
+    cache_[static_cast<std::size_t>(net)].reset();
+}
+
+void DelayCalculator::invalidateAll() {
+  cache_.assign(static_cast<std::size_t>(nl_->netCount()), std::nullopt);
+}
+
+Ff DelayCalculator::driverLoad(NetId net, Ps driverSlewGuess) const {
+  return parasitics(net).tree.effectiveCap(driverSlewGuess);
+}
+
+DelayCalculator::ArcResult DelayCalculator::cellArc(InstId inst, int arcIndex,
+                                                    bool outRise,
+                                                    Ps inSlew) const {
+  const Cell& cell = cellOf(inst);
+  const TimingArc& arc = cell.arcs[static_cast<std::size_t>(arcIndex)];
+  const NetId net = nl_->instance(inst).fanout;
+  const Ff load = net >= 0 ? driverLoad(net, inSlew) : 2.0;
+
+  ArcResult r;
+  const NldmSurface& surf = arc.surface(outRise);
+  r.delay = surf.delayAt(inSlew, load);
+  r.outSlew = surf.slewAt(inSlew, load);
+  const LvfSurface& lvf = arc.lvf(outRise);
+  if (!lvf.empty()) {
+    r.sigmaEarly = lvf.earlyAt(inSlew, load);
+    r.sigmaLate = lvf.lateAt(inSlew, load);
+  }
+  return r;
+}
+
+DelayCalculator::ArcResult DelayCalculator::clockToQ(InstId flop, bool qRise,
+                                                     Ps ckSlew) const {
+  const Cell& cell = cellOf(flop);
+  if (!cell.flop) throw std::logic_error("clockToQ on non-flop " + nl_->instance(flop).name);
+  const NetId net = nl_->instance(flop).fanout;
+  const Ff load = net >= 0 ? driverLoad(net, ckSlew) : 2.0;
+  ArcResult r;
+  const NldmSurface& surf = qRise ? cell.flop->c2qRise : cell.flop->c2qFall;
+  r.delay = surf.delayAt(ckSlew, load);
+  r.outSlew = surf.slewAt(ckSlew, load);
+  r.sigmaEarly = cell.pocvSigmaRatio > 0 ? cell.pocvSigmaRatio * r.delay
+                                         : 0.03 * r.delay;
+  r.sigmaLate = r.sigmaEarly;
+  return r;
+}
+
+DelayCalculator::WireResult DelayCalculator::wire(NetId net, int sinkIndex,
+                                                  Ps slewIn,
+                                                  bool useD2m) const {
+  const NetParasitics& p = parasitics(net);
+  WireResult r;
+  if (sinkIndex < 0 ||
+      static_cast<std::size_t>(sinkIndex) >= p.sinkNode.size()) {
+    // Port sink: lumped at the root.
+    r.delay = 0.0;
+    r.outSlew = slewIn;
+    return r;
+  }
+  const int node = p.sinkNode[static_cast<std::size_t>(sinkIndex)];
+  r.delay = useD2m ? p.tree.d2m(node) : p.tree.elmore(node);
+  r.outSlew = p.tree.degradeSlew(slewIn, node);
+  return r;
+}
+
+Ps DelayCalculator::setupTime(InstId flop) const {
+  const Cell& cell = cellOf(flop);
+  if (!cell.flop) throw std::logic_error("setupTime on non-flop");
+  return cell.flop->setup;
+}
+
+Ps DelayCalculator::holdTime(InstId flop) const {
+  const Cell& cell = cellOf(flop);
+  if (!cell.flop) throw std::logic_error("holdTime on non-flop");
+  return cell.flop->hold;
+}
+
+}  // namespace tc

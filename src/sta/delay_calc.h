@@ -1,0 +1,79 @@
+#pragma once
+/// \file delay_calc.h
+/// \brief Arc delay calculation: NLDM cell lookups against effective
+/// capacitance, Elmore/D2M wire delays, PERI slew degradation, and LVF/POCV
+/// sigma retrieval. Shared by the GBA engine, the PBA recalculator and the
+/// Monte Carlo sampler.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "interconnect/extract.h"
+#include "network/netlist.h"
+#include "sta/scenario.h"
+
+namespace tc {
+
+class DelayCalculator {
+ public:
+  DelayCalculator(const Netlist& nl, const Scenario& sc);
+
+  /// Cached parasitics for a net (extracted on first use).
+  const NetParasitics& parasitics(NetId net) const;
+  /// Drop the cache entry (netlist edited by ECO/optimizer).
+  void invalidateNet(NetId net);
+  void invalidateAll();
+
+  struct ArcResult {
+    Ps delay = 0.0;
+    Ps outSlew = 0.0;
+    Ps sigmaEarly = 0.0;  ///< 1-sigma local-variation decrease
+    Ps sigmaLate = 0.0;   ///< 1-sigma local-variation increase
+  };
+
+  /// Combinational arc `arcIndex` of `inst`, producing the given output
+  /// transition, with the given input slew. Load = ceff of the fanout net.
+  ArcResult cellArc(InstId inst, int arcIndex, bool outRise, Ps inSlew) const;
+
+  /// Flop CK->Q launch arc.
+  ArcResult clockToQ(InstId flop, bool qRise, Ps ckSlew) const;
+
+  struct WireResult {
+    Ps delay = 0.0;
+    Ps outSlew = 0.0;
+  };
+  /// Wire delay/slew from a net's driver to one sink. `useD2m` selects the
+  /// tighter two-moment metric (PBA); Elmore otherwise (conservative GBA).
+  WireResult wire(NetId net, int sinkIndex, Ps slewIn,
+                  bool useD2m = false) const;
+
+  /// Effective load the driver of `net` sees.
+  Ff driverLoad(NetId net, Ps driverSlewGuess) const;
+
+  /// Setup/hold constraint values for a flop (conventional scalars).
+  Ps setupTime(InstId flop) const;
+  Ps holdTime(InstId flop) const;
+
+  /// The instance's cell as characterized at THIS scenario's PVT. The
+  /// netlist's reference library defines identity (names/footprints); the
+  /// scenario library supplies the timing view — the "lib group" structure
+  /// of MCMM signoff. Cell ordering across libraries is verified once at
+  /// construction.
+  const Cell& cellOf(InstId inst) const {
+    return sc_->lib->cell(nl_->instance(inst).cellIndex);
+  }
+
+  const Scenario& scenario() const { return *sc_; }
+  const Netlist& netlist() const { return *nl_; }
+  const Extractor& extractor() const { return extractor_; }
+
+ private:
+  const Netlist* nl_;
+  const Scenario* sc_;
+  Extractor extractor_;
+  ExtractionOptions extOpt_;
+  mutable std::vector<std::optional<NetParasitics>> cache_;
+};
+
+}  // namespace tc

@@ -1,0 +1,625 @@
+#include "sta/engine.h"
+
+#include <algorithm>
+#include <set>
+#include <cmath>
+#include <stdexcept>
+
+namespace tc {
+
+const char* toString(DerateMode mode) {
+  switch (mode) {
+    case DerateMode::kNone: return "none";
+    case DerateMode::kFlatOcv: return "flat-OCV";
+    case DerateMode::kAocv: return "AOCV";
+    case DerateMode::kPocv: return "POCV";
+    case DerateMode::kLvf: return "LVF";
+  }
+  return "?";
+}
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+StaEngine::StaEngine(const Netlist& netlist, const Scenario& scenario)
+    : nl_(&netlist), sc_(&scenario), graph_(netlist), dc_(netlist, scenario) {
+  if (!scenario.lib)
+    throw std::invalid_argument("Scenario has no library");
+  // The netlist's reference library and the scenario library must agree on
+  // cell identity (same builder => same ordering); verify a sample.
+  if (scenario.lib->cellCount() != netlist.library().cellCount())
+    throw std::invalid_argument("scenario library cell set mismatch");
+}
+
+Ps StaEngine::clockPeriod() const {
+  if (nl_->clocks().empty())
+    throw std::logic_error("no clock defined");
+  return nl_->clocks().front().period;
+}
+
+void StaEngine::initSources() {
+  vt_.assign(static_cast<std::size_t>(graph_.vertexCount()), VertexTiming{});
+  for (auto& t : vt_) {
+    for (int m = 0; m < 2; ++m)
+      for (int tr = 0; tr < 2; ++tr) {
+        t.arr[m][tr] = kNoTime;
+        t.slew[m][tr] = 0.0;
+        t.var[m][tr] = 0.0;
+        t.depth[m][tr] = 0;
+        t.parentEdge[m][tr] = -1;
+        t.parentTrans[m][tr] = 0;
+        t.parentDelay[m][tr] = 0.0;
+        t.parentVar[m][tr] = 0.0;
+      }
+  }
+
+  // Clock roots.
+  for (const auto& c : nl_->clocks()) {
+    VertexTiming& t = vt_[static_cast<std::size_t>(graph_.portVertex(c.port))];
+    for (int m = 0; m < 2; ++m)
+      for (int tr = 0; tr < 2; ++tr) {
+        t.arr[m][tr] = c.sourceLatency;
+        t.slew[m][tr] = 20.0;
+      }
+  }
+  // Data primary inputs.
+  const Ps inputDelay =
+      sc_->inputDelay > 0.0
+          ? sc_->inputDelay
+          : (nl_->clocks().empty() ? 0.0 : 0.25 * clockPeriod());
+  for (PortId p = 0; p < nl_->portCount(); ++p) {
+    if (sc_->disableDataInputs) break;
+    if (!nl_->port(p).isInput) continue;
+    if (nl_->port(p).constant) continue;  // case analysis: no transitions
+    bool isClock = false;
+    for (const auto& c : nl_->clocks())
+      if (c.port == p) isClock = true;
+    if (isClock) continue;
+    VertexTiming& t = vt_[static_cast<std::size_t>(graph_.portVertex(p))];
+    for (int m = 0; m < 2; ++m)
+      for (int tr = 0; tr < 2; ++tr) {
+        t.arr[m][tr] = inputDelay;
+        t.slew[m][tr] = sc_->inputSlew;
+      }
+  }
+}
+
+double StaEngine::key(VertexId v, Mode m, int trans) const {
+  const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+  const int mi = static_cast<int>(m);
+  const double arr = t.arr[mi][trans];
+  if (arr == kNoTime) return m == Mode::kLate ? kNoTime : kInf;
+  const auto& d = sc_->derate;
+  switch (d.mode) {
+    case DerateMode::kNone:
+    case DerateMode::kFlatOcv:
+      return arr;  // flat factors folded into edge delays
+    case DerateMode::kAocv: {
+      const auto& aocv = sc_->lib->aocv();
+      const int depth = std::max(t.depth[mi][trans], 1);
+      return m == Mode::kLate ? arr * aocv.late(depth)
+                              : arr * aocv.early(depth);
+    }
+    case DerateMode::kPocv:
+    case DerateMode::kLvf: {
+      const double sigma = std::sqrt(std::max(t.var[mi][trans], 0.0));
+      return m == Mode::kLate ? arr + d.sigmaCount * sigma
+                              : arr - d.sigmaCount * sigma;
+    }
+  }
+  return arr;
+}
+
+Ps StaEngine::arrivalKey(VertexId v, Mode m, int trans) const {
+  return key(v, m, trans);
+}
+
+Ps StaEngine::arrivalKey(VertexId v, Mode m) const {
+  const double r = key(v, m, 0);
+  const double f = key(v, m, 1);
+  if (m == Mode::kLate) return std::max(r, f);
+  // early: ignore unreached (kNoTime maps to +inf in key()); take min.
+  return std::min(r, f);
+}
+
+Ps StaEngine::slewAt(VertexId v, Mode m) const {
+  const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+  const int mi = static_cast<int>(m);
+  return std::max(t.slew[mi][0], t.slew[mi][1]);
+}
+
+void StaEngine::relax(VertexId to, Mode m, int trans, double arr,
+                      double slewIn, double var, int depth, EdgeId via,
+                      int fromTrans, double edgeDelay, double edgeVar) {
+  VertexTiming& t = vt_[static_cast<std::size_t>(to)];
+  const int mi = static_cast<int>(m);
+  const auto& d = sc_->derate;
+
+  // Selection key for the candidate.
+  double candKey = arr;
+  double curKey = t.arr[mi][trans];
+  if (d.mode == DerateMode::kPocv || d.mode == DerateMode::kLvf) {
+    const double s = d.sigmaCount;
+    candKey = m == Mode::kLate ? arr + s * std::sqrt(std::max(var, 0.0))
+                               : arr - s * std::sqrt(std::max(var, 0.0));
+    if (curKey != kNoTime) {
+      const double cs = std::sqrt(std::max(t.var[mi][trans], 0.0));
+      curKey = m == Mode::kLate ? t.arr[mi][trans] + s * cs
+                                : t.arr[mi][trans] - s * cs;
+    }
+  }
+
+  const bool better =
+      curKey == kNoTime ||
+      (m == Mode::kLate ? candKey > curKey : candKey < curKey);
+  if (better) {
+    t.arr[mi][trans] = arr;
+    t.var[mi][trans] = var;
+    t.depth[mi][trans] = depth;
+    t.parentEdge[mi][trans] = via;
+    t.parentTrans[mi][trans] = fromTrans;
+    t.parentDelay[mi][trans] = edgeDelay;
+    t.parentVar[mi][trans] = edgeVar;
+  }
+  // Worst-slew merging, independent of arrival selection (classic GBA
+  // pessimism that PBA later recovers).
+  if (t.slew[mi][trans] <= 0.0) {
+    t.slew[mi][trans] = slewIn;
+  } else if (m == Mode::kLate) {
+    t.slew[mi][trans] = std::max(t.slew[mi][trans], slewIn);
+  } else {
+    t.slew[mi][trans] = std::min(t.slew[mi][trans], slewIn);
+  }
+}
+
+void StaEngine::processEdge(EdgeId e) {
+  const TimingGraph::Edge& ed = graph_.edge(e);
+  const VertexTiming& ft = vt_[static_cast<std::size_t>(ed.from)];
+  const auto& d = sc_->derate;
+  const double lateF =
+      d.mode == DerateMode::kFlatOcv ? d.flatLate : 1.0;
+  const double earlyF =
+      d.mode == DerateMode::kFlatOcv ? d.flatEarly : 1.0;
+
+  switch (ed.kind) {
+    case TimingGraph::EdgeKind::kNetArc: {
+      // Useful skew lands on flop CK pins.
+      Ps skew = 0.0;
+      const TimingGraph::Vertex& tv = graph_.vertex(ed.to);
+      if (tv.kind == TimingGraph::VertexKind::kCellInput && tv.pin == 1 &&
+          nl_->isSequential(tv.inst))
+        skew = nl_->instance(tv.inst).usefulSkew;
+      for (int m = 0; m < 2; ++m) {
+        const double f = m == 0 ? lateF : earlyF;
+        for (int tr = 0; tr < 2; ++tr) {
+          if (ft.arr[m][tr] == kNoTime) continue;
+          const auto w = dc_.wire(ed.net, ed.sinkIndex, ft.slew[m][tr]);
+          relax(ed.to, static_cast<Mode>(m), tr,
+                ft.arr[m][tr] + w.delay * f + skew, w.outSlew,
+                ft.var[m][tr], ft.depth[m][tr], e, tr, w.delay * f, 0.0);
+        }
+      }
+      break;
+    }
+    case TimingGraph::EdgeKind::kCellArc: {
+      const Cell& cell = dc_.cellOf(graph_.vertex(ed.from).inst);
+      const TimingArc& arc = cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
+      for (int m = 0; m < 2; ++m) {
+        const double f = m == 0 ? lateF : earlyF;
+        for (int trIn = 0; trIn < 2; ++trIn) {
+          if (ft.arr[m][trIn] == kNoTime) continue;
+          // Output transitions implied by unateness.
+          int outLo = 0, outHi = 1;
+          if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
+          if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
+          for (int trOut = outLo; trOut <= outHi; ++trOut) {
+            const InstId inst = graph_.vertex(ed.from).inst;
+            auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
+                                 ft.slew[m][trIn]);
+            if (m == 0 && !misLate_.empty())
+              r.delay *= misLate_[static_cast<std::size_t>(inst)]
+                                 [static_cast<std::size_t>(trOut)];
+            if (m == 1 && !misEarly_.empty())
+              r.delay *= misEarly_[static_cast<std::size_t>(inst)]
+                                  [static_cast<std::size_t>(trOut)];
+            double sigma = 0.0;
+            if (d.mode == DerateMode::kLvf)
+              sigma = m == 0 ? r.sigmaLate : r.sigmaEarly;
+            else if (d.mode == DerateMode::kPocv)
+              sigma = cell.pocvSigmaRatio * r.delay;
+            relax(ed.to, static_cast<Mode>(m), trOut,
+                  ft.arr[m][trIn] + r.delay * f, r.outSlew,
+                  ft.var[m][trIn] + sigma * sigma,
+                  ft.depth[m][trIn] + 1, e, trIn, r.delay * f,
+                  sigma * sigma);
+          }
+        }
+      }
+      break;
+    }
+    case TimingGraph::EdgeKind::kClockToQ: {
+      const InstId flop = graph_.vertex(ed.from).inst;
+      const Cell& cell = dc_.cellOf(flop);
+      for (int m = 0; m < 2; ++m) {
+        const double f = m == 0 ? lateF : earlyF;
+        const int trCk = 0;  // rising-edge flops
+        if (ft.arr[m][trCk] == kNoTime) continue;
+        for (int trQ = 0; trQ < 2; ++trQ) {
+          const auto r = dc_.clockToQ(flop, trQ == 0, ft.slew[m][trCk]);
+          double sigma = 0.0;
+          if (d.mode == DerateMode::kLvf || d.mode == DerateMode::kPocv)
+            sigma = (cell.pocvSigmaRatio > 0 ? cell.pocvSigmaRatio : 0.03) *
+                    r.delay;
+          relax(ed.to, static_cast<Mode>(m), trQ,
+                ft.arr[m][trCk] + r.delay * f, r.outSlew,
+                ft.var[m][trCk] + sigma * sigma, ft.depth[m][trCk] + 1, e,
+                trCk, r.delay * f, sigma * sigma);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void StaEngine::propagate() {
+  for (VertexId v : graph_.topoOrder())
+    for (EdgeId e : graph_.outEdges(v)) processEdge(e);
+}
+
+std::vector<PathStep> StaEngine::tracePath(VertexId endpoint, Mode mode,
+                                           int trans) const {
+  std::vector<PathStep> rev;
+  const int mi = static_cast<int>(mode);
+  VertexId v = endpoint;
+  int tr = trans;
+  int guard = 0;
+  while (v >= 0 && guard++ < graph_.vertexCount() + 1) {
+    const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+    PathStep step;
+    step.vertex = v;
+    step.trans = tr;
+    step.arrival = t.arr[mi][tr];
+    step.viaEdge = t.parentEdge[mi][tr];
+    step.edgeDelay = t.parentDelay[mi][tr];
+    step.edgeVar = t.parentVar[mi][tr];
+    rev.push_back(step);
+    if (step.viaEdge < 0) break;
+    const TimingGraph::Edge& ed = graph_.edge(step.viaEdge);
+    const int nextTr = t.parentTrans[mi][tr];
+    v = ed.from;
+    tr = nextTr;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+Ps StaEngine::cpprCredit(VertexId dataEndpoint, int dataTrans,
+                         VertexId captureCk, Check check) const {
+  if (!sc_->derate.cppr) return 0.0;
+  const Mode dataMode = check == Check::kSetup ? Mode::kLate : Mode::kEarly;
+  const Mode capMode = check == Check::kSetup ? Mode::kEarly : Mode::kLate;
+
+  const auto dataPath = tracePath(dataEndpoint, dataMode, dataTrans);
+  // Capture clock: rising edge at CK.
+  const auto capPath = tracePath(captureCk, capMode, 0);
+  if (dataPath.empty() || capPath.empty()) return 0.0;
+
+  // Walk the common clock-network prefix. Both paths start at the clock
+  // port if the data path launches from a flop.
+  double credit = 0.0;
+  double commonVar = 0.0;
+  const std::size_t n = std::min(dataPath.size(), capPath.size());
+  for (std::size_t i = 1; i < n; ++i) {
+    if (dataPath[i].viaEdge != capPath[i].viaEdge ||
+        dataPath[i].trans != capPath[i].trans)
+      break;
+    const VertexId v = dataPath[i].vertex;
+    if (!graph_.vertex(v).onClockNetwork) break;
+    const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+    const int tr = dataPath[i].trans;
+    const double late = t.parentDelay[0][tr];
+    const double early = t.parentDelay[1][tr];
+    // Credit only when both modes traversed this same edge.
+    if (t.parentEdge[0][tr] == dataPath[i].viaEdge &&
+        t.parentEdge[1][tr] == dataPath[i].viaEdge) {
+      credit += std::max(late - early, 0.0);
+      commonVar += std::max(t.parentVar[0][tr], t.parentVar[1][tr]);
+    }
+  }
+  const auto& d = sc_->derate;
+  if (d.mode == DerateMode::kPocv || d.mode == DerateMode::kLvf)
+    credit += 2.0 * d.sigmaCount * std::sqrt(commonVar);
+  return credit;
+}
+
+void StaEngine::checkEndpoints() {
+  endpoints_.clear();
+  const Ps period = nl_->clocks().empty() ? 1e9 : clockPeriod();
+
+  for (VertexId v : graph_.endpoints()) {
+    const TimingGraph::Vertex& vx = graph_.vertex(v);
+    EndpointTiming ep;
+    ep.vertex = v;
+
+    if (vx.kind == TimingGraph::VertexKind::kPort) {
+      // Output port constrained against the clock period.
+      const double late = arrivalKey(v, Mode::kLate);
+      if (late == kNoTime) continue;
+      ep.dataLate = late;
+      ep.setupSlack = period - sc_->clockUncertaintySetup -
+                      sc_->extraSetupMargin - late;
+      ep.setupTrans = key(v, Mode::kLate, 0) >= key(v, Mode::kLate, 1) ? 0 : 1;
+      ep.holdSlack = kInf;
+      endpoints_.push_back(ep);
+      continue;
+    }
+
+    const InstId flop = vx.inst;
+    ep.flop = flop;
+    const VertexId ckV = graph_.inputVertex(flop, 1);
+    const Cell& cell = dc_.cellOf(flop);
+    if (!cell.flop) continue;
+
+    const double dLateR = key(v, Mode::kLate, 0);
+    const double dLateF = key(v, Mode::kLate, 1);
+    if (dLateR == kNoTime && dLateF == kNoTime) continue;
+    ep.setupTrans = dLateR >= dLateF ? 0 : 1;
+    ep.dataLate = std::max(dLateR, dLateF);
+    const double dEarlyR = key(v, Mode::kEarly, 0);
+    const double dEarlyF = key(v, Mode::kEarly, 1);
+    ep.holdTrans = dEarlyR <= dEarlyF ? 0 : 1;
+    ep.dataEarly = std::min(dEarlyR, dEarlyF);
+
+    ep.captureEarly = key(ckV, Mode::kEarly, 0);
+    ep.captureLate = key(ckV, Mode::kLate, 0);
+    if (ep.captureEarly == kInf || ep.captureLate == kNoTime) continue;
+
+    ep.setupConstraint = dc_.setupTime(flop);
+    ep.holdConstraint = dc_.holdTime(flop);
+
+    ep.cpprSetup = cpprCredit(v, ep.setupTrans, ckV, Check::kSetup);
+    ep.cpprHold = cpprCredit(v, ep.holdTrans, ckV, Check::kHold);
+
+    ep.setupSlack = period + ep.captureEarly - ep.setupConstraint -
+                    sc_->clockUncertaintySetup - sc_->extraSetupMargin -
+                    ep.dataLate + ep.cpprSetup;
+    ep.holdSlack = ep.dataEarly - ep.captureLate - ep.holdConstraint -
+                   sc_->clockUncertaintyHold - sc_->extraHoldMargin +
+                   ep.cpprHold;
+    endpoints_.push_back(ep);
+  }
+}
+
+void StaEngine::checkDrv() {
+  drvs_.clear();
+  for (NetId n = 0; n < nl_->netCount(); ++n) {
+    const Net& net = nl_->net(n);
+    VertexId drv = -1;
+    if (net.driver >= 0)
+      drv = graph_.outputVertex(net.driver);
+    else if (net.driverPort >= 0)
+      drv = graph_.portVertex(net.driverPort);
+    if (drv < 0) continue;
+    const Ps slew = slewAt(drv, Mode::kLate);
+    const Ff cap = dc_.parasitics(n).totalCap;
+    if (slew > sc_->limits.maxTransition)
+      drvs_.push_back({n, slew, cap, true});
+    if (cap > sc_->limits.maxCapacitance)
+      drvs_.push_back({n, slew, cap, false});
+  }
+}
+
+void StaEngine::computeRequired() {
+  // Full backward required-time propagation over every edge, resolved per
+  // transition (mean-arrival domain; exact for flat/no-derate scenarios,
+  // optimizer guidance otherwise).
+  requiredLate_.assign(static_cast<std::size_t>(graph_.vertexCount()),
+                       {kInf, kInf});
+  for (const auto& ep : endpoints_) {
+    if (ep.setupSlack == kInf) continue;
+    const VertexTiming& t = vt_[static_cast<std::size_t>(ep.vertex)];
+    // The allowed arrival time at the endpoint is transition-independent;
+    // reconstruct it from the worst transition's mean arrival + slack.
+    const int wt = ep.setupTrans;
+    if (t.arr[0][wt] == kNoTime) continue;
+    const double reqTime = t.arr[0][wt] + ep.setupSlack;
+    auto& r = requiredLate_[static_cast<std::size_t>(ep.vertex)];
+    r[0] = std::min(r[0], reqTime);
+    r[1] = std::min(r[1], reqTime);
+  }
+
+  const auto& d = sc_->derate;
+  const double lateF = d.mode == DerateMode::kFlatOcv ? d.flatLate : 1.0;
+  const auto& topo = graph_.topoOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const VertexId v = *it;
+    const auto& reqV = requiredLate_[static_cast<std::size_t>(v)];
+    if (reqV[0] == kInf && reqV[1] == kInf) continue;
+    for (EdgeId e : graph_.inEdges(v)) {
+      const TimingGraph::Edge& ed = graph_.edge(e);
+      const VertexTiming& ft = vt_[static_cast<std::size_t>(ed.from)];
+      auto& reqU = requiredLate_[static_cast<std::size_t>(ed.from)];
+      switch (ed.kind) {
+        case TimingGraph::EdgeKind::kNetArc: {
+          Ps skew = 0.0;
+          const TimingGraph::Vertex& tv = graph_.vertex(ed.to);
+          if (tv.kind == TimingGraph::VertexKind::kCellInput &&
+              tv.pin == 1 && nl_->isSequential(tv.inst))
+            skew = nl_->instance(tv.inst).usefulSkew;
+          for (int tr = 0; tr < 2; ++tr) {
+            if (reqV[tr] == kInf || ft.arr[0][tr] == kNoTime) continue;
+            const auto w = dc_.wire(ed.net, ed.sinkIndex, ft.slew[0][tr]);
+            reqU[tr] = std::min(reqU[tr], reqV[tr] - w.delay * lateF - skew);
+          }
+          break;
+        }
+        case TimingGraph::EdgeKind::kCellArc: {
+          const InstId inst = graph_.vertex(ed.from).inst;
+          const Cell& cell = dc_.cellOf(inst);
+          const TimingArc& arc =
+              cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
+          for (int trIn = 0; trIn < 2; ++trIn) {
+            if (ft.arr[0][trIn] == kNoTime) continue;
+            int outLo = 0, outHi = 1;
+            if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
+            if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
+            for (int trOut = outLo; trOut <= outHi; ++trOut) {
+              if (reqV[trOut] == kInf) continue;
+              auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
+                                   ft.slew[0][trIn]);
+              if (!misLate_.empty())
+                r.delay *= misLate_[static_cast<std::size_t>(inst)]
+                                   [static_cast<std::size_t>(trOut)];
+              reqU[trIn] =
+                  std::min(reqU[trIn], reqV[trOut] - r.delay * lateF);
+            }
+          }
+          break;
+        }
+        case TimingGraph::EdgeKind::kClockToQ: {
+          const InstId flop = graph_.vertex(ed.from).inst;
+          if (ft.arr[0][0] == kNoTime) break;
+          for (int trQ = 0; trQ < 2; ++trQ) {
+            if (reqV[trQ] == kInf) continue;
+            const auto r = dc_.clockToQ(flop, trQ == 0, ft.slew[0][0]);
+            reqU[0] = std::min(reqU[0], reqV[trQ] - r.delay * lateF);
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+Ps StaEngine::vertexSlack(VertexId v) const {
+  const auto& req = requiredLate_[static_cast<std::size_t>(v)];
+  const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+  double slack = kInf;
+  for (int tr = 0; tr < 2; ++tr) {
+    if (req[tr] == kInf || t.arr[0][tr] == kNoTime) continue;
+    slack = std::min(slack, req[tr] - t.arr[0][tr]);
+  }
+  return slack;
+}
+
+void StaEngine::setMisFactors(std::vector<std::array<double, 2>> late,
+                              std::vector<std::array<double, 2>> early) {
+  misLate_ = std::move(late);
+  misEarly_ = std::move(early);
+}
+
+void StaEngine::clearMisFactors() {
+  misLate_.clear();
+  misEarly_.clear();
+}
+
+bool StaEngine::recomputeVertex(VertexId v) {
+  const VertexTiming before = vt_[static_cast<std::size_t>(v)];
+  // Sources (no in-edges) keep their initSources() values.
+  if (graph_.inEdges(v).empty()) return false;
+  VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+  for (int m = 0; m < 2; ++m)
+    for (int tr = 0; tr < 2; ++tr) {
+      t.arr[m][tr] = kNoTime;
+      t.slew[m][tr] = 0.0;
+      t.var[m][tr] = 0.0;
+      t.depth[m][tr] = 0;
+      t.parentEdge[m][tr] = -1;
+      t.parentDelay[m][tr] = 0.0;
+      t.parentVar[m][tr] = 0.0;
+    }
+  for (EdgeId e : graph_.inEdges(v)) processEdge(e);
+  constexpr double kEps = 1e-9;
+  for (int m = 0; m < 2; ++m)
+    for (int tr = 0; tr < 2; ++tr) {
+      if (std::abs(t.arr[m][tr] - before.arr[m][tr]) > kEps) return true;
+      if (std::abs(t.slew[m][tr] - before.slew[m][tr]) > kEps) return true;
+      if (std::abs(t.var[m][tr] - before.var[m][tr]) > kEps) return true;
+    }
+  return false;
+}
+
+void StaEngine::updateAfterEco(const std::vector<NetId>& dirtyNets) {
+  if (!hasRun_) {
+    run();
+    return;
+  }
+  // Position lookup for topo-ordered worklist processing.
+  std::vector<int> pos(static_cast<std::size_t>(graph_.vertexCount()), 0);
+  const auto& topo = graph_.topoOrder();
+  for (std::size_t i = 0; i < topo.size(); ++i)
+    pos[static_cast<std::size_t>(topo[i])] = static_cast<int>(i);
+
+  std::set<std::pair<int, VertexId>> work;
+  auto push = [&](VertexId v) {
+    work.insert({pos[static_cast<std::size_t>(v)], v});
+  };
+  for (NetId n : dirtyNets) {
+    dc_.invalidateNet(n);
+    const Net& net = nl_->net(n);
+    // The driver's arc delay changed (new load): recompute its output.
+    if (net.driver >= 0) {
+      const VertexId v = graph_.outputVertex(net.driver);
+      if (v >= 0) push(v);
+    }
+    // Sink arrivals shift with the new wire delay.
+    for (const auto& snk : net.sinks)
+      push(graph_.inputVertex(snk.inst, snk.pin));
+  }
+
+  while (!work.empty()) {
+    const auto [p, v] = *work.begin();
+    work.erase(work.begin());
+    (void)p;
+    if (!recomputeVertex(v)) continue;
+    for (EdgeId e : graph_.outEdges(v)) push(graph_.edge(e).to);
+  }
+
+  checkEndpoints();
+  checkDrv();
+  computeRequired();
+}
+
+std::vector<NetId> StaEngine::netsAffectedBySwap(InstId inst) const {
+  std::vector<NetId> nets;
+  for (NetId n : nl_->instance(inst).fanin)
+    if (n >= 0) nets.push_back(n);
+  if (nl_->instance(inst).fanout >= 0)
+    nets.push_back(nl_->instance(inst).fanout);
+  return nets;
+}
+
+void StaEngine::run() {
+  initSources();
+  propagate();
+  checkEndpoints();
+  checkDrv();
+  computeRequired();
+  hasRun_ = true;
+}
+
+Ps StaEngine::wns(Check check) const {
+  double w = kInf;
+  for (const auto& ep : endpoints_)
+    w = std::min(w, check == Check::kSetup ? ep.setupSlack : ep.holdSlack);
+  return w;
+}
+
+Ps StaEngine::tns(Check check) const {
+  double t = 0.0;
+  for (const auto& ep : endpoints_) {
+    const double s = check == Check::kSetup ? ep.setupSlack : ep.holdSlack;
+    if (s < 0.0 && s != -kInf) t += s;
+  }
+  return t;
+}
+
+int StaEngine::violationCount(Check check) const {
+  int n = 0;
+  for (const auto& ep : endpoints_)
+    if ((check == Check::kSetup ? ep.setupSlack : ep.holdSlack) < 0.0) ++n;
+  return n;
+}
+
+}  // namespace tc

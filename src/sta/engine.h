@@ -1,0 +1,168 @@
+#pragma once
+/// \file engine.h
+/// \brief Graph-based static timing analysis (GBA).
+///
+/// One StaEngine analyzes one Scenario: levelized forward propagation of
+/// (arrival, slew, variance, depth) per mode (late/early) and transition
+/// (rise/fall), clock propagation through the buffered clock network,
+/// setup/hold endpoint checks with common-path pessimism removal (CPPR),
+/// design-rule (maxtrans/maxcap) checks, and backward required-time
+/// propagation for optimizer guidance.
+///
+/// The variation-modeling ladder (Sec. 3.1) is selected by
+/// Scenario::derate.mode:
+///  - kFlatOcv   : per-edge flat late/early factors,
+///  - kAocv      : raw propagation, depth-indexed derates at the checks,
+///  - kPocv      : per-cell sigma accumulated in quadrature,
+///  - kLvf       : per-arc per-(slew,load) asymmetric sigmas in quadrature.
+
+#include <array>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sta/delay_calc.h"
+#include "sta/graph.h"
+#include "sta/scenario.h"
+
+namespace tc {
+
+enum class Mode { kLate = 0, kEarly = 1 };
+enum class Check { kSetup, kHold };
+
+inline constexpr double kNoTime = -1e18;
+
+/// Per-vertex propagated state, indexed [mode][transition(rise=0,fall=1)].
+struct VertexTiming {
+  double arr[2][2];       ///< arrival mean, ps (kNoTime when unreached)
+  double slew[2][2];      ///< propagated transition time
+  double var[2][2];       ///< accumulated delay variance (POCV/LVF)
+  int depth[2][2];        ///< logic depth (for AOCV)
+  EdgeId parentEdge[2][2];
+  int parentTrans[2][2];  ///< transition at the parent vertex
+  double parentDelay[2][2];  ///< edge delay taken to reach this vertex
+  double parentVar[2][2];    ///< variance added by that edge
+};
+
+/// Result of the setup/hold check at one endpoint.
+struct EndpointTiming {
+  VertexId vertex = -1;
+  InstId flop = -1;  ///< -1 for output-port endpoints
+  Ps setupSlack = std::numeric_limits<double>::infinity();
+  Ps holdSlack = std::numeric_limits<double>::infinity();
+  int setupTrans = 0;  ///< data transition producing the worst setup
+  int holdTrans = 0;
+  Ps dataLate = 0.0, dataEarly = 0.0;    ///< derated data arrivals at D
+  Ps captureEarly = 0.0, captureLate = 0.0;  ///< derated CK arrivals
+  Ps cpprSetup = 0.0, cpprHold = 0.0;    ///< credit applied
+  Ps setupConstraint = 0.0, holdConstraint = 0.0;
+};
+
+/// A design-rule violation on a net.
+struct DrvViolation {
+  NetId net = -1;
+  Ps slew = 0.0;
+  Ff cap = 0.0;
+  bool isTransition = true;  ///< else capacitance
+};
+
+/// One step of a traced path (endpoint first or source first — see docs).
+struct PathStep {
+  VertexId vertex = -1;
+  EdgeId viaEdge = -1;  ///< edge into this vertex (-1 at the source)
+  int trans = 0;
+  Ps arrival = 0.0;   ///< propagated mean arrival
+  Ps edgeDelay = 0.0;
+  Ps edgeVar = 0.0;
+};
+
+class StaEngine {
+ public:
+  StaEngine(const Netlist& netlist, const Scenario& scenario);
+
+  /// Full GBA pass: propagate, check endpoints, check DRVs, compute
+  /// required times.
+  void run();
+
+  /// Incremental update after an ECO confined to `dirtyNets` (cell swaps,
+  /// useful-skew changes, NDR promotions — anything that does NOT add or
+  /// remove pins/instances; topology edits need a fresh engine). Timing is
+  /// recomputed only in the forward cone of the dirty nets, then endpoint
+  /// checks and required times are refreshed. This is the ECO-turnaround
+  /// machinery the paper's Comment 1 credits signoff tools with.
+  void updateAfterEco(const std::vector<NetId>& dirtyNets);
+
+  /// The nets whose parasitics/loads an in-place cell swap at `inst`
+  /// invalidates: its fanin nets (pin caps changed) and fanout net.
+  std::vector<NetId> netsAffectedBySwap(InstId inst) const;
+
+  const TimingGraph& graph() const { return graph_; }
+  DelayCalculator& delayCalc() { return dc_; }
+  const DelayCalculator& delayCalc() const { return dc_; }
+  const Scenario& scenario() const { return *sc_; }
+  const Netlist& netlist() const { return *nl_; }
+
+  // --- results ---------------------------------------------------------------
+  const std::vector<EndpointTiming>& endpoints() const { return endpoints_; }
+  Ps wns(Check check) const;
+  Ps tns(Check check) const;
+  int violationCount(Check check) const;
+  const std::vector<DrvViolation>& drvViolations() const { return drvs_; }
+
+  /// Derated/statistical arrival key at a vertex (worst transition).
+  Ps arrivalKey(VertexId v, Mode mode) const;
+  Ps arrivalKey(VertexId v, Mode mode, int trans) const;
+  Ps slewAt(VertexId v, Mode mode) const;
+  /// Setup-criticality slack at any vertex (backward required - arrival).
+  Ps vertexSlack(VertexId v) const;
+  const VertexTiming& timing(VertexId v) const {
+    return vt_[static_cast<std::size_t>(v)];
+  }
+
+  /// Trace the worst path into an endpoint (source -> endpoint order).
+  std::vector<PathStep> tracePath(VertexId endpoint, Mode mode,
+                                  int trans) const;
+
+  /// Clock period governing checks (single-clock designs).
+  Ps clockPeriod() const;
+
+  /// Per-instance, per-output-transition delay multipliers applied to
+  /// combinational cell arcs (used by the MIS analyzer: series-stack
+  /// slow-down in late mode, parallel-bank speed-up in early mode).
+  /// Vectors are indexed [instance][outputTransition]; empty disables.
+  void setMisFactors(std::vector<std::array<double, 2>> late,
+                     std::vector<std::array<double, 2>> early);
+  void clearMisFactors();
+
+ private:
+  void initSources();
+  void propagate();
+  void relax(VertexId to, Mode m, int trans, double arr, double slewIn,
+             double var, int depth, EdgeId via, int fromTrans,
+             double edgeDelay, double edgeVar);
+  void processEdge(EdgeId e);
+  void checkEndpoints();
+  void checkDrv();
+  void computeRequired();
+  double key(VertexId v, Mode m, int trans) const;
+  /// Recompute one vertex's timing from its in-edges (incremental path).
+  /// Returns true when any stored value moved by more than epsilon.
+  bool recomputeVertex(VertexId v);
+  /// CPPR credit between the launch trace of (endpoint, trans) and the
+  /// capture clock trace at the capture flop.
+  Ps cpprCredit(VertexId dataEndpoint, int dataTrans, VertexId captureCk,
+                Check check) const;
+
+  const Netlist* nl_;
+  const Scenario* sc_;
+  TimingGraph graph_;
+  DelayCalculator dc_;
+  std::vector<VertexTiming> vt_;
+  std::vector<EndpointTiming> endpoints_;
+  std::vector<DrvViolation> drvs_;
+  std::vector<std::array<double, 2>> requiredLate_;  ///< [vertex][trans]
+  std::vector<std::array<double, 2>> misLate_, misEarly_;
+  bool hasRun_ = false;
+};
+
+}  // namespace tc

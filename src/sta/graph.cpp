@@ -1,0 +1,177 @@
+#include "sta/graph.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace tc {
+
+TimingGraph::TimingGraph(const Netlist& nl) : nl_(&nl) {
+  const int nInst = nl.instanceCount();
+  outVtx_.assign(static_cast<std::size_t>(nInst), -1);
+  inVtx_.resize(static_cast<std::size_t>(nInst));
+  portVtx_.assign(static_cast<std::size_t>(nl.portCount()), -1);
+
+  auto addVertex = [this](Vertex v) -> VertexId {
+    vertices_.push_back(v);
+    return static_cast<VertexId>(vertices_.size()) - 1;
+  };
+
+  // Port vertices.
+  for (PortId p = 0; p < nl.portCount(); ++p) {
+    Vertex v;
+    v.kind = VertexKind::kPort;
+    v.port = p;
+    portVtx_[static_cast<std::size_t>(p)] = addVertex(v);
+  }
+
+  // Cell pin vertices + cell arcs.
+  for (InstId i = 0; i < nInst; ++i) {
+    const Cell& cell = nl.cellOf(i);
+    auto& ins = inVtx_[static_cast<std::size_t>(i)];
+    ins.resize(static_cast<std::size_t>(cell.numInputs));
+    for (int pin = 0; pin < cell.numInputs; ++pin) {
+      Vertex v;
+      v.kind = VertexKind::kCellInput;
+      v.inst = i;
+      v.pin = pin;
+      if (cell.isSequential && pin == 0) v.isEndpoint = true;  // D pin
+      ins[static_cast<std::size_t>(pin)] = addVertex(v);
+    }
+    if (nl.instance(i).fanout >= 0) {
+      Vertex v;
+      v.kind = VertexKind::kCellOutput;
+      v.inst = i;
+      outVtx_[static_cast<std::size_t>(i)] = addVertex(v);
+    }
+  }
+
+  auto addEdge = [this](Edge e) {
+    edges_.push_back(e);
+  };
+
+  for (InstId i = 0; i < nInst; ++i) {
+    const Cell& cell = nl.cellOf(i);
+    const VertexId out = outVtx_[static_cast<std::size_t>(i)];
+    if (out < 0) continue;
+    if (cell.isSequential) {
+      Edge e;
+      e.kind = EdgeKind::kClockToQ;
+      e.from = inputVertex(i, 1);  // CK
+      e.to = out;
+      addEdge(e);
+    } else {
+      for (int pin = 0; pin < cell.numInputs; ++pin) {
+        Edge e;
+        e.kind = EdgeKind::kCellArc;
+        e.from = inputVertex(i, pin);
+        e.to = out;
+        e.arcIndex = pin;
+        addEdge(e);
+      }
+    }
+  }
+
+  // Net arcs.
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    const Net& net = nl.net(n);
+    VertexId from = -1;
+    if (net.driver >= 0) {
+      from = outVtx_[static_cast<std::size_t>(net.driver)];
+    } else if (net.driverPort >= 0) {
+      from = portVtx_[static_cast<std::size_t>(net.driverPort)];
+    }
+    if (from < 0) continue;
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      Edge e;
+      e.kind = EdgeKind::kNetArc;
+      e.from = from;
+      e.to = inputVertex(net.sinks[s].inst, net.sinks[s].pin);
+      e.net = n;
+      e.sinkIndex = static_cast<int>(s);
+      addEdge(e);
+    }
+    if (net.loadPort >= 0) {
+      Edge e;
+      e.kind = EdgeKind::kNetArc;
+      e.from = from;
+      e.to = portVtx_[static_cast<std::size_t>(net.loadPort)];
+      e.net = n;
+      e.sinkIndex = -1;
+      addEdge(e);
+    }
+  }
+
+  // Adjacency.
+  out_.resize(vertices_.size());
+  in_.resize(vertices_.size());
+  for (EdgeId e = 0; e < edgeCount(); ++e) {
+    out_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(e)].from)]
+        .push_back(e);
+    in_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(e)].to)]
+        .push_back(e);
+  }
+
+  markClockNetwork();
+  computeTopo();
+
+  for (VertexId v = 0; v < vertexCount(); ++v) {
+    const Vertex& vx = vertices_[static_cast<std::size_t>(v)];
+    if (vx.isEndpoint) endpoints_.push_back(v);
+    if (vx.kind == VertexKind::kPort && !nl.port(vx.port).isInput &&
+        !vx.onClockNetwork)
+      endpoints_.push_back(v);
+    if (vx.kind == VertexKind::kCellInput && vx.pin == 1 &&
+        nl.isSequential(vx.inst))
+      clockPins_.push_back(v);
+  }
+}
+
+void TimingGraph::markClockNetwork() {
+  std::queue<VertexId> q;
+  for (const auto& c : nl_->clocks()) {
+    const VertexId v = portVtx_[static_cast<std::size_t>(c.port)];
+    vertices_[static_cast<std::size_t>(v)].onClockNetwork = true;
+    q.push(v);
+  }
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    for (EdgeId e : out_[static_cast<std::size_t>(u)]) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      // The clock network stops at flop CK pins (the CK->Q arc launches
+      // *data*), and does not cross sequential elements.
+      if (ed.kind == EdgeKind::kClockToQ) continue;
+      Vertex& to = vertices_[static_cast<std::size_t>(ed.to)];
+      if (to.onClockNetwork) continue;
+      to.onClockNetwork = true;
+      // Stop spreading past a flop CK pin.
+      if (to.kind == VertexKind::kCellInput && to.inst >= 0 &&
+          nl_->isSequential(to.inst))
+        continue;
+      q.push(ed.to);
+    }
+  }
+}
+
+void TimingGraph::computeTopo() {
+  std::vector<int> indeg(vertices_.size(), 0);
+  for (const Edge& e : edges_)
+    ++indeg[static_cast<std::size_t>(e.to)];
+  std::queue<VertexId> q;
+  for (VertexId v = 0; v < vertexCount(); ++v)
+    if (indeg[static_cast<std::size_t>(v)] == 0) q.push(v);
+  topo_.reserve(vertices_.size());
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    topo_.push_back(u);
+    for (EdgeId e : out_[static_cast<std::size_t>(u)]) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      if (--indeg[static_cast<std::size_t>(ed.to)] == 0) q.push(ed.to);
+    }
+  }
+  if (topo_.size() != vertices_.size())
+    throw std::logic_error("timing graph has a cycle");
+}
+
+}  // namespace tc

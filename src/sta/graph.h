@@ -1,0 +1,97 @@
+#pragma once
+/// \file graph.h
+/// \brief Pin-level timing graph with topological order.
+///
+/// Vertices are pins (instance inputs, instance outputs, ports); edges are
+/// cell delay arcs (input -> output, including flop CK -> Q) and net arcs
+/// (driver output -> each sink input). Flop D pins are path endpoints.
+/// The clock network is discovered by forward traversal from clock ports
+/// and marked, so the engine can propagate clock and data together in one
+/// levelized sweep.
+
+#include <vector>
+
+#include "network/netlist.h"
+
+namespace tc {
+
+using VertexId = int;
+using EdgeId = int;
+
+class TimingGraph {
+ public:
+  enum class VertexKind { kPort, kCellInput, kCellOutput };
+  enum class EdgeKind { kCellArc, kClockToQ, kNetArc };
+
+  struct Vertex {
+    VertexKind kind = VertexKind::kCellInput;
+    InstId inst = -1;  ///< for cell pins
+    int pin = -1;      ///< input pin index
+    PortId port = -1;  ///< for ports
+    bool onClockNetwork = false;
+    bool isEndpoint = false;  ///< flop D pin or constrained output port
+  };
+
+  struct Edge {
+    EdgeKind kind = EdgeKind::kNetArc;
+    VertexId from = -1, to = -1;
+    int arcIndex = -1;   ///< cell arc (== input pin) for kCellArc
+    NetId net = -1;      ///< for kNetArc
+    int sinkIndex = -1;  ///< index into net's sink list
+  };
+
+  explicit TimingGraph(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  int vertexCount() const { return static_cast<int>(vertices_.size()); }
+  int edgeCount() const { return static_cast<int>(edges_.size()); }
+  const Vertex& vertex(VertexId v) const { return vertices_[static_cast<std::size_t>(v)]; }
+  const Edge& edge(EdgeId e) const { return edges_[static_cast<std::size_t>(e)]; }
+  const std::vector<EdgeId>& outEdges(VertexId v) const {
+    return out_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<EdgeId>& inEdges(VertexId v) const {
+    return in_[static_cast<std::size_t>(v)];
+  }
+  /// Vertices in dependency order (every edge goes forward).
+  const std::vector<VertexId>& topoOrder() const { return topo_; }
+
+  /// Number of instances the graph was built over. The optimizer may grow
+  /// the netlist (buffer insertion) after the graph snapshot; instances at
+  /// or beyond this span are unknown to this graph.
+  int instanceSpan() const { return static_cast<int>(outVtx_.size()); }
+
+  VertexId outputVertex(InstId inst) const {
+    if (inst < 0 || inst >= instanceSpan()) return -1;
+    return outVtx_[static_cast<std::size_t>(inst)];
+  }
+  VertexId inputVertex(InstId inst, int pin) const {
+    return inVtx_[static_cast<std::size_t>(inst)][static_cast<std::size_t>(pin)];
+  }
+  VertexId portVertex(PortId port) const {
+    return portVtx_[static_cast<std::size_t>(port)];
+  }
+
+  /// All endpoint vertices (flop D pins, constrained output ports).
+  const std::vector<VertexId>& endpoints() const { return endpoints_; }
+  /// All flop CK input vertices.
+  const std::vector<VertexId>& clockPins() const { return clockPins_; }
+
+ private:
+  void markClockNetwork();
+  void computeTopo();
+
+  const Netlist* nl_;
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_, in_;
+  std::vector<VertexId> topo_;
+  std::vector<VertexId> outVtx_;
+  std::vector<std::vector<VertexId>> inVtx_;
+  std::vector<VertexId> portVtx_;
+  std::vector<VertexId> endpoints_;
+  std::vector<VertexId> clockPins_;
+};
+
+}  // namespace tc

@@ -1,0 +1,141 @@
+#include "sta/mc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tc {
+
+PathModel MonteCarloTiming::compilePath(VertexId endpoint, int trans) const {
+  PathModel model;
+  const auto path = eng_->tracePath(endpoint, Mode::kLate, trans);
+  const TimingGraph& g = eng_->graph();
+  DelayCalculator& dc = eng_->delayCalc();
+  const Netlist& nl = eng_->netlist();
+
+  PathModel::Stage pending;
+  bool havePending = false;
+  double slew = eng_->scenario().inputSlew;
+  if (!path.empty()) {
+    const auto& t0 = eng_->timing(path.front().vertex);
+    const double s0 = t0.slew[0][path.front().trans];
+    if (s0 > 0.0) slew = s0;
+  }
+
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const PathStep& step = path[i];
+    const TimingGraph::Edge& ed = g.edge(step.viaEdge);
+    switch (ed.kind) {
+      case TimingGraph::EdgeKind::kCellArc:
+      case TimingGraph::EdgeKind::kClockToQ: {
+        if (havePending) {
+          model.stages.push_back(pending);
+        }
+        pending = {};
+        havePending = true;
+        const InstId inst = g.vertex(ed.from).inst;
+        if (ed.kind == TimingGraph::EdgeKind::kCellArc) {
+          const auto r = dc.cellArc(inst, ed.arcIndex, step.trans == 0, slew);
+          pending.gateDelay = r.delay;
+          pending.sigmaEarly = r.sigmaEarly;
+          pending.sigmaLate = r.sigmaLate;
+          slew = r.outSlew;
+        } else {
+          const auto r = dc.clockToQ(inst, step.trans == 0, slew);
+          pending.gateDelay = r.delay;
+          pending.sigmaEarly = r.sigmaEarly;
+          pending.sigmaLate = r.sigmaLate;
+          slew = r.outSlew;
+        }
+        // Load split: wire cap fraction of the driven net.
+        const NetId net = nl.instance(inst).fanout;
+        if (net >= 0) {
+          const NetParasitics& p = dc.parasitics(net);
+          pending.wireCapFrac =
+              p.totalCap > 0 ? p.wireCap / p.totalCap : 0.0;
+          pending.layerIdx = std::max(p.layer - 2, 0);
+        }
+        break;
+      }
+      case TimingGraph::EdgeKind::kNetArc: {
+        const auto w = dc.wire(ed.net, ed.sinkIndex, slew);
+        if (havePending) {
+          pending.wireDelay += w.delay;
+        }
+        slew = w.outSlew;
+        break;
+      }
+    }
+  }
+  if (havePending) model.stages.push_back(pending);
+
+  for (const auto& s : model.stages)
+    model.nominal += s.gateDelay + s.wireDelay;
+  return model;
+}
+
+Ps MonteCarloTiming::sample(const PathModel& path, Rng& rng,
+                            const McOptions& opt) const {
+  const BeolStack& stack = eng_->delayCalc().extractor().stack();
+  // One (R, C) draw per layer per trial: global within the trial,
+  // independent across layers.
+  double fr[8], fc[8];
+  const std::size_t nLayers = stack.layers.size();
+  for (std::size_t l = 0; l < nLayers && l < 8; ++l) {
+    if (opt.sampleBeolLayers) {
+      fr[l] = rng.normal(1.0, stack.layers[l].rSigmaFrac);
+      fc[l] = rng.normal(1.0, stack.layers[l].cSigmaFrac);
+    } else {
+      fr[l] = fc[l] = 1.0;
+    }
+  }
+
+  double total = 0.0;
+  for (const auto& s : path.stages) {
+    double gate = s.gateDelay;
+    if (opt.sampleGateMismatch) {
+      // Quadratic response fitted to the characterized +/-1-sigma points:
+      // d(z) = d0 + a*z + b*z^2 with a = (sL+sE)/2, b = (sL-sE)/2 exactly
+      // reproduces both, and extends the measured convexity (delay vs Vt is
+      // convex, increasingly so toward low voltage) into the tails — the
+      // physical source of the Fig. 7 "setup long tail".
+      const double z = rng.normal();
+      const double a = 0.5 * (s.sigmaLate + s.sigmaEarly);
+      const double b = 0.5 * (s.sigmaLate - s.sigmaEarly);
+      gate += a * z + b * z * z;
+    }
+    const std::size_t l = std::min<std::size_t>(
+        static_cast<std::size_t>(s.layerIdx), nLayers ? nLayers - 1 : 0);
+    // Load change moves the gate delay; R*C change moves the wire delay.
+    gate *= 1.0 + opt.gateLoadSensitivity * s.wireCapFrac * (fc[l] - 1.0);
+    const double wire = s.wireDelay * fr[l] * fc[l];
+    total += gate + wire;
+  }
+  return total;
+}
+
+SampleSet MonteCarloTiming::run(const PathModel& path,
+                                const McOptions& opt) const {
+  Rng rng(opt.seed);
+  SampleSet out;
+  out.reserve(static_cast<std::size_t>(opt.samples));
+  for (int i = 0; i < opt.samples; ++i) out.add(sample(path, rng, opt));
+  return out;
+}
+
+Ps MonteCarloTiming::pathDelayAtCorner(const PathModel& path,
+                                       BeolCorner corner, double kSigma,
+                                       double gateLoadSensitivity) const {
+  const CornerScales cs = tightenedScales(corner, kSigma);
+  const double cAvg = 0.5 * (cs.cg + cs.cc);
+  double total = 0.0;
+  for (const auto& s : path.stages) {
+    const double gate =
+        s.gateDelay *
+        (1.0 + gateLoadSensitivity * s.wireCapFrac * (cAvg - 1.0));
+    const double wire = s.wireDelay * cs.r * cAvg;
+    total += gate + wire;
+  }
+  return total;
+}
+
+}  // namespace tc

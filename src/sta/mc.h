@@ -1,0 +1,76 @@
+#pragma once
+/// \file mc.h
+/// \brief Monte Carlo timing: the framework's "statistical golden" against
+/// which the table models (AOCV/POCV/LVF) are judged, exactly as the paper
+/// judges them against Monte Carlo SPICE (Fig. 7, Fig. 8).
+///
+/// A traced critical path is compiled once into a PathModel (per-stage
+/// nominal delays, asymmetric local sigmas, wire delays with their layer
+/// and cap fractions). Sampling then draws:
+///  - one standard-normal per gate stage (local Vt mismatch), mapped
+///    through the stage's asymmetric early/late sigma (the piecewise-linear
+///    image of the LVF characterization), and
+///  - one (R, C) factor pair per metal layer per trial (global BEOL
+///    variation, *independent across layers* — the decorrelation that
+///    tightened BEOL corners exploit, Sec. 3.2).
+
+#include <vector>
+
+#include "interconnect/wire.h"
+#include "sta/engine.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace tc {
+
+struct McOptions {
+  int samples = 5000;
+  std::uint64_t seed = 12345;
+  bool sampleGateMismatch = true;
+  bool sampleBeolLayers = true;
+  /// Sensitivity of a gate's delay to its load change (dDelay/Delay per
+  /// dLoad/Load); ~0.6 for NLDM-class cells driving moderate loads.
+  double gateLoadSensitivity = 0.6;
+};
+
+/// Compiled structural model of one timing path.
+struct PathModel {
+  struct Stage {
+    Ps gateDelay = 0.0;     ///< nominal cell arc delay
+    Ps sigmaEarly = 0.0;    ///< local-variation sigmas (asymmetric)
+    Ps sigmaLate = 0.0;
+    Ps wireDelay = 0.0;     ///< nominal wire delay after this stage
+    int layerIdx = 0;       ///< BeolStack layer index of that wire
+    double wireCapFrac = 0.0;  ///< wire share of the stage's total load
+  };
+  std::vector<Stage> stages;
+  Ps nominal = 0.0;  ///< sum of all nominal delays
+
+  int depth() const { return static_cast<int>(stages.size()); }
+};
+
+class MonteCarloTiming {
+ public:
+  explicit MonteCarloTiming(StaEngine& engine) : eng_(&engine) {}
+
+  /// Compile the GBA-worst path into `endpoint` (late mode).
+  PathModel compilePath(VertexId endpoint, int trans) const;
+
+  /// One sampled path delay.
+  Ps sample(const PathModel& path, Rng& rng, const McOptions& opt) const;
+
+  /// Full Monte Carlo run over one path.
+  SampleSet run(const PathModel& path, const McOptions& opt) const;
+
+  /// Deterministic path delay with every wire moved to the given
+  /// homogeneous BEOL corner (tightened by `kSigma`/3): the Delta-d(Y)
+  /// denominator of the Fig. 8 pessimism metric alpha.
+  Ps pathDelayAtCorner(const PathModel& path, BeolCorner corner,
+                       double kSigma = 3.0,
+                       double gateLoadSensitivity = 0.6) const;
+
+ private:
+  StaEngine* eng_;
+};
+
+}  // namespace tc

@@ -1,0 +1,74 @@
+#include "sta/mis.h"
+
+#include <algorithm>
+
+namespace tc {
+
+std::vector<MisOverlap> MisAnalyzer::findOverlaps() const {
+  std::vector<MisOverlap> out;
+  const Netlist& nl = eng_->netlist();
+  const TimingGraph& g = eng_->graph();
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    const Cell& cell = eng_->delayCalc().cellOf(i);
+    if (cell.isSequential || cell.numInputs < 2) continue;
+    if (cell.mis.parallelFactor == 1.0 && cell.mis.seriesFactor == 1.0)
+      continue;
+    // Switching window of each input: [earliest possible, latest + slew].
+    struct Window {
+      double lo = 0.0, hi = 0.0;
+      bool valid = false;
+    };
+    std::vector<Window> win(static_cast<std::size_t>(cell.numInputs));
+    for (int pin = 0; pin < cell.numInputs; ++pin) {
+      const VertexId v = g.inputVertex(i, pin);
+      const double early = eng_->arrivalKey(v, Mode::kEarly);
+      const double late = eng_->arrivalKey(v, Mode::kLate);
+      if (late == kNoTime || early == std::numeric_limits<double>::infinity())
+        continue;
+      auto& w = win[static_cast<std::size_t>(pin)];
+      w.lo = early;
+      w.hi = late + eng_->slewAt(v, Mode::kLate);
+      w.valid = true;
+    }
+    for (int a = 0; a < cell.numInputs; ++a) {
+      for (int b = a + 1; b < cell.numInputs; ++b) {
+        const auto& wa = win[static_cast<std::size_t>(a)];
+        const auto& wb = win[static_cast<std::size_t>(b)];
+        if (!wa.valid || !wb.valid) continue;
+        const double lo = std::max(wa.lo, wb.lo);
+        const double hi = std::min(wa.hi, wb.hi);
+        if (hi > lo) out.push_back({i, a, b, hi - lo});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<MisOverlap> MisAnalyzer::refine() {
+  const auto overlaps = findOverlaps();
+  const Netlist& nl = eng_->netlist();
+  std::vector<std::array<double, 2>> late(
+      static_cast<std::size_t>(nl.instanceCount()), {1.0, 1.0});
+  std::vector<std::array<double, 2>> early = late;
+  for (const auto& ov : overlaps) {
+    const Cell& cell = eng_->delayCalc().cellOf(ov.inst);
+    // Output transition index: 0 = rise, 1 = fall.
+    const int parTrans = cell.mis.parallelIsRise ? 0 : 1;
+    const int serTrans = 1 - parTrans;
+    auto& l = late[static_cast<std::size_t>(ov.inst)];
+    auto& e = early[static_cast<std::size_t>(ov.inst)];
+    // Signoff-safe application: slow-down hurts setup (late mode), the
+    // speed-up hurts hold (early mode).
+    l[static_cast<std::size_t>(serTrans)] =
+        std::max(l[static_cast<std::size_t>(serTrans)],
+                 cell.mis.seriesFactor);
+    e[static_cast<std::size_t>(parTrans)] =
+        std::min(e[static_cast<std::size_t>(parTrans)],
+                 cell.mis.parallelFactor);
+  }
+  eng_->setMisFactors(std::move(late), std::move(early));
+  eng_->run();
+  return overlaps;
+}
+
+}  // namespace tc

@@ -1,0 +1,48 @@
+#pragma once
+/// \file pba.h
+/// \brief Path-based analysis (PBA): exact recalculation of the worst paths
+/// the graph-based engine found.
+///
+/// GBA is pessimistic in three ways PBA removes (paper Sec. 1.3: "pessimism
+/// reduction via use of pba has led to overheads in STA turnaround times"):
+///  1. worst-slew merging — PBA propagates the actual slew of the traced
+///     path instead of the worst slew over all in-edges;
+///  2. Elmore wire delay — PBA uses the tighter D2M two-moment metric;
+///  3. statistical accumulation — PBA uses the exact path variance instead
+///     of the per-vertex worst-case selection.
+/// The cost is per-path work, which is the paper's runtime-versus-accuracy
+/// tradeoff; bench_pba_vs_gba measures both sides.
+
+#include <vector>
+
+#include "sta/engine.h"
+
+namespace tc {
+
+struct PbaResult {
+  VertexId endpoint = -1;
+  InstId flop = -1;
+  Ps gbaSlack = 0.0;
+  Ps pbaSlack = 0.0;
+  Ps pessimismRemoved() const { return pbaSlack - gbaSlack; }
+};
+
+class PbaAnalyzer {
+ public:
+  explicit PbaAnalyzer(StaEngine& engine) : eng_(&engine) {}
+
+  /// Recalculate one endpoint's worst setup (or hold) path exactly.
+  PbaResult recalcEndpoint(const EndpointTiming& ep, Check check) const;
+
+  /// Recalculate the k GBA-worst endpoints (the standard "PBA on the
+  /// critical tail" methodology). Results keep endpoint order by GBA slack.
+  std::vector<PbaResult> recalcWorst(int k, Check check) const;
+
+  /// Exact arrival of the traced path in the scenario's derate domain.
+  Ps pathArrival(VertexId endpoint, Mode mode, int trans) const;
+
+ private:
+  StaEngine* eng_;
+};
+
+}  // namespace tc

@@ -1,0 +1,121 @@
+#include "sta/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace tc {
+
+std::string timingSummary(const StaEngine& engine) {
+  std::ostringstream os;
+  const auto b = breakdown(engine);
+  os << "scenario " << engine.scenario().name << " ["
+     << toString(engine.scenario().derate.mode) << ", BEOL "
+     << toString(engine.scenario().beol) << "]\n";
+  os << "  setup: WNS " << TextTable::num(b.setupWns, 1) << " ps, TNS "
+     << TextTable::num(b.setupTns, 1) << " ps, " << b.setupViolations
+     << " violating endpoints\n";
+  os << "  hold : WNS " << TextTable::num(b.holdWns, 1) << " ps, TNS "
+     << TextTable::num(b.holdTns, 1) << " ps, " << b.holdViolations
+     << " violating endpoints\n";
+  os << "  DRV  : " << b.maxTransViolations << " maxtrans, "
+     << b.maxCapViolations << " maxcap\n";
+  return os.str();
+}
+
+std::string pathReport(const StaEngine& engine, const EndpointTiming& ep,
+                       Check check) {
+  std::ostringstream os;
+  const Mode mode = check == Check::kSetup ? Mode::kLate : Mode::kEarly;
+  const int trans = check == Check::kSetup ? ep.setupTrans : ep.holdTrans;
+  const auto path = engine.tracePath(ep.vertex, mode, trans);
+  const Netlist& nl = engine.netlist();
+  const TimingGraph& g = engine.graph();
+
+  os << (check == Check::kSetup ? "Setup" : "Hold") << " path, slack "
+     << TextTable::num(check == Check::kSetup ? ep.setupSlack : ep.holdSlack,
+                       1)
+     << " ps (CPPR credit "
+     << TextTable::num(check == Check::kSetup ? ep.cpprSetup : ep.cpprHold, 1)
+     << " ps)\n";
+  for (const auto& step : path) {
+    const auto& v = g.vertex(step.vertex);
+    std::string name;
+    switch (v.kind) {
+      case TimingGraph::VertexKind::kPort:
+        name = "port " + nl.port(v.port).name;
+        break;
+      case TimingGraph::VertexKind::kCellInput:
+        name = nl.instance(v.inst).name + "/" +
+               (nl.isSequential(v.inst) ? (v.pin == 0 ? "D" : "CK")
+                                        : "in" + std::to_string(v.pin)) +
+               " (" + nl.cellOf(v.inst).name + ")";
+        break;
+      case TimingGraph::VertexKind::kCellOutput:
+        name = nl.instance(v.inst).name + "/out (" + nl.cellOf(v.inst).name +
+               ")";
+        break;
+    }
+    os << "  " << (step.trans == 0 ? "r " : "f ") << TextTable::num(step.arrival, 1)
+       << "  +" << TextTable::num(step.edgeDelay, 1) << "  " << name << "\n";
+  }
+  return os.str();
+}
+
+std::vector<EndpointTiming> worstEndpoints(const StaEngine& engine,
+                                           Check check, int k) {
+  std::vector<EndpointTiming> eps = engine.endpoints();
+  std::sort(eps.begin(), eps.end(),
+            [check](const EndpointTiming& a, const EndpointTiming& b) {
+              return (check == Check::kSetup ? a.setupSlack : a.holdSlack) <
+                     (check == Check::kSetup ? b.setupSlack : b.holdSlack);
+            });
+  if (static_cast<int>(eps.size()) > k) eps.resize(static_cast<std::size_t>(k));
+  return eps;
+}
+
+std::string slackHistogram(const StaEngine& engine, Check check, int bins) {
+  SampleSet s;
+  for (const auto& ep : engine.endpoints()) {
+    const double v = check == Check::kSetup ? ep.setupSlack : ep.holdSlack;
+    if (std::isfinite(v)) s.add(v);
+  }
+  std::ostringstream os;
+  if (s.empty()) return "no constrained endpoints\n";
+  const double lo = s.min();
+  const double hi = std::max(s.max(), lo + 1.0);
+  const auto h = s.histogram(lo, hi, static_cast<std::size_t>(bins));
+  const double w = (hi - lo) / bins;
+  std::size_t peak = 1;
+  for (auto c : h) peak = std::max(peak, c);
+  for (int b = 0; b < bins; ++b) {
+    const double x = lo + b * w;
+    os << TextTable::num(x, 0) << ".." << TextTable::num(x + w, 0) << " ps | "
+       << asciiBar(static_cast<double>(h[static_cast<std::size_t>(b)]),
+                   static_cast<double>(peak), 40)
+       << " " << h[static_cast<std::size_t>(b)] << "\n";
+  }
+  return os.str();
+}
+
+FailureBreakdown breakdown(const StaEngine& engine) {
+  FailureBreakdown b;
+  b.setupWns = engine.wns(Check::kSetup);
+  b.setupTns = engine.tns(Check::kSetup);
+  b.holdWns = engine.wns(Check::kHold);
+  b.holdTns = engine.tns(Check::kHold);
+  b.setupViolations = engine.violationCount(Check::kSetup);
+  b.holdViolations = engine.violationCount(Check::kHold);
+  for (const auto& v : engine.drvViolations()) {
+    if (v.isTransition)
+      ++b.maxTransViolations;
+    else
+      ++b.maxCapViolations;
+  }
+  return b;
+}
+
+}  // namespace tc

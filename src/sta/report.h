@@ -1,0 +1,45 @@
+#pragma once
+/// \file report.h
+/// \brief Human-readable timing reports: summary, path report, slack
+/// histogram, and the failure breakdown the Fig. 1 closure loop consumes.
+
+#include <string>
+#include <vector>
+
+#include "sta/engine.h"
+
+namespace tc {
+
+/// One-paragraph WNS/TNS/violation summary.
+std::string timingSummary(const StaEngine& engine);
+
+/// PrimeTime-style path report for an endpoint's worst setup or hold path.
+std::string pathReport(const StaEngine& engine, const EndpointTiming& ep,
+                       Check check);
+
+/// The k worst endpoints by slack.
+std::vector<EndpointTiming> worstEndpoints(const StaEngine& engine,
+                                           Check check, int k);
+
+/// ASCII slack histogram.
+std::string slackHistogram(const StaEngine& engine, Check check,
+                           int bins = 12);
+
+/// Failure breakdown by category (the "breakdown of timing failures" step
+/// of Fig. 1's loop).
+struct FailureBreakdown {
+  int setupViolations = 0;
+  int holdViolations = 0;
+  int maxTransViolations = 0;
+  int maxCapViolations = 0;
+  Ps setupWns = 0.0, setupTns = 0.0;
+  Ps holdWns = 0.0, holdTns = 0.0;
+
+  int total() const {
+    return setupViolations + holdViolations + maxTransViolations +
+           maxCapViolations;
+  }
+};
+FailureBreakdown breakdown(const StaEngine& engine);
+
+}  // namespace tc

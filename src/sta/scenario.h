@@ -1,0 +1,73 @@
+#pragma once
+/// \file scenario.h
+/// \brief Analysis scenario: the (mode x corner x modeling-style) context a
+/// single STA run executes under. The MCMM scenario manager of
+/// signoff/corners.h enumerates many of these (Sec. 2.3's "corner
+/// super-explosion"); the engine analyzes one at a time.
+
+#include <memory>
+#include <string>
+
+#include "device/tech.h"
+#include "interconnect/sadp.h"
+#include "interconnect/wire.h"
+#include "liberty/library.h"
+
+namespace tc {
+
+/// The variation-modeling ladder of Sec. 3.1.
+enum class DerateMode {
+  kNone,     ///< no OCV margin
+  kFlatOcv,  ///< single flat late/early factors
+  kAocv,     ///< depth-dependent derate tables
+  kPocv,     ///< per-cell sigma, accumulated in quadrature
+  kLvf,      ///< per-arc, per-(slew,load), separate early/late sigmas
+};
+
+const char* toString(DerateMode mode);
+
+struct DerateSettings {
+  DerateMode mode = DerateMode::kFlatOcv;
+  double flatLate = 1.08;
+  double flatEarly = 0.92;
+  double sigmaCount = 3.0;  ///< k in mean +/- k*sigma for POCV/LVF
+  bool cppr = true;         ///< common-path pessimism removal
+};
+
+/// Design-rule limits checked alongside timing (part of the Fig. 1 "failure
+/// breakdown": maxtrans/maxcap fixes compete with timing fixes).
+struct DesignRuleLimits {
+  Ps maxTransition = 280.0;
+  Ff maxCapacitance = 40.0;
+};
+
+struct Scenario {
+  std::string name = "func_tt";
+  std::shared_ptr<const Library> lib;  ///< characterized at this PVT
+  BeolCorner beol = BeolCorner::kTypical;
+  double tightenSigma = 3.0;  ///< TBC factor; 3.0 = conventional corner
+  int techNm = 28;            ///< BEOL stack selector
+  DerateSettings derate;
+  DesignRuleLimits limits;
+  Ps clockUncertaintySetup = 25.0;  ///< jitter + unmodeled margin, flat
+  Ps clockUncertaintyHold = 5.0;
+  Ps extraSetupMargin = 0.0;  ///< "typical + flat margin" signoff knob
+  Ps extraHoldMargin = 0.0;
+  /// Arrival at data primary inputs (a set_input_delay). When <= 0, the
+  /// engine defaults to 25% of the clock period, which keeps PI-launched
+  /// paths consistent with the clock-tree insertion delay (otherwise every
+  /// PI->D path trivially fails hold against the capture-clock latency).
+  Ps inputDelay = -1.0;
+  /// Analysis-only switch: ignore data primary inputs entirely (no arrivals
+  /// launched there). Used by ETM extraction to isolate the block's
+  /// internal (register-launched) timing from its boundary conditions.
+  bool disableDataInputs = false;
+  Ps inputSlew = 40.0;
+  const SadpModel* sadp = nullptr;  ///< cut-mask cap effects when set
+  bool misAware = false;      ///< second-pass multi-input-switching refine
+
+  Celsius temp() const { return lib->pvt().temp; }
+  Volt vdd() const { return lib->pvt().vdd; }
+};
+
+}  // namespace tc

@@ -1,0 +1,226 @@
+#include "sta/si.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace tc {
+
+namespace {
+
+struct NetGeom {
+  NetId net = -1;
+  Um x0 = 0, y0 = 0, x1 = 0, y1 = 0;  ///< route bounding box
+  int layer = 3;
+  Um span = 0.0;
+  bool valid = false;
+};
+
+NetGeom geometryOf(const Netlist& nl, const DelayCalculator& dc, NetId n) {
+  NetGeom g;
+  g.net = n;
+  const Net& net = nl.net(n);
+  if (net.driver < 0 || nl.instance(net.driver).row < 0) return g;
+  const Instance& drv = nl.instance(net.driver);
+  g.x0 = g.x1 = drv.x;
+  g.y0 = g.y1 = drv.y;
+  for (const auto& s : net.sinks) {
+    const Instance& si = nl.instance(s.inst);
+    g.x0 = std::min(g.x0, si.x);
+    g.x1 = std::max(g.x1, si.x);
+    g.y0 = std::min(g.y0, si.y);
+    g.y1 = std::max(g.y1, si.y);
+  }
+  g.layer = dc.parasitics(n).layer;
+  g.span = (g.x1 - g.x0) + (g.y1 - g.y0);
+  g.valid = true;
+  return g;
+}
+
+/// Half-perimeter of the bbox intersection (shared corridor estimate).
+Um overlapSpan(const NetGeom& a, const NetGeom& b) {
+  const Um ox = std::min(a.x1, b.x1) - std::max(a.x0, b.x0);
+  const Um oy = std::min(a.y1, b.y1) - std::max(a.y0, b.y0);
+  if (ox < 0.0 || oy < 0.0) return 0.0;
+  return ox + oy;
+}
+
+struct Window {
+  double lo = 0.0, hi = 0.0;
+  bool valid = false;
+};
+
+Window switchingWindow(const StaEngine& eng, NetId n) {
+  Window w;
+  const Net& net = eng.netlist().net(n);
+  VertexId v = -1;
+  if (net.driver >= 0)
+    v = eng.graph().outputVertex(net.driver);
+  else if (net.driverPort >= 0)
+    v = eng.graph().portVertex(net.driverPort);
+  if (v < 0) return w;
+  const double early = eng.arrivalKey(v, Mode::kEarly);
+  const double late = eng.arrivalKey(v, Mode::kLate);
+  if (late == kNoTime || !std::isfinite(early)) return w;
+  w.lo = early;
+  w.hi = late + eng.slewAt(v, Mode::kLate);
+  w.valid = true;
+  return w;
+}
+
+}  // namespace
+
+SiSummary SiAnalyzer::analyze() const {
+  SiSummary out;
+  const Netlist& nl = eng_->netlist();
+  DelayCalculator& dc = eng_->delayCalc();
+  const BeolStack& stack = dc.extractor().stack();
+
+  // --- geometry + coarse spatial binning ------------------------------------
+  std::vector<NetGeom> geoms;
+  geoms.reserve(static_cast<std::size_t>(nl.netCount()));
+  for (NetId n = 0; n < nl.netCount(); ++n)
+    geoms.push_back(geometryOf(nl, dc, n));
+
+  constexpr Um kBin = 40.0;
+  std::map<std::pair<int, int>, std::vector<int>> bins;
+  for (int i = 0; i < static_cast<int>(geoms.size()); ++i) {
+    const NetGeom& g = geoms[static_cast<std::size_t>(i)];
+    if (!g.valid) continue;
+    for (int bx = static_cast<int>(g.x0 / kBin);
+         bx <= static_cast<int>(g.x1 / kBin); ++bx)
+      for (int by = static_cast<int>(g.y0 / kBin);
+           by <= static_cast<int>(g.y1 / kBin); ++by)
+        bins[{bx, by}].push_back(i);
+  }
+
+  // --- per-victim analysis ----------------------------------------------------
+  std::vector<Window> windows(static_cast<std::size_t>(nl.netCount()));
+  for (NetId n = 0; n < nl.netCount(); ++n)
+    windows[static_cast<std::size_t>(n)] = switchingWindow(*eng_, n);
+
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    const NetGeom& g = geoms[static_cast<std::size_t>(n)];
+    if (!g.valid || g.span < 1.0) continue;
+    const NetParasitics& p = dc.parasitics(n);
+    const WireLayer& layer = stack.layer(p.layer);
+    // Coupling component as the extractor sees it: layer cc scaled by the
+    // BEOL corner and the net's routing rule (a 2W2S NDR sheds coupling).
+    const Net& netRef = nl.net(n);
+    const NdrRule& ndr = ndrRules()[static_cast<std::size_t>(
+        std::min<int>(netRef.ndrClass,
+                      static_cast<int>(ndrRules().size()) - 1))];
+    const double ccScale =
+        tightenedScales(eng_->scenario().beol,
+                        eng_->scenario().tightenSigma)
+            .cc *
+        ndr.ccScale;
+    const Ff ccTotal = layer.ccPerUm * ccScale * p.wirelength;
+    const double ratio = p.totalCap > 0 ? ccTotal / p.totalCap : 0.0;
+    if (ratio < opt_.minCouplingRatio) continue;
+
+    SiVictim v;
+    v.net = n;
+    v.couplingCap = ccTotal;
+    v.couplingRatio = ratio;
+
+    // Candidate aggressors from the victim's bins.
+    std::vector<int> cands;
+    for (int bx = static_cast<int>(g.x0 / kBin);
+         bx <= static_cast<int>(g.x1 / kBin); ++bx)
+      for (int by = static_cast<int>(g.y0 / kBin);
+           by <= static_cast<int>(g.y1 / kBin); ++by) {
+        auto it = bins.find({bx, by});
+        if (it == bins.end()) continue;
+        cands.insert(cands.end(), it->second.begin(), it->second.end());
+      }
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+    Ff ccTimed = 0.0;  ///< coupling to aggressors that can switch with us
+    double totalWeight = 0.0;
+    for (int a : cands) {
+      if (a == n) continue;
+      const NetGeom& ag = geoms[static_cast<std::size_t>(a)];
+      if (!ag.valid || ag.layer != g.layer) continue;
+      const Um ov = overlapSpan(g, ag);
+      if (ov < opt_.minOverlapFraction * g.span) continue;
+      ++v.aggressors;
+      const double weight = ov / g.span;
+      totalWeight += weight;
+      const Window& wv = windows[static_cast<std::size_t>(n)];
+      const Window& wa = windows[static_cast<std::size_t>(a)];
+      if (wv.valid && wa.valid) {
+        const double lo = std::max(wv.lo, wa.lo);
+        const double hi = std::min(wv.hi, wa.hi);
+        if (hi > lo) {
+          ++v.timedAggressors;
+          // Temporal alignment probability: the aggressor only hurts when
+          // it actually switches inside the victim's transition, so scale
+          // its coupling share by overlap / union (the binary all-timed
+          // assumption is the "infinite window" pessimism real SI flows
+          // fight with clock-cycle windowing).
+          const double unionLen = std::max(wv.hi, wa.hi) -
+                                  std::min(wv.lo, wa.lo);
+          const double align = unionLen > 0 ? (hi - lo) / unionLen : 0.0;
+          ccTimed += weight * align;
+        }
+      }
+    }
+    if (totalWeight > 0.0) ccTimed = ccTotal * ccTimed / totalWeight;
+
+    // Delta delay: wire delay scales with effective cap; a timed opposing
+    // aggressor Millers its coupling share up to `opposingMiller`, a
+    // same-direction one removes it.
+    Ps baseWire = 0.0;
+    for (int node : p.sinkNode)
+      baseWire = std::max(baseWire, p.tree.elmore(node));
+    if (p.totalCap > 0.0) {
+      v.deltaDelayLate = baseWire * ccTimed *
+                         (opt_.opposingMiller - opt_.quietMiller) /
+                         p.totalCap;
+      v.deltaDelayEarly =
+          baseWire * ccTimed * opt_.quietMiller / p.totalCap;
+    }
+    // Glitch on the quiet victim: charge injection from all timed
+    // aggressors.
+    v.glitchPeakFrac = p.totalCap > 0 ? ccTimed / p.totalCap : 0.0;
+    v.glitchViolation = v.glitchPeakFrac > opt_.noiseMarginFrac;
+    if (v.glitchViolation) ++out.glitchViolations;
+    out.worstDeltaDelay = std::max(out.worstDeltaDelay, v.deltaDelayLate);
+    out.victims.push_back(v);
+  }
+
+  std::sort(out.victims.begin(), out.victims.end(),
+            [](const SiVictim& a, const SiVictim& b) {
+              return a.deltaDelayLate > b.deltaDelayLate;
+            });
+  out.setupWnsAfter = eng_->wns(Check::kSetup);
+  out.holdWnsAfter = eng_->wns(Check::kHold);
+  return out;
+}
+
+SiSummary SiAnalyzer::refine() {
+  SiSummary s = analyze();
+  Netlist& nl = const_cast<Netlist&>(eng_->netlist());
+  for (const auto& v : s.victims) {
+    if (v.timedAggressors == 0) continue;
+    // Effective Miller factor: the timed coupling share switches opposite.
+    // glitchPeakFrac == ccTimed/totalCap and couplingRatio == ccTotal/
+    // totalCap, so their ratio recovers the timed fraction of the coupling.
+    const double timedShare =
+        v.couplingRatio > 0.0
+            ? std::min(1.0, v.glitchPeakFrac / v.couplingRatio)
+            : 0.0;
+    nl.net(v.net).millerOverride =
+        opt_.quietMiller +
+        timedShare * (opt_.opposingMiller - opt_.quietMiller);
+  }
+  eng_->delayCalc().invalidateAll();
+  eng_->run();
+  s.setupWnsAfter = eng_->wns(Check::kSetup);
+  s.holdWnsAfter = eng_->wns(Check::kHold);
+  return s;
+}
+
+}  // namespace tc

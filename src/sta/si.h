@@ -1,0 +1,84 @@
+#pragma once
+/// \file si.h
+/// \brief Crosstalk / signal-integrity analysis (the paper's "noise
+/// closure": SI appears in the old-vs-new matrix of Fig. 2, noise fixes in
+/// the "last set of several hundred manual noise and DRC fixes", and noise
+/// arrives as a care-about at 90nm in Fig. 3).
+///
+/// The model is the standard signoff abstraction:
+///  - aggressors are physically adjacent nets (route-corridor bounding-box
+///    overlap on the same layer) weighted by shared span;
+///  - a victim's coupling capacitance is split among its aggressors;
+///  - timing windows from the STA engine decide which aggressors can
+///    switch while the victim transitions;
+///  - switching aggressors contribute delta delay via the Miller effect
+///    (opposite switching up to 2x coupling; same-direction reduces it),
+///    and glitch (charge-injection bump) on quiet victims.
+///
+/// The analyzer both *reports* (noise report, glitch violations vs noise
+/// margin) and *refines* timing: per-net Miller factors are re-extracted
+/// and the engine re-run — SI-aware setup/hold, "with noise analysis
+/// enabled" as the paper puts it.
+
+#include <vector>
+
+#include "sta/engine.h"
+
+namespace tc {
+
+struct SiOptions {
+  /// Fraction of the victim's wire span an aggressor must overlap to count.
+  double minOverlapFraction = 0.15;
+  /// Miller factor for an opposite-switching aggressor (worst case 2.0).
+  double opposingMiller = 2.0;
+  /// Miller factor for coupling to quiet nets.
+  double quietMiller = 1.0;
+  /// Glitch noise margin as a fraction of VDD (typical 0.3).
+  double noiseMarginFrac = 0.30;
+  /// Only nets with coupling ratio above this are analyzed as victims.
+  double minCouplingRatio = 0.05;
+};
+
+/// Per-victim SI result.
+struct SiVictim {
+  NetId net = -1;
+  Ff couplingCap = 0.0;       ///< total coupling component of the wire cap
+  double couplingRatio = 0.0; ///< coupling / total net cap
+  int aggressors = 0;         ///< physically adjacent nets
+  int timedAggressors = 0;    ///< adjacent nets with overlapping windows
+  Ps deltaDelayLate = 0.0;    ///< added wire delay, opposite switching
+  Ps deltaDelayEarly = 0.0;   ///< removed wire delay, same-direction
+  double glitchPeakFrac = 0.0;  ///< peak glitch as a fraction of VDD
+  bool glitchViolation = false;
+};
+
+struct SiSummary {
+  std::vector<SiVictim> victims;  ///< sorted by deltaDelayLate, descending
+  int glitchViolations = 0;
+  Ps worstDeltaDelay = 0.0;
+  /// Setup/hold WNS after re-running the engine with SI-aware windows
+  /// (valid after refine()).
+  Ps setupWnsAfter = 0.0;
+  Ps holdWnsAfter = 0.0;
+};
+
+class SiAnalyzer {
+ public:
+  explicit SiAnalyzer(StaEngine& engine, SiOptions options = {})
+      : eng_(&engine), opt_(options) {}
+
+  /// Identify aggressors, compute per-victim delta delays and glitch.
+  /// Requires placement (aggressor adjacency is geometric) and a completed
+  /// engine run; unplaced designs get a coupling-ratio-only estimate.
+  SiSummary analyze() const;
+
+  /// Analyze, then re-run the engine with victim delta-delays folded into
+  /// the affected nets' effective Miller factor (SI-aware timing).
+  SiSummary refine();
+
+ private:
+  StaEngine* eng_;
+  SiOptions opt_;
+};
+
+}  // namespace tc

@@ -1,0 +1,193 @@
+#include "sta/ssta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stats.h"
+
+namespace tc {
+
+double GaussianTime::sigma() const { return std::sqrt(std::max(var, 0.0)); }
+double GaussianTime::at(double z) const { return mean + z * sigma(); }
+
+GaussianTime clarkMax(const GaussianTime& a, const GaussianTime& b) {
+  const double theta2 = a.var + b.var;  // independent operands
+  if (theta2 < 1e-18) {
+    return a.mean >= b.mean ? a : b;
+  }
+  const double theta = std::sqrt(theta2);
+  const double alpha = (a.mean - b.mean) / theta;
+  const double phi = std::exp(-0.5 * alpha * alpha) / std::sqrt(2.0 * M_PI);
+  const double Phi = normalCdf(alpha);
+  GaussianTime m;
+  m.mean = a.mean * Phi + b.mean * (1.0 - Phi) + theta * phi;
+  const double second = (a.var + a.mean * a.mean) * Phi +
+                        (b.var + b.mean * b.mean) * (1.0 - Phi) +
+                        (a.mean + b.mean) * theta * phi;
+  m.var = std::max(second - m.mean * m.mean, 0.0);
+  return m;
+}
+
+std::vector<SstaEndpoint> SstaAnalyzer::run() {
+  StaEngine& eng = *eng_;
+  const TimingGraph& g = eng.graph();
+  DelayCalculator& dc = eng.delayCalc();
+  const Netlist& nl = eng.netlist();
+  const Scenario& sc = eng.scenario();
+
+  constexpr double kUnset = -1e18;
+  // Per vertex, per transition: Gaussian late arrival.
+  std::vector<std::array<GaussianTime, 2>> arr(
+      static_cast<std::size_t>(g.vertexCount()),
+      {GaussianTime{kUnset, 0.0}, GaussianTime{kUnset, 0.0}});
+
+  // Sources mirror the deterministic engine's initialization.
+  for (const auto& c : nl.clocks()) {
+    auto& a = arr[static_cast<std::size_t>(g.portVertex(c.port))];
+    a[0] = a[1] = {c.sourceLatency, 0.0};
+  }
+  const Ps inputDelay = sc.inputDelay > 0.0
+                            ? sc.inputDelay
+                            : (nl.clocks().empty() ? 0.0
+                                                   : 0.25 * eng.clockPeriod());
+  for (PortId p = 0; p < nl.portCount(); ++p) {
+    if (!nl.port(p).isInput || nl.port(p).constant) continue;
+    bool isClock = false;
+    for (const auto& c : nl.clocks())
+      if (c.port == p) isClock = true;
+    if (isClock) continue;
+    auto& a = arr[static_cast<std::size_t>(g.portVertex(p))];
+    a[0] = a[1] = {inputDelay, 0.0};
+  }
+
+  auto merge = [](GaussianTime& slot, const GaussianTime& cand) {
+    if (slot.mean == kUnset) {
+      slot = cand;
+    } else {
+      slot = clarkMax(slot, cand);
+    }
+  };
+
+  // Forward sweep. Slews are reused from the deterministic late-mode run
+  // (second-order effect on the statistics).
+  for (VertexId u : g.topoOrder()) {
+    for (EdgeId e : g.outEdges(u)) {
+      const TimingGraph::Edge& ed = g.edge(e);
+      const auto& fa = arr[static_cast<std::size_t>(u)];
+      switch (ed.kind) {
+        case TimingGraph::EdgeKind::kNetArc: {
+          Ps skew = 0.0;
+          const TimingGraph::Vertex& tv = g.vertex(ed.to);
+          if (tv.kind == TimingGraph::VertexKind::kCellInput &&
+              tv.pin == 1 && nl.isSequential(tv.inst))
+            skew = nl.instance(tv.inst).usefulSkew;
+          for (int tr = 0; tr < 2; ++tr) {
+            if (fa[static_cast<std::size_t>(tr)].mean == kUnset) continue;
+            const auto w =
+                dc.wire(ed.net, ed.sinkIndex,
+                        eng.timing(u).slew[0][tr]);
+            GaussianTime cand = fa[static_cast<std::size_t>(tr)];
+            cand.mean += w.delay + skew;
+            merge(arr[static_cast<std::size_t>(ed.to)]
+                     [static_cast<std::size_t>(tr)],
+                  cand);
+          }
+          break;
+        }
+        case TimingGraph::EdgeKind::kCellArc: {
+          const InstId inst = g.vertex(ed.from).inst;
+          const Cell& cell = dc.cellOf(inst);
+          const TimingArc& tArc =
+              cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
+          for (int trIn = 0; trIn < 2; ++trIn) {
+            if (fa[static_cast<std::size_t>(trIn)].mean == kUnset) continue;
+            int lo = 0, hi = 1;
+            if (tArc.unate == Unateness::kNegative) lo = hi = 1 - trIn;
+            if (tArc.unate == Unateness::kPositive) lo = hi = trIn;
+            for (int trOut = lo; trOut <= hi; ++trOut) {
+              const auto r = dc.cellArc(inst, ed.arcIndex, trOut == 0,
+                                        eng.timing(u).slew[0][trIn]);
+              // Symmetric Gaussian: use the mean of the asymmetric LVF
+              // sigmas (SSTA's Gaussian assumption, one of its limits).
+              const double s = 0.5 * (r.sigmaLate + r.sigmaEarly);
+              GaussianTime cand = fa[static_cast<std::size_t>(trIn)];
+              cand.mean += r.delay;
+              cand.var += s * s;
+              merge(arr[static_cast<std::size_t>(ed.to)]
+                       [static_cast<std::size_t>(trOut)],
+                    cand);
+            }
+          }
+          break;
+        }
+        case TimingGraph::EdgeKind::kClockToQ: {
+          const InstId flop = g.vertex(ed.from).inst;
+          const Cell& cell = dc.cellOf(flop);
+          if (fa[0].mean == kUnset) break;
+          for (int trQ = 0; trQ < 2; ++trQ) {
+            const auto r = dc.clockToQ(flop, trQ == 0,
+                                       eng.timing(u).slew[0][0]);
+            const double s =
+                (cell.pocvSigmaRatio > 0 ? cell.pocvSigmaRatio : 0.03) *
+                r.delay;
+            GaussianTime cand = fa[0];
+            cand.mean += r.delay;
+            cand.var += s * s;
+            merge(arr[static_cast<std::size_t>(ed.to)]
+                     [static_cast<std::size_t>(trQ)],
+                  cand);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Endpoint checks: statistical data arrival against the deterministic
+  // capture/constraint quantities from the engine run.
+  std::vector<SstaEndpoint> out;
+  wns3_ = std::numeric_limits<double>::infinity();
+  const Ps period = nl.clocks().empty() ? 1e9 : eng.clockPeriod();
+  for (const auto& ep : eng.endpoints()) {
+    const auto& a = arr[static_cast<std::size_t>(ep.vertex)];
+    GaussianTime data;
+    bool have = false;
+    for (int tr = 0; tr < 2; ++tr) {
+      if (a[static_cast<std::size_t>(tr)].mean == kUnset) continue;
+      if (!have) {
+        data = a[static_cast<std::size_t>(tr)];
+        have = true;
+      } else {
+        data = clarkMax(data, a[static_cast<std::size_t>(tr)]);
+      }
+    }
+    if (!have) continue;
+    SstaEndpoint se;
+    se.vertex = ep.vertex;
+    se.flop = ep.flop;
+    double allowed;
+    if (ep.flop >= 0) {
+      allowed = period + ep.captureEarly - ep.setupConstraint -
+                sc.clockUncertaintySetup - sc.extraSetupMargin +
+                ep.cpprSetup;
+    } else {
+      allowed = period - sc.clockUncertaintySetup - sc.extraSetupMargin;
+    }
+    se.slack.mean = allowed - data.mean;
+    se.slack.var = data.var;
+    se.slack3Sigma = se.slack.mean - 3.0 * se.slack.sigma();
+    se.yield = se.slack.sigma() > 0
+                   ? normalCdf(se.slack.mean / se.slack.sigma())
+                   : (se.slack.mean >= 0 ? 1.0 : 0.0);
+    wns3_ = std::min(wns3_, se.slack3Sigma);
+    out.push_back(se);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SstaEndpoint& x, const SstaEndpoint& y) {
+              return x.slack3Sigma < y.slack3Sigma;
+            });
+  return out;
+}
+
+}  // namespace tc

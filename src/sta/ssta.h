@@ -1,0 +1,62 @@
+#pragma once
+/// \file ssta.h
+/// \brief Block-based statistical STA — the paper's "holy grail" that the
+/// industry "has ... for over a decade flirted with" yet which "seems to
+/// remain perpetually in the future" (Sec. 3.1).
+///
+/// This is the canonical first-order flavor: every arc delay is a Gaussian
+/// (mean from NLDM, sigma from the LVF characterization, independent local
+/// variables), sums add moments, and path merges use Clark's MAX
+/// approximation, so statistical arrival distributions propagate through
+/// the whole graph instead of a single corner number.
+///
+/// Its purpose here is exactly the paper's footnote-13 argument: measured
+/// against the Monte Carlo golden, block-based SSTA buys little over
+/// LVF-based mean + k*sigma propagation — quantified by bench_ssta.
+
+#include <vector>
+
+#include "sta/engine.h"
+
+namespace tc {
+
+/// Gaussian arrival: mean and variance.
+struct GaussianTime {
+  double mean = 0.0;
+  double var = 0.0;
+
+  double sigma() const;
+  /// Quantile mean + z*sigma.
+  double at(double z) const;
+};
+
+/// Clark's approximation of max(a, b) for (possibly correlated-free)
+/// Gaussians. Exposed for tests.
+GaussianTime clarkMax(const GaussianTime& a, const GaussianTime& b);
+
+struct SstaEndpoint {
+  VertexId vertex = -1;
+  InstId flop = -1;
+  GaussianTime slack;      ///< statistical setup-slack distribution
+  double slack3Sigma = 0.0;  ///< mean - 3 sigma
+  double yield = 1.0;        ///< P(slack >= 0)
+};
+
+class SstaAnalyzer {
+ public:
+  /// Uses the engine's graph, delay calculator and scenario; the engine
+  /// must have run (clock arrivals / constraints are reused).
+  explicit SstaAnalyzer(StaEngine& engine) : eng_(&engine) {}
+
+  /// Forward statistical propagation (late mode), then endpoint checks.
+  std::vector<SstaEndpoint> run();
+
+  /// Statistical WNS at 3 sigma from the last run().
+  Ps wns3Sigma() const { return wns3_; }
+
+ private:
+  StaEngine* eng_;
+  Ps wns3_ = 0.0;
+};
+
+}  // namespace tc

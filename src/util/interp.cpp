@@ -1,0 +1,72 @@
+#include "util/interp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tc {
+
+Axis::Axis(std::vector<double> points) : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("Axis: empty point list");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i] <= points_[i - 1])
+      throw std::invalid_argument("Axis: points must be strictly increasing");
+  }
+}
+
+std::size_t Axis::segment(double x) const {
+  if (points_.size() < 2) return 0;
+  auto it = std::upper_bound(points_.begin(), points_.end(), x);
+  auto idx = static_cast<std::size_t>(std::distance(points_.begin(), it));
+  if (idx == 0) return 0;
+  return std::min(idx - 1, points_.size() - 2);
+}
+
+double Axis::fraction(double x, std::size_t seg) const {
+  if (points_.size() < 2) return 0.0;
+  const double lo = points_[seg];
+  const double hi = points_[seg + 1];
+  return (x - lo) / (hi - lo);
+}
+
+double interp1(const Axis& axis, const std::vector<double>& values, double x) {
+  if (values.size() != axis.size())
+    throw std::invalid_argument("interp1: axis/value size mismatch");
+  if (axis.size() == 1) return values[0];
+  const std::size_t s = axis.segment(x);
+  const double f = axis.fraction(x, s);
+  return values[s] + f * (values[s + 1] - values[s]);
+}
+
+Table2D::Table2D(Axis xAxis, Axis yAxis, std::vector<double> values)
+    : x_(std::move(xAxis)), y_(std::move(yAxis)), values_(std::move(values)) {
+  if (values_.size() != x_.size() * y_.size())
+    throw std::invalid_argument("Table2D: value count != |x|*|y|");
+}
+
+double Table2D::lookup(double x, double y) const {
+  if (values_.empty()) throw std::logic_error("Table2D: lookup on empty table");
+  if (x_.size() == 1 && y_.size() == 1) return values_[0];
+  if (x_.size() == 1) {
+    const std::size_t s = y_.segment(y);
+    const double f = y_.fraction(y, s);
+    return at(0, s) + f * (at(0, s + 1) - at(0, s));
+  }
+  if (y_.size() == 1) {
+    const std::size_t s = x_.segment(x);
+    const double f = x_.fraction(x, s);
+    return at(s, 0) + f * (at(s + 1, 0) - at(s, 0));
+  }
+  const std::size_t sx = x_.segment(x);
+  const std::size_t sy = y_.segment(y);
+  const double fx = x_.fraction(x, sx);
+  const double fy = y_.fraction(y, sy);
+  const double v00 = at(sx, sy);
+  const double v01 = at(sx, sy + 1);
+  const double v10 = at(sx + 1, sy);
+  const double v11 = at(sx + 1, sy + 1);
+  const double v0 = v00 + fy * (v01 - v00);
+  const double v1 = v10 + fy * (v11 - v10);
+  return v0 + fx * (v1 - v0);
+}
+
+}  // namespace tc

@@ -1,0 +1,68 @@
+#pragma once
+/// \file interp.h
+/// \brief 1-D and 2-D table interpolation, the numerical core of NLDM / LVF
+/// library lookups and of lib-group voltage interpolation.
+///
+/// Liberty-style tables extrapolate linearly beyond the characterized grid,
+/// which is what signoff STA tools do; both helpers here follow that rule.
+
+#include <cstddef>
+#include <vector>
+
+namespace tc {
+
+/// A strictly increasing axis of sample points.
+class Axis {
+ public:
+  Axis() = default;
+  explicit Axis(std::vector<double> points);
+
+  std::size_t size() const { return points_.size(); }
+  double operator[](std::size_t i) const { return points_[i]; }
+  const std::vector<double>& points() const { return points_; }
+
+  /// Index i such that points[i] <= x < points[i+1], clamped so that both i
+  /// and i+1 are valid (enables linear extrapolation at the ends).
+  std::size_t segment(double x) const;
+  /// Fractional position of x within its segment (may be <0 or >1 when
+  /// extrapolating).
+  double fraction(double x, std::size_t seg) const;
+
+ private:
+  std::vector<double> points_;
+};
+
+/// Piecewise-linear 1-D interpolation with linear extrapolation.
+double interp1(const Axis& axis, const std::vector<double>& values, double x);
+
+/// Row-major 2-D bilinear table: value(x, y) with x indexing rows.
+class Table2D {
+ public:
+  Table2D() = default;
+  Table2D(Axis xAxis, Axis yAxis, std::vector<double> values);
+
+  bool empty() const { return values_.empty(); }
+  const Axis& xAxis() const { return x_; }
+  const Axis& yAxis() const { return y_; }
+  double at(std::size_t ix, std::size_t iy) const {
+    return values_[ix * y_.size() + iy];
+  }
+  double& at(std::size_t ix, std::size_t iy) {
+    return values_[ix * y_.size() + iy];
+  }
+
+  /// Bilinear interpolation with linear extrapolation outside the grid.
+  double lookup(double x, double y) const;
+
+  /// Apply f to every stored value (used to derate whole tables).
+  template <typename F>
+  void transform(F&& f) {
+    for (double& v : values_) v = f(v);
+  }
+
+ private:
+  Axis x_, y_;
+  std::vector<double> values_;
+};
+
+}  // namespace tc

@@ -1,0 +1,35 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace tc {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel logLevel() { return g_level.load(); }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[%s] ", tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace tc

@@ -1,0 +1,26 @@
+#pragma once
+/// \file log.h
+/// \brief Tiny leveled logger. Tools in this framework report progress the
+/// way signoff flows do: terse INFO lines, loud WARN/ERROR.
+
+#include <cstdarg>
+#include <string>
+
+namespace tc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide log threshold (defaults to kInfo; benches may silence).
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// printf-style logging, prefixed with the level tag.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define TC_DEBUG(...) ::tc::logf(::tc::LogLevel::kDebug, __VA_ARGS__)
+#define TC_INFO(...) ::tc::logf(::tc::LogLevel::kInfo, __VA_ARGS__)
+#define TC_WARN(...) ::tc::logf(::tc::LogLevel::kWarn, __VA_ARGS__)
+#define TC_ERROR(...) ::tc::logf(::tc::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace tc

@@ -1,0 +1,92 @@
+#pragma once
+/// \file rng.h
+/// \brief Deterministic, fast random number generation for Monte Carlo
+/// analyses and synthetic workload generation.
+///
+/// The framework never uses std::random_device or global RNG state: every
+/// stochastic component takes an explicit `Rng` (or a seed) so that all
+/// experiments are exactly reproducible run-to-run.
+
+#include <cstdint>
+#include <cmath>
+
+namespace tc {
+
+/// xoshiro256** by Blackman & Vigna — small, fast, high-quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+  /// Standard normal via Marsaglia polar method (cached second deviate).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * m;
+    has_cached_ = true;
+    return u * m;
+  }
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent stream (for per-thread / per-component use).
+  Rng fork() { return Rng(next() ^ 0xD1B54A32D192ED03ull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace tc

@@ -1,0 +1,196 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - m1_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  m1_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3 * n + 3) + 6 * delta_n2 * m2_ -
+         4 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2) - 3 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double n = na + nb;
+  const double delta = o.m1_ - m1_;
+  const double d2 = delta * delta;
+  const double d3 = d2 * delta;
+  const double d4 = d2 * d2;
+
+  RunningStats r;
+  r.n_ = n_ + o.n_;
+  r.m1_ = (na * m1_ + nb * o.m1_) / n;
+  r.m2_ = m2_ + o.m2_ + d2 * na * nb / n;
+  r.m3_ = m3_ + o.m3_ + d3 * na * nb * (na - nb) / (n * n) +
+          3.0 * delta * (na * o.m2_ - nb * m2_) / n;
+  r.m4_ = m4_ + o.m4_ +
+          d4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+          6.0 * d2 * (na * na * o.m2_ + nb * nb * m2_) / (n * n) +
+          4.0 * delta * (na * o.m3_ - nb * m3_) / n;
+  r.min_ = std::min(min_, o.min_);
+  r.max_ = std::max(max_, o.max_);
+  *this = r;
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::skewness() const {
+  if (n_ < 3 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double RunningStats::kurtosis() const {
+  if (n_ < 4 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+void SampleSet::ensureSorted() const {
+  if (sorted_) return;
+  sorted_samples_ = samples_;
+  std::sort(sorted_samples_.begin(), sorted_samples_.end());
+  sorted_ = true;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::skewness() const {
+  RunningStats rs;
+  for (double x : samples_) rs.add(x);
+  return rs.skewness();
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) throw std::domain_error("quantile of empty SampleSet");
+  ensureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_samples_[lo] * (1.0 - frac) + sorted_samples_[hi] * frac;
+}
+
+double SampleSet::sigmaBelowMean() const {
+  const double m = mean();
+  double s = 0.0;
+  std::size_t n = 0;
+  for (double x : samples_) {
+    if (x < m) {
+      s += (x - m) * (x - m);
+      ++n;
+    }
+  }
+  return n ? std::sqrt(s / static_cast<double>(n)) : 0.0;
+}
+
+double SampleSet::sigmaAboveMean() const {
+  const double m = mean();
+  double s = 0.0;
+  std::size_t n = 0;
+  for (double x : samples_) {
+    if (x >= m) {
+      s += (x - m) * (x - m);
+      ++n;
+    }
+  }
+  return n ? std::sqrt(s / static_cast<double>(n)) : 0.0;
+}
+
+std::vector<std::size_t> SampleSet::histogram(double lo, double hi,
+                                              std::size_t bins) const {
+  std::vector<std::size_t> h(bins, 0);
+  if (bins == 0 || hi <= lo) return h;
+  const double w = (hi - lo) / static_cast<double>(bins);
+  for (double x : samples_) {
+    auto b = static_cast<long>((x - lo) / w);
+    b = std::clamp<long>(b, 0, static_cast<long>(bins) - 1);
+    ++h[static_cast<std::size_t>(b)];
+  }
+  return h;
+}
+
+double normalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normalInverseCdf(double p) {
+  if (p <= 0.0 || p >= 1.0)
+    throw std::domain_error("normalInverseCdf requires p in (0,1)");
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q = 0.0;
+  double r = 0.0;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+}  // namespace tc

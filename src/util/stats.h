@@ -1,0 +1,79 @@
+#pragma once
+/// \file stats.h
+/// \brief Streaming and batch statistics used by Monte Carlo timing analyses
+/// (Fig. 7 tail asymmetry, Fig. 8 pessimism metrics) and by report writers.
+
+#include <cstddef>
+#include <vector>
+
+namespace tc {
+
+/// Numerically stable streaming moments (Welford / Pébay update), giving
+/// mean, variance, skewness and excess kurtosis without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? m1_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double skewness() const;  ///< Fisher-Pearson g1 (0 for symmetric data)
+  double kurtosis() const;  ///< excess kurtosis (0 for a Gaussian)
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double m1_ = 0.0, m2_ = 0.0, m3_ = 0.0, m4_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Batch sample set with quantiles and one-sided deviations. The paper's
+/// Fig. 7 motivates *separate* early/late sigmas: `sigmaBelowMean` and
+/// `sigmaAboveMean` are RMS deviations computed over the samples on each side
+/// of the mean, exactly the quantity an LVF `sigma_early`/`sigma_late` pair
+/// models.
+class SampleSet {
+ public:
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  double mean() const;
+  double stddev() const;
+  double skewness() const;
+  /// Linear-interpolated quantile, q in [0,1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  /// RMS deviation of samples strictly below the mean (early-mode sigma).
+  double sigmaBelowMean() const;
+  /// RMS deviation of samples at or above the mean (late-mode sigma).
+  double sigmaAboveMean() const;
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+
+  /// Fixed-width histogram over [lo, hi] with `bins` buckets; out-of-range
+  /// samples clamp to the end buckets. Used by bench table renderers.
+  std::vector<std::size_t> histogram(double lo, double hi,
+                                     std::size_t bins) const;
+
+ private:
+  void ensureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Standard normal CDF.
+double normalCdf(double z);
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9) — used for slack->yield conversion.
+double normalInverseCdf(double p);
+
+}  // namespace tc

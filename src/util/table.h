@@ -1,0 +1,40 @@
+#pragma once
+/// \file table.h
+/// \brief ASCII table / series renderer used by the benchmark harness to
+/// print the rows and series of each figure the paper reports.
+
+#include <string>
+#include <vector>
+
+namespace tc {
+
+/// Column-aligned text table with a title, header row and footnotes.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void setHeader(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+  void addFootnote(std::string note) { footnotes_.push_back(std::move(note)); }
+
+  /// Format helper: fixed-precision double.
+  static std::string num(double v, int precision = 3);
+  /// Format helper: percentage with sign.
+  static std::string pct(double fraction, int precision = 1);
+
+  std::string render() const;
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footnotes_;
+};
+
+/// Minimal inline bar chart: value scaled to a run of '#' characters,
+/// for printing distributions/series in bench output.
+std::string asciiBar(double value, double maxValue, int width = 40);
+
+}  // namespace tc

@@ -1,0 +1,50 @@
+#pragma once
+/// \file units.h
+/// \brief Unit conventions used throughout the goalposts framework.
+///
+/// All quantities are plain `double`s held in one *consistent* unit system so
+/// that products and ratios need no conversion factors:
+///
+///   time         : picoseconds  (ps)
+///   capacitance  : femtofarads  (fF)
+///   resistance   : kilo-ohms    (kOhm)      -> kOhm * fF == ps
+///   voltage      : volts        (V)
+///   current      : micro-amps   (uA)        -> fF * V / uA == ns? no: see below
+///   temperature  : degrees Celsius (C)
+///   distance     : microns      (um)
+///   area         : square microns (um^2)
+///   energy       : femtojoules  (fJ)        -> fF * V^2 == fJ
+///   power        : micro-watts  (uW)
+///   frequency    : gigahertz    (GHz)       -> 1/ns; note 1e3/ps-period
+///
+/// Note on current: with I in uA, C in fF and V in volts, the slewing time
+/// t = C*V/I comes out in units of (fF*V/uA) = 1e-15*1/1e-6 s = 1e-9 s = ns.
+/// The device layer therefore multiplies by `kNsToPs` when integrating.
+///
+/// The aliases below are documentation, not type safety: they make signatures
+/// self-describing while keeping numeric code frictionless.
+
+namespace tc {
+
+using Ps = double;    ///< time in picoseconds
+using Ns = double;    ///< time in nanoseconds (device layer only)
+using Ff = double;    ///< capacitance in femtofarads
+using KOhm = double;  ///< resistance in kilo-ohms
+using Volt = double;  ///< voltage in volts
+using MicroAmp = double;  ///< current in micro-amps
+using Celsius = double;   ///< temperature in degrees Celsius
+using Um = double;        ///< distance in microns
+using Um2 = double;       ///< area in square microns
+using Fj = double;        ///< energy in femtojoules
+using MicroWatt = double; ///< power in micro-watts
+
+inline constexpr double kNsToPs = 1000.0;
+inline constexpr double kPsToNs = 1e-3;
+inline constexpr double kZeroCelsiusInKelvin = 273.15;
+/// Boltzmann constant in eV/K (used by the BTI aging model).
+inline constexpr double kBoltzmannEvPerK = 8.617333262e-5;
+
+/// Convert Celsius to Kelvin.
+constexpr double kelvin(Celsius t) { return t + kZeroCelsiusInKelvin; }
+
+}  // namespace tc

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "opt/cts.h"
+#include "place/placement.h"
+#include "signoff/ir.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+struct Placed {
+  Netlist nl;
+  Floorplan fp;
+  Scenario sc;
+};
+
+Placed placedBlock() {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Floorplan fp = Floorplan::forDesign(nl, 0.7);
+  placeDesign(nl, fp);
+  Scenario sc;
+  sc.lib = L;
+  return {std::move(nl), fp, sc};
+}
+
+// --- CTS -------------------------------------------------------------------------
+
+TEST(Cts, MeasureSkewBasics) {
+  Placed b = placedBlock();
+  StaEngine eng(b.nl, b.sc);
+  eng.run();
+  const SkewReport r = measureClockSkew(eng);
+  EXPECT_EQ(r.flops, profileTiny().numFlops);
+  EXPECT_GT(r.insertionMin, 0.0);
+  EXPECT_GE(r.insertionMax, r.insertionMin);
+  EXPECT_NEAR(r.globalSkew, r.insertionMax - r.insertionMin, 1e-9);
+  EXPECT_LE(r.localSkewMax, r.globalSkew + 1e-9);
+}
+
+TEST(Cts, OptimizeReducesClusterRadiusAndLocalSkew) {
+  Placed b = placedBlock();
+  // Churn the leaf assignment so clusters straddle the placement.
+  {
+    Rng rng(4);
+    std::vector<InstId> flops;
+    std::vector<NetId> nets;
+    for (InstId i = 0; i < b.nl.instanceCount(); ++i) {
+      if (!b.nl.isSequential(i)) continue;
+      flops.push_back(i);
+      nets.push_back(b.nl.instance(i).fanin[1]);
+    }
+    for (std::size_t i = flops.size(); i-- > 1;) {
+      const std::size_t j = rng.below(i + 1);
+      std::swap(nets[i], nets[j]);
+    }
+    for (std::size_t i = 0; i < flops.size(); ++i) {
+      b.nl.disconnectInput(flops[i], 1);
+      b.nl.connectInput(flops[i], 1, nets[i]);
+    }
+  }
+  StaEngine before(b.nl, b.sc);
+  before.run();
+  const SkewReport rb = measureClockSkew(before);
+
+  RowOccupancy occ(b.nl, b.fp);
+  const CtsResult res = optimizeClockTree(b.nl, &occ, &b.fp);
+  EXPECT_GT(res.leafBuffers, 0);
+  EXPECT_GT(res.flopsReassigned, 0);
+  EXPECT_NO_THROW(b.nl.validate());
+  EXPECT_TRUE(occ.isLegal());
+
+  StaEngine after(b.nl, b.sc);
+  after.run();
+  const SkewReport ra = measureClockSkew(after);
+  EXPECT_LT(ra.localSkewMax, rb.localSkewMax);
+  EXPECT_EQ(ra.flops, rb.flops);
+}
+
+TEST(Cts, BalanceUsesLegalVariants) {
+  Placed b = placedBlock();
+  const int swaps = balanceClockTree(b.nl, b.sc, 3);
+  EXPECT_GE(swaps, 0);
+  EXPECT_NO_THROW(b.nl.validate());
+  for (InstId i = 0; i < b.nl.instanceCount(); ++i)
+    if (b.nl.instance(i).isClockTreeBuffer)
+      EXPECT_EQ(b.nl.cellOf(i).footprint, "BUF");
+}
+
+TEST(Cts, McmmSkewAcrossCorners) {
+  Placed b = placedBlock();
+  Scenario slow;
+  slow.lib = characterizedLibrary(
+      LibraryPvt{ProcessCorner::kSSG, 0.81, 125.0}, true);
+  StaEngine a(b.nl, b.sc);
+  a.run();
+  StaEngine c(b.nl, slow);
+  c.run();
+  const McmmSkew mc = skewAcrossScenarios({&a, &c});
+  ASSERT_EQ(mc.globalSkewPerScenario.size(), 2u);
+  EXPECT_GT(mc.globalSkewPerScenario[0], 0.0);
+  // Normalized cross-corner variation is a small fraction.
+  EXPECT_GE(mc.worstCrossCornerVariation, 0.0);
+  EXPECT_LT(mc.worstCrossCornerVariation, 0.5);
+}
+
+// --- dynamic IR --------------------------------------------------------------------
+
+TEST(Ir, DroopMapShape) {
+  Placed b = placedBlock();
+  const IrDroopMap map = computeIrDroop(b.nl);
+  EXPECT_GT(map.nx, 0);
+  EXPECT_GT(map.ny, 0);
+  EXPECT_GT(map.worstDroopMv, 0.0);
+  EXPECT_GE(map.worstDroopMv, map.meanDroopMv);
+  // Lookup clamps outside the grid.
+  EXPECT_GE(map.droopAt(-50.0, -50.0), 0.0);
+  EXPECT_GE(map.droopAt(1e6, 1e6), 0.0);
+}
+
+TEST(Ir, DroopScalesWithActivityAndFrequency) {
+  Placed b = placedBlock();
+  IrOptions lo;
+  lo.dataActivity = 0.05;
+  IrOptions hi;
+  hi.dataActivity = 0.40;
+  EXPECT_GT(computeIrDroop(b.nl, hi).worstDroopMv,
+            computeIrDroop(b.nl, lo).worstDroopMv);
+  const double base = computeIrDroop(b.nl).worstDroopMv;
+  b.nl.clocks().front().period *= 0.5;  // 2x frequency
+  EXPECT_GT(computeIrDroop(b.nl).worstDroopMv, base);
+}
+
+TEST(Ir, DynamicAnalysisOnlySlowsSetup) {
+  Placed b = placedBlock();
+  const IrDroopMap map = computeIrDroop(b.nl);
+  const DelayScaler scaler(0.9, 25.0);
+  StaEngine eng(b.nl, b.sc);
+  eng.run();
+  const IrTimingResult r = applyIrAwareTiming(eng, map, scaler);
+  EXPECT_LE(r.setupWnsAfter, r.setupWnsBefore + 1e-9);
+  EXPECT_GE(r.instancesDerated, 0);
+  EXPECT_GE(r.worstDeratePct, 0.0);
+  EXPECT_LT(r.worstDeratePct, 30.0);  // droop is millivolts, not brownout
+}
+
+}  // namespace
+}  // namespace tc

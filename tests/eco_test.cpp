@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "sta/engine.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+/// Incremental and full analysis must agree on every endpoint.
+void expectEquivalent(StaEngine& inc, const Netlist& nl,
+                      const Scenario& sc) {
+  StaEngine full(nl, sc);
+  full.run();
+  ASSERT_EQ(inc.endpoints().size(), full.endpoints().size());
+  for (std::size_t i = 0; i < full.endpoints().size(); ++i) {
+    const auto& a = inc.endpoints()[i];
+    const auto& b = full.endpoints()[i];
+    EXPECT_EQ(a.vertex, b.vertex);
+    if (std::isfinite(b.setupSlack)) {
+      EXPECT_NEAR(a.setupSlack, b.setupSlack, 1e-6);
+    }
+    if (std::isfinite(b.holdSlack)) {
+      EXPECT_NEAR(a.holdSlack, b.holdSlack, 1e-6);
+    }
+  }
+  EXPECT_EQ(inc.drvViolations().size(), full.drvViolations().size());
+}
+
+TEST(Eco, VtSwapIncrementalMatchesFull) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc;
+  sc.lib = L;
+  StaEngine inc(nl, sc);
+  inc.run();
+  // Swap a mid-design gate to ULVT.
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    const Cell& c = nl.cellOf(i);
+    if (c.isSequential || c.footprint != "NAND2") continue;
+    nl.swapCell(i, L->variant("NAND2", VtClass::kUlvt, c.drive));
+    inc.updateAfterEco(inc.netsAffectedBySwap(i));
+    break;
+  }
+  expectEquivalent(inc, nl, sc);
+}
+
+TEST(Eco, SizingIncrementalMatchesFull) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc;
+  sc.lib = L;
+  StaEngine inc(nl, sc);
+  inc.run();
+  int edits = 0;
+  for (InstId i = 0; i < nl.instanceCount() && edits < 5; ++i) {
+    const Cell& c = nl.cellOf(i);
+    if (c.isSequential || c.drive != 1 ||
+        nl.instance(i).isClockTreeBuffer)
+      continue;
+    const int cand = L->variant(c.footprint, c.vt, 4);
+    if (cand < 0) continue;
+    nl.swapCell(i, cand);
+    inc.updateAfterEco(inc.netsAffectedBySwap(i));
+    ++edits;
+  }
+  ASSERT_GT(edits, 0);
+  expectEquivalent(inc, nl, sc);
+}
+
+TEST(Eco, UsefulSkewIncrementalMatchesFull) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc;
+  sc.lib = L;
+  StaEngine inc(nl, sc);
+  inc.run();
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    if (!nl.isSequential(i)) continue;
+    nl.instance(i).usefulSkew = 35.0;
+    // The skew lands on the CK net arc: dirty the clock leaf net.
+    inc.updateAfterEco({nl.instance(i).fanin[1]});
+    break;
+  }
+  expectEquivalent(inc, nl, sc);
+}
+
+TEST(Eco, NdrPromotionIncrementalMatchesFull) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc;
+  sc.lib = L;
+  StaEngine inc(nl, sc);
+  inc.run();
+  // Promote a handful of data nets.
+  int edits = 0;
+  for (NetId n = 0; n < nl.netCount() && edits < 6; ++n) {
+    if (nl.net(n).driver < 0) continue;
+    if (nl.instance(nl.net(n).driver).isClockTreeBuffer) continue;
+    nl.net(n).ndrClass = 2;
+    inc.updateAfterEco({n});
+    ++edits;
+  }
+  ASSERT_GT(edits, 0);
+  expectEquivalent(inc, nl, sc);
+}
+
+TEST(Eco, ManySequentialEcosStayExact) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc;
+  sc.lib = L;
+  StaEngine inc(nl, sc);
+  inc.run();
+  Rng rng(77);
+  int edits = 0;
+  for (int e = 0; e < 30; ++e) {
+    const InstId i = static_cast<InstId>(
+        rng.below(static_cast<std::uint64_t>(nl.instanceCount())));
+    const Cell& c = nl.cellOf(i);
+    if (c.isSequential || nl.instance(i).isClockTreeBuffer) continue;
+    const int cand =
+        L->variant(c.footprint, static_cast<VtClass>(rng.below(4)), c.drive);
+    if (cand < 0 || cand == nl.instance(i).cellIndex) continue;
+    nl.swapCell(i, cand);
+    inc.updateAfterEco(inc.netsAffectedBySwap(i));
+    ++edits;
+  }
+  ASSERT_GT(edits, 5);
+  expectEquivalent(inc, nl, sc);
+}
+
+TEST(Eco, UpdateBeforeRunFallsBackToFull) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc;
+  sc.lib = L;
+  StaEngine inc(nl, sc);
+  inc.updateAfterEco({0});  // never ran: must behave like run()
+  expectEquivalent(inc, nl, sc);
+}
+
+TEST(Eco, AffectedNetsOfSwap) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 3);
+  Scenario sc;
+  sc.lib = L;
+  StaEngine eng(nl, sc);
+  // Gate g0_1 (NAND2): two fanin nets + one fanout net.
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    if (nl.instance(i).name == "g0_1") {
+      const auto nets = eng.netsAffectedBySwap(i);
+      EXPECT_EQ(nets.size(), 3u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc

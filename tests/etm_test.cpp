@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "signoff/etm.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+Scenario flatScenario() {
+  Scenario sc;
+  sc.lib = lib();
+  sc.inputDelay = 180.0;  // fixed: ETM sensitivities assume a set value
+  return sc;
+}
+
+TEST(Etm, ExtractionShapesAndCompression) {
+  Netlist nl = generateBlock(lib(), profileTiny());
+  Scenario sc = flatScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const TimingModel m = extractTimingModel(eng, "tiny");
+  EXPECT_GT(m.inputs.size(), 0u);
+  EXPECT_GT(m.outputs.size(), 0u);
+  EXPECT_TRUE(std::isfinite(m.internalSlackRef));
+  // The model is vastly smaller than the flat graph.
+  EXPECT_LT(m.modelArcCount(), m.flatVertexCount / 5);
+  // Reference-point prediction equals the flat WNS.
+  EXPECT_NEAR(m.predictSetupWns(m.refPeriod, m.refInputDelay),
+              eng.wns(Check::kSetup), 1e-6);
+}
+
+TEST(Etm, PredictionExactUnderPeriodSweep) {
+  Netlist nl = generateBlock(lib(), profileTiny());
+  Scenario sc = flatScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const TimingModel m = extractTimingModel(eng);
+  for (Ps dT : {-150.0, -50.0, 80.0, 250.0}) {
+    nl.clocks().front().period = m.refPeriod + dT;
+    StaEngine flat(nl, sc);
+    flat.run();
+    EXPECT_NEAR(m.predictSetupWns(m.refPeriod + dT, m.refInputDelay),
+                flat.wns(Check::kSetup), 1e-6)
+        << "dT=" << dT;
+  }
+  nl.clocks().front().period = m.refPeriod;
+}
+
+TEST(Etm, PredictionExactUnderInputDelaySweep) {
+  Netlist nl = generateBlock(lib(), profileTiny());
+  Scenario sc = flatScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const TimingModel m = extractTimingModel(eng);
+  for (Ps d : {80.0, 140.0, 260.0, 380.0}) {
+    Scenario sc2 = sc;
+    sc2.inputDelay = d;
+    StaEngine flat(nl, sc2);
+    flat.run();
+    EXPECT_NEAR(m.predictSetupWns(m.refPeriod, d), flat.wns(Check::kSetup),
+                1e-6)
+        << "inputDelay=" << d;
+  }
+}
+
+TEST(Etm, InputArcsCarryRequiredArrivals) {
+  Netlist nl = generateBlock(lib(), profileTiny());
+  Scenario sc = flatScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const TimingModel m = extractTimingModel(eng);
+  for (const auto& in : m.inputs) {
+    EXPECT_NEAR(in.requiredArrival, m.refInputDelay + in.slackRef, 1e-9);
+    EXPECT_FALSE(in.name.empty());
+  }
+  // Clock-to-out delays are positive and below the period at reference
+  // (the block met its PO constraints or the slack says otherwise).
+  for (const auto& out : m.outputs) {
+    EXPECT_GT(out.clockToOut, 0.0);
+  }
+}
+
+TEST(Etm, InternalSlackIndependentOfBoundary) {
+  // Internal (reg-to-reg) slack must not move with the input delay.
+  Netlist nl = generateBlock(lib(), profileTiny());
+  Scenario a = flatScenario();
+  a.inputDelay = 100.0;
+  Scenario b = flatScenario();
+  b.inputDelay = 400.0;
+  StaEngine ea(nl, a);
+  ea.run();
+  StaEngine eb(nl, b);
+  eb.run();
+  const TimingModel ma = extractTimingModel(ea);
+  const TimingModel mb = extractTimingModel(eb);
+  EXPECT_NEAR(ma.internalSlackRef, mb.internalSlackRef, 1e-6);
+  EXPECT_NEAR(ma.internalHoldSlack, mb.internalHoldSlack, 1e-6);
+}
+
+}  // namespace
+}  // namespace tc

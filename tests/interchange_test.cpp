@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "interconnect/spef.h"
+#include "liberty/builder.h"
+#include "liberty/liberty_writer.h"
+#include "liberty/serialize.h"
+#include "network/netgen.h"
+#include "network/verilog.h"
+#include "sta/engine.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+// ---------------------------------------------------------------------------
+// Verilog round trip
+// ---------------------------------------------------------------------------
+
+TEST(Verilog, WriterEmitsRecognizableStructure) {
+  Netlist nl = generatePipeline(lib(), 1, 3);
+  const std::string v = toVerilog(nl, "pipe");
+  EXPECT_NE(v.find("module pipe ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("DFF_X1_SVT launch0 (.D("), std::string::npos);
+  EXPECT_NE(v.find(".CK("), std::string::npos);
+  EXPECT_NE(v.find(".Q("), std::string::npos);
+  EXPECT_NE(v.find("input clk;"), std::string::npos);
+}
+
+TEST(Verilog, RoundTripPreservesStructureAndTiming) {
+  auto L = lib();
+  Netlist orig = generateBlock(L, profileTiny());
+  const std::string text = toVerilog(orig);
+
+  Netlist back = parseVerilog(text, L);
+  EXPECT_EQ(back.instanceCount(), orig.instanceCount());
+  EXPECT_EQ(back.portCount(), orig.portCount());
+  // Clocks and case analysis are SDC-side: re-declare, then validate.
+  for (const auto& c : orig.clocks()) {
+    for (PortId p = 0; p < back.portCount(); ++p)
+      if (back.port(p).name == orig.port(c.port).name) {
+        ClockDef cd = c;
+        cd.port = p;
+        back.defineClock(cd);
+      }
+  }
+  EXPECT_NO_THROW(back.validate());
+
+  // Timing equivalence: same WNS through the round trip.
+  Scenario sc;
+  sc.lib = L;
+  StaEngine a(orig, sc);
+  a.run();
+  StaEngine b(back, sc);
+  b.run();
+  EXPECT_NEAR(a.wns(Check::kSetup), b.wns(Check::kSetup), 1e-6);
+  EXPECT_NEAR(a.tns(Check::kSetup), b.tns(Check::kSetup), 1e-6);
+}
+
+TEST(Verilog, ParserRejectsGarbage) {
+  auto L = lib();
+  EXPECT_THROW(parseVerilog("module x (; endmodule", L), std::runtime_error);
+  EXPECT_THROW(parseVerilog("module x (a); input a; NOPE_CELL u1 (.A(a));"
+                            " endmodule",
+                            L),
+               std::runtime_error);
+  EXPECT_THROW(parseVerilog("module x (a); input a;", L), std::runtime_error);
+}
+
+TEST(Verilog, SdcSideCarriesClocksAndCaseAnalysis) {
+  Netlist nl = generatePipeline(lib(), 1, 2);
+  std::ostringstream os;
+  writeSdcLike(nl, os);
+  const std::string sdc = os.str();
+  EXPECT_NE(sdc.find("create_clock -name clk -period 0.8"),
+            std::string::npos);
+  EXPECT_NE(sdc.find("set_case_analysis"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SPEF
+// ---------------------------------------------------------------------------
+
+TEST(Spef, EmitsWellFormedSections) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 2);
+  Extractor ex(nl, BeolStack::forNode(techNode(28)));
+  ExtractionOptions opt;
+  const std::string spef = toSpef(nl, ex, opt, "pipe");
+  EXPECT_NE(spef.find("*SPEF"), std::string::npos);
+  EXPECT_NE(spef.find("*R_UNIT 1 KOHM"), std::string::npos);
+  EXPECT_NE(spef.find("*NAME_MAP"), std::string::npos);
+  EXPECT_NE(spef.find("*D_NET"), std::string::npos);
+  EXPECT_NE(spef.find("*CAP"), std::string::npos);
+  EXPECT_NE(spef.find("*RES"), std::string::npos);
+  // One *D_NET per net, one *END per *D_NET.
+  std::size_t dnets = 0, ends = 0, pos = 0;
+  while ((pos = spef.find("*D_NET", pos)) != std::string::npos) {
+    ++dnets;
+    pos += 6;
+  }
+  pos = 0;
+  while ((pos = spef.find("*END", pos)) != std::string::npos) {
+    ++ends;
+    pos += 4;
+  }
+  EXPECT_EQ(dnets, static_cast<std::size_t>(nl.netCount()));
+  EXPECT_EQ(ends, dnets);
+}
+
+TEST(Spef, SensitivityFlavorAnnotatesSigmas) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 2);
+  Extractor ex(nl, BeolStack::forNode(techNode(20)));  // DP layers: big sigma
+  ExtractionOptions opt;
+  std::ostringstream os;
+  writeSensitivitySpef(nl, ex, opt, os);
+  const std::string sspef = os.str();
+  EXPECT_NE(sspef.find("*SC"), std::string::npos);
+  EXPECT_NE(sspef.find("SSPEF"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Liberty text writer
+// ---------------------------------------------------------------------------
+
+TEST(LibertyWriter, HeaderAndCellsPresent) {
+  const std::string text = toLiberty(*lib(), 12);
+  EXPECT_NE(text.find("library (tc28_TT_0.90V_25C)"), std::string::npos);
+  EXPECT_NE(text.find("delay_model : table_lookup"), std::string::npos);
+  EXPECT_NE(text.find("lu_table_template (nldm_template)"),
+            std::string::npos);
+  EXPECT_NE(text.find("cell (INV_X1_ULVT)"), std::string::npos);
+  EXPECT_NE(text.find("cell_rise (nldm_template)"), std::string::npos);
+  EXPECT_NE(text.find("ocv_sigma_cell_rise"), std::string::npos);
+  EXPECT_NE(text.find("timing_sense : negative_unate"), std::string::npos);
+}
+
+TEST(LibertyWriter, SequentialCellsHaveFfGroup) {
+  const std::string text = toLiberty(*lib());
+  EXPECT_NE(text.find("ff (IQ, IQN)"), std::string::npos);
+  EXPECT_NE(text.find("timing_type : setup_rising"), std::string::npos);
+  EXPECT_NE(text.find("timing_type : rising_edge"), std::string::npos);
+  EXPECT_NE(text.find("clock : true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Binary library cache round trip
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, LibraryRoundTripExact) {
+  auto L = lib();
+  const std::string path = "/tmp/tc_libcache/test_roundtrip.tclib";
+  ASSERT_TRUE(writeLibraryFile(*L, path));
+  auto back = readLibraryFile(path);
+  ASSERT_NE(back, nullptr);
+  ASSERT_EQ(back->cellCount(), L->cellCount());
+  for (int i = 0; i < L->cellCount(); ++i) {
+    const Cell& a = L->cell(i);
+    const Cell& b = back->cell(i);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.vt, b.vt);
+    EXPECT_DOUBLE_EQ(a.pinCap, b.pinCap);
+    EXPECT_DOUBLE_EQ(a.leakagePower, b.leakagePower);
+    ASSERT_EQ(a.arcs.size(), b.arcs.size());
+    for (std::size_t k = 0; k < a.arcs.size(); ++k) {
+      EXPECT_DOUBLE_EQ(a.arcs[k].rise.delayAt(40, 5),
+                       b.arcs[k].rise.delayAt(40, 5));
+      EXPECT_DOUBLE_EQ(a.arcs[k].riseLvf.lateAt(40, 5),
+                       b.arcs[k].riseLvf.lateAt(40, 5));
+    }
+    EXPECT_EQ(a.flop.has_value(), b.flop.has_value());
+    if (a.flop) {
+      EXPECT_DOUBLE_EQ(a.flop->setup, b.flop->setup);
+      EXPECT_DOUBLE_EQ(a.flop->interdep.tauS, b.flop->interdep.tauS);
+    }
+  }
+  EXPECT_EQ(back->aocv().lateDerate, L->aocv().lateDerate);
+}
+
+TEST(Serialize, RejectsCorruptedFile) {
+  const std::string path = "/tmp/tc_libcache/test_corrupt.tclib";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a library";
+  }
+  EXPECT_EQ(readLibraryFile(path), nullptr);
+  EXPECT_EQ(readLibraryFile("/nonexistent/nowhere.tclib"), nullptr);
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interconnect/extract.h"
+#include "interconnect/rctree.h"
+#include "interconnect/sadp.h"
+#include "interconnect/steiner.h"
+#include "interconnect/wire.h"
+#include "util/stats.h"
+#include "liberty/builder.h"
+#include "network/netgen.h"
+
+namespace tc {
+namespace {
+
+TEST(RcTree, ElmoreMatchesClosedFormLadder) {
+  // Two-segment ladder: R1=1k, C1=2f; R2=3k, C2=4f.
+  // Elmore(node2) = R1*(C1+C2) + R2*C2 = 1*(6) + 3*4 = 18 ps.
+  RcTree t;
+  const int n1 = t.addNode(0, 1.0, 2.0);
+  const int n2 = t.addNode(n1, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(t.elmore(n1), 1.0 * 6.0);
+  EXPECT_DOUBLE_EQ(t.elmore(n2), 6.0 + 12.0);
+  EXPECT_DOUBLE_EQ(t.totalCap(), 6.0);
+}
+
+TEST(RcTree, ElmoreBranchesSeeSiblingCap) {
+  // Star: root -R1- a(Ca), root -R2- b(Cb). Elmore(a) = R1*Ca only.
+  RcTree t;
+  const int a = t.addNode(0, 2.0, 5.0);
+  const int b = t.addNode(0, 4.0, 1.0);
+  EXPECT_DOUBLE_EQ(t.elmore(a), 10.0);
+  EXPECT_DOUBLE_EQ(t.elmore(b), 4.0);
+}
+
+TEST(RcTree, D2mNeverExceedsElmore) {
+  RcTree t;
+  int at = 0;
+  for (int i = 0; i < 10; ++i) at = t.addNode(at, 0.5, 1.5);
+  for (int n = 1; n < t.nodeCount(); ++n) {
+    EXPECT_LE(t.d2m(n), t.elmore(n) + 1e-12);
+    EXPECT_GT(t.d2m(n), 0.3 * t.elmore(n));  // same order of magnitude
+  }
+}
+
+TEST(RcTree, EffectiveCapShieldsFarCap) {
+  RcTree t;
+  t.addCap(0, 2.0);
+  int at = 0;
+  for (int i = 0; i < 8; ++i) at = t.addNode(at, 5.0, 3.0);
+  const Ff total = t.totalCap();
+  const Ff ceffFast = t.effectiveCap(5.0);    // fast edge: strong shielding
+  const Ff ceffSlow = t.effectiveCap(500.0);  // slow edge: sees everything
+  EXPECT_LT(ceffFast, total);
+  EXPECT_LT(ceffFast, ceffSlow);
+  EXPECT_LE(ceffSlow, total + 1e-12);
+  EXPECT_GT(ceffFast, 2.0);  // never less than near cap
+}
+
+TEST(RcTree, SlewDegradationGrowsDownstream) {
+  RcTree t;
+  int at = 0;
+  for (int i = 0; i < 6; ++i) at = t.addNode(at, 2.0, 2.0);
+  EXPECT_GT(t.degradeSlew(30.0, at), 30.0);
+  EXPECT_GT(t.degradeSlew(30.0, at), t.degradeSlew(30.0, 1));
+}
+
+TEST(RcTree, BadParentThrows) {
+  RcTree t;
+  EXPECT_THROW(t.addNode(5, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Steiner, RouteTreeConnectsAllSinks) {
+  const Point drv{0, 0};
+  std::vector<Point> sinks{{10, 0}, {10, 10}, {0, 10}, {5, 5}};
+  const RouteTree t = buildRouteTree(drv, sinks);
+  EXPECT_EQ(t.points.size(), 5u);
+  EXPECT_EQ(t.edges.size(), 4u);
+  // Spanning tree length >= HPWL/..., and for this square <= sum of
+  // individual star distances.
+  EXPECT_GE(t.totalLength(), 20.0);
+  EXPECT_LE(t.totalLength(), 10.0 + 10.0 + 10.0 + 10.0);
+}
+
+TEST(Steiner, HpwlBoundingBox) {
+  EXPECT_DOUBLE_EQ(hpwl({0, 0}, {{3, 4}, {-1, 2}}), 4.0 + 4.0);
+  EXPECT_DOUBLE_EQ(hpwl({5, 5}, {}), 0.0);
+}
+
+TEST(Wire, CornerPolarity) {
+  const WireLayer l = BeolStack::forNode(techNode(28)).layer(3);
+  EXPECT_GT(l.cgAt(BeolCorner::kCworst), l.cgAt(BeolCorner::kTypical));
+  EXPECT_LT(l.cgAt(BeolCorner::kCbest), l.cgAt(BeolCorner::kTypical));
+  EXPECT_GT(l.rAt(BeolCorner::kRCworst, 25), l.rAt(BeolCorner::kTypical, 25));
+  // Cw trades thicker metal: R drops as C rises.
+  EXPECT_LT(l.rAt(BeolCorner::kCworst, 25), l.rAt(BeolCorner::kTypical, 25));
+  // Coupling-dominant corner moves cc hardest.
+  EXPECT_GT(l.ccAt(BeolCorner::kCcworst), l.ccAt(BeolCorner::kCworst));
+  // Copper tempco.
+  EXPECT_GT(l.rAt(BeolCorner::kTypical, 125), l.rAt(BeolCorner::kTypical, -30));
+}
+
+TEST(Wire, TightenedCornersInterpolateTowardTypical) {
+  const auto full = cornerScales(BeolCorner::kCworst);
+  const auto tight = tightenedScales(BeolCorner::kCworst, 1.5);
+  EXPECT_LT(tight.cg - 1.0, full.cg - 1.0);
+  EXPECT_GT(tight.cg, 1.0);
+  const auto zero = tightenedScales(BeolCorner::kCworst, 0.0);
+  EXPECT_NEAR(zero.cg, 1.0, 1e-12);
+  EXPECT_NEAR(zero.r, 1.0, 1e-12);
+}
+
+TEST(Wire, ResistanceExplodesAtAdvancedNodes) {
+  // "Rise of the BEOL": M2 R/um grows monotonically from 28nm to 7nm.
+  const double r28 = BeolStack::forNode(techNode(28)).layer(2).rPerUm;
+  const double r16 = BeolStack::forNode(techNode(16)).layer(2).rPerUm;
+  const double r7 = BeolStack::forNode(techNode(7)).layer(2).rPerUm;
+  EXPECT_GT(r16, 2.0 * r28);
+  EXPECT_GT(r7, 2.0 * r16);
+}
+
+TEST(Wire, NdrRulesTradeRforC) {
+  const auto& rules = ndrRules();
+  ASSERT_GE(rules.size(), 3u);
+  EXPECT_LT(rules[1].rScale, 0.7);   // 2W halves R
+  EXPECT_GT(rules[1].cgScale, 1.0);  // at a cap cost
+  EXPECT_LT(rules[2].ccScale, 0.6);  // 2W2S sheds coupling
+}
+
+TEST(Wire, DoublePatterningWidensLayerSigma) {
+  const BeolStack s20 = BeolStack::forNode(techNode(20));
+  EXPECT_TRUE(s20.layer(2).doublePatterned);
+  EXPECT_FALSE(s20.layer(6).doublePatterned);
+  EXPECT_GT(s20.layer(2).cSigmaFrac, s20.layer(6).cSigmaFrac);
+  EXPECT_THROW(s20.layer(9), std::invalid_argument);
+}
+
+// --- SADP (Fig. 5) -------------------------------------------------------------
+
+TEST(Sadp, SigmaCompositionFormulas) {
+  SadpModel m;
+  m.sigmaMandrelNm = 1.0;
+  m.sigmaSpacerNm = 0.5;
+  m.sigmaBlockNm = 2.0;
+  m.sigmaMandrelBlockNm = 1.5;
+  EXPECT_DOUBLE_EQ(m.cdSigmaNm(SadpCase::kMandrelMandrel), 1.0);
+  EXPECT_DOUBLE_EQ(m.cdSigmaNm(SadpCase::kSpacerSpacer),
+                   std::sqrt(1.0 + 2 * 0.25));
+  EXPECT_DOUBLE_EQ(m.cdSigmaNm(SadpCase::kMandrelBlock),
+                   std::sqrt(0.25 + 2.25 + 1.0));
+  EXPECT_DOUBLE_EQ(m.cdSigmaNm(SadpCase::kSpacerBlock),
+                   std::sqrt(0.25 + 0.25 + 2.25 + 1.0));
+  // Block-involved cases are strictly worse (the Fig 5c ordering).
+  EXPECT_GT(m.cdSigmaNm(SadpCase::kSpacerBlock),
+            m.cdSigmaNm(SadpCase::kMandrelBlock));
+  EXPECT_GT(m.cdSigmaNm(SadpCase::kSpacerBlock),
+            m.cdSigmaNm(SadpCase::kSpacerSpacer));
+}
+
+TEST(Sadp, CaseSamplingMatchesProbabilities) {
+  SadpModel m;
+  Rng rng(3);
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i)
+    ++counts[static_cast<int>(m.sampleCase(rng))];
+  for (int c = 0; c < 4; ++c)
+    EXPECT_NEAR(static_cast<double>(counts[c]) / n, m.caseProbability[c],
+                0.02);
+}
+
+TEST(Sadp, CutMaskCapGrowsWithLengthAndTerminals) {
+  SadpModel m;
+  EXPECT_GT(m.expectedCutMaskCap(100.0, 4), m.expectedCutMaskCap(10.0, 4));
+  EXPECT_GT(m.expectedCutMaskCap(50.0, 6), m.expectedCutMaskCap(50.0, 2));
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 4000; ++i) stats.add(m.sampleCutMaskCap(50.0, 4, rng));
+  EXPECT_NEAR(stats.mean(), m.expectedCutMaskCap(50.0, 4), 0.05);
+  EXPECT_GT(stats.stddev(), 0.0);  // "unpredictably increasing" — it varies
+}
+
+// --- extraction ------------------------------------------------------------------
+
+TEST(Extract, WireLoadModelWhenUnplaced) {
+  auto L = characterizedLibrary(LibraryPvt{}, true);
+  Netlist nl = generatePipeline(L, 1, 3);
+  Extractor ex(nl, BeolStack::forNode(techNode(28)));
+  EXPECT_FALSE(ex.isPlaced());
+  ExtractionOptions opt;
+  const NetId n = nl.instance(nl.netCount() > 0 ? 0 : 0).fanout;
+  const auto p = ex.extract(n, opt);
+  EXPECT_GT(p.wirelength, 0.0);
+  EXPECT_GT(p.totalCap, 0.0);
+  ASSERT_EQ(p.sinkNode.size(), nl.net(n).sinks.size());
+  for (int node : p.sinkNode) EXPECT_GT(p.tree.elmore(node), 0.0);
+}
+
+TEST(Extract, CornerMovesCapAndDelay) {
+  auto L = characterizedLibrary(LibraryPvt{}, true);
+  Netlist nl = generatePipeline(L, 1, 3);
+  Extractor ex(nl, BeolStack::forNode(techNode(28)));
+  const NetId n = nl.instance(0).fanout;
+  ExtractionOptions typ;
+  ExtractionOptions cw;
+  cw.corner = BeolCorner::kCworst;
+  ExtractionOptions rcw;
+  rcw.corner = BeolCorner::kRCworst;
+  const auto pTyp = ex.extract(n, typ);
+  const auto pCw = ex.extract(n, cw);
+  const auto pRcw = ex.extract(n, rcw);
+  EXPECT_GT(pCw.wireCap, pTyp.wireCap);
+  EXPECT_GT(pRcw.tree.elmore(pRcw.sinkNode[0]),
+            pTyp.tree.elmore(pTyp.sinkNode[0]));
+}
+
+TEST(Extract, NdrReducesWireDelay) {
+  auto L = characterizedLibrary(LibraryPvt{}, true);
+  Netlist nl = generatePipeline(L, 1, 3);
+  Extractor ex(nl, BeolStack::forNode(techNode(28)));
+  const NetId n = nl.instance(0).fanout;
+  ExtractionOptions opt;
+  const auto before = ex.extract(n, opt);
+  nl.net(n).ndrClass = 2;  // 2W2S
+  const auto after = ex.extract(n, opt);
+  EXPECT_LT(after.tree.elmore(after.sinkNode[0]),
+            before.tree.elmore(before.sinkNode[0]));
+}
+
+TEST(Extract, MillerFactorInflatesCoupling) {
+  auto L = characterizedLibrary(LibraryPvt{}, true);
+  Netlist nl = generatePipeline(L, 1, 3);
+  Extractor ex(nl, BeolStack::forNode(techNode(28)));
+  const NetId n = nl.instance(0).fanout;
+  ExtractionOptions quiet;
+  ExtractionOptions si;
+  si.millerFactor = 2.0;
+  EXPECT_GT(ex.extract(n, si).wireCap, ex.extract(n, quiet).wireCap);
+}
+
+TEST(Extract, LayerAssignmentByLength) {
+  auto L = characterizedLibrary(LibraryPvt{}, true);
+  Netlist nl = generatePipeline(L, 1, 2);
+  Extractor ex(nl, BeolStack::forNode(techNode(28)));
+  EXPECT_EQ(ex.layerForLength(5.0), 2);
+  EXPECT_EQ(ex.layerForLength(50.0), 3);
+  EXPECT_EQ(ex.layerForLength(100.0), 4);
+  EXPECT_EQ(ex.layerForLength(1000.0), 6);
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/latch.h"
+#include "liberty/builder.h"
+#include "liberty/interdep.h"
+#include "liberty/library.h"
+
+namespace tc {
+namespace {
+
+/// Shared quick library (characterized once per process).
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, /*quick=*/true);
+}
+
+TEST(Library, HasFullCellZoo) {
+  auto L = lib();
+  for (const char* fp : {"INV", "BUF", "NAND2", "NAND3", "NOR2", "NOR3",
+                         "AOI21", "OAI21", "DFF"}) {
+    EXPECT_FALSE(L->variants(fp).empty()) << fp;
+  }
+  // 7 comb templates x 4 drives x 4 vt + BUF x4x4 + DFF x3x4 = 140.
+  EXPECT_EQ(L->cellCount(), 140);
+}
+
+TEST(Library, VariantLookupAndOrdering) {
+  auto L = lib();
+  const auto v = L->variants("NAND2");
+  EXPECT_EQ(v.size(), 16u);  // 4 vt x 4 drives
+  // Sorted by (vt, drive).
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const Cell& a = L->cell(v[i - 1]);
+    const Cell& b = L->cell(v[i]);
+    EXPECT_TRUE(a.vt < b.vt || (a.vt == b.vt && a.drive < b.drive));
+  }
+  EXPECT_GE(L->variant("NAND2", VtClass::kLvt, 4), 0);
+  EXPECT_EQ(L->variant("NAND2", VtClass::kLvt, 16), -1);
+  EXPECT_THROW(L->cellByName("XOR9_X1_SVT"), std::invalid_argument);
+}
+
+TEST(Library, DuplicateCellRejected) {
+  Library l("t", LibraryPvt{});
+  Cell c;
+  c.name = "A";
+  c.footprint = "A";
+  l.addCell(c);
+  EXPECT_THROW(l.addCell(c), std::invalid_argument);
+}
+
+TEST(Library, DelayMonotoneInLoadAndSlew) {
+  auto L = lib();
+  const Cell& inv = L->cellByName("INV_X1_SVT");
+  const auto& surf = inv.arcs[0].rise;
+  double prev = 0.0;
+  for (double load : {1.0, 2.0, 5.0, 12.0, 20.0}) {
+    const double d = surf.delayAt(40.0, load);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  // Delay grows (weakly) with input slew at fixed load.
+  EXPECT_GT(surf.delayAt(140.0, 6.0), surf.delayAt(15.0, 6.0));
+}
+
+TEST(Library, DriveScalingExact) {
+  // delay_k(s, l) == delay_1(s, l/k) by construction (and by physics in
+  // this device model: widths scale currents and caps together).
+  auto L = lib();
+  const Cell& x1 = L->cellByName("NAND2_X1_SVT");
+  const Cell& x4 = L->cellByName("NAND2_X4_SVT");
+  for (double slew : {20.0, 60.0}) {
+    for (double load : {4.0, 12.0}) {
+      EXPECT_NEAR(x4.arcs[0].rise.delayAt(slew, load),
+                  x1.arcs[0].rise.delayAt(slew, load / 4.0), 1e-9);
+    }
+  }
+  EXPECT_NEAR(x4.pinCap, 4.0 * x1.pinCap, 1e-9);
+  EXPECT_GT(x4.widthSites, x1.widthSites);
+  EXPECT_NEAR(x4.leakagePower, 4.0 * x1.leakagePower, 1e-9);
+}
+
+TEST(Library, VtOrderingInDelayAndLeakage) {
+  auto L = lib();
+  const double d_ulvt =
+      L->cellByName("INV_X1_ULVT").arcs[0].rise.delayAt(40, 6);
+  const double d_svt = L->cellByName("INV_X1_SVT").arcs[0].rise.delayAt(40, 6);
+  const double d_hvt = L->cellByName("INV_X1_HVT").arcs[0].rise.delayAt(40, 6);
+  EXPECT_LT(d_ulvt, d_svt);
+  EXPECT_LT(d_svt, d_hvt);
+  EXPECT_GT(L->cellByName("INV_X1_ULVT").leakagePower,
+            L->cellByName("INV_X1_HVT").leakagePower * 10.0);
+}
+
+TEST(Library, MisFactorsDirectionallyCorrect) {
+  auto L = lib();
+  const Cell& nand = L->cellByName("NAND2_X1_SVT");
+  EXPECT_LT(nand.mis.parallelFactor, 0.95);  // parallel pull-up speeds up
+  EXPECT_GT(nand.mis.seriesFactor, 1.02);    // series stack slows down
+  EXPECT_TRUE(nand.mis.parallelIsRise);
+  const Cell& nor = L->cellByName("NOR2_X1_SVT");
+  EXPECT_FALSE(nor.mis.parallelIsRise);  // NOR: parallel NMOS drives fall
+  EXPECT_LT(nor.mis.parallelFactor, 0.95);
+}
+
+TEST(Library, LvfSigmasPositiveAndPlausible) {
+  auto L = lib();
+  const Cell& c = L->cellByName("NAND2_X1_SVT");
+  const double d = c.arcs[0].rise.delayAt(40, 6);
+  const double sl = c.arcs[0].riseLvf.lateAt(40, 6);
+  const double se = c.arcs[0].riseLvf.earlyAt(40, 6);
+  EXPECT_GT(sl, 0.0);
+  EXPECT_GT(se, 0.0);
+  // Single-stage sigma is a few percent of delay.
+  EXPECT_LT(sl, 0.15 * d);
+  EXPECT_GT(sl, 0.002 * d);
+  EXPECT_GT(c.pocvSigmaRatio, 0.005);
+  EXPECT_LT(c.pocvSigmaRatio, 0.12);
+}
+
+TEST(Library, BufferComposedAndPositiveUnate) {
+  auto L = lib();
+  const Cell& buf = L->cellByName("BUF_X4_SVT");
+  EXPECT_TRUE(buf.isBuffer);
+  EXPECT_FALSE(buf.isInverting());
+  EXPECT_EQ(buf.arcs[0].unate, Unateness::kPositive);
+  // Buffer is slower than a single inverter (two stages).
+  const Cell& inv = L->cellByName("INV_X4_SVT");
+  EXPECT_GT(buf.arcs[0].rise.delayAt(30, 8),
+            inv.arcs[0].rise.delayAt(30, 8));
+}
+
+TEST(Library, AocvDeratesShrinkWithDepth) {
+  auto L = lib();
+  const auto& aocv = L->aocv();
+  EXPECT_GT(aocv.late(1), aocv.late(16));
+  EXPECT_GT(aocv.late(16), 1.0);
+  EXPECT_LT(aocv.early(1), aocv.early(16));
+  EXPECT_LT(aocv.early(16), 1.0);
+  // Distance term adds derate.
+  EXPECT_GT(aocv.late(4, 1000.0), aocv.late(4, 0.0));
+}
+
+TEST(Library, FlopTimingCharacterized) {
+  auto L = lib();
+  const Cell& dff = L->cellByName("DFF_X1_SVT");
+  ASSERT_TRUE(dff.flop.has_value());
+  EXPECT_GT(dff.flop->clockToQ, 5.0);
+  EXPECT_LT(dff.flop->clockToQ, 300.0);
+  EXPECT_GT(dff.flop->setup, dff.flop->hold);  // typical flop shape
+  EXPECT_FALSE(dff.flop->c2qRise.empty());
+  // c2q grows with clock slew and load.
+  EXPECT_GT(dff.flop->c2qRise.delayAt(120, 4), dff.flop->c2qRise.delayAt(12, 4));
+  EXPECT_GT(dff.flop->c2qRise.delayAt(40, 12), dff.flop->c2qRise.delayAt(40, 1));
+}
+
+TEST(LibraryPvt, OrderingAndNames) {
+  LibraryPvt a{ProcessCorner::kTT, 0.9, 25.0};
+  LibraryPvt b{ProcessCorner::kTT, 0.9, 125.0};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == a);
+  EXPECT_NE(a.toString().find("TT"), std::string::npos);
+}
+
+TEST(LibGroup, VoltageInterpolation) {
+  // Two tiny hand-built libraries at 0.8V and 1.0V.
+  auto mk = [](Volt v, double delay) {
+    auto l = std::make_shared<Library>("l", LibraryPvt{ProcessCorner::kTT, v, 25.0});
+    Cell c;
+    c.name = "INV_X1_SVT";
+    c.footprint = "INV";
+    TimingArc arc;
+    Axis s({10.0, 100.0});
+    Axis ld({1.0, 10.0});
+    std::vector<double> vals(4, delay);
+    arc.rise = {Table2D(s, ld, vals), Table2D(s, ld, vals)};
+    arc.fall = arc.rise;
+    c.arcs.push_back(arc);
+    l->addCell(c);
+    return l;
+  };
+  LibGroup g;
+  g.add(mk(0.8, 100.0));
+  g.add(mk(1.0, 60.0));
+  EXPECT_DOUBLE_EQ(g.delayAt(0.8, "INV_X1_SVT", 0, true, 20, 5), 100.0);
+  EXPECT_DOUBLE_EQ(g.delayAt(1.0, "INV_X1_SVT", 0, true, 20, 5), 60.0);
+  EXPECT_DOUBLE_EQ(g.delayAt(0.9, "INV_X1_SVT", 0, true, 20, 5), 80.0);
+  // Clamped outside the characterized range.
+  EXPECT_DOUBLE_EQ(g.delayAt(0.5, "INV_X1_SVT", 0, true, 20, 5), 100.0);
+  EXPECT_DOUBLE_EQ(g.delayAt(1.2, "INV_X1_SVT", 0, true, 20, 5), 60.0);
+}
+
+// --- interdependent flop model ------------------------------------------------
+
+TEST(Interdep, SurfaceShapeMatchesLatchSim) {
+  LatchSim sim{LatchConditions{}};
+  const InterdepFlopModel m = fitInterdepModel(sim, /*quick=*/true);
+  EXPECT_GT(m.c2q0, 5.0);
+  EXPECT_GT(m.tauS, 0.5);
+  EXPECT_GT(m.aS, 0.0);
+  // Surface is decreasing in both setup and hold.
+  EXPECT_GT(m.clockToQ(m.s0, 300.0), m.clockToQ(m.s0 + 30.0, 300.0));
+  EXPECT_GT(m.clockToQ(300.0, m.h0), m.clockToQ(300.0, m.h0 + 30.0));
+  // At generous margins it approaches c2q0.
+  EXPECT_NEAR(m.clockToQ(300.0, 300.0), m.c2q0, 0.05 * m.c2q0 + 1.0);
+}
+
+TEST(Interdep, InverseFunctionsRoundTrip) {
+  InterdepFlopModel m;  // defaults are a valid surface
+  const Ps budget = m.c2q0 * 1.2;
+  const Ps s = m.setupForC2q(budget, 300.0);
+  EXPECT_NEAR(m.clockToQ(s, 300.0), budget, 0.5);
+  const Ps h = m.holdForC2q(budget, 300.0);
+  EXPECT_NEAR(m.clockToQ(300.0, h), budget, 0.5);
+  // Unattainable budget clamps to the large-margin sentinel.
+  EXPECT_GE(m.setupForC2q(m.c2q0 * 0.5, 300.0), 299.0);
+}
+
+TEST(Interdep, ConventionalPointOnSurface) {
+  InterdepFlopModel m;
+  const Ps su = m.conventionalSetup(0.10);
+  EXPECT_NEAR(m.clockToQ(su, 300.0), 1.10 * m.c2q0, 0.10 * m.c2q0);
+  // Tighter pushout criterion => larger setup time.
+  EXPECT_GT(m.conventionalSetup(0.05), m.conventionalSetup(0.20));
+}
+
+TEST(Interdep, SetupHoldTradeoffCurve) {
+  InterdepFlopModel m;
+  // Fixed c2q budget: shrinking setup forces growing hold (Fig 10 iii).
+  const Ps budget = m.c2q0 * 1.15;
+  const Ps s1 = m.setupForC2q(budget, 300.0);
+  // Spend half the pushout budget on hold instead:
+  const Ps h2 = m.holdForC2q(budget, s1 + 5.0);
+  const Ps h3 = m.holdForC2q(budget, s1 + 15.0);
+  EXPECT_GT(h2, h3);  // more setup margin -> less hold needed
+}
+
+}  // namespace
+}  // namespace tc

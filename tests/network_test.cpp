@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "network/netlist.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+Netlist tinyInvChain(std::shared_ptr<const Library> L, int n) {
+  Netlist nl(L);
+  const int inv = L->variant("INV", VtClass::kSvt, 1);
+  const PortId in = nl.addPort("in", true);
+  NetId prev = nl.addNet("n0");
+  nl.connectPortToNet(in, prev);
+  for (int i = 0; i < n; ++i) {
+    const InstId g = nl.addInstance("g" + std::to_string(i), inv);
+    nl.connectInput(g, 0, prev);
+    prev = nl.addNet("n" + std::to_string(i + 1));
+    nl.connectOutput(g, prev);
+  }
+  const PortId out = nl.addPort("out", false);
+  nl.connectPortToNet(out, prev);
+  return nl;
+}
+
+TEST(Netlist, BuildAndValidateChain) {
+  Netlist nl = tinyInvChain(lib(), 5);
+  EXPECT_EQ(nl.instanceCount(), 5);
+  EXPECT_EQ(nl.netCount(), 6);
+  EXPECT_NO_THROW(nl.validate());
+  const auto topo = nl.topoOrder();
+  EXPECT_EQ(topo.size(), 5u);
+  // Chain topological order is the chain order.
+  for (std::size_t i = 1; i < topo.size(); ++i)
+    EXPECT_LT(topo[i - 1], topo[i]);
+}
+
+TEST(Netlist, RejectsDoubleDriver) {
+  auto L = lib();
+  Netlist nl(L);
+  const int inv = L->variant("INV", VtClass::kSvt, 1);
+  const NetId n = nl.addNet("n");
+  const InstId a = nl.addInstance("a", inv);
+  const InstId b = nl.addInstance("b", inv);
+  nl.connectOutput(a, n);
+  EXPECT_THROW(nl.connectOutput(b, n), std::invalid_argument);
+}
+
+TEST(Netlist, ValidateCatchesFloatingInput) {
+  auto L = lib();
+  Netlist nl(L);
+  const int nand = L->variant("NAND2", VtClass::kSvt, 1);
+  const InstId g = nl.addInstance("g", nand);
+  const NetId n = nl.addNet("n");
+  const PortId in = nl.addPort("in", true);
+  nl.connectPortToNet(in, n);
+  nl.connectInput(g, 0, n);  // pin 1 left floating
+  const NetId out = nl.addNet("out");
+  nl.connectOutput(g, out);
+  const PortId po = nl.addPort("po", false);
+  nl.connectPortToNet(po, out);
+  EXPECT_THROW(nl.validate(), std::logic_error);
+}
+
+TEST(Netlist, SwapCellEnforcesFootprint) {
+  auto L = lib();
+  Netlist nl = tinyInvChain(L, 2);
+  const int invLvt = L->variant("INV", VtClass::kLvt, 2);
+  const int nand = L->variant("NAND2", VtClass::kSvt, 1);
+  EXPECT_NO_THROW(nl.swapCell(0, invLvt));
+  EXPECT_EQ(nl.cellOf(0).vt, VtClass::kLvt);
+  EXPECT_EQ(nl.cellOf(0).drive, 2);
+  EXPECT_THROW(nl.swapCell(0, nand), std::invalid_argument);
+}
+
+TEST(Netlist, DisconnectInputRemovesSink) {
+  auto L = lib();
+  Netlist nl = tinyInvChain(L, 3);
+  const NetId n1 = nl.instance(0).fanout;
+  EXPECT_EQ(nl.net(n1).sinks.size(), 1u);
+  nl.disconnectInput(1, 0);
+  EXPECT_TRUE(nl.net(n1).sinks.empty());
+  EXPECT_EQ(nl.instance(1).fanin[0], -1);
+}
+
+TEST(Netlist, NetSinkCapSumsPinCaps) {
+  auto L = lib();
+  Netlist nl(L);
+  const int inv4 = L->variant("INV", VtClass::kSvt, 4);
+  const int inv1 = L->variant("INV", VtClass::kSvt, 1);
+  const PortId in = nl.addPort("in", true);
+  const NetId n = nl.addNet("n");
+  nl.connectPortToNet(in, n);
+  const InstId a = nl.addInstance("a", inv4);
+  const InstId b = nl.addInstance("b", inv1);
+  nl.connectInput(a, 0, n);
+  nl.connectInput(b, 0, n);
+  EXPECT_NEAR(nl.netSinkCap(n),
+              L->cell(inv4).pinCap + L->cell(inv1).pinCap, 1e-12);
+}
+
+TEST(Netgen, TinyBlockStructure) {
+  auto L = lib();
+  const BlockProfile p = profileTiny();
+  Netlist nl = generateBlock(L, p);
+  EXPECT_NO_THROW(nl.validate());
+  // Gate + flop counts (clock buffers come on top).
+  int flops = 0, gates = 0, ckbufs = 0;
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    if (nl.isSequential(i)) ++flops;
+    else if (nl.instance(i).isClockTreeBuffer) ++ckbufs;
+    else ++gates;
+  }
+  EXPECT_EQ(flops, p.numFlops);
+  EXPECT_EQ(gates, p.numGates);
+  EXPECT_GT(ckbufs, 0);
+  ASSERT_EQ(nl.clocks().size(), 1u);
+  EXPECT_EQ(nl.clocks()[0].period, p.clockPeriod);
+}
+
+TEST(Netgen, DeterministicForFixedSeed) {
+  auto L = lib();
+  Netlist a = generateBlock(L, profileTiny());
+  Netlist b = generateBlock(L, profileTiny());
+  ASSERT_EQ(a.instanceCount(), b.instanceCount());
+  for (InstId i = 0; i < a.instanceCount(); ++i) {
+    EXPECT_EQ(a.instance(i).cellIndex, b.instance(i).cellIndex);
+    EXPECT_EQ(a.instance(i).fanin, b.instance(i).fanin);
+  }
+}
+
+TEST(Netgen, SeedChangesStructure) {
+  auto L = lib();
+  BlockProfile p = profileTiny();
+  Netlist a = generateBlock(L, p);
+  p.seed = 43;
+  Netlist b = generateBlock(L, p);
+  bool differs = a.instanceCount() != b.instanceCount();
+  for (InstId i = 0; !differs && i < a.instanceCount(); ++i)
+    differs = a.instance(i).fanin != b.instance(i).fanin ||
+              a.instance(i).cellIndex != b.instance(i).cellIndex;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Netgen, EveryFlopClocked) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    if (!nl.isSequential(i)) continue;
+    EXPECT_GE(nl.instance(i).fanin[1], 0) << nl.instance(i).name;
+  }
+}
+
+TEST(Netgen, PipelineDepthIsExact) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 2, 7);
+  EXPECT_NO_THROW(nl.validate());
+  // Each lane: launch + 7 gates + capture.
+  int flops = 0;
+  for (InstId i = 0; i < nl.instanceCount(); ++i)
+    if (nl.isSequential(i)) ++flops;
+  EXPECT_EQ(flops, 4);
+}
+
+TEST(Netgen, ProfilesMatchPaperScale) {
+  // Fig. 9's four circuits: gate counts in the published ballpark and
+  // mutually ordered (AES > MPEG2 > c7552 > c5315).
+  EXPECT_GT(profileAes().numGates, profileMpeg2().numGates);
+  EXPECT_GT(profileMpeg2().numGates, profileC7552().numGates);
+  EXPECT_GT(profileC7552().numGates, profileC5315().numGates);
+  EXPECT_GT(profileMpeg2().numFlops, profileAes().numFlops);
+}
+
+}  // namespace
+}  // namespace tc

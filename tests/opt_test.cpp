@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "opt/closure.h"
+#include "opt/transforms.h"
+#include "power/power.h"
+#include "place/placement.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+/// A deliberately failing design: tight clock on a tiny block.
+Netlist failingBlock(Ps period = 420.0) {
+  BlockProfile p = profileTiny();
+  p.clockPeriod = period;
+  auto nl = generateBlock(lib(), p);
+  return nl;
+}
+
+Scenario baseScenario() {
+  Scenario sc;
+  sc.lib = lib();
+  return sc;
+}
+
+TEST(Transforms, VtSwapImprovesWns) {
+  Netlist nl = failingBlock();
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const Ps before = eng.wns(Check::kSetup);
+  ASSERT_LT(before, 0.0) << "test needs a failing design";
+  RepairConfig cfg;
+  cfg.maxEdits = 500;
+  const int edits = vtSwapFix(nl, eng, cfg);
+  EXPECT_GT(edits, 0);
+  StaEngine eng2(nl, sc);
+  eng2.run();
+  EXPECT_GT(eng2.wns(Check::kSetup), before);
+}
+
+TEST(Transforms, VtSwapRaisesLeakage) {
+  Netlist nl = failingBlock();
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const MicroWatt leakBefore = analyzePower(nl).leakage;
+  RepairConfig cfg;
+  vtSwapFix(nl, eng, cfg);
+  EXPECT_GT(analyzePower(nl).leakage, leakBefore);
+}
+
+TEST(Transforms, SizingImprovesWnsAndGrowsArea) {
+  Netlist nl = failingBlock();
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const Ps before = eng.wns(Check::kSetup);
+  const Um2 areaBefore = analyzePower(nl).area;
+  RepairConfig cfg;
+  cfg.maxEdits = 500;
+  const int edits = gateSizingFix(nl, eng, cfg);
+  EXPECT_GT(edits, 0);
+  StaEngine eng2(nl, sc);
+  eng2.run();
+  EXPECT_GT(eng2.wns(Check::kSetup), before);
+  EXPECT_GT(analyzePower(nl).area, areaBefore);
+}
+
+TEST(Transforms, SizingRespectsPlacementLegality) {
+  Netlist nl = failingBlock();
+  const Floorplan fp = Floorplan::forDesign(nl, 0.6);
+  placeDesign(nl, fp);
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  RowOccupancy occ(nl, fp);
+  RepairConfig cfg;
+  cfg.maxEdits = 300;
+  PlacementCtx place{&occ, &fp};
+  gateSizingFix(nl, eng, cfg, place);
+  EXPECT_TRUE(occ.isLegal());
+}
+
+TEST(Transforms, BufferingFixesDrv) {
+  Netlist nl = failingBlock();
+  Scenario sc = baseScenario();
+  sc.limits.maxCapacitance = 8.0;  // tight: high-fanout nets violate
+  StaEngine eng(nl, sc);
+  eng.run();
+  const auto before = eng.drvViolations().size();
+  ASSERT_GT(before, 0u);
+  RepairConfig cfg;
+  cfg.maxEdits = 300;
+  const int inserted = bufferInsertionFix(nl, eng, cfg);
+  EXPECT_GT(inserted, 0);
+  EXPECT_NO_THROW(nl.validate());
+  StaEngine eng2(nl, sc);
+  eng2.run();
+  EXPECT_LT(eng2.drvViolations().size(), before);
+}
+
+TEST(Transforms, BufferingNeverTouchesClockNets) {
+  Netlist nl = failingBlock();
+  Scenario sc = baseScenario();
+  sc.limits.maxCapacitance = 2.0;  // everything violates, incl. clock nets
+  StaEngine eng(nl, sc);
+  eng.run();
+  const int clockBufsBefore = [&] {
+    int n = 0;
+    for (InstId i = 0; i < nl.instanceCount(); ++i)
+      if (nl.instance(i).isClockTreeBuffer) ++n;
+    return n;
+  }();
+  RepairConfig cfg;
+  cfg.maxEdits = 1000;
+  bufferInsertionFix(nl, eng, cfg);
+  // Clock tree topology untouched: every flop CK still driven by the same
+  // clock buffers.
+  int clockBufsAfter = 0;
+  for (InstId i = 0; i < nl.instanceCount(); ++i)
+    if (nl.instance(i).isClockTreeBuffer) ++clockBufsAfter;
+  EXPECT_EQ(clockBufsBefore, clockBufsAfter);
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    if (!nl.isSequential(i)) continue;
+    const NetId ck = nl.instance(i).fanin[1];
+    ASSERT_GE(ck, 0);
+    const Net& net = nl.net(ck);
+    EXPECT_TRUE(net.driver >= 0 &&
+                nl.instance(net.driver).isClockTreeBuffer);
+  }
+}
+
+TEST(Transforms, NdrPromotionMarksLongNets) {
+  // NDR applies to long wires, so run on a placed design.
+  auto L = lib();
+  BlockProfile p = profileTiny();
+  p.clockPeriod = 400.0;
+  Netlist nl = generateBlock(L, p);
+  const Floorplan fp = Floorplan::forDesign(nl);
+  placeDesign(nl, fp);
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  RepairConfig cfg;
+  cfg.maxEdits = 100;
+  const int promoted = ndrPromotionFix(nl, eng, cfg);
+  int marked = 0;
+  for (NetId n = 0; n < nl.netCount(); ++n)
+    if (nl.net(n).ndrClass == 2) ++marked;
+  EXPECT_EQ(marked, promoted);
+}
+
+TEST(Transforms, UsefulSkewRespectsHeadroom) {
+  Netlist nl = failingBlock();
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const Ps holdBefore = eng.wns(Check::kHold);
+  RepairConfig cfg;
+  const int skews = usefulSkewFix(nl, eng, cfg);
+  EXPECT_GT(skews, 0);
+  StaEngine eng2(nl, sc);
+  eng2.run();
+  // Hold may degrade but must not be driven negative by skew alone.
+  if (holdBefore > 0.0) {
+    EXPECT_GT(eng2.wns(Check::kHold), -1.0);
+  }
+}
+
+TEST(Transforms, LeakageRecoverySavesPowerWithoutNewViolations) {
+  BlockProfile p = profileTiny();
+  p.clockPeriod = 1500.0;  // relaxed: plenty of positive slack
+  Netlist nl = generateBlock(lib(), p);
+  // Seed with leaky cells.
+  Scenario sc = baseScenario();
+  {
+    StaEngine eng(nl, sc);
+    eng.run();
+    RepairConfig cfg;
+    cfg.maxEdits = 2000;
+    cfg.slackTarget = 1e9;  // swap everything faster
+    vtSwapFix(nl, eng, cfg);
+  }
+  const MicroWatt before = analyzePower(nl).leakage;
+  StaEngine eng(nl, sc);
+  eng.run();
+  const int viosBefore = eng.violationCount(Check::kSetup);
+  RepairConfig cfg;
+  cfg.maxEdits = 2000;
+  double saved = 0.0;
+  const int edits = leakageRecovery(nl, eng, cfg, &saved);
+  EXPECT_GT(edits, 0);
+  EXPECT_GT(saved, 0.0);
+  EXPECT_LT(analyzePower(nl).leakage, before);
+  StaEngine eng2(nl, sc);
+  eng2.run();
+  EXPECT_LE(eng2.violationCount(Check::kSetup), viosBefore + 2);
+}
+
+TEST(Transforms, HoldFixInsertsDelay) {
+  Netlist nl = failingBlock(900.0);
+  Scenario sc = baseScenario();
+  sc.clockUncertaintyHold = 160.0;  // force hold violations
+  StaEngine eng(nl, sc);
+  eng.run();
+  const int before = eng.violationCount(Check::kHold);
+  ASSERT_GT(before, 0);
+  RepairConfig cfg;
+  cfg.maxEdits = 500;
+  const int bufs = holdFix(nl, eng, cfg);
+  EXPECT_GT(bufs, 0);
+  EXPECT_NO_THROW(nl.validate());
+  StaEngine eng2(nl, sc);
+  eng2.run();
+  EXPECT_LT(eng2.wns(Check::kHold) * -1.0, eng.wns(Check::kHold) * -1.0);
+}
+
+// --- closure loop (Fig. 1) --------------------------------------------------------
+
+TEST(Closure, LoopImprovesTimingMonotonically) {
+  Netlist nl = failingBlock(450.0);
+  Scenario sc = baseScenario();
+  ClosureLoop loop(nl, sc);
+  ClosureConfig cfg;
+  cfg.iterations = 5;
+  cfg.stopWhenClean = false;
+  const ClosureResult res = loop.run(cfg);
+  ASSERT_EQ(res.iterations.size(), 5u);
+  // WNS at the end is better than at the start (the Fig. 1 expectation:
+  // "top-level timing improves after each iteration").
+  EXPECT_GT(res.final.setupWns, res.iterations.front().before.setupWns);
+  EXPECT_GT(res.final.setupTns, res.iterations.front().before.setupTns);
+  // First iteration applied the [30]-ordered transforms.
+  EXPECT_GT(res.iterations.front().vtSwaps, 0);
+}
+
+TEST(Closure, StopsEarlyWhenClean) {
+  BlockProfile p = profileTiny();
+  p.clockPeriod = 2000.0;  // trivially meets timing
+  Netlist nl = generateBlock(lib(), p);
+  Scenario sc = baseScenario();
+  ClosureLoop loop(nl, sc);
+  ClosureConfig cfg;
+  cfg.iterations = 5;
+  const ClosureResult res = loop.run(cfg);
+  EXPECT_TRUE(res.closed);
+  EXPECT_EQ(res.iterations.size(), 1u);
+  EXPECT_EQ(res.iterations[0].vtSwaps, 0);
+}
+
+TEST(Closure, DualScenarioFixesHoldToo) {
+  Netlist nl = failingBlock(800.0);
+  Scenario setup = baseScenario();
+  Scenario hold = baseScenario();
+  hold.clockUncertaintyHold = 150.0;
+  ClosureLoop loop(nl, setup, hold);
+  ClosureConfig cfg;
+  cfg.iterations = 4;
+  const ClosureResult res = loop.run(cfg);
+  EXPECT_GT(res.final.holdWns, res.iterations.front().before.holdWns);
+  int holdBufs = 0;
+  for (const auto& it : res.iterations) holdBufs += it.holdBuffers;
+  EXPECT_GT(holdBufs, 0);
+}
+
+TEST(Closure, PlacedLoopKeepsLegality) {
+  Netlist nl = failingBlock(500.0);
+  const Floorplan fp = Floorplan::forDesign(nl, 0.6);
+  placeDesign(nl, fp);
+  Scenario sc = baseScenario();
+  ClosureLoop loop(nl, sc, std::nullopt, fp);
+  ClosureConfig cfg;
+  cfg.iterations = 3;
+  cfg.fixMinIaAfterSwaps = true;
+  const ClosureResult res = loop.run(cfg);
+  EXPECT_GE(res.iterations.size(), 1u);
+  RowOccupancy occ(nl, fp);
+  EXPECT_TRUE(occ.isLegal());
+}
+
+}  // namespace
+}  // namespace tc

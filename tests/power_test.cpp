@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "power/power.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+TEST(Power, ComponentsPositiveAndSummed) {
+  Netlist nl = generateBlock(lib(), profileTiny());
+  const PowerReport r = analyzePower(nl);
+  EXPECT_GT(r.leakage, 0.0);
+  EXPECT_GT(r.dynamicLogic, 0.0);
+  EXPECT_GT(r.dynamicClock, 0.0);
+  EXPECT_GT(r.area, 0.0);
+  EXPECT_DOUBLE_EQ(r.total(), r.leakage + r.dynamicLogic + r.dynamicClock);
+}
+
+TEST(Power, DynamicScalesWithActivityAndFrequency) {
+  Netlist nl = generateBlock(lib(), profileTiny());
+  PowerOptions lo;
+  lo.dataActivity = 0.1;
+  PowerOptions hi;
+  hi.dataActivity = 0.3;
+  EXPECT_NEAR(analyzePower(nl, hi).dynamicLogic,
+              3.0 * analyzePower(nl, lo).dynamicLogic, 1e-9);
+  // Clock power is activity-independent (always toggles).
+  EXPECT_NEAR(analyzePower(nl, hi).dynamicClock,
+              analyzePower(nl, lo).dynamicClock, 1e-9);
+  // Double the period, half the dynamic power.
+  const PowerReport before = analyzePower(nl);
+  nl.clocks().front().period *= 2.0;
+  const PowerReport after = analyzePower(nl);
+  EXPECT_NEAR(after.dynamicLogic, 0.5 * before.dynamicLogic, 1e-9);
+  EXPECT_NEAR(after.leakage, before.leakage, 1e-9);
+}
+
+TEST(Power, VoltageOverrideQuadraticOnDynamic) {
+  Netlist nl = generateBlock(lib(), profileTiny());
+  PowerOptions nom;
+  PowerOptions high;
+  high.vddOverride = 1.08;  // 1.2x of 0.9
+  const double ratio = analyzePower(nl, high).dynamicLogic /
+                       analyzePower(nl, nom).dynamicLogic;
+  EXPECT_NEAR(ratio, 1.44, 0.01);
+}
+
+TEST(Power, LeakageScaleKnob) {
+  Netlist nl = generateBlock(lib(), profileTiny());
+  PowerOptions derated;
+  derated.leakageScale = 0.5;
+  EXPECT_NEAR(analyzePower(nl, derated).leakage,
+              0.5 * analyzePower(nl).leakage, 1e-9);
+}
+
+TEST(Power, VtMixMovesLeakageNotArea) {
+  Netlist nl = generateBlock(lib(), profileTiny());
+  const PowerReport before = analyzePower(nl);
+  const Library& L = nl.library();
+  int swapped = 0;
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    const Cell& c = nl.cellOf(i);
+    if (c.isSequential || c.vt != VtClass::kSvt) continue;
+    const int cand = L.variant(c.footprint, VtClass::kLvt, c.drive);
+    if (cand >= 0) {
+      nl.swapCell(i, cand);
+      ++swapped;
+    }
+  }
+  ASSERT_GT(swapped, 0);
+  const PowerReport after = analyzePower(nl);
+  EXPECT_GT(after.leakage, 2.0 * before.leakage);
+  EXPECT_DOUBLE_EQ(after.area, before.area);
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,314 @@
+/// Property-based and parameterized suites: invariants that must hold
+/// across the whole cell/corner/mode grid, not just at spot-checked points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interconnect/extract.h"
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "opt/closure.h"
+#include "place/placement.h"
+#include "sta/engine.h"
+#include "sta/pba.h"
+#include "util/stats.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+// ---------------------------------------------------------------------------
+// Library-wide invariants over (footprint x Vt)
+// ---------------------------------------------------------------------------
+
+struct CellCase {
+  const char* footprint;
+  VtClass vt;
+};
+
+class CellGrid : public ::testing::TestWithParam<CellCase> {};
+
+TEST_P(CellGrid, DelayMonotoneInLoad) {
+  const auto [fp, vt] = GetParam();
+  const Cell& c = lib()->cell(lib()->variant(fp, vt, 1));
+  for (const TimingArc& arc : c.arcs) {
+    for (bool rise : {true, false}) {
+      const NldmSurface& s = arc.surface(rise);
+      for (double slew : {15.0, 50.0, 140.0}) {
+        double prev = -1e9;
+        for (double load : {1.2, 2.5, 4.0, 8.0, 12.0}) {
+          const double d = s.delayAt(slew, load);
+          EXPECT_GE(d, prev) << c.name << " slew=" << slew
+                             << " load=" << load;
+          prev = d;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CellGrid, OutputSlewMonotoneInLoad) {
+  const auto [fp, vt] = GetParam();
+  const Cell& c = lib()->cell(lib()->variant(fp, vt, 1));
+  for (const TimingArc& arc : c.arcs) {
+    for (bool rise : {true, false}) {
+      const NldmSurface& s = arc.surface(rise);
+      double prev = -1e9;
+      for (double load : {1.2, 3.0, 6.0, 12.0}) {
+        const double sl = s.slewAt(50.0, load);
+        EXPECT_GE(sl, prev - 0.5) << c.name;  // small table noise allowed
+        prev = sl;
+      }
+    }
+  }
+}
+
+TEST_P(CellGrid, LvfSigmasNonNegativeAndBounded) {
+  const auto [fp, vt] = GetParam();
+  const Cell& c = lib()->cell(lib()->variant(fp, vt, 1));
+  for (const TimingArc& arc : c.arcs) {
+    for (bool rise : {true, false}) {
+      const LvfSurface& s = arc.lvf(rise);
+      const NldmSurface& d = arc.surface(rise);
+      for (double slew : {15.0, 140.0}) {
+        for (double load : {1.2, 12.0}) {
+          const double late = s.lateAt(slew, load);
+          const double early = s.earlyAt(slew, load);
+          EXPECT_GE(late, 0.0) << c.name;
+          EXPECT_GE(early, 0.0) << c.name;
+          const double delay = std::max(d.delayAt(slew, load), 1.0);
+          EXPECT_LT(late, 0.5 * delay) << c.name;  // sigma << delay
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CellGrid, DriveVariantsOrderedByStrength) {
+  const auto [fp, vt] = GetParam();
+  double prev = 1e18;
+  for (int drive : {1, 2, 4, 8}) {
+    const int idx = lib()->variant(fp, vt, drive);
+    if (idx < 0) continue;
+    const Cell& c = lib()->cell(idx);
+    const double d = c.arcs[0].rise.delayAt(40.0, 10.0);
+    EXPECT_LT(d, prev) << c.name;
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombCells, CellGrid,
+    ::testing::Values(
+        CellCase{"INV", VtClass::kUlvt}, CellCase{"INV", VtClass::kSvt},
+        CellCase{"INV", VtClass::kHvt}, CellCase{"BUF", VtClass::kSvt},
+        CellCase{"NAND2", VtClass::kLvt}, CellCase{"NAND2", VtClass::kHvt},
+        CellCase{"NAND3", VtClass::kSvt}, CellCase{"NOR2", VtClass::kSvt},
+        CellCase{"NOR3", VtClass::kLvt}, CellCase{"AOI21", VtClass::kSvt},
+        CellCase{"OAI21", VtClass::kHvt}),
+    [](const auto& info) {
+      return std::string(info.param.footprint) + "_" +
+             toString(info.param.vt);
+    });
+
+// ---------------------------------------------------------------------------
+// BEOL corner invariants over the full corner set
+// ---------------------------------------------------------------------------
+
+class CornerGrid : public ::testing::TestWithParam<BeolCorner> {};
+
+TEST_P(CornerGrid, ScalesArePositiveAndTightenable) {
+  const BeolCorner corner = GetParam();
+  const CornerScales full = cornerScales(corner);
+  EXPECT_GT(full.r, 0.5);
+  EXPECT_GT(full.cg, 0.5);
+  EXPECT_GT(full.cc, 0.3);
+  // Tightening interpolates monotonically toward typical.
+  double prevDist = 1e9;
+  for (double k : {3.0, 2.0, 1.0, 0.0}) {
+    const CornerScales t = tightenedScales(corner, k);
+    const double dist = std::abs(t.r - 1.0) + std::abs(t.cg - 1.0) +
+                        std::abs(t.cc - 1.0);
+    EXPECT_LE(dist, prevDist + 1e-12);
+    prevDist = dist;
+  }
+}
+
+TEST_P(CornerGrid, ExtractionRespectsCornerPolarity) {
+  const BeolCorner corner = GetParam();
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 3);
+  Extractor ex(nl, BeolStack::forNode(techNode(28)));
+  ExtractionOptions typ;
+  ExtractionOptions opt;
+  opt.corner = corner;
+  const NetId n = nl.instance(0).fanout;
+  const auto pTyp = ex.extract(n, typ);
+  const auto pCor = ex.extract(n, opt);
+  const double dTyp = pTyp.tree.elmore(pTyp.sinkNode[0]);
+  const double dCor = pCor.tree.elmore(pCor.sinkNode[0]);
+  switch (corner) {
+    case BeolCorner::kTypical:
+      EXPECT_NEAR(dCor, dTyp, 1e-9);
+      break;
+    case BeolCorner::kRCworst:
+      // R and C both worse: delay unambiguously up.
+      EXPECT_GT(dCor, dTyp);
+      EXPECT_GT(pCor.wireCap, pTyp.wireCap);
+      break;
+    case BeolCorner::kRCbest:
+      EXPECT_LT(dCor, dTyp);
+      EXPECT_LT(pCor.wireCap, pTyp.wireCap);
+      break;
+    // The C corners trade R against C, so the *delay* direction depends on
+    // whether the net is pin- or wire-cap dominated (footnote 10 of the
+    // paper, in miniature); only the capacitance direction is invariant.
+    case BeolCorner::kCworst:
+    case BeolCorner::kCcworst:
+      EXPECT_GT(pCor.wireCap, pTyp.wireCap);
+      break;
+    case BeolCorner::kCbest:
+    case BeolCorner::kCcbest:
+      EXPECT_LT(pCor.wireCap, pTyp.wireCap);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBeolCorners, CornerGrid,
+                         ::testing::ValuesIn(allBeolCorners()),
+                         [](const auto& info) {
+                           return std::string(toString(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// STA invariants over derate modes
+// ---------------------------------------------------------------------------
+
+class DerateGrid : public ::testing::TestWithParam<DerateMode> {};
+
+TEST_P(DerateGrid, LateNeverEarlierThanEarly) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc;
+  sc.lib = L;
+  sc.derate.mode = GetParam();
+  StaEngine eng(nl, sc);
+  eng.run();
+  for (const auto& ep : eng.endpoints()) {
+    if (ep.flop < 0) continue;
+    EXPECT_GE(ep.dataLate, ep.dataEarly - 1e-6);
+    EXPECT_GE(ep.captureLate, ep.captureEarly - 1e-6);
+  }
+}
+
+TEST_P(DerateGrid, CpprCreditNonNegativeAndBounded) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 4, 5);
+  Scenario sc;
+  sc.lib = L;
+  sc.derate.mode = GetParam();
+  StaEngine eng(nl, sc);
+  eng.run();
+  for (const auto& ep : eng.endpoints()) {
+    if (ep.flop < 0) continue;
+    EXPECT_GE(ep.cpprSetup, -1e-9);
+    // Credit cannot exceed the whole capture-clock late arrival.
+    EXPECT_LE(ep.cpprSetup, ep.captureLate + 1e-6);
+  }
+}
+
+TEST_P(DerateGrid, PbaNeverWorseAcrossModes) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc;
+  sc.lib = L;
+  sc.derate.mode = GetParam();
+  StaEngine eng(nl, sc);
+  eng.run();
+  PbaAnalyzer pba(eng);
+  for (const auto& r : pba.recalcWorst(10, Check::kSetup))
+    EXPECT_GE(r.pbaSlack, r.gbaSlack - 1e-9);
+  for (const auto& r : pba.recalcWorst(10, Check::kHold))
+    EXPECT_GE(r.pbaSlack, r.gbaSlack - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDerateModes, DerateGrid,
+                         ::testing::Values(DerateMode::kNone,
+                                           DerateMode::kFlatOcv,
+                                           DerateMode::kAocv,
+                                           DerateMode::kPocv,
+                                           DerateMode::kLvf),
+                         [](const auto& info) {
+                           std::string s = toString(info.param);
+                           for (char& ch : s)
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           return s;
+                         });
+
+// ---------------------------------------------------------------------------
+// Closure-loop invariants over seeds
+// ---------------------------------------------------------------------------
+
+class SeedGrid : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedGrid, ClosureNeverDegradesWns) {
+  auto L = lib();
+  BlockProfile p = profileTiny();
+  p.seed = GetParam();
+  p.clockPeriod = 500.0;
+  Netlist nl = generateBlock(L, p);
+  Scenario sc;
+  sc.lib = L;
+  ClosureLoop loop(nl, sc);
+  ClosureConfig cfg;
+  cfg.iterations = 4;
+  cfg.stopWhenClean = false;
+  const ClosureResult res = loop.run(cfg);
+  EXPECT_GE(res.final.setupWns,
+            res.iterations.front().before.setupWns - 1e-9)
+      << "seed " << GetParam();
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST_P(SeedGrid, GeneratedBlocksAlwaysValidAndPlaceable) {
+  auto L = lib();
+  BlockProfile p = profileTiny();
+  p.seed = GetParam();
+  Netlist nl = generateBlock(L, p);
+  EXPECT_NO_THROW(nl.validate());
+  const Floorplan fp = Floorplan::forDesign(nl);
+  placeDesign(nl, fp, 2, GetParam());
+  RowOccupancy occ(nl, fp);
+  EXPECT_TRUE(occ.isLegal()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedGrid,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// ---------------------------------------------------------------------------
+// Statistical identities
+// ---------------------------------------------------------------------------
+
+class SigmaGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(SigmaGrid, QuantileMatchesGaussianTheory) {
+  const double sigma = GetParam();
+  Rng rng(17);
+  SampleSet s;
+  for (int i = 0; i < 60000; ++i) s.add(rng.normal(100.0, sigma));
+  // 3-sigma quantile within 5% of theory.
+  EXPECT_NEAR(s.quantile(0.99865) - s.mean(), 3.0 * sigma, 0.15 * sigma);
+  EXPECT_NEAR(s.sigmaAboveMean(), sigma, 0.05 * sigma);
+  EXPECT_NEAR(s.sigmaBelowMean(), sigma, 0.05 * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, SigmaGrid,
+                         ::testing::Values(1.0, 5.0, 25.0));
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "place/placement.h"
+#include "signoff/monitor.h"
+#include "sta/report.h"
+#include "sta/si.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+struct PlacedBlock {
+  Netlist nl;
+  Scenario sc;
+};
+
+PlacedBlock placedBlock() {
+  auto L = lib();
+  BlockProfile p = profileTiny();
+  Netlist nl = generateBlock(L, p);
+  const Floorplan fp = Floorplan::forDesign(nl, 0.72);
+  placeDesign(nl, fp);
+  Scenario sc;
+  sc.lib = L;
+  return {std::move(nl), sc};
+}
+
+// ---------------------------------------------------------------------------
+// SI analyzer
+// ---------------------------------------------------------------------------
+
+TEST(Si, FindsVictimsOnPlacedDesign) {
+  PlacedBlock b = placedBlock();
+  StaEngine eng(b.nl, b.sc);
+  eng.run();
+  SiAnalyzer si(eng);
+  const SiSummary s = si.analyze();
+  ASSERT_FALSE(s.victims.empty());
+  // Sorted by delta delay, descending.
+  for (std::size_t i = 1; i < s.victims.size(); ++i)
+    EXPECT_LE(s.victims[i].deltaDelayLate, s.victims[i - 1].deltaDelayLate);
+  for (const auto& v : s.victims) {
+    EXPECT_GE(v.couplingRatio, 0.0);
+    EXPECT_LE(v.couplingRatio, 1.0);
+    EXPECT_GE(v.timedAggressors, 0);
+    EXPECT_LE(v.timedAggressors, v.aggressors);
+    EXPECT_GE(v.deltaDelayLate, 0.0);
+    EXPECT_GE(v.glitchPeakFrac, 0.0);
+    EXPECT_LE(v.glitchPeakFrac, v.couplingRatio + 1e-9);
+  }
+}
+
+TEST(Si, RefineOnlyDegradesSetup) {
+  // Folding opposing-aggressor Miller factors into the extraction can only
+  // add wire delay: SI-aware setup WNS <= quiet WNS.
+  PlacedBlock b = placedBlock();
+  StaEngine eng(b.nl, b.sc);
+  eng.run();
+  const Ps quietWns = eng.wns(Check::kSetup);
+  SiAnalyzer si(eng);
+  const SiSummary s = si.refine();
+  EXPECT_LE(s.setupWnsAfter, quietWns + 1e-6);
+}
+
+TEST(Si, SpacingNdrShedsCoupling) {
+  PlacedBlock b = placedBlock();
+  StaEngine eng(b.nl, b.sc);
+  eng.run();
+  SiAnalyzer si(eng);
+  const SiSummary before = si.analyze();
+  ASSERT_FALSE(before.victims.empty());
+  // Promote every victim net to 2W2S and re-analyze.
+  for (const auto& v : before.victims) b.nl.net(v.net).ndrClass = 2;
+  StaEngine eng2(b.nl, b.sc);
+  eng2.run();
+  SiAnalyzer si2(eng2);
+  const SiSummary after = si2.analyze();
+  EXPECT_LT(after.worstDeltaDelay, before.worstDeltaDelay);
+  EXPECT_LE(after.glitchViolations, before.glitchViolations);
+}
+
+TEST(Si, UnplacedDesignYieldsNoGeometricVictims) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 2, 4);
+  Scenario sc;
+  sc.lib = L;
+  StaEngine eng(nl, sc);
+  eng.run();
+  SiAnalyzer si(eng);
+  const SiSummary s = si.analyze();
+  EXPECT_TRUE(s.victims.empty());  // adjacency is geometric
+}
+
+TEST(Si, MillerOverridePlumbingWorks) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 3);
+  Extractor ex(nl, BeolStack::forNode(techNode(28)));
+  ExtractionOptions opt;
+  const NetId n = nl.instance(0).fanout;
+  const Ff base = ex.extract(n, opt).wireCap;
+  nl.net(n).millerOverride = 2.0;
+  const Ff si = ex.extract(n, opt).wireCap;
+  EXPECT_GT(si, base);
+  nl.net(n).millerOverride = 0.0;
+  EXPECT_NEAR(ex.extract(n, opt).wireCap, base, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// DDRO monitors
+// ---------------------------------------------------------------------------
+
+TEST(Monitor, GenericRoShape) {
+  const MonitorDesign ro = genericRingOscillator(13);
+  EXPECT_EQ(ro.stages.size(), 13u);
+  for (const auto& s : ro.stages) {
+    EXPECT_EQ(s.kind, StageKind::kInverter);
+    EXPECT_EQ(s.vt, VtClass::kSvt);
+  }
+}
+
+TEST(Monitor, DelayRespondsToPvtAndAging) {
+  const MonitorDesign ro = genericRingOscillator(7);
+  const Ps nom = monitorDelay(ro, 0.9, 25.0, 0.0);
+  EXPECT_GT(nom, 0.0);
+  EXPECT_GT(monitorDelay(ro, 0.7, 25.0, 0.0), nom);   // slower at low V
+  EXPECT_GT(monitorDelay(ro, 0.9, 25.0, 0.03), nom);  // slower when aged
+  EXPECT_LT(monitorDelay(ro, 1.1, 25.0, 0.0), nom);   // faster at high V
+}
+
+TEST(Monitor, DdroMatchesPathCompositionLength) {
+  PlacedBlock b = placedBlock();
+  StaEngine eng(b.nl, b.sc);
+  eng.run();
+  const auto worst = worstEndpoints(eng, Check::kSetup, 1);
+  ASSERT_FALSE(worst.empty());
+  const MonitorDesign truth = pathComposition(eng, worst[0].vertex);
+  const MonitorDesign ddro = synthesizeDdro(eng, worst[0].vertex);
+  ASSERT_FALSE(truth.stages.empty());
+  EXPECT_EQ(ddro.stages.size(), truth.stages.size());
+  // Every DDRO stage comes from the menu.
+  for (const auto& s : ddro.stages) {
+    bool inMenu = false;
+    for (const auto& m : monitorStageMenu())
+      inMenu |= m.kind == s.kind && m.vt == s.vt;
+    EXPECT_TRUE(inMenu);
+  }
+}
+
+TEST(Monitor, DdroTracksBetterThanGenericRo) {
+  // The headline property: the design-dependent monitor's tracking error
+  // across (V, T, aging) is below the generic RO's.
+  PlacedBlock b = placedBlock();
+  // Vt-mix the design so the path has non-SVT content.
+  Rng rng(5);
+  for (InstId i = 0; i < b.nl.instanceCount(); ++i) {
+    const Cell& c = b.nl.cellOf(i);
+    if (c.isSequential || b.nl.instance(i).isClockTreeBuffer) continue;
+    if (rng.chance(0.5)) {
+      const int cand = b.nl.library().variant(
+          c.footprint, rng.chance(0.5) ? VtClass::kHvt : VtClass::kLvt,
+          c.drive);
+      if (cand >= 0) b.nl.swapCell(i, cand);
+    }
+  }
+  StaEngine eng(b.nl, b.sc);
+  eng.run();
+  const auto worst = worstEndpoints(eng, Check::kSetup, 1);
+  ASSERT_FALSE(worst.empty());
+  const MonitorDesign truth = pathComposition(eng, worst[0].vertex);
+  const MonitorDesign ddro = synthesizeDdro(eng, worst[0].vertex);
+  const MonitorDesign ro =
+      genericRingOscillator(static_cast<int>(truth.stages.size()));
+  const TrackingResult td = evaluateTracking(ddro, truth);
+  const TrackingResult tg = evaluateTracking(ro, truth);
+  EXPECT_LE(td.meanErrorPct, tg.meanErrorPct + 1e-9);
+  EXPECT_GT(tg.points.size(), 0u);
+  // Self-tracking is exact.
+  const TrackingResult self = evaluateTracking(truth, truth);
+  EXPECT_NEAR(self.maxErrorPct, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tc

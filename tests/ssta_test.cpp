@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "sta/ssta.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+TEST(ClarkMax, MatchesMonteCarloForGaussians) {
+  // Clark's approximation against sampled max of two independent
+  // Gaussians, across separation regimes.
+  struct Case {
+    double m1, s1, m2, s2;
+  };
+  for (const Case& c : {Case{0.0, 1.0, 0.0, 1.0},   // identical
+                        Case{0.0, 1.0, 3.0, 1.0},   // well separated
+                        Case{0.0, 2.0, 1.0, 0.5},   // mixed sigmas
+                        Case{5.0, 0.1, 0.0, 3.0}}) {
+    const GaussianTime a{c.m1, c.s1 * c.s1};
+    const GaussianTime b{c.m2, c.s2 * c.s2};
+    const GaussianTime m = clarkMax(a, b);
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+      s.add(std::max(rng.normal(c.m1, c.s1), rng.normal(c.m2, c.s2)));
+    EXPECT_NEAR(m.mean, s.mean(), 0.02 + 0.01 * std::abs(s.mean()))
+        << c.m1 << "," << c.m2;
+    EXPECT_NEAR(m.sigma(), s.stddev(), 0.05 * s.stddev() + 0.02);
+  }
+}
+
+TEST(ClarkMax, DegenerateZeroVariance) {
+  const GaussianTime a{10.0, 0.0};
+  const GaussianTime b{7.0, 0.0};
+  const GaussianTime m = clarkMax(a, b);
+  EXPECT_DOUBLE_EQ(m.mean, 10.0);
+  EXPECT_DOUBLE_EQ(m.var, 0.0);
+}
+
+TEST(Ssta, EndpointsMatchDeterministicStructure) {
+  Netlist nl = generateBlock(lib(), profileTiny());
+  Scenario sc;
+  sc.lib = lib();
+  sc.derate.mode = DerateMode::kLvf;
+  StaEngine eng(nl, sc);
+  eng.run();
+  SstaAnalyzer ssta(eng);
+  const auto eps = ssta.run();
+  EXPECT_FALSE(eps.empty());
+  // Sorted worst-first; sigmas positive on multi-stage paths.
+  for (std::size_t i = 1; i < eps.size(); ++i)
+    EXPECT_LE(eps[i - 1].slack3Sigma, eps[i].slack3Sigma);
+  int withSigma = 0;
+  for (const auto& se : eps) {
+    EXPECT_GE(se.slack.var, 0.0);
+    EXPECT_GE(se.yield, 0.0);
+    EXPECT_LE(se.yield, 1.0);
+    if (se.slack.sigma() > 0.1) ++withSigma;
+  }
+  EXPECT_GT(withSigma, 0);
+}
+
+TEST(Ssta, TracksLvfWithinSmallDelta) {
+  // The footnote-13 claim: block-based SSTA's 3-sigma WNS is close to the
+  // LVF-derated GBA WNS (both model the same local variation).
+  Netlist nl = generateBlock(lib(), profileTiny());
+  Scenario sc;
+  sc.lib = lib();
+  sc.derate.mode = DerateMode::kLvf;
+  StaEngine eng(nl, sc);
+  eng.run();
+  SstaAnalyzer ssta(eng);
+  ssta.run();
+  const Ps lvf = eng.wns(Check::kSetup);
+  const Ps stat = ssta.wns3Sigma();
+  EXPECT_NEAR(stat, lvf, 0.05 * std::abs(lvf) + 5.0);
+  // Clark merging can only tighten (raise) the statistical estimate
+  // relative to RSS-on-the-worst-path at the same sigmas.
+  EXPECT_GE(stat, lvf - 1.0);
+}
+
+TEST(Ssta, MeanMatchesUnderatedEngineWhenSigmasIgnored) {
+  // With the mean component only, SSTA's slack mean should equal the
+  // no-derate deterministic slack.
+  Netlist nl = generatePipeline(lib(), 1, 5);
+  Scenario sc;
+  sc.lib = lib();
+  sc.derate.mode = DerateMode::kLvf;
+  StaEngine eng(nl, sc);
+  eng.run();
+  SstaAnalyzer ssta(eng);
+  const auto eps = ssta.run();
+  Scenario noDerate = sc;
+  noDerate.derate.mode = DerateMode::kNone;
+  StaEngine plain(nl, noDerate);
+  plain.run();
+  for (const auto& se : eps) {
+    if (se.flop < 0) continue;
+    for (const auto& ep : plain.endpoints()) {
+      if (ep.vertex != se.vertex) continue;
+      // Close agreement: the residual ~2ps is the statistical max over
+      // the endpoint's rise/fall transitions (Clark mean exceeds the
+      // deterministic max when operands are near-equal) plus the LVF
+      // engine's sigma-bearing CPPR credit.
+      EXPECT_NEAR(se.slack.mean, ep.setupSlack, 4.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "sta/engine.h"
+#include "sta/mc.h"
+#include "sta/mis.h"
+#include "sta/pba.h"
+#include "sta/report.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  return characterizedLibrary(LibraryPvt{}, true);
+}
+
+Scenario baseScenario() {
+  Scenario sc;
+  sc.lib = lib();
+  return sc;
+}
+
+TEST(TimingGraph, StructureOfPipeline) {
+  Netlist nl = generatePipeline(lib(), 1, 4);
+  TimingGraph g(nl);
+  EXPECT_GT(g.vertexCount(), 0);
+  EXPECT_GT(g.edgeCount(), 0);
+  // Endpoints: 2 flop D pins + po port + overflow/tie-free check.
+  EXPECT_GE(g.endpoints().size(), 2u);
+  EXPECT_EQ(g.clockPins().size(), 2u);
+  // Every edge respects the topological order.
+  std::vector<int> pos(static_cast<std::size_t>(g.vertexCount()));
+  const auto& topo = g.topoOrder();
+  for (std::size_t i = 0; i < topo.size(); ++i)
+    pos[static_cast<std::size_t>(topo[i])] = static_cast<int>(i);
+  for (EdgeId e = 0; e < g.edgeCount(); ++e)
+    EXPECT_LT(pos[static_cast<std::size_t>(g.edge(e).from)],
+              pos[static_cast<std::size_t>(g.edge(e).to)]);
+}
+
+TEST(TimingGraph, ClockNetworkMarked) {
+  Netlist nl = generatePipeline(lib(), 1, 4);
+  TimingGraph g(nl);
+  // Clock buffers' pins are on the clock network; datapath gates are not.
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    if (nl.instance(i).isClockTreeBuffer) {
+      EXPECT_TRUE(g.vertex(g.inputVertex(i, 0)).onClockNetwork)
+          << nl.instance(i).name;
+    } else if (!nl.isSequential(i)) {
+      EXPECT_FALSE(g.vertex(g.inputVertex(i, 0)).onClockNetwork)
+          << nl.instance(i).name;
+    }
+  }
+  // Flop CK pins are clock endpoints.
+  for (VertexId v : g.clockPins())
+    EXPECT_TRUE(g.vertex(v).onClockNetwork);
+}
+
+TEST(StaEngine, ChainArrivalMatchesManualSum) {
+  // Single-lane pipeline: D-arrival at the capture flop must equal clock
+  // insertion + c2q + sum of stage and wire delays along the lane.
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 5);
+  Scenario sc = baseScenario();
+  sc.derate.mode = DerateMode::kNone;
+  StaEngine eng(nl, sc);
+  eng.run();
+
+  // Locate the capture endpoint.
+  const EndpointTiming* cap = nullptr;
+  for (const auto& ep : eng.endpoints())
+    if (ep.flop >= 0 && nl.instance(ep.flop).name == "capture0") cap = &ep;
+  ASSERT_NE(cap, nullptr);
+
+  const auto path = eng.tracePath(cap->vertex, Mode::kLate, cap->setupTrans);
+  ASSERT_GE(path.size(), 5u);
+  // Sum of step edge delays + source arrival == endpoint arrival.
+  double sum = path.front().arrival;
+  for (std::size_t i = 1; i < path.size(); ++i) sum += path[i].edgeDelay;
+  EXPECT_NEAR(sum, path.back().arrival, 1e-6);
+  EXPECT_NEAR(path.back().arrival, cap->dataLate, 1e-6);
+  // The path starts at the clock port (launch through the clock tree).
+  EXPECT_EQ(eng.graph().vertex(path.front().vertex).kind,
+            TimingGraph::VertexKind::kPort);
+}
+
+TEST(StaEngine, SlacksConsistentWithPeriodScaling) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 2, 6);
+  Scenario sc = baseScenario();
+  sc.inputDelay = 150.0;  // fixed, so it does not scale with the period
+  StaEngine eng(nl, sc);
+  eng.run();
+  const Ps wns1 = eng.wns(Check::kSetup);
+  // Stretch the period by 100ps: every setup slack gains exactly 100ps.
+  nl.clocks().front().period += 100.0;
+  StaEngine eng2(nl, sc);
+  eng2.run();
+  EXPECT_NEAR(eng2.wns(Check::kSetup), wns1 + 100.0, 1e-6);
+  // Hold slacks are same-edge: unchanged.
+  EXPECT_NEAR(eng2.wns(Check::kHold), eng.wns(Check::kHold), 1e-6);
+}
+
+TEST(StaEngine, CpprCreditsCommonClockPath) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 4, 4);
+  Scenario sc = baseScenario();
+  sc.derate.mode = DerateMode::kFlatOcv;  // late/early spread on the tree
+  StaEngine eng(nl, sc);
+  eng.run();
+  bool sawCredit = false;
+  for (const auto& ep : eng.endpoints()) {
+    if (ep.flop < 0) continue;
+    if (nl.instance(ep.flop).name.rfind("capture", 0) == 0) {
+      EXPECT_GE(ep.cpprSetup, 0.0);
+      if (ep.cpprSetup > 1.0) sawCredit = true;
+    }
+  }
+  EXPECT_TRUE(sawCredit) << "flop-to-flop paths should earn CPPR credit";
+
+  // Disabling CPPR must not improve slack.
+  Scenario noCppr = sc;
+  noCppr.derate.cppr = false;
+  StaEngine eng2(nl, noCppr);
+  eng2.run();
+  EXPECT_LE(eng2.wns(Check::kSetup), eng.wns(Check::kSetup) + 1e-9);
+}
+
+TEST(StaEngine, DerateLadderOrdering) {
+  // Flat OCV is the most pessimistic; AOCV/POCV/LVF recover pessimism but
+  // stay above the underated analysis (the paper's modeling-ladder story).
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  std::map<DerateMode, Ps> wns;
+  for (DerateMode m : {DerateMode::kNone, DerateMode::kFlatOcv,
+                       DerateMode::kAocv, DerateMode::kPocv,
+                       DerateMode::kLvf}) {
+    Scenario sc = baseScenario();
+    sc.derate.mode = m;
+    StaEngine eng(nl, sc);
+    eng.run();
+    wns[m] = eng.wns(Check::kSetup);
+  }
+  EXPECT_LT(wns[DerateMode::kFlatOcv], wns[DerateMode::kNone]);
+  EXPECT_GT(wns[DerateMode::kAocv], wns[DerateMode::kFlatOcv]);
+  EXPECT_GT(wns[DerateMode::kPocv], wns[DerateMode::kFlatOcv]);
+  EXPECT_GT(wns[DerateMode::kLvf], wns[DerateMode::kFlatOcv]);
+  EXPECT_LT(wns[DerateMode::kPocv], wns[DerateMode::kNone]);
+}
+
+TEST(StaEngine, UsefulSkewMovesSlack) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 6);
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const EndpointTiming* cap = nullptr;
+  for (const auto& ep : eng.endpoints())
+    if (ep.flop >= 0 && nl.instance(ep.flop).name == "capture0") cap = &ep;
+  ASSERT_NE(cap, nullptr);
+  const Ps before = cap->setupSlack;
+  nl.instance(cap->flop).usefulSkew = 50.0;
+  StaEngine eng2(nl, sc);
+  eng2.run();
+  const EndpointTiming* cap2 = nullptr;
+  for (const auto& ep : eng2.endpoints())
+    if (ep.flop == cap->flop) cap2 = &ep;
+  ASSERT_NE(cap2, nullptr);
+  EXPECT_NEAR(cap2->setupSlack, before + 50.0, 1.0);
+  EXPECT_LT(cap2->holdSlack, eng.endpoints().size() ? 1e9 : 0);  // finite
+}
+
+TEST(StaEngine, DrvChecksFireOnOverload) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 2);
+  Scenario sc = baseScenario();
+  sc.limits.maxCapacitance = 0.5;  // absurdly tight: everything violates
+  StaEngine eng(nl, sc);
+  eng.run();
+  EXPECT_GT(eng.drvViolations().size(), 0u);
+  int caps = 0;
+  for (const auto& v : eng.drvViolations())
+    if (!v.isTransition) ++caps;
+  EXPECT_GT(caps, 0);
+}
+
+TEST(StaEngine, VertexSlackMatchesEndpointOnWorstPath) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 5);
+  Scenario sc = baseScenario();
+  sc.derate.mode = DerateMode::kNone;  // mean domain == key domain
+  StaEngine eng(nl, sc);
+  eng.run();
+  const auto eps = worstEndpoints(eng, Check::kSetup, 1);
+  ASSERT_FALSE(eps.empty());
+  const auto path = eng.tracePath(eps[0].vertex, Mode::kLate,
+                                  eps[0].setupTrans);
+  // Slack at intermediate vertices on the worst path >= endpoint slack
+  // minus small bookkeeping tolerance; the endpoint itself matches.
+  EXPECT_NEAR(eng.vertexSlack(eps[0].vertex), eps[0].setupSlack, 1.0);
+}
+
+TEST(StaEngine, ScenarioWithoutLibraryThrows) {
+  Netlist nl = generatePipeline(lib(), 1, 2);
+  Scenario sc;  // lib not set
+  EXPECT_THROW(StaEngine eng(nl, sc), std::invalid_argument);
+}
+
+// --- PBA -------------------------------------------------------------------------
+
+TEST(Pba, NeverMorePessimisticThanGba) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  for (DerateMode m :
+       {DerateMode::kFlatOcv, DerateMode::kPocv, DerateMode::kLvf}) {
+    Scenario sc = baseScenario();
+    sc.derate.mode = m;
+    StaEngine eng(nl, sc);
+    eng.run();
+    PbaAnalyzer pba(eng);
+    for (const auto& r : pba.recalcWorst(20, Check::kSetup)) {
+      EXPECT_GE(r.pbaSlack, r.gbaSlack - 1e-9) << toString(m);
+    }
+  }
+}
+
+TEST(Pba, RemovesMeasurablePessimismSomewhere) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc = baseScenario();
+  sc.derate.mode = DerateMode::kPocv;
+  StaEngine eng(nl, sc);
+  eng.run();
+  PbaAnalyzer pba(eng);
+  double total = 0.0;
+  for (const auto& r : pba.recalcWorst(24, Check::kSetup))
+    total += r.pessimismRemoved();
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Pba, PathArrivalMatchesGbaWithoutMergingPessimism) {
+  // On a single-lane pipeline there is exactly one path per endpoint, so
+  // the only GBA-vs-PBA gap is the wire metric (D2M <= Elmore).
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 5);
+  Scenario sc = baseScenario();
+  sc.derate.mode = DerateMode::kNone;
+  StaEngine eng(nl, sc);
+  eng.run();
+  PbaAnalyzer pba(eng);
+  for (const auto& ep : eng.endpoints()) {
+    if (ep.flop < 0) continue;
+    const Ps exact = pba.pathArrival(ep.vertex, Mode::kLate, ep.setupTrans);
+    EXPECT_LE(exact, ep.dataLate + 1e-9);
+    EXPECT_GT(exact, 0.5 * ep.dataLate);
+  }
+}
+
+// --- MIS --------------------------------------------------------------------------
+
+TEST(Mis, FindsOverlapsOnSimultaneousInputs) {
+  // Both NAND inputs driven from the same source through equal-ish paths:
+  // switching windows must overlap.
+  auto L = lib();
+  Netlist nl(L);
+  const int inv = L->variant("INV", VtClass::kSvt, 1);
+  const int nand = L->variant("NAND2", VtClass::kSvt, 1);
+  const PortId in = nl.addPort("in", true);
+  const NetId nIn = nl.addNet("nin");
+  nl.connectPortToNet(in, nIn);
+  const InstId a = nl.addInstance("a", inv);
+  nl.connectInput(a, 0, nIn);
+  const NetId na = nl.addNet("na");
+  nl.connectOutput(a, na);
+  const InstId b = nl.addInstance("b", inv);
+  nl.connectInput(b, 0, nIn);
+  const NetId nb = nl.addNet("nb");
+  nl.connectOutput(b, nb);
+  const InstId g = nl.addInstance("g", nand);
+  nl.connectInput(g, 0, na);
+  nl.connectInput(g, 1, nb);
+  const NetId out = nl.addNet("out");
+  nl.connectOutput(g, out);
+  const PortId po = nl.addPort("po", false);
+  nl.connectPortToNet(po, out);
+
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  MisAnalyzer mis(eng);
+  const auto overlaps = mis.findOverlaps();
+  ASSERT_EQ(overlaps.size(), 1u);
+  EXPECT_EQ(overlaps[0].inst, g);
+  EXPECT_GT(overlaps[0].overlapWindow, 0.0);
+}
+
+TEST(Mis, RefineIsSignoffSafe) {
+  // MIS refinement may only degrade setup WNS (series slow-down) and hold
+  // WNS (parallel speed-up) — never improve either.
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const Ps setupBefore = eng.wns(Check::kSetup);
+  const Ps holdBefore = eng.wns(Check::kHold);
+  MisAnalyzer mis(eng);
+  const auto overlaps = mis.refine();
+  EXPECT_GT(overlaps.size(), 0u);
+  EXPECT_LE(eng.wns(Check::kSetup), setupBefore + 1e-9);
+  EXPECT_LE(eng.wns(Check::kHold), holdBefore + 1e-9);
+}
+
+// --- Monte Carlo -------------------------------------------------------------------
+
+TEST(Mc, PathModelNominalMatchesTrace) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 6);
+  Scenario sc = baseScenario();
+  sc.derate.mode = DerateMode::kNone;
+  StaEngine eng(nl, sc);
+  eng.run();
+  MonteCarloTiming mc(eng);
+  const auto eps = worstEndpoints(eng, Check::kSetup, 1);
+  ASSERT_FALSE(eps.empty());
+  const PathModel pm = mc.compilePath(eps[0].vertex, eps[0].setupTrans);
+  EXPECT_GT(pm.depth(), 4);
+  // Nominal path delay ~ data arrival minus clock-source portion; both are
+  // sums of the same pieces, so the model nominal is close to dataLate.
+  EXPECT_NEAR(pm.nominal, eps[0].dataLate, 0.25 * eps[0].dataLate);
+}
+
+TEST(Mc, SamplingMomentsReflectSigmas) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 8);
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  MonteCarloTiming mc(eng);
+  const auto eps = worstEndpoints(eng, Check::kSetup, 1);
+  const PathModel pm = mc.compilePath(eps[0].vertex, eps[0].setupTrans);
+  McOptions opt;
+  opt.samples = 4000;
+  const SampleSet s = mc.run(pm, opt);
+  EXPECT_NEAR(s.mean(), pm.nominal, 0.05 * pm.nominal);
+  EXPECT_GT(s.stddev(), 0.0);
+  // Disabling all variation collapses the distribution.
+  McOptions off;
+  off.sampleGateMismatch = false;
+  off.sampleBeolLayers = false;
+  off.samples = 16;
+  const SampleSet s0 = mc.run(pm, off);
+  EXPECT_NEAR(s0.stddev(), 0.0, 1e-9);
+}
+
+TEST(Mc, CornerDelayOrdering) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 8);
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  MonteCarloTiming mc(eng);
+  const auto eps = worstEndpoints(eng, Check::kSetup, 1);
+  const PathModel pm = mc.compilePath(eps[0].vertex, eps[0].setupTrans);
+  const Ps typ = mc.pathDelayAtCorner(pm, BeolCorner::kTypical);
+  EXPECT_NEAR(typ, pm.nominal, 1e-6);
+  EXPECT_GT(mc.pathDelayAtCorner(pm, BeolCorner::kCworst), typ);
+  EXPECT_GT(mc.pathDelayAtCorner(pm, BeolCorner::kRCworst), typ);
+  EXPECT_LT(mc.pathDelayAtCorner(pm, BeolCorner::kRCbest), typ);
+  // Tightening shrinks the excursion.
+  const Ps full = mc.pathDelayAtCorner(pm, BeolCorner::kCworst, 3.0);
+  const Ps tight = mc.pathDelayAtCorner(pm, BeolCorner::kCworst, 1.5);
+  EXPECT_LT(tight, full);
+  EXPECT_GT(tight, typ);
+}
+
+// --- reports ----------------------------------------------------------------------
+
+TEST(Report, SummaryAndPathRendersNames) {
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 1, 3);
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const std::string sum = timingSummary(eng);
+  EXPECT_NE(sum.find("WNS"), std::string::npos);
+  const EndpointTiming* cap = nullptr;
+  for (const auto& ep : eng.endpoints())
+    if (ep.flop >= 0 && nl.instance(ep.flop).name == "capture0") cap = &ep;
+  ASSERT_NE(cap, nullptr);
+  const std::string rep = pathReport(eng, *cap, Check::kSetup);
+  EXPECT_NE(rep.find("Setup path"), std::string::npos);
+  EXPECT_NE(rep.find("capture0"), std::string::npos);
+  EXPECT_NE(rep.find("launch0"), std::string::npos);
+  EXPECT_FALSE(slackHistogram(eng, Check::kSetup).empty());
+}
+
+TEST(Report, BreakdownCountsMatchEngine) {
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc = baseScenario();
+  StaEngine eng(nl, sc);
+  eng.run();
+  const auto b = breakdown(eng);
+  EXPECT_EQ(b.setupViolations, eng.violationCount(Check::kSetup));
+  EXPECT_EQ(b.holdViolations, eng.violationCount(Check::kHold));
+  EXPECT_DOUBLE_EQ(b.setupWns, eng.wns(Check::kSetup));
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/interp.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace tc {
+namespace {
+
+TEST(RunningStats, MeanVarianceOfKnownData) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SkewnessSignDetectsAsymmetry) {
+  RunningStats rightTail;
+  RunningStats symmetric;
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const double z = rng.normal();
+    rightTail.add(std::exp(0.5 * z));  // lognormal: positive skew
+    symmetric.add(z);
+  }
+  EXPECT_GT(rightTail.skewness(), 0.5);
+  EXPECT_NEAR(symmetric.skewness(), 0.0, 0.1);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_NEAR(a.skewness(), all.skewness(), 1e-9);
+}
+
+TEST(SampleSet, QuantilesAndSidedSigmas) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-12);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-12);
+  // Symmetric data: both one-sided sigmas agree.
+  EXPECT_NEAR(s.sigmaBelowMean(), s.sigmaAboveMean(), 0.5);
+}
+
+TEST(SampleSet, AsymmetricDataSplitsSigmas) {
+  Rng rng(11);
+  SampleSet s;
+  for (int i = 0; i < 50000; ++i) s.add(std::exp(rng.normal() * 0.4));
+  // Lognormal: the late (above-mean) tail is fatter.
+  EXPECT_GT(s.sigmaAboveMean(), 1.15 * s.sigmaBelowMean());
+  EXPECT_GT(s.skewness(), 0.5);
+}
+
+TEST(SampleSet, HistogramCountsAllSamples) {
+  SampleSet s;
+  for (int i = 0; i < 1000; ++i) s.add(static_cast<double>(i % 10));
+  const auto h = s.histogram(0.0, 10.0, 10);
+  std::size_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(h[3], 100u);
+}
+
+TEST(NormalDistribution, CdfInverseRoundTrip) {
+  for (double p : {0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normalCdf(normalInverseCdf(p)), p, 1e-7);
+  }
+  EXPECT_NEAR(normalInverseCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normalInverseCdf(normalCdf(3.0)), 3.0, 1e-6);
+}
+
+TEST(NormalDistribution, InverseCdfRejectsOutOfRange) {
+  EXPECT_THROW(normalInverseCdf(0.0), std::domain_error);
+  EXPECT_THROW(normalInverseCdf(1.0), std::domain_error);
+}
+
+TEST(Rng, UniformMomentsAndDeterminism) {
+  Rng a(42), b(42);
+  RunningStats s;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = a.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    s.add(x);
+    EXPECT_DOUBLE_EQ(x, b.uniform());  // same seed, same stream
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 40000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+  EXPECT_NEAR(s.kurtosis(), 0.0, 0.15);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng c = a.fork();
+  // Streams must differ (overwhelmingly likely on first draw).
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Axis, SegmentAndFraction) {
+  Axis ax({1.0, 2.0, 4.0, 8.0});
+  EXPECT_EQ(ax.segment(0.5), 0u);   // clamped left
+  EXPECT_EQ(ax.segment(1.5), 0u);
+  EXPECT_EQ(ax.segment(3.0), 1u);
+  EXPECT_EQ(ax.segment(100.0), 2u); // clamped right
+  EXPECT_DOUBLE_EQ(ax.fraction(3.0, 1), 0.5);
+}
+
+TEST(Axis, RejectsNonMonotone) {
+  EXPECT_THROW(Axis({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Axis({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Axis(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Interp1, ExactAtKnotsLinearBetween) {
+  Axis ax({0.0, 1.0, 3.0});
+  std::vector<double> v{10.0, 20.0, 0.0};
+  EXPECT_DOUBLE_EQ(interp1(ax, v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(interp1(ax, v, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(interp1(ax, v, 2.0), 10.0);
+  // Linear extrapolation beyond the grid:
+  EXPECT_DOUBLE_EQ(interp1(ax, v, 4.0), -10.0);
+  EXPECT_DOUBLE_EQ(interp1(ax, v, -1.0), 0.0);
+}
+
+TEST(Table2D, BilinearExactOnBilinearFunction) {
+  // f(x,y) = 2x + 3y + xy is reproduced exactly by bilinear interpolation.
+  Axis xs({0.0, 1.0, 2.0});
+  Axis ys({0.0, 2.0});
+  std::vector<double> vals;
+  for (double x : xs.points())
+    for (double y : ys.points()) vals.push_back(2 * x + 3 * y + x * y);
+  Table2D t(xs, ys, vals);
+  for (double x : {0.25, 0.5, 1.75}) {
+    for (double y : {0.3, 1.9}) {
+      EXPECT_NEAR(t.lookup(x, y), 2 * x + 3 * y + x * y, 1e-12);
+    }
+  }
+  // Extrapolation stays linear:
+  EXPECT_NEAR(t.lookup(3.0, 0.0), 6.0, 1e-12);
+}
+
+TEST(Table2D, SizeValidation) {
+  EXPECT_THROW(Table2D(Axis({0.0, 1.0}), Axis({0.0, 1.0}), {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedGrid) {
+  TextTable t("demo");
+  t.setHeader({"name", "value"});
+  t.addRow({"x", TextTable::num(1.5, 2)});
+  t.addRow({"longer-name", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("| x           |"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+}
+
+TEST(AsciiBar, ScalesWithValue) {
+  EXPECT_EQ(asciiBar(10.0, 10.0, 10).size(), 10u);
+  EXPECT_EQ(asciiBar(5.0, 10.0, 10).size(), 5u);
+  EXPECT_TRUE(asciiBar(-1.0, 10.0, 10).empty());
+}
+
+}  // namespace
+}  // namespace tc
