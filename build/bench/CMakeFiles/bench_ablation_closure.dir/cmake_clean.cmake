@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_closure.dir/bench_ablation_closure.cpp.o"
+  "CMakeFiles/bench_ablation_closure.dir/bench_ablation_closure.cpp.o.d"
+  "bench_ablation_closure"
+  "bench_ablation_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

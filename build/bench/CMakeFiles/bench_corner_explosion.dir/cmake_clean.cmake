@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corner_explosion.dir/bench_corner_explosion.cpp.o"
+  "CMakeFiles/bench_corner_explosion.dir/bench_corner_explosion.cpp.o.d"
+  "bench_corner_explosion"
+  "bench_corner_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corner_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cts_skew.dir/bench_cts_skew.cpp.o"
+  "CMakeFiles/bench_cts_skew.dir/bench_cts_skew.cpp.o.d"
+  "bench_cts_skew"
+  "bench_cts_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cts_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

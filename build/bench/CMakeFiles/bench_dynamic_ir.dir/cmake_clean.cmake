@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_ir.dir/bench_dynamic_ir.cpp.o"
+  "CMakeFiles/bench_dynamic_ir.dir/bench_dynamic_ir.cpp.o.d"
+  "bench_dynamic_ir"
+  "bench_dynamic_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

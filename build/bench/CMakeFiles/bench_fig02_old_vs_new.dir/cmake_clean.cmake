@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_old_vs_new.dir/bench_fig02_old_vs_new.cpp.o"
+  "CMakeFiles/bench_fig02_old_vs_new.dir/bench_fig02_old_vs_new.cpp.o.d"
+  "bench_fig02_old_vs_new"
+  "bench_fig02_old_vs_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_old_vs_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_care_abouts.dir/bench_fig03_care_abouts.cpp.o"
+  "CMakeFiles/bench_fig03_care_abouts.dir/bench_fig03_care_abouts.cpp.o.d"
+  "bench_fig03_care_abouts"
+  "bench_fig03_care_abouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_care_abouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_sadp.dir/bench_fig05_sadp.cpp.o"
+  "CMakeFiles/bench_fig05_sadp.dir/bench_fig05_sadp.cpp.o.d"
+  "bench_fig05_sadp"
+  "bench_fig05_sadp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_sadp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06a_minia.cpp" "bench/CMakeFiles/bench_fig06a_minia.dir/bench_fig06a_minia.cpp.o" "gcc" "bench/CMakeFiles/bench_fig06a_minia.dir/bench_fig06a_minia.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signoff/CMakeFiles/tc_signoff.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/tc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tc_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/tc_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/tc_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/tc_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tc_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/tc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06a_minia.dir/bench_fig06a_minia.cpp.o"
+  "CMakeFiles/bench_fig06a_minia.dir/bench_fig06a_minia.cpp.o.d"
+  "bench_fig06a_minia"
+  "bench_fig06a_minia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06a_minia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

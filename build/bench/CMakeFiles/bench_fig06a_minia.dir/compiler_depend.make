@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig06a_minia.
+# This may be replaced when dependencies are built.

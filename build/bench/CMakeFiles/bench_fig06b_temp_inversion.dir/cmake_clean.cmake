@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06b_temp_inversion.dir/bench_fig06b_temp_inversion.cpp.o"
+  "CMakeFiles/bench_fig06b_temp_inversion.dir/bench_fig06b_temp_inversion.cpp.o.d"
+  "bench_fig06b_temp_inversion"
+  "bench_fig06b_temp_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06b_temp_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_mc_tail.dir/bench_fig07_mc_tail.cpp.o"
+  "CMakeFiles/bench_fig07_mc_tail.dir/bench_fig07_mc_tail.cpp.o.d"
+  "bench_fig07_mc_tail"
+  "bench_fig07_mc_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_mc_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_tbc.dir/bench_fig08_tbc.cpp.o"
+  "CMakeFiles/bench_fig08_tbc.dir/bench_fig08_tbc.cpp.o.d"
+  "bench_fig08_tbc"
+  "bench_fig08_tbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_tbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

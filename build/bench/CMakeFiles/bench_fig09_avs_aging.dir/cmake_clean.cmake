@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_avs_aging.dir/bench_fig09_avs_aging.cpp.o"
+  "CMakeFiles/bench_fig09_avs_aging.dir/bench_fig09_avs_aging.cpp.o.d"
+  "bench_fig09_avs_aging"
+  "bench_fig09_avs_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_avs_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_flexflop.dir/bench_fig10_flexflop.cpp.o"
+  "CMakeFiles/bench_fig10_flexflop.dir/bench_fig10_flexflop.cpp.o.d"
+  "bench_fig10_flexflop"
+  "bench_fig10_flexflop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_flexflop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

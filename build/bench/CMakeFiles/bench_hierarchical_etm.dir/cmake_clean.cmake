@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hierarchical_etm.dir/bench_hierarchical_etm.cpp.o"
+  "CMakeFiles/bench_hierarchical_etm.dir/bench_hierarchical_etm.cpp.o.d"
+  "bench_hierarchical_etm"
+  "bench_hierarchical_etm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hierarchical_etm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monitor_tracking.dir/bench_monitor_tracking.cpp.o"
+  "CMakeFiles/bench_monitor_tracking.dir/bench_monitor_tracking.cpp.o.d"
+  "bench_monitor_tracking"
+  "bench_monitor_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monitor_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

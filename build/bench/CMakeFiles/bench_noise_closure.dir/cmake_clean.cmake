@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noise_closure.dir/bench_noise_closure.cpp.o"
+  "CMakeFiles/bench_noise_closure.dir/bench_noise_closure.cpp.o.d"
+  "bench_noise_closure"
+  "bench_noise_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noise_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

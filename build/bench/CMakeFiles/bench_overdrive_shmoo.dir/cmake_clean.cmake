@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overdrive_shmoo.dir/bench_overdrive_shmoo.cpp.o"
+  "CMakeFiles/bench_overdrive_shmoo.dir/bench_overdrive_shmoo.cpp.o.d"
+  "bench_overdrive_shmoo"
+  "bench_overdrive_shmoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overdrive_shmoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_overdrive_shmoo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pba_vs_gba.dir/bench_pba_vs_gba.cpp.o"
+  "CMakeFiles/bench_pba_vs_gba.dir/bench_pba_vs_gba.cpp.o.d"
+  "bench_pba_vs_gba"
+  "bench_pba_vs_gba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pba_vs_gba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

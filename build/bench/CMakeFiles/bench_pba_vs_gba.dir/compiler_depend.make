@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_pba_vs_gba.
+# This may be replaced when dependencies are built.

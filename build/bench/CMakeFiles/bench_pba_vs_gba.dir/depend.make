@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pba_vs_gba.
+# This may be replaced when dependencies are built.

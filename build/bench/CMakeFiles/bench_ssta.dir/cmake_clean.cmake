@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssta.dir/bench_ssta.cpp.o"
+  "CMakeFiles/bench_ssta.dir/bench_ssta.cpp.o.d"
+  "bench_ssta"
+  "bench_ssta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

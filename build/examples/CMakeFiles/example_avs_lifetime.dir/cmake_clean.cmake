@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_avs_lifetime.dir/avs_lifetime.cpp.o"
+  "CMakeFiles/example_avs_lifetime.dir/avs_lifetime.cpp.o.d"
+  "example_avs_lifetime"
+  "example_avs_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_avs_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_closure_flow.dir/closure_flow.cpp.o"
+  "CMakeFiles/example_closure_flow.dir/closure_flow.cpp.o.d"
+  "example_closure_flow"
+  "example_closure_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_closure_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

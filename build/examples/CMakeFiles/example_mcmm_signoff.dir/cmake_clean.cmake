@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mcmm_signoff.dir/mcmm_signoff.cpp.o"
+  "CMakeFiles/example_mcmm_signoff.dir/mcmm_signoff.cpp.o.d"
+  "example_mcmm_signoff"
+  "example_mcmm_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mcmm_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/aging.cpp" "src/device/CMakeFiles/tc_device.dir/aging.cpp.o" "gcc" "src/device/CMakeFiles/tc_device.dir/aging.cpp.o.d"
+  "/root/repo/src/device/latch.cpp" "src/device/CMakeFiles/tc_device.dir/latch.cpp.o" "gcc" "src/device/CMakeFiles/tc_device.dir/latch.cpp.o.d"
+  "/root/repo/src/device/mosfet.cpp" "src/device/CMakeFiles/tc_device.dir/mosfet.cpp.o" "gcc" "src/device/CMakeFiles/tc_device.dir/mosfet.cpp.o.d"
+  "/root/repo/src/device/process.cpp" "src/device/CMakeFiles/tc_device.dir/process.cpp.o" "gcc" "src/device/CMakeFiles/tc_device.dir/process.cpp.o.d"
+  "/root/repo/src/device/stage.cpp" "src/device/CMakeFiles/tc_device.dir/stage.cpp.o" "gcc" "src/device/CMakeFiles/tc_device.dir/stage.cpp.o.d"
+  "/root/repo/src/device/tech.cpp" "src/device/CMakeFiles/tc_device.dir/tech.cpp.o" "gcc" "src/device/CMakeFiles/tc_device.dir/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

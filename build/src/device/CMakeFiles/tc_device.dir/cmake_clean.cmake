@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_device.dir/aging.cpp.o"
+  "CMakeFiles/tc_device.dir/aging.cpp.o.d"
+  "CMakeFiles/tc_device.dir/latch.cpp.o"
+  "CMakeFiles/tc_device.dir/latch.cpp.o.d"
+  "CMakeFiles/tc_device.dir/mosfet.cpp.o"
+  "CMakeFiles/tc_device.dir/mosfet.cpp.o.d"
+  "CMakeFiles/tc_device.dir/process.cpp.o"
+  "CMakeFiles/tc_device.dir/process.cpp.o.d"
+  "CMakeFiles/tc_device.dir/stage.cpp.o"
+  "CMakeFiles/tc_device.dir/stage.cpp.o.d"
+  "CMakeFiles/tc_device.dir/tech.cpp.o"
+  "CMakeFiles/tc_device.dir/tech.cpp.o.d"
+  "libtc_device.a"
+  "libtc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

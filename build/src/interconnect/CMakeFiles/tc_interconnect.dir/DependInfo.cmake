@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/extract.cpp" "src/interconnect/CMakeFiles/tc_interconnect.dir/extract.cpp.o" "gcc" "src/interconnect/CMakeFiles/tc_interconnect.dir/extract.cpp.o.d"
+  "/root/repo/src/interconnect/rctree.cpp" "src/interconnect/CMakeFiles/tc_interconnect.dir/rctree.cpp.o" "gcc" "src/interconnect/CMakeFiles/tc_interconnect.dir/rctree.cpp.o.d"
+  "/root/repo/src/interconnect/sadp.cpp" "src/interconnect/CMakeFiles/tc_interconnect.dir/sadp.cpp.o" "gcc" "src/interconnect/CMakeFiles/tc_interconnect.dir/sadp.cpp.o.d"
+  "/root/repo/src/interconnect/spef.cpp" "src/interconnect/CMakeFiles/tc_interconnect.dir/spef.cpp.o" "gcc" "src/interconnect/CMakeFiles/tc_interconnect.dir/spef.cpp.o.d"
+  "/root/repo/src/interconnect/steiner.cpp" "src/interconnect/CMakeFiles/tc_interconnect.dir/steiner.cpp.o" "gcc" "src/interconnect/CMakeFiles/tc_interconnect.dir/steiner.cpp.o.d"
+  "/root/repo/src/interconnect/wire.cpp" "src/interconnect/CMakeFiles/tc_interconnect.dir/wire.cpp.o" "gcc" "src/interconnect/CMakeFiles/tc_interconnect.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/network/CMakeFiles/tc_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/tc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tc_liberty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

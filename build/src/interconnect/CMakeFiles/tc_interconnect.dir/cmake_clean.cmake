@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_interconnect.dir/extract.cpp.o"
+  "CMakeFiles/tc_interconnect.dir/extract.cpp.o.d"
+  "CMakeFiles/tc_interconnect.dir/rctree.cpp.o"
+  "CMakeFiles/tc_interconnect.dir/rctree.cpp.o.d"
+  "CMakeFiles/tc_interconnect.dir/sadp.cpp.o"
+  "CMakeFiles/tc_interconnect.dir/sadp.cpp.o.d"
+  "CMakeFiles/tc_interconnect.dir/spef.cpp.o"
+  "CMakeFiles/tc_interconnect.dir/spef.cpp.o.d"
+  "CMakeFiles/tc_interconnect.dir/steiner.cpp.o"
+  "CMakeFiles/tc_interconnect.dir/steiner.cpp.o.d"
+  "CMakeFiles/tc_interconnect.dir/wire.cpp.o"
+  "CMakeFiles/tc_interconnect.dir/wire.cpp.o.d"
+  "libtc_interconnect.a"
+  "libtc_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

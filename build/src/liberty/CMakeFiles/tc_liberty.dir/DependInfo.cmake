@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/builder.cpp" "src/liberty/CMakeFiles/tc_liberty.dir/builder.cpp.o" "gcc" "src/liberty/CMakeFiles/tc_liberty.dir/builder.cpp.o.d"
+  "/root/repo/src/liberty/interdep.cpp" "src/liberty/CMakeFiles/tc_liberty.dir/interdep.cpp.o" "gcc" "src/liberty/CMakeFiles/tc_liberty.dir/interdep.cpp.o.d"
+  "/root/repo/src/liberty/liberty_writer.cpp" "src/liberty/CMakeFiles/tc_liberty.dir/liberty_writer.cpp.o" "gcc" "src/liberty/CMakeFiles/tc_liberty.dir/liberty_writer.cpp.o.d"
+  "/root/repo/src/liberty/library.cpp" "src/liberty/CMakeFiles/tc_liberty.dir/library.cpp.o" "gcc" "src/liberty/CMakeFiles/tc_liberty.dir/library.cpp.o.d"
+  "/root/repo/src/liberty/serialize.cpp" "src/liberty/CMakeFiles/tc_liberty.dir/serialize.cpp.o" "gcc" "src/liberty/CMakeFiles/tc_liberty.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/tc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_liberty.dir/builder.cpp.o"
+  "CMakeFiles/tc_liberty.dir/builder.cpp.o.d"
+  "CMakeFiles/tc_liberty.dir/interdep.cpp.o"
+  "CMakeFiles/tc_liberty.dir/interdep.cpp.o.d"
+  "CMakeFiles/tc_liberty.dir/liberty_writer.cpp.o"
+  "CMakeFiles/tc_liberty.dir/liberty_writer.cpp.o.d"
+  "CMakeFiles/tc_liberty.dir/library.cpp.o"
+  "CMakeFiles/tc_liberty.dir/library.cpp.o.d"
+  "CMakeFiles/tc_liberty.dir/serialize.cpp.o"
+  "CMakeFiles/tc_liberty.dir/serialize.cpp.o.d"
+  "libtc_liberty.a"
+  "libtc_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

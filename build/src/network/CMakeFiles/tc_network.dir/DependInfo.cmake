@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/netgen.cpp" "src/network/CMakeFiles/tc_network.dir/netgen.cpp.o" "gcc" "src/network/CMakeFiles/tc_network.dir/netgen.cpp.o.d"
+  "/root/repo/src/network/netlist.cpp" "src/network/CMakeFiles/tc_network.dir/netlist.cpp.o" "gcc" "src/network/CMakeFiles/tc_network.dir/netlist.cpp.o.d"
+  "/root/repo/src/network/verilog.cpp" "src/network/CMakeFiles/tc_network.dir/verilog.cpp.o" "gcc" "src/network/CMakeFiles/tc_network.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/liberty/CMakeFiles/tc_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/tc_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_network.dir/netgen.cpp.o"
+  "CMakeFiles/tc_network.dir/netgen.cpp.o.d"
+  "CMakeFiles/tc_network.dir/netlist.cpp.o"
+  "CMakeFiles/tc_network.dir/netlist.cpp.o.d"
+  "CMakeFiles/tc_network.dir/verilog.cpp.o"
+  "CMakeFiles/tc_network.dir/verilog.cpp.o.d"
+  "libtc_network.a"
+  "libtc_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

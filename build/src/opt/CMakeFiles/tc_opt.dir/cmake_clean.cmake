@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_opt.dir/closure.cpp.o"
+  "CMakeFiles/tc_opt.dir/closure.cpp.o.d"
+  "CMakeFiles/tc_opt.dir/cts.cpp.o"
+  "CMakeFiles/tc_opt.dir/cts.cpp.o.d"
+  "CMakeFiles/tc_opt.dir/transforms.cpp.o"
+  "CMakeFiles/tc_opt.dir/transforms.cpp.o.d"
+  "libtc_opt.a"
+  "libtc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

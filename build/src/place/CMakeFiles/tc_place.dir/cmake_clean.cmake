@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_place.dir/minia.cpp.o"
+  "CMakeFiles/tc_place.dir/minia.cpp.o.d"
+  "CMakeFiles/tc_place.dir/placement.cpp.o"
+  "CMakeFiles/tc_place.dir/placement.cpp.o.d"
+  "libtc_place.a"
+  "libtc_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

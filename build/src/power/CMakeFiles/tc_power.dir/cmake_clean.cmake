@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_power.dir/power.cpp.o"
+  "CMakeFiles/tc_power.dir/power.cpp.o.d"
+  "libtc_power.a"
+  "libtc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signoff/avs.cpp" "src/signoff/CMakeFiles/tc_signoff.dir/avs.cpp.o" "gcc" "src/signoff/CMakeFiles/tc_signoff.dir/avs.cpp.o.d"
+  "/root/repo/src/signoff/corners.cpp" "src/signoff/CMakeFiles/tc_signoff.dir/corners.cpp.o" "gcc" "src/signoff/CMakeFiles/tc_signoff.dir/corners.cpp.o.d"
+  "/root/repo/src/signoff/etm.cpp" "src/signoff/CMakeFiles/tc_signoff.dir/etm.cpp.o" "gcc" "src/signoff/CMakeFiles/tc_signoff.dir/etm.cpp.o.d"
+  "/root/repo/src/signoff/flexflop.cpp" "src/signoff/CMakeFiles/tc_signoff.dir/flexflop.cpp.o" "gcc" "src/signoff/CMakeFiles/tc_signoff.dir/flexflop.cpp.o.d"
+  "/root/repo/src/signoff/ir.cpp" "src/signoff/CMakeFiles/tc_signoff.dir/ir.cpp.o" "gcc" "src/signoff/CMakeFiles/tc_signoff.dir/ir.cpp.o.d"
+  "/root/repo/src/signoff/margin.cpp" "src/signoff/CMakeFiles/tc_signoff.dir/margin.cpp.o" "gcc" "src/signoff/CMakeFiles/tc_signoff.dir/margin.cpp.o.d"
+  "/root/repo/src/signoff/monitor.cpp" "src/signoff/CMakeFiles/tc_signoff.dir/monitor.cpp.o" "gcc" "src/signoff/CMakeFiles/tc_signoff.dir/monitor.cpp.o.d"
+  "/root/repo/src/signoff/overdrive.cpp" "src/signoff/CMakeFiles/tc_signoff.dir/overdrive.cpp.o" "gcc" "src/signoff/CMakeFiles/tc_signoff.dir/overdrive.cpp.o.d"
+  "/root/repo/src/signoff/tbc.cpp" "src/signoff/CMakeFiles/tc_signoff.dir/tbc.cpp.o" "gcc" "src/signoff/CMakeFiles/tc_signoff.dir/tbc.cpp.o.d"
+  "/root/repo/src/signoff/yield.cpp" "src/signoff/CMakeFiles/tc_signoff.dir/yield.cpp.o" "gcc" "src/signoff/CMakeFiles/tc_signoff.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/tc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/tc_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/tc_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/tc_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tc_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/tc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tc_place.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

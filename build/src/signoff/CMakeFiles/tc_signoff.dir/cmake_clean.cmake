@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_signoff.dir/avs.cpp.o"
+  "CMakeFiles/tc_signoff.dir/avs.cpp.o.d"
+  "CMakeFiles/tc_signoff.dir/corners.cpp.o"
+  "CMakeFiles/tc_signoff.dir/corners.cpp.o.d"
+  "CMakeFiles/tc_signoff.dir/etm.cpp.o"
+  "CMakeFiles/tc_signoff.dir/etm.cpp.o.d"
+  "CMakeFiles/tc_signoff.dir/flexflop.cpp.o"
+  "CMakeFiles/tc_signoff.dir/flexflop.cpp.o.d"
+  "CMakeFiles/tc_signoff.dir/ir.cpp.o"
+  "CMakeFiles/tc_signoff.dir/ir.cpp.o.d"
+  "CMakeFiles/tc_signoff.dir/margin.cpp.o"
+  "CMakeFiles/tc_signoff.dir/margin.cpp.o.d"
+  "CMakeFiles/tc_signoff.dir/monitor.cpp.o"
+  "CMakeFiles/tc_signoff.dir/monitor.cpp.o.d"
+  "CMakeFiles/tc_signoff.dir/overdrive.cpp.o"
+  "CMakeFiles/tc_signoff.dir/overdrive.cpp.o.d"
+  "CMakeFiles/tc_signoff.dir/tbc.cpp.o"
+  "CMakeFiles/tc_signoff.dir/tbc.cpp.o.d"
+  "CMakeFiles/tc_signoff.dir/yield.cpp.o"
+  "CMakeFiles/tc_signoff.dir/yield.cpp.o.d"
+  "libtc_signoff.a"
+  "libtc_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

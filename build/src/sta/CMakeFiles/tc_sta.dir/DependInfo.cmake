@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/delay_calc.cpp" "src/sta/CMakeFiles/tc_sta.dir/delay_calc.cpp.o" "gcc" "src/sta/CMakeFiles/tc_sta.dir/delay_calc.cpp.o.d"
+  "/root/repo/src/sta/engine.cpp" "src/sta/CMakeFiles/tc_sta.dir/engine.cpp.o" "gcc" "src/sta/CMakeFiles/tc_sta.dir/engine.cpp.o.d"
+  "/root/repo/src/sta/graph.cpp" "src/sta/CMakeFiles/tc_sta.dir/graph.cpp.o" "gcc" "src/sta/CMakeFiles/tc_sta.dir/graph.cpp.o.d"
+  "/root/repo/src/sta/mc.cpp" "src/sta/CMakeFiles/tc_sta.dir/mc.cpp.o" "gcc" "src/sta/CMakeFiles/tc_sta.dir/mc.cpp.o.d"
+  "/root/repo/src/sta/mis.cpp" "src/sta/CMakeFiles/tc_sta.dir/mis.cpp.o" "gcc" "src/sta/CMakeFiles/tc_sta.dir/mis.cpp.o.d"
+  "/root/repo/src/sta/pba.cpp" "src/sta/CMakeFiles/tc_sta.dir/pba.cpp.o" "gcc" "src/sta/CMakeFiles/tc_sta.dir/pba.cpp.o.d"
+  "/root/repo/src/sta/report.cpp" "src/sta/CMakeFiles/tc_sta.dir/report.cpp.o" "gcc" "src/sta/CMakeFiles/tc_sta.dir/report.cpp.o.d"
+  "/root/repo/src/sta/si.cpp" "src/sta/CMakeFiles/tc_sta.dir/si.cpp.o" "gcc" "src/sta/CMakeFiles/tc_sta.dir/si.cpp.o.d"
+  "/root/repo/src/sta/ssta.cpp" "src/sta/CMakeFiles/tc_sta.dir/ssta.cpp.o" "gcc" "src/sta/CMakeFiles/tc_sta.dir/ssta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interconnect/CMakeFiles/tc_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/tc_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tc_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/tc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_sta.dir/delay_calc.cpp.o"
+  "CMakeFiles/tc_sta.dir/delay_calc.cpp.o.d"
+  "CMakeFiles/tc_sta.dir/engine.cpp.o"
+  "CMakeFiles/tc_sta.dir/engine.cpp.o.d"
+  "CMakeFiles/tc_sta.dir/graph.cpp.o"
+  "CMakeFiles/tc_sta.dir/graph.cpp.o.d"
+  "CMakeFiles/tc_sta.dir/mc.cpp.o"
+  "CMakeFiles/tc_sta.dir/mc.cpp.o.d"
+  "CMakeFiles/tc_sta.dir/mis.cpp.o"
+  "CMakeFiles/tc_sta.dir/mis.cpp.o.d"
+  "CMakeFiles/tc_sta.dir/pba.cpp.o"
+  "CMakeFiles/tc_sta.dir/pba.cpp.o.d"
+  "CMakeFiles/tc_sta.dir/report.cpp.o"
+  "CMakeFiles/tc_sta.dir/report.cpp.o.d"
+  "CMakeFiles/tc_sta.dir/si.cpp.o"
+  "CMakeFiles/tc_sta.dir/si.cpp.o.d"
+  "CMakeFiles/tc_sta.dir/ssta.cpp.o"
+  "CMakeFiles/tc_sta.dir/ssta.cpp.o.d"
+  "libtc_sta.a"
+  "libtc_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_util.dir/interp.cpp.o"
+  "CMakeFiles/tc_util.dir/interp.cpp.o.d"
+  "CMakeFiles/tc_util.dir/log.cpp.o"
+  "CMakeFiles/tc_util.dir/log.cpp.o.d"
+  "CMakeFiles/tc_util.dir/stats.cpp.o"
+  "CMakeFiles/tc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tc_util.dir/table.cpp.o"
+  "CMakeFiles/tc_util.dir/table.cpp.o.d"
+  "libtc_util.a"
+  "libtc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cts_ir_test.cpp" "tests/CMakeFiles/tc_tests.dir/cts_ir_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/cts_ir_test.cpp.o.d"
+  "/root/repo/tests/device_test.cpp" "tests/CMakeFiles/tc_tests.dir/device_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/device_test.cpp.o.d"
+  "/root/repo/tests/eco_test.cpp" "tests/CMakeFiles/tc_tests.dir/eco_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/eco_test.cpp.o.d"
+  "/root/repo/tests/etm_test.cpp" "tests/CMakeFiles/tc_tests.dir/etm_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/etm_test.cpp.o.d"
+  "/root/repo/tests/interchange_test.cpp" "tests/CMakeFiles/tc_tests.dir/interchange_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/interchange_test.cpp.o.d"
+  "/root/repo/tests/interconnect_test.cpp" "tests/CMakeFiles/tc_tests.dir/interconnect_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/interconnect_test.cpp.o.d"
+  "/root/repo/tests/liberty_test.cpp" "tests/CMakeFiles/tc_tests.dir/liberty_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/liberty_test.cpp.o.d"
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/tc_tests.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/network_test.cpp.o.d"
+  "/root/repo/tests/opt_test.cpp" "tests/CMakeFiles/tc_tests.dir/opt_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/opt_test.cpp.o.d"
+  "/root/repo/tests/place_test.cpp" "tests/CMakeFiles/tc_tests.dir/place_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/place_test.cpp.o.d"
+  "/root/repo/tests/power_test.cpp" "tests/CMakeFiles/tc_tests.dir/power_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/power_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/tc_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/si_monitor_test.cpp" "tests/CMakeFiles/tc_tests.dir/si_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/si_monitor_test.cpp.o.d"
+  "/root/repo/tests/signoff_test.cpp" "tests/CMakeFiles/tc_tests.dir/signoff_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/signoff_test.cpp.o.d"
+  "/root/repo/tests/ssta_test.cpp" "tests/CMakeFiles/tc_tests.dir/ssta_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/ssta_test.cpp.o.d"
+  "/root/repo/tests/sta_test.cpp" "tests/CMakeFiles/tc_tests.dir/sta_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/sta_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/tc_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/tc_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signoff/CMakeFiles/tc_signoff.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/tc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tc_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/tc_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/tc_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/tc_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tc_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/tc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
