@@ -1,6 +1,10 @@
 #include "interconnect/spef.h"
 
+#include <cmath>
+#include <cstdlib>
+#include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "network/verilog.h"
@@ -100,6 +104,217 @@ void writeSensitivitySpef(const Netlist& nl, const Extractor& extractor,
                           const ExtractionOptions& opt, std::ostream& os,
                           const std::string& designName) {
   writeAll(nl, extractor, opt, os, designName, true);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+double SpefNet::capSum() const {
+  double s = 0.0;
+  for (const auto& c : caps) s += c.value;
+  return s;
+}
+
+const SpefNet* SpefDesign::findNet(const std::string& name) const {
+  for (const auto& n : nets)
+    if (n.name == name) return &n;
+  return nullptr;
+}
+
+namespace {
+
+std::vector<std::string> splitTokens(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) toks.push_back(std::move(t));
+  return toks;
+}
+
+std::string unquote(const std::string& s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+    return s.substr(1, s.size() - 2);
+  return s;
+}
+
+}  // namespace
+
+Result<SpefDesign> readSpef(std::istream& is, DiagnosticSink& sink) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parseSpef(buf.str(), sink);
+}
+
+Result<SpefDesign> parseSpef(const std::string& text, DiagnosticSink& sink) {
+  SpefDesign out;
+  std::map<std::string, std::string> nameMap;  // "12" -> net name
+  std::set<std::string> seenNets;
+  SpefNet* cur = nullptr;
+  enum class Section { kNone, kConn, kCap, kRes };
+  Section sect = Section::kNone;
+  bool inNameMap = false;
+  int lineNo = 0;
+  const int errorsBefore = sink.errorCount();
+  // Bail out once a corrupted file has produced this many errors: every
+  // one costs a diagnostic record and a heavily mutated megabyte input
+  // should not turn the reader into an accidental O(n * diags) pass.
+  constexpr int kMaxErrors = 100;
+
+  auto resolve = [&](const std::string& tok) -> std::string {
+    if (tok.empty() || tok[0] != '*') return tok;
+    const std::string body = tok.substr(1);
+    std::string idx = body, suffix;
+    const auto colon = body.find(':');
+    if (colon != std::string::npos) {
+      idx = body.substr(0, colon);
+      suffix = body.substr(colon);
+    }
+    const auto it = nameMap.find(idx);
+    if (it == nameMap.end()) {
+      sink.error(DiagCode::kSpefUnknownNet, "unmapped name index *" + idx,
+                 cur ? cur->name : std::string(), lineNo);
+      return tok;
+    }
+    return it->second + suffix;
+  };
+  auto parseNum = [&](const std::string& tok, double* v) -> bool {
+    char* end = nullptr;
+    *v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || tok.empty()) {
+      sink.error(DiagCode::kSpefBadNumber, "bad numeric field '" + tok + "'",
+                 cur ? cur->name : std::string(), lineNo);
+      return false;
+    }
+    return true;
+  };
+  // Degenerate parasitics clamp to zero with a warning instead of flowing
+  // NaN/negative loads into delay calculation.
+  auto clampRc = [&](double v, DiagCode negCode, const char* what) -> double {
+    if (!std::isfinite(v)) {
+      sink.warn(DiagCode::kSpefNanValue,
+                std::string("non-finite ") + what + " clamped to 0",
+                cur ? cur->name : std::string(), lineNo);
+      return 0.0;
+    }
+    if (v < 0.0) {
+      sink.warn(negCode, std::string("negative ") + what + " clamped to 0",
+                cur ? cur->name : std::string(), lineNo);
+      return 0.0;
+    }
+    return v;
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (sink.errorCount() - errorsBefore >= kMaxErrors) {
+      sink.error(DiagCode::kSpefSyntax,
+                 "too many errors; giving up on this file", {}, lineNo);
+      break;
+    }
+    const auto comment = line.find("//");
+    if (comment != std::string::npos) line.resize(comment);
+    const auto toks = splitTokens(line);
+    if (toks.empty()) continue;
+    const std::string& t0 = toks[0];
+
+    if (t0 == "*DESIGN") {
+      if (toks.size() >= 2) out.designName = unquote(toks[1]);
+      continue;
+    }
+    if (t0 == "*NAME_MAP") {
+      inNameMap = true;
+      continue;
+    }
+    if (t0 == "*D_NET") {
+      inNameMap = false;
+      sect = Section::kNone;
+      cur = nullptr;
+      if (toks.size() < 3) {
+        sink.error(DiagCode::kSpefSyntax, "*D_NET needs a name and a cap",
+                   {}, lineNo);
+        continue;
+      }
+      const std::string name = resolve(toks[1]);
+      double cap = 0.0;
+      if (!parseNum(toks[2], &cap)) continue;
+      if (!seenNets.insert(name).second) {
+        sink.warn(DiagCode::kSpefDuplicateNet,
+                  "duplicate *D_NET section; keeping the first", name,
+                  lineNo);
+        continue;
+      }
+      SpefNet net;
+      net.name = name;
+      out.nets.push_back(std::move(net));
+      cur = &out.nets.back();
+      cur->totalCap = clampRc(cap, DiagCode::kSpefNegativeCap, "total cap");
+      continue;
+    }
+    if (t0 == "*CONN") {
+      sect = Section::kConn;
+      continue;
+    }
+    if (t0 == "*CAP") {
+      sect = Section::kCap;
+      continue;
+    }
+    if (t0 == "*RES") {
+      sect = Section::kRes;
+      continue;
+    }
+    if (t0 == "*END") {
+      cur = nullptr;
+      sect = Section::kNone;
+      continue;
+    }
+    if (inNameMap && t0[0] == '*') {
+      if (toks.size() < 2) {
+        sink.error(DiagCode::kSpefSyntax, "name map entry without a name",
+                   {}, lineNo);
+        continue;
+      }
+      nameMap[t0.substr(1)] = toks[1];
+      continue;
+    }
+    if (sect == Section::kConn) continue;  // *I/*P pins: advisory only
+    if (sect == Section::kCap && cur) {
+      if (toks.size() < 3) {
+        sink.error(DiagCode::kSpefSyntax, "malformed *CAP entry", cur->name,
+                   lineNo);
+        continue;
+      }
+      double v = 0.0;
+      if (!parseNum(toks[2], &v)) continue;
+      cur->caps.push_back(
+          {resolve(toks[1]), clampRc(v, DiagCode::kSpefNegativeCap, "cap")});
+      continue;
+    }
+    if (sect == Section::kRes && cur) {
+      if (toks.size() < 4) {
+        sink.error(DiagCode::kSpefSyntax, "malformed *RES entry", cur->name,
+                   lineNo);
+        continue;
+      }
+      double v = 0.0;
+      if (!parseNum(toks[3], &v)) continue;
+      cur->res.push_back(
+          {resolve(toks[1]), resolve(toks[2]),
+           clampRc(v, DiagCode::kSpefNegativeRes, "resistance")});
+      continue;
+    }
+    if (t0[0] == '*') continue;  // header directives: *SPEF, *T_UNIT, ...
+    sink.error(DiagCode::kSpefSyntax,
+               "unexpected content '" + t0 + "' outside any section", {},
+               lineNo);
+  }
+
+  if (sink.errorCount() != errorsBefore)
+    return Status::failure(DiagCode::kSpefSyntax,
+                           "SPEF parse rejected (see diagnostics)");
+  return out;
 }
 
 }  // namespace tc

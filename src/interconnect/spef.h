@@ -14,9 +14,11 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "interconnect/extract.h"
 #include "network/netlist.h"
+#include "util/status.h"
 
 namespace tc {
 
@@ -34,5 +36,44 @@ std::string toSpef(const Netlist& nl, const Extractor& extractor,
 void writeSensitivitySpef(const Netlist& nl, const Extractor& extractor,
                           const ExtractionOptions& opt, std::ostream& os,
                           const std::string& designName = "top");
+
+// ---------------------------------------------------------------------------
+// Read side
+// ---------------------------------------------------------------------------
+
+/// One parsed *D_NET section. Node names keep their textual form
+/// ("*<idx>:<node>" resolved through the name map to "<net>:<node>").
+struct SpefNet {
+  std::string name;
+  double totalCap = 0.0;  ///< header lumped cap, fF
+  struct CapEntry {
+    std::string node;
+    double value = 0.0;  ///< fF
+  };
+  struct ResEntry {
+    std::string from, to;
+    double value = 0.0;  ///< kOhm
+  };
+  std::vector<CapEntry> caps;
+  std::vector<ResEntry> res;
+
+  double capSum() const;
+};
+
+/// A parsed SPEF file.
+struct SpefDesign {
+  std::string designName;
+  std::vector<SpefNet> nets;
+  const SpefNet* findNet(const std::string& name) const;
+};
+
+/// Parse SPEF written by writeSpef (or the *D_NET/*CONN/*CAP/*RES subset of
+/// IEEE 1481). Recoverable: problems are reported to `sink` with line
+/// numbers and net names. Degenerate parasitics — negative or non-finite
+/// R/C values — are clamped to zero with a warning (bounded pessimism: a
+/// clamped value never *hides* load), and duplicate *D_NET sections keep
+/// the first occurrence. Only syntax-level corruption fails the parse.
+Result<SpefDesign> parseSpef(const std::string& text, DiagnosticSink& sink);
+Result<SpefDesign> readSpef(std::istream& is, DiagnosticSink& sink);
 
 }  // namespace tc

@@ -51,6 +51,9 @@ class Library {
   int addCell(Cell cell);
   int cellCount() const { return static_cast<int>(cells_.size()); }
   const Cell& cell(int index) const { return cells_[static_cast<std::size_t>(index)]; }
+  /// Mutable access for in-place repair passes (lintLibrary table clamping).
+  /// Name/footprint must not change — the lookup maps are not rebuilt.
+  Cell& mutableCell(int index) { return cells_[static_cast<std::size_t>(index)]; }
   /// Index of a cell by name, -1 if absent.
   int findCell(const std::string& name) const;
   const Cell& cellByName(const std::string& name) const;

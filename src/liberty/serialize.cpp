@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 
@@ -164,23 +165,66 @@ bool writeLibraryFile(const Library& lib, const std::string& path) {
   return static_cast<bool>(os);
 }
 
-std::shared_ptr<Library> readLibraryFile(const std::string& path) {
+namespace {
+
+std::shared_ptr<Library> readLibraryFileImpl(const std::string& path,
+                                             DiagnosticSink* sink) {
+  // A truncated read at any point means the file ends mid-structure; the
+  // byte offset where the stream ran dry pinpoints how much survived.
+  auto truncated = [&](std::istream& s, const char* what) {
+    if (sink) {
+      const auto pos = s.tellg();
+      sink->error(DiagCode::kLibTruncated,
+                  std::string("library file truncated reading ") + what +
+                      (pos >= 0 ? " near byte " + std::to_string(pos)
+                                : std::string(" (offset unknown)")),
+                  path);
+    }
+    return std::shared_ptr<Library>();
+  };
+  auto corrupt = [&](const std::string& what) {
+    if (sink) sink->error(DiagCode::kLibCorrupt, what, path);
+    return std::shared_ptr<Library>();
+  };
+
   std::ifstream is(path, std::ios::binary);
-  if (!is) return nullptr;
+  if (!is) {
+    if (sink)
+      sink->note(DiagCode::kLibMissingFile, "library cache file not found",
+                 path);
+    return nullptr;
+  }
   std::uint32_t magic = 0, version = 0;
-  if (!getU32(is, magic) || magic != kMagic) return nullptr;
-  if (!getU32(is, version) || version != kVersion) return nullptr;
+  if (!getU32(is, magic)) return truncated(is, "magic");
+  if (magic != kMagic) {
+    if (sink)
+      sink->error(DiagCode::kLibBadMagic,
+                  "not a tc library file (bad magic word)", path);
+    return nullptr;
+  }
+  if (!getU32(is, version)) return truncated(is, "version");
+  if (version != kVersion) {
+    if (sink)
+      sink->note(DiagCode::kLibVersionMismatch,
+                 "library format v" + std::to_string(version) +
+                     " != expected v" + std::to_string(kVersion) +
+                     "; re-characterize",
+                 path);
+    return nullptr;
+  }
   std::string name;
   std::int32_t corner = 0;
   double vdd = 0, temp = 0;
   if (!getStr(is, name) || !getI32(is, corner) || !getF64(is, vdd) ||
       !getF64(is, temp))
-    return nullptr;
+    return truncated(is, "header");
   auto lib = std::make_shared<Library>(
       name, LibraryPvt{static_cast<ProcessCorner>(corner), vdd, temp});
 
   std::uint32_t nCells = 0;
-  if (!getU32(is, nCells) || nCells > 100000) return nullptr;
+  if (!getU32(is, nCells)) return truncated(is, "cell count");
+  if (nCells > 100000)
+    return corrupt("implausible cell count " + std::to_string(nCells));
   for (std::uint32_t ci = 0; ci < nCells; ++ci) {
     Cell c;
     std::int32_t kind = 0, isBuf = 0, isSeq = 0, vt = 0, unate = 0,
@@ -193,49 +237,78 @@ std::shared_ptr<Library> readLibraryFile(const std::string& path) {
         !getF64(is, c.switchEnergy) || !getF64(is, c.pocvSigmaRatio) ||
         !getF64(is, c.mis.parallelFactor) || !getF64(is, c.mis.seriesFactor) ||
         !getI32(is, parIsRise))
-      return nullptr;
+      return truncated(is, "cell record");
     c.kind = static_cast<StageKind>(kind);
     c.isBuffer = isBuf != 0;
     c.isSequential = isSeq != 0;
     c.vt = static_cast<VtClass>(vt);
     c.mis.parallelIsRise = parIsRise != 0;
     std::uint32_t nArcs = 0;
-    if (!getU32(is, nArcs) || nArcs > 64) return nullptr;
+    if (!getU32(is, nArcs)) return truncated(is, "arc count");
+    if (nArcs > 64)
+      return corrupt("implausible arc count " + std::to_string(nArcs) +
+                     " in cell " + c.name);
     for (std::uint32_t ai = 0; ai < nArcs; ++ai) {
       TimingArc arc;
-      if (!getI32(is, arc.fromPin) || !getI32(is, unate)) return nullptr;
+      if (!getI32(is, arc.fromPin) || !getI32(is, unate))
+        return truncated(is, "timing arc");
       arc.unate = static_cast<Unateness>(unate);
       if (!getSurface(is, arc.rise) || !getSurface(is, arc.fall) ||
           !getLvf(is, arc.riseLvf) || !getLvf(is, arc.fallLvf))
-        return nullptr;
+        return truncated(is, "arc tables");
       c.arcs.push_back(std::move(arc));
     }
-    if (!getI32(is, hasFlop)) return nullptr;
+    if (!getI32(is, hasFlop)) return truncated(is, "flop flag");
     if (hasFlop) {
       FlopTiming f;
       if (!getF64(is, f.setup) || !getF64(is, f.hold) ||
           !getF64(is, f.clockToQ) || !getSurface(is, f.c2qRise) ||
           !getSurface(is, f.c2qFall))
-        return nullptr;
+        return truncated(is, "flop timing");
       InterdepFlopModel& m = f.interdep;
       for (double* v : {&m.c2q0, &m.aS, &m.tauS, &m.s0, &m.aH, &m.tauH,
                         &m.h0, &m.sMin, &m.hMin})
-        if (!getF64(is, *v)) return nullptr;
+        if (!getF64(is, *v)) return truncated(is, "interdep model");
       c.flop = f;
     }
     lib->addCell(std::move(c));
   }
   AocvTables a;
   std::uint32_t nDepths = 0;
-  if (!getU32(is, nDepths) || nDepths > 64) return nullptr;
+  if (!getU32(is, nDepths)) return truncated(is, "AOCV depth count");
+  if (nDepths > 64)
+    return corrupt("implausible AOCV depth count " + std::to_string(nDepths));
   a.depths.resize(nDepths);
   for (auto& d : a.depths)
-    if (!getI32(is, d)) return nullptr;
+    if (!getI32(is, d)) return truncated(is, "AOCV depths");
   if (!getVec(is, a.lateDerate) || !getVec(is, a.earlyDerate) ||
       !getF64(is, a.distanceSlopePerMm))
-    return nullptr;
+    return truncated(is, "AOCV tables");
   lib->aocv() = a;
   return lib;
+}
+
+}  // namespace
+
+std::shared_ptr<Library> readLibraryFile(const std::string& path,
+                                         DiagnosticSink* sink) {
+  // Construction invariants (strictly increasing axes, unique cell names)
+  // throw when fed corrupt-but-well-framed bytes; a bad cache file must
+  // never take the process down, so those become kLibCorrupt diagnostics.
+  try {
+    return readLibraryFileImpl(path, sink);
+  } catch (const std::exception& e) {
+    if (sink)
+      sink->error(DiagCode::kLibCorrupt,
+                  std::string("library file violates invariants: ") +
+                      e.what(),
+                  path);
+    return nullptr;
+  }
+}
+
+std::shared_ptr<Library> readLibraryFile(const std::string& path) {
+  return readLibraryFile(path, nullptr);
 }
 
 std::string libraryCachePath(const LibraryPvt& pvt, bool quick) {

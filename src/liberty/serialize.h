@@ -11,6 +11,7 @@
 #include <string>
 
 #include "liberty/library.h"
+#include "util/diag.h"
 
 namespace tc {
 
@@ -19,6 +20,14 @@ bool writeLibraryFile(const Library& lib, const std::string& path);
 
 /// Load a library written by writeLibraryFile. Returns nullptr on missing
 /// file, version mismatch, or corruption (callers then re-characterize).
+///
+/// With a sink, the reason is reported as a diagnostic instead of being
+/// silently swallowed: a missing file or version mismatch is a note (cache
+/// misses are routine), a bad magic word or implausible structure count is
+/// an error, and truncation is an error carrying the byte offset where the
+/// stream ran dry.
+std::shared_ptr<Library> readLibraryFile(const std::string& path,
+                                         DiagnosticSink* sink);
 std::shared_ptr<Library> readLibraryFile(const std::string& path);
 
 /// Cache path for a PVT/mode (under $TC_LIB_CACHE_DIR, default

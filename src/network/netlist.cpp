@@ -5,6 +5,15 @@
 
 namespace tc {
 
+namespace {
+/// Throwing shims keep the legacy construction API: internal callers (test
+/// fixtures, the generator, the optimizer) treat structural misuse as a
+/// programmer error; external input goes through the try* Status APIs.
+void orThrow(const Status& s) {
+  if (!s.ok()) throw std::invalid_argument(s.str());
+}
+}  // namespace
+
 PortId Netlist::addPort(const std::string& name, bool isInput) {
   ports_.push_back({name, isInput, -1});
   return static_cast<PortId>(ports_.size()) - 1;
@@ -17,24 +26,50 @@ NetId Netlist::addNet(const std::string& name) {
   return static_cast<NetId>(nets_.size()) - 1;
 }
 
-InstId Netlist::addInstance(const std::string& name, int cellIndex) {
+Status Netlist::tryAddInstance(const std::string& name, int cellIndex,
+                               InstId* out) {
   if (cellIndex < 0 || cellIndex >= lib_->cellCount())
-    throw std::invalid_argument("addInstance: bad cell index");
+    return Status::failure(DiagCode::kNetBadCellIndex,
+                           "addInstance '" + name + "': cell index " +
+                               std::to_string(cellIndex) +
+                               " outside library");
   Instance inst;
   inst.name = name;
   inst.cellIndex = cellIndex;
   inst.fanin.assign(
       static_cast<std::size_t>(lib_->cell(cellIndex).numInputs), -1);
   instances_.push_back(std::move(inst));
-  return static_cast<InstId>(instances_.size()) - 1;
+  if (out) *out = static_cast<InstId>(instances_.size()) - 1;
+  return Status::okStatus();
+}
+
+InstId Netlist::addInstance(const std::string& name, int cellIndex) {
+  InstId id = -1;
+  orThrow(tryAddInstance(name, cellIndex, &id));
+  return id;
+}
+
+Status Netlist::tryConnectInput(InstId inst, int pin, NetId net) {
+  if (inst < 0 || inst >= instanceCount())
+    return Status::failure(DiagCode::kNetBadId,
+                           "connectInput: instance id " +
+                               std::to_string(inst) + " out of range");
+  if (net < 0 || net >= netCount())
+    return Status::failure(DiagCode::kNetBadId,
+                           "connectInput: net id " + std::to_string(net) +
+                               " out of range");
+  auto& i = instances_[static_cast<std::size_t>(inst)];
+  if (pin < 0 || pin >= static_cast<int>(i.fanin.size()))
+    return Status::failure(DiagCode::kNetBadPinIndex,
+                           "connectInput: bad pin " + std::to_string(pin) +
+                               " on " + i.name);
+  i.fanin[static_cast<std::size_t>(pin)] = net;
+  nets_[static_cast<std::size_t>(net)].sinks.push_back({inst, pin});
+  return Status::okStatus();
 }
 
 void Netlist::connectInput(InstId inst, int pin, NetId net) {
-  auto& i = instances_[static_cast<std::size_t>(inst)];
-  if (pin < 0 || pin >= static_cast<int>(i.fanin.size()))
-    throw std::invalid_argument("connectInput: bad pin on " + i.name);
-  i.fanin[static_cast<std::size_t>(pin)] = net;
-  nets_[static_cast<std::size_t>(net)].sinks.push_back({inst, pin});
+  orThrow(tryConnectInput(inst, pin, net));
 }
 
 void Netlist::disconnectInput(InstId inst, int pin) {
@@ -51,42 +86,83 @@ void Netlist::disconnectInput(InstId inst, int pin) {
   i.fanin[static_cast<std::size_t>(pin)] = -1;
 }
 
-void Netlist::connectOutput(InstId inst, NetId net) {
+Status Netlist::tryConnectOutput(InstId inst, NetId net) {
+  if (inst < 0 || inst >= instanceCount())
+    return Status::failure(DiagCode::kNetBadId,
+                           "connectOutput: instance id " +
+                               std::to_string(inst) + " out of range");
+  if (net < 0 || net >= netCount())
+    return Status::failure(DiagCode::kNetBadId,
+                           "connectOutput: net id " + std::to_string(net) +
+                               " out of range");
   auto& n = nets_[static_cast<std::size_t>(net)];
   if (n.driver != -1 || n.driverPort != -1)
-    throw std::invalid_argument("connectOutput: net already driven: " +
-                                n.name);
+    return Status::failure(DiagCode::kNetDoubleDriver,
+                           "connectOutput: net already driven: " + n.name);
   n.driver = inst;
   instances_[static_cast<std::size_t>(inst)].fanout = net;
+  return Status::okStatus();
+}
+
+void Netlist::connectOutput(InstId inst, NetId net) {
+  orThrow(tryConnectOutput(inst, net));
+}
+
+Status Netlist::tryConnectPortToNet(PortId port, NetId net) {
+  if (port < 0 || port >= portCount())
+    return Status::failure(DiagCode::kNetBadId,
+                           "connectPortToNet: port id " +
+                               std::to_string(port) + " out of range");
+  if (net < 0 || net >= netCount())
+    return Status::failure(DiagCode::kNetBadId,
+                           "connectPortToNet: net id " +
+                               std::to_string(net) + " out of range");
+  auto& p = ports_[static_cast<std::size_t>(port)];
+  auto& n = nets_[static_cast<std::size_t>(net)];
+  if (p.isInput && (n.driver != -1 || n.driverPort != -1))
+    return Status::failure(DiagCode::kNetDoubleDriver,
+                           "port drive conflict on net " + n.name);
+  p.net = net;
+  if (p.isInput)
+    n.driverPort = port;
+  else
+    n.loadPort = port;
+  return Status::okStatus();
 }
 
 void Netlist::connectPortToNet(PortId port, NetId net) {
-  auto& p = ports_[static_cast<std::size_t>(port)];
-  p.net = net;
-  auto& n = nets_[static_cast<std::size_t>(net)];
-  if (p.isInput) {
-    if (n.driver != -1 || n.driverPort != -1)
-      throw std::invalid_argument("port drive conflict on net " + n.name);
-    n.driverPort = port;
-  } else {
-    n.loadPort = port;
-  }
+  orThrow(tryConnectPortToNet(port, net));
 }
 
 void Netlist::defineClock(const ClockDef& clock) { clocks_.push_back(clock); }
 
-void Netlist::swapCell(InstId id, int newCellIndex, bool force) {
+Status Netlist::trySwapCell(InstId id, int newCellIndex, bool force) {
+  if (id < 0 || id >= instanceCount())
+    return Status::failure(DiagCode::kNetBadId,
+                           "swapCell: instance id " + std::to_string(id) +
+                               " out of range");
+  if (newCellIndex < 0 || newCellIndex >= lib_->cellCount())
+    return Status::failure(DiagCode::kNetBadCellIndex,
+                           "swapCell: cell index " +
+                               std::to_string(newCellIndex) +
+                               " outside library");
   auto& inst = instances_[static_cast<std::size_t>(id)];
   const Cell& oldCell = lib_->cell(inst.cellIndex);
   const Cell& newCell = lib_->cell(newCellIndex);
   if (!force && newCell.footprint != oldCell.footprint)
-    throw std::invalid_argument("swapCell: footprint mismatch " +
-                                oldCell.footprint + " -> " +
-                                newCell.footprint);
+    return Status::failure(DiagCode::kNetFootprintMismatch,
+                           "swapCell: footprint mismatch " +
+                               oldCell.footprint + " -> " +
+                               newCell.footprint);
   if (newCell.numInputs != oldCell.numInputs)
-    throw std::invalid_argument("swapCell: pin count mismatch on " +
-                                inst.name);
+    return Status::failure(DiagCode::kNetPinCountMismatch,
+                           "swapCell: pin count mismatch on " + inst.name);
   inst.cellIndex = newCellIndex;
+  return Status::okStatus();
+}
+
+void Netlist::swapCell(InstId id, int newCellIndex, bool force) {
+  orThrow(trySwapCell(id, newCellIndex, force));
 }
 
 Ff Netlist::netSinkCap(NetId id) const {
@@ -96,28 +172,44 @@ Ff Netlist::netSinkCap(NetId id) const {
   return cap;
 }
 
-void Netlist::validate() const {
+void Netlist::quarantinePin(InstId inst, int pin) {
+  if (quarantinedSet_.insert({inst, pin}).second)
+    quarantined_.push_back({inst, pin});
+}
+
+bool Netlist::isPinQuarantined(InstId inst, int pin) const {
+  return quarantinedSet_.count({inst, pin}) > 0;
+}
+
+bool Netlist::validate(DiagnosticSink& sink) const {
+  const int errorsBefore = sink.errorCount();
   for (std::size_t i = 0; i < instances_.size(); ++i) {
     const Instance& inst = instances_[i];
     const Cell& cell = lib_->cell(inst.cellIndex);
     if (static_cast<int>(inst.fanin.size()) != cell.numInputs)
-      throw std::logic_error("pin count mismatch on " + inst.name);
-    for (NetId nid : inst.fanin)
-      if (nid < 0) throw std::logic_error("floating input on " + inst.name);
+      sink.error(DiagCode::kNetPinCountMismatch,
+                 "pin count mismatch vs cell " + cell.name, inst.name);
+    for (std::size_t pin = 0; pin < inst.fanin.size(); ++pin) {
+      if (inst.fanin[pin] < 0 &&
+          !isPinQuarantined(static_cast<InstId>(i), static_cast<int>(pin)))
+        sink.error(DiagCode::kNetFloatingInput,
+                   "floating input pin " + std::to_string(pin), inst.name);
+    }
     if (!cell.isSequential && inst.fanout < 0)
-      throw std::logic_error("dangling output on " + inst.name);
+      sink.error(DiagCode::kNetDanglingOutput, "dangling output", inst.name);
   }
   for (const Net& n : nets_) {
     if (n.driver < 0 && n.driverPort < 0)
-      throw std::logic_error("undriven net " + n.name);
+      sink.error(DiagCode::kNetUndrivenNet, "undriven net", n.name);
     if (n.sinks.empty() && n.loadPort < 0)
-      throw std::logic_error("unloaded net " + n.name);
+      sink.error(DiagCode::kNetUnloadedNet, "unloaded net", n.name);
   }
   // Every flop's CK pin must trace back to a defined clock port.
   if (!clocks_.empty()) {
     for (std::size_t i = 0; i < instances_.size(); ++i) {
       const Instance& inst = instances_[i];
       if (!lib_->cell(inst.cellIndex).isSequential) continue;
+      if (inst.fanin.size() < 2) continue;  // already flagged above
       NetId nid = inst.fanin[1];
       int guard = 0;
       while (nid >= 0 && guard++ < 10000) {
@@ -127,27 +219,54 @@ void Netlist::validate() const {
           for (const auto& c : clocks_)
             if (c.port == n.driverPort) isClock = true;
           if (!isClock)
-            throw std::logic_error("flop " + inst.name +
-                                   " clocked by non-clock port");
+            sink.error(DiagCode::kNetNonClockClocked,
+                       "flop clocked by non-clock port " +
+                           ports_[static_cast<std::size_t>(n.driverPort)].name,
+                       inst.name);
           break;
         }
-        nid = instances_[static_cast<std::size_t>(n.driver)].fanin.empty()
-                  ? -1
-                  : instances_[static_cast<std::size_t>(n.driver)].fanin[0];
+        if (n.driver < 0) break;  // undriven CK net, flagged above
+        const Instance& drv = instances_[static_cast<std::size_t>(n.driver)];
+        nid = drv.fanin.empty() ? -1 : drv.fanin[0];
       }
     }
   }
-  (void)topoOrder();  // throws on combinational cycles
+  std::vector<InstId> order;
+  if (!tryTopoOrder(&order))
+    sink.error(DiagCode::kNetCombLoop,
+               "combinational cycle detected (" +
+                   std::to_string(instances_.size() - order.size()) +
+                   " instances in loops)");
+  return sink.errorCount() == errorsBefore;
 }
 
-std::vector<InstId> Netlist::topoOrder() const {
+void Netlist::validate() const {
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  if (!validate(sink)) {
+    Diagnostic first;
+    for (const auto& d : sink.diagnostics()) {
+      if (d.severity == Severity::kError) {
+        first = d;
+        break;
+      }
+    }
+    throw std::logic_error(first.str());
+  }
+}
+
+bool Netlist::tryTopoOrder(std::vector<InstId>* out) const {
   // Kahn's algorithm over combinational edges; flop outputs are sources.
+  // Net arcs into quarantined pins are severed (loop breaks).
   const int n = instanceCount();
   std::vector<int> indeg(static_cast<std::size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
     const Instance& inst = instances_[static_cast<std::size_t>(i)];
     if (lib_->cell(inst.cellIndex).isSequential) continue;  // no comb fanin
-    for (NetId nid : inst.fanin) {
+    for (std::size_t pin = 0; pin < inst.fanin.size(); ++pin) {
+      const NetId nid = inst.fanin[pin];
+      if (nid < 0) continue;
+      if (isPinQuarantined(i, static_cast<int>(pin))) continue;
       const Net& net = nets_[static_cast<std::size_t>(nid)];
       if (net.driver >= 0 &&
           !lib_->cell(instances_[static_cast<std::size_t>(net.driver)].cellIndex)
@@ -158,7 +277,8 @@ std::vector<InstId> Netlist::topoOrder() const {
   std::queue<InstId> q;
   for (int i = 0; i < n; ++i)
     if (indeg[static_cast<std::size_t>(i)] == 0) q.push(i);
-  std::vector<InstId> order;
+  std::vector<InstId>& order = *out;
+  order.clear();
   order.reserve(static_cast<std::size_t>(n));
   while (!q.empty()) {
     const InstId u = q.front();
@@ -166,17 +286,20 @@ std::vector<InstId> Netlist::topoOrder() const {
     order.push_back(u);
     const Instance& inst = instances_[static_cast<std::size_t>(u)];
     if (inst.fanout < 0) continue;
-    if (lib_->cell(inst.cellIndex).isSequential) {
-      // Flop outputs feed combinational logic but we seeded flops above.
-    }
     for (const auto& s : nets_[static_cast<std::size_t>(inst.fanout)].sinks) {
       if (lib_->cell(instances_[static_cast<std::size_t>(s.inst)].cellIndex)
               .isSequential)
         continue;  // flop inputs terminate combinational paths
+      if (isPinQuarantined(s.inst, s.pin)) continue;
       if (--indeg[static_cast<std::size_t>(s.inst)] == 0) q.push(s.inst);
     }
   }
-  if (static_cast<int>(order.size()) != n)
+  return static_cast<int>(order.size()) == n;
+}
+
+std::vector<InstId> Netlist::topoOrder() const {
+  std::vector<InstId> order;
+  if (!tryTopoOrder(&order))
     throw std::logic_error("combinational cycle detected");
   return order;
 }

@@ -11,10 +11,13 @@
 /// output. Flops expose D = pin 0, CK = pin 1 and output Q.
 
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "liberty/library.h"
+#include "util/status.h"
 #include "util/units.h"
 
 namespace tc {
@@ -98,6 +101,17 @@ class Netlist {
   void connectPortToNet(PortId port, NetId net);
   void defineClock(const ClockDef& clock);
 
+  // --- recoverable construction ---------------------------------------------
+  // Status-returning variants for building from *external* input (parsed
+  // text, network requests): a failure describes the problem instead of
+  // throwing, so one bad statement degrades locally. The throwing APIs
+  // above delegate to these and remain for internal/test construction.
+  Status tryAddInstance(const std::string& name, int cellIndex, InstId* out);
+  Status tryConnectInput(InstId inst, int pin, NetId net);
+  Status tryConnectOutput(InstId inst, NetId net);
+  Status tryConnectPortToNet(PortId port, NetId net);
+  Status trySwapCell(InstId id, int newCellIndex, bool force = false);
+
   // --- access ----------------------------------------------------------------
   int instanceCount() const { return static_cast<int>(instances_.size()); }
   int netCount() const { return static_cast<int>(nets_.size()); }
@@ -128,9 +142,31 @@ class Netlist {
   /// counts match cells, clock reaches every flop. Throws on violation.
   void validate() const;
 
+  /// Recoverable variant: reports every violation to `sink` (with entity
+  /// names) and returns true when none were errors. Quarantined pins are
+  /// exempt from the floating-input check.
+  bool validate(DiagnosticSink& sink) const;
+
   /// Topological order of instances (combinational DAG; flops are sources/
   /// sinks). Throws on a combinational cycle.
   std::vector<InstId> topoOrder() const;
+
+  /// Recoverable variant: returns false on a combinational cycle, leaving
+  /// `out` holding the acyclic prefix (instances outside any loop).
+  bool tryTopoOrder(std::vector<InstId>* out) const;
+
+  // --- graceful degradation ---------------------------------------------------
+  /// An input pin severed from timing. The timing graph drops the net arc
+  /// into a quarantined pin and the STA engine seeds a pessimistic borrowed
+  /// arrival there instead — how the linter breaks combinational loops and
+  /// contains dangling pins so one bad net degrades locally.
+  struct PinRef {
+    InstId inst = -1;
+    int pin = -1;
+  };
+  void quarantinePin(InstId inst, int pin);
+  bool isPinQuarantined(InstId inst, int pin) const;
+  const std::vector<PinRef>& quarantinedPins() const { return quarantined_; }
 
  private:
   std::shared_ptr<const Library> lib_;
@@ -138,6 +174,8 @@ class Netlist {
   std::vector<Net> nets_;
   std::vector<Port> ports_;
   std::vector<ClockDef> clocks_;
+  std::vector<PinRef> quarantined_;
+  std::set<std::pair<InstId, int>> quarantinedSet_;
 };
 
 }  // namespace tc

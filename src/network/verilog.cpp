@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -130,8 +131,14 @@ void writeSdcLike(const Netlist& nl, std::ostream& os) {
 
 namespace {
 
+/// Internal unwind token: the diagnostic has already been reported to the
+/// sink; the public entry point converts this into a failed Result. Never
+/// escapes this translation unit.
+struct ParseBail {};
+
 struct Lexer {
   std::string text;
+  DiagnosticSink* sink = nullptr;
   std::size_t pos = 0;
   int line = 1;
 
@@ -156,14 +163,16 @@ struct Lexer {
     return pos >= text.size();
   }
 
-  [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("verilog parse error at line " +
-                             std::to_string(line) + ": " + what);
+  [[noreturn]] void fail(const std::string& what,
+                         DiagCode code = DiagCode::kVerilogSyntax) {
+    sink->error(code, what, /*entity=*/{}, line);
+    throw ParseBail{};
   }
 
   std::string token() {
     skipWs();
-    if (pos >= text.size()) fail("unexpected end of input");
+    if (pos >= text.size())
+      fail("unexpected end of input", DiagCode::kVerilogUnexpectedEof);
     const char c = text[pos];
     if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
       std::size_t start = pos;
@@ -178,6 +187,8 @@ struct Lexer {
       while (pos < text.size() &&
              !std::isspace(static_cast<unsigned char>(text[pos])))
         ++pos;
+      if (pos == start)
+        fail("empty escaped identifier", DiagCode::kVerilogUnexpectedEof);
       return text.substr(start, pos - start);
     }
     ++pos;
@@ -199,7 +210,30 @@ struct Lexer {
   }
 };
 
+Result<Netlist> parseVerilogImpl(const std::string& text,
+                                 std::shared_ptr<const Library> lib,
+                                 DiagnosticSink& sink);
+
 }  // namespace
+
+Result<Netlist> readVerilog(std::istream& is,
+                            std::shared_ptr<const Library> lib,
+                            DiagnosticSink& sink) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parseVerilog(buf.str(), std::move(lib), sink);
+}
+
+Result<Netlist> parseVerilog(const std::string& text,
+                             std::shared_ptr<const Library> lib,
+                             DiagnosticSink& sink) {
+  try {
+    return parseVerilogImpl(text, std::move(lib), sink);
+  } catch (const ParseBail&) {
+    return Status::failure(DiagCode::kVerilogSyntax,
+                           "verilog parse aborted (see diagnostics)");
+  }
+}
 
 Netlist readVerilog(std::istream& is, std::shared_ptr<const Library> lib) {
   std::ostringstream buf;
@@ -209,18 +243,38 @@ Netlist readVerilog(std::istream& is, std::shared_ptr<const Library> lib) {
 
 Netlist parseVerilog(const std::string& text,
                      std::shared_ptr<const Library> lib) {
-  Lexer lx{text};
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  Result<Netlist> r = parseVerilog(text, std::move(lib), sink);
+  if (!r.ok()) {
+    std::string what = "verilog parse error";
+    Diagnostic d;
+    const auto diags = sink.diagnostics();
+    if (!diags.empty()) what = "verilog parse error: " + diags.front().str();
+    throw std::runtime_error(what);
+  }
+  return std::move(r).take();
+}
+
+namespace {
+
+Result<Netlist> parseVerilogImpl(const std::string& text,
+                                 std::shared_ptr<const Library> lib,
+                                 DiagnosticSink& sink) {
+  Lexer lx{text, &sink};
 
   // First pass: collect declarations; `assign` aliases are resolved with a
   // union-find over net names before any Netlist object is created.
   struct PortDecl {
     std::string name;
     bool isInput = true;
+    int line = -1;
   };
   struct InstDecl {
     int cellIndex = -1;
     std::string name;
     std::vector<std::pair<std::string, std::string>> conns;  // pin -> net
+    int line = -1;
   };
   std::vector<PortDecl> portDecls;
   std::vector<InstDecl> instDecls;
@@ -263,9 +317,10 @@ Netlist parseVerilog(const std::string& text,
       sawEnd = true;
       break;
     } else if (kw == "input" || kw == "output") {
+      const int declLine = lx.line;
       const std::string name = lx.token();
       lx.expect(";");
-      portDecls.push_back({name, kw == "input"});
+      portDecls.push_back({name, kw == "input", declLine});
       find(name);
     } else if (kw == "wire") {
       const std::string name = lx.token();
@@ -280,9 +335,11 @@ Netlist parseVerilog(const std::string& text,
     } else {
       // Cell instantiation: <cellname> <instname> ( .PIN(net), ... );
       const int cellIdx = lib->findCell(kw);
-      if (cellIdx < 0) lx.fail("unknown cell '" + kw + "'");
+      if (cellIdx < 0)
+        lx.fail("unknown cell '" + kw + "'", DiagCode::kVerilogUnknownCell);
       InstDecl inst;
       inst.cellIndex = cellIdx;
+      inst.line = lx.line;
       inst.name = lx.token();
       lx.expect("(");
       while (true) {
@@ -301,7 +358,8 @@ Netlist parseVerilog(const std::string& text,
       instDecls.push_back(std::move(inst));
     }
   }
-  if (!sawEnd) lx.fail("missing endmodule");
+  if (!sawEnd)
+    lx.fail("missing endmodule", DiagCode::kVerilogMissingEndmodule);
 
   // Second pass: materialize the netlist through the alias roots.
   Netlist nl(lib);
@@ -314,33 +372,60 @@ Netlist parseVerilog(const std::string& text,
     nets[root] = n;
     return n;
   };
+  const int errorsBefore = sink.errorCount();
+  std::set<std::string> seenNames;
   for (const auto& pd : portDecls) {
+    if (!seenNames.insert(pd.name).second)
+      sink.warn(DiagCode::kVerilogDuplicateName, "port re-declared", pd.name,
+                pd.line);
     const PortId p = nl.addPort(pd.name, pd.isInput);
     const NetId n = netFor(pd.name);
     // Several ports may share a net through assigns; only the first input
     // port drives it.
     if (pd.isInput && nl.net(n).driverPort >= 0) continue;
-    nl.connectPortToNet(p, n);
+    if (Status s = nl.tryConnectPortToNet(p, n); !s.ok())
+      sink.error(s.code(), s.message(), pd.name, pd.line);
   }
   for (const auto& id : instDecls) {
     const Cell& cell = lib->cell(id.cellIndex);
-    const InstId inst = nl.addInstance(id.name, id.cellIndex);
+    if (!seenNames.insert(id.name).second)
+      sink.warn(DiagCode::kVerilogDuplicateName, "instance name reused",
+                id.name, id.line);
+    InstId inst = -1;
+    if (Status s = nl.tryAddInstance(id.name, id.cellIndex, &inst);
+        !s.ok()) {
+      sink.error(s.code(), s.message(), id.name, id.line);
+      continue;
+    }
     for (const auto& [pin, netName] : id.conns) {
       const NetId n = netFor(netName);
       if (pin == "Y" || pin == "Q") {
-        nl.connectOutput(inst, n);
+        if (Status s = nl.tryConnectOutput(inst, n); !s.ok())
+          sink.error(s.code() == DiagCode::kNetDoubleDriver
+                         ? DiagCode::kVerilogDoubleDriver
+                         : s.code(),
+                     s.message(), id.name, id.line);
       } else {
         int pinIdx = -1;
         for (int k = 0; k < cell.numInputs; ++k)
           if (pinName(cell, k) == pin) pinIdx = k;
-        if (pinIdx < 0)
-          throw std::runtime_error("cell " + cell.name + " has no pin '" +
-                                   pin + "'");
-        nl.connectInput(inst, pinIdx, n);
+        if (pinIdx < 0) {
+          sink.error(DiagCode::kVerilogUnknownPin,
+                     "cell " + cell.name + " has no pin '" + pin + "'",
+                     id.name, id.line);
+          continue;
+        }
+        if (Status s = nl.tryConnectInput(inst, pinIdx, n); !s.ok())
+          sink.error(s.code(), s.message(), id.name, id.line);
       }
     }
   }
+  if (sink.errorCount() != errorsBefore)
+    return Status::failure(DiagCode::kVerilogSyntax,
+                           "netlist construction rejected (see diagnostics)");
   return nl;
 }
+
+}  // namespace
 
 }  // namespace tc

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "network/netlist.h"
+#include "util/status.h"
 
 namespace tc {
 
@@ -26,8 +27,22 @@ std::string toVerilog(const Netlist& nl,
 
 /// Parse a structural-Verilog module written by writeVerilog (or any file
 /// restricted to that subset) against the given reference library.
-/// Throws std::runtime_error with a line number on malformed input or
-/// unknown cells. Clocks must be re-declared by the caller.
+///
+/// Recoverable entry points: malformed input yields a failed Result, and
+/// every problem — syntax errors, unknown cells/pins, double drivers — is
+/// reported to `sink` with a line number and the offending entity. Benign
+/// problems (a redundant connection, a duplicate instance name) degrade to
+/// warnings and parsing continues. Clocks must be re-declared by the
+/// caller.
+Result<Netlist> parseVerilog(const std::string& text,
+                             std::shared_ptr<const Library> lib,
+                             DiagnosticSink& sink);
+Result<Netlist> readVerilog(std::istream& is,
+                            std::shared_ptr<const Library> lib,
+                            DiagnosticSink& sink);
+
+/// Legacy throwing wrappers: throw std::runtime_error carrying the first
+/// diagnostic. Prefer the sink-based overloads for external input.
 Netlist readVerilog(std::istream& is, std::shared_ptr<const Library> lib);
 Netlist parseVerilog(const std::string& text,
                      std::shared_ptr<const Library> lib);

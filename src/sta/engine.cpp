@@ -83,6 +83,24 @@ void StaEngine::initSources() {
         t.slew[m][tr] = sc_->inputSlew;
       }
   }
+
+  // Quarantined pins (lint-broken loops, contained dangling inputs) have
+  // no incoming net arc; seed them with a pessimistic borrowed arrival —
+  // late = a full clock period, early = 0 — so every path through them is
+  // timed at least as badly as any real arrival could make it. This is
+  // the bounded-pessimism half of the quarantine contract: degraded WNS
+  // can only be <= clean WNS.
+  const Ps borrowedLate = nl_->clocks().empty() ? inputDelay : clockPeriod();
+  for (const auto& qp : nl_->quarantinedPins()) {
+    const VertexId v = graph_.inputVertex(qp.inst, qp.pin);
+    if (v < 0) continue;
+    VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+    for (int tr = 0; tr < 2; ++tr) {
+      t.arr[0][tr] = borrowedLate;  // late
+      t.arr[1][tr] = 0.0;           // early
+      t.slew[0][tr] = t.slew[1][tr] = sc_->inputSlew;
+    }
+  }
 }
 
 double StaEngine::key(VertexId v, Mode m, int trans) const {
@@ -132,6 +150,30 @@ Ps StaEngine::slewAt(VertexId v, Mode m) const {
 void StaEngine::relax(VertexId to, Mode m, int trans, double arr,
                       double slewIn, double var, int depth, EdgeId via,
                       int fromTrans, double edgeDelay, double edgeVar) {
+  // NaN/Inf quarantine: a degenerate delay-calc result (bad parasitics,
+  // corrupt table) must not poison the forward cone. Reject the candidate
+  // locally; the vertex keeps its previous (or unreached) state and every
+  // other path through it still times normally.
+  if (!std::isfinite(arr) || !std::isfinite(slewIn) || !std::isfinite(var)) {
+    ++nanQuarantine_;
+    constexpr int kMaxNanReports = 20;
+    if (diagSink_ && nanQuarantine_ <= kMaxNanReports) {
+      const TimingGraph::Vertex& vx = graph_.vertex(to);
+      const std::string entity =
+          vx.kind == TimingGraph::VertexKind::kPort
+              ? nl_->port(vx.port).name
+              : nl_->instance(vx.inst).name;
+      diagSink_->warn(DiagCode::kLintNanQuarantined,
+                      std::string("non-finite ") +
+                          (!std::isfinite(arr) ? "arrival" : "slew/variance") +
+                          " rejected during propagation" +
+                          (nanQuarantine_ == kMaxNanReports
+                               ? " (further reports suppressed)"
+                               : ""),
+                      entity);
+    }
+    return;
+  }
   VertexTiming& t = vt_[static_cast<std::size_t>(to)];
   const int mi = static_cast<int>(m);
   const auto& d = sc_->derate;
@@ -346,6 +388,14 @@ void StaEngine::checkEndpoints() {
       // Output port constrained against the clock period.
       const double late = arrivalKey(v, Mode::kLate);
       if (late == kNoTime) continue;
+      if (!std::isfinite(late)) {
+        ++nanQuarantine_;
+        if (diagSink_)
+          diagSink_->warn(DiagCode::kLintNanQuarantined,
+                          "output-port endpoint dropped: non-finite arrival",
+                          nl_->port(vx.port).name);
+        continue;
+      }
       ep.dataLate = late;
       ep.setupSlack = period - sc_->clockUncertaintySetup -
                       sc_->extraSetupMargin - late;
@@ -387,6 +437,17 @@ void StaEngine::checkEndpoints() {
     ep.holdSlack = ep.dataEarly - ep.captureLate - ep.holdConstraint -
                    sc_->clockUncertaintyHold - sc_->extraHoldMargin +
                    ep.cpprHold;
+    // One untimeable endpoint (NaN slack from degenerate inputs the
+    // quarantine upstream could not absorb) is dropped with a diagnostic
+    // instead of corrupting WNS/TNS for the whole design.
+    if (std::isnan(ep.setupSlack) || std::isnan(ep.holdSlack)) {
+      ++nanQuarantine_;
+      if (diagSink_)
+        diagSink_->warn(DiagCode::kLintNanQuarantined,
+                        "endpoint dropped: non-finite slack",
+                        flop >= 0 ? nl_->instance(flop).name : std::string());
+      continue;
+    }
     endpoints_.push_back(ep);
   }
 }

@@ -24,6 +24,7 @@
 #include "sta/delay_calc.h"
 #include "sta/graph.h"
 #include "sta/scenario.h"
+#include "util/diag.h"
 
 namespace tc {
 
@@ -126,6 +127,14 @@ class StaEngine {
   /// Clock period governing checks (single-clock designs).
   Ps clockPeriod() const;
 
+  /// Attach a sink to receive graceful-degradation diagnostics (NaN/Inf
+  /// quarantine during propagation). Optional; may be null.
+  void setDiagnosticSink(DiagnosticSink* sink) { diagSink_ = sink; }
+  /// Candidate (arrival, slew, variance) updates rejected because a value
+  /// went non-finite. Each rejection is local: the propagation simply
+  /// keeps the previous (or unreached) state at that vertex.
+  int nanQuarantineCount() const { return nanQuarantine_; }
+
   /// Per-instance, per-output-transition delay multipliers applied to
   /// combinational cell arcs (used by the MIS analyzer: series-stack
   /// slow-down in late mode, parallel-bank speed-up in early mode).
@@ -163,6 +172,8 @@ class StaEngine {
   std::vector<std::array<double, 2>> requiredLate_;  ///< [vertex][trans]
   std::vector<std::array<double, 2>> misLate_, misEarly_;
   bool hasRun_ = false;
+  DiagnosticSink* diagSink_ = nullptr;
+  int nanQuarantine_ = 0;
 };
 
 }  // namespace tc

@@ -82,6 +82,10 @@ TimingGraph::TimingGraph(const Netlist& nl) : nl_(&nl) {
     }
     if (from < 0) continue;
     for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      // Quarantined pins (lint-broken loops, contained dangling inputs)
+      // get no net arc: the engine seeds them with a pessimistic borrowed
+      // arrival instead, so the damage stays local to this pin's fanout.
+      if (nl.isPinQuarantined(net.sinks[s].inst, net.sinks[s].pin)) continue;
       Edge e;
       e.kind = EdgeKind::kNetArc;
       e.from = from;

@@ -1,0 +1,197 @@
+#include "sta/lint.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tc {
+
+namespace {
+
+/// One loop-breaking step: given the set of instances left out of the
+/// acyclic prefix (the cycle residue), find an edge inside the residue and
+/// quarantine its sink pin. Returns false if no such edge exists (should
+/// not happen while tryTopoOrder fails, but guards against livelock).
+bool breakOneLoopEdge(Netlist& nl, const std::set<InstId>& residue,
+                      DiagnosticSink& sink) {
+  for (InstId id : residue) {
+    const Instance& inst = nl.instance(id);
+    if (nl.isSequential(id)) continue;  // flops are legal cycle members
+    for (int pin = 0; pin < static_cast<int>(inst.fanin.size()); ++pin) {
+      const NetId nid = inst.fanin[pin];
+      if (nid < 0 || nl.isPinQuarantined(id, pin)) continue;
+      const InstId drv = nl.net(nid).driver;
+      if (drv < 0 || !residue.count(drv)) continue;
+      nl.quarantinePin(id, pin);
+      sink.warn(DiagCode::kLintLoopBroken,
+                "combinational loop broken at input pin " +
+                    std::to_string(pin) + " (driven by " +
+                    nl.instance(drv).name +
+                    "); pessimistic borrowed arrival will be used",
+                inst.name);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LintReport lintNetlist(Netlist& nl, DiagnosticSink& sink,
+                       const LintOptions& opt) {
+  LintReport rep;
+
+  if (opt.quarantineDanglingPins) {
+    for (InstId id = 0; id < nl.instanceCount(); ++id) {
+      const Instance& inst = nl.instance(id);
+      for (int pin = 0; pin < static_cast<int>(inst.fanin.size()); ++pin) {
+        if (nl.isPinQuarantined(id, pin)) continue;
+        const NetId nid = inst.fanin[pin];
+        const bool floating = nid < 0;
+        const bool undriven =
+            nid >= 0 && nl.net(nid).driver < 0 && nl.net(nid).driverPort < 0;
+        if (!floating && !undriven) continue;
+        nl.quarantinePin(id, pin);
+        ++rep.danglingPinsQuarantined;
+        sink.warn(DiagCode::kLintDanglingPinQuarantined,
+                  std::string(floating ? "floating" : "undriven") +
+                      " input pin " + std::to_string(pin) +
+                      " quarantined; pessimistic borrowed arrival will be "
+                      "used",
+                  inst.name);
+      }
+    }
+  }
+
+  if (opt.flagDegenerateNets) {
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+      const Net& net = nl.net(n);
+      if (net.driver < 0 && net.driverPort < 0 &&
+          (!net.sinks.empty() || net.loadPort >= 0)) {
+        ++rep.undrivenNets;
+        sink.note(DiagCode::kNetUndrivenNet, "net has loads but no driver",
+                  net.name);
+      }
+      if (net.sinks.empty() && net.loadPort < 0 &&
+          (net.driver >= 0 || net.driverPort >= 0)) {
+        ++rep.unloadedNets;
+        sink.note(DiagCode::kNetUnloadedNet, "net drives nothing", net.name);
+      }
+    }
+  }
+
+  if (opt.breakLoops) {
+    // Repeated Kahn residue: each failed topo sort identifies the set of
+    // instances stuck behind a cycle; cut one in-cycle edge and retry.
+    // Each cut removes an edge, so this terminates.
+    std::vector<InstId> order;
+    while (!nl.tryTopoOrder(&order)) {
+      std::set<InstId> residue;
+      for (InstId id = 0; id < nl.instanceCount(); ++id) residue.insert(id);
+      for (InstId id : order) residue.erase(id);
+      if (!breakOneLoopEdge(nl, residue, sink)) {
+        sink.error(DiagCode::kNetCombLoop,
+                   "cycle detected but no breakable edge found", {});
+        break;
+      }
+      ++rep.loopsBroken;
+    }
+  }
+
+  return rep;
+}
+
+namespace {
+
+/// Replace NaN/Inf entries with the table's max finite value and enforce
+/// monotone non-decreasing values along the load (y) axis via running max.
+/// Returns {nonFiniteRepaired, clamped?}.
+std::pair<int, bool> repairTable(Table2D& t, bool monotoneLoad) {
+  if (t.empty()) return {0, false};
+  const std::size_t nx = t.xAxis().size(), ny = t.yAxis().size();
+  int repaired = 0;
+  double maxFinite = 0.0;
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j < ny; ++j)
+      if (std::isfinite(t.at(i, j)) && t.at(i, j) > maxFinite)
+        maxFinite = t.at(i, j);
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j < ny; ++j)
+      if (!std::isfinite(t.at(i, j))) {
+        t.at(i, j) = maxFinite;
+        ++repaired;
+      }
+  bool clamped = false;
+  if (monotoneLoad) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      double run = t.at(i, 0);
+      for (std::size_t j = 1; j < ny; ++j) {
+        if (t.at(i, j) < run) {
+          t.at(i, j) = run;
+          clamped = true;
+        } else {
+          run = t.at(i, j);
+        }
+      }
+    }
+  }
+  return {repaired, clamped};
+}
+
+}  // namespace
+
+LibraryLintReport lintLibrary(Library& lib, DiagnosticSink& sink) {
+  LibraryLintReport rep;
+  for (int ci = 0; ci < lib.cellCount(); ++ci) {
+    Cell& c = lib.mutableCell(ci);
+    auto repairSurface = [&](NldmSurface& s, const char* what) {
+      // Delay grows with load; output slew does too. LVF sigmas are not
+      // required to be monotone, so they only get the NaN repair.
+      for (Table2D* t : {&s.delay, &s.slew}) {
+        const auto [repaired, clamped] = repairTable(*t, true);
+        if (repaired) {
+          rep.nonFiniteEntriesRepaired += repaired;
+          sink.warn(DiagCode::kLintNonFiniteTable,
+                    std::to_string(repaired) +
+                        " non-finite entries replaced in " + what + " table",
+                    c.name);
+        }
+        if (clamped) {
+          ++rep.tablesClamped;
+          sink.warn(DiagCode::kLintNonMonotoneTable,
+                    std::string(what) +
+                        " table non-monotone along load axis; clamped to "
+                        "running max",
+                    c.name);
+        }
+      }
+    };
+    auto repairLvf = [&](LvfSurface& s, const char* what) {
+      for (Table2D* t : {&s.sigmaEarly, &s.sigmaLate}) {
+        const auto [repaired, clamped] = repairTable(*t, false);
+        (void)clamped;
+        if (repaired) {
+          rep.nonFiniteEntriesRepaired += repaired;
+          sink.warn(DiagCode::kLintNonFiniteTable,
+                    std::to_string(repaired) +
+                        " non-finite entries replaced in " + what +
+                        " LVF table",
+                    c.name);
+        }
+      }
+    };
+    for (TimingArc& a : c.arcs) {
+      repairSurface(a.rise, "rise");
+      repairSurface(a.fall, "fall");
+      repairLvf(a.riseLvf, "rise");
+      repairLvf(a.fallLvf, "fall");
+    }
+    if (c.flop) {
+      repairSurface(c.flop->c2qRise, "c2q rise");
+      repairSurface(c.flop->c2qFall, "c2q fall");
+    }
+  }
+  return rep;
+}
+
+}  // namespace tc

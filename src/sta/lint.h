@@ -1,0 +1,61 @@
+#pragma once
+/// \file lint.h
+/// \brief Design linter and graceful-degradation pass.
+///
+/// Production STA never gets a perfect database: netlists arrive with
+/// combinational loops, floating pins, and libraries with characterization
+/// glitches. Commercial signoff tools degrade locally — break the loop,
+/// pessimize the bad pin, clamp the bad table — and keep timing the other
+/// 99.9% of the design. This pass is that front door: run it before (or
+/// let StaEngine run it inside) timing so one bad net degrades one
+/// endpoint, not the whole run.
+///
+/// Degradation contract (bounded pessimism): every repair is conservative.
+/// Quarantined pins receive a borrowed pessimistic arrival from the engine
+/// (late = clock period, early = 0), clamped tables only move delays up.
+/// Degraded WNS <= clean WNS, always.
+
+#include "network/netlist.h"
+#include "liberty/library.h"
+#include "util/diag.h"
+
+namespace tc {
+
+struct LintOptions {
+  bool breakLoops = true;             ///< cut combinational cycles
+  bool quarantineDanglingPins = true; ///< contain floating inputs
+  bool flagDegenerateNets = true;     ///< note undriven / unloaded nets
+};
+
+struct LintReport {
+  int loopsBroken = 0;             ///< edges cut to make the graph a DAG
+  int danglingPinsQuarantined = 0; ///< floating or undriven-net sink pins
+  int undrivenNets = 0;
+  int unloadedNets = 0;
+
+  bool clean() const {
+    return loopsBroken == 0 && danglingPinsQuarantined == 0 &&
+           undrivenNets == 0 && unloadedNets == 0;
+  }
+};
+
+/// Lint and repair a netlist in place. Mutations are limited to pin
+/// quarantine (see Netlist::quarantinePin) — connectivity is never edited,
+/// so writers still see the original design. Every repair is reported to
+/// `sink` as a warning with the instance/net name.
+LintReport lintNetlist(Netlist& nl, DiagnosticSink& sink,
+                       const LintOptions& opt = {});
+
+struct LibraryLintReport {
+  int nonFiniteEntriesRepaired = 0; ///< NaN/Inf table cells replaced
+  int tablesClamped = 0;            ///< tables made monotone along load
+};
+
+/// Lint and repair a characterized library in place: NaN/Inf table entries
+/// are replaced with the table's max finite value (pessimistic), and delay
+/// surfaces that decrease with increasing load — characterization noise —
+/// are clamped to a running max along the load axis. Both repairs only
+/// move delays up, preserving the bounded-pessimism contract.
+LibraryLintReport lintLibrary(Library& lib, DiagnosticSink& sink);
+
+}  // namespace tc

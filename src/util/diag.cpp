@@ -1,0 +1,148 @@
+#include "util/diag.h"
+
+#include <sstream>
+
+#include "util/log.h"
+
+namespace tc {
+
+const char* toString(DiagCode code) {
+  switch (code) {
+    case DiagCode::kOk: return "OK";
+    case DiagCode::kVerilogSyntax: return "VERILOG_SYNTAX";
+    case DiagCode::kVerilogUnexpectedEof: return "VERILOG_UNEXPECTED_EOF";
+    case DiagCode::kVerilogMissingEndmodule:
+      return "VERILOG_MISSING_ENDMODULE";
+    case DiagCode::kVerilogUnknownCell: return "VERILOG_UNKNOWN_CELL";
+    case DiagCode::kVerilogUnknownPin: return "VERILOG_UNKNOWN_PIN";
+    case DiagCode::kVerilogDoubleDriver: return "VERILOG_DOUBLE_DRIVER";
+    case DiagCode::kVerilogDuplicateName: return "VERILOG_DUPLICATE_NAME";
+    case DiagCode::kSpefSyntax: return "SPEF_SYNTAX";
+    case DiagCode::kSpefUnexpectedEof: return "SPEF_UNEXPECTED_EOF";
+    case DiagCode::kSpefBadNumber: return "SPEF_BAD_NUMBER";
+    case DiagCode::kSpefUnknownNet: return "SPEF_UNKNOWN_NET";
+    case DiagCode::kSpefDuplicateNet: return "SPEF_DUPLICATE_NET";
+    case DiagCode::kSpefNegativeCap: return "SPEF_NEGATIVE_CAP";
+    case DiagCode::kSpefNegativeRes: return "SPEF_NEGATIVE_RES";
+    case DiagCode::kSpefNanValue: return "SPEF_NAN_VALUE";
+    case DiagCode::kLibMissingFile: return "LIB_MISSING_FILE";
+    case DiagCode::kLibBadMagic: return "LIB_BAD_MAGIC";
+    case DiagCode::kLibVersionMismatch: return "LIB_VERSION_MISMATCH";
+    case DiagCode::kLibTruncated: return "LIB_TRUNCATED";
+    case DiagCode::kLibCorrupt: return "LIB_CORRUPT";
+    case DiagCode::kNetBadCellIndex: return "NET_BAD_CELL_INDEX";
+    case DiagCode::kNetBadPinIndex: return "NET_BAD_PIN_INDEX";
+    case DiagCode::kNetBadId: return "NET_BAD_ID";
+    case DiagCode::kNetDoubleDriver: return "NET_DOUBLE_DRIVER";
+    case DiagCode::kNetFloatingInput: return "NET_FLOATING_INPUT";
+    case DiagCode::kNetDanglingOutput: return "NET_DANGLING_OUTPUT";
+    case DiagCode::kNetUndrivenNet: return "NET_UNDRIVEN_NET";
+    case DiagCode::kNetUnloadedNet: return "NET_UNLOADED_NET";
+    case DiagCode::kNetNonClockClocked: return "NET_NON_CLOCK_CLOCKED";
+    case DiagCode::kNetCombLoop: return "NET_COMB_LOOP";
+    case DiagCode::kNetFootprintMismatch: return "NET_FOOTPRINT_MISMATCH";
+    case DiagCode::kNetPinCountMismatch: return "NET_PIN_COUNT_MISMATCH";
+    case DiagCode::kLintLoopBroken: return "LINT_LOOP_BROKEN";
+    case DiagCode::kLintDanglingPinQuarantined:
+      return "LINT_DANGLING_PIN_QUARANTINED";
+    case DiagCode::kLintNonMonotoneTable: return "LINT_NON_MONOTONE_TABLE";
+    case DiagCode::kLintNonFiniteTable: return "LINT_NON_FINITE_TABLE";
+    case DiagCode::kLintNegativeRc: return "LINT_NEGATIVE_RC";
+    case DiagCode::kLintNanQuarantined: return "LINT_NAN_QUARANTINED";
+    case DiagCode::kStatsEmptySamples: return "STATS_EMPTY_SAMPLES";
+    case DiagCode::kStatsDomainClamped: return "STATS_DOMAIN_CLAMPED";
+  }
+  return "UNKNOWN";
+}
+
+const char* toString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << toString(severity) << " [" << toString(code) << "]";
+  if (line >= 0) os << " line " << line;
+  if (!entity.empty()) os << " (" << entity << ")";
+  os << ": " << message;
+  return os.str();
+}
+
+void DiagnosticSink::report(Diagnostic d) {
+  if (echo_) {
+    const LogLevel lvl = d.severity == Severity::kError ? LogLevel::kError
+                         : d.severity == Severity::kWarning
+                             ? LogLevel::kWarn
+                             : LogLevel::kInfo;
+    logf(lvl, "%s", d.str().c_str());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (d.severity == Severity::kError) ++errors_;
+  if (d.severity == Severity::kWarning) ++warnings_;
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticSink::error(DiagCode code, std::string message,
+                           std::string entity, int line) {
+  report({Severity::kError, code, std::move(message), std::move(entity),
+          line});
+}
+
+void DiagnosticSink::warn(DiagCode code, std::string message,
+                          std::string entity, int line) {
+  report({Severity::kWarning, code, std::move(message), std::move(entity),
+          line});
+}
+
+void DiagnosticSink::note(DiagCode code, std::string message,
+                          std::string entity, int line) {
+  report({Severity::kNote, code, std::move(message), std::move(entity),
+          line});
+}
+
+std::vector<Diagnostic> DiagnosticSink::diagnostics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return diags_;
+}
+
+int DiagnosticSink::errorCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errors_;
+}
+
+int DiagnosticSink::warningCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return warnings_;
+}
+
+int DiagnosticSink::count(DiagCode code) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& d : diags_)
+    if (d.code == code) ++n;
+  return n;
+}
+
+bool DiagnosticSink::first(DiagCode code, Diagnostic* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& d : diags_) {
+    if (d.code == code) {
+      if (out) *out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+void DiagnosticSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  diags_.clear();
+  errors_ = warnings_ = 0;
+}
+
+}  // namespace tc

@@ -1,0 +1,135 @@
+#pragma once
+/// \file diag.h
+/// \brief Recoverable diagnostics: machine-readable codes, source/entity
+/// locations, and the DiagnosticSink collector.
+///
+/// The paper's thesis is that signoff tools live in a hostile world —
+/// exploding corner counts, mismatched parasitics, model/hardware
+/// miscorrelation — and must degrade with bounded pessimism instead of
+/// falling over. The first requirement for that is an error channel that
+/// is *not* process death: every reader and lint rule in this framework
+/// reports through a DiagnosticSink (severity, code, entity, line) so a
+/// flow can decide per-problem whether to quarantine, clamp, or abort.
+/// See DESIGN.md "Error handling & degradation policy".
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tc {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+/// Machine-readable diagnostic codes. Grouped by subsystem; the registry
+/// lives in DESIGN.md. toString() yields the stable SCREAMING_SNAKE name
+/// emitted in logs (greppable by flow scripts).
+enum class DiagCode {
+  kOk = 0,
+
+  // --- Verilog reader ------------------------------------------------------
+  kVerilogSyntax,          ///< token-level parse failure
+  kVerilogUnexpectedEof,   ///< input truncated mid-construct
+  kVerilogMissingEndmodule,
+  kVerilogUnknownCell,     ///< instantiated cell not in reference library
+  kVerilogUnknownPin,      ///< named pin not on the cell
+  kVerilogDoubleDriver,    ///< two outputs (or output + input port) on a net
+  kVerilogDuplicateName,   ///< instance/port name re-declared
+
+  // --- SPEF reader ---------------------------------------------------------
+  kSpefSyntax,
+  kSpefUnexpectedEof,
+  kSpefBadNumber,          ///< unparseable numeric field
+  kSpefUnknownNet,         ///< *D_NET references an unmapped name index
+  kSpefDuplicateNet,       ///< same net appears in two *D_NET sections
+  kSpefNegativeCap,        ///< clamped to 0 with a warning
+  kSpefNegativeRes,        ///< clamped to 0 with a warning
+  kSpefNanValue,           ///< non-finite R/C entry, clamped
+
+  // --- Liberty binary reader ----------------------------------------------
+  kLibMissingFile,
+  kLibBadMagic,
+  kLibVersionMismatch,
+  kLibTruncated,           ///< stream ended inside a record
+  kLibCorrupt,             ///< implausible count / size field
+
+  // --- Netlist structure ---------------------------------------------------
+  kNetBadCellIndex,
+  kNetBadPinIndex,
+  kNetBadId,               ///< net/instance/port id out of range
+  kNetDoubleDriver,
+  kNetFloatingInput,
+  kNetDanglingOutput,
+  kNetUndrivenNet,
+  kNetUnloadedNet,
+  kNetNonClockClocked,     ///< flop CK traces to a non-clock port
+  kNetCombLoop,
+  kNetFootprintMismatch,
+  kNetPinCountMismatch,
+
+  // --- Lint / graceful degradation ----------------------------------------
+  kLintLoopBroken,         ///< loop cut; pessimistic borrowed arrival seeded
+  kLintDanglingPinQuarantined,
+  kLintNonMonotoneTable,   ///< NLDM surface clamped monotone
+  kLintNonFiniteTable,     ///< NaN/Inf table entry repaired
+  kLintNegativeRc,         ///< degenerate parasitic element clamped
+  kLintNanQuarantined,     ///< non-finite arrival rejected during STA
+
+  // --- Stats / numeric utilities ------------------------------------------
+  kStatsEmptySamples,      ///< quantile of an empty SampleSet (clamped to 0)
+  kStatsDomainClamped,     ///< normalInverseCdf p clamped into (0,1)
+};
+
+const char* toString(DiagCode code);
+const char* toString(Severity severity);
+
+/// One reported problem. `line` is 1-based for text inputs (-1 when not
+/// applicable); `entity` names the offending design object (net, instance,
+/// cell, port) when the problem is attributable to one.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  DiagCode code = DiagCode::kOk;
+  std::string message;
+  std::string entity;
+  int line = -1;
+
+  /// "ERROR [VERILOG_UNKNOWN_CELL] line 12 (inst 'u3'): ..." rendering.
+  std::string str() const;
+};
+
+/// Collects diagnostics from readers / lint passes / the STA engine.
+/// Thread-safe: multiple analysis threads may share one sink. By default
+/// each diagnostic is echoed through tc::logf (WARN/ERROR level), so flows
+/// that never look at the sink still see problems on stderr.
+class DiagnosticSink {
+ public:
+  void report(Diagnostic d);
+  void error(DiagCode code, std::string message, std::string entity = {},
+             int line = -1);
+  void warn(DiagCode code, std::string message, std::string entity = {},
+            int line = -1);
+  void note(DiagCode code, std::string message, std::string entity = {},
+            int line = -1);
+
+  std::vector<Diagnostic> diagnostics() const;
+  int errorCount() const;
+  int warningCount() const;
+  bool hasErrors() const { return errorCount() > 0; }
+  /// Number of diagnostics carrying `code`.
+  int count(DiagCode code) const;
+  /// First diagnostic with the code, or nullopt-like empty Diagnostic check
+  /// via found flag.
+  bool first(DiagCode code, Diagnostic* out) const;
+  void clear();
+
+  /// Disable the logf echo (benches that inject thousands of faults).
+  void setEcho(bool echo) { echo_ = echo; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Diagnostic> diags_;
+  int errors_ = 0;
+  int warnings_ = 0;
+  bool echo_ = true;
+};
+
+}  // namespace tc

@@ -2,11 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace tc {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Guards stderr emission and the capture sink. A plain function-local
+// static would race on first use from multiple threads pre-C++11; a
+// namespace-scope mutex is constant-initialized and safe.
+std::mutex g_mu;
+LogCaptureFn g_capture;                  // guarded by g_mu
+std::atomic<bool> g_captureEcho{true};
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -22,14 +30,87 @@ const char* tag(LogLevel level) {
 void setLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel logLevel() { return g_level.load(); }
 
+LogCaptureFn setLogCaptureSink(LogCaptureFn sink) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  LogCaptureFn prev = std::move(g_capture);
+  g_capture = std::move(sink);
+  return prev;
+}
+
+void setLogCaptureEcho(bool echo) { g_captureEcho.store(echo); }
+
 void logf(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] ", tag(level));
+
+  // Format the whole line first so the locked section is a single write
+  // and concurrent lines never interleave.
+  char stackBuf[512];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list argsCopy;
+  va_copy(argsCopy, args);
+  const int need = std::vsnprintf(stackBuf, sizeof stackBuf, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+
+  std::string msg;
+  if (need < 0) {
+    msg = "(log format error)";
+    va_end(argsCopy);
+  } else if (static_cast<std::size_t>(need) < sizeof stackBuf) {
+    msg.assign(stackBuf, static_cast<std::size_t>(need));
+    va_end(argsCopy);
+  } else {
+    msg.resize(static_cast<std::size_t>(need));
+    std::vsnprintf(msg.data(), msg.size() + 1, fmt, argsCopy);
+    va_end(argsCopy);
+  }
+
+  std::lock_guard<std::mutex> lock(g_mu);
+  const bool captured = static_cast<bool>(g_capture);
+  if (captured) g_capture(level, msg);
+  if (!captured || g_captureEcho.load())
+    std::fprintf(stderr, "[%s] %s\n", tag(level), msg.c_str());
+}
+
+struct LogCapture::Impl {
+  mutable std::mutex mu;
+  std::vector<std::pair<LogLevel, std::string>> lines;
+};
+
+LogCapture::LogCapture() : impl_(new Impl) {
+  Impl* impl = impl_;
+  previous_ = setLogCaptureSink([impl](LogLevel lvl, const std::string& s) {
+    std::lock_guard<std::mutex> lock(impl->mu);
+    impl->lines.emplace_back(lvl, s);
+  });
+  previousEcho_ = g_captureEcho.load();
+  setLogCaptureEcho(false);
+}
+
+LogCapture::~LogCapture() {
+  setLogCaptureSink(std::move(previous_));
+  setLogCaptureEcho(previousEcho_);
+  delete impl_;
+}
+
+std::vector<std::pair<LogLevel, std::string>> LogCapture::lines() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->lines;
+}
+
+bool LogCapture::contains(const std::string& needle) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& [lvl, s] : impl_->lines)
+    if (s.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+int LogCapture::countAt(LogLevel level) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  int n = 0;
+  for (const auto& [lvl, s] : impl_->lines)
+    if (lvl == level) ++n;
+  return n;
 }
 
 }  // namespace tc

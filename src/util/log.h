@@ -2,9 +2,16 @@
 /// \file log.h
 /// \brief Tiny leveled logger. Tools in this framework report progress the
 /// way signoff flows do: terse INFO lines, loud WARN/ERROR.
+///
+/// Thread-safe: concurrent logf calls never interleave within a line (each
+/// line is formatted to a buffer and written with a single locked write).
+/// Tests can install a capture sink to assert on emitted WARN/ERROR lines.
 
 #include <cstdarg>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tc {
 
@@ -17,6 +24,40 @@ LogLevel logLevel();
 /// printf-style logging, prefixed with the level tag.
 void logf(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
+
+/// Capture callback: receives (level, formatted message without the level
+/// tag or trailing newline) for every line that passes the threshold.
+using LogCaptureFn = std::function<void(LogLevel, const std::string&)>;
+
+/// Install / replace the process-wide capture sink (nullptr clears it).
+/// Returns the previously installed sink so scopes can nest.
+LogCaptureFn setLogCaptureSink(LogCaptureFn sink);
+
+/// When true (default), logf also writes to stderr while a capture sink is
+/// installed; tests typically pass false to keep output quiet.
+void setLogCaptureEcho(bool echo);
+
+/// RAII capture for tests: records every line emitted during its lifetime
+/// and silences stderr; restores the previous sink on destruction.
+class LogCapture {
+ public:
+  LogCapture();
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  std::vector<std::pair<LogLevel, std::string>> lines() const;
+  /// True when any captured line contains `needle`.
+  bool contains(const std::string& needle) const;
+  /// Number of captured lines at exactly `level`.
+  int countAt(LogLevel level) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  LogCaptureFn previous_;
+  bool previousEcho_;
+};
 
 #define TC_DEBUG(...) ::tc::logf(::tc::LogLevel::kDebug, __VA_ARGS__)
 #define TC_INFO(...) ::tc::logf(::tc::LogLevel::kInfo, __VA_ARGS__)

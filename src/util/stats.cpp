@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "util/diag.h"
+#include "util/log.h"
 
 namespace tc {
 
@@ -103,8 +105,17 @@ double SampleSet::skewness() const {
 }
 
 double SampleSet::quantile(double q) const {
-  if (samples_.empty()) throw std::domain_error("quantile of empty SampleSet");
+  if (samples_.empty()) {
+    // Recoverable: an empty Monte Carlo batch (every trial quarantined)
+    // should degrade the report, not kill the flow.
+    TC_WARN("[%s] quantile(%g) of empty SampleSet; returning 0",
+            toString(DiagCode::kStatsEmptySamples), q);
+    return 0.0;
+  }
   ensureSorted();
+  if (q < 0.0 || q > 1.0)
+    TC_WARN("[%s] quantile probability %g clamped into [0,1]",
+            toString(DiagCode::kStatsDomainClamped), q);
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted_samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -155,8 +166,15 @@ std::vector<std::size_t> SampleSet::histogram(double lo, double hi,
 double normalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
 
 double normalInverseCdf(double p) {
-  if (p <= 0.0 || p >= 1.0)
-    throw std::domain_error("normalInverseCdf requires p in (0,1)");
+  // Edge probabilities are clamped to the last representable interior
+  // point (z = ∓8.2 sigma) with a diagnostic: a yield model asked for the
+  // 0th/100th percentile gets a bounded-pessimism answer, not a crash.
+  constexpr double kTiny = 1e-16;
+  if (p <= 0.0 || p >= 1.0) {
+    TC_WARN("[%s] normalInverseCdf(%g) clamped into (0,1)",
+            toString(DiagCode::kStatsDomainClamped), p);
+    p = std::clamp(p, kTiny, 1.0 - kTiny);
+  }
   // Acklam's algorithm.
   static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
                              -2.759285104469687e+02, 1.383577518672690e+02,

@@ -47,7 +47,9 @@ class SampleSet {
   double mean() const;
   double stddev() const;
   double skewness() const;
-  /// Linear-interpolated quantile, q in [0,1].
+  /// Linear-interpolated quantile, q in [0,1]. Out-of-range q clamps with
+  /// a STATS_DOMAIN_CLAMPED warning; an empty set returns 0 with a
+  /// STATS_EMPTY_SAMPLES warning (never throws).
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
   /// RMS deviation of samples strictly below the mean (early-mode sigma).
@@ -73,7 +75,9 @@ class SampleSet {
 /// Standard normal CDF.
 double normalCdf(double z);
 /// Inverse standard normal CDF (Acklam's rational approximation,
-/// |error| < 1.15e-9) — used for slack->yield conversion.
+/// |error| < 1.15e-9) — used for slack->yield conversion. p outside (0,1)
+/// clamps to the nearest interior point (|z| ~ 8.2) with a
+/// STATS_DOMAIN_CLAMPED warning instead of throwing.
 double normalInverseCdf(double p);
 
 }  // namespace tc

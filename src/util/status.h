@@ -1,0 +1,81 @@
+#pragma once
+/// \file status.h
+/// \brief tc::Status / tc::Result<T>: the recoverable error model.
+///
+/// Policy (see DESIGN.md "Error handling & degradation policy"): anything
+/// that consumes *external* input — file readers, netlist construction from
+/// parsed text, user-supplied tables — returns Status/Result and reports
+/// detail through a DiagnosticSink. `throw` is reserved for programmer
+/// errors on internal APIs (bad index from our own code), where a crash in
+/// tests is the feature.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/diag.h"
+
+namespace tc {
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  ///< OK
+  static Status okStatus() { return {}; }
+  static Status failure(DiagCode code, std::string message) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return code_ == DiagCode::kOk; }
+  explicit operator bool() const { return ok(); }
+  DiagCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "[CODE] message".
+  std::string str() const {
+    if (ok()) return "OK";
+    return std::string("[") + toString(code_) + "] " + message_;
+  }
+
+ private:
+  DiagCode code_ = DiagCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a failure Status. T needs no default constructor.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result from OK status needs a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tc

@@ -1,0 +1,289 @@
+/// \file fault_injection_test.cpp
+/// \brief Fault-injection harness: mutated interchange files and netlists
+/// must never crash the readers or the engine — every failure surfaces as
+/// a located diagnostic, and graceful degradation is boundedly pessimistic.
+///
+/// Built as its own ctest binary (label: faultinject) so it can also run
+/// under a -DTC_SANITIZE=address,undefined build, where "no crash" becomes
+/// "no memory error of any kind".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "faultinject/mutators.h"
+#include "interconnect/extract.h"
+#include "interconnect/spef.h"
+#include "liberty/builder.h"
+#include "liberty/serialize.h"
+#include "network/netgen.h"
+#include "network/verilog.h"
+#include "sta/engine.h"
+#include "sta/lint.h"
+#include "util/log.h"
+
+namespace tc {
+namespace {
+
+using faultinject::Mutation;
+using faultinject::corpus;
+using faultinject::mutate;
+using faultinject::mutateBinary;
+using faultinject::toString;
+
+std::shared_ptr<const Library> lib() {
+  static std::shared_ptr<const Library> L =
+      characterizedLibrary(LibraryPvt{}, true);
+  return L;
+}
+
+/// A rejected parse must tell the user *where*: at least one error carries
+/// a line number or names the offending entity.
+template <typename Sink>
+bool hasLocatedError(const Sink& sink) {
+  for (const auto& d : sink.diagnostics())
+    if (d.severity == Severity::kError && (d.line > 0 || !d.entity.empty()))
+      return true;
+  return false;
+}
+
+// --- Verilog ---------------------------------------------------------------
+
+TEST(FaultInjectVerilog, MutatedTextNeverCrashes) {
+  LogCapture quiet;  // mutants are noisy by design; keep stderr clean
+  Netlist clean = generateBlock(lib(), profileTiny());
+  const std::string text = toVerilog(clean);
+  int rejected = 0, accepted = 0;
+  for (const auto& spec : corpus(14)) {  // 6 kinds x 14 = 84 mutants
+    SCOPED_TRACE(std::string(toString(spec.kind)) + " seed " +
+                 std::to_string(spec.seed));
+    const std::string mut = mutate(text, spec.kind, spec.seed);
+    DiagnosticSink sink;
+    sink.setEcho(false);
+    auto r = parseVerilog(mut, lib(), sink);
+    if (r.ok()) {
+      ++accepted;
+    } else {
+      ++rejected;
+      EXPECT_GT(sink.errorCount(), 0) << "failed Result without diagnostics";
+      EXPECT_TRUE(hasLocatedError(sink))
+          << "rejection carries no line/entity context";
+    }
+  }
+  // The corpus must actually exercise the error paths: most mutations of
+  // most seeds corrupt the file, a few (e.g. swapping identical tokens)
+  // are benign.
+  EXPECT_GT(rejected, 20);
+  RecordProperty("accepted", accepted);
+  RecordProperty("rejected", rejected);
+}
+
+// --- SPEF ------------------------------------------------------------------
+
+TEST(FaultInjectSpef, MutatedTextNeverCrashes) {
+  LogCapture quiet;
+  Netlist nl = generatePipeline(lib(), 2, 4);
+  Extractor ex(nl, BeolStack::forNode(techNode(28)));
+  const std::string text = toSpef(nl, ex, ExtractionOptions{});
+  int rejected = 0, accepted = 0;
+  for (const auto& spec : corpus(14)) {  // 84 mutants
+    SCOPED_TRACE(std::string(toString(spec.kind)) + " seed " +
+                 std::to_string(spec.seed));
+    const std::string mut = mutate(text, spec.kind, spec.seed);
+    DiagnosticSink sink;
+    sink.setEcho(false);
+    auto r = parseSpef(mut, sink);
+    if (r.ok()) {
+      ++accepted;
+      // Degenerate-parasitic clamping: whatever survived holds no
+      // negative or non-finite values.
+      for (const auto& net : r.value().nets) {
+        for (const auto& c : net.caps) {
+          EXPECT_TRUE(std::isfinite(c.value));
+          EXPECT_GE(c.value, 0.0);
+        }
+        for (const auto& rr : net.res) {
+          EXPECT_TRUE(std::isfinite(rr.value));
+          EXPECT_GE(rr.value, 0.0);
+        }
+      }
+    } else {
+      ++rejected;
+      EXPECT_GT(sink.errorCount(), 0) << "failed Result without diagnostics";
+      EXPECT_TRUE(hasLocatedError(sink))
+          << "rejection carries no line/entity context";
+    }
+  }
+  EXPECT_GT(rejected, 10);
+  EXPECT_GT(accepted, 10);  // SPEF reader degrades more than it rejects
+  RecordProperty("accepted", accepted);
+  RecordProperty("rejected", rejected);
+}
+
+// --- Liberty binary --------------------------------------------------------
+
+TEST(FaultInjectLiberty, MutatedBinaryNeverCrashes) {
+  LogCapture quiet;
+  const std::string dir = ::testing::TempDir();
+  const std::string cleanPath = dir + "fi_clean.tclib";
+  ASSERT_TRUE(writeLibraryFile(*lib(), cleanPath));
+  std::vector<char> bytes;
+  {
+    std::ifstream is(cleanPath, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+
+  int rejected = 0, accepted = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    SCOPED_TRACE("binary seed " + std::to_string(seed));
+    const auto mut = mutateBinary(bytes, seed);
+    const std::string path = dir + "fi_mut.tclib";
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os.write(mut.data(), static_cast<std::streamsize>(mut.size()));
+    }
+    DiagnosticSink sink;
+    sink.setEcho(false);
+    auto L = readLibraryFile(path, &sink);
+    if (L) {
+      ++accepted;  // flip missed every load-bearing byte
+    } else {
+      ++rejected;
+      EXPECT_GT(sink.diagnostics().size(), 0u)
+          << "silent nullptr from mutated library file";
+    }
+    std::remove(path.c_str());
+  }
+  EXPECT_GT(rejected, 30);
+  std::remove(cleanPath.c_str());
+  RecordProperty("accepted", accepted);
+  RecordProperty("rejected", rejected);
+}
+
+// --- In-memory netlist faults + bounded pessimism --------------------------
+
+/// Inject a combinational loop into a pipeline lane, lint it, and verify
+/// STA still runs with degraded WNS <= clean WNS (the quarantine contract).
+TEST(FaultInjectNetlist, LoopInjectionDegradesBoundedly) {
+  LogCapture quiet;
+  Scenario sc;
+  sc.lib = lib();
+
+  Netlist clean = generatePipeline(lib(), 2, 6);
+  StaEngine cleanEngine(clean, sc);
+  cleanEngine.run();
+  const Ps cleanWns = cleanEngine.wns(Check::kSetup);
+
+  // Rewire: feed an early gate from a gate downstream of it in the same
+  // lane (walk the fanout chain), closing a genuine combinational cycle.
+  Netlist broken = generatePipeline(lib(), 2, 6);
+  InstId early = -1;
+  for (InstId i = 0; i < broken.instanceCount(); ++i)
+    if (!broken.isSequential(i) && !broken.instance(i).isClockTreeBuffer) {
+      early = i;
+      break;
+    }
+  ASSERT_GE(early, 0);
+  InstId late = early;
+  for (int hop = 0; hop < 4; ++hop) {
+    const NetId out = broken.instance(late).fanout;
+    if (out < 0) break;
+    InstId next = -1;
+    for (const auto& s : broken.net(out).sinks)
+      if (!broken.isSequential(s.inst)) next = s.inst;
+    if (next < 0) break;
+    late = next;
+  }
+  ASSERT_NE(early, late);
+  ASSERT_GE(broken.instance(late).fanout, 0);
+  broken.disconnectInput(early, 0);
+  broken.connectInput(early, 0, broken.instance(late).fanout);
+  std::vector<InstId> order;
+  ASSERT_FALSE(broken.tryTopoOrder(&order)) << "injection failed to cycle";
+
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  const LintReport rep = lintNetlist(broken, sink);
+  EXPECT_GE(rep.loopsBroken, 1);
+  EXPECT_GE(sink.count(DiagCode::kLintLoopBroken), 1);
+  EXPECT_TRUE(broken.tryTopoOrder(&order));
+
+  StaEngine degraded(broken, sc);  // graph build must not throw now
+  degraded.setDiagnosticSink(&sink);
+  degraded.run();
+  EXPECT_LE(degraded.wns(Check::kSetup), cleanWns + 1e-9);
+}
+
+/// Dangling-pin injection: disconnect inputs across the design; lint
+/// quarantines each one and timing completes with bounded pessimism.
+TEST(FaultInjectNetlist, DanglingPinsDegradeBoundedly) {
+  LogCapture quiet;
+  Scenario sc;
+  sc.lib = lib();
+
+  Netlist clean = generatePipeline(lib(), 3, 5);
+  StaEngine cleanEngine(clean, sc);
+  cleanEngine.run();
+  const Ps cleanWns = cleanEngine.wns(Check::kSetup);
+
+  Netlist broken = generatePipeline(lib(), 3, 5);
+  int cut = 0;
+  for (InstId i = 0; i < broken.instanceCount() && cut < 4; ++i) {
+    if (broken.isSequential(i) || broken.instance(i).isClockTreeBuffer)
+      continue;
+    if ((i % 3) == 0) {
+      broken.disconnectInput(i, 0);
+      ++cut;
+    }
+  }
+  ASSERT_GT(cut, 0);
+
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  const LintReport rep = lintNetlist(broken, sink);
+  EXPECT_EQ(rep.danglingPinsQuarantined, cut);
+  EXPECT_EQ(sink.count(DiagCode::kLintDanglingPinQuarantined), cut);
+
+  StaEngine degraded(broken, sc);
+  degraded.setDiagnosticSink(&sink);
+  degraded.run();
+  EXPECT_LE(degraded.wns(Check::kSetup), cleanWns + 1e-9);
+}
+
+/// A large randomized sweep of in-memory faults (dangling pins at varying
+/// positions): zero crashes, every run produces finite WNS or drops the
+/// endpoint with a diagnostic.
+TEST(FaultInjectNetlist, RandomDisconnectSweepNeverCrashes) {
+  LogCapture quiet;
+  Scenario sc;
+  sc.lib = lib();
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    SCOPED_TRACE("netlist seed " + std::to_string(seed));
+    Netlist nl = generatePipeline(lib(), 2, 5, 800.0, seed);
+    // Deterministically pick pins to cut from the seed.
+    std::uint64_t x = seed * 0x2545F4914F6CDD1Dull;
+    for (int k = 0; k < 3; ++k) {
+      x ^= x >> 12; x ^= x << 25; x ^= x >> 27;
+      const InstId i = static_cast<InstId>(x % static_cast<std::uint64_t>(
+                                                   nl.instanceCount()));
+      if (nl.isSequential(i) || nl.instance(i).isClockTreeBuffer) continue;
+      if (nl.instance(i).fanin.empty()) continue;
+      nl.disconnectInput(i, 0);
+    }
+    DiagnosticSink sink;
+    sink.setEcho(false);
+    lintNetlist(nl, sink);
+    StaEngine eng(nl, sc);
+    eng.setDiagnosticSink(&sink);
+    eng.run();
+    EXPECT_TRUE(std::isfinite(eng.wns(Check::kSetup)));
+  }
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,182 @@
+#include "faultinject/mutators.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <utility>
+
+namespace tc::faultinject {
+
+const char* toString(Mutation m) {
+  switch (m) {
+    case Mutation::kTruncate: return "truncate";
+    case Mutation::kTokenSwap: return "token-swap";
+    case Mutation::kNumericPerturb: return "numeric-perturb";
+    case Mutation::kDuplicateLine: return "duplicate-line";
+    case Mutation::kDeleteLine: return "delete-line";
+    case Mutation::kByteFlip: return "byte-flip";
+  }
+  return "?";
+}
+
+namespace {
+
+using Rng = std::mt19937_64;
+
+std::vector<std::string> toLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string l;
+  while (std::getline(is, l)) lines.push_back(std::move(l));
+  return lines;
+}
+
+std::string fromLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Byte ranges [begin, end) of whitespace-separated tokens.
+std::vector<std::pair<std::size_t, std::size_t>> tokenSpans(
+    const std::string& text) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    const std::size_t b = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i > b) spans.push_back({b, i});
+  }
+  return spans;
+}
+
+bool isNumberToken(const std::string& tok) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  std::strtod(tok.c_str(), &end);
+  return end == tok.c_str() + tok.size();
+}
+
+std::string perturbNumber(const std::string& tok, Rng& rng) {
+  switch (rng() % 6) {
+    case 0: return "-" + tok;            // negate (negative R/C, delays)
+    case 1: return tok + "e6";           // blow up magnitude
+    case 2: return "nan";                // non-finite
+    case 3: return "inf";
+    case 4: return tok + "." + tok;      // malformed: two decimal points
+    default: return "9" + tok + "9";     // perturb digits
+  }
+}
+
+}  // namespace
+
+std::string mutate(const std::string& text, Mutation m, std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(m) + 1);
+  if (text.empty()) return text;
+  switch (m) {
+    case Mutation::kTruncate: {
+      const std::size_t cut = rng() % text.size();
+      return text.substr(0, cut);
+    }
+    case Mutation::kTokenSwap: {
+      const auto spans = tokenSpans(text);
+      if (spans.size() < 2) return text;
+      std::size_t a = rng() % spans.size();
+      std::size_t b = rng() % spans.size();
+      if (a == b) b = (b + 1) % spans.size();
+      if (a > b) std::swap(a, b);
+      const std::string ta = text.substr(spans[a].first,
+                                         spans[a].second - spans[a].first);
+      const std::string tb = text.substr(spans[b].first,
+                                         spans[b].second - spans[b].first);
+      std::string out = text;
+      // Replace b first so a's offsets stay valid.
+      out.replace(spans[b].first, spans[b].second - spans[b].first, ta);
+      out.replace(spans[a].first, spans[a].second - spans[a].first, tb);
+      return out;
+    }
+    case Mutation::kNumericPerturb: {
+      const auto spans = tokenSpans(text);
+      std::vector<std::size_t> numeric;
+      for (std::size_t i = 0; i < spans.size(); ++i)
+        if (isNumberToken(text.substr(spans[i].first,
+                                      spans[i].second - spans[i].first)))
+          numeric.push_back(i);
+      if (numeric.empty()) return text;
+      const auto& sp = spans[numeric[rng() % numeric.size()]];
+      const std::string tok = text.substr(sp.first, sp.second - sp.first);
+      std::string out = text;
+      out.replace(sp.first, sp.second - sp.first, perturbNumber(tok, rng));
+      return out;
+    }
+    case Mutation::kDuplicateLine: {
+      auto lines = toLines(text);
+      if (lines.empty()) return text;
+      const std::size_t i = rng() % lines.size();
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i), lines[i]);
+      return fromLines(lines);
+    }
+    case Mutation::kDeleteLine: {
+      auto lines = toLines(text);
+      if (lines.size() < 2) return text;
+      lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(
+                                      rng() % lines.size()));
+      return fromLines(lines);
+    }
+    case Mutation::kByteFlip: {
+      std::string out = text;
+      const std::size_t i = rng() % out.size();
+      out[i] = static_cast<char>(' ' + rng() % 95);  // printable ASCII
+      return out;
+    }
+  }
+  return text;
+}
+
+std::vector<MutantSpec> corpus(int perKind) {
+  std::vector<MutantSpec> specs;
+  for (int k = 0; k < kMutationCount; ++k)
+    for (int s = 0; s < perKind; ++s)
+      specs.push_back({static_cast<Mutation>(k),
+                       static_cast<std::uint64_t>(s) + 1});
+  return specs;
+}
+
+std::vector<char> mutateBinary(const std::vector<char>& bytes,
+                               std::uint64_t seed) {
+  Rng rng(seed * 0xD1B54A32D192ED03ull + 7);
+  std::vector<char> out = bytes;
+  if (out.empty()) return out;
+  switch (rng() % 3) {
+    case 0:  // truncate
+      out.resize(rng() % out.size());
+      break;
+    case 1: {  // flip a handful of bytes
+      const int flips = 1 + static_cast<int>(rng() % 8);
+      for (int i = 0; i < flips; ++i)
+        out[rng() % out.size()] ^= static_cast<char>(1 + rng() % 255);
+      break;
+    }
+    default: {  // stomp a 4-byte word with a huge value (length inflation)
+      if (out.size() >= 8) {
+        const std::size_t off = rng() % (out.size() - 4);
+        const std::uint32_t big = 0x7FFFFFFFu;
+        for (int i = 0; i < 4; ++i)
+          out[off + static_cast<std::size_t>(i)] =
+              static_cast<char>((big >> (8 * i)) & 0xFF);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tc::faultinject

@@ -1,0 +1,43 @@
+#pragma once
+/// \file mutators.h
+/// \brief Deterministic corpus mutators for the fault-injection harness.
+///
+/// Each mutator takes clean interchange text (Verilog, SPEF) and a seed
+/// and produces a corrupted variant. Everything is driven by a seeded
+/// mt19937_64, so a failing mutant is reproducible from its (kind, seed)
+/// pair alone — the harness prints exactly that on failure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tc::faultinject {
+
+enum class Mutation {
+  kTruncate,        ///< cut the text at a random offset
+  kTokenSwap,       ///< exchange two whitespace-separated tokens
+  kNumericPerturb,  ///< replace a number (negate, scale, nan, malformed)
+  kDuplicateLine,   ///< repeat a random line (duplicate nets/instances)
+  kDeleteLine,      ///< drop a random line
+  kByteFlip,        ///< overwrite one byte with a random printable char
+};
+inline constexpr int kMutationCount = 6;
+
+const char* toString(Mutation m);
+
+/// Apply one mutation. Deterministic: same (text, m, seed) -> same output.
+std::string mutate(const std::string& text, Mutation m, std::uint64_t seed);
+
+/// The standard corpus: every mutation kind x perKind seeds.
+struct MutantSpec {
+  Mutation kind;
+  std::uint64_t seed = 0;
+};
+std::vector<MutantSpec> corpus(int perKind);
+
+/// Binary corruption for serialized library files: truncation, byte
+/// flips, or length-field inflation, selected by seed.
+std::vector<char> mutateBinary(const std::vector<char>& bytes,
+                               std::uint64_t seed);
+
+}  // namespace tc::faultinject

@@ -1,0 +1,260 @@
+/// \file integrity_test.cpp
+/// \brief Units for the design-integrity subsystem: Status/Result,
+/// DiagnosticSink, log capture, recoverable netlist construction, and
+/// every lint rule.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "network/verilog.h"
+#include "sta/engine.h"
+#include "sta/lint.h"
+#include "util/log.h"
+#include "util/status.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  static std::shared_ptr<const Library> L =
+      characterizedLibrary(LibraryPvt{}, true);
+  return L;
+}
+
+// --- Status / Result -------------------------------------------------------
+
+TEST(Status, OkAndFailure) {
+  const Status ok = Status::okStatus();
+  EXPECT_TRUE(ok.ok());
+  const Status bad = Status::failure(DiagCode::kNetBadId, "no such net");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), DiagCode::kNetBadId);
+  EXPECT_NE(bad.str().find("NET_BAD_ID"), std::string::npos);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  Result<int> e = Status::failure(DiagCode::kSpefBadNumber, "nope");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), DiagCode::kSpefBadNumber);
+}
+
+// --- DiagnosticSink --------------------------------------------------------
+
+TEST(DiagnosticSink, CountsFirstsAndSeverities) {
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  sink.error(DiagCode::kVerilogSyntax, "bad token", "top", 12);
+  sink.warn(DiagCode::kLintLoopBroken, "loop", "u1");
+  sink.note(DiagCode::kLibVersionMismatch, "stale cache");
+  EXPECT_EQ(sink.errorCount(), 1);
+  EXPECT_EQ(sink.warningCount(), 1);
+  EXPECT_TRUE(sink.hasErrors());
+  EXPECT_EQ(sink.count(DiagCode::kLintLoopBroken), 1);
+  EXPECT_EQ(sink.count(DiagCode::kSpefSyntax), 0);
+  Diagnostic d;
+  ASSERT_TRUE(sink.first(DiagCode::kVerilogSyntax, &d));
+  EXPECT_EQ(d.line, 12);
+  EXPECT_EQ(d.entity, "top");
+  EXPECT_NE(d.str().find("VERILOG_SYNTAX"), std::string::npos);
+  EXPECT_NE(d.str().find("line 12"), std::string::npos);
+  sink.clear();
+  EXPECT_FALSE(sink.hasErrors());
+  EXPECT_TRUE(sink.diagnostics().empty());
+}
+
+TEST(DiagnosticSink, EchoesThroughLogCapture) {
+  LogCapture cap;
+  DiagnosticSink sink;  // echo defaults on
+  sink.error(DiagCode::kSpefSyntax, "garbage at top", "n42", 3);
+  EXPECT_TRUE(cap.contains("SPEF_SYNTAX"));
+  EXPECT_TRUE(cap.contains("n42"));
+  EXPECT_EQ(cap.countAt(LogLevel::kError), 1);
+}
+
+// --- thread-safe logging ---------------------------------------------------
+
+TEST(Log, ConcurrentWritersProduceIntactLines) {
+  LogCapture cap;
+  constexpr int kThreads = 8, kPerThread = 50;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        TC_INFO("thread %d msg %d tail", t, i);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(cap.lines().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  // No interleaved/torn lines: every message kept its tail marker.
+  for (const auto& [level, line] : cap.lines()) {
+    (void)level;
+    EXPECT_NE(line.find("tail"), std::string::npos) << line;
+  }
+}
+
+// --- recoverable netlist construction --------------------------------------
+
+TEST(NetlistTryApi, RangeErrorsReturnStatusNotThrow) {
+  Netlist nl(lib());
+  InstId id = -1;
+  EXPECT_FALSE(nl.tryAddInstance("u_bad", 99999, &id).ok());
+  ASSERT_TRUE(nl.tryAddInstance("u1", 0, &id).ok());
+  EXPECT_EQ(nl.tryConnectInput(id, 42, 0).ok(), false);   // bad pin
+  EXPECT_EQ(nl.tryConnectInput(id, 0, 999).ok(), false);  // bad net
+  const NetId n = nl.addNet("n1");
+  EXPECT_TRUE(nl.tryConnectInput(id, 0, n).ok());
+  EXPECT_TRUE(nl.tryConnectOutput(id, n).ok());
+  // Second driver on the same net: recoverable failure with the code.
+  InstId id2 = -1;
+  ASSERT_TRUE(nl.tryAddInstance("u2", 0, &id2).ok());
+  const Status s = nl.tryConnectOutput(id2, n);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), DiagCode::kNetDoubleDriver);
+}
+
+TEST(NetlistValidate, SinkVariantReportsInsteadOfThrowing) {
+  Netlist nl(lib());
+  InstId id = -1;
+  ASSERT_TRUE(nl.tryAddInstance("u1", 0, &id).ok());
+  const NetId n = nl.addNet("n1");
+  ASSERT_TRUE(nl.tryConnectOutput(id, n).ok());
+  const PortId po = nl.addPort("po", false);
+  ASSERT_TRUE(nl.tryConnectPortToNet(po, n).ok());
+  // Input pin left floating -> one violation, no exception.
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  EXPECT_FALSE(nl.validate(sink));
+  EXPECT_GE(sink.count(DiagCode::kNetFloatingInput), 1);
+  // Quarantining the pin makes the same netlist validate clean.
+  nl.quarantinePin(id, 0);
+  DiagnosticSink sink2;
+  sink2.setEcho(false);
+  EXPECT_TRUE(nl.validate(sink2));
+}
+
+// --- lint rules ------------------------------------------------------------
+
+TEST(Lint, BreaksTwoInverterLoop) {
+  const auto invs = lib()->variants("INV");
+  ASSERT_FALSE(invs.empty());
+  const int inv = invs.front();
+  Netlist nl(lib());
+  InstId a = -1, b = -1;
+  ASSERT_TRUE(nl.tryAddInstance("a", inv, &a).ok());
+  ASSERT_TRUE(nl.tryAddInstance("b", inv, &b).ok());
+  const NetId nab = nl.addNet("nab");
+  const NetId nba = nl.addNet("nba");
+  ASSERT_TRUE(nl.tryConnectOutput(a, nab).ok());
+  ASSERT_TRUE(nl.tryConnectInput(b, 0, nab).ok());
+  ASSERT_TRUE(nl.tryConnectOutput(b, nba).ok());
+  ASSERT_TRUE(nl.tryConnectInput(a, 0, nba).ok());
+
+  std::vector<InstId> order;
+  EXPECT_FALSE(nl.tryTopoOrder(&order));
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  const LintReport rep = lintNetlist(nl, sink);
+  EXPECT_EQ(rep.loopsBroken, 1);
+  EXPECT_EQ(sink.count(DiagCode::kLintLoopBroken), 1);
+  EXPECT_TRUE(nl.tryTopoOrder(&order));
+  EXPECT_EQ(nl.quarantinedPins().size(), 1u);
+}
+
+TEST(Lint, QuarantinesFloatingAndUndrivenPins) {
+  const auto invs = lib()->variants("INV");
+  ASSERT_FALSE(invs.empty());
+  const int inv = invs.front();
+  Netlist nl(lib());
+  InstId a = -1, b = -1;
+  ASSERT_TRUE(nl.tryAddInstance("a", inv, &a).ok());  // floating input
+  ASSERT_TRUE(nl.tryAddInstance("b", inv, &b).ok());  // undriven-net input
+  const NetId n = nl.addNet("undriven");
+  ASSERT_TRUE(nl.tryConnectInput(b, 0, n).ok());
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  const LintReport rep = lintNetlist(nl, sink);
+  EXPECT_EQ(rep.danglingPinsQuarantined, 2);
+  EXPECT_EQ(rep.undrivenNets, 1);
+  EXPECT_TRUE(nl.isPinQuarantined(a, 0));
+  EXPECT_TRUE(nl.isPinQuarantined(b, 0));
+}
+
+TEST(Lint, RepairsNonFiniteAndNonMonotoneTables) {
+  Library L = *lib();  // mutable copy
+  int target = -1;
+  for (int ci = 0; ci < L.cellCount() && target < 0; ++ci)
+    if (!L.cell(ci).arcs.empty() && !L.cell(ci).arcs[0].rise.empty())
+      target = ci;
+  ASSERT_GE(target, 0);
+  Table2D& t = L.mutableCell(target).arcs[0].rise.delay;
+  ASSERT_GE(t.yAxis().size(), 2u);
+  const double orig = t.at(0, 1);
+  t.at(0, 0) = std::numeric_limits<double>::quiet_NaN();  // non-finite
+  t.at(0, 1) = -1.0;                                      // decreasing in load
+
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  const LibraryLintReport rep = lintLibrary(L, sink);
+  EXPECT_GE(rep.nonFiniteEntriesRepaired, 1);
+  EXPECT_GE(rep.tablesClamped, 1);
+  EXPECT_GE(sink.count(DiagCode::kLintNonFiniteTable), 1);
+  EXPECT_GE(sink.count(DiagCode::kLintNonMonotoneTable), 1);
+  const Table2D& fixedT = L.cell(target).arcs[0].rise.delay;
+  for (std::size_t i = 0; i < fixedT.xAxis().size(); ++i) {
+    double run = -1e30;
+    for (std::size_t j = 0; j < fixedT.yAxis().size(); ++j) {
+      EXPECT_TRUE(std::isfinite(fixedT.at(i, j)));
+      EXPECT_GE(fixedT.at(i, j), run);  // monotone along load
+      run = fixedT.at(i, j);
+    }
+  }
+  (void)orig;
+}
+
+TEST(Lint, CleanDesignStaysUntouched) {
+  Netlist nl = generatePipeline(lib(), 1, 4);
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  const LintReport rep = lintNetlist(nl, sink);
+  EXPECT_EQ(rep.loopsBroken, 0);
+  EXPECT_EQ(rep.danglingPinsQuarantined, 0);
+  EXPECT_TRUE(nl.quarantinedPins().empty());
+  // A clean pipeline may legitimately have unloaded nets (none expected
+  // here, but only errors would be alarming).
+  EXPECT_EQ(sink.errorCount(), 0);
+}
+
+// --- engine NaN quarantine -------------------------------------------------
+
+TEST(EngineQuarantine, QuarantinedPinSeededPessimistically) {
+  Scenario sc;
+  sc.lib = lib();
+  Netlist nl = generatePipeline(lib(), 1, 5);
+  // Quarantine one combinational input pin by hand.
+  InstId victim = -1;
+  for (InstId i = 0; i < nl.instanceCount(); ++i)
+    if (!nl.isSequential(i) && !nl.instance(i).isClockTreeBuffer &&
+        !nl.instance(i).fanin.empty()) {
+      victim = i;
+      break;
+    }
+  ASSERT_GE(victim, 0);
+  nl.quarantinePin(victim, 0);
+
+  StaEngine eng(nl, sc);
+  eng.run();
+  const VertexId v = eng.graph().inputVertex(victim, 0);
+  // Late arrival borrowed at a full clock period; early at 0.
+  EXPECT_NEAR(eng.timing(v).arr[0][0], eng.clockPeriod(), 1e-9);
+  EXPECT_NEAR(eng.timing(v).arr[1][0], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,134 @@
+/// \file roundtrip_test.cpp
+/// \brief Write -> read -> equivalence property tests for the interchange
+/// formats: structural Verilog and SPEF survive a round trip with no
+/// diagnostics and no structural drift, across several generator seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interconnect/extract.h"
+#include "interconnect/spef.h"
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "network/verilog.h"
+#include "util/log.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  static std::shared_ptr<const Library> L =
+      characterizedLibrary(LibraryPvt{}, true);
+  return L;
+}
+
+/// Structural equivalence: same ports, same instances (name, cell), same
+/// connectivity expressed through net names.
+void expectEquivalent(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.portCount(), b.portCount());
+  ASSERT_EQ(a.instanceCount(), b.instanceCount());
+  ASSERT_EQ(a.netCount(), b.netCount());
+  for (PortId p = 0; p < a.portCount(); ++p) {
+    EXPECT_EQ(a.port(p).name, b.port(p).name);
+    EXPECT_EQ(a.port(p).isInput, b.port(p).isInput);
+  }
+  // Port-attached nets are written through the port identifier, so their
+  // internal names do not survive the trip; canonicalize them to the port
+  // name on both sides.
+  auto netName = [](const Netlist& nl, NetId n) {
+    if (n < 0) return std::string("<nc>");
+    const Net& net = nl.net(n);
+    if (net.driverPort >= 0) return nl.port(net.driverPort).name;
+    if (net.loadPort >= 0) return nl.port(net.loadPort).name;
+    return net.name;
+  };
+  for (InstId i = 0; i < a.instanceCount(); ++i) {
+    const Instance& ia = a.instance(i);
+    const Instance& ib = b.instance(i);
+    EXPECT_EQ(ia.name, ib.name);
+    EXPECT_EQ(a.cellOf(i).name, b.cellOf(i).name);
+    ASSERT_EQ(ia.fanin.size(), ib.fanin.size()) << ia.name;
+    for (std::size_t pin = 0; pin < ia.fanin.size(); ++pin)
+      EXPECT_EQ(netName(a, ia.fanin[pin]), netName(b, ib.fanin[pin]))
+          << ia.name << " pin " << pin;
+    EXPECT_EQ(netName(a, ia.fanout), netName(b, ib.fanout)) << ia.name;
+  }
+}
+
+TEST(RoundTrip, VerilogPreservesStructureAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    BlockProfile prof = profileTiny();
+    prof.seed = seed;
+    const Netlist orig = generateBlock(lib(), prof);
+    const std::string text = toVerilog(orig);
+
+    DiagnosticSink sink;
+    sink.setEcho(false);
+    auto r = parseVerilog(text, lib(), sink);
+    ASSERT_TRUE(r.ok()) << (sink.diagnostics().empty()
+                                ? "no diagnostics"
+                                : sink.diagnostics().front().str());
+    EXPECT_EQ(sink.errorCount(), 0);
+    expectEquivalent(orig, r.value());
+  }
+}
+
+TEST(RoundTrip, VerilogReachesTextualFixedPoint) {
+  const Netlist orig = generateBlock(lib(), profileTiny());
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  auto once = parseVerilog(toVerilog(orig), lib(), sink);
+  ASSERT_TRUE(once.ok());
+  const std::string gen1 = toVerilog(once.value());
+  auto twice = parseVerilog(gen1, lib(), sink);
+  ASSERT_TRUE(twice.ok());
+  // After one trip the port-name canonicalization has settled: the text
+  // is a fixed point of write -> read -> write.
+  EXPECT_EQ(gen1, toVerilog(twice.value()));
+  EXPECT_EQ(sink.errorCount(), 0);
+}
+
+TEST(RoundTrip, SpefPreservesParasiticsAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 11ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Netlist nl = generatePipeline(lib(), 2, 4, 800.0, seed);
+    Extractor ex(nl, BeolStack::forNode(techNode(28)));
+    const ExtractionOptions opt;
+    const std::string text = toSpef(nl, ex, opt);
+
+    DiagnosticSink sink;
+    sink.setEcho(false);
+    auto r = parseSpef(text, sink);
+    ASSERT_TRUE(r.ok()) << (sink.diagnostics().empty()
+                                ? "no diagnostics"
+                                : sink.diagnostics().front().str());
+    EXPECT_EQ(sink.errorCount(), 0);
+    const SpefDesign& d = r.value();
+    EXPECT_EQ(d.nets.size(), static_cast<std::size_t>(nl.netCount()));
+
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+      const auto p = ex.extract(n, opt);
+      const SpefNet* sn = d.findNet(nl.net(n).name);
+      ASSERT_NE(sn, nullptr) << nl.net(n).name;
+      EXPECT_NEAR(sn->totalCap, p.totalCap,
+                  1e-4 * std::max(1.0, std::abs(p.totalCap)))
+          << nl.net(n).name;
+      // One resistor per non-root RC node.
+      EXPECT_EQ(sn->res.size(),
+                static_cast<std::size_t>(p.tree.nodeCount() - 1))
+          << nl.net(n).name;
+      // Distributed cap adds up to what the writer put down.
+      double nodeCapSum = 0.0;
+      for (int node = 0; node < p.tree.nodeCount(); ++node)
+        if (p.tree.nodeCap(node) > 0.0) nodeCapSum += p.tree.nodeCap(node);
+      EXPECT_NEAR(sn->capSum(), nodeCapSum,
+                  1e-4 * std::max(1.0, nodeCapSum))
+          << nl.net(n).name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tc

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/interp.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -86,9 +87,26 @@ TEST(NormalDistribution, CdfInverseRoundTrip) {
   EXPECT_NEAR(normalInverseCdf(normalCdf(3.0)), 3.0, 1e-6);
 }
 
-TEST(NormalDistribution, InverseCdfRejectsOutOfRange) {
-  EXPECT_THROW(normalInverseCdf(0.0), std::domain_error);
-  EXPECT_THROW(normalInverseCdf(1.0), std::domain_error);
+TEST(NormalDistribution, InverseCdfClampsOutOfRangeWithDiagnostic) {
+  LogCapture cap;
+  const double lo = normalInverseCdf(0.0);
+  const double hi = normalInverseCdf(1.0);
+  EXPECT_TRUE(std::isfinite(lo));
+  EXPECT_TRUE(std::isfinite(hi));
+  EXPECT_LT(lo, -8.0);
+  EXPECT_GT(hi, 8.0);
+  // The rational approximation is slightly asymmetric in the far tails;
+  // only rough symmetry is expected at the clamp boundary.
+  EXPECT_NEAR(lo, -hi, 0.05);
+  EXPECT_TRUE(cap.contains("STATS_DOMAIN_CLAMPED"));
+  EXPECT_EQ(cap.countAt(LogLevel::kWarn), 2);
+}
+
+TEST(SampleSet, EmptyQuantileDegradesWithDiagnostic) {
+  LogCapture cap;
+  SampleSet s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_TRUE(cap.contains("STATS_EMPTY_SAMPLES"));
 }
 
 TEST(Rng, UniformMomentsAndDeterminism) {
