@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "opt/closure.h"
@@ -39,7 +40,8 @@ ClosureResult runWith(const ClosureConfig& cfg, const Scenario& sc,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_ablation_closure", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
   BlockProfile p = profileC5315();
   Scenario sc;

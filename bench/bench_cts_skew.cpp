@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "util/rng.h"
 #include "network/netgen.h"
@@ -77,7 +78,8 @@ void report(const char* label, Netlist& nl,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport jsonReport("bench_cts_skew", argc, argv);
   BlockProfile p = profileC5315();
   const auto scs = scenarios();
   Netlist nl = generateBlock(scs[0].lib, p);

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "opt/closure.h"
@@ -20,7 +21,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_dynamic_ir", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
   BlockProfile p = profileC7552();
   p.clockPeriod = 700.0;  // fast clock: high switching power density

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "sta/engine.h"
@@ -21,7 +22,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_eco_turnaround", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
 
   std::puts("== ECO turnaround: incremental vs full timing update ==\n");

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "faultinject/mutators.h"
 #include "interconnect/extract.h"
 #include "interconnect/spef.h"
@@ -53,7 +54,8 @@ void printTable(const char* format,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fault_injection", argc, argv);
   setLogLevel(LogLevel::kError);
   LogCapture quiet;  // swallow per-mutant diagnostics; we print the table
   auto L = characterizedLibrary(LibraryPvt{}, true);

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "opt/closure.h"
@@ -22,7 +23,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig01_closure_loop", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
   BlockProfile p = profileC7552();
   Netlist nl = generateBlock(L, p);

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "signoff/corners.h"
@@ -19,7 +20,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig02_old_vs_new", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
   BlockProfile p = profileC5315();
   Netlist nl = generateBlock(L, p);

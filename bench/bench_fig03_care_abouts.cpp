@@ -8,12 +8,14 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "device/tech.h"
 #include "util/table.h"
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig03_care_abouts", argc, argv);
   const auto& nodes = technologyTimeline();
 
   {

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "device/stage.h"
 #include "util/table.h"
 
@@ -109,7 +110,8 @@ void runAtSupply(Volt vdd, Volt vddNominal) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig04_mis", argc, argv);
   std::puts(
       "== Fig. 4: multi-input switching (MIS) vs single-input switching "
       "(SIS), NAND2 + FO3 ==\n");

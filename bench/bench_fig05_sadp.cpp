@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "interconnect/rctree.h"
 #include "interconnect/sadp.h"
 #include "interconnect/wire.h"
@@ -20,7 +21,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig05_sadp", argc, argv);
   SadpModel m;  // default 10nm-class edge sigmas
 
   {

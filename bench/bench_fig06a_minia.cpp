@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "opt/transforms.h"
@@ -85,7 +86,8 @@ Outcome runFixer(std::shared_ptr<const Library> L, const BlockProfile& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig06a_minia", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
 
   std::puts(

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "device/stage.h"
 #include "interconnect/rctree.h"
 #include "interconnect/wire.h"
@@ -50,7 +51,8 @@ double wireDelay(Volt /*vdd*/, Celsius temp) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig06b_temp_inversion", argc, argv);
   std::puts("== Fig. 6(b): temperature inversion ==\n");
   {
     TextTable t("HVT inverter delay vs supply at -30C / 25C / 125C");

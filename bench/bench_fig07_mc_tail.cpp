@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "sta/engine.h"
@@ -23,7 +24,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig07_mc_tail", argc, argv);
   // Low supply accentuates the non-Gaussian tail (paper cites the
   // low-voltage study of Rithe et al. [27]).
   auto libNom = characterizedLibrary(LibraryPvt{ProcessCorner::kTT, 0.9, 25.0});

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "place/placement.h"
@@ -16,7 +17,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig08_tbc", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
   BlockProfile p = profileC5315();
   Netlist nl = generateBlock(L, p);

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "opt/closure.h"
 #include "signoff/avs.h"
@@ -20,7 +21,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig09_avs_aging", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
   // 7 signoff corners: assumed DC-stress aging the implementation margins
   // for (corner 1 = no aging margin ... corner 7 = 20 years).

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "device/latch.h"
 #include "liberty/builder.h"
 #include "liberty/interdep.h"
@@ -24,7 +25,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_fig10_flexflop", argc, argv);
   LatchConditions lc;  // 0.9V / 25C SVT flop
   LatchSim sim(lc);
   const Ps c2q0 = sim.nominalClockToQ();

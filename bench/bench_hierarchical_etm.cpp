@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "signoff/etm.h"
@@ -18,7 +19,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_hierarchical_etm", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
 
   std::puts("== Flat vs ETM-based hierarchical analysis ==\n");

@@ -1,0 +1,88 @@
+#pragma once
+/// \file bench_json.h
+/// \brief CI-consumable bench output: every bench_* binary accepts
+/// `--json <path>` and, when given, writes a small machine-readable result
+/// file next to its human-readable tables. CI uploads these as artifacts,
+/// seeding the perf trajectory (BENCH_*.json at the repo root is the
+/// tracked history; everything else is ignored by .gitignore).
+///
+/// Usage:
+///   int main(int argc, char** argv) {
+///     tc::bench::JsonReport report("bench_foo", argc, argv);
+///     ...
+///     report.metric("wns_ps", wns, "ps");
+///   }                       // total wall_ms recorded + file written on exit
+///
+/// The format is deliberately flat so a shell + jq pipeline can trend it:
+///   {"bench": "...", "wall_ms": 12.3,
+///    "metrics": [{"name": "...", "value": 1.0, "unit": "ps"}, ...]}
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tc::bench {
+
+class JsonReport {
+ public:
+  JsonReport(std::string benchName, int argc, char** argv)
+      : bench_(std::move(benchName)),
+        start_(std::chrono::steady_clock::now()) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+  }
+
+  ~JsonReport() { write(); }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Record one named value. Call order is preserved in the output.
+  void metric(const std::string& name, double value,
+              const std::string& unit = "") {
+    metrics_.push_back({name, value, unit});
+  }
+
+  /// Flush now (also runs from the destructor; second call is a no-op).
+  void write() {
+    if (path_.empty() || written_) return;
+    written_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path_.c_str());
+      return;
+    }
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    std::fprintf(f, "{\"bench\": \"%s\", \"wall_ms\": %.3f, \"metrics\": [",
+                 bench_.c_str(), wallMs);
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s{\"name\": \"%s\", \"value\": %.9g, \"unit\": \"%s\"}",
+                   i ? ", " : "", metrics_[i].name.c_str(), metrics_[i].value,
+                   metrics_[i].unit.c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Metric> metrics_;
+  std::chrono::steady_clock::time_point start_;
+  bool written_ = false;
+};
+
+}  // namespace tc::bench

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "signoff/monitor.h"
@@ -20,7 +21,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_monitor_tracking", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
   BlockProfile p = profileC5315();
   Netlist nl = generateBlock(L, p);

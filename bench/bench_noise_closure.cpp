@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "opt/transforms.h"
@@ -44,7 +45,8 @@ void reportSi(const char* label, const SiSummary& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_noise_closure", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
   BlockProfile p = profileC5315();
   Netlist nl = generateBlock(L, p);

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "opt/closure.h"
@@ -18,7 +19,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_overdrive_shmoo", argc, argv);
   // Lib group: four supply points of the same process/temperature.
   std::vector<std::shared_ptr<const Library>> libs = {
       characterizedLibrary(LibraryPvt{ProcessCorner::kTT, 0.55, 25.0}),

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "sta/pba.h"
@@ -15,7 +16,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_pba_vs_gba", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
   BlockProfile p = profileAes();
   Netlist nl = generateBlock(L, p);

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "sta/mc.h"
@@ -21,7 +22,8 @@
 
 using namespace tc;
 
-int main() {
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_ssta", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
   BlockProfile p = profileC7552();
   Netlist nl = generateBlock(L, p);

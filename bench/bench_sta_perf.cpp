@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "sta/engine.h"
@@ -92,4 +95,26 @@ BENCHMARK(BM_MisRefine);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same CI contract as the plain benches: `--json <path>` produces a JSON
+// result file — here by translating into google-benchmark's own reporter
+// flags before Initialize() consumes argv.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string outFlag, fmtFlag;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      outFlag = std::string("--benchmark_out=") + argv[i + 1];
+      fmtFlag = "--benchmark_out_format=json";
+      args.erase(args.begin() + i, args.begin() + i + 2);
+      args.push_back(outFlag.data());
+      args.push_back(fmtFlag.data());
+      break;
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

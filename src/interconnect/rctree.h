@@ -45,6 +45,14 @@ class RcTree {
   /// Wire-induced slew at a node (PERI-style): sqrt(slewIn^2 + (ln9*m1)^2).
   Ps degradeSlew(Ps slewIn, int node) const;
 
+  /// Force the lazy moment analysis now. Concurrent readers of a shared
+  /// tree are only safe after this ran (the delay calculator calls it when
+  /// warming its cache for a parallel pass); afterwards every query above
+  /// is a pure read.
+  void ensureAnalyzed() const {
+    if (!analyzed_) analyze();
+  }
+
  private:
   struct Node {
     int parent = -1;

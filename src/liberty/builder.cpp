@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <future>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -482,28 +483,55 @@ std::shared_ptr<Library> buildLibrary(const LibraryPvt& pvt,
 
 std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
                                                     bool quick) {
+  // Per-key shared futures: the registry lock is only held to look up or
+  // insert the future, never across characterization. Concurrent scenario
+  // setup at *different* PVTs characterizes in parallel; concurrent setup
+  // at the *same* PVT shares one build — and one immutable Library, so
+  // NLDM/LVF tables are never duplicated across engines (the cache the
+  // MCMM runner leans on).
+  using Key = std::pair<LibraryPvt, bool>;
+  using LibFuture = std::shared_future<std::shared_ptr<const Library>>;
   static std::mutex mu;
-  static std::map<std::pair<LibraryPvt, bool>,
-                  std::shared_ptr<const Library>>
-      cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto key = std::make_pair(pvt, quick);
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+  static std::map<Key, LibFuture> cache;
 
-  // Second-level cache: characterized libraries persist on disk, like the
-  // .lib/.db files a production flow characterizes once and ships.
-  const std::string path = libraryCachePath(pvt, quick);
-  std::shared_ptr<Library> lib = readLibraryFile(path);
-  if (!lib) {
-    CharConfig cfg;
-    cfg.quick = quick;
-    lib = buildLibrary(pvt, cfg);
-    if (!writeLibraryFile(*lib, path))
-      TC_WARN("could not write library cache %s", path.c_str());
+  const Key key{pvt, quick};
+  std::promise<std::shared_ptr<const Library>> promise;
+  LibFuture fut;
+  bool isBuilder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      fut = promise.get_future().share();
+      cache.emplace(key, fut);
+      isBuilder = true;
+    } else {
+      fut = it->second;
+    }
   }
-  cache[key] = lib;
-  return lib;
+  if (isBuilder) {
+    try {
+      // Second-level cache: characterized libraries persist on disk, like
+      // the .lib/.db files a production flow characterizes once and ships.
+      const std::string path = libraryCachePath(pvt, quick);
+      std::shared_ptr<Library> lib = readLibraryFile(path);
+      if (!lib) {
+        CharConfig cfg;
+        cfg.quick = quick;
+        lib = buildLibrary(pvt, cfg);
+        if (!writeLibraryFile(*lib, path))
+          TC_WARN("could not write library cache %s", path.c_str());
+      }
+      promise.set_value(lib);
+    } catch (...) {
+      // Waiters see the exception; drop the entry so a later call retries.
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mu);
+      cache.erase(key);
+      throw;
+    }
+  }
+  return fut.get();
 }
 
 }  // namespace tc

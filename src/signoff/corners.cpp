@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "device/mosfet.h"
 #include "device/tech.h"
@@ -106,6 +107,100 @@ std::vector<ViewDef> pruneForSetup(const CornerUniverse& u) {
     }
   }
   return out;
+}
+
+Ps McmmResult::wns(Check check) const {
+  double w = std::numeric_limits<double>::infinity();
+  for (const auto& s : scenarios)
+    w = std::min(w, check == Check::kSetup ? s.setupWns : s.holdWns);
+  return w;
+}
+
+Ps McmmResult::tns(Check check) const {
+  double t = 0.0;
+  for (const auto& s : scenarios)
+    t += check == Check::kSetup ? s.setupTns : s.holdTns;
+  return t;
+}
+
+int McmmResult::violationCount(Check check) const {
+  int n = 0;
+  for (const auto& s : scenarios)
+    n += check == Check::kSetup ? s.setupViolations : s.holdViolations;
+  return n;
+}
+
+int McmmResult::worstScenario(Check check) const {
+  int worst = -1;
+  double w = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const double s = check == Check::kSetup ? scenarios[i].setupWns
+                                            : scenarios[i].holdWns;
+    if (s < w) {
+      w = s;
+      worst = static_cast<int>(i);
+    }
+  }
+  return worst;
+}
+
+McmmRunner::McmmRunner(const Netlist& netlist, std::vector<Scenario> scenarios)
+    : nl_(&netlist), scenarios_(std::move(scenarios)) {}
+
+const McmmResult& McmmRunner::run(const McmmOptions& opt) {
+  const std::size_t n = scenarios_.size();
+  engines_.clear();
+  engines_.resize(n);
+  sinks_.clear();
+  sinks_.resize(n);
+  result_ = McmmResult{};
+  result_.scenarios.resize(n);
+
+  auto runOne = [this, &opt](std::size_t i) {
+    sinks_[i] = std::make_unique<DiagnosticSink>();
+    sinks_[i]->setEcho(opt.echoDiagnostics);
+    engines_[i] = std::make_unique<StaEngine>(*nl_, scenarios_[i]);
+    StaEngine& eng = *engines_[i];
+    eng.setDiagnosticSink(sinks_[i].get());
+    if (opt.intraScenario) eng.setThreadPool(opt.pool);
+    eng.run();
+
+    ScenarioResult& r = result_.scenarios[i];
+    r.scenario = scenarios_[i].name;
+    r.setupWns = eng.wns(Check::kSetup);
+    r.holdWns = eng.wns(Check::kHold);
+    r.setupTns = eng.tns(Check::kSetup);
+    r.holdTns = eng.tns(Check::kHold);
+    r.setupViolations = eng.violationCount(Check::kSetup);
+    r.holdViolations = eng.violationCount(Check::kHold);
+    r.drvViolations = static_cast<int>(eng.drvViolations().size());
+    r.nanQuarantined = eng.nanQuarantineCount();
+    r.endpoints = eng.endpoints();
+    r.diagnostics = sinks_[i]->diagnostics();
+  };
+
+  if (opt.pool && opt.pool->threadCount() > 0)
+    opt.pool->parallelFor(n, runOne, /*grain=*/1);
+  else
+    for (std::size_t i = 0; i < n; ++i) runOne(i);
+
+  // Deterministic merge: scenario input order, each scenario's sink in its
+  // own (serial-equivalent) emission order.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (Diagnostic d : result_.scenarios[i].diagnostics) {
+      d.entity = result_.scenarios[i].scenario +
+                 (d.entity.empty() ? "" : "/" + d.entity);
+      result_.merged.push_back(std::move(d));
+    }
+  }
+  return result_;
+}
+
+McmmResult runMcmm(const Netlist& netlist, std::vector<Scenario> scenarios,
+                   const McmmOptions& opt) {
+  McmmRunner runner(netlist, std::move(scenarios));
+  runner.run(opt);
+  return runner.result();
 }
 
 std::vector<ViewDef> pruneForHold(const CornerUniverse& u) {

@@ -12,11 +12,15 @@
 /// gate-dominated -> Cw dominates; high-V paths are wire-dominated -> RCw
 /// dominates).
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "device/process.h"
 #include "interconnect/wire.h"
+#include "sta/engine.h"
+#include "util/diag.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace tc {
@@ -61,5 +65,85 @@ double viewDelayScore(const ViewDef& view);
 std::vector<ViewDef> pruneForSetup(const CornerUniverse& u);
 /// Dominant hold views: fastest process/voltage, both temperatures, Cb/RCb.
 std::vector<ViewDef> pruneForHold(const CornerUniverse& u);
+
+// ---------------------------------------------------------------------------
+// MCMM analysis runtime: the paper's corner super-explosion, paid in
+// parallel. Scenarios are independent (immutable netlist, immutable
+// per-PVT libraries shared through characterizedLibrary's cache), so the
+// runner fans each Scenario's full STA run out across a thread pool and
+// merges results deterministically in scenario input order.
+// ---------------------------------------------------------------------------
+
+struct McmmOptions {
+  /// Pool the scenario runs are dispatched across. Null => serial loop
+  /// (the `--serial` reference the determinism tests compare against).
+  ThreadPool* pool = nullptr;
+  /// Also hand the pool to each engine for intra-scenario (level/endpoint)
+  /// parallelism. Nested parallelFor is deadlock-free by construction, so
+  /// this is on by default; turn it off to measure pure scenario scaling.
+  bool intraScenario = true;
+  /// Echo per-scenario diagnostics through tc::logf as they happen.
+  /// Default off: concurrent scenario sinks would interleave on stderr in
+  /// a thread-dependent order, and everything is surfaced (deterministic)
+  /// in McmmResult anyway.
+  bool echoDiagnostics = false;
+};
+
+/// Outcome of one scenario's STA run.
+struct ScenarioResult {
+  std::string scenario;
+  Ps setupWns = 0.0, holdWns = 0.0;
+  Ps setupTns = 0.0, holdTns = 0.0;
+  int setupViolations = 0, holdViolations = 0;
+  int drvViolations = 0;
+  int nanQuarantined = 0;
+  std::vector<EndpointTiming> endpoints;  ///< engine endpoint order
+  std::vector<Diagnostic> diagnostics;    ///< this scenario's sink contents
+};
+
+/// Merged MCMM outcome, reduced in scenario input order (bit-identical
+/// whatever the pool width — see DESIGN.md "Concurrency model").
+struct McmmResult {
+  std::vector<ScenarioResult> scenarios;  ///< input order
+  /// Scenario-order concatenation of every sink, each diagnostic's entity
+  /// prefixed "scenario/entity" so one stream stays attributable.
+  std::vector<Diagnostic> merged;
+
+  Ps wns(Check check) const;
+  Ps tns(Check check) const;  ///< sum over scenarios (MCMM closure metric)
+  int violationCount(Check check) const;
+  /// Index of the scenario holding the worst WNS (-1 when empty).
+  int worstScenario(Check check) const;
+};
+
+/// Owns the per-scenario engines and sinks of one MCMM signoff pass.
+/// Scenarios are fixed at construction (engines keep pointers into the
+/// stored vector); run() may be called repeatedly with different options
+/// and rebuilds the engines each time.
+class McmmRunner {
+ public:
+  McmmRunner(const Netlist& netlist, std::vector<Scenario> scenarios);
+
+  const McmmResult& run(const McmmOptions& opt = {});
+
+  const McmmResult& result() const { return result_; }
+  std::size_t scenarioCount() const { return scenarios_.size(); }
+  const Scenario& scenario(std::size_t i) const { return scenarios_[i]; }
+  /// Engine of scenario i (null before run()). Stays alive until the next
+  /// run() — cross-scenario analyses (CTS skew, margin comparison) read
+  /// these directly.
+  StaEngine* engine(std::size_t i) const { return engines_[i].get(); }
+
+ private:
+  const Netlist* nl_;
+  std::vector<Scenario> scenarios_;
+  std::vector<std::unique_ptr<StaEngine>> engines_;
+  std::vector<std::unique_ptr<DiagnosticSink>> sinks_;
+  McmmResult result_;
+};
+
+/// One-shot convenience: run the scenario set and return the merged result.
+McmmResult runMcmm(const Netlist& netlist, std::vector<Scenario> scenarios,
+                   const McmmOptions& opt = {});
 
 }  // namespace tc

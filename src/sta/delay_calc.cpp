@@ -44,6 +44,20 @@ void DelayCalculator::invalidateAll() {
   cache_.assign(static_cast<std::size_t>(nl_->netCount()), std::nullopt);
 }
 
+void DelayCalculator::warmCache(ThreadPool* pool) {
+  if (cache_.size() < static_cast<std::size_t>(nl_->netCount()))
+    cache_.resize(static_cast<std::size_t>(nl_->netCount()));
+  auto fill = [this](std::size_t n) {
+    auto& slot = cache_[n];
+    if (!slot) slot = extractor_.extract(static_cast<NetId>(n), extOpt_);
+    slot->tree.ensureAnalyzed();
+  };
+  if (pool)
+    pool->parallelFor(cache_.size(), fill, /*grain=*/16);
+  else
+    for (std::size_t n = 0; n < cache_.size(); ++n) fill(n);
+}
+
 Ff DelayCalculator::driverLoad(NetId net, Ps driverSlewGuess) const {
   return parasitics(net).tree.effectiveCap(driverSlewGuess);
 }

@@ -12,6 +12,7 @@
 #include "interconnect/extract.h"
 #include "network/netlist.h"
 #include "sta/scenario.h"
+#include "util/thread_pool.h"
 
 namespace tc {
 
@@ -24,6 +25,13 @@ class DelayCalculator {
   /// Drop the cache entry (netlist edited by ECO/optimizer).
   void invalidateNet(NetId net);
   void invalidateAll();
+
+  /// Extract every net now (optionally fanned out across `pool`), including
+  /// the RC-tree moment analysis. The lazy fill in parasitics() is not
+  /// thread-safe — a parallel engine pass must warm the cache first so all
+  /// later lookups are pure reads. Extraction is deterministic per net, so
+  /// a warmed cache is bit-identical to a lazily-filled one.
+  void warmCache(ThreadPool* pool = nullptr);
 
   struct ArcResult {
     Ps delay = 0.0;

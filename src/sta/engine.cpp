@@ -153,25 +153,13 @@ void StaEngine::relax(VertexId to, Mode m, int trans, double arr,
   // NaN/Inf quarantine: a degenerate delay-calc result (bad parasitics,
   // corrupt table) must not poison the forward cone. Reject the candidate
   // locally; the vertex keeps its previous (or unreached) state and every
-  // other path through it still times normally.
+  // other path through it still times normally. Events are buffered, not
+  // reported inline, so a parallel sweep produces the same diagnostics as
+  // a serial one (flushNanEvents orders them by topo position).
   if (!std::isfinite(arr) || !std::isfinite(slewIn) || !std::isfinite(var)) {
-    ++nanQuarantine_;
-    constexpr int kMaxNanReports = 20;
-    if (diagSink_ && nanQuarantine_ <= kMaxNanReports) {
-      const TimingGraph::Vertex& vx = graph_.vertex(to);
-      const std::string entity =
-          vx.kind == TimingGraph::VertexKind::kPort
-              ? nl_->port(vx.port).name
-              : nl_->instance(vx.inst).name;
-      diagSink_->warn(DiagCode::kLintNanQuarantined,
-                      std::string("non-finite ") +
-                          (!std::isfinite(arr) ? "arrival" : "slew/variance") +
-                          " rejected during propagation" +
-                          (nanQuarantine_ == kMaxNanReports
-                               ? " (further reports suppressed)"
-                               : ""),
-                      entity);
-    }
+    std::lock_guard<std::mutex> lock(nanMu_);
+    nanEvents_.push_back(
+        {to, static_cast<std::uint8_t>(!std::isfinite(arr) ? 1 : 0)});
     return;
   }
   VertexTiming& t = vt_[static_cast<std::size_t>(to)];
@@ -304,9 +292,58 @@ void StaEngine::processEdge(EdgeId e) {
   }
 }
 
+void StaEngine::flushNanEvents() {
+  // Stable-sort by topo position: within one vertex the discovery order is
+  // the vertex task's own deterministic in-edge order, and across vertices
+  // the topo position is thread-independent — so serial and parallel runs
+  // emit identical diagnostics.
+  std::stable_sort(nanEvents_.begin(), nanEvents_.end(),
+                   [this](const NanEvent& a, const NanEvent& b) {
+                     return graph_.topoPosition(a.vertex) <
+                            graph_.topoPosition(b.vertex);
+                   });
+  constexpr int kMaxNanReports = 20;
+  for (std::size_t i = 0; i < nanEvents_.size(); ++i) {
+    ++nanQuarantine_;
+    if (!diagSink_ || static_cast<int>(i) >= kMaxNanReports) continue;
+    const TimingGraph::Vertex& vx = graph_.vertex(nanEvents_[i].vertex);
+    const std::string entity = vx.kind == TimingGraph::VertexKind::kPort
+                                   ? nl_->port(vx.port).name
+                                   : nl_->instance(vx.inst).name;
+    diagSink_->warn(
+        DiagCode::kLintNanQuarantined,
+        std::string("non-finite ") +
+            (nanEvents_[i].badArrival ? "arrival" : "slew/variance") +
+            " rejected during propagation" +
+            (static_cast<int>(i) == kMaxNanReports - 1 &&
+                     nanEvents_.size() > static_cast<std::size_t>(kMaxNanReports)
+                 ? " (further reports suppressed)"
+                 : ""),
+        entity);
+  }
+  nanEvents_.clear();
+}
+
 void StaEngine::propagate() {
-  for (VertexId v : graph_.topoOrder())
-    for (EdgeId e : graph_.outEdges(v)) processEdge(e);
+  // Pull model: each vertex relaxes over its own in-edges. Serially this
+  // visits edges in exactly the order the per-level parallel sweep does
+  // per vertex, which is what makes serial and parallel bit-identical.
+  if (pool_ && pool_->threadCount() > 0) {
+    // All delay-calc lookups must be pure reads before tasks share them.
+    dc_.warmCache(pool_);
+    for (const auto& level : graph_.levels()) {
+      pool_->parallelFor(
+          level.size(),
+          [this, &level](std::size_t i) {
+            for (EdgeId e : graph_.inEdges(level[i])) processEdge(e);
+          },
+          /*grain=*/8);
+    }
+  } else {
+    for (VertexId v : graph_.topoOrder())
+      for (EdgeId e : graph_.inEdges(v)) processEdge(e);
+  }
+  flushNanEvents();
 }
 
 std::vector<PathStep> StaEngine::tracePath(VertexId endpoint, Mode mode,
@@ -375,80 +412,109 @@ Ps StaEngine::cpprCredit(VertexId dataEndpoint, int dataTrans,
   return credit;
 }
 
+bool StaEngine::evalEndpoint(VertexId v, EndpointTiming* out,
+                             bool* droppedNonFinite) const {
+  *droppedNonFinite = false;
+  const Ps period = nl_->clocks().empty() ? 1e9 : clockPeriod();
+  const TimingGraph::Vertex& vx = graph_.vertex(v);
+  EndpointTiming ep;
+  ep.vertex = v;
+
+  if (vx.kind == TimingGraph::VertexKind::kPort) {
+    // Output port constrained against the clock period.
+    const double late = arrivalKey(v, Mode::kLate);
+    if (late == kNoTime) return false;
+    if (!std::isfinite(late)) {
+      *droppedNonFinite = true;
+      return false;
+    }
+    ep.dataLate = late;
+    ep.setupSlack = period - sc_->clockUncertaintySetup -
+                    sc_->extraSetupMargin - late;
+    ep.setupTrans = key(v, Mode::kLate, 0) >= key(v, Mode::kLate, 1) ? 0 : 1;
+    ep.holdSlack = kInf;
+    *out = ep;
+    return true;
+  }
+
+  const InstId flop = vx.inst;
+  ep.flop = flop;
+  const VertexId ckV = graph_.inputVertex(flop, 1);
+  const Cell& cell = dc_.cellOf(flop);
+  if (!cell.flop) return false;
+
+  const double dLateR = key(v, Mode::kLate, 0);
+  const double dLateF = key(v, Mode::kLate, 1);
+  if (dLateR == kNoTime && dLateF == kNoTime) return false;
+  ep.setupTrans = dLateR >= dLateF ? 0 : 1;
+  ep.dataLate = std::max(dLateR, dLateF);
+  const double dEarlyR = key(v, Mode::kEarly, 0);
+  const double dEarlyF = key(v, Mode::kEarly, 1);
+  ep.holdTrans = dEarlyR <= dEarlyF ? 0 : 1;
+  ep.dataEarly = std::min(dEarlyR, dEarlyF);
+
+  ep.captureEarly = key(ckV, Mode::kEarly, 0);
+  ep.captureLate = key(ckV, Mode::kLate, 0);
+  if (ep.captureEarly == kInf || ep.captureLate == kNoTime) return false;
+
+  ep.setupConstraint = dc_.setupTime(flop);
+  ep.holdConstraint = dc_.holdTime(flop);
+
+  ep.cpprSetup = cpprCredit(v, ep.setupTrans, ckV, Check::kSetup);
+  ep.cpprHold = cpprCredit(v, ep.holdTrans, ckV, Check::kHold);
+
+  ep.setupSlack = period + ep.captureEarly - ep.setupConstraint -
+                  sc_->clockUncertaintySetup - sc_->extraSetupMargin -
+                  ep.dataLate + ep.cpprSetup;
+  ep.holdSlack = ep.dataEarly - ep.captureLate - ep.holdConstraint -
+                 sc_->clockUncertaintyHold - sc_->extraHoldMargin +
+                 ep.cpprHold;
+  // One untimeable endpoint (NaN slack from degenerate inputs the
+  // quarantine upstream could not absorb) is dropped with a diagnostic
+  // instead of corrupting WNS/TNS for the whole design.
+  if (std::isnan(ep.setupSlack) || std::isnan(ep.holdSlack)) {
+    *droppedNonFinite = true;
+    return false;
+  }
+  *out = ep;
+  return true;
+}
+
 void StaEngine::checkEndpoints() {
   endpoints_.clear();
-  const Ps period = nl_->clocks().empty() ? 1e9 : clockPeriod();
+  const auto& eps = graph_.endpoints();
+  // Endpoints are independent: evaluate into per-endpoint slots (CPPR path
+  // tracing is the expensive part), then compact and report drops in the
+  // graph's endpoint order, so parallel and serial runs agree exactly.
+  std::vector<EndpointTiming> slots(eps.size());
+  std::vector<std::uint8_t> ok(eps.size(), 0), dropped(eps.size(), 0);
+  auto evalOne = [&](std::size_t i) {
+    bool drop = false;
+    ok[i] = evalEndpoint(eps[i], &slots[i], &drop) ? 1 : 0;
+    dropped[i] = drop ? 1 : 0;
+  };
+  if (pool_ && pool_->threadCount() > 0)
+    pool_->parallelFor(eps.size(), evalOne, /*grain=*/4);
+  else
+    for (std::size_t i = 0; i < eps.size(); ++i) evalOne(i);
 
-  for (VertexId v : graph_.endpoints()) {
-    const TimingGraph::Vertex& vx = graph_.vertex(v);
-    EndpointTiming ep;
-    ep.vertex = v;
-
-    if (vx.kind == TimingGraph::VertexKind::kPort) {
-      // Output port constrained against the clock period.
-      const double late = arrivalKey(v, Mode::kLate);
-      if (late == kNoTime) continue;
-      if (!std::isfinite(late)) {
-        ++nanQuarantine_;
-        if (diagSink_)
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    if (dropped[i]) {
+      ++nanQuarantine_;
+      if (diagSink_) {
+        const TimingGraph::Vertex& vx = graph_.vertex(eps[i]);
+        if (vx.kind == TimingGraph::VertexKind::kPort)
           diagSink_->warn(DiagCode::kLintNanQuarantined,
                           "output-port endpoint dropped: non-finite arrival",
                           nl_->port(vx.port).name);
-        continue;
+        else
+          diagSink_->warn(
+              DiagCode::kLintNanQuarantined,
+              "endpoint dropped: non-finite slack",
+              vx.inst >= 0 ? nl_->instance(vx.inst).name : std::string());
       }
-      ep.dataLate = late;
-      ep.setupSlack = period - sc_->clockUncertaintySetup -
-                      sc_->extraSetupMargin - late;
-      ep.setupTrans = key(v, Mode::kLate, 0) >= key(v, Mode::kLate, 1) ? 0 : 1;
-      ep.holdSlack = kInf;
-      endpoints_.push_back(ep);
-      continue;
     }
-
-    const InstId flop = vx.inst;
-    ep.flop = flop;
-    const VertexId ckV = graph_.inputVertex(flop, 1);
-    const Cell& cell = dc_.cellOf(flop);
-    if (!cell.flop) continue;
-
-    const double dLateR = key(v, Mode::kLate, 0);
-    const double dLateF = key(v, Mode::kLate, 1);
-    if (dLateR == kNoTime && dLateF == kNoTime) continue;
-    ep.setupTrans = dLateR >= dLateF ? 0 : 1;
-    ep.dataLate = std::max(dLateR, dLateF);
-    const double dEarlyR = key(v, Mode::kEarly, 0);
-    const double dEarlyF = key(v, Mode::kEarly, 1);
-    ep.holdTrans = dEarlyR <= dEarlyF ? 0 : 1;
-    ep.dataEarly = std::min(dEarlyR, dEarlyF);
-
-    ep.captureEarly = key(ckV, Mode::kEarly, 0);
-    ep.captureLate = key(ckV, Mode::kLate, 0);
-    if (ep.captureEarly == kInf || ep.captureLate == kNoTime) continue;
-
-    ep.setupConstraint = dc_.setupTime(flop);
-    ep.holdConstraint = dc_.holdTime(flop);
-
-    ep.cpprSetup = cpprCredit(v, ep.setupTrans, ckV, Check::kSetup);
-    ep.cpprHold = cpprCredit(v, ep.holdTrans, ckV, Check::kHold);
-
-    ep.setupSlack = period + ep.captureEarly - ep.setupConstraint -
-                    sc_->clockUncertaintySetup - sc_->extraSetupMargin -
-                    ep.dataLate + ep.cpprSetup;
-    ep.holdSlack = ep.dataEarly - ep.captureLate - ep.holdConstraint -
-                   sc_->clockUncertaintyHold - sc_->extraHoldMargin +
-                   ep.cpprHold;
-    // One untimeable endpoint (NaN slack from degenerate inputs the
-    // quarantine upstream could not absorb) is dropped with a diagnostic
-    // instead of corrupting WNS/TNS for the whole design.
-    if (std::isnan(ep.setupSlack) || std::isnan(ep.holdSlack)) {
-      ++nanQuarantine_;
-      if (diagSink_)
-        diagSink_->warn(DiagCode::kLintNanQuarantined,
-                        "endpoint dropped: non-finite slack",
-                        flop >= 0 ? nl_->instance(flop).name : std::string());
-      continue;
-    }
-    endpoints_.push_back(ep);
+    if (ok[i]) endpoints_.push_back(slots[i]);
   }
 }
 
@@ -490,64 +556,78 @@ void StaEngine::computeRequired() {
     r[1] = std::min(r[1], reqTime);
   }
 
+  if (pool_ && pool_->threadCount() > 0) {
+    // Reverse level order: every out-edge of a level-L vertex lands on a
+    // level > L, already final when level L's pulls run.
+    const auto& levels = graph_.levels();
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+      const auto& level = *it;
+      pool_->parallelFor(
+          level.size(),
+          [this, &level](std::size_t i) { pullRequired(level[i]); },
+          /*grain=*/8);
+    }
+  } else {
+    const auto& topo = graph_.topoOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) pullRequired(*it);
+  }
+}
+
+void StaEngine::pullRequired(VertexId u) {
   const auto& d = sc_->derate;
   const double lateF = d.mode == DerateMode::kFlatOcv ? d.flatLate : 1.0;
-  const auto& topo = graph_.topoOrder();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const VertexId v = *it;
-    const auto& reqV = requiredLate_[static_cast<std::size_t>(v)];
+  const VertexTiming& ft = vt_[static_cast<std::size_t>(u)];
+  auto& reqU = requiredLate_[static_cast<std::size_t>(u)];
+  for (EdgeId e : graph_.outEdges(u)) {
+    const TimingGraph::Edge& ed = graph_.edge(e);
+    const auto& reqV = requiredLate_[static_cast<std::size_t>(ed.to)];
     if (reqV[0] == kInf && reqV[1] == kInf) continue;
-    for (EdgeId e : graph_.inEdges(v)) {
-      const TimingGraph::Edge& ed = graph_.edge(e);
-      const VertexTiming& ft = vt_[static_cast<std::size_t>(ed.from)];
-      auto& reqU = requiredLate_[static_cast<std::size_t>(ed.from)];
-      switch (ed.kind) {
-        case TimingGraph::EdgeKind::kNetArc: {
-          Ps skew = 0.0;
-          const TimingGraph::Vertex& tv = graph_.vertex(ed.to);
-          if (tv.kind == TimingGraph::VertexKind::kCellInput &&
-              tv.pin == 1 && nl_->isSequential(tv.inst))
-            skew = nl_->instance(tv.inst).usefulSkew;
-          for (int tr = 0; tr < 2; ++tr) {
-            if (reqV[tr] == kInf || ft.arr[0][tr] == kNoTime) continue;
-            const auto w = dc_.wire(ed.net, ed.sinkIndex, ft.slew[0][tr]);
-            reqU[tr] = std::min(reqU[tr], reqV[tr] - w.delay * lateF - skew);
-          }
-          break;
+    switch (ed.kind) {
+      case TimingGraph::EdgeKind::kNetArc: {
+        Ps skew = 0.0;
+        const TimingGraph::Vertex& tv = graph_.vertex(ed.to);
+        if (tv.kind == TimingGraph::VertexKind::kCellInput && tv.pin == 1 &&
+            nl_->isSequential(tv.inst))
+          skew = nl_->instance(tv.inst).usefulSkew;
+        for (int tr = 0; tr < 2; ++tr) {
+          if (reqV[tr] == kInf || ft.arr[0][tr] == kNoTime) continue;
+          const auto w = dc_.wire(ed.net, ed.sinkIndex, ft.slew[0][tr]);
+          reqU[tr] = std::min(reqU[tr], reqV[tr] - w.delay * lateF - skew);
         }
-        case TimingGraph::EdgeKind::kCellArc: {
-          const InstId inst = graph_.vertex(ed.from).inst;
-          const Cell& cell = dc_.cellOf(inst);
-          const TimingArc& arc =
-              cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
-          for (int trIn = 0; trIn < 2; ++trIn) {
-            if (ft.arr[0][trIn] == kNoTime) continue;
-            int outLo = 0, outHi = 1;
-            if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
-            if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
-            for (int trOut = outLo; trOut <= outHi; ++trOut) {
-              if (reqV[trOut] == kInf) continue;
-              auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
-                                   ft.slew[0][trIn]);
-              if (!misLate_.empty())
-                r.delay *= misLate_[static_cast<std::size_t>(inst)]
-                                   [static_cast<std::size_t>(trOut)];
-              reqU[trIn] =
-                  std::min(reqU[trIn], reqV[trOut] - r.delay * lateF);
-            }
+        break;
+      }
+      case TimingGraph::EdgeKind::kCellArc: {
+        const InstId inst = graph_.vertex(u).inst;
+        const Cell& cell = dc_.cellOf(inst);
+        const TimingArc& arc =
+            cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
+        for (int trIn = 0; trIn < 2; ++trIn) {
+          if (ft.arr[0][trIn] == kNoTime) continue;
+          int outLo = 0, outHi = 1;
+          if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
+          if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
+          for (int trOut = outLo; trOut <= outHi; ++trOut) {
+            if (reqV[trOut] == kInf) continue;
+            auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
+                                 ft.slew[0][trIn]);
+            if (!misLate_.empty())
+              r.delay *= misLate_[static_cast<std::size_t>(inst)]
+                                 [static_cast<std::size_t>(trOut)];
+            reqU[trIn] =
+                std::min(reqU[trIn], reqV[trOut] - r.delay * lateF);
           }
-          break;
         }
-        case TimingGraph::EdgeKind::kClockToQ: {
-          const InstId flop = graph_.vertex(ed.from).inst;
-          if (ft.arr[0][0] == kNoTime) break;
-          for (int trQ = 0; trQ < 2; ++trQ) {
-            if (reqV[trQ] == kInf) continue;
-            const auto r = dc_.clockToQ(flop, trQ == 0, ft.slew[0][0]);
-            reqU[0] = std::min(reqU[0], reqV[trQ] - r.delay * lateF);
-          }
-          break;
+        break;
+      }
+      case TimingGraph::EdgeKind::kClockToQ: {
+        const InstId flop = graph_.vertex(u).inst;
+        if (ft.arr[0][0] == kNoTime) break;
+        for (int trQ = 0; trQ < 2; ++trQ) {
+          if (reqV[trQ] == kInf) continue;
+          const auto r = dc_.clockToQ(flop, trQ == 0, ft.slew[0][0]);
+          reqU[0] = std::min(reqU[0], reqV[trQ] - r.delay * lateF);
         }
+        break;
       }
     }
   }
@@ -606,16 +686,8 @@ void StaEngine::updateAfterEco(const std::vector<NetId>& dirtyNets) {
     run();
     return;
   }
-  // Position lookup for topo-ordered worklist processing.
-  std::vector<int> pos(static_cast<std::size_t>(graph_.vertexCount()), 0);
-  const auto& topo = graph_.topoOrder();
-  for (std::size_t i = 0; i < topo.size(); ++i)
-    pos[static_cast<std::size_t>(topo[i])] = static_cast<int>(i);
-
   std::set<std::pair<int, VertexId>> work;
-  auto push = [&](VertexId v) {
-    work.insert({pos[static_cast<std::size_t>(v)], v});
-  };
+  auto push = [&](VertexId v) { work.insert({graph_.topoPosition(v), v}); };
   for (NetId n : dirtyNets) {
     dc_.invalidateNet(n);
     const Net& net = nl_->net(n);
@@ -636,7 +708,11 @@ void StaEngine::updateAfterEco(const std::vector<NetId>& dirtyNets) {
     if (!recomputeVertex(v)) continue;
     for (EdgeId e : graph_.outEdges(v)) push(graph_.edge(e).to);
   }
+  flushNanEvents();
 
+  // The worklist refilled the dirty nets' parasitics serially; re-warm so
+  // the parallel check/required passes below stay pure reads.
+  if (pool_ && pool_->threadCount() > 0) dc_.warmCache(pool_);
   checkEndpoints();
   checkDrv();
   computeRequired();

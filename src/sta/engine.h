@@ -17,7 +17,9 @@
 ///  - kLvf       : per-arc per-(slew,load) asymmetric sigmas in quadrature.
 
 #include <array>
+#include <cstdint>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "sta/graph.h"
 #include "sta/scenario.h"
 #include "util/diag.h"
+#include "util/thread_pool.h"
 
 namespace tc {
 
@@ -84,6 +87,17 @@ class StaEngine {
   /// Full GBA pass: propagate, check endpoints, check DRVs, compute
   /// required times.
   void run();
+
+  /// Attach a thread pool: the forward/backward propagation sweeps run one
+  /// topological level at a time with the level's vertices relaxed
+  /// concurrently, and endpoint checks fan out per endpoint. Null (the
+  /// default) keeps every pass serial. Results are bit-identical either
+  /// way: a level-parallel sweep is a refinement of the serial pull-order,
+  /// each task writes only its own vertex, and reductions are per-vertex
+  /// (see DESIGN.md "Concurrency model"). The incremental ECO path is
+  /// always serial.
+  void setThreadPool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* threadPool() const { return pool_; }
 
   /// Incremental update after an ECO confined to `dirtyNets` (cell swaps,
   /// useful-skew changes, NDR promotions — anything that does NOT add or
@@ -153,6 +167,18 @@ class StaEngine {
   void checkEndpoints();
   void checkDrv();
   void computeRequired();
+  /// Backward pull at one vertex: fold every successor's required time
+  /// into requiredLate_[u]. Successors live on strictly later levels, so a
+  /// level of pulls can run concurrently.
+  void pullRequired(VertexId u);
+  /// Evaluate one endpoint; returns false when the endpoint is skipped
+  /// (unconstrained/unreached) or dropped (sets *droppedNonFinite).
+  bool evalEndpoint(VertexId v, EndpointTiming* out,
+                    bool* droppedNonFinite) const;
+  /// Emit the recorded non-finite-rejection events through the sink in a
+  /// thread-independent order (topo position, then discovery order) and
+  /// fold them into nanQuarantine_.
+  void flushNanEvents();
   double key(VertexId v, Mode m, int trans) const;
   /// Recompute one vertex's timing from its in-edges (incremental path).
   /// Returns true when any stored value moved by more than epsilon.
@@ -174,6 +200,17 @@ class StaEngine {
   bool hasRun_ = false;
   DiagnosticSink* diagSink_ = nullptr;
   int nanQuarantine_ = 0;
+  ThreadPool* pool_ = nullptr;
+
+  /// A candidate update rejected for being non-finite. Events are buffered
+  /// during propagation (appends are mutex-guarded in parallel sweeps) and
+  /// reported in deterministic order by flushNanEvents().
+  struct NanEvent {
+    VertexId vertex = -1;
+    std::uint8_t badArrival = 1;  ///< else slew/variance
+  };
+  std::vector<NanEvent> nanEvents_;
+  std::mutex nanMu_;
 };
 
 }  // namespace tc

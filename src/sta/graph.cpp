@@ -1,5 +1,6 @@
 #include "sta/graph.h"
 
+#include <algorithm>
 #include <queue>
 #include <stdexcept>
 
@@ -176,6 +177,28 @@ void TimingGraph::computeTopo() {
   }
   if (topo_.size() != vertices_.size())
     throw std::logic_error("timing graph has a cycle");
+
+  // Longest-path levels over the topo order. Walking topo_ (not vertex ids)
+  // keeps each level's vertices in topo-order, so per-level iteration is a
+  // refinement of the serial order.
+  topoPos_.assign(vertices_.size(), 0);
+  for (std::size_t i = 0; i < topo_.size(); ++i)
+    topoPos_[static_cast<std::size_t>(topo_[i])] = static_cast<int>(i);
+  levelOf_.assign(vertices_.size(), 0);
+  int maxLevel = 0;
+  for (VertexId v : topo_) {
+    int lvl = 0;
+    for (EdgeId e : in_[static_cast<std::size_t>(v)]) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      lvl = std::max(lvl, levelOf_[static_cast<std::size_t>(ed.from)] + 1);
+    }
+    levelOf_[static_cast<std::size_t>(v)] = lvl;
+    maxLevel = std::max(maxLevel, lvl);
+  }
+  levels_.assign(static_cast<std::size_t>(maxLevel) + 1, {});
+  for (VertexId v : topo_)
+    levels_[static_cast<std::size_t>(levelOf_[static_cast<std::size_t>(v)])]
+        .push_back(v);
 }
 
 }  // namespace tc

@@ -57,6 +57,22 @@ class TimingGraph {
   /// Vertices in dependency order (every edge goes forward).
   const std::vector<VertexId>& topoOrder() const { return topo_; }
 
+  /// Topological levels: levels()[L] holds every vertex whose longest
+  /// in-path has L edges, each in topo-order. All in-edges of a level-L
+  /// vertex come from levels < L, so one level's vertices can be relaxed
+  /// concurrently (each task writing only its own vertex) — the unit of
+  /// intra-scenario parallelism in the engine.
+  const std::vector<std::vector<VertexId>>& levels() const { return levels_; }
+  /// Level of one vertex (index into levels()).
+  int levelOf(VertexId v) const {
+    return levelOf_[static_cast<std::size_t>(v)];
+  }
+  /// Position of a vertex in topoOrder() — a stable, thread-independent
+  /// sort key for diagnostics produced during parallel propagation.
+  int topoPosition(VertexId v) const {
+    return topoPos_[static_cast<std::size_t>(v)];
+  }
+
   /// Number of instances the graph was built over. The optimizer may grow
   /// the netlist (buffer insertion) after the graph snapshot; instances at
   /// or beyond this span are unknown to this graph.
@@ -87,6 +103,9 @@ class TimingGraph {
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> out_, in_;
   std::vector<VertexId> topo_;
+  std::vector<std::vector<VertexId>> levels_;
+  std::vector<int> levelOf_;
+  std::vector<int> topoPos_;
   std::vector<VertexId> outVtx_;
   std::vector<std::vector<VertexId>> inVtx_;
   std::vector<VertexId> portVtx_;

@@ -100,20 +100,31 @@ PbaResult PbaAnalyzer::recalcEndpoint(const EndpointTiming& ep,
   return r;
 }
 
-std::vector<PbaResult> PbaAnalyzer::recalcWorst(int k, Check check) const {
+std::vector<PbaResult> PbaAnalyzer::recalcWorst(int k, Check check,
+                                                ThreadPool* pool) const {
   std::vector<const EndpointTiming*> eps;
   for (const auto& ep : eng_->endpoints()) eps.push_back(&ep);
-  std::sort(eps.begin(), eps.end(),
-            [check](const EndpointTiming* a, const EndpointTiming* b) {
-              const double sa =
-                  check == Check::kSetup ? a->setupSlack : a->holdSlack;
-              const double sb =
-                  check == Check::kSetup ? b->setupSlack : b->holdSlack;
-              return sa < sb;
-            });
-  std::vector<PbaResult> out;
-  for (int i = 0; i < k && i < static_cast<int>(eps.size()); ++i)
-    out.push_back(recalcEndpoint(*eps[static_cast<std::size_t>(i)], check));
+  std::stable_sort(eps.begin(), eps.end(),
+                   [check](const EndpointTiming* a, const EndpointTiming* b) {
+                     const double sa =
+                         check == Check::kSetup ? a->setupSlack : a->holdSlack;
+                     const double sb =
+                         check == Check::kSetup ? b->setupSlack : b->holdSlack;
+                     return sa < sb;
+                   });
+  const std::size_t n =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(k, 0)),
+                            eps.size());
+  std::vector<PbaResult> out(n);
+  auto recalcOne = [&](std::size_t i) {
+    out[i] = recalcEndpoint(*eps[i], check);
+  };
+  if (pool && pool->threadCount() > 0) {
+    eng_->delayCalc().warmCache(pool);
+    pool->parallelFor(n, recalcOne, /*grain=*/4);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) recalcOne(i);
+  }
   return out;
 }
 

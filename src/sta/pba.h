@@ -36,7 +36,11 @@ class PbaAnalyzer {
 
   /// Recalculate the k GBA-worst endpoints (the standard "PBA on the
   /// critical tail" methodology). Results keep endpoint order by GBA slack.
-  std::vector<PbaResult> recalcWorst(int k, Check check) const;
+  /// With a pool, endpoints are re-analyzed concurrently (each path trace
+  /// is independent and all delay-calc lookups are warmed reads); the
+  /// result vector is identical to the serial one.
+  std::vector<PbaResult> recalcWorst(int k, Check check,
+                                     ThreadPool* pool = nullptr) const;
 
   /// Exact arrival of the traced path in the scenario's derate domain.
   Ps pathArrival(VertexId endpoint, Mode mode, int trans) const;

@@ -1,0 +1,175 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+namespace tc {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? static_cast<int>(hw) - 1 : 0;
+  }
+  if (threads == 0) return;  // inline pool: no queues, no workers
+  queues_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wakeMu_);
+    stop_ = true;
+  }
+  wakeCv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::push(std::function<void()> fn) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(wakeMu_);
+    target = nextQueue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->q.push_back(std::move(fn));
+  }
+  wakeCv_.notify_one();
+}
+
+bool ThreadPool::tryRun(int self) {
+  // Own deque first (LIFO: newest task is cache-warm), then steal the
+  // oldest task from a sibling (FIFO: large chunks migrate, small tails
+  // stay local).
+  const std::size_t n = queues_.size();
+  std::function<void()> fn;
+  if (self >= 0) {
+    WorkerQueue& mine = *queues_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(mine.mu);
+    if (!mine.q.empty()) {
+      fn = std::move(mine.q.back());
+      mine.q.pop_back();
+    }
+  }
+  if (!fn) {
+    const std::size_t start =
+        self >= 0 ? static_cast<std::size_t>(self) + 1 : 0;
+    for (std::size_t k = 0; k < n && !fn; ++k) {
+      WorkerQueue& other = *queues_[(start + k) % n];
+      std::lock_guard<std::mutex> lock(other.mu);
+      if (!other.q.empty()) {
+        fn = std::move(other.q.front());
+        other.q.pop_front();
+      }
+    }
+  }
+  if (!fn) return false;
+  fn();
+  return true;
+}
+
+void ThreadPool::workerLoop(int index) {
+  for (;;) {
+    if (tryRun(index)) continue;
+    std::unique_lock<std::mutex> lock(wakeMu_);
+    if (stop_) return;
+    wakeCv_.wait_for(lock, std::chrono::milliseconds(10));
+    if (stop_) return;
+  }
+}
+
+namespace {
+
+/// Shared state of one parallelFor call. Helper tasks hold a shared_ptr so
+/// a task that wakes after the caller returned still finds live state.
+struct ForContext {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> nextIndex{0};
+  std::atomic<std::size_t> doneCount{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  ///< guarded by mu; `failed` is the fast flag
+
+  /// Claim and run chunks until the range is exhausted. Returns the number
+  /// of indices this participant completed.
+  void drain() {
+    for (;;) {
+      const std::size_t begin =
+          nextIndex.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + grain, n);
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      const std::size_t done =
+          doneCount.fetch_add(end - begin, std::memory_order_acq_rel) +
+          (end - begin);
+      if (done >= n) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (workers_.empty() || n <= grain) {
+    // Inline pool or a range too small to split.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto ctx = std::make_shared<ForContext>();
+  ctx->n = n;
+  ctx->grain = grain;
+  ctx->fn = &fn;
+
+  // One helper per worker is enough: each helper loops until the range is
+  // empty. Helpers that never get scheduled are harmless (the caller and
+  // the scheduled helpers finish the range without them).
+  const std::size_t helpers =
+      std::min(workers_.size(), (n + grain - 1) / grain - 1);
+  for (std::size_t i = 0; i < helpers; ++i) push([ctx] { ctx->drain(); });
+
+  ctx->drain();  // the caller participates — nested calls stay live
+
+  {
+    std::unique_lock<std::mutex> lock(ctx->mu);
+    ctx->cv.wait(lock, [&] {
+      return ctx->doneCount.load(std::memory_order_acquire) >= ctx->n;
+    });
+  }
+  // `fn` must not dangle inside helpers that wake late: after doneCount
+  // reached n, every remaining drain() exits on the nextIndex check without
+  // touching fn.
+  ctx->fn = nullptr;
+  if (ctx->error) std::rethrow_exception(ctx->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(-1);
+  return pool;
+}
+
+}  // namespace tc

@@ -1,0 +1,103 @@
+#pragma once
+/// \file thread_pool.h
+/// \brief Work-stealing thread pool for the parallel analysis runtime.
+///
+/// The MCMM "corner super-explosion" (Sec. 2.3) multiplies independent STA
+/// work: scenarios are embarrassingly parallel, and within one scenario each
+/// topological level of the timing graph is. This pool is the substrate for
+/// both layers:
+///  - submit() returns a future (exceptions propagate to the waiter);
+///  - parallelFor() runs fn(i) for i in [0, n) with the *caller
+///    participating*, so nested parallelFor calls (a scenario task that
+///    parallelizes its own levels) cannot deadlock even when every worker
+///    is busy;
+///  - workers own LIFO deques and steal FIFO from each other, so fine
+///    per-level tasks stay cache-warm while idle workers drain the heavy
+///    tail.
+///
+/// Determinism contract: parallelFor guarantees each index runs exactly
+/// once; callers write results into per-index slots and reduce in index
+/// order afterwards. Nothing about *which thread* ran an index is
+/// observable in the reduction, which is how the parallel engine stays
+/// bit-identical to the serial one (see DESIGN.md "Concurrency model").
+///
+/// ThreadPool(0) is the degenerate case: no workers are spawned and all
+/// work runs inline on the calling thread — the `--serial` fallback.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tc {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers. 0 => fully inline (serial) execution;
+  /// negative => one worker per hardware thread.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 for the inline pool).
+  int threadCount() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task; the future rethrows any exception the task threw.
+  /// With zero workers the task runs inline before submit() returns.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return fut;
+    }
+    push([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Run fn(i) for every i in [0, n), distributing contiguous chunks of
+  /// `grain` indices across the workers *and* the calling thread. Blocks
+  /// until every index has run. The first exception thrown by any index is
+  /// rethrown here (remaining indices may or may not run). Safe to call
+  /// from inside a pool task (nested parallelism): the caller always makes
+  /// progress itself, so no cycle of waiters can form.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   std::size_t grain = 1);
+
+  /// Process-wide pool, lazily constructed with one worker per hardware
+  /// thread (minus one for the caller). setGlobalThreads() before first use
+  /// overrides the size; callers that need a specific width (benches, the
+  /// determinism tests) should own their pool instead.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void push(std::function<void()> fn);
+  bool tryRun(int self);  ///< pop own deque / steal; true when a task ran
+  void workerLoop(int index);
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+  };
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wakeMu_;
+  std::condition_variable wakeCv_;
+  std::size_t nextQueue_ = 0;  ///< round-robin target for external pushes
+  bool stop_ = false;
+};
+
+}  // namespace tc

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "sta/engine.h"
 #include "sta/lint.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace tc {
 namespace {
@@ -283,6 +285,127 @@ TEST(FaultInjectNetlist, RandomDisconnectSweepNeverCrashes) {
     eng.run();
     EXPECT_TRUE(std::isfinite(eng.wns(Check::kSetup)));
   }
+}
+
+// --- Parallel engine path --------------------------------------------------
+// The same mutants through the pool-attached engine: no crash, no data race
+// on the shared DiagnosticSink (this binary also runs under
+// -DTC_SANITIZE=address,undefined in CI), and the degraded results stay
+// bit-identical to the serial reference — graceful degradation must not
+// become nondeterministic just because the sweep went parallel.
+
+/// Build the seeded faulted pipeline of RandomDisconnectSweepNeverCrashes.
+Netlist faultedPipeline(std::uint64_t seed) {
+  Netlist nl = generatePipeline(lib(), 2, 5, 800.0, seed);
+  std::uint64_t x = seed * 0x2545F4914F6CDD1Dull;
+  for (int k = 0; k < 3; ++k) {
+    x ^= x >> 12; x ^= x << 25; x ^= x >> 27;
+    const InstId i = static_cast<InstId>(x % static_cast<std::uint64_t>(
+                                                 nl.instanceCount()));
+    if (nl.isSequential(i) || nl.instance(i).isClockTreeBuffer) continue;
+    if (nl.instance(i).fanin.empty()) continue;
+    nl.disconnectInput(i, 0);
+  }
+  return nl;
+}
+
+TEST(FaultInjectParallel, MutantSweepMatchesSerialUnderPool) {
+  LogCapture quiet;
+  Scenario sc;
+  sc.lib = lib();
+  ThreadPool pool(4);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("netlist seed " + std::to_string(seed));
+    Netlist nl = faultedPipeline(seed);
+    DiagnosticSink lintSink;
+    lintSink.setEcho(false);
+    lintNetlist(nl, lintSink);
+
+    DiagnosticSink serialSink;
+    serialSink.setEcho(false);
+    StaEngine serial(nl, sc);
+    serial.setDiagnosticSink(&serialSink);
+    serial.run();
+
+    DiagnosticSink parSink;
+    parSink.setEcho(false);
+    StaEngine par(nl, sc);
+    par.setDiagnosticSink(&parSink);
+    par.setThreadPool(&pool);
+    par.run();
+
+    EXPECT_EQ(serial.wns(Check::kSetup), par.wns(Check::kSetup));
+    EXPECT_EQ(serial.wns(Check::kHold), par.wns(Check::kHold));
+    EXPECT_EQ(serial.nanQuarantineCount(), par.nanQuarantineCount());
+    ASSERT_EQ(serial.endpoints().size(), par.endpoints().size());
+    for (std::size_t e = 0; e < serial.endpoints().size(); ++e) {
+      EXPECT_EQ(serial.endpoints()[e].setupSlack,
+                par.endpoints()[e].setupSlack);
+      EXPECT_EQ(serial.endpoints()[e].holdSlack,
+                par.endpoints()[e].holdSlack);
+    }
+
+    // The engine's own diagnostic stream (NaN quarantine, dropped
+    // endpoints) must come out in the same order with the same text.
+    const auto a = serialSink.diagnostics();
+    const auto b = parSink.diagnostics();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t d = 0; d < a.size(); ++d) {
+      EXPECT_EQ(a[d].code, b[d].code) << "diag " << d;
+      EXPECT_EQ(a[d].message, b[d].message) << "diag " << d;
+      EXPECT_EQ(a[d].entity, b[d].entity) << "diag " << d;
+    }
+  }
+}
+
+TEST(FaultInjectParallel, BrokenLoopNetlistSurvivesPoolAttachedRun) {
+  LogCapture quiet;
+  Scenario sc;
+  sc.lib = lib();
+
+  // Re-inject the combinational cycle of LoopInjectionDegradesBoundedly,
+  // lint-break it, then run the degraded graph through the parallel path.
+  Netlist broken = generatePipeline(lib(), 2, 6);
+  InstId early = -1;
+  for (InstId i = 0; i < broken.instanceCount(); ++i)
+    if (!broken.isSequential(i) && !broken.instance(i).isClockTreeBuffer) {
+      early = i;
+      break;
+    }
+  ASSERT_GE(early, 0);
+  InstId late = early;
+  for (int hop = 0; hop < 4; ++hop) {
+    const NetId out = broken.instance(late).fanout;
+    if (out < 0) break;
+    InstId next = -1;
+    for (const auto& s : broken.net(out).sinks)
+      if (!broken.isSequential(s.inst)) next = s.inst;
+    if (next < 0) break;
+    late = next;
+  }
+  ASSERT_NE(early, late);
+  broken.disconnectInput(early, 0);
+  broken.connectInput(early, 0, broken.instance(late).fanout);
+
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  const LintReport rep = lintNetlist(broken, sink);
+  ASSERT_GE(rep.loopsBroken, 1);
+
+  StaEngine serial(broken, sc);
+  serial.setDiagnosticSink(&sink);
+  serial.run();
+
+  ThreadPool pool(4);
+  DiagnosticSink parSink;
+  parSink.setEcho(false);
+  StaEngine par(broken, sc);
+  par.setDiagnosticSink(&parSink);
+  par.setThreadPool(&pool);
+  par.run();
+
+  EXPECT_EQ(serial.wns(Check::kSetup), par.wns(Check::kSetup));
+  EXPECT_EQ(serial.tns(Check::kSetup), par.tns(Check::kSetup));
 }
 
 }  // namespace

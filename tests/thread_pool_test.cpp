@@ -1,0 +1,126 @@
+/// \file thread_pool_test.cpp
+/// \brief Work-stealing pool unit tests: parallelFor coverage and result
+/// placement, exception propagation (submit futures and parallelFor),
+/// the zero-thread inline degenerate case, and nested parallelism.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace tc {
+namespace {
+
+TEST(ThreadPool, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), 0);
+
+  // submit() executes before returning: the future is already ready and
+  // the work ran on this thread.
+  const auto caller = std::this_thread::get_id();
+  auto fut = pool.submit([caller] {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return 41 + 1;
+  });
+  EXPECT_EQ(fut.get(), 42);
+
+  std::vector<int> out(100, 0);
+  pool.parallelFor(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<int>(i);  // inline => strictly ascending order
+  });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallelFor(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  }, /*grain=*/7);
+  for (std::size_t i = 0; i < kN; ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForResultsIndependentOfThreadCount) {
+  // Per-index result slots: any pool width produces the identical vector.
+  constexpr std::size_t kN = 513;
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(kN);
+    pool.parallelFor(kN, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 - 7.0;
+    }, /*grain=*/3);
+    return out;
+  };
+  const auto ref = run(0);
+  EXPECT_EQ(run(1), ref);
+  EXPECT_EQ(run(2), ref);
+  EXPECT_EQ(run(8), ref);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  for (int threads : {0, 2}) {
+    ThreadPool pool(threads);
+    auto fut = pool.submit([]() -> int {
+      throw std::runtime_error("boom");
+    });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  for (int threads : {0, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(1000, [&](std::size_t i) {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          if (i == 137) throw std::runtime_error("mid-loop");
+        }),
+        std::runtime_error);
+    EXPECT_GE(ran.load(), 1);
+    // Pool remains usable after a failed loop.
+    std::atomic<int> after{0};
+    pool.parallelFor(64, [&](std::size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 64);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The caller participates in draining chunks, so an inner parallelFor
+  // issued from a worker makes progress even when every worker is busy.
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.parallelFor(8, [&](std::size_t i) {
+    pool.parallelFor(8, [&](std::size_t j) {
+      sum.fetch_add(static_cast<long>(i * 8 + j), std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(sum.load(), 64L * 63L / 2L);
+}
+
+TEST(ThreadPool, NegativeThreadCountMeansHardwareDefault) {
+  ThreadPool pool(-1);
+  EXPECT_GE(pool.threadCount(), 0);  // hw-1, possibly 0 on a 1-core box
+  std::atomic<int> n{0};
+  pool.parallelFor(32, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 32);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+}  // namespace
+}  // namespace tc
