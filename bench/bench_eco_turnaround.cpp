@@ -6,11 +6,13 @@
 /// location-aware, and scale well onto hundreds of threads".
 ///
 /// This bench measures the single-machine analog: incremental timing update
-/// after in-place ECOs (Vt swaps / sizing) versus full re-analysis, with a
-/// correctness cross-check that both produce identical WNS/TNS.
+/// after an in-place ECO (a single Vt/drive swap — the netlist mutation
+/// hooks mark the dirty frontier, no manual invalidation) versus a full
+/// from-scratch re-analysis. Correctness is gated bitwise: any divergence
+/// in WNS/TNS, violation counts, per-endpoint slacks, or the quarantine
+/// count exits nonzero, so CI fails on a wrong answer, not just a slow one.
 
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 
 #include "bench_json.h"
@@ -22,6 +24,31 @@
 
 using namespace tc;
 
+namespace {
+
+/// Bitwise comparison of everything a signoff report reads.
+bool identicalResults(const StaEngine& a, const StaEngine& b) {
+  if (a.wns(Check::kSetup) != b.wns(Check::kSetup)) return false;
+  if (a.wns(Check::kHold) != b.wns(Check::kHold)) return false;
+  if (a.tns(Check::kSetup) != b.tns(Check::kSetup)) return false;
+  if (a.tns(Check::kHold) != b.tns(Check::kHold)) return false;
+  if (a.violationCount(Check::kSetup) != b.violationCount(Check::kSetup))
+    return false;
+  if (a.violationCount(Check::kHold) != b.violationCount(Check::kHold))
+    return false;
+  if (a.nanQuarantineCount() != b.nanQuarantineCount()) return false;
+  const auto& ea = a.endpoints();
+  const auto& eb = b.endpoints();
+  if (ea.size() != eb.size()) return false;
+  for (std::size_t i = 0; i < ea.size(); ++i)
+    if (ea[i].setupSlack != eb[i].setupSlack ||
+        ea[i].holdSlack != eb[i].holdSlack)
+      return false;
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   tc::bench::JsonReport report("bench_eco_turnaround", argc, argv);
   auto L = characterizedLibrary(LibraryPvt{});
@@ -29,8 +56,9 @@ int main(int argc, char** argv) {
   std::puts("== ECO turnaround: incremental vs full timing update ==\n");
   TextTable t("per-ECO timing-update cost (averaged over 40 random ECOs)");
   t.setHeader({"block", "instances", "full STA (ms)", "incremental (ms)",
-               "speedup", "WNS match", "TNS match"});
+               "speedup", "avg frontier", "results"});
 
+  bool allMatch = true;
   for (const BlockProfile& p :
        {profileTiny(), profileC5315(), profileAes()}) {
     Netlist nl = generateBlock(L, p);
@@ -41,10 +69,12 @@ int main(int argc, char** argv) {
 
     Rng rng(2024);
     const int kEcos = 40;
-    double incMs = 0.0, fullMs = 0.0;
-    bool wnsMatch = true, tnsMatch = true;
+    int measured = 0;
+    double incMs = 0.0, fullMs = 0.0, frontier = 0.0;
+    bool match = true;
     for (int e = 0; e < kEcos; ++e) {
-      // Random in-place ECO: one Vt or drive swap.
+      // Random in-place ECO: one Vt or drive swap. swapCell notifies the
+      // registered engine, which marks the swap's fanin/fanout frontier.
       InstId victim = -1;
       int cand = -1;
       for (int tries = 0; tries < 200 && cand < 0; ++tries) {
@@ -61,30 +91,44 @@ int main(int argc, char** argv) {
       nl.swapCell(victim, cand);
 
       const auto t0 = std::chrono::steady_clock::now();
-      inc.updateAfterEco(inc.netsAffectedBySwap(victim));
+      inc.updateTiming();
       const auto t1 = std::chrono::steady_clock::now();
       StaEngine full(nl, sc);
       full.run();
       const auto t2 = std::chrono::steady_clock::now();
 
+      ++measured;
       incMs += std::chrono::duration<double, std::milli>(t1 - t0).count();
       fullMs += std::chrono::duration<double, std::milli>(t2 - t1).count();
-      if (std::abs(inc.wns(Check::kSetup) - full.wns(Check::kSetup)) > 1e-6)
-        wnsMatch = false;
-      if (std::abs(inc.tns(Check::kSetup) - full.tns(Check::kSetup)) > 1e-4)
-        tnsMatch = false;
+      frontier += inc.lastUpdateStats().forwardRecomputed;
+      if (!identicalResults(inc, full)) match = false;
     }
-    incMs /= kEcos;
-    fullMs /= kEcos;
+    incMs /= measured;
+    fullMs /= measured;
+    frontier /= measured;
+    const double speedup = fullMs / std::max(incMs, 1e-6);
+    allMatch = allMatch && match;
+
     t.addRow({p.name, std::to_string(nl.instanceCount()),
-              TextTable::num(fullMs, 2), TextTable::num(incMs, 2),
-              TextTable::num(fullMs / std::max(incMs, 1e-6), 1) + "x",
-              wnsMatch ? "exact" : "MISMATCH",
-              tnsMatch ? "exact" : "MISMATCH"});
+              TextTable::num(fullMs, 3), TextTable::num(incMs, 3),
+              TextTable::num(speedup, 1) + "x", TextTable::num(frontier, 0),
+              match ? "bit-identical" : "MISMATCH"});
+
+    report.metric(std::string(p.name) + "_full_ms", fullMs, "ms");
+    report.metric(std::string(p.name) + "_incremental_ms", incMs, "ms");
+    report.metric(std::string(p.name) + "_speedup", speedup, "x");
+    report.metric(std::string(p.name) + "_avg_frontier", frontier,
+                  "vertices");
+    report.metric(std::string(p.name) + "_bit_identical", match ? 1 : 0);
   }
   t.addFootnote("incremental update recomputes only the ECO's forward cone "
-                "(endpoint checks and required times are refreshed); "
-                "topology ECOs (buffering) rebuild the graph");
+                "(endpoint checks and required times follow the changed "
+                "set); topology ECOs (buffering) rebuild the graph");
   t.print();
+  if (!allMatch) {
+    std::fprintf(stderr,
+                 "FAIL: incremental timing diverged from full retime\n");
+    return 1;
+  }
   return 0;
 }

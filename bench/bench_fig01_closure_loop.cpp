@@ -10,6 +10,13 @@
 /// hold (fast) scenario — the minimal MCMM pair — with the 20nm-and-below
 /// twist of Sec. 2.4 enabled: Vt swaps can create MinIA violations that the
 /// minimal-perturbation fixer must clean after each iteration.
+///
+/// The loop is run twice from the same starting point: once rebuilding the
+/// timer from scratch every iteration (legacy) and once with the
+/// incremental timer driven by the netlist mutation hooks. The two must
+/// produce bit-identical trajectories and final QoR (nonzero exit
+/// otherwise); the STA wall-time ratio is the closure-loop payoff of the
+/// incremental engine.
 
 #include <cstdio>
 
@@ -22,6 +29,34 @@
 #include "util/table.h"
 
 using namespace tc;
+
+namespace {
+
+bool sameBreakdown(const FailureBreakdown& a, const FailureBreakdown& b) {
+  return a.setupWns == b.setupWns && a.setupTns == b.setupTns &&
+         a.setupViolations == b.setupViolations && a.holdWns == b.holdWns &&
+         a.holdTns == b.holdTns && a.holdViolations == b.holdViolations &&
+         a.maxTransViolations == b.maxTransViolations &&
+         a.maxCapViolations == b.maxCapViolations;
+}
+
+bool sameTrajectory(const ClosureResult& a, const ClosureResult& b) {
+  if (a.iterations.size() != b.iterations.size()) return false;
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    const IterationRecord& x = a.iterations[i];
+    const IterationRecord& y = b.iterations[i];
+    if (!sameBreakdown(x.before, y.before)) return false;
+    if (x.vtSwaps != y.vtSwaps || x.resizes != y.resizes ||
+        x.buffers != y.buffers || x.ndrPromotions != y.ndrPromotions ||
+        x.usefulSkews != y.usefulSkews || x.pinSwaps != y.pinSwaps ||
+        x.holdBuffers != y.holdBuffers ||
+        x.minIaViolationsFixed != y.minIaViolationsFixed)
+      return false;
+  }
+  return sameBreakdown(a.final, b.final) && a.closed == b.closed;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   tc::bench::JsonReport report("bench_fig01_closure_loop", argc, argv);
@@ -54,12 +89,21 @@ int main(int argc, char** argv) {
 
   const PowerReport before = analyzePower(nl);
 
-  ClosureLoop loop(nl, setup, hold, fp);
   ClosureConfig cfg;
   cfg.iterations = 5;
   cfg.stopWhenClean = false;
   cfg.repair.maxEdits = 350;
   cfg.fixMinIaAfterSwaps = true;
+
+  // A/B: legacy full-rebuild timing vs the incremental timer, from the
+  // same starting netlist.
+  Netlist nlFull = nl;
+  cfg.incrementalSta = false;
+  ClosureLoop fullLoop(nlFull, setup, hold, fp);
+  const ClosureResult resFull = fullLoop.run(cfg);
+
+  cfg.incrementalSta = true;
+  ClosureLoop loop(nl, setup, hold, fp);
   const ClosureResult res = loop.run(cfg);
 
   TextTable t(
@@ -100,6 +144,16 @@ int main(int argc, char** argv) {
                 "dominated by DRV storms run electrical cleanup only");
   t.print();
 
+  const bool identical = sameTrajectory(resFull, res);
+  const double staSpeedup = res.staMs > 0.0 ? resFull.staMs / res.staMs : 0.0;
+  TextTable ab("STA engine A/B across the loop");
+  ab.setHeader({"mode", "STA wall (ms)", "speedup", "trajectory"});
+  ab.addRow({"full rebuild", TextTable::num(resFull.staMs, 1), "1.0x", "-"});
+  ab.addRow({"incremental", TextTable::num(res.staMs, 1),
+             TextTable::num(staSpeedup, 1) + "x",
+             identical ? "bit-identical" : "DIVERGED"});
+  ab.print();
+
   const PowerReport after = analyzePower(nl);
   TextTable cost("closure cost");
   cost.setHeader({"metric", "before", "after", "delta"});
@@ -113,5 +167,24 @@ int main(int argc, char** argv) {
                TextTable::num(after.area, 0),
                TextTable::pct(after.area / before.area - 1.0, 1)});
   cost.print();
+
+  report.metric("final_setup_wns_ps", res.final.setupWns, "ps");
+  report.metric("final_setup_violations", res.final.setupViolations);
+  report.metric("final_hold_violations", res.final.holdViolations);
+  report.metric("final_drv_violations", res.final.maxTransViolations +
+                                            res.final.maxCapViolations);
+  report.metric("closed", res.closed ? 1 : 0);
+  report.metric("sta_full_ms", resFull.staMs, "ms");
+  report.metric("sta_incremental_ms", res.staMs, "ms");
+  report.metric("sta_speedup", staSpeedup, "x");
+  report.metric("trajectory_identical", identical ? 1 : 0);
+  report.metric("leakage_delta_uw", after.leakage - before.leakage, "uW");
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: incremental closure trajectory diverged from the "
+                 "full-rebuild loop\n");
+    return 1;
+  }
   return 0;
 }

@@ -18,6 +18,7 @@
 ///    "metrics": [{"name": "...", "value": 1.0, "unit": "ps"}, ...]}
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -63,12 +64,23 @@ class JsonReport {
     std::fprintf(f, "{\"bench\": \"%s\", \"wall_ms\": %.3f, \"metrics\": [",
                  bench_.c_str(), wallMs);
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      std::fprintf(f, "%s{\"name\": \"%s\", \"value\": %.9g, \"unit\": \"%s\"}",
-                   i ? ", " : "", metrics_[i].name.c_str(), metrics_[i].value,
+      std::fprintf(f, "%s{\"name\": \"%s\", \"value\": %s, \"unit\": \"%s\"}",
+                   i ? ", " : "", metrics_[i].name.c_str(),
+                   jsonNumber(metrics_[i].value).c_str(),
                    metrics_[i].unit.c_str());
     }
     std::fprintf(f, "]}\n");
     std::fclose(f);
+  }
+
+  /// JSON has no nan/inf literals: a bench metric that degenerates to a
+  /// non-finite value (empty design -> WNS = inf) serializes as null so the
+  /// file stays machine-parseable; finite values keep full %.9g precision.
+  static std::string jsonNumber(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
   }
 
  private:

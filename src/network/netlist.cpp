@@ -1,7 +1,9 @@
 #include "network/netlist.h"
 
+#include <algorithm>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace tc {
 
@@ -14,6 +16,89 @@ void orThrow(const Status& s) {
 }
 }  // namespace
 
+void Netlist::copyFrom(const Netlist& o) {
+  // listeners_ intentionally untouched: observers follow object identity.
+  lib_ = o.lib_;
+  instances_ = o.instances_;
+  nets_ = o.nets_;
+  ports_ = o.ports_;
+  clocks_ = o.clocks_;
+  quarantined_ = o.quarantined_;
+  quarantinedSet_ = o.quarantinedSet_;
+}
+
+void Netlist::addListener(NetlistListener* l) const {
+  if (l && std::find(listeners_.begin(), listeners_.end(), l) ==
+               listeners_.end())
+    listeners_.push_back(l);
+}
+
+void Netlist::removeListener(NetlistListener* l) const {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), l),
+                   listeners_.end());
+}
+
+void Netlist::notifyCellSwapped(InstId inst) {
+  for (NetlistListener* l : listeners_) l->onCellSwapped(inst);
+}
+
+void Netlist::notifyNetAttrChanged(NetId net) {
+  for (NetlistListener* l : listeners_) l->onNetAttrChanged(net);
+}
+
+void Netlist::notifySkewChanged(InstId flop) {
+  for (NetlistListener* l : listeners_) l->onSkewChanged(flop);
+}
+
+void Netlist::notifyStructureChanged() {
+  for (NetlistListener* l : listeners_) l->onStructureChanged();
+}
+
+void Netlist::notifyPlacementChanged(InstId inst) const {
+  for (NetlistListener* l : listeners_) l->onPlacementChanged(inst);
+}
+
+void Netlist::setUsefulSkew(InstId flop, Ps skew) {
+  auto& inst = instances_[static_cast<std::size_t>(flop)];
+  if (inst.usefulSkew == skew) return;
+  inst.usefulSkew = skew;
+  notifySkewChanged(flop);
+}
+
+void Netlist::setNdrClass(NetId id, int ndrClass) {
+  auto& n = nets_[static_cast<std::size_t>(id)];
+  if (n.ndrClass == ndrClass) return;
+  n.ndrClass = ndrClass;
+  notifyNetAttrChanged(id);
+}
+
+void Netlist::setMillerOverride(NetId id, double factor) {
+  auto& n = nets_[static_cast<std::size_t>(id)];
+  if (n.millerOverride == factor) return;
+  n.millerOverride = factor;
+  notifyNetAttrChanged(id);
+}
+
+void Netlist::swapPins(InstId inst, int pinA, int pinB) {
+  auto& i = instances_[static_cast<std::size_t>(inst)];
+  if (pinA == pinB) return;
+  if (pinA < 0 || pinB < 0 || pinA >= static_cast<int>(i.fanin.size()) ||
+      pinB >= static_cast<int>(i.fanin.size()))
+    throw std::invalid_argument("swapPins: bad pin index on " + i.name);
+  const NetId netA = i.fanin[static_cast<std::size_t>(pinA)];
+  const NetId netB = i.fanin[static_cast<std::size_t>(pinB)];
+  auto retarget = [&](NetId nid, int fromPin, int toPin) {
+    if (nid < 0) return;
+    for (auto& s : nets_[static_cast<std::size_t>(nid)].sinks)
+      if (s.inst == inst && s.pin == fromPin) s.pin = toPin;
+  };
+  retarget(netA, pinA, pinB);
+  retarget(netB, pinB, pinA);
+  std::swap(i.fanin[static_cast<std::size_t>(pinA)],
+            i.fanin[static_cast<std::size_t>(pinB)]);
+  notifyStructureChanged();
+}
+
 PortId Netlist::addPort(const std::string& name, bool isInput) {
   ports_.push_back({name, isInput, -1});
   return static_cast<PortId>(ports_.size()) - 1;
@@ -23,6 +108,7 @@ NetId Netlist::addNet(const std::string& name) {
   Net n;
   n.name = name;
   nets_.push_back(std::move(n));
+  notifyStructureChanged();
   return static_cast<NetId>(nets_.size()) - 1;
 }
 
@@ -40,6 +126,7 @@ Status Netlist::tryAddInstance(const std::string& name, int cellIndex,
       static_cast<std::size_t>(lib_->cell(cellIndex).numInputs), -1);
   instances_.push_back(std::move(inst));
   if (out) *out = static_cast<InstId>(instances_.size()) - 1;
+  notifyStructureChanged();
   return Status::okStatus();
 }
 
@@ -65,6 +152,7 @@ Status Netlist::tryConnectInput(InstId inst, int pin, NetId net) {
                                " on " + i.name);
   i.fanin[static_cast<std::size_t>(pin)] = net;
   nets_[static_cast<std::size_t>(net)].sinks.push_back({inst, pin});
+  notifyStructureChanged();
   return Status::okStatus();
 }
 
@@ -84,6 +172,7 @@ void Netlist::disconnectInput(InstId inst, int pin) {
     }
   }
   i.fanin[static_cast<std::size_t>(pin)] = -1;
+  notifyStructureChanged();
 }
 
 Status Netlist::tryConnectOutput(InstId inst, NetId net) {
@@ -101,6 +190,7 @@ Status Netlist::tryConnectOutput(InstId inst, NetId net) {
                            "connectOutput: net already driven: " + n.name);
   n.driver = inst;
   instances_[static_cast<std::size_t>(inst)].fanout = net;
+  notifyStructureChanged();
   return Status::okStatus();
 }
 
@@ -127,6 +217,7 @@ Status Netlist::tryConnectPortToNet(PortId port, NetId net) {
     n.driverPort = port;
   else
     n.loadPort = port;
+  notifyStructureChanged();
   return Status::okStatus();
 }
 
@@ -134,7 +225,10 @@ void Netlist::connectPortToNet(PortId port, NetId net) {
   orThrow(tryConnectPortToNet(port, net));
 }
 
-void Netlist::defineClock(const ClockDef& clock) { clocks_.push_back(clock); }
+void Netlist::defineClock(const ClockDef& clock) {
+  clocks_.push_back(clock);
+  notifyStructureChanged();
+}
 
 Status Netlist::trySwapCell(InstId id, int newCellIndex, bool force) {
   if (id < 0 || id >= instanceCount())
@@ -158,6 +252,7 @@ Status Netlist::trySwapCell(InstId id, int newCellIndex, bool force) {
     return Status::failure(DiagCode::kNetPinCountMismatch,
                            "swapCell: pin count mismatch on " + inst.name);
   inst.cellIndex = newCellIndex;
+  notifyCellSwapped(id);
   return Status::okStatus();
 }
 
@@ -173,8 +268,10 @@ Ff Netlist::netSinkCap(NetId id) const {
 }
 
 void Netlist::quarantinePin(InstId inst, int pin) {
-  if (quarantinedSet_.insert({inst, pin}).second)
+  if (quarantinedSet_.insert({inst, pin}).second) {
     quarantined_.push_back({inst, pin});
+    notifyStructureChanged();
+  }
 }
 
 bool Netlist::isPinQuarantined(InstId inst, int pin) const {

@@ -81,10 +81,41 @@ struct ClockDef {
   Ps sourceLatency = 0.0;
 };
 
+/// Observer for in-place netlist mutations. The incremental STA engine
+/// registers itself so closure transforms and ECO edits mark their own
+/// dirty frontier automatically; see DESIGN.md "Incremental timing &
+/// invalidation". Callbacks fire after the netlist state has changed.
+class NetlistListener {
+ public:
+  virtual ~NetlistListener() = default;
+  /// Cell of `inst` replaced in place (sizing / Vt swap): pin caps, arc
+  /// surfaces and constraint tables changed; topology did not.
+  virtual void onCellSwapped(InstId inst) = 0;
+  /// A net-level electrical attribute changed (NDR class, Miller override):
+  /// the net's parasitics are stale, connectivity is not.
+  virtual void onNetAttrChanged(NetId net) = 0;
+  /// The useful-skew adjustment on a flop's clock arrival changed.
+  virtual void onSkewChanged(InstId flop) = 0;
+  /// An instance moved (legalization, MinIA cleanup): parasitics of every
+  /// net incident to it are stale, connectivity is not.
+  virtual void onPlacementChanged(InstId inst) = 0;
+  /// Connectivity changed (instance/net added, pin reconnected or swapped,
+  /// pin quarantined, clock redefined): levelization is stale.
+  virtual void onStructureChanged() = 0;
+};
+
 class Netlist {
  public:
   explicit Netlist(std::shared_ptr<const Library> lib)
       : lib_(std::move(lib)) {}
+
+  // Listeners subscribe to one object's identity, never to its value:
+  // copies and moved-to netlists start with no observers attached.
+  Netlist(const Netlist& o) { copyFrom(o); }
+  Netlist& operator=(const Netlist& o) {
+    if (this != &o) copyFrom(o);
+    return *this;
+  }
 
   const Library& library() const { return *lib_; }
   std::shared_ptr<const Library> libraryPtr() const { return lib_; }
@@ -134,6 +165,30 @@ class Netlist {
   /// share the footprint unless `force` (buffering changes topology anyway).
   void swapCell(InstId id, int newCellIndex, bool force = false);
 
+  // --- mutation hooks --------------------------------------------------------
+  // Observers are notified after each in-place edit so incremental analyses
+  // (STA dirty frontier) track the design without polling. Registration is
+  // const: observing mutations is a property of the observer, and analysis
+  // layers hold `const Netlist&`. The registering object must outlive the
+  // netlist or deregister first.
+  void addListener(NetlistListener* l) const;
+  void removeListener(NetlistListener* l) const;
+
+  // Notifying setters for attribute edits that used to be raw field writes.
+  // Closure transforms and the SI analyzer go through these so a registered
+  // incremental timer sees every edit.
+  void setUsefulSkew(InstId flop, Ps skew);
+  void setNdrClass(NetId id, int ndrClass);
+  void setMillerOverride(NetId id, double factor);
+  /// Swap the nets on two input pins of one instance (pin-swap optimization:
+  /// functionally commutative pins with asymmetric arcs). Structural edit —
+  /// listeners see onStructureChanged.
+  void swapPins(InstId inst, int pinA, int pinB);
+  /// Placement code (RowOccupancy moves, legalizers) writes instance
+  /// coordinates directly; it calls this afterwards so listeners see the
+  /// move. Public because placement lives outside the Netlist.
+  void notifyPlacementChanged(InstId inst) const;
+
   /// Total pin capacitance hanging on a net (sink input caps).
   Ff netSinkCap(NetId id) const;
 
@@ -169,6 +224,12 @@ class Netlist {
   const std::vector<PinRef>& quarantinedPins() const { return quarantined_; }
 
  private:
+  void copyFrom(const Netlist& o);
+  void notifyCellSwapped(InstId inst);
+  void notifyNetAttrChanged(NetId net);
+  void notifySkewChanged(InstId flop);
+  void notifyStructureChanged();
+
   std::shared_ptr<const Library> lib_;
   std::vector<Instance> instances_;
   std::vector<Net> nets_;
@@ -176,6 +237,9 @@ class Netlist {
   std::vector<ClockDef> clocks_;
   std::vector<PinRef> quarantined_;
   std::set<std::pair<InstId, int>> quarantinedSet_;
+  /// Mutation observers; see addListener. Mutable because registration is
+  /// const, and deliberately absent from copyFrom.
+  mutable std::vector<NetlistListener*> listeners_;
 };
 
 }  // namespace tc

@@ -1,10 +1,19 @@
 #include "opt/closure.h"
 
+#include <chrono>
 #include <memory>
 
 #include "util/log.h"
 
 namespace tc {
+
+namespace {
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
 
 ClosureLoop::ClosureLoop(Netlist& nl, Scenario setupScenario,
                          std::optional<Scenario> holdScenario,
@@ -17,19 +26,47 @@ ClosureLoop::ClosureLoop(Netlist& nl, Scenario setupScenario,
 ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
   ClosureResult result;
 
-  for (int iter = 0; iter < cfg.iterations; ++iter) {
-    // Fresh engines each iteration: buffer insertion edits topology.
-    StaEngine setupSta(*nl_, setupSc_);
-    setupSta.run();
-    std::unique_ptr<StaEngine> holdSta;
-    if (holdSc_) {
-      holdSta = std::make_unique<StaEngine>(*nl_, *holdSc_);
-      holdSta->run();
+  // Incremental mode keeps one engine per scenario alive for the whole
+  // loop: the mutation hooks on Netlist mark the dirty frontier as the
+  // transforms edit, and updateTiming() re-propagates only that region
+  // (structural edits — buffering, pin swap — fall back to a full retime
+  // inside the engine). Legacy mode rebuilds from scratch each iteration.
+  std::unique_ptr<StaEngine> setupSta;
+  std::unique_ptr<StaEngine> holdSta;
+  auto refreshTiming = [&]() -> double {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (cfg.incrementalSta) {
+      if (!setupSta) {
+        setupSta = std::make_unique<StaEngine>(*nl_, setupSc_);
+        setupSta->run();
+      } else {
+        setupSta->updateTiming();
+      }
+      if (holdSc_) {
+        if (!holdSta) {
+          holdSta = std::make_unique<StaEngine>(*nl_, *holdSc_);
+          holdSta->run();
+        } else {
+          holdSta->updateTiming();
+        }
+      }
+    } else {
+      setupSta = std::make_unique<StaEngine>(*nl_, setupSc_);
+      setupSta->run();
+      if (holdSc_) {
+        holdSta = std::make_unique<StaEngine>(*nl_, *holdSc_);
+        holdSta->run();
+      }
     }
+    return msSince(t0);
+  };
 
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
     IterationRecord rec;
     rec.iteration = iter + 1;
-    rec.before = breakdown(setupSta);
+    rec.staMs = refreshTiming();
+    result.staMs += rec.staMs;
+    rec.before = breakdown(*setupSta);
     if (holdSta) {
       const auto hb = breakdown(*holdSta);
       rec.before.holdWns = hb.holdWns;
@@ -60,7 +97,7 @@ ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
     const bool drvStorm =
         rec.before.maxTransViolations + rec.before.maxCapViolations > 60;
     if (drvStorm && cfg.enableBuffering) {
-      rec.buffers = bufferInsertionFix(*nl_, setupSta, cfg.repair, place);
+      rec.buffers = bufferInsertionFix(*nl_, *setupSta, cfg.repair, place);
       result.iterations.push_back(rec);
       continue;
     }
@@ -71,16 +108,18 @@ ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
       minIaBefore =
           static_cast<int>(checkMinIa(*nl_, *occ, cfg.minIaSites).size());
 
+    if (cfg.enablePinSwap)
+      rec.pinSwaps = pinSwapFix(*nl_, *setupSta, cfg.repair);
     if (cfg.enableVtSwap)
-      rec.vtSwaps = vtSwapFix(*nl_, setupSta, cfg.repair, place);
+      rec.vtSwaps = vtSwapFix(*nl_, *setupSta, cfg.repair, place);
     if (cfg.enableSizing)
-      rec.resizes = gateSizingFix(*nl_, setupSta, cfg.repair, place);
+      rec.resizes = gateSizingFix(*nl_, *setupSta, cfg.repair, place);
     if (cfg.enableBuffering)
-      rec.buffers = bufferInsertionFix(*nl_, setupSta, cfg.repair, place);
+      rec.buffers = bufferInsertionFix(*nl_, *setupSta, cfg.repair, place);
     if (cfg.enableNdr)
-      rec.ndrPromotions = ndrPromotionFix(*nl_, setupSta, cfg.repair);
+      rec.ndrPromotions = ndrPromotionFix(*nl_, *setupSta, cfg.repair);
     if (cfg.enableUsefulSkew)
-      rec.usefulSkews = usefulSkewFix(*nl_, setupSta, cfg.repair);
+      rec.usefulSkews = usefulSkewFix(*nl_, *setupSta, cfg.repair);
     if (cfg.enableHoldFix && holdSta)
       rec.holdBuffers = holdFix(*nl_, *holdSta, cfg.repair, place);
 
@@ -92,7 +131,7 @@ ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
       rec.minIaViolationsCreated = created - minIaBefore;
       MinIaFixConfig mcfg;
       mcfg.minSites = cfg.minIaSites;
-      const auto fixRep = fixMinIa(*nl_, *occ, *fp_, &setupSta, mcfg);
+      const auto fixRep = fixMinIa(*nl_, *occ, *fp_, setupSta.get(), mcfg);
       rec.minIaViolationsFixed =
           fixRep.violationsBefore - fixRep.violationsAfter;
     }
@@ -103,13 +142,10 @@ ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
              rec.buffers);
   }
 
-  StaEngine finalSta(*nl_, setupSc_);
-  finalSta.run();
-  result.final = breakdown(finalSta);
-  if (holdSc_) {
-    StaEngine h(*nl_, *holdSc_);
-    h.run();
-    const auto hb = breakdown(h);
+  result.staMs += refreshTiming();
+  result.final = breakdown(*setupSta);
+  if (holdSta) {
+    const auto hb = breakdown(*holdSta);
     result.final.holdWns = hb.holdWns;
     result.final.holdTns = hb.holdTns;
     result.final.holdViolations = hb.holdViolations;

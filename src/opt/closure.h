@@ -24,9 +24,17 @@ struct ClosureConfig {
   bool enableNdr = true;
   bool enableUsefulSkew = true;
   bool enableHoldFix = true;
+  bool enablePinSwap = false;  ///< commutative pin swap (off by default to
+                               ///< keep the paper exhibits unchanged)
   bool fixMinIaAfterSwaps = false;  ///< 20nm-and-below behaviour
   int minIaSites = 3;
   bool stopWhenClean = true;
+  /// Keep one STA engine per scenario alive across iterations and let the
+  /// netlist mutation hooks drive incremental updateTiming() instead of a
+  /// from-scratch run. Bit-identical to fresh engines (structural edits
+  /// fall back to a full retime internally); false restores the legacy
+  /// rebuild-every-iteration behaviour for A/B measurement.
+  bool incrementalSta = true;
 };
 
 /// Scoreboard for one loop iteration.
@@ -38,15 +46,18 @@ struct IterationRecord {
   int buffers = 0;
   int ndrPromotions = 0;
   int usefulSkews = 0;
+  int pinSwaps = 0;
   int holdBuffers = 0;
   int minIaViolationsCreated = 0;
   int minIaViolationsFixed = 0;
+  double staMs = 0.0;  ///< wall time spent in STA entering this iteration
 };
 
 struct ClosureResult {
   std::vector<IterationRecord> iterations;
   FailureBreakdown final;
   bool closed = false;  ///< no setup/hold/DRV violations remain
+  double staMs = 0.0;   ///< total STA wall time across the loop
 };
 
 class ClosureLoop {

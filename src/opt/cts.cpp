@@ -109,6 +109,7 @@ CtsResult optimizeClockTree(Netlist& nl, RowOccupancy* occ,
         Instance& in = nl.instance(buf);
         in.x = fp->xOf(site);
         in.y = fp->yOf(row);
+        nl.notifyPlacementChanged(buf);
         ++res.buffersMoved;
       }
     }
@@ -143,6 +144,7 @@ CtsResult optimizeClockTree(Netlist& nl, RowOccupancy* occ,
     } else {
       nl.instance(i).x = fp->xOf(site);
       nl.instance(i).y = fp->yOf(row);
+      nl.notifyPlacementChanged(i);
       ++res.buffersMoved;
     }
   }

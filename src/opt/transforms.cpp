@@ -62,6 +62,7 @@ void placeNewCell(Netlist& nl, PlacementCtx place, InstId inst, Um x, Um y) {
     Instance& in = nl.instance(inst);
     in.x = place.fp->xOf(site);
     in.y = place.fp->yOf(row);
+    nl.notifyPlacementChanged(inst);
   }
 }
 
@@ -287,7 +288,7 @@ int ndrPromotionFix(Netlist& nl, const StaEngine& sta,
     if (n < 0 || nl.net(n).ndrClass != 0) continue;
     const NetParasitics& p = sta.delayCalc().parasitics(n);
     if (p.wirelength < 40.0) continue;  // NDR only pays on long wires
-    nl.net(n).ndrClass = 2;             // 2W2S
+    nl.setNdrClass(n, 2);               // 2W2S
     ++edits;
   }
   return edits;
@@ -316,7 +317,64 @@ int usefulSkewFix(Netlist& nl, const StaEngine& sta, const RepairConfig& cfg,
     Ps step = std::min({-ep.setupSlack + 2.0, maxSkewStep,
                         holdHeadroom - 5.0, launchHeadroom - 5.0});
     if (step <= 1.0) continue;
-    nl.instance(ep.flop).usefulSkew += step;
+    nl.setUsefulSkew(ep.flop, nl.instance(ep.flop).usefulSkew + step);
+    ++edits;
+  }
+  return edits;
+}
+
+int pinSwapFix(Netlist& nl, const StaEngine& sta, const RepairConfig& cfg) {
+  // Commutative-input cells expose asymmetric arcs (the series-stack pin
+  // is slower): steer the latest-arriving signal onto the fastest pin.
+  // Restricted to footprints whose inputs are functionally interchangeable.
+  auto commutative = [](const Cell& c) {
+    return !c.isSequential && c.numInputs >= 2 &&
+           (c.footprint == "NAND2" || c.footprint == "NAND3" ||
+            c.footprint == "NOR2" || c.footprint == "NOR3");
+  };
+  constexpr Ps kProbeSlew = 50.0;  // fixed probe: pin ranking, not timing
+  int edits = 0;
+  for (const auto& [slack, inst] : criticalInstances(nl, sta, cfg.slackTarget)) {
+    (void)slack;
+    if (edits >= cfg.maxEdits) break;
+    const Cell& cur = nl.cellOf(inst);
+    if (!commutative(cur)) continue;
+    if (nl.instance(inst).fanout < 0) continue;
+    const int numIn = static_cast<int>(nl.instance(inst).fanin.size());
+    int latePin = -1, fastPin = -1;
+    Ps lateArr = -std::numeric_limits<double>::infinity();
+    Ps fastDelay = std::numeric_limits<double>::infinity();
+    bool usable = true;
+    for (int pin = 0; pin < numIn; ++pin) {
+      if (nl.instance(inst).fanin[static_cast<std::size_t>(pin)] < 0 ||
+          nl.isPinQuarantined(inst, pin)) {
+        usable = false;
+        break;
+      }
+      const VertexId v = sta.graph().inputVertex(inst, pin);
+      if (v < 0) {
+        usable = false;
+        break;
+      }
+      const Ps arr = sta.arrivalKey(v, Mode::kLate);
+      if (!std::isfinite(arr)) {
+        usable = false;
+        break;
+      }
+      const auto rise = sta.delayCalc().cellArc(inst, pin, true, kProbeSlew);
+      const auto fall = sta.delayCalc().cellArc(inst, pin, false, kProbeSlew);
+      const Ps d = 0.5 * (rise.delay + fall.delay);
+      if (arr > lateArr) {
+        lateArr = arr;
+        latePin = pin;
+      }
+      if (d < fastDelay) {
+        fastDelay = d;
+        fastPin = pin;
+      }
+    }
+    if (!usable || latePin < 0 || fastPin < 0 || latePin == fastPin) continue;
+    nl.swapPins(inst, latePin, fastPin);
     ++edits;
   }
   return edits;

@@ -53,6 +53,11 @@ int ndrPromotionFix(Netlist& nl, const StaEngine& sta,
 int usefulSkewFix(Netlist& nl, const StaEngine& sta, const RepairConfig& cfg,
                   Ps maxSkewStep = 30.0);
 
+/// Swap commutative input pins (NAND/NOR families) so the latest-arriving
+/// signal drives the fastest arc. A structural edit: connectivity moves, so
+/// a registered incremental timer falls back to a full retime.
+int pinSwapFix(Netlist& nl, const StaEngine& sta, const RepairConfig& cfg);
+
 /// Insert delay buffers in front of hold-violating D pins. `holdSta` should
 /// be the hold-critical (fast) scenario's engine.
 int holdFix(Netlist& nl, const StaEngine& holdSta, const RepairConfig& cfg,

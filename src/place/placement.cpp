@@ -118,6 +118,7 @@ void RowOccupancy::moveCell(Netlist& nl, const Floorplan& fp, InstId inst,
   in.siteLo = siteLo;
   in.x = fp.xOf(siteLo);
   in.y = fp.yOf(row);
+  nl.notifyPlacementChanged(inst);
 }
 
 bool RowOccupancy::resizeCell(Netlist& nl, const Floorplan& fp, InstId inst,
@@ -154,6 +155,8 @@ void RowOccupancy::swapCells(Netlist& nl, const Floorplan& fp, InstId a,
   reindexRow(ra);
   if (rb != ra) reindexRow(rb);
   (void)fp;
+  nl.notifyPlacementChanged(a);
+  nl.notifyPlacementChanged(b);
 }
 
 Um totalHpwl(const Netlist& nl) {
@@ -280,6 +283,7 @@ void placeDesign(Netlist& nl, const Floorplan& fp, int refineSweeps,
       inst.x = fp.xOf(site);
       inst.y = fp.yOf(r);
       site += nl.cellOf(i).widthSites + gap;
+      nl.notifyPlacementChanged(i);
     }
   }
 }

@@ -196,6 +196,56 @@ const McmmResult& McmmRunner::run(const McmmOptions& opt) {
   return result_;
 }
 
+const McmmResult& McmmRunner::update(const McmmOptions& opt) {
+  const std::size_t n = scenarios_.size();
+  if (engines_.size() != n) return run(opt);
+  for (const auto& e : engines_)
+    if (!e) return run(opt);
+
+  result_ = McmmResult{};
+  result_.scenarios.resize(n);
+
+  auto updateOne = [this, &opt](std::size_t i) {
+    StaEngine& eng = *engines_[i];
+    eng.setThreadPool(opt.intraScenario ? opt.pool : nullptr);
+    // The live stream of an incremental update only covers the recomputed
+    // region; detach the sink and regenerate the canonical full stream
+    // afterwards so the report matches a fresh run byte-for-byte.
+    eng.setDiagnosticSink(nullptr);
+    eng.updateTiming();
+    sinks_[i] = std::make_unique<DiagnosticSink>();
+    sinks_[i]->setEcho(opt.echoDiagnostics);
+    eng.replayTimingDiagnostics(*sinks_[i]);
+
+    ScenarioResult& r = result_.scenarios[i];
+    r.scenario = scenarios_[i].name;
+    r.setupWns = eng.wns(Check::kSetup);
+    r.holdWns = eng.wns(Check::kHold);
+    r.setupTns = eng.tns(Check::kSetup);
+    r.holdTns = eng.tns(Check::kHold);
+    r.setupViolations = eng.violationCount(Check::kSetup);
+    r.holdViolations = eng.violationCount(Check::kHold);
+    r.drvViolations = static_cast<int>(eng.drvViolations().size());
+    r.nanQuarantined = eng.nanQuarantineCount();
+    r.endpoints = eng.endpoints();
+    r.diagnostics = sinks_[i]->diagnostics();
+  };
+
+  if (opt.pool && opt.pool->threadCount() > 0)
+    opt.pool->parallelFor(n, updateOne, /*grain=*/1);
+  else
+    for (std::size_t i = 0; i < n; ++i) updateOne(i);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (Diagnostic d : result_.scenarios[i].diagnostics) {
+      d.entity = result_.scenarios[i].scenario +
+                 (d.entity.empty() ? "" : "/" + d.entity);
+      result_.merged.push_back(std::move(d));
+    }
+  }
+  return result_;
+}
+
 McmmResult runMcmm(const Netlist& netlist, std::vector<Scenario> scenarios,
                    const McmmOptions& opt) {
   McmmRunner runner(netlist, std::move(scenarios));

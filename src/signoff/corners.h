@@ -126,6 +126,15 @@ class McmmRunner {
 
   const McmmResult& run(const McmmOptions& opt = {});
 
+  /// Incremental refresh after netlist edits: every engine built by the
+  /// last run() stays registered on the netlist's mutation hooks, so this
+  /// just drives each scenario's updateTiming() and re-merges. Results are
+  /// bit-identical to a fresh run() (the engines' incremental contract);
+  /// diagnostics are regenerated through replayTimingDiagnostics so the
+  /// merged stream also matches byte-for-byte. Falls back to run() when no
+  /// engines exist yet.
+  const McmmResult& update(const McmmOptions& opt = {});
+
   const McmmResult& result() const { return result_; }
   std::size_t scenarioCount() const { return scenarios_.size(); }
   const Scenario& scenario(std::size_t i) const { return scenarios_[i]; }

@@ -1,8 +1,8 @@
 #include "sta/engine.h"
 
 #include <algorithm>
-#include <set>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace tc {
@@ -30,7 +30,13 @@ StaEngine::StaEngine(const Netlist& netlist, const Scenario& scenario)
   // cell identity (same builder => same ordering); verify a sample.
   if (scenario.lib->cellCount() != netlist.library().cellCount())
     throw std::invalid_argument("scenario library cell set mismatch");
+  // Subscribe to in-place edits so transforms and ECOs mark the dirty
+  // frontier without every call site knowing about this engine. The
+  // netlist must outlive the engine (it already must: nl_ is a pointer).
+  nl_->addListener(this);
 }
+
+StaEngine::~StaEngine() { nl_->removeListener(this); }
 
 Ps StaEngine::clockPeriod() const {
   if (nl_->clocks().empty())
@@ -292,6 +298,29 @@ void StaEngine::processEdge(EdgeId e) {
   }
 }
 
+namespace {
+constexpr int kMaxNanReports = 20;
+}  // namespace
+
+void StaEngine::emitNanWarn(DiagnosticSink& sink, VertexId vertex,
+                            bool badArrival, std::size_t index,
+                            std::size_t total) const {
+  if (static_cast<int>(index) >= kMaxNanReports) return;
+  const TimingGraph::Vertex& vx = graph_.vertex(vertex);
+  const std::string entity = vx.kind == TimingGraph::VertexKind::kPort
+                                 ? nl_->port(vx.port).name
+                                 : nl_->instance(vx.inst).name;
+  sink.warn(DiagCode::kLintNanQuarantined,
+            std::string("non-finite ") +
+                (badArrival ? "arrival" : "slew/variance") +
+                " rejected during propagation" +
+                (static_cast<int>(index) == kMaxNanReports - 1 &&
+                         total > static_cast<std::size_t>(kMaxNanReports)
+                     ? " (further reports suppressed)"
+                     : ""),
+            entity);
+}
+
 void StaEngine::flushNanEvents() {
   // Stable-sort by topo position: within one vertex the discovery order is
   // the vertex task's own deterministic in-edge order, and across vertices
@@ -302,26 +331,52 @@ void StaEngine::flushNanEvents() {
                      return graph_.topoPosition(a.vertex) <
                             graph_.topoPosition(b.vertex);
                    });
-  constexpr int kMaxNanReports = 20;
   for (std::size_t i = 0; i < nanEvents_.size(); ++i) {
-    ++nanQuarantine_;
-    if (!diagSink_ || static_cast<int>(i) >= kMaxNanReports) continue;
-    const TimingGraph::Vertex& vx = graph_.vertex(nanEvents_[i].vertex);
-    const std::string entity = vx.kind == TimingGraph::VertexKind::kPort
-                                   ? nl_->port(vx.port).name
-                                   : nl_->instance(vx.inst).name;
-    diagSink_->warn(
-        DiagCode::kLintNanQuarantined,
-        std::string("non-finite ") +
-            (nanEvents_[i].badArrival ? "arrival" : "slew/variance") +
-            " rejected during propagation" +
-            (static_cast<int>(i) == kMaxNanReports - 1 &&
-                     nanEvents_.size() > static_cast<std::size_t>(kMaxNanReports)
-                 ? " (further reports suppressed)"
-                 : ""),
-        entity);
+    ++propNan_;
+    nanKinds_[static_cast<std::size_t>(nanEvents_[i].vertex)].push_back(
+        nanEvents_[i].badArrival ? 1 : 0);
+    if (diagSink_)
+      emitNanWarn(*diagSink_, nanEvents_[i].vertex,
+                  nanEvents_[i].badArrival != 0, i, nanEvents_.size());
   }
   nanEvents_.clear();
+}
+
+void StaEngine::replayTimingDiagnostics(DiagnosticSink& sink) const {
+  // Propagation rejections, globally ordered by topo position. Each
+  // vertex's stored kinds are already in its deterministic discovery
+  // order, so walking vertices by topo position reproduces the fresh
+  // run's stable sort (including the reporting cap, which depends on the
+  // global event index).
+  std::vector<VertexId> withEvents;
+  for (VertexId v = 0; v < graph_.vertexCount(); ++v)
+    if (!nanKinds_[static_cast<std::size_t>(v)].empty())
+      withEvents.push_back(v);
+  std::sort(withEvents.begin(), withEvents.end(),
+            [this](VertexId a, VertexId b) {
+              return graph_.topoPosition(a) < graph_.topoPosition(b);
+            });
+  const std::size_t total = static_cast<std::size_t>(propNan_);
+  std::size_t index = 0;
+  for (const VertexId v : withEvents)
+    for (const std::uint8_t badArrival : nanKinds_[static_cast<std::size_t>(v)])
+      emitNanWarn(sink, v, badArrival != 0, index++, total);
+
+  // Endpoint drops, in endpoint-index order — the order checkEndpoints
+  // reports them on a full pass.
+  const auto& eps = graph_.endpoints();
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    if (!epDropped_[i]) continue;
+    const TimingGraph::Vertex& vx = graph_.vertex(eps[i]);
+    if (vx.kind == TimingGraph::VertexKind::kPort)
+      sink.warn(DiagCode::kLintNanQuarantined,
+                "output-port endpoint dropped: non-finite arrival",
+                nl_->port(vx.port).name);
+    else
+      sink.warn(
+          DiagCode::kLintNanQuarantined, "endpoint dropped: non-finite slack",
+          vx.inst >= 0 ? nl_->instance(vx.inst).name : std::string());
+  }
 }
 
 void StaEngine::propagate() {
@@ -481,40 +536,60 @@ bool StaEngine::evalEndpoint(VertexId v, EndpointTiming* out,
 }
 
 void StaEngine::checkEndpoints() {
-  endpoints_.clear();
+  // Full pass: (re)build the persistent per-endpoint slots, then evaluate
+  // every endpoint. Endpoints are independent: evaluate into the slots
+  // (CPPR path tracing is the expensive part), then compact and report
+  // drops in the graph's endpoint order, so parallel and serial runs agree
+  // exactly. Incremental updates later refresh a subset of these slots.
   const auto& eps = graph_.endpoints();
-  // Endpoints are independent: evaluate into per-endpoint slots (CPPR path
-  // tracing is the expensive part), then compact and report drops in the
-  // graph's endpoint order, so parallel and serial runs agree exactly.
-  std::vector<EndpointTiming> slots(eps.size());
-  std::vector<std::uint8_t> ok(eps.size(), 0), dropped(eps.size(), 0);
-  auto evalOne = [&](std::size_t i) {
+  epSlots_.assign(eps.size(), EndpointTiming{});
+  epOk_.assign(eps.size(), 0);
+  epDropped_.assign(eps.size(), 0);
+  epIndexOfVertex_.assign(static_cast<std::size_t>(graph_.vertexCount()), -1);
+  for (std::size_t i = 0; i < eps.size(); ++i)
+    epIndexOfVertex_[static_cast<std::size_t>(eps[i])] =
+        static_cast<int>(i);
+
+  std::vector<std::size_t> all(eps.size());
+  for (std::size_t i = 0; i < eps.size(); ++i) all[i] = i;
+  reevaluateEndpoints(all);
+}
+
+void StaEngine::reevaluateEndpoints(const std::vector<std::size_t>& idxs) {
+  const auto& eps = graph_.endpoints();
+  auto evalOne = [&](std::size_t k) {
+    const std::size_t i = idxs[k];
     bool drop = false;
-    ok[i] = evalEndpoint(eps[i], &slots[i], &drop) ? 1 : 0;
-    dropped[i] = drop ? 1 : 0;
+    epOk_[i] = evalEndpoint(eps[i], &epSlots_[i], &drop) ? 1 : 0;
+    epDropped_[i] = drop ? 1 : 0;
   };
   if (pool_ && pool_->threadCount() > 0)
-    pool_->parallelFor(eps.size(), evalOne, /*grain=*/4);
+    pool_->parallelFor(idxs.size(), evalOne, /*grain=*/4);
   else
-    for (std::size_t i = 0; i < eps.size(); ++i) evalOne(i);
+    for (std::size_t k = 0; k < idxs.size(); ++k) evalOne(k);
 
+  // Drop diagnostics for the evaluated subset, in endpoint-index order
+  // (idxs is always ascending), so the stream stays byte-stable.
+  for (const std::size_t i : idxs) {
+    if (!epDropped_[i] || !diagSink_) continue;
+    const TimingGraph::Vertex& vx = graph_.vertex(eps[i]);
+    if (vx.kind == TimingGraph::VertexKind::kPort)
+      diagSink_->warn(DiagCode::kLintNanQuarantined,
+                      "output-port endpoint dropped: non-finite arrival",
+                      nl_->port(vx.port).name);
+    else
+      diagSink_->warn(
+          DiagCode::kLintNanQuarantined, "endpoint dropped: non-finite slack",
+          vx.inst >= 0 ? nl_->instance(vx.inst).name : std::string());
+  }
+
+  // The drop count and the compacted list are re-derived from the slots so
+  // repeated (incremental) evaluation never double-counts an endpoint.
+  epDropNan_ = 0;
+  endpoints_.clear();
   for (std::size_t i = 0; i < eps.size(); ++i) {
-    if (dropped[i]) {
-      ++nanQuarantine_;
-      if (diagSink_) {
-        const TimingGraph::Vertex& vx = graph_.vertex(eps[i]);
-        if (vx.kind == TimingGraph::VertexKind::kPort)
-          diagSink_->warn(DiagCode::kLintNanQuarantined,
-                          "output-port endpoint dropped: non-finite arrival",
-                          nl_->port(vx.port).name);
-        else
-          diagSink_->warn(
-              DiagCode::kLintNanQuarantined,
-              "endpoint dropped: non-finite slack",
-              vx.inst >= 0 ? nl_->instance(vx.inst).name : std::string());
-      }
-    }
-    if (ok[i]) endpoints_.push_back(slots[i]);
+    if (epDropped_[i]) ++epDropNan_;
+    if (epOk_[i]) endpoints_.push_back(epSlots_[i]);
   }
 }
 
@@ -537,24 +612,32 @@ void StaEngine::checkDrv() {
   }
 }
 
+std::array<double, 2> StaEngine::endpointReqSeed(VertexId v) const {
+  // The allowed arrival time at an endpoint is transition-independent;
+  // reconstruct it from the worst transition's mean arrival + slack. Both
+  // the full and the incremental backward pass seed through here, so their
+  // arithmetic (hence their results) is identical.
+  std::array<double, 2> r = {kInf, kInf};
+  const int idx = epIndexOfVertex_[static_cast<std::size_t>(v)];
+  if (idx < 0 || !epOk_[static_cast<std::size_t>(idx)]) return r;
+  const EndpointTiming& ep = epSlots_[static_cast<std::size_t>(idx)];
+  if (ep.setupSlack == kInf) return r;
+  const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+  const int wt = ep.setupTrans;
+  if (t.arr[0][wt] == kNoTime) return r;
+  const double reqTime = t.arr[0][wt] + ep.setupSlack;
+  r[0] = r[1] = reqTime;
+  return r;
+}
+
 void StaEngine::computeRequired() {
   // Full backward required-time propagation over every edge, resolved per
   // transition (mean-arrival domain; exact for flat/no-derate scenarios,
   // optimizer guidance otherwise).
   requiredLate_.assign(static_cast<std::size_t>(graph_.vertexCount()),
                        {kInf, kInf});
-  for (const auto& ep : endpoints_) {
-    if (ep.setupSlack == kInf) continue;
-    const VertexTiming& t = vt_[static_cast<std::size_t>(ep.vertex)];
-    // The allowed arrival time at the endpoint is transition-independent;
-    // reconstruct it from the worst transition's mean arrival + slack.
-    const int wt = ep.setupTrans;
-    if (t.arr[0][wt] == kNoTime) continue;
-    const double reqTime = t.arr[0][wt] + ep.setupSlack;
-    auto& r = requiredLate_[static_cast<std::size_t>(ep.vertex)];
-    r[0] = std::min(r[0], reqTime);
-    r[1] = std::min(r[1], reqTime);
-  }
+  for (const VertexId v : graph_.endpoints())
+    requiredLate_[static_cast<std::size_t>(v)] = endpointReqSeed(v);
 
   if (pool_ && pool_->threadCount() > 0) {
     // Reverse level order: every out-edge of a level-L vertex lands on a
@@ -648,17 +731,20 @@ void StaEngine::setMisFactors(std::vector<std::array<double, 2>> late,
                               std::vector<std::array<double, 2>> early) {
   misLate_ = std::move(late);
   misEarly_ = std::move(early);
+  valuesDirty_ = true;  // every combinational arc delay changed
 }
 
 void StaEngine::clearMisFactors() {
   misLate_.clear();
   misEarly_.clear();
+  valuesDirty_ = true;
 }
 
-bool StaEngine::recomputeVertex(VertexId v) {
+StaEngine::RecomputeResult StaEngine::recomputeVertex(VertexId v) {
+  // Sources (no in-edges) keep their initSources() values; quarantined
+  // pins keep their borrowed arrivals the same way.
+  if (graph_.inEdges(v).empty()) return {};
   const VertexTiming before = vt_[static_cast<std::size_t>(v)];
-  // Sources (no in-edges) keep their initSources() values.
-  if (graph_.inEdges(v).empty()) return false;
   VertexTiming& t = vt_[static_cast<std::size_t>(v)];
   for (int m = 0; m < 2; ++m)
     for (int tr = 0; tr < 2; ++tr) {
@@ -667,55 +753,327 @@ bool StaEngine::recomputeVertex(VertexId v) {
       t.var[m][tr] = 0.0;
       t.depth[m][tr] = 0;
       t.parentEdge[m][tr] = -1;
+      t.parentTrans[m][tr] = 0;
       t.parentDelay[m][tr] = 0.0;
       t.parentVar[m][tr] = 0.0;
     }
   for (EdgeId e : graph_.inEdges(v)) processEdge(e);
-  constexpr double kEps = 1e-9;
-  for (int m = 0; m < 2; ++m)
-    for (int tr = 0; tr < 2; ++tr) {
-      if (std::abs(t.arr[m][tr] - before.arr[m][tr]) > kEps) return true;
-      if (std::abs(t.slew[m][tr] - before.slew[m][tr]) > kEps) return true;
-      if (std::abs(t.var[m][tr] - before.var[m][tr]) > kEps) return true;
-    }
-  return false;
+  // Bitwise convergence: a from-scratch retime relaxes this vertex over
+  // the same in-edge order with the same inputs, so "unchanged" here means
+  // "indistinguishable from a full run" — the exactness contract the
+  // equivalence property test enforces. VertexTiming is all 8-byte-aligned
+  // scalar arrays (no padding), so memcmp compares exactly the fields.
+  RecomputeResult res;
+  res.changed = std::memcmp(&before, &t, sizeof(VertexTiming)) != 0;
+  if (res.changed) {
+    res.pathChanged =
+        std::memcmp(before.parentEdge, t.parentEdge,
+                    sizeof(before.parentEdge)) != 0 ||
+        std::memcmp(before.parentTrans, t.parentTrans,
+                    sizeof(before.parentTrans)) != 0;
+  }
+  return res;
 }
 
-void StaEngine::updateAfterEco(const std::vector<NetId>& dirtyNets) {
-  if (!hasRun_) {
-    run();
+bool StaEngine::recomputeRequired(VertexId u) {
+  auto& r = requiredLate_[static_cast<std::size_t>(u)];
+  const std::array<double, 2> before = r;
+  r = endpointReqSeed(u);
+  pullRequired(u);
+  return std::memcmp(&before, &r, sizeof(before)) != 0;
+}
+
+void StaEngine::invalidateNet(NetId net) {
+  if (net < 0) return;
+  if (net >= nl_->netCount()) return;
+  dirtyNets_.push_back(net);
+  const Net& n = nl_->net(net);
+  if (n.driver >= 0) {
+    if (n.driver >= graph_.instanceSpan()) {
+      structureDirty_ = true;  // net rewired onto a post-snapshot instance
+      return;
+    }
+    // The driver's arc delays changed (new load): re-relax its output
+    // forward, and re-pull the driving instance's inputs backward (their
+    // out cell-arcs read the same load).
+    const VertexId v = graph_.outputVertex(n.driver);
+    if (v >= 0) {
+      dirtyVerts_.push_back(v);
+      dirtyBack_.push_back(v);
+    }
+    const Instance& drv = nl_->instance(n.driver);
+    for (int pin = 0; pin < static_cast<int>(drv.fanin.size()); ++pin) {
+      const VertexId iv = graph_.inputVertex(n.driver, pin);
+      if (iv >= 0) dirtyBack_.push_back(iv);
+    }
+  } else if (n.driverPort >= 0) {
+    // Port-driven: the port vertex is a source (nothing to re-relax) but
+    // its net arcs changed, so its required times must be re-pulled.
+    const VertexId v = graph_.portVertex(n.driverPort);
+    if (v >= 0) dirtyBack_.push_back(v);
+  }
+  // Sink arrivals shift with the new wire delay.
+  for (const auto& snk : n.sinks) {
+    const VertexId v = graph_.inputVertex(snk.inst, snk.pin);
+    if (v >= 0)
+      dirtyVerts_.push_back(v);
+    else if (snk.inst >= graph_.instanceSpan())
+      structureDirty_ = true;
+  }
+}
+
+void StaEngine::invalidatePin(InstId inst, int pin) {
+  const VertexId v = graph_.inputVertex(inst, pin);
+  if (v >= 0) {
+    dirtyVerts_.push_back(v);
+    dirtyBack_.push_back(v);
+  } else if (inst >= graph_.instanceSpan()) {
+    structureDirty_ = true;
+  }
+}
+
+void StaEngine::invalidateInstance(InstId inst) {
+  if (inst < 0) return;
+  if (inst >= graph_.instanceSpan()) {
+    structureDirty_ = true;
     return;
   }
-  std::set<std::pair<int, VertexId>> work;
-  auto push = [&](VertexId v) { work.insert({graph_.topoPosition(v), v}); };
-  for (NetId n : dirtyNets) {
-    dc_.invalidateNet(n);
-    const Net& net = nl_->net(n);
-    // The driver's arc delay changed (new load): recompute its output.
-    if (net.driver >= 0) {
-      const VertexId v = graph_.outputVertex(net.driver);
-      if (v >= 0) push(v);
+  const Instance& i = nl_->instance(inst);
+  // Pin caps changed every fanin net's parasitics; the fanout net's driver
+  // arcs changed surface. invalidateNet covers both directions.
+  for (const NetId n : i.fanin)
+    if (n >= 0) invalidateNet(n);
+  if (i.fanout >= 0) invalidateNet(i.fanout);
+  // A swapped flop also changes its setup/hold constraint tables, which an
+  // arrival-convergence test cannot see: force the endpoint through
+  // re-evaluation even if no arrival in its cone moves.
+  if (nl_->isSequential(inst)) {
+    const VertexId d = graph_.inputVertex(inst, 0);
+    if (d >= 0) {
+      forcedEndpointVerts_.push_back(d);
+      dirtyBack_.push_back(d);
     }
-    // Sink arrivals shift with the new wire delay.
-    for (const auto& snk : net.sinks)
-      push(graph_.inputVertex(snk.inst, snk.pin));
+  }
+}
+
+void StaEngine::invalidateStructure() { structureDirty_ = true; }
+
+bool StaEngine::hasPendingInvalidation() const {
+  return structureDirty_ || valuesDirty_ || !dirtyNets_.empty() ||
+         !dirtyVerts_.empty() || !dirtyBack_.empty() ||
+         !forcedEndpointVerts_.empty();
+}
+
+void StaEngine::clearInvalidation() {
+  structureDirty_ = false;
+  valuesDirty_ = false;
+  dirtyNets_.clear();
+  dirtyVerts_.clear();
+  dirtyBack_.clear();
+  forcedEndpointVerts_.clear();
+}
+
+void StaEngine::onCellSwapped(InstId inst) { invalidateInstance(inst); }
+
+void StaEngine::onPlacementChanged(InstId inst) { invalidateInstance(inst); }
+
+void StaEngine::onNetAttrChanged(NetId net) { invalidateNet(net); }
+
+void StaEngine::onSkewChanged(InstId flop) {
+  if (flop >= graph_.instanceSpan()) {
+    structureDirty_ = true;
+    return;
+  }
+  // The skew lands on the net arc into the flop's CK pin: re-relax the CK
+  // vertex forward, and re-pull the clock node driving it (its backward
+  // pull reads the skew directly). No parasitics changed.
+  const VertexId ck = graph_.inputVertex(flop, 1);
+  if (ck >= 0) {
+    dirtyVerts_.push_back(ck);
+    dirtyBack_.push_back(ck);
+  }
+  const auto& fanin = nl_->instance(flop).fanin;
+  const NetId ckNet = fanin.size() > 1 ? fanin[1] : -1;
+  if (ckNet >= 0) {
+    const Net& n = nl_->net(ckNet);
+    VertexId drv = -1;
+    if (n.driver >= 0)
+      drv = graph_.outputVertex(n.driver);
+    else if (n.driverPort >= 0)
+      drv = graph_.portVertex(n.driverPort);
+    if (drv >= 0) dirtyBack_.push_back(drv);
+  }
+}
+
+void StaEngine::onStructureChanged() { invalidateStructure(); }
+
+StaEngine::UpdateStats StaEngine::updateTiming() {
+  UpdateStats st;
+  const bool pooled = pool_ && pool_->threadCount() > 0;
+
+  if (!hasRun_ || structureDirty_ || valuesDirty_) {
+    // First run, a structural edit (levelization stale), or a global value
+    // change (MIS factors): full retime. The graph is rebuilt against the
+    // current netlist; the delay calculator is reused with its cache fully
+    // invalidated (it holds references into the netlist, so reassignment
+    // is neither possible nor needed).
+    st.full = true;
+    if (hasRun_ && structureDirty_) {
+      graph_ = TimingGraph(*nl_);
+      dc_.invalidateAll();
+    }
+    run();
+    st.forwardRecomputed = graph_.vertexCount();
+    st.requiredRecomputed = graph_.vertexCount();
+    st.endpointsReevaluated = static_cast<int>(graph_.endpoints().size());
+    lastUpdate_ = st;
+    return st;
+  }
+  if (!hasPendingInvalidation()) {
+    lastUpdate_ = st;
+    return st;
   }
 
-  while (!work.empty()) {
-    const auto [p, v] = *work.begin();
-    work.erase(work.begin());
-    (void)p;
-    if (!recomputeVertex(v)) continue;
-    for (EdgeId e : graph_.outEdges(v)) push(graph_.edge(e).to);
+  // Stale parasitics out before any recompute; when pooled, refill them
+  // now so the parallel sweeps below stay pure reads.
+  for (const NetId n : dirtyNets_) dc_.invalidateNet(n);
+  if (pooled) dc_.warmCache(pool_);
+
+  const int nv = graph_.vertexCount();
+  const auto& levels = graph_.levels();
+
+  // --- forward: level-bucketed re-relaxation with bitwise early exit --------
+  // Out-edges always land on strictly higher levels, so processing buckets
+  // in ascending level order is a refinement of the full sweep: a vertex
+  // is recomputed only after every dirty predecessor settled. Buckets are
+  // sorted so the schedule is independent of seed discovery order.
+  std::vector<std::uint8_t> queued(static_cast<std::size_t>(nv), 0);
+  std::vector<std::vector<VertexId>> buckets(levels.size());
+  auto enqueue = [&](VertexId v) {
+    if (v < 0 || queued[static_cast<std::size_t>(v)]) return;
+    queued[static_cast<std::size_t>(v)] = 1;
+    buckets[static_cast<std::size_t>(graph_.levelOf(v))].push_back(v);
+  };
+  for (const VertexId v : dirtyVerts_) enqueue(v);
+
+  bool pathChanged = false;
+  bool clockChanged = false;
+  std::vector<VertexId> changedList;
+  std::vector<RecomputeResult> results;
+  for (auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    std::sort(bucket.begin(), bucket.end());
+    // Retract this bucket's stale NaN rejections before re-relaxing: the
+    // recompute re-discovers whichever are still real.
+    for (const VertexId v : bucket) {
+      const auto idx = static_cast<std::size_t>(v);
+      propNan_ -= static_cast<int>(nanKinds_[idx].size());
+      nanKinds_[idx].clear();
+    }
+    results.assign(bucket.size(), RecomputeResult{});
+    auto work = [&](std::size_t i) { results[i] = recomputeVertex(bucket[i]); };
+    if (pooled)
+      pool_->parallelFor(bucket.size(), work, /*grain=*/4);
+    else
+      for (std::size_t i = 0; i < bucket.size(); ++i) work(i);
+    st.forwardRecomputed += static_cast<int>(bucket.size());
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (!results[i].changed) continue;
+      const VertexId v = bucket[i];
+      changedList.push_back(v);
+      if (results[i].pathChanged) pathChanged = true;
+      if (graph_.vertex(v).onClockNetwork) clockChanged = true;
+      for (const EdgeId e : graph_.outEdges(v)) enqueue(graph_.edge(e).to);
+    }
   }
   flushNanEvents();
 
-  // The worklist refilled the dirty nets' parasitics serially; re-warm so
-  // the parallel check/required passes below stay pure reads.
-  if (pool_ && pool_->threadCount() > 0) dc_.warmCache(pool_);
-  checkEndpoints();
+  // --- endpoint checks -------------------------------------------------------
+  // A slot is stale when its slack inputs could have moved: its D or CK
+  // vertex changed, a forced re-check was requested (constraint tables
+  // changed under a flop swap), or — because CPPR reads the clock network
+  // and the traced path identity — any clock vertex changed or any worst
+  // path switched parents. The latter two re-check everything: path
+  // switches under bitwise-tied arrivals are rare, and correctness beats
+  // the saved subset.
+  const auto& eps = graph_.endpoints();
+  std::vector<std::size_t> reeval;
+  if (pathChanged || clockChanged) {
+    reeval.resize(eps.size());
+    for (std::size_t i = 0; i < eps.size(); ++i) reeval[i] = i;
+  } else {
+    std::vector<std::uint8_t> mark(eps.size(), 0);
+    auto markEp = [&](VertexId v) {
+      if (v < 0) return;
+      const int idx = epIndexOfVertex_[static_cast<std::size_t>(v)];
+      if (idx >= 0) mark[static_cast<std::size_t>(idx)] = 1;
+    };
+    for (const VertexId v : changedList) {
+      markEp(v);  // D pins and constrained output ports are endpoint keys
+      const TimingGraph::Vertex& vx = graph_.vertex(v);
+      if (vx.kind == TimingGraph::VertexKind::kCellInput && vx.pin == 1 &&
+          nl_->isSequential(vx.inst))
+        markEp(graph_.inputVertex(vx.inst, 0));  // CK moved -> D endpoint
+    }
+    for (const VertexId v : forcedEndpointVerts_) markEp(v);
+    for (std::size_t i = 0; i < eps.size(); ++i)
+      if (mark[i]) reeval.push_back(i);
+  }
+  st.endpointsReevaluated = static_cast<int>(reeval.size());
+  if (!reeval.empty()) reevaluateEndpoints(reeval);
+
+  // DRV checks are a cheap linear scan over nets with cached parasitics;
+  // rerun them whole so the violation list stays byte-stable.
   checkDrv();
-  computeRequired();
+
+  // --- backward: incremental required times ---------------------------------
+  // Seeds: every forward-changed vertex (its arrivals/slews feed edge
+  // delays both ways), the extra backward seeds recorded at invalidation
+  // time (vertices whose *out*-edge delays changed without their own state
+  // moving), and every re-evaluated endpoint (its seed derives from the
+  // slot's slack). In-edges come from strictly lower levels, so buckets
+  // run in descending level order and a changed pull re-queues only
+  // predecessors.
+  std::vector<std::uint8_t> queuedBack(static_cast<std::size_t>(nv), 0);
+  std::vector<std::vector<VertexId>> backBuckets(levels.size());
+  auto enqueueBack = [&](VertexId v) {
+    if (v < 0 || queuedBack[static_cast<std::size_t>(v)]) return;
+    queuedBack[static_cast<std::size_t>(v)] = 1;
+    backBuckets[static_cast<std::size_t>(graph_.levelOf(v))].push_back(v);
+  };
+  for (const VertexId v : changedList) enqueueBack(v);
+  for (const VertexId v : dirtyBack_) enqueueBack(v);
+  for (const std::size_t i : reeval) enqueueBack(eps[i]);
+
+  std::vector<std::uint8_t> reqChanged;
+  for (auto it = backBuckets.rbegin(); it != backBuckets.rend(); ++it) {
+    auto& bucket = *it;
+    if (bucket.empty()) continue;
+    std::sort(bucket.begin(), bucket.end());
+    reqChanged.assign(bucket.size(), 0);
+    auto work = [&](std::size_t i) {
+      reqChanged[i] = recomputeRequired(bucket[i]) ? 1 : 0;
+    };
+    if (pooled)
+      pool_->parallelFor(bucket.size(), work, /*grain=*/4);
+    else
+      for (std::size_t i = 0; i < bucket.size(); ++i) work(i);
+    st.requiredRecomputed += static_cast<int>(bucket.size());
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (!reqChanged[i]) continue;
+      for (const EdgeId e : graph_.inEdges(bucket[i]))
+        enqueueBack(graph_.edge(e).from);
+    }
+  }
+
+  clearInvalidation();
+  lastUpdate_ = st;
+  return st;
+}
+
+void StaEngine::updateAfterEco(const std::vector<NetId>& dirtyNets) {
+  for (const NetId n : dirtyNets) invalidateNet(n);
+  updateTiming();
 }
 
 std::vector<NetId> StaEngine::netsAffectedBySwap(InstId inst) const {
@@ -728,12 +1086,18 @@ std::vector<NetId> StaEngine::netsAffectedBySwap(InstId inst) const {
 }
 
 void StaEngine::run() {
+  // Reset quarantine accounting: a full retime re-derives every rejection.
+  propNan_ = 0;
+  epDropNan_ = 0;
+  nanKinds_.assign(static_cast<std::size_t>(graph_.vertexCount()), {});
   initSources();
   propagate();
   checkEndpoints();
   checkDrv();
   computeRequired();
   hasRun_ = true;
+  // A full pass absorbs every pending edit, however it was triggered.
+  clearInvalidation();
 }
 
 Ps StaEngine::wns(Check check) const {

@@ -80,9 +80,12 @@ struct PathStep {
   Ps edgeVar = 0.0;
 };
 
-class StaEngine {
+class StaEngine : public NetlistListener {
  public:
   StaEngine(const Netlist& netlist, const Scenario& scenario);
+  ~StaEngine() override;
+  StaEngine(const StaEngine&) = delete;
+  StaEngine& operator=(const StaEngine&) = delete;
 
   /// Full GBA pass: propagate, check endpoints, check DRVs, compute
   /// required times.
@@ -94,17 +97,62 @@ class StaEngine {
   /// default) keeps every pass serial. Results are bit-identical either
   /// way: a level-parallel sweep is a refinement of the serial pull-order,
   /// each task writes only its own vertex, and reductions are per-vertex
-  /// (see DESIGN.md "Concurrency model"). The incremental ECO path is
-  /// always serial.
+  /// (see DESIGN.md "Concurrency model"). Incremental updateTiming()
+  /// sweeps its level buckets on the same pool under the same contract.
   void setThreadPool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* threadPool() const { return pool_; }
 
+  // --- incremental timing ----------------------------------------------------
+  // The engine registers itself as a NetlistListener at construction, so
+  // in-place edits made through the netlist's notifying mutators (swapCell,
+  // setUsefulSkew, setNdrClass, setMillerOverride, buffer insertion, ...)
+  // mark their own dirty frontier. updateTiming() then re-propagates only
+  // the affected region, terminating early where recomputed values are
+  // bit-identical to the pre-edit state, and falls back to a full retime
+  // (graph rebuild) after structural edits that stale the levelization.
+  // Results are always bit-identical to a from-scratch run() — serial or on
+  // a ThreadPool. See DESIGN.md "Incremental timing & invalidation".
+  //
+  // Invalidation can also be driven manually for edits that bypass the
+  // hooks (direct field writes, clock-period changes -> invalidateStructure).
+
+  /// Mark a net dirty: its parasitics, the driving arcs' loads, and every
+  /// sink's wire delay are stale.
+  void invalidateNet(NetId net);
+  /// Mark one pin's arrival state dirty (its vertex is re-relaxed).
+  void invalidatePin(InstId inst, int pin);
+  /// Mark an in-place cell change at `inst` (sizing / Vt swap): fanin and
+  /// fanout nets are invalidated and, for flops, the endpoint constraint is
+  /// forced through re-evaluation.
+  void invalidateInstance(InstId inst);
+  /// Levelization is stale (topology edit / clock redefinition): the next
+  /// updateTiming() rebuilds the graph and runs a full retime.
+  void invalidateStructure();
+  /// True when edits are pending and updateTiming() would do work.
+  bool hasPendingInvalidation() const;
+
+  /// What one updateTiming() call actually did.
+  struct UpdateStats {
+    bool full = false;          ///< structural fallback or first run
+    int forwardRecomputed = 0;  ///< vertices re-relaxed in the dirty cone
+    int requiredRecomputed = 0; ///< vertices re-pulled backward
+    int endpointsReevaluated = 0;
+  };
+  /// Bring all timing state (arrivals, endpoint checks, DRVs, requireds)
+  /// up to date with the netlist; no-op when nothing is invalid.
+  UpdateStats updateTiming();
+  const UpdateStats& lastUpdateStats() const { return lastUpdate_; }
+
+  // NetlistListener: edits route into the invalidation API above.
+  void onCellSwapped(InstId inst) override;
+  void onNetAttrChanged(NetId net) override;
+  void onSkewChanged(InstId flop) override;
+  void onPlacementChanged(InstId inst) override;
+  void onStructureChanged() override;
+
   /// Incremental update after an ECO confined to `dirtyNets` (cell swaps,
-  /// useful-skew changes, NDR promotions — anything that does NOT add or
-  /// remove pins/instances; topology edits need a fresh engine). Timing is
-  /// recomputed only in the forward cone of the dirty nets, then endpoint
-  /// checks and required times are refreshed. This is the ECO-turnaround
-  /// machinery the paper's Comment 1 credits signoff tools with.
+  /// useful-skew changes, NDR promotions). Legacy entry point: equivalent
+  /// to invalidateNet() on each net followed by updateTiming().
   void updateAfterEco(const std::vector<NetId>& dirtyNets);
 
   /// The nets whose parasitics/loads an in-place cell swap at `inst`
@@ -145,9 +193,20 @@ class StaEngine {
   /// quarantine during propagation). Optional; may be null.
   void setDiagnosticSink(DiagnosticSink* sink) { diagSink_ = sink; }
   /// Candidate (arrival, slew, variance) updates rejected because a value
-  /// went non-finite. Each rejection is local: the propagation simply
-  /// keeps the previous (or unreached) state at that vertex.
-  int nanQuarantineCount() const { return nanQuarantine_; }
+  /// went non-finite, plus endpoints dropped for non-finite slack. Each
+  /// rejection is local: the propagation simply keeps the previous (or
+  /// unreached) state at that vertex. The count always reflects the
+  /// *current* timing state: incremental updates retract the stale
+  /// rejections of every recomputed vertex before re-counting it.
+  int nanQuarantineCount() const { return propNan_ + epDropNan_; }
+
+  /// Re-emit the complete graceful-degradation diagnostic stream for the
+  /// *current* timing state into `sink`, byte-identical to what a fresh
+  /// run() with that sink attached would have produced — however many
+  /// incremental updates led here. Propagation rejections come first in
+  /// topo-position order (with the same reporting cap), then endpoint
+  /// drops in endpoint-index order.
+  void replayTimingDiagnostics(DiagnosticSink& sink) const;
 
   /// Per-instance, per-output-transition delay multipliers applied to
   /// combinational cell arcs (used by the MIS analyzer: series-stack
@@ -158,6 +217,12 @@ class StaEngine {
   void clearMisFactors();
 
  private:
+  /// Outcome of re-relaxing one vertex against its in-edges.
+  struct RecomputeResult {
+    bool changed = false;      ///< any stored field moved (bitwise)
+    bool pathChanged = false;  ///< a parent edge/transition switched
+  };
+
   void initSources();
   void propagate();
   void relax(VertexId to, Mode m, int trans, double arr, double slewIn,
@@ -179,10 +244,28 @@ class StaEngine {
   /// thread-independent order (topo position, then discovery order) and
   /// fold them into nanQuarantine_.
   void flushNanEvents();
+  /// Shared formatter for one propagation-rejection warning (live flush and
+  /// replay go through the same text, cap, and suppression note).
+  void emitNanWarn(DiagnosticSink& sink, VertexId vertex, bool badArrival,
+                   std::size_t index, std::size_t total) const;
   double key(VertexId v, Mode m, int trans) const;
   /// Recompute one vertex's timing from its in-edges (incremental path).
-  /// Returns true when any stored value moved by more than epsilon.
-  bool recomputeVertex(VertexId v);
+  /// Convergence is judged bitwise (memcmp of the whole VertexTiming) so
+  /// incremental results stay exactly equal to a from-scratch retime.
+  RecomputeResult recomputeVertex(VertexId v);
+  /// Reset one vertex's required times to its endpoint seed (or +inf) and
+  /// re-pull its successors; returns true when the stored pair changed.
+  bool recomputeRequired(VertexId u);
+  /// Required-time seed at an endpoint vertex, reconstructed from the
+  /// endpoint slot's slack (+inf elsewhere) — shared by the full and
+  /// incremental backward passes so both produce identical values.
+  std::array<double, 2> endpointReqSeed(VertexId v) const;
+  /// Re-evaluate the endpoint slots listed in `idxs` (indexes into
+  /// graph().endpoints()), emit drop diagnostics for that subset in index
+  /// order, and rebuild the compacted endpoint list and drop count.
+  void reevaluateEndpoints(const std::vector<std::size_t>& idxs);
+  /// Drop every pending invalidation (after a full retime absorbed it).
+  void clearInvalidation();
   /// CPPR credit between the launch trace of (endpoint, trans) and the
   /// capture clock trace at the capture flop.
   Ps cpprCredit(VertexId dataEndpoint, int dataTrans, VertexId captureCk,
@@ -199,8 +282,37 @@ class StaEngine {
   std::vector<std::array<double, 2>> misLate_, misEarly_;
   bool hasRun_ = false;
   DiagnosticSink* diagSink_ = nullptr;
-  int nanQuarantine_ = 0;
   ThreadPool* pool_ = nullptr;
+
+  // --- dirty frontier (consumed by updateTiming) -----------------------------
+  bool structureDirty_ = false;  ///< levelization stale: full rebuild
+  bool valuesDirty_ = false;     ///< global value change (MIS factors)
+  std::vector<NetId> dirtyNets_;        ///< parasitics to re-extract
+  std::vector<VertexId> dirtyVerts_;    ///< forward re-relax seeds
+  std::vector<VertexId> dirtyBack_;     ///< extra backward re-pull seeds
+  std::vector<VertexId> forcedEndpointVerts_;  ///< re-check regardless
+
+  // --- persistent per-endpoint slots (incremental endpoint checks) -----------
+  // Indexed like graph().endpoints(); endpoints_ is the compaction of the
+  // ok slots in index order, so serial/parallel/incremental all agree.
+  std::vector<EndpointTiming> epSlots_;
+  std::vector<std::uint8_t> epOk_, epDropped_;
+  std::vector<int> epIndexOfVertex_;  ///< vertex -> endpoint index (-1)
+
+  // --- NaN-quarantine accounting ---------------------------------------------
+  // propNan_ rejections are owned per vertex so an incremental recompute
+  // can retract the stale ones before re-relaxing; epDropNan_ is re-derived
+  // from the drop flags whenever endpoints are (re)evaluated.
+  int propNan_ = 0;
+  int epDropNan_ = 0;
+  /// Per-vertex ordered NaN rejections (1 = bad arrival, 0 = bad slew/
+  /// variance), in each vertex's deterministic in-edge discovery order.
+  /// Incremental updates retract a vertex's entry wholesale before its
+  /// recompute re-discovers what is still real, which keeps
+  /// replayTimingDiagnostics() equal to a fresh run's stream.
+  std::vector<std::vector<std::uint8_t>> nanKinds_;
+
+  UpdateStats lastUpdate_;
 
   /// A candidate update rejected for being non-finite. Events are buffered
   /// during propagation (appends are mutex-guarded in parallel sweeps) and

@@ -83,9 +83,13 @@ class TimingGraph {
     return outVtx_[static_cast<std::size_t>(inst)];
   }
   VertexId inputVertex(InstId inst, int pin) const {
-    return inVtx_[static_cast<std::size_t>(inst)][static_cast<std::size_t>(pin)];
+    if (inst < 0 || inst >= instanceSpan()) return -1;
+    const auto& pins = inVtx_[static_cast<std::size_t>(inst)];
+    if (pin < 0 || pin >= static_cast<int>(pins.size())) return -1;
+    return pins[static_cast<std::size_t>(pin)];
   }
   VertexId portVertex(PortId port) const {
+    if (port < 0 || port >= static_cast<int>(portVtx_.size())) return -1;
     return portVtx_[static_cast<std::size_t>(port)];
   }
 

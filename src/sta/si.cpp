@@ -212,9 +212,8 @@ SiSummary SiAnalyzer::refine() {
         v.couplingRatio > 0.0
             ? std::min(1.0, v.glitchPeakFrac / v.couplingRatio)
             : 0.0;
-    nl.net(v.net).millerOverride =
-        opt_.quietMiller +
-        timedShare * (opt_.opposingMiller - opt_.quietMiller);
+    nl.setMillerOverride(v.net, opt_.quietMiller + timedShare *
+                                    (opt_.opposingMiller - opt_.quietMiller));
   }
   eng_->delayCalc().invalidateAll();
   eng_->run();

@@ -1,0 +1,83 @@
+/// \file bench_json_test.cpp
+/// \brief The bench JSON reports feed the CI perf gate, so they must stay
+/// machine-parseable even when a metric degenerates: JSON has no nan/inf
+/// literals, and a bare `nan` token used to poison the whole artifact.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "bench_json.h"
+
+namespace tc {
+namespace {
+
+std::string writeReport(const std::string& path,
+                        void (*fill)(bench::JsonReport&)) {
+  const std::string jsonFlag = "--json";
+  char arg0[] = "bench_json_test";
+  std::string flag = jsonFlag;
+  std::string p = path;
+  char* argv[] = {arg0, flag.data(), p.data()};
+  {
+    bench::JsonReport report("bench_json_test", 3, argv);
+    fill(report);
+  }  // destructor flushes
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  return ss.str();
+}
+
+TEST(BenchJson, FiniteValuesKeepPrecision) {
+  const std::string out =
+      writeReport("/tmp/tc_bench_json_finite.json", [](bench::JsonReport& r) {
+        r.metric("wns_ps", -123.456789, "ps");
+        r.metric("count", 42);
+      });
+  EXPECT_NE(out.find("\"name\": \"wns_ps\", \"value\": -123.456789"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"name\": \"count\", \"value\": 42"), std::string::npos);
+}
+
+TEST(BenchJson, NonFiniteValuesSerializeAsNull) {
+  const std::string out = writeReport(
+      "/tmp/tc_bench_json_nonfinite.json", [](bench::JsonReport& r) {
+        r.metric("nan_metric", std::nan(""));
+        r.metric("inf_metric", std::numeric_limits<double>::infinity());
+        r.metric("ninf_metric", -std::numeric_limits<double>::infinity());
+      });
+  EXPECT_NE(out.find("\"name\": \"nan_metric\", \"value\": null"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"name\": \"inf_metric\", \"value\": null"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"ninf_metric\", \"value\": null"),
+            std::string::npos);
+  // No bare non-JSON tokens anywhere in the artifact.
+  EXPECT_EQ(out.find("nan,"), std::string::npos);
+  EXPECT_EQ(out.find("inf,"), std::string::npos);
+  EXPECT_EQ(out.find(": nan"), std::string::npos);
+  EXPECT_EQ(out.find(": inf"), std::string::npos);
+  EXPECT_EQ(out.find(": -inf"), std::string::npos);
+}
+
+TEST(BenchJson, JsonNumberHelper) {
+  EXPECT_EQ(bench::JsonReport::jsonNumber(1.5), "1.5");
+  EXPECT_EQ(bench::JsonReport::jsonNumber(std::nan("")), "null");
+  EXPECT_EQ(bench::JsonReport::jsonNumber(
+                std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(bench::JsonReport::jsonNumber(
+                -std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+}  // namespace
+}  // namespace tc

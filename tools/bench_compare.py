@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Compare bench JSON results against checked-in baselines for the CI perf gate.
+
+Two input formats are understood, auto-detected per file:
+
+  * the repo's flat bench_json.h format:
+      {"bench": "...", "wall_ms": 12.3,
+       "metrics": [{"name": "...", "value": 1.0, "unit": "ps"}, ...]}
+  * google-benchmark's reporter output (bench_sta_perf):
+      {"context": {...}, "benchmarks": [{"name": "...", "real_time": ...}]}
+
+Gating rules:
+
+  * Wall-time metrics (unit ms/us/ns/s, or *_ms names) are compared after
+    machine-speed normalization: the median current/baseline ratio across
+    *all* time metrics estimates how much faster or slower this runner is
+    than the one that recorded the baselines, and each metric is gated on
+    its ratio relative to that median. A metric whose normalized ratio
+    exceeds 1 + threshold (default 15%) fails the gate.
+  * Speedup-style metrics (unit "x") are derived from times and reported
+    but never gated.
+  * Everything else is a correctness field (violation counts, WNS in ps,
+    bit-identical flags, ...): any divergence beyond 1e-6 relative
+    tolerance fails, regardless of threshold. null (a non-finite value
+    serialized by bench_json.h) only matches null.
+
+Exit status is nonzero on any failure; a markdown diff is written with
+--output for CI artifact upload. Refresh baselines with --update after an
+intentional performance or QoR change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+from pathlib import Path
+
+TIME_UNITS = {"s": 1000.0, "ms": 1.0, "us": 1e-3, "ns": 1e-6}
+CORRECTNESS_RTOL = 1e-6
+
+
+def load_metrics(path: Path):
+    """Return {metric_name: (value_in_canonical_unit, kind)} for one file.
+
+    kind is "time" (milliseconds), "derived" (never gated) or
+    "correctness" (exact). value may be None for serialized non-finites.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    if "benchmarks" in data:  # google-benchmark reporter
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            scale = TIME_UNITS.get(b.get("time_unit", "ns"), 1e-6)
+            out[b["name"]] = (b["real_time"] * scale, "time")
+        return out
+    for m in data.get("metrics", []):
+        name, value, unit = m["name"], m["value"], m.get("unit", "")
+        if unit in TIME_UNITS or name.endswith("_ms"):
+            scale = TIME_UNITS.get(unit, 1.0)
+            out[name] = (None if value is None else value * scale, "time")
+        elif unit == "x" or name.endswith("_speedup"):
+            out[name] = (value, "derived")
+        else:
+            out[name] = (value, "correctness")
+    # Whole-process wall time includes correctness cross-checks and JSON
+    # I/O; report it but do not gate on it.
+    if "wall_ms" in data:
+        out["wall_ms"] = (data["wall_ms"], "derived")
+    return out
+
+
+def values_match(a, b):
+    if a is None or b is None:
+        return a is None and b is None
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
+    denom = max(abs(a), abs(b), 1e-12)
+    return abs(a - b) <= CORRECTNESS_RTOL * denom
+
+
+def fmt(v):
+    if v is None:
+        return "null"
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", type=Path, required=True)
+    ap.add_argument("--results-dir", type=Path, required=True)
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed normalized wall-time regression (0.15=15%%)")
+    ap.add_argument("--output", type=Path, default=None,
+                    help="write a markdown diff report here")
+    ap.add_argument("--update", action="store_true",
+                    help="copy current results over the baselines and exit")
+    args = ap.parse_args()
+
+    result_files = sorted(args.results_dir.glob("*.json"))
+    if args.update:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for f in result_files:
+            shutil.copy(f, args.baseline_dir / f.name)
+            print(f"baseline updated: {args.baseline_dir / f.name}")
+        return 0
+
+    baseline_files = sorted(args.baseline_dir.glob("*.json"))
+    if not baseline_files:
+        print(f"no baselines in {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    rows = []        # (bench, metric, baseline, current, note)
+    failures = []
+    time_pairs = []  # (bench, metric, base_ms, cur_ms)
+
+    for bf in baseline_files:
+        rf = args.results_dir / bf.name
+        if not rf.exists():
+            failures.append(f"{bf.name}: no result produced by this run")
+            continue
+        base = load_metrics(bf)
+        cur = load_metrics(rf)
+        for name in base:
+            if name not in cur:
+                failures.append(f"{bf.name}:{name}: metric disappeared")
+        for name in cur:
+            if name not in base:
+                rows.append((bf.stem, name, None, cur[name][0],
+                             "new metric (refresh baseline with --update)"))
+        for name, (bval, kind) in sorted(base.items()):
+            if name not in cur:
+                continue
+            cval, _ = cur[name]
+            if kind == "time":
+                if bval and cval:
+                    time_pairs.append((bf.stem, name, bval, cval))
+                else:
+                    rows.append((bf.stem, name, bval, cval, "skipped (null)"))
+            elif kind == "derived":
+                rows.append((bf.stem, name, bval, cval, "informational"))
+            else:
+                ok = values_match(bval, cval)
+                rows.append((bf.stem, name, bval, cval,
+                             "ok" if ok else "CORRECTNESS DIVERGENCE"))
+                if not ok:
+                    failures.append(
+                        f"{bf.stem}:{name}: correctness field diverged "
+                        f"(baseline {fmt(bval)}, current {fmt(cval)})")
+
+    # Machine-speed normalization across every time metric of every bench.
+    if time_pairs:
+        median_ratio = statistics.median(c / b for _, _, b, c in time_pairs)
+        for bench, name, bval, cval in time_pairs:
+            norm = (cval / bval) / median_ratio
+            note = f"normalized x{norm:.3f}"
+            if norm > 1.0 + args.threshold:
+                note += f" REGRESSION (> +{args.threshold:.0%})"
+                failures.append(
+                    f"{bench}:{name}: wall-time regression x{norm:.3f} "
+                    f"normalized ({fmt(bval)} -> {fmt(cval)} ms, "
+                    f"runner median ratio x{median_ratio:.3f})")
+            rows.append((bench, name, bval, cval, note))
+    else:
+        median_ratio = None
+
+    lines = ["# Bench perf gate", ""]
+    if median_ratio is not None:
+        lines.append(f"Runner speed ratio vs baseline recorder: "
+                     f"x{median_ratio:.3f} (median over "
+                     f"{len(time_pairs)} time metrics)")
+        lines.append("")
+    lines.append("| bench | metric | baseline | current | status |")
+    lines.append("|---|---|---|---|---|")
+    for bench, name, bval, cval, note in rows:
+        lines.append(f"| {bench} | {name} | {fmt(bval)} | {fmt(cval)} "
+                     f"| {note} |")
+    lines.append("")
+    if failures:
+        lines.append(f"## FAILED ({len(failures)})")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        lines.append("## PASSED")
+    report = "\n".join(lines) + "\n"
+
+    print(report)
+    if args.output:
+        args.output.write_text(report)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
