@@ -16,6 +16,14 @@
 /// The format is deliberately flat so a shell + jq pipeline can trend it:
 ///   {"bench": "...", "wall_ms": 12.3,
 ///    "metrics": [{"name": "...", "value": 1.0, "unit": "ps"}, ...]}
+///
+/// Two observability hooks ride along:
+///  - `--trace <path>` enables runtime tracing for the whole bench and
+///    exports a Chrome trace (chrome://tracing / Perfetto) on exit;
+///  - stable registry counters (see util/metrics.h) are folded into the
+///    JSON as "ctr_<name>" metrics with unit "count", so bench_compare.py
+///    gates on counter regressions (cache hit rates, frontier sizes) the
+///    same way it gates on wall time. Noisy counters are excluded.
 
 #include <chrono>
 #include <cmath>
@@ -24,6 +32,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace tc::bench {
 
 class JsonReport {
@@ -31,8 +42,11 @@ class JsonReport {
   JsonReport(std::string benchName, int argc, char** argv)
       : bench_(std::move(benchName)),
         start_(std::chrono::steady_clock::now()) {
-    for (int i = 1; i + 1 < argc; ++i)
+    for (int i = 1; i + 1 < argc; ++i) {
       if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+      if (std::string(argv[i]) == "--trace") tracePath_ = argv[i + 1];
+    }
+    if (!tracePath_.empty()) tc::traceSetEnabled(true);
   }
 
   ~JsonReport() { write(); }
@@ -50,8 +64,21 @@ class JsonReport {
 
   /// Flush now (also runs from the destructor; second call is a no-op).
   void write() {
-    if (path_.empty() || written_) return;
+    if (written_) return;
     written_ = true;
+    if (!tracePath_.empty()) {
+      tc::traceExportChrome(tracePath_);
+      tc::traceSetEnabled(false);
+    }
+    if (path_.empty()) return;
+    // Fold the stable counters the bench's workload drove; gauges and
+    // histograms summarize distributions, not totals, and noisy counters
+    // would flake an exact-match gate — both stay out of the bench file.
+    for (const auto& s : tc::MetricsRegistry::global().snapshot()) {
+      if (s.kind != tc::MetricSnapshot::Kind::kCounter) continue;
+      if (s.stability != tc::MetricStability::kStable) continue;
+      metrics_.push_back({"ctr_" + s.name, s.value, "count"});
+    }
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (!f) {
       std::fprintf(stderr, "bench_json: cannot write %s\n", path_.c_str());
@@ -92,6 +119,7 @@ class JsonReport {
 
   std::string bench_;
   std::string path_;
+  std::string tracePath_;
   std::vector<Metric> metrics_;
   std::chrono::steady_clock::time_point start_;
   bool written_ = false;

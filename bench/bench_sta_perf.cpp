@@ -14,6 +14,7 @@
 #include "sta/engine.h"
 #include "sta/mis.h"
 #include "sta/pba.h"
+#include "util/trace.h"
 
 using namespace tc;
 
@@ -97,24 +98,37 @@ BENCHMARK(BM_MisRefine);
 
 // Same CI contract as the plain benches: `--json <path>` produces a JSON
 // result file — here by translating into google-benchmark's own reporter
-// flags before Initialize() consumes argv.
+// flags before Initialize() consumes argv. `--trace <path>` records every
+// span (characterization, netgen, per-level sweeps, PBA, MIS) across the
+// whole run and exports one Chrome trace on exit.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
-  std::string outFlag, fmtFlag;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      outFlag = std::string("--benchmark_out=") + argv[i + 1];
+  std::string outFlag, fmtFlag, tracePath;
+  for (std::size_t i = 1; i + 1 < args.size();) {
+    if (std::string(args[i]) == "--json") {
+      outFlag = std::string("--benchmark_out=") + args[i + 1];
       fmtFlag = "--benchmark_out_format=json";
-      args.erase(args.begin() + i, args.begin() + i + 2);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       args.push_back(outFlag.data());
       args.push_back(fmtFlag.data());
-      break;
+    } else if (std::string(args[i]) == "--trace") {
+      tracePath = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
     }
   }
+  if (!tracePath.empty()) tc::traceSetEnabled(true);
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!tracePath.empty()) {
+    tc::traceSetEnabled(false);
+    if (!tc::traceExportChrome(tracePath)) return 1;
+  }
   return 0;
 }

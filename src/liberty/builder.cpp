@@ -13,6 +13,8 @@
 #include "liberty/interdep.h"
 #include "liberty/serialize.h"
 #include "util/log.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tc {
 
@@ -308,6 +310,7 @@ void composeBuffer(Cell& buf, const Cell& invX1, double k, double k1,
 
 std::shared_ptr<Library> buildLibrary(const LibraryPvt& pvt,
                                       const CharConfig& cfg) {
+  TraceSpan span("liberty", "characterize_" + pvt.toString());
   auto lib = std::make_shared<Library>("tc28_" + pvt.toString(), pvt);
   const ProcessCondition pc = ProcessCondition::at(pvt.corner);
 
@@ -494,6 +497,22 @@ std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
   static std::mutex mu;
   static std::map<Key, LibFuture> cache;
 
+  // Request/hit counts are kNoisy: the memo-vs-disk split depends on what
+  // a previous process left in the on-disk cache, and request totals vary
+  // with scenario construction order across test shards.
+  static Counter& reqCtr = MetricsRegistry::global().counter(
+      "liberty.char.requests", "count", MetricStability::kNoisy);
+  static Counter& memoCtr = MetricsRegistry::global().counter(
+      "liberty.char.memo_hits", "count", MetricStability::kNoisy);
+  static Counter& diskCtr = MetricsRegistry::global().counter(
+      "liberty.char.disk_hits", "count", MetricStability::kNoisy);
+  static Counter& buildCtr = MetricsRegistry::global().counter(
+      "liberty.char.builds", "count", MetricStability::kNoisy);
+  reqCtr.add();
+  // Span covers the whole acquisition (memo wait, disk read, or build) so
+  // the trace shows characterization cost per corner even on cache hits.
+  TraceSpan span("liberty", "library_" + pvt.toString());
+
   const Key key{pvt, quick};
   std::promise<std::shared_ptr<const Library>> promise;
   LibFuture fut;
@@ -509,13 +528,17 @@ std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
       fut = it->second;
     }
   }
+  if (!isBuilder) memoCtr.add();
   if (isBuilder) {
     try {
       // Second-level cache: characterized libraries persist on disk, like
       // the .lib/.db files a production flow characterizes once and ships.
       const std::string path = libraryCachePath(pvt, quick);
       std::shared_ptr<Library> lib = readLibraryFile(path);
-      if (!lib) {
+      if (lib) {
+        diskCtr.add();
+      } else {
+        buildCtr.add();
         CharConfig cfg;
         cfg.quick = quick;
         lib = buildLibrary(pvt, cfg);

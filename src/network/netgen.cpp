@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace tc {
 
@@ -150,6 +151,7 @@ void buildClockTree(Netlist& nl, const std::vector<InstId>& flops,
 
 Netlist generateBlock(std::shared_ptr<const Library> lib,
                       const BlockProfile& profile) {
+  TraceSpan span("netgen", "block_" + profile.name);
   Rng rng(profile.seed);
   Netlist nl(lib);
   const Library& L = *lib;
@@ -258,6 +260,7 @@ Netlist generateBlock(std::shared_ptr<const Library> lib,
 
 Netlist generatePipeline(std::shared_ptr<const Library> lib, int lanes,
                          int depth, Ps clockPeriod, std::uint64_t seed) {
+  TC_SPAN("netgen", "pipeline");
   Rng rng(seed);
   Netlist nl(lib);
   const Library& L = *lib;

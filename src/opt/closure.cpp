@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "util/log.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tc {
 
@@ -12,6 +14,23 @@ double msSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Run one transform under a span, counting its edits. Transforms read the
+/// iteration's (stale) STA snapshot, so attribution of WNS/TNS movement to
+/// a single transform happens at iteration granularity (the qor_delta
+/// instant after the next refresh) — never by inserting extra STA calls,
+/// which would change the closure trajectory.
+template <typename Fn>
+int runTransform(const char* name, Fn&& fn) {
+  TraceSpan span("closure.transform", name);
+  const int edits = fn();
+  span.arg("edits", static_cast<std::int64_t>(edits));
+  span.arg("accepted", edits > 0 ? "yes" : "no");
+  MetricsRegistry::global()
+      .counter(std::string("closure.edits.") + name, "count")
+      .add(static_cast<std::uint64_t>(edits > 0 ? edits : 0));
+  return edits;
 }
 }  // namespace
 
@@ -34,6 +53,7 @@ ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
   std::unique_ptr<StaEngine> setupSta;
   std::unique_ptr<StaEngine> holdSta;
   auto refreshTiming = [&]() -> double {
+    TC_SPAN("closure", "refresh_sta");
     const auto t0 = std::chrono::steady_clock::now();
     if (cfg.incrementalSta) {
       if (!setupSta) {
@@ -61,7 +81,9 @@ ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
     return msSince(t0);
   };
 
+  std::optional<FailureBreakdown> prevQor;
   for (int iter = 0; iter < cfg.iterations; ++iter) {
+    TC_SPAN_F(iterSpan, "closure", "iter_%d", iter + 1);
     IterationRecord rec;
     rec.iteration = iter + 1;
     rec.staMs = refreshTiming();
@@ -73,6 +95,20 @@ ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
       rec.before.holdTns = hb.holdTns;
       rec.before.holdViolations = hb.holdViolations;
     }
+    iterSpan.arg("wns", rec.before.setupWns);
+    iterSpan.arg("tns", rec.before.setupTns);
+    // Attribute the previous iteration's edits to the QoR movement the
+    // refresh just revealed.
+    if (traceEnabled() && prevQor) {
+      std::string args;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "\"dwns\":%.6g,\"dtns\":%.6g",
+                    rec.before.setupWns - prevQor->setupWns,
+                    rec.before.setupTns - prevQor->setupTns);
+      args = buf;
+      traceInstant("closure", "qor_delta", args);
+    }
+    prevQor = rec.before;
 
     const bool clean = rec.before.setupViolations == 0 &&
                        rec.before.holdViolations == 0 &&
@@ -97,7 +133,9 @@ ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
     const bool drvStorm =
         rec.before.maxTransViolations + rec.before.maxCapViolations > 60;
     if (drvStorm && cfg.enableBuffering) {
-      rec.buffers = bufferInsertionFix(*nl_, *setupSta, cfg.repair, place);
+      rec.buffers = runTransform("buffering_drv", [&] {
+        return bufferInsertionFix(*nl_, *setupSta, cfg.repair, place);
+      });
       result.iterations.push_back(rec);
       continue;
     }
@@ -109,23 +147,36 @@ ClosureResult ClosureLoop::run(const ClosureConfig& cfg) {
           static_cast<int>(checkMinIa(*nl_, *occ, cfg.minIaSites).size());
 
     if (cfg.enablePinSwap)
-      rec.pinSwaps = pinSwapFix(*nl_, *setupSta, cfg.repair);
+      rec.pinSwaps = runTransform(
+          "pin_swap", [&] { return pinSwapFix(*nl_, *setupSta, cfg.repair); });
     if (cfg.enableVtSwap)
-      rec.vtSwaps = vtSwapFix(*nl_, *setupSta, cfg.repair, place);
+      rec.vtSwaps = runTransform("vt_swap", [&] {
+        return vtSwapFix(*nl_, *setupSta, cfg.repair, place);
+      });
     if (cfg.enableSizing)
-      rec.resizes = gateSizingFix(*nl_, *setupSta, cfg.repair, place);
+      rec.resizes = runTransform("sizing", [&] {
+        return gateSizingFix(*nl_, *setupSta, cfg.repair, place);
+      });
     if (cfg.enableBuffering)
-      rec.buffers = bufferInsertionFix(*nl_, *setupSta, cfg.repair, place);
+      rec.buffers = runTransform("buffering", [&] {
+        return bufferInsertionFix(*nl_, *setupSta, cfg.repair, place);
+      });
     if (cfg.enableNdr)
-      rec.ndrPromotions = ndrPromotionFix(*nl_, *setupSta, cfg.repair);
+      rec.ndrPromotions = runTransform("ndr_promotion", [&] {
+        return ndrPromotionFix(*nl_, *setupSta, cfg.repair);
+      });
     if (cfg.enableUsefulSkew)
-      rec.usefulSkews = usefulSkewFix(*nl_, *setupSta, cfg.repair);
+      rec.usefulSkews = runTransform("useful_skew", [&] {
+        return usefulSkewFix(*nl_, *setupSta, cfg.repair);
+      });
     if (cfg.enableHoldFix && holdSta)
-      rec.holdBuffers = holdFix(*nl_, *holdSta, cfg.repair, place);
+      rec.holdBuffers = runTransform(
+          "hold_fix", [&] { return holdFix(*nl_, *holdSta, cfg.repair, place); });
 
     // Sec. 2.4: at 20nm and below, the Vt swaps above may have created
     // implant islands; clean them with the minimal-perturbation fixer.
     if (cfg.fixMinIaAfterSwaps && occ) {
+      TC_SPAN("closure.transform", "min_ia_fix");
       const int created =
           static_cast<int>(checkMinIa(*nl_, *occ, cfg.minIaSites).size());
       rec.minIaViolationsCreated = created - minIaBefore;

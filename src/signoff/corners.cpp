@@ -6,8 +6,23 @@
 
 #include "device/mosfet.h"
 #include "device/tech.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace tc {
+
+namespace {
+Counter& scenariosRunCtr() {
+  static Counter& c =
+      MetricsRegistry::global().counter("mcmm.scenarios_run", "count");
+  return c;
+}
+Counter& mergedDiagCtr() {
+  static Counter& c =
+      MetricsRegistry::global().counter("mcmm.merged_diagnostics", "count");
+  return c;
+}
+}  // namespace
 
 std::string ViewDef::name() const {
   char buf[128];
@@ -157,6 +172,8 @@ const McmmResult& McmmRunner::run(const McmmOptions& opt) {
   result_.scenarios.resize(n);
 
   auto runOne = [this, &opt](std::size_t i) {
+    TraceSpan span("mcmm", scenarios_[i].name);
+    scenariosRunCtr().add();
     sinks_[i] = std::make_unique<DiagnosticSink>();
     sinks_[i]->setEcho(opt.echoDiagnostics);
     engines_[i] = std::make_unique<StaEngine>(*nl_, scenarios_[i]);
@@ -193,6 +210,7 @@ const McmmResult& McmmRunner::run(const McmmOptions& opt) {
       result_.merged.push_back(std::move(d));
     }
   }
+  mergedDiagCtr().add(result_.merged.size());
   return result_;
 }
 
@@ -206,6 +224,8 @@ const McmmResult& McmmRunner::update(const McmmOptions& opt) {
   result_.scenarios.resize(n);
 
   auto updateOne = [this, &opt](std::size_t i) {
+    TraceSpan span("mcmm", scenarios_[i].name);
+    scenariosRunCtr().add();
     StaEngine& eng = *engines_[i];
     eng.setThreadPool(opt.intraScenario ? opt.pool : nullptr);
     // The live stream of an incremental update only covers the recomputed
@@ -243,6 +263,7 @@ const McmmResult& McmmRunner::update(const McmmOptions& opt) {
       result_.merged.push_back(std::move(d));
     }
   }
+  mergedDiagCtr().add(result_.merged.size());
   return result_;
 }
 

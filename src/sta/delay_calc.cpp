@@ -2,7 +2,27 @@
 
 #include <stdexcept>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace tc {
+
+namespace {
+// Miss = an RC extraction ran (lazily or via warmCache); hit = a lookup
+// found the slot filled. Both are pure functions of the edit/query stream
+// (warmCache fills each empty slot exactly once regardless of schedule),
+// so the perf gate can hold the hit rate exactly.
+Counter& rcHits() {
+  static Counter& c =
+      MetricsRegistry::global().counter("delaycalc.rc_cache_hits", "count");
+  return c;
+}
+Counter& rcMisses() {
+  static Counter& c =
+      MetricsRegistry::global().counter("delaycalc.rc_cache_misses", "count");
+  return c;
+}
+}  // namespace
 
 DelayCalculator::DelayCalculator(const Netlist& nl, const Scenario& sc)
     : nl_(&nl),
@@ -31,7 +51,12 @@ const NetParasitics& DelayCalculator::parasitics(NetId net) const {
   if (static_cast<std::size_t>(net) >= cache_.size())
     cache_.resize(static_cast<std::size_t>(nl_->netCount()));
   auto& slot = cache_[static_cast<std::size_t>(net)];
-  if (!slot) slot = extractor_.extract(net, extOpt_);
+  if (!slot) {
+    rcMisses().add();
+    slot = extractor_.extract(net, extOpt_);
+  } else {
+    rcHits().add();
+  }
   return *slot;
 }
 
@@ -45,11 +70,15 @@ void DelayCalculator::invalidateAll() {
 }
 
 void DelayCalculator::warmCache(ThreadPool* pool) {
+  TC_SPAN("delaycalc", "warm_cache");
   if (cache_.size() < static_cast<std::size_t>(nl_->netCount()))
     cache_.resize(static_cast<std::size_t>(nl_->netCount()));
   auto fill = [this](std::size_t n) {
     auto& slot = cache_[n];
-    if (!slot) slot = extractor_.extract(static_cast<NetId>(n), extOpt_);
+    if (!slot) {
+      rcMisses().add();
+      slot = extractor_.extract(static_cast<NetId>(n), extOpt_);
+    }
     slot->tree.ensureAnalyzed();
   };
   if (pool)

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace tc {
 
 const char* toString(DerateMode mode) {
@@ -322,6 +325,11 @@ void StaEngine::emitNanWarn(DiagnosticSink& sink, VertexId vertex,
 }
 
 void StaEngine::flushNanEvents() {
+  if (!nanEvents_.empty()) {
+    static Counter& nanCtr =
+        MetricsRegistry::global().counter("sta.nan_quarantined", "count");
+    nanCtr.add(nanEvents_.size());
+  }
   // Stable-sort by topo position: within one vertex the discovery order is
   // the vertex task's own deterministic in-edge order, and across vertices
   // the topo position is thread-independent — so serial and parallel runs
@@ -383,16 +391,35 @@ void StaEngine::propagate() {
   // Pull model: each vertex relaxes over its own in-edges. Serially this
   // visits edges in exactly the order the per-level parallel sweep does
   // per vertex, which is what makes serial and parallel bit-identical.
+  TC_SPAN("sta", "propagate");
   if (pool_ && pool_->threadCount() > 0) {
     // All delay-calc lookups must be pure reads before tasks share them.
     dc_.warmCache(pool_);
-    for (const auto& level : graph_.levels()) {
+    const auto& levels = graph_.levels();
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+      const auto& level = levels[li];
+      TC_SPAN_F(span, "sta.level", "fwd_L%zu", li);
+      span.arg("width", static_cast<std::int64_t>(level.size()));
       pool_->parallelFor(
           level.size(),
           [this, &level](std::size_t i) {
             for (EdgeId e : graph_.inEdges(level[i])) processEdge(e);
           },
           /*grain=*/8);
+    }
+  } else if (traceEnabled()) {
+    // Per-level spans need level boundaries; ascending level order is a
+    // refinement of topoOrder() for the pull model (every in-edge comes
+    // from a strictly lower level, and per-vertex in-edge order is what
+    // fixes the arithmetic), so this sweep is bit-identical to the topo
+    // sweep below.
+    const auto& levels = graph_.levels();
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+      const auto& level = levels[li];
+      TC_SPAN_F(span, "sta.level", "fwd_L%zu", li);
+      span.arg("width", static_cast<std::int64_t>(level.size()));
+      for (VertexId v : level)
+        for (EdgeId e : graph_.inEdges(v)) processEdge(e);
     }
   } else {
     for (VertexId v : graph_.topoOrder())
@@ -557,6 +584,8 @@ void StaEngine::checkEndpoints() {
 
 void StaEngine::reevaluateEndpoints(const std::vector<std::size_t>& idxs) {
   const auto& eps = graph_.endpoints();
+  TraceSpan epSpan("sta", "check_endpoints");
+  epSpan.arg("endpoints", static_cast<std::int64_t>(idxs.size()));
   auto evalOne = [&](std::size_t k) {
     const std::size_t i = idxs[k];
     bool drop = false;
@@ -594,6 +623,7 @@ void StaEngine::reevaluateEndpoints(const std::vector<std::size_t>& idxs) {
 }
 
 void StaEngine::checkDrv() {
+  TC_SPAN("sta", "check_drv");
   drvs_.clear();
   for (NetId n = 0; n < nl_->netCount(); ++n) {
     const Net& net = nl_->net(n);
@@ -634,6 +664,7 @@ void StaEngine::computeRequired() {
   // Full backward required-time propagation over every edge, resolved per
   // transition (mean-arrival domain; exact for flat/no-derate scenarios,
   // optimizer guidance otherwise).
+  TC_SPAN("sta", "compute_required");
   requiredLate_.assign(static_cast<std::size_t>(graph_.vertexCount()),
                        {kInf, kInf});
   for (const VertexId v : graph_.endpoints())
@@ -643,12 +674,25 @@ void StaEngine::computeRequired() {
     // Reverse level order: every out-edge of a level-L vertex lands on a
     // level > L, already final when level L's pulls run.
     const auto& levels = graph_.levels();
-    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-      const auto& level = *it;
+    for (std::size_t li = levels.size(); li-- > 0;) {
+      const auto& level = levels[li];
+      TC_SPAN_F(span, "sta.level", "bwd_L%zu", li);
+      span.arg("width", static_cast<std::int64_t>(level.size()));
       pool_->parallelFor(
           level.size(),
           [this, &level](std::size_t i) { pullRequired(level[i]); },
           /*grain=*/8);
+    }
+  } else if (traceEnabled()) {
+    // Descending level order refines reverse topo order the same way the
+    // forward sweep's ascending order refines topo order: out-edges land
+    // on strictly higher levels, already final when this level pulls.
+    const auto& levels = graph_.levels();
+    for (std::size_t li = levels.size(); li-- > 0;) {
+      const auto& level = levels[li];
+      TC_SPAN_F(span, "sta.level", "bwd_L%zu", li);
+      span.arg("width", static_cast<std::int64_t>(level.size()));
+      for (VertexId v : level) pullRequired(v);
     }
   } else {
     const auto& topo = graph_.topoOrder();
@@ -912,6 +956,7 @@ StaEngine::UpdateStats StaEngine::updateTiming() {
   const bool pooled = pool_ && pool_->threadCount() > 0;
 
   if (!hasRun_ || structureDirty_ || valuesDirty_) {
+    traceInstant("sta.incremental", "retime_full");
     // First run, a structural edit (levelization stale), or a global value
     // change (MIS factors): full retime. The graph is rebuilt against the
     // current netlist; the delay calculator is reused with its cache fully
@@ -933,6 +978,11 @@ StaEngine::UpdateStats StaEngine::updateTiming() {
     lastUpdate_ = st;
     return st;
   }
+
+  static Counter& incrCtr =
+      MetricsRegistry::global().counter("sta.retime.incremental", "count");
+  incrCtr.add();
+  TraceSpan updSpan("sta.incremental", "update_timing");
 
   // Stale parasitics out before any recompute; when pooled, refill them
   // now so the parallel sweeps below stay pure reads.
@@ -1066,6 +1116,13 @@ StaEngine::UpdateStats StaEngine::updateTiming() {
     }
   }
 
+  static Histogram& frontierHist = MetricsRegistry::global().histogram(
+      "sta.incremental.frontier", "vertices");
+  frontierHist.observe(static_cast<double>(st.forwardRecomputed));
+  updSpan.arg("fwd", static_cast<std::int64_t>(st.forwardRecomputed));
+  updSpan.arg("bwd", static_cast<std::int64_t>(st.requiredRecomputed));
+  updSpan.arg("endpoints", static_cast<std::int64_t>(st.endpointsReevaluated));
+
   clearInvalidation();
   lastUpdate_ = st;
   return st;
@@ -1086,6 +1143,10 @@ std::vector<NetId> StaEngine::netsAffectedBySwap(InstId inst) const {
 }
 
 void StaEngine::run() {
+  static Counter& fullCtr =
+      MetricsRegistry::global().counter("sta.retime.full", "count");
+  fullCtr.add();
+  TC_SPAN("sta", "retime_full");
   // Reset quarantine accounting: a full retime re-derives every rejection.
   propNan_ = 0;
   epDropNan_ = 0;

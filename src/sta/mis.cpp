@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace tc {
 
 std::vector<MisOverlap> MisAnalyzer::findOverlaps() const {
@@ -45,6 +47,7 @@ std::vector<MisOverlap> MisAnalyzer::findOverlaps() const {
 }
 
 std::vector<MisOverlap> MisAnalyzer::refine() {
+  TC_SPAN("mis", "refine");
   const auto overlaps = findOverlaps();
   const Netlist& nl = eng_->netlist();
   std::vector<std::array<double, 2>> late(

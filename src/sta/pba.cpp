@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/trace.h"
+
 namespace tc {
 
 Ps PbaAnalyzer::pathArrival(VertexId endpoint, Mode mode, int trans) const {
@@ -102,6 +104,8 @@ PbaResult PbaAnalyzer::recalcEndpoint(const EndpointTiming& ep,
 
 std::vector<PbaResult> PbaAnalyzer::recalcWorst(int k, Check check,
                                                 ThreadPool* pool) const {
+  TraceSpan span("pba", "recalc_worst");
+  span.arg("k", static_cast<std::int64_t>(k));
   std::vector<const EndpointTiming*> eps;
   for (const auto& ep : eng_->endpoints()) eps.push_back(&ep);
   std::stable_sort(eps.begin(), eps.end(),

@@ -1,0 +1,242 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tc {
+
+namespace {
+
+/// Bucket index for a histogram observation: 0 for v < 1, else
+/// 1 + floor(log2(v)) clamped to the last bucket.
+int bucketIndex(double v) {
+  if (!(v >= 1.0)) return 0;  // also catches NaN
+  int i = 1;
+  while (i < Histogram::kBuckets - 1 && v >= 2.0) {
+    v *= 0.5;
+    ++i;
+  }
+  return i;
+}
+
+/// CAS-accumulate: out = op(out, v). Relaxed is fine — every mutation
+/// happens through this loop, so the final value is order-independent.
+template <class Op>
+void atomicAccumulate(std::atomic<double>& out, double v, Op op) {
+  double cur = out.load(std::memory_order_relaxed);
+  while (!out.compare_exchange_weak(cur, op(cur, v),
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+/// Format a double the way the bench JSON does: shortest round-trippable
+/// form is overkill here; %.6g is stable and readable.
+std::string fmtNum(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  buckets_[static_cast<std::size_t>(bucketIndex(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomicAccumulate(sum_, v, [](double a, double b) { return a + b; });
+  if (!any_.load(std::memory_order_relaxed)) {
+    // First observation seeds min/max; racing observers both run the CAS
+    // loops below afterwards, so a lost race only costs a retry.
+    bool expected = false;
+    if (any_.compare_exchange_strong(expected, true,
+                                     std::memory_order_relaxed)) {
+      min_.store(v, std::memory_order_relaxed);
+      max_.store(v, std::memory_order_relaxed);
+      return;
+    }
+  }
+  atomicAccumulate(min_, v, [](double a, double b) { return std::min(a, b); });
+  atomicAccumulate(max_, v, [](double a, double b) { return std::max(a, b); });
+}
+
+double Histogram::min() const {
+  return any_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::max() const {
+  return any_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  any_.store(false, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Entry {
+  std::string name;
+  std::string unit;
+  MetricStability stability = MetricStability::kStable;
+  MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+};
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry;  // leaked: safe in dtors
+  return *r;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::findOrCreate(
+    const std::string& name, const std::string& unit,
+    MetricStability stability, MetricSnapshot::Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const std::unique_ptr<Entry>& e, const std::string& n) {
+        return e->name < n;
+      });
+  if (it != entries_.end() && (*it)->name == name) return **it;
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->unit = unit;
+  e->stability = stability;
+  e->kind = kind;
+  return **entries_.insert(it, std::move(e));
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& unit,
+                                  MetricStability stability) {
+  return findOrCreate(name, unit, stability, MetricSnapshot::Kind::kCounter)
+      .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& unit,
+                              MetricStability stability) {
+  return findOrCreate(name, unit, stability, MetricSnapshot::Kind::kGauge)
+      .gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& unit,
+                                      MetricStability stability) {
+  return findOrCreate(name, unit, stability, MetricSnapshot::Kind::kHistogram)
+      .histogram;
+}
+
+void MetricsRegistry::resetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    e->counter.reset();
+    e->gauge.reset();
+    e->histogram.reset();
+  }
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSnapshot s;
+    s.name = e->name;
+    s.unit = e->unit;
+    s.kind = e->kind;
+    s.stability = e->stability;
+    switch (e->kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s.value = static_cast<double>(e->counter.value());
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        s.value = e->gauge.value();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        s.count = e->histogram.count();
+        s.sum = e->histogram.sum();
+        s.min = e->histogram.min();
+        s.max = e->histogram.max();
+        s.value = s.count ? s.sum / static_cast<double>(s.count) : 0.0;
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;  // entries_ is kept name-sorted, so the snapshot is too
+}
+
+std::string MetricsRegistry::exportText() const {
+  std::string out;
+  for (const MetricSnapshot& s : snapshot()) {
+    char line[256];
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        std::snprintf(line, sizeof line, "%-44s %14llu %s\n", s.name.c_str(),
+                      static_cast<unsigned long long>(s.value),
+                      s.unit.c_str());
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        std::snprintf(line, sizeof line, "%-44s %14.6g %s\n", s.name.c_str(),
+                      s.value, s.unit.c_str());
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        std::snprintf(line, sizeof line,
+                      "%-44s n=%llu mean=%.6g min=%.6g max=%.6g %s\n",
+                      s.name.c_str(), static_cast<unsigned long long>(s.count),
+                      s.value, s.min, s.max, s.unit.c_str());
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::exportJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricSnapshot& s : snapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    appendEscaped(out, s.name);
+    out += "\",\"kind\":\"";
+    out += s.kind == MetricSnapshot::Kind::kCounter    ? "counter"
+           : s.kind == MetricSnapshot::Kind::kGauge    ? "gauge"
+                                                       : "histogram";
+    out += "\",\"unit\":\"";
+    appendEscaped(out, s.unit);
+    out += "\",\"stability\":\"";
+    out += s.stability == MetricStability::kStable ? "stable" : "noisy";
+    out += "\"";
+    if (s.kind == MetricSnapshot::Kind::kHistogram) {
+      out += ",\"count\":" + std::to_string(s.count);
+      out += ",\"sum\":" + fmtNum(s.sum);
+      out += ",\"min\":" + fmtNum(s.min);
+      out += ",\"max\":" + fmtNum(s.max);
+      out += ",\"mean\":" + fmtNum(s.value);
+    } else {
+      out += ",\"value\":" + fmtNum(s.value);
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace tc

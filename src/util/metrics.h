@@ -1,0 +1,133 @@
+#pragma once
+/// \file metrics.h
+/// \brief Typed counter/gauge/histogram registry with deterministic export.
+///
+/// Where trace spans answer "where did the time go", metrics answer "how
+/// much work happened": RC-cache hit rates, dirty-frontier sizes,
+/// NaN-quarantine counts, scenario fan-out. Counters are always on — one
+/// relaxed atomic add on the hot path — because the counts themselves are
+/// the perf contract `tools/bench_compare.py` gates on (a cache hit-rate
+/// drop is a regression even when the wall clock hides it).
+///
+/// Registration: instrument sites hold a `static Counter&` (function-local
+/// static => one registry lookup per process), so steady-state cost is the
+/// atomic op alone. Export is deterministic: metrics render sorted by name,
+/// values are a pure function of the work performed, so two identical runs
+/// export byte-identical text (trace_metrics_test pins this).
+///
+/// Stability: sites tag each metric kStable (value is a deterministic
+/// function of the workload: cache hits, frontier sizes, edit counts) or
+/// kNoisy (scheduling-dependent: work steals, per-worker busy time,
+/// characterization disk-cache hits). Only stable metrics are folded into
+/// bench `--json` files and gated by CI; noisy ones still export for humans.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tc {
+
+enum class MetricStability { kStable, kNoisy };
+
+/// Monotonic event count. Thread-safe; relaxed adds (the total is the only
+/// observable, and it is summed, not ordered).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (pool widths, current WNS, ...).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Power-of-two-bucketed distribution (dirty-frontier sizes, level widths).
+/// observe() is thread-safe: bucket counts and the count are relaxed adds;
+/// sum/min/max converge by CAS. Totals are order-independent, so parallel
+/// and serial runs of the same work export identically.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;  ///< bucket i covers [2^(i-1), 2^i)
+
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  ///< 0 when empty
+  double max() const;  ///< 0 when empty
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> any_{false};
+};
+
+/// One exported metric's state, flattened for report generation.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string unit;
+  Kind kind = Kind::kCounter;
+  MetricStability stability = MetricStability::kStable;
+  double value = 0.0;         ///< counter/gauge value; histogram mean
+  std::uint64_t count = 0;    ///< histogram observation count
+  double sum = 0.0, min = 0.0, max = 0.0;  ///< histogram aggregates
+};
+
+/// Process-wide metric registry. counter()/gauge()/histogram() find or
+/// create by name; returned references stay valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& unit = "",
+                   MetricStability stability = MetricStability::kStable);
+  Gauge& gauge(const std::string& name, const std::string& unit = "",
+               MetricStability stability = MetricStability::kStable);
+  Histogram& histogram(const std::string& name, const std::string& unit = "",
+                       MetricStability stability = MetricStability::kStable);
+
+  /// Zero every registered metric (registrations persist). Benches call
+  /// this between phases to scope the counters they fold into JSON.
+  void resetAll();
+
+  /// All metrics, sorted by name (deterministic).
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Human-readable table, one metric per line, sorted by name.
+  std::string exportText() const;
+  /// JSON array of metric objects, sorted by name.
+  std::string exportJson() const;
+
+ private:
+  struct Entry;
+  MetricsRegistry() = default;
+  Entry& findOrCreate(const std::string& name, const std::string& unit,
+                      MetricStability stability, MetricSnapshot::Kind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< sorted by name
+};
+
+}  // namespace tc

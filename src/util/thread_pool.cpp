@@ -5,7 +5,24 @@
 #include <chrono>
 #include <exception>
 
+#include "util/metrics.h"
+
 namespace tc {
+
+namespace {
+// Scheduling-dependent by nature (which worker runs or steals a task varies
+// run to run), so both are kNoisy: exported for humans, never gated.
+Counter& tasksRunCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "pool.tasks_run", "count", MetricStability::kNoisy);
+  return c;
+}
+Counter& stealsCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "pool.steals", "count", MetricStability::kNoisy);
+  return c;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   if (threads < 0) {
@@ -16,6 +33,9 @@ ThreadPool::ThreadPool(int threads) {
   queues_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i)
     queues_.push_back(std::make_unique<WorkerQueue>());
+  stats_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    stats_.push_back(std::make_unique<WorkerStat>());
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i)
     workers_.emplace_back([this, i] { workerLoop(i); });
@@ -49,6 +69,7 @@ bool ThreadPool::tryRun(int self) {
   // stay local).
   const std::size_t n = queues_.size();
   std::function<void()> fn;
+  bool stolen = false;
   if (self >= 0) {
     WorkerQueue& mine = *queues_[static_cast<std::size_t>(self)];
     std::lock_guard<std::mutex> lock(mine.mu);
@@ -66,11 +87,26 @@ bool ThreadPool::tryRun(int self) {
       if (!other.q.empty()) {
         fn = std::move(other.q.front());
         other.q.pop_front();
+        stolen = (start + k) % n != static_cast<std::size_t>(self);
       }
     }
   }
   if (!fn) return false;
+  // Tasks are coarse (a parallelFor helper drains chunks until the range is
+  // empty), so a clock pair per task costs noise-level time.
+  const auto t0 = std::chrono::steady_clock::now();
   fn();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  if (self >= 0) {
+    WorkerStat& st = *stats_[static_cast<std::size_t>(self)];
+    st.busyNs.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()),
+        std::memory_order_relaxed);
+    st.tasks.fetch_add(1, std::memory_order_relaxed);
+  }
+  tasksRunCtr().add();
+  if (stolen) stealsCtr().add();
   return true;
 }
 
@@ -170,6 +206,21 @@ void ThreadPool::parallelFor(std::size_t n,
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool(-1);
   return pool;
+}
+
+double ThreadPool::workerBusyMs(int worker) const {
+  if (worker < 0 || static_cast<std::size_t>(worker) >= stats_.size())
+    return 0.0;
+  return static_cast<double>(stats_[static_cast<std::size_t>(worker)]
+                                 ->busyNs.load(std::memory_order_relaxed)) *
+         1e-6;
+}
+
+std::uint64_t ThreadPool::workerTaskCount(int worker) const {
+  if (worker < 0 || static_cast<std::size_t>(worker) >= stats_.size())
+    return 0;
+  return stats_[static_cast<std::size_t>(worker)]->tasks.load(
+      std::memory_order_relaxed);
 }
 
 }  // namespace tc

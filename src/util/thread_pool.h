@@ -24,7 +24,9 @@
 /// ThreadPool(0) is the degenerate case: no workers are spawned and all
 /// work runs inline on the calling thread — the `--serial` fallback.
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -78,6 +80,13 @@ class ThreadPool {
   /// determinism tests) should own their pool instead.
   static ThreadPool& global();
 
+  /// Total time worker `worker` spent inside tasks, in milliseconds.
+  /// Utilization = workerBusyMs / pool lifetime; a skewed distribution
+  /// means the level decomposition isn't feeding the pool evenly.
+  double workerBusyMs(int worker) const;
+  /// Number of tasks worker `worker` has run (scheduling-dependent).
+  std::uint64_t workerTaskCount(int worker) const;
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -92,7 +101,15 @@ class ThreadPool {
     std::deque<std::function<void()>> q;
   };
 
+  /// Per-worker observability, cache-line padded so the hot-path updates
+  /// (worker-local, relaxed) never share a line across workers.
+  struct alignas(64) WorkerStat {
+    std::atomic<std::uint64_t> busyNs{0};
+    std::atomic<std::uint64_t> tasks{0};
+  };
+
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::unique_ptr<WorkerStat>> stats_;
   std::vector<std::thread> workers_;
   std::mutex wakeMu_;
   std::condition_variable wakeCv_;

@@ -1,0 +1,274 @@
+#include "util/trace.h"
+
+#if TC_TRACING_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/log.h"
+
+namespace tc {
+
+namespace {
+
+/// Tracing starts enabled when TC_TRACE is set non-empty (and not "0") in
+/// the environment — the hook CI uses to re-run the determinism suites
+/// with tracing live, proving spans never feed back into results.
+bool envTraceDefault() {
+  const char* e = std::getenv("TC_TRACE");
+  return e && *e && !(e[0] == '0' && e[1] == '\0');
+}
+
+std::atomic<bool> gEnabled{envTraceDefault()};
+
+/// Per-thread event buffer. Owned by the registry (shared_ptr) so events
+/// survive thread exit — MCMM pool workers die before the bench exports.
+/// The owning thread appends without locks; the registry lock only guards
+/// registration, clear, and export, which callers run from quiescent points
+/// (no spans in flight — the export happens after the traced work joined).
+struct ThreadBuffer {
+  int tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int nextTid = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static dtors
+  return *r;
+}
+
+ThreadBuffer& localBuffer() {
+  thread_local ThreadBuffer* buf = nullptr;
+  if (!buf) {
+    auto owned = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    owned->tid = r.nextTid++;
+    r.buffers.push_back(owned);
+    buf = owned.get();
+  }
+  return *buf;
+}
+
+std::chrono::steady_clock::time_point epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+/// Minimal JSON string escaping (names/categories are ours, but a scenario
+/// name with a quote must not corrupt the file).
+void appendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool traceEnabled() { return gEnabled.load(std::memory_order_relaxed); }
+
+void traceSetEnabled(bool on) {
+  epoch();  // pin the epoch before the first event
+  gEnabled.store(on, std::memory_order_relaxed);
+}
+
+void traceClear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.buffers) b->events.clear();
+}
+
+std::size_t traceEventCount() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const auto& b : r.buffers) n += b->events.size();
+  return n;
+}
+
+std::size_t traceThreadBufferCount() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.buffers.size();
+}
+
+double traceNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch())
+      .count();
+}
+
+void traceInstant(const char* cat, std::string name, std::string args) {
+  if (!traceEnabled()) return;
+  ThreadBuffer& buf = localBuffer();
+  TraceEvent e;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  e.tsUs = traceNowUs();
+  e.tid = buf.tid;
+  e.phase = 'i';
+  buf.events.push_back(std::move(e));
+}
+
+void traceComplete(const char* cat, std::string name, std::string args,
+                   double tsUs, double durUs) {
+  ThreadBuffer& buf = localBuffer();
+  TraceEvent e;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  e.tsUs = tsUs;
+  e.durUs = durUs;
+  e.tid = buf.tid;
+  e.phase = 'X';
+  buf.events.push_back(std::move(e));
+}
+
+std::string traceFormat(const char* fmt, ...) {
+  char buf[192];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+std::string traceRenderChrome() {
+  // Copy events out under the lock, then render. Events are ordered by
+  // (tid, ts): each thread's buffer is already time-ordered, so the export
+  // is a stable function of what was recorded, not of export timing.
+  std::vector<TraceEvent> all;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& b : r.buffers)
+      all.insert(all.end(), b->events.begin(), b->events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.tsUs < b.tsUs;
+                   });
+
+  std::string out;
+  out.reserve(all.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  char num[64];
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const TraceEvent& e = all[i];
+    if (i) out += ",";
+    out += "\n{\"name\":\"";
+    appendEscaped(out, e.name);
+    out += "\",\"cat\":\"";
+    appendEscaped(out, e.cat);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    std::snprintf(num, sizeof num, "%d", e.tid);
+    out += num;
+    std::snprintf(num, sizeof num, ",\"ts\":%.3f", e.tsUs);
+    out += num;
+    if (e.phase == 'X') {
+      std::snprintf(num, sizeof num, ",\"dur\":%.3f", e.durUs);
+      out += num;
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      out += e.args;  // pre-rendered "key":value[,...] body
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool traceExportChrome(const std::string& path) {
+  const std::string json = traceRenderChrome();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    TC_WARN("trace: cannot write %s", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+void TraceSpan::open(const char* cat, std::string name) {
+  active_ = true;
+  cat_ = cat;
+  name_ = std::move(name);
+  startUs_ = traceNowUs();
+}
+
+void TraceSpan::close() {
+  const double end = traceNowUs();
+  traceComplete(cat_, std::move(name_), std::move(args_), startUs_,
+                end - startUs_);
+  active_ = false;
+}
+
+namespace {
+void appendArgKey(std::string& args, const char* key) {
+  if (!args.empty()) args += ",";
+  args += "\"";
+  appendEscaped(args, key);
+  args += "\":";
+}
+}  // namespace
+
+void TraceSpan::arg(const char* key, double value) {
+  if (!active_) return;
+  appendArgKey(args_, key);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  args_ += buf;
+}
+
+void TraceSpan::arg(const char* key, std::int64_t value) {
+  if (!active_) return;
+  appendArgKey(args_, key);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  args_ += buf;
+}
+
+void TraceSpan::arg(const char* key, const char* value) {
+  if (!active_) return;
+  appendArgKey(args_, key);
+  args_ += "\"";
+  appendEscaped(args_, value);
+  args_ += "\"";
+}
+
+}  // namespace tc
+
+#endif  // TC_TRACING_ENABLED

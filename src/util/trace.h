@@ -1,0 +1,158 @@
+#pragma once
+/// \file trace.h
+/// \brief Structured tracing: RAII spans with thread-safe buffering and
+/// Chrome `chrome://tracing` JSON export.
+///
+/// The Figure-1 closure loop and the MCMM signoff runs are iterative,
+/// multi-engine flows whose cost drivers (per-level sweep time, PBA recalc
+/// counts, scenario fan-out, incremental dirty frontiers) are invisible to
+/// an end-to-end wall clock. Spans make them visible: every hot layer opens
+/// a span (`TC_SPAN("sta", "propagate")`), the collector buffers events per
+/// thread without locks on the hot path, and `traceExportChrome()` writes a
+/// file `chrome://tracing` / Perfetto loads directly.
+///
+/// Zero overhead when off, two ways:
+///  - compile time: building with -DTC_DISABLE_TRACING turns every macro
+///    into nothing and every function into an empty inline stub;
+///  - run time: tracing defaults to disabled. A disabled span is one
+///    relaxed atomic load — no clock read, no allocation, no buffering
+///    (trace_metrics_test pins the no-allocation property).
+///
+/// Tracing never feeds back into analysis: spans read the clock and copy
+/// names, nothing else, so every determinism contract (MCMM merge order,
+/// incremental-vs-full bit identity) holds with tracing on. See DESIGN.md
+/// "Observability".
+
+#include <cstdint>
+#include <string>
+
+#ifndef TC_DISABLE_TRACING
+#define TC_TRACING_ENABLED 1
+#else
+#define TC_TRACING_ENABLED 0
+#endif
+
+namespace tc {
+
+/// One buffered trace event (Chrome trace "X" complete / "i" instant).
+struct TraceEvent {
+  const char* cat = "";   ///< category — must be a string literal
+  std::string name;       ///< span/event name
+  std::string args;       ///< pre-rendered JSON object body ("" = none)
+  double tsUs = 0.0;      ///< start, microseconds since trace epoch
+  double durUs = 0.0;     ///< duration (complete events)
+  int tid = 0;            ///< stable per-thread id (registration order)
+  char phase = 'X';       ///< 'X' complete, 'i' instant
+};
+
+#if TC_TRACING_ENABLED
+
+/// Runtime switch. Off by default; benches flip it on under `--trace`.
+bool traceEnabled();
+void traceSetEnabled(bool on);
+
+/// Drop every buffered event (thread buffers stay registered).
+void traceClear();
+
+/// Number of buffered events across all threads (test introspection).
+std::size_t traceEventCount();
+/// Number of registered per-thread buffers (test introspection).
+std::size_t traceThreadBufferCount();
+
+/// Record an instant event ('i') at "now".
+void traceInstant(const char* cat, std::string name, std::string args = {});
+/// Record a pre-timed complete event (the TraceSpan destructor's path).
+void traceComplete(const char* cat, std::string name, std::string args,
+                   double tsUs, double durUs);
+
+/// Microseconds since the process-wide trace epoch.
+double traceNowUs();
+
+/// Render every buffered event as Chrome trace JSON
+/// (`{"traceEvents":[...]}`), events ordered by (tid, ts) so the export is
+/// a pure function of the recorded events.
+std::string traceRenderChrome();
+/// Write traceRenderChrome() to `path`; false (with a log line) on I/O
+/// failure.
+bool traceExportChrome(const std::string& path);
+
+/// printf-format a span name. Only call when traceEnabled() — the macros
+/// below guard it so the disabled path never formats.
+std::string traceFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// RAII span: records one complete event from construction to destruction.
+/// Inactive (and allocation-free) when tracing is off at construction.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name) {
+    if (traceEnabled()) open(cat, name);
+  }
+  TraceSpan(const char* cat, std::string name) {
+    if (traceEnabled() && !name.empty()) open(cat, std::move(name));
+  }
+  ~TraceSpan() {
+    if (active_) close();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach one "args" key to the span (rendered into the Chrome event's
+  /// args object). No-ops on an inactive span.
+  void arg(const char* key, double value);
+  void arg(const char* key, std::int64_t value);
+  void arg(const char* key, const char* value);
+
+ private:
+  void open(const char* cat, std::string name);
+  void close();
+
+  bool active_ = false;
+  const char* cat_ = "";
+  std::string name_;
+  std::string args_;
+  double startUs_ = 0.0;
+};
+
+#else  // !TC_TRACING_ENABLED — every entry point collapses to a stub.
+
+inline bool traceEnabled() { return false; }
+inline void traceSetEnabled(bool) {}
+inline void traceClear() {}
+inline std::size_t traceEventCount() { return 0; }
+inline std::size_t traceThreadBufferCount() { return 0; }
+inline void traceInstant(const char*, std::string, std::string = {}) {}
+inline void traceComplete(const char*, std::string, std::string, double,
+                          double) {}
+inline double traceNowUs() { return 0.0; }
+inline std::string traceRenderChrome() { return "{\"traceEvents\":[]}\n"; }
+inline bool traceExportChrome(const std::string&) { return false; }
+inline std::string traceFormat(const char*, ...) { return {}; }
+
+class TraceSpan {
+ public:
+  TraceSpan(const char*, const char*) {}
+  TraceSpan(const char*, std::string) {}
+  void arg(const char*, double) {}
+  void arg(const char*, std::int64_t) {}
+  void arg(const char*, const char*) {}
+};
+
+#endif  // TC_TRACING_ENABLED
+
+#define TC_TRACE_CONCAT2(a, b) a##b
+#define TC_TRACE_CONCAT(a, b) TC_TRACE_CONCAT2(a, b)
+
+/// Open a span for the rest of the enclosing scope. `name` may be a string
+/// literal (allocation-free when disabled) or a std::string.
+#define TC_SPAN(cat, name) \
+  ::tc::TraceSpan TC_TRACE_CONCAT(tcSpan_, __LINE__)(cat, name)
+
+/// Span with a printf-formatted name; the format only runs when tracing is
+/// enabled (the ternary keeps the disabled path allocation-free).
+#define TC_SPAN_F(var, cat, ...)                                      \
+  ::tc::TraceSpan var(cat, ::tc::traceEnabled()                       \
+                               ? ::tc::traceFormat(__VA_ARGS__)       \
+                               : std::string())
+
+}  // namespace tc

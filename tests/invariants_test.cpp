@@ -1,0 +1,536 @@
+/// \file invariants_test.cpp
+/// \brief Oracle-backed STA invariant suite (ctest label: invariants).
+///
+/// Two families of checks, both independent of the engine's internals:
+///
+///  1. A naive O(V*E) reference propagator: instead of the engine's single
+///     levelized sweep, iterate over *raw vertex ids* recomputing every
+///     vertex from scratch until the state reaches a bitwise fixpoint. The
+///     schedule is deliberately wrong-order; only the per-vertex arithmetic
+///     (taken straight from the documented relax/pull rules) is shared. On
+///     a DAG the fixpoint is unique, so any divergence from StaEngine —
+///     down to the last ULP — is a real propagation bug, not tolerance
+///     noise. Cross-checked on 50+ randomized netgen designs across
+///     derate modes kNone and kFlatOcv (the modes whose arrival selection
+///     is exact in the mean domain).
+///
+///  2. Metamorphic properties that hold by construction of the timing
+///     model, checked without any reference values:
+///       - PBA slack >= GBA slack at every recalculated endpoint,
+///       - CPPR can only improve (never hurt) setup slack,
+///       - added load never decreases a characterized stage delay,
+///       - quarantining a pin (graceful degradation) never improves WNS.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "sta/engine.h"
+#include "sta/pba.h"
+
+namespace tc {
+namespace {
+
+constexpr double kInfD = std::numeric_limits<double>::infinity();
+
+std::shared_ptr<const Library> testLib() {
+  static std::shared_ptr<const Library> lib =
+      characterizedLibrary(LibraryPvt{}, /*quick=*/true);
+  return lib;
+}
+
+/// Naive reference propagator. Holds only (arrival, slew) per
+/// [mode][transition] plus required times; recomputes whole vertices from
+/// their in-edges (forward) / out-edges (backward) in raw id order until
+/// nothing changes bitwise.
+class NaiveSta {
+ public:
+  struct Vt {
+    double arr[2][2];
+    double slew[2][2];
+  };
+
+  explicit NaiveSta(StaEngine& eng)
+      : eng_(eng),
+        g_(eng.graph()),
+        nl_(eng.netlist()),
+        sc_(eng.scenario()),
+        dc_(eng.delayCalc()) {}
+
+  /// False when a fixpoint was not reached within V+2 passes (a cycle or
+  /// an unstable recompute — either is a test failure).
+  bool run() {
+    initSources();
+    if (!fixpoint([this](VertexId v) { return recomputeForward(v); }))
+      return false;
+    seedRequired();
+    return fixpoint([this](VertexId v) { return recomputeBackward(v); });
+  }
+
+  const Vt& at(VertexId v) const { return vt_[static_cast<std::size_t>(v)]; }
+
+  /// Same formula as StaEngine::vertexSlack, over the oracle's state.
+  double slackAt(VertexId v) const {
+    const auto& req = req_[static_cast<std::size_t>(v)];
+    const Vt& t = vt_[static_cast<std::size_t>(v)];
+    double slack = kInfD;
+    for (int tr = 0; tr < 2; ++tr) {
+      if (req[tr] == kInfD || t.arr[0][tr] == kNoTime) continue;
+      slack = std::min(slack, req[tr] - t.arr[0][tr]);
+    }
+    return slack;
+  }
+
+ private:
+  void initSources() {
+    Vt unreached;
+    for (int m = 0; m < 2; ++m)
+      for (int tr = 0; tr < 2; ++tr) {
+        unreached.arr[m][tr] = kNoTime;
+        unreached.slew[m][tr] = 0.0;
+      }
+    vt_.assign(static_cast<std::size_t>(g_.vertexCount()), unreached);
+
+    for (const auto& c : nl_.clocks()) {
+      Vt& t = vt_[static_cast<std::size_t>(g_.portVertex(c.port))];
+      for (int m = 0; m < 2; ++m)
+        for (int tr = 0; tr < 2; ++tr) {
+          t.arr[m][tr] = c.sourceLatency;
+          t.slew[m][tr] = 20.0;
+        }
+    }
+    const double inputDelay =
+        sc_.inputDelay > 0.0
+            ? sc_.inputDelay
+            : (nl_.clocks().empty() ? 0.0
+                                    : 0.25 * nl_.clocks().front().period);
+    for (PortId p = 0; p < nl_.portCount(); ++p) {
+      if (sc_.disableDataInputs) break;
+      if (!nl_.port(p).isInput || nl_.port(p).constant) continue;
+      bool isClock = false;
+      for (const auto& c : nl_.clocks())
+        if (c.port == p) isClock = true;
+      if (isClock) continue;
+      Vt& t = vt_[static_cast<std::size_t>(g_.portVertex(p))];
+      for (int m = 0; m < 2; ++m)
+        for (int tr = 0; tr < 2; ++tr) {
+          t.arr[m][tr] = inputDelay;
+          t.slew[m][tr] = sc_.inputSlew;
+        }
+    }
+    const double borrowedLate =
+        nl_.clocks().empty() ? inputDelay : nl_.clocks().front().period;
+    for (const auto& qp : nl_.quarantinedPins()) {
+      const VertexId v = g_.inputVertex(qp.inst, qp.pin);
+      if (v < 0) continue;
+      Vt& t = vt_[static_cast<std::size_t>(v)];
+      for (int tr = 0; tr < 2; ++tr) {
+        t.arr[0][tr] = borrowedLate;
+        t.arr[1][tr] = 0.0;
+        t.slew[0][tr] = t.slew[1][tr] = sc_.inputSlew;
+      }
+    }
+  }
+
+  template <typename Recompute>
+  bool fixpoint(Recompute&& recompute) {
+    const int n = g_.vertexCount();
+    for (int pass = 0; pass <= n + 2; ++pass) {
+      bool changed = false;
+      for (VertexId v = 0; v < n; ++v)
+        if (recompute(v)) changed = true;
+      if (!changed) return true;
+    }
+    return false;  // no fixpoint: cycle or unstable arithmetic
+  }
+
+  static void relaxInto(Vt& t, int m, int tr, double arr, double slewIn) {
+    if (!std::isfinite(arr) || !std::isfinite(slewIn)) return;
+    const double cur = t.arr[m][tr];
+    if (cur == kNoTime || (m == 0 ? arr > cur : arr < cur))
+      t.arr[m][tr] = arr;
+    if (t.slew[m][tr] <= 0.0)
+      t.slew[m][tr] = slewIn;
+    else if (m == 0)
+      t.slew[m][tr] = std::max(t.slew[m][tr], slewIn);
+    else
+      t.slew[m][tr] = std::min(t.slew[m][tr], slewIn);
+  }
+
+  void processEdgeInto(EdgeId e, Vt& t) const {
+    const TimingGraph::Edge& ed = g_.edge(e);
+    const Vt& ft = vt_[static_cast<std::size_t>(ed.from)];
+    const auto& d = sc_.derate;
+    const double lateF = d.mode == DerateMode::kFlatOcv ? d.flatLate : 1.0;
+    const double earlyF = d.mode == DerateMode::kFlatOcv ? d.flatEarly : 1.0;
+    switch (ed.kind) {
+      case TimingGraph::EdgeKind::kNetArc: {
+        Ps skew = 0.0;
+        const TimingGraph::Vertex& tv = g_.vertex(ed.to);
+        if (tv.kind == TimingGraph::VertexKind::kCellInput && tv.pin == 1 &&
+            nl_.isSequential(tv.inst))
+          skew = nl_.instance(tv.inst).usefulSkew;
+        for (int m = 0; m < 2; ++m) {
+          const double f = m == 0 ? lateF : earlyF;
+          for (int tr = 0; tr < 2; ++tr) {
+            if (ft.arr[m][tr] == kNoTime) continue;
+            const auto w = dc_.wire(ed.net, ed.sinkIndex, ft.slew[m][tr]);
+            relaxInto(t, m, tr, ft.arr[m][tr] + w.delay * f + skew,
+                      w.outSlew);
+          }
+        }
+        break;
+      }
+      case TimingGraph::EdgeKind::kCellArc: {
+        const InstId inst = g_.vertex(ed.from).inst;
+        const TimingArc& arc =
+            dc_.cellOf(inst).arcs[static_cast<std::size_t>(ed.arcIndex)];
+        for (int m = 0; m < 2; ++m) {
+          const double f = m == 0 ? lateF : earlyF;
+          for (int trIn = 0; trIn < 2; ++trIn) {
+            if (ft.arr[m][trIn] == kNoTime) continue;
+            int outLo = 0, outHi = 1;
+            if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
+            if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
+            for (int trOut = outLo; trOut <= outHi; ++trOut) {
+              const auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
+                                         ft.slew[m][trIn]);
+              relaxInto(t, m, trOut, ft.arr[m][trIn] + r.delay * f,
+                        r.outSlew);
+            }
+          }
+        }
+        break;
+      }
+      case TimingGraph::EdgeKind::kClockToQ: {
+        const InstId flop = g_.vertex(ed.from).inst;
+        for (int m = 0; m < 2; ++m) {
+          const double f = m == 0 ? lateF : earlyF;
+          if (ft.arr[m][0] == kNoTime) continue;  // rising-edge CK
+          for (int trQ = 0; trQ < 2; ++trQ) {
+            const auto r = dc_.clockToQ(flop, trQ == 0, ft.slew[m][0]);
+            relaxInto(t, m, trQ, ft.arr[m][0] + r.delay * f, r.outSlew);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  bool recomputeForward(VertexId v) {
+    if (g_.inEdges(v).empty()) return false;  // sources keep their seeds
+    Vt fresh;
+    for (int m = 0; m < 2; ++m)
+      for (int tr = 0; tr < 2; ++tr) {
+        fresh.arr[m][tr] = kNoTime;
+        fresh.slew[m][tr] = 0.0;
+      }
+    for (EdgeId e : g_.inEdges(v)) processEdgeInto(e, fresh);
+    Vt& cur = vt_[static_cast<std::size_t>(v)];
+    if (std::memcmp(&fresh, &cur, sizeof(Vt)) == 0) return false;
+    cur = fresh;
+    return true;
+  }
+
+  /// Seeds reconstructed the same way StaEngine::endpointReqSeed does:
+  /// worst-transition mean arrival + reported setup slack. Arrivals come
+  /// from the oracle's own forward fixpoint (asserted equal to the
+  /// engine's before required times are compared).
+  void seedRequired() {
+    seed_.assign(static_cast<std::size_t>(g_.vertexCount()), {kInfD, kInfD});
+    for (const auto& ep : eng_.endpoints()) {
+      if (ep.setupSlack == kInfD) continue;
+      const int wt = ep.setupTrans;
+      const double arr = vt_[static_cast<std::size_t>(ep.vertex)].arr[0][wt];
+      if (arr == kNoTime) continue;
+      const double reqTime = arr + ep.setupSlack;
+      seed_[static_cast<std::size_t>(ep.vertex)] = {reqTime, reqTime};
+    }
+    req_ = seed_;
+  }
+
+  bool recomputeBackward(VertexId u) {
+    const auto& d = sc_.derate;
+    const double lateF = d.mode == DerateMode::kFlatOcv ? d.flatLate : 1.0;
+    const Vt& ft = vt_[static_cast<std::size_t>(u)];
+    std::array<double, 2> fresh = seed_[static_cast<std::size_t>(u)];
+    for (EdgeId e : g_.outEdges(u)) {
+      const TimingGraph::Edge& ed = g_.edge(e);
+      const auto& reqV = req_[static_cast<std::size_t>(ed.to)];
+      if (reqV[0] == kInfD && reqV[1] == kInfD) continue;
+      switch (ed.kind) {
+        case TimingGraph::EdgeKind::kNetArc: {
+          Ps skew = 0.0;
+          const TimingGraph::Vertex& tv = g_.vertex(ed.to);
+          if (tv.kind == TimingGraph::VertexKind::kCellInput && tv.pin == 1 &&
+              nl_.isSequential(tv.inst))
+            skew = nl_.instance(tv.inst).usefulSkew;
+          for (int tr = 0; tr < 2; ++tr) {
+            if (reqV[tr] == kInfD || ft.arr[0][tr] == kNoTime) continue;
+            const auto w = dc_.wire(ed.net, ed.sinkIndex, ft.slew[0][tr]);
+            fresh[static_cast<std::size_t>(tr)] =
+                std::min(fresh[static_cast<std::size_t>(tr)],
+                         reqV[tr] - w.delay * lateF - skew);
+          }
+          break;
+        }
+        case TimingGraph::EdgeKind::kCellArc: {
+          const InstId inst = g_.vertex(u).inst;
+          const TimingArc& arc =
+              dc_.cellOf(inst).arcs[static_cast<std::size_t>(ed.arcIndex)];
+          for (int trIn = 0; trIn < 2; ++trIn) {
+            if (ft.arr[0][trIn] == kNoTime) continue;
+            int outLo = 0, outHi = 1;
+            if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
+            if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
+            for (int trOut = outLo; trOut <= outHi; ++trOut) {
+              if (reqV[trOut] == kInfD) continue;
+              const auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
+                                         ft.slew[0][trIn]);
+              fresh[static_cast<std::size_t>(trIn)] =
+                  std::min(fresh[static_cast<std::size_t>(trIn)],
+                           reqV[trOut] - r.delay * lateF);
+            }
+          }
+          break;
+        }
+        case TimingGraph::EdgeKind::kClockToQ: {
+          const InstId flop = g_.vertex(u).inst;
+          if (ft.arr[0][0] == kNoTime) break;
+          for (int trQ = 0; trQ < 2; ++trQ) {
+            if (reqV[trQ] == kInfD) continue;
+            const auto r = dc_.clockToQ(flop, trQ == 0, ft.slew[0][0]);
+            fresh[0] = std::min(fresh[0], reqV[trQ] - r.delay * lateF);
+          }
+          break;
+        }
+      }
+    }
+    auto& cur = req_[static_cast<std::size_t>(u)];
+    if (std::memcmp(fresh.data(), cur.data(), sizeof(fresh)) == 0)
+      return false;
+    cur = fresh;
+    return true;
+  }
+
+  StaEngine& eng_;
+  const TimingGraph& g_;
+  const Netlist& nl_;
+  const Scenario& sc_;
+  DelayCalculator& dc_;
+  std::vector<Vt> vt_;
+  std::vector<std::array<double, 2>> req_, seed_;
+};
+
+/// Run engine + oracle on one design and demand bitwise agreement on every
+/// arrival key, slew, and vertex slack.
+void crossCheck(const Netlist& nl, const Scenario& sc,
+                const std::string& tag) {
+  StaEngine eng(nl, sc);
+  eng.run();
+  NaiveSta oracle(eng);
+  ASSERT_TRUE(oracle.run()) << tag << ": oracle did not reach a fixpoint";
+
+  const TimingGraph& g = eng.graph();
+  for (VertexId v = 0; v < g.vertexCount(); ++v) {
+    const NaiveSta::Vt& t = oracle.at(v);
+    for (int m = 0; m < 2; ++m) {
+      for (int tr = 0; tr < 2; ++tr) {
+        const double a = t.arr[m][tr];
+        const double expect = a == kNoTime ? (m == 0 ? kNoTime : kInfD) : a;
+        ASSERT_EQ(eng.arrivalKey(v, static_cast<Mode>(m), tr), expect)
+            << tag << ": arrival mismatch at v=" << v << " m=" << m
+            << " tr=" << tr;
+      }
+      ASSERT_EQ(eng.slewAt(v, static_cast<Mode>(m)),
+                std::max(t.slew[m][0], t.slew[m][1]))
+          << tag << ": slew mismatch at v=" << v << " m=" << m;
+    }
+    ASSERT_EQ(eng.vertexSlack(v), oracle.slackAt(v))
+        << tag << ": slack mismatch at v=" << v;
+  }
+}
+
+BlockProfile randomProfile(int i) {
+  BlockProfile p = profileTiny();
+  p.name = "inv" + std::to_string(i);
+  p.numGates = 60 + 7 * i;
+  p.numFlops = 8 + i % 5;
+  p.numInputs = 8 + i % 7;
+  p.numOutputs = 6 + i % 5;
+  p.levels = 6 + i % 9;
+  p.fanoutSkew = 0.05 + 0.01 * (i % 6);
+  p.seed = static_cast<std::uint64_t>(1000 + 17 * i);
+  return p;
+}
+
+// --- 1. oracle cross-check over randomized designs --------------------------
+
+TEST(InvariantsOracle, MatchesEngineOnRandomDesignsNoDerate) {
+  for (int i = 0; i < 25; ++i) {
+    Netlist nl = generateBlock(testLib(), randomProfile(i));
+    Scenario sc;
+    sc.lib = testLib();
+    sc.derate.mode = DerateMode::kNone;
+    crossCheck(nl, sc, "none/seed" + std::to_string(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(InvariantsOracle, MatchesEngineOnRandomDesignsFlatOcv) {
+  for (int i = 0; i < 25; ++i) {
+    Netlist nl = generateBlock(testLib(), randomProfile(100 + i));
+    Scenario sc;
+    sc.lib = testLib();
+    sc.derate.mode = DerateMode::kFlatOcv;
+    crossCheck(nl, sc, "flat/seed" + std::to_string(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(InvariantsOracle, MatchesEngineOnPipelines) {
+  for (int lanes : {1, 3}) {
+    for (int depth : {2, 9}) {
+      Netlist nl = generatePipeline(testLib(), lanes, depth, 800.0,
+                                    static_cast<std::uint64_t>(lanes * 10 +
+                                                               depth));
+      Scenario sc;
+      sc.lib = testLib();
+      sc.derate.mode = DerateMode::kFlatOcv;
+      crossCheck(nl, sc, "pipe" + std::to_string(lanes) + "x" +
+                             std::to_string(depth));
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// --- 2. metamorphic properties ----------------------------------------------
+
+// PBA retraces the worst path with path-specific slews and the tighter
+// two-moment wire metric; it can only recover pessimism, never add it.
+TEST(InvariantsMetamorphic, PbaSlackNeverBelowGba) {
+  BlockProfile p = randomProfile(7);
+  p.numGates = 220;
+  Netlist nl = generateBlock(testLib(), p);
+  Scenario sc;
+  sc.lib = testLib();
+  sc.derate.mode = DerateMode::kLvf;
+  StaEngine eng(nl, sc);
+  eng.run();
+  PbaAnalyzer pba(eng);
+  const auto results = pba.recalcWorst(100, Check::kSetup);
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results)
+    EXPECT_GE(r.pbaSlack, r.gbaSlack - 1e-9)
+        << "PBA must never be more pessimistic than GBA";
+}
+
+// CPPR removes pessimism common to launch and capture clock paths; the
+// credit is clamped non-negative, so slacks can only improve.
+TEST(InvariantsMetamorphic, CpprCreditNeverHurtsSetupSlack) {
+  for (int i : {3, 11}) {
+    Netlist nl = generateBlock(testLib(), randomProfile(i));
+    Scenario noCppr;
+    noCppr.lib = testLib();
+    noCppr.derate.cppr = false;
+    Scenario withCppr = noCppr;
+    withCppr.derate.cppr = true;
+    StaEngine a(nl, noCppr), b(nl, withCppr);
+    a.run();
+    b.run();
+    ASSERT_EQ(a.endpoints().size(), b.endpoints().size());
+    for (std::size_t e = 0; e < a.endpoints().size(); ++e) {
+      const EndpointTiming &ea = a.endpoints()[e], &eb = b.endpoints()[e];
+      ASSERT_EQ(ea.vertex, eb.vertex);
+      EXPECT_GE(eb.cpprSetup, 0.0);
+      EXPECT_GE(eb.setupSlack, ea.setupSlack - 1e-9)
+          << "CPPR made endpoint " << e << " worse";
+    }
+  }
+}
+
+// Every characterized delay surface must be monotone non-decreasing in
+// load at each slew grid point: driving more capacitance can never make a
+// stage faster. (Checked on the grid values themselves; bilinear
+// interpolation preserves monotonicity between grid points.)
+TEST(InvariantsMetamorphic, AddedLoadNeverDecreasesStageDelay) {
+  const auto lib = testLib();
+  int surfacesChecked = 0;
+  auto checkSurface = [&](const NldmSurface& s, const std::string& what) {
+    if (s.empty()) return;
+    ++surfacesChecked;
+    const Axis& slews = s.delay.xAxis();
+    const Axis& loads = s.delay.yAxis();
+    for (std::size_t ix = 0; ix < slews.size(); ++ix)
+      for (std::size_t iy = 0; iy + 1 < loads.size(); ++iy)
+        EXPECT_LE(s.delay.at(ix, iy), s.delay.at(ix, iy + 1) + 1e-12)
+            << what << " delay decreases from load " << loads[iy] << " to "
+            << loads[iy + 1] << " at slew " << slews[ix];
+  };
+  for (int c = 0; c < lib->cellCount(); ++c) {
+    const Cell& cell = lib->cell(c);
+    for (std::size_t a = 0; a < cell.arcs.size(); ++a) {
+      checkSurface(cell.arcs[a].rise, cell.name + " arc" +
+                                          std::to_string(a) + " rise");
+      checkSurface(cell.arcs[a].fall, cell.name + " arc" +
+                                          std::to_string(a) + " fall");
+    }
+    if (cell.flop) {
+      checkSurface(cell.flop->c2qRise, cell.name + " c2q rise");
+      checkSurface(cell.flop->c2qFall, cell.name + " c2q fall");
+    }
+  }
+  EXPECT_GT(surfacesChecked, 0);
+}
+
+// Graceful degradation's bounded-pessimism contract: quarantining a pin
+// seeds it with a borrowed arrival at least as late as any real arrival
+// the quarantined arc could have delivered, so WNS can only get worse.
+// Pins are chosen so the premise holds (clean arrival <= borrowed seed).
+TEST(InvariantsMetamorphic, QuarantinedPinNeverImprovesWns) {
+  for (int i : {2, 9, 14}) {
+    const BlockProfile p = randomProfile(i);
+    Netlist clean = generateBlock(testLib(), p);
+    Scenario sc;
+    sc.lib = testLib();
+    StaEngine cleanEng(clean, sc);
+    cleanEng.run();
+    const double cleanWns = cleanEng.wns(Check::kSetup);
+    const double borrowed = cleanEng.clockPeriod();
+
+    // Same profile + seed regenerates the identical netlist; quarantine a
+    // few combinational input pins whose clean arrival respects the bound.
+    Netlist degraded = generateBlock(testLib(), p);
+    int quarantined = 0;
+    for (InstId inst = 0;
+         inst < clean.instanceCount() && quarantined < 4; ++inst) {
+      if (clean.isSequential(inst)) continue;
+      if (clean.instance(inst).isClockTreeBuffer) continue;
+      if (clean.instance(inst).fanin.empty() ||
+          clean.instance(inst).fanin[0] < 0)
+        continue;
+      const VertexId v = cleanEng.graph().inputVertex(inst, 0);
+      if (v < 0) continue;
+      const double arr = cleanEng.arrivalKey(v, Mode::kLate);
+      if (arr == kNoTime || arr > borrowed) continue;
+      degraded.quarantinePin(inst, 0);
+      ++quarantined;
+    }
+    ASSERT_GT(quarantined, 0);
+    StaEngine degEng(degraded, sc);
+    degEng.run();
+    EXPECT_LE(degEng.wns(Check::kSetup), cleanWns + 1e-9)
+        << "quarantine improved WNS on seed " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tc

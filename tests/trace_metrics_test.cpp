@@ -1,0 +1,417 @@
+/// \file trace_metrics_test.cpp
+/// \brief Observability-layer contracts: trace span nesting and
+/// thread-safety, Chrome trace JSON validity, deterministic metric export,
+/// and the zero-overhead-when-disabled guarantee (no events, no
+/// allocations) that lets the instrumentation stay compiled into every
+/// hot path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+// --- allocation counting ----------------------------------------------------
+// Replace global operator new/delete for the whole test binary with a
+// malloc-backed pair that counts this thread's allocations. The disabled
+// trace path promises "one relaxed atomic load, no allocation"; the counter
+// makes that promise testable.
+namespace {
+thread_local std::uint64_t gThreadAllocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++gThreadAllocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tc {
+namespace {
+
+// --- minimal JSON validator -------------------------------------------------
+// Recursive-descent structural check (objects, arrays, strings with
+// escapes, numbers, literals). Schema assertions on top of it use plain
+// substring checks; this guarantees chrome://tracing can parse the file.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s)
+      : p_(s.data()), end_(s.data() + s.size()) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return p_ == end_;
+  }
+
+ private:
+  void skipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r'))
+      ++p_;
+  }
+  bool literal(const char* s) {
+    const char* q = p_;
+    while (*s) {
+      if (q >= end_ || *q != *s) return false;
+      ++q, ++s;
+    }
+    p_ = q;
+    return true;
+  }
+  bool string() {
+    if (p_ >= end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ >= end_) return false;
+      }
+      ++p_;
+    }
+    if (p_ >= end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') ++p_;
+    while (p_ < end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                         *p_ == 'e' || *p_ == 'E' || *p_ == '+' ||
+                         *p_ == '-'))
+      ++p_;
+    return p_ > start;
+  }
+  bool value() {
+    skipWs();
+    if (p_ >= end_) return false;
+    switch (*p_) {
+      case '{': {
+        ++p_;
+        skipWs();
+        if (p_ < end_ && *p_ == '}') return ++p_, true;
+        while (true) {
+          skipWs();
+          if (!string()) return false;
+          skipWs();
+          if (p_ >= end_ || *p_ != ':') return false;
+          ++p_;
+          if (!value()) return false;
+          skipWs();
+          if (p_ < end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          break;
+        }
+        if (p_ >= end_ || *p_ != '}') return false;
+        ++p_;
+        return true;
+      }
+      case '[': {
+        ++p_;
+        skipWs();
+        if (p_ < end_ && *p_ == ']') return ++p_, true;
+        while (true) {
+          if (!value()) return false;
+          skipWs();
+          if (p_ < end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          break;
+        }
+        if (p_ >= end_ || *p_ != ']') return false;
+        ++p_;
+        return true;
+      }
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+int countOccurrences(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    traceSetEnabled(false);
+    traceClear();
+  }
+  void TearDown() override {
+    traceSetEnabled(false);
+    traceClear();
+  }
+};
+
+#if TC_TRACING_ENABLED
+
+TEST_F(TraceTest, SpanRecordsCompleteEventWithArgs) {
+  traceSetEnabled(true);
+  {
+    TraceSpan outer("cat_outer", "outer");
+    outer.arg("width", static_cast<std::int64_t>(7));
+    outer.arg("ratio", 0.5);
+    outer.arg("mode", "full");
+    { TC_SPAN("cat_inner", "inner"); }
+  }
+  traceInstant("cat_i", "tick", "\"n\":1");
+  EXPECT_EQ(traceEventCount(), 3u);
+
+  const std::string json = traceRenderChrome();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"width\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"full\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_EQ(countOccurrences(json, "\"ph\":\"X\""), 2);
+}
+
+TEST_F(TraceTest, NestedSpansCloseInnerBeforeOuterOnOneThread) {
+  traceSetEnabled(true);
+  {
+    TC_SPAN("t", "outer");
+    {
+      TC_SPAN("t", "mid");
+      { TC_SPAN("t", "leaf"); }
+    }
+  }
+  // All three on this thread; rendering sorts by (tid, ts), so the outer
+  // span (earliest start) comes first and must enclose the other two.
+  const std::string json = traceRenderChrome();
+  ASSERT_TRUE(JsonValidator(json).valid()) << json;
+  const std::size_t outer = json.find("\"outer\"");
+  const std::size_t mid = json.find("\"mid\"");
+  const std::size_t leaf = json.find("\"leaf\"");
+  ASSERT_NE(outer, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(leaf, std::string::npos);
+  EXPECT_LT(outer, mid);
+  EXPECT_LT(mid, leaf);
+}
+
+TEST_F(TraceTest, ThreadSafeUnderThreadPool8) {
+  traceSetEnabled(true);
+  constexpr std::size_t kTasks = 400;
+  {
+    ThreadPool pool(8);
+    pool.parallelFor(
+        kTasks,
+        [](std::size_t i) {
+          TC_SPAN_F(span, "pool", "task_%zu", i);
+          span.arg("i", static_cast<std::int64_t>(i));
+          if (i % 3 == 0) traceInstant("pool", "mark");
+        },
+        /*grain=*/1);
+  }
+  const std::size_t instants = (kTasks + 2) / 3;
+  EXPECT_EQ(traceEventCount(), kTasks + instants);
+  // 8 workers + the calling thread may each own a buffer; buffers persist
+  // past thread exit (shared ownership), never dangle, never multiply.
+  EXPECT_GE(traceThreadBufferCount(), 1u);
+  EXPECT_LE(traceThreadBufferCount(), 64u);
+
+  const std::string json = traceRenderChrome();
+  ASSERT_TRUE(JsonValidator(json).valid());
+  EXPECT_EQ(countOccurrences(json, "\"task_"), static_cast<int>(kTasks));
+}
+
+TEST_F(TraceTest, ArgAndNameStringsAreEscaped) {
+  traceSetEnabled(true);
+  {
+    TraceSpan span("esc", std::string("quote\"back\\slash\ttab"));
+    span.arg("k", "v\"w\\x\n");
+  }
+  const std::string json = traceRenderChrome();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+}
+
+TEST_F(TraceTest, ExportWritesParseableFile) {
+  traceSetEnabled(true);
+  { TC_SPAN("io", "roundtrip"); }
+  const std::string path =
+      ::testing::TempDir() + "/tc_trace_metrics_test_export.json";
+  ASSERT_TRUE(traceExportChrome(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(JsonValidator(content).valid()) << content;
+  EXPECT_NE(content.find("\"roundtrip\""), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothingAndNeverAllocate) {
+  ASSERT_FALSE(traceEnabled());
+  const std::size_t before = traceEventCount();
+  const std::uint64_t allocsBefore = gThreadAllocs;
+  for (int i = 0; i < 1000; ++i) {
+    TC_SPAN("off", "literal_name");
+    TC_SPAN_F(span, "off", "formatted_%d", i);
+    span.arg("k", static_cast<std::int64_t>(i));
+    span.arg("g", 1.5);
+    span.arg("s", "value");
+  }
+  const std::uint64_t allocsAfter = gThreadAllocs;
+  EXPECT_EQ(allocsAfter, allocsBefore)
+      << "disabled trace spans must not allocate";
+  EXPECT_EQ(traceEventCount(), before);
+}
+
+TEST_F(TraceTest, ClearDropsEventsButKeepsBuffers) {
+  traceSetEnabled(true);
+  { TC_SPAN("c", "x"); }
+  ASSERT_GE(traceEventCount(), 1u);
+  const std::size_t buffers = traceThreadBufferCount();
+  traceClear();
+  EXPECT_EQ(traceEventCount(), 0u);
+  EXPECT_EQ(traceThreadBufferCount(), buffers);
+  const std::string json = traceRenderChrome();
+  EXPECT_TRUE(JsonValidator(json).valid());
+}
+
+#endif  // TC_TRACING_ENABLED
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, CounterGaugeHistogramBasics) {
+  auto& reg = MetricsRegistry::global();
+  auto& c = reg.counter("test.basics.counter", "count");
+  auto& g = reg.gauge("test.basics.gauge", "ps");
+  auto& h = reg.histogram("test.basics.hist", "verts");
+  c.reset();
+  g.reset();
+  h.reset();
+
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  g.set(-12.5);
+  EXPECT_EQ(g.value(), -12.5);
+  for (double v : {1.0, 2.0, 4.0, 1024.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1031.0);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1024.0);
+
+  // Same name returns the same instance.
+  EXPECT_EQ(&reg.counter("test.basics.counter"), &c);
+}
+
+TEST(MetricsTest, SnapshotIsSortedByName) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test.sorted.zzz");
+  reg.counter("test.sorted.aaa");
+  const auto snaps = reg.snapshot();
+  ASSERT_GE(snaps.size(), 2u);
+  for (std::size_t i = 1; i < snaps.size(); ++i)
+    EXPECT_LT(snaps[i - 1].name, snaps[i].name);
+}
+
+TEST(MetricsTest, ExportIsDeterministicAcrossIdenticalRuns) {
+  auto& reg = MetricsRegistry::global();
+  auto workload = [&reg] {
+    reg.resetAll();
+    auto& hits = reg.counter("test.det.hits", "count");
+    auto& depth = reg.histogram("test.det.depth", "levels");
+    reg.gauge("test.det.wns", "ps").set(-17.25);
+    for (int i = 0; i < 100; ++i) {
+      hits.add(static_cast<std::uint64_t>(i % 3));
+      depth.observe(static_cast<double>(i % 17));
+    }
+    return reg.exportText();
+  };
+  const std::string first = workload();
+  const std::string second = workload();
+  EXPECT_EQ(first, second) << "identical work must export byte-identically";
+  EXPECT_NE(first.find("test.det.hits"), std::string::npos);
+
+  const std::string json = reg.exportJson();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+}
+
+TEST(MetricsTest, CountersAreExactUnderConcurrentAdds) {
+  auto& c = MetricsRegistry::global().counter("test.conc.adds", "count");
+  auto& h = MetricsRegistry::global().histogram("test.conc.hist");
+  c.reset();
+  h.reset();
+  constexpr std::size_t kTasks = 800;
+  {
+    ThreadPool pool(8);
+    pool.parallelFor(
+        kTasks,
+        [&](std::size_t i) {
+          c.add(i % 5);
+          h.observe(static_cast<double>(i % 64));
+        },
+        /*grain=*/1);
+  }
+  std::uint64_t expected = 0;
+  double expectedSum = 0.0;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    expected += i % 5;
+    expectedSum += static_cast<double>(i % 64);
+  }
+  EXPECT_EQ(c.value(), expected);
+  EXPECT_EQ(h.count(), kTasks);
+  EXPECT_EQ(h.sum(), expectedSum);
+  EXPECT_EQ(h.max(), 63.0);
+}
+
+TEST(MetricsTest, CountersCountIdenticallyWithTracingOnAndOff) {
+  // Counters are always-on; flipping tracing must not change what they
+  // count (the observability layers are independent).
+  auto& c = MetricsRegistry::global().counter("test.indep.counter");
+  auto run = [&c](bool tracing) {
+    traceSetEnabled(tracing);
+    c.reset();
+    for (int i = 0; i < 500; ++i) {
+      TC_SPAN("indep", "work");
+      c.add();
+    }
+    traceSetEnabled(false);
+    traceClear();
+    return c.value();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace tc

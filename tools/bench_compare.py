@@ -19,6 +19,12 @@ Gating rules:
     exceeds 1 + threshold (default 15%) fails the gate.
   * Speedup-style metrics (unit "x") are derived from times and reported
     but never gated.
+  * Counter metrics (unit "count", or a ctr_ name prefix — the stable
+    observability counters bench_json.h folds in) are exact-match when
+    present on both sides, but tolerant of absence: a counter missing from
+    the baseline (just landed) or from the current run (just removed) only
+    warns, so instrumenting a new subsystem never breaks the gate before
+    its baseline is refreshed.
   * Everything else is a correctness field (violation counts, WNS in ps,
     bit-identical flags, ...): any divergence beyond 1e-6 relative
     tolerance fails, regardless of threshold. null (a non-finite value
@@ -45,8 +51,9 @@ CORRECTNESS_RTOL = 1e-6
 def load_metrics(path: Path):
     """Return {metric_name: (value_in_canonical_unit, kind)} for one file.
 
-    kind is "time" (milliseconds), "derived" (never gated) or
-    "correctness" (exact). value may be None for serialized non-finites.
+    kind is "time" (milliseconds), "derived" (never gated), "counter"
+    (exact when present on both sides, absence warns) or "correctness"
+    (exact). value may be None for serialized non-finites.
     """
     with open(path) as f:
         data = json.load(f)
@@ -65,6 +72,8 @@ def load_metrics(path: Path):
             out[name] = (None if value is None else value * scale, "time")
         elif unit == "x" or name.endswith("_speedup"):
             out[name] = (value, "derived")
+        elif unit == "count" or name.startswith("ctr_"):
+            out[name] = (value, "counter")
         else:
             out[name] = (value, "correctness")
     # Whole-process wall time includes correctness cross-checks and JSON
@@ -127,9 +136,13 @@ def main() -> int:
             continue
         base = load_metrics(bf)
         cur = load_metrics(rf)
-        for name in base:
+        for name, (bval, kind) in base.items():
             if name not in cur:
-                failures.append(f"{bf.name}:{name}: metric disappeared")
+                if kind == "counter":
+                    rows.append((bf.stem, name, bval, None,
+                                 "counter removed (warn only)"))
+                else:
+                    failures.append(f"{bf.name}:{name}: metric disappeared")
         for name in cur:
             if name not in base:
                 rows.append((bf.stem, name, None, cur[name][0],
@@ -145,6 +158,14 @@ def main() -> int:
                     rows.append((bf.stem, name, bval, cval, "skipped (null)"))
             elif kind == "derived":
                 rows.append((bf.stem, name, bval, cval, "informational"))
+            elif kind == "counter":
+                ok = values_match(bval, cval)
+                rows.append((bf.stem, name, bval, cval,
+                             "ok" if ok else "COUNTER DIVERGENCE"))
+                if not ok:
+                    failures.append(
+                        f"{bf.stem}:{name}: counter diverged "
+                        f"(baseline {fmt(bval)}, current {fmt(cval)})")
             else:
                 ok = values_match(bval, cval)
                 rows.append((bf.stem, name, bval, cval,
