@@ -22,6 +22,24 @@ Counter& mergedDiagCtr() {
       MetricsRegistry::global().counter("mcmm.merged_diagnostics", "count");
   return c;
 }
+
+/// Shared tail of runOne/updateOne: PBA over the scenario's critical tail.
+/// Runs after the GBA pass with the scenario's own sink attached, so
+/// retrace warnings join that scenario's stream (emitted in result order —
+/// deterministic at any pool width).
+void runScenarioPba(StaEngine& eng, DiagnosticSink* sink,
+                    const McmmOptions& opt, ScenarioResult& r) {
+  if (opt.pbaEndpoints <= 0) return;
+  PbaAnalyzer pba(eng);
+  pba.setDiagnosticSink(sink);
+  r.pba = pba.recalcWorst(opt.pbaEndpoints, Check::kSetup, opt.pba,
+                          opt.intraScenario ? opt.pool : nullptr);
+  if (!r.pba.empty()) {
+    r.pbaSetupWns = r.pba.front().pbaSlack;
+    for (const auto& p : r.pba)
+      r.pbaSetupWns = std::min(r.pbaSetupWns, p.pbaSlack);
+  }
+}
 }  // namespace
 
 std::string ViewDef::name() const {
@@ -193,6 +211,7 @@ const McmmResult& McmmRunner::run(const McmmOptions& opt) {
     r.drvViolations = static_cast<int>(eng.drvViolations().size());
     r.nanQuarantined = eng.nanQuarantineCount();
     r.endpoints = eng.endpoints();
+    runScenarioPba(eng, sinks_[i].get(), opt, r);
     r.diagnostics = sinks_[i]->diagnostics();
   };
 
@@ -248,6 +267,7 @@ const McmmResult& McmmRunner::update(const McmmOptions& opt) {
     r.drvViolations = static_cast<int>(eng.drvViolations().size());
     r.nanQuarantined = eng.nanQuarantineCount();
     r.endpoints = eng.endpoints();
+    runScenarioPba(eng, sinks_[i].get(), opt, r);
     r.diagnostics = sinks_[i]->diagnostics();
   };
 

@@ -19,6 +19,7 @@
 #include "device/process.h"
 #include "interconnect/wire.h"
 #include "sta/engine.h"
+#include "sta/pba.h"
 #include "util/diag.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
@@ -87,6 +88,12 @@ struct McmmOptions {
   /// a thread-dependent order, and everything is surfaced (deterministic)
   /// in McmmResult anyway.
   bool echoDiagnostics = false;
+  /// After each scenario's GBA pass, run PBA on this many GBA-worst setup
+  /// endpoints (0 = off). Results land in ScenarioResult::pba; retrace
+  /// inconsistencies join the scenario's diagnostic stream in result order.
+  int pbaEndpoints = 0;
+  /// Enumeration options for that PBA pass (K-worst / exhaustive).
+  PbaOptions pba;
 };
 
 /// Outcome of one scenario's STA run.
@@ -99,6 +106,11 @@ struct ScenarioResult {
   int nanQuarantined = 0;
   std::vector<EndpointTiming> endpoints;  ///< engine endpoint order
   std::vector<Diagnostic> diagnostics;    ///< this scenario's sink contents
+  /// PBA over the GBA-worst setup endpoints (when McmmOptions::pbaEndpoints
+  /// > 0), in GBA slack order — the signoff "PBA on the critical tail".
+  std::vector<PbaResult> pba;
+  /// min pbaSlack over `pba` (0.0 when PBA is off or found no endpoints).
+  Ps pbaSetupWns = 0.0;
 };
 
 /// Merged MCMM outcome, reduced in scenario input order (bit-identical

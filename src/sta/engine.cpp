@@ -215,88 +215,22 @@ void StaEngine::relax(VertexId to, Mode m, int trans, double arr,
 void StaEngine::processEdge(EdgeId e) {
   const TimingGraph::Edge& ed = graph_.edge(e);
   const VertexTiming& ft = vt_[static_cast<std::size_t>(ed.from)];
-  const auto& d = sc_->derate;
-  const double lateF =
-      d.mode == DerateMode::kFlatOcv ? d.flatLate : 1.0;
-  const double earlyF =
-      d.mode == DerateMode::kFlatOcv ? d.flatEarly : 1.0;
-
-  switch (ed.kind) {
-    case TimingGraph::EdgeKind::kNetArc: {
-      // Useful skew lands on flop CK pins.
-      Ps skew = 0.0;
-      const TimingGraph::Vertex& tv = graph_.vertex(ed.to);
-      if (tv.kind == TimingGraph::VertexKind::kCellInput && tv.pin == 1 &&
-          nl_->isSequential(tv.inst))
-        skew = nl_->instance(tv.inst).usefulSkew;
-      for (int m = 0; m < 2; ++m) {
-        const double f = m == 0 ? lateF : earlyF;
-        for (int tr = 0; tr < 2; ++tr) {
-          if (ft.arr[m][tr] == kNoTime) continue;
-          const auto w = dc_.wire(ed.net, ed.sinkIndex, ft.slew[m][tr]);
-          relax(ed.to, static_cast<Mode>(m), tr,
-                ft.arr[m][tr] + w.delay * f + skew, w.outSlew,
-                ft.var[m][tr], ft.depth[m][tr], e, tr, w.delay * f, 0.0);
-        }
+  // Relax every producible (mode, trIn, trOut) candidate. The iteration
+  // order matches the pre-refactor per-kind loops exactly, and the
+  // arithmetic lives in edgeCandidate(), shared with the PBA enumerator's
+  // pruning bounds. (Adding a zero skew / zero variance term is bitwise
+  // neutral here: arrivals and variances are non-negative.)
+  for (int m = 0; m < 2; ++m) {
+    for (int trIn = 0; trIn < 2; ++trIn) {
+      for (int trOut = 0; trOut < 2; ++trOut) {
+        const EdgeCand c =
+            edgeCandidate(e, static_cast<Mode>(m), trIn, trOut);
+        if (!c.valid) continue;
+        relax(ed.to, static_cast<Mode>(m), trOut,
+              ft.arr[m][trIn] + c.delay + c.skew, c.outSlew,
+              ft.var[m][trIn] + c.var, ft.depth[m][trIn] + c.depthInc, e,
+              trIn, c.delay, c.var);
       }
-      break;
-    }
-    case TimingGraph::EdgeKind::kCellArc: {
-      const Cell& cell = dc_.cellOf(graph_.vertex(ed.from).inst);
-      const TimingArc& arc = cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
-      for (int m = 0; m < 2; ++m) {
-        const double f = m == 0 ? lateF : earlyF;
-        for (int trIn = 0; trIn < 2; ++trIn) {
-          if (ft.arr[m][trIn] == kNoTime) continue;
-          // Output transitions implied by unateness.
-          int outLo = 0, outHi = 1;
-          if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
-          if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
-          for (int trOut = outLo; trOut <= outHi; ++trOut) {
-            const InstId inst = graph_.vertex(ed.from).inst;
-            auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
-                                 ft.slew[m][trIn]);
-            if (m == 0 && !misLate_.empty())
-              r.delay *= misLate_[static_cast<std::size_t>(inst)]
-                                 [static_cast<std::size_t>(trOut)];
-            if (m == 1 && !misEarly_.empty())
-              r.delay *= misEarly_[static_cast<std::size_t>(inst)]
-                                  [static_cast<std::size_t>(trOut)];
-            double sigma = 0.0;
-            if (d.mode == DerateMode::kLvf)
-              sigma = m == 0 ? r.sigmaLate : r.sigmaEarly;
-            else if (d.mode == DerateMode::kPocv)
-              sigma = cell.pocvSigmaRatio * r.delay;
-            relax(ed.to, static_cast<Mode>(m), trOut,
-                  ft.arr[m][trIn] + r.delay * f, r.outSlew,
-                  ft.var[m][trIn] + sigma * sigma,
-                  ft.depth[m][trIn] + 1, e, trIn, r.delay * f,
-                  sigma * sigma);
-          }
-        }
-      }
-      break;
-    }
-    case TimingGraph::EdgeKind::kClockToQ: {
-      const InstId flop = graph_.vertex(ed.from).inst;
-      const Cell& cell = dc_.cellOf(flop);
-      for (int m = 0; m < 2; ++m) {
-        const double f = m == 0 ? lateF : earlyF;
-        const int trCk = 0;  // rising-edge flops
-        if (ft.arr[m][trCk] == kNoTime) continue;
-        for (int trQ = 0; trQ < 2; ++trQ) {
-          const auto r = dc_.clockToQ(flop, trQ == 0, ft.slew[m][trCk]);
-          double sigma = 0.0;
-          if (d.mode == DerateMode::kLvf || d.mode == DerateMode::kPocv)
-            sigma = (cell.pocvSigmaRatio > 0 ? cell.pocvSigmaRatio : 0.03) *
-                    r.delay;
-          relax(ed.to, static_cast<Mode>(m), trQ,
-                ft.arr[m][trCk] + r.delay * f, r.outSlew,
-                ft.var[m][trCk] + sigma * sigma, ft.depth[m][trCk] + 1, e,
-                trCk, r.delay * f, sigma * sigma);
-        }
-      }
-      break;
     }
   }
 }

@@ -186,6 +186,27 @@ class StaEngine : public NetlistListener {
   std::vector<PathStep> tracePath(VertexId endpoint, Mode mode,
                                   int trans) const;
 
+  /// One relax candidate over an edge, computed from the *current* GBA
+  /// state at the edge source (i.e. with the merged worst slew). This is
+  /// exactly the arithmetic processEdge() feeds relax(), factored out so
+  /// path-based analysis can reuse it: because GBA late slews upper-bound
+  /// (early slews lower-bound) every exact path slew, and the NLDM
+  /// delay/slew surfaces are monotone in input slew, `delay` upper-bounds
+  /// (late) / lower-bounds (early) the exact delay of any path through the
+  /// edge — which is what makes the PBA enumerator's pruning admissible.
+  struct EdgeCand {
+    bool valid = false;   ///< transition pair is producible over this edge
+    double delay = 0.0;   ///< edge delay, flat-OCV factor and MIS included
+    double skew = 0.0;    ///< useful skew landing on a flop CK sink
+    double var = 0.0;     ///< sigma^2 this edge adds (POCV/LVF)
+    double outSlew = 0.0; ///< slew delivered using the GBA merged in-slew
+    int depthInc = 0;     ///< AOCV logic-depth increment (cell arcs only)
+  };
+  /// The candidate for (edge, mode, trans at edge.from, trans at edge.to).
+  /// Invalid when the source state is unreached or the transition pair is
+  /// not producible (unateness, net arcs never flip, CK rises only).
+  EdgeCand edgeCandidate(EdgeId e, Mode m, int trIn, int trOut) const;
+
   /// Clock period governing checks (single-clock designs).
   Ps clockPeriod() const;
 
@@ -324,5 +345,85 @@ class StaEngine : public NetlistListener {
   std::vector<NanEvent> nanEvents_;
   std::mutex nanMu_;
 };
+
+// Defined in the header so processEdge()'s relax loop — the hottest loop
+// in the engine — inlines the candidate arithmetic instead of paying a
+// cross-TU call per (mode, trIn, trOut). The PBA enumerator calls it
+// through the same definition, so the two can never drift.
+inline StaEngine::EdgeCand StaEngine::edgeCandidate(EdgeId e, Mode m,
+                                                    int trIn,
+                                                    int trOut) const {
+  EdgeCand c;
+  const TimingGraph::Edge& ed = graph_.edge(e);
+  const VertexTiming& ft = vt_[static_cast<std::size_t>(ed.from)];
+  const int mi = static_cast<int>(m);
+  if (ft.arr[mi][trIn] == kNoTime) return c;
+  const auto& d = sc_->derate;
+  const double f =
+      d.mode == DerateMode::kFlatOcv
+          ? (m == Mode::kLate ? d.flatLate : d.flatEarly)
+          : 1.0;
+
+  switch (ed.kind) {
+    case TimingGraph::EdgeKind::kNetArc: {
+      if (trIn != trOut) return c;  // wires never flip the transition
+      // Useful skew lands on flop CK pins.
+      const TimingGraph::Vertex& tv = graph_.vertex(ed.to);
+      if (tv.kind == TimingGraph::VertexKind::kCellInput && tv.pin == 1 &&
+          nl_->isSequential(tv.inst))
+        c.skew = nl_->instance(tv.inst).usefulSkew;
+      const auto w = dc_.wire(ed.net, ed.sinkIndex, ft.slew[mi][trIn]);
+      c.valid = true;
+      c.delay = w.delay * f;
+      c.outSlew = w.outSlew;
+      break;
+    }
+    case TimingGraph::EdgeKind::kCellArc: {
+      const InstId inst = graph_.vertex(ed.from).inst;
+      const Cell& cell = dc_.cellOf(inst);
+      const TimingArc& arc = cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
+      // Output transitions implied by unateness.
+      int outLo = 0, outHi = 1;
+      if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
+      if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
+      if (trOut < outLo || trOut > outHi) return c;
+      auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0, ft.slew[mi][trIn]);
+      if (m == Mode::kLate && !misLate_.empty())
+        r.delay *= misLate_[static_cast<std::size_t>(inst)]
+                           [static_cast<std::size_t>(trOut)];
+      if (m == Mode::kEarly && !misEarly_.empty())
+        r.delay *= misEarly_[static_cast<std::size_t>(inst)]
+                            [static_cast<std::size_t>(trOut)];
+      double sigma = 0.0;
+      if (d.mode == DerateMode::kLvf)
+        sigma = m == Mode::kLate ? r.sigmaLate : r.sigmaEarly;
+      else if (d.mode == DerateMode::kPocv)
+        sigma = cell.pocvSigmaRatio * r.delay;
+      c.valid = true;
+      c.delay = r.delay * f;
+      c.var = sigma * sigma;
+      c.outSlew = r.outSlew;
+      c.depthInc = 1;
+      break;
+    }
+    case TimingGraph::EdgeKind::kClockToQ: {
+      if (trIn != 0) return c;  // rising-edge flops
+      const InstId flop = graph_.vertex(ed.from).inst;
+      const Cell& cell = dc_.cellOf(flop);
+      const auto r = dc_.clockToQ(flop, trOut == 0, ft.slew[mi][trIn]);
+      double sigma = 0.0;
+      if (d.mode == DerateMode::kLvf || d.mode == DerateMode::kPocv)
+        sigma =
+            (cell.pocvSigmaRatio > 0 ? cell.pocvSigmaRatio : 0.03) * r.delay;
+      c.valid = true;
+      c.delay = r.delay * f;
+      c.var = sigma * sigma;
+      c.outSlew = r.outSlew;
+      c.depthInc = 1;
+      break;
+    }
+  }
+  return c;
+}
 
 }  // namespace tc

@@ -1,15 +1,79 @@
 #include "sta/pba.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdio>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "util/metrics.h"
 #include "util/trace.h"
 
 namespace tc {
 
-Ps PbaAnalyzer::pathArrival(VertexId endpoint, Mode mode, int trans) const {
-  const auto path = eng_->tracePath(endpoint, mode, trans);
-  if (path.empty()) return kNoTime;
+namespace {
+
+Counter& endpointsCtr() {
+  static Counter& c =
+      MetricsRegistry::global().counter("pba.endpoints_recalculated", "count");
+  return c;
+}
+Counter& pathsEvalCtr() {
+  static Counter& c =
+      MetricsRegistry::global().counter("pba.paths_evaluated", "count");
+  return c;
+}
+Counter& pathsPrunedCtr() {
+  static Counter& c =
+      MetricsRegistry::global().counter("pba.paths_pruned", "count");
+  return c;
+}
+Counter& prefixHitCtr() {
+  static Counter& c =
+      MetricsRegistry::global().counter("pba.prefix_cache_hits", "count");
+  return c;
+}
+Counter& retraceCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "pba.retrace_inconsistencies", "count");
+  return c;
+}
+
+/// A retrace gap below this is FP noise, not a modeling inconsistency.
+constexpr double kRetraceTol = 1e-9;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Exact path evaluation
+// ---------------------------------------------------------------------------
+
+/// Forward evaluation state along one concrete path. finishWalk() turns it
+/// into the derated arrival in the scenario's modeling domain.
+struct PbaAnalyzer::Walk {
+  double arr = kNoTime;  ///< raw (underated for AOCV) mean arrival
+  double offset = 0.0;   ///< launch offset at the source (AOCV exemption)
+  double slew = 0.0;     ///< exact slew delivered to the current vertex
+  double var = 0.0;      ///< exact accumulated variance (POCV/LVF)
+  int depth = 0;         ///< logic depth along this path (AOCV)
+};
+
+PbaAnalyzer::Walk PbaAnalyzer::startWalk(VertexId v, int trans,
+                                         Mode mode) const {
+  const int mi = static_cast<int>(mode);
+  const VertexTiming& t = eng_->timing(v);
+  Walk w;
+  w.arr = t.arr[mi][trans];
+  w.offset = w.arr;
+  w.slew = t.slew[mi][trans];
+  if (w.slew <= 0.0) w.slew = eng_->scenario().inputSlew;
+  return w;
+}
+
+void PbaAnalyzer::stepWalk(Walk& w, EdgeId via, int trTo, Mode mode) const {
   const Scenario& sc = eng_->scenario();
   DelayCalculator& dc = eng_->delayCalc();
   const TimingGraph& g = eng_->graph();
@@ -17,95 +81,553 @@ Ps PbaAnalyzer::pathArrival(VertexId endpoint, Mode mode, int trans) const {
   const double flatF = d.mode == DerateMode::kFlatOcv
                            ? (mode == Mode::kLate ? d.flatLate : d.flatEarly)
                            : 1.0;
-
-  double arr = path.front().arrival;  // source arrival (port init)
-  double var = 0.0;
-  int depth = 0;
-  double slew = eng_->timing(path.front().vertex)
-                    .slew[static_cast<int>(mode)][path.front().trans];
-  if (slew <= 0.0) slew = sc.inputSlew;
-
-  for (std::size_t i = 1; i < path.size(); ++i) {
-    const PathStep& step = path[i];
-    const TimingGraph::Edge& ed = g.edge(step.viaEdge);
-    switch (ed.kind) {
-      case TimingGraph::EdgeKind::kNetArc: {
-        // Exact slew + the tighter D2M metric.
-        const auto w = dc.wire(ed.net, ed.sinkIndex, slew, /*useD2m=*/true);
-        arr += w.delay * flatF;
-        slew = w.outSlew;
-        break;
-      }
-      case TimingGraph::EdgeKind::kCellArc: {
-        const InstId inst = g.vertex(ed.from).inst;
-        const Cell& cell = dc.cellOf(inst);
-        const auto r = dc.cellArc(inst, ed.arcIndex, step.trans == 0, slew);
-        arr += r.delay * flatF;
-        slew = r.outSlew;
-        double sigma = 0.0;
-        if (d.mode == DerateMode::kLvf)
-          sigma = mode == Mode::kLate ? r.sigmaLate : r.sigmaEarly;
-        else if (d.mode == DerateMode::kPocv)
-          sigma = cell.pocvSigmaRatio * r.delay;
-        var += sigma * sigma;
-        ++depth;
-        break;
-      }
-      case TimingGraph::EdgeKind::kClockToQ: {
-        const InstId flop = g.vertex(ed.from).inst;
-        const Cell& cell = dc.cellOf(flop);
-        const auto r = dc.clockToQ(flop, step.trans == 0, slew);
-        arr += r.delay * flatF;
-        slew = r.outSlew;
-        const double sigma =
-            (cell.pocvSigmaRatio > 0 ? cell.pocvSigmaRatio : 0.03) * r.delay;
-        if (d.mode == DerateMode::kLvf || d.mode == DerateMode::kPocv)
-          var += sigma * sigma;
-        ++depth;
-        break;
-      }
+  const TimingGraph::Edge& ed = g.edge(via);
+  switch (ed.kind) {
+    case TimingGraph::EdgeKind::kNetArc: {
+      // Exact slew + the D2M metric, in BOTH modes. Wire delay is
+      // slew-independent here, and d2m = min(m1, ln2*m1^2/sqrt(m2)) with
+      // m1 = Elmore, so D2M <= Elmore always: for setup (late) it removes
+      // wire pessimism, and for hold (early) it moves data arrivals
+      // *earlier* than GBA's Elmore — hold pbaSlack can only drop relative
+      // to GBA, never falsely pass. One metric keeps both modes
+      // conservative (pinned by Pba.HoldRetraceNeverFalselyPasses).
+      const auto wres = dc.wire(ed.net, ed.sinkIndex, w.slew, /*useD2m=*/true);
+      // Useful skew lands on flop CK sinks exactly as in GBA propagation
+      // (the old retrace dropped it, under-reporting skewed arrivals).
+      Ps skew = 0.0;
+      const TimingGraph::Vertex& tv = g.vertex(ed.to);
+      if (tv.kind == TimingGraph::VertexKind::kCellInput && tv.pin == 1 &&
+          eng_->netlist().isSequential(tv.inst))
+        skew = eng_->netlist().instance(tv.inst).usefulSkew;
+      w.arr += wres.delay * flatF + skew;
+      w.slew = wres.outSlew;
+      break;
+    }
+    case TimingGraph::EdgeKind::kCellArc: {
+      const InstId inst = g.vertex(ed.from).inst;
+      const Cell& cell = dc.cellOf(inst);
+      const auto r = dc.cellArc(inst, ed.arcIndex, trTo == 0, w.slew);
+      w.arr += r.delay * flatF;
+      w.slew = r.outSlew;
+      double sigma = 0.0;
+      if (d.mode == DerateMode::kLvf)
+        sigma = mode == Mode::kLate ? r.sigmaLate : r.sigmaEarly;
+      else if (d.mode == DerateMode::kPocv)
+        sigma = cell.pocvSigmaRatio * r.delay;
+      w.var += sigma * sigma;
+      ++w.depth;
+      break;
+    }
+    case TimingGraph::EdgeKind::kClockToQ: {
+      const InstId flop = g.vertex(ed.from).inst;
+      const Cell& cell = dc.cellOf(flop);
+      const auto r = dc.clockToQ(flop, trTo == 0, w.slew);
+      w.arr += r.delay * flatF;
+      w.slew = r.outSlew;
+      const double sigma =
+          (cell.pocvSigmaRatio > 0 ? cell.pocvSigmaRatio : 0.03) * r.delay;
+      if (d.mode == DerateMode::kLvf || d.mode == DerateMode::kPocv)
+        w.var += sigma * sigma;
+      ++w.depth;
+      break;
     }
   }
+}
 
+Ps PbaAnalyzer::finishWalk(const Walk& w, Mode mode) const {
+  const Scenario& sc = eng_->scenario();
+  const auto& d = sc.derate;
   switch (d.mode) {
     case DerateMode::kNone:
     case DerateMode::kFlatOcv:
-      return arr;
+      return w.arr;
     case DerateMode::kAocv: {
+      // Derate only the delay accumulated along the path, not the launch
+      // offset (a port input-delay is a constraint, not a cell that varies
+      // with depth). GBA's key() derates the whole arrival; offset >= 0
+      // with late factors >= 1 / early factors <= 1 keeps the exact value
+      // on the optimistic side of GBA, so pbaSlack >= gbaSlack still holds.
       const auto& aocv = sc.lib->aocv();
-      return mode == Mode::kLate ? arr * aocv.late(std::max(depth, 1))
-                                 : arr * aocv.early(std::max(depth, 1));
+      const double f = mode == Mode::kLate ? aocv.late(std::max(w.depth, 1))
+                                           : aocv.early(std::max(w.depth, 1));
+      return w.offset + f * (w.arr - w.offset);
     }
     case DerateMode::kPocv:
     case DerateMode::kLvf: {
-      const double s = d.sigmaCount * std::sqrt(var);
-      return mode == Mode::kLate ? arr + s : arr - s;
+      const double s = d.sigmaCount * std::sqrt(w.var);
+      return mode == Mode::kLate ? w.arr + s : w.arr - s;
     }
   }
-  return arr;
+  return w.arr;
 }
 
-PbaResult PbaAnalyzer::recalcEndpoint(const EndpointTiming& ep,
-                                      Check check) const {
+Ps PbaAnalyzer::pathArrival(VertexId endpoint, Mode mode, int trans) const {
+  const auto path = eng_->tracePath(endpoint, mode, trans);
+  if (path.empty()) return kNoTime;
+  Walk w = startWalk(path.front().vertex, path.front().trans, mode);
+  for (std::size_t i = 1; i < path.size(); ++i)
+    stepWalk(w, path[i].viaEdge, path[i].trans, mode);
+  return finishWalk(w, mode);
+}
+
+// ---------------------------------------------------------------------------
+// Admissible bounds
+// ---------------------------------------------------------------------------
+
+StaEngine::EdgeCand PbaAnalyzer::boundCandidate(EdgeId e, Mode mode, int trIn,
+                                                int trOut) const {
+  StaEngine::EdgeCand c = eng_->edgeCandidate(e, mode, trIn, trOut);
+  if (!c.valid) return c;
+  const TimingGraph::Edge& ed = eng_->graph().edge(e);
+  if (ed.kind == TimingGraph::EdgeKind::kNetArc) {
+    // The exact evaluator's wire delay is the slew-independent D2M metric;
+    // substituting it for the engine's Elmore keeps the late bound an upper
+    // bound (D2M <= Elmore) and is *required* for the early bound, where
+    // Elmore would over-estimate the minimum arrival and break
+    // admissibility. For wires the bound delay is in fact exact.
+    const auto& d = eng_->scenario().derate;
+    const double f = d.mode == DerateMode::kFlatOcv
+                         ? (mode == Mode::kLate ? d.flatLate : d.flatEarly)
+                         : 1.0;
+    const double slew = eng_->timing(ed.from).slew[static_cast<int>(mode)][trIn];
+    c.delay =
+        eng_->delayCalc().wire(ed.net, ed.sinkIndex, slew, /*useD2m=*/true)
+            .delay *
+        f;
+  }
+  return c;
+}
+
+/// Per-(vertex, transition) bounds on the exact arrival of *any* path into
+/// the vertex: late mode stores the max mean / max variance over paths,
+/// early mode the min mean / max variance, folded through key() into the
+/// scenario's derate domain. Admissibility rests on the GBA slews bounding
+/// every exact path slew and the NLDM surfaces being monotone in input
+/// slew (oracle-validated; see DESIGN.md "Path-based analysis").
+struct PbaAnalyzer::Bounds {
+  Mode mode = Mode::kLate;
+  DerateMode dmode = DerateMode::kNone;
+  double sigmaCount = 0.0;
+  double aocvLateMax = 1.0;   ///< max over the late derate table (>= 1)
+  double aocvEarlyMin = 1.0;  ///< min over the early derate table (<= 1)
+  std::vector<std::array<double, 2>> mean;  ///< [vertex][trans]; kNoTime=none
+  std::vector<std::array<double, 2>> var;
+
+  /// Derated bound key dominating every depth / sigma combination.
+  double key(double m, double v) const {
+    switch (dmode) {
+      case DerateMode::kNone:
+      case DerateMode::kFlatOcv:
+        return m;
+      case DerateMode::kAocv:
+        // Envelope over all depths; negative means (borrowed arrivals)
+        // must not shrink under a late factor > 1.
+        if (mode == Mode::kLate) return m >= 0.0 ? m * aocvLateMax : m;
+        return m >= 0.0 ? m * aocvEarlyMin : m;
+      case DerateMode::kPocv:
+      case DerateMode::kLvf: {
+        const double s = sigmaCount * std::sqrt(std::max(v, 0.0));
+        return mode == Mode::kLate ? m + s : m - s;
+      }
+    }
+    return m;
+  }
+};
+
+PbaAnalyzer::Bounds PbaAnalyzer::buildBounds(Mode mode) const {
+  TraceSpan span("pba", "build_bounds");
+  const Scenario& sc = eng_->scenario();
+  Bounds b;
+  b.mode = mode;
+  b.dmode = sc.derate.mode;
+  b.sigmaCount = sc.derate.sigmaCount;
+  if (b.dmode == DerateMode::kAocv) {
+    const auto& a = sc.lib->aocv();
+    for (const double f : a.lateDerate)
+      b.aocvLateMax = std::max(b.aocvLateMax, f);
+    for (const double f : a.earlyDerate)
+      b.aocvEarlyMin = std::min(b.aocvEarlyMin, f);
+  }
+  const TimingGraph& g = eng_->graph();
+  const int mi = static_cast<int>(mode);
+  const bool late = mode == Mode::kLate;
+  b.mean.assign(static_cast<std::size_t>(g.vertexCount()), {kNoTime, kNoTime});
+  b.var.assign(static_cast<std::size_t>(g.vertexCount()), {0.0, 0.0});
+  for (const VertexId v : g.topoOrder()) {
+    const auto vi = static_cast<std::size_t>(v);
+    const auto& in = g.inEdges(v);
+    if (in.empty()) {
+      // Source (port / quarantined pin): the engine's seed is exact.
+      for (int tr = 0; tr < 2; ++tr) {
+        b.mean[vi][static_cast<std::size_t>(tr)] = eng_->timing(v).arr[mi][tr];
+        b.var[vi][static_cast<std::size_t>(tr)] = eng_->timing(v).var[mi][tr];
+      }
+      continue;
+    }
+    for (const EdgeId e : in) {
+      const auto fi = static_cast<std::size_t>(g.edge(e).from);
+      for (int trIn = 0; trIn < 2; ++trIn) {
+        if (b.mean[fi][static_cast<std::size_t>(trIn)] == kNoTime) continue;
+        for (int trOut = 0; trOut < 2; ++trOut) {
+          const auto c = boundCandidate(e, mode, trIn, trOut);
+          if (!c.valid) continue;
+          const double cand =
+              b.mean[fi][static_cast<std::size_t>(trIn)] + c.delay + c.skew;
+          const double cvar =
+              b.var[fi][static_cast<std::size_t>(trIn)] + c.var;
+          // Mirror the engine's NaN quarantine: a non-finite candidate is
+          // rejected locally instead of poisoning the whole cone.
+          if (!std::isfinite(cand) || !std::isfinite(cvar)) continue;
+          double& mv = b.mean[vi][static_cast<std::size_t>(trOut)];
+          if (mv == kNoTime)
+            mv = cand;
+          else
+            mv = late ? std::max(mv, cand) : std::min(mv, cand);
+          double& vv = b.var[vi][static_cast<std::size_t>(trOut)];
+          vv = std::max(vv, cvar);
+        }
+      }
+    }
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint recalculation (K=1 retrace and deviation-branching enumeration)
+// ---------------------------------------------------------------------------
+
+PbaResult PbaAnalyzer::recalcImpl(const EndpointTiming& ep, Check check,
+                                  const PbaOptions& opt,
+                                  const Bounds* bounds) const {
   PbaResult r;
   r.endpoint = ep.vertex;
   r.flop = ep.flop;
   r.gbaSlack = check == Check::kSetup ? ep.setupSlack : ep.holdSlack;
   const Mode mode = check == Check::kSetup ? Mode::kLate : Mode::kEarly;
-  const int trans = check == Check::kSetup ? ep.setupTrans : ep.holdTrans;
-  const Ps exact = pathArrival(ep.vertex, mode, trans);
+  const bool late = mode == Mode::kLate;
+  const int mi = static_cast<int>(mode);
+  const int worstTrans = check == Check::kSetup ? ep.setupTrans : ep.holdTrans;
   const Ps gbaArr = check == Check::kSetup ? ep.dataLate : ep.dataEarly;
-  // Slack improves by exactly the data-arrival pessimism removed (capture
-  // path and constraint are reused from the GBA check).
-  const Ps delta = check == Check::kSetup ? gbaArr - exact : exact - gbaArr;
-  r.pbaSlack = r.gbaSlack + std::max(delta, 0.0);
+  endpointsCtr().add();
+
+  const bool enumerate = opt.exhaustive || opt.maxPaths > 1;
+  if (!enumerate) {
+    // K=1: the classic single-retrace of the GBA parent chain — kept as a
+    // direct walk so the hot recalcWorst(k) path does no enumerator setup.
+    const Ps exact = pathArrival(ep.vertex, mode, worstTrans);
+    if (exact == kNoTime) {
+      r.pbaSlack = r.gbaSlack;
+      return r;
+    }
+    const Ps delta = late ? gbaArr - exact : exact - gbaArr;
+    // Min-over-paths semantics: the exact value stands even when it is
+    // *worse* than GBA (the old clamp hid exactly that inconsistency).
+    r.pbaSlack = r.gbaSlack + delta;
+    r.exactArrival = exact;
+    r.retraceGap = delta < 0.0 ? -delta : 0.0;
+    r.cert.pathsEvaluated = 1;
+    pathsEvalCtr().add(1);
+    if (r.retraceGap > kRetraceTol) retraceCtr().add();
+    return r;
+  }
+
+  const TimingGraph& g = eng_->graph();
+  if (eng_->timing(ep.vertex).arr[mi][worstTrans] == kNoTime) {
+    r.pbaSlack = r.gbaSlack;
+    return r;
+  }
+  Bounds local;
+  if (!bounds) {
+    local = buildBounds(mode);
+    bounds = &local;
+  }
+  const Bounds& B = *bounds;
+
+  // Task-local shared-prefix cache: sibling deviations re-enter the GBA
+  // parent forest at different vertices but share chain prefixes;
+  // memoizing Walk states per (vertex, trans) makes each prefix cost O(1)
+  // after its first evaluation.
+  std::unordered_map<std::uint64_t, Walk> memo;
+  std::uint64_t memoHits = 0;
+  const auto memoKey = [](VertexId v, int tr) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 1) |
+           static_cast<std::uint32_t>(tr);
+  };
+  const auto prefix = [&](VertexId v, int tr) -> Walk {
+    std::vector<std::pair<VertexId, int>> chain;
+    VertexId cv = v;
+    int ct = tr;
+    Walk w;
+    bool have = false;
+    while (true) {
+      const auto it = memo.find(memoKey(cv, ct));
+      if (it != memo.end()) {
+        w = it->second;
+        have = true;
+        ++memoHits;
+        break;
+      }
+      const VertexTiming& t = eng_->timing(cv);
+      const EdgeId pe = t.parentEdge[mi][ct];
+      if (pe < 0) break;
+      chain.emplace_back(cv, ct);
+      const int pt = t.parentTrans[mi][ct];
+      cv = g.edge(pe).from;
+      ct = pt;
+    }
+    if (!have) {
+      w = startWalk(cv, ct, mode);
+      memo.emplace(memoKey(cv, ct), w);
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      const VertexTiming& t = eng_->timing(it->first);
+      stepWalk(w, t.parentEdge[mi][it->second], it->second, mode);
+      memo.emplace(memoKey(it->first, it->second), w);
+    }
+    return w;
+  };
+
+  // A path is its endpoint-to-source step list: back[i] is the edge into
+  // the vertex at distance i from the endpoint, taken with transition
+  // trs[i] there and trs[i+1] = back[i].trFrom at its source. Children of
+  // an evaluated path deviate at exactly one position > its own deviation
+  // index, which partitions the path space without duplicates (the
+  // Yen/Lawler deviation scheme on the implicit path tree).
+  struct StepRec {
+    EdgeId e = -1;
+    int trFrom = 0;
+  };
+  struct EvalPath {
+    std::vector<StepRec> back;
+    std::vector<int> trs;  ///< trs[i] = transition at distance i from endpoint
+    int devIndex = -1;     ///< position of this path's own deviation edge
+    int startTrans = 0;    ///< transition at the endpoint
+  };
+  struct Cand {
+    int parent = -1;  ///< index into `paths` (-1: whole-transition seed)
+    int devIndex = -1;
+    EdgeId devEdge = -1;
+    int devTrFrom = 0;
+    int startTrans = 0;
+    double bound = 0.0;
+    std::int64_t seq = 0;  ///< insertion order: deterministic tie-break
+  };
+  const auto candOrder = [late](const Cand& a, const Cand& b) {
+    // priority_queue pops the "largest"; make that the best bound (late:
+    // largest, early: smallest), ties broken toward earlier insertion.
+    if (a.bound != b.bound) return late ? a.bound < b.bound : a.bound > b.bound;
+    return a.seq > b.seq;
+  };
+  std::priority_queue<Cand, std::vector<Cand>, decltype(candOrder)> heap(
+      candOrder);
+  std::vector<EvalPath> paths;
+
+  double worstExact = 0.0;
+  std::int64_t pruned = 0, seq = 0;
+  int evaluated = 0, pops = 0;
+  bool capped = false;
+
+  const auto admit = [&](double bound) {
+    return late ? bound >= worstExact - opt.epsilon
+                : bound <= worstExact + opt.epsilon;
+  };
+
+  // Append the GBA parent chain from (v, tr) down to the source.
+  const auto chainFrom = [&](VertexId v, int tr, EvalPath& p) {
+    VertexId cv = v;
+    int ct = tr;
+    while (true) {
+      const VertexTiming& t = eng_->timing(cv);
+      const EdgeId pe = t.parentEdge[mi][ct];
+      if (pe < 0) break;
+      const int pt = t.parentTrans[mi][ct];
+      p.back.push_back({pe, pt});
+      cv = g.edge(pe).from;
+      ct = pt;
+    }
+  };
+  const auto finishTrs = [&](EvalPath& p) {
+    p.trs.resize(p.back.size() + 1);
+    p.trs[0] = p.startTrans;
+    for (std::size_t i = 0; i < p.back.size(); ++i)
+      p.trs[i + 1] = p.back[i].trFrom;
+  };
+  const auto materialize = [&](const Cand& c) {
+    EvalPath p;
+    p.startTrans = c.startTrans;
+    if (c.parent < 0) {
+      chainFrom(ep.vertex, c.startTrans, p);
+    } else {
+      const EvalPath& par = paths[static_cast<std::size_t>(c.parent)];
+      p.devIndex = c.devIndex;
+      p.back.assign(par.back.begin(), par.back.begin() + c.devIndex);
+      p.back.push_back({c.devEdge, c.devTrFrom});
+      chainFrom(g.edge(c.devEdge).from, c.devTrFrom, p);
+    }
+    finishTrs(p);
+    return p;
+  };
+  const auto evaluate = [&](const EvalPath& p) {
+    if (p.devIndex < 0) {
+      // Seed: the whole path IS a GBA parent chain.
+      return finishWalk(prefix(ep.vertex, p.startTrans), mode);
+    }
+    Walk w =
+        prefix(g.edge(p.back[static_cast<std::size_t>(p.devIndex)].e).from,
+               p.back[static_cast<std::size_t>(p.devIndex)].trFrom);
+    for (int i = p.devIndex; i >= 0; --i)
+      stepWalk(w, p.back[static_cast<std::size_t>(i)].e,
+               p.trs[static_cast<std::size_t>(i)], mode);
+    return finishWalk(w, mode);
+  };
+  // Push every one-deviation child of paths[pIdx]. suffD/suffV accumulate
+  // the path's own bound-arc suffix from the endpoint down, so a child's
+  // bound is bound(deviation source) + deviation arc + kept suffix — an
+  // admissible key never better than the parent's.
+  const auto genChildren = [&](int pIdx) {
+    const EvalPath& p = paths[static_cast<std::size_t>(pIdx)];
+    double suffD = 0.0, suffV = 0.0;
+    VertexId v = ep.vertex;
+    for (int i = 0; i < static_cast<int>(p.back.size()); ++i) {
+      const StepRec own = p.back[static_cast<std::size_t>(i)];
+      const int trHere = p.trs[static_cast<std::size_t>(i)];
+      if (i > p.devIndex) {
+        for (const EdgeId e2 : g.inEdges(v)) {
+          for (int trIn = 0; trIn < 2; ++trIn) {
+            if (e2 == own.e && trIn == own.trFrom) continue;
+            const auto c = boundCandidate(e2, mode, trIn, trHere);
+            if (!c.valid) continue;
+            const auto fi = static_cast<std::size_t>(g.edge(e2).from);
+            if (B.mean[fi][static_cast<std::size_t>(trIn)] == kNoTime)
+              continue;
+            const double m = B.mean[fi][static_cast<std::size_t>(trIn)] +
+                             c.delay + c.skew + suffD;
+            const double vv =
+                B.var[fi][static_cast<std::size_t>(trIn)] + c.var + suffV;
+            if (!std::isfinite(m) || !std::isfinite(vv)) continue;
+            const double bound = B.key(m, vv);
+            if (!admit(bound)) {
+              ++pruned;
+              continue;
+            }
+            heap.push({pIdx, i, e2, trIn, p.startTrans, bound, seq++});
+          }
+        }
+      }
+      const auto cs = boundCandidate(own.e, mode, own.trFrom, trHere);
+      suffD += cs.delay + cs.skew;
+      suffV += cs.var;
+      v = g.edge(own.e).from;
+    }
+  };
+
+  // Seed 1: the GBA-worst chain, evaluated unconditionally — it anchors
+  // the prune threshold and yields the retrace gap the clamp used to hide.
+  {
+    EvalPath s;
+    s.startTrans = worstTrans;
+    chainFrom(ep.vertex, worstTrans, s);
+    finishTrs(s);
+    const Ps exact = evaluate(s);
+    worstExact = exact;
+    evaluated = 1;
+    const Ps gap = late ? exact - gbaArr : gbaArr - exact;
+    r.retraceGap = gap > 0.0 ? gap : 0.0;
+    paths.push_back(std::move(s));
+    genChildren(0);
+  }
+  // Seed 2: the other endpoint transition's whole subtree, dominated by
+  // the endpoint bound for that transition.
+  const int otherTrans = 1 - worstTrans;
+  if (eng_->timing(ep.vertex).arr[mi][otherTrans] != kNoTime) {
+    const auto ei = static_cast<std::size_t>(ep.vertex);
+    if (B.mean[ei][static_cast<std::size_t>(otherTrans)] != kNoTime) {
+      const double bound =
+          B.key(B.mean[ei][static_cast<std::size_t>(otherTrans)],
+                B.var[ei][static_cast<std::size_t>(otherTrans)]);
+      if (admit(bound))
+        heap.push({-1, -1, -1, 0, otherTrans, bound, seq++});
+      else
+        ++pruned;
+    }
+  }
+
+  while (true) {
+    if (!opt.exhaustive && evaluated >= opt.maxPaths) break;
+    if (heap.empty()) break;
+    if (pops >= opt.enumerationCap) {
+      capped = true;
+      break;
+    }
+    const Cand top = heap.top();
+    // Bounds only tighten as worstExact grows, so the first inadmissible
+    // top closes the frontier: everything below it is provably outside
+    // the epsilon band.
+    if (!admit(top.bound)) break;
+    heap.pop();
+    ++pops;
+    EvalPath p = materialize(top);
+    const Ps exact = evaluate(p);
+    if (late ? exact > worstExact : exact < worstExact) worstExact = exact;
+    ++evaluated;
+    paths.push_back(std::move(p));
+    genChildren(static_cast<int>(paths.size()) - 1);
+  }
+
+  r.cert.frontierBound = heap.empty() ? kNoTime : heap.top().bound;
+  pruned += static_cast<std::int64_t>(heap.size());
+  r.cert.complete = !capped && (heap.empty() || !admit(heap.top().bound));
+  r.cert.pathsEvaluated = evaluated;
+  r.cert.pathsPruned = pruned;
+  r.exactArrival = worstExact;
+  const Ps delta = late ? gbaArr - worstExact : worstExact - gbaArr;
+  r.pbaSlack = r.gbaSlack + delta;
+
+  pathsEvalCtr().add(static_cast<std::uint64_t>(evaluated));
+  pathsPrunedCtr().add(static_cast<std::uint64_t>(pruned));
+  prefixHitCtr().add(memoHits);
+  if (r.retraceGap > kRetraceTol) retraceCtr().add();
+  return r;
+}
+
+void PbaAnalyzer::emitRetraceWarning(const PbaResult& r) const {
+  if (!sink_) return;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "PBA retrace of the GBA-worst path evaluated %.3f ps worse "
+                "than its GBA arrival; pbaSlack keeps the exact value",
+                r.retraceGap);
+  const TimingGraph::Vertex& vx = eng_->graph().vertex(r.endpoint);
+  const std::string& entity = vx.kind == TimingGraph::VertexKind::kPort
+                                  ? eng_->netlist().port(vx.port).name
+                                  : eng_->netlist().instance(vx.inst).name;
+  sink_->warn(DiagCode::kPbaRetraceWorseThanGba, buf, entity);
+}
+
+PbaResult PbaAnalyzer::recalcEndpoint(const EndpointTiming& ep,
+                                      Check check) const {
+  return recalcEndpoint(ep, check, PbaOptions{});
+}
+
+PbaResult PbaAnalyzer::recalcEndpoint(const EndpointTiming& ep, Check check,
+                                      const PbaOptions& opt) const {
+  const PbaResult r = recalcImpl(ep, check, opt, nullptr);
+  if (r.retraceGap > kRetraceTol) emitRetraceWarning(r);
   return r;
 }
 
 std::vector<PbaResult> PbaAnalyzer::recalcWorst(int k, Check check,
                                                 ThreadPool* pool) const {
+  return recalcWorst(k, check, PbaOptions{}, pool);
+}
+
+std::vector<PbaResult> PbaAnalyzer::recalcWorst(int k, Check check,
+                                                const PbaOptions& opt,
+                                                ThreadPool* pool) const {
   TraceSpan span("pba", "recalc_worst");
   span.arg("k", static_cast<std::int64_t>(k));
+  span.arg("max_paths",
+           static_cast<std::int64_t>(opt.exhaustive ? -1 : opt.maxPaths));
   std::vector<const EndpointTiming*> eps;
   for (const auto& ep : eng_->endpoints()) eps.push_back(&ep);
   std::stable_sort(eps.begin(), eps.end(),
@@ -116,19 +638,35 @@ std::vector<PbaResult> PbaAnalyzer::recalcWorst(int k, Check check,
                          check == Check::kSetup ? b->setupSlack : b->holdSlack;
                      return sa < sb;
                    });
-  const std::size_t n =
-      std::min<std::size_t>(static_cast<std::size_t>(std::max(k, 0)),
-                            eps.size());
+  const std::size_t n = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(k, 0)), eps.size());
+  const bool enumerate = opt.exhaustive || opt.maxPaths > 1;
+  const bool parallel = pool && pool->threadCount() > 0;
+  // Warm lazily-extracted RC state before bound construction / fan-out so
+  // the per-endpoint tasks only do pure cache reads.
+  if (parallel && n > 0) eng_->delayCalc().warmCache(pool);
+  Bounds shared;
+  const Bounds* bp = nullptr;
+  if (enumerate && n > 0) {
+    shared = buildBounds(check == Check::kSetup ? Mode::kLate : Mode::kEarly);
+    bp = &shared;
+  }
   std::vector<PbaResult> out(n);
   auto recalcOne = [&](std::size_t i) {
-    out[i] = recalcEndpoint(*eps[i], check);
+    out[i] = recalcImpl(*eps[i], check, opt, bp);
   };
-  if (pool && pool->threadCount() > 0) {
-    eng_->delayCalc().warmCache(pool);
-    pool->parallelFor(n, recalcOne, /*grain=*/4);
+  if (parallel) {
+    // Each endpoint's heap / prefix cache is task-local, so the result
+    // vector is bit-identical to the serial loop at any pool width.
+    pool->parallelFor(n, recalcOne, /*grain=*/enumerate ? 1 : 4);
   } else {
     for (std::size_t i = 0; i < n; ++i) recalcOne(i);
   }
+  // Diagnostics are emitted serially after the parallel region, in result
+  // order, so the stream is deterministic too.
+  if (sink_)
+    for (const auto& r : out)
+      if (r.retraceGap > kRetraceTol) emitRetraceWarning(r);
   return out;
 }
 

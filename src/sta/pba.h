@@ -1,7 +1,8 @@
 #pragma once
 /// \file pba.h
-/// \brief Path-based analysis (PBA): exact recalculation of the worst paths
-/// the graph-based engine found.
+/// \brief Path-based analysis (PBA): exact re-evaluation of the paths the
+/// graph-based engine found, from single-path retrace up to exhaustive
+/// multi-path enumeration with a coverage certificate.
 ///
 /// GBA is pessimistic in three ways PBA removes (paper Sec. 1.3: "pessimism
 /// reduction via use of pba has led to overheads in STA turnaround times"):
@@ -10,20 +11,78 @@
 ///  2. Elmore wire delay — PBA uses the tighter D2M two-moment metric;
 ///  3. statistical accumulation — PBA uses the exact path variance instead
 ///     of the per-vertex worst-case selection.
+///
+/// The subtlety fixed here is that removing pessimism is *per path*: under
+/// exact slews and D2M the worst exact path through an endpoint need not be
+/// the GBA-worst path, so retracing only the GBA parent chain is optimistic.
+/// PbaAnalyzer therefore enumerates paths per endpoint by deviation
+/// branching (Yen/Lawler-style implicit paths: each child path shares a
+/// suffix with its parent and deviates at exactly one edge), ordered by an
+/// admissible bound built from GBA arc delays. Because every child's bound
+/// is <= its parent's, the enumeration can stop with a proof: once the best
+/// unexplored bound falls below the worst exact arrival found (minus
+/// `epsilon`), no remaining path can matter, and the result carries that
+/// certificate. See DESIGN.md "Path-based analysis" for bound semantics.
+///
 /// The cost is per-path work, which is the paper's runtime-versus-accuracy
-/// tradeoff; bench_pba_vs_gba measures both sides.
+/// tradeoff; bench_pba_vs_gba measures both sides and the enumerator's
+/// paths-evaluated/pruned counters.
 
+#include <cstdint>
 #include <vector>
 
 #include "sta/engine.h"
+#include "util/diag.h"
 
 namespace tc {
+
+/// How many paths to evaluate per endpoint, and when to stop.
+struct PbaOptions {
+  /// Evaluate at most this many paths per endpoint, popped in admissible-
+  /// bound order (K-worst methodology). 1 reproduces the classic
+  /// single-retrace. Ignored when `exhaustive` is set.
+  int maxPaths = 1;
+  /// Keep enumerating until the bound certificate closes: every path whose
+  /// exact arrival could be within `epsilon` of the worst has been
+  /// evaluated, with the pruned frontier's bounds proving it.
+  bool exhaustive = false;
+  /// Certificate slack (ps): paths provably more than `epsilon` away from
+  /// the worst exact arrival may be pruned unevaluated. 0 = exact.
+  Ps epsilon = 0.0;
+  /// Hard safety valve on heap pops per endpoint; hitting it leaves
+  /// `certificate.complete == false` instead of looping on a pathological
+  /// graph. Generous: small designs have far fewer paths.
+  int enumerationCap = 1 << 20;
+};
+
+/// Proof of coverage attached to each endpoint's enumeration.
+struct PbaCertificate {
+  /// True when every path whose exact arrival could lie within epsilon of
+  /// the worst was evaluated: at stop, the best unexplored bound (an upper
+  /// bound in late mode / lower bound in early mode on every unexplored
+  /// exact arrival) was strictly outside the epsilon band.
+  bool complete = false;
+  /// Best bound left on the frontier at stop (kNoTime when the frontier
+  /// was exhausted — i.e. literally all paths were evaluated).
+  Ps frontierBound = kNoTime;
+  int pathsEvaluated = 0;
+  std::int64_t pathsPruned = 0;  ///< candidates discarded by bound
+};
 
 struct PbaResult {
   VertexId endpoint = -1;
   InstId flop = -1;
   Ps gbaSlack = 0.0;
   Ps pbaSlack = 0.0;
+  /// Worst (setup) / best (hold) exact derated data arrival over every
+  /// evaluated path. kNoTime when no path could be traced.
+  Ps exactArrival = kNoTime;
+  /// How much worse the GBA-retraced path evaluated than its GBA arrival
+  /// (positive = the exact model disagrees with GBA in the pessimistic
+  /// direction — a modeling inconsistency that used to be silently clamped
+  /// away; now surfaced through the DiagnosticSink).
+  Ps retraceGap = 0.0;
+  PbaCertificate cert;
   Ps pessimismRemoved() const { return pbaSlack - gbaSlack; }
 };
 
@@ -31,22 +90,54 @@ class PbaAnalyzer {
  public:
   explicit PbaAnalyzer(StaEngine& engine) : eng_(&engine) {}
 
-  /// Recalculate one endpoint's worst setup (or hold) path exactly.
+  /// Attach a sink for PBA diagnostics (retrace-worse-than-GBA warnings).
+  /// recalcWorst emits them serially after the parallel region, in result
+  /// order, so the stream is identical at any pool width.
+  void setDiagnosticSink(DiagnosticSink* sink) { sink_ = sink; }
+
+  /// Recalculate one endpoint exactly; the one-argument form is the
+  /// classic single-retrace (K=1). Slack semantics (no clamp):
+  ///   setup: pbaSlack = gbaSlack + (gbaArrival - worst exact arrival)
+  ///   hold:  pbaSlack = gbaSlack + (best exact arrival - gbaArrival)
+  /// i.e. pbaSlack is the min over enumerated paths of each path's exact
+  /// slack; more paths can only lower it (K-monotone).
   PbaResult recalcEndpoint(const EndpointTiming& ep, Check check) const;
+  PbaResult recalcEndpoint(const EndpointTiming& ep, Check check,
+                           const PbaOptions& opt) const;
 
   /// Recalculate the k GBA-worst endpoints (the standard "PBA on the
   /// critical tail" methodology). Results keep endpoint order by GBA slack.
-  /// With a pool, endpoints are re-analyzed concurrently (each path trace
-  /// is independent and all delay-calc lookups are warmed reads); the
-  /// result vector is identical to the serial one.
+  /// With a pool, endpoints are enumerated concurrently (each endpoint's
+  /// heap and prefix cache are task-local and all delay-calc lookups are
+  /// warmed reads); the result vector is bit-identical to the serial one.
   std::vector<PbaResult> recalcWorst(int k, Check check,
                                      ThreadPool* pool = nullptr) const;
+  std::vector<PbaResult> recalcWorst(int k, Check check, const PbaOptions& opt,
+                                     ThreadPool* pool = nullptr) const;
 
-  /// Exact arrival of the traced path in the scenario's derate domain.
+  /// Exact arrival of the GBA-traced path in the scenario's derate domain.
+  /// AOCV derates only the accumulated arc delays, not the launch offset.
   Ps pathArrival(VertexId endpoint, Mode mode, int trans) const;
 
  private:
+  struct Bounds;  // per-(vertex,trans) admissible arrival bounds (pba.cpp)
+  struct Walk;    // exact forward evaluation state along one path
+
+  Walk startWalk(VertexId v, int trans, Mode mode) const;
+  void stepWalk(Walk& w, EdgeId via, int trTo, Mode mode) const;
+  Ps finishWalk(const Walk& w, Mode mode) const;
+  /// GBA arc bound for pruning: edgeCandidate() with the wire delay
+  /// replaced by the D2M metric the exact evaluator uses (wire delay is
+  /// slew-independent, so D2M is exact for wires in both modes).
+  StaEngine::EdgeCand boundCandidate(EdgeId e, Mode mode, int trIn,
+                                     int trOut) const;
+  Bounds buildBounds(Mode mode) const;
+  PbaResult recalcImpl(const EndpointTiming& ep, Check check,
+                       const PbaOptions& opt, const Bounds* bounds) const;
+  void emitRetraceWarning(const PbaResult& r) const;
+
   StaEngine* eng_;
+  DiagnosticSink* sink_ = nullptr;
 };
 
 }  // namespace tc

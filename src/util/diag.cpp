@@ -51,6 +51,8 @@ const char* toString(DiagCode code) {
     case DiagCode::kLintNanQuarantined: return "LINT_NAN_QUARANTINED";
     case DiagCode::kStatsEmptySamples: return "STATS_EMPTY_SAMPLES";
     case DiagCode::kStatsDomainClamped: return "STATS_DOMAIN_CLAMPED";
+    case DiagCode::kPbaRetraceWorseThanGba:
+      return "PBA_RETRACE_WORSE_THAN_GBA";
   }
   return "UNKNOWN";
 }

@@ -77,6 +77,9 @@ enum class DiagCode {
   // --- Stats / numeric utilities ------------------------------------------
   kStatsEmptySamples,      ///< quantile of an empty SampleSet (clamped to 0)
   kStatsDomainClamped,     ///< normalInverseCdf p clamped into (0,1)
+
+  // --- Path-based analysis -------------------------------------------------
+  kPbaRetraceWorseThanGba, ///< exact retrace evaluated beyond its GBA bound
 };
 
 const char* toString(DiagCode code);

@@ -162,6 +162,52 @@ TEST(McmmDeterminism, PbaRecalcMatchesSerialUnderPool) {
   }
 }
 
+TEST(McmmDeterminism, ScenarioPbaMatchesSerialUnderPool) {
+  // The per-scenario PBA tail (McmmOptions::pbaEndpoints) rides the same
+  // contract as everything else in the runner: enumerated results,
+  // certificates, and the derived pbaSetupWns are bit-identical serial vs
+  // pooled, at K=1 and with exhaustive enumeration.
+  LogCapture quiet;
+  const std::vector<Scenario> scenarios = scenarioSet();
+  Netlist nl = generateBlock(scenarios.front().lib, profileTiny());
+  McmmRunner runner(nl, scenarios);
+
+  for (const bool exhaustive : {false, true}) {
+    McmmOptions opt;
+    opt.pbaEndpoints = 12;
+    opt.pba.exhaustive = exhaustive;
+    const McmmResult serial = runner.run(opt);
+
+    ThreadPool pool(4);
+    opt.pool = &pool;
+    const McmmResult par = runner.run(opt);
+    expectIdentical(serial, par,
+                    exhaustive ? "pba exhaustive" : "pba retrace");
+    ASSERT_EQ(serial.scenarios.size(), par.scenarios.size());
+    for (std::size_t s = 0; s < serial.scenarios.size(); ++s) {
+      const ScenarioResult& x = serial.scenarios[s];
+      const ScenarioResult& y = par.scenarios[s];
+      SCOPED_TRACE("scenario " + x.scenario);
+      EXPECT_FALSE(x.pba.empty());
+      EXPECT_EQ(x.pbaSetupWns, y.pbaSetupWns);
+      ASSERT_EQ(x.pba.size(), y.pba.size());
+      for (std::size_t i = 0; i < x.pba.size(); ++i) {
+        EXPECT_EQ(x.pba[i].endpoint, y.pba[i].endpoint);
+        EXPECT_EQ(x.pba[i].pbaSlack, y.pba[i].pbaSlack);
+        EXPECT_EQ(x.pba[i].exactArrival, y.pba[i].exactArrival);
+        EXPECT_EQ(x.pba[i].retraceGap, y.pba[i].retraceGap);
+        EXPECT_EQ(x.pba[i].cert.complete, y.pba[i].cert.complete);
+        EXPECT_EQ(x.pba[i].cert.pathsEvaluated, y.pba[i].cert.pathsEvaluated);
+        EXPECT_EQ(x.pba[i].cert.pathsPruned, y.pba[i].cert.pathsPruned);
+        if (exhaustive) EXPECT_TRUE(x.pba[i].cert.complete);
+      }
+      // The GBA-worst setup endpoint is always in the recalculated tail,
+      // so the PBA WNS can never report better than min over it.
+      EXPECT_LE(x.pbaSetupWns, x.pba.front().pbaSlack);
+    }
+  }
+}
+
 TEST(McmmDeterminism, RepeatedRunsAreStable) {
   // Same runner, same options, run twice: byte-identical (no hidden state
   // leaks between runs through the engine rebuild).

@@ -259,6 +259,104 @@ TEST(Pba, PathArrivalMatchesGbaWithoutMergingPessimism) {
   }
 }
 
+TEST(Pba, AocvDeratesArcDelaysNotLaunchOffset) {
+  // The launch offset at a data input port is a constraint, not a cell
+  // whose delay varies with depth: shifting set_input_delay by D must
+  // shift the exact AOCV arrival of a port-launched path by exactly D.
+  // (The old retrace multiplied the *whole* arrival by the depth derate,
+  // scaling the offset too — this test discriminates the two.)
+  auto L = lib();
+  Netlist nl = generateBlock(L, profileTiny());
+  Scenario sc1 = baseScenario();
+  sc1.derate.mode = DerateMode::kAocv;
+  sc1.inputDelay = 100.0;
+  Scenario sc2 = sc1;
+  sc2.inputDelay = 300.0;
+  StaEngine e1(nl, sc1), e2(nl, sc2);
+  e1.run();
+  e2.run();
+  PbaAnalyzer p1(e1), p2(e2);
+  int checked = 0;
+  for (const auto& ep : e1.endpoints()) {
+    const auto path1 = e1.tracePath(ep.vertex, Mode::kLate, ep.setupTrans);
+    const auto path2 = e2.tracePath(ep.vertex, Mode::kLate, ep.setupTrans);
+    if (path1.empty() || path1.size() != path2.size()) continue;
+    const auto& front = e1.graph().vertex(path1.front().vertex);
+    // Only port-launched paths carry the input-delay offset; require the
+    // two runs traced the *same* path so the arc sum cancels exactly.
+    if (front.kind != TimingGraph::VertexKind::kPort || front.onClockNetwork)
+      continue;
+    bool same = true;
+    for (std::size_t i = 0; i < path1.size(); ++i)
+      same = same && path1[i].viaEdge == path2[i].viaEdge &&
+             path1[i].trans == path2[i].trans;
+    if (!same) continue;
+    const Ps a1 = p1.pathArrival(ep.vertex, Mode::kLate, ep.setupTrans);
+    const Ps a2 = p2.pathArrival(ep.vertex, Mode::kLate, ep.setupTrans);
+    EXPECT_NEAR(a2 - a1, 200.0, 1e-6) << "endpoint vertex " << ep.vertex;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+  // And the K=1 consistency GBA promises: exact AOCV arrivals never exceed
+  // the fully-derated GBA key, so pbaSlack stays >= gbaSlack.
+  for (const auto& r : p1.recalcWorst(20, Check::kSetup))
+    EXPECT_GE(r.pbaSlack, r.gbaSlack - 1e-9);
+}
+
+TEST(Pba, HoldRetraceNeverFalselyPasses) {
+  // PBA hold uses the same D2M wire metric as setup. D2M <= Elmore, so on
+  // a single-path design (exact slews == GBA slews under kNone) the exact
+  // early arrival can only be *earlier* than GBA's: hold pbaSlack <=
+  // gbaSlack — PBA may newly fail hold but never falsely pass it.
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 2, 6);
+  Scenario sc = baseScenario();
+  sc.derate.mode = DerateMode::kNone;
+  StaEngine eng(nl, sc);
+  eng.run();
+  PbaAnalyzer pba(eng);
+  for (const auto& ep : eng.endpoints()) {
+    if (ep.flop < 0) continue;
+    const PbaResult r = pba.recalcEndpoint(ep, Check::kHold);
+    EXPECT_LE(r.pbaSlack, r.gbaSlack + 1e-9);
+    if (r.exactArrival != kNoTime)
+      EXPECT_LE(r.exactArrival, ep.dataEarly + 1e-9);
+  }
+}
+
+TEST(Pba, RetraceWorseThanGbaIsSurfacedNotClamped) {
+  // Force a modeling inconsistency: MIS speed-up factors < 1 shrink the
+  // GBA late arrivals, but the exact retrace (which deliberately ignores
+  // MIS) evaluates larger. The old clamp silently reported pbaSlack ==
+  // gbaSlack here; now the exact value stands and a diagnostic fires.
+  auto L = lib();
+  Netlist nl = generatePipeline(L, 2, 6);
+  Scenario sc = baseScenario();
+  sc.derate.mode = DerateMode::kNone;
+  StaEngine eng(nl, sc);
+  std::vector<std::array<double, 2>> fast(
+      static_cast<std::size_t>(nl.instanceCount()), {0.9, 0.9});
+  eng.setMisFactors(fast, fast);
+  eng.run();
+  PbaAnalyzer pba(eng);
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  pba.setDiagnosticSink(&sink);
+  bool sawGap = false;
+  for (const auto& r : pba.recalcWorst(100, Check::kSetup)) {
+    if (r.retraceGap > 1e-9) {
+      sawGap = true;
+      EXPECT_LT(r.pbaSlack, r.gbaSlack);  // no clamp
+    }
+  }
+  ASSERT_TRUE(sawGap);
+  EXPECT_GT(sink.warningCount(), 0);
+  bool sawCode = false;
+  for (const auto& d : sink.diagnostics())
+    sawCode = sawCode || d.code == DiagCode::kPbaRetraceWorseThanGba;
+  EXPECT_TRUE(sawCode);
+}
+
 // --- MIS --------------------------------------------------------------------------
 
 TEST(Mis, FindsOverlapsOnSimultaneousInputs) {
