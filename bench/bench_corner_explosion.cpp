@@ -5,11 +5,20 @@
 /// through full STA, serial versus the parallel MCMM runtime, which is the
 /// wall-clock side of the explosion a signoff team actually pays.
 ///
+/// Third act: the same pruned view set through the crash-isolated process
+/// farm (src/signoff/farm.h) raced against the in-process runtime — the
+/// deployment shape a signoff team actually uses, paying fork/snapshot/IPC
+/// overhead for fault isolation. The race is gated in CI: the farm result
+/// must stay bit-identical with zero quarantines.
+///
 /// Flags: --serial            run only the serial reference
 ///        --threads N         pool width for the parallel run (default 8)
+///        --farm-workers N    farm process count (default: --threads)
+///        --no-farm           skip the farm race
 ///        --gates N           synthetic block size (default 3000)
 ///        --json <path>       machine-readable results (CI artifact)
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +30,7 @@
 #include "liberty/builder.h"
 #include "network/netgen.h"
 #include "signoff/corners.h"
+#include "signoff/farm.h"
 #include "util/table.h"
 
 using namespace tc;
@@ -80,15 +90,21 @@ std::vector<Scenario> scenariosFromPrunedViews() {
 int main(int argc, char** argv) {
   tc::bench::JsonReport report("bench_corner_explosion", argc, argv);
   bool serialOnly = false;
+  bool farmRace = true;
   int threads = 8;
+  int farmWorkers = -1;
   int gates = 3000;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--serial")) serialOnly = true;
+    if (!std::strcmp(argv[i], "--no-farm")) farmRace = false;
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
       threads = std::atoi(argv[i + 1]);
+    if (!std::strcmp(argv[i], "--farm-workers") && i + 1 < argc)
+      farmWorkers = std::atoi(argv[i + 1]);
     if (!std::strcmp(argv[i], "--gates") && i + 1 < argc)
       gates = std::atoi(argv[i + 1]);
   }
+  if (farmWorkers <= 0) farmWorkers = threads;
 
   {
     TextTable t("Sec. 2.3 -- signoff view counts by node");
@@ -148,17 +164,42 @@ int main(int argc, char** argv) {
   const McmmResult serial = runner.run(McmmOptions{});  // no pool
   const double serialMs = msSince(t0);
 
+  // Per-scenario wall clock, captured before any later run() overwrites
+  // the side channel. The spread is what farm scheduling actually fights:
+  // the slowest view decides the pass, and a spread of 2-3x across views
+  // is what makes straggler re-dispatch worth its duplicates.
+  const std::vector<double> perScenarioMs = runner.scenarioElapsedMs();
+
   TextTable t("pruned 16nm views through full STA (" +
               std::to_string(gates) + " gates)");
-  t.setHeader({"view", "setup WNS (ps)", "#setup", "hold WNS (ps)", "#hold"});
-  for (const auto& s : serial.scenarios)
+  t.setHeader({"view", "setup WNS (ps)", "#setup", "hold WNS (ps)", "#hold",
+               "wall (ms)"});
+  for (std::size_t i = 0; i < serial.scenarios.size(); ++i) {
+    const auto& s = serial.scenarios[i];
     t.addRow({s.scenario, TextTable::num(s.setupWns, 1),
               std::to_string(s.setupViolations), TextTable::num(s.holdWns, 1),
-              std::to_string(s.holdViolations)});
+              std::to_string(s.holdViolations),
+              i < perScenarioMs.size() ? TextTable::num(perScenarioMs[i], 1)
+                                       : "-"});
+  }
   t.print();
 
   std::printf("\nserial MCMM: %zu scenarios in %.1f ms\n", scenarios.size(),
               serialMs);
+  if (!perScenarioMs.empty()) {
+    std::vector<double> sorted = perScenarioMs;
+    std::sort(sorted.begin(), sorted.end());
+    const double minMs = sorted.front();
+    const double maxMs = sorted.back();
+    const double medianMs = sorted[sorted.size() / 2];
+    std::printf("per-scenario wall clock: min %.1f / median %.1f / max %.1f "
+                "ms  (spread %.2fx over median)\n",
+                minMs, medianMs, maxMs, maxMs / medianMs);
+    report.metric("scenario_min_ms", minMs, "ms");
+    report.metric("scenario_median_ms", medianMs, "ms");
+    report.metric("scenario_max_ms", maxMs, "ms");
+    report.metric("scenario_spread", maxMs / medianMs, "x");
+  }
   report.metric("scenarios", static_cast<double>(scenarios.size()));
   report.metric("gates", static_cast<double>(gates));
   report.metric("serial_ms", serialMs, "ms");
@@ -189,6 +230,36 @@ int main(int argc, char** argv) {
     report.metric("speedup", serialMs / parallelMs, "x");
     report.metric("identical", identical ? 1.0 : 0.0);
     if (!identical) return 1;
+  }
+
+  if (!serialOnly && farmRace) {
+    // The same views through worker *processes*: snapshot handoff, fork,
+    // frames over pipes. Overhead buys crash isolation — the race keeps
+    // that overhead honest, and the identity + quarantine checks are the
+    // CI gate on the farm's determinism contract.
+    FarmOptions fopt;
+    fopt.workers = farmWorkers;
+    FarmStats stats;
+    const auto t2 = std::chrono::steady_clock::now();
+    const McmmResult farm = runMcmmFarm(nl, scenarios, fopt, &stats);
+    const double farmMs = msSince(t2);
+
+    bool identical = farm.scenarios.size() == serial.scenarios.size();
+    for (std::size_t i = 0; identical && i < farm.scenarios.size(); ++i)
+      identical = farm.scenarios[i].setupWns == serial.scenarios[i].setupWns &&
+                  farm.scenarios[i].holdWns == serial.scenarios[i].holdWns &&
+                  farm.scenarios[i].setupTns == serial.scenarios[i].setupTns;
+    std::printf("farm MCMM (%d worker processes): %.1f ms  ->  %.2fx vs "
+                "serial, %d attempts, %d quarantined, results %s\n",
+                farmWorkers, farmMs, serialMs / farmMs,
+                stats.attemptsLaunched, stats.quarantined,
+                identical ? "bit-identical" : "MISMATCH");
+    report.metric("farm_workers", farmWorkers);
+    report.metric("farm_ms", farmMs, "ms");
+    report.metric("farm_speedup", serialMs / farmMs, "x");
+    report.metric("farm_identical", identical ? 1.0 : 0.0);
+    report.metric("farm_quarantined", static_cast<double>(stats.quarantined));
+    if (!identical || stats.quarantined != 0) return 1;
   }
   return 0;
 }

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/binio.h"
+
 namespace tc {
 
 namespace {
@@ -13,24 +15,17 @@ namespace {
 constexpr std::uint32_t kMagic = 0x54434C42;  // "TCLB"
 constexpr std::uint32_t kVersion = 6;
 
-void putU32(std::ostream& os, std::uint32_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-void putI32(std::ostream& os, std::int32_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-void putF64(std::ostream& os, double v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-void putStr(std::ostream& os, const std::string& s) {
-  putU32(os, static_cast<std::uint32_t>(s.size()));
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-void putVec(std::ostream& os, const std::vector<double>& v) {
-  putU32(os, static_cast<std::uint32_t>(v.size()));
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(double)));
-}
+using binio::getF64;
+using binio::getI32;
+using binio::getStr;
+using binio::getU32;
+using binio::getVec;
+using binio::putF64;
+using binio::putI32;
+using binio::putStr;
+using binio::putU32;
+using binio::putVec;
+
 void putTable(std::ostream& os, const Table2D& t) {
   if (t.empty()) {
     putU32(os, 0);
@@ -47,28 +42,6 @@ void putTable(std::ostream& os, const Table2D& t) {
   putVec(os, vals);
 }
 
-bool getU32(std::istream& is, std::uint32_t& v) {
-  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
-}
-bool getI32(std::istream& is, std::int32_t& v) {
-  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
-}
-bool getF64(std::istream& is, double& v) {
-  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
-}
-bool getStr(std::istream& is, std::string& s) {
-  std::uint32_t n = 0;
-  if (!getU32(is, n) || n > (1u << 20)) return false;
-  s.resize(n);
-  return static_cast<bool>(is.read(s.data(), n));
-}
-bool getVec(std::istream& is, std::vector<double>& v) {
-  std::uint32_t n = 0;
-  if (!getU32(is, n) || n > (1u << 24)) return false;
-  v.resize(n);
-  return static_cast<bool>(is.read(reinterpret_cast<char*>(v.data()),
-                                   static_cast<std::streamsize>(n * sizeof(double))));
-}
 bool getTable(std::istream& is, Table2D& t) {
   std::uint32_t present = 0;
   if (!getU32(is, present)) return false;
@@ -100,13 +73,7 @@ bool getLvf(std::istream& is, LvfSurface& s) {
 
 }  // namespace
 
-bool writeLibraryFile(const Library& lib, const std::string& path) {
-  std::filesystem::create_directories(
-      std::filesystem::path(path).parent_path());
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return false;
-  putU32(os, kMagic);
-  putU32(os, kVersion);
+void writeLibraryBody(std::ostream& os, const Library& lib) {
   putStr(os, lib.name());
   putI32(os, static_cast<std::int32_t>(lib.pvt().corner));
   putF64(os, lib.pvt().vdd);
@@ -162,56 +129,29 @@ bool writeLibraryFile(const Library& lib, const std::string& path) {
   putVec(os, a.lateDerate);
   putVec(os, a.earlyDerate);
   putF64(os, a.distanceSlopePerMm);
-  return static_cast<bool>(os);
 }
 
-namespace {
-
-std::shared_ptr<Library> readLibraryFileImpl(const std::string& path,
-                                             DiagnosticSink* sink) {
-  // A truncated read at any point means the file ends mid-structure; the
-  // byte offset where the stream ran dry pinpoints how much survived.
+std::shared_ptr<Library> readLibraryBody(std::istream& is,
+                                         DiagnosticSink* sink,
+                                         const std::string& entity) {
+  // A truncated read at any point means the stream ends mid-structure; the
+  // byte offset where it ran dry pinpoints how much survived.
   auto truncated = [&](std::istream& s, const char* what) {
     if (sink) {
       const auto pos = s.tellg();
       sink->error(DiagCode::kLibTruncated,
-                  std::string("library file truncated reading ") + what +
+                  std::string("library stream truncated reading ") + what +
                       (pos >= 0 ? " near byte " + std::to_string(pos)
                                 : std::string(" (offset unknown)")),
-                  path);
+                  entity);
     }
     return std::shared_ptr<Library>();
   };
   auto corrupt = [&](const std::string& what) {
-    if (sink) sink->error(DiagCode::kLibCorrupt, what, path);
+    if (sink) sink->error(DiagCode::kLibCorrupt, what, entity);
     return std::shared_ptr<Library>();
   };
 
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    if (sink)
-      sink->note(DiagCode::kLibMissingFile, "library cache file not found",
-                 path);
-    return nullptr;
-  }
-  std::uint32_t magic = 0, version = 0;
-  if (!getU32(is, magic)) return truncated(is, "magic");
-  if (magic != kMagic) {
-    if (sink)
-      sink->error(DiagCode::kLibBadMagic,
-                  "not a tc library file (bad magic word)", path);
-    return nullptr;
-  }
-  if (!getU32(is, version)) return truncated(is, "version");
-  if (version != kVersion) {
-    if (sink)
-      sink->note(DiagCode::kLibVersionMismatch,
-                 "library format v" + std::to_string(version) +
-                     " != expected v" + std::to_string(kVersion) +
-                     "; re-characterize",
-                 path);
-    return nullptr;
-  }
   std::string name;
   std::int32_t corner = 0;
   double vdd = 0, temp = 0;
@@ -286,6 +226,61 @@ std::shared_ptr<Library> readLibraryFileImpl(const std::string& path,
     return truncated(is, "AOCV tables");
   lib->aocv() = a;
   return lib;
+}
+
+bool writeLibraryFile(const Library& lib, const std::string& path) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  putU32(os, kMagic);
+  putU32(os, kVersion);
+  writeLibraryBody(os, lib);
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+std::shared_ptr<Library> readLibraryFileImpl(const std::string& path,
+                                             DiagnosticSink* sink) {
+  auto truncated = [&](std::istream& s, const char* what) {
+    if (sink) {
+      const auto pos = s.tellg();
+      sink->error(DiagCode::kLibTruncated,
+                  std::string("library file truncated reading ") + what +
+                      (pos >= 0 ? " near byte " + std::to_string(pos)
+                                : std::string(" (offset unknown)")),
+                  path);
+    }
+    return std::shared_ptr<Library>();
+  };
+
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (sink)
+      sink->note(DiagCode::kLibMissingFile, "library cache file not found",
+                 path);
+    return nullptr;
+  }
+  std::uint32_t magic = 0, version = 0;
+  if (!getU32(is, magic)) return truncated(is, "magic");
+  if (magic != kMagic) {
+    if (sink)
+      sink->error(DiagCode::kLibBadMagic,
+                  "not a tc library file (bad magic word)", path);
+    return nullptr;
+  }
+  if (!getU32(is, version)) return truncated(is, "version");
+  if (version != kVersion) {
+    if (sink)
+      sink->note(DiagCode::kLibVersionMismatch,
+                 "library format v" + std::to_string(version) +
+                     " != expected v" + std::to_string(kVersion) +
+                     "; re-characterize",
+                 path);
+    return nullptr;
+  }
+  return readLibraryBody(is, sink, path);
 }
 
 }  // namespace

@@ -34,4 +34,25 @@ std::shared_ptr<Library> readLibraryFile(const std::string& path);
 /// /tmp/tc_libcache).
 std::string libraryCachePath(const LibraryPvt& pvt, bool quick);
 
+// ---------------------------------------------------------------------------
+// Stream-level body, without the file magic/version framing. Design
+// snapshots (signoff/snapshot.h) embed characterized libraries inside their
+// own versioned, checksummed container, so they reuse the record layout but
+// not the file header. writeLibraryFile/readLibraryFile are these plus the
+// magic word and format version.
+// ---------------------------------------------------------------------------
+
+/// Append one library's records to `os`. The encoding round-trips bitwise:
+/// body(read(body(lib))) == body(lib) byte for byte.
+void writeLibraryBody(std::ostream& os, const Library& lib);
+
+/// Parse one library body from `is`. Returns nullptr on truncation or an
+/// implausible count (reported to `sink` against `entity`). Construction
+/// invariants (duplicate cell names, non-monotone axes) THROW on
+/// corrupt-but-well-framed bytes — callers embedding the body in a larger
+/// container must wrap the parse like readLibraryFile does.
+std::shared_ptr<Library> readLibraryBody(std::istream& is,
+                                         DiagnosticSink* sink,
+                                         const std::string& entity);
+
 }  // namespace tc

@@ -1,6 +1,7 @@
 #include "signoff/corners.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <limits>
 
@@ -21,6 +22,18 @@ Counter& mergedDiagCtr() {
   static Counter& c =
       MetricsRegistry::global().counter("mcmm.merged_diagnostics", "count");
   return c;
+}
+// Noisy: whether a duplicate arrives depends on retry/straggler timing.
+Counter& duplicateResultsCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "farm.duplicate_results", "count", MetricStability::kNoisy);
+  return c;
+}
+
+double elapsedMsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 /// Shared tail of runOne/updateOne: PBA over the scenario's critical tail.
@@ -177,6 +190,85 @@ int McmmResult::worstScenario(Check check) const {
   return worst;
 }
 
+ScenarioResult runScenarioStandalone(const Netlist& nl, const Scenario& sc,
+                                     const McmmOptions& opt,
+                                     DiagnosticSink& sink,
+                                     std::unique_ptr<StaEngine>* engineOut) {
+  TraceSpan span("mcmm", sc.name);
+  scenariosRunCtr().add();
+  auto engine = std::make_unique<StaEngine>(nl, sc);
+  StaEngine& eng = *engine;
+  eng.setDiagnosticSink(&sink);
+  if (opt.intraScenario) eng.setThreadPool(opt.pool);
+  eng.run();
+
+  ScenarioResult r;
+  r.scenario = sc.name;
+  r.setupWns = eng.wns(Check::kSetup);
+  r.holdWns = eng.wns(Check::kHold);
+  r.setupTns = eng.tns(Check::kSetup);
+  r.holdTns = eng.tns(Check::kHold);
+  r.setupViolations = eng.violationCount(Check::kSetup);
+  r.holdViolations = eng.violationCount(Check::kHold);
+  r.drvViolations = static_cast<int>(eng.drvViolations().size());
+  r.nanQuarantined = eng.nanQuarantineCount();
+  r.endpoints = eng.endpoints();
+  runScenarioPba(eng, &sink, opt, r);
+  r.diagnostics = sink.diagnostics();
+  if (engineOut) *engineOut = std::move(engine);
+  return r;
+}
+
+McmmMerger::McmmMerger(std::size_t scenarioCount)
+    : slots_(scenarioCount), filled_(scenarioCount, 0) {}
+
+bool McmmMerger::accept(std::size_t index, ScenarioResult result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= slots_.size()) return false;
+  if (filled_[index]) {
+    ++duplicates_;
+    duplicateResultsCtr().add();
+    return false;
+  }
+  filled_[index] = 1;
+  slots_[index] = std::move(result);
+  return true;
+}
+
+bool McmmMerger::has(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index < filled_.size() && filled_[index];
+}
+
+int McmmMerger::duplicateCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicates_;
+}
+
+std::vector<std::size_t> McmmMerger::missing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < filled_.size(); ++i)
+    if (!filled_[i]) out.push_back(i);
+  return out;
+}
+
+McmmResult McmmMerger::finish() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  McmmResult result;
+  result.scenarios = slots_;
+  // Deterministic merge: scenario input order, each scenario's sink in its
+  // own (serial-equivalent) emission order.
+  for (const ScenarioResult& s : result.scenarios) {
+    for (Diagnostic d : s.diagnostics) {
+      d.entity = s.scenario + (d.entity.empty() ? "" : "/" + d.entity);
+      result.merged.push_back(std::move(d));
+    }
+  }
+  mergedDiagCtr().add(result.merged.size());
+  return result;
+}
+
 McmmRunner::McmmRunner(const Netlist& netlist, std::vector<Scenario> scenarios)
     : nl_(&netlist), scenarios_(std::move(scenarios)) {}
 
@@ -186,33 +278,16 @@ const McmmResult& McmmRunner::run(const McmmOptions& opt) {
   engines_.resize(n);
   sinks_.clear();
   sinks_.resize(n);
-  result_ = McmmResult{};
-  result_.scenarios.resize(n);
+  elapsedMs_.assign(n, 0.0);
+  McmmMerger merger(n);
 
-  auto runOne = [this, &opt](std::size_t i) {
-    TraceSpan span("mcmm", scenarios_[i].name);
-    scenariosRunCtr().add();
+  auto runOne = [this, &opt, &merger](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
     sinks_[i] = std::make_unique<DiagnosticSink>();
     sinks_[i]->setEcho(opt.echoDiagnostics);
-    engines_[i] = std::make_unique<StaEngine>(*nl_, scenarios_[i]);
-    StaEngine& eng = *engines_[i];
-    eng.setDiagnosticSink(sinks_[i].get());
-    if (opt.intraScenario) eng.setThreadPool(opt.pool);
-    eng.run();
-
-    ScenarioResult& r = result_.scenarios[i];
-    r.scenario = scenarios_[i].name;
-    r.setupWns = eng.wns(Check::kSetup);
-    r.holdWns = eng.wns(Check::kHold);
-    r.setupTns = eng.tns(Check::kSetup);
-    r.holdTns = eng.tns(Check::kHold);
-    r.setupViolations = eng.violationCount(Check::kSetup);
-    r.holdViolations = eng.violationCount(Check::kHold);
-    r.drvViolations = static_cast<int>(eng.drvViolations().size());
-    r.nanQuarantined = eng.nanQuarantineCount();
-    r.endpoints = eng.endpoints();
-    runScenarioPba(eng, sinks_[i].get(), opt, r);
-    r.diagnostics = sinks_[i]->diagnostics();
+    merger.accept(i, runScenarioStandalone(*nl_, scenarios_[i], opt,
+                                           *sinks_[i], &engines_[i]));
+    elapsedMs_[i] = elapsedMsSince(t0);
   };
 
   if (opt.pool && opt.pool->threadCount() > 0)
@@ -220,16 +295,7 @@ const McmmResult& McmmRunner::run(const McmmOptions& opt) {
   else
     for (std::size_t i = 0; i < n; ++i) runOne(i);
 
-  // Deterministic merge: scenario input order, each scenario's sink in its
-  // own (serial-equivalent) emission order.
-  for (std::size_t i = 0; i < n; ++i) {
-    for (Diagnostic d : result_.scenarios[i].diagnostics) {
-      d.entity = result_.scenarios[i].scenario +
-                 (d.entity.empty() ? "" : "/" + d.entity);
-      result_.merged.push_back(std::move(d));
-    }
-  }
-  mergedDiagCtr().add(result_.merged.size());
+  result_ = merger.finish();
   return result_;
 }
 
@@ -239,10 +305,11 @@ const McmmResult& McmmRunner::update(const McmmOptions& opt) {
   for (const auto& e : engines_)
     if (!e) return run(opt);
 
-  result_ = McmmResult{};
-  result_.scenarios.resize(n);
+  elapsedMs_.assign(n, 0.0);
+  McmmMerger merger(n);
 
-  auto updateOne = [this, &opt](std::size_t i) {
+  auto updateOne = [this, &opt, &merger](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
     TraceSpan span("mcmm", scenarios_[i].name);
     scenariosRunCtr().add();
     StaEngine& eng = *engines_[i];
@@ -256,7 +323,7 @@ const McmmResult& McmmRunner::update(const McmmOptions& opt) {
     sinks_[i]->setEcho(opt.echoDiagnostics);
     eng.replayTimingDiagnostics(*sinks_[i]);
 
-    ScenarioResult& r = result_.scenarios[i];
+    ScenarioResult r;
     r.scenario = scenarios_[i].name;
     r.setupWns = eng.wns(Check::kSetup);
     r.holdWns = eng.wns(Check::kHold);
@@ -269,6 +336,8 @@ const McmmResult& McmmRunner::update(const McmmOptions& opt) {
     r.endpoints = eng.endpoints();
     runScenarioPba(eng, sinks_[i].get(), opt, r);
     r.diagnostics = sinks_[i]->diagnostics();
+    merger.accept(i, std::move(r));
+    elapsedMs_[i] = elapsedMsSince(t0);
   };
 
   if (opt.pool && opt.pool->threadCount() > 0)
@@ -276,14 +345,7 @@ const McmmResult& McmmRunner::update(const McmmOptions& opt) {
   else
     for (std::size_t i = 0; i < n; ++i) updateOne(i);
 
-  for (std::size_t i = 0; i < n; ++i) {
-    for (Diagnostic d : result_.scenarios[i].diagnostics) {
-      d.entity = result_.scenarios[i].scenario +
-                 (d.entity.empty() ? "" : "/" + d.entity);
-      result_.merged.push_back(std::move(d));
-    }
-  }
-  mergedDiagCtr().add(result_.merged.size());
+  result_ = merger.finish();
   return result_;
 }
 

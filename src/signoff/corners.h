@@ -13,6 +13,7 @@
 /// dominates).
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -128,6 +129,48 @@ struct McmmResult {
   int worstScenario(Check check) const;
 };
 
+/// One scenario, end to end: construct an engine over (nl, sc), attach
+/// `sink`, run GBA (plus the PBA tail per `opt`), and collect the
+/// ScenarioResult. This is the exact per-scenario body McmmRunner::run
+/// dispatches across its pool; the farm worker (tools/goalposts_worker)
+/// calls it too, so a farmed scenario and an in-process one execute
+/// identical code — the root of the farm's bit-identical-merge contract.
+/// `engineOut`, when non-null, receives the engine (the runner keeps it
+/// alive for incremental update and cross-scenario reads).
+ScenarioResult runScenarioStandalone(
+    const Netlist& nl, const Scenario& sc, const McmmOptions& opt,
+    DiagnosticSink& sink, std::unique_ptr<StaEngine>* engineOut = nullptr);
+
+/// Deterministic MCMM reduction with duplicate rejection, shared by the
+/// in-process runner and the process farm so the two merges can never
+/// drift. Results are accepted keyed by scenario input index; the FIRST
+/// result accepted for an index wins, later arrivals are counted
+/// (farm.duplicate_results) and dropped — retry and straggler re-dispatch
+/// can legitimately deliver one scenario twice. finish() reduces in
+/// scenario input order, prefixing each diagnostic's entity
+/// "scenario/entity", so the merged stream is bit-identical to a serial
+/// run whatever the arrival order. Thread-safe.
+class McmmMerger {
+ public:
+  explicit McmmMerger(std::size_t scenarioCount);
+
+  /// True when accepted; false for a duplicate (counted, dropped) or an
+  /// out-of-range index.
+  bool accept(std::size_t index, ScenarioResult result);
+  bool has(std::size_t index) const;
+  int duplicateCount() const;
+  /// Indices still unfilled (the farm quarantines these).
+  std::vector<std::size_t> missing() const;
+  /// Reduce the accepted slots into a McmmResult.
+  McmmResult finish() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ScenarioResult> slots_;
+  std::vector<char> filled_;
+  int duplicates_ = 0;
+};
+
 /// Owns the per-scenario engines and sinks of one MCMM signoff pass.
 /// Scenarios are fixed at construction (engines keep pointers into the
 /// stored vector); run() may be called repeatedly with different options
@@ -154,12 +197,19 @@ class McmmRunner {
   /// run() — cross-scenario analyses (CTS skew, margin comparison) read
   /// these directly.
   StaEngine* engine(std::size_t i) const { return engines_[i].get(); }
+  /// Wall-clock of each scenario's last run()/update() pass, ms, scenario
+  /// input order (empty before the first run). A side channel — not part
+  /// of McmmResult, so the determinism contracts never see it. The corner
+  /// bench reports the spread (min/mean/p95/max) to expose per-view cost
+  /// imbalance, which is what the farm's straggler re-dispatch exploits.
+  const std::vector<double>& scenarioElapsedMs() const { return elapsedMs_; }
 
  private:
   const Netlist* nl_;
   std::vector<Scenario> scenarios_;
   std::vector<std::unique_ptr<StaEngine>> engines_;
   std::vector<std::unique_ptr<DiagnosticSink>> sinks_;
+  std::vector<double> elapsedMs_;
   McmmResult result_;
 };
 

@@ -1,0 +1,780 @@
+#include "signoff/farm.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "util/binio.h"
+#include "util/checksum.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace tc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+Counter& attemptsCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "farm.attempts", "count", MetricStability::kNoisy);
+  return c;
+}
+Counter& crashesCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "farm.crashes", "count", MetricStability::kNoisy);
+  return c;
+}
+Counter& timeoutsCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "farm.timeouts", "count", MetricStability::kNoisy);
+  return c;
+}
+Counter& hangsCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "farm.hangs", "count", MetricStability::kNoisy);
+  return c;
+}
+Counter& frameErrorsCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "farm.frame_errors", "count", MetricStability::kNoisy);
+  return c;
+}
+Counter& retriesCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "farm.retries", "count", MetricStability::kNoisy);
+  return c;
+}
+// Stable: a quarantined corner is part of the signoff verdict, not a
+// scheduling artifact — the perf gate pins it exactly (normally 0).
+Counter& quarantinedCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "farm.quarantined", "count", MetricStability::kStable);
+  return c;
+}
+
+}  // namespace
+
+namespace farmproto {
+namespace {
+
+struct CodecError {
+  std::string what;
+};
+[[noreturn]] void codecFail(std::string what) {
+  throw CodecError{std::move(what)};
+}
+
+std::uint32_t rU32(std::istream& is) {
+  std::uint32_t v = 0;
+  if (!binio::getU32(is, v)) codecFail("payload ran dry reading u32");
+  return v;
+}
+std::int32_t rI32(std::istream& is) {
+  std::int32_t v = 0;
+  if (!binio::getI32(is, v)) codecFail("payload ran dry reading i32");
+  return v;
+}
+std::uint64_t rU64(std::istream& is) {
+  std::uint64_t v = 0;
+  if (!binio::getU64(is, v)) codecFail("payload ran dry reading u64");
+  return v;
+}
+double rF64(std::istream& is) {
+  double v = 0;
+  if (!binio::getF64(is, v)) codecFail("payload ran dry reading f64");
+  return v;
+}
+std::string rStr(std::istream& is) {
+  std::string s;
+  if (!binio::getStr(is, s))
+    codecFail("payload ran dry or implausible length reading string");
+  return s;
+}
+
+}  // namespace
+
+std::string encodeFrame(FrameType type, const std::string& payload) {
+  std::ostringstream os(std::ios::binary);
+  binio::putU32(os, kFrameMagic);
+  binio::putU32(os, static_cast<std::uint32_t>(type));
+  binio::putU32(os, static_cast<std::uint32_t>(payload.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  binio::putU32(os, crc32(payload.data(), payload.size()));
+  return os.str();
+}
+
+std::string encodeScenarioResult(const ScenarioResult& r) {
+  using namespace binio;
+  std::ostringstream os(std::ios::binary);
+  putStr(os, r.scenario);
+  putF64(os, r.setupWns);
+  putF64(os, r.holdWns);
+  putF64(os, r.setupTns);
+  putF64(os, r.holdTns);
+  putI32(os, r.setupViolations);
+  putI32(os, r.holdViolations);
+  putI32(os, r.drvViolations);
+  putI32(os, r.nanQuarantined);
+  putU32(os, static_cast<std::uint32_t>(r.endpoints.size()));
+  for (const EndpointTiming& e : r.endpoints) {
+    putI32(os, e.vertex);
+    putI32(os, e.flop);
+    putF64(os, e.setupSlack);
+    putF64(os, e.holdSlack);
+    putI32(os, e.setupTrans);
+    putI32(os, e.holdTrans);
+    putF64(os, e.dataLate);
+    putF64(os, e.dataEarly);
+    putF64(os, e.captureEarly);
+    putF64(os, e.captureLate);
+    putF64(os, e.cpprSetup);
+    putF64(os, e.cpprHold);
+    putF64(os, e.setupConstraint);
+    putF64(os, e.holdConstraint);
+  }
+  putU32(os, static_cast<std::uint32_t>(r.diagnostics.size()));
+  for (const Diagnostic& d : r.diagnostics) {
+    putU32(os, static_cast<std::uint32_t>(d.severity));
+    putU32(os, static_cast<std::uint32_t>(d.code));
+    putStr(os, d.message);
+    putStr(os, d.entity);
+    putI32(os, d.line);
+  }
+  putU32(os, static_cast<std::uint32_t>(r.pba.size()));
+  for (const PbaResult& p : r.pba) {
+    putI32(os, p.endpoint);
+    putI32(os, p.flop);
+    putF64(os, p.gbaSlack);
+    putF64(os, p.pbaSlack);
+    putF64(os, p.exactArrival);
+    putF64(os, p.retraceGap);
+    putU32(os, p.cert.complete ? 1u : 0u);
+    putF64(os, p.cert.frontierBound);
+    putI32(os, p.cert.pathsEvaluated);
+    putU64(os, static_cast<std::uint64_t>(p.cert.pathsPruned));
+  }
+  putF64(os, r.pbaSetupWns);
+  return os.str();
+}
+
+Result<ScenarioResult> decodeScenarioResult(const std::string& payload) {
+  try {
+    std::istringstream is(payload, std::ios::binary);
+    ScenarioResult r;
+    r.scenario = rStr(is);
+    r.setupWns = rF64(is);
+    r.holdWns = rF64(is);
+    r.setupTns = rF64(is);
+    r.holdTns = rF64(is);
+    r.setupViolations = rI32(is);
+    r.holdViolations = rI32(is);
+    r.drvViolations = rI32(is);
+    r.nanQuarantined = rI32(is);
+    const std::uint32_t nEp = rU32(is);
+    if (nEp > (1u << 24)) codecFail("implausible endpoint count");
+    r.endpoints.resize(nEp);
+    for (EndpointTiming& e : r.endpoints) {
+      e.vertex = rI32(is);
+      e.flop = rI32(is);
+      e.setupSlack = rF64(is);
+      e.holdSlack = rF64(is);
+      e.setupTrans = rI32(is);
+      e.holdTrans = rI32(is);
+      e.dataLate = rF64(is);
+      e.dataEarly = rF64(is);
+      e.captureEarly = rF64(is);
+      e.captureLate = rF64(is);
+      e.cpprSetup = rF64(is);
+      e.cpprHold = rF64(is);
+      e.setupConstraint = rF64(is);
+      e.holdConstraint = rF64(is);
+    }
+    const std::uint32_t nDiag = rU32(is);
+    if (nDiag > (1u << 22)) codecFail("implausible diagnostic count");
+    r.diagnostics.resize(nDiag);
+    for (Diagnostic& d : r.diagnostics) {
+      const std::uint32_t sev = rU32(is);
+      if (sev > static_cast<std::uint32_t>(Severity::kError))
+        codecFail("diagnostic severity out of range");
+      d.severity = static_cast<Severity>(sev);
+      const std::uint32_t code = rU32(is);
+      if (code > static_cast<std::uint32_t>(
+                     DiagCode::kFarmScenarioQuarantined))
+        codecFail("diagnostic code out of range");
+      d.code = static_cast<DiagCode>(code);
+      d.message = rStr(is);
+      d.entity = rStr(is);
+      d.line = rI32(is);
+    }
+    const std::uint32_t nPba = rU32(is);
+    if (nPba > (1u << 22)) codecFail("implausible PBA result count");
+    r.pba.resize(nPba);
+    for (PbaResult& p : r.pba) {
+      p.endpoint = rI32(is);
+      p.flop = rI32(is);
+      p.gbaSlack = rF64(is);
+      p.pbaSlack = rF64(is);
+      p.exactArrival = rF64(is);
+      p.retraceGap = rF64(is);
+      p.cert.complete = rU32(is) != 0;
+      p.cert.frontierBound = rF64(is);
+      p.cert.pathsEvaluated = rI32(is);
+      p.cert.pathsPruned = static_cast<std::int64_t>(rU64(is));
+    }
+    r.pbaSetupWns = rF64(is);
+    if (is.peek() != std::istream::traits_type::eof())
+      codecFail("trailing bytes after the result payload");
+    return r;
+  } catch (const CodecError& e) {
+    return Status::failure(DiagCode::kFarmFrameCorrupt,
+                           "result payload inconsistent: " + e.what);
+  }
+}
+
+FrameParser::Outcome FrameParser::next(FrameType* type, std::string* payload,
+                                       std::string* error) {
+  constexpr std::size_t kHeader = 12;  // magic + type + payloadLen
+  if (buf_.size() < kHeader) return Outcome::kNeedMore;
+  std::uint32_t magic = 0, rawType = 0, len = 0;
+  std::memcpy(&magic, buf_.data(), 4);
+  std::memcpy(&rawType, buf_.data() + 4, 4);
+  std::memcpy(&len, buf_.data() + 8, 4);
+  if (magic != kFrameMagic) {
+    if (error) *error = "bad frame magic";
+    return Outcome::kCorrupt;
+  }
+  if (rawType != static_cast<std::uint32_t>(FrameType::kHeartbeat) &&
+      rawType != static_cast<std::uint32_t>(FrameType::kResult)) {
+    if (error) *error = "unknown frame type " + std::to_string(rawType);
+    return Outcome::kCorrupt;
+  }
+  if (len > kMaxFramePayload) {
+    if (error)
+      *error = "implausible frame payload size " + std::to_string(len);
+    return Outcome::kCorrupt;
+  }
+  const std::size_t total = kHeader + len + 4;
+  if (buf_.size() < total) return Outcome::kNeedMore;
+  std::uint32_t storedCrc = 0;
+  std::memcpy(&storedCrc, buf_.data() + kHeader + len, 4);
+  const std::uint32_t actual = crc32(buf_.data() + kHeader, len);
+  if (storedCrc != actual) {
+    if (error) *error = "frame checksum mismatch";
+    return Outcome::kCorrupt;
+  }
+  if (type) *type = static_cast<FrameType>(rawType);
+  if (payload) payload->assign(buf_, kHeader, len);
+  buf_.erase(0, total);
+  return Outcome::kFrame;
+}
+
+}  // namespace farmproto
+
+namespace {
+
+/// Locate the worker binary: explicit option, $TC_FARM_WORKER, then next
+/// to the running executable (build trees put tests under tests/ or bench/
+/// and the worker under tools/, so sibling directories are searched too).
+std::string findWorker(const FarmOptions& opt) {
+  // An explicit path is authoritative: a typo in configuration should
+  // surface as kFarmWorkerMissing, not silently run some other binary.
+  if (!opt.workerPath.empty())
+    return access(opt.workerPath.c_str(), X_OK) == 0 ? opt.workerPath
+                                                     : std::string{};
+  std::vector<std::string> candidates;
+  if (const char* env = std::getenv("TC_FARM_WORKER"))
+    if (*env) candidates.push_back(env);
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    std::string dir(buf);
+    const std::size_t slash = dir.rfind('/');
+    if (slash != std::string::npos) {
+      dir.resize(slash);
+      candidates.push_back(dir + "/goalposts_worker");
+      candidates.push_back(dir + "/../tools/goalposts_worker");
+      candidates.push_back(dir + "/tools/goalposts_worker");
+    }
+  }
+  for (const std::string& c : candidates)
+    if (access(c.c_str(), X_OK) == 0) return c;
+  return {};
+}
+
+std::string scratchSnapshotPath(const FarmOptions& opt) {
+  std::string dir = opt.scratchDir;
+  if (dir.empty()) {
+    const char* env = std::getenv("TMPDIR");
+    dir = env && *env ? env : "/tmp";
+  }
+  static std::atomic<int> seq{0};
+  return dir + "/tc_farm_" + std::to_string(getpid()) + "_" +
+         std::to_string(seq.fetch_add(1)) + ".tcsn";
+}
+
+/// The conservative slot a quarantined scenario contributes: -inf WNS (the
+/// same bounded-pessimism doctrine as the NaN quarantine of PR 1 — a
+/// skipped corner must look worse than any real one, never clean) plus the
+/// quarantine diagnostic. The message is deterministic (attempt count, no
+/// timing), so a quarantined pass is still reproducible byte-for-byte.
+ScenarioResult quarantinedResult(const std::string& scenarioName,
+                                 const std::string& reason) {
+  ScenarioResult r;
+  r.scenario = scenarioName;
+  r.setupWns = -std::numeric_limits<double>::infinity();
+  r.holdWns = -std::numeric_limits<double>::infinity();
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.code = DiagCode::kFarmScenarioQuarantined;
+  d.message = reason + "; conservative -inf WNS substituted";
+  r.diagnostics.push_back(std::move(d));
+  return r;
+}
+
+/// One live worker attempt under supervision.
+struct Attempt {
+  pid_t pid = -1;
+  int fd = -1;
+  std::size_t scn = 0;
+  int attempt = 1;
+  Clock::time_point start, lastByte;
+  double startUs = 0.0;  ///< trace clock at launch
+  farmproto::FrameParser parser;
+  bool gotResult = false;  ///< a valid result frame arrived from this pid
+  bool benign = false;     ///< killed because the scenario resolved
+  DiagCode failCode = DiagCode::kOk;  ///< classification when killed by us
+  std::string failDetail;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(const DesignSnapshot& snap, const FarmOptions& opt,
+             const std::string& worker, const std::string& snapPath,
+             McmmMerger& merger, FarmStats& stats)
+      : snap_(snap),
+        opt_(opt),
+        worker_(worker),
+        snapPath_(snapPath),
+        merger_(merger),
+        stats_(stats),
+        attemptsUsed_(snap.scenarios.size(), 0),
+        resolved_(snap.scenarios.size(), 0) {}
+
+  void run() {
+    const std::size_t n = snap_.scenarios.size();
+    for (std::size_t i = 0; i < n; ++i)
+      pending_.push_back({i, 1, Clock::now()});
+    while (resolvedCount_ < n) {
+      launchDue();
+      maybeRedispatchStraggler();
+      pumpPipes();
+      enforceDeadlines();
+      reap();
+    }
+    // The pass is decided; sweep up any straggler/duplicate workers.
+    for (Attempt& a : inflight_) {
+      a.benign = true;
+      kill(a.pid, SIGKILL);
+    }
+    while (!inflight_.empty()) reap(/*block=*/true);
+  }
+
+ private:
+  void report(Severity sev, DiagCode code, const std::string& msg,
+              const std::string& entity) {
+    if (!opt_.sink) return;
+    if (sev == Severity::kError)
+      opt_.sink->error(code, msg, entity);
+    else if (sev == Severity::kWarning)
+      opt_.sink->warn(code, msg, entity);
+    else
+      opt_.sink->note(code, msg, entity);
+  }
+
+  bool launch(std::size_t scn, int attempt) {
+    // argv is assembled before fork(): the parent may be running inside a
+    // thread pool, and allocating between fork and exec is undefined there.
+    const std::string scnArg = std::to_string(scn);
+    const std::string attemptArg = std::to_string(attempt);
+    const std::string hbArg =
+        std::to_string(static_cast<int>(opt_.heartbeatSec * 1000.0));
+    const std::string pbaEpArg = std::to_string(opt_.mcmm.pbaEndpoints);
+    const std::string pbaMaxArg = std::to_string(opt_.mcmm.pba.maxPaths);
+    const std::string pbaEpsArg = std::to_string(opt_.mcmm.pba.epsilon);
+    const std::string pbaCapArg =
+        std::to_string(opt_.mcmm.pba.enumerationCap);
+    std::vector<const char*> argv = {
+        worker_.c_str(),    "--snapshot",     snapPath_.c_str(),
+        "--scenario",       scnArg.c_str(),   "--attempt",
+        attemptArg.c_str(), "--heartbeat-ms", hbArg.c_str(),
+        "--pba-endpoints",  pbaEpArg.c_str(), "--pba-max-paths",
+        pbaMaxArg.c_str(),  "--pba-epsilon",  pbaEpsArg.c_str(),
+        "--pba-enum-cap",   pbaCapArg.c_str()};
+    if (opt_.mcmm.pba.exhaustive) argv.push_back("--pba-exhaustive");
+    argv.push_back(nullptr);
+
+    int fds[2];
+    if (pipe(fds) != 0) return false;
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(fds[0]);
+      close(fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: result/heartbeat frames flow over stdout; stderr passes
+      // through for worker-side logging.
+      dup2(fds[1], STDOUT_FILENO);
+      close(fds[0]);
+      close(fds[1]);
+      execv(worker_.c_str(), const_cast<char* const*>(argv.data()));
+      _exit(127);
+    }
+    close(fds[1]);
+    fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    Attempt a;
+    a.pid = pid;
+    a.fd = fds[0];
+    a.scn = scn;
+    a.attempt = attempt;
+    a.start = a.lastByte = Clock::now();
+    a.startUs = traceNowUs();
+    inflight_.push_back(std::move(a));
+    ++stats_.attemptsLaunched;
+    attemptsCtr().add();
+    return true;
+  }
+
+  int inflightFor(std::size_t scn) const {
+    int n = 0;
+    for (const Attempt& a : inflight_)
+      if (a.scn == scn) ++n;
+    return n;
+  }
+
+  void launchDue() {
+    const auto now = Clock::now();
+    for (auto it = pending_.begin();
+         it != pending_.end() &&
+         static_cast<int>(inflight_.size()) < opt_.workers;) {
+      if (resolved_[it->scn]) {
+        it = pending_.erase(it);
+        continue;
+      }
+      if (it->notBefore > now) {
+        ++it;
+        continue;
+      }
+      if (!launch(it->scn, it->attempt)) {
+        // fork/pipe pressure: try again shortly, don't lose the scenario.
+        it->notBefore = now + std::chrono::milliseconds(100);
+        ++it;
+        continue;
+      }
+      attemptsUsed_[it->scn] = std::max(attemptsUsed_[it->scn], it->attempt);
+      it = pending_.erase(it);
+    }
+  }
+
+  void maybeRedispatchStraggler() {
+    if (!opt_.stragglerRedispatch || completedSec_.empty()) return;
+    if (static_cast<int>(inflight_.size()) >= opt_.workers) return;
+    // Only when nothing real is waiting: straggler copies are opportunistic.
+    for (const PendingAttempt& p : pending_)
+      if (!resolved_[p.scn]) return;
+    std::vector<double> sorted = completedSec_;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    const double threshold =
+        std::max(opt_.stragglerFactor * median, 10.0 * opt_.heartbeatSec);
+    Attempt* worst = nullptr;
+    double worstElapsed = threshold;
+    for (Attempt& a : inflight_) {
+      if (resolved_[a.scn] || inflightFor(a.scn) > 1) continue;
+      const double elapsed = secondsSince(a.start);
+      if (elapsed >= worstElapsed) {
+        worstElapsed = elapsed;
+        worst = &a;
+      }
+    }
+    if (!worst) return;
+    report(Severity::kNote, DiagCode::kFarmWorkerTimeout,
+           "straggler re-dispatch after " + std::to_string(worstElapsed) +
+               "s; first result wins",
+           snap_.scenarios[worst->scn].name);
+    // Straggler copies live in the 100+ attempt namespace: they never
+    // consume the retry budget, and attempt-filtered fault injections
+    // (TC_FARM_FAULT ...:attempt=N) don't re-fire in the copy.
+    launch(worst->scn, 100 + worst->attempt);
+  }
+
+  void acceptResult(Attempt& a, ScenarioResult result) {
+    a.gotResult = true;
+    if (resolved_[a.scn]) {
+      merger_.accept(a.scn, std::move(result));  // counted as duplicate
+      return;
+    }
+    merger_.accept(a.scn, std::move(result));
+    resolved_[a.scn] = 1;
+    ++resolvedCount_;
+    completedSec_.push_back(secondsSince(a.start));
+    traceComplete("farm", "worker:" + snap_.scenarios[a.scn].name, "",
+                  a.startUs, traceNowUs() - a.startUs);
+    for (Attempt& b : inflight_) {
+      if (&b != &a && b.scn == a.scn) {
+        b.benign = true;
+        kill(b.pid, SIGKILL);
+      }
+    }
+  }
+
+  void pumpPipes() {
+    std::vector<pollfd> fds;
+    fds.reserve(inflight_.size());
+    for (const Attempt& a : inflight_)
+      fds.push_back({a.fd, POLLIN, 0});
+    if (fds.empty()) {
+      usleep(5000);  // everything is in backoff; don't spin
+      return;
+    }
+    const int timeoutMs = 20;
+    if (poll(fds.data(), fds.size(), timeoutMs) <= 0) return;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Attempt& a = inflight_[i];
+      if (a.failCode != DiagCode::kOk || a.benign) continue;
+      char buf[65536];
+      for (;;) {
+        const ssize_t got = read(a.fd, buf, sizeof buf);
+        if (got <= 0) break;  // EAGAIN / EOF; EOF resolves via waitpid
+        a.lastByte = Clock::now();
+        a.parser.feed(buf, static_cast<std::size_t>(got));
+      }
+      drainFrames(a);
+    }
+  }
+
+  void drainFrames(Attempt& a) {
+    using farmproto::FrameParser;
+    using farmproto::FrameType;
+    for (;;) {
+      FrameType type;
+      std::string payload, err;
+      const FrameParser::Outcome out = a.parser.next(&type, &payload, &err);
+      if (out == FrameParser::Outcome::kNeedMore) return;
+      if (out == FrameParser::Outcome::kCorrupt) {
+        ++stats_.frameErrors;
+        frameErrorsCtr().add();
+        a.failCode = DiagCode::kFarmFrameCorrupt;
+        a.failDetail = err;
+        kill(a.pid, SIGKILL);
+        return;
+      }
+      if (type == FrameType::kHeartbeat) continue;
+      auto decoded = farmproto::decodeScenarioResult(payload);
+      if (!decoded.ok()) {
+        ++stats_.frameErrors;
+        frameErrorsCtr().add();
+        a.failCode = DiagCode::kFarmFrameCorrupt;
+        a.failDetail = decoded.status().message();
+        kill(a.pid, SIGKILL);
+        return;
+      }
+      acceptResult(a, std::move(decoded).take());
+    }
+  }
+
+  void enforceDeadlines() {
+    for (Attempt& a : inflight_) {
+      if (a.gotResult || a.benign || a.failCode != DiagCode::kOk) continue;
+      if (secondsSince(a.start) > opt_.scenarioTimeoutSec) {
+        a.failCode = DiagCode::kFarmWorkerTimeout;
+        a.failDetail = "exceeded the per-scenario wall clock";
+        ++stats_.timeouts;
+        timeoutsCtr().add();
+        kill(a.pid, SIGKILL);
+      } else if (secondsSince(a.lastByte) > opt_.heartbeatTimeoutSec) {
+        a.failCode = DiagCode::kFarmWorkerHung;
+        a.failDetail = "heartbeat silence";
+        ++stats_.hangs;
+        hangsCtr().add();
+        kill(a.pid, SIGKILL);
+      }
+    }
+  }
+
+  void reap(bool block = false) {
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      int status = 0;
+      const pid_t got = waitpid(it->pid, &status, block ? 0 : WNOHANG);
+      if (got != it->pid) {
+        ++it;
+        continue;
+      }
+      // A final burst may still sit in the pipe after exit.
+      if (!it->benign && !it->gotResult &&
+          it->failCode == DiagCode::kOk) {
+        char buf[65536];
+        for (;;) {
+          const ssize_t n = read(it->fd, buf, sizeof buf);
+          if (n <= 0) break;
+          it->parser.feed(buf, static_cast<std::size_t>(n));
+        }
+        drainFrames(*it);
+      }
+      close(it->fd);
+      Attempt done = std::move(*it);
+      it = inflight_.erase(it);
+      finishAttempt(done, status);
+    }
+  }
+
+  void finishAttempt(const Attempt& a, int status) {
+    if (a.gotResult || a.benign || resolved_[a.scn]) return;
+    const std::string& name = snap_.scenarios[a.scn].name;
+    DiagCode code = a.failCode;
+    std::string detail = a.failDetail;
+    if (code == DiagCode::kOk) {
+      code = DiagCode::kFarmWorkerCrashed;
+      ++stats_.crashes;
+      crashesCtr().add();
+      if (WIFSIGNALED(status))
+        detail = "killed by signal " + std::to_string(WTERMSIG(status));
+      else if (WIFEXITED(status) && WEXITSTATUS(status) != 0)
+        detail = "exit status " + std::to_string(WEXITSTATUS(status));
+      else
+        detail = "exited without delivering a result";
+    }
+    traceComplete("farm", "worker:" + name + ":failed", "", a.startUs,
+                  traceNowUs() - a.startUs);
+    report(Severity::kWarning, code,
+           "attempt " + std::to_string(a.attempt) + " failed: " + detail,
+           name);
+    if (a.attempt > 100) return;  // straggler copy: original still runs
+    if (inflightFor(a.scn) > 0) return;  // a sibling copy is still alive
+    if (attemptsUsed_[a.scn] >= opt_.maxAttempts) {
+      quarantine(a.scn);
+      return;
+    }
+    const int nextAttempt = attemptsUsed_[a.scn] + 1;
+    const double delay =
+        opt_.backoffBaseSec * static_cast<double>(1 << (nextAttempt - 2));
+    ++stats_.retries;
+    retriesCtr().add();
+    report(Severity::kNote, code,
+           "retry " + std::to_string(nextAttempt) + " scheduled after " +
+               std::to_string(delay) + "s backoff",
+           name);
+    pending_.push_back(
+        {a.scn, nextAttempt,
+         Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(delay))});
+  }
+
+  void quarantine(std::size_t scn) {
+    const std::string& name = snap_.scenarios[scn].name;
+    merger_.accept(
+        scn, quarantinedResult(
+                 name, "scenario quarantined after " +
+                           std::to_string(attemptsUsed_[scn]) +
+                           " failed attempts"));
+    resolved_[scn] = 1;
+    ++resolvedCount_;
+    ++stats_.quarantined;
+    quarantinedCtr().add();
+    report(Severity::kError, DiagCode::kFarmScenarioQuarantined,
+           "quarantined after " + std::to_string(attemptsUsed_[scn]) +
+               " failed attempts",
+           name);
+  }
+
+  struct PendingAttempt {
+    std::size_t scn;
+    int attempt;
+    Clock::time_point notBefore;
+  };
+
+  const DesignSnapshot& snap_;
+  const FarmOptions& opt_;
+  const std::string& worker_;
+  const std::string& snapPath_;
+  McmmMerger& merger_;
+  FarmStats& stats_;
+  std::deque<PendingAttempt> pending_;
+  std::vector<Attempt> inflight_;
+  std::vector<int> attemptsUsed_;
+  std::vector<char> resolved_;
+  std::size_t resolvedCount_ = 0;
+  std::vector<double> completedSec_;
+};
+
+}  // namespace
+
+McmmResult runMcmmFarm(const DesignSnapshot& snap, const FarmOptions& opt,
+                       FarmStats* statsOut) {
+  TraceSpan span("farm", "dispatch");
+  // Register the stable counter up front: the perf gate pins
+  // farm.quarantined exactly (normally 0), so it must appear in the
+  // metrics export even for a fault-free pass.
+  quarantinedCtr();
+  const std::size_t n = snap.scenarios.size();
+  McmmMerger merger(n);
+  FarmStats stats;
+
+  auto quarantineAll = [&](DiagCode code, const std::string& why) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (opt.sink) opt.sink->error(code, why, snap.scenarios[i].name);
+      merger.accept(i, quarantinedResult(snap.scenarios[i].name, why));
+      ++stats.quarantined;
+      quarantinedCtr().add();
+    }
+  };
+
+  const std::string worker = findWorker(opt);
+  if (worker.empty()) {
+    quarantineAll(DiagCode::kFarmWorkerMissing,
+                  "no goalposts_worker binary found (set $TC_FARM_WORKER "
+                  "or FarmOptions::workerPath)");
+  } else {
+    const std::string snapPath = scratchSnapshotPath(opt);
+    const Status ws = writeSnapshotFile(snap, snapPath);
+    if (!ws.ok()) {
+      quarantineAll(ws.code(), "snapshot handoff failed: " + ws.message());
+    } else {
+      Dispatcher d(snap, opt, worker, snapPath, merger, stats);
+      d.run();
+    }
+    unlink(snapPath.c_str());
+  }
+
+  stats.duplicates = merger.duplicateCount();
+  if (statsOut) *statsOut = stats;
+  return merger.finish();
+}
+
+McmmResult runMcmmFarm(const Netlist& netlist,
+                       std::vector<Scenario> scenarios,
+                       const FarmOptions& opt, FarmStats* statsOut) {
+  const DesignSnapshot snap =
+      makeSnapshot(netlist, std::move(scenarios), /*includeSpef=*/false);
+  return runMcmmFarm(snap, opt, statsOut);
+}
+
+}  // namespace tc

@@ -1,0 +1,148 @@
+#pragma once
+/// \file farm.h
+/// \brief Crash-isolated multi-process scenario farm.
+///
+/// The paper's corner super-explosion (Sec. 2.3) is usually paid across a
+/// compute farm, and at farm scale the failure modes stop being
+/// exceptional: workers crash, hang, get OOM-killed, or return corrupted
+/// bytes, and one poisoned corner must not sink the whole signoff pass.
+/// This module runs each Scenario in its own worker *process*
+/// (tools/goalposts_worker), supervised by a dispatcher that:
+///
+///  - ships the analysis context as a checksummed DesignSnapshot file,
+///  - reads checksummed result frames off a pipe, rejecting corruption at
+///    the frame level (kFarmFrameCorrupt) before any byte is interpreted,
+///  - detects death (waitpid), hangs (heartbeat silence), and overruns
+///    (per-scenario wall clock), SIGKILLs the offender, and retries with
+///    exponential backoff,
+///  - re-dispatches stragglers when workers sit idle (first result wins;
+///    the loser is counted in farm.duplicate_results and dropped), and
+///  - quarantines a scenario after maxAttempts failures: its slot gets a
+///    conservative degraded marker (-inf WNS — same bounded-pessimism
+///    doctrine as PR 1's NaN quarantine) plus a FARM_SCENARIO_QUARANTINED
+///    error in the merged stream, and the pass completes.
+///
+/// Determinism contract: results merge through the same McmmMerger the
+/// in-process runner uses, so when every scenario eventually succeeds —
+/// whatever crashed, hung, or raced along the way — the McmmResult is
+/// byte-identical to McmmRunner::run() on the same inputs, at any worker
+/// count. tests/farm_faultinject_test.cpp proves this under an injected
+/// fault matrix (TC_FARM_FAULT, see tools/goalposts_worker).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "signoff/corners.h"
+#include "signoff/snapshot.h"
+
+namespace tc {
+
+struct FarmOptions {
+  /// Worker process slots.
+  int workers = 4;
+  /// Per-attempt wall-clock budget, seconds. Exceeded => SIGKILL + retry
+  /// (kFarmWorkerTimeout).
+  double scenarioTimeoutSec = 300.0;
+  /// Heartbeat period the workers are asked to emit at, seconds.
+  double heartbeatSec = 0.1;
+  /// Pipe silence longer than this while within the wall-clock budget =>
+  /// the worker is declared hung, SIGKILLed and retried (kFarmWorkerHung).
+  double heartbeatTimeoutSec = 10.0;
+  /// Attempts per scenario before quarantine.
+  int maxAttempts = 3;
+  /// Retry k (k >= 1) waits backoffBaseSec * 2^(k-1) before re-dispatch.
+  double backoffBaseSec = 0.05;
+  /// With idle slots and nothing pending, duplicate the longest-running
+  /// in-flight scenario once it exceeds stragglerFactor x the median
+  /// completed-attempt time. First accepted result wins.
+  bool stragglerRedispatch = true;
+  double stragglerFactor = 3.0;
+  /// Worker executable. Empty => $TC_FARM_WORKER, then goalposts_worker
+  /// next to the current executable (and in a sibling tools/ directory).
+  /// Non-empty is authoritative: if it isn't executable, the farm reports
+  /// kFarmWorkerMissing instead of silently running something else.
+  std::string workerPath;
+  /// Directory for the snapshot handoff file. Empty => $TMPDIR or /tmp.
+  std::string scratchDir;
+  /// Per-scenario analysis knobs forwarded to the workers (pbaEndpoints
+  /// and pba enumeration options; the pool is process-local and ignored).
+  McmmOptions mcmm;
+  /// Farm-level events (crash/hang/timeout/retry notices) are reported
+  /// here, NOT into the merged result — transient failures must leave the
+  /// deterministic merge untouched. May be null.
+  DiagnosticSink* sink = nullptr;
+};
+
+/// Supervision tally of one farm pass. Everything here is timing-dependent
+/// except `quarantined`, which is part of the result contract.
+struct FarmStats {
+  int attemptsLaunched = 0;
+  int crashes = 0;    ///< workers that died or returned no valid result
+  int timeouts = 0;   ///< wall-clock overruns (SIGKILLed)
+  int hangs = 0;      ///< heartbeat-silence kills
+  int frameErrors = 0;  ///< corrupt frames rejected by magic/size/CRC
+  int retries = 0;
+  int duplicates = 0;  ///< extra results dropped first-accepted-wins
+  int quarantined = 0;
+};
+
+/// Run the snapshot's scenario set across worker processes and merge.
+/// The snapshot must already validate (it is written to a scratch file and
+/// handed to every worker). Never throws on worker misbehavior; the only
+/// failure mode is being unable to set the farm up at all (no worker
+/// binary, unwritable scratch dir), which quarantines *every* scenario
+/// rather than failing the pass.
+McmmResult runMcmmFarm(const DesignSnapshot& snap, const FarmOptions& opt,
+                       FarmStats* stats = nullptr);
+
+/// Convenience: snapshot (without the SPEF blob — workers re-extract) and
+/// run.
+McmmResult runMcmmFarm(const Netlist& netlist,
+                       std::vector<Scenario> scenarios,
+                       const FarmOptions& opt, FarmStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// Wire protocol, shared with tools/goalposts_worker. A worker writes
+// length-prefixed checksummed frames to stdout:
+//   [magic u32 'TCFR'][type u32][payloadLen u32][payload][crc32(payload) u32]
+// Heartbeats carry an empty payload; the result frame carries an encoded
+// ScenarioResult. The dispatcher treats ANY malformed byte stream as a
+// worker failure — corruption can cost a retry, never the pass.
+// ---------------------------------------------------------------------------
+
+namespace farmproto {
+
+constexpr std::uint32_t kFrameMagic = 0x54434652;  // 'TCFR'
+constexpr std::uint32_t kMaxFramePayload = 1u << 28;
+
+enum class FrameType : std::uint32_t {
+  kHeartbeat = 1,
+  kResult = 2,
+};
+
+/// Encode a complete frame (header + payload + trailing CRC).
+std::string encodeFrame(FrameType type, const std::string& payload);
+
+/// ScenarioResult payload codec. Doubles round-trip bitwise — the merge
+/// determinism contract rides on this.
+std::string encodeScenarioResult(const ScenarioResult& r);
+Result<ScenarioResult> decodeScenarioResult(const std::string& payload);
+
+/// Incremental frame extractor over a growing byte buffer. feed() bytes as
+/// they arrive, then next() until it returns kNeedMore / kCorrupt.
+class FrameParser {
+ public:
+  enum class Outcome { kFrame, kNeedMore, kCorrupt };
+
+  void feed(const char* data, std::size_t len) { buf_.append(data, len); }
+  /// On kFrame, `type` and `payload` hold the (CRC-verified) frame.
+  Outcome next(FrameType* type, std::string* payload, std::string* error);
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace farmproto
+
+}  // namespace tc

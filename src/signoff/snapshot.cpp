@@ -1,0 +1,494 @@
+#include "signoff/snapshot.h"
+
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "device/tech.h"
+#include "interconnect/extract.h"
+#include "interconnect/spef.h"
+#include "interconnect/wire.h"
+#include "liberty/serialize.h"
+#include "util/binio.h"
+#include "util/checksum.h"
+
+namespace tc {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5443534E;  // 'TCSN'
+constexpr std::uint32_t kVersion = 1;
+/// Plausibility cap on the declared payload size (snapshots of the largest
+/// designs this framework handles are a few hundred MB).
+constexpr std::uint64_t kMaxPayload = 1ull << 31;
+/// Cap on the embedded SPEF blob.
+constexpr std::uint32_t kMaxSpef = 1u << 28;
+
+// --- payload parse plumbing -------------------------------------------------
+// The payload has already passed the CRC check when these run, so a short
+// read or an out-of-range id here is a format inconsistency, not transport
+// corruption; everything funnels into one kSnapCorrupt at the catch site.
+// Exceptions stay confined to this translation unit.
+
+struct SnapParseError {
+  std::string what;
+};
+
+[[noreturn]] void parseFail(std::string what) {
+  throw SnapParseError{std::move(what)};
+}
+
+void check(const Status& s) {
+  if (!s.ok()) parseFail(s.str());
+}
+
+std::uint32_t rU32(std::istream& is) {
+  std::uint32_t v = 0;
+  if (!binio::getU32(is, v)) parseFail("payload ran dry reading u32");
+  return v;
+}
+std::int32_t rI32(std::istream& is) {
+  std::int32_t v = 0;
+  if (!binio::getI32(is, v)) parseFail("payload ran dry reading i32");
+  return v;
+}
+double rF64(std::istream& is) {
+  double v = 0;
+  if (!binio::getF64(is, v)) parseFail("payload ran dry reading f64");
+  return v;
+}
+std::string rStr(std::istream& is, std::uint32_t maxLen = 1u << 20) {
+  std::string s;
+  if (!binio::getStr(is, s, maxLen))
+    parseFail("payload ran dry or implausible length reading string");
+  return s;
+}
+bool rBool(std::istream& is) {
+  const std::uint32_t v = rU32(is);
+  if (v > 1) parseFail("boolean field holds " + std::to_string(v));
+  return v != 0;
+}
+int rIndex(std::istream& is, int count, const char* what) {
+  const std::int32_t v = rI32(is);
+  if (v < -1 || v >= count)
+    parseFail(std::string(what) + " index " + std::to_string(v) +
+              " outside [-1, " + std::to_string(count) + ")");
+  return v;
+}
+
+void putBool(std::ostream& os, bool v) {
+  binio::putU32(os, v ? 1u : 0u);
+}
+
+// --- netlist ----------------------------------------------------------------
+
+void writeNetlist(std::ostream& os, const Netlist& nl) {
+  using namespace binio;
+  putU32(os, static_cast<std::uint32_t>(nl.portCount()));
+  for (PortId p = 0; p < nl.portCount(); ++p) {
+    const Port& port = nl.port(p);
+    putStr(os, port.name);
+    putBool(os, port.isInput);
+    putBool(os, port.constant);
+  }
+  putU32(os, static_cast<std::uint32_t>(nl.netCount()));
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    const Net& net = nl.net(n);
+    putStr(os, net.name);
+    putI32(os, net.ndrClass);
+    putI32(os, net.layer);
+    putF64(os, net.millerOverride);
+  }
+  putU32(os, static_cast<std::uint32_t>(nl.instanceCount()));
+  for (InstId i = 0; i < nl.instanceCount(); ++i) {
+    const Instance& inst = nl.instance(i);
+    putStr(os, inst.name);
+    putI32(os, inst.cellIndex);
+    putF64(os, inst.x);
+    putF64(os, inst.y);
+    putI32(os, inst.row);
+    putI32(os, inst.siteLo);
+    putBool(os, inst.fixed);
+    putBool(os, inst.isClockTreeBuffer);
+    putF64(os, inst.usefulSkew);
+  }
+  // Connectivity, net-major. Sink lists are written in stored order and
+  // replayed through tryConnectInput in that same order: sink order decides
+  // RC tree node order and endpoint enumeration order, so replaying it
+  // exactly is part of the bitwise round-trip contract.
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    const Net& net = nl.net(n);
+    putI32(os, net.driver);
+    putI32(os, net.driverPort);
+    putI32(os, net.loadPort);
+    putU32(os, static_cast<std::uint32_t>(net.sinks.size()));
+    for (const Net::Sink& s : net.sinks) {
+      putI32(os, s.inst);
+      putI32(os, s.pin);
+    }
+  }
+  // Port->net as seen from the port side. Authoritative for port.net on
+  // read: a net remembers only ONE loadPort (and driverPort), but several
+  // primary outputs may share a net, so the net records alone cannot
+  // reconstruct every port's connection.
+  for (PortId p = 0; p < nl.portCount(); ++p) putI32(os, nl.port(p).net);
+  putU32(os, static_cast<std::uint32_t>(nl.clocks().size()));
+  for (const ClockDef& c : nl.clocks()) {
+    putStr(os, c.name);
+    putI32(os, c.port);
+    putF64(os, c.period);
+    putF64(os, c.jitter);
+    putF64(os, c.sourceLatency);
+  }
+  putU32(os, static_cast<std::uint32_t>(nl.quarantinedPins().size()));
+  for (const Netlist::PinRef& q : nl.quarantinedPins()) {
+    putI32(os, q.inst);
+    putI32(os, q.pin);
+  }
+}
+
+std::shared_ptr<Netlist> readNetlist(std::istream& is,
+                                     std::shared_ptr<const Library> lib) {
+  auto nl = std::make_shared<Netlist>(std::move(lib));
+
+  const std::uint32_t nPorts = rU32(is);
+  for (std::uint32_t p = 0; p < nPorts; ++p) {
+    const std::string name = rStr(is);
+    const bool isInput = rBool(is);
+    const bool constant = rBool(is);
+    const PortId id = nl->addPort(name, isInput);
+    nl->port(id).constant = constant;
+  }
+  const std::uint32_t nNets = rU32(is);
+  for (std::uint32_t n = 0; n < nNets; ++n) {
+    const NetId id = nl->addNet(rStr(is));
+    Net& net = nl->net(id);
+    net.ndrClass = rI32(is);
+    net.layer = rI32(is);
+    net.millerOverride = rF64(is);
+  }
+  const std::uint32_t nInsts = rU32(is);
+  for (std::uint32_t i = 0; i < nInsts; ++i) {
+    const std::string name = rStr(is);
+    const std::int32_t cellIndex = rI32(is);
+    InstId id = -1;
+    check(nl->tryAddInstance(name, cellIndex, &id));
+    Instance& inst = nl->instance(id);
+    inst.x = rF64(is);
+    inst.y = rF64(is);
+    inst.row = rI32(is);
+    inst.siteLo = rI32(is);
+    inst.fixed = rBool(is);
+    inst.isClockTreeBuffer = rBool(is);
+    inst.usefulSkew = rF64(is);
+  }
+  for (std::uint32_t n = 0; n < nNets; ++n) {
+    const NetId net = static_cast<NetId>(n);
+    const int driver = rIndex(is, nl->instanceCount(), "net driver");
+    const int driverPort = rIndex(is, nl->portCount(), "net driver port");
+    const int loadPort = rIndex(is, nl->portCount(), "net load port");
+    if (driver >= 0) check(nl->tryConnectOutput(driver, net));
+    if (driverPort >= 0) check(nl->tryConnectPortToNet(driverPort, net));
+    if (loadPort >= 0) check(nl->tryConnectPortToNet(loadPort, net));
+    const std::uint32_t nSinks = rU32(is);
+    for (std::uint32_t s = 0; s < nSinks; ++s) {
+      const int inst = rIndex(is, nl->instanceCount(), "sink instance");
+      const std::int32_t pin = rI32(is);
+      check(nl->tryConnectInput(inst, pin, net));
+    }
+  }
+  for (PortId p = 0; p < nl->portCount(); ++p) {
+    const int net = rIndex(is, nl->netCount(), "port net");
+    // The net-record replay above set port.net for the one port each net
+    // remembers; the port-side table overrides it so ports that share a
+    // net (several primary outputs on one net, or one primary input
+    // driving several nets) restore exactly.
+    nl->port(p).net = net;
+  }
+  const std::uint32_t nClocks = rU32(is);
+  for (std::uint32_t c = 0; c < nClocks; ++c) {
+    ClockDef clk;
+    clk.name = rStr(is);
+    clk.port = rIndex(is, nl->portCount(), "clock port");
+    clk.period = rF64(is);
+    clk.jitter = rF64(is);
+    clk.sourceLatency = rF64(is);
+    nl->defineClock(clk);
+  }
+  const std::uint32_t nQuar = rU32(is);
+  for (std::uint32_t q = 0; q < nQuar; ++q) {
+    const int inst = rIndex(is, nl->instanceCount(), "quarantined instance");
+    const std::int32_t pin = rI32(is);
+    nl->quarantinePin(inst, pin);
+  }
+  return nl;
+}
+
+// --- scenarios --------------------------------------------------------------
+
+void writeScenario(std::ostream& os, const Scenario& sc,
+                   std::uint32_t libIndex) {
+  using namespace binio;
+  putStr(os, sc.name);
+  putU32(os, libIndex);
+  putI32(os, static_cast<std::int32_t>(sc.beol));
+  putF64(os, sc.tightenSigma);
+  putI32(os, sc.techNm);
+  putI32(os, static_cast<std::int32_t>(sc.derate.mode));
+  putF64(os, sc.derate.flatLate);
+  putF64(os, sc.derate.flatEarly);
+  putF64(os, sc.derate.sigmaCount);
+  putBool(os, sc.derate.cppr);
+  putF64(os, sc.limits.maxTransition);
+  putF64(os, sc.limits.maxCapacitance);
+  putF64(os, sc.clockUncertaintySetup);
+  putF64(os, sc.clockUncertaintyHold);
+  putF64(os, sc.extraSetupMargin);
+  putF64(os, sc.extraHoldMargin);
+  putF64(os, sc.inputDelay);
+  putBool(os, sc.disableDataInputs);
+  putF64(os, sc.inputSlew);
+  putBool(os, sc.misAware);
+}
+
+Scenario readScenario(
+    std::istream& is,
+    const std::vector<std::shared_ptr<const Library>>& libs) {
+  Scenario sc;
+  sc.name = rStr(is);
+  const std::uint32_t libIndex = rU32(is);
+  if (libIndex >= libs.size())
+    parseFail("scenario " + sc.name + " references library " +
+              std::to_string(libIndex) + " of " +
+              std::to_string(libs.size()));
+  sc.lib = libs[libIndex];
+  const std::int32_t beol = rI32(is);
+  if (beol < 0 || beol > static_cast<int>(BeolCorner::kRCbest))
+    parseFail("scenario " + sc.name + " BEOL corner " +
+              std::to_string(beol) + " out of range");
+  sc.beol = static_cast<BeolCorner>(beol);
+  sc.tightenSigma = rF64(is);
+  sc.techNm = rI32(is);
+  const std::int32_t mode = rI32(is);
+  if (mode < 0 || mode > static_cast<int>(DerateMode::kLvf))
+    parseFail("scenario " + sc.name + " derate mode " +
+              std::to_string(mode) + " out of range");
+  sc.derate.mode = static_cast<DerateMode>(mode);
+  sc.derate.flatLate = rF64(is);
+  sc.derate.flatEarly = rF64(is);
+  sc.derate.sigmaCount = rF64(is);
+  sc.derate.cppr = rBool(is);
+  sc.limits.maxTransition = rF64(is);
+  sc.limits.maxCapacitance = rF64(is);
+  sc.clockUncertaintySetup = rF64(is);
+  sc.clockUncertaintyHold = rF64(is);
+  sc.extraSetupMargin = rF64(is);
+  sc.extraHoldMargin = rF64(is);
+  sc.inputDelay = rF64(is);
+  sc.disableDataInputs = rBool(is);
+  sc.inputSlew = rF64(is);
+  sc.misAware = rBool(is);
+  return sc;
+}
+
+Status failAndReport(DiagnosticSink* sink, DiagCode code,
+                     std::string message) {
+  if (sink) sink->error(code, message, "snapshot");
+  return Status::failure(code, std::move(message));
+}
+
+}  // namespace
+
+DesignSnapshot makeSnapshot(const Netlist& netlist,
+                            std::vector<Scenario> scenarios,
+                            bool includeSpef) {
+  DesignSnapshot snap;
+  std::map<const Library*, std::uint32_t> index;
+  auto intern = [&](const std::shared_ptr<const Library>& lib) {
+    if (!lib) return;
+    if (index.emplace(lib.get(),
+                      static_cast<std::uint32_t>(snap.libraries.size()))
+            .second)
+      snap.libraries.push_back(lib);
+  };
+  intern(netlist.libraryPtr());
+  for (const Scenario& sc : scenarios) intern(sc.lib);
+
+  snap.netlist = std::make_shared<Netlist>(netlist);
+  snap.scenarios = std::move(scenarios);
+
+  if (includeSpef && !snap.scenarios.empty()) {
+    const Scenario& sc = snap.scenarios.front();
+    Extractor ex(*snap.netlist, BeolStack::forNode(techNode(sc.techNm)));
+    ExtractionOptions opt;
+    opt.corner = sc.beol;
+    opt.temp = sc.temp();
+    opt.tightenSigma = sc.tightenSigma;
+    snap.spef = toSpef(*snap.netlist, ex, opt);
+  }
+  return snap;
+}
+
+Status writeSnapshot(const DesignSnapshot& snap, std::ostream& os) {
+  if (!snap.netlist)
+    return Status::failure(DiagCode::kSnapUnsupported,
+                           "snapshot has no netlist");
+  std::map<const Library*, std::uint32_t> index;
+  for (std::size_t i = 0; i < snap.libraries.size(); ++i)
+    index.emplace(snap.libraries[i].get(), static_cast<std::uint32_t>(i));
+  auto indexOf = [&](const std::shared_ptr<const Library>& lib,
+                     std::uint32_t* out) {
+    auto it = lib ? index.find(lib.get()) : index.end();
+    if (it == index.end()) return false;
+    *out = it->second;
+    return true;
+  };
+
+  std::uint32_t netlistLib = 0;
+  if (!indexOf(snap.netlist->libraryPtr(), &netlistLib))
+    return Status::failure(DiagCode::kSnapUnsupported,
+                           "netlist library missing from snapshot table");
+  for (const Scenario& sc : snap.scenarios) {
+    if (sc.sadp)
+      return Status::failure(
+          DiagCode::kSnapUnsupported,
+          "scenario " + sc.name +
+              " carries a SADP model, which snapshots cannot transport");
+    std::uint32_t idx = 0;
+    if (!indexOf(sc.lib, &idx))
+      return Status::failure(DiagCode::kSnapUnsupported,
+                             "scenario " + sc.name +
+                                 " library missing from snapshot table");
+  }
+  if (snap.spef.size() > kMaxSpef)
+    return Status::failure(DiagCode::kSnapUnsupported,
+                           "SPEF blob exceeds the format cap");
+
+  std::ostringstream payload(std::ios::binary);
+  binio::putU32(payload,
+                static_cast<std::uint32_t>(snap.libraries.size()));
+  for (const auto& lib : snap.libraries) writeLibraryBody(payload, *lib);
+  binio::putU32(payload, netlistLib);
+  writeNetlist(payload, *snap.netlist);
+  binio::putU32(payload,
+                static_cast<std::uint32_t>(snap.scenarios.size()));
+  for (const Scenario& sc : snap.scenarios) {
+    std::uint32_t idx = 0;
+    indexOf(sc.lib, &idx);
+    writeScenario(payload, sc, idx);
+  }
+  binio::putU32(payload, static_cast<std::uint32_t>(snap.spef.size()));
+  payload.write(snap.spef.data(),
+                static_cast<std::streamsize>(snap.spef.size()));
+
+  const std::string bytes = payload.str();
+  binio::putU32(os, kMagic);
+  binio::putU32(os, kVersion);
+  binio::putU64(os, bytes.size());
+  binio::putU32(os, crc32(bytes.data(), bytes.size()));
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os)
+    return Status::failure(DiagCode::kSnapTruncated,
+                           "short write emitting snapshot");
+  return Status::okStatus();
+}
+
+Status writeSnapshotFile(const DesignSnapshot& snap,
+                         const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os)
+    return Status::failure(DiagCode::kSnapTruncated,
+                           "cannot open " + path + " for writing");
+  return writeSnapshot(snap, os);
+}
+
+Result<DesignSnapshot> readSnapshot(std::istream& is, DiagnosticSink* sink) {
+  std::uint32_t magic = 0, version = 0, crc = 0;
+  std::uint64_t size = 0;
+  if (!binio::getU32(is, magic))
+    return failAndReport(sink, DiagCode::kSnapTruncated,
+                         "stream ends before the snapshot header");
+  if (magic != kMagic)
+    return failAndReport(sink, DiagCode::kSnapBadMagic,
+                         "bad magic word: not a design snapshot");
+  if (!binio::getU32(is, version) || !binio::getU64(is, size) ||
+      !binio::getU32(is, crc))
+    return failAndReport(sink, DiagCode::kSnapTruncated,
+                         "stream ends inside the snapshot header");
+  if (version != kVersion)
+    return failAndReport(sink, DiagCode::kSnapVersionMismatch,
+                         "snapshot format version " +
+                             std::to_string(version) + ", expected " +
+                             std::to_string(kVersion));
+  if (size > kMaxPayload)
+    return failAndReport(sink, DiagCode::kSnapCorrupt,
+                         "implausible payload size " +
+                             std::to_string(size));
+
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (static_cast<std::uint64_t>(is.gcount()) != size)
+    return failAndReport(
+        sink, DiagCode::kSnapTruncated,
+        "payload truncated: " + std::to_string(is.gcount()) + " of " +
+            std::to_string(size) + " bytes present");
+  // Integrity first: no payload byte is interpreted until the whole blob
+  // checks out, so a flipped bit anywhere surfaces here, not as a
+  // mysterious parse artifact downstream.
+  const std::uint32_t actual = crc32(bytes.data(), bytes.size());
+  if (actual != crc)
+    return failAndReport(
+        sink, DiagCode::kSnapChecksumMismatch,
+        "payload checksum mismatch: stored " + std::to_string(crc) +
+            ", computed " + std::to_string(actual));
+
+  try {
+    std::istringstream ps(bytes, std::ios::binary);
+    DesignSnapshot snap;
+    const std::uint32_t nLibs = rU32(ps);
+    if (nLibs > 4096) parseFail("implausible library count");
+    for (std::uint32_t i = 0; i < nLibs; ++i) {
+      auto lib = readLibraryBody(ps, sink, "snapshot lib " +
+                                               std::to_string(i));
+      if (!lib) parseFail("library body " + std::to_string(i) + " invalid");
+      snap.libraries.push_back(std::move(lib));
+    }
+    const std::uint32_t netlistLib = rU32(ps);
+    if (netlistLib >= snap.libraries.size())
+      parseFail("netlist library index out of range");
+    snap.netlist = readNetlist(ps, snap.libraries[netlistLib]);
+    const std::uint32_t nScn = rU32(ps);
+    if (nScn > 65536) parseFail("implausible scenario count");
+    for (std::uint32_t i = 0; i < nScn; ++i)
+      snap.scenarios.push_back(readScenario(ps, snap.libraries));
+    snap.spef = rStr(ps, kMaxSpef);
+    if (ps.peek() != std::istream::traits_type::eof())
+      parseFail("trailing bytes after the snapshot payload");
+    if (!snap.spef.empty()) {
+      DiagnosticSink spefSink;
+      auto parsed = parseSpef(snap.spef, spefSink);
+      if (!parsed.ok())
+        parseFail("embedded SPEF rejected: " + parsed.status().str());
+    }
+    return snap;
+  } catch (const SnapParseError& e) {
+    return failAndReport(sink, DiagCode::kSnapCorrupt,
+                         "checksummed payload is inconsistent: " + e.what);
+  } catch (const std::exception& e) {
+    return failAndReport(
+        sink, DiagCode::kSnapCorrupt,
+        std::string("checksummed payload is inconsistent: ") + e.what());
+  }
+}
+
+Result<DesignSnapshot> readSnapshotFile(const std::string& path,
+                                        DiagnosticSink* sink) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    return failAndReport(sink, DiagCode::kSnapTruncated,
+                         "cannot open " + path);
+  return readSnapshot(is, sink);
+}
+
+}  // namespace tc

@@ -1,0 +1,73 @@
+#pragma once
+/// \file snapshot.h
+/// \brief Design snapshot: versioned, checksummed binary serialization of a
+/// netlist + scenario set + characterized libraries (+ SPEF parasitics) for
+/// shipping MCMM work across process boundaries.
+///
+/// The scenario farm (signoff/farm.h) fans signoff views out across worker
+/// *processes*; a worker must reconstruct the exact analysis context the
+/// dispatcher holds so its results merge bit-identically with an in-process
+/// run. The snapshot is that context, round-tripped exactly:
+///  - doubles serialize as their in-memory representation (bitwise),
+///  - netlist reconstruction replays construction in stored order, so every
+///    id, sink order, and quarantine entry matches the original, and
+///  - scenario libraries are embedded (deduplicated) so the worker never
+///    re-characterizes — loading a snapshot is cheap and deterministic.
+///
+/// Integrity model (extends PR 1's zero-crash guarantee to files): a header
+/// carries magic word, format version, payload size, and a CRC-32 of the
+/// payload. The reader verifies the checksum BEFORE parsing a single
+/// payload byte, so any truncation or bit flip anywhere in the payload is
+/// reported as a clean tc::Status (kSnapTruncated / kSnapChecksumMismatch)
+/// — never parsed into garbage, never a crash. Header corruption is caught
+/// by the magic/version/size checks; parse-level surprises behind a valid
+/// checksum (a format bug, not corruption) still fail soft as kSnapCorrupt.
+/// snapshot_test.cpp proves every single-byte corruption is caught.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "network/netlist.h"
+#include "sta/scenario.h"
+#include "util/status.h"
+
+namespace tc {
+
+/// Everything one MCMM signoff pass needs, in transportable form.
+struct DesignSnapshot {
+  /// Deduplicated library table; scenarios reference entries by index.
+  std::vector<std::shared_ptr<const Library>> libraries;
+  /// The design, built over its reference library (one of `libraries`).
+  std::shared_ptr<Netlist> netlist;
+  /// The scenario set, lib pointers aliasing `libraries` entries.
+  std::vector<Scenario> scenarios;
+  /// SPEF text of the extracted parasitics at the first scenario's BEOL
+  /// view (informational cross-check; workers re-extract from the netlist,
+  /// which is what keeps farm results bit-identical to in-process runs).
+  /// Validated through the recoverable SPEF reader on load when non-empty.
+  std::string spef;
+};
+
+/// Bundle a netlist + scenario set into snapshot form. Deduplicates the
+/// library table by pointer identity and (when `includeSpef`) renders the
+/// SPEF blob at the first scenario's extraction context.
+DesignSnapshot makeSnapshot(const Netlist& netlist,
+                            std::vector<Scenario> scenarios,
+                            bool includeSpef = true);
+
+/// Serialize. Fails (kSnapUnsupported) when a scenario carries state a
+/// snapshot cannot transport (an attached SadpModel), or on stream error.
+Status writeSnapshot(const DesignSnapshot& snap, std::ostream& os);
+Status writeSnapshotFile(const DesignSnapshot& snap, const std::string& path);
+
+/// Deserialize. Corruption of any kind comes back as a failure Status with
+/// the matching kSnap* code, with detail reported to `sink` (which may be
+/// null); success round-trips bitwise: writeSnapshot(readSnapshot(bytes))
+/// reproduces `bytes` exactly.
+Result<DesignSnapshot> readSnapshot(std::istream& is, DiagnosticSink* sink);
+Result<DesignSnapshot> readSnapshotFile(const std::string& path,
+                                        DiagnosticSink* sink);
+
+}  // namespace tc

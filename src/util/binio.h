@@ -1,0 +1,78 @@
+#pragma once
+/// \file binio.h
+/// \brief Native-endian binary stream helpers shared by the liberty
+/// serializer (liberty/serialize.cpp) and design snapshots
+/// (signoff/snapshot.cpp).
+///
+/// Writers mirror readers exactly; doubles are written as their in-memory
+/// representation so every round trip is bitwise (the determinism contracts
+/// of the farm depend on serialized timing quantities reloading exactly).
+/// Readers never trust a length field blindly: strings and vectors carry
+/// plausibility caps so a corrupt count fails the read instead of driving a
+/// multi-gigabyte allocation. Files produced on one endianness are not
+/// readable on the other — acceptable for snapshot/cache files consumed on
+/// the machine (or cluster) that wrote them.
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tc::binio {
+
+inline void putU32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+inline void putI32(std::ostream& os, std::int32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+inline void putU64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+inline void putF64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+inline void putStr(std::ostream& os, const std::string& s) {
+  putU32(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+inline void putVec(std::ostream& os, const std::vector<double>& v) {
+  putU32(os, static_cast<std::uint32_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+inline bool getU32(std::istream& is, std::uint32_t& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+inline bool getI32(std::istream& is, std::int32_t& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+inline bool getU64(std::istream& is, std::uint64_t& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+inline bool getF64(std::istream& is, double& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+/// `maxLen` caps the declared size (default 1 MiB — no design entity name
+/// or diagnostic message is legitimately larger).
+inline bool getStr(std::istream& is, std::string& s,
+                   std::uint32_t maxLen = 1u << 20) {
+  std::uint32_t n = 0;
+  if (!getU32(is, n) || n > maxLen) return false;
+  s.resize(n);
+  return static_cast<bool>(is.read(s.data(), n));
+}
+/// `maxLen` caps the element count (default 16M doubles = 128 MiB).
+inline bool getVec(std::istream& is, std::vector<double>& v,
+                   std::uint32_t maxLen = 1u << 24) {
+  std::uint32_t n = 0;
+  if (!getU32(is, n) || n > maxLen) return false;
+  v.resize(n);
+  return static_cast<bool>(
+      is.read(reinterpret_cast<char*>(v.data()),
+              static_cast<std::streamsize>(n * sizeof(double))));
+}
+
+}  // namespace tc::binio

@@ -1,0 +1,23 @@
+#pragma once
+/// \file checksum.h
+/// \brief CRC-32 (ISO-HDLC polynomial) for framing binary payloads.
+///
+/// The multi-process scenario farm moves designs and results across
+/// process boundaries where a crashed or wedged worker can truncate or
+/// scribble on a stream mid-write. Every snapshot payload and every result
+/// frame therefore carries a CRC so corruption is *detected* and routed
+/// through tc::Status / DiagnosticSink instead of being parsed into
+/// garbage. CRC-32 catches all single-byte and burst errors shorter than
+/// 32 bits, which covers the truncate/bit-flip fault model the
+/// farm-faultinject suite injects (see DESIGN.md "Process fault model").
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tc {
+
+/// CRC-32 of `len` bytes, continuing from `seed` (pass the previous return
+/// value to checksum a stream in chunks; 0 starts a fresh checksum).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace tc

@@ -53,6 +53,20 @@ const char* toString(DiagCode code) {
     case DiagCode::kStatsDomainClamped: return "STATS_DOMAIN_CLAMPED";
     case DiagCode::kPbaRetraceWorseThanGba:
       return "PBA_RETRACE_WORSE_THAN_GBA";
+    case DiagCode::kSnapBadMagic: return "SNAP_BAD_MAGIC";
+    case DiagCode::kSnapVersionMismatch: return "SNAP_VERSION_MISMATCH";
+    case DiagCode::kSnapTruncated: return "SNAP_TRUNCATED";
+    case DiagCode::kSnapChecksumMismatch: return "SNAP_CHECKSUM_MISMATCH";
+    case DiagCode::kSnapCorrupt: return "SNAP_CORRUPT";
+    case DiagCode::kSnapUnsupported: return "SNAP_UNSUPPORTED";
+    case DiagCode::kFarmWorkerMissing: return "FARM_WORKER_MISSING";
+    case DiagCode::kFarmWorkerCrashed: return "FARM_WORKER_CRASHED";
+    case DiagCode::kFarmWorkerTimeout: return "FARM_WORKER_TIMEOUT";
+    case DiagCode::kFarmWorkerHung: return "FARM_WORKER_HUNG";
+    case DiagCode::kFarmFrameCorrupt: return "FARM_FRAME_CORRUPT";
+    case DiagCode::kFarmDuplicateResult: return "FARM_DUPLICATE_RESULT";
+    case DiagCode::kFarmScenarioQuarantined:
+      return "FARM_SCENARIO_QUARANTINED";
   }
   return "UNKNOWN";
 }

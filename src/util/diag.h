@@ -80,6 +80,23 @@ enum class DiagCode {
 
   // --- Path-based analysis -------------------------------------------------
   kPbaRetraceWorseThanGba, ///< exact retrace evaluated beyond its GBA bound
+
+  // --- Design snapshot (farm serialization) --------------------------------
+  kSnapBadMagic,           ///< not a tc snapshot file
+  kSnapVersionMismatch,    ///< written by an incompatible format revision
+  kSnapTruncated,          ///< stream ended inside the header or payload
+  kSnapChecksumMismatch,   ///< payload CRC disagrees with the header
+  kSnapCorrupt,            ///< well-framed but implausible/inconsistent data
+  kSnapUnsupported,        ///< design uses a feature snapshots cannot carry
+
+  // --- Scenario farm (multi-process dispatch) ------------------------------
+  kFarmWorkerMissing,      ///< worker binary not found / not executable
+  kFarmWorkerCrashed,      ///< worker exited without a valid result frame
+  kFarmWorkerTimeout,      ///< scenario exceeded its wall-clock budget
+  kFarmWorkerHung,         ///< heartbeat silence past the hang threshold
+  kFarmFrameCorrupt,       ///< result frame truncated or failed its CRC
+  kFarmDuplicateResult,    ///< second result for a scenario (retry race)
+  kFarmScenarioQuarantined,///< poison corner: every attempt failed
 };
 
 const char* toString(DiagCode code);

@@ -1,0 +1,88 @@
+/// \file farm_determinism_test.cpp
+/// \brief The farm's headline contract: runMcmmFarm() is byte-identical to
+/// the in-process McmmRunner on the same inputs, at every worker count,
+/// and across repeated passes. Runs in the determinism ctest label next to
+/// the thread-pool identity suite it extends — same comparator
+/// (tests/mcmm_identical.h), new process boundary.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "network/netgen.h"
+#include "mcmm_identical.h"
+#include "signoff/farm.h"
+#include "util/log.h"
+
+namespace tc {
+namespace {
+
+using testutil::expectIdentical;
+using testutil::scenarioSet;
+
+TEST(FarmDeterminism, FarmMatchesInProcessAtEveryWorkerCount) {
+  LogCapture quiet;
+  // Fault variables left over from other suites must not leak in here.
+  unsetenv("TC_FARM_FAULT");
+  const std::vector<Scenario> scenarios = scenarioSet();
+  const Netlist nl = generateBlock(scenarios.front().lib, profileTiny());
+
+  // PBA tail on: the serialized ScenarioResult must carry the enumeration
+  // results and certificates across the process boundary bit-for-bit.
+  McmmOptions mcmm;
+  mcmm.pbaEndpoints = 3;
+
+  McmmRunner runner(nl, scenarios);
+  const McmmResult ref = runner.run(mcmm);
+  ASSERT_FALSE(ref.scenarios.empty());
+  ASSERT_FALSE(ref.scenarios.front().endpoints.empty());
+  ASSERT_FALSE(ref.scenarios.front().pba.empty());
+
+  for (int workers : {1, 4, 16}) {
+    FarmOptions opt;
+    opt.workers = workers;
+    opt.mcmm = mcmm;
+    FarmStats stats;
+    const McmmResult farm = runMcmmFarm(nl, scenarios, opt, &stats);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EXPECT_EQ(stats.quarantined, 0);
+    EXPECT_EQ(stats.crashes, 0);
+    EXPECT_EQ(stats.frameErrors, 0);
+    expectIdentical(ref, farm, "farm workers=" + std::to_string(workers));
+  }
+}
+
+TEST(FarmDeterminism, RepeatedFarmPassesAreStable) {
+  LogCapture quiet;
+  unsetenv("TC_FARM_FAULT");
+  const std::vector<Scenario> scenarios = scenarioSet();
+  const Netlist nl = generateBlock(scenarios.front().lib, profileTiny());
+
+  FarmOptions opt;
+  opt.workers = 4;
+  const McmmResult first = runMcmmFarm(nl, scenarios, opt, nullptr);
+  const McmmResult second = runMcmmFarm(nl, scenarios, opt, nullptr);
+  expectIdentical(first, second, "repeat");
+}
+
+TEST(FarmDeterminism, SnapshotOverloadMatchesNetlistOverload) {
+  // Explicit snapshot (the artifact a real farm would ship) and the
+  // convenience overload produce the same merged result.
+  LogCapture quiet;
+  unsetenv("TC_FARM_FAULT");
+  const std::vector<Scenario> scenarios = scenarioSet();
+  const Netlist nl = generateBlock(scenarios.front().lib, profileTiny());
+
+  FarmOptions opt;
+  opt.workers = 2;
+  const McmmResult viaNetlist = runMcmmFarm(nl, scenarios, opt, nullptr);
+  const DesignSnapshot snap =
+      makeSnapshot(nl, scenarios, /*includeSpef=*/false);
+  const McmmResult viaSnapshot = runMcmmFarm(snap, opt, nullptr);
+  expectIdentical(viaNetlist, viaSnapshot, "snapshot overload");
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,334 @@
+/// \file farm_faultinject_test.cpp
+/// \brief Farm fault-injection matrix (ctest label: farmfault). Each case
+/// sets TC_FARM_FAULT (see tools/goalposts_worker.cpp) so workers crash,
+/// freeze, stall, or corrupt their result frames at chosen points, and
+/// asserts the dispatcher's two promises:
+///
+///   1. survival — no injected fault crashes or wedges the dispatcher, and
+///   2. determinism — when every scenario eventually succeeds, the merged
+///      McmmResult is byte-identical to the in-process reference, whatever
+///      was killed, hung, or duplicated along the way; when a scenario is
+///      poisoned past maxAttempts it is quarantined with the documented
+///      conservative marker and the pass still completes.
+///
+/// The suite is its own binary so `ctest -L farmfault` can run it alone,
+/// e.g. inside a -DTC_SANITIZE=address,undefined build (timeouts here
+/// carry ASan headroom for that reason).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "network/netgen.h"
+#include "mcmm_identical.h"
+#include "signoff/farm.h"
+#include "util/log.h"
+
+namespace tc {
+namespace {
+
+using testutil::expectIdentical;
+using testutil::scenarioSet;
+
+/// RAII TC_FARM_FAULT setter so a failed ASSERT can't leak a fault spec
+/// into the next test.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec) {
+    setenv("TC_FARM_FAULT", spec.c_str(), 1);
+  }
+  ~ScopedFault() { unsetenv("TC_FARM_FAULT"); }
+};
+
+/// Shared inputs: the standard 4-corner scenario set over a tiny block,
+/// with the in-process reference computed once.
+class FarmFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LogCapture quiet;
+    scenarios_ = new std::vector<Scenario>(scenarioSet());
+    netlist_ = new Netlist(
+        generateBlock(scenarios_->front().lib, profileTiny()));
+    McmmRunner runner(*netlist_, *scenarios_);
+    ref_ = new McmmResult(runner.run(McmmOptions{}));
+  }
+  static void TearDownTestSuite() {
+    delete ref_;
+    delete netlist_;
+    delete scenarios_;
+  }
+
+  /// Fault-tolerant farm options: generous wall clock, tight-but-safe hang
+  /// detection (several seconds of ASan headroom), fast retries.
+  static FarmOptions tolerantOptions() {
+    FarmOptions opt;
+    opt.workers = 3;
+    opt.scenarioTimeoutSec = 120.0;
+    opt.heartbeatSec = 0.05;
+    opt.heartbeatTimeoutSec = 3.0;
+    opt.maxAttempts = 3;
+    opt.backoffBaseSec = 0.01;
+    return opt;
+  }
+
+  /// Run the farm under `spec` and require full recovery: nothing
+  /// quarantined and a byte-identical merge, with at least one failure
+  /// notice drawn from `expectNotices` (several classifications can be
+  /// legitimate for one fault — e.g. a truncated frame reads as a clean
+  /// EOF with no result OR as corruption, depending on whether a heartbeat
+  /// lands behind the stub). `stragglers=false` keeps the straggler
+  /// re-dispatch from rescuing the scenario before the failure path under
+  /// test (hang detection in particular) gets to fire.
+  void expectRecovers(const std::string& spec,
+                      std::vector<DiagCode> expectNotices,
+                      FarmStats* statsOut = nullptr,
+                      bool stragglers = true) {
+    LogCapture quiet;
+    SCOPED_TRACE("TC_FARM_FAULT=" + spec);
+    ScopedFault fault(spec);
+    FarmOptions opt = tolerantOptions();
+    opt.stragglerRedispatch = stragglers;
+    DiagnosticSink sink;
+    opt.sink = &sink;
+    FarmStats stats;
+    const McmmResult farm =
+        runMcmmFarm(*netlist_, *scenarios_, opt, &stats);
+    EXPECT_EQ(stats.quarantined, 0);
+    EXPECT_GE(stats.retries, 1);
+    int notices = 0;
+    for (DiagCode code : expectNotices) notices += sink.count(code);
+    EXPECT_GE(notices, 1);
+    expectIdentical(*ref_, farm, spec);
+    if (statsOut) *statsOut = stats;
+  }
+
+  static std::vector<Scenario>* scenarios_;
+  static Netlist* netlist_;
+  static McmmResult* ref_;
+};
+
+std::vector<Scenario>* FarmFaultTest::scenarios_ = nullptr;
+Netlist* FarmFaultTest::netlist_ = nullptr;
+McmmResult* FarmFaultTest::ref_ = nullptr;
+
+// --- crash kinds at every process fault point -------------------------------
+
+TEST_F(FarmFaultTest, AbortAtLoadRecovers) {
+  FarmStats stats;
+  expectRecovers("abort@load:scn=1:attempt=1",
+                 {DiagCode::kFarmWorkerCrashed}, &stats);
+  EXPECT_GE(stats.crashes, 1);
+}
+
+TEST_F(FarmFaultTest, AbortAtRunRecovers) {
+  expectRecovers("abort@run:scn=2:attempt=1",
+                 {DiagCode::kFarmWorkerCrashed});
+}
+
+TEST_F(FarmFaultTest, AbortAtStreamRecovers) {
+  expectRecovers("abort@stream:scn=0:attempt=1",
+                 {DiagCode::kFarmWorkerCrashed});
+}
+
+TEST_F(FarmFaultTest, SigkillAtLoadRecovers) {
+  expectRecovers("sigkill@load:scn=0:attempt=1",
+                 {DiagCode::kFarmWorkerCrashed});
+}
+
+TEST_F(FarmFaultTest, SigkillAtRunRecovers) {
+  expectRecovers("sigkill@run:scn=1:attempt=1",
+                 {DiagCode::kFarmWorkerCrashed});
+}
+
+TEST_F(FarmFaultTest, SigkillAtStreamRecovers) {
+  expectRecovers("sigkill@stream:scn=3:attempt=1",
+                 {DiagCode::kFarmWorkerCrashed});
+}
+
+// --- hang detection at every process fault point ----------------------------
+
+TEST_F(FarmFaultTest, HangAtLoadIsDetectedAndRetried) {
+  FarmStats stats;
+  expectRecovers("hang@load:scn=1:attempt=1",
+                 {DiagCode::kFarmWorkerHung}, &stats, /*stragglers=*/false);
+  EXPECT_GE(stats.hangs, 1);
+}
+
+TEST_F(FarmFaultTest, HangAtRunIsDetectedAndRetried) {
+  expectRecovers("hang@run:scn=2:attempt=1",
+                 {DiagCode::kFarmWorkerHung}, nullptr, /*stragglers=*/false);
+}
+
+TEST_F(FarmFaultTest, HangAtStreamIsDetectedAndRetried) {
+  expectRecovers("hang@stream:scn=0:attempt=1",
+                 {DiagCode::kFarmWorkerHung}, nullptr, /*stragglers=*/false);
+}
+
+TEST_F(FarmFaultTest, StragglerRedispatchRescuesAHungWorkerEarly) {
+  // With stragglers ON, a silent hang is often outraced by the re-dispatch
+  // copy before heartbeat silence crosses the threshold — the pass still
+  // merges byte-identically either way, whichever mechanism wins.
+  LogCapture quiet;
+  ScopedFault fault("hang@run:scn=1:attempt=1");
+  FarmOptions opt = tolerantOptions();
+  FarmStats stats;
+  const McmmResult farm = runMcmmFarm(*netlist_, *scenarios_, opt, &stats);
+  EXPECT_EQ(stats.quarantined, 0);
+  expectIdentical(*ref_, farm, "hang vs straggler race");
+}
+
+// --- frame corruption in every region ---------------------------------------
+
+TEST_F(FarmFaultTest, TruncatedHeaderRecovers) {
+  FarmStats stats;
+  expectRecovers("truncate@header:scn=1:attempt=1",
+                 {DiagCode::kFarmWorkerCrashed, DiagCode::kFarmFrameCorrupt},
+                 &stats);
+}
+
+TEST_F(FarmFaultTest, TruncatedPayloadRecovers) {
+  expectRecovers("truncate@payload:scn=2:attempt=1",
+                 {DiagCode::kFarmWorkerCrashed, DiagCode::kFarmFrameCorrupt});
+}
+
+TEST_F(FarmFaultTest, TruncatedCrcRecovers) {
+  expectRecovers("truncate@crc:scn=0:attempt=1",
+                 {DiagCode::kFarmWorkerCrashed, DiagCode::kFarmFrameCorrupt});
+}
+
+TEST_F(FarmFaultTest, BitflipHeaderRecovers) {
+  FarmStats stats;
+  expectRecovers("bitflip@header:scn=1:attempt=1",
+                 {DiagCode::kFarmFrameCorrupt}, &stats);
+  EXPECT_GE(stats.frameErrors, 1);
+}
+
+TEST_F(FarmFaultTest, BitflipPayloadRecovers) {
+  expectRecovers("bitflip@payload:scn=3:attempt=1",
+                 {DiagCode::kFarmFrameCorrupt});
+}
+
+TEST_F(FarmFaultTest, BitflipCrcRecovers) {
+  expectRecovers("bitflip@crc:scn=2:attempt=1",
+                 {DiagCode::kFarmFrameCorrupt});
+}
+
+// --- retry escalation, quarantine, duplicates, timeouts ---------------------
+
+TEST_F(FarmFaultTest, PoisonScenarioIsQuarantinedAfterMaxAttempts) {
+  // No attempt filter: scenario 1 crashes on EVERY attempt. After
+  // maxAttempts the dispatcher must quarantine it with the documented
+  // conservative -inf marker and still merge the other three corners.
+  LogCapture quiet;
+  ScopedFault fault("abort@run:scn=1");
+  FarmOptions opt = tolerantOptions();
+  opt.maxAttempts = 2;
+  DiagnosticSink sink;
+  opt.sink = &sink;
+  FarmStats stats;
+  const McmmResult farm = runMcmmFarm(*netlist_, *scenarios_, opt, &stats);
+  // Unfiltered fault fires on every attempt => scenario 1 is quarantined
+  // with the conservative marker while the other three merge normally.
+  EXPECT_EQ(stats.quarantined, 1);
+  ASSERT_EQ(farm.scenarios.size(), 4u);
+  EXPECT_EQ(farm.scenarios[1].setupWns,
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(farm.scenarios[1].holdWns,
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(farm.scenarios[0].setupWns, ref_->scenarios[0].setupWns);
+  EXPECT_EQ(farm.scenarios[2].setupWns, ref_->scenarios[2].setupWns);
+  EXPECT_EQ(farm.scenarios[3].setupWns, ref_->scenarios[3].setupWns);
+  EXPECT_GE(sink.count(DiagCode::kFarmScenarioQuarantined), 1);
+  bool sawQuarantineDiag = false;
+  for (const Diagnostic& d : farm.merged)
+    if (d.code == DiagCode::kFarmScenarioQuarantined) sawQuarantineDiag = true;
+  EXPECT_TRUE(sawQuarantineDiag)
+      << "quarantine must surface in the merged stream";
+}
+
+TEST_F(FarmFaultTest, PoisonScenarioQuarantineIsDeterministic) {
+  // The quarantined merge itself is reproducible: two passes over the same
+  // poison produce byte-identical results.
+  LogCapture quiet;
+  ScopedFault fault("sigkill@run:scn=2");
+  FarmOptions opt = tolerantOptions();
+  opt.maxAttempts = 2;
+  const McmmResult a = runMcmmFarm(*netlist_, *scenarios_, opt, nullptr);
+  const McmmResult b = runMcmmFarm(*netlist_, *scenarios_, opt, nullptr);
+  expectIdentical(a, b, "poison repeat");
+  EXPECT_EQ(a.scenarios[2].setupWns,
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST_F(FarmFaultTest, DuplicateResultFramesAreDeduped) {
+  LogCapture quiet;
+  ScopedFault fault("dupframe@stream:scn=1:attempt=1");
+  FarmOptions opt = tolerantOptions();
+  DiagnosticSink sink;
+  opt.sink = &sink;
+  FarmStats stats;
+  const McmmResult farm = runMcmmFarm(*netlist_, *scenarios_, opt, &stats);
+  EXPECT_EQ(stats.quarantined, 0);
+  EXPECT_GE(stats.duplicates, 1);
+  expectIdentical(*ref_, farm, "dupframe");
+}
+
+TEST_F(FarmFaultTest, WallClockTimeoutKillsAndRetries) {
+  // First attempt stalls (heartbeats still flowing, so this is NOT a hang)
+  // past a 1-second wall-clock budget; the retry runs clean.
+  LogCapture quiet;
+  setenv("TC_FARM_FAULT_SLEEP_MS", "4000", 1);
+  ScopedFault fault("sleep@run:scn=0:attempt=1");
+  FarmOptions opt = tolerantOptions();
+  opt.scenarioTimeoutSec = 1.0;
+  opt.stragglerRedispatch = false;  // isolate the timeout path
+  DiagnosticSink sink;
+  opt.sink = &sink;
+  FarmStats stats;
+  const McmmResult farm = runMcmmFarm(*netlist_, *scenarios_, opt, &stats);
+  unsetenv("TC_FARM_FAULT_SLEEP_MS");
+  EXPECT_GE(stats.timeouts, 1);
+  EXPECT_EQ(stats.quarantined, 0);
+  EXPECT_GE(sink.count(DiagCode::kFarmWorkerTimeout), 1);
+  expectIdentical(*ref_, farm, "timeout retry");
+}
+
+TEST_F(FarmFaultTest, StragglerIsRedispatchedAndFirstResultWins) {
+  // One scenario stalls far past the median attempt time while slots sit
+  // idle: the straggler copy (100+ attempt namespace, so the sleep fault
+  // does not re-fire) finishes first and its result is accepted; whichever
+  // result loses the race is dropped first-accepted-wins.
+  LogCapture quiet;
+  setenv("TC_FARM_FAULT_SLEEP_MS", "8000", 1);
+  ScopedFault fault("sleep@run:scn=1:attempt=1");
+  FarmOptions opt = tolerantOptions();
+  opt.workers = 4;
+  opt.stragglerRedispatch = true;
+  opt.stragglerFactor = 1.5;
+  FarmStats stats;
+  const McmmResult farm = runMcmmFarm(*netlist_, *scenarios_, opt, &stats);
+  unsetenv("TC_FARM_FAULT_SLEEP_MS");
+  EXPECT_EQ(stats.quarantined, 0);
+  EXPECT_GE(stats.attemptsLaunched, 5);  // 4 scenarios + >=1 straggler copy
+  expectIdentical(*ref_, farm, "straggler");
+}
+
+TEST_F(FarmFaultTest, FaultFilteredToRetryAttemptNeverFires) {
+  // The attempt filter's negative side: a fault armed for attempt 2 is
+  // inert when attempt 1 succeeds — a clean pass, no retries at all.
+  LogCapture quiet;
+  ScopedFault fault("abort@run:scn=0:attempt=2");
+  FarmOptions opt = tolerantOptions();
+  FarmStats stats;
+  const McmmResult farm = runMcmmFarm(*netlist_, *scenarios_, opt, &stats);
+  EXPECT_EQ(stats.crashes, 0);
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_EQ(stats.quarantined, 0);
+  expectIdentical(*ref_, farm, "inert attempt filter");
+}
+
+}  // namespace
+}  // namespace tc

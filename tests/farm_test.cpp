@@ -1,0 +1,278 @@
+/// \file farm_test.cpp
+/// \brief Scenario-farm building blocks: the frame protocol (split feeds,
+/// corruption classes), the ScenarioResult codec (bitwise round trip), the
+/// first-accepted-wins merger, and one end-to-end farm pass against the
+/// in-process reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "signoff/farm.h"
+#include "util/log.h"
+
+namespace tc {
+namespace {
+
+using farmproto::FrameParser;
+using farmproto::FrameType;
+
+ScenarioResult sampleResult() {
+  ScenarioResult r;
+  r.scenario = "func_ssg_cw";
+  r.setupWns = -123.456789;
+  r.holdWns = 7.0;
+  r.setupTns = -4567.25;
+  r.holdTns = 0.0;
+  r.setupViolations = 12;
+  r.holdViolations = 1;
+  r.drvViolations = 3;
+  r.nanQuarantined = 2;
+  EndpointTiming e;
+  e.vertex = 42;
+  e.flop = 7;
+  e.setupSlack = -1.5;
+  e.holdSlack = std::numeric_limits<double>::infinity();
+  e.setupTrans = 1;
+  e.dataLate = 812.0625;
+  e.cpprSetup = 13.5;
+  r.endpoints.push_back(e);
+  e.vertex = 43;
+  e.holdSlack = 0.1 + 0.2;  // a value with a messy mantissa
+  r.endpoints.push_back(e);
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.code = DiagCode::kPbaRetraceWorseThanGba;
+  d.message = "retrace gap 0.25 ps";
+  d.entity = "ep/ff_12";
+  d.line = -1;
+  r.diagnostics.push_back(d);
+  PbaResult p;
+  p.endpoint = 42;
+  p.flop = 7;
+  p.gbaSlack = -1.5;
+  p.pbaSlack = -0.75;
+  p.exactArrival = 900.125;
+  p.cert.complete = true;
+  p.cert.pathsEvaluated = 17;
+  p.cert.pathsPruned = 123456789012345LL;
+  r.pba.push_back(p);
+  r.pbaSetupWns = -0.75;
+  return r;
+}
+
+TEST(FarmProto, ScenarioResultCodecRoundTripsBitwise) {
+  const ScenarioResult r = sampleResult();
+  const std::string payload = farmproto::encodeScenarioResult(r);
+  auto decoded = farmproto::decodeScenarioResult(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().str();
+  // Bitwise identity via re-encoding: every field participates.
+  EXPECT_EQ(farmproto::encodeScenarioResult(decoded.value()), payload);
+  EXPECT_EQ(decoded->scenario, r.scenario);
+  EXPECT_EQ(decoded->setupWns, r.setupWns);
+  EXPECT_EQ(decoded->endpoints.size(), r.endpoints.size());
+  EXPECT_EQ(decoded->endpoints[1].holdSlack, r.endpoints[1].holdSlack);
+  EXPECT_EQ(decoded->diagnostics[0].message, r.diagnostics[0].message);
+  EXPECT_EQ(decoded->pba[0].cert.pathsPruned, r.pba[0].cert.pathsPruned);
+}
+
+TEST(FarmProto, DecodeRejectsDamage) {
+  const std::string payload =
+      farmproto::encodeScenarioResult(sampleResult());
+  for (std::size_t cut : {payload.size() - 1, payload.size() / 2,
+                          std::size_t{3}}) {
+    auto r = farmproto::decodeScenarioResult(payload.substr(0, cut));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), DiagCode::kFarmFrameCorrupt);
+  }
+  auto padded = farmproto::decodeScenarioResult(payload + "x");
+  EXPECT_FALSE(padded.ok());
+  EXPECT_EQ(padded.status().code(), DiagCode::kFarmFrameCorrupt);
+}
+
+TEST(FarmProto, FrameParserReassemblesByteByByte) {
+  const std::string payload =
+      farmproto::encodeScenarioResult(sampleResult());
+  const std::string stream =
+      farmproto::encodeFrame(FrameType::kHeartbeat, "") +
+      farmproto::encodeFrame(FrameType::kResult, payload);
+  FrameParser parser;
+  std::vector<std::pair<FrameType, std::string>> frames;
+  for (char c : stream) {
+    parser.feed(&c, 1);
+    for (;;) {
+      FrameType type;
+      std::string body, err;
+      const FrameParser::Outcome out = parser.next(&type, &body, &err);
+      if (out != FrameParser::Outcome::kFrame) {
+        ASSERT_EQ(out, FrameParser::Outcome::kNeedMore) << err;
+        break;
+      }
+      frames.emplace_back(type, std::move(body));
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].first, FrameType::kHeartbeat);
+  EXPECT_TRUE(frames[0].second.empty());
+  EXPECT_EQ(frames[1].first, FrameType::kResult);
+  EXPECT_EQ(frames[1].second, payload);
+}
+
+TEST(FarmProto, FrameParserFlagsCorruption) {
+  const std::string good = farmproto::encodeFrame(FrameType::kResult, "hi");
+  auto expectCorrupt = [](std::string bytes) {
+    FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    FrameType type;
+    std::string body, err;
+    EXPECT_EQ(parser.next(&type, &body, &err),
+              FrameParser::Outcome::kCorrupt)
+        << err;
+  };
+  std::string badMagic = good;
+  badMagic[0] ^= 0x01;
+  expectCorrupt(badMagic);
+  std::string badType = good;
+  badType[4] ^= 0x40;
+  expectCorrupt(badType);
+  std::string badLen = good;
+  badLen[11] ^= 0x7F;  // length explodes past the plausibility cap
+  expectCorrupt(badLen);
+  std::string badPayload = good;
+  badPayload[12] ^= 0x01;
+  expectCorrupt(badPayload);
+  std::string badCrc = good;
+  badCrc[good.size() - 1] ^= 0x01;
+  expectCorrupt(badCrc);
+}
+
+TEST(FarmMerger, FirstAcceptedWinsAndMergesInInputOrder) {
+  McmmMerger merger(3);
+  auto mk = [](const std::string& name, double wns,
+               const std::string& msg) {
+    ScenarioResult r;
+    r.scenario = name;
+    r.setupWns = wns;
+    Diagnostic d;
+    d.severity = Severity::kNote;
+    d.code = DiagCode::kOk;
+    d.message = msg;
+    d.entity = "ep";
+    r.diagnostics.push_back(d);
+    return r;
+  };
+  // Arrival order 2, 0, 1 — plus a duplicate and a late duplicate of 0.
+  EXPECT_TRUE(merger.accept(2, mk("c", -3.0, "worst")));
+  EXPECT_TRUE(merger.accept(0, mk("a", -1.0, "first")));
+  EXPECT_FALSE(merger.accept(0, mk("a", -99.0, "imposter")));
+  EXPECT_TRUE(merger.accept(1, mk("b", -2.0, "middle")));
+  EXPECT_FALSE(merger.accept(1, mk("b", -50.0, "straggler copy")));
+  EXPECT_FALSE(merger.accept(9, mk("zz", 0.0, "out of range")));
+  EXPECT_EQ(merger.duplicateCount(), 2);
+  EXPECT_TRUE(merger.missing().empty());
+
+  const McmmResult result = merger.finish();
+  ASSERT_EQ(result.scenarios.size(), 3u);
+  EXPECT_EQ(result.scenarios[0].setupWns, -1.0);  // imposter rejected
+  EXPECT_EQ(result.scenarios[1].setupWns, -2.0);
+  EXPECT_EQ(result.scenarios[2].setupWns, -3.0);
+  ASSERT_EQ(result.merged.size(), 3u);
+  EXPECT_EQ(result.merged[0].entity, "a/ep");
+  EXPECT_EQ(result.merged[0].message, "first");
+  EXPECT_EQ(result.merged[1].entity, "b/ep");
+  EXPECT_EQ(result.merged[2].entity, "c/ep");
+}
+
+TEST(FarmMerger, MissingReportsUnfilledSlots) {
+  McmmMerger merger(4);
+  ScenarioResult r;
+  r.scenario = "x";
+  merger.accept(1, r);
+  merger.accept(3, r);
+  const std::vector<std::size_t> missing = merger.missing();
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_EQ(missing[0], 0u);
+  EXPECT_EQ(missing[1], 2u);
+}
+
+TEST(Farm, MissingWorkerQuarantinesEveryScenario) {
+  LogCapture quiet;
+  auto lib = characterizedLibrary(
+      LibraryPvt{ProcessCorner::kTT, 0.9, 25.0}, /*quick=*/true);
+  Scenario sc;
+  sc.name = "func_tt";
+  sc.lib = lib;
+  const Netlist nl = generateBlock(lib, profileTiny());
+
+  FarmOptions opt;
+  opt.workerPath = "/nonexistent/goalposts_worker";
+  DiagnosticSink sink;
+  opt.sink = &sink;
+  FarmStats stats;
+  const McmmResult result = runMcmmFarm(nl, {sc}, opt, &stats);
+  EXPECT_EQ(stats.quarantined, 1);
+  ASSERT_EQ(result.scenarios.size(), 1u);
+  EXPECT_EQ(result.scenarios[0].setupWns,
+            -std::numeric_limits<double>::infinity());
+  ASSERT_EQ(result.merged.size(), 1u);
+  EXPECT_EQ(result.merged[0].code, DiagCode::kFarmScenarioQuarantined);
+  EXPECT_GE(sink.count(DiagCode::kFarmWorkerMissing), 1);
+}
+
+TEST(Farm, EndToEndMatchesInProcessRunner) {
+  LogCapture quiet;
+  auto libAt = [](ProcessCorner pc, Volt v, Celsius t) {
+    return characterizedLibrary(LibraryPvt{pc, v, t}, /*quick=*/true);
+  };
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.name = "func_tt";
+    s.lib = libAt(ProcessCorner::kTT, 0.9, 25.0);
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "func_ffg_cb";
+    s.lib = libAt(ProcessCorner::kFFG, 0.99, -40.0);
+    s.beol = BeolCorner::kCbest;
+    scenarios.push_back(s);
+  }
+  const Netlist nl = generateBlock(scenarios.front().lib, profileTiny());
+
+  McmmRunner runner(nl, scenarios);
+  const McmmResult ref = runner.run(McmmOptions{});
+
+  FarmOptions opt;
+  opt.workers = 2;
+  FarmStats stats;
+  const McmmResult farm = runMcmmFarm(nl, scenarios, opt, &stats);
+  EXPECT_EQ(stats.quarantined, 0);
+  EXPECT_EQ(stats.crashes, 0);
+
+  ASSERT_EQ(farm.scenarios.size(), ref.scenarios.size());
+  for (std::size_t s = 0; s < ref.scenarios.size(); ++s) {
+    EXPECT_EQ(farm.scenarios[s].scenario, ref.scenarios[s].scenario);
+    EXPECT_EQ(farm.scenarios[s].setupWns, ref.scenarios[s].setupWns);
+    EXPECT_EQ(farm.scenarios[s].holdWns, ref.scenarios[s].holdWns);
+    EXPECT_EQ(farm.scenarios[s].setupTns, ref.scenarios[s].setupTns);
+    ASSERT_EQ(farm.scenarios[s].endpoints.size(),
+              ref.scenarios[s].endpoints.size());
+    for (std::size_t e = 0; e < ref.scenarios[s].endpoints.size(); ++e)
+      EXPECT_EQ(farm.scenarios[s].endpoints[e].setupSlack,
+                ref.scenarios[s].endpoints[e].setupSlack);
+  }
+  ASSERT_EQ(farm.merged.size(), ref.merged.size());
+  for (std::size_t d = 0; d < ref.merged.size(); ++d) {
+    EXPECT_EQ(farm.merged[d].message, ref.merged[d].message);
+    EXPECT_EQ(farm.merged[d].entity, ref.merged[d].entity);
+  }
+}
+
+}  // namespace
+}  // namespace tc

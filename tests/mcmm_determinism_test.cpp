@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "liberty/builder.h"
+#include "mcmm_identical.h"
 #include "network/netgen.h"
 #include "signoff/corners.h"
 #include "sta/pba.h"
@@ -19,82 +20,8 @@
 namespace tc {
 namespace {
 
-std::vector<Scenario> scenarioSet() {
-  auto libAt = [](ProcessCorner pc, Volt v, Celsius t) {
-    return characterizedLibrary(LibraryPvt{pc, v, t}, /*quick=*/true);
-  };
-  std::vector<Scenario> out;
-  {
-    Scenario s;
-    s.name = "func_tt";
-    s.lib = libAt(ProcessCorner::kTT, 0.9, 25.0);
-    out.push_back(s);
-  }
-  {
-    Scenario s;
-    s.name = "func_ssg_cw";
-    s.lib = libAt(ProcessCorner::kSSG, 0.81, 125.0);
-    s.beol = BeolCorner::kCworst;
-    s.derate.mode = DerateMode::kAocv;
-    out.push_back(s);
-  }
-  {
-    Scenario s;
-    s.name = "func_ffg_cb";
-    s.lib = libAt(ProcessCorner::kFFG, 0.99, -40.0);
-    s.beol = BeolCorner::kCbest;
-    out.push_back(s);
-  }
-  {
-    Scenario s;
-    s.name = "func_tt_lvf";
-    s.lib = libAt(ProcessCorner::kTT, 0.9, 25.0);
-    s.derate.mode = DerateMode::kLvf;
-    out.push_back(s);
-  }
-  return out;
-}
-
-/// Exact (bitwise, via ==) comparison of two MCMM results, with readable
-/// failure locations.
-void expectIdentical(const McmmResult& a, const McmmResult& b,
-                     const std::string& label) {
-  SCOPED_TRACE(label);
-  ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
-  for (std::size_t s = 0; s < a.scenarios.size(); ++s) {
-    const ScenarioResult& x = a.scenarios[s];
-    const ScenarioResult& y = b.scenarios[s];
-    SCOPED_TRACE("scenario " + x.scenario);
-    EXPECT_EQ(x.scenario, y.scenario);
-    EXPECT_EQ(x.setupWns, y.setupWns);
-    EXPECT_EQ(x.holdWns, y.holdWns);
-    EXPECT_EQ(x.setupTns, y.setupTns);
-    EXPECT_EQ(x.holdTns, y.holdTns);
-    EXPECT_EQ(x.setupViolations, y.setupViolations);
-    EXPECT_EQ(x.holdViolations, y.holdViolations);
-    EXPECT_EQ(x.drvViolations, y.drvViolations);
-    EXPECT_EQ(x.nanQuarantined, y.nanQuarantined);
-    ASSERT_EQ(x.endpoints.size(), y.endpoints.size());
-    for (std::size_t e = 0; e < x.endpoints.size(); ++e) {
-      SCOPED_TRACE("endpoint " + std::to_string(e));
-      EXPECT_EQ(x.endpoints[e].vertex, y.endpoints[e].vertex);
-      EXPECT_EQ(x.endpoints[e].setupSlack, y.endpoints[e].setupSlack);
-      EXPECT_EQ(x.endpoints[e].holdSlack, y.endpoints[e].holdSlack);
-      EXPECT_EQ(x.endpoints[e].dataLate, y.endpoints[e].dataLate);
-      EXPECT_EQ(x.endpoints[e].dataEarly, y.endpoints[e].dataEarly);
-      EXPECT_EQ(x.endpoints[e].cpprSetup, y.endpoints[e].cpprSetup);
-    }
-  }
-  ASSERT_EQ(a.merged.size(), b.merged.size());
-  for (std::size_t d = 0; d < a.merged.size(); ++d) {
-    SCOPED_TRACE("diagnostic " + std::to_string(d));
-    EXPECT_EQ(a.merged[d].severity, b.merged[d].severity);
-    EXPECT_EQ(a.merged[d].code, b.merged[d].code);
-    EXPECT_EQ(a.merged[d].message, b.merged[d].message);
-    EXPECT_EQ(a.merged[d].entity, b.merged[d].entity);
-    EXPECT_EQ(a.merged[d].line, b.merged[d].line);
-  }
-}
+using testutil::expectIdentical;
+using testutil::scenarioSet;
 
 TEST(McmmDeterminism, ParallelMatchesSerialAtEveryPoolWidth) {
   LogCapture quiet;
@@ -199,7 +126,9 @@ TEST(McmmDeterminism, ScenarioPbaMatchesSerialUnderPool) {
         EXPECT_EQ(x.pba[i].cert.complete, y.pba[i].cert.complete);
         EXPECT_EQ(x.pba[i].cert.pathsEvaluated, y.pba[i].cert.pathsEvaluated);
         EXPECT_EQ(x.pba[i].cert.pathsPruned, y.pba[i].cert.pathsPruned);
-        if (exhaustive) EXPECT_TRUE(x.pba[i].cert.complete);
+        if (exhaustive) {
+          EXPECT_TRUE(x.pba[i].cert.complete);
+        }
       }
       // The GBA-worst setup endpoint is always in the recalculated tail,
       // so the PBA WNS can never report better than min over it.

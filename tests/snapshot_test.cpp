@@ -1,0 +1,230 @@
+/// \file snapshot_test.cpp
+/// \brief Design-snapshot contracts: (1) serialize -> deserialize ->
+/// re-serialize is byte-identical across a population of random designs,
+/// (2) a reloaded snapshot times identically (bitwise) to the original,
+/// and (3) EVERY single-byte corruption of a snapshot file is rejected
+/// with a clean tc::Status — exhaustively, byte by byte, which is why the
+/// corruption fixture uses a hand-built micro library instead of a full
+/// characterized one.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "signoff/snapshot.h"
+#include "sta/engine.h"
+#include "util/log.h"
+
+namespace tc {
+namespace {
+
+std::vector<Scenario> twoScenarios() {
+  auto libAt = [](ProcessCorner pc, Volt v, Celsius t) {
+    return characterizedLibrary(LibraryPvt{pc, v, t}, /*quick=*/true);
+  };
+  std::vector<Scenario> out;
+  {
+    Scenario s;
+    s.name = "func_tt";
+    s.lib = libAt(ProcessCorner::kTT, 0.9, 25.0);
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "func_ssg_cw";
+    s.lib = libAt(ProcessCorner::kSSG, 0.81, 125.0);
+    s.beol = BeolCorner::kCworst;
+    s.derate.mode = DerateMode::kAocv;
+    s.tightenSigma = 2.5;
+    s.clockUncertaintySetup = 35.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::string serialize(const DesignSnapshot& snap) {
+  std::ostringstream os(std::ios::binary);
+  const Status st = writeSnapshot(snap, os);
+  EXPECT_TRUE(st.ok()) << st.str();
+  return os.str();
+}
+
+Result<DesignSnapshot> deserialize(const std::string& bytes,
+                                   DiagnosticSink* sink) {
+  std::istringstream is(bytes, std::ios::binary);
+  return readSnapshot(is, sink);
+}
+
+TEST(Snapshot, RoundTripIsByteIdenticalAcrossRandomDesigns) {
+  LogCapture quiet;
+  const std::vector<Scenario> scenarios = twoScenarios();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    BlockProfile prof = profileTiny();
+    prof.seed = seed;
+    prof.numGates = 60 + static_cast<int>(seed % 7) * 15;
+    prof.numFlops = 8 + static_cast<int>(seed % 3) * 4;
+    const Netlist nl = generateBlock(scenarios.front().lib, prof);
+
+    // SPEF embedding exercised on a sample; it multiplies the blob size.
+    const bool withSpef = seed % 10 == 0;
+    const DesignSnapshot snap = makeSnapshot(nl, scenarios, withSpef);
+    const std::string bytes = serialize(snap);
+
+    DiagnosticSink sink;
+    auto reloaded = deserialize(bytes, &sink);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().str();
+    EXPECT_EQ(sink.errorCount(), 0);
+    const std::string bytes2 = serialize(reloaded.value());
+    ASSERT_EQ(bytes.size(), bytes2.size());
+    ASSERT_TRUE(bytes == bytes2) << "re-serialization diverged";
+  }
+}
+
+TEST(Snapshot, ReloadedDesignTimesIdentically) {
+  LogCapture quiet;
+  const std::vector<Scenario> scenarios = twoScenarios();
+  BlockProfile prof = profileTiny();
+  prof.seed = 7;
+  const Netlist nl = generateBlock(scenarios.front().lib, prof);
+  const std::string bytes =
+      serialize(makeSnapshot(nl, scenarios, /*includeSpef=*/false));
+  auto reloaded = deserialize(bytes, nullptr);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().str();
+
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    SCOPED_TRACE("scenario " + scenarios[s].name);
+    StaEngine ref(nl, scenarios[s]);
+    ref.run();
+    StaEngine snap(*reloaded->netlist, reloaded->scenarios[s]);
+    snap.run();
+    EXPECT_EQ(ref.wns(Check::kSetup), snap.wns(Check::kSetup));
+    EXPECT_EQ(ref.wns(Check::kHold), snap.wns(Check::kHold));
+    EXPECT_EQ(ref.tns(Check::kSetup), snap.tns(Check::kSetup));
+    ASSERT_EQ(ref.endpoints().size(), snap.endpoints().size());
+    for (std::size_t e = 0; e < ref.endpoints().size(); ++e) {
+      EXPECT_EQ(ref.endpoints()[e].setupSlack,
+                snap.endpoints()[e].setupSlack);
+      EXPECT_EQ(ref.endpoints()[e].holdSlack,
+                snap.endpoints()[e].holdSlack);
+    }
+  }
+}
+
+TEST(Snapshot, SadpScenarioIsUnsupported) {
+  LogCapture quiet;
+  std::vector<Scenario> scenarios = twoScenarios();
+  const SadpModel sadp{};
+  scenarios[1].sadp = &sadp;
+  const Netlist nl =
+      generateBlock(scenarios.front().lib, profileTiny());
+  const DesignSnapshot snap =
+      makeSnapshot(nl, scenarios, /*includeSpef=*/false);
+  std::ostringstream os(std::ios::binary);
+  const Status st = writeSnapshot(snap, os);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), DiagCode::kSnapUnsupported);
+}
+
+// --- exhaustive corruption sweep --------------------------------------------
+
+/// Micro fixture: a hand-built two-cell library and a small hand-wired
+/// netlist, so the whole snapshot is a few KB and flipping every byte
+/// stays cheap (the sweep is O(bytes^2) in CRC work).
+DesignSnapshot microSnapshot() {
+  auto lib = std::make_shared<Library>(
+      "micro", LibraryPvt{ProcessCorner::kTT, 0.9, 25.0});
+  Cell inv;
+  inv.name = "INV_X1_SVT";
+  inv.footprint = "INV";
+  TimingArc arc;
+  Axis slew({10.0, 100.0});
+  Axis load({1.0, 10.0});
+  std::vector<double> vals{20.0, 30.0, 40.0, 60.0};
+  arc.rise = {Table2D(slew, load, vals), Table2D(slew, load, vals)};
+  arc.fall = arc.rise;
+  inv.arcs.push_back(arc);
+  lib->addCell(inv);
+
+  auto nl = std::make_shared<Netlist>(lib);
+  const PortId in = nl->addPort("in", true);
+  const PortId out = nl->addPort("out", false);
+  const NetId nIn = nl->addNet("n_in");
+  const NetId nOut = nl->addNet("n_out");
+  const InstId u1 = nl->addInstance("u1", 0);
+  nl->connectPortToNet(in, nIn);
+  nl->connectInput(u1, 0, nIn);
+  nl->connectOutput(u1, nOut);
+  nl->connectPortToNet(out, nOut);
+
+  DesignSnapshot snap;
+  snap.libraries.push_back(lib);
+  snap.netlist = nl;
+  Scenario sc;
+  sc.name = "micro_tt";
+  sc.lib = lib;
+  snap.scenarios.push_back(sc);
+  return snap;
+}
+
+TEST(Snapshot, EverySingleByteCorruptionIsCaughtCleanly) {
+  LogCapture quiet;
+  const std::string good = serialize(microSnapshot());
+  ASSERT_LT(good.size(), 64u * 1024)
+      << "micro fixture grew too large for the exhaustive sweep";
+  {
+    auto ok = deserialize(good, nullptr);
+    ASSERT_TRUE(ok.ok()) << ok.status().str();
+  }
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    DiagnosticSink sink;
+    auto r = deserialize(bad, &sink);
+    ASSERT_FALSE(r.ok()) << "flip at byte " << i << " was not detected";
+    const DiagCode code = r.status().code();
+    EXPECT_TRUE(code == DiagCode::kSnapBadMagic ||
+                code == DiagCode::kSnapVersionMismatch ||
+                code == DiagCode::kSnapTruncated ||
+                code == DiagCode::kSnapChecksumMismatch ||
+                code == DiagCode::kSnapCorrupt)
+        << "flip at byte " << i << " produced " << r.status().str();
+    EXPECT_GE(sink.errorCount(), 1) << "flip at byte " << i;
+  }
+}
+
+TEST(Snapshot, HeaderCorruptionClassesAreDistinguished) {
+  LogCapture quiet;
+  const std::string good = serialize(microSnapshot());
+
+  std::string badMagic = good;
+  badMagic[0] = static_cast<char>(badMagic[0] ^ 0xFF);
+  EXPECT_EQ(deserialize(badMagic, nullptr).status().code(),
+            DiagCode::kSnapBadMagic);
+
+  std::string badVersion = good;
+  badVersion[4] = static_cast<char>(badVersion[4] ^ 0x40);
+  EXPECT_EQ(deserialize(badVersion, nullptr).status().code(),
+            DiagCode::kSnapVersionMismatch);
+
+  // Trailing truncation: payload shorter than the header promises.
+  std::string truncated = good.substr(0, good.size() - 5);
+  EXPECT_EQ(deserialize(truncated, nullptr).status().code(),
+            DiagCode::kSnapTruncated);
+
+  std::string flipped = good;
+  flipped[good.size() / 2] =
+      static_cast<char>(flipped[good.size() / 2] ^ 0x10);
+  EXPECT_EQ(deserialize(flipped, nullptr).status().code(),
+            DiagCode::kSnapChecksumMismatch);
+
+  EXPECT_EQ(deserialize(std::string("abc"), nullptr).status().code(),
+            DiagCode::kSnapTruncated);
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,292 @@
+/// \file goalposts_worker.cpp
+/// \brief Scenario-farm worker process (see src/signoff/farm.h).
+///
+/// Loads a DesignSnapshot, runs ONE scenario through the exact per-scenario
+/// body the in-process MCMM runner uses (runScenarioStandalone), and
+/// streams the encoded ScenarioResult back over stdout as a checksummed
+/// frame, with heartbeat frames from a side thread while the analysis
+/// runs. Exit codes: 0 ok, 2 bad arguments, 3 snapshot unloadable,
+/// 4 scenario index out of range.
+///
+/// Fault injection (TC_FARM_FAULT): the dispatcher's crash-isolation
+/// claims are only worth what the fault matrix that exercises them covers,
+/// so the worker can sabotage itself on demand:
+///
+///   TC_FARM_FAULT="<kind>@<point>[:scn=<i>][:attempt=<n>]"
+///
+/// Process kinds (points: load / run / stream — before loading the
+/// snapshot, before running the engine, before streaming the result):
+///   abort    call std::abort()
+///   sigkill  raise(SIGKILL) — no exit handlers, like an OOM kill
+///   hang     stop heartbeating and freeze forever (hang detection)
+///   sleep    keep heartbeating but stall TC_FARM_FAULT_SLEEP_MS
+///            (default 2000) — wall-clock timeouts and stragglers
+/// Frame kinds (points: header / payload / crc — which region of the
+/// result frame gets damaged):
+///   truncate cut the frame short inside the region
+///   bitflip  flip one bit inside the region
+/// And one protocol kind (point: stream):
+///   dupframe send the result frame twice (duplicate-result dedup)
+///
+/// The scn/attempt filters confine the fault to one scenario index and/or
+/// attempt number, so a test can poison exactly one corner, or fail
+/// attempt 1 and let the retry succeed. Straggler re-dispatch copies run
+/// in the 100+ attempt namespace and never match an attempt filter.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "signoff/corners.h"
+#include "signoff/farm.h"
+#include "signoff/snapshot.h"
+
+namespace {
+
+using tc::farmproto::FrameType;
+
+struct FaultSpec {
+  std::string kind;
+  std::string point;
+  int scn = -1;
+  int attempt = -1;
+  bool active = false;
+
+  bool matches(const std::string& p, int scenario, int att) const {
+    if (!active || point != p) return false;
+    if (scn >= 0 && scn != scenario) return false;
+    if (attempt >= 0 && attempt != att) return false;
+    return true;
+  }
+};
+
+FaultSpec parseFault(const char* env) {
+  FaultSpec f;
+  if (!env || !*env) return f;
+  std::string s(env);
+  const std::size_t at = s.find('@');
+  if (at == std::string::npos) return f;
+  f.kind = s.substr(0, at);
+  std::string rest = s.substr(at + 1);
+  std::size_t colon;
+  while ((colon = rest.rfind(':')) != std::string::npos) {
+    const std::string filter = rest.substr(colon + 1);
+    rest.resize(colon);
+    if (filter.rfind("scn=", 0) == 0)
+      f.scn = std::atoi(filter.c_str() + 4);
+    else if (filter.rfind("attempt=", 0) == 0)
+      f.attempt = std::atoi(filter.c_str() + 8);
+  }
+  f.point = rest;
+  f.active = !f.kind.empty() && !f.point.empty();
+  return f;
+}
+
+// Frames from the heartbeat thread and the main thread interleave at frame
+// granularity, never byte granularity.
+std::mutex gWriteMu;
+
+void writeAll(const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(gWriteMu);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        write(STDOUT_FILENO, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) {
+      if (errno == EINTR) continue;
+      _exit(1);  // dispatcher hung up; nothing useful left to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+class Heartbeat {
+ public:
+  explicit Heartbeat(int periodMs) : periodMs_(periodMs) {
+    if (periodMs_ > 0) thread_ = std::thread([this] { loop(); });
+  }
+  ~Heartbeat() { stop(); }
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (done_) return;
+      done_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void loop() {
+    const std::string frame =
+        tc::farmproto::encodeFrame(FrameType::kHeartbeat, "");
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!done_) {
+      lock.unlock();
+      writeAll(frame);
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(periodMs_),
+                   [this] { return done_; });
+    }
+  }
+
+  int periodMs_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+[[noreturn]] void freezeForever() {
+  for (;;) pause();
+}
+
+/// Process-level fault points. `hb` may be null (not started yet).
+void enactProcessFault(const FaultSpec& fault, const std::string& point,
+                       int scn, int attempt, Heartbeat* hb) {
+  if (!fault.matches(point, scn, attempt)) return;
+  if (fault.kind == "abort") std::abort();
+  if (fault.kind == "sigkill") {
+    raise(SIGKILL);
+  } else if (fault.kind == "hang") {
+    if (hb) hb->stop();  // silent freeze: heartbeat detection territory
+    freezeForever();
+  } else if (fault.kind == "sleep") {
+    const char* ms = std::getenv("TC_FARM_FAULT_SLEEP_MS");
+    usleep(1000u * static_cast<unsigned>(ms && *ms ? std::atoi(ms) : 2000));
+  }
+}
+
+/// Frame-level fault points: damage the encoded result frame.
+/// Layout: [header 12B][payload][crc 4B].
+std::string damageFrame(const FaultSpec& fault, std::string frame, int scn,
+                        int attempt) {
+  const std::size_t payloadLen = frame.size() - 16;
+  struct Region {
+    const char* name;
+    std::size_t begin, end;
+  };
+  const Region regions[] = {
+      {"header", 0, 12},
+      {"payload", 12, 12 + payloadLen},
+      {"crc", 12 + payloadLen, frame.size()},
+  };
+  for (const Region& r : regions) {
+    if (!fault.matches(r.name, scn, attempt)) continue;
+    const std::size_t mid = r.begin + (r.end - r.begin) / 2;
+    if (fault.kind == "truncate")
+      frame.resize(mid);
+    else if (fault.kind == "bitflip")
+      frame[mid] = static_cast<char>(frame[mid] ^ 0x10);
+  }
+  return frame;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --snapshot <file> --scenario <index> [--attempt <n>]"
+               " [--heartbeat-ms <ms>] [--pba-endpoints <n>]"
+               " [--pba-max-paths <n>] [--pba-epsilon <ps>]"
+               " [--pba-enum-cap <n>] [--pba-exhaustive]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string snapPath;
+  int scenario = -1, attempt = 1, heartbeatMs = 100;
+  tc::McmmOptions mcmm;
+  mcmm.pool = nullptr;
+  mcmm.intraScenario = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--snapshot") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      snapPath = v;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      scenario = std::atoi(v);
+    } else if (arg == "--attempt") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      attempt = std::atoi(v);
+    } else if (arg == "--heartbeat-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      heartbeatMs = std::atoi(v);
+    } else if (arg == "--pba-endpoints") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      mcmm.pbaEndpoints = std::atoi(v);
+    } else if (arg == "--pba-max-paths") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      mcmm.pba.maxPaths = std::atoi(v);
+    } else if (arg == "--pba-epsilon") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      mcmm.pba.epsilon = std::atof(v);
+    } else if (arg == "--pba-enum-cap") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      mcmm.pba.enumerationCap = std::atoi(v);
+    } else if (arg == "--pba-exhaustive") {
+      mcmm.pba.exhaustive = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (snapPath.empty() || scenario < 0) return usage(argv[0]);
+
+  const FaultSpec fault = parseFault(std::getenv("TC_FARM_FAULT"));
+  enactProcessFault(fault, "load", scenario, attempt, nullptr);
+
+  tc::DiagnosticSink loadSink;
+  auto snap = tc::readSnapshotFile(snapPath, &loadSink);
+  if (!snap.ok()) {
+    std::cerr << "goalposts_worker: snapshot load failed: "
+              << snap.status().str() << "\n";
+    return 3;
+  }
+  if (static_cast<std::size_t>(scenario) >= snap->scenarios.size()) {
+    std::cerr << "goalposts_worker: scenario index " << scenario
+              << " out of range (" << snap->scenarios.size()
+              << " scenarios)\n";
+    return 4;
+  }
+
+  Heartbeat hb(heartbeatMs);
+  enactProcessFault(fault, "run", scenario, attempt, &hb);
+
+  tc::DiagnosticSink sink;
+  const tc::ScenarioResult result = tc::runScenarioStandalone(
+      *snap->netlist,
+      snap->scenarios[static_cast<std::size_t>(scenario)], mcmm, sink);
+
+  enactProcessFault(fault, "stream", scenario, attempt, &hb);
+  std::string frame = tc::farmproto::encodeFrame(
+      FrameType::kResult, tc::farmproto::encodeScenarioResult(result));
+  frame = damageFrame(fault, std::move(frame), scenario, attempt);
+  if (fault.kind == "dupframe" &&
+      fault.matches("stream", scenario, attempt))
+    frame += frame;
+  writeAll(frame);
+  hb.stop();
+  return 0;
+}
