@@ -1,0 +1,122 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/diag.h"
+
+namespace tc::serve {
+
+namespace {
+Status ioError(const std::string& what) {
+  return Status::failure(DiagCode::kServeIo,
+                         what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Status ServeClient::connect(const std::string& host, int port,
+                            int timeoutMs) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return Status::failure(DiagCode::kServeIo, "bad address " + host);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeoutMs);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return ioError("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      fd_ = fd;
+      return Status::okStatus();
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline)
+      return ioError("connect " + host + ":" + std::to_string(port));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Status ServeClient::sendLine(const std::string& line) {
+  if (fd_ < 0)
+    return Status::failure(DiagCode::kServeIo, "not connected");
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return ioError("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::okStatus();
+}
+
+Result<std::string> ServeClient::readLine() {
+  if (fd_ < 0)
+    return Status::failure(DiagCode::kServeIo, "not connected");
+  for (;;) {
+    const std::size_t pos = buf_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buf_.substr(0, pos);
+      buf_.erase(0, pos + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0)
+      return Status::failure(DiagCode::kServeIo, "connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ioError("recv");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<std::vector<Json>> ServeClient::call(const Json& request) {
+  Status st = sendLine(request.dump());
+  if (!st.ok()) return st;
+  std::vector<Json> responses;
+  for (;;) {
+    auto line = readLine();
+    if (!line.ok()) return line.status();
+    auto parsed = Json::parse(line.value());
+    if (!parsed.ok()) return parsed.status();
+    // Missing "done" counts as terminal: a server that answered something
+    // unframeable should not wedge the client in a read loop.
+    const bool done = parsed.value()["done"].asBool(true);
+    responses.push_back(std::move(parsed.value()));
+    if (done) return responses;
+  }
+}
+
+Result<Json> ServeClient::callOne(const Json& request) {
+  auto all = call(request);
+  if (!all.ok()) return all.status();
+  return std::move(all.value().back());
+}
+
+}  // namespace tc::serve

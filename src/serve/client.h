@@ -1,0 +1,50 @@
+#pragma once
+/// \file client.h
+/// \brief Blocking line-delimited-JSON client for the goalposts-server.
+///
+/// Thin by design: one socket, one request on the wire at a time. call()
+/// writes a request line and collects response lines until the terminal
+/// done=true one, which mirrors the lifecycle streaming of ECO commands
+/// (the interim received/accepted lines arrive in order, the applied or
+/// rejected line ends the exchange). Used by tools/goalposts_client, the
+/// bench_server_qps harness, and the serve tests.
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace tc::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connect to host:port; retries until `timeoutMs` elapses so callers
+  /// can race server startup (the CI handshake polls the port file, but
+  /// the listener may still be a beat behind).
+  Status connect(const std::string& host, int port, int timeoutMs = 5000);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One full exchange: send `request`, read until done=true. Returns
+  /// every response object in arrival order (terminal last).
+  Result<std::vector<Json>> call(const Json& request);
+  /// Convenience: call() and return just the terminal response.
+  Result<Json> callOne(const Json& request);
+
+  /// Raw framing, exposed for the protocol fuzz tests (send bytes that
+  /// Json::dump() would never produce).
+  Status sendLine(const std::string& line);
+  Result<std::string> readLine();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace tc::serve

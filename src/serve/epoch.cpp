@@ -1,0 +1,351 @@
+#include "serve/epoch.h"
+
+#include <cmath>
+#include <utility>
+
+#include "interconnect/wire.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace tc::serve {
+
+namespace {
+
+Counter& epochsPublished() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "serve.epochs_published", "", MetricStability::kStable);
+  return c;
+}
+Counter& opsApplied() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "serve.eco_ops_applied", "", MetricStability::kStable);
+  return c;
+}
+// Whether a publish reuses a retired replica depends on when readers
+// release their pins — scheduling, not workload — so both paths are noisy.
+Counter& replicasReusedCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "serve.replica_reused", "", MetricStability::kNoisy);
+  return c;
+}
+Counter& replicasBuiltCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "serve.replica_rebuilt", "", MetricStability::kNoisy);
+  return c;
+}
+
+}  // namespace
+
+const char* toString(EcoOp::Kind kind) {
+  switch (kind) {
+    case EcoOp::Kind::kSwapCell: return "swap_cell";
+    case EcoOp::Kind::kSetUsefulSkew: return "set_useful_skew";
+    case EcoOp::Kind::kSetNdrClass: return "set_ndr_class";
+    case EcoOp::Kind::kSetMillerOverride: return "set_miller";
+  }
+  return "unknown";
+}
+
+Json toJson(const EcoOp& op) {
+  Json j = Json::object();
+  j.set("op", toString(op.kind));
+  switch (op.kind) {
+    case EcoOp::Kind::kSwapCell:
+      j.set("inst", op.target).set("cell", op.intArg);
+      break;
+    case EcoOp::Kind::kSetUsefulSkew:
+      j.set("inst", op.target).set("ps", op.dblArg);
+      break;
+    case EcoOp::Kind::kSetNdrClass:
+      j.set("net", op.target).set("class", op.intArg);
+      break;
+    case EcoOp::Kind::kSetMillerOverride:
+      j.set("net", op.target).set("factor", op.dblArg);
+      break;
+  }
+  return j;
+}
+
+Result<EcoOp> ecoOpFromJson(const Json& j) {
+  if (!j.isObject() || !j["op"].isString())
+    return Status::failure(DiagCode::kServeBadRequest,
+                           "ECO op must be an object with an \"op\" field");
+  const std::string& kind = j["op"].asString();
+  auto needNum = [&](const char* field, double* out) {
+    if (!j[field].isNumber())
+      return Status::failure(DiagCode::kServeBadRequest,
+                             std::string("ECO op \"") + kind +
+                                 "\" needs numeric \"" + field + "\"");
+    *out = j[field].asDouble();
+    return Status::okStatus();
+  };
+  EcoOp op;
+  double a = 0.0, b = 0.0;
+  if (kind == "swap_cell") {
+    op.kind = EcoOp::Kind::kSwapCell;
+    Status st = needNum("inst", &a);
+    if (!st.ok()) return st;
+    st = needNum("cell", &b);
+    if (!st.ok()) return st;
+    op.target = static_cast<int>(a);
+    op.intArg = static_cast<int>(b);
+  } else if (kind == "set_useful_skew") {
+    op.kind = EcoOp::Kind::kSetUsefulSkew;
+    Status st = needNum("inst", &a);
+    if (!st.ok()) return st;
+    st = needNum("ps", &b);
+    if (!st.ok()) return st;
+    op.target = static_cast<int>(a);
+    op.dblArg = b;
+  } else if (kind == "set_ndr_class") {
+    op.kind = EcoOp::Kind::kSetNdrClass;
+    Status st = needNum("net", &a);
+    if (!st.ok()) return st;
+    st = needNum("class", &b);
+    if (!st.ok()) return st;
+    op.target = static_cast<int>(a);
+    op.intArg = static_cast<int>(b);
+  } else if (kind == "set_miller") {
+    op.kind = EcoOp::Kind::kSetMillerOverride;
+    Status st = needNum("net", &a);
+    if (!st.ok()) return st;
+    st = needNum("factor", &b);
+    if (!st.ok()) return st;
+    op.target = static_cast<int>(a);
+    op.dblArg = b;
+  } else {
+    return Status::failure(DiagCode::kServeBadRequest,
+                           "unknown ECO op \"" + kind + "\"");
+  }
+  return op;
+}
+
+Status validateOps(const Netlist& nl, const std::vector<EcoOp>& ops) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const EcoOp& op = ops[i];
+    const std::string where = "op " + std::to_string(i) + " (" +
+                              toString(op.kind) + "): ";
+    switch (op.kind) {
+      case EcoOp::Kind::kSwapCell: {
+        if (op.target < 0 || op.target >= nl.instanceCount())
+          return Status::failure(DiagCode::kServeTxnRejected,
+                                 where + "instance out of range");
+        if (op.intArg < 0 || op.intArg >= nl.library().cellCount())
+          return Status::failure(DiagCode::kServeTxnRejected,
+                                 where + "cell index outside library");
+        const Cell& oldCell = nl.cellOf(op.target);
+        const Cell& newCell = nl.library().cell(op.intArg);
+        if (newCell.footprint != oldCell.footprint)
+          return Status::failure(
+              DiagCode::kServeTxnRejected,
+              where + "footprint mismatch " + oldCell.footprint + " -> " +
+                  newCell.footprint);
+        if (newCell.numInputs != oldCell.numInputs)
+          return Status::failure(DiagCode::kServeTxnRejected,
+                                 where + "pin count mismatch");
+        break;
+      }
+      case EcoOp::Kind::kSetUsefulSkew: {
+        if (op.target < 0 || op.target >= nl.instanceCount())
+          return Status::failure(DiagCode::kServeTxnRejected,
+                                 where + "instance out of range");
+        if (!nl.isSequential(op.target))
+          return Status::failure(
+              DiagCode::kServeTxnRejected,
+              where + "useful skew targets a non-sequential instance");
+        if (!std::isfinite(op.dblArg) || std::fabs(op.dblArg) > 1e6)
+          return Status::failure(DiagCode::kServeTxnRejected,
+                                 where + "skew not finite / implausible");
+        break;
+      }
+      case EcoOp::Kind::kSetNdrClass: {
+        if (op.target < 0 || op.target >= nl.netCount())
+          return Status::failure(DiagCode::kServeTxnRejected,
+                                 where + "net out of range");
+        const int rules = static_cast<int>(ndrRules().size());
+        if (op.intArg < 0 || op.intArg >= rules)
+          return Status::failure(
+              DiagCode::kServeTxnRejected,
+              where + "NDR class outside the rule table (0.." +
+                  std::to_string(rules - 1) + ")");
+        break;
+      }
+      case EcoOp::Kind::kSetMillerOverride: {
+        if (op.target < 0 || op.target >= nl.netCount())
+          return Status::failure(DiagCode::kServeTxnRejected,
+                                 where + "net out of range");
+        if (!std::isfinite(op.dblArg) || op.dblArg < 0.0 || op.dblArg > 8.0)
+          return Status::failure(
+              DiagCode::kServeTxnRejected,
+              where + "Miller factor outside [0, 8] or not finite");
+        break;
+      }
+    }
+  }
+  return Status::okStatus();
+}
+
+// ---------------------------------------------------------------------------
+// EpochReplica
+// ---------------------------------------------------------------------------
+
+EpochReplica::EpochReplica(const Netlist& base,
+                           const std::vector<Scenario>& scenarios,
+                           const std::vector<EcoOp>& log,
+                           std::size_t opCount, ThreadPool* pool)
+    : nl_(base), scenarios_(scenarios) {
+  TC_SPAN("serve", "replica_build");
+  // Replay the committed prefix before any engine observes the netlist:
+  // the batch construction below then times exactly "the netlist with L
+  // ops applied", which is the oracle the serve tests compare against.
+  for (std::size_t i = 0; i < opCount; ++i) applyOp(log[i]);
+  opsApplied_ = opCount;
+  sinks_.reserve(scenarios_.size());
+  engines_.reserve(scenarios_.size());
+  for (const Scenario& sc : scenarios_) {
+    auto sink = std::make_unique<DiagnosticSink>();
+    sink->setEcho(false);  // queried, not streamed to stderr
+    auto engine = std::make_unique<StaEngine>(nl_, sc);
+    engine->setThreadPool(pool);
+    engine->setDiagnosticSink(sink.get());
+    engine->run();
+    sinks_.push_back(std::move(sink));
+    engines_.push_back(std::move(engine));
+  }
+}
+
+EpochReplica::~EpochReplica() = default;
+
+void EpochReplica::applyOp(const EcoOp& op) {
+  switch (op.kind) {
+    case EcoOp::Kind::kSwapCell:
+      nl_.swapCell(op.target, op.intArg);
+      break;
+    case EcoOp::Kind::kSetUsefulSkew:
+      nl_.setUsefulSkew(op.target, op.dblArg);
+      break;
+    case EcoOp::Kind::kSetNdrClass:
+      nl_.setNdrClass(op.target, op.intArg);
+      break;
+    case EcoOp::Kind::kSetMillerOverride:
+      nl_.setMillerOverride(op.target, op.dblArg);
+      break;
+  }
+}
+
+void EpochReplica::replayTo(const std::vector<EcoOp>& log,
+                            std::size_t opCount) {
+  TC_SPAN("serve", "replica_replay");
+  // The engines are registered listeners on nl_, so each notifying
+  // mutation marks its own dirty frontier; updateTiming() then re-times
+  // only the affected cones — bit-identical to a fresh batch run by the
+  // incremental contract (DESIGN.md "Incremental timing & invalidation").
+  for (std::size_t i = opsApplied_; i < opCount; ++i) applyOp(log[i]);
+  opsApplied_ = opCount;
+  for (auto& engine : engines_) engine->updateTiming();
+}
+
+// ---------------------------------------------------------------------------
+// EpochManager
+// ---------------------------------------------------------------------------
+
+EpochManager::EpochManager(DesignSnapshot snap, ThreadPool* pool)
+    : base_(std::move(snap)), pool_(pool) {
+  published_ = std::make_shared<EpochReplica>(*base_.netlist, base_.scenarios,
+                                              opLog_, 0, pool_);
+  built_ = 1;
+  replicasBuiltCtr().add(1);
+}
+
+std::shared_ptr<const EpochReplica> EpochManager::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<EpochReplica> keep = published_;
+  keep->pins_.fetch_add(1, std::memory_order_acq_rel);
+  // The returned handle aliases `keep` through a deleter capture: the pin
+  // drops (release) exactly when the last copy of this handle dies, and
+  // the captured shared_ptr keeps the replica alive even if the manager
+  // prunes it from the pool meanwhile.
+  return std::shared_ptr<const EpochReplica>(
+      keep.get(), [keep](const EpochReplica* p) {
+        p->pins_.fetch_sub(1, std::memory_order_release);
+      });
+}
+
+std::shared_ptr<EpochReplica> EpochManager::takeReusable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Retired replicas can only lose pins (pins are granted to published_
+  // alone, under this same mutex), so pins_ == 0 is a stable verdict.
+  // Prefer the replica closest to the log tip: shortest replay delta.
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(retired_.size()); ++i) {
+    if (retired_[i]->pins_.load(std::memory_order_acquire) != 0) continue;
+    if (best < 0 || retired_[i]->opsApplied() > retired_[best]->opsApplied())
+      best = i;
+  }
+  if (best < 0) return nullptr;
+  std::shared_ptr<EpochReplica> out = std::move(retired_[best]);
+  retired_.erase(retired_.begin() + best);
+  return out;
+}
+
+Result<std::uint64_t> EpochManager::commit(const std::vector<EcoOp>& ops) {
+  std::lock_guard<std::mutex> writer(writerMu_);
+  TC_SPAN_F(span, "serve", "commit ops=%zu", ops.size());
+  if (ops.empty())
+    return Status::failure(DiagCode::kServeTxnRejected, "empty transaction");
+
+  std::shared_ptr<EpochReplica> cur;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cur = published_;
+  }
+  Status st = validateOps(cur->netlist(), ops);
+  if (!st.ok()) return st;
+
+  opLog_.insert(opLog_.end(), ops.begin(), ops.end());
+  const std::size_t target = opLog_.size();
+
+  bool reusedReplica = false;
+  std::shared_ptr<EpochReplica> next = takeReusable();
+  if (next) {
+    next->replayTo(opLog_, target);
+    reusedReplica = true;
+    replicasReusedCtr().add(1);
+  } else {
+    next = std::make_shared<EpochReplica>(*base_.netlist, base_.scenarios,
+                                          opLog_, target, pool_);
+    replicasBuiltCtr().add(1);
+  }
+
+  std::uint64_t e = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    e = ++epoch_;
+    next->setEpoch(e);
+    retired_.push_back(std::move(published_));
+    published_ = std::move(next);
+    opsCommitted_ = target;
+    reusedReplica ? ++reused_ : ++built_;
+    // Bound the pool: drop oldest spares first. A pinned spare may be
+    // dropped too — the readers' deleter capture owns it, so it simply
+    // dies with its last reader instead of coming back for reuse.
+    while (retired_.size() > kMaxPooledReplicas)
+      retired_.erase(retired_.begin());
+  }
+  epochsPublished().add(1);
+  opsApplied().add(static_cast<std::uint64_t>(ops.size()));
+  return e;
+}
+
+EpochStats EpochManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EpochStats s;
+  s.epoch = epoch_;
+  s.opsCommitted = opsCommitted_;
+  s.replicasReused = reused_;
+  s.replicasBuilt = built_;
+  s.pooledReplicas = retired_.size();
+  return s;
+}
+
+}  // namespace tc::serve

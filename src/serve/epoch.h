@@ -1,0 +1,187 @@
+#pragma once
+/// \file epoch.h
+/// \brief Epoch-based snapshot isolation for the timing-signoff service.
+///
+/// The serving problem: many reader threads answer path/slack queries at
+/// interactive latency while a writer lands what-if ECO transactions —
+/// and every answer must be *exactly* the answer a fresh batch StaEngine
+/// run would give for the state the reader is looking at. Locking one
+/// engine would serialize readers behind every ECO; letting readers see a
+/// half-applied ECO would make answers non-reproducible.
+///
+/// The scheme here is copy-on-write over an append-only ECO op log:
+///
+///  - A design's committed history is a log of EcoOps (cell swaps, useful
+///    skew, NDR class, Miller overrides — the in-place edits the
+///    incremental timer handles without a structural rebuild).
+///  - An EpochReplica is one materialization of a log prefix: its own
+///    Netlist copy plus one persistent incremental StaEngine per scenario,
+///    registered on that copy's mutation hooks. A replica at prefix L is
+///    bit-identical to a fresh batch run of the netlist-with-L-ops — that
+///    is PR 3's incremental contract, and the serve oracle test re-proves
+///    it end to end through the protocol.
+///  - The EpochManager publishes one replica as "current". Readers pin it
+///    with a shared_ptr and query immutable state lock-free for as long
+///    as they like; publication is a pointer swap, never an in-place edit.
+///  - The single writer commits a transaction by (1) validating ops
+///    against the current netlist, (2) appending to the log, (3) taking a
+///    *retired* replica nobody reads anymore and replaying just the log
+///    delta through its incremental engines — or building a fresh replica
+///    from scratch when every old one is still pinned — and (4) publishing
+///    it as the next epoch.
+///
+/// Readers therefore never wait on writers, writers never wait on readers,
+/// and any two observers of epoch N see byte-identical timing, no matter
+/// how many epochs ahead the writer is.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "signoff/snapshot.h"
+#include "sta/engine.h"
+#include "util/json.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tc::serve {
+
+/// One committed ECO operation. Only in-place, non-structural edits are
+/// transportable: they are exactly the edits the incremental timer
+/// re-times without a graph rebuild, which is what keeps commit latency
+/// interactive.
+struct EcoOp {
+  enum class Kind {
+    kSwapCell,         ///< target=InstId, intArg=new cell index
+    kSetUsefulSkew,    ///< target=flop InstId, dblArg=skew ps
+    kSetNdrClass,      ///< target=NetId, intArg=NDR rule index
+    kSetMillerOverride ///< target=NetId, dblArg=factor (0 = default)
+  };
+  Kind kind = Kind::kSwapCell;
+  int target = -1;
+  int intArg = 0;
+  double dblArg = 0.0;
+};
+
+const char* toString(EcoOp::Kind kind);
+
+/// Wire codec for one op ({"op":"swap_cell","inst":3,"cell":17} etc.).
+Json toJson(const EcoOp& op);
+Result<EcoOp> ecoOpFromJson(const Json& j);
+
+/// Validate `ops` against the current netlist state without mutating it.
+/// Returns the first problem as a failure Status naming the op index —
+/// the "accepted -> rejected" branch of the command lifecycle.
+Status validateOps(const Netlist& nl, const std::vector<EcoOp>& ops);
+
+/// One materialized, immutable-once-published timing state. All const
+/// methods are safe to call from any number of threads concurrently; the
+/// EpochManager only mutates a replica (replay) while it holds the sole
+/// reference.
+class EpochReplica {
+ public:
+  /// Build at log prefix `opCount`: copy `base`, replay ops [0, opCount),
+  /// then construct and run one engine per scenario (batch path).
+  EpochReplica(const Netlist& base, const std::vector<Scenario>& scenarios,
+               const std::vector<EcoOp>& log, std::size_t opCount,
+               ThreadPool* pool);
+  ~EpochReplica();
+  EpochReplica(const EpochReplica&) = delete;
+  EpochReplica& operator=(const EpochReplica&) = delete;
+
+  /// Advance from this replica's prefix to `opCount` by applying the log
+  /// delta through the netlist's notifying mutators and re-timing every
+  /// engine incrementally (writer-only; caller must hold the replica
+  /// exclusively).
+  void replayTo(const std::vector<EcoOp>& log, std::size_t opCount);
+
+  std::uint64_t epoch() const { return epoch_; }
+  void setEpoch(std::uint64_t e) { epoch_ = e; }
+  std::size_t opsApplied() const { return opsApplied_; }
+
+  const Netlist& netlist() const { return nl_; }
+  std::size_t scenarioCount() const { return engines_.size(); }
+  const Scenario& scenario(std::size_t i) const { return scenarios_[i]; }
+  const StaEngine& engine(std::size_t i) const { return *engines_[i]; }
+
+ private:
+  friend class EpochManager;
+
+  void applyOp(const EcoOp& op);
+
+  Netlist nl_;  ///< declared before engines_: engines deregister first
+  std::vector<Scenario> scenarios_;
+  std::vector<std::unique_ptr<DiagnosticSink>> sinks_;
+  std::vector<std::unique_ptr<StaEngine>> engines_;
+  std::size_t opsApplied_ = 0;
+  std::uint64_t epoch_ = 0;
+  /// Outstanding reader pins. Deliberately not shared_ptr::use_count():
+  /// that load carries no acquire semantics, so a writer reusing the
+  /// replica after "use_count()==1" would race the readers' last reads.
+  /// Pins are released with memory_order_release and checked with acquire,
+  /// which orders every reader access before any writer replay — the
+  /// property the TSan CI leg verifies.
+  mutable std::atomic<long> pins_{0};
+};
+
+/// Supervision counters for one design's epoch chain (exported under
+/// serve.* metrics too; this struct is for tests and the `designs`
+/// protocol command).
+struct EpochStats {
+  std::uint64_t epoch = 0;          ///< current published epoch
+  std::size_t opsCommitted = 0;     ///< op-log length
+  std::uint64_t replicasReused = 0; ///< incremental-replay publishes
+  std::uint64_t replicasBuilt = 0;  ///< from-scratch publishes (+1 for epoch 0)
+  std::size_t pooledReplicas = 0;   ///< retired replicas waiting for reuse
+};
+
+/// Snapshot-isolated epoch chain of one served design. Thread contract:
+/// current()/stats() from any thread; commit() serializes internally (one
+/// writer at a time), and may run concurrently with any number of
+/// readers.
+class EpochManager {
+ public:
+  /// Takes ownership of the snapshot (netlist + scenarios + libraries) and
+  /// publishes epoch 0. `pool` (may be null) is handed to writer-side
+  /// engines for intra-scenario parallel re-timing.
+  EpochManager(DesignSnapshot snap, ThreadPool* pool);
+
+  /// Pin the latest published epoch. The returned replica is immutable
+  /// and remains valid (and byte-stable) for as long as the pointer is
+  /// held, however many epochs are published meanwhile.
+  std::shared_ptr<const EpochReplica> current() const;
+
+  /// Validate and commit one ECO transaction; on success the new epoch
+  /// number is returned and current() serves it. On failure nothing is
+  /// committed and the published epoch is untouched.
+  Result<std::uint64_t> commit(const std::vector<EcoOp>& ops);
+
+  EpochStats stats() const;
+  const std::vector<Scenario>& scenarios() const { return base_.scenarios; }
+
+  /// Retired replicas kept around for delta reuse (spares beyond this are
+  /// dropped oldest-first once no reader holds them).
+  static constexpr std::size_t kMaxPooledReplicas = 2;
+
+ private:
+  std::shared_ptr<EpochReplica> takeReusable();
+
+  DesignSnapshot base_;
+  ThreadPool* pool_;
+
+  mutable std::mutex mu_;  ///< guards published_, pool of retirees, stats
+  std::shared_ptr<EpochReplica> published_;
+  std::vector<std::shared_ptr<EpochReplica>> retired_;
+
+  std::mutex writerMu_;  ///< serializes commit(); opLog_ is writer-only
+  std::vector<EcoOp> opLog_;
+  std::uint64_t epoch_ = 0;       ///< under mu_
+  std::size_t opsCommitted_ = 0;  ///< under mu_ (mirrors opLog_.size())
+  std::uint64_t reused_ = 0;      ///< under mu_
+  std::uint64_t built_ = 0;       ///< under mu_
+};
+
+}  // namespace tc::serve

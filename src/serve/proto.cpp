@@ -1,0 +1,32 @@
+#include "serve/proto.h"
+
+#include "util/diag.h"
+
+namespace tc::serve {
+
+const char* toString(CmdStatus status) {
+  switch (status) {
+    case CmdStatus::kReceived: return "received";
+    case CmdStatus::kAccepted: return "accepted";
+    case CmdStatus::kApplied: return "applied";
+    case CmdStatus::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+Json makeResponse(const Json& request, bool ok, bool done) {
+  Json r = Json::object();
+  if (request.contains("id")) r.set("id", request["id"]);
+  r.set("ok", ok);
+  r.set("done", done);
+  return r;
+}
+
+Json makeError(const Json& request, const Status& status) {
+  Json r = makeResponse(request, /*ok=*/false, /*done=*/true);
+  r.set("code", toString(status.code()));
+  r.set("error", status.message());
+  return r;
+}
+
+}  // namespace tc::serve

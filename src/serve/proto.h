@@ -1,0 +1,64 @@
+#pragma once
+/// \file proto.h
+/// \brief Serving-protocol vocabulary: the command lifecycle state machine,
+/// wire field names, and shared helpers for building response lines.
+///
+/// The goalposts-server speaks line-delimited JSON over TCP: one request
+/// object per line in, one or more response objects per line out. Every
+/// response carries:
+///   "id"    echoed from the request when present,
+///   "ok"    false only for protocol/validation failures,
+///   "done"  true on the terminal response of a request (ECO transactions
+///           stream interim lifecycle states with done=false first).
+///
+/// ECO command lifecycle (Sec. 4's "timing closure is a negotiation" made
+/// literal — a what-if edit is a conversation with explicit states):
+///
+///   received -> accepted -> applied
+///                 \-> rejected
+///
+///  - received: the transaction's ops are parsed and buffered (txn_begin /
+///    txn_op, or the ops array of a one-shot eco request).
+///  - accepted: commit-time validation passed against the design's current
+///    netlist (ids in range, footprints compatible, finite values).
+///  - applied: the ops landed, every scenario engine re-timed
+///    incrementally, and a new epoch is published; the response names it.
+///  - rejected: validation failed (or the epoch manager refused); the
+///    design and its published epoch are untouched.
+///
+/// Readers are snapshot-isolated the whole time: a query runs against the
+/// epoch its session pinned (or the latest published one), never against
+/// the writer's in-flight state. See DESIGN.md "Serving model".
+
+#include <string>
+
+#include "util/json.h"
+
+namespace tc::serve {
+
+/// Command lifecycle states (cf. the CmdStatus idiom in SNIPPETS.md
+/// snippet 1: every state has one stable lower-case wire string).
+enum class CmdStatus {
+  kReceived,
+  kAccepted,
+  kApplied,
+  kRejected,
+};
+
+const char* toString(CmdStatus status);
+
+/// Wire protocol constants.
+inline constexpr int kProtocolVersion = 1;
+/// Default cap on one request line (bytes, newline included). Oversized
+/// requests are drained and rejected without killing the connection.
+inline constexpr std::size_t kDefaultMaxRequestBytes = 1u << 20;
+
+/// Build the common response skeleton: ok/done plus the echoed id (only
+/// when the request carried one).
+Json makeResponse(const Json& request, bool ok, bool done);
+
+/// Failure response for `request` from a Status: ok=false, done=true,
+/// "code" = stable SCREAMING_SNAKE diag code, "error" = message.
+Json makeError(const Json& request, const Status& status);
+
+}  // namespace tc::serve

@@ -1,0 +1,784 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "sta/report.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace tc::serve {
+
+namespace {
+
+Counter& requestsCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "serve.requests", "", MetricStability::kStable);
+  return c;
+}
+Counter& protocolErrorsCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "serve.protocol_errors", "", MetricStability::kStable);
+  return c;
+}
+// Connection count and byte totals depend on client scheduling (how reads
+// coalesce, how many clients a run manages to start) — noisy by nature.
+Counter& connectionsCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "serve.connections", "", MetricStability::kNoisy);
+  return c;
+}
+Counter& bytesInCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "serve.bytes_in", "bytes", MetricStability::kNoisy);
+  return c;
+}
+Counter& bytesOutCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "serve.bytes_out", "bytes", MetricStability::kNoisy);
+  return c;
+}
+
+Status ioError(const std::string& what) {
+  return Status::failure(DiagCode::kServeIo,
+                         what + ": " + std::strerror(errno));
+}
+
+bool writeAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  bytesOutCtr().add(data.size());
+  return true;
+}
+
+const char* checkName(Check check) {
+  return check == Check::kSetup ? "setup" : "hold";
+}
+
+/// Parse the optional "check" field ("setup" default).
+Result<Check> parseCheck(const Json& req) {
+  if (!req.contains("check")) return Check::kSetup;
+  const std::string& s = req["check"].asString();
+  if (s == "setup") return Check::kSetup;
+  if (s == "hold") return Check::kHold;
+  return Status::failure(DiagCode::kServeBadRequest,
+                         "\"check\" must be \"setup\" or \"hold\"");
+}
+
+Json scenarioSlackJson(const EpochReplica& rep, std::size_t i) {
+  const StaEngine& eng = rep.engine(i);
+  Json setup = Json::object();
+  setup.set("wns", eng.wns(Check::kSetup))
+      .set("tns", eng.tns(Check::kSetup))
+      .set("violations", eng.violationCount(Check::kSetup));
+  Json hold = Json::object();
+  hold.set("wns", eng.wns(Check::kHold))
+      .set("tns", eng.tns(Check::kHold))
+      .set("violations", eng.violationCount(Check::kHold));
+  Json s = Json::object();
+  s.set("scenario", rep.scenario(i).name)
+      .set("setup", std::move(setup))
+      .set("hold", std::move(hold))
+      .set("drv_violations",
+           static_cast<std::uint64_t>(eng.drvViolations().size()))
+      .set("nan_quarantined", eng.nanQuarantineCount());
+  return s;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions opt) : opt_(std::move(opt)) {
+  if (opt_.engineThreads > 0)
+    pool_ = std::make_unique<ThreadPool>(opt_.engineThreads);
+  if (::pipe(wakePipe_) != 0) wakePipe_[0] = wakePipe_[1] = -1;
+}
+
+Server::~Server() {
+  stop();
+  if (wakePipe_[0] >= 0) ::close(wakePipe_[0]);
+  if (wakePipe_[1] >= 0) ::close(wakePipe_[1]);
+}
+
+Status Server::addDesign(const std::string& name, DesignSnapshot snap) {
+  TC_SPAN_F(span, "serve", "addDesign %s", name.c_str());
+  if (name.empty())
+    return Status::failure(DiagCode::kServeBadRequest, "empty design name");
+  {
+    std::lock_guard<std::mutex> lock(designsMu_);
+    if (designs_.count(name))
+      return Status::failure(DiagCode::kServeDuplicateDesign,
+                             "design \"" + name + "\" already served");
+  }
+  // Epoch 0 builds outside the lock: a full multi-scenario batch run can
+  // take a while and must not block queries against other designs.
+  auto mgr = std::make_unique<EpochManager>(std::move(snap), pool_.get());
+  std::lock_guard<std::mutex> lock(designsMu_);
+  if (designs_.count(name))
+    return Status::failure(DiagCode::kServeDuplicateDesign,
+                           "design \"" + name + "\" already served");
+  designs_.emplace(name, std::move(mgr));
+  return Status::okStatus();
+}
+
+EpochManager* Server::design(const std::string& name) {
+  std::lock_guard<std::mutex> lock(designsMu_);
+  auto it = designs_.find(name);
+  return it == designs_.end() ? nullptr : it->second.get();
+}
+
+Result<int> Server::start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ioError("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opt_.port));
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::failure(DiagCode::kServeIo,
+                           "bad listen address " + opt_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Status st = ioError("bind " + opt_.host);
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status st = ioError("listen");
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+  listenFd_ = fd;
+  if (!opt_.portFile.empty()) {
+    // Written atomically-enough for the CI handshake: tmp + rename, so a
+    // poller never reads a half-written port number.
+    const std::string tmp = opt_.portFile + ".tmp";
+    if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+      std::fprintf(f, "%d\n", port_.load());
+      std::fclose(f);
+      std::rename(tmp.c_str(), opt_.portFile.c_str());
+    }
+  }
+  acceptThread_ = std::thread(&Server::acceptLoop, this);
+  return port_.load();
+}
+
+void Server::requestStop() {
+  if (stopRequested_.exchange(true)) return;
+  if (wakePipe_[1] >= 0) {
+    const char b = 's';
+    // Best-effort, async-signal-safe: wait()/acceptLoop() poll the read end.
+    (void)!::write(wakePipe_[1], &b, 1);
+  }
+}
+
+void Server::wait() {
+  while (!stopRequested_.load()) {
+    pollfd p{wakePipe_[0], POLLIN, 0};
+    ::poll(&p, 1, 200);
+  }
+}
+
+void Server::stop() {
+  requestStop();
+  if (stopped_.exchange(true)) return;
+  const int lfd = listenFd_.exchange(-1);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (acceptThread_.joinable()) acceptThread_.join();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(stateMu_);
+    for (int fd : sessionFds_) ::shutdown(fd, SHUT_RDWR);
+    sessions.swap(sessionThreads_);
+  }
+  for (auto& t : sessions)
+    if (t.joinable()) t.join();
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    const int lfd = listenFd_.load();
+    if (lfd < 0 || stopRequested_.load()) return;
+    pollfd fds[2] = {{lfd, POLLIN, 0}, {wakePipe_[0], POLLIN, 0}};
+    const int n = ::poll(fds, 2, 500);
+    if (n < 0 && errno != EINTR) return;
+    if (stopRequested_.load()) return;
+    if (n <= 0 || !(fds[0].revents & POLLIN)) continue;
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) continue;
+    if (activeClients_.load() >= opt_.maxClients) {
+      Json err = Json::object();
+      err.set("ok", false)
+          .set("done", true)
+          .set("code", "SERVE_IO")
+          .set("error", "server at max clients");
+      writeAll(cfd, err.dump() + "\n");
+      ::close(cfd);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(stateMu_);
+    sessionFds_.push_back(cfd);
+    sessionThreads_.emplace_back(&Server::sessionLoop, this, cfd);
+  }
+}
+
+void Server::sessionLoop(int fd) {
+  activeClients_.fetch_add(1);
+  connectionsCtr().add(1);
+  Session session;
+  std::string buf;
+  char chunk[4096];
+  bool draining = false;  // discarding the remainder of an oversized line
+  bool alive = true;
+  while (alive && !stopRequested_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bytesInCtr().add(static_cast<std::uint64_t>(n));
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while (alive && (pos = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (draining) {  // tail of a request we already rejected
+        draining = false;
+        continue;
+      }
+      for (const std::string& out : processLine(session, line)) {
+        if (!writeAll(fd, out + "\n")) {
+          alive = false;
+          break;
+        }
+      }
+      if (session.wantShutdown) requestStop();
+      if (session.wantClose) alive = false;
+    }
+    if (alive && !draining && buf.size() > opt_.maxRequestBytes) {
+      // Reject without killing the connection: answer now, then discard
+      // bytes until the peer finishes the line.
+      Json err = Json::object();
+      err.set("ok", false)
+          .set("done", true)
+          .set("code", toString(DiagCode::kServeOversized))
+          .set("error", "request exceeds " +
+                            std::to_string(opt_.maxRequestBytes) + " bytes");
+      protocolErrorsCtr().add(1);
+      if (!writeAll(fd, err.dump() + "\n")) alive = false;
+      buf.clear();
+      draining = true;
+    }
+  }
+  {
+    // Deregister before closing so stop() never calls shutdown() on a
+    // recycled descriptor number.
+    std::lock_guard<std::mutex> lock(stateMu_);
+    sessionFds_.erase(
+        std::remove(sessionFds_.begin(), sessionFds_.end(), fd),
+        sessionFds_.end());
+  }
+  ::close(fd);
+  activeClients_.fetch_sub(1);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol brain (socket-free)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Server::processLine(Session& session,
+                                             const std::string& line) {
+  requestsCtr().add(1);
+  std::vector<std::string> out;
+  if (line.empty()) return out;  // blank keepalive lines are ignored
+  if (line.size() > opt_.maxRequestBytes) {
+    protocolErrorsCtr().add(1);
+    out.push_back(
+        makeError(Json(), Status::failure(DiagCode::kServeOversized,
+                                          "request exceeds " +
+                                              std::to_string(
+                                                  opt_.maxRequestBytes) +
+                                              " bytes"))
+            .dump());
+    return out;
+  }
+  Result<Json> parsed = Json::parse(line);
+  if (!parsed.ok()) {
+    protocolErrorsCtr().add(1);
+    out.push_back(makeError(Json(), parsed.status()).dump());
+    return out;
+  }
+  const Json req = std::move(parsed.value());
+  if (!req.isObject() || !req["cmd"].isString()) {
+    protocolErrorsCtr().add(1);
+    out.push_back(makeError(req, Status::failure(
+                                     DiagCode::kServeBadRequest,
+                                     "request must be an object with a "
+                                     "string \"cmd\" field"))
+                      .dump());
+    return out;
+  }
+  std::vector<std::string> extra;
+  Json terminal = handleRequest(session, req, &extra);
+  if (!terminal["ok"].asBool(true)) protocolErrorsCtr().add(1);
+  for (auto& e : extra) out.push_back(std::move(e));
+  out.push_back(terminal.dump());
+  return out;
+}
+
+Json Server::handleRequest(Session& session, const Json& req,
+                           std::vector<std::string>* extra) {
+  const std::string& cmd = req["cmd"].asString();
+  TC_SPAN_F(span, "serve", "cmd %s", cmd.c_str());
+  if (cmd == "ping") return cmdPing(req);
+  if (cmd == "designs") return cmdDesigns(req);
+  if (cmd == "slack") return cmdSlack(req, session);
+  if (cmd == "endpoints") return cmdEndpoints(req, session);
+  if (cmd == "path") return cmdPath(req, session);
+  if (cmd == "histogram") return cmdHistogram(req, session);
+  if (cmd == "metrics") return cmdMetrics(req);
+  if (cmd == "pin") return cmdPin(req, session);
+  if (cmd == "unpin") return cmdUnpin(req, session);
+  if (cmd == "eco") return cmdEco(req, session, extra);
+  if (cmd == "txn_begin") return cmdTxnBegin(req, session);
+  if (cmd == "txn_op") return cmdTxnOp(req, session);
+  if (cmd == "txn_commit") return cmdTxnCommit(req, session, extra);
+  if (cmd == "txn_abort") return cmdTxnAbort(req, session);
+  if (cmd == "quit") {
+    session.wantClose = true;
+    return makeResponse(req, /*ok=*/true, /*done=*/true);
+  }
+  if (cmd == "shutdown") {
+    session.wantShutdown = true;
+    Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+    r.set("stopping", true);
+    return r;
+  }
+  return makeError(req, Status::failure(DiagCode::kServeUnknownCommand,
+                                        "unknown command \"" + cmd + "\""));
+}
+
+Result<std::shared_ptr<const EpochReplica>> Server::resolveReplica(
+    const Json& req, Session& session, EpochManager** mgrOut) {
+  if (!req["design"].isString())
+    return Status::failure(DiagCode::kServeBadRequest,
+                           "missing string \"design\" field");
+  const std::string& name = req["design"].asString();
+  EpochManager* mgr = design(name);
+  if (!mgr)
+    return Status::failure(DiagCode::kServeUnknownDesign,
+                           "design \"" + name + "\" is not served");
+  if (mgrOut) *mgrOut = mgr;
+  auto pin = session.pins.find(name);
+  if (pin != session.pins.end()) return pin->second;
+  return mgr->current();
+}
+
+Result<std::size_t> Server::resolveScenario(const Json& req,
+                                            const EpochReplica& rep) const {
+  const Json& sc = req["scenario"];
+  if (sc.isNumber()) {
+    const std::int64_t i = sc.asInt();
+    if (i < 0 || i >= static_cast<std::int64_t>(rep.scenarioCount()))
+      return Status::failure(DiagCode::kServeBadScenario,
+                             "scenario index out of range");
+    return static_cast<std::size_t>(i);
+  }
+  if (sc.isString()) {
+    for (std::size_t i = 0; i < rep.scenarioCount(); ++i)
+      if (rep.scenario(i).name == sc.asString()) return i;
+    return Status::failure(DiagCode::kServeBadScenario,
+                           "unknown scenario \"" + sc.asString() + "\"");
+  }
+  return Status::failure(DiagCode::kServeBadScenario,
+                         "missing \"scenario\" (name or index)");
+}
+
+Json Server::cmdPing(const Json& req) {
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("pong", true).set("version", kProtocolVersion);
+  return r;
+}
+
+Json Server::cmdDesigns(const Json& req) {
+  std::vector<std::pair<std::string, EpochManager*>> all;
+  {
+    std::lock_guard<std::mutex> lock(designsMu_);
+    for (auto& kv : designs_) all.emplace_back(kv.first, kv.second.get());
+  }
+  Json arr = Json::array();
+  for (auto& [name, mgr] : all) {  // map order: name-sorted, deterministic
+    const EpochStats st = mgr->stats();
+    auto rep = mgr->current();
+    Json scenarios = Json::array();
+    for (std::size_t i = 0; i < rep->scenarioCount(); ++i)
+      scenarios.push(rep->scenario(i).name);
+    Json d = Json::object();
+    d.set("name", name)
+        .set("epoch", st.epoch)
+        .set("ops_committed", static_cast<std::uint64_t>(st.opsCommitted))
+        .set("replicas_built", st.replicasBuilt)
+        .set("replicas_reused", st.replicasReused)
+        .set("instances", rep->netlist().instanceCount())
+        .set("nets", rep->netlist().netCount())
+        .set("endpoints",
+             static_cast<std::uint64_t>(
+                 rep->scenarioCount()
+                     ? rep->engine(0).endpoints().size()
+                     : 0))
+        .set("scenarios", std::move(scenarios));
+    arr.push(std::move(d));
+  }
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("designs", std::move(arr));
+  return r;
+}
+
+Json Server::cmdSlack(const Json& req, Session& session) {
+  auto rep = resolveReplica(req, session, nullptr);
+  if (!rep.ok()) return makeError(req, rep.status());
+  const EpochReplica& replica = *rep.value();
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("design", req["design"]).set("epoch", replica.epoch());
+  if (req.contains("scenario")) {
+    auto si = resolveScenario(req, replica);
+    if (!si.ok()) return makeError(req, si.status());
+    Json arr = Json::array();
+    arr.push(scenarioSlackJson(replica, si.value()));
+    r.set("scenarios", std::move(arr));
+    return r;
+  }
+  Json arr = Json::array();
+  double setupWns = std::numeric_limits<double>::infinity();
+  double holdWns = std::numeric_limits<double>::infinity();
+  std::int64_t violations = 0;
+  for (std::size_t i = 0; i < replica.scenarioCount(); ++i) {
+    const StaEngine& eng = replica.engine(i);
+    setupWns = std::min(setupWns, eng.wns(Check::kSetup));
+    holdWns = std::min(holdWns, eng.wns(Check::kHold));
+    violations += eng.violationCount(Check::kSetup) +
+                  eng.violationCount(Check::kHold);
+    arr.push(scenarioSlackJson(replica, i));
+  }
+  Json merged = Json::object();
+  merged.set("setup_wns", setupWns)
+      .set("hold_wns", holdWns)
+      .set("violations", violations);
+  r.set("scenarios", std::move(arr)).set("merged", std::move(merged));
+  return r;
+}
+
+Json Server::cmdEndpoints(const Json& req, Session& session) {
+  auto rep = resolveReplica(req, session, nullptr);
+  if (!rep.ok()) return makeError(req, rep.status());
+  const EpochReplica& replica = *rep.value();
+  auto si = resolveScenario(req, replica);
+  if (!si.ok()) return makeError(req, si.status());
+  auto check = parseCheck(req);
+  if (!check.ok()) return makeError(req, check.status());
+  int k = 10;
+  if (req.contains("k")) {
+    k = static_cast<int>(req["k"].asInt());
+    if (k < 1 || k > 100000)
+      return makeError(req, Status::failure(DiagCode::kServeBadRequest,
+                                            "\"k\" out of range [1, 1e5]"));
+  }
+  const StaEngine& eng = replica.engine(si.value());
+  Json arr = Json::array();
+  for (int idx : worstEndpointIndices(eng, check.value(), k)) {
+    const EndpointTiming& ep =
+        eng.endpoints()[static_cast<std::size_t>(idx)];
+    Json e = Json::object();
+    e.set("index", idx)
+        .set("vertex", ep.vertex)
+        .set("flop", ep.flop)
+        .set("setup_slack", ep.setupSlack)
+        .set("hold_slack", ep.holdSlack);
+    arr.push(std::move(e));
+  }
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("design", req["design"])
+      .set("epoch", replica.epoch())
+      .set("scenario", replica.scenario(si.value()).name)
+      .set("check", checkName(check.value()))
+      .set("endpoints", std::move(arr));
+  return r;
+}
+
+Json Server::cmdPath(const Json& req, Session& session) {
+  auto rep = resolveReplica(req, session, nullptr);
+  if (!rep.ok()) return makeError(req, rep.status());
+  const EpochReplica& replica = *rep.value();
+  auto si = resolveScenario(req, replica);
+  if (!si.ok()) return makeError(req, si.status());
+  auto check = parseCheck(req);
+  if (!check.ok()) return makeError(req, check.status());
+  const StaEngine& eng = replica.engine(si.value());
+  if (!req["endpoint"].isNumber())
+    return makeError(req, Status::failure(DiagCode::kServeBadEndpoint,
+                                          "missing numeric \"endpoint\""));
+  const std::int64_t idx = req["endpoint"].asInt();
+  if (idx < 0 || idx >= static_cast<std::int64_t>(eng.endpoints().size()))
+    return makeError(req,
+                     Status::failure(DiagCode::kServeBadEndpoint,
+                                     "endpoint index out of range (have " +
+                                         std::to_string(
+                                             eng.endpoints().size()) +
+                                         ")"));
+  const EndpointTiming& ep =
+      eng.endpoints()[static_cast<std::size_t>(idx)];
+  const bool setup = check.value() == Check::kSetup;
+  const Mode mode = setup ? Mode::kLate : Mode::kEarly;
+  const int trans = setup ? ep.setupTrans : ep.holdTrans;
+  Json steps = Json::array();
+  for (const PathStep& s : eng.tracePath(ep.vertex, mode, trans)) {
+    Json j = Json::object();
+    j.set("vertex", s.vertex)
+        .set("trans", s.trans)
+        .set("arrival", s.arrival)
+        .set("delay", s.edgeDelay);
+    steps.push(std::move(j));
+  }
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("design", req["design"])
+      .set("epoch", replica.epoch())
+      .set("scenario", replica.scenario(si.value()).name)
+      .set("check", checkName(check.value()))
+      .set("endpoint", idx)
+      .set("slack", setup ? ep.setupSlack : ep.holdSlack)
+      .set("steps", std::move(steps));
+  return r;
+}
+
+Json Server::cmdHistogram(const Json& req, Session& session) {
+  auto rep = resolveReplica(req, session, nullptr);
+  if (!rep.ok()) return makeError(req, rep.status());
+  const EpochReplica& replica = *rep.value();
+  auto si = resolveScenario(req, replica);
+  if (!si.ok()) return makeError(req, si.status());
+  auto check = parseCheck(req);
+  if (!check.ok()) return makeError(req, check.status());
+  int bins = 12;
+  if (req.contains("bins")) {
+    bins = static_cast<int>(req["bins"].asInt());
+    if (bins < 1 || bins > 256)
+      return makeError(req,
+                       Status::failure(DiagCode::kServeBadRequest,
+                                       "\"bins\" out of range [1, 256]"));
+  }
+  const SlackHistogramBins h =
+      slackHistogramBins(replica.engine(si.value()), check.value(), bins);
+  Json counts = Json::array();
+  for (std::uint64_t c : h.counts) counts.push(c);
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("design", req["design"])
+      .set("epoch", replica.epoch())
+      .set("scenario", replica.scenario(si.value()).name)
+      .set("check", checkName(check.value()))
+      .set("lo", h.lo)
+      .set("bin_width", h.binWidth)
+      .set("min", h.min)
+      .set("max", h.max)
+      .set("total", h.total)
+      .set("counts", std::move(counts));
+  return r;
+}
+
+Json Server::cmdMetrics(const Json& req) {
+  const std::string prefix =
+      req.contains("prefix") ? req["prefix"].asString() : std::string();
+  Json metrics = Json::object();
+  for (const MetricSnapshot& s : MetricsRegistry::global().snapshot(prefix)) {
+    if (s.kind == MetricSnapshot::Kind::kHistogram) {
+      Json h = Json::object();
+      h.set("count", s.count)
+          .set("sum", s.sum)
+          .set("min", s.min)
+          .set("max", s.max);
+      metrics.set(s.name, std::move(h));
+    } else {
+      metrics.set(s.name, s.value);
+    }
+  }
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("metrics", std::move(metrics));
+  return r;
+}
+
+Json Server::cmdPin(const Json& req, Session& session) {
+  EpochManager* mgr = nullptr;
+  if (!req["design"].isString())
+    return makeError(req, Status::failure(DiagCode::kServeBadRequest,
+                                          "missing string \"design\" field"));
+  const std::string& name = req["design"].asString();
+  mgr = design(name);
+  if (!mgr)
+    return makeError(req,
+                     Status::failure(DiagCode::kServeUnknownDesign,
+                                     "design \"" + name + "\" is not served"));
+  auto rep = mgr->current();
+  const std::uint64_t epoch = rep->epoch();
+  session.pins[name] = std::move(rep);
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("design", name).set("epoch", epoch).set("pinned", true);
+  return r;
+}
+
+Json Server::cmdUnpin(const Json& req, Session& session) {
+  if (!req["design"].isString())
+    return makeError(req, Status::failure(DiagCode::kServeBadRequest,
+                                          "missing string \"design\" field"));
+  const std::string& name = req["design"].asString();
+  const bool had = session.pins.erase(name) > 0;
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("design", name).set("pinned", false).set("was_pinned", had);
+  return r;
+}
+
+/// Shared tail of `eco` and `txn_commit`: stream received/accepted, then
+/// commit and answer applied/rejected.
+Json Server::cmdEco(const Json& req, Session& session,
+                    std::vector<std::string>* extra) {
+  EpochManager* mgr = nullptr;
+  auto repRes = resolveReplica(req, session, &mgr);
+  if (!repRes.ok()) return makeError(req, repRes.status());
+  if (!req["ops"].isArray())
+    return makeError(req, Status::failure(DiagCode::kServeBadRequest,
+                                          "missing \"ops\" array"));
+  std::vector<EcoOp> ops;
+  ops.reserve(req["ops"].size());
+  for (std::size_t i = 0; i < req["ops"].size(); ++i) {
+    auto op = ecoOpFromJson(req["ops"].at(i));
+    if (!op.ok()) {
+      Json r = makeError(req, op.status());
+      r.set("status", toString(CmdStatus::kRejected));
+      return r;
+    }
+    ops.push_back(op.value());
+  }
+  {
+    Json r = makeResponse(req, /*ok=*/true, /*done=*/false);
+    r.set("status", toString(CmdStatus::kReceived))
+        .set("ops", static_cast<std::uint64_t>(ops.size()));
+    extra->push_back(r.dump());
+  }
+  // Early validation gives the client the "accepted" state before the
+  // (possibly slow) re-time; commit() re-validates under the writer lock,
+  // so a racing commit that invalidates these ops still ends in a clean
+  // rejection rather than a torn apply.
+  Status st = validateOps(mgr->current()->netlist(), ops);
+  if (!st.ok()) {
+    Json r = makeError(req, st);
+    r.set("status", toString(CmdStatus::kRejected));
+    return r;
+  }
+  {
+    Json r = makeResponse(req, /*ok=*/true, /*done=*/false);
+    r.set("status", toString(CmdStatus::kAccepted));
+    extra->push_back(r.dump());
+  }
+  auto epoch = mgr->commit(ops);
+  if (!epoch.ok()) {
+    Json r = makeError(req, epoch.status());
+    r.set("status", toString(CmdStatus::kRejected));
+    return r;
+  }
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("status", toString(CmdStatus::kApplied)).set("epoch", epoch.value());
+  return r;
+}
+
+Json Server::cmdTxnBegin(const Json& req, Session& session) {
+  if (session.txnActive)
+    return makeError(req, Status::failure(DiagCode::kServeTxnState,
+                                          "transaction already open"));
+  if (!req["design"].isString())
+    return makeError(req, Status::failure(DiagCode::kServeBadRequest,
+                                          "missing string \"design\" field"));
+  const std::string& name = req["design"].asString();
+  if (!design(name))
+    return makeError(req,
+                     Status::failure(DiagCode::kServeUnknownDesign,
+                                     "design \"" + name + "\" is not served"));
+  session.txnActive = true;
+  session.txnDesign = name;
+  session.txnOps.clear();
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("design", name).set("status", toString(CmdStatus::kReceived));
+  return r;
+}
+
+Json Server::cmdTxnOp(const Json& req, Session& session) {
+  if (!session.txnActive)
+    return makeError(req, Status::failure(DiagCode::kServeTxnState,
+                                          "no open transaction"));
+  auto op = ecoOpFromJson(req);
+  if (!op.ok()) return makeError(req, op.status());
+  session.txnOps.push_back(op.value());
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("status", toString(CmdStatus::kReceived))
+      .set("ops", static_cast<std::uint64_t>(session.txnOps.size()));
+  return r;
+}
+
+Json Server::cmdTxnCommit(const Json& req, Session& session,
+                          std::vector<std::string>* extra) {
+  if (!session.txnActive)
+    return makeError(req, Status::failure(DiagCode::kServeTxnState,
+                                          "no open transaction"));
+  // The commit consumes the transaction whatever happens next: a rejected
+  // commit leaves the session back in the "no transaction" state.
+  Json synth = Json::object();
+  if (req.contains("id")) synth.set("id", req["id"]);
+  synth.set("cmd", "eco").set("design", session.txnDesign);
+  Json opsArr = Json::array();
+  for (const EcoOp& op : session.txnOps) opsArr.push(toJson(op));
+  synth.set("ops", std::move(opsArr));
+  session.txnActive = false;
+  session.txnDesign.clear();
+  session.txnOps.clear();
+  return cmdEco(synth, session, extra);
+}
+
+Json Server::cmdTxnAbort(const Json& req, Session& session) {
+  if (!session.txnActive)
+    return makeError(req, Status::failure(DiagCode::kServeTxnState,
+                                          "no open transaction"));
+  const std::size_t dropped = session.txnOps.size();
+  session.txnActive = false;
+  session.txnDesign.clear();
+  session.txnOps.clear();
+  Json r = makeResponse(req, /*ok=*/true, /*done=*/true);
+  r.set("status", toString(CmdStatus::kRejected))
+      .set("dropped", static_cast<std::uint64_t>(dropped));
+  return r;
+}
+
+}  // namespace tc::serve

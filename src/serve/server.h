@@ -1,0 +1,169 @@
+#pragma once
+/// \file server.h
+/// \brief The goalposts-server: timing signoff as a long-lived service.
+///
+/// One Server process loads designs (DesignSnapshot files or generated
+/// blocks), keeps a persistent incremental timing state per design via an
+/// EpochManager, and answers line-delimited-JSON requests over TCP from
+/// many concurrent clients. Readers are snapshot-isolated (see epoch.h);
+/// ECO transactions go through the received->accepted->applied/rejected
+/// lifecycle (see proto.h).
+///
+/// Request vocabulary ("cmd" field; every request is one JSON line):
+///
+///   ping                              liveness + protocol version
+///   designs                           served designs + epoch stats
+///   slack      design [scenario]      WNS/TNS/violations per scenario
+///   endpoints  design scenario check [k]   worst-k endpoints by slack
+///   path       design scenario endpoint check    worst path, step list
+///   histogram  design scenario check [bins]      numeric slack histogram
+///   metrics    [prefix]               live MetricsRegistry dump
+///   pin        design                 pin session to the current epoch
+///   unpin      design                 release the session pin
+///   eco        design ops[]           one-shot transaction (full lifecycle)
+///   txn_begin  design                 open a buffered transaction
+///   txn_op     op fields              buffer one op (received)
+///   txn_commit                        validate + commit + publish
+///   txn_abort                         drop the buffer
+///   shutdown                          stop the server (CI convenience)
+///
+/// Every query answers against one *epoch*: the session's pinned replica
+/// when `pin` is in effect for that design, else the latest published one
+/// (pinned just for the request). Responses are rendered with sorted keys
+/// and round-trip number formatting, so equal timing state implies
+/// byte-equal response lines — which is what lets the oracle tests compare
+/// a served answer against a fresh batch StaEngine run with string
+/// equality.
+///
+/// Threading: one accept thread, one thread per connection, a shared
+/// ThreadPool for engine-internal parallelism. Session::processLine() is
+/// the whole protocol brain and is socket-free, so protocol tests (and the
+/// fuzz tests) can drive it in-process.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/epoch.h"
+#include "serve/proto.h"
+#include "signoff/snapshot.h"
+#include "util/thread_pool.h"
+
+namespace tc::serve {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = pick an ephemeral port (see Server::port())
+  int maxClients = 64;
+  std::size_t maxRequestBytes = kDefaultMaxRequestBytes;
+  int engineThreads = 0;  ///< 0 = serial engines (still one thread/client)
+  std::string portFile;   ///< when set, the bound port is written here
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions opt);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register a design under `name`. Builds epoch 0 (full batch run per
+  /// scenario) synchronously. Fails with kServeDuplicateDesign on reuse.
+  Status addDesign(const std::string& name, DesignSnapshot snap);
+
+  /// Bind, listen, and start accepting. Returns the bound port.
+  Result<int> start();
+
+  /// Block until shutdown is requested (signal handler or `shutdown` cmd).
+  void wait();
+
+  /// Ask the serving loop to wind down (safe from any thread / signal
+  /// context via the self-pipe; idempotent).
+  void requestStop();
+
+  /// Stop accepting, unblock every session, join all threads. Idempotent.
+  void stop();
+
+  int port() const { return port_; }
+
+  /// Per-connection protocol state. Socket-free on purpose: tests drive
+  /// processLine() directly with hostile input, and the connection thread
+  /// is nothing but a framing loop around it.
+  struct Session {
+    /// Pinned epochs, per design (the `pin` command).
+    std::map<std::string, std::shared_ptr<const EpochReplica>> pins;
+    /// Buffered transaction (txn_begin .. txn_commit/txn_abort).
+    bool txnActive = false;
+    std::string txnDesign;
+    std::vector<EcoOp> txnOps;
+    bool wantShutdown = false;  ///< set by the `shutdown` command
+    bool wantClose = false;     ///< set when the peer asked to quit
+  };
+
+  /// Parse one request line and produce the full response line sequence
+  /// (each entry one JSON object, no trailing newline). Never throws on
+  /// hostile input: malformed requests produce one ok=false response.
+  std::vector<std::string> processLine(Session& session,
+                                       const std::string& line);
+
+  /// Lookup for tests; nullptr when unknown. Managers live as long as the
+  /// server, so the pointer stays valid.
+  EpochManager* design(const std::string& name);
+
+ private:
+  void acceptLoop();
+  void sessionLoop(int fd);
+  Json handleRequest(Session& session, const Json& req,
+                     std::vector<std::string>* extra);
+
+  // Command handlers (each returns the terminal response object).
+  Json cmdPing(const Json& req);
+  Json cmdDesigns(const Json& req);
+  Json cmdSlack(const Json& req, Session& session);
+  Json cmdEndpoints(const Json& req, Session& session);
+  Json cmdPath(const Json& req, Session& session);
+  Json cmdHistogram(const Json& req, Session& session);
+  Json cmdMetrics(const Json& req);
+  Json cmdPin(const Json& req, Session& session);
+  Json cmdUnpin(const Json& req, Session& session);
+  Json cmdEco(const Json& req, Session& session,
+              std::vector<std::string>* extra);
+  Json cmdTxnBegin(const Json& req, Session& session);
+  Json cmdTxnOp(const Json& req, Session& session);
+  Json cmdTxnCommit(const Json& req, Session& session,
+                    std::vector<std::string>* extra);
+  Json cmdTxnAbort(const Json& req, Session& session);
+
+  /// Resolve design + the replica the request should read (session pin if
+  /// present, else the latest epoch, pinned for the request's duration).
+  Result<std::shared_ptr<const EpochReplica>> resolveReplica(
+      const Json& req, Session& session, EpochManager** mgrOut);
+  /// Resolve the "scenario" field against a replica (name, or index).
+  Result<std::size_t> resolveScenario(const Json& req,
+                                      const EpochReplica& rep) const;
+
+  ServeOptions opt_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex designsMu_;
+  std::map<std::string, std::unique_ptr<EpochManager>> designs_;
+
+  std::atomic<int> port_{0};
+  std::atomic<int> listenFd_{-1};
+  std::atomic<bool> stopRequested_{false};
+  std::atomic<bool> stopped_{false};
+  int wakePipe_[2] = {-1, -1};  ///< self-pipe: signal-safe requestStop()
+
+  std::mutex stateMu_;
+  std::thread acceptThread_;
+  std::vector<std::thread> sessionThreads_;  ///< under stateMu_
+  std::vector<int> sessionFds_;              ///< under stateMu_
+  std::atomic<int> activeClients_{0};
+};
+
+}  // namespace tc::serve

@@ -65,38 +65,67 @@ std::string pathReport(const StaEngine& engine, const EndpointTiming& ep,
   return os.str();
 }
 
-std::vector<EndpointTiming> worstEndpoints(const StaEngine& engine,
-                                           Check check, int k) {
-  std::vector<EndpointTiming> eps = engine.endpoints();
-  std::sort(eps.begin(), eps.end(),
-            [check](const EndpointTiming& a, const EndpointTiming& b) {
-              return (check == Check::kSetup ? a.setupSlack : a.holdSlack) <
-                     (check == Check::kSetup ? b.setupSlack : b.holdSlack);
-            });
-  if (static_cast<int>(eps.size()) > k) eps.resize(static_cast<std::size_t>(k));
-  return eps;
+std::vector<int> worstEndpointIndices(const StaEngine& engine, Check check,
+                                      int k) {
+  const auto& eps = engine.endpoints();
+  std::vector<int> idx(eps.size());
+  for (std::size_t i = 0; i < eps.size(); ++i) idx[i] = static_cast<int>(i);
+  const auto slackOf = [&](int i) {
+    const auto& ep = eps[static_cast<std::size_t>(i)];
+    return check == Check::kSetup ? ep.setupSlack : ep.holdSlack;
+  };
+  std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+    const double sa = slackOf(a), sb = slackOf(b);
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  if (k >= 0 && static_cast<int>(idx.size()) > k)
+    idx.resize(static_cast<std::size_t>(k));
+  return idx;
 }
 
-std::string slackHistogram(const StaEngine& engine, Check check, int bins) {
+std::vector<EndpointTiming> worstEndpoints(const StaEngine& engine,
+                                           Check check, int k) {
+  std::vector<EndpointTiming> out;
+  for (int i : worstEndpointIndices(engine, check, k))
+    out.push_back(engine.endpoints()[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+SlackHistogramBins slackHistogramBins(const StaEngine& engine, Check check,
+                                      int bins) {
+  SlackHistogramBins out;
+  if (bins < 1) bins = 1;
   SampleSet s;
   for (const auto& ep : engine.endpoints()) {
     const double v = check == Check::kSetup ? ep.setupSlack : ep.holdSlack;
     if (std::isfinite(v)) s.add(v);
   }
+  if (s.empty()) return out;
+  out.min = s.min();
+  out.max = s.max();
+  out.lo = out.min;
+  const double hi = std::max(out.max, out.lo + 1.0);
+  out.binWidth = (hi - out.lo) / bins;
+  const auto h = s.histogram(out.lo, hi, static_cast<std::size_t>(bins));
+  out.counts.assign(h.begin(), h.end());
+  for (const auto c : out.counts) out.total += c;
+  return out;
+}
+
+std::string slackHistogram(const StaEngine& engine, Check check, int bins) {
+  const SlackHistogramBins h = slackHistogramBins(engine, check, bins);
+  if (h.total == 0) return "no constrained endpoints\n";
   std::ostringstream os;
-  if (s.empty()) return "no constrained endpoints\n";
-  const double lo = s.min();
-  const double hi = std::max(s.max(), lo + 1.0);
-  const auto h = s.histogram(lo, hi, static_cast<std::size_t>(bins));
-  const double w = (hi - lo) / bins;
-  std::size_t peak = 1;
-  for (auto c : h) peak = std::max(peak, c);
-  for (int b = 0; b < bins; ++b) {
-    const double x = lo + b * w;
-    os << TextTable::num(x, 0) << ".." << TextTable::num(x + w, 0) << " ps | "
-       << asciiBar(static_cast<double>(h[static_cast<std::size_t>(b)]),
+  std::uint64_t peak = 1;
+  for (const auto c : h.counts) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    const double x = h.lo + static_cast<double>(b) * h.binWidth;
+    os << TextTable::num(x, 0) << ".." << TextTable::num(x + h.binWidth, 0)
+       << " ps | "
+       << asciiBar(static_cast<double>(h.counts[b]),
                    static_cast<double>(peak), 40)
-       << " " << h[static_cast<std::size_t>(b)] << "\n";
+       << " " << h.counts[b] << "\n";
   }
   return os.str();
 }

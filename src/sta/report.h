@@ -3,6 +3,7 @@
 /// \brief Human-readable timing reports: summary, path report, slack
 /// histogram, and the failure breakdown the Fig. 1 closure loop consumes.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,27 @@ std::string pathReport(const StaEngine& engine, const EndpointTiming& ep,
 /// The k worst endpoints by slack.
 std::vector<EndpointTiming> worstEndpoints(const StaEngine& engine,
                                            Check check, int k);
+
+/// Indices into engine.endpoints() of the k worst endpoints by `check`
+/// slack, worst first, ties broken by endpoint index. The deterministic
+/// tie-break matters to the serving layer: a query answer must be
+/// byte-identical to a fresh batch run's, so "which of two equal-slack
+/// endpoints lists first" cannot be left to sort-order whim.
+std::vector<int> worstEndpointIndices(const StaEngine& engine, Check check,
+                                      int k);
+
+/// Numeric slack histogram bins. The serving layer ships these as JSON;
+/// the ASCII slackHistogram() below renders the same binning as text, so
+/// the two views can never disagree.
+struct SlackHistogramBins {
+  double lo = 0.0;        ///< left edge of bin 0 (min slack)
+  double binWidth = 0.0;  ///< uniform width
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+  double min = 0.0, max = 0.0;  ///< observed finite slack range
+};
+SlackHistogramBins slackHistogramBins(const StaEngine& engine, Check check,
+                                      int bins = 12);
 
 /// ASCII slack histogram.
 std::string slackHistogram(const StaEngine& engine, Check check,

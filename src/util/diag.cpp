@@ -67,6 +67,21 @@ const char* toString(DiagCode code) {
     case DiagCode::kFarmDuplicateResult: return "FARM_DUPLICATE_RESULT";
     case DiagCode::kFarmScenarioQuarantined:
       return "FARM_SCENARIO_QUARANTINED";
+    case DiagCode::kJsonSyntax: return "JSON_SYNTAX";
+    case DiagCode::kJsonBadNumber: return "JSON_BAD_NUMBER";
+    case DiagCode::kJsonBadEscape: return "JSON_BAD_ESCAPE";
+    case DiagCode::kJsonDepthExceeded: return "JSON_DEPTH_EXCEEDED";
+    case DiagCode::kJsonTrailingData: return "JSON_TRAILING_DATA";
+    case DiagCode::kServeBadRequest: return "SERVE_BAD_REQUEST";
+    case DiagCode::kServeUnknownCommand: return "SERVE_UNKNOWN_COMMAND";
+    case DiagCode::kServeUnknownDesign: return "SERVE_UNKNOWN_DESIGN";
+    case DiagCode::kServeBadScenario: return "SERVE_BAD_SCENARIO";
+    case DiagCode::kServeBadEndpoint: return "SERVE_BAD_ENDPOINT";
+    case DiagCode::kServeOversized: return "SERVE_OVERSIZED";
+    case DiagCode::kServeTxnState: return "SERVE_TXN_STATE";
+    case DiagCode::kServeTxnRejected: return "SERVE_TXN_REJECTED";
+    case DiagCode::kServeDuplicateDesign: return "SERVE_DUPLICATE_DESIGN";
+    case DiagCode::kServeIo: return "SERVE_IO";
   }
   return "UNKNOWN";
 }

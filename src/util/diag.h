@@ -97,6 +97,25 @@ enum class DiagCode {
   kFarmFrameCorrupt,       ///< result frame truncated or failed its CRC
   kFarmDuplicateResult,    ///< second result for a scenario (retry race)
   kFarmScenarioQuarantined,///< poison corner: every attempt failed
+
+  // --- JSON (util/json.h, hostile-input parser) ----------------------------
+  kJsonSyntax,             ///< malformed token / unterminated construct
+  kJsonBadNumber,          ///< unparseable or non-finite number literal
+  kJsonBadEscape,          ///< bad \\-escape or broken surrogate pair
+  kJsonDepthExceeded,      ///< nesting past the recursion cap
+  kJsonTrailingData,       ///< bytes after the closing token
+
+  // --- Serving (goalposts-server protocol + epoch manager) -----------------
+  kServeBadRequest,        ///< request line is not a JSON object / bad field
+  kServeUnknownCommand,    ///< "cmd" names nothing the server speaks
+  kServeUnknownDesign,     ///< design name not loaded
+  kServeBadScenario,       ///< scenario index out of the design's range
+  kServeBadEndpoint,       ///< endpoint index out of range for the epoch
+  kServeOversized,         ///< request line exceeded the size cap
+  kServeTxnState,          ///< txn op/commit without begin, begin inside txn
+  kServeTxnRejected,       ///< ECO transaction failed validation
+  kServeDuplicateDesign,   ///< load under a name already serving
+  kServeIo,                ///< socket-level failure (bind/accept/write)
 };
 
 const char* toString(DiagCode code);

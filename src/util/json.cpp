@@ -1,0 +1,428 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace tc {
+
+namespace {
+
+const Json& nullJson() {
+  static const Json kNull;
+  return kNull;
+}
+
+void appendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Recursive-descent parser over a bounded view. Never throws; every
+/// failure path produces a Status naming the offset, and nesting depth is
+/// explicit so hostile "[[[[..." input cannot exhaust the stack.
+class Parser {
+ public:
+  Parser(std::string_view text, int maxDepth)
+      : text_(text), maxDepth_(maxDepth) {}
+
+  Result<Json> run() {
+    skipWs();
+    Json root;
+    Status st = value(&root, 0);
+    if (!st.ok()) return st;
+    skipWs();
+    if (pos_ != text_.size())
+      return fail(DiagCode::kJsonTrailingData,
+                  "trailing bytes after JSON value");
+    return root;
+  }
+
+ private:
+  Status fail(DiagCode code, const std::string& what) {
+    return Status::failure(code, what + " at byte " + std::to_string(pos_));
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.size() - pos_ < n) return false;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Status value(Json* out, int depth) {
+    if (depth > maxDepth_)
+      return fail(DiagCode::kJsonDepthExceeded,
+                  "nesting deeper than " + std::to_string(maxDepth_));
+    if (pos_ >= text_.size())
+      return fail(DiagCode::kJsonSyntax, "unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return object(out, depth);
+      case '[': return array(out, depth);
+      case '"': {
+        std::string s;
+        Status st = string(&s);
+        if (!st.ok()) return st;
+        *out = Json(std::move(s));
+        return Status::okStatus();
+      }
+      case 't':
+        if (literal("true")) {
+          *out = Json(true);
+          return Status::okStatus();
+        }
+        return fail(DiagCode::kJsonSyntax, "bad literal");
+      case 'f':
+        if (literal("false")) {
+          *out = Json(false);
+          return Status::okStatus();
+        }
+        return fail(DiagCode::kJsonSyntax, "bad literal");
+      case 'n':
+        if (literal("null")) {
+          *out = Json();
+          return Status::okStatus();
+        }
+        return fail(DiagCode::kJsonSyntax, "bad literal");
+      default:
+        return number(out);
+    }
+  }
+
+  Status object(Json* out, int depth) {
+    ++pos_;  // '{'
+    *out = Json::object();
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::okStatus();
+    }
+    for (;;) {
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail(DiagCode::kJsonSyntax, "expected object key");
+      std::string key;
+      Status st = string(&key);
+      if (!st.ok()) return st;
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail(DiagCode::kJsonSyntax, "expected ':'");
+      ++pos_;
+      skipWs();
+      Json member;
+      st = value(&member, depth + 1);
+      if (!st.ok()) return st;
+      out->set(key, std::move(member));
+      skipWs();
+      if (pos_ >= text_.size())
+        return fail(DiagCode::kJsonSyntax, "unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::okStatus();
+      }
+      return fail(DiagCode::kJsonSyntax, "expected ',' or '}'");
+    }
+  }
+
+  Status array(Json* out, int depth) {
+    ++pos_;  // '['
+    *out = Json::array();
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::okStatus();
+    }
+    for (;;) {
+      skipWs();
+      Json elem;
+      Status st = value(&elem, depth + 1);
+      if (!st.ok()) return st;
+      out->push(std::move(elem));
+      skipWs();
+      if (pos_ >= text_.size())
+        return fail(DiagCode::kJsonSyntax, "unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::okStatus();
+      }
+      return fail(DiagCode::kJsonSyntax, "expected ',' or ']'");
+    }
+  }
+
+  Status string(std::string* out) {
+    ++pos_;  // '"'
+    for (;;) {
+      if (pos_ >= text_.size())
+        return fail(DiagCode::kJsonSyntax, "unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::okStatus();
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail(DiagCode::kJsonSyntax,
+                    "raw control character in string");
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size())
+        return fail(DiagCode::kJsonBadEscape, "truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          Status st = hex4(&cp);
+          if (!st.ok()) return st;
+          // Surrogate pair -> one code point; lone surrogates reject.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (text_.size() - pos_ < 2 || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              return fail(DiagCode::kJsonBadEscape, "lone high surrogate");
+            pos_ += 2;
+            unsigned lo = 0;
+            st = hex4(&lo);
+            if (!st.ok()) return st;
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              return fail(DiagCode::kJsonBadEscape, "bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail(DiagCode::kJsonBadEscape, "lone low surrogate");
+          }
+          appendUtf8(cp, out);
+          break;
+        }
+        default:
+          return fail(DiagCode::kJsonBadEscape, "unknown escape");
+      }
+    }
+  }
+
+  Status hex4(unsigned* out) {
+    if (text_.size() - pos_ < 4)
+      return fail(DiagCode::kJsonBadEscape, "truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        return fail(DiagCode::kJsonBadEscape, "bad hex digit in \\u");
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::okStatus();
+  }
+
+  static void appendUtf8(unsigned cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status number(Json* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+      return pos_ > before;
+    };
+    if (!digits())
+      return fail(DiagCode::kJsonBadNumber, "expected digits");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits())
+        return fail(DiagCode::kJsonBadNumber, "expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!digits())
+        return fail(DiagCode::kJsonBadNumber, "expected exponent digits");
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || !std::isfinite(v))
+      return fail(DiagCode::kJsonBadNumber, "unrepresentable number");
+    *out = Json(v);
+    return Status::okStatus();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int maxDepth_;
+};
+
+}  // namespace
+
+const Json& Json::operator[](const std::string& key) const {
+  if (isObject()) {
+    const auto it = obj_.find(key);
+    if (it != obj_.end()) return it->second;
+  }
+  return nullJson();
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (type_ != Type::kObject) {
+    *this = object();
+  }
+  obj_[key] = std::move(value);
+  return *this;
+}
+
+const Json& Json::at(std::size_t i) const {
+  if (isArray() && i < arr_.size()) return arr_[i];
+  return nullJson();
+}
+
+Json& Json::push(Json value) {
+  if (type_ != Type::kArray) {
+    *this = array();
+  }
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::numberToString(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values in the exact-double range print bare, so ids, counts
+  // and epochs read as integers on the wire.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // %.17g round-trips every double, which is what makes two renders of the
+  // same timing state byte-identical.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void Json::dumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: *out += numberToString(num_); break;
+    case Type::kString: appendEscaped(str_, out); break;
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out->push_back(',');
+        first = false;
+        appendEscaped(k, out);
+        out->push_back(':');
+        v.dumpTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.dumpTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dumpTo(&out);
+  return out;
+}
+
+bool Json::operator==(const Json& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == o.bool_;
+    case Type::kNumber: return num_ == o.num_;
+    case Type::kString: return str_ == o.str_;
+    case Type::kObject: return obj_ == o.obj_;
+    case Type::kArray: return arr_ == o.arr_;
+  }
+  return false;
+}
+
+Result<Json> Json::parse(std::string_view text, int maxDepth) {
+  return Parser(text, maxDepth).run();
+}
+
+}  // namespace tc

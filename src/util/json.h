@@ -1,0 +1,128 @@
+#pragma once
+/// \file json.h
+/// \brief Minimal JSON value type with a recoverable parser and a
+/// deterministic writer, for the line-delimited-JSON serving protocol
+/// (src/serve) and any other tool-facing structured I/O.
+///
+/// Design constraints, in order:
+///  - Hostile input is normal input: parse() consumes bytes off a network
+///    socket and must reject malformed, truncated, oversized-nesting and
+///    bad-escape inputs with a clean tc::Status (kJson* codes) — never a
+///    crash, never unbounded recursion (depth is capped).
+///  - Deterministic output: objects render with keys sorted (std::map),
+///    doubles render with a fixed shortest-round-trip format, so two
+///    renders of the same value are byte-identical. The serving oracle
+///    test compares server responses against a freshly computed reference
+///    *as bytes*; that contract rides on this.
+///  - Numbers are doubles (like JSON itself). Integral values within the
+///    exact-double range render without a decimal point so ids and counts
+///    look like ints on the wire. Non-finite doubles render as null
+///    (bench_json.h precedent).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tc {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  using Object = std::map<std::string, Json>;
+  using Array = std::vector<Json>;
+
+  Json() = default;                      ///< null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT: implicit by design
+  Json(double v) : type_(Type::kNumber), num_(v) {}           // NOLINT
+  Json(int v) : type_(Type::kNumber), num_(v) {}              // NOLINT
+  Json(std::int64_t v)                                        // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v)                                       // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}      // NOLINT
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isBool() const { return type_ == Type::kBool; }
+  bool isNumber() const { return type_ == Type::kNumber; }
+  bool isString() const { return type_ == Type::kString; }
+  bool isObject() const { return type_ == Type::kObject; }
+  bool isArray() const { return type_ == Type::kArray; }
+
+  bool asBool(bool dflt = false) const { return isBool() ? bool_ : dflt; }
+  double asDouble(double dflt = 0.0) const {
+    return isNumber() ? num_ : dflt;
+  }
+  /// Truncating; 0 when not a number.
+  std::int64_t asInt(std::int64_t dflt = 0) const {
+    return isNumber() ? static_cast<std::int64_t>(num_) : dflt;
+  }
+  const std::string& asString() const {
+    static const std::string kEmpty;
+    return isString() ? str_ : kEmpty;
+  }
+
+  // --- object access ---------------------------------------------------------
+  /// Member lookup; returns a shared null for missing keys / non-objects.
+  const Json& operator[](const std::string& key) const;
+  bool contains(const std::string& key) const {
+    return isObject() && obj_.find(key) != obj_.end();
+  }
+  /// Insert or overwrite a member (converts this value to an object).
+  Json& set(const std::string& key, Json value);
+  const Object& items() const { return obj_; }
+
+  // --- array access ----------------------------------------------------------
+  std::size_t size() const {
+    return isArray() ? arr_.size() : (isObject() ? obj_.size() : 0);
+  }
+  const Json& at(std::size_t i) const;
+  /// Append an element (converts this value to an array).
+  Json& push(Json value);
+  const Array& elements() const { return arr_; }
+
+  // --- text ------------------------------------------------------------------
+  /// Compact deterministic rendering (sorted keys, fixed number format).
+  std::string dump() const;
+
+  /// Parse one JSON value (plus trailing whitespace only). Every malformed
+  /// input — truncation, bad escapes, nesting deeper than `maxDepth`,
+  /// trailing garbage, non-finite number syntax — fails with a kJson*
+  /// Status naming the byte offset.
+  static Result<Json> parse(std::string_view text, int maxDepth = 96);
+
+  /// The fixed number rendering dump() uses ("%.17g", integers bare,
+  /// non-finite -> null). Exposed so non-Json renderers can match bytes.
+  static std::string numberToString(double v);
+
+  bool operator==(const Json& o) const;
+  bool operator!=(const Json& o) const { return !(*this == o); }
+
+ private:
+  void dumpTo(std::string* out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Object obj_;
+  Array arr_;
+};
+
+}  // namespace tc

@@ -181,6 +181,16 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
   return out;  // entries_ is kept name-sorted, so the snapshot is too
 }
 
+std::vector<MetricSnapshot> MetricsRegistry::snapshot(
+    const std::string& prefix) const {
+  std::vector<MetricSnapshot> all = snapshot();
+  if (prefix.empty()) return all;
+  std::vector<MetricSnapshot> out;
+  for (auto& s : all)
+    if (s.name.rfind(prefix, 0) == 0) out.push_back(std::move(s));
+  return out;
+}
+
 std::string MetricsRegistry::exportText() const {
   std::string out;
   for (const MetricSnapshot& s : snapshot()) {

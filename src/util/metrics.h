@@ -114,6 +114,10 @@ class MetricsRegistry {
 
   /// All metrics, sorted by name (deterministic).
   std::vector<MetricSnapshot> snapshot() const;
+  /// Metrics whose name starts with `prefix`, sorted by name. The serving
+  /// layer's live `metrics` command uses this to scope a dump to one
+  /// subsystem ("serve.", "sta.") without exporting the whole registry.
+  std::vector<MetricSnapshot> snapshot(const std::string& prefix) const;
 
   /// Human-readable table, one metric per line, sorted by name.
   std::string exportText() const;

@@ -63,9 +63,16 @@ class FarmFaultTest : public ::testing::Test {
 
   /// Fault-tolerant farm options: generous wall clock, tight-but-safe hang
   /// detection (several seconds of ASan headroom), fast retries.
+  /// TC_FARM_TEST_WORKERS overrides the worker count so the nightly job
+  /// can rerun the whole matrix at production fan-out (16 workers) without
+  /// a separate test list.
   static FarmOptions tolerantOptions() {
     FarmOptions opt;
     opt.workers = 3;
+    if (const char* env = std::getenv("TC_FARM_TEST_WORKERS")) {
+      const int w = std::atoi(env);
+      if (w > 0) opt.workers = w;
+    }
     opt.scenarioTimeoutSec = 120.0;
     opt.heartbeatSec = 0.05;
     opt.heartbeatTimeoutSec = 3.0;

@@ -1,0 +1,385 @@
+/// \file serve_epoch_test.cpp
+/// \brief Snapshot-isolation contract of the serving layer (serve/epoch.h):
+///
+///  1. The epoch oracle: at EVERY epoch, the published replica's timing is
+///     bitwise identical to a fresh batch StaEngine run of "the base
+///     netlist with that epoch's op-log prefix applied" — whichever path
+///     (incremental replay of a retired replica, or a from-scratch build)
+///     produced the replica. This is PR 3's incremental contract re-proven
+///     through the serving layer's replica pooling.
+///  2. Protocol byte-identity: the served response lines for a pinned
+///     epoch are byte-identical to the lines a fresh server at that state
+///     produces (epoch label normalized — it counts commits, not state).
+///  3. Reader isolation: a session pinned at epoch N gets byte-identical
+///     answers forever, while the writer publishes N+1, N+2, ...
+///  4. Concurrency: 8 reader sessions hammer queries while a writer lands
+///     ECOs; every pinned answer stays byte-stable. (The TSan CI leg runs
+///     this same binary to prove the synchronization, not just the
+///     answers.)
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcmm_identical.h"
+#include "network/netgen.h"
+#include "serve/epoch.h"
+#include "serve/server.h"
+#include "signoff/snapshot.h"
+
+namespace tc {
+namespace {
+
+using serve::EcoOp;
+using serve::EpochManager;
+using serve::EpochReplica;
+using serve::Server;
+using serve::ServeOptions;
+
+/// A deterministic ECO schedule over the tiny block: useful-skew nudges,
+/// NDR class changes, and Miller overrides (always-valid op kinds).
+std::vector<std::vector<EcoOp>> ecoSchedule(const Netlist& nl) {
+  std::vector<int> flops;
+  for (int i = 0; i < nl.instanceCount() && flops.size() < 6; ++i)
+    if (nl.isSequential(i)) flops.push_back(i);
+  EXPECT_GE(flops.size(), 3u);
+  std::vector<std::vector<EcoOp>> batches;
+  auto skew = [](int inst, double ps) {
+    EcoOp op;
+    op.kind = EcoOp::Kind::kSetUsefulSkew;
+    op.target = inst;
+    op.dblArg = ps;
+    return op;
+  };
+  auto ndr = [](int net, int cls) {
+    EcoOp op;
+    op.kind = EcoOp::Kind::kSetNdrClass;
+    op.target = net;
+    op.intArg = cls;
+    return op;
+  };
+  auto miller = [](int net, double f) {
+    EcoOp op;
+    op.kind = EcoOp::Kind::kSetMillerOverride;
+    op.target = net;
+    op.dblArg = f;
+    return op;
+  };
+  batches.push_back({skew(flops[0], 12.0)});
+  batches.push_back({ndr(0, 1), miller(1, 1.5)});
+  batches.push_back({skew(flops[1], -8.0), skew(flops[2], 20.0)});
+  batches.push_back({skew(flops[0], 0.0), ndr(0, 0)});
+  return batches;
+}
+
+DesignSnapshot tinySnapshot() {
+  std::vector<Scenario> scenarios = testutil::scenarioSet();
+  Netlist nl = generateBlock(scenarios[0].lib, profileTiny());
+  return makeSnapshot(nl, std::move(scenarios), /*includeSpef=*/false);
+}
+
+/// Bitwise comparison of a replica's engine against a reference engine.
+void expectEngineIdentical(const StaEngine& got, const StaEngine& want,
+                           const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(got.wns(Check::kSetup), want.wns(Check::kSetup));
+  EXPECT_EQ(got.wns(Check::kHold), want.wns(Check::kHold));
+  EXPECT_EQ(got.tns(Check::kSetup), want.tns(Check::kSetup));
+  EXPECT_EQ(got.tns(Check::kHold), want.tns(Check::kHold));
+  EXPECT_EQ(got.violationCount(Check::kSetup),
+            want.violationCount(Check::kSetup));
+  EXPECT_EQ(got.violationCount(Check::kHold),
+            want.violationCount(Check::kHold));
+  ASSERT_EQ(got.endpoints().size(), want.endpoints().size());
+  for (std::size_t e = 0; e < got.endpoints().size(); ++e) {
+    const EndpointTiming& x = got.endpoints()[e];
+    const EndpointTiming& y = want.endpoints()[e];
+    SCOPED_TRACE("endpoint " + std::to_string(e));
+    EXPECT_EQ(x.vertex, y.vertex);
+    EXPECT_EQ(x.setupSlack, y.setupSlack);
+    EXPECT_EQ(x.holdSlack, y.holdSlack);
+    EXPECT_EQ(x.dataLate, y.dataLate);
+    EXPECT_EQ(x.dataEarly, y.dataEarly);
+    EXPECT_EQ(x.cpprSetup, y.cpprSetup);
+    EXPECT_EQ(x.cpprHold, y.cpprHold);
+  }
+}
+
+TEST(EpochOracle, EveryEpochMatchesFreshBatchRun) {
+  DesignSnapshot snap = tinySnapshot();
+  const Netlist base = *snap.netlist;  // keep a pristine copy
+  const std::vector<Scenario> scenarios = snap.scenarios;
+  const auto batches = ecoSchedule(base);
+
+  EpochManager mgr(std::move(snap), /*pool=*/nullptr);
+  std::vector<EcoOp> applied;
+  // Hold a pin on some epochs (0 and 2) so the manager exercises BOTH
+  // publish paths: reuse-and-replay when a retiree is free, fresh build
+  // when pins block reuse.
+  std::vector<std::shared_ptr<const EpochReplica>> pinned;
+  pinned.push_back(mgr.current());
+
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    auto epoch = mgr.commit(batches[b]);
+    ASSERT_TRUE(epoch.ok()) << epoch.status().str();
+    EXPECT_EQ(epoch.value(), b + 1);
+    applied.insert(applied.end(), batches[b].begin(), batches[b].end());
+    if (b == 1) pinned.push_back(mgr.current());
+
+    // Fresh batch oracle: pristine netlist + full prefix, engines built
+    // from nothing, serial run().
+    auto rep = mgr.current();
+    Netlist fresh = base;
+    for (const EcoOp& op : applied) {
+      switch (op.kind) {
+        case EcoOp::Kind::kSwapCell:
+          fresh.swapCell(op.target, op.intArg);
+          break;
+        case EcoOp::Kind::kSetUsefulSkew:
+          fresh.setUsefulSkew(op.target, op.dblArg);
+          break;
+        case EcoOp::Kind::kSetNdrClass:
+          fresh.setNdrClass(op.target, op.intArg);
+          break;
+        case EcoOp::Kind::kSetMillerOverride:
+          fresh.setMillerOverride(op.target, op.dblArg);
+          break;
+      }
+    }
+    ASSERT_EQ(rep->scenarioCount(), scenarios.size());
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      StaEngine ref(fresh, scenarios[s]);
+      ref.run();
+      expectEngineIdentical(rep->engine(s), ref,
+                            "epoch " + std::to_string(b + 1) + " scenario " +
+                                scenarios[s].name);
+    }
+  }
+  const serve::EpochStats st = mgr.stats();
+  EXPECT_EQ(st.epoch, batches.size());
+  EXPECT_GE(st.replicasReused, 1u) << "pool never exercised the replay path";
+  EXPECT_GE(st.replicasBuilt, 2u) << "pins never forced a fresh build";
+}
+
+/// Normalize the commit-count label so fresh-server responses (always
+/// epoch 0) can be byte-compared against a served epoch k.
+std::string normalizeEpoch(const std::string& line) {
+  auto parsed = Json::parse(line);
+  EXPECT_TRUE(parsed.ok()) << line;
+  if (!parsed.ok()) return line;
+  if (parsed.value().contains("epoch")) parsed.value().set("epoch", 0);
+  return parsed.value().dump();
+}
+
+TEST(EpochOracle, ServedBytesMatchFreshServerBytes) {
+  DesignSnapshot snap = tinySnapshot();
+  const Netlist base = *snap.netlist;
+  const std::vector<Scenario> scenarios = snap.scenarios;
+  const auto batches = ecoSchedule(base);
+
+  ServeOptions opt;
+  Server served(opt);
+  ASSERT_TRUE(served.addDesign("d", std::move(snap)).ok());
+  Server::Session session;
+
+  std::vector<std::string> queries = {
+      R"({"cmd":"slack","design":"d"})",
+      R"({"cmd":"endpoints","design":"d","scenario":"func_tt","check":"setup","k":8})",
+      R"({"cmd":"endpoints","design":"d","scenario":"func_ssg_cw","check":"hold","k":8})",
+      R"({"cmd":"histogram","design":"d","scenario":"func_tt","check":"setup","bins":8})",
+      R"({"cmd":"path","design":"d","scenario":"func_tt","endpoint":0,"check":"setup"})",
+  };
+
+  std::vector<EcoOp> applied;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    // Commit through the protocol (one-shot eco).
+    Json eco = Json::object();
+    eco.set("cmd", "eco").set("design", "d");
+    Json ops = Json::array();
+    for (const EcoOp& op : batches[b]) ops.push(serve::toJson(op));
+    eco.set("ops", std::move(ops));
+    auto lines = served.processLine(session, eco.dump());
+    ASSERT_FALSE(lines.empty());
+    auto terminal = Json::parse(lines.back());
+    ASSERT_TRUE(terminal.ok());
+    ASSERT_TRUE(terminal.value()["ok"].asBool(false)) << lines.back();
+    ASSERT_EQ(terminal.value()["status"].asString(), "applied");
+    applied.insert(applied.end(), batches[b].begin(), batches[b].end());
+
+    // A fresh server loaded directly at this state answers every query
+    // with byte-identical lines (modulo the commit counter).
+    Netlist fresh = base;
+    for (const EcoOp& op : applied) {
+      switch (op.kind) {
+        case EcoOp::Kind::kSwapCell:
+          fresh.swapCell(op.target, op.intArg);
+          break;
+        case EcoOp::Kind::kSetUsefulSkew:
+          fresh.setUsefulSkew(op.target, op.dblArg);
+          break;
+        case EcoOp::Kind::kSetNdrClass:
+          fresh.setNdrClass(op.target, op.intArg);
+          break;
+        case EcoOp::Kind::kSetMillerOverride:
+          fresh.setMillerOverride(op.target, op.dblArg);
+          break;
+      }
+    }
+    Server reference(opt);
+    ASSERT_TRUE(reference
+                    .addDesign("d", makeSnapshot(fresh, scenarios,
+                                                 /*includeSpef=*/false))
+                    .ok());
+    Server::Session refSession;
+    for (const std::string& q : queries) {
+      SCOPED_TRACE("epoch " + std::to_string(b + 1) + " query " + q);
+      auto servedLines = served.processLine(session, q);
+      auto refLines = reference.processLine(refSession, q);
+      ASSERT_EQ(servedLines.size(), 1u);
+      ASSERT_EQ(refLines.size(), 1u);
+      EXPECT_EQ(normalizeEpoch(servedLines[0]), normalizeEpoch(refLines[0]));
+    }
+  }
+}
+
+TEST(EpochIsolation, PinnedReaderIsByteStableAcrossCommits) {
+  Server server((ServeOptions()));
+  ASSERT_TRUE(server.addDesign("d", tinySnapshot()).ok());
+  EpochManager* mgr = server.design("d");
+  ASSERT_NE(mgr, nullptr);
+  const auto batches = ecoSchedule(mgr->current()->netlist());
+
+  Server::Session reader;
+  auto pin = server.processLine(reader, R"({"cmd":"pin","design":"d"})");
+  ASSERT_EQ(pin.size(), 1u);
+
+  const std::string query =
+      R"({"cmd":"slack","design":"d","scenario":"func_tt"})";
+  const auto before = server.processLine(reader, query);
+  ASSERT_EQ(before.size(), 1u);
+
+  // Writer publishes new epochs; the pinned session must not notice.
+  Server::Session writer;
+  for (const auto& batch : batches) {
+    Json eco = Json::object();
+    eco.set("cmd", "eco").set("design", "d");
+    Json ops = Json::array();
+    for (const EcoOp& op : batch) ops.push(serve::toJson(op));
+    eco.set("ops", std::move(ops));
+    auto lines = server.processLine(writer, eco.dump());
+    auto terminal = Json::parse(lines.back());
+    ASSERT_TRUE(terminal.ok());
+    ASSERT_TRUE(terminal.value()["ok"].asBool(false)) << lines.back();
+
+    const auto during = server.processLine(reader, query);
+    ASSERT_EQ(during.size(), 1u);
+    EXPECT_EQ(during[0], before[0]) << "pinned answer drifted";
+  }
+  EXPECT_EQ(mgr->stats().epoch, batches.size());
+
+  // Unpinning moves the session to the tip: a *different* epoch label at
+  // minimum, and (for this schedule) different timing too.
+  server.processLine(reader, R"({"cmd":"unpin","design":"d"})");
+  const auto after = server.processLine(reader, query);
+  ASSERT_EQ(after.size(), 1u);
+  auto tip = Json::parse(after[0]);
+  ASSERT_TRUE(tip.ok());
+  EXPECT_EQ(tip.value()["epoch"].asInt(), static_cast<int>(batches.size()));
+}
+
+TEST(EpochIsolation, EightConcurrentReadersWhileWriterCommits) {
+  ServeOptions opt;
+  Server server(opt);
+  ASSERT_TRUE(server.addDesign("d", tinySnapshot()).ok());
+  EpochManager* mgr = server.design("d");
+  const auto batches = ecoSchedule(mgr->current()->netlist());
+
+  constexpr int kReaders = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&server, &stop, &failures, r] {
+      Server::Session session;
+      // Half the readers pin immediately and hold the epoch for life;
+      // the other half re-pin every iteration (moving with the writer).
+      const bool sticky = (r % 2) == 0;
+      server.processLine(session, R"({"cmd":"pin","design":"d"})");
+      const std::string queries[3] = {
+          R"({"cmd":"slack","design":"d","scenario":"func_tt"})",
+          R"({"cmd":"endpoints","design":"d","scenario":"func_tt","check":"setup","k":4})",
+          R"({"cmd":"histogram","design":"d","scenario":"func_ssg_cw","check":"setup","bins":6})",
+      };
+      std::string expected[3];
+      for (int q = 0; q < 3; ++q) {
+        auto lines = server.processLine(session, queries[q]);
+        if (lines.size() != 1) {
+          failures.fetch_add(1);
+          return;
+        }
+        expected[q] = lines[0];
+      }
+      while (!stop.load()) {
+        if (!sticky) {
+          server.processLine(session, R"({"cmd":"pin","design":"d"})");
+          for (int q = 0; q < 3; ++q) {
+            auto lines = server.processLine(session, queries[q]);
+            if (lines.size() != 1) failures.fetch_add(1);
+            else expected[q] = lines[0];
+          }
+        }
+        for (int q = 0; q < 3; ++q) {
+          auto lines = server.processLine(session, queries[q]);
+          if (lines.size() != 1 || lines[0] != expected[q])
+            failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // The writer loops the schedule several times (skews/NDR toggle back and
+  // forth) so readers see many publish events.
+  Server::Session writer;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& batch : batches) {
+      Json eco = Json::object();
+      eco.set("cmd", "eco").set("design", "d");
+      Json ops = Json::array();
+      for (const EcoOp& op : batch) ops.push(serve::toJson(op));
+      eco.set("ops", std::move(ops));
+      auto lines = server.processLine(writer, eco.dump());
+      auto terminal = Json::parse(lines.back());
+      ASSERT_TRUE(terminal.ok());
+      EXPECT_TRUE(terminal.value()["ok"].asBool(false)) << lines.back();
+    }
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mgr->stats().epoch, 3 * batches.size());
+}
+
+TEST(EpochManagerUnit, RejectsInvalidOpsWithoutPublishing) {
+  DesignSnapshot snap = tinySnapshot();
+  EpochManager mgr(std::move(snap), nullptr);
+  auto rep0 = mgr.current();
+
+  std::vector<EcoOp> bad(1);
+  bad[0].kind = EcoOp::Kind::kSetUsefulSkew;
+  bad[0].target = 1 << 20;  // far out of range
+  auto r = mgr.commit(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), DiagCode::kServeTxnRejected);
+  EXPECT_EQ(mgr.stats().epoch, 0u);
+  EXPECT_EQ(mgr.current()->epoch(), rep0->epoch());
+
+  EXPECT_FALSE(mgr.commit({}).ok()) << "empty transaction must not publish";
+}
+
+}  // namespace
+}  // namespace tc

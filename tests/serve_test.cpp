@@ -1,0 +1,492 @@
+/// \file serve_test.cpp
+/// \brief Protocol-level tests for the goalposts-server: the command
+/// lifecycle state machine, hostile-input handling (malformed JSON,
+/// truncated frames, oversized requests, binary garbage), transaction
+/// misuse, and live-socket behavior including mid-transaction disconnect.
+///
+/// Most cases drive Server::processLine() in-process — the protocol brain
+/// is socket-free by design — and a focused set runs against a real
+/// listener to cover the framing / disconnect paths the in-process calls
+/// cannot reach.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcmm_identical.h"
+#include "network/netgen.h"
+#include "serve/client.h"
+#include "serve/epoch.h"
+#include "serve/proto.h"
+#include "serve/server.h"
+#include "signoff/snapshot.h"
+
+namespace tc {
+namespace {
+
+using serve::EcoOp;
+using serve::Server;
+using serve::ServeClient;
+using serve::ServeOptions;
+
+DesignSnapshot tinySnapshot() {
+  std::vector<Scenario> scenarios = testutil::scenarioSet();
+  Netlist nl = generateBlock(scenarios[0].lib, profileTiny());
+  return makeSnapshot(nl, std::move(scenarios), /*includeSpef=*/false);
+}
+
+/// Parse the single response processLine produced for `line`.
+Json one(Server& server, Server::Session& session, const std::string& line) {
+  auto out = server.processLine(session, line);
+  EXPECT_EQ(out.size(), 1u) << line;
+  if (out.empty()) return Json();
+  auto parsed = Json::parse(out.back());
+  EXPECT_TRUE(parsed.ok()) << out.back();
+  return parsed.ok() ? parsed.value() : Json();
+}
+
+/// Parse the LAST response line (lifecycle commands stream several).
+Json last(Server& server, Server::Session& session, const std::string& line,
+          std::size_t expectLines) {
+  auto out = server.processLine(session, line);
+  EXPECT_EQ(out.size(), expectLines) << line;
+  if (out.empty()) return Json();
+  auto parsed = Json::parse(out.back());
+  EXPECT_TRUE(parsed.ok()) << out.back();
+  return parsed.ok() ? parsed.value() : Json();
+}
+
+void expectErrorCode(const Json& resp, const char* code) {
+  EXPECT_FALSE(resp["ok"].asBool(true)) << resp.dump();
+  EXPECT_TRUE(resp["done"].asBool(false)) << resp.dump();
+  EXPECT_EQ(resp["code"].asString(), code) << resp.dump();
+}
+
+class ServeProtocolTest : public ::testing::Test {
+ protected:
+  // One shared server for the whole suite: epoch-0 builds 4 scenario
+  // engines, which is the expensive part. Tests that commit ECOs read the
+  // epoch counter relatively, so ordering between tests doesn't matter.
+  static void SetUpTestSuite() {
+    server_ = new Server(ServeOptions());
+    ASSERT_TRUE(server_->addDesign("d", tinySnapshot()).ok());
+  }
+  static void TearDownTestSuite() {
+    delete server_;
+    server_ = nullptr;
+  }
+  static Server* server_;
+  Server::Session session_;
+};
+Server* ServeProtocolTest::server_ = nullptr;
+
+TEST_F(ServeProtocolTest, LifecycleStrings) {
+  EXPECT_STREQ(toString(serve::CmdStatus::kReceived), "received");
+  EXPECT_STREQ(toString(serve::CmdStatus::kAccepted), "accepted");
+  EXPECT_STREQ(toString(serve::CmdStatus::kApplied), "applied");
+  EXPECT_STREQ(toString(serve::CmdStatus::kRejected), "rejected");
+}
+
+TEST_F(ServeProtocolTest, PingEchoesIdAndVersion) {
+  Json r = one(*server_, session_, R"({"cmd":"ping","id":"abc"})");
+  EXPECT_TRUE(r["ok"].asBool(false));
+  EXPECT_TRUE(r["pong"].asBool(false));
+  EXPECT_EQ(r["id"].asString(), "abc");
+  EXPECT_EQ(r["version"].asInt(), serve::kProtocolVersion);
+}
+
+TEST_F(ServeProtocolTest, MalformedJsonIsCleanlyRejected) {
+  expectErrorCode(one(*server_, session_, "{\"cmd\":"), "JSON_SYNTAX");
+  expectErrorCode(one(*server_, session_, "not json at all"), "JSON_SYNTAX");
+  expectErrorCode(one(*server_, session_, "{\"cmd\":\"ping\"} trailing"),
+                  "JSON_TRAILING_DATA");
+  expectErrorCode(one(*server_, session_, "{\"a\":1e999}"),
+                  "JSON_BAD_NUMBER");
+  expectErrorCode(one(*server_, session_, "{\"a\":\"\\q\"}"),
+                  "JSON_BAD_ESCAPE");
+}
+
+TEST_F(ServeProtocolTest, BinaryGarbageIsCleanlyRejected) {
+  std::string garbage = "\x01\x02\xfe\xff\x7f";
+  garbage += std::string(64, '\xab');
+  Json r = one(*server_, session_, garbage);
+  EXPECT_FALSE(r["ok"].asBool(true));
+}
+
+TEST_F(ServeProtocolTest, DeepNestingHitsDepthCap) {
+  std::string bomb(200, '[');
+  expectErrorCode(one(*server_, session_, bomb + std::string(200, ']')),
+                  "JSON_DEPTH_EXCEEDED");
+}
+
+TEST_F(ServeProtocolTest, NonObjectAndMissingCmd) {
+  expectErrorCode(one(*server_, session_, "[1,2,3]"), "SERVE_BAD_REQUEST");
+  expectErrorCode(one(*server_, session_, "42"), "SERVE_BAD_REQUEST");
+  expectErrorCode(one(*server_, session_, R"({"design":"d"})"),
+                  "SERVE_BAD_REQUEST");
+  expectErrorCode(one(*server_, session_, R"({"cmd":17})"),
+                  "SERVE_BAD_REQUEST");
+}
+
+TEST_F(ServeProtocolTest, UnknownCommandAndDesign) {
+  expectErrorCode(one(*server_, session_, R"({"cmd":"frobnicate"})"),
+                  "SERVE_UNKNOWN_COMMAND");
+  expectErrorCode(one(*server_, session_,
+                      R"({"cmd":"slack","design":"nope"})"),
+                  "SERVE_UNKNOWN_DESIGN");
+  expectErrorCode(one(*server_, session_, R"({"cmd":"slack"})"),
+                  "SERVE_BAD_REQUEST");
+}
+
+TEST_F(ServeProtocolTest, BadScenarioEndpointCheckAndRanges) {
+  expectErrorCode(
+      one(*server_, session_,
+          R"({"cmd":"endpoints","design":"d","scenario":"nope"})"),
+      "SERVE_BAD_SCENARIO");
+  expectErrorCode(one(*server_, session_,
+                      R"({"cmd":"endpoints","design":"d","scenario":99})"),
+                  "SERVE_BAD_SCENARIO");
+  expectErrorCode(
+      one(*server_, session_,
+          R"({"cmd":"endpoints","design":"d","scenario":0,"check":"both"})"),
+      "SERVE_BAD_REQUEST");
+  expectErrorCode(one(*server_, session_,
+                      R"({"cmd":"endpoints","design":"d","scenario":0,"k":0})"),
+                  "SERVE_BAD_REQUEST");
+  expectErrorCode(
+      one(*server_, session_,
+          R"({"cmd":"path","design":"d","scenario":0,"endpoint":1000000})"),
+      "SERVE_BAD_ENDPOINT");
+  expectErrorCode(one(*server_, session_,
+                      R"({"cmd":"path","design":"d","scenario":0})"),
+                  "SERVE_BAD_ENDPOINT");
+  expectErrorCode(
+      one(*server_, session_,
+          R"({"cmd":"histogram","design":"d","scenario":0,"bins":100000})"),
+      "SERVE_BAD_REQUEST");
+}
+
+TEST_F(ServeProtocolTest, OversizedRequestRejectedInline) {
+  std::string big = R"({"cmd":"ping","pad":")";
+  big += std::string(serve::kDefaultMaxRequestBytes, 'x');
+  big += "\"}";
+  expectErrorCode(one(*server_, session_, big), "SERVE_OVERSIZED");
+}
+
+TEST_F(ServeProtocolTest, EcoLifecycleStreamsStates) {
+  Json eco = Json::object();
+  eco.set("cmd", "eco").set("design", "d").set("id", 7);
+  Json ops = Json::array();
+  Json op = Json::object();
+  op.set("op", "set_miller").set("net", 0).set("factor", 1.25);
+  ops.push(std::move(op));
+  eco.set("ops", std::move(ops));
+  auto lines = server_->processLine(session_, eco.dump());
+  ASSERT_EQ(lines.size(), 3u);
+  auto received = Json::parse(lines[0]);
+  auto accepted = Json::parse(lines[1]);
+  auto applied = Json::parse(lines[2]);
+  ASSERT_TRUE(received.ok() && accepted.ok() && applied.ok());
+  EXPECT_EQ(received.value()["status"].asString(), "received");
+  EXPECT_FALSE(received.value()["done"].asBool(true));
+  EXPECT_EQ(received.value()["ops"].asInt(), 1);
+  EXPECT_EQ(received.value()["id"].asInt(), 7);
+  EXPECT_EQ(accepted.value()["status"].asString(), "accepted");
+  EXPECT_FALSE(accepted.value()["done"].asBool(true));
+  EXPECT_EQ(applied.value()["status"].asString(), "applied");
+  EXPECT_TRUE(applied.value()["done"].asBool(false));
+  EXPECT_GE(applied.value()["epoch"].asInt(), 1);
+}
+
+TEST_F(ServeProtocolTest, EcoRejectionNamesOpAndLeavesEpochAlone) {
+  const std::uint64_t epochBefore = server_->design("d")->stats().epoch;
+  // Out-of-range instance: the op parses, so the client sees "received"
+  // first, then a terminal rejection from validation. No epoch published.
+  Json r = last(*server_, session_,
+                R"({"cmd":"eco","design":"d",)"
+                R"("ops":[{"op":"set_useful_skew","inst":999999,"ps":1}]})",
+                /*expectLines=*/2);
+  expectErrorCode(r, "SERVE_TXN_REJECTED");
+  EXPECT_EQ(r["status"].asString(), "rejected");
+  EXPECT_EQ(server_->design("d")->stats().epoch, epochBefore);
+  // Unknown op kind: rejected at parse, single terminal line.
+  Json r2 = one(*server_, session_,
+                R"({"cmd":"eco","design":"d","ops":[{"op":"explode"}]})");
+  expectErrorCode(r2, "SERVE_BAD_REQUEST");
+  EXPECT_EQ(r2["status"].asString(), "rejected");
+  EXPECT_EQ(server_->design("d")->stats().epoch, epochBefore);
+}
+
+TEST_F(ServeProtocolTest, TxnStateMachine) {
+  // Ops/commit/abort outside a transaction: clean state errors.
+  expectErrorCode(
+      one(*server_, session_,
+          R"({"cmd":"txn_op","op":"set_miller","net":0,"factor":1})"),
+      "SERVE_TXN_STATE");
+  expectErrorCode(one(*server_, session_, R"({"cmd":"txn_commit"})"),
+                  "SERVE_TXN_STATE");
+  expectErrorCode(one(*server_, session_, R"({"cmd":"txn_abort"})"),
+                  "SERVE_TXN_STATE");
+
+  // Open, buffer two ops, double-open rejected, abort drops both.
+  EXPECT_TRUE(one(*server_, session_,
+                  R"({"cmd":"txn_begin","design":"d"})")["ok"]
+                  .asBool(false));
+  EXPECT_TRUE(
+      one(*server_, session_,
+          R"({"cmd":"txn_op","op":"set_miller","net":0,"factor":2})")["ok"]
+          .asBool(false));
+  Json second =
+      one(*server_, session_,
+          R"({"cmd":"txn_op","op":"set_ndr_class","net":1,"class":1})");
+  EXPECT_EQ(second["ops"].asInt(), 2);
+  expectErrorCode(one(*server_, session_,
+                      R"({"cmd":"txn_begin","design":"d"})"),
+                  "SERVE_TXN_STATE");
+  Json aborted = one(*server_, session_, R"({"cmd":"txn_abort"})");
+  EXPECT_TRUE(aborted["ok"].asBool(false));
+  EXPECT_EQ(aborted["dropped"].asInt(), 2);
+
+  // A fresh transaction commits through the full eco lifecycle.
+  const std::uint64_t epochBefore = server_->design("d")->stats().epoch;
+  EXPECT_TRUE(one(*server_, session_,
+                  R"({"cmd":"txn_begin","design":"d"})")["ok"]
+                  .asBool(false));
+  EXPECT_TRUE(
+      one(*server_, session_,
+          R"({"cmd":"txn_op","op":"set_miller","net":2,"factor":1.5})")["ok"]
+          .asBool(false));
+  Json applied =
+      last(*server_, session_, R"({"cmd":"txn_commit"})", /*expectLines=*/3);
+  EXPECT_EQ(applied["status"].asString(), "applied");
+  EXPECT_EQ(server_->design("d")->stats().epoch, epochBefore + 1);
+  // The commit consumed the transaction.
+  expectErrorCode(one(*server_, session_, R"({"cmd":"txn_commit"})"),
+                  "SERVE_TXN_STATE");
+}
+
+TEST_F(ServeProtocolTest, MetricsDumpContainsServeCounters) {
+  // Publish an epoch first so the dump is self-contained: ctest runs each
+  // test in its own process, so counters from sibling tests don't exist.
+  Json applied = last(
+      *server_, session_,
+      R"({"cmd":"eco","design":"d","ops":[{"op":"set_miller","net":5,"factor":1.1}]})",
+      /*expectLines=*/3);
+  ASSERT_EQ(applied["status"].asString(), "applied");
+  Json r = one(*server_, session_, R"({"cmd":"metrics","prefix":"serve."})");
+  ASSERT_TRUE(r["ok"].asBool(false));
+  EXPECT_TRUE(r["metrics"].contains("serve.requests")) << r.dump();
+  EXPECT_TRUE(r["metrics"].contains("serve.epochs_published")) << r.dump();
+  EXPECT_GT(r["metrics"]["serve.requests"].asDouble(), 0.0);
+  EXPECT_GE(r["metrics"]["serve.epochs_published"].asDouble(), 1.0);
+}
+
+TEST_F(ServeProtocolTest, EcoOpWireCodecRoundTrips) {
+  for (auto kind :
+       {EcoOp::Kind::kSwapCell, EcoOp::Kind::kSetUsefulSkew,
+        EcoOp::Kind::kSetNdrClass, EcoOp::Kind::kSetMillerOverride}) {
+    EcoOp op;
+    op.kind = kind;
+    op.target = 5;
+    op.intArg = 2;
+    op.dblArg = -3.25;
+    auto back = serve::ecoOpFromJson(serve::toJson(op));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(static_cast<int>(back.value().kind), static_cast<int>(kind));
+    EXPECT_EQ(back.value().target, op.target);
+  }
+  EXPECT_FALSE(serve::ecoOpFromJson(Json(3.0)).ok());
+  EXPECT_FALSE(
+      serve::ecoOpFromJson(Json::parse(R"({"op":"swap_cell"})").value()).ok())
+      << "missing fields must fail";
+}
+
+// ---------------------------------------------------------------------------
+// Live-socket coverage: framing, disconnects, connection survival.
+// ---------------------------------------------------------------------------
+
+class ServeSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServeOptions opt;
+    opt.maxRequestBytes = 4096;  // small cap keeps the oversized test cheap
+    server_ = std::make_unique<Server>(opt);
+    ASSERT_TRUE(server_->addDesign("d", tinySnapshot()).ok());
+    auto port = server_->start();
+    ASSERT_TRUE(port.ok()) << port.status().str();
+    port_ = port.value();
+  }
+  void TearDown() override { server_->stop(); }
+
+  void connectOrFail(ServeClient& c) {
+    ASSERT_TRUE(c.connect("127.0.0.1", port_).ok());
+  }
+
+  /// Raw TCP connect for tests that need to send bytes ServeClient's
+  /// framing cannot produce (partial lines, abrupt close).
+  int rawConnect() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+  }
+
+  std::unique_ptr<Server> server_;
+  int port_ = 0;
+};
+
+TEST_F(ServeSocketTest, QueryEcoQueryOverTheWire) {
+  ServeClient c;
+  connectOrFail(c);
+  auto pong = c.callOne(Json::parse(R"({"cmd":"ping"})").value());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong.value()["pong"].asBool(false));
+
+  auto before =
+      c.callOne(Json::parse(R"({"cmd":"slack","design":"d"})").value());
+  ASSERT_TRUE(before.ok());
+  const std::int64_t epoch0 = before.value()["epoch"].asInt();
+
+  auto eco = c.call(
+      Json::parse(
+          R"({"cmd":"eco","design":"d","ops":[{"op":"set_miller","net":0,"factor":1.1}]})")
+          .value());
+  ASSERT_TRUE(eco.ok());
+  ASSERT_EQ(eco.value().size(), 3u);
+  EXPECT_EQ(eco.value()[2]["status"].asString(), "applied");
+
+  auto after =
+      c.callOne(Json::parse(R"({"cmd":"slack","design":"d"})").value());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value()["epoch"].asInt(), epoch0 + 1);
+}
+
+TEST_F(ServeSocketTest, GarbageThenValidRequestOnSameConnection) {
+  ServeClient c;
+  connectOrFail(c);
+  ASSERT_TRUE(c.sendLine("\x01\x02garbage\xfe").ok());
+  auto err = c.readLine();
+  ASSERT_TRUE(err.ok());
+  auto parsed = Json::parse(err.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value()["ok"].asBool(true));
+  // The connection survives hostile input.
+  auto pong = c.callOne(Json::parse(R"({"cmd":"ping"})").value());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong.value()["pong"].asBool(false));
+}
+
+TEST_F(ServeSocketTest, OversizedRequestIsDrainedNotFatal) {
+  ServeClient c;
+  connectOrFail(c);
+  // One 16 KiB line against a 4 KiB cap: the server answers
+  // SERVE_OVERSIZED, drains the rest of the line, and keeps serving.
+  ASSERT_TRUE(c.sendLine(std::string(16384, 'x')).ok());
+  auto err = c.readLine();
+  ASSERT_TRUE(err.ok());
+  auto parsed = Json::parse(err.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()["code"].asString(), "SERVE_OVERSIZED");
+  auto pong = c.callOne(Json::parse(R"({"cmd":"ping"})").value());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong.value()["pong"].asBool(false));
+}
+
+TEST_F(ServeSocketTest, TruncatedFrameThenDisconnectLeavesServerHealthy) {
+  {
+    const int fd = rawConnect();
+    // Half a request, no terminating newline, then an abrupt close: the
+    // classic truncated frame. The server must just drop the partial line.
+    const char kPartial[] = "{\"cmd\":\"slack\",\"desi";
+    EXPECT_GT(::send(fd, kPartial, sizeof(kPartial) - 1, 0), 0);
+    ::close(fd);
+  }
+  ServeClient c;
+  connectOrFail(c);
+  auto pong = c.callOne(Json::parse(R"({"cmd":"ping"})").value());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong.value()["pong"].asBool(false));
+}
+
+TEST_F(ServeSocketTest, MidTransactionDisconnectRollsBack) {
+  const std::uint64_t epochBefore = server_->design("d")->stats().epoch;
+  {
+    ServeClient c;
+    connectOrFail(c);
+    auto open =
+        c.callOne(Json::parse(R"({"cmd":"txn_begin","design":"d"})").value());
+    ASSERT_TRUE(open.ok());
+    ASSERT_TRUE(open.value()["ok"].asBool(false));
+    auto op = c.callOne(
+        Json::parse(
+            R"({"cmd":"txn_op","op":"set_miller","net":0,"factor":2})")
+            .value());
+    ASSERT_TRUE(op.ok());
+    ASSERT_TRUE(op.value()["ok"].asBool(false));
+  }  // disconnect with the transaction open
+  // The buffered ops died with the session: no epoch was published, and
+  // the server still answers.
+  ServeClient c2;
+  connectOrFail(c2);
+  auto slack =
+      c2.callOne(Json::parse(R"({"cmd":"slack","design":"d"})").value());
+  ASSERT_TRUE(slack.ok());
+  EXPECT_EQ(static_cast<std::uint64_t>(slack.value()["epoch"].asInt()),
+            epochBefore);
+}
+
+TEST_F(ServeSocketTest, EightClientsConcurrently) {
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &failures] {
+      ServeClient c;
+      if (!c.connect("127.0.0.1", port_).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int q = 0; q < 10; ++q) {
+        Json req = Json::object();
+        if (i % 4 == 3 && q % 5 == 2) {
+          // Writers: land a tiny ECO.
+          req.set("cmd", "eco").set("design", "d");
+          Json ops = Json::array();
+          Json op = Json::object();
+          op.set("op", "set_miller")
+              .set("net", i)
+              .set("factor", 1.0 + 0.01 * q);
+          ops.push(std::move(op));
+          req.set("ops", std::move(ops));
+        } else {
+          req.set("cmd", "slack").set("design", "d");
+        }
+        auto resp = c.call(req);
+        if (!resp.ok() || resp.value().empty() ||
+            !resp.value().back()["ok"].asBool(false))
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace tc

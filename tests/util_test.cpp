@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "util/interp.h"
+#include "util/json.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -202,6 +205,93 @@ TEST(AsciiBar, ScalesWithValue) {
   EXPECT_EQ(asciiBar(10.0, 10.0, 10).size(), 10u);
   EXPECT_EQ(asciiBar(5.0, 10.0, 10).size(), 5u);
   EXPECT_TRUE(asciiBar(-1.0, 10.0, 10).empty());
+}
+
+// ---------------------------------------------------------------------------
+// tc::Json — the wire format of the goalposts-server. Determinism of
+// dump() (sorted keys, fixed number rendering) is what makes served
+// responses byte-comparable against a fresh-server oracle.
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParseDumpRoundTrip) {
+  const char* text =
+      R"({"a":[1,2.5,true,false,null],"b":{"nested":"str"},"z":-3})";
+  auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().dump(), text);
+  // Re-parsing the dump is a fixed point.
+  auto again = Json::parse(parsed.value().dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().dump(), text);
+}
+
+TEST(Json, DumpSortsObjectKeys) {
+  auto j = Json::object();
+  j.set("zeta", 1).set("alpha", 2).set("mid", 3);
+  EXPECT_EQ(j.dump(), R"({"alpha":2,"mid":3,"zeta":1})");
+}
+
+TEST(Json, NumberRendering) {
+  EXPECT_EQ(Json(42.0).dump(), "42");          // integral values are bare
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+  // %.17g survives a round trip bit-exactly.
+  const double pi = 3.14159265358979312;
+  auto back = Json::parse(Json(pi).dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().asDouble(), pi);
+  // Non-finite values have no JSON representation: dump as null.
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, StringEscapes) {
+  auto parsed = Json::parse(R"(["\"\\\/\b\f\n\r\tAé"])");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().at(0).asString(), "\"\\/\b\f\n\r\t"
+                                             "A\xc3\xa9");
+  // Surrogate pair → 4-byte UTF-8.
+  auto emoji = Json::parse(R"("😀")");
+  ASSERT_TRUE(emoji.ok());
+  EXPECT_EQ(emoji.value().asString(), "\xf0\x9f\x98\x80");
+  // A lone high surrogate is an error, not silent garbage.
+  EXPECT_FALSE(Json::parse(R"("\ud83d")").ok());
+}
+
+TEST(Json, HostileInputFailsWithCodes) {
+  EXPECT_EQ(Json::parse("{").status().code(), DiagCode::kJsonSyntax);
+  EXPECT_EQ(Json::parse("").status().code(), DiagCode::kJsonSyntax);
+  EXPECT_EQ(Json::parse("[1,2,").status().code(), DiagCode::kJsonSyntax);
+  EXPECT_EQ(Json::parse("1 2").status().code(),
+            DiagCode::kJsonTrailingData);
+  EXPECT_EQ(Json::parse("1e999").status().code(),
+            DiagCode::kJsonBadNumber);
+  EXPECT_EQ(Json::parse(R"("\x41")").status().code(),
+            DiagCode::kJsonBadEscape);
+  const std::string bomb(200, '[');
+  EXPECT_EQ(Json::parse(bomb).status().code(),
+            DiagCode::kJsonDepthExceeded);
+}
+
+TEST(Json, DepthCapIsConfigurable) {
+  // 10 levels parses under the default cap but not under maxDepth=5.
+  const std::string nested = std::string(10, '[') + std::string(10, ']');
+  EXPECT_TRUE(Json::parse(nested).ok());
+  EXPECT_EQ(Json::parse(nested, /*maxDepth=*/5).status().code(),
+            DiagCode::kJsonDepthExceeded);
+}
+
+TEST(Json, AccessorsAreTotalFunctions) {
+  Json j;  // null
+  EXPECT_TRUE(j.isNull());
+  EXPECT_EQ(j["missing"]["deeper"].asInt(-1), -1);  // chains never throw
+  EXPECT_FALSE(j.contains("anything"));
+  EXPECT_EQ(j.asBool(true), true);
+  auto arr = Json::array();
+  arr.push(1).push("two");
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.at(0).asInt(), 1);
+  EXPECT_EQ(arr.at(99).asInt(-1), -1);  // out-of-range yields null
 }
 
 }  // namespace

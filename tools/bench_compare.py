@@ -21,10 +21,13 @@ Gating rules:
     but never gated.
   * Counter metrics (unit "count", or a ctr_ name prefix — the stable
     observability counters bench_json.h folds in) are exact-match when
-    present on both sides, but tolerant of absence: a counter missing from
-    the baseline (just landed) or from the current run (just removed) only
-    warns, so instrumenting a new subsystem never breaks the gate before
-    its baseline is refreshed.
+    present on both sides. A counter missing from the baseline (just
+    landed) only warns, so instrumenting a new subsystem never breaks the
+    gate before its baseline is refreshed. A baseline counter missing from
+    the current run is a hard failure: a kStable counter that stops being
+    emitted means the instrumentation (or the code path it counted)
+    silently disappeared, which is exactly the regression the gate exists
+    to catch.
   * Everything else is a correctness field (violation counts, WNS in ps,
     bit-identical flags, ...): any divergence beyond 1e-6 relative
     tolerance fails, regardless of threshold. null (a non-finite value
@@ -70,7 +73,10 @@ def load_metrics(path: Path):
         if unit in TIME_UNITS or name.endswith("_ms"):
             scale = TIME_UNITS.get(unit, 1.0)
             out[name] = (None if value is None else value * scale, "time")
-        elif unit == "x" or name.endswith("_speedup"):
+        elif unit in ("x", "req/s", "info") or name.endswith("_speedup"):
+            # Speedups, throughputs, and explicitly-informational values
+            # are derived from (or too noisy to stand in for) the time
+            # metrics that carry the gate.
             out[name] = (value, "derived")
         elif unit == "count" or name.startswith("ctr_"):
             out[name] = (value, "counter")
@@ -140,7 +146,11 @@ def main() -> int:
             if name not in cur:
                 if kind == "counter":
                     rows.append((bf.stem, name, bval, None,
-                                 "counter removed (warn only)"))
+                                 "COUNTER MISSING"))
+                    failures.append(
+                        f"{bf.name}:{name}: stable counter missing from "
+                        f"current run (instrumentation or the code path it "
+                        f"counted disappeared)")
                 else:
                     failures.append(f"{bf.name}:{name}: metric disappeared")
         for name in cur:

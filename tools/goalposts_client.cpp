@@ -1,0 +1,144 @@
+/// \file goalposts_client.cpp
+/// \brief Command-line client for the goalposts-server.
+///
+/// Sends requests from --cmd (one JSON object) or --script (a file of one
+/// request per line; '#' comments and blank lines skipped) and prints
+/// every response line to stdout. With --expect-ok the exit code reports
+/// protocol health, which is what the CI server-integration job keys on.
+///
+///   goalposts_client --port-file /tmp/port --script drive.script --expect-ok
+///
+/// Exit codes: 0 ok, 1 a terminal response had ok=false (under
+/// --expect-ok), 2 bad arguments, 3 connection/transport failure.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host ADDR] [--port N | --port-file PATH]\n"
+               "          [--script FILE | --cmd JSON]... [--expect-ok]\n"
+               "          [--connect-timeout MS]\n",
+               argv0);
+  return 2;
+}
+
+/// Poll for the server's port-file handshake (written tmp+rename, so a
+/// successful parse is a complete port number).
+int waitForPortFile(const std::string& path, int timeoutMs) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeoutMs);
+  for (;;) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in && (in >> port) && port > 0) return port;
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string portFile;
+  int port = 0;
+  int connectTimeoutMs = 10000;
+  bool expectOk = false;
+  std::vector<std::string> requests;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = value("--host");
+    } else if (arg == "--port") {
+      port = std::atoi(value("--port"));
+    } else if (arg == "--port-file") {
+      portFile = value("--port-file");
+    } else if (arg == "--connect-timeout") {
+      connectTimeoutMs = std::atoi(value("--connect-timeout"));
+    } else if (arg == "--expect-ok") {
+      expectOk = true;
+    } else if (arg == "--cmd") {
+      requests.emplace_back(value("--cmd"));
+    } else if (arg == "--script") {
+      const char* path = value("--script");
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot read script %s\n", path);
+        return 2;
+      }
+      std::string line;
+      while (std::getline(in, line)) {
+        const std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') continue;
+        requests.push_back(line);
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "nothing to send: give --cmd or --script\n");
+    return usage(argv[0]);
+  }
+  if (port <= 0 && !portFile.empty()) {
+    port = waitForPortFile(portFile, connectTimeoutMs);
+    if (port <= 0) {
+      std::fprintf(stderr, "timed out waiting for port file %s\n",
+                   portFile.c_str());
+      return 3;
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "no port: give --port or --port-file\n");
+    return usage(argv[0]);
+  }
+
+  tc::serve::ServeClient client;
+  tc::Status st = client.connect(host, port, connectTimeoutMs);
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect: %s\n", st.message().c_str());
+    return 3;
+  }
+
+  bool sawFailure = false;
+  for (const std::string& reqText : requests) {
+    auto parsed = tc::Json::parse(reqText);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad request %s: %s\n", reqText.c_str(),
+                   parsed.status().message().c_str());
+      return 2;
+    }
+    auto responses = client.call(parsed.value());
+    if (!responses.ok()) {
+      std::fprintf(stderr, "transport: %s\n",
+                   responses.status().message().c_str());
+      return 3;
+    }
+    for (const tc::Json& r : responses.value())
+      std::printf("%s\n", r.dump().c_str());
+    if (!responses.value().back()["ok"].asBool(false)) sawFailure = true;
+    // `shutdown`/`quit` close the conversation server-side; stop cleanly.
+    const std::string& cmd = parsed.value()["cmd"].asString();
+    if (cmd == "shutdown" || cmd == "quit") break;
+  }
+  std::fflush(stdout);
+  return (expectOk && sawFailure) ? 1 : 0;
+}

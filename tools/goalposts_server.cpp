@@ -1,0 +1,203 @@
+/// \file goalposts_server.cpp
+/// \brief Timing-signoff-as-a-service daemon (see src/serve/server.h).
+///
+/// Loads one or more designs — DesignSnapshot files (--preload) and/or
+/// generated blocks (--gen) — builds their epoch-0 timing state, then
+/// serves line-delimited-JSON queries and ECO transactions over TCP until
+/// SIGINT/SIGTERM or a `shutdown` command.
+///
+///   goalposts_server --gen tiny=tiny:1 --port-file /tmp/port
+///                    --engine-threads 4 --trace server.trace.json
+///
+/// Exit codes: 0 clean shutdown, 2 bad arguments, 3 a design failed to
+/// load.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "serve/server.h"
+#include "signoff/snapshot.h"
+#include "util/trace.h"
+
+namespace {
+
+tc::serve::Server* gServer = nullptr;
+
+void onSignal(int) {
+  if (gServer) gServer->requestStop();  // atomic + self-pipe: signal-safe
+}
+
+/// The tool's standard corner pair: typical signoff + the slow-cold AOCV
+/// corner. Generated designs get a fixed scenario set so a given
+/// --gen spec always produces the same served timing state.
+std::vector<tc::Scenario> defaultScenarios() {
+  using namespace tc;
+  std::vector<Scenario> out;
+  {
+    Scenario s;
+    s.name = "func_tt";
+    s.lib = characterizedLibrary(LibraryPvt{ProcessCorner::kTT, 0.9, 25.0},
+                                 /*quick=*/true);
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "func_ssg_cw";
+    s.lib = characterizedLibrary(LibraryPvt{ProcessCorner::kSSG, 0.81, 125.0},
+                                 /*quick=*/true);
+    s.beol = BeolCorner::kCworst;
+    s.derate.mode = DerateMode::kAocv;
+    out.push_back(s);
+  }
+  return out;
+}
+
+tc::BlockProfile profileByName(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "tiny") return tc::profileTiny();
+  if (name == "c5315") return tc::profileC5315();
+  if (name == "c7552") return tc::profileC7552();
+  if (name == "aes") return tc::profileAes();
+  if (name == "mpeg2") return tc::profileMpeg2();
+  *ok = false;
+  return tc::profileTiny();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--port-file PATH] [--host ADDR]\n"
+      "          [--preload NAME=SNAPSHOT] [--gen NAME=PROFILE[:SEED]]\n"
+      "          [--engine-threads N] [--max-clients N] [--trace FILE]\n"
+      "profiles: tiny c5315 c7552 aes mpeg2\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tc::serve::ServeOptions opt;
+  std::vector<std::pair<std::string, std::string>> preloads;  // name, path
+  std::vector<std::pair<std::string, std::string>> gens;      // name, spec
+  std::string traceFile;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      opt.port = std::atoi(value("--port"));
+    } else if (arg == "--port-file") {
+      opt.portFile = value("--port-file");
+    } else if (arg == "--host") {
+      opt.host = value("--host");
+    } else if (arg == "--engine-threads") {
+      opt.engineThreads = std::atoi(value("--engine-threads"));
+    } else if (arg == "--max-clients") {
+      opt.maxClients = std::atoi(value("--max-clients"));
+    } else if (arg == "--trace") {
+      traceFile = value("--trace");
+    } else if (arg == "--preload" || arg == "--gen") {
+      const std::string spec = value(arg.c_str());
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "%s wants NAME=..., got %s\n", arg.c_str(),
+                     spec.c_str());
+        return 2;
+      }
+      auto& dst = (arg == "--preload") ? preloads : gens;
+      dst.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (preloads.empty() && gens.empty()) {
+    std::fprintf(stderr, "nothing to serve: give --preload or --gen\n");
+    return usage(argv[0]);
+  }
+
+  if (!traceFile.empty()) tc::traceSetEnabled(true);
+
+  tc::serve::Server server(opt);
+
+  for (const auto& [name, path] : preloads) {
+    auto snap = tc::readSnapshotFile(path, nullptr);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "load %s (%s): %s\n", name.c_str(), path.c_str(),
+                   snap.status().message().c_str());
+      return 3;
+    }
+    tc::Status st = server.addDesign(name, std::move(snap.value()));
+    if (!st.ok()) {
+      std::fprintf(stderr, "serve %s: %s\n", name.c_str(),
+                   st.message().c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "loaded %s from %s\n", name.c_str(), path.c_str());
+  }
+  for (const auto& [name, spec] : gens) {
+    std::string profName = spec;
+    std::uint64_t seed = 1;
+    const std::size_t colon = spec.find(':');
+    if (colon != std::string::npos) {
+      profName = spec.substr(0, colon);
+      seed = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+    }
+    bool ok = false;
+    tc::BlockProfile prof = profileByName(profName, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "unknown profile %s\n", profName.c_str());
+      return 2;
+    }
+    prof.seed = seed;
+    std::vector<tc::Scenario> scenarios = defaultScenarios();
+    tc::Netlist nl = tc::generateBlock(scenarios[0].lib, prof);
+    tc::Status st = server.addDesign(
+        name, tc::makeSnapshot(nl, std::move(scenarios),
+                               /*includeSpef=*/false));
+    if (!st.ok()) {
+      std::fprintf(stderr, "serve %s: %s\n", name.c_str(),
+                   st.message().c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "generated %s (profile %s, seed %llu)\n",
+                 name.c_str(), profName.c_str(),
+                 static_cast<unsigned long long>(seed));
+  }
+
+  auto port = server.start();
+  if (!port.ok()) {
+    std::fprintf(stderr, "start: %s\n", port.status().message().c_str());
+    return 3;
+  }
+  std::fprintf(stderr, "goalposts_server listening on %s:%d\n",
+               opt.host.c_str(), port.value());
+
+  gServer = &server;
+  ::signal(SIGINT, onSignal);
+  ::signal(SIGTERM, onSignal);
+
+  server.wait();
+  server.stop();
+  gServer = nullptr;
+
+  if (!traceFile.empty()) {
+    if (!tc::traceExportChrome(traceFile))
+      std::fprintf(stderr, "trace export to %s failed\n", traceFile.c_str());
+  }
+  std::fprintf(stderr, "goalposts_server stopped\n");
+  return 0;
+}
