@@ -1,5 +1,6 @@
 #include "interconnect/spef.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <map>
@@ -179,9 +180,11 @@ Result<SpefDesign> parseSpef(const std::string& text, DiagnosticSink& sink) {
     return it->second + suffix;
   };
   auto parseNum = [&](const std::string& tok, double* v) -> bool {
-    char* end = nullptr;
-    *v = std::strtod(tok.c_str(), &end);
-    if (end != tok.c_str() + tok.size() || tok.empty()) {
+    // from_chars, not strtod: SPEF numerics must parse identically under
+    // any LC_NUMERIC the embedding process sets.
+    const auto [end, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), *v);
+    if (ec != std::errc() || end != tok.data() + tok.size() || tok.empty()) {
       sink.error(DiagCode::kSpefBadNumber, "bad numeric field '" + tok + "'",
                  cur ? cur->name : std::string(), lineNo);
       return false;

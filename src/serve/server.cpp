@@ -47,6 +47,11 @@ Counter& bytesOutCtr() {
       "serve.bytes_out", "bytes", MetricStability::kNoisy);
   return c;
 }
+Counter& drainedBytesCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "serve.drained_bytes", "bytes", MetricStability::kNoisy);
+  return c;
+}
 
 Status ioError(const std::string& what) {
   return Status::failure(DiagCode::kServeIo,
@@ -215,6 +220,7 @@ void Server::stop() {
     std::lock_guard<std::mutex> lock(stateMu_);
     for (int fd : sessionFds_) ::shutdown(fd, SHUT_RDWR);
     sessions.swap(sessionThreads_);
+    finishedSessionIds_.clear();
   }
   for (auto& t : sessions)
     if (t.joinable()) t.join();
@@ -231,7 +237,12 @@ void Server::acceptLoop() {
     if (n <= 0 || !(fds[0].revents & POLLIN)) continue;
     const int cfd = ::accept(lfd, nullptr, nullptr);
     if (cfd < 0) continue;
-    if (activeClients_.load() >= opt_.maxClients) {
+    reapSessions();
+    // Reserve the slot here, not in sessionLoop: incrementing after the
+    // thread is spawned would let a burst of accepts overshoot maxClients
+    // before any session gets around to counting itself.
+    if (activeClients_.fetch_add(1) >= opt_.maxClients) {
+      activeClients_.fetch_sub(1);
       Json err = Json::object();
       err.set("ok", false)
           .set("done", true)
@@ -247,8 +258,28 @@ void Server::acceptLoop() {
   }
 }
 
+void Server::reapSessions() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(stateMu_);
+    if (finishedSessionIds_.empty()) return;
+    for (const std::thread::id id : finishedSessionIds_) {
+      auto it = std::find_if(
+          sessionThreads_.begin(), sessionThreads_.end(),
+          [id](const std::thread& t) { return t.get_id() == id; });
+      if (it != sessionThreads_.end()) {
+        done.push_back(std::move(*it));
+        sessionThreads_.erase(it);
+      }
+    }
+    finishedSessionIds_.clear();
+  }
+  for (std::thread& t : done)
+    if (t.joinable()) t.join();
+}
+
 void Server::sessionLoop(int fd) {
-  activeClients_.fetch_add(1);
+  // activeClients_ was already incremented by acceptLoop at admission.
   connectionsCtr().add(1);
   Session session;
   std::string buf;
@@ -282,7 +313,13 @@ void Server::sessionLoop(int fd) {
       if (session.wantShutdown) requestStop();
       if (session.wantClose) alive = false;
     }
-    if (alive && !draining && buf.size() > opt_.maxRequestBytes) {
+    if (draining) {
+      // Still inside the rejected line (no newline yet): every buffered
+      // byte is tail to discard, or an endless unterminated line would
+      // grow buf without bound.
+      drainedBytesCtr().add(buf.size());
+      buf.clear();
+    } else if (alive && buf.size() > opt_.maxRequestBytes) {
       // Reject without killing the connection: answer now, then discard
       // bytes until the peer finishes the line.
       Json err = Json::object();
@@ -304,6 +341,10 @@ void Server::sessionLoop(int fd) {
     sessionFds_.erase(
         std::remove(sessionFds_.begin(), sessionFds_.end(), fd),
         sessionFds_.end());
+    // Hand the (about-to-finish) thread handle to acceptLoop for joining;
+    // without this a long-running daemon keeps one zombie std::thread per
+    // connection ever served until stop().
+    finishedSessionIds_.push_back(std::this_thread::get_id());
   }
   ::close(fd);
   activeClients_.fetch_sub(1);

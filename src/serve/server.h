@@ -118,6 +118,10 @@ class Server {
  private:
   void acceptLoop();
   void sessionLoop(int fd);
+  /// Join session threads that have announced completion (acceptLoop calls
+  /// this on every accept so a long-running daemon does not accumulate one
+  /// zombie thread handle per connection ever served).
+  void reapSessions();
   Json handleRequest(Session& session, const Json& req,
                      std::vector<std::string>* extra);
 
@@ -163,6 +167,9 @@ class Server {
   std::thread acceptThread_;
   std::vector<std::thread> sessionThreads_;  ///< under stateMu_
   std::vector<int> sessionFds_;              ///< under stateMu_
+  /// Ids of session threads that finished and await joining, under
+  /// stateMu_; drained by reapSessions().
+  std::vector<std::thread::id> finishedSessionIds_;
   std::atomic<int> activeClients_{0};
 };
 

@@ -1,5 +1,6 @@
 #include "util/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -308,10 +309,14 @@ class Parser {
       if (!digits())
         return fail(DiagCode::kJsonBadNumber, "expected exponent digits");
     }
-    const std::string tok(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double v = std::strtod(tok.c_str(), &end);
-    if (end != tok.c_str() + tok.size() || !std::isfinite(v))
+    // from_chars, not strtod: strtod honors LC_NUMERIC, so an embedding
+    // process with a comma-decimal locale would reject "1.5". from_chars
+    // is locale-independent by specification.
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    double v = 0.0;
+    const auto [end, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc() || end != tok.data() + tok.size() ||
+        !std::isfinite(v))
       return fail(DiagCode::kJsonBadNumber, "unrepresentable number");
     *out = Json(v);
     return Status::okStatus();
@@ -362,11 +367,15 @@ std::string Json::numberToString(double v) {
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
     return buf;
   }
-  // %.17g round-trips every double, which is what makes two renders of the
-  // same timing state byte-identical.
+  // General format with 17 significant digits round-trips every double,
+  // which is what makes two renders of the same timing state
+  // byte-identical. to_chars (unlike snprintf "%.17g") always formats in
+  // the C locale, so a comma-decimal LC_NUMERIC cannot break the
+  // byte-deterministic dump contract.
   char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
+  const auto res = std::to_chars(buf, buf + sizeof buf, v,
+                                 std::chars_format::general, 17);
+  return std::string(buf, res.ptr);
 }
 
 void Json::dumpTo(std::string* out) const {

@@ -107,8 +107,9 @@ class Json {
   /// Status naming the byte offset.
   static Result<Json> parse(std::string_view text, int maxDepth = 96);
 
-  /// The fixed number rendering dump() uses ("%.17g", integers bare,
-  /// non-finite -> null). Exposed so non-Json renderers can match bytes.
+  /// The fixed number rendering dump() uses (17 significant digits via
+  /// locale-independent std::to_chars, integers bare, non-finite -> null).
+  /// Exposed so non-Json renderers can match bytes.
   static std::string numberToString(double v);
 
   bool operator==(const Json& o) const;

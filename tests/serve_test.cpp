@@ -407,6 +407,45 @@ TEST_F(ServeSocketTest, OversizedRequestIsDrainedNotFatal) {
   EXPECT_TRUE(pong.value()["pong"].asBool(false));
 }
 
+TEST_F(ServeSocketTest, UnterminatedOversizedLineIsDiscardedWhileDraining) {
+  const int fd = rawConnect();
+  const auto sendAll = [fd](const std::string& data) {
+    ASSERT_EQ(::send(fd, data.data(), data.size(), 0),
+              static_cast<ssize_t>(data.size()));
+  };
+  const auto recvLine = [fd] {
+    std::string line;
+    char c;
+    while (::recv(fd, &c, 1, 0) == 1 && c != '\n') line.push_back(c);
+    return line;
+  };
+  // Stream 16x the cap with *no* newline: the server must answer
+  // SERVE_OVERSIZED once and then discard the endless tail instead of
+  // buffering it — an unterminated line must not grow server memory.
+  const std::string chunk(4096, 'x');
+  for (int i = 0; i < 16; ++i) sendAll(chunk);
+  auto err = Json::parse(recvLine());
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err.value()["code"].asString(), "SERVE_OVERSIZED");
+  // Keep streaming while the server drains, then finally terminate the
+  // line: the connection must still answer, with no second rejection.
+  for (int i = 0; i < 16; ++i) sendAll(chunk);
+  sendAll("\n{\"cmd\":\"ping\"}\n");
+  auto pong = Json::parse(recvLine());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong.value()["pong"].asBool(false)) << pong.value().dump();
+  // The tail was *discarded*, not buffered: the second 64 KiB burst shows
+  // up as drained (minus at most one recv chunk that may coalesce with the
+  // terminating newline and get consumed by line extraction instead).
+  sendAll("{\"cmd\":\"metrics\",\"prefix\":\"serve.drained\"}\n");
+  auto metrics = Json::parse(recvLine());
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(metrics.value()["metrics"]["serve.drained_bytes"].asDouble(),
+            15.0 * 4096.0)
+      << metrics.value().dump();
+  ::close(fd);
+}
+
 TEST_F(ServeSocketTest, TruncatedFrameThenDisconnectLeavesServerHealthy) {
   {
     const int fd = rawConnect();

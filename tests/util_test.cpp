@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -235,7 +236,7 @@ TEST(Json, NumberRendering) {
   EXPECT_EQ(Json(42.0).dump(), "42");          // integral values are bare
   EXPECT_EQ(Json(-7).dump(), "-7");
   EXPECT_EQ(Json(0.5).dump(), "0.5");
-  // %.17g survives a round trip bit-exactly.
+  // 17 significant digits survive a round trip bit-exactly.
   const double pi = 3.14159265358979312;
   auto back = Json::parse(Json(pi).dump());
   ASSERT_TRUE(back.ok());
@@ -243,6 +244,31 @@ TEST(Json, NumberRendering) {
   // Non-finite values have no JSON representation: dump as null.
   EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
   EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, NumberCodecIgnoresProcessLocale) {
+  // The byte-deterministic dump contract (and parsing) must hold even when
+  // the embedding process runs under a comma-decimal LC_NUMERIC; the codec
+  // uses std::to_chars/from_chars, which are locale-independent.
+  const char* kCandidates[] = {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                               "fr_FR.utf8", "de_DE", "fr_FR"};
+  const char* applied = nullptr;
+  for (const char* c : kCandidates)
+    if (std::setlocale(LC_NUMERIC, c)) {
+      applied = c;
+      break;
+    }
+  if (!applied) GTEST_SKIP() << "no comma-decimal locale installed";
+  const std::string dumped = Json(0.5).dump();
+  auto parsed = Json::parse("[1.5,2.25e-3]");
+  const bool parsedOk = parsed.ok();
+  const double v0 = parsedOk ? parsed.value().at(0).asDouble() : 0.0;
+  const double v1 = parsedOk ? parsed.value().at(1).asDouble() : 0.0;
+  std::setlocale(LC_NUMERIC, "C");  // restore before asserting
+  EXPECT_EQ(dumped, "0.5");
+  ASSERT_TRUE(parsedOk);
+  EXPECT_EQ(v0, 1.5);
+  EXPECT_EQ(v1, 2.25e-3);
 }
 
 TEST(Json, StringEscapes) {
