@@ -1,0 +1,209 @@
+/// \file bench_sta_scale.cpp
+/// \brief The 10k -> 100k -> 1M instance scale ladder for the SoA timing
+/// engine. Each rung generates a profileScaled() block, runs a full GBA
+/// pass (cold rc extraction included), then times repropagate() — the
+/// forward arrival sweep plus the backward required pull on warm caches —
+/// which is exactly the level-sweep work the arena refactor targets. At
+/// the 10k and 100k rungs the same sweeps are raced against the pinned
+/// pre-refactor AoS propagator (tests/aos_reference.h) and verified
+/// bitwise word-for-word, so the reported speedup is an honest
+/// same-arithmetic comparison, not a guess; the bench exits 1 on any
+/// mismatched bit.
+///
+/// CI runs the default rungs (10k + 100k) against the checked-in baseline
+/// via tools/bench_compare.py: sweep times are gated at the normalized
+/// +15% threshold, WNS/violation counts are exact-match correctness
+/// fields, and the stable ctr_* counters (rc cache hits/misses) ride
+/// along exact-match. The 1M rung (`--rung 1m`) is nightly-only — it
+/// proves the arena layout and the batched sweep survive a million
+/// instances under ASan, and its metrics are informational.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "aos_reference.h"
+#include "bench_json.h"
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "sta/engine.h"
+#include "util/table.h"
+
+using namespace tc;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint64_t bitsOf(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+/// Word-for-word bitwise comparison of the engine's arena state against
+/// the AoS oracle. Returns the number of mismatched words (0 = identical).
+long verifyBitwise(const StaEngine& eng, const aosref::AosPropagator& ref) {
+  long bad = 0;
+  const TimingGraph& g = eng.graph();
+  for (VertexId v = 0; v < g.vertexCount(); ++v) {
+    const aosref::Vt& r = ref.at(v);
+    for (int m = 0; m < 2; ++m)
+      for (int tr = 0; tr < 2; ++tr) {
+        const Mode mode = static_cast<Mode>(m);
+        if (bitsOf(eng.arrivalRaw(v, mode, tr)) != bitsOf(r.arr[m][tr]))
+          ++bad;
+        if (bitsOf(eng.slewRaw(v, mode, tr)) != bitsOf(r.slew[m][tr])) ++bad;
+        if (bitsOf(eng.varRaw(v, mode, tr)) != bitsOf(r.var[m][tr])) ++bad;
+      }
+    for (int tr = 0; tr < 2; ++tr)
+      if (bitsOf(eng.requiredRaw(v, tr)) != bitsOf(ref.required(v, tr)))
+        ++bad;
+  }
+  return bad;
+}
+
+struct Rung {
+  const char* label;   ///< metric prefix, e.g. "r10k"
+  int target;          ///< instance target for profileScaled()
+  int sweepIters;      ///< repropagate() timing repetitions (median)
+  bool raceAos;        ///< race + bitwise-verify the AoS oracle
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_sta_scale", argc, argv);
+
+  std::string rungArg = "default";
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--rung") rungArg = argv[i + 1];
+
+  const Rung r10k{"r10k", 10'000, 5, true};
+  const Rung r100k{"r100k", 100'000, 3, true};
+  // The 1M rung never races the AoS oracle: the point of the nightly leg
+  // is that the arena + batched sweep complete under ASan at that scale,
+  // and one oracle pass would double an already long sanitized run.
+  const Rung r1m{"r1m", 1'000'000, 1, false};
+
+  std::vector<Rung> rungs;
+  if (rungArg == "default") {
+    rungs = {r10k, r100k};
+  } else if (rungArg == "10k") {
+    rungs = {r10k};
+  } else if (rungArg == "100k") {
+    rungs = {r100k};
+  } else if (rungArg == "1m") {
+    rungs = {r1m};
+  } else if (rungArg == "all") {
+    rungs = {r10k, r100k, r1m};
+  } else {
+    std::fprintf(stderr,
+                 "bench_sta_scale: unknown --rung '%s' "
+                 "(want 10k|100k|1m|all)\n",
+                 rungArg.c_str());
+    return 2;
+  }
+
+  auto L = characterizedLibrary(LibraryPvt{});
+
+  std::puts("== SoA timing engine: instance scale ladder ==\n");
+  TextTable t("Full run + warm level sweeps per rung (LVF, serial)");
+  t.setHeader({"rung", "instances", "levels", "netgen (ms)", "full run (ms)",
+               "sweep (ms)", "Minst/s", "AoS sweep (ms)", "speedup",
+               "WNS (ps)", "setup viol"});
+
+  bool anyMismatch = false;
+  for (const Rung& rung : rungs) {
+    const std::string px = std::string(rung.label) + "_";
+
+    const auto tGen = std::chrono::steady_clock::now();
+    const BlockProfile p = profileScaled(rung.target);
+    const Netlist nl = generateBlock(L, p);
+    const double genMs = msSince(tGen);
+
+    Scenario sc;
+    sc.lib = L;
+    sc.derate.mode = DerateMode::kLvf;
+
+    const auto tRun = std::chrono::steady_clock::now();
+    StaEngine eng(nl, sc);
+    eng.run();
+    const double runMs = msSince(tRun);
+
+    // Warm-cache sweep isolation: repropagate() re-derives every arrival
+    // and required from scratch, so each iteration does the full forward +
+    // backward level-sweep work and nothing else.
+    std::vector<double> sweeps;
+    for (int i = 0; i < rung.sweepIters; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      eng.repropagate();
+      sweeps.push_back(msSince(t0));
+    }
+    const double sweepMs = median(sweeps);
+    const double minstPerS =
+        nl.instanceCount() / sweepMs / 1000.0;  // (inst/ms)/1000 = M/s
+
+    double aosMs = 0.0, speedup = 0.0;
+    if (rung.raceAos) {
+      aosref::AosPropagator ref(eng);
+      const auto t0 = std::chrono::steady_clock::now();
+      ref.runForward();
+      ref.runBackward();
+      aosMs = msSince(t0);
+      speedup = aosMs / sweepMs;
+      const long bad = verifyBitwise(eng, ref);
+      if (bad != 0) {
+        std::fprintf(stderr,
+                     "bench_sta_scale: %s: %ld words differ between the "
+                     "SoA engine and the AoS oracle\n",
+                     rung.label, bad);
+        anyMismatch = true;
+      }
+      report.metric(px + "bitwise_equal", bad == 0 ? 1.0 : 0.0);
+    }
+
+    t.addRow({rung.label, std::to_string(nl.instanceCount()),
+              std::to_string(eng.graph().levelCount()),
+              TextTable::num(genMs, 0), TextTable::num(runMs, 0),
+              TextTable::num(sweepMs, 1), TextTable::num(minstPerS, 2),
+              rung.raceAos ? TextTable::num(aosMs, 1) : "-",
+              rung.raceAos ? TextTable::num(speedup, 2) + "x" : "-",
+              TextTable::num(eng.wns(Check::kSetup), 1),
+              std::to_string(eng.violationCount(Check::kSetup))});
+
+    report.metric(px + "instances", nl.instanceCount(), "count");
+    report.metric(px + "levels", eng.graph().levelCount(), "count");
+    report.metric(px + "netgen_ms", genMs, "ms");
+    report.metric(px + "full_run_ms", runMs, "ms");
+    report.metric(px + "sweep_ms", sweepMs, "ms");
+    report.metric(px + "sweep_minst_per_s", minstPerS, "info");
+    if (rung.raceAos) {
+      report.metric(px + "aos_sweep_ms", aosMs, "ms");
+      report.metric(px + "sweep_speedup", speedup, "x");
+    }
+    report.metric(px + "wns_ps", eng.wns(Check::kSetup), "ps");
+    report.metric(px + "setup_violations", eng.violationCount(Check::kSetup),
+                  "count");
+  }
+
+  t.addFootnote("sweep = repropagate(): forward arrival + backward required "
+                "level sweeps on warm rc caches (median of repeats)");
+  t.addFootnote("AoS sweep = the pinned pre-refactor per-vertex-struct "
+                "propagator on the same design, verified bit-identical");
+  t.print();
+
+  return anyMismatch ? 1 : 0;
+}

@@ -10,7 +10,7 @@ constexpr Ff kPortLoadFf = 2.0;
 constexpr Um kSegmentUm = 25.0;  ///< max RC segment before subdivision
 }  // namespace
 
-bool Extractor::isPlaced() const {
+bool Extractor::scanPlaced() const {
   for (InstId i = 0; i < nl_.instanceCount(); ++i) {
     const Instance& inst = nl_.instance(i);
     if (inst.x != 0.0 || inst.y != 0.0) return true;

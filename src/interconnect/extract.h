@@ -57,12 +57,28 @@ class Extractor {
 
   const BeolStack& stack() const { return stack_; }
 
-  /// True when instances carry meaningful placement.
-  bool isPlaced() const;
+  /// True when instances carry meaningful placement. Cached after the
+  /// first scan — extract() consults this per net, and the former
+  /// every-call scan over all instances made extraction O(design) per net
+  /// at scale. Owners that observe placement edits must call
+  /// invalidatePlacement() (the delay calculator does so whenever a net's
+  /// parasitics are invalidated, which every placement edit triggers).
+  bool isPlaced() const {
+    if (placedCached_ < 0) placedCached_ = scanPlaced() ? 1 : 0;
+    return placedCached_ != 0;
+  }
+  /// Drop the cached placement flag (an instance moved, or placement was
+  /// assigned for the first time).
+  void invalidatePlacement() { placedCached_ = -1; }
 
  private:
+  bool scanPlaced() const;
+
   const Netlist& nl_;
   BeolStack stack_;
+  /// -1 unknown, else 0/1. Lazily filled under const: warmCache() resolves
+  /// it before fanning extraction out, so parallel extracts are pure reads.
+  mutable int placedCached_ = -1;
 };
 
 }  // namespace tc

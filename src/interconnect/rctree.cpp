@@ -1,5 +1,6 @@
 #include "interconnect/rctree.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -8,49 +9,54 @@ namespace tc {
 int RcTree::addNode(int parent, KOhm r, Ff c) {
   if (parent < 0 || parent >= nodeCount())
     throw std::invalid_argument("RcTree::addNode: bad parent");
-  Node n;
-  n.parent = parent;
-  n.r = r;
-  n.cap = c;
-  nodes_.push_back(n);
+  parent_.push_back(parent);
+  r_.push_back(r);
+  cap_.push_back(c);
   analyzed_ = false;
   return nodeCount() - 1;
 }
 
 Ff RcTree::totalCap() const {
   Ff c = 0.0;
-  for (const auto& n : nodes_) c += n.cap;
+  for (const Ff nc : cap_) c += nc;
   return c;
 }
 
 void RcTree::analyze() const {
-  const std::size_t n = nodes_.size();
+  const std::size_t n = parent_.size();
   downCap_.assign(n, 0.0);
   m1_.assign(n, 0.0);
   m2_.assign(n, 0.0);
   // Children are always appended after parents, so a reverse sweep
   // accumulates subtree caps and a forward sweep propagates moments.
   for (std::size_t i = n; i-- > 0;) {
-    downCap_[i] += nodes_[i].cap;
-    if (nodes_[i].parent >= 0)
-      downCap_[static_cast<std::size_t>(nodes_[i].parent)] += downCap_[i];
+    downCap_[i] += cap_[i];
+    if (parent_[i] >= 0)
+      downCap_[static_cast<std::size_t>(parent_[i])] += downCap_[i];
   }
   // m1 (Elmore): m1(child) = m1(parent) + R * downCap(child). kOhm*fF = ps.
   for (std::size_t i = 1; i < n; ++i) {
-    const auto p = static_cast<std::size_t>(nodes_[i].parent);
-    m1_[i] = m1_[p] + nodes_[i].r * downCap_[i];
+    const auto p = static_cast<std::size_t>(parent_[i]);
+    m1_[i] = m1_[p] + r_[i] * downCap_[i];
   }
   // Second moment: m2(child) = m2(parent) + R * sum_subtree(C_k * m1_k).
   std::vector<double> downCapM1(n, 0.0);
   for (std::size_t i = n; i-- > 0;) {
-    downCapM1[i] += nodes_[i].cap * m1_[i];
-    if (nodes_[i].parent >= 0)
-      downCapM1[static_cast<std::size_t>(nodes_[i].parent)] += downCapM1[i];
+    downCapM1[i] += cap_[i] * m1_[i];
+    if (parent_[i] >= 0)
+      downCapM1[static_cast<std::size_t>(parent_[i])] += downCapM1[i];
   }
   for (std::size_t i = 1; i < n; ++i) {
-    const auto p = static_cast<std::size_t>(nodes_[i].parent);
-    m2_[i] = m2_[p] + nodes_[i].r * downCapM1[i];
+    const auto p = static_cast<std::size_t>(parent_[i]);
+    m2_[i] = m2_[p] + r_[i] * downCapM1[i];
   }
+  // Driver-facing summaries for the O(1) effectiveCap(): accumulated in
+  // the same node order the former per-call loops used, so the sums and
+  // maxima are bit-identical to computing them on demand.
+  cTotal_ = 0.0;
+  for (const Ff nc : cap_) cTotal_ += nc;
+  maxM1_ = 0.0;
+  for (std::size_t i = 1; i < n; ++i) maxM1_ = std::max(maxM1_, m1_[i]);
   analyzed_ = true;
 }
 
@@ -71,17 +77,16 @@ Ff RcTree::effectiveCap(Ps driverSlew) const {
   if (!analyzed_) analyze();
   // Split the tree cap into "near" (directly at root) and "far"; shield the
   // far component by the ratio of wire RC to the driver transition time.
-  const Ff cNear = nodes_[0].cap;
-  const Ff cTotal = totalCap();
-  const Ff cFar = cTotal - cNear;
-  if (cFar <= 0.0) return cTotal;
-  double maxM1 = 0.0;
-  for (std::size_t i = 1; i < nodes_.size(); ++i)
-    maxM1 = std::max(maxM1, m1_[i]);
+  // cTotal_ and maxM1_ are precomputed by analyze(): this is one cell-arc
+  // candidate's load lookup in the engine's hot loop, and the former
+  // per-call O(nodes) scans dominated large-fanout nets.
+  const Ff cNear = cap_[0];
+  const Ff cFar = cTotal_ - cNear;
+  if (cFar <= 0.0) return cTotal_;
   // Fraction of the far cap hidden behind wire resistance: approaches 1/2
   // when the wire RC dwarfs the driver transition, 0 for slow edges.
   const double shield =
-      2.0 * maxM1 / (2.0 * maxM1 + std::max(driverSlew, 1.0));
+      2.0 * maxM1_ / (2.0 * maxM1_ + std::max(driverSlew, 1.0));
   return cNear + cFar * (1.0 - 0.5 * shield);
 }
 

@@ -12,25 +12,36 @@
 namespace tc {
 
 /// A grounded RC tree rooted at the driver (node 0).
+///
+/// Topology and caps are stored as flat per-field arrays (parent index,
+/// edge resistance, grounded cap) rather than node structs: the moment
+/// analysis and every per-sink query then stream over dense arrays, and a
+/// tree is three buffers instead of one allocation per node struct view.
+/// The driver-facing summaries effectiveCap() depends on (total cap, max
+/// first moment) are precomputed by analyze(), making effectiveCap O(1) —
+/// it is called once per cell-arc candidate in the engine's hot loop.
 class RcTree {
  public:
-  RcTree() { nodes_.push_back({}); }  // root
+  RcTree() : parent_(1, -1), r_(1, 0.0), cap_(1, 0.0) {}  // root
 
   /// Add a node connected to `parent` through resistance r, with grounded
   /// cap c. Returns the new node id.
   int addNode(int parent, KOhm r, Ff c);
-  void addCap(int node, Ff c) { nodes_[static_cast<std::size_t>(node)].cap += c; }
-  int nodeCount() const { return static_cast<int>(nodes_.size()); }
+  void addCap(int node, Ff c) {
+    cap_[static_cast<std::size_t>(node)] += c;
+    analyzed_ = false;  // cached moments and cap summaries are stale
+  }
+  int nodeCount() const { return static_cast<int>(parent_.size()); }
 
   Ff totalCap() const;
-  Ff nodeCap(int node) const { return nodes_[static_cast<std::size_t>(node)].cap; }
+  Ff nodeCap(int node) const { return cap_[static_cast<std::size_t>(node)]; }
   /// Parent node id (-1 for the root) and the resistance of the edge to it
   /// (exposed for parasitics writers such as SPEF).
   int parentOf(int node) const {
-    return nodes_[static_cast<std::size_t>(node)].parent;
+    return parent_[static_cast<std::size_t>(node)];
   }
   KOhm resistanceTo(int node) const {
-    return nodes_[static_cast<std::size_t>(node)].r;
+    return r_[static_cast<std::size_t>(node)];
   }
 
   /// First moment (Elmore delay) from the root to `node`, in ps.
@@ -39,7 +50,7 @@ class RcTree {
   /// far sinks, never larger.
   Ps d2m(int node) const;
   /// Resistance-shielded effective capacitance seen by the driver, given
-  /// the driver's output transition time.
+  /// the driver's output transition time. O(1) after analysis.
   Ff effectiveCap(Ps driverSlew) const;
 
   /// Wire-induced slew at a node (PERI-style): sqrt(slewIn^2 + (ln9*m1)^2).
@@ -53,19 +64,34 @@ class RcTree {
     if (!analyzed_) analyze();
   }
 
+  /// Driver-side summaries feeding DelayCalculator's flat load table: the
+  /// grounded cap at the root, the analyzed total cap, and the max branch
+  /// first moment — the exact words effectiveCap() computes from, exposed
+  /// so a flat copy evaluates bit-identically without touching the tree.
+  Ff rootCap() const { return cap_[0]; }
+  Ff analyzedTotalCap() const {
+    ensureAnalyzed();
+    return cTotal_;
+  }
+  double maxM1() const {
+    ensureAnalyzed();
+    return maxM1_;
+  }
+
  private:
-  struct Node {
-    int parent = -1;
-    KOhm r = 0.0;  ///< resistance to parent
-    Ff cap = 0.0;
-    // cached analysis results
-  };
   void analyze() const;
 
-  std::vector<Node> nodes_;
+  // SoA topology: node i connects to parent_[i] through r_[i], with
+  // grounded cap cap_[i]. Children are always appended after parents.
+  std::vector<int> parent_;
+  std::vector<KOhm> r_;
+  std::vector<Ff> cap_;
+  // cached analysis results
   mutable std::vector<Ff> downCap_;
   mutable std::vector<double> m1_;      // ps
   mutable std::vector<double> m2_;      // ps^2
+  mutable Ff cTotal_ = 0.0;             // sum of cap_ in node order
+  mutable double maxM1_ = 0.0;          // max m1 over non-root nodes
   mutable bool analyzed_ = false;
 };
 

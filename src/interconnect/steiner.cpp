@@ -14,25 +14,44 @@ RouteTree buildRouteTree(const Point& driver,
   const std::size_t n = t.points.size();
   std::vector<bool> connected(n, false);
   connected[0] = true;
-  // Prim: repeatedly attach the unconnected point nearest to the tree.
+  // Prim with per-node nearest-tree distances: O(n^2) total instead of the
+  // former rescan-everything O(n^3). dist[i] is the L1 distance from
+  // unconnected node i to the nearest connected node. Tie-breaking must
+  // reproduce the old double loop exactly (it picked the lexicographically
+  // smallest (i, j) index pair at the global minimum): the selection scan
+  // below runs ascending over i with a strict '<', and the chosen node's
+  // parent is re-resolved by an ascending scan over connected j — the
+  // incremental dist updates alone would remember the *earliest-joined*
+  // nearest j, not the smallest-indexed one.
+  std::vector<Um> dist(n, std::numeric_limits<double>::max());
+  for (std::size_t i = 1; i < n; ++i)
+    dist[i] = manhattan(t.points[i], t.points[0]);
   for (std::size_t added = 1; added < n; ++added) {
     Um best = std::numeric_limits<double>::max();
-    std::size_t bestFrom = 0, bestTo = 0;
+    std::size_t bestTo = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (connected[i]) continue;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (!connected[j]) continue;
-        const Um d = manhattan(t.points[i], t.points[j]);
-        if (d < best) {
-          best = d;
-          bestFrom = j;
-          bestTo = i;
-        }
+      if (dist[i] < best) {
+        best = dist[i];
+        bestTo = i;
+      }
+    }
+    std::size_t bestFrom = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!connected[j]) continue;
+      if (manhattan(t.points[bestTo], t.points[j]) == best) {
+        bestFrom = j;
+        break;
       }
     }
     connected[bestTo] = true;
     t.edges.push_back({static_cast<int>(bestFrom), static_cast<int>(bestTo),
                        best});
+    for (std::size_t i = 0; i < n; ++i) {
+      if (connected[i]) continue;
+      const Um d = manhattan(t.points[i], t.points[bestTo]);
+      if (d < dist[i]) dist[i] = d;
+    }
   }
   return t;
 }

@@ -74,6 +74,28 @@ BlockProfile profileTiny() {
   return p;
 }
 
+BlockProfile profileScaled(int targetInstances, std::uint64_t seed) {
+  BlockProfile p;
+  p.name = "scaled_" + std::to_string(targetInstances);
+  // Instance budget: ~10% flops, the clock tree adds roughly one buffer
+  // per 12 flops (16-flop leaves plus a branching-4 upper tree), and the
+  // gates take the rest. The generator reports actual counts; the bench
+  // records them, so the split only needs to land near the target.
+  p.numFlops = std::max(targetInstances / 10, 8);
+  p.numGates =
+      std::max(targetInstances - p.numFlops - p.numFlops / 12, 64);
+  p.numInputs = std::min(512, std::max(32, targetInstances / 256));
+  p.numOutputs = p.numInputs;
+  // Depth grows one stage-bundle per decade past 10k: wide levels are what
+  // the per-level sweep throughput measurement needs.
+  int levels = 22;
+  for (int t = targetInstances; t > 20000; t /= 10) levels += 6;
+  p.levels = levels;
+  p.clockPeriod = 1000.0;
+  p.seed = seed;
+  return p;
+}
+
 namespace {
 
 /// Random gate footprint with a realistic mix.

@@ -42,6 +42,13 @@ BlockProfile profileMpeg2();
 /// A small block for fast unit tests.
 BlockProfile profileTiny();
 
+/// A profile scaled to approximately `targetInstances` total instances
+/// (gates + flops + clock-tree buffers), for the 10k -> 100k -> 1M scale
+/// ladder in bench_sta_scale. Depth grows slowly with size so levels stay
+/// wide — the shape that stresses per-level sweep throughput rather than
+/// level count.
+BlockProfile profileScaled(int targetInstances, std::uint64_t seed = 97);
+
 /// Generate a random logic block per the profile. All instances start as
 /// X1/X2 SVT; the closure optimizer retargets them. The clock tree is built
 /// from BUF cells and marked (isClockTreeBuffer).

@@ -1,0 +1,58 @@
+#include "sta/arena.h"
+
+#include "sta/engine.h"
+
+namespace tc {
+
+void TimingArena::reset(int slots, double noTime) {
+  slots_ = slots;
+  const auto n = static_cast<std::size_t>(slots);
+  HotWords h = {};
+  for (int c = 0; c < 4; ++c) h.arr[c] = noTime;
+  hot_.assign(n, h);
+  for (int c = 0; c < 4; ++c) {
+    parentEdge_[c].assign(n, -1);
+    parentTrans_[c].assign(n, 0);
+    parentDelay_[c].assign(n, 0.0);
+    parentVar_[c].assign(n, 0.0);
+  }
+}
+
+void TimingArena::resetSlot(int slot, double noTime) {
+  const auto s = static_cast<std::size_t>(slot);
+  HotWords& h = hot_[s];
+  h = HotWords{};
+  for (int c = 0; c < 4; ++c) {
+    h.arr[c] = noTime;
+    parentEdge_[c][s] = -1;
+    parentTrans_[c][s] = 0;
+    parentDelay_[c][s] = 0.0;
+    parentVar_[c][s] = 0.0;
+  }
+}
+
+void TimingArena::resetRequired(double inf) {
+  const auto n = static_cast<std::size_t>(slots_);
+  req_.assign(n, ReqPair{{inf, inf}});
+}
+
+VertexTiming TimingArena::gather(int slot) const {
+  const auto s = static_cast<std::size_t>(slot);
+  const HotWords& h = hot_[s];
+  VertexTiming t;
+  for (int m = 0; m < 2; ++m)
+    for (int tr = 0; tr < 2; ++tr) {
+      const int c = ch(m, tr);
+      t.arr[m][tr] = h.arr[c];
+      t.slew[m][tr] = h.slew[c];
+      t.var[m][tr] = h.var[c];
+      t.depth[m][tr] = h.depth[c];
+      t.parentEdge[m][tr] = parentEdge_[c][s];
+      t.parentTrans[m][tr] = parentTrans_[c][s];
+      t.parentDelay[m][tr] = parentDelay_[c][s];
+      t.parentVar[m][tr] = parentVar_[c][s];
+    }
+  return t;
+}
+
+}  // namespace tc

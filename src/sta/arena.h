@@ -1,0 +1,93 @@
+#pragma once
+/// \file arena.h
+/// \brief Structure-of-arrays storage for per-vertex timing words.
+///
+/// The engine's hot loops (forward level sweep, backward required pull)
+/// write one level's slots sequentially but *gather* source words at
+/// scattered lower-level slots — one gather reads arr/slew/var/depth for
+/// all four (mode, transition) channels of one slot. Fully per-channel
+/// arrays made that gather touch up to sixteen distinct cache lines, so
+/// the four gather-side fields are packed into one 128-byte per-slot
+/// block (two lines, however many channels are live) while the fields
+/// only the destination side touches (path parents, indexed by the
+/// level-contiguous slot being written) stay per-channel. The two
+/// required-time words share a 16-byte block per slot for the same
+/// reason: the backward pull reads both transitions of a scattered
+/// fanout slot at once.
+///
+/// The arena stores exactly the fields of VertexTiming plus the backward
+/// required times; gather()/scatter() convert between the two layouts so
+/// the engine's public API (timing(), the bitwise-convergence memcmp in the
+/// incremental path) keeps operating on whole VertexTiming values. Layout
+/// is the ONLY thing that changed: every value is produced by the same
+/// arithmetic in the same order as the pre-refactor engine, which is what
+/// the SoA-vs-AoS oracle in tests/soa_equivalence_test.cpp pins down.
+
+#include <vector>
+
+namespace tc {
+
+struct VertexTiming;
+
+/// One channel per (mode, transition) pair, addressed as ch = m*2 + tr.
+class TimingArena {
+ public:
+  /// Resize to `slots` vertices and reset every word to the unreached
+  /// state (arr = `noTime`, everything else zero / -1).
+  void reset(int slots, double noTime);
+  /// Reset a single slot to the unreached state (incremental recompute).
+  void resetSlot(int slot, double noTime);
+
+  int slots() const { return slots_; }
+
+  // Per-word accessors (hot paths index the slot blocks directly).
+  double& arr(int m, int tr, int s) { return hot_[static_cast<std::size_t>(s)].arr[ch(m, tr)]; }
+  double arr(int m, int tr, int s) const { return hot_[static_cast<std::size_t>(s)].arr[ch(m, tr)]; }
+  double& slew(int m, int tr, int s) { return hot_[static_cast<std::size_t>(s)].slew[ch(m, tr)]; }
+  double slew(int m, int tr, int s) const { return hot_[static_cast<std::size_t>(s)].slew[ch(m, tr)]; }
+  double& var(int m, int tr, int s) { return hot_[static_cast<std::size_t>(s)].var[ch(m, tr)]; }
+  double var(int m, int tr, int s) const { return hot_[static_cast<std::size_t>(s)].var[ch(m, tr)]; }
+  int& depth(int m, int tr, int s) { return hot_[static_cast<std::size_t>(s)].depth[ch(m, tr)]; }
+  int depth(int m, int tr, int s) const { return hot_[static_cast<std::size_t>(s)].depth[ch(m, tr)]; }
+  int& parentEdge(int m, int tr, int s) { return parentEdge_[ch(m, tr)][static_cast<std::size_t>(s)]; }
+  int parentEdge(int m, int tr, int s) const { return parentEdge_[ch(m, tr)][static_cast<std::size_t>(s)]; }
+  int& parentTrans(int m, int tr, int s) { return parentTrans_[ch(m, tr)][static_cast<std::size_t>(s)]; }
+  int parentTrans(int m, int tr, int s) const { return parentTrans_[ch(m, tr)][static_cast<std::size_t>(s)]; }
+  double& parentDelay(int m, int tr, int s) { return parentDelay_[ch(m, tr)][static_cast<std::size_t>(s)]; }
+  double parentDelay(int m, int tr, int s) const { return parentDelay_[ch(m, tr)][static_cast<std::size_t>(s)]; }
+  double& parentVar(int m, int tr, int s) { return parentVar_[ch(m, tr)][static_cast<std::size_t>(s)]; }
+  double parentVar(int m, int tr, int s) const { return parentVar_[ch(m, tr)][static_cast<std::size_t>(s)]; }
+
+  /// Backward required times, per transition (mode is always late).
+  double& req(int tr, int s) { return req_[static_cast<std::size_t>(s)].r[tr]; }
+  double req(int tr, int s) const { return req_[static_cast<std::size_t>(s)].r[tr]; }
+  /// Reset the required channels only (computeRequired re-seeds them).
+  void resetRequired(double inf);
+
+  /// Materialize one slot as the AoS view (public API, memcmp convergence).
+  VertexTiming gather(int slot) const;
+
+ private:
+  static int ch(int m, int tr) { return m * 2 + tr; }
+
+  /// The gather-side words of one slot: everything a fan-out consumer
+  /// reads, all channels adjacent. alignas pads 112 used bytes to a
+  /// 128-byte stride on two cache lines.
+  struct alignas(64) HotWords {
+    double arr[4];
+    double slew[4];
+    double var[4];
+    int depth[4];
+  };
+  struct ReqPair {
+    double r[2];
+  };
+
+  int slots_ = 0;
+  std::vector<HotWords> hot_;
+  std::vector<int> parentEdge_[4], parentTrans_[4];
+  std::vector<double> parentDelay_[4], parentVar_[4];
+  std::vector<ReqPair> req_;
+};
+
+}  // namespace tc

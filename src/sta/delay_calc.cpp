@@ -61,18 +61,44 @@ const NetParasitics& DelayCalculator::parasitics(NetId net) const {
 }
 
 void DelayCalculator::invalidateNet(NetId net) {
+  flatValid_ = false;
   if (static_cast<std::size_t>(net) < cache_.size())
     cache_[static_cast<std::size_t>(net)].reset();
+  // Every placement edit invalidates the moved instance's nets, so this is
+  // the one funnel through which the extractor's cached placed flag can go
+  // stale (e.g. the first placement of a previously unplaced design).
+  extractor_.invalidatePlacement();
 }
 
 void DelayCalculator::invalidateAll() {
+  flatValid_ = false;
   cache_.assign(static_cast<std::size_t>(nl_->netCount()), std::nullopt);
+  extractor_.invalidatePlacement();
+}
+
+void DelayCalculator::warmFlat() {
+  if (flatValid()) return;
+  TC_SPAN("delaycalc", "warm_flat");
+  warmCache();
+  flatLoads_.assign(static_cast<std::size_t>(nl_->netCount()), FlatLoad{});
+  for (std::size_t n = 0; n < flatLoads_.size(); ++n) {
+    const RcTree& t = cache_[n]->tree;  // filled + analyzed by warmCache
+    FlatLoad& f = flatLoads_[n];
+    f.cNear = t.rootCap();
+    f.cTotal = t.analyzedTotalCap();
+    f.cFar = f.cTotal - f.cNear;
+    f.twoMaxM1 = 2.0 * t.maxM1();
+  }
+  flatValid_ = true;
 }
 
 void DelayCalculator::warmCache(ThreadPool* pool) {
   TC_SPAN("delaycalc", "warm_cache");
   if (cache_.size() < static_cast<std::size_t>(nl_->netCount()))
     cache_.resize(static_cast<std::size_t>(nl_->netCount()));
+  // Resolve the lazily-cached placement flag before fanning out: the
+  // parallel extracts below must be pure reads of it.
+  extractor_.isPlaced();
   auto fill = [this](std::size_t n) {
     auto& slot = cache_[n];
     if (!slot) {
@@ -125,6 +151,50 @@ DelayCalculator::ArcResult DelayCalculator::clockToQ(InstId flop, bool qRise,
                                          : 0.03 * r.delay;
   r.sigmaLate = r.sigmaEarly;
   return r;
+}
+
+void DelayCalculator::evalNldmBatch(const NldmRequest* reqs, std::size_t n,
+                                    ArcResult* out) const {
+  // The engine's batched level sweep stages every request of a level and
+  // evaluates them here back-to-back: the bilinear lookups run over
+  // contiguous request/result arrays with no graph or netlist pointer
+  // chasing between them. Arithmetic per element is exactly the scalar
+  // cellArc()/clockToQ() table calls, so results are bit-identical.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NldmRequest& q = reqs[i];
+    ArcResult& r = out[i];
+    if (q.fusedAxes) {
+      // All tables of this arc share one grid: one axis resolution serves
+      // every bilinear tail (Table2D::lookupAt — lookup()'s own
+      // arithmetic, so each value is bit-identical to a full lookup).
+      const Table2D& dt = q.surf->delay;
+      const Axis& ax = dt.xAxis();
+      const Axis& ay = dt.yAxis();
+      const std::size_t sx = ax.segment(q.inSlew);
+      const std::size_t sy = ay.segment(q.load);
+      const double fx = ax.fraction(q.inSlew, sx);
+      const double fy = ay.fraction(q.load, sy);
+      r.delay = dt.lookupAt(sx, sy, fx, fy);
+      r.outSlew = q.surf->slew.lookupAt(sx, sy, fx, fy);
+      if (q.lvf) {
+        r.sigmaEarly = q.lvf->sigmaEarly.lookupAt(sx, sy, fx, fy);
+        r.sigmaLate = q.lvf->sigmaLate.lookupAt(sx, sy, fx, fy);
+      } else {
+        r.sigmaEarly = 0.0;
+        r.sigmaLate = 0.0;
+      }
+      continue;
+    }
+    r.delay = q.surf->delay.lookup(q.inSlew, q.load);
+    r.outSlew = q.surf->slew.lookup(q.inSlew, q.load);
+    if (q.lvf) {
+      r.sigmaEarly = q.lvf->sigmaEarly.lookup(q.inSlew, q.load);
+      r.sigmaLate = q.lvf->sigmaLate.lookup(q.inSlew, q.load);
+    } else {
+      r.sigmaEarly = 0.0;
+      r.sigmaLate = 0.0;
+    }
+  }
 }
 
 DelayCalculator::WireResult DelayCalculator::wire(NetId net, int sinkIndex,

@@ -5,6 +5,7 @@
 /// sigma retrieval. Shared by the GBA engine, the PBA recalculator and the
 /// Monte Carlo sampler.
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -47,6 +48,32 @@ class DelayCalculator {
   /// Flop CK->Q launch arc.
   ArcResult clockToQ(InstId flop, bool qRise, Ps ckSlew) const;
 
+  /// One pre-gathered NLDM table evaluation: the (surface, input slew,
+  /// load) triple cellArc()/clockToQ() would hand Table2D::lookup. `lvf`
+  /// null skips the sigma lookups (their results would go unconsumed).
+  struct NldmRequest {
+    const NldmSurface* surf = nullptr;
+    const LvfSurface* lvf = nullptr;
+    Ps inSlew = 0.0;
+    Ff load = 0.0;
+    /// True when every table of the request shares one (slew, load) grid
+    /// with both axis sizes >= 2 (the engine's edge plans verify this per
+    /// arc): evalNldmBatch then resolves the axis segments once and runs
+    /// the identical bilinear tail per table — bit-identical results,
+    /// minus the redundant per-table binary searches.
+    bool fusedAxes = false;
+  };
+  /// Evaluate a gathered batch of requests into `out` (same length). Each
+  /// out[i] is bit-identical to the corresponding scalar cellArc()/
+  /// clockToQ() raw table result: the loop body is the same
+  /// Table2D::lookup calls on the same inputs, just over contiguous
+  /// request/result arrays so the engine's level sweep evaluates a whole
+  /// level's tables in one pass (the c2q ratio-sigma and MIS/derate
+  /// factors are applied by the caller, as the scalar paths do after
+  /// their lookups).
+  void evalNldmBatch(const NldmRequest* reqs, std::size_t n,
+                     ArcResult* out) const;
+
   struct WireResult {
     Ps delay = 0.0;
     Ps outSlew = 0.0;
@@ -58,6 +85,40 @@ class DelayCalculator {
 
   /// Effective load the driver of `net` sees.
   Ff driverLoad(NetId net, Ps driverSlewGuess) const;
+
+  /// Per-net driver-load summary copied out of the analyzed RC tree, so
+  /// the serial level sweeps resolve effective capacitance from one flat
+  /// array instead of chasing the parasitics cache (optional deref + hit
+  /// counter) per candidate. The stored words are the exact doubles
+  /// RcTree::effectiveCap() derives per call, and flatLoad() repeats its
+  /// arithmetic — results are bit-identical.
+  struct FlatLoad {
+    Ff cNear = 0.0;         ///< grounded cap at the root node
+    Ff cFar = 0.0;          ///< cTotal - cNear
+    Ff cTotal = 0.0;        ///< analyzed total cap
+    double twoMaxM1 = 0.0;  ///< 2 * max branch first moment
+  };
+  /// (Re)build the flat load table if any net was invalidated since the
+  /// last build (serial; fills the rc cache via warmCache()). Extraction
+  /// is deterministic per net, so warming is bit-neutral.
+  void warmFlat();
+  bool flatValid() const {
+    return flatValid_ &&
+           flatLoads_.size() == static_cast<std::size_t>(nl_->netCount());
+  }
+  /// The raw summary words of one net (valid only while flatValid(); the
+  /// engine copies them into its per-edge plans).
+  const FlatLoad& flatWords(NetId net) const {
+    return flatLoads_[static_cast<std::size_t>(net)];
+  }
+  /// RcTree::effectiveCap() replayed from the flat summary.
+  Ff flatLoad(NetId net, Ps driverSlew) const {
+    const FlatLoad& f = flatLoads_[static_cast<std::size_t>(net)];
+    if (f.cFar <= 0.0) return f.cTotal;
+    const double shield =
+        f.twoMaxM1 / (f.twoMaxM1 + std::max(driverSlew, 1.0));
+    return f.cNear + f.cFar * (1.0 - 0.5 * shield);
+  }
 
   /// Setup/hold constraint values for a flop (conventional scalars).
   Ps setupTime(InstId flop) const;
@@ -82,6 +143,8 @@ class DelayCalculator {
   Extractor extractor_;
   ExtractionOptions extOpt_;
   mutable std::vector<std::optional<NetParasitics>> cache_;
+  std::vector<FlatLoad> flatLoads_;
+  bool flatValid_ = false;
 };
 
 }  // namespace tc

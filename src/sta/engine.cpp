@@ -48,28 +48,15 @@ Ps StaEngine::clockPeriod() const {
 }
 
 void StaEngine::initSources() {
-  vt_.assign(static_cast<std::size_t>(graph_.vertexCount()), VertexTiming{});
-  for (auto& t : vt_) {
-    for (int m = 0; m < 2; ++m)
-      for (int tr = 0; tr < 2; ++tr) {
-        t.arr[m][tr] = kNoTime;
-        t.slew[m][tr] = 0.0;
-        t.var[m][tr] = 0.0;
-        t.depth[m][tr] = 0;
-        t.parentEdge[m][tr] = -1;
-        t.parentTrans[m][tr] = 0;
-        t.parentDelay[m][tr] = 0.0;
-        t.parentVar[m][tr] = 0.0;
-      }
-  }
+  tw_.reset(graph_.vertexCount(), kNoTime);
 
   // Clock roots.
   for (const auto& c : nl_->clocks()) {
-    VertexTiming& t = vt_[static_cast<std::size_t>(graph_.portVertex(c.port))];
+    const int s = graph_.slotOf(graph_.portVertex(c.port));
     for (int m = 0; m < 2; ++m)
       for (int tr = 0; tr < 2; ++tr) {
-        t.arr[m][tr] = c.sourceLatency;
-        t.slew[m][tr] = 20.0;
+        tw_.arr(m, tr, s) = c.sourceLatency;
+        tw_.slew(m, tr, s) = 20.0;
       }
   }
   // Data primary inputs.
@@ -85,11 +72,11 @@ void StaEngine::initSources() {
     for (const auto& c : nl_->clocks())
       if (c.port == p) isClock = true;
     if (isClock) continue;
-    VertexTiming& t = vt_[static_cast<std::size_t>(graph_.portVertex(p))];
+    const int s = graph_.slotOf(graph_.portVertex(p));
     for (int m = 0; m < 2; ++m)
       for (int tr = 0; tr < 2; ++tr) {
-        t.arr[m][tr] = inputDelay;
-        t.slew[m][tr] = sc_->inputSlew;
+        tw_.arr(m, tr, s) = inputDelay;
+        tw_.slew(m, tr, s) = sc_->inputSlew;
       }
   }
 
@@ -103,19 +90,19 @@ void StaEngine::initSources() {
   for (const auto& qp : nl_->quarantinedPins()) {
     const VertexId v = graph_.inputVertex(qp.inst, qp.pin);
     if (v < 0) continue;
-    VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+    const int s = graph_.slotOf(v);
     for (int tr = 0; tr < 2; ++tr) {
-      t.arr[0][tr] = borrowedLate;  // late
-      t.arr[1][tr] = 0.0;           // early
-      t.slew[0][tr] = t.slew[1][tr] = sc_->inputSlew;
+      tw_.arr(0, tr, s) = borrowedLate;  // late
+      tw_.arr(1, tr, s) = 0.0;           // early
+      tw_.slew(0, tr, s) = tw_.slew(1, tr, s) = sc_->inputSlew;
     }
   }
 }
 
 double StaEngine::key(VertexId v, Mode m, int trans) const {
-  const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+  const int s = graph_.slotOf(v);
   const int mi = static_cast<int>(m);
-  const double arr = t.arr[mi][trans];
+  const double arr = tw_.arr(mi, trans, s);
   if (arr == kNoTime) return m == Mode::kLate ? kNoTime : kInf;
   const auto& d = sc_->derate;
   switch (d.mode) {
@@ -124,13 +111,13 @@ double StaEngine::key(VertexId v, Mode m, int trans) const {
       return arr;  // flat factors folded into edge delays
     case DerateMode::kAocv: {
       const auto& aocv = sc_->lib->aocv();
-      const int depth = std::max(t.depth[mi][trans], 1);
+      const int depth = std::max(tw_.depth(mi, trans, s), 1);
       return m == Mode::kLate ? arr * aocv.late(depth)
                               : arr * aocv.early(depth);
     }
     case DerateMode::kPocv:
     case DerateMode::kLvf: {
-      const double sigma = std::sqrt(std::max(t.var[mi][trans], 0.0));
+      const double sigma = std::sqrt(std::max(tw_.var(mi, trans, s), 0.0));
       return m == Mode::kLate ? arr + d.sigmaCount * sigma
                               : arr - d.sigmaCount * sigma;
     }
@@ -151,9 +138,9 @@ Ps StaEngine::arrivalKey(VertexId v, Mode m) const {
 }
 
 Ps StaEngine::slewAt(VertexId v, Mode m) const {
-  const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+  const int s = graph_.slotOf(v);
   const int mi = static_cast<int>(m);
-  return std::max(t.slew[mi][0], t.slew[mi][1]);
+  return std::max(tw_.slew(mi, 0, s), tw_.slew(mi, 1, s));
 }
 
 void StaEngine::relax(VertexId to, Mode m, int trans, double arr,
@@ -171,21 +158,21 @@ void StaEngine::relax(VertexId to, Mode m, int trans, double arr,
         {to, static_cast<std::uint8_t>(!std::isfinite(arr) ? 1 : 0)});
     return;
   }
-  VertexTiming& t = vt_[static_cast<std::size_t>(to)];
+  const int s = graph_.slotOf(to);
   const int mi = static_cast<int>(m);
   const auto& d = sc_->derate;
 
   // Selection key for the candidate.
   double candKey = arr;
-  double curKey = t.arr[mi][trans];
+  double curKey = tw_.arr(mi, trans, s);
   if (d.mode == DerateMode::kPocv || d.mode == DerateMode::kLvf) {
-    const double s = d.sigmaCount;
-    candKey = m == Mode::kLate ? arr + s * std::sqrt(std::max(var, 0.0))
-                               : arr - s * std::sqrt(std::max(var, 0.0));
+    const double sc = d.sigmaCount;
+    candKey = m == Mode::kLate ? arr + sc * std::sqrt(std::max(var, 0.0))
+                               : arr - sc * std::sqrt(std::max(var, 0.0));
     if (curKey != kNoTime) {
-      const double cs = std::sqrt(std::max(t.var[mi][trans], 0.0));
-      curKey = m == Mode::kLate ? t.arr[mi][trans] + s * cs
-                                : t.arr[mi][trans] - s * cs;
+      const double cs = std::sqrt(std::max(tw_.var(mi, trans, s), 0.0));
+      curKey = m == Mode::kLate ? tw_.arr(mi, trans, s) + sc * cs
+                                : tw_.arr(mi, trans, s) - sc * cs;
     }
   }
 
@@ -193,28 +180,29 @@ void StaEngine::relax(VertexId to, Mode m, int trans, double arr,
       curKey == kNoTime ||
       (m == Mode::kLate ? candKey > curKey : candKey < curKey);
   if (better) {
-    t.arr[mi][trans] = arr;
-    t.var[mi][trans] = var;
-    t.depth[mi][trans] = depth;
-    t.parentEdge[mi][trans] = via;
-    t.parentTrans[mi][trans] = fromTrans;
-    t.parentDelay[mi][trans] = edgeDelay;
-    t.parentVar[mi][trans] = edgeVar;
+    tw_.arr(mi, trans, s) = arr;
+    tw_.var(mi, trans, s) = var;
+    tw_.depth(mi, trans, s) = depth;
+    tw_.parentEdge(mi, trans, s) = via;
+    tw_.parentTrans(mi, trans, s) = fromTrans;
+    tw_.parentDelay(mi, trans, s) = edgeDelay;
+    tw_.parentVar(mi, trans, s) = edgeVar;
   }
   // Worst-slew merging, independent of arrival selection (classic GBA
   // pessimism that PBA later recovers).
-  if (t.slew[mi][trans] <= 0.0) {
-    t.slew[mi][trans] = slewIn;
+  double& sl = tw_.slew(mi, trans, s);
+  if (sl <= 0.0) {
+    sl = slewIn;
   } else if (m == Mode::kLate) {
-    t.slew[mi][trans] = std::max(t.slew[mi][trans], slewIn);
+    sl = std::max(sl, slewIn);
   } else {
-    t.slew[mi][trans] = std::min(t.slew[mi][trans], slewIn);
+    sl = std::min(sl, slewIn);
   }
 }
 
 void StaEngine::processEdge(EdgeId e) {
   const TimingGraph::Edge& ed = graph_.edge(e);
-  const VertexTiming& ft = vt_[static_cast<std::size_t>(ed.from)];
+  const int fs = graph_.slotOf(ed.from);
   // Relax every producible (mode, trIn, trOut) candidate. The iteration
   // order matches the pre-refactor per-kind loops exactly, and the
   // arithmetic lives in edgeCandidate(), shared with the PBA enumerator's
@@ -227,12 +215,359 @@ void StaEngine::processEdge(EdgeId e) {
             edgeCandidate(e, static_cast<Mode>(m), trIn, trOut);
         if (!c.valid) continue;
         relax(ed.to, static_cast<Mode>(m), trOut,
-              ft.arr[m][trIn] + c.delay + c.skew, c.outSlew,
-              ft.var[m][trIn] + c.var, ft.depth[m][trIn] + c.depthInc, e,
-              trIn, c.delay, c.var);
+              tw_.arr(m, trIn, fs) + c.delay + c.skew, c.outSlew,
+              tw_.var(m, trIn, fs) + c.var, tw_.depth(m, trIn, fs) + c.depthInc,
+              e, trIn, c.delay, c.var);
       }
     }
   }
+}
+
+// --- batched level sweep ----------------------------------------------------
+// The serial forward sweep runs each level in three phases: stageEdge()
+// records every producible candidate (its source words and everything the
+// relax call needs) and gathers the NLDM table requests into one contiguous
+// array; evalNldmBatch() evaluates the whole array in a tight loop; then
+// flushBatch() replays the candidates through relax() in the exact order
+// the scalar sweep would have produced them. Bitwise identity holds
+// because (a) every candidate reads only strictly-lower-level state, which
+// is final before the level starts, so deferring the relax writes cannot
+// change any input, and (b) the replay preserves the scalar (vertex,
+// in-edge, mode, trIn, trOut) nest order, so relax sees candidates in the
+// same sequence. Wire delays and driver loads come from the flat edge
+// plans / flat load table — the precomputed words are the exact doubles
+// the scalar dc_.wire()/driverLoad() calls would derive, fed through the
+// identical arithmetic (see buildEdgePlans and DelayCalculator::flatLoad),
+// so results are unchanged bit for bit; only the parasitics-cache hit
+// counters move (the flat paths never touch the cache — warmFlat() fills
+// it once up front instead).
+
+void StaEngine::buildEdgePlans() {
+  TC_SPAN("sta", "build_edge_plans");
+  const auto& d = sc_->derate;
+  const auto sharesGrid = [](const Table2D& ref, const Table2D& t) {
+    return ref.xAxis().points() == t.xAxis().points() &&
+           ref.yAxis().points() == t.yAxis().points();
+  };
+  // Per-edge facts shared by both plan shapes. The load words are the
+  // flat-load summaries warmFlat() derived (propagate() warms before
+  // building); the wire words are the doubles dc_.wire() would derive per
+  // candidate — the GBA Elmore delay is slew-independent, and PERI
+  // degradation reduces to sqrt(slewIn^2 + slewSq) with the coefficient
+  // squared here: the same doubles in the same operations.
+  const auto wireWords = [this](const TimingGraph::Edge& ed, double* delay,
+                                double* slewSq, double* skew,
+                                std::int8_t* portSink) {
+    const TimingGraph::Vertex& tv = graph_.vertex(ed.to);
+    if (tv.kind == TimingGraph::VertexKind::kCellInput && tv.pin == 1 &&
+        nl_->isSequential(tv.inst))
+      *skew = nl_->instance(tv.inst).usefulSkew;
+    const NetParasitics& p = dc_.parasitics(ed.net);
+    if (ed.sinkIndex < 0 ||
+        static_cast<std::size_t>(ed.sinkIndex) >= p.sinkNode.size()) {
+      *portSink = 1;  // lumped at the root: delay 0, slew unchanged
+    } else {
+      const int node = p.sinkNode[static_cast<std::size_t>(ed.sinkIndex)];
+      *delay = p.tree.elmore(node);
+      const double ws = 2.1972245773362196 * p.tree.elmore(node);
+      *slewSq = ws * ws;
+    }
+  };
+  const auto loadWords = [this](InstId inst, LoadWords* w) {
+    const NetId net = nl_->instance(inst).fanout;
+    if (net < 0) return false;
+    const DelayCalculator::FlatLoad& f = dc_.flatWords(net);
+    w->cNear = f.cNear;
+    w->cFar = f.cFar;
+    w->cTotal = f.cTotal;
+    w->twoMaxM1 = f.twoMaxM1;
+    return true;
+  };
+
+  // Forward plans in the exact ascending-level in-edge iteration order of
+  // the forward sweep, so sweepLevelBatched() streams them sequentially.
+  fwdPlans_.clear();
+  fwdPlans_.reserve(static_cast<std::size_t>(graph_.edgeCount()));
+  fwdLevelOff_.assign(static_cast<std::size_t>(graph_.levelCount()) + 1, 0);
+  for (int li = 0; li < graph_.levelCount(); ++li) {
+    fwdLevelOff_[static_cast<std::size_t>(li)] = fwdPlans_.size();
+    for (const VertexId v : graph_.level(li)) {
+      for (const EdgeId e : graph_.inEdges(v)) {
+        const TimingGraph::Edge& ed = graph_.edge(e);
+        FwdPlan pl;
+        pl.e = e;
+        pl.kind = ed.kind;
+        pl.to = ed.to;
+        pl.fromSlot = graph_.slotOf(ed.from);
+        switch (ed.kind) {
+          case TimingGraph::EdgeKind::kNetArc: {
+            pl.u.wire.delay = 0.0;
+            pl.u.wire.slewSq = 0.0;
+            pl.u.wire.skew = 0.0;
+            wireWords(ed, &pl.u.wire.delay, &pl.u.wire.slewSq,
+                      &pl.u.wire.skew, &pl.portSink);
+            break;
+          }
+          case TimingGraph::EdgeKind::kCellArc: {
+            const InstId inst = graph_.vertex(ed.from).inst;
+            pl.inst = inst;
+            pl.hasNet = loadWords(inst, &pl.u.load) ? 1 : 0;
+            const Cell& cell = dc_.cellOf(inst);
+            const TimingArc& arc =
+                cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
+            pl.unate = arc.unate == Unateness::kPositive   ? 1
+                       : arc.unate == Unateness::kNegative ? 2
+                                                           : 0;
+            if (d.mode == DerateMode::kLvf) {
+              pl.sigmaKind = 1;
+            } else if (d.mode == DerateMode::kPocv) {
+              pl.sigmaKind = 2;
+              pl.ratio = cell.pocvSigmaRatio;
+            }
+            for (int trOut = 0; trOut < 2; ++trOut) {
+              const NldmSurface& s = arc.surface(trOut == 0);
+              pl.surf[trOut] = &s;
+              const LvfSurface& lvf = arc.lvf(trOut == 0);
+              if (d.mode == DerateMode::kLvf && !lvf.empty())
+                pl.lvf[trOut] = &lvf;
+              bool fused = s.delay.xAxis().size() >= 2 &&
+                           s.delay.yAxis().size() >= 2 &&
+                           sharesGrid(s.delay, s.slew);
+              if (fused && pl.lvf[trOut])
+                fused = sharesGrid(s.delay, lvf.sigmaEarly) &&
+                        sharesGrid(s.delay, lvf.sigmaLate);
+              pl.fused[trOut] = fused ? 1 : 0;
+            }
+            break;
+          }
+          case TimingGraph::EdgeKind::kClockToQ: {
+            const InstId flop = graph_.vertex(ed.from).inst;
+            pl.inst = flop;
+            pl.hasNet = loadWords(flop, &pl.u.load) ? 1 : 0;
+            const Cell& cell = dc_.cellOf(flop);
+            if (d.mode == DerateMode::kLvf || d.mode == DerateMode::kPocv) {
+              pl.sigmaKind = 2;
+              pl.ratio =
+                  cell.pocvSigmaRatio > 0 ? cell.pocvSigmaRatio : 0.03;
+            }
+            pl.surf[0] = &cell.flop->c2qRise;
+            pl.surf[1] = &cell.flop->c2qFall;
+            for (int trOut = 0; trOut < 2; ++trOut) {
+              const NldmSurface& s = *pl.surf[trOut];
+              pl.fused[trOut] = (s.delay.xAxis().size() >= 2 &&
+                                 s.delay.yAxis().size() >= 2 &&
+                                 sharesGrid(s.delay, s.slew))
+                                    ? 1
+                                    : 0;
+            }
+            break;
+          }
+        }
+        fwdPlans_.push_back(pl);
+      }
+    }
+  }
+  fwdLevelOff_[static_cast<std::size_t>(graph_.levelCount())] =
+      fwdPlans_.size();
+
+  // Backward plans in the exact descending-level out-edge iteration order
+  // of the required pull.
+  bwdPlans_.clear();
+  bwdPlans_.reserve(static_cast<std::size_t>(graph_.edgeCount()));
+  for (int li = graph_.levelCount(); li-- > 0;) {
+    for (const VertexId v : graph_.level(li)) {
+      for (const EdgeId e : graph_.outEdges(v)) {
+        const TimingGraph::Edge& ed = graph_.edge(e);
+        BwdPlan pl;
+        pl.kind = ed.kind;
+        pl.toSlot = graph_.slotOf(ed.to);
+        switch (ed.kind) {
+          case TimingGraph::EdgeKind::kNetArc: {
+            pl.u.wire.delay = 0.0;
+            pl.u.wire.skew = 0.0;
+            double slewSq = 0.0;
+            std::int8_t portSink = 0;
+            wireWords(ed, &pl.u.wire.delay, &slewSq, &pl.u.wire.skew,
+                      &portSink);
+            break;
+          }
+          case TimingGraph::EdgeKind::kCellArc: {
+            const InstId inst = graph_.vertex(ed.from).inst;
+            pl.inst = inst;
+            pl.hasNet = loadWords(inst, &pl.u.load) ? 1 : 0;
+            const Cell& cell = dc_.cellOf(inst);
+            const TimingArc& arc =
+                cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
+            pl.unate = arc.unate == Unateness::kPositive   ? 1
+                       : arc.unate == Unateness::kNegative ? 2
+                                                           : 0;
+            pl.surf[0] = &arc.surface(true);
+            pl.surf[1] = &arc.surface(false);
+            break;
+          }
+          case TimingGraph::EdgeKind::kClockToQ: {
+            const InstId flop = graph_.vertex(ed.from).inst;
+            pl.inst = flop;
+            pl.hasNet = loadWords(flop, &pl.u.load) ? 1 : 0;
+            const Cell& cell = dc_.cellOf(flop);
+            pl.surf[0] = &cell.flop->c2qRise;
+            pl.surf[1] = &cell.flop->c2qFall;
+            break;
+          }
+        }
+        bwdPlans_.push_back(pl);
+      }
+    }
+  }
+  plansValid_ = true;
+}
+
+void StaEngine::stageEdge(const FwdPlan& pl) {
+  const int fs = pl.fromSlot;
+  for (int m = 0; m < 2; ++m) {
+    for (int trIn = 0; trIn < 2; ++trIn) {
+      if (tw_.arr(m, trIn, fs) == kNoTime) continue;
+      const double inSlew = tw_.slew(m, trIn, fs);
+      switch (pl.kind) {
+        case TimingGraph::EdgeKind::kNetArc: {
+          // trOut == trIn only; wire results need no table batch.
+          BatchOp op;
+          op.e = pl.e;
+          op.to = pl.to;
+          op.m = static_cast<std::int8_t>(m);
+          op.trIn = op.trOut = static_cast<std::int8_t>(trIn);
+          op.skew = pl.u.wire.skew;
+          op.wDelay = pl.u.wire.delay;
+          op.wOutSlew = pl.portSink
+                            ? inSlew
+                            : std::sqrt(inSlew * inSlew + pl.u.wire.slewSq);
+          op.fromArr = tw_.arr(m, trIn, fs);
+          op.fromVar = tw_.var(m, trIn, fs);
+          op.fromDepth = tw_.depth(m, trIn, fs);
+          batchOps_.push_back(op);
+          break;
+        }
+        case TimingGraph::EdgeKind::kCellArc: {
+          int outLo = 0, outHi = 1;
+          if (pl.unate == 2) outLo = outHi = 1 - trIn;
+          if (pl.unate == 1) outLo = outHi = trIn;
+          // The load is a pure function of (net, inSlew): one flat
+          // resolution serves both output transitions bit-identically.
+          const Ff load = pl.hasNet ? loadOf(pl.u.load, inSlew) : 2.0;
+          for (int trOut = outLo; trOut <= outHi; ++trOut) {
+            BatchOp op;
+            op.e = pl.e;
+            op.to = pl.to;
+            op.m = static_cast<std::int8_t>(m);
+            op.trIn = static_cast<std::int8_t>(trIn);
+            op.trOut = static_cast<std::int8_t>(trOut);
+            op.depthInc = 1;
+            op.req = static_cast<int>(batchReqs_.size());
+            DelayCalculator::NldmRequest rq;
+            rq.surf = pl.surf[trOut];
+            rq.lvf = pl.lvf[trOut];
+            rq.fusedAxes = pl.fused[trOut] != 0;
+            rq.inSlew = inSlew;
+            rq.load = load;
+            batchReqs_.push_back(rq);
+            if (m == static_cast<int>(Mode::kLate) && !misLate_.empty())
+              op.mis = misLate_[static_cast<std::size_t>(pl.inst)]
+                               [static_cast<std::size_t>(trOut)];
+            if (m == static_cast<int>(Mode::kEarly) && !misEarly_.empty())
+              op.mis = misEarly_[static_cast<std::size_t>(pl.inst)]
+                                [static_cast<std::size_t>(trOut)];
+            op.sigmaKind = pl.sigmaKind;
+            op.ratio = pl.ratio;
+            op.fromArr = tw_.arr(m, trIn, fs);
+            op.fromVar = tw_.var(m, trIn, fs);
+            op.fromDepth = tw_.depth(m, trIn, fs);
+            batchOps_.push_back(op);
+          }
+          break;
+        }
+        case TimingGraph::EdgeKind::kClockToQ: {
+          if (trIn != 0) break;  // rising-edge flops
+          const Ff load = pl.hasNet ? loadOf(pl.u.load, inSlew) : 2.0;
+          for (int trOut = 0; trOut < 2; ++trOut) {
+            BatchOp op;
+            op.e = pl.e;
+            op.to = pl.to;
+            op.m = static_cast<std::int8_t>(m);
+            op.trIn = 0;
+            op.trOut = static_cast<std::int8_t>(trOut);
+            op.depthInc = 1;
+            op.req = static_cast<int>(batchReqs_.size());
+            DelayCalculator::NldmRequest rq;
+            rq.surf = pl.surf[trOut];
+            rq.fusedAxes = pl.fused[trOut] != 0;
+            rq.inSlew = inSlew;
+            rq.load = load;
+            batchReqs_.push_back(rq);
+            op.sigmaKind = pl.sigmaKind;
+            op.ratio = pl.ratio;
+            op.fromArr = tw_.arr(m, trIn, fs);
+            op.fromVar = tw_.var(m, trIn, fs);
+            op.fromDepth = tw_.depth(m, trIn, fs);
+            batchOps_.push_back(op);
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+void StaEngine::flushBatch() {
+  if (batchOps_.empty()) return;
+  batchRes_.resize(batchReqs_.size());
+  dc_.evalNldmBatch(batchReqs_.data(), batchReqs_.size(), batchRes_.data());
+  const auto& d = sc_->derate;
+  for (const BatchOp& op : batchOps_) {
+    const Mode m = static_cast<Mode>(op.m);
+    const double f =
+        d.mode == DerateMode::kFlatOcv
+            ? (m == Mode::kLate ? d.flatLate : d.flatEarly)
+            : 1.0;
+    double delay, outSlew, var = 0.0;
+    if (op.req < 0) {
+      delay = op.wDelay * f;
+      outSlew = op.wOutSlew;
+    } else {
+      const DelayCalculator::ArcResult& r =
+          batchRes_[static_cast<std::size_t>(op.req)];
+      // op.mis defaults to 1.0: multiplying by 1.0 is the bitwise
+      // identity on every finite double, so the unconditional multiply
+      // matches the scalar path's "only when MIS vectors are set" form.
+      const double rd = r.delay * op.mis;
+      double sigma = 0.0;
+      if (op.sigmaKind == 1)
+        sigma = m == Mode::kLate ? r.sigmaLate : r.sigmaEarly;
+      else if (op.sigmaKind == 2)
+        sigma = op.ratio * rd;
+      delay = rd * f;
+      outSlew = r.outSlew;
+      var = sigma * sigma;
+    }
+    relax(op.to, m, op.trOut, op.fromArr + delay + op.skew, outSlew,
+          op.fromVar + var, op.fromDepth + op.depthInc, op.e, op.trIn,
+          delay, var);
+  }
+  batchOps_.clear();
+  batchReqs_.clear();
+}
+
+void StaEngine::sweepLevelBatched(int levelIndex) {
+  // Flushing a staged prefix early (memory bound at 1M+ instances) is
+  // safe anywhere on a vertex boundary: replay order still equals the
+  // scalar order, and current-level writes are never read by this level.
+  constexpr std::size_t kFlushThreshold = 1 << 16;
+  std::size_t cur = fwdLevelOff_[static_cast<std::size_t>(levelIndex)];
+  for (const VertexId v : graph_.level(levelIndex)) {
+    const std::size_t n = graph_.inEdges(v).size();
+    for (std::size_t k = 0; k < n; ++k) stageEdge(fwdPlans_[cur++]);
+    if (batchOps_.size() >= kFlushThreshold) flushBatch();
+  }
+  flushBatch();
 }
 
 namespace {
@@ -322,42 +657,41 @@ void StaEngine::replayTimingDiagnostics(DiagnosticSink& sink) const {
 }
 
 void StaEngine::propagate() {
-  // Pull model: each vertex relaxes over its own in-edges. Serially this
-  // visits edges in exactly the order the per-level parallel sweep does
-  // per vertex, which is what makes serial and parallel bit-identical.
+  // Pull model: each vertex relaxes over its own in-edges. Ascending level
+  // order is a refinement of topoOrder() for the pull model (every in-edge
+  // comes from a strictly lower level, and per-vertex in-edge order is
+  // what fixes the arithmetic), so the level-batched serial sweep, the
+  // traced serial sweep and the per-level parallel sweep are all
+  // bit-identical.
   TC_SPAN("sta", "propagate");
   if (pool_ && pool_->threadCount() > 0) {
     // All delay-calc lookups must be pure reads before tasks share them.
     dc_.warmCache(pool_);
-    const auto& levels = graph_.levels();
-    for (std::size_t li = 0; li < levels.size(); ++li) {
-      const auto& level = levels[li];
-      TC_SPAN_F(span, "sta.level", "fwd_L%zu", li);
-      span.arg("width", static_cast<std::int64_t>(level.size()));
+    for (int li = 0; li < graph_.levelCount(); ++li) {
+      const VertexSpan lv = graph_.level(li);
+      TC_SPAN_F(span, "sta.level", "fwd_L%d", li);
+      span.arg("width", static_cast<std::int64_t>(lv.size()));
       pool_->parallelFor(
-          level.size(),
-          [this, &level](std::size_t i) {
-            for (EdgeId e : graph_.inEdges(level[i])) processEdge(e);
+          lv.size(),
+          [this, lv](std::size_t i) {
+            for (EdgeId e : graph_.inEdges(lv[i])) processEdge(e);
           },
           /*grain=*/8);
     }
-  } else if (traceEnabled()) {
-    // Per-level spans need level boundaries; ascending level order is a
-    // refinement of topoOrder() for the pull model (every in-edge comes
-    // from a strictly lower level, and per-vertex in-edge order is what
-    // fixes the arithmetic), so this sweep is bit-identical to the topo
-    // sweep below.
-    const auto& levels = graph_.levels();
-    for (std::size_t li = 0; li < levels.size(); ++li) {
-      const auto& level = levels[li];
-      TC_SPAN_F(span, "sta.level", "fwd_L%zu", li);
-      span.arg("width", static_cast<std::int64_t>(level.size()));
-      for (VertexId v : level)
-        for (EdgeId e : graph_.inEdges(v)) processEdge(e);
-    }
   } else {
-    for (VertexId v : graph_.topoOrder())
-      for (EdgeId e : graph_.inEdges(v)) processEdge(e);
+    // Serial sweeps run on the flat edge plans: parasitics summaries and
+    // per-edge tables are resolved once up front, not per candidate.
+    dc_.warmFlat();
+    if (!plansValid_) buildEdgePlans();
+    if (traceEnabled()) {
+      for (int li = 0; li < graph_.levelCount(); ++li) {
+        TC_SPAN_F(span, "sta.level", "fwd_L%d", li);
+        span.arg("width", static_cast<std::int64_t>(graph_.level(li).size()));
+        sweepLevelBatched(li);
+      }
+    } else {
+      for (int li = 0; li < graph_.levelCount(); ++li) sweepLevelBatched(li);
+    }
   }
   flushNanEvents();
 }
@@ -370,18 +704,18 @@ std::vector<PathStep> StaEngine::tracePath(VertexId endpoint, Mode mode,
   int tr = trans;
   int guard = 0;
   while (v >= 0 && guard++ < graph_.vertexCount() + 1) {
-    const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+    const int s = graph_.slotOf(v);
     PathStep step;
     step.vertex = v;
     step.trans = tr;
-    step.arrival = t.arr[mi][tr];
-    step.viaEdge = t.parentEdge[mi][tr];
-    step.edgeDelay = t.parentDelay[mi][tr];
-    step.edgeVar = t.parentVar[mi][tr];
+    step.arrival = tw_.arr(mi, tr, s);
+    step.viaEdge = tw_.parentEdge(mi, tr, s);
+    step.edgeDelay = tw_.parentDelay(mi, tr, s);
+    step.edgeVar = tw_.parentVar(mi, tr, s);
     rev.push_back(step);
     if (step.viaEdge < 0) break;
     const TimingGraph::Edge& ed = graph_.edge(step.viaEdge);
-    const int nextTr = t.parentTrans[mi][tr];
+    const int nextTr = tw_.parentTrans(mi, tr, s);
     v = ed.from;
     tr = nextTr;
   }
@@ -411,15 +745,16 @@ Ps StaEngine::cpprCredit(VertexId dataEndpoint, int dataTrans,
       break;
     const VertexId v = dataPath[i].vertex;
     if (!graph_.vertex(v).onClockNetwork) break;
-    const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+    const int s = graph_.slotOf(v);
     const int tr = dataPath[i].trans;
-    const double late = t.parentDelay[0][tr];
-    const double early = t.parentDelay[1][tr];
+    const double late = tw_.parentDelay(0, tr, s);
+    const double early = tw_.parentDelay(1, tr, s);
     // Credit only when both modes traversed this same edge.
-    if (t.parentEdge[0][tr] == dataPath[i].viaEdge &&
-        t.parentEdge[1][tr] == dataPath[i].viaEdge) {
+    if (tw_.parentEdge(0, tr, s) == dataPath[i].viaEdge &&
+        tw_.parentEdge(1, tr, s) == dataPath[i].viaEdge) {
       credit += std::max(late - early, 0.0);
-      commonVar += std::max(t.parentVar[0][tr], t.parentVar[1][tr]);
+      commonVar +=
+          std::max(tw_.parentVar(0, tr, s), tw_.parentVar(1, tr, s));
     }
   }
   const auto& d = sc_->derate;
@@ -586,10 +921,10 @@ std::array<double, 2> StaEngine::endpointReqSeed(VertexId v) const {
   if (idx < 0 || !epOk_[static_cast<std::size_t>(idx)]) return r;
   const EndpointTiming& ep = epSlots_[static_cast<std::size_t>(idx)];
   if (ep.setupSlack == kInf) return r;
-  const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+  const int s = graph_.slotOf(v);
   const int wt = ep.setupTrans;
-  if (t.arr[0][wt] == kNoTime) return r;
-  const double reqTime = t.arr[0][wt] + ep.setupSlack;
+  if (tw_.arr(0, wt, s) == kNoTime) return r;
+  const double reqTime = tw_.arr(0, wt, s) + ep.setupSlack;
   r[0] = r[1] = reqTime;
   return r;
 }
@@ -599,50 +934,68 @@ void StaEngine::computeRequired() {
   // transition (mean-arrival domain; exact for flat/no-derate scenarios,
   // optimizer guidance otherwise).
   TC_SPAN("sta", "compute_required");
-  requiredLate_.assign(static_cast<std::size_t>(graph_.vertexCount()),
-                       {kInf, kInf});
-  for (const VertexId v : graph_.endpoints())
-    requiredLate_[static_cast<std::size_t>(v)] = endpointReqSeed(v);
+  tw_.resetRequired(kInf);
+  for (const VertexId v : graph_.endpoints()) {
+    const auto seed = endpointReqSeed(v);
+    const int s = graph_.slotOf(v);
+    tw_.req(0, s) = seed[0];
+    tw_.req(1, s) = seed[1];
+  }
 
   if (pool_ && pool_->threadCount() > 0) {
     // Reverse level order: every out-edge of a level-L vertex lands on a
     // level > L, already final when level L's pulls run.
-    const auto& levels = graph_.levels();
-    for (std::size_t li = levels.size(); li-- > 0;) {
-      const auto& level = levels[li];
-      TC_SPAN_F(span, "sta.level", "bwd_L%zu", li);
-      span.arg("width", static_cast<std::int64_t>(level.size()));
+    for (int li = graph_.levelCount(); li-- > 0;) {
+      const VertexSpan lv = graph_.level(li);
+      TC_SPAN_F(span, "sta.level", "bwd_L%d", li);
+      span.arg("width", static_cast<std::int64_t>(lv.size()));
       pool_->parallelFor(
-          level.size(),
-          [this, &level](std::size_t i) { pullRequired(level[i]); },
+          lv.size(),
+          [this, lv](std::size_t i) { pullRequired(lv[i]); },
           /*grain=*/8);
     }
-  } else if (traceEnabled()) {
+  } else {
     // Descending level order refines reverse topo order the same way the
     // forward sweep's ascending order refines topo order: out-edges land
     // on strictly higher levels, already final when this level pulls.
-    const auto& levels = graph_.levels();
-    for (std::size_t li = levels.size(); li-- > 0;) {
-      const auto& level = levels[li];
-      TC_SPAN_F(span, "sta.level", "bwd_L%zu", li);
-      span.arg("width", static_cast<std::int64_t>(level.size()));
-      for (VertexId v : level) pullRequired(v);
+    // Serial pulls ride the flat plans built by the forward sweep; the
+    // guard covers the (defensive) case of a backward pass without them.
+    const bool flat = plansValid_ && dc_.flatValid();
+    std::size_t cur = 0;  // bwdPlans_ streams in this exact pull order
+    if (traceEnabled()) {
+      for (int li = graph_.levelCount(); li-- > 0;) {
+        const VertexSpan lv = graph_.level(li);
+        TC_SPAN_F(span, "sta.level", "bwd_L%d", li);
+        span.arg("width", static_cast<std::int64_t>(lv.size()));
+        for (VertexId v : lv) {
+          if (flat)
+            cur = pullRequiredFlat(v, cur);
+          else
+            pullRequired(v);
+        }
+      }
+    } else {
+      for (int li = graph_.levelCount(); li-- > 0;)
+        for (VertexId v : graph_.level(li)) {
+          if (flat)
+            cur = pullRequiredFlat(v, cur);
+          else
+            pullRequired(v);
+        }
     }
-  } else {
-    const auto& topo = graph_.topoOrder();
-    for (auto it = topo.rbegin(); it != topo.rend(); ++it) pullRequired(*it);
   }
 }
 
 void StaEngine::pullRequired(VertexId u) {
   const auto& d = sc_->derate;
   const double lateF = d.mode == DerateMode::kFlatOcv ? d.flatLate : 1.0;
-  const VertexTiming& ft = vt_[static_cast<std::size_t>(u)];
-  auto& reqU = requiredLate_[static_cast<std::size_t>(u)];
+  const int su = graph_.slotOf(u);
   for (EdgeId e : graph_.outEdges(u)) {
     const TimingGraph::Edge& ed = graph_.edge(e);
-    const auto& reqV = requiredLate_[static_cast<std::size_t>(ed.to)];
-    if (reqV[0] == kInf && reqV[1] == kInf) continue;
+    const int sv = graph_.slotOf(ed.to);
+    const double reqV0 = tw_.req(0, sv);
+    const double reqV1 = tw_.req(1, sv);
+    if (reqV0 == kInf && reqV1 == kInf) continue;
     switch (ed.kind) {
       case TimingGraph::EdgeKind::kNetArc: {
         Ps skew = 0.0;
@@ -651,9 +1004,11 @@ void StaEngine::pullRequired(VertexId u) {
             nl_->isSequential(tv.inst))
           skew = nl_->instance(tv.inst).usefulSkew;
         for (int tr = 0; tr < 2; ++tr) {
-          if (reqV[tr] == kInf || ft.arr[0][tr] == kNoTime) continue;
-          const auto w = dc_.wire(ed.net, ed.sinkIndex, ft.slew[0][tr]);
-          reqU[tr] = std::min(reqU[tr], reqV[tr] - w.delay * lateF - skew);
+          const double reqV = tr == 0 ? reqV0 : reqV1;
+          if (reqV == kInf || tw_.arr(0, tr, su) == kNoTime) continue;
+          const auto w = dc_.wire(ed.net, ed.sinkIndex, tw_.slew(0, tr, su));
+          tw_.req(tr, su) =
+              std::min(tw_.req(tr, su), reqV - w.delay * lateF - skew);
         }
         break;
       }
@@ -663,30 +1018,32 @@ void StaEngine::pullRequired(VertexId u) {
         const TimingArc& arc =
             cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
         for (int trIn = 0; trIn < 2; ++trIn) {
-          if (ft.arr[0][trIn] == kNoTime) continue;
+          if (tw_.arr(0, trIn, su) == kNoTime) continue;
           int outLo = 0, outHi = 1;
           if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
           if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
           for (int trOut = outLo; trOut <= outHi; ++trOut) {
-            if (reqV[trOut] == kInf) continue;
+            const double reqV = trOut == 0 ? reqV0 : reqV1;
+            if (reqV == kInf) continue;
             auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
-                                 ft.slew[0][trIn]);
+                                 tw_.slew(0, trIn, su));
             if (!misLate_.empty())
               r.delay *= misLate_[static_cast<std::size_t>(inst)]
                                  [static_cast<std::size_t>(trOut)];
-            reqU[trIn] =
-                std::min(reqU[trIn], reqV[trOut] - r.delay * lateF);
+            tw_.req(trIn, su) =
+                std::min(tw_.req(trIn, su), reqV - r.delay * lateF);
           }
         }
         break;
       }
       case TimingGraph::EdgeKind::kClockToQ: {
         const InstId flop = graph_.vertex(u).inst;
-        if (ft.arr[0][0] == kNoTime) break;
+        if (tw_.arr(0, 0, su) == kNoTime) break;
         for (int trQ = 0; trQ < 2; ++trQ) {
-          if (reqV[trQ] == kInf) continue;
-          const auto r = dc_.clockToQ(flop, trQ == 0, ft.slew[0][0]);
-          reqU[0] = std::min(reqU[0], reqV[trQ] - r.delay * lateF);
+          const double reqV = trQ == 0 ? reqV0 : reqV1;
+          if (reqV == kInf) continue;
+          const auto r = dc_.clockToQ(flop, trQ == 0, tw_.slew(0, 0, su));
+          tw_.req(0, su) = std::min(tw_.req(0, su), reqV - r.delay * lateF);
         }
         break;
       }
@@ -694,13 +1051,78 @@ void StaEngine::pullRequired(VertexId u) {
   }
 }
 
+std::size_t StaEngine::pullRequiredFlat(VertexId u, std::size_t cursor) {
+  // pullRequired() over the flat edge plans, streamed in the pull's own
+  // iteration order. Same candidates in the same order with the same
+  // arithmetic — the load words and Elmore delays are the identical
+  // doubles the scalar dc_ calls derive — but each candidate evaluates
+  // only the one delay table the pull consumes, where cellArc()/
+  // clockToQ() also run the slew (and LVF sigma) lookups for results the
+  // backward pass discards.
+  const auto& d = sc_->derate;
+  const double lateF = d.mode == DerateMode::kFlatOcv ? d.flatLate : 1.0;
+  const int su = graph_.slotOf(u);
+  const std::size_t n = graph_.outEdges(u).size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const BwdPlan& pl = bwdPlans_[cursor++];
+    const int sv = pl.toSlot;
+    const double reqV0 = tw_.req(0, sv);
+    const double reqV1 = tw_.req(1, sv);
+    if (reqV0 == kInf && reqV1 == kInf) continue;
+    switch (pl.kind) {
+      case TimingGraph::EdgeKind::kNetArc: {
+        for (int tr = 0; tr < 2; ++tr) {
+          const double reqV = tr == 0 ? reqV0 : reqV1;
+          if (reqV == kInf || tw_.arr(0, tr, su) == kNoTime) continue;
+          tw_.req(tr, su) = std::min(
+              tw_.req(tr, su), reqV - pl.u.wire.delay * lateF - pl.u.wire.skew);
+        }
+        break;
+      }
+      case TimingGraph::EdgeKind::kCellArc: {
+        for (int trIn = 0; trIn < 2; ++trIn) {
+          if (tw_.arr(0, trIn, su) == kNoTime) continue;
+          int outLo = 0, outHi = 1;
+          if (pl.unate == 2) outLo = outHi = 1 - trIn;
+          if (pl.unate == 1) outLo = outHi = trIn;
+          const Ps slewIn = tw_.slew(0, trIn, su);
+          const Ff load = pl.hasNet ? loadOf(pl.u.load, slewIn) : 2.0;
+          for (int trOut = outLo; trOut <= outHi; ++trOut) {
+            const double reqV = trOut == 0 ? reqV0 : reqV1;
+            if (reqV == kInf) continue;
+            double delay = pl.surf[trOut]->delay.lookup(slewIn, load);
+            if (!misLate_.empty())
+              delay *= misLate_[static_cast<std::size_t>(pl.inst)]
+                               [static_cast<std::size_t>(trOut)];
+            tw_.req(trIn, su) =
+                std::min(tw_.req(trIn, su), reqV - delay * lateF);
+          }
+        }
+        break;
+      }
+      case TimingGraph::EdgeKind::kClockToQ: {
+        if (tw_.arr(0, 0, su) == kNoTime) break;
+        const Ps slewIn = tw_.slew(0, 0, su);
+        const Ff load = pl.hasNet ? loadOf(pl.u.load, slewIn) : 2.0;
+        for (int trQ = 0; trQ < 2; ++trQ) {
+          const double reqV = trQ == 0 ? reqV0 : reqV1;
+          if (reqV == kInf) continue;
+          const double delay = pl.surf[trQ]->delay.lookup(slewIn, load);
+          tw_.req(0, su) = std::min(tw_.req(0, su), reqV - delay * lateF);
+        }
+        break;
+      }
+    }
+  }
+  return cursor;
+}
+
 Ps StaEngine::vertexSlack(VertexId v) const {
-  const auto& req = requiredLate_[static_cast<std::size_t>(v)];
-  const VertexTiming& t = vt_[static_cast<std::size_t>(v)];
+  const int s = graph_.slotOf(v);
   double slack = kInf;
   for (int tr = 0; tr < 2; ++tr) {
-    if (req[tr] == kInf || t.arr[0][tr] == kNoTime) continue;
-    slack = std::min(slack, req[tr] - t.arr[0][tr]);
+    if (tw_.req(tr, s) == kInf || tw_.arr(0, tr, s) == kNoTime) continue;
+    slack = std::min(slack, tw_.req(tr, s) - tw_.arr(0, tr, s));
   }
   return slack;
 }
@@ -722,48 +1144,43 @@ StaEngine::RecomputeResult StaEngine::recomputeVertex(VertexId v) {
   // Sources (no in-edges) keep their initSources() values; quarantined
   // pins keep their borrowed arrivals the same way.
   if (graph_.inEdges(v).empty()) return {};
-  const VertexTiming before = vt_[static_cast<std::size_t>(v)];
-  VertexTiming& t = vt_[static_cast<std::size_t>(v)];
-  for (int m = 0; m < 2; ++m)
-    for (int tr = 0; tr < 2; ++tr) {
-      t.arr[m][tr] = kNoTime;
-      t.slew[m][tr] = 0.0;
-      t.var[m][tr] = 0.0;
-      t.depth[m][tr] = 0;
-      t.parentEdge[m][tr] = -1;
-      t.parentTrans[m][tr] = 0;
-      t.parentDelay[m][tr] = 0.0;
-      t.parentVar[m][tr] = 0.0;
-    }
+  const int s = graph_.slotOf(v);
+  const VertexTiming before = tw_.gather(s);
+  tw_.resetSlot(s, kNoTime);
   for (EdgeId e : graph_.inEdges(v)) processEdge(e);
   // Bitwise convergence: a from-scratch retime relaxes this vertex over
   // the same in-edge order with the same inputs, so "unchanged" here means
   // "indistinguishable from a full run" — the exactness contract the
   // equivalence property test enforces. VertexTiming is all 8-byte-aligned
   // scalar arrays (no padding), so memcmp compares exactly the fields.
+  const VertexTiming after = tw_.gather(s);
   RecomputeResult res;
-  res.changed = std::memcmp(&before, &t, sizeof(VertexTiming)) != 0;
+  res.changed = std::memcmp(&before, &after, sizeof(VertexTiming)) != 0;
   if (res.changed) {
     res.pathChanged =
-        std::memcmp(before.parentEdge, t.parentEdge,
+        std::memcmp(before.parentEdge, after.parentEdge,
                     sizeof(before.parentEdge)) != 0 ||
-        std::memcmp(before.parentTrans, t.parentTrans,
+        std::memcmp(before.parentTrans, after.parentTrans,
                     sizeof(before.parentTrans)) != 0;
   }
   return res;
 }
 
 bool StaEngine::recomputeRequired(VertexId u) {
-  auto& r = requiredLate_[static_cast<std::size_t>(u)];
-  const std::array<double, 2> before = r;
-  r = endpointReqSeed(u);
+  const int s = graph_.slotOf(u);
+  const double before[2] = {tw_.req(0, s), tw_.req(1, s)};
+  const auto seed = endpointReqSeed(u);
+  tw_.req(0, s) = seed[0];
+  tw_.req(1, s) = seed[1];
   pullRequired(u);
-  return std::memcmp(&before, &r, sizeof(before)) != 0;
+  const double after[2] = {tw_.req(0, s), tw_.req(1, s)};
+  return std::memcmp(before, after, sizeof(before)) != 0;
 }
 
 void StaEngine::invalidateNet(NetId net) {
   if (net < 0) return;
   if (net >= nl_->netCount()) return;
+  plansValid_ = false;  // the net's flat wire/load words are stale
   dirtyNets_.push_back(net);
   const Net& n = nl_->net(net);
   if (n.driver >= 0) {
@@ -812,6 +1229,7 @@ void StaEngine::invalidatePin(InstId inst, int pin) {
 
 void StaEngine::invalidateInstance(InstId inst) {
   if (inst < 0) return;
+  plansValid_ = false;  // its arcs' surface/unateness pointers are stale
   if (inst >= graph_.instanceSpan()) {
     structureDirty_ = true;
     return;
@@ -834,7 +1252,10 @@ void StaEngine::invalidateInstance(InstId inst) {
   }
 }
 
-void StaEngine::invalidateStructure() { structureDirty_ = true; }
+void StaEngine::invalidateStructure() {
+  structureDirty_ = true;
+  plansValid_ = false;  // edge ids are reassigned by the graph rebuild
+}
 
 bool StaEngine::hasPendingInvalidation() const {
   return structureDirty_ || valuesDirty_ || !dirtyNets_.empty() ||
@@ -858,6 +1279,7 @@ void StaEngine::onPlacementChanged(InstId inst) { invalidateInstance(inst); }
 void StaEngine::onNetAttrChanged(NetId net) { invalidateNet(net); }
 
 void StaEngine::onSkewChanged(InstId flop) {
+  plansValid_ = false;  // the CK net arc's plan bakes the useful skew in
   if (flop >= graph_.instanceSpan()) {
     structureDirty_ = true;
     return;
@@ -900,6 +1322,7 @@ StaEngine::UpdateStats StaEngine::updateTiming() {
     if (hasRun_ && structureDirty_) {
       graph_ = TimingGraph(*nl_);
       dc_.invalidateAll();
+      plansValid_ = false;
     }
     run();
     st.forwardRecomputed = graph_.vertexCount();
@@ -924,7 +1347,7 @@ StaEngine::UpdateStats StaEngine::updateTiming() {
   if (pooled) dc_.warmCache(pool_);
 
   const int nv = graph_.vertexCount();
-  const auto& levels = graph_.levels();
+  const auto nLevels = static_cast<std::size_t>(graph_.levelCount());
 
   // --- forward: level-bucketed re-relaxation with bitwise early exit --------
   // Out-edges always land on strictly higher levels, so processing buckets
@@ -932,7 +1355,7 @@ StaEngine::UpdateStats StaEngine::updateTiming() {
   // is recomputed only after every dirty predecessor settled. Buckets are
   // sorted so the schedule is independent of seed discovery order.
   std::vector<std::uint8_t> queued(static_cast<std::size_t>(nv), 0);
-  std::vector<std::vector<VertexId>> buckets(levels.size());
+  std::vector<std::vector<VertexId>> buckets(nLevels);
   auto enqueue = [&](VertexId v) {
     if (v < 0 || queued[static_cast<std::size_t>(v)]) return;
     queued[static_cast<std::size_t>(v)] = 1;
@@ -1019,7 +1442,7 @@ StaEngine::UpdateStats StaEngine::updateTiming() {
   // run in descending level order and a changed pull re-queues only
   // predecessors.
   std::vector<std::uint8_t> queuedBack(static_cast<std::size_t>(nv), 0);
-  std::vector<std::vector<VertexId>> backBuckets(levels.size());
+  std::vector<std::vector<VertexId>> backBuckets(nLevels);
   auto enqueueBack = [&](VertexId v) {
     if (v < 0 || queuedBack[static_cast<std::size_t>(v)]) return;
     queuedBack[static_cast<std::size_t>(v)] = 1;
@@ -1093,6 +1516,21 @@ void StaEngine::run() {
   hasRun_ = true;
   // A full pass absorbs every pending edit, however it was triggered.
   clearInvalidation();
+}
+
+void StaEngine::repropagate() {
+  if (!hasRun_) {
+    run();
+    return;
+  }
+  TC_SPAN("sta", "repropagate");
+  // Propagation-side quarantine accounting is re-derived by the sweep
+  // (endpoint-side drops are untouched, as are the endpoints themselves).
+  propNan_ = 0;
+  nanKinds_.assign(static_cast<std::size_t>(graph_.vertexCount()), {});
+  initSources();
+  propagate();
+  computeRequired();
 }
 
 Ps StaEngine::wns(Check check) const {

@@ -15,7 +15,13 @@
 ///  - kAocv      : raw propagation, depth-indexed derates at the checks,
 ///  - kPocv      : per-cell sigma accumulated in quadrature,
 ///  - kLvf       : per-arc per-(slew,load) asymmetric sigmas in quadrature.
+///
+/// Timing words live in a level-contiguous SoA arena (see arena.h and
+/// DESIGN.md "Memory layout"): the graph assigns every vertex a slot in
+/// concatenated level order, and all per-vertex state is stored per-channel
+/// at that slot. VertexTiming remains the public materialized view.
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <limits>
@@ -23,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "sta/arena.h"
 #include "sta/delay_calc.h"
 #include "sta/graph.h"
 #include "sta/scenario.h"
@@ -37,6 +44,10 @@ enum class Check { kSetup, kHold };
 inline constexpr double kNoTime = -1e18;
 
 /// Per-vertex propagated state, indexed [mode][transition(rise=0,fall=1)].
+/// Materialized on demand from the engine's SoA arena; the field set and
+/// semantics are unchanged from the pre-arena layout, and the struct is all
+/// 8-byte-aligned scalar arrays (no padding), so whole-struct memcmp is
+/// still the bitwise-convergence test the incremental path relies on.
 struct VertexTiming {
   double arr[2][2];       ///< arrival mean, ps (kNoTime when unreached)
   double slew[2][2];      ///< propagated transition time
@@ -90,6 +101,15 @@ class StaEngine : public NetlistListener {
   /// Full GBA pass: propagate, check endpoints, check DRVs, compute
   /// required times.
   void run();
+
+  /// Re-run just the forward arrival sweep and the backward required pull
+  /// on the current design state (falls back to run() before the first
+  /// full pass). Arrivals/requireds are re-derived from scratch and are
+  /// bit-identical to the sweeps of a full run(); endpoint and DRV results
+  /// are left as-is (they are pure functions of the re-derived arrivals,
+  /// so they stay valid). With warm rc caches this times the level sweeps
+  /// in isolation — bench_sta_scale's throughput ladder is built on it.
+  void repropagate();
 
   /// Attach a thread pool: the forward/backward propagation sweeps run one
   /// topological level at a time with the level's vertices relaxed
@@ -175,11 +195,30 @@ class StaEngine : public NetlistListener {
   /// Derated/statistical arrival key at a vertex (worst transition).
   Ps arrivalKey(VertexId v, Mode mode) const;
   Ps arrivalKey(VertexId v, Mode mode, int trans) const;
-  Ps slewAt(VertexId v, Mode mode) const;
+  Ps slewAt(VertexId v, Mode m) const;
   /// Setup-criticality slack at any vertex (backward required - arrival).
   Ps vertexSlack(VertexId v) const;
-  const VertexTiming& timing(VertexId v) const {
-    return vt_[static_cast<std::size_t>(v)];
+  /// Materialized AoS view of one vertex's timing words. Returns by value
+  /// (the words live in the SoA arena); binding the result to a const
+  /// reference at call sites remains valid through lifetime extension.
+  VertexTiming timing(VertexId v) const {
+    return tw_.gather(graph_.slotOf(v));
+  }
+  /// Direct single-word reads for hot consumers (PBA bound building) that
+  /// would otherwise materialize a whole VertexTiming per access.
+  double arrivalRaw(VertexId v, Mode m, int trans) const {
+    return tw_.arr(static_cast<int>(m), trans, graph_.slotOf(v));
+  }
+  double slewRaw(VertexId v, Mode m, int trans) const {
+    return tw_.slew(static_cast<int>(m), trans, graph_.slotOf(v));
+  }
+  double varRaw(VertexId v, Mode m, int trans) const {
+    return tw_.var(static_cast<int>(m), trans, graph_.slotOf(v));
+  }
+  /// Backward late required time at a vertex, per transition (+inf when
+  /// unconstrained). Exposed for the SoA-vs-AoS equivalence oracle.
+  double requiredRaw(VertexId v, int trans) const {
+    return tw_.req(trans, graph_.slotOf(v));
   }
 
   /// Trace the worst path into an endpoint (source -> endpoint order).
@@ -250,12 +289,19 @@ class StaEngine : public NetlistListener {
              double var, int depth, EdgeId via, int fromTrans,
              double edgeDelay, double edgeVar);
   void processEdge(EdgeId e);
+  /// Serial forward sweep of one level through the batched NLDM pipeline:
+  /// gather every producible candidate's table requests into contiguous
+  /// buffers, evaluate them in DelayCalculator::evalNldmBatch()'s tight
+  /// loop, then replay the candidates in the scalar sweep's exact order.
+  /// Bit-identical to calling processEdge() per in-edge (see the op replay
+  /// contract in engine.cpp).
+  void sweepLevelBatched(int levelIndex);
   void checkEndpoints();
   void checkDrv();
   void computeRequired();
   /// Backward pull at one vertex: fold every successor's required time
-  /// into requiredLate_[u]. Successors live on strictly later levels, so a
-  /// level of pulls can run concurrently.
+  /// into the required channels at u's slot. Successors live on strictly
+  /// later levels, so a level of pulls can run concurrently.
   void pullRequired(VertexId u);
   /// Evaluate one endpoint; returns false when the endpoint is skipped
   /// (unconstrained/unreached) or dropped (sets *droppedNonFinite).
@@ -271,7 +317,7 @@ class StaEngine : public NetlistListener {
                    std::size_t index, std::size_t total) const;
   double key(VertexId v, Mode m, int trans) const;
   /// Recompute one vertex's timing from its in-edges (incremental path).
-  /// Convergence is judged bitwise (memcmp of the whole VertexTiming) so
+  /// Convergence is judged bitwise (memcmp of the gathered VertexTiming) so
   /// incremental results stay exactly equal to a from-scratch retime.
   RecomputeResult recomputeVertex(VertexId v);
   /// Reset one vertex's required times to its endpoint seed (or +inf) and
@@ -296,14 +342,122 @@ class StaEngine : public NetlistListener {
   const Scenario* sc_;
   TimingGraph graph_;
   DelayCalculator dc_;
-  std::vector<VertexTiming> vt_;
+  /// SoA timing words, indexed by graph slot (level-contiguous).
+  TimingArena tw_;
   std::vector<EndpointTiming> endpoints_;
   std::vector<DrvViolation> drvs_;
-  std::vector<std::array<double, 2>> requiredLate_;  ///< [vertex][trans]
   std::vector<std::array<double, 2>> misLate_, misEarly_;
   bool hasRun_ = false;
   DiagnosticSink* diagSink_ = nullptr;
   ThreadPool* pool_ = nullptr;
+
+  // --- batched-sweep scratch (serial forward sweeps only) --------------------
+  /// One producible relax candidate recorded during the gather phase, with
+  /// everything the replay phase needs except the table results.
+  struct BatchOp {
+    EdgeId e = -1;
+    VertexId to = -1;
+    int req = -1;  ///< index into batchReqs_ (-1: net arc, result inline)
+    std::int8_t m = 0, trIn = 0, trOut = 0;
+    std::int8_t sigmaKind = 0;  ///< 0 none, 1 LVF tables, 2 ratio * delay
+    std::int8_t depthInc = 0;
+    double fromArr = 0.0, fromVar = 0.0;
+    int fromDepth = 0;
+    double skew = 0.0;   ///< net-arc useful skew (0 elsewhere)
+    double mis = 1.0;    ///< MIS factor (1.0 when disabled)
+    double ratio = 0.0;  ///< c2q/POCV sigma ratio (fallback pre-applied)
+    double wDelay = 0.0, wOutSlew = 0.0;  ///< net-arc wire result
+  };
+  std::vector<BatchOp> batchOps_;
+  std::vector<DelayCalculator::NldmRequest> batchReqs_;
+  std::vector<DelayCalculator::ArcResult> batchRes_;
+  void flushBatch();  ///< evaluate + replay the staged ops, then clear
+
+  // --- flat edge plans (serial sweeps) ---------------------------------------
+  /// Everything the serial sweeps need per edge, resolved once per full
+  /// propagate instead of per candidate: arena slots, NLDM/LVF table
+  /// pointers, unateness, sigma shape, useful skew, the driver-load words
+  /// of the fanout net, and the slew-independent wire words (Elmore delay
+  /// plus the squared PERI coefficient). The plans are stored in the EXACT
+  /// iteration order of their sweep — forward plans in ascending-level
+  /// in-edge order, backward plans in descending-level out-edge order — so
+  /// each sweep streams its plan array front to back and the only scattered
+  /// reads left are the timing-word gathers (packed two lines per slot, see
+  /// arena.h). The scalar paths (processEdge / pullRequired) remain the
+  /// reference arithmetic; plans only remove the per-candidate graph/
+  /// netlist/library pointer chasing and parasitics-cache traffic — every
+  /// arithmetic input is the identical double, so all results stay bitwise
+  /// unchanged (enforced by tests/soa_equivalence_test.cpp and the
+  /// determinism suite).
+  /// The words DelayCalculator::flatLoad() resolves effective capacitance
+  /// from, copied into each cell-arc plan (loadOf() repeats the identical
+  /// arithmetic on the identical doubles).
+  struct LoadWords {
+    double cNear, cFar, cTotal, twoMaxM1;
+  };
+  static double loadOf(const LoadWords& f, double driverSlew) {
+    if (f.cFar <= 0.0) return f.cTotal;
+    const double shield =
+        f.twoMaxM1 / (f.twoMaxM1 + std::max(driverSlew, 1.0));
+    return f.cNear + f.cFar * (1.0 - 0.5 * shield);
+  }
+  struct FwdPlan {
+    const NldmSurface* surf[2] = {nullptr, nullptr};  ///< per trOut
+    const LvfSurface* lvf[2] = {nullptr, nullptr};    ///< LVF mode only
+    union Payload {
+      LoadWords load;  ///< cell arc / c2q (valid when hasNet)
+      struct {
+        double delay;   ///< Elmore delay of this sink
+        double slewSq;  ///< (ln9 * m1)^2 PERI term
+        double skew;    ///< useful skew landing on a flop CK sink
+      } wire;           ///< net arc
+      Payload() : load{} {}
+    } u;
+    EdgeId e = -1;
+    int fromSlot = -1;
+    VertexId to = -1;
+    InstId inst = -1;  ///< MIS factor index (cell arcs)
+    double ratio = 0.0;  ///< POCV/c2q sigma ratio (fallback folded in)
+    TimingGraph::EdgeKind kind = TimingGraph::EdgeKind::kNetArc;
+    std::int8_t unate = 0;          ///< 0 non-, 1 positive, 2 negative
+    std::int8_t sigmaKind = 0;      ///< as BatchOp::sigmaKind
+    std::int8_t portSink = 0;       ///< net arc lumped at root: slew passes
+    std::int8_t hasNet = 0;         ///< else load is the constant 2.0
+    std::int8_t fused[2] = {0, 0};  ///< per trOut: tables share one grid
+  };
+  /// Backward plans carry only what the required pull consumes (one delay
+  /// table per candidate) — 64 bytes, one cache line per streamed edge.
+  struct BwdPlan {
+    const NldmSurface* surf[2] = {nullptr, nullptr};  ///< per trOut
+    union Payload {
+      LoadWords load;
+      struct {
+        double delay;  ///< Elmore delay of this sink
+        double skew;   ///< useful skew landing on a flop CK sink
+      } wire;
+      Payload() : load{} {}
+    } u;
+    int toSlot = -1;
+    InstId inst = -1;
+    TimingGraph::EdgeKind kind = TimingGraph::EdgeKind::kNetArc;
+    std::int8_t unate = 0;
+    std::int8_t hasNet = 0;
+  };
+  std::vector<FwdPlan> fwdPlans_;
+  std::vector<BwdPlan> bwdPlans_;
+  /// fwdPlans_ index of each level's first in-edge plan (levelCount()+1
+  /// entries; sweepLevelBatched(L) streams [off[L], off[L+1])).
+  std::vector<std::size_t> fwdLevelOff_;
+  bool plansValid_ = false;
+  void buildEdgePlans();
+  void stageEdge(const FwdPlan& pl);  ///< gather one edge's candidates
+  /// pullRequired() replayed over the flat plans: same pulls in the same
+  /// order, but each candidate evaluates only the one delay table it
+  /// consumes (the scalar path's cellArc()/clockToQ() also evaluate the
+  /// slew/sigma tables, whose results the backward pull discards).
+  /// `cursor` is the bwdPlans_ position of u's first out-edge plan;
+  /// returns the position one past its last.
+  std::size_t pullRequiredFlat(VertexId u, std::size_t cursor);
 
   // --- dirty frontier (consumed by updateTiming) -----------------------------
   bool structureDirty_ = false;  ///< levelization stale: full rebuild
@@ -346,18 +500,19 @@ class StaEngine : public NetlistListener {
   std::mutex nanMu_;
 };
 
-// Defined in the header so processEdge()'s relax loop — the hottest loop
-// in the engine — inlines the candidate arithmetic instead of paying a
+// Defined in the header so processEdge()'s relax loop — the hottest scalar
+// loop in the engine — inlines the candidate arithmetic instead of paying a
 // cross-TU call per (mode, trIn, trOut). The PBA enumerator calls it
-// through the same definition, so the two can never drift.
+// through the same definition, so the two can never drift. The batched
+// level sweep stages the identical arithmetic (see flushBatch()).
 inline StaEngine::EdgeCand StaEngine::edgeCandidate(EdgeId e, Mode m,
                                                     int trIn,
                                                     int trOut) const {
   EdgeCand c;
   const TimingGraph::Edge& ed = graph_.edge(e);
-  const VertexTiming& ft = vt_[static_cast<std::size_t>(ed.from)];
+  const int fs = graph_.slotOf(ed.from);
   const int mi = static_cast<int>(m);
-  if (ft.arr[mi][trIn] == kNoTime) return c;
+  if (tw_.arr(mi, trIn, fs) == kNoTime) return c;
   const auto& d = sc_->derate;
   const double f =
       d.mode == DerateMode::kFlatOcv
@@ -372,7 +527,7 @@ inline StaEngine::EdgeCand StaEngine::edgeCandidate(EdgeId e, Mode m,
       if (tv.kind == TimingGraph::VertexKind::kCellInput && tv.pin == 1 &&
           nl_->isSequential(tv.inst))
         c.skew = nl_->instance(tv.inst).usefulSkew;
-      const auto w = dc_.wire(ed.net, ed.sinkIndex, ft.slew[mi][trIn]);
+      const auto w = dc_.wire(ed.net, ed.sinkIndex, tw_.slew(mi, trIn, fs));
       c.valid = true;
       c.delay = w.delay * f;
       c.outSlew = w.outSlew;
@@ -387,7 +542,8 @@ inline StaEngine::EdgeCand StaEngine::edgeCandidate(EdgeId e, Mode m,
       if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
       if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
       if (trOut < outLo || trOut > outHi) return c;
-      auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0, ft.slew[mi][trIn]);
+      auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
+                           tw_.slew(mi, trIn, fs));
       if (m == Mode::kLate && !misLate_.empty())
         r.delay *= misLate_[static_cast<std::size_t>(inst)]
                            [static_cast<std::size_t>(trOut)];
@@ -410,7 +566,7 @@ inline StaEngine::EdgeCand StaEngine::edgeCandidate(EdgeId e, Mode m,
       if (trIn != 0) return c;  // rising-edge flops
       const InstId flop = graph_.vertex(ed.from).inst;
       const Cell& cell = dc_.cellOf(flop);
-      const auto r = dc_.clockToQ(flop, trOut == 0, ft.slew[mi][trIn]);
+      const auto r = dc_.clockToQ(flop, trOut == 0, tw_.slew(mi, trIn, fs));
       double sigma = 0.0;
       if (d.mode == DerateMode::kLvf || d.mode == DerateMode::kPocv)
         sigma =

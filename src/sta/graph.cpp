@@ -106,16 +106,7 @@ TimingGraph::TimingGraph(const Netlist& nl) : nl_(&nl) {
     }
   }
 
-  // Adjacency.
-  out_.resize(vertices_.size());
-  in_.resize(vertices_.size());
-  for (EdgeId e = 0; e < edgeCount(); ++e) {
-    out_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(e)].from)]
-        .push_back(e);
-    in_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(e)].to)]
-        .push_back(e);
-  }
-
+  buildCsr();
   markClockNetwork();
   computeTopo();
 
@@ -131,6 +122,33 @@ TimingGraph::TimingGraph(const Netlist& nl) : nl_(&nl) {
   }
 }
 
+void TimingGraph::buildCsr() {
+  // Counting sort of edge ids by endpoint. Filling in ascending edge-id
+  // order reproduces exactly the per-vertex order the old push_back loop
+  // produced, so adjacency iteration order (and with it every downstream
+  // deterministic result) is unchanged.
+  const std::size_t nv = vertices_.size();
+  outStart_.assign(nv + 1, 0);
+  inStart_.assign(nv + 1, 0);
+  for (const Edge& e : edges_) {
+    ++outStart_[static_cast<std::size_t>(e.from) + 1];
+    ++inStart_[static_cast<std::size_t>(e.to) + 1];
+  }
+  for (std::size_t i = 0; i < nv; ++i) {
+    outStart_[i + 1] += outStart_[i];
+    inStart_[i + 1] += inStart_[i];
+  }
+  outCsr_.resize(edges_.size());
+  inCsr_.resize(edges_.size());
+  std::vector<std::size_t> outFill(outStart_.begin(), outStart_.end() - 1);
+  std::vector<std::size_t> inFill(inStart_.begin(), inStart_.end() - 1);
+  for (EdgeId e = 0; e < edgeCount(); ++e) {
+    const Edge& ed = edges_[static_cast<std::size_t>(e)];
+    outCsr_[outFill[static_cast<std::size_t>(ed.from)]++] = e;
+    inCsr_[inFill[static_cast<std::size_t>(ed.to)]++] = e;
+  }
+}
+
 void TimingGraph::markClockNetwork() {
   std::queue<VertexId> q;
   for (const auto& c : nl_->clocks()) {
@@ -141,7 +159,7 @@ void TimingGraph::markClockNetwork() {
   while (!q.empty()) {
     const VertexId u = q.front();
     q.pop();
-    for (EdgeId e : out_[static_cast<std::size_t>(u)]) {
+    for (EdgeId e : outEdges(u)) {
       const Edge& ed = edges_[static_cast<std::size_t>(e)];
       // The clock network stops at flop CK pins (the CK->Q arc launches
       // *data*), and does not cross sequential elements.
@@ -170,7 +188,7 @@ void TimingGraph::computeTopo() {
     const VertexId u = q.front();
     q.pop();
     topo_.push_back(u);
-    for (EdgeId e : out_[static_cast<std::size_t>(u)]) {
+    for (EdgeId e : outEdges(u)) {
       const Edge& ed = edges_[static_cast<std::size_t>(e)];
       if (--indeg[static_cast<std::size_t>(ed.to)] == 0) q.push(ed.to);
     }
@@ -188,17 +206,29 @@ void TimingGraph::computeTopo() {
   int maxLevel = 0;
   for (VertexId v : topo_) {
     int lvl = 0;
-    for (EdgeId e : in_[static_cast<std::size_t>(v)]) {
+    for (EdgeId e : inEdges(v)) {
       const Edge& ed = edges_[static_cast<std::size_t>(e)];
       lvl = std::max(lvl, levelOf_[static_cast<std::size_t>(ed.from)] + 1);
     }
     levelOf_[static_cast<std::size_t>(v)] = lvl;
     maxLevel = std::max(maxLevel, lvl);
   }
-  levels_.assign(static_cast<std::size_t>(maxLevel) + 1, {});
+  // Concatenated level order + slot assignment (counting sort by level,
+  // filled in topo order so each level's segment stays in topo order).
+  levelStart_.assign(static_cast<std::size_t>(maxLevel) + 2, 0);
   for (VertexId v : topo_)
-    levels_[static_cast<std::size_t>(levelOf_[static_cast<std::size_t>(v)])]
-        .push_back(v);
+    ++levelStart_[static_cast<std::size_t>(levelOf_[static_cast<std::size_t>(v)]) + 1];
+  for (std::size_t l = 0; l + 1 < levelStart_.size(); ++l)
+    levelStart_[l + 1] += levelStart_[l];
+  levelOrder_.resize(vertices_.size());
+  slotOf_.assign(vertices_.size(), 0);
+  std::vector<std::size_t> fill(levelStart_.begin(), levelStart_.end() - 1);
+  for (VertexId v : topo_) {
+    const auto lvl = static_cast<std::size_t>(levelOf_[static_cast<std::size_t>(v)]);
+    const std::size_t slot = fill[lvl]++;
+    levelOrder_[slot] = v;
+    slotOf_[static_cast<std::size_t>(v)] = static_cast<int>(slot);
+  }
 }
 
 }  // namespace tc

@@ -8,7 +8,17 @@
 /// The clock network is discovered by forward traversal from clock ports
 /// and marked, so the engine can propagate clock and data together in one
 /// levelized sweep.
+///
+/// Adjacency is stored in CSR (compressed sparse row) form: one flat edge-id
+/// array per direction plus per-vertex offsets, so a level sweep walks
+/// contiguous memory instead of chasing a vector-of-vectors. The levelization
+/// additionally assigns every vertex a *slot*: its position in the
+/// concatenated level order (level 0's vertices first, each level in
+/// topo-order). Slots are the index space of the engine's SoA timing arenas —
+/// one level's timing words are contiguous, which is what makes the per-level
+/// forward/backward sweeps stream through flat arrays.
 
+#include <cstddef>
 #include <vector>
 
 #include "network/netlist.h"
@@ -17,6 +27,23 @@ namespace tc {
 
 using VertexId = int;
 using EdgeId = int;
+
+/// A contiguous, read-only view over ids stored in a CSR row (or a level
+/// segment). Supports the same range-for / size() / operator[] idioms the
+/// previous vector-of-vectors accessors offered.
+template <typename T>
+struct IdSpan {
+  const T* first = nullptr;
+  const T* last = nullptr;
+  const T* begin() const { return first; }
+  const T* end() const { return last; }
+  std::size_t size() const { return static_cast<std::size_t>(last - first); }
+  bool empty() const { return first == last; }
+  const T& operator[](std::size_t i) const { return first[i]; }
+};
+
+using EdgeSpan = IdSpan<EdgeId>;
+using VertexSpan = IdSpan<VertexId>;
 
 class TimingGraph {
  public:
@@ -48,24 +75,43 @@ class TimingGraph {
   int edgeCount() const { return static_cast<int>(edges_.size()); }
   const Vertex& vertex(VertexId v) const { return vertices_[static_cast<std::size_t>(v)]; }
   const Edge& edge(EdgeId e) const { return edges_[static_cast<std::size_t>(e)]; }
-  const std::vector<EdgeId>& outEdges(VertexId v) const {
-    return out_[static_cast<std::size_t>(v)];
+  EdgeSpan outEdges(VertexId v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return {outCsr_.data() + outStart_[i], outCsr_.data() + outStart_[i + 1]};
   }
-  const std::vector<EdgeId>& inEdges(VertexId v) const {
-    return in_[static_cast<std::size_t>(v)];
+  EdgeSpan inEdges(VertexId v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return {inCsr_.data() + inStart_[i], inCsr_.data() + inStart_[i + 1]};
   }
   /// Vertices in dependency order (every edge goes forward).
   const std::vector<VertexId>& topoOrder() const { return topo_; }
 
-  /// Topological levels: levels()[L] holds every vertex whose longest
-  /// in-path has L edges, each in topo-order. All in-edges of a level-L
-  /// vertex come from levels < L, so one level's vertices can be relaxed
-  /// concurrently (each task writing only its own vertex) — the unit of
-  /// intra-scenario parallelism in the engine.
-  const std::vector<std::vector<VertexId>>& levels() const { return levels_; }
-  /// Level of one vertex (index into levels()).
+  /// Number of topological levels. level(L) holds every vertex whose
+  /// longest in-path has L edges, each in topo-order. All in-edges of a
+  /// level-L vertex come from levels < L, so one level's vertices can be
+  /// relaxed concurrently (each task writing only its own vertex) — the
+  /// unit of intra-scenario parallelism in the engine.
+  int levelCount() const { return static_cast<int>(levelStart_.size()) - 1; }
+  VertexSpan level(int L) const {
+    const auto i = static_cast<std::size_t>(L);
+    return {levelOrder_.data() + levelStart_[i],
+            levelOrder_.data() + levelStart_[i + 1]};
+  }
+  /// Level of one vertex (index into level()).
   int levelOf(VertexId v) const {
     return levelOf_[static_cast<std::size_t>(v)];
+  }
+  /// The vertex's slot: its position in the concatenated level order. Slots
+  /// index the engine's SoA timing arenas; a level's slots are the
+  /// contiguous range [levelStart(L), levelStart(L+1)).
+  int slotOf(VertexId v) const { return slotOf_[static_cast<std::size_t>(v)]; }
+  /// Inverse of slotOf(): the vertex occupying a slot.
+  VertexId vertexAtSlot(int slot) const {
+    return levelOrder_[static_cast<std::size_t>(slot)];
+  }
+  /// First slot of level L (levelStart(levelCount()) == vertexCount()).
+  int levelStart(int L) const {
+    return levelStart_[static_cast<std::size_t>(L)];
   }
   /// Position of a vertex in topoOrder() — a stable, thread-independent
   /// sort key for diagnostics produced during parallel propagation.
@@ -99,15 +145,25 @@ class TimingGraph {
   const std::vector<VertexId>& clockPins() const { return clockPins_; }
 
  private:
+  void buildCsr();
   void markClockNetwork();
   void computeTopo();
 
   const Netlist* nl_;
   std::vector<Vertex> vertices_;
   std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> out_, in_;
+  // CSR adjacency: per-vertex offset arrays into flat edge-id arrays. Edge
+  // ids within a row appear in ascending order — the same per-vertex order
+  // the previous vector-of-vectors build produced — so every consumer's
+  // deterministic iteration order is unchanged.
+  std::vector<std::size_t> outStart_, inStart_;
+  std::vector<EdgeId> outCsr_, inCsr_;
   std::vector<VertexId> topo_;
-  std::vector<std::vector<VertexId>> levels_;
+  // Levelization: levelOrder_ concatenates the levels (each in topo-order);
+  // levelStart_ marks level boundaries; slotOf_ inverts levelOrder_.
+  std::vector<VertexId> levelOrder_;
+  std::vector<std::size_t> levelStart_;
+  std::vector<int> slotOf_;
   std::vector<int> levelOf_;
   std::vector<int> topoPos_;
   std::vector<VertexId> outVtx_;

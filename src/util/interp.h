@@ -54,6 +54,23 @@ class Table2D {
   /// Bilinear interpolation with linear extrapolation outside the grid.
   double lookup(double x, double y) const;
 
+  /// The general bilinear tail of lookup() with the segment/fraction pairs
+  /// already resolved by the caller. When several tables share one (x, y)
+  /// grid — an NLDM arc's delay/slew/sigma surfaces are characterized on
+  /// the same axes — the caller resolves the segments once and evaluates
+  /// every table through here; the arithmetic is lookup()'s own, so the
+  /// results are bit-identical. Only valid when both axis sizes are >= 2.
+  double lookupAt(std::size_t sx, std::size_t sy, double fx,
+                  double fy) const {
+    const double v00 = at(sx, sy);
+    const double v01 = at(sx, sy + 1);
+    const double v10 = at(sx + 1, sy);
+    const double v11 = at(sx + 1, sy + 1);
+    const double v0 = v00 + fy * (v01 - v00);
+    const double v1 = v10 + fy * (v11 - v10);
+    return v0 + fx * (v1 - v0);
+  }
+
   /// Apply f to every stored value (used to derate whole tables).
   template <typename F>
   void transform(F&& f) {

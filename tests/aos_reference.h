@@ -1,0 +1,327 @@
+#pragma once
+/// \file aos_reference.h
+/// \brief Pinned pre-refactor AoS propagator: the oracle for the SoA arena.
+///
+/// This is the engine's forward/backward propagation exactly as it stood
+/// before the timing words moved into the level-contiguous SoA arena — one
+/// struct per vertex, scalar per-edge delay-calc calls, no gather/batch/
+/// scatter. It is deliberately frozen: when the arena or the batched level
+/// sweep changes, this file must NOT change with it. soa_equivalence_test
+/// compares every arrival/slew/variance/depth/required word bitwise against
+/// the engine, and bench_sta_scale races it against the arena sweeps to
+/// report an honest refactor speedup.
+///
+/// Scope: the base engine without MIS overrides (setMisFactors) — neither
+/// the equivalence property test nor the scale bench enables them. Shares
+/// the engine's DelayCalculator so both sides evaluate identical NLDM
+/// tables and parasitics (rc caches are warm by the time this runs, so the
+/// sharing does not perturb hit/miss counters differently per side).
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sta/engine.h"
+#include "sta/graph.h"
+
+namespace tc::aosref {
+
+/// Per-vertex timing words, array-of-structs, indexed [mode][transition]
+/// like the pre-arena VertexTiming.
+struct Vt {
+  double arr[2][2];
+  double slew[2][2];
+  double var[2][2];
+  int depth[2][2];
+};
+
+class AosPropagator {
+ public:
+  /// Binds to an engine that has completed run(): the graph, delay
+  /// calculator, scenario and endpoint results are read through its public
+  /// API; all propagated state lives here.
+  explicit AosPropagator(const StaEngine& eng)
+      : eng_(eng),
+        g_(eng.graph()),
+        dc_(eng.delayCalc()),
+        sc_(eng.scenario()),
+        nl_(eng.netlist()) {}
+
+  /// Forward arrival sweep: seed sources, then relax every vertex's
+  /// in-edges in ascending level order (the scalar pull order).
+  void runForward() {
+    seedSources();
+    for (int li = 0; li < g_.levelCount(); ++li)
+      for (VertexId v : g_.level(li))
+        for (EdgeId e : g_.inEdges(v)) processEdge(e);
+  }
+
+  /// Backward required pull, seeded from the engine's endpoint slacks
+  /// (the seed arithmetic uses *this propagator's* arrivals, which the
+  /// equivalence test has already pinned bitwise to the engine's).
+  void runBackward() {
+    req_.assign(static_cast<std::size_t>(g_.vertexCount()),
+                {kInf, kInf});
+    for (const EndpointTiming& ep : eng_.endpoints()) {
+      if (ep.setupSlack == kInf) continue;
+      const Vt& t = vt_[static_cast<std::size_t>(ep.vertex)];
+      const int wt = ep.setupTrans;
+      if (t.arr[0][wt] == kNoTime) continue;
+      const double reqTime = t.arr[0][wt] + ep.setupSlack;
+      req_[static_cast<std::size_t>(ep.vertex)] = {reqTime, reqTime};
+    }
+    for (int li = g_.levelCount(); li-- > 0;)
+      for (VertexId u : g_.level(li)) pullRequired(u);
+  }
+
+  const Vt& at(VertexId v) const {
+    return vt_[static_cast<std::size_t>(v)];
+  }
+  double required(VertexId v, int trans) const {
+    return req_[static_cast<std::size_t>(v)][static_cast<std::size_t>(trans)];
+  }
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  void seedSources() {
+    Vt init;
+    for (int m = 0; m < 2; ++m)
+      for (int tr = 0; tr < 2; ++tr) {
+        init.arr[m][tr] = kNoTime;
+        init.slew[m][tr] = 0.0;
+        init.var[m][tr] = 0.0;
+        init.depth[m][tr] = 0;
+      }
+    vt_.assign(static_cast<std::size_t>(g_.vertexCount()), init);
+
+    for (const auto& c : nl_.clocks()) {
+      Vt& t = vt_[static_cast<std::size_t>(g_.portVertex(c.port))];
+      for (int m = 0; m < 2; ++m)
+        for (int tr = 0; tr < 2; ++tr) {
+          t.arr[m][tr] = c.sourceLatency;
+          t.slew[m][tr] = 20.0;
+        }
+    }
+    const Ps inputDelay =
+        sc_.inputDelay > 0.0
+            ? sc_.inputDelay
+            : (nl_.clocks().empty() ? 0.0
+                                    : 0.25 * nl_.clocks().front().period);
+    for (PortId p = 0; p < nl_.portCount(); ++p) {
+      if (sc_.disableDataInputs) break;
+      if (!nl_.port(p).isInput) continue;
+      if (nl_.port(p).constant) continue;
+      bool isClock = false;
+      for (const auto& c : nl_.clocks())
+        if (c.port == p) isClock = true;
+      if (isClock) continue;
+      Vt& t = vt_[static_cast<std::size_t>(g_.portVertex(p))];
+      for (int m = 0; m < 2; ++m)
+        for (int tr = 0; tr < 2; ++tr) {
+          t.arr[m][tr] = inputDelay;
+          t.slew[m][tr] = sc_.inputSlew;
+        }
+    }
+    const Ps borrowedLate =
+        nl_.clocks().empty() ? inputDelay : nl_.clocks().front().period;
+    for (const auto& qp : nl_.quarantinedPins()) {
+      const VertexId v = g_.inputVertex(qp.inst, qp.pin);
+      if (v < 0) continue;
+      Vt& t = vt_[static_cast<std::size_t>(v)];
+      for (int tr = 0; tr < 2; ++tr) {
+        t.arr[0][tr] = borrowedLate;
+        t.arr[1][tr] = 0.0;
+        t.slew[0][tr] = t.slew[1][tr] = sc_.inputSlew;
+      }
+    }
+  }
+
+  void relax(VertexId to, Mode m, int trans, double arr, double slewIn,
+             double var, int depth) {
+    if (!std::isfinite(arr) || !std::isfinite(slewIn) || !std::isfinite(var))
+      return;
+    Vt& t = vt_[static_cast<std::size_t>(to)];
+    const int mi = static_cast<int>(m);
+    const auto& d = sc_.derate;
+
+    double candKey = arr;
+    double curKey = t.arr[mi][trans];
+    if (d.mode == DerateMode::kPocv || d.mode == DerateMode::kLvf) {
+      const double sc = d.sigmaCount;
+      candKey = m == Mode::kLate ? arr + sc * std::sqrt(std::max(var, 0.0))
+                                 : arr - sc * std::sqrt(std::max(var, 0.0));
+      if (curKey != kNoTime) {
+        const double cs = std::sqrt(std::max(t.var[mi][trans], 0.0));
+        curKey = m == Mode::kLate ? t.arr[mi][trans] + sc * cs
+                                  : t.arr[mi][trans] - sc * cs;
+      }
+    }
+
+    const bool better =
+        curKey == kNoTime ||
+        (m == Mode::kLate ? candKey > curKey : candKey < curKey);
+    if (better) {
+      t.arr[mi][trans] = arr;
+      t.var[mi][trans] = var;
+      t.depth[mi][trans] = depth;
+    }
+    double& sl = t.slew[mi][trans];
+    if (sl <= 0.0) {
+      sl = slewIn;
+    } else if (m == Mode::kLate) {
+      sl = std::max(sl, slewIn);
+    } else {
+      sl = std::min(sl, slewIn);
+    }
+  }
+
+  void processEdge(EdgeId e) {
+    const TimingGraph::Edge& ed = g_.edge(e);
+    const Vt& from = vt_[static_cast<std::size_t>(ed.from)];
+    const auto& d = sc_.derate;
+    for (int m = 0; m < 2; ++m) {
+      const double f =
+          d.mode == DerateMode::kFlatOcv
+              ? (m == static_cast<int>(Mode::kLate) ? d.flatLate
+                                                    : d.flatEarly)
+              : 1.0;
+      for (int trIn = 0; trIn < 2; ++trIn) {
+        if (from.arr[m][trIn] == kNoTime) continue;
+        const double inSlew = from.slew[m][trIn];
+        switch (ed.kind) {
+          case TimingGraph::EdgeKind::kNetArc: {
+            Ps skew = 0.0;
+            const TimingGraph::Vertex& tv = g_.vertex(ed.to);
+            if (tv.kind == TimingGraph::VertexKind::kCellInput &&
+                tv.pin == 1 && nl_.isSequential(tv.inst))
+              skew = nl_.instance(tv.inst).usefulSkew;
+            const auto w = dc_.wire(ed.net, ed.sinkIndex, inSlew);
+            relax(ed.to, static_cast<Mode>(m), trIn,
+                  from.arr[m][trIn] + w.delay * f + skew, w.outSlew,
+                  from.var[m][trIn], from.depth[m][trIn]);
+            break;
+          }
+          case TimingGraph::EdgeKind::kCellArc: {
+            const InstId inst = g_.vertex(ed.from).inst;
+            const Cell& cell = dc_.cellOf(inst);
+            const TimingArc& arc =
+                cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
+            int outLo = 0, outHi = 1;
+            if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
+            if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
+            for (int trOut = outLo; trOut <= outHi; ++trOut) {
+              const auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
+                                         inSlew);
+              double sigma = 0.0;
+              if (d.mode == DerateMode::kLvf)
+                sigma = m == static_cast<int>(Mode::kLate) ? r.sigmaLate
+                                                           : r.sigmaEarly;
+              else if (d.mode == DerateMode::kPocv)
+                sigma = cell.pocvSigmaRatio * r.delay;
+              relax(ed.to, static_cast<Mode>(m), trOut,
+                    from.arr[m][trIn] + r.delay * f, r.outSlew,
+                    from.var[m][trIn] + sigma * sigma,
+                    from.depth[m][trIn] + 1);
+            }
+            break;
+          }
+          case TimingGraph::EdgeKind::kClockToQ: {
+            if (trIn != 0) break;
+            const InstId flop = g_.vertex(ed.from).inst;
+            const Cell& cell = dc_.cellOf(flop);
+            for (int trQ = 0; trQ < 2; ++trQ) {
+              const auto r = dc_.clockToQ(flop, trQ == 0, inSlew);
+              double sigma = 0.0;
+              if (d.mode == DerateMode::kLvf || d.mode == DerateMode::kPocv)
+                sigma = (cell.pocvSigmaRatio > 0 ? cell.pocvSigmaRatio
+                                                 : 0.03) *
+                        r.delay;
+              relax(ed.to, static_cast<Mode>(m), trQ,
+                    from.arr[m][trIn] + r.delay * f, r.outSlew,
+                    from.var[m][trIn] + sigma * sigma,
+                    from.depth[m][trIn] + 1);
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void pullRequired(VertexId u) {
+    const auto& d = sc_.derate;
+    const double lateF = d.mode == DerateMode::kFlatOcv ? d.flatLate : 1.0;
+    const Vt& tu = vt_[static_cast<std::size_t>(u)];
+    auto& ru = req_[static_cast<std::size_t>(u)];
+    for (EdgeId e : g_.outEdges(u)) {
+      const TimingGraph::Edge& ed = g_.edge(e);
+      const auto& rv = req_[static_cast<std::size_t>(ed.to)];
+      if (rv[0] == kInf && rv[1] == kInf) continue;
+      switch (ed.kind) {
+        case TimingGraph::EdgeKind::kNetArc: {
+          Ps skew = 0.0;
+          const TimingGraph::Vertex& tv = g_.vertex(ed.to);
+          if (tv.kind == TimingGraph::VertexKind::kCellInput &&
+              tv.pin == 1 && nl_.isSequential(tv.inst))
+            skew = nl_.instance(tv.inst).usefulSkew;
+          for (int tr = 0; tr < 2; ++tr) {
+            if (rv[static_cast<std::size_t>(tr)] == kInf ||
+                tu.arr[0][tr] == kNoTime)
+              continue;
+            const auto w = dc_.wire(ed.net, ed.sinkIndex, tu.slew[0][tr]);
+            ru[static_cast<std::size_t>(tr)] =
+                std::min(ru[static_cast<std::size_t>(tr)],
+                         rv[static_cast<std::size_t>(tr)] -
+                             w.delay * lateF - skew);
+          }
+          break;
+        }
+        case TimingGraph::EdgeKind::kCellArc: {
+          const InstId inst = g_.vertex(u).inst;
+          const Cell& cell = dc_.cellOf(inst);
+          const TimingArc& arc =
+              cell.arcs[static_cast<std::size_t>(ed.arcIndex)];
+          for (int trIn = 0; trIn < 2; ++trIn) {
+            if (tu.arr[0][trIn] == kNoTime) continue;
+            int outLo = 0, outHi = 1;
+            if (arc.unate == Unateness::kNegative) outLo = outHi = 1 - trIn;
+            if (arc.unate == Unateness::kPositive) outLo = outHi = trIn;
+            for (int trOut = outLo; trOut <= outHi; ++trOut) {
+              if (rv[static_cast<std::size_t>(trOut)] == kInf) continue;
+              const auto r = dc_.cellArc(inst, ed.arcIndex, trOut == 0,
+                                         tu.slew[0][trIn]);
+              ru[static_cast<std::size_t>(trIn)] =
+                  std::min(ru[static_cast<std::size_t>(trIn)],
+                           rv[static_cast<std::size_t>(trOut)] -
+                               r.delay * lateF);
+            }
+          }
+          break;
+        }
+        case TimingGraph::EdgeKind::kClockToQ: {
+          const InstId flop = g_.vertex(u).inst;
+          if (tu.arr[0][0] == kNoTime) break;
+          for (int trQ = 0; trQ < 2; ++trQ) {
+            if (rv[static_cast<std::size_t>(trQ)] == kInf) continue;
+            const auto r = dc_.clockToQ(flop, trQ == 0, tu.slew[0][0]);
+            ru[0] = std::min(
+                ru[0], rv[static_cast<std::size_t>(trQ)] - r.delay * lateF);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  const StaEngine& eng_;
+  const TimingGraph& g_;
+  const DelayCalculator& dc_;
+  const Scenario& sc_;
+  const Netlist& nl_;
+  std::vector<Vt> vt_;
+  std::vector<std::array<double, 2>> req_;
+};
+
+}  // namespace tc::aosref

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py, the CI perf-gate comparator.
+
+Covers the failure modes a CI artifact can actually hit: a truncated or
+hand-mangled baseline JSON must fail the gate with a clean error naming
+the file (exit 1, no traceback), while matching results keep passing and
+counter divergence keeps failing. Run directly or via ctest (label: unit).
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_compare.py"
+
+
+def run_compare(baseline_dir, results_dir, *extra):
+    return subprocess.run(
+        [sys.executable, str(TOOL), "--baseline-dir", str(baseline_dir),
+         "--results-dir", str(results_dir), *extra],
+        capture_output=True, text=True)
+
+
+def bench_json(**metrics):
+    return json.dumps({
+        "bench": "bench_fake",
+        "wall_ms": 1.0,
+        "metrics": [{"name": k, "value": v, "unit": u}
+                    for k, (v, u) in metrics.items()],
+    })
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        root = Path(self.tmp.name)
+        self.base = root / "baselines"
+        self.res = root / "results"
+        self.base.mkdir()
+        self.res.mkdir()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, d, name, text):
+        (d / name).write_text(text)
+
+    def test_matching_results_pass(self):
+        body = bench_json(wns_ps=(-100.0, "ps"), ctr_hits=(42, "count"))
+        self.write(self.base, "bench_fake.json", body)
+        self.write(self.res, "bench_fake.json", body)
+        p = run_compare(self.base, self.res)
+        self.assertEqual(p.returncode, 0, p.stdout + p.stderr)
+        self.assertIn("PASSED", p.stdout)
+
+    def test_counter_divergence_fails(self):
+        self.write(self.base, "bench_fake.json",
+                   bench_json(ctr_hits=(42, "count")))
+        self.write(self.res, "bench_fake.json",
+                   bench_json(ctr_hits=(43, "count")))
+        p = run_compare(self.base, self.res)
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertIn("counter diverged", p.stdout)
+
+    def test_malformed_baseline_errors_cleanly(self):
+        # Truncated JSON: the gate must fail with a message naming the
+        # file, not die with a decoder traceback.
+        self.write(self.base, "bench_fake.json", '{"bench": "x", "metr')
+        self.write(self.res, "bench_fake.json", bench_json(a=(1.0, "ps")))
+        p = run_compare(self.base, self.res)
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertIn("malformed JSON", p.stderr)
+        self.assertIn("bench_fake.json", p.stderr)
+        self.assertNotIn("Traceback", p.stderr)
+
+    def test_malformed_result_errors_cleanly(self):
+        self.write(self.base, "bench_fake.json", bench_json(a=(1.0, "ps")))
+        self.write(self.res, "bench_fake.json", "not json at all")
+        p = run_compare(self.base, self.res)
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertIn("malformed JSON", p.stderr)
+        self.assertNotIn("Traceback", p.stderr)
+
+    def test_wrong_shape_errors_cleanly(self):
+        # Valid JSON of the wrong shape (array, or metrics entries
+        # missing keys) is an error, not an AttributeError/KeyError crash.
+        self.write(self.base, "bench_fake.json", "[1, 2, 3]")
+        self.write(self.res, "bench_fake.json", bench_json(a=(1.0, "ps")))
+        p = run_compare(self.base, self.res)
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertNotIn("Traceback", p.stderr)
+
+        self.write(self.base, "bench_fake.json",
+                   json.dumps({"metrics": [{"value": 1.0}]}))
+        p = run_compare(self.base, self.res)
+        self.assertEqual(p.returncode, 1, p.stdout + p.stderr)
+        self.assertIn("not bench JSON", p.stderr)
+        self.assertNotIn("Traceback", p.stderr)
+
+    def test_empty_baseline_dir_is_distinct_error(self):
+        self.write(self.res, "bench_fake.json", bench_json(a=(1.0, "ps")))
+        p = run_compare(self.base, self.res)
+        self.assertEqual(p.returncode, 2, p.stdout + p.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

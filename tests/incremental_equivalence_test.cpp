@@ -38,8 +38,10 @@ void expectBitIdentical(StaEngine& inc, const Netlist& nl,
   int timingMismatches = 0;
   int slackMismatches = 0;
   for (VertexId v = 0; v < full.graph().vertexCount(); ++v) {
-    if (std::memcmp(&inc.timing(v), &full.timing(v),
-                    sizeof(VertexTiming)) != 0)
+    // timing() materializes from the SoA arena, so compare local copies.
+    const VertexTiming ti = inc.timing(v);
+    const VertexTiming tf = full.timing(v);
+    if (std::memcmp(&ti, &tf, sizeof(VertexTiming)) != 0)
       ++timingMismatches;
     const Ps a = inc.vertexSlack(v);
     const Ps b = full.vertexSlack(v);

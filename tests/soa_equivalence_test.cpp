@@ -1,0 +1,158 @@
+/// \file soa_equivalence_test.cpp
+/// \brief SoA-vs-AoS equivalence property test: the engine's
+/// level-contiguous arena + batched NLDM sweep must be bitwise equal to the
+/// pinned pre-refactor AoS propagator (tests/aos_reference.h) on random
+/// designs, across the whole variation-modeling ladder. Every propagated
+/// word is compared by bit pattern, not tolerance — the arena refactor's
+/// contract is identical arithmetic in identical order, and any reordered
+/// reduction or fused multiply shows up here as a one-ulp diff.
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "aos_reference.h"
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "sta/engine.h"
+
+namespace tc {
+namespace {
+
+std::uint64_t bitsOf(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+/// Run the pinned AoS oracle against `eng` (already run()) and compare
+/// every arrival/slew/variance/depth word and both required channels
+/// bitwise.
+void expectBitwiseEqual(const StaEngine& eng, const std::string& what) {
+  aosref::AosPropagator ref(eng);
+  ref.runForward();
+  ref.runBackward();
+
+  const TimingGraph& g = eng.graph();
+  for (VertexId v = 0; v < g.vertexCount(); ++v) {
+    const aosref::Vt& r = ref.at(v);
+    for (int m = 0; m < 2; ++m) {
+      const Mode mode = static_cast<Mode>(m);
+      for (int tr = 0; tr < 2; ++tr) {
+        ASSERT_EQ(bitsOf(eng.arrivalRaw(v, mode, tr)), bitsOf(r.arr[m][tr]))
+            << what << ": arrival differs at v=" << v << " m=" << m
+            << " tr=" << tr;
+        ASSERT_EQ(bitsOf(eng.slewRaw(v, mode, tr)), bitsOf(r.slew[m][tr]))
+            << what << ": slew differs at v=" << v << " m=" << m
+            << " tr=" << tr;
+        ASSERT_EQ(bitsOf(eng.varRaw(v, mode, tr)), bitsOf(r.var[m][tr]))
+            << what << ": variance differs at v=" << v << " m=" << m
+            << " tr=" << tr;
+      }
+    }
+    const VertexTiming t = eng.timing(v);
+    for (int m = 0; m < 2; ++m)
+      for (int tr = 0; tr < 2; ++tr)
+        ASSERT_EQ(t.depth[m][tr], r.depth[m][tr])
+            << what << ": depth differs at v=" << v << " m=" << m
+            << " tr=" << tr;
+    for (int tr = 0; tr < 2; ++tr)
+      ASSERT_EQ(bitsOf(eng.requiredRaw(v, tr)), bitsOf(ref.required(v, tr)))
+          << what << ": required differs at v=" << v << " tr=" << tr;
+  }
+}
+
+constexpr DerateMode kModes[] = {DerateMode::kNone, DerateMode::kFlatOcv,
+                                 DerateMode::kAocv, DerateMode::kPocv,
+                                 DerateMode::kLvf};
+
+TEST(SoaEquivalence, RandomBlocksAcrossDerateLadder) {
+  auto L = characterizedLibrary(LibraryPvt{});
+  std::mt19937_64 rng(20260809);
+  for (int design = 0; design < 4; ++design) {
+    BlockProfile p = profileTiny();
+    p.name = "soa_eq_" + std::to_string(design);
+    p.numGates = 150 + static_cast<int>(rng() % 400);
+    p.numFlops = 10 + static_cast<int>(rng() % 30);
+    p.numInputs = 6 + static_cast<int>(rng() % 12);
+    p.numOutputs = 6 + static_cast<int>(rng() % 12);
+    p.levels = 5 + static_cast<int>(rng() % 8);
+    p.fanoutSkew = 0.05 + 0.01 * static_cast<double>(rng() % 20);
+    p.seed = rng();
+    const Netlist nl = generateBlock(L, p);
+    for (DerateMode m : kModes) {
+      Scenario sc;
+      sc.lib = L;
+      sc.derate.mode = m;
+      StaEngine eng(nl, sc);
+      eng.run();
+      expectBitwiseEqual(eng, p.name + "/" + toString(m));
+    }
+  }
+}
+
+TEST(SoaEquivalence, UsefulSkewAndPipeline) {
+  auto L = characterizedLibrary(LibraryPvt{});
+
+  // Useful skew exercises the net-arc skew term on flop CK sinks, in both
+  // the forward batch staging and the backward pull.
+  BlockProfile p = profileTiny();
+  p.name = "soa_eq_skew";
+  p.seed = 4242;
+  Netlist nl = generateBlock(L, p);
+  int skewed = 0;
+  for (InstId i = 0; i < nl.instanceCount() && skewed < 8; ++i) {
+    if (!nl.isSequential(i)) continue;
+    nl.setUsefulSkew(i, (skewed % 2 ? -1.0 : 1.0) * 12.5 * (skewed + 1));
+    ++skewed;
+  }
+  ASSERT_GT(skewed, 0);
+  Scenario sc;
+  sc.lib = L;
+  sc.derate.mode = DerateMode::kLvf;
+  StaEngine eng(nl, sc);
+  eng.run();
+  expectBitwiseEqual(eng, "useful_skew");
+
+  // A deep narrow pipeline stresses many levels with few vertices each —
+  // the opposite shape of the wide random blocks, so the batched sweep's
+  // per-level flush boundaries land differently.
+  const Netlist pipe = generatePipeline(L, /*lanes=*/3, /*depth=*/24);
+  Scenario psc;
+  psc.lib = L;
+  psc.derate.mode = DerateMode::kPocv;
+  StaEngine peng(pipe, psc);
+  peng.run();
+  expectBitwiseEqual(peng, "pipeline");
+}
+
+TEST(SoaEquivalence, RepropagateMatchesRun) {
+  // repropagate() (the bench's sweep-isolation entry point) must re-derive
+  // the identical arena state a full run() produced.
+  auto L = characterizedLibrary(LibraryPvt{});
+  BlockProfile p = profileTiny();
+  p.seed = 777;
+  const Netlist nl = generateBlock(L, p);
+  Scenario sc;
+  sc.lib = L;
+  sc.derate.mode = DerateMode::kLvf;
+  StaEngine eng(nl, sc);
+  eng.run();
+  std::vector<VertexTiming> before;
+  before.reserve(static_cast<std::size_t>(eng.graph().vertexCount()));
+  for (VertexId v = 0; v < eng.graph().vertexCount(); ++v)
+    before.push_back(eng.timing(v));
+  eng.repropagate();
+  for (VertexId v = 0; v < eng.graph().vertexCount(); ++v) {
+    const VertexTiming after = eng.timing(v);
+    ASSERT_EQ(std::memcmp(&before[static_cast<std::size_t>(v)], &after,
+                          sizeof(VertexTiming)),
+              0)
+        << "repropagate diverged at v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace tc

@@ -51,16 +51,43 @@ TIME_UNITS = {"s": 1000.0, "ms": 1.0, "us": 1e-3, "ns": 1e-6}
 CORRECTNESS_RTOL = 1e-6
 
 
+class MetricsLoadError(Exception):
+    """A baseline or result file that cannot be read as bench JSON."""
+
+
 def load_metrics(path: Path):
     """Return {metric_name: (value_in_canonical_unit, kind)} for one file.
 
     kind is "time" (milliseconds), "derived" (never gated), "counter"
     (exact when present on both sides, absence warns) or "correctness"
     (exact). value may be None for serialized non-finites.
+
+    Raises MetricsLoadError (not a bare traceback) when the file is
+    unreadable, not JSON, or not shaped like either supported format — a
+    truncated artifact upload or a hand-edited baseline should fail the
+    gate with a message naming the file, not crash the comparison.
     """
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise MetricsLoadError(f"{path}: cannot read: {e}") from e
+    except json.JSONDecodeError as e:
+        raise MetricsLoadError(f"{path}: malformed JSON: {e}") from e
+    if not isinstance(data, dict):
+        raise MetricsLoadError(
+            f"{path}: top-level JSON value is {type(data).__name__}, "
+            f"expected an object")
     out = {}
+    try:
+        return _parse_metrics(data, out)
+    except (AttributeError, KeyError, TypeError) as e:
+        raise MetricsLoadError(
+            f"{path}: not bench JSON (missing or mistyped field: "
+            f"{e})") from e
+
+
+def _parse_metrics(data, out):
     if "benchmarks" in data:  # google-benchmark reporter
         for b in data["benchmarks"]:
             if b.get("run_type") == "aggregate":
@@ -140,8 +167,13 @@ def main() -> int:
         if not rf.exists():
             failures.append(f"{bf.name}: no result produced by this run")
             continue
-        base = load_metrics(bf)
-        cur = load_metrics(rf)
+        try:
+            base = load_metrics(bf)
+            cur = load_metrics(rf)
+        except MetricsLoadError as e:
+            print(f"error: {e}", file=sys.stderr)
+            failures.append(str(e))
+            continue
         for name, (bval, kind) in base.items():
             if name not in cur:
                 if kind == "counter":

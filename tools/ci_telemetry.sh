@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Summarize one CI job's build telemetry: ccache hit rate and job wall
+# clock. Usage: ci_telemetry.sh <job-label> <output-md>.
+#
+# Reads TC_JOB_T0 (epoch seconds, stamped by the job's first step) for
+# the wall clock and `ccache --print-stats` for the hit rate; falls back
+# gracefully when either is missing so the step never fails a job. The
+# summary is written to <output-md> (uploaded as an artifact) and
+# appended to GITHUB_STEP_SUMMARY so hit-rate regressions — a stale
+# cache key, a header churn blow-up — are visible on the run page
+# without downloading anything.
+set -u
+
+job="${1:?usage: ci_telemetry.sh <job-label> <output-md>}"
+out="${2:?usage: ci_telemetry.sh <job-label> <output-md>}"
+
+now=$(date +%s)
+wall=""
+if [ -n "${TC_JOB_T0:-}" ]; then
+  wall=$((now - TC_JOB_T0))
+fi
+
+hits=""
+misses=""
+if command -v ccache >/dev/null 2>&1; then
+  # ccache >= 4.0 ships the machine-readable tab-separated form.
+  stats=$(ccache --print-stats 2>/dev/null || true)
+  if [ -n "$stats" ]; then
+    hits=$(printf '%s\n' "$stats" | awk -F'\t' \
+      '$1 == "direct_cache_hit" || $1 == "preprocessed_cache_hit" {s += $2}
+       END {print s + 0}')
+    misses=$(printf '%s\n' "$stats" | awk -F'\t' \
+      '$1 == "cache_miss" {s += $2} END {print s + 0}')
+  fi
+fi
+
+{
+  echo "### Build telemetry: ${job}"
+  if [ -n "$wall" ]; then
+    echo "- job wall clock: ${wall}s"
+  else
+    echo "- job wall clock: unknown (TC_JOB_T0 unset)"
+  fi
+  if [ -n "$hits" ]; then
+    total=$((hits + misses))
+    if [ "$total" -gt 0 ]; then
+      rate=$(awk -v h="$hits" -v t="$total" \
+        'BEGIN {printf "%.1f", 100 * h / t}')
+    else
+      rate="0.0"
+    fi
+    echo "- ccache: ${hits} hits / ${misses} misses (${rate}% hit rate)"
+  else
+    echo "- ccache: unavailable"
+  fi
+} > "$out"
+
+cat "$out"
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+  cat "$out" >> "$GITHUB_STEP_SUMMARY"
+fi
