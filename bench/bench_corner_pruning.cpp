@@ -1,0 +1,331 @@
+/// \file bench_corner_pruning.cpp
+/// \brief Active-learning corner pruning vs the all-exact oracle, at the
+/// scale the Sec. 2.3 super-explosion actually bites: a 4-corner signoff
+/// set widened into a 200+ scenario OCV ladder. Three passes, two gates:
+///
+///  1. the all-exact oracle (every scenario through full STA) — the truth
+///     the certificates are audited against and the cost pruning avoids;
+///  2. the pruned pass over the crash-isolated farm: the exact-run budget
+///     must close the whole ladder in at most --max-exact runs (default
+///     40), and every certificate's bound is checked against the oracle —
+///     a single optimistic bound exits 1 (CI gate);
+///  3. pruned-off mode (maxPruned=0): must reproduce the oracle
+///     byte-identically, certificates absent — the layer is a pure opt-in.
+///
+/// Unpruned slots of the pruned pass are also held bitwise to the oracle:
+/// pruning must never perturb what it does not skip.
+///
+/// Flags: --threads N      pool width for oracle + pruned-off (default 8)
+///        --farm-workers N farm process count (default: --threads)
+///        --gates N        synthetic block size (default 800)
+///        --max-exact N    exact-run budget for the gate (default 40)
+///        --json <path>    machine-readable results (CI artifact)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "liberty/builder.h"
+#include "network/netgen.h"
+#include "signoff/corners.h"
+#include "signoff/prune.h"
+#include "util/table.h"
+
+using namespace tc;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The standard 4-corner signoff set (the bit-identity suites' fixture
+/// shape): typical, slow/hot at Cworst under AOCV, fast/cold at Cbest,
+/// and a statistical-derate view of typical.
+std::vector<Scenario> baseCorners() {
+  auto libAt = [](ProcessCorner pc, Volt v, Celsius t) {
+    return characterizedLibrary(LibraryPvt{pc, v, t}, /*quick=*/true);
+  };
+  std::vector<Scenario> out;
+  {
+    Scenario s;
+    s.name = "func_tt";
+    s.lib = libAt(ProcessCorner::kTT, 0.9, 25.0);
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "func_ssg_cw";
+    s.lib = libAt(ProcessCorner::kSSG, 0.81, 125.0);
+    s.beol = BeolCorner::kCworst;
+    s.derate.mode = DerateMode::kAocv;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "func_ffg_cb";
+    s.lib = libAt(ProcessCorner::kFFG, 0.99, -40.0);
+    s.beol = BeolCorner::kCbest;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "func_tt_lvf";
+    s.lib = libAt(ProcessCorner::kTT, 0.9, 25.0);
+    s.derate.mode = DerateMode::kLvf;
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// Bitwise slot comparison (the bench-side mirror of the test suites'
+/// expectScenarioIdentical): scalars, endpoints, PBA tail, diagnostics.
+bool slotsIdentical(const ScenarioResult& x, const ScenarioResult& y) {
+  bool ok = x.scenario == y.scenario && x.setupWns == y.setupWns &&
+            x.holdWns == y.holdWns && x.setupTns == y.setupTns &&
+            x.holdTns == y.holdTns &&
+            x.setupViolations == y.setupViolations &&
+            x.holdViolations == y.holdViolations &&
+            x.drvViolations == y.drvViolations &&
+            x.nanQuarantined == y.nanQuarantined &&
+            x.pbaSetupWns == y.pbaSetupWns && x.pruned == y.pruned &&
+            x.endpoints.size() == y.endpoints.size() &&
+            x.pba.size() == y.pba.size() &&
+            x.diagnostics.size() == y.diagnostics.size();
+  for (std::size_t e = 0; ok && e < x.endpoints.size(); ++e)
+    ok = x.endpoints[e].vertex == y.endpoints[e].vertex &&
+         x.endpoints[e].setupSlack == y.endpoints[e].setupSlack &&
+         x.endpoints[e].holdSlack == y.endpoints[e].holdSlack;
+  for (std::size_t i = 0; ok && i < x.pba.size(); ++i)
+    ok = x.pba[i].endpoint == y.pba[i].endpoint &&
+         x.pba[i].pbaSlack == y.pba[i].pbaSlack;
+  for (std::size_t d = 0; ok && d < x.diagnostics.size(); ++d)
+    ok = x.diagnostics[d].code == y.diagnostics[d].code &&
+         x.diagnostics[d].message == y.diagnostics[d].message;
+  return ok;
+}
+
+bool resultsIdentical(const McmmResult& a, const McmmResult& b) {
+  if (a.scenarios.size() != b.scenarios.size()) return false;
+  if (a.merged.size() != b.merged.size()) return false;
+  for (std::size_t s = 0; s < a.scenarios.size(); ++s)
+    if (!slotsIdentical(a.scenarios[s], b.scenarios[s])) return false;
+  return true;
+}
+
+/// "func_tt@L2U1M0S1" -> "func_tt" (per-base breakdown of the ladder).
+std::string baseOf(const std::string& name) {
+  const std::size_t at = name.rfind('@');
+  return at == std::string::npos ? name : name.substr(0, at);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tc::bench::JsonReport report("bench_corner_pruning", argc, argv);
+  int threads = 8;
+  int farmWorkers = -1;
+  int gates = 800;
+  int maxExact = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+      threads = std::atoi(argv[i + 1]);
+    if (!std::strcmp(argv[i], "--farm-workers") && i + 1 < argc)
+      farmWorkers = std::atoi(argv[i + 1]);
+    if (!std::strcmp(argv[i], "--gates") && i + 1 < argc)
+      gates = std::atoi(argv[i + 1]);
+    if (!std::strcmp(argv[i], "--max-exact") && i + 1 < argc)
+      maxExact = std::atoi(argv[i + 1]);
+  }
+  if (farmWorkers <= 0) farmWorkers = threads;
+  registerPruneMetrics();
+
+  // The ladder: 4 base corners x 3 derate pairs x 3 uncertainties x
+  // 3 margins x 2 sigma counts = 216 scenarios. One dominance-maximal
+  // corner per base group, so exactly 4 exact runs are mandatory; the
+  // other 212 are the model's to spend the budget on.
+  OcvLadderSpec spec;  // defaults: 3 late/early pairs, 3 uncs, 3 margins
+  spec.sigmaCounts = {3.0, 4.0};
+  const std::vector<Scenario> scenarios =
+      deriveOcvLadder(baseCorners(), spec);
+
+  BlockProfile profile = profileTiny();
+  profile.numGates = gates;
+  profile.numFlops = std::max(gates / 12, 8);
+  profile.levels = 12;
+  profile.clockPeriod = 1200.0;
+  const Netlist nl = generateBlock(scenarios.front().lib, profile);
+
+  std::printf("corner-pruning bench: %zu scenarios (%d-gate block), "
+              "exact budget %d, farm %d workers\n\n",
+              scenarios.size(), gates, maxExact, farmWorkers);
+
+  // --- Pass 1: the all-exact oracle ---------------------------------------
+  ThreadPool pool(threads);
+  McmmOptions mopt;
+  mopt.pool = &pool;
+  const auto t0 = std::chrono::steady_clock::now();
+  const McmmResult oracle = runMcmm(nl, scenarios, mopt);
+  const double oracleMs = msSince(t0);
+  std::printf("all-exact oracle: %zu scenarios in %.1f ms (%d threads)\n",
+              scenarios.size(), oracleMs, threads);
+
+  // --- Pass 2: the pruned pass over the process farm ----------------------
+  PruneOptions popt;
+  popt.maxExactRuns = maxExact;
+  FarmOptions fopt;
+  fopt.workers = farmWorkers;
+  FarmStats stats;
+  const auto t1 = std::chrono::steady_clock::now();
+  const PrunedMcmmResult pruned =
+      runMcmmFarmPruned(nl, scenarios, popt, fopt, &stats);
+  const double prunedMs = msSince(t1);
+  std::printf("pruned farm pass: %d exact runs + %zu certificates in "
+              "%.1f ms  ->  %.2fx vs oracle, %d rounds, %d quarantined\n",
+              pruned.exactRuns, pruned.certificates.size(), prunedMs,
+              oracleMs / prunedMs, pruned.rounds, stats.quarantined);
+
+  // --- The audit: every certificate against the oracle's truth ------------
+  int optimismViolations = 0;
+  int evidenceViolations = 0;
+  double maxSetupGap = 0.0;  // pessimism paid: oracle WNS - certified bound
+  double maxHoldGap = 0.0;
+  struct BaseRow {
+    int total = 0;
+    int exact = 0;
+    double worstGap = 0.0;
+  };
+  std::map<std::string, BaseRow> byBase;
+  for (const Scenario& sc : scenarios) ++byBase[baseOf(sc.name)].total;
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    if (!pruned.result.scenarios[i].pruned)
+      ++byBase[baseOf(scenarios[i].name)].exact;
+
+  for (const PruneCertificate& c : pruned.certificates) {
+    const std::size_t i = static_cast<std::size_t>(c.scenario);
+    const double setupGap = oracle.scenarios[i].setupWns - c.boundSetupWns;
+    const double holdGap = oracle.scenarios[i].holdWns - c.boundHoldWns;
+    if (c.boundSetupWns > oracle.scenarios[i].setupWns ||
+        c.boundHoldWns > oracle.scenarios[i].holdWns) {
+      ++optimismViolations;
+      std::printf("OPTIMISTIC certificate for %s: bound setup %.3f vs "
+                  "oracle %.3f, hold %.3f vs %.3f\n",
+                  c.scenarioName.c_str(), c.boundSetupWns,
+                  oracle.scenarios[i].setupWns, c.boundHoldWns,
+                  oracle.scenarios[i].holdWns);
+    }
+    // The certificate must cite real evidence: a dominating scenario whose
+    // exact WNS is the bound.
+    const std::size_t evS = static_cast<std::size_t>(c.evidenceSetup);
+    const std::size_t evH = static_cast<std::size_t>(c.evidenceHold);
+    if (!dominatesForBound(scenarios[evS], scenarios[i]) ||
+        !dominatesForBound(scenarios[evH], scenarios[i]) ||
+        c.boundSetupWns != oracle.scenarios[evS].setupWns ||
+        c.boundHoldWns != oracle.scenarios[evH].holdWns)
+      ++evidenceViolations;
+    maxSetupGap = std::max(maxSetupGap, setupGap);
+    maxHoldGap = std::max(maxHoldGap, holdGap);
+    BaseRow& row = byBase[baseOf(c.scenarioName)];
+    row.worstGap = std::max(row.worstGap, std::max(setupGap, holdGap));
+  }
+
+  // Pruning must never perturb what it does not skip.
+  bool unprunedIdentical = true;
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    if (!pruned.result.scenarios[i].pruned &&
+        !slotsIdentical(pruned.result.scenarios[i], oracle.scenarios[i]))
+      unprunedIdentical = false;
+
+  TextTable t("pruned ladder by base corner (oracle-audited)");
+  t.setHeader({"base corner", "scenarios", "exact", "pruned",
+               "worst bound gap (ps)"});
+  for (const auto& [base, row] : byBase)
+    t.addRow({base, std::to_string(row.total), std::to_string(row.exact),
+              std::to_string(row.total - row.exact),
+              TextTable::num(row.worstGap, 1)});
+  t.addFootnote(
+      "gap = oracle WNS - certified bound: the pessimism paid for skipping "
+      "the run; optimism (bound above oracle) is a hard CI failure");
+  t.print();
+  std::printf("\ncertificate audit: %d optimistic, %d bad-evidence, worst "
+              "pessimism setup %.1f / hold %.1f ps, unpruned slots %s\n",
+              optimismViolations, evidenceViolations, maxSetupGap,
+              maxHoldGap,
+              unprunedIdentical ? "bit-identical" : "MISMATCH");
+
+  // --- Pass 3: pruned-off mode must BE the plain runner -------------------
+  PruneOptions off = popt;
+  off.maxPruned = 0;
+  const auto t2 = std::chrono::steady_clock::now();
+  const PrunedMcmmResult plain = runMcmmPruned(nl, scenarios, off, mopt);
+  const double offMs = msSince(t2);
+  const bool offIdentical = resultsIdentical(plain.result, oracle) &&
+                            plain.certificates.empty() &&
+                            !plain.predictor.valid;
+  std::printf("pruned-off (maxPruned=0): %.1f ms, vs oracle %s\n", offMs,
+              offIdentical ? "byte-identical" : "MISMATCH");
+
+  report.metric("scenarios", static_cast<double>(scenarios.size()),
+                "count");
+  report.metric("exact_runs", static_cast<double>(pruned.exactRuns),
+                "count");
+  report.metric("pruned", static_cast<double>(pruned.certificates.size()),
+                "count");
+  report.metric("rounds", static_cast<double>(pruned.rounds), "count");
+  report.metric("quarantined", static_cast<double>(stats.quarantined),
+                "count");
+  report.metric("optimism_violations",
+                static_cast<double>(optimismViolations), "count");
+  report.metric("evidence_violations",
+                static_cast<double>(evidenceViolations), "count");
+  report.metric("unpruned_identical", unprunedIdentical ? 1.0 : 0.0,
+                "count");
+  report.metric("prunedoff_identical", offIdentical ? 1.0 : 0.0, "count");
+  report.metric("oracle_setup_wns_ps", oracle.wns(Check::kSetup), "ps");
+  report.metric("pruned_setup_wns_ps",
+                pruned.result.wns(Check::kSetup), "ps");
+  report.metric("cert_max_setup_gap_ps", maxSetupGap, "ps");
+  report.metric("cert_max_hold_gap_ps", maxHoldGap, "ps");
+  report.metric("oracle_ms", oracleMs, "ms");
+  report.metric("pruned_farm_ms", prunedMs, "ms");
+  report.metric("prune_speedup", oracleMs / prunedMs, "x");
+
+  // The CI gates, mirrored from the acceptance criteria: the ladder must
+  // be 200+ scenarios closed within the exact budget, certificates must
+  // never be optimistic, the farm must not quarantine, and pruned-off
+  // mode must be a byte-level no-op.
+  bool ok = true;
+  if (scenarios.size() < 200) {
+    std::printf("GATE: ladder too small (%zu < 200 scenarios)\n",
+                scenarios.size());
+    ok = false;
+  }
+  if (pruned.exactRuns > maxExact) {
+    std::printf("GATE: exact budget blown (%d > %d)\n", pruned.exactRuns,
+                maxExact);
+    ok = false;
+  }
+  if (pruned.certificates.size() + static_cast<std::size_t>(
+                                       pruned.exactRuns) !=
+      scenarios.size()) {
+    std::printf("GATE: certificates + exact runs != scenarios\n");
+    ok = false;
+  }
+  if (optimismViolations != 0 || evidenceViolations != 0) ok = false;
+  if (!unprunedIdentical || !offIdentical) ok = false;
+  if (stats.quarantined != 0) {
+    std::printf("GATE: %d corners quarantined on a clean run\n",
+                stats.quarantined);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

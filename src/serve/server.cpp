@@ -12,6 +12,7 @@
 #include <cstring>
 #include <limits>
 
+#include "signoff/prune.h"
 #include "sta/report.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -113,6 +114,9 @@ Server::Server(ServeOptions opt) : opt_(std::move(opt)) {
   if (opt_.engineThreads > 0)
     pool_ = std::make_unique<ThreadPool>(opt_.engineThreads);
   if (::pipe(wakePipe_) != 0) wakePipe_[0] = wakePipe_[1] = -1;
+  // Surface the prune.* counters in `metrics` output from the first
+  // request on, not only after the first pruned pass touches them.
+  registerPruneMetrics();
 }
 
 Server::~Server() {
@@ -131,6 +135,9 @@ Status Server::addDesign(const std::string& name, DesignSnapshot snap) {
       return Status::failure(DiagCode::kServeDuplicateDesign,
                              "design \"" + name + "\" already served");
   }
+  PruneAuditInfo prune;
+  prune.certificates = snap.pruneCerts.size();
+  prune.predictor = snap.prunePredictor.valid;
   // Epoch 0 builds outside the lock: a full multi-scenario batch run can
   // take a while and must not block queries against other designs.
   auto mgr = std::make_unique<EpochManager>(std::move(snap), pool_.get());
@@ -139,6 +146,7 @@ Status Server::addDesign(const std::string& name, DesignSnapshot snap) {
     return Status::failure(DiagCode::kServeDuplicateDesign,
                            "design \"" + name + "\" already served");
   designs_.emplace(name, std::move(mgr));
+  pruneInfo_.emplace(name, prune);
   return Status::okStatus();
 }
 
@@ -470,9 +478,11 @@ Json Server::cmdPing(const Json& req) {
 
 Json Server::cmdDesigns(const Json& req) {
   std::vector<std::pair<std::string, EpochManager*>> all;
+  std::map<std::string, PruneAuditInfo> prune;
   {
     std::lock_guard<std::mutex> lock(designsMu_);
     for (auto& kv : designs_) all.emplace_back(kv.first, kv.second.get());
+    prune = pruneInfo_;
   }
   Json arr = Json::array();
   for (auto& [name, mgr] : all) {  // map order: name-sorted, deterministic
@@ -495,6 +505,11 @@ Json Server::cmdDesigns(const Json& req) {
                      ? rep->engine(0).endpoints().size()
                      : 0))
         .set("scenarios", std::move(scenarios));
+    const auto pit = prune.find(name);
+    d.set("prune_certificates",
+          pit == prune.end() ? std::uint64_t{0} : pit->second.certificates)
+        .set("prune_predictor",
+             pit != prune.end() && pit->second.predictor);
     arr.push(std::move(d));
   }
   Json r = makeResponse(req, /*ok=*/true, /*done=*/true);

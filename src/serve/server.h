@@ -156,6 +156,14 @@ class Server {
 
   mutable std::mutex designsMu_;
   std::map<std::string, std::unique_ptr<EpochManager>> designs_;
+  /// Prune-audit summary captured at addDesign time (the snapshot itself
+  /// moves into the EpochManager): certificate count + whether a fitted
+  /// predictor rode along. Reported by the `designs` command.
+  struct PruneAuditInfo {
+    std::uint64_t certificates = 0;
+    bool predictor = false;
+  };
+  std::map<std::string, PruneAuditInfo> pruneInfo_;  ///< under designsMu_
 
   std::atomic<int> port_{0};
   std::atomic<int> listenFd_{-1};

@@ -12,6 +12,7 @@
 /// gate-dominated -> Cw dominates; high-V paths are wire-dominated -> RCw
 /// dominates).
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -97,6 +98,45 @@ struct McmmOptions {
   PbaOptions pba;
 };
 
+/// Auditable evidence for a scenario the pruner (signoff/prune.h) closed
+/// WITHOUT an exact run — the corner-level sibling of PbaCertificate. The
+/// bound fields are provable: they are the exact WNS of a scenario whose
+/// knobs dominate this one (pessimistic-or-equal on every monotone margin
+/// axis, identical otherwise), so the skipped corner's true WNS can only be
+/// >= the bound. The predictions are the regression's best guess and carry
+/// no guarantee; they exist so an audit can see *why* the corner looked
+/// safe to skip. All fields are deterministic — certificates are part of
+/// the farm's bit-identical merge contract.
+struct PruneCertificate {
+  std::int32_t scenario = -1;   ///< scenario input index
+  std::string scenarioName;
+  Ps predictedSetupWns = 0.0, predictedHoldWns = 0.0;  ///< model estimate
+  Ps boundSetupWns = 0.0, boundHoldWns = 0.0;  ///< provable lower bounds
+  /// Model uncertainty (ps) at the decision: train residual + distance term.
+  Ps uncertainty = 0.0;
+  /// Input indices of the exact runs whose WNS is the bound.
+  std::int32_t evidenceSetup = -1, evidenceHold = -1;
+  std::string evidenceSetupName, evidenceHoldName;
+  std::int32_t round = 0;  ///< active-learning round that closed the corner
+};
+
+/// Serializable state of the corner-pruning predictor: which exact runs it
+/// trained on and the fitted ridge coefficients over normalized scenario
+/// features. Rides in DesignSnapshot (format v2) so the artifact a pruned
+/// pass ships is auditable offline — bound certificates plus the model
+/// that chose them.
+struct PrunePredictor {
+  bool valid = false;
+  std::uint64_t seed = 0;
+  std::int32_t rounds = 0;
+  /// Exact-run training set, dispatch order (quarantined runs excluded).
+  std::vector<std::uint32_t> trainingScenarios;
+  std::vector<double> trainingSetupWns, trainingHoldWns;
+  /// Ridge weights over normalized features, bias last.
+  std::vector<double> setupWeights, holdWeights;
+  double setupResidual = 0.0, holdResidual = 0.0;  ///< training RMS, ps
+};
+
 /// Outcome of one scenario's STA run.
 struct ScenarioResult {
   std::string scenario;
@@ -112,6 +152,12 @@ struct ScenarioResult {
   std::vector<PbaResult> pba;
   /// min pbaSlack over `pba` (0.0 when PBA is off or found no endpoints).
   Ps pbaSetupWns = 0.0;
+  /// True when this slot was closed by the corner pruner instead of an
+  /// exact run: the WNS/TNS fields hold the certificate's conservative
+  /// bounds (copied from the dominating evidence runs), endpoints are
+  /// empty, and `certificate` records the audit trail.
+  bool pruned = false;
+  PruneCertificate certificate;
 };
 
 /// Merged MCMM outcome, reduced in scenario input order (bit-identical

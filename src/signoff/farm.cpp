@@ -169,6 +169,19 @@ std::string encodeScenarioResult(const ScenarioResult& r) {
     putU64(os, static_cast<std::uint64_t>(p.cert.pathsPruned));
   }
   putF64(os, r.pbaSetupWns);
+  putU32(os, r.pruned ? 1u : 0u);
+  putI32(os, r.certificate.scenario);
+  putStr(os, r.certificate.scenarioName);
+  putF64(os, r.certificate.predictedSetupWns);
+  putF64(os, r.certificate.predictedHoldWns);
+  putF64(os, r.certificate.boundSetupWns);
+  putF64(os, r.certificate.boundHoldWns);
+  putF64(os, r.certificate.uncertainty);
+  putI32(os, r.certificate.evidenceSetup);
+  putI32(os, r.certificate.evidenceHold);
+  putStr(os, r.certificate.evidenceSetupName);
+  putStr(os, r.certificate.evidenceHoldName);
+  putI32(os, r.certificate.round);
   return os.str();
 }
 
@@ -213,9 +226,7 @@ Result<ScenarioResult> decodeScenarioResult(const std::string& payload) {
         codecFail("diagnostic severity out of range");
       d.severity = static_cast<Severity>(sev);
       const std::uint32_t code = rU32(is);
-      if (code > static_cast<std::uint32_t>(
-                     DiagCode::kFarmScenarioQuarantined))
-        codecFail("diagnostic code out of range");
+      if (code >= kDiagCodeCount) codecFail("diagnostic code out of range");
       d.code = static_cast<DiagCode>(code);
       d.message = rStr(is);
       d.entity = rStr(is);
@@ -237,6 +248,21 @@ Result<ScenarioResult> decodeScenarioResult(const std::string& payload) {
       p.cert.pathsPruned = static_cast<std::int64_t>(rU64(is));
     }
     r.pbaSetupWns = rF64(is);
+    const std::uint32_t pruned = rU32(is);
+    if (pruned > 1) codecFail("pruned flag out of range");
+    r.pruned = pruned != 0;
+    r.certificate.scenario = rI32(is);
+    r.certificate.scenarioName = rStr(is);
+    r.certificate.predictedSetupWns = rF64(is);
+    r.certificate.predictedHoldWns = rF64(is);
+    r.certificate.boundSetupWns = rF64(is);
+    r.certificate.boundHoldWns = rF64(is);
+    r.certificate.uncertainty = rF64(is);
+    r.certificate.evidenceSetup = rI32(is);
+    r.certificate.evidenceHold = rI32(is);
+    r.certificate.evidenceSetupName = rStr(is);
+    r.certificate.evidenceHoldName = rStr(is);
+    r.certificate.round = rI32(is);
     if (is.peek() != std::istream::traits_type::eof())
       codecFail("trailing bytes after the result payload");
     return r;

@@ -1,0 +1,624 @@
+#include "signoff/prune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace tc {
+
+namespace {
+
+Counter& scenariosCtr() {
+  static Counter& c =
+      MetricsRegistry::global().counter("prune.scenarios", "count");
+  return c;
+}
+Counter& exactRunsCtr() {
+  static Counter& c =
+      MetricsRegistry::global().counter("prune.exact_runs", "count");
+  return c;
+}
+Counter& prunedCtr() {
+  static Counter& c =
+      MetricsRegistry::global().counter("prune.pruned", "count");
+  return c;
+}
+Counter& roundsCtr() {
+  static Counter& c =
+      MetricsRegistry::global().counter("prune.rounds", "count");
+  return c;
+}
+Counter& quarantinedEvidenceCtr() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "prune.quarantined_evidence", "count");
+  return c;
+}
+
+constexpr int kDim = kPruneFeatureCount + 1;  // + bias
+
+/// A quarantined farm slot: the conservative -inf marker plus the
+/// FARM_SCENARIO_QUARANTINED error (farm.cpp quarantinedResult).
+bool isQuarantined(const ScenarioResult& r) {
+  for (const Diagnostic& d : r.diagnostics)
+    if (d.code == DiagCode::kFarmScenarioQuarantined) return true;
+  return false;
+}
+
+/// Per-check ridge model over normalized features. Everything runs in a
+/// fixed order (index-ascending training set, deterministic pivoting), so
+/// the fit is bit-stable for a given training set.
+struct RidgeModel {
+  bool valid = false;
+  std::array<double, kDim> w{};
+  double residual = 0.0;  ///< training RMS error, ps
+  double spread = 0.0;    ///< max - min of the training targets
+};
+
+RidgeModel fitRidge(const std::vector<std::array<double, kDim>>& rows,
+                    const std::vector<double>& y, double lambda) {
+  RidgeModel m;
+  if (rows.size() < 2) return m;
+  double a[kDim][kDim] = {};
+  double b[kDim] = {};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (int i = 0; i < kDim; ++i) {
+      b[i] += rows[r][i] * y[r];
+      for (int j = 0; j < kDim; ++j) a[i][j] += rows[r][i] * rows[r][j];
+    }
+  }
+  for (int i = 0; i < kDim; ++i) a[i][i] += lambda;
+  // Gaussian elimination with partial pivoting; the pivot choice (max
+  // magnitude, first on ties) is deterministic.
+  int perm[kDim];
+  for (int i = 0; i < kDim; ++i) perm[i] = i;
+  for (int col = 0; col < kDim; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < kDim; ++r)
+      if (std::fabs(a[perm[r]][col]) > std::fabs(a[perm[pivot]][col]))
+        pivot = r;
+    std::swap(perm[col], perm[pivot]);
+    const double diag = a[perm[col]][col];
+    if (std::fabs(diag) < 1e-12) return m;  // singular despite the ridge
+    for (int r = col + 1; r < kDim; ++r) {
+      const double f = a[perm[r]][col] / diag;
+      if (f == 0.0) continue;
+      for (int c = col; c < kDim; ++c) a[perm[r]][c] -= f * a[perm[col]][c];
+      b[perm[r]] -= f * b[perm[col]];
+    }
+  }
+  for (int col = kDim - 1; col >= 0; --col) {
+    double v = b[perm[col]];
+    for (int c = col + 1; c < kDim; ++c) v -= a[perm[col]][c] * m.w[c];
+    m.w[col] = v / a[perm[col]][col];
+  }
+  double se = 0.0, lo = y[0], hi = y[0];
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    double p = 0.0;
+    for (int i = 0; i < kDim; ++i) p += m.w[i] * rows[r][i];
+    se += (p - y[r]) * (p - y[r]);
+    lo = std::min(lo, y[r]);
+    hi = std::max(hi, y[r]);
+  }
+  m.residual = std::sqrt(se / static_cast<double>(rows.size()));
+  m.spread = hi - lo;
+  m.valid = true;
+  return m;
+}
+
+double predict(const RidgeModel& m, const std::array<double, kDim>& row) {
+  double p = 0.0;
+  for (int i = 0; i < kDim; ++i) p += m.w[i] * row[i];
+  return p;
+}
+
+}  // namespace
+
+std::array<double, kPruneFeatureCount> pruneFeatures(const Scenario& sc) {
+  ViewDef view;
+  view.vdd = sc.vdd();
+  view.temp = sc.temp();
+  view.process = sc.lib ? sc.lib->pvt().corner : ProcessCorner::kTT;
+  view.beol = sc.beol;
+  return {sc.vdd(),
+          sc.temp(),
+          viewDelayScore(view),
+          static_cast<double>(sc.beol),
+          static_cast<double>(sc.derate.mode),
+          sc.derate.flatLate,
+          sc.derate.flatEarly,
+          sc.derate.sigmaCount,
+          sc.clockUncertaintySetup,
+          sc.clockUncertaintyHold,
+          sc.extraSetupMargin,
+          sc.extraHoldMargin,
+          sc.tightenSigma,
+          sc.inputSlew};
+}
+
+bool dominatesForBound(const Scenario& a, const Scenario& b) {
+  // Structural context must match exactly: these knobs change WHAT is
+  // analyzed, not how much margin is stacked on it, so no ordering between
+  // two different values is sound.
+  if (a.lib.get() != b.lib.get()) return false;
+  if (a.beol != b.beol) return false;
+  if (a.techNm != b.techNm) return false;
+  if (a.tightenSigma != b.tightenSigma) return false;
+  if (a.derate.mode != b.derate.mode) return false;
+  if (a.derate.cppr != b.derate.cppr) return false;
+  if (a.limits.maxTransition != b.limits.maxTransition) return false;
+  if (a.limits.maxCapacitance != b.limits.maxCapacitance) return false;
+  if (a.inputDelay != b.inputDelay) return false;
+  if (a.disableDataInputs != b.disableDataInputs) return false;
+  if (a.inputSlew != b.inputSlew) return false;
+  if (a.sadp != b.sadp) return false;
+  if (a.misAware != b.misAware) return false;
+  // Monotone margin knobs: every endpoint's setup AND hold slack is
+  // weakly worse under `a`, hence so are WNS, TNS and violation counts.
+  return a.derate.flatLate >= b.derate.flatLate &&
+         a.derate.flatEarly <= b.derate.flatEarly &&
+         a.derate.sigmaCount >= b.derate.sigmaCount &&
+         a.clockUncertaintySetup >= b.clockUncertaintySetup &&
+         a.clockUncertaintyHold >= b.clockUncertaintyHold &&
+         a.extraSetupMargin >= b.extraSetupMargin &&
+         a.extraHoldMargin >= b.extraHoldMargin;
+}
+
+std::vector<Scenario> deriveOcvLadder(const std::vector<Scenario>& bases,
+                                      const OcvLadderSpec& spec) {
+  std::vector<Scenario> out;
+  const std::size_t nFlat =
+      std::min(spec.lateFactors.size(), spec.earlyFactors.size());
+  for (const Scenario& base : bases) {
+    for (std::size_t l = 0; l < nFlat; ++l) {
+      for (std::size_t u = 0; u < spec.setupUncertainties.size(); ++u) {
+        for (std::size_t m = 0; m < spec.extraSetupMargins.size(); ++m) {
+          for (std::size_t s = 0; s < spec.sigmaCounts.size(); ++s) {
+            Scenario sc = base;
+            sc.derate.flatLate = spec.lateFactors[l];
+            sc.derate.flatEarly = spec.earlyFactors[l];
+            sc.derate.sigmaCount = spec.sigmaCounts[s];
+            sc.clockUncertaintySetup = spec.setupUncertainties[u];
+            sc.clockUncertaintyHold = spec.setupUncertainties[u] / 5.0;
+            sc.extraSetupMargin = spec.extraSetupMargins[m];
+            sc.name = base.name + "@L" + std::to_string(l) + "U" +
+                      std::to_string(u) + "M" + std::to_string(m) + "S" +
+                      std::to_string(s);
+            out.push_back(std::move(sc));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+PrunedMcmmResult runPruned(const std::vector<Scenario>& scenarios,
+                           const PruneOptions& opt,
+                           const ExactBatchRunner& runExact) {
+  TraceSpan span("prune", "active-learning pass");
+  const std::size_t n = scenarios.size();
+  PrunedMcmmResult out;
+  out.predictor.seed = opt.seed;
+  scenariosCtr().add(n);
+  if (n == 0) return out;
+
+  // Normalized feature rows (bias last). The normalization window is the
+  // whole scenario set, not the training subset, so rows never change as
+  // training grows.
+  std::vector<std::array<double, kDim>> rows(n);
+  {
+    std::vector<std::array<double, kPruneFeatureCount>> raw(n);
+    std::array<double, kPruneFeatureCount> lo{}, hi{};
+    for (std::size_t i = 0; i < n; ++i) raw[i] = pruneFeatures(scenarios[i]);
+    lo = hi = raw[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      for (int d = 0; d < kPruneFeatureCount; ++d) {
+        lo[d] = std::min(lo[d], raw[i][d]);
+        hi[d] = std::max(hi[d], raw[i][d]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int d = 0; d < kPruneFeatureCount; ++d)
+        rows[i][d] = hi[d] > lo[d] ? (raw[i][d] - lo[d]) / (hi[d] - lo[d])
+                                   : 0.0;
+      rows[i][kDim - 1] = 1.0;
+    }
+  }
+
+  // Dominance structure. Equal scenarios dominate both ways; the
+  // lowest-index copy is the canonical representative (only it counts as
+  // the others' dominator), so duplicates cannot erase each other from the
+  // maximal set.
+  std::vector<std::vector<std::size_t>> dominators(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || !dominatesForBound(scenarios[j], scenarios[i])) continue;
+      if (dominatesForBound(scenarios[i], scenarios[j]) && j > i) continue;
+      dominators[i].push_back(j);
+    }
+  }
+
+  std::vector<char> isExact(n, 0), poisoned(n, 0);
+  std::vector<ScenarioResult> exact(n);
+  std::vector<std::uint32_t> exactOrder;
+
+  auto runBatch = [&](std::vector<std::size_t> batch) {
+    std::sort(batch.begin(), batch.end());
+    batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+    const std::vector<ScenarioResult> results = runExact(batch);
+    for (std::size_t k = 0; k < batch.size() && k < results.size(); ++k) {
+      const std::size_t i = batch[k];
+      exact[i] = results[k];
+      isExact[i] = 1;
+      poisoned[i] = isQuarantined(exact[i]) ? 1 : 0;
+      exactOrder.push_back(static_cast<std::uint32_t>(i));
+    }
+  };
+
+  // --- Seed round: every dominance-maximal scenario (nothing can bound
+  // it, so it can never be pruned), then farthest-point sampling over the
+  // feature space up to seedRuns.
+  {
+    std::vector<std::size_t> seed;
+    std::vector<char> inSeed(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      if (dominators[i].empty()) {
+        seed.push_back(i);
+        inSeed[i] = 1;
+      }
+    const std::size_t want =
+        std::min<std::size_t>(n, static_cast<std::size_t>(
+                                     std::max(opt.seedRuns, 1)));
+    std::vector<double> minDist(n, std::numeric_limits<double>::infinity());
+    auto relax = [&](std::size_t picked) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double d2 = 0.0;
+        for (int d = 0; d < kDim - 1; ++d) {
+          const double df = rows[i][d] - rows[picked][d];
+          d2 += df * df;
+        }
+        minDist[i] = std::min(minDist[i], d2);
+      }
+    };
+    for (std::size_t s : seed) relax(s);
+    while (seed.size() < want) {
+      std::size_t best = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (inSeed[i]) continue;
+        if (best == n || minDist[i] > minDist[best]) best = i;
+      }
+      if (best == n) break;
+      seed.push_back(best);
+      inSeed[best] = 1;
+      relax(best);
+    }
+    runBatch(seed);
+  }
+
+  // --- Active-learning rounds.
+  RidgeModel setupModel, holdModel;
+  std::vector<std::size_t> training;
+  auto refit = [&] {
+    training.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      if (isExact[i] && !poisoned[i]) training.push_back(i);
+    std::vector<std::array<double, kDim>> x;
+    std::vector<double> ys, yh;
+    for (std::size_t i : training) {
+      x.push_back(rows[i]);
+      ys.push_back(exact[i].setupWns);
+      yh.push_back(exact[i].holdWns);
+    }
+    setupModel = fitRidge(x, ys, opt.ridgeLambda);
+    holdModel = fitRidge(x, yh, opt.ridgeLambda);
+  };
+  // Distance-aware uncertainty: the training residual plus the target
+  // spread scaled by how far (normalized feature space) the scenario sits
+  // from its nearest training point.
+  auto uncertainty = [&](std::size_t i, const RidgeModel& m) {
+    double nearest = std::numeric_limits<double>::infinity();
+    for (std::size_t t : training) {
+      double d2 = 0.0;
+      for (int d = 0; d < kDim - 1; ++d) {
+        const double df = rows[i][d] - rows[t][d];
+        d2 += df * df;
+      }
+      nearest = std::min(nearest, d2);
+    }
+    const double dist = training.empty()
+                            ? 1.0
+                            : std::sqrt(nearest /
+                                        static_cast<double>(kDim - 1));
+    return m.residual + m.spread * dist;
+  };
+
+  for (std::size_t iter = 0; iter <= n; ++iter) {
+    refit();
+    std::vector<std::size_t> needEvidence, contenders;
+    std::vector<double> key;  // predicted min slack, contenders order
+    double worstSetup = std::numeric_limits<double>::infinity();
+    double worstHold = std::numeric_limits<double>::infinity();
+    for (std::size_t t : training) {
+      worstSetup = std::min(worstSetup, exact[t].setupWns);
+      worstHold = std::min(worstHold, exact[t].holdWns);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (isExact[i]) continue;
+      bool hasEvidence = false;
+      for (std::size_t j : dominators[i])
+        if (isExact[j] && !poisoned[j]) {
+          hasEvidence = true;
+          break;
+        }
+      if (!hasEvidence) {
+        // Un-boundable (its dominators were quarantined, or it never had
+        // any that reached training): exact dispatch is mandatory —
+        // soundness overrides the budget.
+        needEvidence.push_back(i);
+        continue;
+      }
+      if (!setupModel.valid || !holdModel.valid) {
+        contenders.push_back(i);
+        key.push_back(0.0);
+        continue;
+      }
+      const double ps = predict(setupModel, rows[i]);
+      const double ph = predict(holdModel, rows[i]);
+      const double us = uncertainty(i, setupModel);
+      const double uh = uncertainty(i, holdModel);
+      // Stopping rule, per corner: pruned only when both checks clear the
+      // worst exact WNS by the margin even after subtracting uncertainty.
+      if (ps - us <= worstSetup + opt.criticalMarginPs ||
+          ph - uh <= worstHold + opt.criticalMarginPs) {
+        contenders.push_back(i);
+        key.push_back(std::min(ps, ph));
+      }
+    }
+    std::vector<std::size_t> batch = needEvidence;
+    std::vector<std::size_t> order(contenders.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return key[a] < key[b];
+                     });
+    for (std::size_t k : order) {
+      if (static_cast<int>(batch.size()) >= opt.batchSize) break;
+      if (static_cast<int>(exactOrder.size() + batch.size()) >=
+          opt.maxExactRuns)
+        break;
+      batch.push_back(contenders[k]);
+    }
+    if (batch.empty()) break;
+    runBatch(std::move(batch));
+    ++out.rounds;
+  }
+
+  // --- maxPruned floor: if more corners remain pruned than allowed, run
+  // the worst-looking ones exactly (mandatory, budget notwithstanding).
+  {
+    std::vector<std::size_t> rest;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!isExact[i]) rest.push_back(i);
+    const long excess =
+        static_cast<long>(rest.size()) - static_cast<long>(std::max(
+                                             opt.maxPruned, 0));
+    if (excess > 0) {
+      refit();
+      std::stable_sort(rest.begin(), rest.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         const double ka =
+                             setupModel.valid
+                                 ? std::min(predict(setupModel, rows[a]),
+                                            predict(holdModel, rows[a]))
+                                 : 0.0;
+                         const double kb =
+                             setupModel.valid
+                                 ? std::min(predict(setupModel, rows[b]),
+                                            predict(holdModel, rows[b]))
+                                 : 0.0;
+                         return ka < kb;
+                       });
+      rest.resize(static_cast<std::size_t>(excess));
+      runBatch(std::move(rest));
+      ++out.rounds;
+    }
+  }
+
+  refit();
+
+  // --- Assemble: exact slots verbatim (quarantined ones annotated),
+  // pruned slots from certificates backed by dominating evidence.
+  McmmMerger merger(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (isExact[i]) {
+      ScenarioResult slot = exact[i];
+      if (poisoned[i]) {
+        Diagnostic d;
+        d.severity = Severity::kNote;
+        d.code = DiagCode::kPruneQuarantinedEvidence;
+        d.message =
+            "quarantined exact run excluded from predictor training and "
+            "bound evidence";
+        slot.diagnostics.push_back(std::move(d));
+        ++out.quarantinedExact;
+      }
+      merger.accept(i, std::move(slot));
+      continue;
+    }
+    // Tightest sound bounds: among exact (un-poisoned) dominators, the one
+    // with the greatest WNS per check. Ties break on the lowest index.
+    std::size_t evS = n, evH = n;
+    for (std::size_t j : dominators[i]) {
+      if (!isExact[j] || poisoned[j]) continue;
+      if (evS == n || exact[j].setupWns > exact[evS].setupWns) evS = j;
+      if (evH == n || exact[j].holdWns > exact[evH].holdWns) evH = j;
+    }
+    // The loop above only leaves a scenario unresolved when it has
+    // evidence, so evS/evH are always found.
+    PruneCertificate cert;
+    cert.scenario = static_cast<std::int32_t>(i);
+    cert.scenarioName = scenarios[i].name;
+    cert.boundSetupWns = exact[evS].setupWns;
+    cert.boundHoldWns = exact[evH].holdWns;
+    cert.evidenceSetup = static_cast<std::int32_t>(evS);
+    cert.evidenceHold = static_cast<std::int32_t>(evH);
+    cert.evidenceSetupName = scenarios[evS].name;
+    cert.evidenceHoldName = scenarios[evH].name;
+    cert.round = out.rounds;
+    if (setupModel.valid && holdModel.valid) {
+      cert.predictedSetupWns = predict(setupModel, rows[i]);
+      cert.predictedHoldWns = predict(holdModel, rows[i]);
+      cert.uncertainty = std::max(uncertainty(i, setupModel),
+                                  uncertainty(i, holdModel));
+    } else {
+      cert.predictedSetupWns = cert.boundSetupWns;
+      cert.predictedHoldWns = cert.boundHoldWns;
+      cert.uncertainty = std::numeric_limits<double>::infinity();
+    }
+
+    ScenarioResult slot;
+    slot.scenario = scenarios[i].name;
+    slot.pruned = true;
+    slot.certificate = cert;
+    // Conservative per-endpoint monotonicity: the dominating run's
+    // aggregates bound this corner's from below (WNS/TNS) / above
+    // (violations), so the merged metrics stay pessimistic-or-equal.
+    slot.setupWns = exact[evS].setupWns;
+    slot.setupTns = exact[evS].setupTns;
+    slot.setupViolations = exact[evS].setupViolations;
+    slot.holdWns = exact[evH].holdWns;
+    slot.holdTns = exact[evH].holdTns;
+    slot.holdViolations = exact[evH].holdViolations;
+    slot.drvViolations = exact[evS].drvViolations;
+    Diagnostic d;
+    d.severity = Severity::kNote;
+    d.code = DiagCode::kPruneScenarioPruned;
+    d.message = "corner closed by certificate: setup bounded by exact run "
+                "of '" +
+                cert.evidenceSetupName + "', hold by '" +
+                cert.evidenceHoldName + "'";
+    slot.diagnostics.push_back(std::move(d));
+    out.certificates.push_back(std::move(cert));
+    merger.accept(i, std::move(slot));
+  }
+  out.result = merger.finish();
+  out.exactRuns = static_cast<int>(exactOrder.size());
+
+  out.predictor.valid = setupModel.valid && holdModel.valid;
+  out.predictor.rounds = out.rounds;
+  for (std::uint32_t i : exactOrder)
+    if (!poisoned[i]) {
+      out.predictor.trainingScenarios.push_back(i);
+      out.predictor.trainingSetupWns.push_back(exact[i].setupWns);
+      out.predictor.trainingHoldWns.push_back(exact[i].holdWns);
+    }
+  if (out.predictor.valid) {
+    out.predictor.setupWeights.assign(setupModel.w.begin(),
+                                      setupModel.w.end());
+    out.predictor.holdWeights.assign(holdModel.w.begin(), holdModel.w.end());
+    out.predictor.setupResidual = setupModel.residual;
+    out.predictor.holdResidual = holdModel.residual;
+  }
+
+  exactRunsCtr().add(exactOrder.size());
+  prunedCtr().add(out.certificates.size());
+  roundsCtr().add(static_cast<std::uint64_t>(out.rounds));
+  quarantinedEvidenceCtr().add(
+      static_cast<std::uint64_t>(out.quarantinedExact));
+  return out;
+}
+
+PrunedMcmmResult runMcmmPruned(const Netlist& netlist,
+                               std::vector<Scenario> scenarios,
+                               const PruneOptions& popt,
+                               const McmmOptions& mopt) {
+  if (popt.maxPruned <= 0) {
+    // Pruning off: delegate wholesale so the result is byte-identical to
+    // the plain runner's, diagnostics included.
+    PrunedMcmmResult out;
+    out.predictor.seed = popt.seed;
+    out.exactRuns = static_cast<int>(scenarios.size());
+    out.result = runMcmm(netlist, std::move(scenarios), mopt);
+    return out;
+  }
+  const std::vector<Scenario>& scn = scenarios;
+  ExactBatchRunner runner = [&](const std::vector<std::size_t>& batch) {
+    std::vector<ScenarioResult> results(batch.size());
+    std::vector<std::unique_ptr<DiagnosticSink>> sinks(batch.size());
+    auto runOne = [&](std::size_t k) {
+      sinks[k] = std::make_unique<DiagnosticSink>();
+      sinks[k]->setEcho(mopt.echoDiagnostics);
+      results[k] =
+          runScenarioStandalone(netlist, scn[batch[k]], mopt, *sinks[k]);
+    };
+    if (mopt.pool && mopt.pool->threadCount() > 0)
+      mopt.pool->parallelFor(batch.size(), runOne, /*grain=*/1);
+    else
+      for (std::size_t k = 0; k < batch.size(); ++k) runOne(k);
+    return results;
+  };
+  return runPruned(scn, popt, runner);
+}
+
+PrunedMcmmResult runMcmmFarmPruned(const DesignSnapshot& snap,
+                                   const PruneOptions& popt,
+                                   const FarmOptions& fopt,
+                                   FarmStats* stats) {
+  if (popt.maxPruned <= 0) {
+    PrunedMcmmResult out;
+    out.predictor.seed = popt.seed;
+    out.exactRuns = static_cast<int>(snap.scenarios.size());
+    out.result = runMcmmFarm(snap, fopt, stats);
+    return out;
+  }
+  ExactBatchRunner runner = [&](const std::vector<std::size_t>& batch) {
+    // Ship the batch as a sub-snapshot sharing the library table and
+    // netlist; workers re-extract parasitics, exactly like a full pass.
+    DesignSnapshot sub;
+    sub.libraries = snap.libraries;
+    sub.netlist = snap.netlist;
+    for (std::size_t i : batch) sub.scenarios.push_back(snap.scenarios[i]);
+    FarmStats batchStats;
+    McmmResult merged = runMcmmFarm(sub, fopt, &batchStats);
+    if (stats) {
+      stats->attemptsLaunched += batchStats.attemptsLaunched;
+      stats->crashes += batchStats.crashes;
+      stats->timeouts += batchStats.timeouts;
+      stats->hangs += batchStats.hangs;
+      stats->frameErrors += batchStats.frameErrors;
+      stats->retries += batchStats.retries;
+      stats->duplicates += batchStats.duplicates;
+      stats->quarantined += batchStats.quarantined;
+    }
+    return merged.scenarios;
+  };
+  return runPruned(snap.scenarios, popt, runner);
+}
+
+PrunedMcmmResult runMcmmFarmPruned(const Netlist& netlist,
+                                   std::vector<Scenario> scenarios,
+                                   const PruneOptions& popt,
+                                   const FarmOptions& fopt,
+                                   FarmStats* stats) {
+  return runMcmmFarmPruned(
+      makeSnapshot(netlist, std::move(scenarios), /*includeSpef=*/false),
+      popt, fopt, stats);
+}
+
+void attachPruneAudit(DesignSnapshot& snap, const PrunedMcmmResult& pruned) {
+  snap.prunePredictor = pruned.predictor;
+  snap.pruneCerts = pruned.certificates;
+}
+
+void registerPruneMetrics() {
+  scenariosCtr();
+  exactRunsCtr();
+  prunedCtr();
+  roundsCtr();
+  quarantinedEvidenceCtr();
+}
+
+}  // namespace tc

@@ -1,0 +1,163 @@
+#pragma once
+/// \file prune.h
+/// \brief Active-learning corner pruning with auditable bound certificates.
+///
+/// The paper's corner super-explosion (Sec. 2.3) makes exact-everywhere
+/// MCMM signoff scale linearly with a scenario count that grows every node.
+/// The scenario farm (farm.h) pays that cost across processes; this layer
+/// stops paying it at all for most corners, SetupKit-style: fit a cheap
+/// deterministic regression over scenario features from a small seed set of
+/// exact runs, then actively dispatch only the scenarios that are either
+/// predicted critical or that the model is unsure about, in batched rounds,
+/// until every remaining corner is confidently non-critical.
+///
+/// Soundness is NOT delegated to the regression. Every pruned corner gets a
+/// PruneCertificate whose bound is the exact WNS of a *dominating* scenario
+/// — identical analysis context, pessimistic-or-equal on every monotone
+/// margin knob (flat derates, sigma count, clock uncertainty, extra
+/// margins) — so per-endpoint monotonicity makes the bound provably <= the
+/// corner's true WNS. The model only decides WHERE to spend exact runs
+/// (bound tightness); a wrong prediction can cost pessimism, never
+/// optimism. Scenarios with no dominating exact run are forced exact, and
+/// quarantined (poison) exact runs are excluded from both training and
+/// evidence, so a crashed corner cannot silently tighten another corner's
+/// bound. See DESIGN.md "Corner pruning".
+///
+/// Determinism: seeds, batch membership, stopping, and certificates are
+/// pure functions of the scenario list and the (deterministic) exact
+/// results, so a pruned pass is bit-identical in-process vs farm, at any
+/// worker count, and under the recoverable TC_FARM_FAULT matrix
+/// (tests/prune_determinism_test.cpp).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "signoff/corners.h"
+#include "signoff/farm.h"
+#include "signoff/snapshot.h"
+
+namespace tc {
+
+/// The predictor's feature space: PVT point (vdd, temp, device-model delay
+/// score), wire model (BEOL corner), derate-ladder position (mode, flat
+/// factors, sigma count), uncertainty/margin knobs, TBC factor, input slew.
+constexpr int kPruneFeatureCount = 14;
+
+std::array<double, kPruneFeatureCount> pruneFeatures(const Scenario& sc);
+
+/// True when an exact run of `a` yields a provable lower bound on `b`'s
+/// setup AND hold WNS (and TNS/violation counts): identical structural
+/// context (library, BEOL, tech node, derate mode, CPPR, limits, boundary
+/// conditions) with every monotone margin knob at least as harsh. Knobs a
+/// derate mode ignores compare trivially equal-or-worse, so the relation
+/// stays sound across the whole OCV ladder. Non-strict: a == b dominates
+/// both ways.
+bool dominatesForBound(const Scenario& a, const Scenario& b);
+
+/// Derived-scenario generator shared by bench_corner_pruning and the prune
+/// test suites: the OCV signoff ladder of a base corner, one scenario per
+/// grid point of (paired flat late/early factors) x setup uncertainty x
+/// extra setup margin x sigma count. Hold uncertainty tracks setup/5 like
+/// the Scenario defaults. Names are "<base>@L<i>U<j>M<k>S<l>".
+struct OcvLadderSpec {
+  std::vector<double> lateFactors{1.03, 1.08, 1.13};
+  std::vector<double> earlyFactors{0.97, 0.92, 0.87};  ///< paired by index
+  std::vector<Ps> setupUncertainties{15.0, 25.0, 40.0};
+  std::vector<Ps> extraSetupMargins{0.0, 10.0, 25.0};
+  std::vector<double> sigmaCounts{3.0};
+};
+
+std::vector<Scenario> deriveOcvLadder(const std::vector<Scenario>& bases,
+                                      const OcvLadderSpec& spec);
+
+struct PruneOptions {
+  /// Cap on how many scenarios may be closed by certificate instead of an
+  /// exact run. 0 disables pruning entirely: runMcmmPruned degenerates to
+  /// the plain runner and the McmmResult is byte-identical to
+  /// McmmRunner::run() / runMcmmFarm() on the same inputs.
+  int maxPruned = std::numeric_limits<int>::max();
+  /// Exact runs in the seed round. All dominance-maximal scenarios are
+  /// seeded regardless (they are nobody's evidence candidate, so they can
+  /// never be pruned); farthest-point sampling over the normalized feature
+  /// space fills the remainder.
+  int seedRuns = 12;
+  /// Exact dispatches per active-learning round after the seed.
+  int batchSize = 8;
+  /// Total exact-run budget. Mandatory runs (dominance-maximal scenarios,
+  /// corners whose every dominator got quarantined, the maxPruned floor)
+  /// override it — soundness is never traded for budget.
+  int maxExactRuns = 40;
+  /// Stopping rule: a corner stays pruned once its predicted WNS minus the
+  /// model uncertainty clears the worst exact WNS by this margin (ps).
+  Ps criticalMarginPs = 50.0;
+  /// Ridge regularizer on the normalized-feature normal equations.
+  double ridgeLambda = 1e-3;
+  /// Recorded in the predictor state; decisions are already deterministic.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// A pruned MCMM pass: the merged result (pruned slots carry certificate
+/// bounds), the certificates in scenario input order, and the final
+/// predictor state for the audit trail.
+struct PrunedMcmmResult {
+  McmmResult result;
+  std::vector<PruneCertificate> certificates;
+  PrunePredictor predictor;
+  int exactRuns = 0;
+  int rounds = 0;          ///< active-learning rounds after the seed round
+  int quarantinedExact = 0;  ///< exact runs excluded as poison
+};
+
+/// Executor the active-learning loop dispatches batches through: given
+/// scenario input indices (ascending), return their ScenarioResults in the
+/// same order. Must be deterministic — both built-in executors are.
+using ExactBatchRunner = std::function<std::vector<ScenarioResult>(
+    const std::vector<std::size_t>&)>;
+
+/// The core loop, executor-agnostic (tests plug counting/poisoning
+/// executors in here).
+PrunedMcmmResult runPruned(const std::vector<Scenario>& scenarios,
+                           const PruneOptions& opt,
+                           const ExactBatchRunner& runExact);
+
+/// In-process pruned MCMM: exact batches run through the exact per-scenario
+/// body McmmRunner uses, so unpruned slots are bit-identical to an
+/// all-exact run's.
+PrunedMcmmResult runMcmmPruned(const Netlist& netlist,
+                               std::vector<Scenario> scenarios,
+                               const PruneOptions& popt,
+                               const McmmOptions& mopt = {});
+
+/// Farm-backed pruned MCMM: each batch ships as a sub-snapshot (shared
+/// library table and netlist) across the crash-isolated worker farm.
+/// Pruning decisions depend only on the merged results, which the farm
+/// contract makes deterministic — so crashes, retries, and straggler
+/// re-dispatch cannot change which corners get exact runs. Quarantined
+/// corners keep their conservative -inf slot, are never pruned, and never
+/// serve as training points or bound evidence. `stats` accumulates across
+/// batches.
+PrunedMcmmResult runMcmmFarmPruned(const DesignSnapshot& snap,
+                                   const PruneOptions& popt,
+                                   const FarmOptions& fopt,
+                                   FarmStats* stats = nullptr);
+PrunedMcmmResult runMcmmFarmPruned(const Netlist& netlist,
+                                   std::vector<Scenario> scenarios,
+                                   const PruneOptions& popt,
+                                   const FarmOptions& fopt,
+                                   FarmStats* stats = nullptr);
+
+/// Stamp a pruned pass's audit state (predictor + certificates) into a
+/// snapshot, for shipping/serving. Snapshot format v2 round-trips it
+/// bitwise.
+void attachPruneAudit(DesignSnapshot& snap, const PrunedMcmmResult& pruned);
+
+/// Touch the prune.* stable counters so metrics listings (the server's
+/// `metrics` command, bench JSON reports) surface them even before the
+/// first pruned pass runs.
+void registerPruneMetrics();
+
+}  // namespace tc

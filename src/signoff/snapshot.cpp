@@ -18,7 +18,9 @@ namespace tc {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x5443534E;  // 'TCSN'
-constexpr std::uint32_t kVersion = 1;
+// v2: appended the corner-pruning audit section (predictor state + bound
+// certificates, signoff/prune.h) after the SPEF blob.
+constexpr std::uint32_t kVersion = 2;
 /// Plausibility cap on the declared payload size (snapshots of the largest
 /// designs this framework handles are a few hundred MB).
 constexpr std::uint64_t kMaxPayload = 1ull << 31;
@@ -51,6 +53,11 @@ std::uint32_t rU32(std::istream& is) {
 std::int32_t rI32(std::istream& is) {
   std::int32_t v = 0;
   if (!binio::getI32(is, v)) parseFail("payload ran dry reading i32");
+  return v;
+}
+std::uint64_t rU64(std::istream& is) {
+  std::uint64_t v = 0;
+  if (!binio::getU64(is, v)) parseFail("payload ran dry reading u64");
   return v;
 }
 double rF64(std::istream& is) {
@@ -292,6 +299,101 @@ Scenario readScenario(
   return sc;
 }
 
+// --- corner-pruning audit (format v2) ---------------------------------------
+
+/// Cap on the predictor weight vector (the real dimension is
+/// kPruneFeatureCount + 1; the format only promises "small").
+constexpr std::uint32_t kMaxPruneWeights = 256;
+
+void writePruneAudit(std::ostream& os, const DesignSnapshot& snap) {
+  using namespace binio;
+  const PrunePredictor& pp = snap.prunePredictor;
+  putBool(os, pp.valid);
+  putU64(os, pp.seed);
+  putI32(os, pp.rounds);
+  putU32(os, static_cast<std::uint32_t>(pp.trainingScenarios.size()));
+  for (std::size_t i = 0; i < pp.trainingScenarios.size(); ++i) {
+    putU32(os, pp.trainingScenarios[i]);
+    putF64(os, pp.trainingSetupWns[i]);
+    putF64(os, pp.trainingHoldWns[i]);
+  }
+  putU32(os, static_cast<std::uint32_t>(pp.setupWeights.size()));
+  for (double w : pp.setupWeights) putF64(os, w);
+  putU32(os, static_cast<std::uint32_t>(pp.holdWeights.size()));
+  for (double w : pp.holdWeights) putF64(os, w);
+  putF64(os, pp.setupResidual);
+  putF64(os, pp.holdResidual);
+  putU32(os, static_cast<std::uint32_t>(snap.pruneCerts.size()));
+  for (const PruneCertificate& c : snap.pruneCerts) {
+    putI32(os, c.scenario);
+    putStr(os, c.scenarioName);
+    putF64(os, c.predictedSetupWns);
+    putF64(os, c.predictedHoldWns);
+    putF64(os, c.boundSetupWns);
+    putF64(os, c.boundHoldWns);
+    putF64(os, c.uncertainty);
+    putI32(os, c.evidenceSetup);
+    putI32(os, c.evidenceHold);
+    putStr(os, c.evidenceSetupName);
+    putStr(os, c.evidenceHoldName);
+    putI32(os, c.round);
+  }
+}
+
+void readPruneAudit(std::istream& is, DesignSnapshot& snap) {
+  PrunePredictor& pp = snap.prunePredictor;
+  const int nScn = static_cast<int>(snap.scenarios.size());
+  pp.valid = rBool(is);
+  pp.seed = rU64(is);
+  pp.rounds = rI32(is);
+  if (pp.rounds < 0) parseFail("negative predictor round count");
+  const std::uint32_t nTrain = rU32(is);
+  if (nTrain > snap.scenarios.size())
+    parseFail("predictor training set larger than the scenario set");
+  for (std::uint32_t i = 0; i < nTrain; ++i) {
+    const std::uint32_t scn = rU32(is);
+    if (scn >= snap.scenarios.size())
+      parseFail("predictor training scenario index out of range");
+    pp.trainingScenarios.push_back(scn);
+    pp.trainingSetupWns.push_back(rF64(is));
+    pp.trainingHoldWns.push_back(rF64(is));
+  }
+  const std::uint32_t nSw = rU32(is);
+  if (nSw > kMaxPruneWeights) parseFail("implausible predictor weight count");
+  for (std::uint32_t i = 0; i < nSw; ++i)
+    pp.setupWeights.push_back(rF64(is));
+  const std::uint32_t nHw = rU32(is);
+  if (nHw > kMaxPruneWeights) parseFail("implausible predictor weight count");
+  for (std::uint32_t i = 0; i < nHw; ++i) pp.holdWeights.push_back(rF64(is));
+  pp.setupResidual = rF64(is);
+  pp.holdResidual = rF64(is);
+  const std::uint32_t nCert = rU32(is);
+  if (nCert > snap.scenarios.size())
+    parseFail("more prune certificates than scenarios");
+  std::int32_t prevIndex = -1;
+  for (std::uint32_t i = 0; i < nCert; ++i) {
+    PruneCertificate c;
+    c.scenario = rI32(is);
+    if (c.scenario <= prevIndex || c.scenario >= nScn)
+      parseFail("prune certificate scenario indices not strictly "
+                "increasing within range");
+    prevIndex = c.scenario;
+    c.scenarioName = rStr(is);
+    c.predictedSetupWns = rF64(is);
+    c.predictedHoldWns = rF64(is);
+    c.boundSetupWns = rF64(is);
+    c.boundHoldWns = rF64(is);
+    c.uncertainty = rF64(is);
+    c.evidenceSetup = rIndex(is, nScn, "prune setup evidence");
+    c.evidenceHold = rIndex(is, nScn, "prune hold evidence");
+    c.evidenceSetupName = rStr(is);
+    c.evidenceHoldName = rStr(is);
+    c.round = rI32(is);
+    if (c.round < 0) parseFail("negative prune certificate round");
+    snap.pruneCerts.push_back(std::move(c));
+  }
+}
+
 Status failAndReport(DiagnosticSink* sink, DiagCode code,
                      std::string message) {
   if (sink) sink->error(code, message, "snapshot");
@@ -364,6 +466,23 @@ Status writeSnapshot(const DesignSnapshot& snap, std::ostream& os) {
   if (snap.spef.size() > kMaxSpef)
     return Status::failure(DiagCode::kSnapUnsupported,
                            "SPEF blob exceeds the format cap");
+  const PrunePredictor& pp = snap.prunePredictor;
+  if (pp.trainingSetupWns.size() != pp.trainingScenarios.size() ||
+      pp.trainingHoldWns.size() != pp.trainingScenarios.size() ||
+      pp.setupWeights.size() > kMaxPruneWeights ||
+      pp.holdWeights.size() > kMaxPruneWeights)
+    return Status::failure(DiagCode::kSnapUnsupported,
+                           "inconsistent prune predictor state");
+  for (std::size_t i = 0; i < snap.pruneCerts.size(); ++i) {
+    const PruneCertificate& c = snap.pruneCerts[i];
+    const bool ordered =
+        i == 0 || c.scenario > snap.pruneCerts[i - 1].scenario;
+    if (!ordered || c.scenario < 0 ||
+        c.scenario >= static_cast<std::int32_t>(snap.scenarios.size()))
+      return Status::failure(
+          DiagCode::kSnapUnsupported,
+          "prune certificates not in strictly increasing scenario order");
+  }
 
   std::ostringstream payload(std::ios::binary);
   binio::putU32(payload,
@@ -381,6 +500,7 @@ Status writeSnapshot(const DesignSnapshot& snap, std::ostream& os) {
   binio::putU32(payload, static_cast<std::uint32_t>(snap.spef.size()));
   payload.write(snap.spef.data(),
                 static_cast<std::streamsize>(snap.spef.size()));
+  writePruneAudit(payload, snap);
 
   const std::string bytes = payload.str();
   binio::putU32(os, kMagic);
@@ -463,6 +583,7 @@ Result<DesignSnapshot> readSnapshot(std::istream& is, DiagnosticSink* sink) {
     for (std::uint32_t i = 0; i < nScn; ++i)
       snap.scenarios.push_back(readScenario(ps, snap.libraries));
     snap.spef = rStr(ps, kMaxSpef);
+    readPruneAudit(ps, snap);
     if (ps.peek() != std::istream::traits_type::eof())
       parseFail("trailing bytes after the snapshot payload");
     if (!snap.spef.empty()) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "network/netlist.h"
+#include "signoff/corners.h"
 #include "sta/scenario.h"
 #include "util/status.h"
 
@@ -48,6 +49,15 @@ struct DesignSnapshot {
   /// which is what keeps farm results bit-identical to in-process runs).
   /// Validated through the recoverable SPEF reader on load when non-empty.
   std::string spef;
+  /// Optional audit record of a pruned signoff pass over `scenarios`
+  /// (signoff/prune.h, format v2): the predictor state and one bound
+  /// certificate per pruned scenario, so the artifact a pruned pass ships
+  /// carries the evidence for its skipped corners. Certificates are stored
+  /// in strictly increasing scenario-index order (the canonical form the
+  /// bitwise round-trip contract requires) and validated against the
+  /// scenario count on load.
+  PrunePredictor prunePredictor;
+  std::vector<PruneCertificate> pruneCerts;
 };
 
 /// Bundle a netlist + scenario set into snapshot form. Deduplicates the

@@ -82,6 +82,9 @@ const char* toString(DiagCode code) {
     case DiagCode::kServeTxnRejected: return "SERVE_TXN_REJECTED";
     case DiagCode::kServeDuplicateDesign: return "SERVE_DUPLICATE_DESIGN";
     case DiagCode::kServeIo: return "SERVE_IO";
+    case DiagCode::kPruneScenarioPruned: return "PRUNE_SCENARIO_PRUNED";
+    case DiagCode::kPruneQuarantinedEvidence:
+      return "PRUNE_QUARANTINED_EVIDENCE";
   }
   return "UNKNOWN";
 }

@@ -116,7 +116,17 @@ enum class DiagCode {
   kServeTxnRejected,       ///< ECO transaction failed validation
   kServeDuplicateDesign,   ///< load under a name already serving
   kServeIo,                ///< socket-level failure (bind/accept/write)
+
+  // --- Corner pruning (signoff/prune.h) ------------------------------------
+  kPruneScenarioPruned,    ///< corner closed by certificate, not an exact run
+  kPruneQuarantinedEvidence,///< quarantined exact run excluded from evidence
 };
+
+/// One past the last defined code. Wire codecs (farm frames, snapshots)
+/// validate decoded codes against this instead of hard-coding the tail
+/// enumerator, so adding a code cannot silently widen what they accept.
+inline constexpr unsigned kDiagCodeCount =
+    static_cast<unsigned>(DiagCode::kPruneQuarantinedEvidence) + 1;
 
 const char* toString(DiagCode code);
 const char* toString(Severity severity);

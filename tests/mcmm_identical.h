@@ -53,6 +53,76 @@ inline std::vector<Scenario> scenarioSet() {
   return out;
 }
 
+/// Exact (bitwise, via ==) comparison of two prune certificates.
+inline void expectCertIdentical(const PruneCertificate& x,
+                                const PruneCertificate& y) {
+  EXPECT_EQ(x.scenario, y.scenario);
+  EXPECT_EQ(x.scenarioName, y.scenarioName);
+  EXPECT_EQ(x.predictedSetupWns, y.predictedSetupWns);
+  EXPECT_EQ(x.predictedHoldWns, y.predictedHoldWns);
+  EXPECT_EQ(x.boundSetupWns, y.boundSetupWns);
+  EXPECT_EQ(x.boundHoldWns, y.boundHoldWns);
+  EXPECT_EQ(x.uncertainty, y.uncertainty);
+  EXPECT_EQ(x.evidenceSetup, y.evidenceSetup);
+  EXPECT_EQ(x.evidenceHold, y.evidenceHold);
+  EXPECT_EQ(x.evidenceSetupName, y.evidenceSetupName);
+  EXPECT_EQ(x.evidenceHoldName, y.evidenceHoldName);
+  EXPECT_EQ(x.round, y.round);
+}
+
+/// Exact (bitwise, via ==) comparison of one scenario slot: scalars, every
+/// endpoint, the enumerated PBA tail, the per-scenario diagnostic stream,
+/// and the prune flag/certificate. The prune oracle suite uses this
+/// directly to hold each UNPRUNED slot of a pruned pass to the all-exact
+/// run's bytes.
+inline void expectScenarioIdentical(const ScenarioResult& x,
+                                    const ScenarioResult& y) {
+  SCOPED_TRACE("scenario " + x.scenario);
+  EXPECT_EQ(x.scenario, y.scenario);
+  EXPECT_EQ(x.setupWns, y.setupWns);
+  EXPECT_EQ(x.holdWns, y.holdWns);
+  EXPECT_EQ(x.setupTns, y.setupTns);
+  EXPECT_EQ(x.holdTns, y.holdTns);
+  EXPECT_EQ(x.setupViolations, y.setupViolations);
+  EXPECT_EQ(x.holdViolations, y.holdViolations);
+  EXPECT_EQ(x.drvViolations, y.drvViolations);
+  EXPECT_EQ(x.nanQuarantined, y.nanQuarantined);
+  ASSERT_EQ(x.endpoints.size(), y.endpoints.size());
+  for (std::size_t e = 0; e < x.endpoints.size(); ++e) {
+    SCOPED_TRACE("endpoint " + std::to_string(e));
+    EXPECT_EQ(x.endpoints[e].vertex, y.endpoints[e].vertex);
+    EXPECT_EQ(x.endpoints[e].setupSlack, y.endpoints[e].setupSlack);
+    EXPECT_EQ(x.endpoints[e].holdSlack, y.endpoints[e].holdSlack);
+    EXPECT_EQ(x.endpoints[e].dataLate, y.endpoints[e].dataLate);
+    EXPECT_EQ(x.endpoints[e].dataEarly, y.endpoints[e].dataEarly);
+    EXPECT_EQ(x.endpoints[e].cpprSetup, y.endpoints[e].cpprSetup);
+  }
+  EXPECT_EQ(x.pbaSetupWns, y.pbaSetupWns);
+  ASSERT_EQ(x.pba.size(), y.pba.size());
+  for (std::size_t i = 0; i < x.pba.size(); ++i) {
+    SCOPED_TRACE("pba path " + std::to_string(i));
+    EXPECT_EQ(x.pba[i].endpoint, y.pba[i].endpoint);
+    EXPECT_EQ(x.pba[i].gbaSlack, y.pba[i].gbaSlack);
+    EXPECT_EQ(x.pba[i].pbaSlack, y.pba[i].pbaSlack);
+    EXPECT_EQ(x.pba[i].exactArrival, y.pba[i].exactArrival);
+    EXPECT_EQ(x.pba[i].retraceGap, y.pba[i].retraceGap);
+    EXPECT_EQ(x.pba[i].cert.complete, y.pba[i].cert.complete);
+    EXPECT_EQ(x.pba[i].cert.pathsEvaluated, y.pba[i].cert.pathsEvaluated);
+    EXPECT_EQ(x.pba[i].cert.pathsPruned, y.pba[i].cert.pathsPruned);
+  }
+  ASSERT_EQ(x.diagnostics.size(), y.diagnostics.size());
+  for (std::size_t d = 0; d < x.diagnostics.size(); ++d) {
+    SCOPED_TRACE("slot diagnostic " + std::to_string(d));
+    EXPECT_EQ(x.diagnostics[d].severity, y.diagnostics[d].severity);
+    EXPECT_EQ(x.diagnostics[d].code, y.diagnostics[d].code);
+    EXPECT_EQ(x.diagnostics[d].message, y.diagnostics[d].message);
+    EXPECT_EQ(x.diagnostics[d].entity, y.diagnostics[d].entity);
+    EXPECT_EQ(x.diagnostics[d].line, y.diagnostics[d].line);
+  }
+  ASSERT_EQ(x.pruned, y.pruned);
+  if (x.pruned) expectCertIdentical(x.certificate, y.certificate);
+}
+
 /// Exact (bitwise, via ==) comparison of two MCMM results, with readable
 /// failure locations. Covers scalars, every endpoint, the enumerated PBA
 /// tail, and the merged diagnostic stream.
@@ -60,43 +130,8 @@ inline void expectIdentical(const McmmResult& a, const McmmResult& b,
                             const std::string& label) {
   SCOPED_TRACE(label);
   ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
-  for (std::size_t s = 0; s < a.scenarios.size(); ++s) {
-    const ScenarioResult& x = a.scenarios[s];
-    const ScenarioResult& y = b.scenarios[s];
-    SCOPED_TRACE("scenario " + x.scenario);
-    EXPECT_EQ(x.scenario, y.scenario);
-    EXPECT_EQ(x.setupWns, y.setupWns);
-    EXPECT_EQ(x.holdWns, y.holdWns);
-    EXPECT_EQ(x.setupTns, y.setupTns);
-    EXPECT_EQ(x.holdTns, y.holdTns);
-    EXPECT_EQ(x.setupViolations, y.setupViolations);
-    EXPECT_EQ(x.holdViolations, y.holdViolations);
-    EXPECT_EQ(x.drvViolations, y.drvViolations);
-    EXPECT_EQ(x.nanQuarantined, y.nanQuarantined);
-    ASSERT_EQ(x.endpoints.size(), y.endpoints.size());
-    for (std::size_t e = 0; e < x.endpoints.size(); ++e) {
-      SCOPED_TRACE("endpoint " + std::to_string(e));
-      EXPECT_EQ(x.endpoints[e].vertex, y.endpoints[e].vertex);
-      EXPECT_EQ(x.endpoints[e].setupSlack, y.endpoints[e].setupSlack);
-      EXPECT_EQ(x.endpoints[e].holdSlack, y.endpoints[e].holdSlack);
-      EXPECT_EQ(x.endpoints[e].dataLate, y.endpoints[e].dataLate);
-      EXPECT_EQ(x.endpoints[e].dataEarly, y.endpoints[e].dataEarly);
-      EXPECT_EQ(x.endpoints[e].cpprSetup, y.endpoints[e].cpprSetup);
-    }
-    EXPECT_EQ(x.pbaSetupWns, y.pbaSetupWns);
-    ASSERT_EQ(x.pba.size(), y.pba.size());
-    for (std::size_t i = 0; i < x.pba.size(); ++i) {
-      SCOPED_TRACE("pba path " + std::to_string(i));
-      EXPECT_EQ(x.pba[i].endpoint, y.pba[i].endpoint);
-      EXPECT_EQ(x.pba[i].gbaSlack, y.pba[i].gbaSlack);
-      EXPECT_EQ(x.pba[i].pbaSlack, y.pba[i].pbaSlack);
-      EXPECT_EQ(x.pba[i].exactArrival, y.pba[i].exactArrival);
-      EXPECT_EQ(x.pba[i].retraceGap, y.pba[i].retraceGap);
-      EXPECT_EQ(x.pba[i].cert.complete, y.pba[i].cert.complete);
-      EXPECT_EQ(x.pba[i].cert.pathsEvaluated, y.pba[i].cert.pathsEvaluated);
-      EXPECT_EQ(x.pba[i].cert.pathsPruned, y.pba[i].cert.pathsPruned);
-    }
-  }
+  for (std::size_t s = 0; s < a.scenarios.size(); ++s)
+    expectScenarioIdentical(a.scenarios[s], b.scenarios[s]);
   ASSERT_EQ(a.merged.size(), b.merged.size());
   for (std::size_t d = 0; d < a.merged.size(); ++d) {
     SCOPED_TRACE("diagnostic " + std::to_string(d));

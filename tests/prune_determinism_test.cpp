@@ -1,0 +1,204 @@
+/// \file prune_determinism_test.cpp
+/// \brief Pruning decisions and certificates are part of the farm's
+/// bit-identity contract (ctest label: prune): a pruned pass over the
+/// standard corner set must produce byte-identical results, certificates,
+/// and predictor state whether the exact runs execute in-process or across
+/// a process farm at 1, 4, or 16 workers — and the recoverable half of the
+/// TC_FARM_FAULT matrix (crashes, frame corruption, duplicate frames that
+/// the dispatcher retries or dedups away) must leave every decision
+/// unchanged. Decisions may only depend on the merged results, never on
+/// scheduling, arrival order, or which attempt finally delivered a frame.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mcmm_identical.h"
+#include "network/netgen.h"
+#include "signoff/prune.h"
+#include "util/log.h"
+
+namespace tc {
+namespace {
+
+using testutil::expectCertIdentical;
+using testutil::expectIdentical;
+using testutil::scenarioSet;
+
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec) {
+    setenv("TC_FARM_FAULT", spec.c_str(), 1);
+  }
+  ~ScopedFault() { unsetenv("TC_FARM_FAULT"); }
+};
+
+/// The full pruned-pass comparator: merged result, certificate list, and
+/// the predictor audit state, all via == (never near).
+void expectPrunedIdentical(const PrunedMcmmResult& a,
+                           const PrunedMcmmResult& b,
+                           const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.exactRuns, b.exactRuns);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.quarantinedExact, b.quarantinedExact);
+  ASSERT_EQ(a.certificates.size(), b.certificates.size());
+  for (std::size_t i = 0; i < a.certificates.size(); ++i)
+    expectCertIdentical(a.certificates[i], b.certificates[i]);
+  EXPECT_EQ(a.predictor.valid, b.predictor.valid);
+  EXPECT_EQ(a.predictor.seed, b.predictor.seed);
+  EXPECT_EQ(a.predictor.rounds, b.predictor.rounds);
+  EXPECT_EQ(a.predictor.trainingScenarios, b.predictor.trainingScenarios);
+  EXPECT_EQ(a.predictor.trainingSetupWns, b.predictor.trainingSetupWns);
+  EXPECT_EQ(a.predictor.trainingHoldWns, b.predictor.trainingHoldWns);
+  EXPECT_EQ(a.predictor.setupWeights, b.predictor.setupWeights);
+  EXPECT_EQ(a.predictor.holdWeights, b.predictor.holdWeights);
+  EXPECT_EQ(a.predictor.setupResidual, b.predictor.setupResidual);
+  EXPECT_EQ(a.predictor.holdResidual, b.predictor.holdResidual);
+  expectIdentical(a.result, b.result, label);
+}
+
+/// Shared inputs: the standard 4-corner set widened into a 16-scenario OCV
+/// ladder (four independent dominance groups), with the in-process pruned
+/// reference computed once.
+class PruneDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LogCapture quiet;
+    OcvLadderSpec spec;
+    spec.lateFactors = {1.03, 1.10};
+    spec.earlyFactors = {0.97, 0.90};
+    spec.setupUncertainties = {15.0, 40.0};
+    spec.extraSetupMargins = {0.0};
+    spec.sigmaCounts = {3.0};
+    ladder_ = new std::vector<Scenario>(deriveOcvLadder(scenarioSet(), spec));
+    netlist_ = new Netlist(
+        generateBlock(ladder_->front().lib, profileTiny()));
+    ref_ = new PrunedMcmmResult(
+        runMcmmPruned(*netlist_, *ladder_, options(), McmmOptions{}));
+  }
+  static void TearDownTestSuite() {
+    delete ref_;
+    delete netlist_;
+    delete ladder_;
+  }
+
+  static PruneOptions options() {
+    PruneOptions opt;
+    opt.seedRuns = 6;
+    opt.batchSize = 4;
+    opt.maxExactRuns = 10;
+    return opt;
+  }
+
+  static FarmOptions farmOptions(int workers) {
+    FarmOptions opt;
+    opt.workers = workers;
+    opt.scenarioTimeoutSec = 120.0;
+    opt.heartbeatSec = 0.05;
+    opt.heartbeatTimeoutSec = 3.0;
+    opt.maxAttempts = 3;
+    opt.backoffBaseSec = 0.01;
+    return opt;
+  }
+
+  /// Farm pruned pass under `spec` (empty = no fault): must fully recover
+  /// (nothing quarantined) and match the in-process reference
+  /// byte-for-byte, decisions included.
+  void expectFarmMatchesReference(int workers, const std::string& spec) {
+    LogCapture quiet;
+    SCOPED_TRACE("workers=" + std::to_string(workers) +
+                 " TC_FARM_FAULT=" + spec);
+    FarmStats stats;
+    PrunedMcmmResult farm;
+    if (spec.empty()) {
+      farm = runMcmmFarmPruned(*netlist_, *ladder_, options(),
+                               farmOptions(workers), &stats);
+    } else {
+      ScopedFault fault(spec);
+      farm = runMcmmFarmPruned(*netlist_, *ladder_, options(),
+                               farmOptions(workers), &stats);
+    }
+    EXPECT_EQ(stats.quarantined, 0);
+    expectPrunedIdentical(*ref_, farm, spec.empty() ? "clean" : spec);
+  }
+
+  static std::vector<Scenario>* ladder_;
+  static Netlist* netlist_;
+  static PrunedMcmmResult* ref_;
+};
+
+std::vector<Scenario>* PruneDeterminismTest::ladder_ = nullptr;
+Netlist* PruneDeterminismTest::netlist_ = nullptr;
+PrunedMcmmResult* PruneDeterminismTest::ref_ = nullptr;
+
+TEST_F(PruneDeterminismTest, ReferenceActuallyPrunes) {
+  // Guard against the whole suite going vacuous: the shared reference must
+  // contain both exact runs and certificates.
+  EXPECT_GE(ref_->exactRuns, 4);  // one per dominance-maximal corner
+  EXPECT_GE(ref_->certificates.size(), 4u);
+  EXPECT_EQ(ref_->certificates.size() +
+                static_cast<std::size_t>(ref_->exactRuns),
+            ladder_->size());
+  EXPECT_EQ(ref_->quarantinedExact, 0);
+}
+
+TEST_F(PruneDeterminismTest, FarmMatchesInProcessAtOneWorker) {
+  expectFarmMatchesReference(1, "");
+}
+
+TEST_F(PruneDeterminismTest, FarmMatchesInProcessAtFourWorkers) {
+  expectFarmMatchesReference(4, "");
+}
+
+TEST_F(PruneDeterminismTest, FarmMatchesInProcessAtSixteenWorkers) {
+  expectFarmMatchesReference(16, "");
+}
+
+// --- recoverable fault matrix: decisions must not move ----------------------
+
+TEST_F(PruneDeterminismTest, CrashOnFirstAttemptLeavesDecisionsUnchanged) {
+  // One corner's worker aborts on attempt 1 (name filter — batch
+  // sub-snapshots renumber scenarios, so the name is the only stable
+  // address); the retry succeeds and every decision stays put.
+  expectFarmMatchesReference(4, "abort@run:attempt=1:name=func_ssg_cw@L1U1");
+}
+
+TEST_F(PruneDeterminismTest, SigkillAtStreamLeavesDecisionsUnchanged) {
+  // func_tt@L1U1... is its group's dominance-maximal corner, so it is
+  // guaranteed to be dispatched (seed round) and the fault actually fires.
+  // The substring cannot match the func_tt_lvf group's names.
+  expectFarmMatchesReference(4,
+                             "sigkill@stream:attempt=1:name=func_tt@L1U1");
+}
+
+TEST_F(PruneDeterminismTest, FrameCorruptionLeavesDecisionsUnchanged) {
+  // Every scenario's first frame arrives bit-flipped; every retry is
+  // clean. The CRC rejects them all and the merge is unchanged.
+  expectFarmMatchesReference(4, "bitflip@payload:attempt=1");
+}
+
+TEST_F(PruneDeterminismTest, DuplicateFramesLeaveDecisionsUnchanged) {
+  // Every worker streams its result twice; first-accepted-wins dedup keeps
+  // the merge and therefore the decisions identical.
+  expectFarmMatchesReference(4, "dupframe@stream");
+}
+
+TEST_F(PruneDeterminismTest, TruncatedFrameLeavesDecisionsUnchanged) {
+  expectFarmMatchesReference(
+      4, "truncate@payload:attempt=1:name=func_ffg_cb@L1U1");
+}
+
+TEST_F(PruneDeterminismTest, RepeatFarmPassesAreByteIdentical) {
+  LogCapture quiet;
+  const PrunedMcmmResult a = runMcmmFarmPruned(
+      *netlist_, *ladder_, options(), farmOptions(4), nullptr);
+  const PrunedMcmmResult b = runMcmmFarmPruned(
+      *netlist_, *ladder_, options(), farmOptions(4), nullptr);
+  expectPrunedIdentical(a, b, "farm repeat");
+}
+
+}  // namespace
+}  // namespace tc

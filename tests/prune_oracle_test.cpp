@@ -1,0 +1,157 @@
+/// \file prune_oracle_test.cpp
+/// \brief Certificate soundness against the all-exact oracle (ctest label:
+/// prune). Over a population of random designs and OCV ladders, every
+/// pruned pass is held to the label invariants:
+///
+///   1. zero optimism — every certificate's setup/hold bound is <= the
+///      corner's true exact WNS (this is the empirical check of the
+///      per-endpoint monotonicity argument dominatesForBound leans on,
+///      across real engines, derates, CPPR and random topologies);
+///   2. unpruned slots are BITWISE the all-exact run's slots — pruning
+///      must never perturb what it does not skip;
+///   3. maxPruned=0 reproduces the plain runner's McmmResult
+///      byte-identically, certificates and all other side effects absent.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "liberty/builder.h"
+#include "mcmm_identical.h"
+#include "network/netgen.h"
+#include "signoff/prune.h"
+#include "util/log.h"
+
+namespace tc {
+namespace {
+
+std::vector<Scenario> oracleLadder() {
+  Scenario base;
+  base.name = "func_tt";
+  base.lib = characterizedLibrary(LibraryPvt{ProcessCorner::kTT, 0.9, 25.0},
+                                  /*quick=*/true);
+  OcvLadderSpec spec;
+  spec.lateFactors = {1.03, 1.10};
+  spec.earlyFactors = {0.97, 0.90};
+  spec.setupUncertainties = {15.0, 40.0};
+  spec.extraSetupMargins = {0.0, 20.0};
+  spec.sigmaCounts = {3.0};
+  return deriveOcvLadder({base}, spec);
+}
+
+PruneOptions smallBudget() {
+  PruneOptions opt;
+  opt.seedRuns = 3;
+  opt.batchSize = 2;
+  opt.maxExactRuns = 5;
+  return opt;
+}
+
+TEST(PruneOracle, BoundsAreNeverOptimisticAcrossRandomDesigns) {
+  LogCapture quiet;
+  const std::vector<Scenario> ladder = oracleLadder();
+  int prunedTotal = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    SCOPED_TRACE("design seed " + std::to_string(seed));
+    BlockProfile prof = profileTiny();
+    prof.seed = seed;
+    prof.numGates = 60 + static_cast<int>(seed % 7) * 15;
+    prof.numFlops = 8 + static_cast<int>(seed % 3) * 4;
+    const Netlist nl = generateBlock(ladder.front().lib, prof);
+
+    const McmmResult oracle = runMcmm(nl, ladder, McmmOptions{});
+    const PrunedMcmmResult pruned =
+        runMcmmPruned(nl, ladder, smallBudget(), McmmOptions{});
+
+    ASSERT_EQ(pruned.result.scenarios.size(), ladder.size());
+    EXPECT_LE(pruned.exactRuns, smallBudget().maxExactRuns);
+    EXPECT_EQ(pruned.certificates.size(),
+              ladder.size() - static_cast<std::size_t>(pruned.exactRuns));
+    prunedTotal += static_cast<int>(pruned.certificates.size());
+
+    std::int32_t prev = -1;
+    for (const PruneCertificate& c : pruned.certificates) {
+      SCOPED_TRACE("certificate for " + c.scenarioName);
+      EXPECT_GT(c.scenario, prev);
+      prev = c.scenario;
+      const std::size_t i = static_cast<std::size_t>(c.scenario);
+      // Invariant 1: pessimistic-or-equal, never optimistic.
+      EXPECT_LE(c.boundSetupWns, oracle.scenarios[i].setupWns);
+      EXPECT_LE(c.boundHoldWns, oracle.scenarios[i].holdWns);
+      // The evidence really dominates, and the bound is its exact WNS.
+      const std::size_t evS = static_cast<std::size_t>(c.evidenceSetup);
+      const std::size_t evH = static_cast<std::size_t>(c.evidenceHold);
+      EXPECT_TRUE(dominatesForBound(ladder[evS], ladder[i]));
+      EXPECT_TRUE(dominatesForBound(ladder[evH], ladder[i]));
+      EXPECT_EQ(c.boundSetupWns, oracle.scenarios[evS].setupWns);
+      EXPECT_EQ(c.boundHoldWns, oracle.scenarios[evH].holdWns);
+      // The merged slot carries the bounds (and the conservative
+      // aggregates of the evidence runs).
+      const ScenarioResult& slot = pruned.result.scenarios[i];
+      EXPECT_TRUE(slot.pruned);
+      EXPECT_EQ(slot.setupWns, c.boundSetupWns);
+      EXPECT_EQ(slot.holdWns, c.boundHoldWns);
+      EXPECT_LE(slot.setupTns, oracle.scenarios[i].setupTns);
+      EXPECT_LE(slot.holdTns, oracle.scenarios[i].holdTns);
+      EXPECT_GE(slot.setupViolations, oracle.scenarios[i].setupViolations);
+      EXPECT_GE(slot.holdViolations, oracle.scenarios[i].holdViolations);
+    }
+
+    // Invariant 2: unpruned slots are bitwise the oracle's.
+    for (std::size_t i = 0; i < ladder.size(); ++i)
+      if (!pruned.result.scenarios[i].pruned)
+        testutil::expectScenarioIdentical(pruned.result.scenarios[i],
+                                          oracle.scenarios[i]);
+
+    // The merged MCMM closure metrics stay pessimistic-or-equal too.
+    EXPECT_LE(pruned.result.wns(Check::kSetup), oracle.wns(Check::kSetup));
+    EXPECT_LE(pruned.result.wns(Check::kHold), oracle.wns(Check::kHold));
+    EXPECT_LE(pruned.result.tns(Check::kSetup), oracle.tns(Check::kSetup));
+    EXPECT_LE(pruned.result.tns(Check::kHold), oracle.tns(Check::kHold));
+    EXPECT_GE(pruned.result.violationCount(Check::kSetup),
+              oracle.violationCount(Check::kSetup));
+    EXPECT_GE(pruned.result.violationCount(Check::kHold),
+              oracle.violationCount(Check::kHold));
+
+    // Invariant 3 (sampled — it reruns the whole ladder exactly):
+    // pruned-off mode is byte-identical to the plain runner.
+    if (seed % 5 == 0) {
+      PruneOptions off = smallBudget();
+      off.maxPruned = 0;
+      const PrunedMcmmResult plain =
+          runMcmmPruned(nl, ladder, off, McmmOptions{});
+      EXPECT_TRUE(plain.certificates.empty());
+      EXPECT_FALSE(plain.predictor.valid);
+      EXPECT_EQ(plain.exactRuns, static_cast<int>(ladder.size()));
+      testutil::expectIdentical(oracle, plain.result, "maxPruned=0");
+    }
+  }
+  // The population must actually exercise pruning, not degenerate to
+  // all-exact everywhere.
+  EXPECT_GE(prunedTotal, 30 * 3);
+}
+
+TEST(PruneOracle, PrunedPassIsDeterministicPerDesign) {
+  LogCapture quiet;
+  const std::vector<Scenario> ladder = oracleLadder();
+  BlockProfile prof = profileTiny();
+  prof.seed = 17;
+  const Netlist nl = generateBlock(ladder.front().lib, prof);
+  const PrunedMcmmResult a =
+      runMcmmPruned(nl, ladder, smallBudget(), McmmOptions{});
+  const PrunedMcmmResult b =
+      runMcmmPruned(nl, ladder, smallBudget(), McmmOptions{});
+  EXPECT_EQ(a.exactRuns, b.exactRuns);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.predictor.trainingScenarios, b.predictor.trainingScenarios);
+  EXPECT_EQ(a.predictor.setupWeights, b.predictor.setupWeights);
+  EXPECT_EQ(a.predictor.holdWeights, b.predictor.holdWeights);
+  ASSERT_EQ(a.certificates.size(), b.certificates.size());
+  for (std::size_t i = 0; i < a.certificates.size(); ++i)
+    testutil::expectCertIdentical(a.certificates[i], b.certificates[i]);
+  testutil::expectIdentical(a.result, b.result, "pruned repeat");
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,508 @@
+/// \file prune_test.cpp
+/// \brief Corner-pruning units and the quarantine-poison regression (ctest
+/// label: prune). The synthetic-executor cases exercise the active-learning
+/// loop against a closed-form ground truth where soundness is checkable
+/// exactly; the farm case reproduces the bug class the pruner must be
+/// immune to — a poisoned (quarantined) exact run silently serving as
+/// another corner's bound evidence or training point.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "liberty/builder.h"
+#include "mcmm_identical.h"
+#include "network/netgen.h"
+#include "signoff/prune.h"
+#include "util/log.h"
+
+namespace tc {
+namespace {
+
+std::shared_ptr<const Library> quickLib() {
+  return characterizedLibrary(LibraryPvt{ProcessCorner::kTT, 0.9, 25.0},
+                              /*quick=*/true);
+}
+
+Scenario baseScenario() {
+  Scenario s;
+  s.name = "func_tt";
+  s.lib = quickLib();
+  return s;
+}
+
+/// Closed-form "true WNS" the synthetic executor answers with: linear and
+/// strictly decreasing in every harshness knob, so dominance in scenario
+/// space implies ordering in WNS space exactly — which is what makes the
+/// certificate-soundness assertions exact instead of approximate.
+double trueSetupWns(const Scenario& sc) {
+  return -(sc.derate.flatLate * 1000.0 + sc.clockUncertaintySetup * 2.0 +
+           sc.extraSetupMargin * 3.0);
+}
+double trueHoldWns(const Scenario& sc) {
+  return -((1.0 - sc.derate.flatEarly) * 800.0 +
+           sc.clockUncertaintyHold * 4.0 + sc.extraHoldMargin * 2.0);
+}
+
+ScenarioResult syntheticResult(const Scenario& sc) {
+  ScenarioResult r;
+  r.scenario = sc.name;
+  r.setupWns = trueSetupWns(sc);
+  r.holdWns = trueHoldWns(sc);
+  r.setupTns = r.setupWns * 3.0;
+  r.holdTns = r.holdWns * 2.0;
+  r.setupViolations = 5;
+  r.holdViolations = 2;
+  return r;
+}
+
+/// Batch executor over the synthetic truth that also records every batch
+/// it was handed (for budget/ordering assertions).
+struct RecordingRunner {
+  const std::vector<Scenario>* scenarios;
+  std::vector<std::vector<std::size_t>> batches;
+
+  ExactBatchRunner fn() {
+    return [this](const std::vector<std::size_t>& batch) {
+      batches.push_back(batch);
+      std::vector<ScenarioResult> out;
+      for (std::size_t i : batch)
+        out.push_back(syntheticResult((*scenarios)[i]));
+      return out;
+    };
+  }
+};
+
+OcvLadderSpec smallSpec() {
+  OcvLadderSpec spec;
+  spec.lateFactors = {1.03, 1.08, 1.13};
+  spec.earlyFactors = {0.97, 0.92, 0.87};
+  spec.setupUncertainties = {15.0, 25.0, 40.0};
+  spec.extraSetupMargins = {0.0, 10.0, 25.0};
+  spec.sigmaCounts = {3.0};
+  return spec;
+}
+
+// --- feature vector ---------------------------------------------------------
+
+TEST(PruneFeatures, VectorTracksTheScenarioKnobs) {
+  Scenario s = baseScenario();
+  s.derate.flatLate = 1.11;
+  s.derate.flatEarly = 0.89;
+  s.derate.sigmaCount = 2.5;
+  s.clockUncertaintySetup = 37.0;
+  s.clockUncertaintyHold = 7.4;
+  s.extraSetupMargin = 12.0;
+  s.extraHoldMargin = 3.0;
+  s.tightenSigma = 2.75;
+  s.inputSlew = 55.0;
+  const auto f = pruneFeatures(s);
+  EXPECT_EQ(f[0], s.vdd());
+  EXPECT_EQ(f[1], s.temp());
+  EXPECT_GT(f[2], 0.0);  // device-model delay score
+  EXPECT_EQ(f[3], static_cast<double>(s.beol));
+  EXPECT_EQ(f[4], static_cast<double>(s.derate.mode));
+  EXPECT_EQ(f[5], 1.11);
+  EXPECT_EQ(f[6], 0.89);
+  EXPECT_EQ(f[7], 2.5);
+  EXPECT_EQ(f[8], 37.0);
+  EXPECT_EQ(f[9], 7.4);
+  EXPECT_EQ(f[10], 12.0);
+  EXPECT_EQ(f[11], 3.0);
+  EXPECT_EQ(f[12], 2.75);
+  EXPECT_EQ(f[13], 55.0);
+}
+
+// --- dominance relation -----------------------------------------------------
+
+TEST(PruneDominance, ReflexiveAndMonotoneOnMarginKnobs) {
+  const Scenario a = baseScenario();
+  EXPECT_TRUE(dominatesForBound(a, a));
+
+  Scenario harsher = a;
+  harsher.derate.flatLate = a.derate.flatLate + 0.05;
+  harsher.derate.flatEarly = a.derate.flatEarly - 0.05;
+  harsher.clockUncertaintySetup = a.clockUncertaintySetup + 10.0;
+  harsher.extraSetupMargin = a.extraSetupMargin + 20.0;
+  EXPECT_TRUE(dominatesForBound(harsher, a));
+  EXPECT_FALSE(dominatesForBound(a, harsher));
+
+  // Mixed ordering (harsher on one axis, softer on another): no relation.
+  Scenario mixed = a;
+  mixed.derate.flatLate = a.derate.flatLate + 0.05;
+  mixed.clockUncertaintySetup = a.clockUncertaintySetup - 5.0;
+  EXPECT_FALSE(dominatesForBound(mixed, a));
+  EXPECT_FALSE(dominatesForBound(a, mixed));
+}
+
+TEST(PruneDominance, StructuralMismatchNeverDominates) {
+  const Scenario a = baseScenario();
+  Scenario b = a;
+  b.derate.flatLate = a.derate.flatLate + 0.10;  // harsher on margins...
+  b.beol = BeolCorner::kCworst;                  // ...different wires
+  EXPECT_FALSE(dominatesForBound(b, a));
+
+  Scenario c = a;
+  c.derate.flatLate = a.derate.flatLate + 0.10;
+  c.derate.mode = DerateMode::kAocv;  // different modeling style
+  EXPECT_FALSE(dominatesForBound(c, a));
+
+  Scenario d = a;
+  d.derate.flatLate = a.derate.flatLate + 0.10;
+  d.inputSlew = a.inputSlew + 1.0;  // different boundary condition
+  EXPECT_FALSE(dominatesForBound(d, a));
+}
+
+// --- ladder generator -------------------------------------------------------
+
+TEST(PruneLadder, GridSizeNamesAndPairing) {
+  const OcvLadderSpec spec = smallSpec();
+  const std::vector<Scenario> bases{baseScenario()};
+  const std::vector<Scenario> ladder = deriveOcvLadder(bases, spec);
+  ASSERT_EQ(ladder.size(), 3u * 3u * 3u * 1u);
+
+  std::set<std::string> names;
+  for (const Scenario& sc : ladder) {
+    names.insert(sc.name);
+    EXPECT_EQ(sc.clockUncertaintyHold, sc.clockUncertaintySetup / 5.0);
+    EXPECT_EQ(sc.lib.get(), bases[0].lib.get());
+  }
+  EXPECT_EQ(names.size(), ladder.size()) << "derived names must be unique";
+  EXPECT_EQ(ladder.front().name, "func_tt@L0U0M0S0");
+  // Late/early factors are paired by index, never cross-combined.
+  for (const Scenario& sc : ladder) {
+    const auto itL = std::find(spec.lateFactors.begin(),
+                               spec.lateFactors.end(), sc.derate.flatLate);
+    ASSERT_NE(itL, spec.lateFactors.end());
+    const std::size_t l =
+        static_cast<std::size_t>(itL - spec.lateFactors.begin());
+    EXPECT_EQ(sc.derate.flatEarly, spec.earlyFactors[l]);
+  }
+  // The full ladder of one base has exactly one dominance-maximal corner:
+  // the harshest grid point on every axis.
+  int maximal = 0;
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < ladder.size() && !dominated; ++j)
+      if (i != j && dominatesForBound(ladder[j], ladder[i]) &&
+          !dominatesForBound(ladder[i], ladder[j]))
+        dominated = true;
+    if (!dominated) ++maximal;
+  }
+  EXPECT_EQ(maximal, 1);
+}
+
+// --- active-learning loop over the synthetic truth --------------------------
+
+TEST(PruneLoop, ClosesTheLadderWithinBudgetAndZeroOptimism) {
+  const std::vector<Scenario> ladder =
+      deriveOcvLadder({baseScenario()}, smallSpec());
+  RecordingRunner rec{&ladder, {}};
+  PruneOptions opt;
+  opt.seedRuns = 6;
+  opt.batchSize = 4;
+  opt.maxExactRuns = 12;
+  const PrunedMcmmResult pruned = runPruned(ladder, opt, rec.fn());
+
+  EXPECT_LE(pruned.exactRuns, opt.maxExactRuns);
+  EXPECT_EQ(pruned.certificates.size(),
+            ladder.size() - static_cast<std::size_t>(pruned.exactRuns));
+  EXPECT_GE(pruned.certificates.size(), 1u);
+  ASSERT_EQ(pruned.result.scenarios.size(), ladder.size());
+  EXPECT_EQ(pruned.quarantinedExact, 0);
+  EXPECT_TRUE(pruned.predictor.valid);
+
+  // Every batch the loop dispatched was ascending and duplicate-free.
+  for (const auto& batch : rec.batches) {
+    ASSERT_FALSE(batch.empty());
+    for (std::size_t k = 1; k < batch.size(); ++k)
+      EXPECT_LT(batch[k - 1], batch[k]);
+  }
+
+  // Soundness against the closed-form truth: every certificate's bound is
+  // <= the scenario's true WNS (pessimistic-or-equal, never optimistic),
+  // and the bound is exactly the evidence run's WNS.
+  std::int32_t prev = -1;
+  for (const PruneCertificate& c : pruned.certificates) {
+    SCOPED_TRACE("certificate for " + c.scenarioName);
+    EXPECT_GT(c.scenario, prev) << "certificates must be in input order";
+    prev = c.scenario;
+    const Scenario& sc = ladder[static_cast<std::size_t>(c.scenario)];
+    EXPECT_LE(c.boundSetupWns, trueSetupWns(sc));
+    EXPECT_LE(c.boundHoldWns, trueHoldWns(sc));
+    ASSERT_GE(c.evidenceSetup, 0);
+    ASSERT_GE(c.evidenceHold, 0);
+    const Scenario& evS = ladder[static_cast<std::size_t>(c.evidenceSetup)];
+    const Scenario& evH = ladder[static_cast<std::size_t>(c.evidenceHold)];
+    EXPECT_TRUE(dominatesForBound(evS, sc));
+    EXPECT_TRUE(dominatesForBound(evH, sc));
+    EXPECT_EQ(c.boundSetupWns, trueSetupWns(evS));
+    EXPECT_EQ(c.boundHoldWns, trueHoldWns(evH));
+    EXPECT_EQ(c.evidenceSetupName, evS.name);
+    EXPECT_EQ(c.evidenceHoldName, evH.name);
+    // The merged slot carries the certificate bounds.
+    const ScenarioResult& slot =
+        pruned.result.scenarios[static_cast<std::size_t>(c.scenario)];
+    EXPECT_TRUE(slot.pruned);
+    EXPECT_EQ(slot.setupWns, c.boundSetupWns);
+    EXPECT_EQ(slot.holdWns, c.boundHoldWns);
+    EXPECT_TRUE(slot.endpoints.empty());
+  }
+
+  // Unpruned slots hold the exact synthetic result verbatim.
+  for (const ScenarioResult& slot : pruned.result.scenarios)
+    if (!slot.pruned) {
+      const auto it = std::find_if(
+          ladder.begin(), ladder.end(),
+          [&](const Scenario& s) { return s.name == slot.scenario; });
+      ASSERT_NE(it, ladder.end());
+      EXPECT_EQ(slot.setupWns, trueSetupWns(*it));
+      EXPECT_EQ(slot.holdWns, trueHoldWns(*it));
+    }
+}
+
+TEST(PruneLoop, DecisionsAreDeterministicAcrossRepeats) {
+  const std::vector<Scenario> ladder =
+      deriveOcvLadder({baseScenario()}, smallSpec());
+  PruneOptions opt;
+  opt.seedRuns = 6;
+  opt.batchSize = 4;
+  opt.maxExactRuns = 12;
+  RecordingRunner a{&ladder, {}}, b{&ladder, {}};
+  const PrunedMcmmResult ra = runPruned(ladder, opt, a.fn());
+  const PrunedMcmmResult rb = runPruned(ladder, opt, b.fn());
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(ra.exactRuns, rb.exactRuns);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+  EXPECT_EQ(ra.predictor.trainingScenarios, rb.predictor.trainingScenarios);
+  ASSERT_EQ(ra.certificates.size(), rb.certificates.size());
+  for (std::size_t i = 0; i < ra.certificates.size(); ++i)
+    testutil::expectCertIdentical(ra.certificates[i], rb.certificates[i]);
+  testutil::expectIdentical(ra.result, rb.result, "repeat");
+}
+
+TEST(PruneLoop, MaxPrunedFloorForcesExtraExactRuns) {
+  const std::vector<Scenario> ladder =
+      deriveOcvLadder({baseScenario()}, smallSpec());
+  RecordingRunner rec{&ladder, {}};
+  PruneOptions opt;
+  opt.seedRuns = 6;
+  opt.batchSize = 4;
+  opt.maxExactRuns = 12;
+  opt.maxPruned = 3;
+  const PrunedMcmmResult pruned = runPruned(ladder, opt, rec.fn());
+  EXPECT_LE(pruned.certificates.size(), 3u);
+  // The floor overrides the exact-run budget.
+  EXPECT_GE(pruned.exactRuns, static_cast<int>(ladder.size()) - 3);
+}
+
+TEST(PruneLoop, MandatoryEvidenceOverridesTheBudget) {
+  // A budget too small even for the seed: the dominance-maximal corner and
+  // evidence-less corners still get exact runs, because a corner with no
+  // dominating exact run can never be soundly pruned.
+  const std::vector<Scenario> ladder =
+      deriveOcvLadder({baseScenario()}, smallSpec());
+  RecordingRunner rec{&ladder, {}};
+  PruneOptions opt;
+  opt.seedRuns = 1;
+  opt.batchSize = 1;
+  opt.maxExactRuns = 1;
+  const PrunedMcmmResult pruned = runPruned(ladder, opt, rec.fn());
+  for (const PruneCertificate& c : pruned.certificates) {
+    const Scenario& sc = ladder[static_cast<std::size_t>(c.scenario)];
+    EXPECT_TRUE(
+        dominatesForBound(ladder[static_cast<std::size_t>(c.evidenceSetup)],
+                          sc));
+    EXPECT_TRUE(
+        dominatesForBound(ladder[static_cast<std::size_t>(c.evidenceHold)],
+                          sc));
+  }
+  EXPECT_EQ(pruned.certificates.size() +
+                static_cast<std::size_t>(pruned.exactRuns),
+            ladder.size());
+}
+
+// --- quarantine poison: synthetic reproduction ------------------------------
+
+/// Two independent dominance groups (A: func_tt, B: func_cw — different
+/// BEOL corner, so no cross-group dominance), 2x2 flat/uncertainty grid
+/// each. Indices: A = 0..3, B = 4..7, maximal corners A=3 ("@L1U1"),
+/// B=7. With seedRuns=2 the seed is exactly the two maximals; poisoning
+/// A's maximal makes every decision afterwards exactly computable, so the
+/// poison tests can assert the outcome bit-for-bit instead of
+/// property-only.
+std::vector<Scenario> twoGroupLadder() {
+  Scenario a = baseScenario();
+  Scenario b = baseScenario();
+  b.name = "func_cw";
+  b.beol = BeolCorner::kCworst;
+  OcvLadderSpec spec;
+  spec.lateFactors = {1.03, 1.08};
+  spec.earlyFactors = {0.97, 0.92};
+  spec.setupUncertainties = {15.0, 40.0};
+  spec.extraSetupMargins = {0.0};
+  spec.sigmaCounts = {3.0};
+  return deriveOcvLadder({a, b}, spec);
+}
+constexpr std::size_t kPoisonedMaximal = 3;  // func_tt@L1U1M0S0
+
+/// The regression this suite exists for: a quarantined exact run (the
+/// farm's conservative -inf marker) must never become another corner's
+/// bound evidence or a predictor training point — and corners whose every
+/// dominator got poisoned must fall back to exact runs of their own.
+TEST(PruneQuarantine, PoisonedRunNeverServesAsEvidenceOrTraining) {
+  const std::vector<Scenario> ladder = twoGroupLadder();
+  ASSERT_EQ(ladder.size(), 8u);
+  ASSERT_EQ(ladder[kPoisonedMaximal].name, "func_tt@L1U1M0S0");
+
+  RecordingRunner rec{&ladder, {}};
+  auto inner = rec.fn();
+  ExactBatchRunner poisoning = [&](const std::vector<std::size_t>& batch) {
+    std::vector<ScenarioResult> out = inner(batch);
+    for (std::size_t k = 0; k < batch.size(); ++k)
+      if (batch[k] == kPoisonedMaximal) {
+        ScenarioResult& r = out[k];
+        r.setupWns = -std::numeric_limits<double>::infinity();
+        r.holdWns = -std::numeric_limits<double>::infinity();
+        Diagnostic d;
+        d.severity = Severity::kError;
+        d.code = DiagCode::kFarmScenarioQuarantined;
+        d.message = "synthetic quarantine";
+        r.diagnostics.push_back(std::move(d));
+      }
+    return out;
+  };
+
+  PruneOptions opt;
+  opt.seedRuns = 2;
+  opt.batchSize = 8;
+  opt.maxExactRuns = 6;
+  const PrunedMcmmResult pruned = runPruned(ladder, opt, poisoning);
+
+  EXPECT_EQ(pruned.quarantinedExact, 1);
+  // Exactly computable outcome: seed = both maximals {3, 7}; round 1 must
+  // force A's three remaining corners exact (their only evidence source
+  // was quarantined) plus one budget-capped B contender; round 2 finds the
+  // budget spent and stops, leaving B corners 5 and 6 pruned on corner 7's
+  // evidence.
+  EXPECT_EQ(pruned.exactRuns, 6);
+  ASSERT_EQ(pruned.certificates.size(), 2u);
+  EXPECT_EQ(pruned.certificates[0].scenario, 5);
+  EXPECT_EQ(pruned.certificates[1].scenario, 6);
+  for (const PruneCertificate& c : pruned.certificates) {
+    EXPECT_EQ(c.evidenceSetup, 7);
+    EXPECT_EQ(c.evidenceHold, 7);
+    // Bounds stay sound and finite against the synthetic truth.
+    const Scenario& sc = ladder[static_cast<std::size_t>(c.scenario)];
+    EXPECT_LE(c.boundSetupWns, trueSetupWns(sc));
+    EXPECT_LE(c.boundHoldWns, trueHoldWns(sc));
+    EXPECT_TRUE(std::isfinite(c.boundSetupWns));
+    EXPECT_TRUE(std::isfinite(c.boundHoldWns));
+  }
+  // Not a training point.
+  for (std::uint32_t t : pruned.predictor.trainingScenarios)
+    EXPECT_NE(static_cast<std::size_t>(t), kPoisonedMaximal);
+  // The poisoned slot keeps its conservative marker, annotated.
+  const ScenarioResult& slot = pruned.result.scenarios[kPoisonedMaximal];
+  EXPECT_FALSE(slot.pruned);
+  EXPECT_EQ(slot.setupWns, -std::numeric_limits<double>::infinity());
+  bool sawNote = false;
+  for (const Diagnostic& d : slot.diagnostics)
+    if (d.code == DiagCode::kPruneQuarantinedEvidence) sawNote = true;
+  EXPECT_TRUE(sawNote);
+  // Every group-A corner lost its only dominator to quarantine and must
+  // have been forced exact.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_FALSE(pruned.result.scenarios[i].pruned)
+        << ladder[i].name << " lost its only dominator to quarantine";
+}
+
+// --- quarantine poison: real farm, real STA ---------------------------------
+
+/// RAII TC_FARM_FAULT setter (same idiom as farm_faultinject_test).
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec) {
+    setenv("TC_FARM_FAULT", spec.c_str(), 1);
+  }
+  ~ScopedFault() { unsetenv("TC_FARM_FAULT"); }
+};
+
+FarmOptions tolerantFarm() {
+  FarmOptions opt;
+  opt.workers = 3;
+  opt.scenarioTimeoutSec = 120.0;
+  opt.heartbeatSec = 0.05;
+  opt.heartbeatTimeoutSec = 3.0;
+  opt.maxAttempts = 2;
+  opt.backoffBaseSec = 0.01;
+  return opt;
+}
+
+TEST(PruneQuarantine, FarmPoisonedCornerCannotTightenAnotherBound) {
+  // End to end over real workers and real STA: every attempt at group A's
+  // maximal corner aborts (name filter — the pruner dispatches batches as
+  // sub-snapshots with batch-local indices, so TC_FARM_FAULT's scn filter
+  // cannot address one corner here), the farm quarantines it, and the
+  // pruned pass must absorb that without a single optimistic certificate
+  // against the fault-free all-exact oracle.
+  LogCapture quiet;
+  const std::vector<Scenario> ladder = twoGroupLadder();
+  const Netlist nl =
+      generateBlock(ladder.front().lib, profileTiny());
+
+  // Fault-free all-exact oracle.
+  const McmmResult oracle = runMcmm(nl, ladder, McmmOptions{});
+
+  ScopedFault fault("abort@run:name=func_tt@L1U1");
+  PruneOptions popt;
+  popt.seedRuns = 2;
+  popt.batchSize = 8;
+  popt.maxExactRuns = 6;
+  FarmStats stats;
+  const PrunedMcmmResult pruned =
+      runMcmmFarmPruned(nl, ladder, popt, tolerantFarm(), &stats);
+
+  EXPECT_EQ(stats.quarantined, 1);
+  EXPECT_EQ(pruned.quarantinedExact, 1);
+  ASSERT_EQ(pruned.result.scenarios.size(), ladder.size());
+
+  // Same exactly-computable outcome as the synthetic case: B corners 5
+  // and 6 pruned on corner 7's evidence, everything else exact.
+  EXPECT_EQ(pruned.exactRuns, 6);
+  ASSERT_EQ(pruned.certificates.size(), 2u);
+  EXPECT_EQ(pruned.certificates[0].scenario, 5);
+  EXPECT_EQ(pruned.certificates[1].scenario, 6);
+
+  EXPECT_FALSE(pruned.result.scenarios[kPoisonedMaximal].pruned);
+  EXPECT_EQ(pruned.result.scenarios[kPoisonedMaximal].setupWns,
+            -std::numeric_limits<double>::infinity());
+  for (std::uint32_t t : pruned.predictor.trainingScenarios)
+    EXPECT_NE(static_cast<std::size_t>(t), kPoisonedMaximal);
+  for (const PruneCertificate& c : pruned.certificates) {
+    SCOPED_TRACE("certificate for " + c.scenarioName);
+    EXPECT_NE(static_cast<std::size_t>(c.evidenceSetup), kPoisonedMaximal);
+    EXPECT_NE(static_cast<std::size_t>(c.evidenceHold), kPoisonedMaximal);
+    const ScenarioResult& truth =
+        oracle.scenarios[static_cast<std::size_t>(c.scenario)];
+    EXPECT_LE(c.boundSetupWns, truth.setupWns);
+    EXPECT_LE(c.boundHoldWns, truth.holdWns);
+    EXPECT_TRUE(std::isfinite(c.boundSetupWns));
+    EXPECT_TRUE(std::isfinite(c.boundHoldWns));
+  }
+  // Unpruned, unpoisoned slots are bitwise the oracle's.
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const ScenarioResult& slot = pruned.result.scenarios[i];
+    if (slot.pruned || i == kPoisonedMaximal) continue;
+    testutil::expectScenarioIdentical(slot, oracle.scenarios[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tc

@@ -171,30 +171,137 @@ DesignSnapshot microSnapshot() {
   return snap;
 }
 
+/// The micro fixture with a populated corner-pruning audit section
+/// (format v2): a second scenario so certificates can reference distinct
+/// evidence, a fitted-looking predictor, and one certificate. Keeps the
+/// sweep exercising every byte of the new record types.
+DesignSnapshot microSnapshotWithAudit() {
+  DesignSnapshot snap = microSnapshot();
+  Scenario sc2 = snap.scenarios[0];
+  sc2.name = "micro_tt_harsh";
+  sc2.clockUncertaintySetup = 40.0;
+  snap.scenarios.push_back(sc2);
+
+  snap.prunePredictor.valid = true;
+  snap.prunePredictor.seed = 0x9E3779B97F4A7C15ull;
+  snap.prunePredictor.rounds = 2;
+  snap.prunePredictor.trainingScenarios = {1};
+  snap.prunePredictor.trainingSetupWns = {-42.5};
+  snap.prunePredictor.trainingHoldWns = {-7.25};
+  for (int i = 0; i < 15; ++i) {
+    snap.prunePredictor.setupWeights.push_back(0.125 * i - 1.0);
+    snap.prunePredictor.holdWeights.push_back(-0.25 * i + 0.5);
+  }
+  snap.prunePredictor.setupResidual = 3.5;
+  snap.prunePredictor.holdResidual = 1.75;
+
+  PruneCertificate cert;
+  cert.scenario = 0;
+  cert.scenarioName = "micro_tt";
+  cert.predictedSetupWns = -40.0;
+  cert.predictedHoldWns = -6.0;
+  cert.boundSetupWns = -42.5;
+  cert.boundHoldWns = -7.25;
+  cert.uncertainty = 5.5;
+  cert.evidenceSetup = 1;
+  cert.evidenceHold = 1;
+  cert.evidenceSetupName = "micro_tt_harsh";
+  cert.evidenceHoldName = "micro_tt_harsh";
+  cert.round = 2;
+  snap.pruneCerts.push_back(cert);
+  return snap;
+}
+
 TEST(Snapshot, EverySingleByteCorruptionIsCaughtCleanly) {
   LogCapture quiet;
-  const std::string good = serialize(microSnapshot());
-  ASSERT_LT(good.size(), 64u * 1024)
-      << "micro fixture grew too large for the exhaustive sweep";
-  {
-    auto ok = deserialize(good, nullptr);
-    ASSERT_TRUE(ok.ok()) << ok.status().str();
+  // Both fixtures: the empty-audit layout and the prune-populated one, so
+  // the sweep also walks every byte of the predictor and certificate
+  // records (format v2).
+  const struct {
+    const char* name;
+    DesignSnapshot snap;
+  } fixtures[] = {{"plain", microSnapshot()},
+                  {"prune-audit", microSnapshotWithAudit()}};
+  for (const auto& fixture : fixtures) {
+    SCOPED_TRACE(fixture.name);
+    const std::string good = serialize(fixture.snap);
+    ASSERT_LT(good.size(), 64u * 1024)
+        << "micro fixture grew too large for the exhaustive sweep";
+    {
+      auto ok = deserialize(good, nullptr);
+      ASSERT_TRUE(ok.ok()) << ok.status().str();
+    }
+    for (std::size_t i = 0; i < good.size(); ++i) {
+      std::string bad = good;
+      bad[i] = static_cast<char>(bad[i] ^ 0x01);
+      DiagnosticSink sink;
+      auto r = deserialize(bad, &sink);
+      ASSERT_FALSE(r.ok()) << "flip at byte " << i << " was not detected";
+      const DiagCode code = r.status().code();
+      EXPECT_TRUE(code == DiagCode::kSnapBadMagic ||
+                  code == DiagCode::kSnapVersionMismatch ||
+                  code == DiagCode::kSnapTruncated ||
+                  code == DiagCode::kSnapChecksumMismatch ||
+                  code == DiagCode::kSnapCorrupt)
+          << "flip at byte " << i << " produced " << r.status().str();
+      EXPECT_GE(sink.errorCount(), 1) << "flip at byte " << i;
+    }
   }
-  for (std::size_t i = 0; i < good.size(); ++i) {
-    std::string bad = good;
-    bad[i] = static_cast<char>(bad[i] ^ 0x01);
-    DiagnosticSink sink;
-    auto r = deserialize(bad, &sink);
-    ASSERT_FALSE(r.ok()) << "flip at byte " << i << " was not detected";
-    const DiagCode code = r.status().code();
-    EXPECT_TRUE(code == DiagCode::kSnapBadMagic ||
-                code == DiagCode::kSnapVersionMismatch ||
-                code == DiagCode::kSnapTruncated ||
-                code == DiagCode::kSnapChecksumMismatch ||
-                code == DiagCode::kSnapCorrupt)
-        << "flip at byte " << i << " produced " << r.status().str();
-    EXPECT_GE(sink.errorCount(), 1) << "flip at byte " << i;
-  }
+}
+
+TEST(Snapshot, PruneAuditRoundTripsByteIdentically) {
+  LogCapture quiet;
+  const DesignSnapshot snap = microSnapshotWithAudit();
+  const std::string bytes = serialize(snap);
+  DiagnosticSink sink;
+  auto reloaded = deserialize(bytes, &sink);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().str();
+  EXPECT_EQ(sink.errorCount(), 0);
+
+  const PrunePredictor& pp = reloaded->prunePredictor;
+  EXPECT_TRUE(pp.valid);
+  EXPECT_EQ(pp.seed, snap.prunePredictor.seed);
+  EXPECT_EQ(pp.rounds, 2);
+  EXPECT_EQ(pp.trainingScenarios, snap.prunePredictor.trainingScenarios);
+  EXPECT_EQ(pp.trainingSetupWns, snap.prunePredictor.trainingSetupWns);
+  EXPECT_EQ(pp.trainingHoldWns, snap.prunePredictor.trainingHoldWns);
+  EXPECT_EQ(pp.setupWeights, snap.prunePredictor.setupWeights);
+  EXPECT_EQ(pp.holdWeights, snap.prunePredictor.holdWeights);
+  EXPECT_EQ(pp.setupResidual, snap.prunePredictor.setupResidual);
+  EXPECT_EQ(pp.holdResidual, snap.prunePredictor.holdResidual);
+  ASSERT_EQ(reloaded->pruneCerts.size(), 1u);
+  const PruneCertificate& c = reloaded->pruneCerts[0];
+  EXPECT_EQ(c.scenario, 0);
+  EXPECT_EQ(c.scenarioName, "micro_tt");
+  EXPECT_EQ(c.boundSetupWns, -42.5);
+  EXPECT_EQ(c.boundHoldWns, -7.25);
+  EXPECT_EQ(c.uncertainty, 5.5);
+  EXPECT_EQ(c.evidenceSetup, 1);
+  EXPECT_EQ(c.evidenceHold, 1);
+  EXPECT_EQ(c.evidenceSetupName, "micro_tt_harsh");
+  EXPECT_EQ(c.round, 2);
+
+  const std::string bytes2 = serialize(reloaded.value());
+  ASSERT_TRUE(bytes == bytes2) << "audit re-serialization diverged";
+}
+
+TEST(Snapshot, PruneAuditCanonicalOrderIsEnforcedOnWrite) {
+  LogCapture quiet;
+  // Certificates out of strictly-increasing scenario order (here: two
+  // certs for the same index) are rejected at write time — the canonical
+  // form is what makes the bitwise round-trip contract meaningful.
+  DesignSnapshot snap = microSnapshotWithAudit();
+  snap.pruneCerts.push_back(snap.pruneCerts[0]);
+  std::ostringstream os(std::ios::binary);
+  const Status st = writeSnapshot(snap, os);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), DiagCode::kSnapUnsupported);
+
+  DesignSnapshot outOfRange = microSnapshotWithAudit();
+  outOfRange.pruneCerts[0].scenario = 99;
+  std::ostringstream os2(std::ios::binary);
+  EXPECT_EQ(writeSnapshot(outOfRange, os2).code(),
+            DiagCode::kSnapUnsupported);
 }
 
 TEST(Snapshot, HeaderCorruptionClassesAreDistinguished) {

@@ -12,7 +12,7 @@
 /// claims are only worth what the fault matrix that exercises them covers,
 /// so the worker can sabotage itself on demand:
 ///
-///   TC_FARM_FAULT="<kind>@<point>[:scn=<i>][:attempt=<n>]"
+///   TC_FARM_FAULT="<kind>@<point>[:scn=<i>][:attempt=<n>][:name=<substr>]"
 ///
 /// Process kinds (points: load / run / stream — before loading the
 /// snapshot, before running the engine, before streaming the result):
@@ -32,6 +32,11 @@
 /// attempt number, so a test can poison exactly one corner, or fail
 /// attempt 1 and let the retry succeed. Straggler re-dispatch copies run
 /// in the 100+ attempt namespace and never match an attempt filter.
+/// The name filter matches a substring of the scenario's NAME instead of
+/// its snapshot index — the corner pruner dispatches batches as
+/// sub-snapshots whose indices are batch-local, so name is the only stable
+/// way to poison one specific corner under pruning. It cannot match at the
+/// "load" point (the snapshot is not loaded yet).
 
 #include <signal.h>
 #include <unistd.h>
@@ -59,12 +64,17 @@ struct FaultSpec {
   std::string point;
   int scn = -1;
   int attempt = -1;
+  std::string nameSub;
   bool active = false;
 
-  bool matches(const std::string& p, int scenario, int att) const {
+  bool matches(const std::string& p, int scenario, int att,
+               const std::string& scenarioName) const {
     if (!active || point != p) return false;
     if (scn >= 0 && scn != scenario) return false;
     if (attempt >= 0 && attempt != att) return false;
+    if (!nameSub.empty() &&
+        scenarioName.find(nameSub) == std::string::npos)
+      return false;
     return true;
   }
 };
@@ -85,6 +95,8 @@ FaultSpec parseFault(const char* env) {
       f.scn = std::atoi(filter.c_str() + 4);
     else if (filter.rfind("attempt=", 0) == 0)
       f.attempt = std::atoi(filter.c_str() + 8);
+    else if (filter.rfind("name=", 0) == 0)
+      f.nameSub = filter.substr(5);
   }
   f.point = rest;
   f.active = !f.kind.empty() && !f.point.empty();
@@ -152,8 +164,9 @@ class Heartbeat {
 
 /// Process-level fault points. `hb` may be null (not started yet).
 void enactProcessFault(const FaultSpec& fault, const std::string& point,
-                       int scn, int attempt, Heartbeat* hb) {
-  if (!fault.matches(point, scn, attempt)) return;
+                       int scn, int attempt, const std::string& name,
+                       Heartbeat* hb) {
+  if (!fault.matches(point, scn, attempt, name)) return;
   if (fault.kind == "abort") std::abort();
   if (fault.kind == "sigkill") {
     raise(SIGKILL);
@@ -169,7 +182,7 @@ void enactProcessFault(const FaultSpec& fault, const std::string& point,
 /// Frame-level fault points: damage the encoded result frame.
 /// Layout: [header 12B][payload][crc 4B].
 std::string damageFrame(const FaultSpec& fault, std::string frame, int scn,
-                        int attempt) {
+                        int attempt, const std::string& name) {
   const std::size_t payloadLen = frame.size() - 16;
   struct Region {
     const char* name;
@@ -181,7 +194,7 @@ std::string damageFrame(const FaultSpec& fault, std::string frame, int scn,
       {"crc", 12 + payloadLen, frame.size()},
   };
   for (const Region& r : regions) {
-    if (!fault.matches(r.name, scn, attempt)) continue;
+    if (!fault.matches(r.name, scn, attempt, name)) continue;
     const std::size_t mid = r.begin + (r.end - r.begin) / 2;
     if (fault.kind == "truncate")
       frame.resize(mid);
@@ -255,7 +268,7 @@ int main(int argc, char** argv) {
   if (snapPath.empty() || scenario < 0) return usage(argv[0]);
 
   const FaultSpec fault = parseFault(std::getenv("TC_FARM_FAULT"));
-  enactProcessFault(fault, "load", scenario, attempt, nullptr);
+  enactProcessFault(fault, "load", scenario, attempt, /*name=*/"", nullptr);
 
   tc::DiagnosticSink loadSink;
   auto snap = tc::readSnapshotFile(snapPath, &loadSink);
@@ -271,20 +284,23 @@ int main(int argc, char** argv) {
     return 4;
   }
 
+  const std::string scenarioName =
+      snap->scenarios[static_cast<std::size_t>(scenario)].name;
   Heartbeat hb(heartbeatMs);
-  enactProcessFault(fault, "run", scenario, attempt, &hb);
+  enactProcessFault(fault, "run", scenario, attempt, scenarioName, &hb);
 
   tc::DiagnosticSink sink;
   const tc::ScenarioResult result = tc::runScenarioStandalone(
       *snap->netlist,
       snap->scenarios[static_cast<std::size_t>(scenario)], mcmm, sink);
 
-  enactProcessFault(fault, "stream", scenario, attempt, &hb);
+  enactProcessFault(fault, "stream", scenario, attempt, scenarioName, &hb);
   std::string frame = tc::farmproto::encodeFrame(
       FrameType::kResult, tc::farmproto::encodeScenarioResult(result));
-  frame = damageFrame(fault, std::move(frame), scenario, attempt);
+  frame = damageFrame(fault, std::move(frame), scenario, attempt,
+                      scenarioName);
   if (fault.kind == "dupframe" &&
-      fault.matches("stream", scenario, attempt))
+      fault.matches("stream", scenario, attempt, scenarioName))
     frame += frame;
   writeAll(frame);
   hb.stop();
