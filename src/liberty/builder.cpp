@@ -1,17 +1,22 @@
 #include "liberty/builder.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 
 #include "device/latch.h"
 #include "device/stage.h"
 #include "liberty/interdep.h"
 #include "liberty/serialize.h"
+#include "util/binio.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -78,7 +83,123 @@ struct ArcChar {
   LvfSurface riseLvf, fallLvf;
   double pocvAccum = 0.0;
   int pocvCount = 0;
+  std::uint64_t simQueries = 0;  ///< grid transient sims issued for this arc
 };
+
+// --- active-learning surface machinery --------------------------------------
+//
+// The adaptive characterizer samples a sub-rectangular slew x load grid and
+// models every unsampled point with a bias-enhanced interpolant: a global
+// ridge trend (the "bias", fit over all sampled points; deterministic
+// normal-equation solve, same idiom as signoff/prune.cpp fitRidge) plus a
+// bilinear residual table over the sampled subgrid. The model is exact at
+// sampled nodes, so refinement only ever *adds* exact data.
+
+/// k evenly spaced indices into [0, n), always including both endpoints.
+std::vector<std::size_t> seedIndices(std::size_t n, int k) {
+  std::vector<std::size_t> out;
+  if (n == 0) return out;
+  if (k < 2) k = 2;
+  if (static_cast<std::size_t>(k) >= n) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back(i);
+    return out;
+  }
+  for (int i = 0; i < k; ++i) {
+    const auto idx = static_cast<std::size_t>(std::llround(
+        static_cast<double>(i) * static_cast<double>(n - 1) / (k - 1)));
+    if (out.empty() || out.back() != idx) out.push_back(idx);
+  }
+  return out;
+}
+
+/// Global trend over normalized (slew, load): w0 + w1*s + w2*l + w3*s*l.
+struct BiasModel {
+  std::array<double, 4> w{};
+  double s0 = 0.0, sSpan = 1.0, l0 = 0.0, lSpan = 1.0;
+  bool valid = false;
+
+  double at(double s, double l) const {
+    if (!valid) return 0.0;
+    const double sn = (s - s0) / sSpan;
+    const double ln = (l - l0) / lSpan;
+    return w[0] + w[1] * sn + w[2] * ln + w[3] * sn * ln;
+  }
+};
+
+BiasModel fitBias(const std::vector<double>& ss, const std::vector<double>& ll,
+                  const std::vector<double>& vv) {
+  BiasModel m;
+  if (vv.size() < 4) return m;
+  m.s0 = *std::min_element(ss.begin(), ss.end());
+  m.sSpan = std::max(*std::max_element(ss.begin(), ss.end()) - m.s0, 1e-9);
+  m.l0 = *std::min_element(ll.begin(), ll.end());
+  m.lSpan = std::max(*std::max_element(ll.begin(), ll.end()) - m.l0, 1e-9);
+  double a[4][4] = {};
+  double b[4] = {};
+  for (std::size_t r = 0; r < vv.size(); ++r) {
+    const double sn = (ss[r] - m.s0) / m.sSpan;
+    const double ln = (ll[r] - m.l0) / m.lSpan;
+    const double f[4] = {1.0, sn, ln, sn * ln};
+    for (int i = 0; i < 4; ++i) {
+      b[i] += f[i] * vv[r];
+      for (int j = 0; j < 4; ++j) a[i][j] += f[i] * f[j];
+    }
+  }
+  for (int i = 0; i < 4; ++i) a[i][i] += 1e-6;
+  // Gaussian elimination with partial pivoting; pivot choice (max
+  // magnitude, first on ties) is deterministic.
+  int perm[4] = {0, 1, 2, 3};
+  for (int col = 0; col < 4; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 4; ++r)
+      if (std::fabs(a[perm[r]][col]) > std::fabs(a[perm[pivot]][col]))
+        pivot = r;
+    std::swap(perm[col], perm[pivot]);
+    const double diag = a[perm[col]][col];
+    if (std::fabs(diag) < 1e-12) return m;
+    for (int r = col + 1; r < 4; ++r) {
+      const double f = a[perm[r]][col] / diag;
+      if (f == 0.0) continue;
+      for (int c = col; c < 4; ++c) a[perm[r]][c] -= f * a[perm[col]][c];
+      b[perm[r]] -= f * b[perm[col]];
+    }
+  }
+  for (int col = 3; col >= 0; --col) {
+    double v = b[perm[col]];
+    for (int c = col + 1; c < 4; ++c) v -= a[perm[col]][c] * m.w[c];
+    m.w[col] = v / a[perm[col]][col];
+  }
+  m.valid = true;
+  return m;
+}
+
+/// Bias trend + bilinear residual over the sampled subgrid; exact at nodes.
+struct SurfaceModel {
+  BiasModel bias;
+  Table2D resid;
+
+  double at(double s, double l) const { return bias.at(s, l) + resid.lookup(s, l); }
+};
+
+SurfaceModel fitSurface(const std::vector<double>& rowSlews,
+                        const std::vector<double>& colLoads,
+                        const std::vector<double>& exact) {
+  SurfaceModel m;
+  std::vector<double> ss, ll;
+  ss.reserve(exact.size());
+  ll.reserve(exact.size());
+  for (double s : rowSlews)
+    for (double l : colLoads) {
+      ss.push_back(s);
+      ll.push_back(l);
+    }
+  m.bias = fitBias(ss, ll, exact);
+  std::vector<double> res(exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i)
+    res[i] = exact[i] - m.bias.at(ss[i], ll[i]);
+  m.resid = Table2D(Axis(rowSlews), Axis(colLoads), res);
+  return m;
+}
 
 /// Characterize the arc from `pin` of one X1 stage over the grid.
 ArcChar characterizeArc(StageKind kind, int numInputs, VtClass vt, int pin,
@@ -92,6 +213,7 @@ ArcChar characterizeArc(StageKind kind, int numInputs, VtClass vt, int pin,
       sFall(ns * nl);
   std::vector<double> sigERise(ns * nl, 0.0), sigLRise(ns * nl, 0.0),
       sigEFall(ns * nl, 0.0), sigLFall(ns * nl, 0.0);
+  std::vector<char> exactAt(ns * nl, 0);
 
   Stage nomStage = Stage::make(kind, numInputs, vt, 1.0, pc);
   const Volt sigma = compositeSigma(nomStage, cfg.mismatch, cfg.lvfSigmaScale);
@@ -107,39 +229,231 @@ ArcChar characterizeArc(StageKind kind, int numInputs, VtClass vt, int pin,
   sim.temp = pvt.temp;
 
   const std::size_t centerIdx = (ns / 2) * nl + nl / 2;
-  for (std::size_t i = 0; i < ns; ++i) {
-    for (std::size_t j = 0; j < nl; ++j) {
-      const std::size_t idx = i * nl + j;
-      sim.load = loads[j];
-      // Negative-unate templates: input rising -> output falling.
-      const auto fallRes = simulateArc(nomStage, pin, true, slews[i], sim);
-      const auto riseRes = simulateArc(nomStage, pin, false, slews[i], sim);
-      if (!fallRes.completed || !riseRes.completed)
-        throw std::runtime_error("characterization transient incomplete");
-      dFall[idx] = fallRes.delay50;
-      sFall[idx] = fallRes.outputSlew;
-      dRise[idx] = riseRes.delay50;
-      sRise[idx] = riseRes.outputSlew;
+  // One grid point: the exact transient measurements brute force would
+  // take. Shared verbatim between the full sweep and the adaptive sampler
+  // so the zero-tolerance adaptive mode is bitwise the full grid.
+  auto simPoint = [&](std::size_t i, std::size_t j) {
+    const std::size_t idx = i * nl + j;
+    if (exactAt[idx]) return;
+    exactAt[idx] = 1;
+    sim.load = loads[j];
+    // Negative-unate templates: input rising -> output falling.
+    const auto fallRes = simulateArc(nomStage, pin, true, slews[i], sim);
+    const auto riseRes = simulateArc(nomStage, pin, false, slews[i], sim);
+    out.simQueries += 2;
+    if (!fallRes.completed || !riseRes.completed)
+      throw std::runtime_error("characterization transient incomplete");
+    dFall[idx] = fallRes.delay50;
+    sFall[idx] = fallRes.outputSlew;
+    dRise[idx] = riseRes.delay50;
+    sRise[idx] = riseRes.outputSlew;
 
-      const bool doLvf = !cfg.quick || idx == centerIdx;
-      if (doLvf && sigma > 0.0) {
-        const auto fallSlow = simulateArc(slowStage, pin, true, slews[i], sim);
-        const auto riseSlow = simulateArc(slowStage, pin, false, slews[i], sim);
-        const auto fallFast = simulateArc(fastStage, pin, true, slews[i], sim);
-        const auto riseFast = simulateArc(fastStage, pin, false, slews[i], sim);
-        sigLFall[idx] = std::max(fallSlow.delay50 - dFall[idx], 0.0);
-        sigEFall[idx] = std::max(dFall[idx] - fallFast.delay50, 0.0);
-        sigLRise[idx] = std::max(riseSlow.delay50 - dRise[idx], 0.0);
-        sigERise[idx] = std::max(dRise[idx] - riseFast.delay50, 0.0);
-        // Skip near-zero-delay grid points (large slew into a tiny load can
-        // put the 50%-50% delay near or below zero): a ratio there is
-        // meaningless and would poison the cell's POCV coefficient.
-        if (dFall[idx] > 2.0 && dRise[idx] > 2.0) {
-          out.pocvAccum += 0.5 * (sigLFall[idx] / dFall[idx] +
-                                  sigLRise[idx] / dRise[idx]);
-          out.pocvCount += 1;
+    const bool doLvf = !cfg.quick || idx == centerIdx;
+    if (doLvf && sigma > 0.0) {
+      const auto fallSlow = simulateArc(slowStage, pin, true, slews[i], sim);
+      const auto riseSlow = simulateArc(slowStage, pin, false, slews[i], sim);
+      const auto fallFast = simulateArc(fastStage, pin, true, slews[i], sim);
+      const auto riseFast = simulateArc(fastStage, pin, false, slews[i], sim);
+      out.simQueries += 4;
+      sigLFall[idx] = std::max(fallSlow.delay50 - dFall[idx], 0.0);
+      sigEFall[idx] = std::max(dFall[idx] - fallFast.delay50, 0.0);
+      sigLRise[idx] = std::max(riseSlow.delay50 - dRise[idx], 0.0);
+      sigERise[idx] = std::max(dRise[idx] - riseFast.delay50, 0.0);
+      // Skip near-zero-delay grid points (large slew into a tiny load can
+      // put the 50%-50% delay near or below zero): a ratio there is
+      // meaningless and would poison the cell's POCV coefficient.
+      if (dFall[idx] > 2.0 && dRise[idx] > 2.0) {
+        out.pocvAccum += 0.5 * (sigLFall[idx] / dFall[idx] +
+                                sigLRise[idx] / dRise[idx]);
+        out.pocvCount += 1;
+      }
+    }
+  };
+
+  // Quick mode's center-point LVF scaling needs the center simulated, so
+  // the active learner only engages for full-accuracy configs with a
+  // positive tolerance; errorTolPs <= 0 is the bitwise-golden contract.
+  const bool adaptive = cfg.adaptive && cfg.errorTolPs > 0.0 && !cfg.quick &&
+                        ns >= 3 && nl >= 3;
+  if (!adaptive) {
+    for (std::size_t i = 0; i < ns; ++i)
+      for (std::size_t j = 0; j < nl; ++j) simPoint(i, j);
+  } else {
+    std::vector<char> rowOn(ns, 0), colOn(nl, 0);
+    for (std::size_t r : seedIndices(ns, cfg.seedPerAxis)) rowOn[r] = 1;
+    for (std::size_t c : seedIndices(nl, cfg.seedPerAxis)) colOn[c] = 1;
+    auto simSubgrid = [&] {
+      for (std::size_t i = 0; i < ns; ++i)
+        if (rowOn[i])
+          for (std::size_t j = 0; j < nl; ++j)
+            if (colOn[j]) simPoint(i, j);
+    };
+    simSubgrid();
+
+    const std::vector<double>* surfaces[4] = {&dRise, &sRise, &dFall, &sFall};
+    auto onIndices = [](const std::vector<char>& on) {
+      std::vector<std::size_t> out2;
+      for (std::size_t i = 0; i < on.size(); ++i)
+        if (on[i]) out2.push_back(i);
+      return out2;
+    };
+    auto fitAll = [&](const std::vector<std::size_t>& rows,
+                      const std::vector<std::size_t>& cols) {
+      std::vector<double> rv, cv;
+      for (std::size_t r : rows) rv.push_back(slews[r]);
+      for (std::size_t c : cols) cv.push_back(loads[c]);
+      std::array<SurfaceModel, 4> models;
+      for (int k = 0; k < 4; ++k) {
+        std::vector<double> sub;
+        sub.reserve(rows.size() * cols.size());
+        for (std::size_t r : rows)
+          for (std::size_t c : cols) sub.push_back((*surfaces[k])[r * nl + c]);
+        models[static_cast<std::size_t>(k)] = fitSurface(rv, cv, sub);
+      }
+      return models;
+    };
+
+    // Active rounds: estimate interpolation error by leave-one-out over
+    // interior sampled rows/cols (refit without the line, measure the
+    // model against the exact sims along it), then split the widest gap
+    // next to the worst line. LOO doubles the local gap, so it estimates
+    // the error of a coarser grid than the one in use — a conservative
+    // stopping signal.
+    const double tol = cfg.errorTolPs;
+    const std::size_t maxRounds = ns + nl;
+    for (std::size_t round = 0; round < maxRounds; ++round) {
+      const std::vector<std::size_t> rows = onIndices(rowOn);
+      const std::vector<std::size_t> cols = onIndices(colOn);
+      double worst = 0.0;
+      int worstAxis = -1;           // 0 = rows, 1 = cols
+      std::size_t worstLine = 0;    // position within rows/cols
+      for (int axis = 0; axis < 2; ++axis) {
+        const std::vector<std::size_t>& lines = axis == 0 ? rows : cols;
+        for (std::size_t p = 1; p + 1 < lines.size(); ++p) {
+          std::vector<std::size_t> looRows = rows, looCols = cols;
+          (axis == 0 ? looRows : looCols)
+              .erase((axis == 0 ? looRows : looCols).begin() +
+                     static_cast<std::ptrdiff_t>(p));
+          const auto loo = fitAll(looRows, looCols);
+          double err = 0.0;
+          const std::vector<std::size_t>& other = axis == 0 ? cols : rows;
+          for (std::size_t q : other) {
+            const std::size_t r = axis == 0 ? lines[p] : q;
+            const std::size_t c = axis == 0 ? q : lines[p];
+            for (int k = 0; k < 4; ++k)
+              err = std::max(err,
+                             std::fabs(loo[static_cast<std::size_t>(k)].at(
+                                           slews[r], loads[c]) -
+                                       (*surfaces[k])[r * nl + c]));
+          }
+          if (err > worst) {
+            worst = err;
+            worstAxis = axis;
+            worstLine = p;
+          }
         }
       }
+      // LOO removes a sampled line, doubling the local gap; bilinear error
+      // grows ~quadratically with gap, so the estimate runs well above the
+      // kept grid's true error. Stopping at 1.6x tol keeps a conservative
+      // margin while not over-sampling (bench_char_pareto audits the real
+      // error against the golden).
+      if (worst <= 1.6 * tol && worstAxis >= 0) break;
+
+      // Split the widest refinable gap, preferring the axis/neighborhood
+      // of the worst LOO line; fall back to the globally widest gap.
+      auto widestGap = [](const std::vector<std::size_t>& lines,
+                          std::size_t nearLine, bool preferNear) {
+        std::ptrdiff_t best = -1;
+        std::size_t bestWidth = 1;  // need at least one unsampled index
+        for (std::size_t p = 0; p + 1 < lines.size(); ++p) {
+          const std::size_t width = lines[p + 1] - lines[p];
+          const bool near =
+              preferNear && (p == nearLine - 1 || p == nearLine);
+          if (width > bestWidth ||
+              (near && width == bestWidth && width > 1)) {
+            best = static_cast<std::ptrdiff_t>(p);
+            bestWidth = width;
+          }
+        }
+        return best < 0 ? std::pair<bool, std::size_t>{false, 0}
+                        : std::pair<bool, std::size_t>{
+                              true, (lines[static_cast<std::size_t>(best)] +
+                                     lines[static_cast<std::size_t>(best) + 1]) /
+                                        2};
+      };
+      bool refined = false;
+      for (int attempt = 0; attempt < 2 && !refined; ++attempt) {
+        // First attempt honors the worst axis; second tries the other.
+        const int axis = (worstAxis < 0 ? 0 : worstAxis) ^ attempt;
+        const auto [ok2, mid] = widestGap(axis == 0 ? rows : cols, worstLine,
+                                          attempt == 0 && worstAxis >= 0);
+        if (ok2) {
+          (axis == 0 ? rowOn : colOn)[mid] = 1;
+          refined = true;
+        }
+      }
+      if (!refined) break;  // every line sampled: the model IS the grid
+      simSubgrid();
+    }
+
+    // Fill unsampled points from the final model; sampled points keep the
+    // exact transient results.
+    const std::vector<std::size_t> rows = onIndices(rowOn);
+    const std::vector<std::size_t> cols = onIndices(colOn);
+    const auto models = fitAll(rows, cols);
+    std::vector<double>* mutableSurfaces[4] = {&dRise, &sRise, &dFall, &sFall};
+    for (std::size_t i = 0; i < ns; ++i)
+      for (std::size_t j = 0; j < nl; ++j) {
+        const std::size_t idx = i * nl + j;
+        if (exactAt[idx]) continue;
+        for (int k = 0; k < 4; ++k)
+          (*mutableSurfaces[k])[idx] =
+              models[static_cast<std::size_t>(k)].at(slews[i], loads[j]);
+      }
+
+    // LVF sigmas at unsampled points: pessimistic by construction. The
+    // sigma/delay ratio is taken as the MAX over the sampled subgrid cell
+    // enclosing the point, inflated by the guardband, and applied to the
+    // modeled delay — a wrong model costs pessimism, never optimism
+    // (bench_char_pareto audits this against the full-grid golden).
+    if (sigma > 0.0) {
+      auto bracket = [](const std::vector<std::size_t>& lines,
+                        std::size_t i) {
+        std::size_t lo = lines.front(), hi = lines.back();
+        for (std::size_t v : lines) {
+          if (v <= i) lo = v;
+          if (v >= i) {
+            hi = v;
+            break;
+          }
+        }
+        return std::pair<std::size_t, std::size_t>{lo, hi};
+      };
+      const std::vector<double>* sigs[4] = {&sigERise, &sigLRise, &sigEFall,
+                                            &sigLFall};
+      std::vector<double>* mutableSigs[4] = {&sigERise, &sigLRise, &sigEFall,
+                                             &sigLFall};
+      const std::vector<double>* delays[4] = {&dRise, &dRise, &dFall, &dFall};
+      for (std::size_t i = 0; i < ns; ++i)
+        for (std::size_t j = 0; j < nl; ++j) {
+          const std::size_t idx = i * nl + j;
+          if (exactAt[idx]) continue;
+          const auto [r0, r1] = bracket(rows, i);
+          const auto [c0, c1] = bracket(cols, j);
+          for (int k = 0; k < 4; ++k) {
+            double ratio = 0.0;
+            for (std::size_t r : {r0, r1})
+              for (std::size_t c : {c0, c1}) {
+                const std::size_t corner = r * nl + c;
+                ratio = std::max(ratio,
+                                 (*sigs[k])[corner] /
+                                     std::max((*delays[k])[corner], 1.0));
+              }
+            (*mutableSigs[k])[idx] = cfg.sigmaGuardband * ratio *
+                                     std::max((*delays[k])[idx], 0.0);
+          }
+        }
     }
   }
 
@@ -306,11 +620,27 @@ void composeBuffer(Cell& buf, const Cell& invX1, double k, double k1,
   buf.arcs.push_back(std::move(arc));
 }
 
+/// TC_CHAR_FAULT: deterministic fault hook for characterization tests,
+/// mirroring TC_FARM_FAULT. Values: "build_fail" (buildLibrary throws),
+/// "torn_write" / "skip_rename" (handled in serialize.cpp).
+bool charFaultIs(const char* name) {
+  const char* v = std::getenv("TC_CHAR_FAULT");
+  return v && std::strcmp(v, name) == 0;
+}
+
+Counter& simQueryCounter() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "liberty.char.sim_queries", "count", MetricStability::kNoisy);
+  return c;
+}
+
 }  // namespace
 
 std::shared_ptr<Library> buildLibrary(const LibraryPvt& pvt,
                                       const CharConfig& cfg) {
   TraceSpan span("liberty", "characterize_" + pvt.toString());
+  if (charFaultIs("build_fail"))
+    throw std::runtime_error("TC_CHAR_FAULT=build_fail: injected characterization failure");
   auto lib = std::make_shared<Library>("tc28_" + pvt.toString(), pvt);
   const ProcessCondition pc = ProcessCondition::at(pvt.corner);
 
@@ -331,6 +661,7 @@ std::shared_ptr<Library> buildLibrary(const LibraryPvt& pvt,
       for (int pin = 0; pin < tpl.numInputs; ++pin) {
         arcChars.push_back(characterizeArc(tpl.kind, tpl.numInputs, vt, pin,
                                            pc, pvt, cfg, slews, loads));
+        simQueryCounter().add(arcChars.back().simQueries);
       }
       const MisFactors mis =
           characterizeMis(tpl.kind, tpl.numInputs, vt, pc, pvt,
@@ -484,15 +815,49 @@ std::shared_ptr<Library> buildLibrary(const LibraryPvt& pvt,
   return lib;
 }
 
+std::uint64_t charConfigDigest(const CharConfig& cfg) {
+  // Canonical byte stream over EVERY knob, via the same binio primitives
+  // the serializer uses (doubles bitwise, lengths explicit), then FNV-1a.
+  // The leading schema version bumps every digest when a knob is added, so
+  // stale disk-cache entries written by an older binary can never alias.
+  std::ostringstream os;
+  binio::putU32(os, 2);  // digest schema version
+  binio::putVec(os, cfg.slews);
+  binio::putVec(os, cfg.loadsX1);
+  binio::putU32(os, static_cast<std::uint32_t>(cfg.vts.size()));
+  for (VtClass vt : cfg.vts) binio::putI32(os, static_cast<std::int32_t>(vt));
+  binio::putU32(os, static_cast<std::uint32_t>(cfg.combDrives.size()));
+  for (int d : cfg.combDrives) binio::putI32(os, d);
+  binio::putU32(os, static_cast<std::uint32_t>(cfg.flopDrives.size()));
+  for (int d : cfg.flopDrives) binio::putI32(os, d);
+  binio::putF64(os, cfg.mismatch.avtMvUm);
+  binio::putF64(os, cfg.mismatch.lengthUm);
+  binio::putF64(os, cfg.lvfSigmaScale);
+  binio::putU32(os, cfg.quick ? 1u : 0u);
+  binio::putU32(os, cfg.adaptive ? 1u : 0u);
+  binio::putF64(os, cfg.errorTolPs);
+  binio::putF64(os, cfg.sigmaGuardband);
+  binio::putI32(os, cfg.seedPerAxis);
+  const std::string bytes = os.str();
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV-1a 64 prime
+  }
+  return h;
+}
+
 std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
-                                                    bool quick) {
+                                                    const CharConfig& cfg) {
   // Per-key shared futures: the registry lock is only held to look up or
   // insert the future, never across characterization. Concurrent scenario
   // setup at *different* PVTs characterizes in parallel; concurrent setup
   // at the *same* PVT shares one build — and one immutable Library, so
   // NLDM/LVF tables are never duplicated across engines (the cache the
-  // MCMM runner leans on).
-  using Key = std::pair<LibraryPvt, bool>;
+  // MCMM runner leans on). Keyed on the FULL CharConfig digest, not just
+  // `quick`: two callers with different mismatch models, sigma scales, or
+  // grids must never alias to one cached library.
+  using Key = std::pair<LibraryPvt, std::uint64_t>;
   using LibFuture = std::shared_future<std::shared_ptr<const Library>>;
   static std::mutex mu;
   static std::map<Key, LibFuture> cache;
@@ -506,6 +871,8 @@ std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
       "liberty.char.memo_hits", "count", MetricStability::kNoisy);
   static Counter& diskCtr = MetricsRegistry::global().counter(
       "liberty.char.disk_hits", "count", MetricStability::kNoisy);
+  static Counter& diskMissCtr = MetricsRegistry::global().counter(
+      "liberty.char.disk_misses", "count", MetricStability::kNoisy);
   static Counter& buildCtr = MetricsRegistry::global().counter(
       "liberty.char.builds", "count", MetricStability::kNoisy);
   reqCtr.add();
@@ -513,7 +880,7 @@ std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
   // the trace shows characterization cost per corner even on cache hits.
   TraceSpan span("liberty", "library_" + pvt.toString());
 
-  const Key key{pvt, quick};
+  const Key key{pvt, charConfigDigest(cfg)};
   std::promise<std::shared_ptr<const Library>> promise;
   LibFuture fut;
   bool isBuilder = false;
@@ -533,28 +900,48 @@ std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
     try {
       // Second-level cache: characterized libraries persist on disk, like
       // the .lib/.db files a production flow characterizes once and ships.
-      const std::string path = libraryCachePath(pvt, quick);
+      const std::string path = libraryCachePath(pvt, key.second);
       std::shared_ptr<Library> lib = readLibraryFile(path);
       if (lib) {
         diskCtr.add();
       } else {
+        diskMissCtr.add();
         buildCtr.add();
-        CharConfig cfg;
-        cfg.quick = quick;
         lib = buildLibrary(pvt, cfg);
         if (!writeLibraryFile(*lib, path))
           TC_WARN("could not write library cache %s", path.c_str());
       }
       promise.set_value(lib);
     } catch (...) {
-      // Waiters see the exception; drop the entry so a later call retries.
+      // Drop the entry BEFORE waking waiters: once set_exception runs, a
+      // retrying caller must find the slot empty, not race into the
+      // already-failed future. Only the sole builder for a key ever
+      // erases, so this cannot drop a healthy rebuild.
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        cache.erase(key);
+      }
       promise.set_exception(std::current_exception());
-      std::lock_guard<std::mutex> lock(mu);
-      cache.erase(key);
       throw;
     }
   }
   return fut.get();
+}
+
+std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
+                                                    bool quick) {
+  CharConfig cfg;
+  cfg.quick = quick;
+  return characterizedLibrary(pvt, cfg);
+}
+
+void registerCharMetrics() {
+  for (const char* name :
+       {"liberty.char.requests", "liberty.char.memo_hits",
+        "liberty.char.disk_hits", "liberty.char.disk_misses",
+        "liberty.char.builds", "liberty.char.sim_queries"}) {
+    MetricsRegistry::global().counter(name, "count", MetricStability::kNoisy);
+  }
 }
 
 }  // namespace tc

@@ -12,6 +12,7 @@
 /// and capacitance both scale linearly with width in the device model, so
 /// delay_k(slew, load) == delay_1(slew, load/k)).
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -31,14 +32,45 @@ struct CharConfig {
   MismatchModel mismatch{};
   double lvfSigmaScale = 1.0;  ///< node-dependent mismatch growth
   bool quick = false;  ///< 3x3 grid, center-point LVF; for unit tests
+
+  // --- active-learning characterization (SetupKit-style) -------------------
+  // Instead of simulating every slew x load grid point, seed a coarse
+  // sub-rectangular sample per arc, fit a deterministic bias-enhanced
+  // interpolant (global ridge trend + bilinear residual over the sampled
+  // subgrid), and query the device simulator only where leave-one-out
+  // model uncertainty exceeds the tolerance. The final tables live on the
+  // SAME full grid: sampled points carry exact transient results,
+  // unsampled points carry the model. errorTolPs <= 0 degenerates to the
+  // full-grid brute force, bitwise identical to adaptive = false.
+  bool adaptive = false;       ///< enable active-learning sampling
+  Ps errorTolPs = 0.0;         ///< target max abs delay/slew error vs full grid
+  double sigmaGuardband = 1.3;  ///< pessimism factor on modeled LVF sigmas
+  int seedPerAxis = 3;         ///< seed rows/cols per axis (incl. endpoints)
 };
+
+/// Order-sensitive 64-bit digest over EVERY CharConfig knob (grids, Vt and
+/// drive lists, mismatch model, sigma scale, quick/adaptive settings). The
+/// characterization memo and the on-disk cache are keyed on it, so two
+/// callers with different knobs can never alias to one cached library.
+std::uint64_t charConfigDigest(const CharConfig& cfg);
 
 /// Characterize a full library at the given PVT.
 std::shared_ptr<Library> buildLibrary(const LibraryPvt& pvt,
                                       const CharConfig& cfg = {});
 
-/// Process-wide memoized characterization (libraries are immutable).
+/// Process-wide memoized characterization (libraries are immutable), keyed
+/// on {PVT, charConfigDigest(cfg)} and backed by the versioned on-disk
+/// cache (liberty/serialize.h). A failed build never poisons the memo:
+/// the entry is dropped before waiters are woken, so a retry (from any
+/// thread) re-characterizes.
+std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
+                                                    const CharConfig& cfg);
 std::shared_ptr<const Library> characterizedLibrary(const LibraryPvt& pvt,
                                                     bool quick = false);
+
+/// Touch the liberty.char.* counters so metrics listings (the server's
+/// `metrics` command, bench JSON reports) surface them before the first
+/// characterization request.
+void registerCharMetrics();
 
 }  // namespace tc

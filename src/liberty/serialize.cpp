@@ -2,18 +2,27 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include <unistd.h>
 
 #include "util/binio.h"
+#include "util/checksum.h"
 
 namespace tc {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x54434C42;  // "TCLB"
-constexpr std::uint32_t kVersion = 6;
+// v7: CRC32-framed body (header gains body checksum + body size; the body
+// record layout itself is unchanged, so snapshot-embedded libraries are
+// unaffected).
+constexpr std::uint32_t kVersion = 7;
 
 using binio::getF64;
 using binio::getI32;
@@ -228,15 +237,68 @@ std::shared_ptr<Library> readLibraryBody(std::istream& is,
   return lib;
 }
 
+namespace {
+
+/// TC_CHAR_FAULT write-side hooks (see liberty/builder.cpp for build_fail):
+/// "torn_write" publishes a deliberately truncated image at the final path
+/// (simulating a pre-atomic-rename writer dying mid-write); "skip_rename"
+/// writes the temp file but never renames it (writer died between write
+/// and rename). Both must leave readers falling back to re-characterize.
+bool charFaultIs(const char* name) {
+  const char* v = std::getenv("TC_CHAR_FAULT");
+  return v && std::strcmp(v, name) == 0;
+}
+
+}  // namespace
+
 bool writeLibraryFile(const Library& lib, const std::string& path) {
+  std::error_code ec;
   std::filesystem::create_directories(
-      std::filesystem::path(path).parent_path());
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return false;
-  putU32(os, kMagic);
-  putU32(os, kVersion);
-  writeLibraryBody(os, lib);
-  return static_cast<bool>(os);
+      std::filesystem::path(path).parent_path(), ec);
+  if (ec) return false;
+
+  // Serialize the whole CRC-framed image in memory first: the checksum
+  // covers the body, and the file only ever appears on disk complete.
+  std::ostringstream body;
+  writeLibraryBody(body, lib);
+  const std::string bodyBytes = body.str();
+  std::ostringstream image;
+  putU32(image, kMagic);
+  putU32(image, kVersion);
+  putU32(image, crc32(bodyBytes.data(), bodyBytes.size()));
+  putU32(image, static_cast<std::uint32_t>(bodyBytes.size()));
+  image.write(bodyBytes.data(),
+              static_cast<std::streamsize>(bodyBytes.size()));
+  const std::string bytes = image.str();
+
+  if (charFaultIs("torn_write")) {
+    // Fault: a non-atomic writer died mid-write, leaving a torn entry at
+    // the FINAL path. Readers must detect and re-characterize.
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    return false;
+  }
+
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!os) {
+      os.close();
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  if (charFaultIs("skip_rename")) return false;  // died before the rename
+  std::filesystem::rename(tmp, path, ec);  // atomic on POSIX
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
 }
 
 namespace {
@@ -280,7 +342,42 @@ std::shared_ptr<Library> readLibraryFileImpl(const std::string& path,
                  path);
     return nullptr;
   }
-  return readLibraryBody(is, sink, path);
+  std::uint32_t bodyCrc = 0, bodySize = 0;
+  if (!getU32(is, bodyCrc)) return truncated(is, "body checksum");
+  if (!getU32(is, bodySize)) return truncated(is, "body size");
+  std::string body(bodySize, '\0');
+  if (!is.read(body.data(), static_cast<std::streamsize>(bodySize)))
+    return truncated(is, "body");
+  // Exactly one framed body per file: trailing garbage means the file was
+  // appended to or spliced — treat like any other corruption.
+  if (is.peek() != std::char_traits<char>::eof()) {
+    if (sink)
+      sink->error(DiagCode::kLibCorrupt,
+                  "trailing bytes after framed library body", path);
+    return nullptr;
+  }
+  const std::uint32_t actual = crc32(body.data(), body.size());
+  if (actual != bodyCrc) {
+    if (sink) {
+      std::ostringstream msg;
+      msg << "library body checksum mismatch: header 0x" << std::hex
+          << std::setw(8) << std::setfill('0') << bodyCrc << ", computed 0x"
+          << std::setw(8) << actual << " (torn write or bit rot)";
+      sink->error(DiagCode::kLibChecksumMismatch, msg.str(), path);
+    }
+    return nullptr;
+  }
+  std::istringstream bodyStream(body);
+  auto lib = readLibraryBody(bodyStream, sink, path);
+  if (lib && bodyStream.peek() != std::char_traits<char>::eof()) {
+    // The CRC matched but the body parser stopped early: a record-count
+    // field inside the (intact) body disagrees with the byte count.
+    if (sink)
+      sink->error(DiagCode::kLibCorrupt,
+                  "library body longer than its parsed records", path);
+    return nullptr;
+  }
+  return lib;
 }
 
 }  // namespace
@@ -306,11 +403,14 @@ std::shared_ptr<Library> readLibraryFile(const std::string& path) {
   return readLibraryFile(path, nullptr);
 }
 
-std::string libraryCachePath(const LibraryPvt& pvt, bool quick) {
+std::string libraryCachePath(const LibraryPvt& pvt, std::uint64_t cfgDigest) {
   const char* env = std::getenv("TC_LIB_CACHE_DIR");
   const std::string dir = env ? env : "/tmp/tc_libcache";
-  return dir + "/v" + std::to_string(kVersion) + "_" + pvt.toString() +
-         (quick ? "_quick" : "_full") + ".tclib";
+  std::ostringstream name;
+  name << dir << "/v" << kVersion << '_' << pvt.toString() << "_cfg"
+       << std::hex << std::setw(16) << std::setfill('0') << cfgDigest
+       << ".tclib";
+  return name.str();
 }
 
 }  // namespace tc

@@ -7,6 +7,7 @@
 /// role: buildLibrary results are cached on disk (versioned, keyed by PVT
 /// and characterization mode) and reloaded by later processes.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -16,6 +17,12 @@
 namespace tc {
 
 /// Serialize a library to a binary file. Returns false on I/O failure.
+///
+/// Crash-safe and torn-read-proof: the CRC32-framed image (magic, version,
+/// body checksum, body size, body) is serialized in memory, written to a
+/// sibling temp file, and atomically renamed into place — a reader never
+/// observes a half-written entry, and a writer that dies mid-flight leaves
+/// only a stale .tmp that the next write overwrites.
 bool writeLibraryFile(const Library& lib, const std::string& path);
 
 /// Load a library written by writeLibraryFile. Returns nullptr on missing
@@ -24,15 +31,18 @@ bool writeLibraryFile(const Library& lib, const std::string& path);
 /// With a sink, the reason is reported as a diagnostic instead of being
 /// silently swallowed: a missing file or version mismatch is a note (cache
 /// misses are routine), a bad magic word or implausible structure count is
-/// an error, and truncation is an error carrying the byte offset where the
-/// stream ran dry.
+/// an error, truncation is an error carrying the byte offset where the
+/// stream ran dry, and a body that fails its CRC32 (bit rot, torn write
+/// from a pre-atomic-rename writer) is a kLibChecksumMismatch error.
 std::shared_ptr<Library> readLibraryFile(const std::string& path,
                                          DiagnosticSink* sink);
 std::shared_ptr<Library> readLibraryFile(const std::string& path);
 
-/// Cache path for a PVT/mode (under $TC_LIB_CACHE_DIR, default
-/// /tmp/tc_libcache).
-std::string libraryCachePath(const LibraryPvt& pvt, bool quick);
+/// Cache path for one characterization key (under $TC_LIB_CACHE_DIR,
+/// default /tmp/tc_libcache). `cfgDigest` is charConfigDigest(cfg): the
+/// file name carries the format version, PVT, and the full-config digest,
+/// so entries from different knobs or binary generations never collide.
+std::string libraryCachePath(const LibraryPvt& pvt, std::uint64_t cfgDigest);
 
 // ---------------------------------------------------------------------------
 // Stream-level body, without the file magic/version framing. Design

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <limits>
 
+#include "liberty/builder.h"
 #include "signoff/prune.h"
 #include "sta/report.h"
 #include "util/metrics.h"
@@ -114,9 +115,11 @@ Server::Server(ServeOptions opt) : opt_(std::move(opt)) {
   if (opt_.engineThreads > 0)
     pool_ = std::make_unique<ThreadPool>(opt_.engineThreads);
   if (::pipe(wakePipe_) != 0) wakePipe_[0] = wakePipe_[1] = -1;
-  // Surface the prune.* counters in `metrics` output from the first
-  // request on, not only after the first pruned pass touches them.
+  // Surface the prune.* and liberty.char.* counters in `metrics` output
+  // from the first request on, not only after the first pruned pass or
+  // characterization touches them.
   registerPruneMetrics();
+  registerCharMetrics();
 }
 
 Server::~Server() {

@@ -30,6 +30,7 @@ const char* toString(DiagCode code) {
     case DiagCode::kLibVersionMismatch: return "LIB_VERSION_MISMATCH";
     case DiagCode::kLibTruncated: return "LIB_TRUNCATED";
     case DiagCode::kLibCorrupt: return "LIB_CORRUPT";
+    case DiagCode::kLibChecksumMismatch: return "LIB_CHECKSUM_MISMATCH";
     case DiagCode::kNetBadCellIndex: return "NET_BAD_CELL_INDEX";
     case DiagCode::kNetBadPinIndex: return "NET_BAD_PIN_INDEX";
     case DiagCode::kNetBadId: return "NET_BAD_ID";

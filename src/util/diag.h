@@ -51,6 +51,7 @@ enum class DiagCode {
   kLibVersionMismatch,
   kLibTruncated,           ///< stream ended inside a record
   kLibCorrupt,             ///< implausible count / size field
+  kLibChecksumMismatch,    ///< body CRC does not match the header
 
   // --- Netlist structure ---------------------------------------------------
   kNetBadCellIndex,

@@ -1,0 +1,383 @@
+/// \file charcache_test.cpp
+/// \brief Characterization-cache contracts (the `charcache` ctest label):
+///
+///  - the CharConfig digest covers EVERY knob, and the memo keys on it —
+///    two configs at one PVT can never alias to one cached library (the
+///    PR's headline bugfix);
+///  - a failed characterization never poisons the shared-future memo, even
+///    under concurrent waiters: every in-flight caller sees the failure,
+///    and a later retry re-characterizes and succeeds;
+///  - disk-cache writes are crash-safe: a torn (pre-atomic-rename) entry
+///    is rejected and falls back to re-characterization, a writer that
+///    dies before the rename leaves no visible entry, and every prefix
+///    truncation of a cache file is caught cleanly (TC_CHAR_FAULT hooks);
+///  - the adaptive characterizer meets its accuracy contract vs the
+///    full-grid golden: max abs table error <= errorTolPs and ZERO
+///    optimistic LVF sigma, and errorTolPs = 0 reproduces the golden
+///    bitwise.
+///
+/// Each TEST runs in its own process (gtest_discover_tests), so setenv
+/// for TC_CHAR_FAULT / TC_LIB_CACHE_DIR cannot leak across tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "liberty/builder.h"
+#include "liberty/serialize.h"
+#include "util/diag.h"
+#include "util/log.h"
+
+namespace tc {
+namespace {
+
+/// Private cache dir per test process so no other process's entries (or
+/// leftovers from a previous run) can satisfy a disk probe.
+std::string freshCacheDir(const char* tag) {
+  const std::string dir = std::string(::testing::TempDir()) + "charcache_" +
+                          tag + "." + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  ::setenv("TC_LIB_CACHE_DIR", dir.c_str(), 1);
+  return dir;
+}
+
+/// Cheap config for the memo tests: quick grids, no flops (LatchSim is the
+/// expensive part of a quick build). The distinctive lvfSigmaScale keeps
+/// these keys disjoint from anything another suite may have cached.
+CharConfig cheapConfig(double sigmaScale = 1.0) {
+  CharConfig cfg;
+  cfg.quick = true;
+  cfg.flopDrives = {};
+  cfg.lvfSigmaScale = sigmaScale;
+  return cfg;
+}
+
+/// Hand-built micro library (the snapshot_test corruption idiom): a few KB
+/// on disk, so exhaustive per-byte sweeps stay cheap.
+std::shared_ptr<Library> microLibrary() {
+  auto lib = std::make_shared<Library>(
+      "micro", LibraryPvt{ProcessCorner::kTT, 0.9, 25.0});
+  Axis slew({10.0, 100.0});
+  Axis load({1.0, 10.0});
+  Cell inv;
+  inv.name = "INV_X1_SVT";
+  inv.footprint = "INV";
+  TimingArc arc;
+  std::vector<double> vals{20.0, 30.0, 40.0, 60.0};
+  std::vector<double> sig{2.0, 3.0, 4.0, 6.0};
+  arc.rise = {Table2D(slew, load, vals), Table2D(slew, load, vals)};
+  arc.fall = arc.rise;
+  arc.riseLvf = {Table2D(slew, load, sig), Table2D(slew, load, sig)};
+  arc.fallLvf = arc.riseLvf;
+  inv.arcs.push_back(arc);
+  lib->addCell(inv);
+  return lib;
+}
+
+std::string bodyBytes(const Library& lib) {
+  std::ostringstream os;
+  writeLibraryBody(os, lib);
+  return os.str();
+}
+
+// --- digest / memo-key coverage --------------------------------------------
+
+TEST(CharDigest, CoversEveryKnob) {
+  const CharConfig base;
+  const std::uint64_t d0 = charConfigDigest(base);
+  EXPECT_EQ(d0, charConfigDigest(CharConfig{}));  // deterministic
+
+  std::vector<CharConfig> variants(12, base);
+  variants[0].slews.push_back(200.0);
+  variants[1].loadsX1[0] = 1.5;
+  variants[2].vts = {VtClass::kSvt};
+  variants[3].combDrives = {1, 2};
+  variants[4].flopDrives = {};
+  variants[5].mismatch.avtMvUm = 3.0;
+  variants[6].mismatch.lengthUm = 0.028;
+  variants[7].lvfSigmaScale = 1.5;
+  variants[8].quick = true;
+  variants[9].adaptive = true;
+  variants[10].errorTolPs = 2.0;
+  variants[10].adaptive = true;
+  variants[11].sigmaGuardband = 1.5;
+  std::vector<std::uint64_t> seen{d0};
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    SCOPED_TRACE("variant " + std::to_string(i));
+    const std::uint64_t d = charConfigDigest(variants[i]);
+    for (std::uint64_t prev : seen) EXPECT_NE(d, prev);
+    seen.push_back(d);
+  }
+  // seedPerAxis is a knob too.
+  CharConfig seeds = base;
+  seeds.seedPerAxis = 4;
+  EXPECT_NE(charConfigDigest(seeds), d0);
+}
+
+TEST(CharDigest, CachePathEmbedsDigestAndVersion) {
+  const LibraryPvt pvt{};
+  CharConfig a, b;
+  b.lvfSigmaScale = 2.0;
+  const std::string pa = libraryCachePath(pvt, charConfigDigest(a));
+  const std::string pb = libraryCachePath(pvt, charConfigDigest(b));
+  EXPECT_NE(pa, pb);
+  EXPECT_NE(pa.find("_cfg"), std::string::npos);
+}
+
+TEST(CharMemo, DistinctConfigsAtOnePvtYieldDistinctLibraries) {
+  LogCapture quiet;
+  freshCacheDir("distinct");
+  const LibraryPvt pvt{};
+  // Identical grids/mode, different mismatch physics: exactly the aliasing
+  // the old {pvt, quick} key collapsed.
+  const auto libA = characterizedLibrary(pvt, cheapConfig(1.0));
+  const auto libB = characterizedLibrary(pvt, cheapConfig(2.0));
+  ASSERT_NE(libA, nullptr);
+  ASSERT_NE(libB, nullptr);
+  EXPECT_NE(libA.get(), libB.get());
+  // The doubled sigma scale must be visible in the LVF tables.
+  const Cell& a = libA->cellByName("INV_X1_SVT");
+  const Cell& b = libB->cellByName("INV_X1_SVT");
+  EXPECT_GT(b.arcs[0].riseLvf.lateAt(50.0, 4.0),
+            1.5 * a.arcs[0].riseLvf.lateAt(50.0, 4.0));
+  // And re-requesting either config shares the memoized instance.
+  EXPECT_EQ(characterizedLibrary(pvt, cheapConfig(1.0)).get(), libA.get());
+}
+
+// --- memo failure semantics -------------------------------------------------
+
+TEST(CharMemo, FailedBuildDoesNotPoisonMemo) {
+  LogCapture quiet;
+  freshCacheDir("poison");
+  const LibraryPvt pvt{};
+  const CharConfig cfg = cheapConfig(1.25);
+  ::setenv("TC_CHAR_FAULT", "build_fail", 1);
+  EXPECT_THROW(characterizedLibrary(pvt, cfg), std::runtime_error);
+  // Same key again while still failing: a fresh attempt, a fresh throw —
+  // not a memoized broken future, not a memoized success.
+  EXPECT_THROW(characterizedLibrary(pvt, cfg), std::runtime_error);
+  ::unsetenv("TC_CHAR_FAULT");
+  const auto lib = characterizedLibrary(pvt, cfg);
+  ASSERT_NE(lib, nullptr);
+  EXPECT_GT(lib->cellCount(), 0);
+}
+
+TEST(CharMemo, ConcurrentWaitersAllSeeFailureAndRetrySucceeds) {
+  LogCapture quiet;
+  freshCacheDir("waiters");
+  const LibraryPvt pvt{};
+  const CharConfig cfg = cheapConfig(1.5);
+  ::setenv("TC_CHAR_FAULT", "build_fail", 1);
+  constexpr int kThreads = 8;
+  std::atomic<int> threw{0}, returned{0};
+  {
+    std::vector<std::thread> ts;
+    for (int i = 0; i < kThreads; ++i)
+      ts.emplace_back([&] {
+        try {
+          (void)characterizedLibrary(pvt, cfg);
+          returned.fetch_add(1);
+        } catch (const std::exception&) {
+          threw.fetch_add(1);
+        }
+      });
+    for (auto& t : ts) t.join();
+  }
+  // Every caller — the builder and every waiter on its shared future, plus
+  // any late arrival that became a fresh builder after the erase — fails
+  // while the fault is armed. None may observe a phantom success.
+  EXPECT_EQ(threw.load(), kThreads);
+  EXPECT_EQ(returned.load(), 0);
+
+  ::unsetenv("TC_CHAR_FAULT");
+  std::vector<std::shared_ptr<const Library>> libs(kThreads);
+  {
+    std::vector<std::thread> ts;
+    for (int i = 0; i < kThreads; ++i)
+      ts.emplace_back([&, i] { libs[static_cast<std::size_t>(i)] =
+                                   characterizedLibrary(pvt, cfg); });
+    for (auto& t : ts) t.join();
+  }
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(libs[static_cast<std::size_t>(i)], nullptr);
+    // One build, one immutable instance, shared by all retry waiters.
+    EXPECT_EQ(libs[static_cast<std::size_t>(i)].get(), libs[0].get());
+  }
+}
+
+// --- crash-safe disk writes -------------------------------------------------
+
+TEST(CharDisk, TornWriteIsRejectedAndRewriteRecovers) {
+  LogCapture quiet;
+  const std::string dir = freshCacheDir("torn");
+  const auto lib = microLibrary();
+  const std::string path =
+      libraryCachePath(lib->pvt(), charConfigDigest(CharConfig{}));
+
+  ::setenv("TC_CHAR_FAULT", "torn_write", 1);
+  EXPECT_FALSE(writeLibraryFile(*lib, path));
+  ::unsetenv("TC_CHAR_FAULT");
+  // The torn entry exists at the final path — exactly what a pre-atomic
+  // writer could leave — and the reader must reject it with a diagnostic,
+  // which is the characterizedLibrary() signal to re-characterize.
+  ASSERT_TRUE(std::filesystem::exists(path));
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  EXPECT_EQ(readLibraryFile(path, &sink), nullptr);
+  EXPECT_GT(sink.errorCount(), 0);
+
+  // The recovery a fresh builder performs: overwrite with a good entry.
+  ASSERT_TRUE(writeLibraryFile(*lib, path));
+  const auto back = readLibraryFile(path);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(bodyBytes(*back), bodyBytes(*lib));
+}
+
+TEST(CharDisk, SkipRenameLeavesNoVisibleEntry) {
+  LogCapture quiet;
+  const std::string dir = freshCacheDir("rename");
+  const auto lib = microLibrary();
+  const std::string path =
+      libraryCachePath(lib->pvt(), charConfigDigest(CharConfig{}));
+
+  ::setenv("TC_CHAR_FAULT", "skip_rename", 1);
+  EXPECT_FALSE(writeLibraryFile(*lib, path));
+  ::unsetenv("TC_CHAR_FAULT");
+  // Writer died between temp write and rename: the final path must not
+  // exist (readers see a routine miss, never a partial file).
+  EXPECT_FALSE(std::filesystem::exists(path));
+  DiagnosticSink sink;
+  sink.setEcho(false);
+  EXPECT_EQ(readLibraryFile(path, &sink), nullptr);
+  EXPECT_EQ(sink.errorCount(), 0);  // a miss is a note, not an error
+
+  // A successful write cleans up after itself: entry present, no .tmp
+  // residue left in the cache dir (the orphan from the faulted attempt is
+  // overwritten by this process's own temp name, then renamed away).
+  ASSERT_TRUE(writeLibraryFile(*lib, path));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  int tmpFiles = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().filename().string().find(".tmp.") != std::string::npos)
+      ++tmpFiles;
+  EXPECT_EQ(tmpFiles, 0);
+}
+
+TEST(CharDisk, EveryPrefixTruncationIsCaughtCleanly) {
+  LogCapture quiet;
+  freshCacheDir("trunc");
+  const auto lib = microLibrary();
+  const std::string path =
+      libraryCachePath(lib->pvt(), charConfigDigest(CharConfig{}));
+  ASSERT_TRUE(writeLibraryFile(*lib, path));
+  std::string good;
+  {
+    std::ifstream is(path, std::ios::binary);
+    good.assign(std::istreambuf_iterator<char>(is),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(good.size(), 16u);
+  ASSERT_LT(good.size(), 64u * 1024);
+  ASSERT_NE(readLibraryFile(path), nullptr);
+
+  const std::string tornPath = path + ".torn";
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    std::ofstream os(tornPath, std::ios::binary | std::ios::trunc);
+    os.write(good.data(), static_cast<std::streamsize>(n));
+    os.close();
+    DiagnosticSink sink;
+    sink.setEcho(false);
+    ASSERT_EQ(readLibraryFile(tornPath, &sink), nullptr)
+        << "prefix of " << n << " bytes parsed as a library";
+    EXPECT_GT(sink.diagnostics().size(), 0u) << "silent nullptr at " << n;
+  }
+}
+
+// --- adaptive accuracy vs the full-grid golden ------------------------------
+
+/// Small-but-real oracle config: one Vt, X1 only, no flops, 6x6 grid — big
+/// enough for the active learner to skip points, small enough for a test.
+CharConfig oracleConfig() {
+  CharConfig cfg;
+  cfg.slews = {12.0, 30.0, 55.0, 85.0, 125.0, 170.0};
+  cfg.loadsX1 = {1.0, 2.5, 5.0, 9.0, 15.0, 24.0};
+  cfg.vts = {VtClass::kSvt};
+  cfg.combDrives = {1};
+  cfg.flopDrives = {};
+  return cfg;
+}
+
+TEST(CharAdaptive, MeetsToleranceWithZeroOptimisticSigma) {
+  LogCapture quiet;
+  const LibraryPvt pvt{};
+  const CharConfig golden = oracleConfig();
+  CharConfig adaptive = golden;
+  adaptive.adaptive = true;
+  adaptive.errorTolPs = 3.0;
+
+  const auto g = buildLibrary(pvt, golden);
+  const auto a = buildLibrary(pvt, adaptive);
+  ASSERT_EQ(g->cellCount(), a->cellCount());
+
+  double maxErr = 0.0, maxOptimism = 0.0;
+  auto scanErr = [&](const Table2D& gt, const Table2D& at) {
+    for (std::size_t i = 0; i < gt.xAxis().size(); ++i)
+      for (std::size_t j = 0; j < gt.yAxis().size(); ++j)
+        maxErr = std::max(maxErr, std::fabs(gt.at(i, j) - at.at(i, j)));
+  };
+  auto scanSigma = [&](const Table2D& gt, const Table2D& at) {
+    for (std::size_t i = 0; i < gt.xAxis().size(); ++i)
+      for (std::size_t j = 0; j < gt.yAxis().size(); ++j)
+        maxOptimism = std::max(maxOptimism, gt.at(i, j) - at.at(i, j));
+  };
+  for (int ci = 0; ci < g->cellCount(); ++ci) {
+    const Cell& gc = g->cell(ci);
+    const Cell& ac = a->cell(ci);
+    ASSERT_EQ(gc.name, ac.name);
+    if (gc.isBuffer) continue;  // composed cells compound two stages' error
+    for (std::size_t k = 0; k < gc.arcs.size(); ++k) {
+      scanErr(gc.arcs[k].rise.delay, ac.arcs[k].rise.delay);
+      scanErr(gc.arcs[k].rise.slew, ac.arcs[k].rise.slew);
+      scanErr(gc.arcs[k].fall.delay, ac.arcs[k].fall.delay);
+      scanErr(gc.arcs[k].fall.slew, ac.arcs[k].fall.slew);
+      scanSigma(gc.arcs[k].riseLvf.sigmaEarly, ac.arcs[k].riseLvf.sigmaEarly);
+      scanSigma(gc.arcs[k].riseLvf.sigmaLate, ac.arcs[k].riseLvf.sigmaLate);
+      scanSigma(gc.arcs[k].fallLvf.sigmaEarly, ac.arcs[k].fallLvf.sigmaEarly);
+      scanSigma(gc.arcs[k].fallLvf.sigmaLate, ac.arcs[k].fallLvf.sigmaLate);
+    }
+  }
+  EXPECT_LE(maxErr, adaptive.errorTolPs)
+      << "adaptive tables violate the accuracy contract";
+  EXPECT_LE(maxOptimism, 1e-9)
+      << "adaptive LVF sigma optimistic vs golden by " << maxOptimism;
+}
+
+TEST(CharAdaptive, ZeroToleranceReproducesGoldenBitwise) {
+  LogCapture quiet;
+  const LibraryPvt pvt{};
+  CharConfig golden;
+  golden.vts = {VtClass::kSvt};
+  golden.combDrives = {1};
+  golden.flopDrives = {};
+  CharConfig zeroTol = golden;
+  zeroTol.adaptive = true;
+  zeroTol.errorTolPs = 0.0;
+
+  const auto g = buildLibrary(pvt, golden);
+  const auto z = buildLibrary(pvt, zeroTol);
+  EXPECT_EQ(bodyBytes(*g), bodyBytes(*z))
+      << "full-accuracy adaptive settings must be a bitwise no-op";
+}
+
+}  // namespace
+}  // namespace tc

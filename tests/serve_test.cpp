@@ -288,6 +288,18 @@ TEST_F(ServeProtocolTest, MetricsDumpContainsServeCounters) {
   EXPECT_TRUE(r["metrics"].contains("serve.epochs_published")) << r.dump();
   EXPECT_GT(r["metrics"]["serve.requests"].asDouble(), 0.0);
   EXPECT_GE(r["metrics"]["serve.epochs_published"].asDouble(), 1.0);
+
+  // The characterization-cache counters are registered by the Server ctor
+  // (like prune.*), so operators can watch library cold-start cost from
+  // the same `metrics` command without having characterized anything yet.
+  Json c = one(*server_, session_,
+               R"({"cmd":"metrics","prefix":"liberty.char."})");
+  ASSERT_TRUE(c["ok"].asBool(false));
+  for (const char* name :
+       {"liberty.char.requests", "liberty.char.memo_hits",
+        "liberty.char.disk_hits", "liberty.char.disk_misses",
+        "liberty.char.builds", "liberty.char.sim_queries"})
+    EXPECT_TRUE(c["metrics"].contains(name)) << name << " " << c.dump();
 }
 
 TEST_F(ServeProtocolTest, EcoOpWireCodecRoundTrips) {

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "liberty/builder.h"
+#include "liberty/serialize.h"
 #include "network/netgen.h"
 #include "signoff/snapshot.h"
 #include "sta/engine.h"
@@ -247,6 +250,54 @@ TEST(Snapshot, EverySingleByteCorruptionIsCaughtCleanly) {
       EXPECT_GE(sink.errorCount(), 1) << "flip at byte " << i;
     }
   }
+}
+
+// The characterization disk cache shares the byte-flip contract with
+// snapshots: its CRC-framed files must reject EVERY single-byte corruption
+// with a diagnostic, never parse garbage. Same micro-fixture trick — the
+// sweep is O(bytes^2) in CRC work, so the file must stay a few KB.
+TEST(Snapshot, LibraryCacheFileEveryByteFlipIsCaught) {
+  LogCapture quiet;
+  const DesignSnapshot snap = microSnapshot();
+  const std::string path =
+      std::string(::testing::TempDir()) + "micro_flip.tclib";
+  ASSERT_TRUE(writeLibraryFile(*snap.libraries.front(), path));
+  std::string good;
+  {
+    std::ifstream is(path, std::ios::binary);
+    good.assign(std::istreambuf_iterator<char>(is),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_LT(good.size(), 64u * 1024)
+      << "micro library grew too large for the exhaustive sweep";
+  ASSERT_NE(readLibraryFile(path), nullptr);
+
+  const std::string badPath = path + ".bad";
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    {
+      std::ofstream os(badPath, std::ios::binary | std::ios::trunc);
+      os.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    }
+    DiagnosticSink sink;
+    sink.setEcho(false);
+    ASSERT_EQ(readLibraryFile(badPath, &sink), nullptr)
+        << "flip at byte " << i << " was not detected";
+    ASSERT_GT(sink.diagnostics().size(), 0u)
+        << "silent nullptr for flip at byte " << i;
+    bool knownCode = false;
+    for (const auto& d : sink.diagnostics())
+      knownCode = knownCode || d.code == DiagCode::kLibBadMagic ||
+                  d.code == DiagCode::kLibVersionMismatch ||
+                  d.code == DiagCode::kLibTruncated ||
+                  d.code == DiagCode::kLibChecksumMismatch ||
+                  d.code == DiagCode::kLibCorrupt;
+    EXPECT_TRUE(knownCode) << "flip at byte " << i
+                           << " produced an unexpected diagnostic";
+  }
+  std::remove(path.c_str());
+  std::remove(badPath.c_str());
 }
 
 TEST(Snapshot, PruneAuditRoundTripsByteIdentically) {

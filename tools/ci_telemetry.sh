@@ -9,6 +9,14 @@
 # appended to GITHUB_STEP_SUMMARY so hit-rate regressions — a stale
 # cache key, a header churn blow-up — are visible on the run page
 # without downloading anything.
+#
+# When TC_LIB_CACHE_DIR is set (the perf-gate job restores it via
+# actions/cache), the summary also reports the characterization disk
+# cache: entries and bytes now, and — if TC_CHAR_CACHE_PREWARM was
+# stamped right after the restore — how many entries this run added.
+# Prewarm == final means every characterizedLibrary() call was a warm
+# disk hit; a jump back to 0 prewarm is the cold-start cost returning
+# (key churn from a Liberty/device change, or an evicted cache).
 set -u
 
 job="${1:?usage: ci_telemetry.sh <job-label> <output-md>}"
@@ -52,6 +60,23 @@ fi
     echo "- ccache: ${hits} hits / ${misses} misses (${rate}% hit rate)"
   else
     echo "- ccache: unavailable"
+  fi
+  if [ -n "${TC_LIB_CACHE_DIR:-}" ] && [ -d "${TC_LIB_CACHE_DIR}" ]; then
+    libs=$(find "${TC_LIB_CACHE_DIR}" -name '*.tclib' | wc -l)
+    bytes=$(find "${TC_LIB_CACHE_DIR}" -name '*.tclib' -printf '%s\n' \
+      2>/dev/null | awk '{s += $1} END {print s + 0}')
+    line="- char cache: ${libs} entries, ${bytes} bytes"
+    if [ -n "${TC_CHAR_CACHE_PREWARM:-}" ]; then
+      added=$((libs - TC_CHAR_CACHE_PREWARM))
+      if [ "${TC_CHAR_CACHE_PREWARM}" -eq 0 ]; then
+        line="${line} (cold start: all ${added} built this run)"
+      elif [ "$added" -gt 0 ]; then
+        line="${line} (warm: ${TC_CHAR_CACHE_PREWARM} restored, ${added} built this run)"
+      else
+        line="${line} (warm: all restored, 0 built this run)"
+      fi
+    fi
+    echo "$line"
   fi
 } > "$out"
 
